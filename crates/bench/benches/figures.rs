@@ -1,0 +1,87 @@
+//! One benchmark per paper artifact: the end-to-end computation behind each
+//! figure (see DESIGN.md §4 for the experiment index). These measure the
+//! full regeneration path — corpus analysis through model fitting — not the
+//! rendering.
+
+use anchors_core::{discover_flavors, recommend_for_course, AgreementAnalysis};
+use anchors_corpus::{default_corpus, generate, GeneratedCorpus};
+use anchors_curricula::{cs2013, pdc12};
+use anchors_viz::radial_layout;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let mut group = c.benchmark_group("figures");
+
+    group.bench_function("fig1_roster_generation", |b| {
+        b.iter(|| generate(anchors_corpus::DEFAULT_SEED))
+    });
+    group.bench_function("fig2_all_courses_nnmf_k4", |b| {
+        b.iter(|| discover_flavors(&corpus.store, g, corpus.all(), 4))
+    });
+    group.bench_function("fig3a_cs1_agreement", |b| {
+        b.iter(|| AgreementAnalysis::run(&corpus.store, g, "CS1", &corpus.cs1_group()))
+    });
+    group.bench_function("fig3b_ds_agreement", |b| {
+        b.iter(|| AgreementAnalysis::run(&corpus.store, g, "DS", &corpus.ds_group()))
+    });
+    let cs1_agree = AgreementAnalysis::run(&corpus.store, g, "CS1", &corpus.cs1_group());
+    group.bench_function("fig4_cs1_radial_layouts", |b| {
+        b.iter(|| {
+            (2..=4)
+                .map(|m| radial_layout(g, &cs1_agree.tree(m).nodes))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("fig5_cs1_nnmf_k3", |b| {
+        b.iter(|| discover_flavors(&corpus.store, g, &corpus.cs1_group(), 3))
+    });
+    let ds_agree = AgreementAnalysis::run(&corpus.store, g, "DS", &corpus.ds_group());
+    group.bench_function("fig6_ds_radial_layouts", |b| {
+        b.iter(|| {
+            (2..=4)
+                .map(|m| radial_layout(g, &ds_agree.tree(m).nodes))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("fig7_ds_algo_nnmf_k3", |b| {
+        b.iter(|| discover_flavors(&corpus.store, g, &corpus.ds_and_algo_group(), 3))
+    });
+    group.bench_function("fig8_pdc_agreement", |b| {
+        b.iter(|| AgreementAnalysis::run(&corpus.store, g, "PDC", &corpus.pdc_group()))
+    });
+    group.finish();
+}
+
+fn bench_recommender(c: &mut Criterion) {
+    let corpus: GeneratedCorpus = default_corpus();
+    let cs = cs2013();
+    let pdc = pdc12();
+    let mut group = c.benchmark_group("anchors");
+    group.bench_function("recommend_all_20_courses", |b| {
+        b.iter(|| {
+            corpus
+                .all()
+                .iter()
+                .map(|&cid| recommend_for_course(&corpus.store, cs, pdc, cid))
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_figures, bench_recommender
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Kernel benchmarks: the dense linear algebra under every figure.
+//!
+//! Includes the sequential-vs-parallel matmul ablation (the rayon
+//! data-parallel kernels of `anchors-linalg`).
+
+use anchors_linalg::{
+    gram, matmul, matmul_seq, pairwise_distances, sym_eigen, thin_svd, Matrix, Metric,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn mk(n: usize, m: usize, seed: u64) -> Matrix {
+    // Cheap deterministic pseudo-random fill (no RNG dependency needed).
+    Matrix::from_fn(n, m, |i, j| {
+        let x = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(j as u64)
+            .wrapping_add(seed);
+        ((x >> 33) % 1000) as f64 / 1000.0
+    })
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 96, 192] {
+        let a = mk(n, n, 1);
+        let b = mk(n, n, 2);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |bch, _| {
+            bch.iter(|| matmul_seq(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram_and_factorizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    // The corpus-shaped matrix: 20 courses x ~500 tags.
+    let a = mk(20, 500, 3);
+    group.bench_function("gram_20x500", |b| b.iter(|| gram(&a)));
+    group.bench_function("thin_svd_20x500", |b| b.iter(|| thin_svd(&a)));
+    let sym = {
+        let m = mk(40, 40, 4);
+        anchors_linalg::ops::add(&m, &m.transpose())
+    };
+    group.bench_function("jacobi_eigen_40", |b| b.iter(|| sym_eigen(&sym)));
+    group.bench_function("pairwise_jaccard_20x500", |b| {
+        b.iter(|| pairwise_distances(&a, Metric::Jaccard))
+    });
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    // Strong scaling of the parallel matmul kernel: same 256x256 problem
+    // under rayon pools of 1, 2, 4, and 8 threads. The kernel is bitwise
+    // deterministic regardless of pool size.
+    let n = 256;
+    let a = mk(n, n, 11);
+    let b = mk(n, n, 12);
+    let reference = matmul_seq(&a, &b);
+    let mut group = c.benchmark_group("thread_scaling_matmul_256");
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| pool.install(|| matmul(&a, &b)))
+        });
+        // Determinism across pool sizes.
+        let out = pool.install(|| matmul(&a, &b));
+        assert_eq!(out, reference);
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matmul, bench_gram_and_factorizations, bench_thread_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Benchmarks of the CS Materials services: search, similarity graphs, MDS
+//! embeddings (classical vs SMACOF), and the bicluster matrix view.
+
+use anchors_corpus::default_corpus;
+use anchors_curricula::cs2013;
+use anchors_factor::{classical_mds, smacof, spectral_cocluster};
+use anchors_materials::{search, MaterialMatrix, Query, SimilarityGraph};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_search(c: &mut Criterion) {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let gt = g.by_code("DS.GT").unwrap();
+    let tags = g.leaves_under(gt);
+    let mut group = c.benchmark_group("search");
+    group.bench_function("tag_query_all_materials", |b| {
+        b.iter(|| search(&corpus.store, g, &Query::tags(tags.iter().copied())))
+    });
+    group.bench_function("faceted_query", |b| {
+        b.iter(|| {
+            search(
+                &corpus.store,
+                g,
+                &Query::tags(tags.iter().copied()).in_language("Java").limit(10),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_mds(c: &mut Criterion) {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let tags = g.leaves_under(g.by_code("AL.FDSA").unwrap());
+    let hits = search(&corpus.store, g, &Query::tags(tags.iter().copied()).limit(25));
+    let ids: Vec<_> = hits.iter().map(|h| h.material).collect();
+    let graph = SimilarityGraph::build(&corpus.store, &tags, &ids);
+    let d = graph.distance_matrix();
+    let mut group = c.benchmark_group("mds");
+    group.bench_function("similarity_graph_build", |b| {
+        b.iter(|| SimilarityGraph::build(&corpus.store, &tags, &ids))
+    });
+    group.bench_function("classical_26", |b| b.iter(|| classical_mds(&d, 2)));
+    group.bench_function("smacof_26", |b| b.iter(|| smacof(&d, 2, 100, 1e-8, 1)));
+    group.finish();
+}
+
+fn bench_bicluster(c: &mut Criterion) {
+    let corpus = default_corpus();
+    let courses = corpus.ds_group();
+    let mm = MaterialMatrix::build(&corpus.store, &courses);
+    let mut group = c.benchmark_group("matrix_view");
+    group.bench_function(
+        format!("spectral_cocluster_{}x{}", mm.m.rows(), mm.m.cols()),
+        |b| b.iter(|| spectral_cocluster(&mm.m, 5, 42)),
+    );
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_search, bench_mds, bench_bicluster
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! NNMF benchmarks and ablations: solver (HALS vs multiplicative updates),
+//! initialization (random multi-restart vs NNDSVD), and the k sweep behind
+//! the §4.4 rank scan.
+
+use anchors_corpus::default_corpus;
+use anchors_factor::{nnmf, rank_scan, Init, NnmfConfig, Solver};
+use anchors_materials::CourseMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn corpus_matrix() -> anchors_linalg::Matrix {
+    let corpus = default_corpus();
+    CourseMatrix::build(&corpus.store, corpus.all()).a
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let a = corpus_matrix();
+    let mut group = c.benchmark_group("nnmf_solver");
+    for (name, cfg) in [
+        (
+            "hals_k4",
+            NnmfConfig {
+                restarts: 1,
+                ..NnmfConfig::paper_default(4)
+            },
+        ),
+        (
+            "mu_k4",
+            NnmfConfig {
+                restarts: 1,
+                solver: Solver::MultiplicativeUpdate,
+                ..NnmfConfig::paper_default(4)
+            },
+        ),
+        (
+            "anls_k4",
+            NnmfConfig {
+                restarts: 1,
+                max_iter: 10,
+                solver: Solver::Anls,
+                ..NnmfConfig::paper_default(4)
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| b.iter(|| nnmf(&a, &cfg)));
+    }
+    group.finish();
+}
+
+fn bench_init(c: &mut Criterion) {
+    let a = corpus_matrix();
+    let mut group = c.benchmark_group("nnmf_init");
+    for (name, init, restarts) in [
+        ("random_x8", Init::Random, 8usize),
+        ("random_x1", Init::Random, 1),
+        ("nndsvda", Init::NndsvdA, 1),
+    ] {
+        let cfg = NnmfConfig {
+            init,
+            restarts,
+            ..NnmfConfig::paper_default(4)
+        };
+        group.bench_function(name, |b| b.iter(|| nnmf(&a, &cfg)));
+    }
+    group.finish();
+}
+
+fn bench_rank_scan(c: &mut Criterion) {
+    let a = corpus_matrix();
+    let base = NnmfConfig {
+        restarts: 2,
+        ..NnmfConfig::paper_default(2)
+    };
+    let mut group = c.benchmark_group("nnmf_rank");
+    group.bench_function("scan_k2_to_k4", |b| b.iter(|| rank_scan(&a, 2..=4, &base)));
+    for k in [2usize, 4, 6] {
+        let cfg = NnmfConfig {
+            k,
+            restarts: 1,
+            ..NnmfConfig::paper_default(k)
+        };
+        group.bench_with_input(BenchmarkId::new("single_k", k), &k, |b, _| {
+            b.iter(|| nnmf(&a, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_solvers, bench_init, bench_rank_scan
+}
+criterion_main!(benches);

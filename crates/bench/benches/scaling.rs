@@ -1,0 +1,84 @@
+//! Scaling ablations beyond the paper's corpus size:
+//!
+//! * dense vs CSR-sparse NNMF as the corpus grows (the course matrices are
+//!   ~10% dense, so the sparse data products win with scale);
+//! * rayon parallel matmul across matrix sizes (strong-scaling ablation of
+//!   the `anchors-linalg` kernels);
+//! * corpus generation throughput.
+
+use anchors_corpus::generate_scaled;
+use anchors_factor::{nnmf, nnmf_sparse, NnmfConfig};
+use anchors_linalg::{CsrMatrix, Matrix};
+use anchors_materials::CourseMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn corpus_matrix(n_courses: usize) -> Matrix {
+    let corpus = generate_scaled(n_courses, 7);
+    CourseMatrix::build(&corpus.store, corpus.all()).a
+}
+
+fn bench_dense_vs_sparse_nnmf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nnmf_scaling");
+    for &n in &[20usize, 80, 200] {
+        let a = corpus_matrix(n);
+        let s = CsrMatrix::from_dense(&a);
+        let cfg = NnmfConfig {
+            restarts: 1,
+            max_iter: 50,
+            ..NnmfConfig::paper_default(4)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("{n}c_{}t", a.cols())),
+            &n,
+            |b, _| b.iter(|| nnmf(&a, &cfg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse", format!("{n}c_{}t_d{:.2}", a.cols(), s.density())),
+            &n,
+            |b, _| b.iter(|| nnmf_sparse(&s, &cfg)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_generation");
+    for &n in &[20usize, 100, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| generate_scaled(n, 11))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_products(c: &mut Criterion) {
+    let a = corpus_matrix(200);
+    let s = CsrMatrix::from_dense(&a);
+    let h = Matrix::from_fn(4, a.cols(), |i, j| ((i + j) % 7) as f64 * 0.1);
+    let w = Matrix::from_fn(a.rows(), 4, |i, j| ((i * 3 + j) % 5) as f64 * 0.1);
+    let mut group = c.benchmark_group("data_products");
+    group.bench_function("dense_a_ht", |b| {
+        b.iter(|| anchors_linalg::matmul_a_bt(&a, &h))
+    });
+    group.bench_function("sparse_a_ht", |b| b.iter(|| s.matmul_dense_bt(&h)));
+    group.bench_function("dense_at_w", |b| {
+        b.iter(|| anchors_linalg::matmul_at_b(&a, &w))
+    });
+    group.bench_function("sparse_at_w", |b| b.iter(|| s.matmul_at_dense(&w)));
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1500))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dense_vs_sparse_nnmf, bench_corpus_generation, bench_sparse_products
+}
+criterion_main!(benches);

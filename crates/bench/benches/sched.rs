@@ -1,0 +1,58 @@
+//! Benchmarks of the §5.2 task-graph substrate: topological sort, critical
+//! path, and the list-scheduling simulator across priority policies and
+//! scales.
+
+use anchors_sched::{layered_dag, list_schedule, random_dag, Priority};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_graph_analytics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taskgraph");
+    for &n in &[100usize, 1000, 5000] {
+        let g = random_dag(n, (8.0 / n as f64).min(0.3), 1.0..=5.0, 7);
+        group.bench_with_input(BenchmarkId::new("topological_sort", n), &n, |b, _| {
+            b.iter(|| g.topological_sort().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("critical_path", n), &n, |b, _| {
+            b.iter(|| g.critical_path().unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_schedule");
+    let g = layered_dag(20, 50, 0.1, 1.0..=8.0, 3); // 1000 tasks
+    for policy in [
+        Priority::CriticalPath,
+        Priority::Fifo,
+        Priority::LongestFirst,
+        Priority::ShortestFirst,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("policy", format!("{policy:?}")),
+            &policy,
+            |b, &p| b.iter(|| list_schedule(&g, 8, p)),
+        );
+    }
+    for &m in &[1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("processors", m), &m, |b, &m| {
+            b.iter(|| list_schedule(&g, m, Priority::CriticalPath))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_graph_analytics, bench_list_scheduling
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! §3.2 — the workshop's day-2 alignment study: "how to study the
+//! alignment between content delivery, activities, and assessment". For
+//! every course, compares lecture tags against assessment tags with the
+//! divergent hit-tree of §3.1.1 (mid-scale = fully aligned) and renders the
+//! most misaligned course radially.
+
+use anchors_bench::{header, seed, write_artifact};
+use anchors_corpus::generate;
+use anchors_curricula::{cs2013, Level};
+use anchors_materials::{AlignmentView, MaterialKind};
+use anchors_viz::{divergent, radial_layout, render_radial, NodeStyle};
+
+fn main() {
+    let corpus = generate(seed());
+    let g = cs2013();
+
+    header("Alignment of content delivery vs assessment, per course");
+    let mut scores: Vec<(String, f64, anchors_materials::CourseId)> = Vec::new();
+    for &cid in corpus.all() {
+        let lectures = corpus.store.course_tags_of_kind(cid, MaterialKind::Lecture);
+        let exams = corpus.store.course_tags_of_kind(cid, MaterialKind::Assessment);
+        if lectures.is_empty() || exams.is_empty() {
+            continue;
+        }
+        let view = AlignmentView::build(g, &lectures, &exams);
+        scores.push((
+            corpus.store.course(cid).name.clone(),
+            view.misalignment(g),
+            cid,
+        ));
+    }
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("{:<74} misalignment (0 = perfectly aligned)", "course");
+    for (name, m, _) in &scores {
+        println!("{name:<74} {m:.3}");
+    }
+
+    // Radial divergent view of the most misaligned course.
+    let (name, _, cid) = &scores[0];
+    header(&format!("Divergent view of the least aligned course: {name}"));
+    let lectures = corpus.store.course_tags_of_kind(*cid, MaterialKind::Lecture);
+    let exams = corpus.store.course_tags_of_kind(*cid, MaterialKind::Assessment);
+    let view = AlignmentView::build(g, &lectures, &exams);
+    // Induced subtree: every node hit by either side, plus ancestors.
+    let mut nodes = std::collections::BTreeSet::new();
+    for n in g.nodes() {
+        if view.size(n.id) > 0 {
+            nodes.extend(g.path(n.id));
+        }
+    }
+    let nodes: Vec<_> = nodes.into_iter().collect();
+    let layout = radial_layout(g, &nodes);
+    let svg = render_radial(
+        g,
+        &layout,
+        |n| {
+            let node = g.node(n);
+            let score = view.score(n).unwrap_or(0.0);
+            NodeStyle {
+                radius: match node.level {
+                    Level::Root => 7.0,
+                    Level::KnowledgeArea => 5.5,
+                    Level::KnowledgeUnit => 4.0,
+                    _ => 2.0 + (view.size(n) as f64).min(4.0),
+                },
+                fill: if node.level == Level::Root {
+                    "#d62728".to_string()
+                } else {
+                    divergent(score)
+                },
+                label: (node.level == Level::KnowledgeArea).then(|| node.code.clone()),
+            }
+        },
+        &format!("Lectures (blue) vs assessments (red): {name}"),
+    );
+    write_artifact("alignment_worst_course.svg", &svg);
+    println!(
+        "blue = covered only in lectures, red = assessed but not taught, white = aligned"
+    );
+}

@@ -1,0 +1,66 @@
+//! §5.2 — the actionable output of the paper: per-course PDC anchor-point
+//! recommendations, with resolved PDC12 topics and CS2013 anchors.
+
+use anchors_bench::{header, seed, write_artifact};
+use anchors_core::{anchor_sites, recommend_for_course};
+use anchors_corpus::generate;
+use anchors_curricula::{cs2013, pdc12};
+
+fn main() {
+    let corpus = generate(seed());
+    let cs = cs2013();
+    let pdc = pdc12();
+
+    header("PDC anchor-point recommendations (§5.2)");
+    let mut out = String::new();
+    for &cid in corpus.all() {
+        let recs = recommend_for_course(&corpus.store, cs, pdc, cid);
+        if recs.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("\n{}\n", corpus.store.course(cid).name));
+        for r in recs {
+            out.push_str(&format!("  [{:?}] {}\n", r.flavor, r.title));
+            out.push_str(&format!("    activity : {}\n", r.activity));
+            out.push_str(&format!(
+                "    teaches  : {}\n",
+                r.pdc_topics
+                    .iter()
+                    .map(|c| format!(
+                        "{c} ({})",
+                        pdc.node(pdc.by_code(c).unwrap())
+                            .label
+                            .chars()
+                            .take(48)
+                            .collect::<String>()
+                    ))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+            out.push_str(&format!(
+                "    anchors  : {}\n",
+                r.anchors
+                    .iter()
+                    .map(|c| format!(
+                        "{c} ({})",
+                        cs.node(cs.by_code(c).unwrap()).label
+                    ))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            ));
+            let sites = anchor_sites(&corpus.store, cs, cid, &r);
+            if !sites.is_empty() {
+                let names: Vec<String> = sites
+                    .iter()
+                    .take(3)
+                    .map(|&(mid, hits)| {
+                        format!("{} ({hits} tags)", corpus.store.material(mid).name)
+                    })
+                    .collect();
+                out.push_str(&format!("    splice at: {}\n", names.join("; ")));
+            }
+        }
+    }
+    print!("{out}");
+    write_artifact("anchors_recommendations.txt", &out);
+}

@@ -1,0 +1,117 @@
+//! The paper's future work: "build better models of courses by
+//! investigating other algorithms such as PCA and MDS". This binary runs
+//! both baselines on the same corpus matrix and contrasts them with the
+//! NNMF course types.
+
+use anchors_bench::{compare, header, seed, write_artifact};
+use anchors_core::discover_flavors;
+use anchors_corpus::generate;
+use anchors_curricula::cs2013;
+use anchors_factor::{classical_mds, pca};
+use anchors_linalg::{pairwise_distances, Metric};
+use anchors_materials::{CourseLabel, CourseMatrix};
+use anchors_viz::{svg_scatter, ScatterPoint};
+
+fn main() {
+    let corpus = generate(seed());
+    let g = cs2013();
+    let cm = CourseMatrix::build(&corpus.store, corpus.all());
+    let fm = discover_flavors(&corpus.store, g, corpus.all(), 4);
+
+    // --- PCA of the courses.
+    header("PCA of the course matrix");
+    let model = pca(&cm.a, 4);
+    println!("explained variance ratio of top 4 components:");
+    for (i, r) in model.explained_ratio.iter().enumerate() {
+        println!("  PC{}: {:.3}", i + 1, r);
+    }
+    let scores = model.transform(&cm.a);
+
+    // --- Classical MDS of the Jaccard distances.
+    header("MDS of pairwise Jaccard distances");
+    let d = pairwise_distances(&cm.a, Metric::Jaccard);
+    let emb = classical_mds(&d, 2);
+    println!("embedding stress: {:.4}", emb.stress);
+
+    // Scatter artifacts colored by NNMF type.
+    let label_group = |cid| {
+        let c = corpus.store.course(cid);
+        if c.has_label(CourseLabel::Pdc) {
+            2
+        } else if c.has_label(CourseLabel::SoftEng) {
+            1
+        } else if c.has_label(CourseLabel::DataStructures) || c.has_label(CourseLabel::Algorithms) {
+            0
+        } else {
+            3
+        }
+    };
+    let mk_points = |coords: &anchors_linalg::Matrix| -> Vec<ScatterPoint> {
+        cm.courses
+            .iter()
+            .enumerate()
+            .map(|(i, &cid)| ScatterPoint {
+                x: coords.get(i, 0),
+                y: coords.get(i, 1),
+                label: corpus
+                    .store
+                    .course(cid)
+                    .name
+                    .split_whitespace()
+                    .take(3)
+                    .collect::<Vec<_>>()
+                    .join(" "),
+                group: label_group(cid),
+            })
+            .collect()
+    };
+    write_artifact(
+        "baseline_pca_scatter.svg",
+        &svg_scatter(&mk_points(&scores), "Courses in PCA space (color = family)"),
+    );
+    write_artifact(
+        "baseline_mds_scatter.svg",
+        &svg_scatter(&mk_points(&emb.points), "Courses in MDS space (color = family)"),
+    );
+
+    // --- Quantitative comparison: do the baselines separate the families
+    // the NNMF types separate?
+    header("Family separation (mean intra-family vs inter-family distance)");
+    for (name, coords) in [("PCA", &scores), ("MDS", &emb.points)] {
+        let dd = pairwise_distances(coords, Metric::Euclidean);
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 0..cm.courses.len() {
+            for j in (i + 1)..cm.courses.len() {
+                if label_group(cm.courses[i]) == label_group(cm.courses[j]) {
+                    intra.push(dd.get(i, j));
+                } else {
+                    inter.push(dd.get(i, j));
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        compare(
+            &format!("{name}: inter / intra distance ratio"),
+            "> 1 separates families",
+            format!("{:.2}", mean(&inter) / mean(&intra)),
+        );
+    }
+    // NNMF separation for reference.
+    let same_type = |i: usize, j: usize| fm.assignments[i] == fm.assignments[j];
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..cm.courses.len() {
+        for j in (i + 1)..cm.courses.len() {
+            total += 1;
+            if (label_group(cm.courses[i]) == label_group(cm.courses[j])) == same_type(i, j) {
+                agree += 1;
+            }
+        }
+    }
+    compare(
+        "NNMF type partition vs family labels (pair agreement)",
+        "high",
+        format!("{:.0}%", 100.0 * agree as f64 / total as f64),
+    );
+}

@@ -1,0 +1,51 @@
+//! Figure 3 — agreement distributions in CS1 (3a) and Data Structures (3b):
+//! how many courses each curriculum tag appears in.
+
+use anchors_bench::{compare, header, seed, write_artifact};
+use anchors_core::AgreementAnalysis;
+use anchors_corpus::generate;
+use anchors_curricula::cs2013;
+use anchors_viz::{svg_agreement_plot, text_agreement_plot};
+
+fn main() {
+    let corpus = generate(seed());
+    let g = cs2013();
+
+    let cs1 = AgreementAnalysis::run(&corpus.store, g, "CS1", &corpus.cs1_group());
+    header("Figure 3a: agreement in CS1 courses");
+    let text = text_agreement_plot(&cs1.tag_counts, "CS1: courses per tag");
+    print!("{text}");
+    write_artifact("fig3a_cs1_agreement.txt", &text);
+    write_artifact(
+        "fig3a_cs1_agreement.svg",
+        &svg_agreement_plot(&cs1.tag_counts, "CS1: how many courses each tag appears in"),
+    );
+    compare("CS1 total distinct tags", "> 200", cs1.total_tags());
+    compare("CS1 tags in >= 2 courses", "~ 50", cs1.tags_at(2));
+    compare("CS1 tags in >= 3 courses", "~ 25", cs1.tags_at(3));
+    compare("CS1 tags in >= 4 courses", "13", cs1.tags_at(4));
+
+    let ds = AgreementAnalysis::run(&corpus.store, g, "DS", &corpus.ds_group());
+    header("Figure 3b: agreement in Data Structure courses");
+    let text = text_agreement_plot(&ds.tag_counts, "DS: courses per tag");
+    print!("{text}");
+    write_artifact("fig3b_ds_agreement.txt", &text);
+    write_artifact(
+        "fig3b_ds_agreement.svg",
+        &svg_agreement_plot(&ds.tag_counts, "DS: how many courses each tag appears in"),
+    );
+    compare("DS total distinct tags", "~ 250", ds.total_tags());
+    compare("DS tags in >= 2 courses", "~ 120", ds.tags_at(2));
+    compare("DS tags in >= 4 courses", "~ 50", ds.tags_at(4));
+
+    header("Headline comparison (§4.5)");
+    compare(
+        "agreement fraction at 2+ (DS vs CS1)",
+        "DS ≫ CS1",
+        format!(
+            "DS {:.2} vs CS1 {:.2}",
+            ds.agreement_fraction(2),
+            cs1.agreement_fraction(2)
+        ),
+    );
+}

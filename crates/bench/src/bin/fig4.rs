@@ -1,0 +1,48 @@
+//! Figure 4 — radial views of the agreed-upon CS1 classification at
+//! thresholds 2, 3, and 4 courses (root in red).
+
+use anchors_bench::{agreement_tree_figure, compare, header, seed, write_artifact};
+use anchors_core::AgreementAnalysis;
+use anchors_corpus::generate;
+use anchors_curricula::cs2013;
+
+fn main() {
+    let corpus = generate(seed());
+    let g = cs2013();
+    let cs1 = AgreementAnalysis::run(&corpus.store, g, "CS1", &corpus.cs1_group());
+
+    header("Figure 4: agreement trees of CS1 courses");
+    for m in 2..=4 {
+        let title = format!("CS1 agreement: {m} courses or more");
+        let (svg, summary) = agreement_tree_figure(g, &cs1, m, &title);
+        print!("{summary}");
+        write_artifact(&format!("fig4_cs1_agreement_{m}.svg"), &svg);
+    }
+
+    header("Paper checks");
+    compare(
+        "KAs spanned at >= 2 courses",
+        "4 (SDF/Algo/Arch/PL)",
+        cs1.spanned_kas(g, 2).join("+"),
+    );
+    let tree4 = cs1.tree(4);
+    let fpc = g.by_code("SDF.FPC").unwrap();
+    let sdf = g.by_code("SDF").unwrap();
+    let in_sdf = tree4
+        .agreed_leaves
+        .iter()
+        .filter(|&&(t, _)| g.is_ancestor(sdf, t))
+        .count();
+    let in_fpc = tree4
+        .agreed_leaves
+        .iter()
+        .filter(|&&(t, _)| g.is_ancestor(fpc, t))
+        .count();
+    compare("items agreed by >= 4 courses", "13", tree4.len());
+    compare("of which inside SDF", "13", in_sdf);
+    compare(
+        "of which inside SDF/Fundamental Programming Concepts",
+        "12",
+        in_fpc,
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 6 — radial views of the agreed-upon Data Structures
+//! classification at thresholds 2, 3, and 4 courses.
+
+use anchors_bench::{agreement_tree_figure, compare, header, seed, write_artifact};
+use anchors_core::AgreementAnalysis;
+use anchors_corpus::generate;
+use anchors_curricula::cs2013;
+
+fn main() {
+    let corpus = generate(seed());
+    let g = cs2013();
+    let ds = AgreementAnalysis::run(&corpus.store, g, "DS", &corpus.ds_group());
+
+    header("Figure 6: agreement trees of Data Structure courses");
+    for m in 2..=4 {
+        let title = format!("DS agreement: {m} courses or more");
+        let (svg, summary) = agreement_tree_figure(g, &ds, m, &title);
+        print!("{summary}");
+        write_artifact(&format!("fig6_ds_agreement_{m}.svg"), &svg);
+    }
+
+    header("Paper checks (§4.5)");
+    compare(
+        "KAs spanned at >= 3 courses",
+        "5 (Algo,SDF,DS,CS,PL)",
+        ds.spanned_kas(g, 3).join("+"),
+    );
+    let at4 = ds.spanned_kas(g, 4);
+    compare(
+        "KAs spanned at >= 4 courses",
+        "drops PL",
+        format!(
+            "{} (PL present: {})",
+            at4.join("+"),
+            at4.contains(&"PL".to_string())
+        ),
+    );
+    // The traditional DS core named by the paper.
+    let tree4 = ds.tree(4);
+    for (code, what) in [
+        ("AL.BA", "Big-Oh notation and complexity analysis"),
+        ("SDF.FDS", "basic linear data structures"),
+        ("AL.FDSA", "nonlinear structures, searching and sorting"),
+        ("DS.GT", "graphs and trees / traversals"),
+    ] {
+        let ku = g.by_code(code).unwrap();
+        let n = tree4
+            .agreed_leaves
+            .iter()
+            .filter(|&&(t, _)| g.is_ancestor(ku, t))
+            .count();
+        compare(&format!("{what} in 4+ agreement"), "present", n);
+    }
+}

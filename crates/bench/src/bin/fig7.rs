@@ -1,0 +1,85 @@
+//! Figure 7 — NNMF of the Data Structures + Algorithms courses with k = 3:
+//! `W`/`H` heat maps and the §4.6 course→type reading (VCU → OOP type,
+//! algorithms courses + BSC → combinatorial type, UNCC 2214 → applied type,
+//! UCF hitting all three evenly).
+
+use anchors_bench::{compare, header, render_model, seed};
+use anchors_core::discover_flavors;
+use anchors_corpus::generate;
+use anchors_curricula::cs2013;
+
+fn main() {
+    let corpus = generate(seed());
+    let g = cs2013();
+    let group = corpus.ds_and_algo_group();
+
+    header("Figure 7: NNMF of Data Structure and Algorithm courses, k = 3");
+    let fm = discover_flavors(&corpus.store, g, &group, 3);
+    render_model(&fm, &corpus.store, "fig7_ds_algo_k3");
+
+    header("Course → dominant type");
+    let idx = |needle: &str| {
+        fm.matrix
+            .courses
+            .iter()
+            .position(|&id| corpus.store.course(id).name.contains(needle))
+            .unwrap()
+    };
+    for (i, &cid) in fm.matrix.courses.iter().enumerate() {
+        let mix = fm.mixture_of(i);
+        println!(
+            "  {:<70} type {}  (mixture {})",
+            corpus.store.course(cid).name,
+            fm.assignments[i] + 1,
+            mix.iter()
+                .map(|v| format!("{v:.2}"))
+                .collect::<Vec<_>>()
+                .join("/")
+        );
+    }
+
+    header("Paper checks (§4.6)");
+    compare(
+        "VCU and the algorithms courses in different types",
+        "yes",
+        fm.assignments[idx("VCU")] != fm.assignments[idx("2215")],
+    );
+    compare(
+        "both named-'algorithms' courses share a type",
+        "yes",
+        fm.assignments[idx("Wahl")] == fm.assignments[idx("2215")],
+    );
+    compare(
+        "BSC maps with the algorithms type",
+        "yes",
+        fm.assignments[idx("BSC")] == fm.assignments[idx("2215")],
+    );
+    compare(
+        "both UNCC 2214 sections share a type",
+        "yes",
+        fm.assignments[idx("2214 KRS")] == fm.assignments[idx("2214 Saule")],
+    );
+    let ucf_max = fm
+        .mixture_of(idx("UCF"))
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    compare(
+        "UCF hits all three types evenly (max mixture share)",
+        "low",
+        format!("{ucf_max:.2}"),
+    );
+
+    header("Type semantics (top knowledge units)");
+    for t in &fm.types {
+        println!(
+            "  type {}: {}",
+            t.index + 1,
+            t.ku_weights
+                .iter()
+                .take(5)
+                .map(|(k, w)| format!("{k} ({w:.2})"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 8 — agreement tree of the three PDC courses at threshold 2, plus
+//! the §4.7 observation: outside the PDC knowledge area, the common tags
+//! reduce to CS1/DS concepts (directed graphs, recursion/divide-and-
+//! conquer, Big-Oh).
+
+use anchors_bench::{agreement_tree_figure, compare, header, seed, write_artifact};
+use anchors_core::AgreementAnalysis;
+use anchors_corpus::generate;
+use anchors_curricula::cs2013;
+
+fn main() {
+    let corpus = generate(seed());
+    let g = cs2013();
+    let pdc = AgreementAnalysis::run(&corpus.store, g, "PDC", &corpus.pdc_group());
+
+    header("Figure 8: PDC course agreement, 2 courses or more");
+    let (svg, summary) = agreement_tree_figure(g, &pdc, 2, "PDC agreement: 2 courses");
+    print!("{summary}");
+    write_artifact("fig8_pdc_agreement_2.svg", &svg);
+
+    header("Paper checks (§4.7)");
+    let tree = pdc.tree(2);
+    let pd = g.by_code("PD").unwrap();
+    let inside = tree
+        .agreed_leaves
+        .iter()
+        .filter(|&&(t, _)| g.is_ancestor(pd, t))
+        .count();
+    compare(
+        "agreed entries inside the PDC knowledge area",
+        "most",
+        format!("{inside}/{}", tree.len()),
+    );
+    let outside = pdc.agreed_outside(g, 2, "PD");
+    compare("agreed entries outside PD", "a few", outside.len());
+    println!("\nNon-PDC agreed entries (CS1/DS anchor concepts):");
+    for t in &outside {
+        let ku = g.knowledge_unit_of(*t).unwrap();
+        println!(
+            "  {:<14} {:<40} | {}",
+            g.node(*t).code,
+            g.node(ku).label,
+            g.node(*t).label.chars().take(60).collect::<String>()
+        );
+    }
+}

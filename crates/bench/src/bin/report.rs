@@ -1,0 +1,16 @@
+//! Render the full analysis as a markdown report into `target/figures/`.
+
+use anchors_bench::{header, seed, write_artifact};
+use anchors_core::{run_full_analysis, to_markdown};
+
+fn main() {
+    header("Full analysis report");
+    let report = run_full_analysis(seed());
+    let md = to_markdown(&report);
+    println!(
+        "{} sections, {} bytes",
+        md.matches("## ").count(),
+        md.len()
+    );
+    write_artifact("analysis_report.md", &md);
+}

@@ -1,0 +1,182 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every binary regenerates one paper artifact (see DESIGN.md §4) into
+//! `target/figures/` and prints a textual rendition plus the
+//! paper-vs-measured comparison to stdout. The corpus seed can be
+//! overridden with the `ANCHORS_SEED` environment variable.
+
+use std::path::{Path, PathBuf};
+
+/// Resolve the output directory (`<workspace>/target/figures`), creating it
+/// if needed.
+pub fn figures_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; workspace root is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let dir = root.join("target").join("figures");
+    std::fs::create_dir_all(&dir).expect("create figures dir");
+    dir
+}
+
+/// Write one artifact file and report its path on stdout.
+pub fn write_artifact(name: &str, content: &str) {
+    let path = figures_dir().join(name);
+    std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  wrote {}", path.display());
+}
+
+/// The corpus seed: `ANCHORS_SEED` env var or the default.
+pub fn seed() -> u64 {
+    std::env::var("ANCHORS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(anchors_corpus::DEFAULT_SEED)
+}
+
+/// Print a `paper vs measured` comparison row.
+pub fn compare(label: &str, paper: &str, measured: impl std::fmt::Display) {
+    println!("  {label:<58} paper: {paper:<12} measured: {measured}");
+}
+
+/// Section header for binary output.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Render one agreement tree as a radial SVG (root in red, per the paper)
+/// plus a textual span summary. Shared by the Figure 4/6/8 binaries.
+pub fn agreement_tree_figure(
+    ontology: &anchors_curricula::Ontology,
+    analysis: &anchors_core::AgreementAnalysis,
+    threshold: usize,
+    title: &str,
+) -> (String, String) {
+    use anchors_curricula::Level;
+    let tree = analysis.tree(threshold);
+    let layout = anchors_viz::radial_layout(ontology, &tree.nodes);
+    let agreed: std::collections::BTreeMap<_, _> =
+        tree.agreed_leaves.iter().copied().collect();
+    let svg = anchors_viz::render_radial(
+        ontology,
+        &layout,
+        |n| {
+            let node = ontology.node(n);
+            let (radius, fill) = match node.level {
+                Level::Root => (7.0, "#d62728".to_string()),
+                Level::KnowledgeArea => (5.0, "#4e79a7".to_string()),
+                Level::KnowledgeUnit => (4.0, "#76b7b2".to_string()),
+                _ => {
+                    let c = agreed.get(&n).copied().unwrap_or(1) as f64;
+                    (2.0 + c, "#59a14f".to_string())
+                }
+            };
+            anchors_viz::NodeStyle {
+                radius,
+                fill,
+                label: (node.level == Level::KnowledgeArea).then(|| node.code.clone()),
+            }
+        },
+        title,
+    );
+    let mut summary = format!(
+        "{title}: {} agreed items spanning KAs [{}]\n",
+        tree.len(),
+        analysis.spanned_kas(ontology, threshold).join(", ")
+    );
+    for (ku, n) in tree.knowledge_units(ontology) {
+        summary.push_str(&format!(
+            "    {:<12} {:<46} {n} items\n",
+            ontology.node(ku).code,
+            ontology.node(ku).label
+        ));
+    }
+    // Console tree rendering (agreement counts annotated on leaves).
+    let counts: std::collections::BTreeMap<_, _> = tree.agreed_leaves.iter().copied().collect();
+    summary.push_str(&anchors_viz::text_tree(ontology, &tree.nodes, |n| {
+        counts.get(&n).map(|c| format!("{c} courses"))
+    }));
+    (svg, summary)
+}
+
+/// Render `W` and `H` for a flavor model into text + SVG artifacts.
+pub fn render_model(
+    fm: &anchors_core::FlavorModel,
+    store: &anchors_materials::MaterialStore,
+    stem: &str,
+) {
+    let g = anchors_curricula::cs2013();
+    let row_labels: Vec<String> = fm
+        .matrix
+        .courses
+        .iter()
+        .map(|&c| store.course(c).name.clone())
+        .collect();
+    let w_opts = anchors_viz::HeatmapOptions {
+        row_labels,
+        col_labels: (0..fm.k()).map(|t| format!("type {}", t + 1)).collect(),
+        normalize_columns: true,
+        title: format!("{stem}: W matrix"),
+        ..anchors_viz::HeatmapOptions::default()
+    };
+    let text = anchors_viz::text_heatmap(&fm.model.w, &w_opts);
+    print!("{text}");
+    write_artifact(&format!("{stem}_w.txt"), &text);
+    write_artifact(&format!("{stem}_w.svg"), &anchors_viz::svg_heatmap(&fm.model.w, &w_opts));
+
+    // H aggregated per knowledge area (the paper's H heat maps group the
+    // tag axis by KA labels).
+    let kas: Vec<String> = {
+        let mut set: Vec<String> = fm
+            .types
+            .iter()
+            .flat_map(|t| t.ka_weights.iter().map(|(k, _)| k.clone()))
+            .collect();
+        set.sort();
+        set.dedup();
+        set
+    };
+    let mut h_ka = anchors_linalg::Matrix::zeros(fm.k(), kas.len());
+    for t in &fm.types {
+        for (ka, w) in &t.ka_weights {
+            let j = kas.iter().position(|k| k == ka).unwrap();
+            h_ka.set(t.index, j, *w);
+        }
+    }
+    let h_opts = anchors_viz::HeatmapOptions {
+        row_labels: (0..fm.k()).map(|t| format!("type {}", t + 1)).collect(),
+        col_labels: kas.clone(),
+        normalize_columns: false,
+        title: format!("{stem}: H matrix aggregated by knowledge area"),
+        ..anchors_viz::HeatmapOptions::default()
+    };
+    let text = anchors_viz::text_heatmap(&h_ka, &h_opts);
+    print!("{text}");
+    write_artifact(&format!("{stem}_h_by_ka.txt"), &text);
+    write_artifact(&format!("{stem}_h_by_ka.svg"), &anchors_viz::svg_heatmap(&h_ka, &h_opts));
+
+    let _ = g;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_dir_exists_after_call() {
+        let d = figures_dir();
+        assert!(d.ends_with("target/figures"));
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn seed_default() {
+        // Cannot safely set env vars in parallel tests; just check default.
+        if std::env::var("ANCHORS_SEED").is_err() {
+            assert_eq!(seed(), anchors_corpus::DEFAULT_SEED);
+        }
+    }
+}
+

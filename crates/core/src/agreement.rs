@@ -1,0 +1,189 @@
+//! Course-group agreement analysis (§4.3, §4.5, §4.7; Figures 3, 4, 6, 8).
+
+use anchors_curricula::{NodeId, Ontology};
+use anchors_linalg::stats::survival_counts;
+use anchors_materials::{AgreementTree, CourseId, CourseMatrix, MaterialStore};
+
+/// Full agreement analysis of one course group.
+#[derive(Debug, Clone)]
+pub struct AgreementAnalysis {
+    /// Group name (e.g. `"CS1"`).
+    pub group: String,
+    /// The course matrix the analysis is computed from.
+    pub matrix: CourseMatrix,
+    /// For each tag (column), the number of courses it appears in.
+    pub tag_counts: Vec<usize>,
+    /// `survival[m]` = number of tags appearing in ≥ m courses.
+    pub survival: Vec<usize>,
+    /// Agreement trees at thresholds 2, 3, 4 (the paper's figures).
+    pub trees: Vec<AgreementTree>,
+}
+
+impl AgreementAnalysis {
+    /// Run the analysis for a course group.
+    pub fn run(
+        store: &MaterialStore,
+        ontology: &Ontology,
+        group_name: impl Into<String>,
+        courses: &[CourseId],
+    ) -> Self {
+        let matrix = CourseMatrix::build(store, courses);
+        let tag_counts = matrix.tag_course_counts();
+        let survival = survival_counts(&tag_counts);
+        let all_counts = matrix.tags_with_agreement(1);
+        let trees = (2..=4)
+            .map(|m| AgreementTree::build(ontology, &all_counts, m))
+            .collect();
+        AgreementAnalysis {
+            group: group_name.into(),
+            matrix,
+            tag_counts,
+            survival,
+            trees,
+        }
+    }
+
+    /// Number of distinct tags the group maps to.
+    pub fn total_tags(&self) -> usize {
+        self.matrix.n_tags()
+    }
+
+    /// Number of tags appearing in at least `m` courses.
+    pub fn tags_at(&self, m: usize) -> usize {
+        self.survival.get(m).copied().unwrap_or(0)
+    }
+
+    /// The agreement tree at threshold `m` (2 ≤ m ≤ 4).
+    pub fn tree(&self, m: usize) -> &AgreementTree {
+        assert!((2..=4).contains(&m), "trees are built for m in 2..=4");
+        &self.trees[m - 2]
+    }
+
+    /// Agreement fraction at threshold `m`: `tags_at(m) / total`.
+    pub fn agreement_fraction(&self, m: usize) -> f64 {
+        if self.total_tags() == 0 {
+            0.0
+        } else {
+            self.tags_at(m) as f64 / self.total_tags() as f64
+        }
+    }
+
+    /// Knowledge-area codes spanned by the agreement tree at threshold `m`.
+    pub fn spanned_kas(&self, ontology: &Ontology, m: usize) -> Vec<String> {
+        self.tree(m)
+            .knowledge_areas(ontology)
+            .into_iter()
+            .map(|ka| ontology.node(ka).code.clone())
+            .collect()
+    }
+
+    /// Agreed tags at threshold `m` lying *outside* a knowledge area — used
+    /// for the §4.7 observation about non-PDC agreement in PDC courses.
+    pub fn agreed_outside(&self, ontology: &Ontology, m: usize, ka_code: &str) -> Vec<NodeId> {
+        let ka = ontology
+            .by_code(ka_code)
+            .unwrap_or_else(|| panic!("unknown KA {ka_code}"));
+        self.tree(m)
+            .agreed_leaves
+            .iter()
+            .filter(|&&(t, _)| !ontology.is_ancestor(ka, t))
+            .map(|&(t, _)| t)
+            .collect()
+    }
+
+    /// One-paragraph textual summary (used by examples and figure dumps).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} courses map to {} distinct curriculum tags; {} appear in >=2 courses, {} in >=3, {} in >=4",
+            self.group,
+            self.matrix.n_courses(),
+            self.total_tags(),
+            self.tags_at(2),
+            self.tags_at(3),
+            self.tags_at(4),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_corpus::default_corpus;
+    use anchors_curricula::cs2013;
+
+    fn cs1_analysis() -> AgreementAnalysis {
+        let c = default_corpus();
+        AgreementAnalysis::run(&c.store, cs2013(), "CS1", &c.cs1_group())
+    }
+
+    #[test]
+    fn survival_is_consistent_with_trees() {
+        let a = cs1_analysis();
+        for m in 2..=4 {
+            assert_eq!(a.tree(m).len(), a.tags_at(m), "threshold {m}");
+        }
+        assert_eq!(a.tags_at(1), a.total_tags());
+    }
+
+    #[test]
+    fn survival_monotone() {
+        let a = cs1_analysis();
+        for w in a.survival.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn cs1_agreement_at_4_inside_sdf() {
+        let a = cs1_analysis();
+        let kas = a.spanned_kas(cs2013(), 4);
+        assert!(kas.contains(&"SDF".to_string()));
+        assert!(kas.len() <= 2, "agreement@4 nearly collapses to SDF: {kas:?}");
+    }
+
+    #[test]
+    fn cs1_agreement_at_2_spans_multiple_areas() {
+        let a = cs1_analysis();
+        let kas = a.spanned_kas(cs2013(), 2);
+        assert!(
+            kas.len() >= 4,
+            "paper: agreement@2 spans 4 knowledge areas, got {kas:?}"
+        );
+    }
+
+    #[test]
+    fn pdc_outside_pd_items_are_cs1_ds_concepts() {
+        let g = cs2013();
+        let c = default_corpus();
+        let a = AgreementAnalysis::run(&c.store, g, "PDC", &c.pdc_group());
+        let outside = a.agreed_outside(g, 2, "PD");
+        assert!(!outside.is_empty());
+        // Every outside item should come from the course-overlap areas the
+        // paper names (plus the systems fundamentals the PDC profile uses).
+        for t in &outside {
+            let ka = g.knowledge_area_of(*t).unwrap();
+            let code = g.node(ka).code.as_str();
+            assert!(
+                ["DS", "AL", "SF", "SDF", "PL", "OS", "AR"].contains(&code),
+                "unexpected agreement area {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let a = cs1_analysis();
+        let s = a.summary();
+        assert!(s.contains("CS1"));
+        assert!(s.contains(&a.total_tags().to_string()));
+    }
+
+    #[test]
+    fn fraction_bounds() {
+        let a = cs1_analysis();
+        for m in 1..=4 {
+            let f = a.agreement_fraction(m);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

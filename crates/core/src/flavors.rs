@@ -1,0 +1,347 @@
+//! Flavor discovery: NNMF over a course group plus interpretation of the
+//! resulting types (§4.2, §4.4, §4.6; Figures 2, 5, 7).
+
+use anchors_curricula::{NodeId, Ontology};
+use anchors_factor::{nnmf, rank_scan, select_rank, NnmfConfig, NnmfModel, DUPLICATE_THRESHOLD};
+use anchors_materials::{CourseId, CourseMatrix, MaterialStore};
+use std::collections::BTreeMap;
+
+/// Aggregated weight of a type over knowledge areas / units.
+#[derive(Debug, Clone)]
+pub struct TypeSummary {
+    /// Type index (row of `H`).
+    pub index: usize,
+    /// Total `H` mass of the type.
+    pub mass: f64,
+    /// Knowledge-area code → aggregated weight, sorted descending.
+    pub ka_weights: Vec<(String, f64)>,
+    /// Knowledge-unit code → aggregated weight, top units first.
+    pub ku_weights: Vec<(String, f64)>,
+}
+
+impl TypeSummary {
+    /// Dominant knowledge area code.
+    pub fn dominant_ka(&self) -> Option<&str> {
+        self.ka_weights.first().map(|(k, _)| k.as_str())
+    }
+
+    /// Top `n` knowledge-unit codes.
+    pub fn top_kus(&self, n: usize) -> Vec<&str> {
+        self.ku_weights.iter().take(n).map(|(k, _)| k.as_str()).collect()
+    }
+
+    /// Weight a knowledge unit contributes to this type (0 if absent).
+    pub fn ku_weight(&self, ku_code: &str) -> f64 {
+        self.ku_weights
+            .iter()
+            .find(|(k, _)| k == ku_code)
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0)
+    }
+}
+
+/// A fitted flavor model of a course group.
+#[derive(Debug, Clone)]
+pub struct FlavorModel {
+    /// The underlying course matrix.
+    pub matrix: CourseMatrix,
+    /// The winning NNMF model (normalized: unit-norm `H` rows).
+    pub model: NnmfModel,
+    /// Per-type interpretation.
+    pub types: Vec<TypeSummary>,
+    /// Dominant type per course (aligned with `matrix.courses`).
+    pub assignments: Vec<usize>,
+}
+
+/// Discover flavors with a fixed `k` (the paper's settings: `k = 4` for the
+/// all-courses model of Figure 2; `k = 3` for Figures 5 and 7).
+pub fn discover_flavors(
+    store: &MaterialStore,
+    ontology: &Ontology,
+    courses: &[CourseId],
+    k: usize,
+) -> FlavorModel {
+    let matrix = CourseMatrix::build(store, courses);
+    let mut model = nnmf(&matrix.a, &NnmfConfig::paper_default(k));
+    model.normalize();
+    let types = summarize_types(&model, &matrix, ontology);
+    let assignments = model.dominant_types();
+    FlavorModel {
+        matrix,
+        model,
+        types,
+        assignments,
+    }
+}
+
+/// Mechanized version of the paper's §4.4 k-selection: scan `k_range`, pick
+/// the largest k without duplicated dimensions, and return the chosen model
+/// together with the scan diagnostics.
+pub fn discover_flavors_auto(
+    store: &MaterialStore,
+    ontology: &Ontology,
+    courses: &[CourseId],
+    k_range: std::ops::RangeInclusive<usize>,
+) -> (FlavorModel, Vec<anchors_factor::RankDiagnostics>) {
+    let matrix = CourseMatrix::build(store, courses);
+    let scan = rank_scan(&matrix.a, k_range, &NnmfConfig::paper_default(2));
+    let k = select_rank(&scan, DUPLICATE_THRESHOLD);
+    let diags: Vec<anchors_factor::RankDiagnostics> =
+        scan.iter().map(|(d, _)| d.clone()).collect();
+    let mut model = scan
+        .into_iter()
+        .find(|(d, _)| d.k == k)
+        .map(|(_, m)| m)
+        .expect("selected k came from the scan");
+    model.normalize();
+    let types = summarize_types(&model, &matrix, ontology);
+    let assignments = model.dominant_types();
+    (
+        FlavorModel {
+            matrix,
+            model,
+            types,
+            assignments,
+        },
+        diags,
+    )
+}
+
+/// Aggregate each type's `H` row over knowledge areas and units.
+fn summarize_types(model: &NnmfModel, matrix: &CourseMatrix, ontology: &Ontology) -> Vec<TypeSummary> {
+    let mut out = Vec::with_capacity(model.k());
+    for t in 0..model.k() {
+        let row = model.h.row(t);
+        let mut ka: BTreeMap<String, f64> = BTreeMap::new();
+        let mut ku: BTreeMap<String, f64> = BTreeMap::new();
+        let mut mass = 0.0;
+        for (j, &w) in row.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            mass += w;
+            let tag: NodeId = matrix.tag_space.tag(j);
+            if let Some(a) = ontology.knowledge_area_of(tag) {
+                *ka.entry(ontology.node(a).code.clone()).or_insert(0.0) += w;
+            }
+            if let Some(u) = ontology.knowledge_unit_of(tag) {
+                *ku.entry(ontology.node(u).code.clone()).or_insert(0.0) += w;
+            }
+        }
+        let mut ka_weights: Vec<(String, f64)> = ka.into_iter().collect();
+        ka_weights.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let mut ku_weights: Vec<(String, f64)> = ku.into_iter().collect();
+        ku_weights.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        out.push(TypeSummary {
+            index: t,
+            mass,
+            ka_weights,
+            ku_weights,
+        });
+    }
+    out
+}
+
+impl FlavorModel {
+    /// Number of types.
+    pub fn k(&self) -> usize {
+        self.model.k()
+    }
+
+    /// Courses whose dominant type is `t`, as indices into
+    /// `matrix.courses`.
+    pub fn courses_of_type(&self, t: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == t)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Row of `W` for a course index, normalized to sum 1 (mixture view).
+    pub fn mixture_of(&self, course_idx: usize) -> Vec<f64> {
+        let row = self.model.w.row(course_idx);
+        let s: f64 = row.iter().sum();
+        if s == 0.0 {
+            vec![0.0; row.len()]
+        } else {
+            row.iter().map(|v| v / s).collect()
+        }
+    }
+
+    /// Whether a course loads "evenly" on all types: no type holds more
+    /// than `threshold` of its mixture (the paper's observation about UCF).
+    pub fn is_even_mixture(&self, course_idx: usize, threshold: f64) -> bool {
+        self.mixture_of(course_idx)
+            .into_iter()
+            .all(|v| v <= threshold)
+    }
+
+    /// The type whose profile gives the largest weight to a knowledge unit.
+    pub fn type_emphasizing(&self, ku_code: &str) -> Option<usize> {
+        self.types
+            .iter()
+            .max_by(|a, b| {
+                a.ku_weight(ku_code)
+                    .partial_cmp(&b.ku_weight(ku_code))
+                    .expect("finite")
+            })
+            .filter(|t| t.ku_weight(ku_code) > 0.0)
+            .map(|t| t.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_corpus::default_corpus;
+    use anchors_curricula::cs2013;
+    use anchors_materials::CourseLabel;
+
+    #[test]
+    fn all_courses_k4_separates_families() {
+        // Figure 2: the k=4 decomposition of all courses shows dimensions
+        // aligned with DS, SoftEng, PDC, and CS1.
+        let c = default_corpus();
+        let g = cs2013();
+        let fm = discover_flavors(&c.store, g, c.all(), 4);
+        assert_eq!(fm.k(), 4);
+
+        let idx_of = |cid| c.all().iter().position(|&x| x == cid).unwrap();
+        // Courses of the same family should mostly share a dominant type,
+        // and different families should use different types.
+        let type_of_label = |label: CourseLabel| -> usize {
+            let ids = c.with_label(label);
+            let mut counts = [0usize; 4];
+            for id in ids {
+                counts[fm.assignments[idx_of(id)]] += 1;
+            }
+            counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, c)| *c)
+                .map(|(t, _)| t)
+                .unwrap()
+        };
+        let t_pdc = type_of_label(CourseLabel::Pdc);
+        let t_se = type_of_label(CourseLabel::SoftEng);
+        let t_ds = type_of_label(CourseLabel::DataStructures);
+        assert_ne!(t_pdc, t_se, "PDC and SoftEng use different dimensions");
+        assert_ne!(t_pdc, t_ds, "PDC and DS use different dimensions");
+        assert_ne!(t_se, t_ds, "SoftEng and DS use different dimensions");
+        // All three PDC courses agree on their dimension.
+        for id in c.pdc_group() {
+            assert_eq!(fm.assignments[idx_of(id)], t_pdc);
+        }
+    }
+
+    #[test]
+    fn cs1_k3_recovers_paper_flavors() {
+        // Figure 5: Singh → OOP type, Kerney → imperative type, Ahmed →
+        // algorithmic type, and the three types are distinguishable by
+        // their dominant knowledge units.
+        let c = default_corpus();
+        let g = cs2013();
+        let cs1 = c.cs1_group();
+        let fm = discover_flavors(&c.store, g, &cs1, 3);
+        let idx = |needle: &str| {
+            fm.matrix
+                .courses
+                .iter()
+                .position(|&id| c.store.course(id).name.contains(needle))
+                .unwrap()
+        };
+        let t_singh = fm.assignments[idx("Singh")];
+        let t_kerney = fm.assignments[idx("Kerney")];
+        let t_ahmed = fm.assignments[idx("Ahmed")];
+        assert_ne!(t_singh, t_kerney, "OOP and imperative CS1 separate");
+        assert_ne!(t_singh, t_ahmed, "OOP and algorithmic CS1 separate");
+        assert_ne!(t_kerney, t_ahmed, "imperative and algorithmic separate");
+
+        // Type semantics: Singh's type is OOP-heavy; Ahmed's is
+        // algorithms-heavy; Kerney's covers data representation.
+        assert!(fm.types[t_singh].ku_weight("PL.OOP") > fm.types[t_kerney].ku_weight("PL.OOP"));
+        assert!(fm.types[t_ahmed].ku_weight("AL.BA") > fm.types[t_singh].ku_weight("AL.BA"));
+        assert!(
+            fm.types[t_kerney].ku_weight("AR.MLRD") > fm.types[t_singh].ku_weight("AR.MLRD"),
+            "type 2 covers in-memory representation which types 1/3 do not"
+        );
+    }
+
+    #[test]
+    fn ds_algo_k3_flavors_and_ucf_evenness() {
+        // Figure 7: OOP flavor (VCU), combinatorial flavor (Algorithms +
+        // BSC), applied flavor (UNCC 2214); UCF hits types evenly.
+        let c = default_corpus();
+        let g = cs2013();
+        let group = c.ds_and_algo_group();
+        let fm = discover_flavors(&c.store, g, &group, 3);
+        let idx = |needle: &str| {
+            fm.matrix
+                .courses
+                .iter()
+                .position(|&id| c.store.course(id).name.contains(needle))
+                .unwrap()
+        };
+        let t_vcu = fm.assignments[idx("VCU")];
+        let t_2215 = fm.assignments[idx("2215")];
+        let t_2214 = fm.assignments[idx("2214 KRS")];
+        assert_ne!(t_vcu, t_2215, "OOP and combinatorial DS separate");
+        assert_ne!(t_2214, t_2215, "applied and combinatorial DS separate");
+        // Wahl's algorithm course lands with the other algorithms course.
+        assert_eq!(fm.assignments[idx("Wahl")], t_2215);
+        // Type semantics.
+        assert!(fm.types[t_vcu].ku_weight("PL.OOP") > fm.types[t_2215].ku_weight("PL.OOP"));
+        assert!(fm.types[t_2215].ku_weight("AL.AS") > fm.types[t_vcu].ku_weight("AL.AS"));
+        assert!(
+            fm.types[t_2214].ku_weight("CN.DIK") > fm.types[t_2215].ku_weight("CN.DIK"),
+            "applied type carries datasets/visualization"
+        );
+        // UCF loads more evenly than the committed courses.
+        let ucf_mix = fm.mixture_of(idx("UCF"));
+        let vcu_mix = fm.mixture_of(idx("VCU"));
+        let max_ucf = ucf_mix.iter().cloned().fold(0.0, f64::max);
+        let max_vcu = vcu_mix.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max_ucf < max_vcu,
+            "UCF ({max_ucf:.2}) spreads over types more than VCU ({max_vcu:.2})"
+        );
+    }
+
+    #[test]
+    fn auto_selection_prefers_3_for_cs1() {
+        // §4.4: k=3 was most revealing; k=4 showed duplicate dimensions.
+        let c = default_corpus();
+        let g = cs2013();
+        let (fm, diags) = discover_flavors_auto(&c.store, g, &c.cs1_group(), 2..=4);
+        assert!(
+            fm.k() >= 2 && fm.k() <= 4,
+            "selected k within the scanned range"
+        );
+        assert_eq!(diags.len(), 3);
+        // Diagnostics must show loss decreasing with k.
+        assert!(diags[0].loss >= diags[2].loss - 1e-9);
+    }
+
+    #[test]
+    fn mixtures_sum_to_one() {
+        let c = default_corpus();
+        let g = cs2013();
+        let fm = discover_flavors(&c.store, g, &c.cs1_group(), 3);
+        for i in 0..fm.matrix.n_courses() {
+            let m = fm.mixture_of(i);
+            let s: f64 = m.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9 || s == 0.0);
+        }
+    }
+
+    #[test]
+    fn type_emphasizing_finds_oop() {
+        let c = default_corpus();
+        let g = cs2013();
+        let fm = discover_flavors(&c.store, g, &c.cs1_group(), 3);
+        let t = fm.type_emphasizing("PL.OOP").expect("some type covers OOP");
+        assert!(fm.types[t].ku_weight("PL.OOP") > 0.0);
+    }
+}

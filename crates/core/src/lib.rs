@@ -1,0 +1,38 @@
+//! # anchors-core
+//!
+//! The analysis pipeline of *Data-Driven Discovery of Anchor Points for PDC
+//! Content* (McQuaigue, Saule, Subramanian, Payton — SC-W 2023):
+//!
+//! * [`agreement`] — tag-agreement analysis of course groups (§4.3/4.5/4.7,
+//!   Figures 3, 4, 6, 8);
+//! * [`flavors`] — NNMF-based course-type discovery and interpretation
+//!   (§4.2/4.4/4.6, Figures 2, 5, 7), including the mechanized k-selection
+//!   of §4.4;
+//! * [`recommend`] — the §5.2 anchor-point recommender mapping discovered
+//!   flavors to PDC12 topics anchored at CS2013 knowledge units;
+//! * [`pipeline`] — [`pipeline::run_full_analysis`], the whole paper in one
+//!   deterministic call.
+//!
+//! ```
+//! let report = anchors_core::run_full_analysis(anchors_corpus::DEFAULT_SEED);
+//! assert_eq!(report.cs1_flavors.k(), 3);
+//! println!("{}", report.cs1_agreement.summary());
+//! ```
+
+pub mod agreement;
+pub mod flavors;
+pub mod material_match;
+pub mod matrixview;
+pub mod pipeline;
+pub mod recommend;
+pub mod report;
+
+pub use agreement::AgreementAnalysis;
+pub use flavors::{discover_flavors, discover_flavors_auto, FlavorModel, TypeSummary};
+pub use material_match::{match_materials, shortlist_materials, MaterialMatch};
+pub use matrixview::{matrix_view, MatrixView};
+pub use pipeline::{run_full_analysis, AnalysisReport};
+pub use report::to_markdown;
+pub use recommend::{
+    anchor_sites, classify_course, recommend_for_course, rules_for, FlavorKind, Recommendation,
+};

@@ -1,0 +1,283 @@
+//! Matching PDC materials to particular courses — the paper's stated future
+//! work (§6: "classify more of the publicly available PDC materials in the
+//! system to help recommend PDC materials for particular courses").
+//!
+//! A library material anchors at CS2013 knowledge units; a course covers
+//! some of those units. The matcher scores materials by how well their
+//! anchors are already covered by the course (so the material lands on
+//! familiar ground) with facet bonuses for language fit, and filters by the
+//! course's detected flavors.
+
+use crate::recommend::{classify_course, FlavorKind};
+use anchors_corpus::pdc_library::{pdc_library, PdcMaterial};
+use anchors_materials::{CourseId, MaterialStore};
+use anchors_curricula::{NodeId, Ontology};
+use std::collections::BTreeSet;
+
+/// A scored library match.
+#[derive(Debug, Clone)]
+pub struct MaterialMatch {
+    /// Index into [`pdc_library`].
+    pub library_index: usize,
+    /// Anchor-coverage score in `[0, 1]`: mean over the material's anchor
+    /// units of `min(1, hits/3)`.
+    pub anchor_score: f64,
+    /// Whether the course's language is supported (language-free materials
+    /// always fit).
+    pub language_fit: bool,
+    /// Combined ranking score.
+    pub score: f64,
+}
+
+impl MaterialMatch {
+    /// The matched material.
+    pub fn material(&self) -> &'static PdcMaterial {
+        &pdc_library()[self.library_index]
+    }
+}
+
+/// How many leaves of knowledge unit `ku` the tag set covers.
+fn ku_hits(ontology: &Ontology, tags: &BTreeSet<NodeId>, ku: NodeId) -> usize {
+    ontology
+        .leaves_under(ku)
+        .into_iter()
+        .filter(|l| tags.contains(l))
+        .count()
+}
+
+/// Score the whole library against one course. Results sorted by
+/// descending score (ties by library order); zero-anchor-score materials
+/// are dropped.
+pub fn match_materials(
+    store: &MaterialStore,
+    ontology: &Ontology,
+    course: CourseId,
+) -> Vec<MaterialMatch> {
+    let tags: BTreeSet<NodeId> = store.course_tags(course).into_iter().collect();
+    let language = store.course(course).language.clone();
+    let mut out: Vec<MaterialMatch> = pdc_library()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, m)| {
+            let per_anchor: Vec<f64> = m
+                .anchors
+                .iter()
+                .map(|&ku| (ku_hits(ontology, &tags, ku) as f64 / 3.0).min(1.0))
+                .collect();
+            let anchor_score = per_anchor.iter().sum::<f64>() / per_anchor.len().max(1) as f64;
+            if anchor_score <= 0.0 {
+                return None;
+            }
+            let language_fit = m.languages.is_empty()
+                || language
+                    .as_deref()
+                    .map(|l| m.languages.iter().any(|ml| ml.eq_ignore_ascii_case(l)))
+                    .unwrap_or(false);
+            let score = anchor_score * if language_fit { 1.0 } else { 0.5 };
+            Some(MaterialMatch {
+                library_index: i,
+                anchor_score,
+                language_fit,
+                score,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then(a.library_index.cmp(&b.library_index))
+    });
+    out
+}
+
+/// Flavor-aware shortlist: keep the top `k` matches whose material teaches
+/// a PDC topic referenced by one of the course's flavor rules. Falls back
+/// to plain ranking when the course has no detected flavor.
+pub fn shortlist_materials(
+    store: &MaterialStore,
+    cs: &Ontology,
+    pdc: &Ontology,
+    course: CourseId,
+    k: usize,
+) -> Vec<MaterialMatch> {
+    let matches = match_materials(store, cs, course);
+    let flavors = classify_course(store, cs, course);
+    if flavors.is_empty() {
+        return matches.into_iter().take(k).collect();
+    }
+    // Topics the course's flavor rules teach.
+    let rule_topics: BTreeSet<NodeId> = flavors
+        .iter()
+        .flat_map(|&f| crate::recommend::rules_for(f, cs, pdc))
+        .flat_map(|r| {
+            r.pdc_topics
+                .iter()
+                .filter_map(|c| pdc.by_code(c))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let (mut preferred, rest): (Vec<MaterialMatch>, Vec<MaterialMatch>) = matches
+        .into_iter()
+        .partition(|m| m.material().pdc_topics.iter().any(|t| rule_topics.contains(t)));
+    preferred.extend(rest);
+    preferred.truncate(k);
+    preferred
+}
+
+/// Exercise the flavor list (used by tests to keep the enum exhaustive).
+pub fn flavor_count() -> usize {
+    [
+        FlavorKind::Cs1Imperative,
+        FlavorKind::Cs1Algorithmic,
+        FlavorKind::Cs1Oop,
+        FlavorKind::Cs1Core,
+        FlavorKind::DsApplied,
+        FlavorKind::DsOop,
+        FlavorKind::DsCombinatorial,
+        FlavorKind::DsCore,
+        FlavorKind::GraphsCovered,
+    ]
+    .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_corpus::default_corpus;
+    use anchors_curricula::{cs2013, pdc12};
+
+    fn find_course(corpus: &anchors_corpus::GeneratedCorpus, needle: &str) -> CourseId {
+        corpus
+            .all()
+            .iter()
+            .copied()
+            .find(|&c| corpus.store.course(c).name.contains(needle))
+            .unwrap_or_else(|| panic!("no course matching {needle}"))
+    }
+
+    #[test]
+    fn every_ds_course_gets_matches() {
+        let corpus = default_corpus();
+        let g = cs2013();
+        for cid in corpus.ds_group() {
+            let m = match_materials(&corpus.store, g, cid);
+            assert!(
+                m.len() >= 5,
+                "{} matched only {} materials",
+                corpus.store.course(cid).name,
+                m.len()
+            );
+            // Sorted by score.
+            for w in m.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_safe_lab_ranks_high_for_vcu() {
+        let corpus = default_corpus();
+        let g = cs2013();
+        let vcu = find_course(&corpus, "VCU");
+        let matches = match_materials(&corpus.store, g, vcu);
+        let pos = matches
+            .iter()
+            .position(|m| m.material().name.contains("Thread-safe stack"))
+            .expect("lab matched");
+        assert!(
+            pos < matches.len() / 2,
+            "OOP DS course should rank the thread-safety lab highly (pos {pos}/{})",
+            matches.len()
+        );
+        // And VCU teaches Java, which the lab supports.
+        assert!(matches[pos].language_fit);
+    }
+
+    #[test]
+    fn wavefront_fits_combinatorial_courses() {
+        let corpus = default_corpus();
+        let g = cs2013();
+        let algo = find_course(&corpus, "2215");
+        let matches = match_materials(&corpus.store, g, algo);
+        let wavefront = matches
+            .iter()
+            .find(|m| m.material().name.contains("wavefront"))
+            .expect("wavefront matched");
+        assert!(wavefront.anchor_score > 0.5, "score {}", wavefront.anchor_score);
+    }
+
+    #[test]
+    fn unplugged_fits_language_free_everywhere() {
+        let corpus = default_corpus();
+        let g = cs2013();
+        let kerney = find_course(&corpus, "CSCI 40");
+        let matches = match_materials(&corpus.store, g, kerney);
+        for m in &matches {
+            if m.material().languages.is_empty() {
+                assert!(m.language_fit, "unplugged always fits");
+            }
+        }
+    }
+
+    #[test]
+    fn language_mismatch_halves_score() {
+        let corpus = default_corpus();
+        let g = cs2013();
+        // Bourke teaches C; the bank-accounts-with-promises material is
+        // Java/JavaScript only.
+        let bourke = find_course(&corpus, "Bourke");
+        let matches = match_materials(&corpus.store, g, bourke);
+        if let Some(m) = matches
+            .iter()
+            .find(|m| m.material().name.contains("Bank accounts"))
+        {
+            assert!(!m.language_fit);
+            assert!((m.score - m.anchor_score * 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shortlist_prefers_flavor_matching_materials() {
+        let corpus = default_corpus();
+        let cs = cs2013();
+        let pdc = pdc12();
+        let vcu = find_course(&corpus, "VCU");
+        let short = shortlist_materials(&corpus.store, cs, pdc, vcu, 5);
+        assert_eq!(short.len(), 5);
+        // The top of an OOP DS course's shortlist teaches a topic from its
+        // flavor rules (thread safety / synchronization / task graphs).
+        let top_names: Vec<&str> = short.iter().map(|m| m.material().name).collect();
+        assert!(
+            top_names.iter().any(|n| n.contains("Thread-safe")
+                || n.contains("queue")
+                || n.contains("scheduling")),
+            "flavor-matching material expected on top, got {top_names:?}"
+        );
+    }
+
+    #[test]
+    fn network_course_gets_few_or_low_matches() {
+        let corpus = default_corpus();
+        let g = cs2013();
+        let net = find_course(&corpus, "Bopana");
+        let ds = find_course(&corpus, "2214 KRS");
+        let net_best = match_materials(&corpus.store, g, net)
+            .first()
+            .map(|m| m.score)
+            .unwrap_or(0.0);
+        let ds_best = match_materials(&corpus.store, g, ds)
+            .first()
+            .map(|m| m.score)
+            .unwrap_or(0.0);
+        assert!(
+            ds_best >= net_best,
+            "a DS course is a better anchor target than a networking course"
+        );
+    }
+
+    #[test]
+    fn flavor_enum_is_covered() {
+        assert_eq!(flavor_count(), 9);
+    }
+}

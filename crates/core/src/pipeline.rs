@@ -1,0 +1,113 @@
+//! End-to-end pipeline: everything the paper's analysis section computes,
+//! in one deterministic call.
+
+use crate::agreement::AgreementAnalysis;
+use crate::flavors::{discover_flavors, FlavorModel};
+use crate::recommend::{recommend_for_course, Recommendation};
+use anchors_corpus::{generate, GeneratedCorpus};
+use anchors_curricula::{cs2013, pdc12, Ontology};
+use anchors_materials::CourseId;
+
+/// The complete analysis of the corpus, mirroring §4 and §5 of the paper.
+pub struct AnalysisReport {
+    /// The generated corpus (courses + materials).
+    pub corpus: GeneratedCorpus,
+    /// Figure 2: NNMF of all courses at k = 4.
+    pub all_courses_model: FlavorModel,
+    /// Figures 3a/4: CS1 agreement.
+    pub cs1_agreement: AgreementAnalysis,
+    /// Figure 5: NNMF of CS1 courses at k = 3.
+    pub cs1_flavors: FlavorModel,
+    /// Figures 3b/6: DS agreement.
+    pub ds_agreement: AgreementAnalysis,
+    /// Figure 7: NNMF of DS + Algorithms courses at k = 3.
+    pub ds_flavors: FlavorModel,
+    /// Figure 8: PDC agreement.
+    pub pdc_agreement: AgreementAnalysis,
+    /// §5.2: recommendations per course (aligned with `corpus.courses`).
+    pub recommendations: Vec<(CourseId, Vec<Recommendation>)>,
+}
+
+impl AnalysisReport {
+    /// The CS2013 ontology the report is computed against.
+    pub fn guideline(&self) -> &'static Ontology {
+        cs2013()
+    }
+
+    /// The PDC12 ontology the recommendations reference.
+    pub fn pdc_guideline(&self) -> &'static Ontology {
+        pdc12()
+    }
+}
+
+/// Run the full §4–§5 analysis on a corpus generated with `seed`.
+pub fn run_full_analysis(seed: u64) -> AnalysisReport {
+    let corpus = generate(seed);
+    let cs = cs2013();
+    let pdc = pdc12();
+
+    let all_courses_model = discover_flavors(&corpus.store, cs, corpus.all(), 4);
+    let cs1 = corpus.cs1_group();
+    let ds = corpus.ds_group();
+    let ds_algo = corpus.ds_and_algo_group();
+    let pdc_group = corpus.pdc_group();
+
+    let cs1_agreement = AgreementAnalysis::run(&corpus.store, cs, "CS1", &cs1);
+    let cs1_flavors = discover_flavors(&corpus.store, cs, &cs1, 3);
+    let ds_agreement = AgreementAnalysis::run(&corpus.store, cs, "Data Structures", &ds);
+    let ds_flavors = discover_flavors(&corpus.store, cs, &ds_algo, 3);
+    let pdc_agreement = AgreementAnalysis::run(&corpus.store, cs, "PDC", &pdc_group);
+
+    let recommendations = corpus
+        .all()
+        .iter()
+        .map(|&c| (c, recommend_for_course(&corpus.store, cs, pdc, c)))
+        .collect();
+
+    AnalysisReport {
+        corpus,
+        all_courses_model,
+        cs1_agreement,
+        cs1_flavors,
+        ds_agreement,
+        ds_flavors,
+        pdc_agreement,
+        recommendations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_corpus::DEFAULT_SEED;
+
+    #[test]
+    fn full_pipeline_runs_and_is_consistent() {
+        let r = run_full_analysis(DEFAULT_SEED);
+        assert_eq!(r.corpus.courses.len(), 20);
+        assert_eq!(r.all_courses_model.k(), 4);
+        assert_eq!(r.cs1_flavors.k(), 3);
+        assert_eq!(r.ds_flavors.k(), 3);
+        assert_eq!(r.cs1_agreement.matrix.n_courses(), 6);
+        assert_eq!(r.ds_agreement.matrix.n_courses(), 5);
+        assert_eq!(r.pdc_agreement.matrix.n_courses(), 3);
+        assert_eq!(r.recommendations.len(), 20);
+        // Every CS1 and DS course gets at least one recommendation.
+        for (cid, recs) in &r.recommendations {
+            let c = r.corpus.store.course(*cid);
+            let relevant = c.has_label(anchors_materials::CourseLabel::Cs1)
+                || c.has_label(anchors_materials::CourseLabel::DataStructures);
+            if relevant {
+                assert!(!recs.is_empty(), "{} got no recommendations", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_deterministic() {
+        let a = run_full_analysis(99);
+        let b = run_full_analysis(99);
+        assert_eq!(a.cs1_flavors.assignments, b.cs1_flavors.assignments);
+        assert_eq!(a.all_courses_model.model.loss, b.all_courses_model.model.loss);
+    }
+}

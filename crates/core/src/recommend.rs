@@ -1,0 +1,532 @@
+//! The PDC anchor-point recommender (§5.2 of the paper).
+//!
+//! Encodes the paper's discussion as executable rules: each discovered
+//! course flavor maps to PDC-12 topics that fit it, anchored at the CS2013
+//! knowledge units the course already covers. Rules are written with label
+//! substrings and resolved against the live ontologies, so every
+//! recommendation carries verified, existing curriculum codes.
+
+use anchors_curricula::{Level, NodeId, Ontology};
+use anchors_materials::{CourseId, CourseLabel, MaterialStore};
+use serde::{Deserialize, Serialize};
+
+/// The course flavors the recommender distinguishes (the types of §4.4 and
+/// §4.6, plus the "any data structures course" catch-all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlavorKind {
+    /// CS1 type 2: imperative programming with data representation.
+    Cs1Imperative,
+    /// CS1 type 1: algorithmic thinking and implementation.
+    Cs1Algorithmic,
+    /// CS1 type 3: object-oriented programming.
+    Cs1Oop,
+    /// DS type 1: applied / datasets / APIs / visualization.
+    DsApplied,
+    /// DS type 2: object-oriented data structures.
+    DsOop,
+    /// DS type 3: combinatorial algorithms.
+    DsCombinatorial,
+    /// Any data structures course covering the §4.5 core.
+    DsCore,
+    /// Any course covering graphs (task-graph candidate).
+    GraphsCovered,
+    /// Any CS1 covering fundamental programming concepts (the universal
+    /// anchor of Figure 4c).
+    Cs1Core,
+}
+
+/// One actionable recommendation: PDC content plus the anchor points where
+/// it splices into the course.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// The flavor that triggered the rule.
+    pub flavor: FlavorKind,
+    /// Short name of the content.
+    pub title: String,
+    /// Why this content fits this flavor (paraphrasing §5.2).
+    pub rationale: String,
+    /// Suggested classroom activity.
+    pub activity: String,
+    /// PDC12 topic codes the content teaches.
+    pub pdc_topics: Vec<String>,
+    /// CS2013 codes (knowledge units) where the content anchors.
+    pub anchors: Vec<String>,
+}
+
+struct RuleSpec {
+    flavor: FlavorKind,
+    title: &'static str,
+    rationale: &'static str,
+    activity: &'static str,
+    /// Case-insensitive substrings resolved against PDC12 topic labels.
+    pdc_labels: &'static [&'static str],
+    /// CS2013 knowledge-unit codes the content anchors at.
+    anchor_kus: &'static [&'static str],
+}
+
+const RULES: &[RuleSpec] = &[
+    RuleSpec {
+        flavor: FlavorKind::Cs1Core,
+        title: "Unplugged parallelism in the programming-fundamentals unit",
+        rationale: "Fundamental Programming Concepts is the only unit all CS1 variants agree on \
+                    (Figure 4), so unplugged activities (PDC Unplugged-style) that need no extra \
+                    machinery are the one insertion that fits every CS1.",
+        activity: "Run a card-sorting race: one student sorts alone, then four students merge \
+                   sorted piles; relate the observed speedup to the loop constructs being \
+                   taught.",
+        pdc_labels: &["why and what is parallel", "concurrency as a pervasive"],
+        anchor_kus: &["SDF.FPC"],
+    },
+    RuleSpec {
+        flavor: FlavorKind::Cs1Imperative,
+        title: "Order of operations in parallel reductions",
+        rationale: "Type 2 CS1 courses cover in-memory representation of variables, so a \
+                    discussion of why floating-point summation order changes results (while \
+                    integer summation does not) lands on material the students already have.",
+        activity: "Sum the same array of floats sequentially and in parallel chunks; compare \
+                   results for f32/f64 vs integers; explain using the course's number-encoding \
+                   unit.",
+        pdc_labels: &["floating-point reduction order", "reduction (map-reduce"],
+        anchor_kus: &["AR.MLRD", "SDF.FPC"],
+    },
+    RuleSpec {
+        flavor: FlavorKind::Cs1Algorithmic,
+        title: "Parallel-for over independent iterations",
+        rationale: "Type 1 CS1 courses implement algorithms with visible runtimes, so students \
+                    can observe speedup; parallel-for syntax can be introduced and leveraged \
+                    directly on existing loop-based assignments.",
+        activity: "Take an existing O(n^2) assignment (e.g. nearest pairs) and convert its outer \
+                   loop to a parallel-for; measure and plot the speedup.",
+        pdc_labels: &["data-parallel constructs", "speedup measurement", "embarrassingly parallel"],
+        anchor_kus: &["SDF.AD", "AL.BA"],
+    },
+    RuleSpec {
+        flavor: FlavorKind::Cs1Oop,
+        title: "Promise-style concurrency between objects",
+        rationale: "Type 3 CS1 courses are object-oriented with little algorithmic development; \
+                    loop parallelism fits poorly, but the insight that operations on two objects \
+                    need not be strictly ordered introduces concurrency naturally — via promises \
+                    or CORBA-style distributed objects.",
+        activity: "Refactor a two-object interaction (e.g. bank accounts) so each method returns \
+                   a future; discuss when results must be awaited for correctness.",
+        pdc_labels: &["futures and promises", "client-server and distributed-object"],
+        anchor_kus: &["PL.OOP", "PL.EDRP"],
+    },
+    RuleSpec {
+        flavor: FlavorKind::DsCore,
+        title: "Concurrent access to data structures",
+        rationale: "All reviewed DS courses cover the core structures, so every one of them can \
+                    support a discussion of what goes wrong when two threads touch the same \
+                    structure.",
+        activity: "Two threads push to one stack: demonstrate a lost update; fix it with a lock \
+                   and discuss the cost.",
+        pdc_labels: &["synchronization: critical sections", "concurrency defects"],
+        anchor_kus: &["SDF.FDS", "AL.FDSA"],
+    },
+    RuleSpec {
+        flavor: FlavorKind::DsOop,
+        title: "Thread-safe types",
+        rationale: "Type 2 DS courses focus on object-oriented design and can cover thread-safe \
+                    containers — even highlighting that thread safety is the primary difference \
+                    between Java's ArrayList and Vector.",
+        activity: "Benchmark ArrayList vs Vector under single- and multi-threaded use; explain \
+                   the synchronized methods in the Vector source.",
+        pdc_labels: &["thread safety of library types", "mutual exclusion primitives"],
+        anchor_kus: &["PL.OOP", "SDF.FDS"],
+    },
+    RuleSpec {
+        flavor: FlavorKind::DsCombinatorial,
+        title: "Cilk-style parallelism for brute force and dynamic programming",
+        rationale: "Type 3 DS courses feature combinatorial algorithms with high runtimes; \
+                    brute-force search is perfect for fork-join (cilk-like) parallelism, \
+                    bottom-up DP parallelizes with parallel-for over wavefronts, and top-down \
+                    memoized DP motivates a tasking model because memoization induces complex \
+                    dependencies.",
+        activity: "Parallelize a subset-sum brute force with fork-join, then a bottom-up edit \
+                   distance with a wavefront parallel-for; compare against top-down memoization.",
+        pdc_labels: &[
+            "divide and conquer as a source of task parallelism",
+            "dynamic programming: bottom-up wavefront",
+            "brute-force and exhaustive search",
+            "task/thread spawning",
+        ],
+        anchor_kus: &["AL.AS", "DS.BC"],
+    },
+    RuleSpec {
+        flavor: FlavorKind::GraphsCovered,
+        title: "Parallel task graphs, topological sort, and list scheduling",
+        rationale: "Courses covering graphs can adopt the Parallel Task Graph model: topological \
+                    sort derives a feasible task order, critical path measures how parallel the \
+                    graph is, and a list-scheduling simulator exercises priority queues and \
+                    graphs together — fitting type 1 DS courses especially well.",
+        activity: "Implement topological sort and critical path on a task DAG, then a \
+                   list-scheduling simulator with a priority queue; report makespan vs processor \
+                   count.",
+        pdc_labels: &[
+            "directed acyclic graphs as a model",
+            "critical path length",
+            "topological sort and scheduling",
+            "list scheduling",
+        ],
+        anchor_kus: &["DS.GT", "AL.FDSA"],
+    },
+    RuleSpec {
+        flavor: FlavorKind::DsApplied,
+        title: "Speedup on real datasets",
+        rationale: "Applied (type 1) DS courses already process real datasets whose runtimes \
+                    students feel; parallelizing dataset aggregation makes the benefit of \
+                    parallelism concrete, and the list-scheduling simulator doubles as a \
+                    dataset-driven assignment.",
+        activity: "Parallelize the course's dataset-aggregation assignment with a map-reduce \
+                   split; chart runtime vs thread count on the real data.",
+        pdc_labels: &["reduction (map-reduce", "speedup, efficiency", "load balancing"],
+        anchor_kus: &["CN.DIK", "IM.IMC"],
+    },
+];
+
+/// Resolve a rule's label substrings against the PDC12 ontology.
+fn resolve_pdc_labels(pdc: &Ontology, labels: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    for needle in labels {
+        let needle_lower = needle.to_lowercase();
+        let hit = pdc
+            .nodes()
+            .iter()
+            .find(|n| n.level == Level::Topic && n.label.to_lowercase().contains(&needle_lower));
+        if let Some(n) = hit {
+            out.push(n.code.clone());
+        }
+    }
+    out
+}
+
+/// All recommendations for one flavor, with codes resolved against the live
+/// ontologies.
+///
+/// # Panics
+/// Panics if a rule references an unknown CS2013 KU or an unresolvable PDC
+/// label (programmer error caught by tests).
+pub fn rules_for(flavor: FlavorKind, cs: &Ontology, pdc: &Ontology) -> Vec<Recommendation> {
+    RULES
+        .iter()
+        .filter(|r| r.flavor == flavor)
+        .map(|r| {
+            let pdc_topics = resolve_pdc_labels(pdc, r.pdc_labels);
+            assert_eq!(
+                pdc_topics.len(),
+                r.pdc_labels.len(),
+                "rule {:?} has unresolvable PDC labels",
+                r.title
+            );
+            for ku in r.anchor_kus {
+                assert!(cs.by_code(ku).is_some(), "rule {:?}: unknown KU {ku}", r.title);
+            }
+            Recommendation {
+                flavor,
+                title: r.title.to_string(),
+                rationale: r.rationale.to_string(),
+                activity: r.activity.to_string(),
+                pdc_topics,
+                anchors: r.anchor_kus.iter().map(|s| s.to_string()).collect(),
+            }
+        })
+        .collect()
+}
+
+/// How many of a knowledge unit's leaves a tag set covers.
+fn ku_hits(ontology: &Ontology, tags: &[NodeId], ku_code: &str) -> usize {
+    let Some(ku) = ontology.by_code(ku_code) else {
+        return 0;
+    };
+    tags.iter()
+        .filter(|&&t| ontology.is_ancestor(ku, t))
+        .count()
+}
+
+/// Detect the flavors of a course from its classification (signal-based;
+/// complements the NNMF assignment, which needs the whole group).
+pub fn classify_course(
+    store: &MaterialStore,
+    ontology: &Ontology,
+    course: CourseId,
+) -> Vec<FlavorKind> {
+    let tags = store.course_tags(course);
+    let c = store.course(course);
+    let is_cs1 = c.has_label(CourseLabel::Cs1);
+    let is_ds = c.has_label(CourseLabel::DataStructures) || c.has_label(CourseLabel::Algorithms);
+    let mut flavors = Vec::new();
+
+    let algo_signal =
+        ku_hits(ontology, &tags, "AL.BA") + ku_hits(ontology, &tags, "AL.FDSA") + ku_hits(ontology, &tags, "SDF.FDS");
+    let oop_signal = ku_hits(ontology, &tags, "PL.OOP");
+    let repr_signal = ku_hits(ontology, &tags, "AR.MLRD");
+    let comb_signal = ku_hits(ontology, &tags, "AL.AS") + ku_hits(ontology, &tags, "DS.BC");
+    let applied_signal = ku_hits(ontology, &tags, "CN.DIK")
+        + ku_hits(ontology, &tags, "CN.IV")
+        + ku_hits(ontology, &tags, "IM.IMC");
+    let graph_signal = ku_hits(ontology, &tags, "DS.GT");
+    let ds_core_signal = algo_signal;
+
+    if is_cs1 {
+        if ku_hits(ontology, &tags, "SDF.FPC") >= 8 {
+            flavors.push(FlavorKind::Cs1Core);
+        }
+        if repr_signal >= 3 {
+            flavors.push(FlavorKind::Cs1Imperative);
+        }
+        if algo_signal >= 12 {
+            flavors.push(FlavorKind::Cs1Algorithmic);
+        }
+        if oop_signal >= 5 {
+            flavors.push(FlavorKind::Cs1Oop);
+        }
+    }
+    if is_ds {
+        if ds_core_signal >= 15 {
+            flavors.push(FlavorKind::DsCore);
+        }
+        if oop_signal >= 5 {
+            flavors.push(FlavorKind::DsOop);
+        }
+        if comb_signal >= 8 {
+            flavors.push(FlavorKind::DsCombinatorial);
+        }
+        if applied_signal >= 5 {
+            flavors.push(FlavorKind::DsApplied);
+        }
+    }
+    if graph_signal >= 4 {
+        flavors.push(FlavorKind::GraphsCovered);
+    }
+    flavors
+}
+
+/// The concrete anchor sites of a recommendation inside one course: the
+/// existing materials whose classification intersects the recommendation's
+/// anchor units — i.e. *where in the course's own schedule* the PDC content
+/// can splice in. Assessments are excluded (content splices into lectures,
+/// labs, and assignments, not exams). Sorted by number of intersecting
+/// tags, descending.
+pub fn anchor_sites(
+    store: &MaterialStore,
+    ontology: &Ontology,
+    course: CourseId,
+    rec: &Recommendation,
+) -> Vec<(anchors_materials::MaterialId, usize)> {
+    let anchor_kus: Vec<NodeId> = rec
+        .anchors
+        .iter()
+        .filter_map(|code| ontology.by_code(code))
+        .collect();
+    let mut sites: Vec<(anchors_materials::MaterialId, usize)> = store
+        .course(course)
+        .materials
+        .iter()
+        .filter_map(|&mid| {
+            let m = store.material(mid);
+            if m.kind == anchors_materials::MaterialKind::Assessment {
+                return None;
+            }
+            let hits = m
+                .tags
+                .iter()
+                .filter(|&&t| anchor_kus.iter().any(|&ku| ontology.is_ancestor(ku, t)))
+                .count();
+            (hits > 0).then_some((mid, hits))
+        })
+        .collect();
+    sites.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    sites
+}
+
+/// Full recommendation set for one course: classify, then apply the rules
+/// of each detected flavor.
+pub fn recommend_for_course(
+    store: &MaterialStore,
+    cs: &Ontology,
+    pdc: &Ontology,
+    course: CourseId,
+) -> Vec<Recommendation> {
+    classify_course(store, cs, course)
+        .into_iter()
+        .flat_map(|f| rules_for(f, cs, pdc))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_corpus::default_corpus;
+    use anchors_curricula::{cs2013, pdc12};
+
+    #[test]
+    fn every_rule_resolves() {
+        let cs = cs2013();
+        let pdc = pdc12();
+        for flavor in [
+            FlavorKind::Cs1Imperative,
+            FlavorKind::Cs1Algorithmic,
+            FlavorKind::Cs1Oop,
+            FlavorKind::DsApplied,
+            FlavorKind::DsOop,
+            FlavorKind::DsCombinatorial,
+            FlavorKind::DsCore,
+            FlavorKind::GraphsCovered,
+            FlavorKind::Cs1Core,
+        ] {
+            let recs = rules_for(flavor, cs, pdc);
+            assert!(!recs.is_empty(), "{flavor:?} has no rules");
+            for r in recs {
+                assert!(!r.pdc_topics.is_empty());
+                assert!(!r.anchors.is_empty());
+                for code in &r.pdc_topics {
+                    assert!(pdc.by_code(code).is_some(), "bad PDC code {code}");
+                }
+                for code in &r.anchors {
+                    assert!(cs.by_code(code).is_some(), "bad CS2013 code {code}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singh_gets_promise_style_concurrency() {
+        let c = default_corpus();
+        let singh = *c
+            .cs1_group()
+            .iter()
+            .find(|&&id| c.store.course(id).name.contains("Singh"))
+            .unwrap();
+        let recs = recommend_for_course(&c.store, cs2013(), pdc12(), singh);
+        assert!(
+            recs.iter().any(|r| r.flavor == FlavorKind::Cs1Oop),
+            "OOP CS1 gets the promise-style rule, got {:?}",
+            recs.iter().map(|r| r.flavor).collect::<Vec<_>>()
+        );
+        assert!(
+            !recs.iter().any(|r| r.flavor == FlavorKind::Cs1Imperative),
+            "Singh's course does not cover data representation"
+        );
+    }
+
+    #[test]
+    fn bourke_gets_reduction_order() {
+        let c = default_corpus();
+        let bourke = *c
+            .cs1_group()
+            .iter()
+            .find(|&&id| c.store.course(id).name.contains("Bourke"))
+            .unwrap();
+        let recs = recommend_for_course(&c.store, cs2013(), pdc12(), bourke);
+        assert!(recs.iter().any(|r| r.flavor == FlavorKind::Cs1Imperative));
+        let red = recs
+            .iter()
+            .find(|r| r.flavor == FlavorKind::Cs1Imperative)
+            .unwrap();
+        assert!(red.anchors.contains(&"AR.MLRD".to_string()));
+    }
+
+    #[test]
+    fn ds_courses_all_get_concurrent_structures() {
+        let c = default_corpus();
+        for id in c.ds_group() {
+            let recs = recommend_for_course(&c.store, cs2013(), pdc12(), id);
+            assert!(
+                recs.iter().any(|r| r.flavor == FlavorKind::DsCore),
+                "{} should support concurrent-structure discussions",
+                c.store.course(id).name
+            );
+        }
+    }
+
+    #[test]
+    fn vcu_gets_thread_safe_types() {
+        let c = default_corpus();
+        let vcu = *c
+            .ds_group()
+            .iter()
+            .find(|&&id| c.store.course(id).name.contains("VCU"))
+            .unwrap();
+        let recs = recommend_for_course(&c.store, cs2013(), pdc12(), vcu);
+        assert!(recs.iter().any(|r| r.flavor == FlavorKind::DsOop));
+    }
+
+    #[test]
+    fn algorithms_courses_get_cilk_style() {
+        let c = default_corpus();
+        let wahl = *c
+            .ds_and_algo_group()
+            .iter()
+            .find(|&&id| c.store.course(id).name.contains("Wahl"))
+            .unwrap();
+        let recs = recommend_for_course(&c.store, cs2013(), pdc12(), wahl);
+        assert!(recs.iter().any(|r| r.flavor == FlavorKind::DsCombinatorial));
+    }
+
+    #[test]
+    fn graph_covering_ds_courses_get_task_graphs() {
+        let c = default_corpus();
+        let mut task_graph_hits = 0;
+        for id in c.ds_group() {
+            let recs = recommend_for_course(&c.store, cs2013(), pdc12(), id);
+            if recs.iter().any(|r| r.flavor == FlavorKind::GraphsCovered) {
+                task_graph_hits += 1;
+            }
+        }
+        assert!(
+            task_graph_hits >= 4,
+            "§5.2: all three DS types cover graphs; got {task_graph_hits}/5"
+        );
+    }
+
+    #[test]
+    fn anchor_sites_point_at_relevant_materials() {
+        let c = default_corpus();
+        let cs = cs2013();
+        let pdc = pdc12();
+        let vcu = *c
+            .ds_group()
+            .iter()
+            .find(|&&id| c.store.course(id).name.contains("VCU"))
+            .unwrap();
+        let recs = recommend_for_course(&c.store, cs, pdc, vcu);
+        let rec = recs
+            .iter()
+            .find(|r| r.flavor == FlavorKind::DsOop)
+            .expect("VCU gets the thread-safe-types rule");
+        let sites = anchor_sites(&c.store, cs, vcu, rec);
+        assert!(!sites.is_empty(), "anchors must land on real materials");
+        // Sorted by hits, and every site actually intersects the anchors.
+        for w in sites.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let (best, hits) = sites[0];
+        assert!(hits >= 1);
+        let m = c.store.material(best);
+        let oop = cs.by_code("PL.OOP").unwrap();
+        let fds = cs.by_code("SDF.FDS").unwrap();
+        assert!(
+            m.tags
+                .iter()
+                .any(|&t| cs.is_ancestor(oop, t) || cs.is_ancestor(fds, t)),
+            "best site covers an anchor unit"
+        );
+    }
+
+    #[test]
+    fn network_course_gets_nothing_cs1_or_ds() {
+        let c = default_corpus();
+        let net = c
+            .all()
+            .iter()
+            .copied()
+            .find(|&id| c.store.course(id).name.contains("Bopana"))
+            .unwrap();
+        let recs = recommend_for_course(&c.store, cs2013(), pdc12(), net);
+        assert!(
+            recs.iter()
+                .all(|r| r.flavor == FlavorKind::GraphsCovered || recs.is_empty()),
+            "a networking course matches no CS1/DS flavor rules"
+        );
+    }
+}

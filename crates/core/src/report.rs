@@ -1,0 +1,165 @@
+//! Markdown report generation: renders an [`AnalysisReport`] as a single
+//! self-contained document (the narrative §4–§5 of the paper, regenerated
+//! from data).
+
+use crate::pipeline::AnalysisReport;
+use crate::recommend::Recommendation;
+use anchors_materials::CourseLabel;
+use std::fmt::Write as _;
+
+/// Render the full analysis as markdown.
+pub fn to_markdown(r: &AnalysisReport) -> String {
+    let g = r.guideline();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Data-driven discovery of anchor points — analysis report\n");
+    let _ = writeln!(
+        out,
+        "Corpus: {} courses, {} materials, generated deterministically.\n",
+        r.corpus.store.course_count(),
+        r.corpus.store.material_count()
+    );
+
+    // --- Course families (Figure 2).
+    let _ = writeln!(out, "## Course types over the whole corpus (NNMF, k = 4)\n");
+    let fm = &r.all_courses_model;
+    let _ = writeln!(out, "| course | dominant dimension | labels |");
+    let _ = writeln!(out, "|---|---|---|");
+    for (i, &cid) in fm.matrix.courses.iter().enumerate() {
+        let c = r.corpus.store.course(cid);
+        let labels: Vec<&str> = c.labels.iter().map(CourseLabel::short).collect();
+        let _ = writeln!(
+            out,
+            "| {} | dim {} | {} |",
+            c.name,
+            fm.assignments[i] + 1,
+            labels.join(", ")
+        );
+    }
+    let _ = writeln!(out, "\nPer-dimension dominant knowledge areas:\n");
+    for t in &fm.types {
+        let kas: Vec<String> = t
+            .ka_weights
+            .iter()
+            .take(3)
+            .map(|(k, w)| format!("{k} ({w:.2})"))
+            .collect();
+        let _ = writeln!(out, "- dim {}: {}", t.index + 1, kas.join(", "));
+    }
+
+    // --- Agreement.
+    let _ = writeln!(out, "\n## Agreement\n");
+    for a in [&r.cs1_agreement, &r.ds_agreement, &r.pdc_agreement] {
+        let _ = writeln!(out, "- {}", a.summary());
+    }
+    let _ = writeln!(
+        out,
+        "\nCS1 agreement at four courses collapses into: {}.",
+        r.cs1_agreement.spanned_kas(g, 4).join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "DS agreement at four courses spans: {}.",
+        r.ds_agreement.spanned_kas(g, 4).join(", ")
+    );
+
+    // --- Flavors.
+    let _ = writeln!(out, "\n## CS1 flavors (k = 3)\n");
+    flavor_section(&mut out, r, &r.cs1_flavors);
+    let _ = writeln!(out, "\n## Data Structures + Algorithms flavors (k = 3)\n");
+    flavor_section(&mut out, r, &r.ds_flavors);
+
+    // --- Recommendations.
+    let _ = writeln!(out, "\n## PDC anchor-point recommendations\n");
+    for (cid, recs) in &r.recommendations {
+        if recs.is_empty() {
+            continue;
+        }
+        let c = r.corpus.store.course(*cid);
+        let _ = writeln!(out, "### {}\n", c.name);
+        for rec in recs {
+            recommendation_block(&mut out, rec);
+        }
+    }
+    out
+}
+
+fn flavor_section(out: &mut String, r: &AnalysisReport, fm: &crate::flavors::FlavorModel) {
+    let _ = writeln!(out, "| course | type | mixture |");
+    let _ = writeln!(out, "|---|---|---|");
+    for (i, &cid) in fm.matrix.courses.iter().enumerate() {
+        let mix: Vec<String> = fm
+            .mixture_of(i)
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} |",
+            r.corpus.store.course(cid).name,
+            fm.assignments[i] + 1,
+            mix.join(" / ")
+        );
+    }
+    let _ = writeln!(out);
+    for t in &fm.types {
+        let _ = writeln!(
+            out,
+            "- type {}: {}",
+            t.index + 1,
+            t.ku_weights
+                .iter()
+                .take(4)
+                .map(|(k, w)| format!("{k} ({w:.2})"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+}
+
+fn recommendation_block(out: &mut String, rec: &Recommendation) {
+    let _ = writeln!(out, "**{}** _({:?})_\n", rec.title, rec.flavor);
+    let _ = writeln!(out, "- why: {}", rec.rationale);
+    let _ = writeln!(out, "- activity: {}", rec.activity);
+    let _ = writeln!(out, "- PDC12 topics: {}", rec.pdc_topics.join(", "));
+    let _ = writeln!(out, "- anchors: {}\n", rec.anchors.join(", "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_full_analysis;
+    use anchors_corpus::DEFAULT_SEED;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let r = run_full_analysis(DEFAULT_SEED);
+        let md = to_markdown(&r);
+        for needle in [
+            "# Data-driven discovery",
+            "## Course types over the whole corpus",
+            "## Agreement",
+            "## CS1 flavors",
+            "## Data Structures + Algorithms flavors",
+            "## PDC anchor-point recommendations",
+            "WashU CSE131 Singh",
+            "anchors:",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?}");
+        }
+        // Every non-empty recommendation course appears as a section.
+        let sections = md.matches("### ").count();
+        let expected = r
+            .recommendations
+            .iter()
+            .filter(|(_, recs)| !recs.is_empty())
+            .count();
+        assert_eq!(sections, expected);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let a = to_markdown(&run_full_analysis(5));
+        let b = to_markdown(&run_full_analysis(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,324 @@
+//! A library of PDC learning materials classified against both guidelines.
+//!
+//! The paper's conclusion names this as future work: *"we would like to
+//! classify more of the publicly available PDC materials in the system to
+//! help recommend PDC materials for particular courses."* This module is
+//! that library: materials in the style of the public repositories the
+//! paper reviews (§2.2 — Peachy Parallel Assignments, PDC Unplugged, Nifty)
+//! classified against PDC12 topics (what they teach) and CS2013 knowledge
+//! units (where they anchor in an early course).
+//!
+//! Topic references are label substrings resolved against the live
+//! ontologies at load time, so every entry is verified to exist.
+
+use anchors_curricula::{cs2013, pdc12, Level, NodeId, Ontology};
+use anchors_materials::MaterialKind;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Which public repository style the material comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Source {
+    /// Peer-reviewed programming assignments (EduPar/EduHPC style).
+    PeachyParallel,
+    /// Unplugged activities without a machine.
+    PdcUnplugged,
+    /// Nifty-style general assignments with a PDC twist.
+    Nifty,
+}
+
+/// A PDC learning material with dual classification.
+#[derive(Debug, Clone)]
+pub struct PdcMaterial {
+    /// Display name.
+    pub name: &'static str,
+    /// Pedagogical kind.
+    pub kind: MaterialKind,
+    /// Repository style.
+    pub source: Source,
+    /// Languages the material supports (empty = language-free).
+    pub languages: &'static [&'static str],
+    /// PDC12 topics taught (resolved).
+    pub pdc_topics: Vec<NodeId>,
+    /// CS2013 knowledge units it anchors at (resolved).
+    pub anchors: Vec<NodeId>,
+}
+
+struct Entry {
+    name: &'static str,
+    kind: MaterialKind,
+    source: Source,
+    languages: &'static [&'static str],
+    /// Case-insensitive substrings of PDC12 topic labels.
+    pdc: &'static [&'static str],
+    /// CS2013 KU codes.
+    kus: &'static [&'static str],
+}
+
+const ENTRIES: &[Entry] = &[
+    Entry {
+        name: "Parallel card-sorting race",
+        kind: MaterialKind::Lab,
+        source: Source::PdcUnplugged,
+        languages: &[],
+        pdc: &["why and what is parallel", "parallel sorting"],
+        kus: &["SDF.FPC", "SDF.AD"],
+    },
+    Entry {
+        name: "Lost-update coin jar (race conditions unplugged)",
+        kind: MaterialKind::Lab,
+        source: Source::PdcUnplugged,
+        languages: &[],
+        pdc: &["concurrency defects", "mutual exclusion primitives"],
+        kus: &["SDF.FPC", "SDF.FDS"],
+    },
+    Entry {
+        name: "Summing floats in any order",
+        kind: MaterialKind::Assignment,
+        source: Source::PeachyParallel,
+        languages: &["C", "Python"],
+        pdc: &["floating-point reduction order", "reduction (map-reduce"],
+        kus: &["AR.MLRD", "SDF.FPC"],
+    },
+    Entry {
+        name: "Mandelbrot with a parallel-for",
+        kind: MaterialKind::Assignment,
+        source: Source::PeachyParallel,
+        languages: &["C", "C++"],
+        pdc: &["data-parallel constructs", "load balancing"],
+        kus: &["SDF.AD", "AL.BA"],
+    },
+    Entry {
+        name: "Image blur: loops to parallel loops",
+        kind: MaterialKind::Assignment,
+        source: Source::Nifty,
+        languages: &["Python", "Java"],
+        pdc: &["data-parallel constructs", "speedup measurement"],
+        kus: &["SDF.FPC", "SDF.AD"],
+    },
+    Entry {
+        name: "Bank accounts with promises",
+        kind: MaterialKind::Assignment,
+        source: Source::Nifty,
+        languages: &["Java", "JavaScript"],
+        pdc: &["futures and promises", "tasks and threads"],
+        kus: &["PL.OOP", "PL.EDRP"],
+    },
+    Entry {
+        name: "Chat server with distributed objects",
+        kind: MaterialKind::Assignment,
+        source: Source::PeachyParallel,
+        languages: &["Java"],
+        pdc: &["client-server and distributed-object", "message-passing programming"],
+        kus: &["PL.OOP", "NC.NA"],
+    },
+    Entry {
+        name: "Thread-safe stack lab (ArrayList vs Vector)",
+        kind: MaterialKind::Lab,
+        source: Source::PeachyParallel,
+        languages: &["Java"],
+        pdc: &["thread safety of library types", "synchronization: critical sections"],
+        kus: &["PL.OOP", "SDF.FDS"],
+    },
+    Entry {
+        name: "Two threads, one queue",
+        kind: MaterialKind::Lab,
+        source: Source::Nifty,
+        languages: &["Java", "C++"],
+        pdc: &["synchronization: critical sections", "concurrency defects"],
+        kus: &["SDF.FDS", "AL.FDSA"],
+    },
+    Entry {
+        name: "Fork-join parallel merge sort",
+        kind: MaterialKind::Assignment,
+        source: Source::PeachyParallel,
+        languages: &["Java", "C"],
+        pdc: &["parallel sorting", "divide and conquer as a source"],
+        kus: &["AL.FDSA", "SDF.AD"],
+    },
+    Entry {
+        name: "Subset-sum brute force with task spawning",
+        kind: MaterialKind::Assignment,
+        source: Source::PeachyParallel,
+        languages: &["C", "C++"],
+        pdc: &["brute-force and exhaustive search", "task/thread spawning"],
+        kus: &["AL.AS", "DS.BC"],
+    },
+    Entry {
+        name: "Edit-distance wavefront",
+        kind: MaterialKind::Assignment,
+        source: Source::PeachyParallel,
+        languages: &["C", "Python"],
+        pdc: &["dynamic programming: bottom-up wavefront", "notions of dependency"],
+        kus: &["AL.AS", "AL.BA"],
+    },
+    Entry {
+        name: "List-scheduling simulator",
+        kind: MaterialKind::Assignment,
+        source: Source::PeachyParallel,
+        languages: &["Java", "C++", "Python"],
+        pdc: &["list scheduling", "topological sort and scheduling", "critical path length"],
+        kus: &["DS.GT", "AL.FDSA", "SDF.FDS"],
+    },
+    Entry {
+        name: "Build-dependency critical paths",
+        kind: MaterialKind::Lab,
+        source: Source::Nifty,
+        languages: &["Python"],
+        pdc: &["directed acyclic graphs as a model", "critical path length"],
+        kus: &["DS.GT", "AL.FDSA"],
+    },
+    Entry {
+        name: "MapReduce word count on song lyrics",
+        kind: MaterialKind::Assignment,
+        source: Source::Nifty,
+        languages: &["Python", "Java"],
+        pdc: &["reduction (map-reduce", "embarrassingly parallel"],
+        kus: &["CN.DIK", "IM.IMC", "SDF.FPC"],
+    },
+    Entry {
+        name: "Earthquake feed parallel aggregation",
+        kind: MaterialKind::Assignment,
+        source: Source::PeachyParallel,
+        languages: &["Java"],
+        pdc: &["embarrassingly parallel", "speedup measurement", "load balancing"],
+        kus: &["CN.DIK", "IM.IMC"],
+    },
+    Entry {
+        name: "Amdahl's law, by hand and by plot",
+        kind: MaterialKind::Lecture,
+        source: Source::PdcUnplugged,
+        languages: &[],
+        pdc: &["speedup, efficiency, and amdahl", "scalability: strong versus weak"],
+        kus: &["AL.BA", "SF.EVAL"],
+    },
+    Entry {
+        name: "Parallel BFS over a social graph",
+        kind: MaterialKind::Assignment,
+        source: Source::PeachyParallel,
+        languages: &["C++", "Java"],
+        pdc: &["parallel graph algorithms", "parallel search over structured"],
+        kus: &["DS.GT", "AL.FDSA"],
+    },
+    Entry {
+        name: "Token ring in the classroom",
+        kind: MaterialKind::Lab,
+        source: Source::PdcUnplugged,
+        languages: &[],
+        pdc: &["message-passing programming", "parallel communication operations"],
+        kus: &["NC.INT", "SF.SSM"],
+    },
+    Entry {
+        name: "Matrix multiply: cache blocking and threads",
+        kind: MaterialKind::Assignment,
+        source: Source::PeachyParallel,
+        languages: &["C"],
+        pdc: &["parallel matrix computations", "data locality and memory"],
+        kus: &["AL.BA", "AR.MSO"],
+    },
+];
+
+fn resolve_pdc(pdc: &Ontology, labels: &[&str]) -> Vec<NodeId> {
+    labels
+        .iter()
+        .map(|needle| {
+            let lower = needle.to_lowercase();
+            pdc.nodes()
+                .iter()
+                .find(|n| n.level == Level::Topic && n.label.to_lowercase().contains(&lower))
+                .unwrap_or_else(|| panic!("library references unknown PDC topic {needle:?}"))
+                .id
+        })
+        .collect()
+}
+
+fn resolve_kus(cs: &Ontology, codes: &[&str]) -> Vec<NodeId> {
+    codes
+        .iter()
+        .map(|code| {
+            cs.by_code(code)
+                .unwrap_or_else(|| panic!("library references unknown KU {code:?}"))
+        })
+        .collect()
+}
+
+/// The resolved PDC materials library (memoized per process).
+pub fn pdc_library() -> &'static [PdcMaterial] {
+    static LIB: OnceLock<Vec<PdcMaterial>> = OnceLock::new();
+    LIB.get_or_init(|| {
+        let cs = cs2013();
+        let pdc = pdc12();
+        ENTRIES
+            .iter()
+            .map(|e| PdcMaterial {
+                name: e.name,
+                kind: e.kind,
+                source: e.source,
+                languages: e.languages,
+                pdc_topics: resolve_pdc(pdc, e.pdc),
+                anchors: resolve_kus(cs, e.kus),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_resolves_fully() {
+        let lib = pdc_library();
+        assert!(lib.len() >= 18, "a real library, not a stub");
+        for m in lib {
+            assert!(!m.pdc_topics.is_empty(), "{} teaches nothing", m.name);
+            assert!(!m.anchors.is_empty(), "{} anchors nowhere", m.name);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let lib = pdc_library();
+        let mut names: Vec<&str> = lib.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), lib.len());
+    }
+
+    #[test]
+    fn unplugged_materials_are_language_free() {
+        for m in pdc_library() {
+            if m.source == Source::PdcUnplugged {
+                assert!(
+                    m.languages.is_empty(),
+                    "{} is unplugged but lists languages",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sources_all_represented() {
+        let lib = pdc_library();
+        for s in [Source::PeachyParallel, Source::PdcUnplugged, Source::Nifty] {
+            assert!(lib.iter().any(|m| m.source == s), "missing source {s:?}");
+        }
+    }
+
+    #[test]
+    fn anchors_are_knowledge_units() {
+        let cs = cs2013();
+        for m in pdc_library() {
+            for &a in &m.anchors {
+                assert_eq!(
+                    cs.node(a).level,
+                    Level::KnowledgeUnit,
+                    "{}: anchor {} is not a KU",
+                    m.name,
+                    cs.node(a).code
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Latent course-type profiles used by the synthetic workshop generator.
+//!
+//! The generative model mirrors the paper's own modeling assumption (§4.1):
+//! a course is approximately a *non-negative linear combination of a few
+//! types*, each type being a distribution over curriculum-guideline entries.
+//! ("the parallel computing course of one of the authors can briefly be
+//! expressed as 20% theory, 40% shared memory programming, and 40%
+//! distributed memory programming.")
+//!
+//! Each profile lists knowledge units of the CS2013 ontology with a coverage
+//! probability: when a course draws on the profile with weight `w`, each
+//! leaf item of the unit enters the course with probability `w · p`.
+//! Profiles are calibrated so the corpus statistics reported in the paper
+//! (Figure 3's agreement curves, Figure 4/6's agreement spans) are
+//! reproduced in expectation — see `crate::generate` tests.
+
+/// Coverage of one knowledge unit within a profile.
+#[derive(Debug, Clone, Copy)]
+pub struct KuCoverage {
+    /// Dotted KU code in the CS2013 ontology (e.g. `"SDF.FPC"`).
+    pub ku: &'static str,
+    /// Probability that a leaf of the unit is covered when the profile has
+    /// weight 1.
+    pub p: f64,
+}
+
+const fn c(ku: &'static str, p: f64) -> KuCoverage {
+    KuCoverage { ku, p }
+}
+
+/// A latent course type.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeProfile {
+    /// Profile name (used in docs/tests, not in generated data).
+    pub name: &'static str,
+    /// Knowledge-unit coverages.
+    pub coverages: &'static [KuCoverage],
+}
+
+/// CS1 flavor: imperative programming with data representation (the
+/// paper's CS1 **type 2** — Kerney, Bourke).
+pub static CS1_IMPERATIVE: TypeProfile = TypeProfile {
+    name: "cs1-imperative",
+    coverages: &[c("SDF.FPC", 0.92), c("SDF.AD", 0.35)],
+};
+
+/// CS1 secondary emphasis: machine-level data representation and systems
+/// flavor (C-based courses; carries the AR.MLRD topics §5.2 singles out
+/// for the reduction-ordering anchor).
+pub static CS1_SYSTEMS: TypeProfile = TypeProfile {
+    name: "cs1-systems",
+    coverages: &[
+        c("AR.MLRD", 0.75),
+        c("AR.ALMO", 0.20),
+        c("IAS.DP", 0.40),
+        c("SDF.DM", 0.35),
+    ],
+};
+
+/// CS1 secondary emphasis: testing and program correctness.
+pub static CS1_TESTING: TypeProfile = TypeProfile {
+    name: "cs1-testing",
+    coverages: &[c("SDF.DM", 0.70), c("SE.SC", 0.35), c("SE.SVV", 0.20)],
+};
+
+/// CS1 secondary emphasis: data-centric intro (Python courses reading
+/// datasets).
+pub static CS1_DATA: TypeProfile = TypeProfile {
+    name: "cs1-data",
+    coverages: &[c("CN.DIK", 0.50), c("IM.IMC", 0.35), c("CN.IV", 0.25)],
+};
+
+/// CS1 secondary emphasis: functional constructs (Python/first-class
+/// functions).
+pub static CS1_FUNCTIONAL: TypeProfile = TypeProfile {
+    name: "cs1-functional",
+    coverages: &[c("PL.FP", 0.55), c("PL.BTS", 0.30)],
+};
+
+/// CS1 flavor: algorithmic thinking / data structures (the paper's CS1
+/// **type 1** — Ahmed; Toups partially).
+pub static CS1_ALGO: TypeProfile = TypeProfile {
+    name: "cs1-algorithmic",
+    coverages: &[
+        c("SDF.FPC", 0.50),
+        c("SDF.AD", 0.60),
+        c("SDF.FDS", 0.70),
+        c("AL.BA", 0.70),
+        c("AL.AS", 0.45),
+        c("AL.FDSA", 0.60),
+        c("DS.GT", 0.45),
+        c("DS.PT", 0.25),
+    ],
+};
+
+/// CS1 flavor: object-oriented programming (the paper's CS1 **type 3** —
+/// Singh, taught in Java).
+pub static CS1_OOP: TypeProfile = TypeProfile {
+    name: "cs1-oop",
+    coverages: &[
+        c("SDF.FPC", 0.72),
+        c("PL.OOP", 0.85),
+        c("PL.BTS", 0.55),
+        c("PL.EDRP", 0.30),
+        c("SDF.DM", 0.35),
+        c("SE.SD", 0.25),
+    ],
+};
+
+/// The shared core every Data Structures course covers (§4.5: Big-Oh,
+/// linear structures, hash tables/BSTs/graphs, traversals/recursion,
+/// searching and sorting).
+pub static DS_CORE: TypeProfile = TypeProfile {
+    name: "ds-core",
+    coverages: &[
+        c("AL.BA", 0.85),
+        c("AL.FDSA", 0.85),
+        c("SDF.FDS", 0.85),
+        c("SDF.AD", 0.60),
+        c("DS.GT", 0.75),
+        c("DS.SRF", 0.35),
+    ],
+};
+
+/// DS flavor: problem-solving with datasets, APIs, and visualization (the
+/// paper's DS **type 1** — both UNCC 2214 sections; these use real-data
+/// assignments).
+pub static DS_APPLIED: TypeProfile = TypeProfile {
+    name: "ds-applied",
+    coverages: &[
+        c("CN.DIK", 0.85),
+        c("CN.IV", 0.70),
+        c("CN.IMS", 0.40),
+        c("CN.MS", 0.25),
+        c("IM.IMC", 0.70),
+        c("IM.IDX", 0.30),
+        c("SDF.DM", 0.40),
+    ],
+};
+
+/// DS flavor: object-oriented programming emphasis (the paper's DS
+/// **type 2** — VCU Duke's "Data Structures and Object-oriented
+/// Programming").
+pub static DS_OOP: TypeProfile = TypeProfile {
+    name: "ds-oop",
+    coverages: &[
+        c("PL.OOP", 0.90),
+        c("PL.BTS", 0.60),
+        c("PL.EDRP", 0.30),
+        c("SDF.DM", 0.45),
+        c("SE.SD", 0.45),
+        c("SE.SC", 0.35),
+    ],
+};
+
+/// DS flavor: combinatorial algorithms (the paper's DS **type 3** — the
+/// Algorithms courses plus BSC Wagner: greedy, dynamic programming,
+/// counting, enumerating, sets).
+pub static DS_COMBINATORIAL: TypeProfile = TypeProfile {
+    name: "ds-combinatorial",
+    coverages: &[
+        c("AL.AS", 0.85),
+        c("AL.BACC", 0.45),
+        c("AL.ACC", 0.20),
+        c("AL.ADSAA", 0.35),
+        c("DS.BC", 0.65),
+        c("DS.SRF", 0.55),
+        c("DS.PT", 0.45),
+        c("DS.DP", 0.35),
+    ],
+};
+
+/// Software engineering course profile.
+pub static SOFTENG: TypeProfile = TypeProfile {
+    name: "softeng",
+    coverages: &[
+        c("SE.SP", 0.80),
+        c("SE.SPM", 0.75),
+        c("SE.TE", 0.70),
+        c("SE.RE", 0.75),
+        c("SE.SD", 0.80),
+        c("SE.SC", 0.60),
+        c("SE.SVV", 0.75),
+        c("SE.SEV", 0.45),
+        c("SDF.DM", 0.50),
+        c("SP.PC", 0.40),
+        c("SP.PE", 0.30),
+        c("HCI.F", 0.25),
+        c("PBD.WEB", 0.30),
+    ],
+};
+
+/// Parallel and distributed computing course profile. The non-PDC entries
+/// (directed graphs, recursion/divide-and-conquer, Big-Oh) are exactly the
+/// CS1/DS concepts §4.7 finds PDC courses agreeing on.
+pub static PDC: TypeProfile = TypeProfile {
+    name: "pdc",
+    coverages: &[
+        c("PD.PF", 0.90),
+        c("PD.PDC", 0.85),
+        c("PD.CC", 0.80),
+        c("PD.PAAP", 0.80),
+        c("PD.PA", 0.70),
+        c("PD.PP", 0.55),
+        c("PD.DS", 0.40),
+        c("PD.CLD", 0.25),
+        c("PD.FMS", 0.30),
+        c("SF.PAR", 0.55),
+        c("SF.EVAL", 0.50),
+        c("OS.CON", 0.45),
+        c("AR.MAA", 0.40),
+        c("AL.BA", 0.35),
+        c("SDF.AD", 0.30),
+        c("DS.GT", 0.30),
+        c("PL.CP", 0.35),
+    ],
+};
+
+/// Standalone object-oriented design/programming course (UNCC ITCS 3112).
+pub static OOP_COURSE: TypeProfile = TypeProfile {
+    name: "oop-course",
+    coverages: &[
+        c("PL.OOP", 0.90),
+        c("PL.BTS", 0.60),
+        c("PL.EDRP", 0.45),
+        c("SE.SD", 0.60),
+        c("SE.SC", 0.40),
+        c("SE.SVV", 0.30),
+        c("SDF.DM", 0.40),
+        c("HCI.PIS", 0.25),
+    ],
+};
+
+/// CS2 profile: a bridge between CS1 and Data Structures.
+pub static CS2: TypeProfile = TypeProfile {
+    name: "cs2",
+    coverages: &[
+        c("SDF.FPC", 0.55),
+        c("SDF.FDS", 0.75),
+        c("SDF.AD", 0.55),
+        c("SDF.DM", 0.40),
+        c("AL.BA", 0.45),
+        c("AL.FDSA", 0.40),
+        c("PL.OOP", 0.45),
+    ],
+};
+
+/// Computer networking course profile (UTSA Bopana).
+pub static NETWORK: TypeProfile = TypeProfile {
+    name: "network",
+    coverages: &[
+        c("NC.INT", 0.85),
+        c("NC.NA", 0.80),
+        c("NC.RDD", 0.70),
+        c("NC.RF", 0.65),
+        c("OS.OV", 0.25),
+        c("IAS.TA", 0.25),
+        c("SF.RR", 0.30),
+    ],
+};
+
+/// All profiles (for integrity tests).
+pub static ALL_PROFILES: &[&TypeProfile] = &[
+    &CS1_IMPERATIVE,
+    &CS1_SYSTEMS,
+    &CS1_TESTING,
+    &CS1_DATA,
+    &CS1_FUNCTIONAL,
+    &CS1_ALGO,
+    &CS1_OOP,
+    &DS_CORE,
+    &DS_APPLIED,
+    &DS_OOP,
+    &DS_COMBINATORIAL,
+    &SOFTENG,
+    &PDC,
+    &OOP_COURSE,
+    &CS2,
+    &NETWORK,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        for p in ALL_PROFILES {
+            for cov in p.coverages {
+                assert!(
+                    (0.0..=1.0).contains(&cov.p),
+                    "{}: {} has p = {}",
+                    p.name,
+                    cov.ku,
+                    cov.p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ku_codes_resolve_in_cs2013_except_known_placeholders() {
+        let g = cs2013();
+        for p in ALL_PROFILES {
+            for cov in p.coverages {
+                assert!(
+                    g.by_code(cov.ku).is_some(),
+                    "{}: unknown KU {}",
+                    p.name,
+                    cov.ku
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_names_unique() {
+        let mut names: Vec<&str> = ALL_PROFILES.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_PROFILES.len());
+    }
+
+    #[test]
+    fn cs1_flavors_are_distinct() {
+        // The OOP flavor must not cover algorithms; the algo flavor must.
+        assert!(CS1_OOP.coverages.iter().all(|c| !c.ku.starts_with("AL.")));
+        assert!(CS1_ALGO.coverages.iter().any(|c| c.ku.starts_with("AL.")));
+        // Only the systems emphasis covers machine-level representation.
+        assert!(CS1_SYSTEMS.coverages.iter().any(|c| c.ku == "AR.MLRD"));
+        assert!(CS1_OOP.coverages.iter().all(|c| c.ku != "AR.MLRD"));
+        assert!(CS1_ALGO.coverages.iter().all(|c| c.ku != "AR.MLRD"));
+    }
+}

@@ -1,0 +1,297 @@
+//! The 20-course roster of the paper's Figure 1.
+//!
+//! Course names, institutions, instructors, and family labels are
+//! transcribed from the figure; the *classifications* of each course are
+//! synthetic (see `crate::generate`), since the workshop data itself is not
+//! public. Mixture weights encode the course structure the paper reports in
+//! §4.4–4.7 (e.g. WashU Singh is the OOP-flavored CS1; UCF Ahmed hits all
+//! three DS types evenly).
+
+use crate::profiles::{self, TypeProfile};
+use anchors_materials::CourseLabel;
+
+/// Static description of one course of the corpus.
+pub struct CourseSpec {
+    /// Full display name as in Figure 1.
+    pub name: &'static str,
+    /// Institution short name.
+    pub institution: &'static str,
+    /// Instructor surname.
+    pub instructor: &'static str,
+    /// Family labels (the X marks of Figure 1).
+    pub labels: &'static [CourseLabel],
+    /// Primary implementation language.
+    pub language: &'static str,
+    /// Latent type mixture: `(profile, weight)` with weights in `[0, 1]`.
+    pub mixture: &'static [(&'static TypeProfile, f64)],
+    /// Rate of idiosyncratic tags: expected number of extra leaf items
+    /// drawn from anywhere in the guideline (instructor quirks — the main
+    /// driver of the long disagreement tail in Figure 3).
+    pub idiosyncrasy: f64,
+}
+
+use CourseLabel::*;
+
+/// The corpus roster (Figure 1, 20 courses).
+pub static ROSTER: &[CourseSpec] = &[
+    CourseSpec {
+        name: "UNCC ITCS 2214 KRS Data Structures and Algorithms",
+        institution: "UNCC",
+        instructor: "KRS",
+        labels: &[DataStructures],
+        language: "Java",
+        mixture: &[(&profiles::DS_CORE, 1.0), (&profiles::DS_APPLIED, 0.9)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "UNCC ITCS 2214 Saule Data Structures and Algorithms",
+        institution: "UNCC",
+        instructor: "Saule",
+        labels: &[DataStructures],
+        language: "Java",
+        mixture: &[
+            (&profiles::DS_CORE, 1.0),
+            (&profiles::DS_APPLIED, 0.8),
+            (&profiles::DS_OOP, 0.15),
+            (&profiles::DS_COMBINATORIAL, 0.15),
+        ],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "UNCC ITCS 3145 Saule Parallel and Distributed Computing",
+        institution: "UNCC",
+        instructor: "Saule",
+        labels: &[Pdc],
+        language: "C",
+        mixture: &[(&profiles::PDC, 1.0)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "UNCC ITCS 3112 KRS Object Oriented Programming",
+        institution: "UNCC",
+        instructor: "KRS",
+        labels: &[Oop],
+        language: "Java",
+        mixture: &[(&profiles::OOP_COURSE, 1.0)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "CCC CSCI 40 Kerney CS1",
+        institution: "CCC",
+        instructor: "Kerney",
+        labels: &[Cs1],
+        language: "C",
+        mixture: &[
+            (&profiles::CS1_IMPERATIVE, 1.0),
+            (&profiles::CS1_SYSTEMS, 0.40),
+            (&profiles::CS1_TESTING, 0.40),
+        ],
+        idiosyncrasy: 9.0,
+    },
+    CourseSpec {
+        name: "Hanover cs225 Wahl Algorithmic Analysis 2021",
+        institution: "Hanover",
+        instructor: "Wahl",
+        labels: &[Algorithms],
+        language: "Python",
+        mixture: &[(&profiles::DS_CORE, 0.7), (&profiles::DS_COMBINATORIAL, 1.0)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "VCU CMSC 256 Duke Data Structures and Object-oriented Programming",
+        institution: "VCU",
+        instructor: "Duke",
+        labels: &[DataStructures],
+        language: "Java",
+        mixture: &[(&profiles::DS_CORE, 0.95), (&profiles::DS_OOP, 1.0)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "CCC CSCI 41 Kerney CS2",
+        institution: "CCC",
+        instructor: "Kerney",
+        labels: &[Cs2],
+        language: "C++",
+        mixture: &[(&profiles::CS2, 1.0)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "BSC CAC 210 Wagner Data Structures and Algorithms",
+        institution: "BSC",
+        instructor: "Wagner",
+        labels: &[DataStructures],
+        language: "Java",
+        mixture: &[(&profiles::DS_CORE, 0.95), (&profiles::DS_COMBINATORIAL, 0.8)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "UNCC ITCS 2215 KRS Algorithms",
+        institution: "UNCC",
+        instructor: "KRS",
+        labels: &[Algorithms],
+        language: "C++",
+        mixture: &[(&profiles::DS_CORE, 0.75), (&profiles::DS_COMBINATORIAL, 1.0)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "GSU CSC4350 Levine Software Engineering",
+        institution: "GSU",
+        instructor: "Levine",
+        labels: &[SoftEng],
+        language: "Java",
+        mixture: &[(&profiles::SOFTENG, 1.0)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "Tulane CMPS1100 Kurdia Intro to Programming",
+        institution: "Tulane",
+        instructor: "Kurdia",
+        labels: &[Cs1],
+        language: "Python",
+        mixture: &[
+            (&profiles::CS1_IMPERATIVE, 0.9),
+            (&profiles::CS1_DATA, 0.55),
+            (&profiles::CS1_FUNCTIONAL, 0.45),
+        ],
+        idiosyncrasy: 9.0,
+    },
+    CourseSpec {
+        name: "Knox CS309 Bunde Parallel Computing",
+        institution: "Knox",
+        instructor: "Bunde",
+        labels: &[Pdc],
+        language: "C",
+        mixture: &[(&profiles::PDC, 0.9)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "LSU CSC 1350 Kundu Parallel Computation",
+        institution: "LSU",
+        instructor: "Kundu",
+        labels: &[Pdc],
+        language: "C++",
+        mixture: &[(&profiles::PDC, 0.85)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "UCF COP3502 Ahmed Computer Science 1 (CS1) Data structure and algorithm",
+        institution: "UCF",
+        instructor: "Ahmed",
+        labels: &[Cs1, DataStructures],
+        language: "C",
+        // §4.6: "UCF's course seems to hit all three types evenly".
+        mixture: &[
+            (&profiles::CS1_IMPERATIVE, 0.15),
+            (&profiles::DS_CORE, 0.7),
+            (&profiles::DS_APPLIED, 0.35),
+            (&profiles::DS_OOP, 0.35),
+            (&profiles::DS_COMBINATORIAL, 0.35),
+        ],
+        idiosyncrasy: 9.0,
+    },
+    CourseSpec {
+        name: "WashU CSE131 Singh Computer Science 1",
+        institution: "WashU",
+        instructor: "Singh",
+        labels: &[Cs1],
+        language: "Java",
+        mixture: &[(&profiles::CS1_OOP, 1.0)],
+        idiosyncrasy: 9.0,
+    },
+    CourseSpec {
+        name: "UNL CSCE 155E Bourke Computer Science I using C",
+        institution: "UNL",
+        instructor: "Bourke",
+        labels: &[Cs1],
+        language: "C",
+        mixture: &[(&profiles::CS1_IMPERATIVE, 0.95), (&profiles::CS1_SYSTEMS, 0.65)],
+        idiosyncrasy: 9.0,
+    },
+    CourseSpec {
+        name: "UNCC ITCS 4155 Payton Software Development Projects",
+        institution: "UNCC",
+        instructor: "Payton",
+        labels: &[SoftEng],
+        language: "JavaScript",
+        mixture: &[(&profiles::SOFTENG, 0.9)],
+        idiosyncrasy: 10.0,
+    },
+    CourseSpec {
+        name: "Tulane CMPS1500 Toups CS1",
+        institution: "Tulane",
+        instructor: "Toups",
+        labels: &[Cs1],
+        language: "Python",
+        // §4.5: CMPS1500 "contains significant data structure and
+        // algorithm topics" — a blend.
+        mixture: &[
+            (&profiles::CS1_IMPERATIVE, 0.45),
+            (&profiles::CS1_ALGO, 0.65),
+            (&profiles::CS1_DATA, 0.3),
+        ],
+        idiosyncrasy: 9.0,
+    },
+    CourseSpec {
+        name: "UTSA Bopana Computer Network",
+        institution: "UTSA",
+        instructor: "Bopana",
+        labels: &[Network],
+        language: "Python",
+        mixture: &[(&profiles::NETWORK, 1.0)],
+        idiosyncrasy: 10.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_courses() {
+        assert_eq!(ROSTER.len(), 20);
+    }
+
+    #[test]
+    fn label_census_matches_figure_1() {
+        let count = |l: CourseLabel| ROSTER.iter().filter(|c| c.labels.contains(&l)).count();
+        assert_eq!(count(Cs1), 6, "six CS1/intro courses");
+        assert_eq!(count(DataStructures), 5, "five DS courses");
+        assert_eq!(count(Algorithms), 2, "two Algorithms courses");
+        assert_eq!(count(Pdc), 3, "three PDC courses");
+        assert_eq!(count(SoftEng), 2, "two SoftEng courses");
+        assert_eq!(count(Oop), 1);
+        assert_eq!(count(Cs2), 1);
+        assert_eq!(count(Network), 1);
+    }
+
+    #[test]
+    fn names_unique_and_nonempty() {
+        let mut names: Vec<&str> = ROSTER.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+        assert!(ROSTER.iter().all(|c| !c.name.is_empty()));
+    }
+
+    #[test]
+    fn mixtures_have_positive_weights() {
+        for c in ROSTER {
+            assert!(!c.mixture.is_empty(), "{} has no mixture", c.name);
+            for (p, w) in c.mixture {
+                assert!(*w > 0.0 && *w <= 1.0, "{}: {} weight {}", c.name, p.name, w);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_course_facts() {
+        // Singh teaches the Java OOP-flavored CS1.
+        let singh = ROSTER.iter().find(|c| c.instructor == "Singh").unwrap();
+        assert_eq!(singh.language, "Java");
+        assert_eq!(singh.mixture[0].0.name, "cs1-oop");
+        // UCF hits many DS types.
+        let ucf = ROSTER.iter().find(|c| c.institution == "UCF").unwrap();
+        assert!(ucf.mixture.len() >= 4);
+        assert_eq!(ucf.labels.len(), 2);
+    }
+}

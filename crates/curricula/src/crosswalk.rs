@@ -1,0 +1,135 @@
+//! Crosswalk between the PDC12 guideline and the CS2013 body of knowledge.
+//!
+//! PDC Unplugged "links activities to the entries of the curricular
+//! standards that they address" (§2.2); CS Materials classifies against
+//! both guidelines. This module records which CS2013 knowledge units each
+//! PDC12 sub-area corresponds to, so analyses can translate between the
+//! two vocabularies (e.g. "a course covering OS.CON already touches
+//! PROG.SEM territory").
+
+use crate::ontology::NodeId;
+use crate::{cs2013, pdc12};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Static mapping: PDC12 unit code → CS2013 KU codes it overlaps.
+const TABLE: &[(&str, &[&str])] = &[
+    ("ARCH.CLS", &["AR.ALMO", "AR.MAA", "SF.CPD", "PD.PA"]),
+    ("ARCH.MEM", &["AR.MSO", "SF.PRF", "PD.CC"]),
+    ("ARCH.PERF", &["SF.EVAL", "AR.MSO"]),
+    ("PROG.PAR", &["PD.PDC", "PL.CP", "SF.PAR"]),
+    ("PROG.SEM", &["PD.CC", "OS.CON", "PL.CP", "IAS.DP"]),
+    ("PROG.PPP", &["PD.PP", "SF.EVAL", "SF.RAS"]),
+    ("ALG.MOD", &["PD.PAAP", "AL.BA", "DS.GT", "SF.EVAL"]),
+    ("ALG.AP", &["PD.PAAP", "AL.AS", "SDF.AD"]),
+    ("ALG.APROB", &["PD.PAAP", "AL.FDSA", "DS.GT"]),
+    ("XCUT.HLT", &["SF.CPD", "SF.PAR", "PD.PF"]),
+    ("XCUT.XTOP", &["PD.PF", "SF.RR", "IAS.FC"]),
+    ("XCUT.ADV", &["PD.CLD", "PD.DS", "NC.NA"]),
+];
+
+/// The resolved crosswalk (memoized): PDC12 unit id → CS2013 KU ids.
+pub fn crosswalk() -> &'static BTreeMap<NodeId, Vec<NodeId>> {
+    static MAP: OnceLock<BTreeMap<NodeId, Vec<NodeId>>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        let pdc = pdc12();
+        let cs = cs2013();
+        TABLE
+            .iter()
+            .map(|(pdc_code, cs_codes)| {
+                let unit = pdc
+                    .by_code(pdc_code)
+                    .unwrap_or_else(|| panic!("crosswalk: unknown PDC unit {pdc_code}"));
+                let targets = cs_codes
+                    .iter()
+                    .map(|c| {
+                        cs.by_code(c)
+                            .unwrap_or_else(|| panic!("crosswalk: unknown CS2013 KU {c}"))
+                    })
+                    .collect();
+                (unit, targets)
+            })
+            .collect()
+    })
+}
+
+/// CS2013 knowledge units related to a PDC12 topic (via its enclosing
+/// unit). Empty if the topic's unit is unmapped.
+pub fn cs_anchors_of_pdc_topic(topic: NodeId) -> Vec<NodeId> {
+    let pdc = pdc12();
+    let Some(unit) = pdc.knowledge_unit_of(topic) else {
+        return Vec::new();
+    };
+    crosswalk().get(&unit).cloned().unwrap_or_default()
+}
+
+/// PDC12 units whose crosswalk includes a given CS2013 knowledge unit —
+/// the reverse question: "I teach this KU; which PDC areas connect?"
+pub fn pdc_units_anchorable_at(cs_ku: NodeId) -> Vec<NodeId> {
+    crosswalk()
+        .iter()
+        .filter(|(_, targets)| targets.contains(&cs_ku))
+        .map(|(&unit, _)| unit)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Level;
+
+    #[test]
+    fn crosswalk_covers_every_pdc_unit() {
+        let pdc = pdc12();
+        let map = crosswalk();
+        for unit in pdc.at_level(Level::KnowledgeUnit) {
+            assert!(
+                map.contains_key(&unit),
+                "PDC unit {} unmapped",
+                pdc.node(unit).code
+            );
+        }
+        assert_eq!(map.len(), TABLE.len());
+    }
+
+    #[test]
+    fn targets_are_cs2013_kus() {
+        let cs = cs2013();
+        for targets in crosswalk().values() {
+            assert!(!targets.is_empty());
+            for &t in targets {
+                assert_eq!(cs.node(t).level, Level::KnowledgeUnit);
+            }
+        }
+    }
+
+    #[test]
+    fn topic_lookup_goes_through_unit() {
+        let pdc = pdc12();
+        // A PROG.SEM topic maps to the PROG.SEM anchors.
+        let sem = pdc.by_code("PROG.SEM").unwrap();
+        let topic = pdc.node(sem).children[0];
+        let anchors = cs_anchors_of_pdc_topic(topic);
+        let cs = cs2013();
+        let codes: Vec<&str> = anchors.iter().map(|&a| cs.node(a).code.as_str()).collect();
+        assert!(codes.contains(&"OS.CON"), "{codes:?}");
+    }
+
+    #[test]
+    fn reverse_lookup_finds_parallel_programming_for_pl_cp() {
+        let cs = cs2013();
+        let pl_cp = cs.by_code("PL.CP").unwrap();
+        let units = pdc_units_anchorable_at(pl_cp);
+        let pdc = pdc12();
+        let codes: Vec<&str> = units.iter().map(|&u| pdc.node(u).code.as_str()).collect();
+        assert!(codes.contains(&"PROG.PAR"), "{codes:?}");
+        assert!(codes.contains(&"PROG.SEM"), "{codes:?}");
+    }
+
+    #[test]
+    fn unmapped_ku_returns_empty() {
+        let cs = cs2013();
+        let hci = cs.by_code("HCI.F").unwrap();
+        assert!(pdc_units_anchorable_at(hci).is_empty());
+    }
+}

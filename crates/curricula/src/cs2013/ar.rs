@@ -1,0 +1,149 @@
+//! CS2013 Knowledge Area: Architecture and Organization (AR).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "AR",
+    label: "Architecture and Organization",
+    units: &[
+        Ku {
+            code: "MLRD",
+            label: "Machine Level Representation of Data",
+            tier: Core2,
+            topics: &[
+                "Bits, bytes, and words",
+                "Numeric data representation and number bases",
+                "Fixed- and floating-point systems",
+                "Signed and twos-complement representations",
+                "Representation of non-numeric data: characters and strings",
+                "Representation of records and arrays in memory",
+                "Endianness and byte ordering",
+            ],
+            outcomes: &[
+                ("Explain why everything is data, including instructions, in computers", Familiarity),
+                ("Explain the reasons for using alternative formats to represent numerical data", Familiarity),
+                ("Describe how negative integers are stored in sign-magnitude and twos-complement representations", Familiarity),
+                ("Explain how fixed-length number representations affect accuracy and precision", Familiarity),
+                ("Describe the internal representation of non-numeric data, such as characters, strings, records, and arrays", Familiarity),
+                ("Convert numerical data from one format to another", Usage),
+                ("Write simple programs at the assembly/machine level for string processing and manipulation", Usage),
+            ],
+        },
+        Ku {
+            code: "ALMO",
+            label: "Assembly Level Machine Organization",
+            tier: Core2,
+            topics: &[
+                "Basic organization of the von Neumann machine",
+                "Control unit: instruction fetch, decode, and execution",
+                "Instruction sets and types: data manipulation, control, I/O",
+                "Registers and the memory hierarchy seen from the ISA",
+                "Subroutine call and return mechanisms and the call stack",
+                "I/O and interrupts",
+                "Shared memory multiprocessors/multicore organization",
+            ],
+            outcomes: &[
+                ("Explain the organization of the classical von Neumann machine and its major functional units", Familiarity),
+                ("Describe how an instruction is executed in a classical von Neumann machine, with extensions for threads, multiprocessor synchronization, and SIMD execution", Familiarity),
+                ("Describe instruction-level parallelism and hazards, and how they are managed in typical processor pipelines", Familiarity),
+                ("Summarize how instructions are represented at both the machine level and in the context of a symbolic assembler", Familiarity),
+                ("Explain how subroutine calls are handled at the assembly level", Familiarity),
+                ("Write simple assembly language program segments", Usage),
+                ("Show how fundamental high-level programming constructs are implemented at the machine-language level", Usage),
+            ],
+        },
+        Ku {
+            code: "MSO",
+            label: "Memory System Organization and Architecture",
+            tier: Core2,
+            topics: &[
+                "Storage systems and their technology",
+                "Memory hierarchy: the locality principle and latencies",
+                "Main memory organization and operations",
+                "Cache memories: address mapping, block size, replacement, and write policies",
+                "Virtual memory as a memory-hierarchy mechanism",
+                "Coherence for multiprocessor caches",
+            ],
+            outcomes: &[
+                ("Identify the main types of memory technology", Familiarity),
+                ("Explain the effect of memory latency on running time", Familiarity),
+                ("Describe how the use of memory hierarchy reduces effective memory latency", Familiarity),
+                ("Describe the principles of memory management", Familiarity),
+                ("Explain the workings of a system with virtual memory management", Usage),
+                ("Compute the average memory access time under a variety of cache and memory configurations", Usage),
+            ],
+        },
+        Ku {
+            code: "MAA",
+            label: "Multiprocessing and Alternative Architectures",
+            tier: Elective,
+            topics: &[
+                "Power-wall motivation for multicore",
+                "SIMD and vector processing",
+                "Shared-memory multiprocessors and the coherence challenge",
+                "GPU and accelerator architectures",
+                "Interconnection networks",
+                "Flynn's taxonomy",
+            ],
+            outcomes: &[
+                ("Discuss the concept of parallel processing beyond the classical von Neumann model", Familiarity),
+                ("Describe alternative architectures such as SIMD and MIMD", Familiarity),
+                ("Explain the concept of interconnection networks and characterize different approaches", Familiarity),
+                ("Describe the organization of a GPU and how it differs from a CPU", Familiarity),
+            ],
+        },
+        Ku {
+            code: "IC",
+            label: "Interfacing and Communication",
+            tier: Core2,
+            topics: &[
+                "I/O fundamentals: handshaking, buffering, programmed I/O, interrupt-driven I/O",
+                "Interrupt structures: vectored and prioritized, interrupt acknowledgment",
+                "Buses and bus protocols",
+                "Direct memory access",
+                "External storage and physical organization of disks",
+            ],
+            outcomes: &[
+                ("Explain how interrupts are used to implement I/O control and data transfers", Familiarity),
+                ("Identify various types of buses in a computer system", Familiarity),
+                ("Describe data access from a magnetic disk drive", Familiarity),
+            ],
+        },
+        Ku {
+            code: "DLDS",
+            label: "Digital Logic and Digital Systems",
+            tier: Core2,
+            topics: &[
+                "Overview and history of computer architecture",
+                "Combinational versus sequential logic",
+                "Field programmable gate arrays as programmable logic",
+                "Computer-aided design tools that process hardware descriptions",
+                "Register transfer notation as a descriptive tool",
+                "Physical constraints: gate delays, fan-in, fan-out, energy",
+            ],
+            outcomes: &[
+                ("Describe the progression of computer technology components from vacuum tubes to VLSI", Familiarity),
+                ("Write a simple sequential circuit using register transfer notation", Usage),
+                ("Evaluate the functional and timing diagram behavior of a simple processor implemented at the register transfer level", Assessment),
+            ],
+        },
+        Ku {
+            code: "FO",
+            label: "Functional Organization",
+            tier: Elective,
+            topics: &[
+                "Implementation of simple datapaths, including instruction pipelining and hazards",
+                "Control unit: hardwired realization versus microprogrammed realization",
+                "Instruction pipelining and instruction-level parallelism",
+                "Overview of superscalar architectures",
+            ],
+            outcomes: &[
+                ("Compare alternative implementation of datapaths", Familiarity),
+                ("Explain how instruction pipelining creates hazards and how they are resolved", Familiarity),
+                ("Discuss the concept of branch prediction and its utility", Familiarity),
+            ],
+        },
+    ],
+};

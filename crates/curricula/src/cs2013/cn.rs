@@ -1,0 +1,102 @@
+//! CS2013 Knowledge Area: Computational Science (CN).
+//!
+//! Abbreviated `CS` in the paper's Figures 6 and 7 axis labels; the
+//! applied/datasets/visualization flavor of Data Structures courses (type 1
+//! in Figure 7) loads on this area.
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "CN",
+    label: "Computational Science",
+    units: &[
+        Ku {
+            code: "IMS",
+            label: "Introduction to Modeling and Simulation",
+            tier: Core1,
+            topics: &[
+                "Models as abstractions of situations",
+                "Simulations as dynamic modeling",
+                "Simulation techniques and tools such as physical simulations and human-in-the-loop guided simulations",
+                "Presentation of simulation results: tables, plots, animations",
+                "Model validation against real-world observations",
+            ],
+            outcomes: &[
+                ("Explain the concept of modeling and the use of abstraction that allows the use of a machine to solve a problem", Familiarity),
+                ("Describe the relationship between modeling and simulation, i.e., thinking of simulation as dynamic modeling", Familiarity),
+                ("Create a simple, formal mathematical model of a real-world situation and use that model in a simulation", Usage),
+                ("Differentiate among the different types of simulations", Familiarity),
+            ],
+        },
+        Ku {
+            code: "MS",
+            label: "Modeling and Simulation",
+            tier: Elective,
+            topics: &[
+                "Purpose of modeling and simulation: prediction, optimization, what-if analysis",
+                "Formalisms: discrete event simulation, cellular automata, agent-based models",
+                "Random number generators and stochastic simulation",
+                "Verification and validation of models",
+                "Sensitivity analysis of simulation parameters",
+            ],
+            outcomes: &[
+                ("Explain and give examples of the benefits of simulation and modeling in a range of important application areas", Familiarity),
+                ("Create a simple discrete-event simulation and collect statistics from it", Usage),
+                ("Use a random number generator correctly in a stochastic simulation", Usage),
+            ],
+        },
+        Ku {
+            code: "PRO",
+            label: "Processing and Numerical Computation",
+            tier: Elective,
+            topics: &[
+                "Fundamental programming concepts applied to science workloads",
+                "Matrix and vector computations",
+                "Floating-point error, accumulation of round-off, and conditioning",
+                "Numerical integration and root finding",
+                "Scaling computations to large datasets",
+            ],
+            outcomes: &[
+                ("Write a program that computes with vectors and matrices", Usage),
+                ("Describe how round-off error accumulates in iterative floating-point computation and how summation order affects results", Familiarity),
+                ("Implement a simple numerical method and assess its accuracy empirically", Usage),
+            ],
+        },
+        Ku {
+            code: "IV",
+            label: "Interactive Visualization",
+            tier: Elective,
+            topics: &[
+                "Principles of data visualization",
+                "Visualization of structured data: charts, graphs, trees, and networks",
+                "Interactive exploration: filtering, zooming, details-on-demand",
+                "APIs and libraries for visualization",
+                "Visual encodings: position, color, size",
+            ],
+            outcomes: &[
+                ("Describe the tradeoffs among different visual encodings of the same dataset", Familiarity),
+                ("Use a visualization API to display a dataset as an interactive chart or network", Usage),
+                ("Design a visualization that reveals the structure of a real-world dataset", Usage),
+            ],
+        },
+        Ku {
+            code: "DIK",
+            label: "Data, Information, and Knowledge",
+            tier: Elective,
+            topics: &[
+                "Standard dataset formats such as delimited text and hierarchical records",
+                "Acquiring real-world datasets through APIs",
+                "Cleaning, filtering, and reshaping data",
+                "Aggregation and summarization of datasets",
+                "From data to insight: exploratory analysis workflows",
+            ],
+            outcomes: &[
+                ("Identify all of the data, information, and knowledge elements and related organizations for a computational science application", Usage),
+                ("Acquire a dataset from a public API and parse it into program data structures", Usage),
+                ("Use appropriate data structures to aggregate and summarize a real-world dataset", Usage),
+            ],
+        },
+    ],
+};

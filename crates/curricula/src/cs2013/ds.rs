@@ -1,0 +1,134 @@
+//! CS2013 Knowledge Area: Discrete Structures (DS).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "DS",
+    label: "Discrete Structures",
+    units: &[
+        Ku {
+            code: "SRF",
+            label: "Sets, Relations, and Functions",
+            tier: Core1,
+            topics: &[
+                "Sets: Venn diagrams, union, intersection, complement",
+                "Set builder notation and the Cartesian product",
+                "Power sets and cardinality of finite sets",
+                "Relations: reflexivity, symmetry, transitivity",
+                "Equivalence relations and partitions",
+                "Functions: surjections, injections, bijections",
+                "Function composition and inverses",
+            ],
+            outcomes: &[
+                ("Explain with examples the basic terminology of functions, relations, and sets", Familiarity),
+                ("Perform the operations associated with sets, functions, and relations", Usage),
+                ("Relate practical examples to the appropriate set, function, or relation model, and interpret the associated operations and terminology in context", Assessment),
+            ],
+        },
+        Ku {
+            code: "BL",
+            label: "Basic Logic",
+            tier: Core1,
+            topics: &[
+                "Propositional logic: logical connectives and truth tables",
+                "Normal forms: conjunctive and disjunctive",
+                "Validity of well-formed formulas",
+                "Propositional inference rules such as modus ponens",
+                "Predicate logic: universal and existential quantification",
+                "Limitations of propositional and predicate logic",
+            ],
+            outcomes: &[
+                ("Convert logical statements from informal language to propositional and predicate logic expressions", Usage),
+                ("Apply formal methods of symbolic propositional and predicate logic such as calculating validity of formulas and computing normal forms", Usage),
+                ("Use the rules of inference to construct proofs in propositional and predicate logic", Usage),
+                ("Describe how symbolic logic can be used to model real-life situations", Familiarity),
+            ],
+        },
+        Ku {
+            code: "PT",
+            label: "Proof Techniques",
+            tier: Core1,
+            topics: &[
+                "The structure of mathematical proofs",
+                "Direct proofs and proof by counterexample",
+                "Proof by contradiction",
+                "Mathematical induction: weak and strong",
+                "Structural induction over recursively defined structures",
+                "Recursive mathematical definitions",
+                "The well-ordering principle",
+            ],
+            outcomes: &[
+                ("Identify the proof technique used in a given proof", Familiarity),
+                ("Outline the basic structure of each proof technique", Usage),
+                ("Apply each of the proof techniques correctly in the construction of a sound argument", Usage),
+                ("Determine which type of proof is best for a given problem", Assessment),
+                ("Explain the relationship between weak and strong induction and give examples of the appropriate use of each", Assessment),
+                ("Explain the parallels between ideas of mathematical and/or structural induction to recursion and recursively defined structures", Assessment),
+            ],
+        },
+        Ku {
+            code: "BC",
+            label: "Basics of Counting",
+            tier: Core1,
+            topics: &[
+                "Counting arguments: sum and product rules",
+                "The inclusion-exclusion principle",
+                "The pigeonhole principle",
+                "Permutations and combinations",
+                "The binomial theorem and Pascal's identity",
+                "Solving recurrence relations that arise in counting",
+                "Basic modular arithmetic",
+            ],
+            outcomes: &[
+                ("Apply counting arguments, including sum and product rules, inclusion-exclusion principle, and arithmetic/geometric progressions", Usage),
+                ("Apply the pigeonhole principle in the context of a formal proof", Usage),
+                ("Compute permutations and combinations of a set, and interpret the meaning in the context of the particular application", Usage),
+                ("Solve a variety of basic recurrence relations", Usage),
+                ("Analyze a problem to determine underlying recurrence relations", Usage),
+            ],
+        },
+        Ku {
+            code: "GT",
+            label: "Graphs and Trees",
+            tier: Core1,
+            topics: &[
+                "Trees: properties and terminology",
+                "Undirected graphs: adjacency, paths, cycles",
+                "Directed graphs and reachability",
+                "Weighted graphs",
+                "Traversal strategies for graphs and trees",
+                "Spanning trees and spanning forests",
+                "Graph isomorphism",
+                "Bipartite graphs and matchings",
+            ],
+            outcomes: &[
+                ("Illustrate by example the basic terminology of graph theory, and some of the properties and special cases of each type of graph/tree", Familiarity),
+                ("Demonstrate different traversal methods for trees and graphs, including preorder, inorder, and postorder traversal of trees", Usage),
+                ("Model a variety of real-world problems in computer science using appropriate forms of graphs and trees, such as representing a network topology or the organization of a hierarchical file system", Usage),
+                ("Show how concepts from graphs and trees appear in data structures, algorithms, proof techniques, and counting", Usage),
+            ],
+        },
+        Ku {
+            code: "DP",
+            label: "Discrete Probability",
+            tier: Core1,
+            topics: &[
+                "Finite probability spaces and events",
+                "Axioms of probability and probability measures",
+                "Conditional probability and Bayes' theorem",
+                "Independence of events",
+                "Random variables, expectation, and variance",
+                "Bernoulli trials and the binomial distribution",
+            ],
+            outcomes: &[
+                ("Calculate probabilities of events and expectations of random variables for elementary problems such as games of chance", Usage),
+                ("Differentiate between dependent and independent events", Usage),
+                ("Identify a case of the binomial distribution and compute a probability using it", Usage),
+                ("Apply Bayes' theorem to determine conditional probabilities in a problem", Usage),
+                ("Apply the tools of probability to solve problems such as the average-case analysis of algorithms", Usage),
+            ],
+        },
+    ],
+};

@@ -1,0 +1,80 @@
+//! CS2013 Knowledge Area: Graphics and Visualization (GV).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "GV",
+    label: "Graphics and Visualization",
+    units: &[
+        Ku {
+            code: "FC",
+            label: "Fundamental Concepts",
+            tier: Core1,
+            topics: &[
+                "Media applications: user interfaces, plotting, visualization, games",
+                "Digital images: raster and vector representations",
+                "Color models: RGB and additive color",
+                "Image file formats and compression basics",
+                "Coordinate systems and simple 2D transformations",
+            ],
+            outcomes: &[
+                ("Identify common uses of digital presentation to humans", Familiarity),
+                ("Explain in general terms how analog signals can be reasonably represented by discrete samples", Familiarity),
+                ("Compute the memory requirement for storing a color image given its resolution", Usage),
+                ("Describe color models and their use in graphics display devices", Familiarity),
+            ],
+        },
+        Ku {
+            code: "BR",
+            label: "Basic Rendering",
+            tier: Elective,
+            topics: &[
+                "Rendering in nature: the interaction of light and surfaces",
+                "Rasterization of lines and polygons",
+                "Affine transformations and the graphics pipeline",
+                "Simple shading models",
+                "Texture mapping basics",
+            ],
+            outcomes: &[
+                ("Discuss the light transport problem and its relation to numerical integration", Familiarity),
+                ("Implement a simple line or polygon rasterizer", Usage),
+                ("Derive and apply 2D and 3D affine transformation matrices", Usage),
+            ],
+        },
+        Ku {
+            code: "VIS",
+            label: "Visualization",
+            tier: Elective,
+            topics: &[
+                "Visualization of scalar fields, vector fields, and flow data",
+                "Visualization of graphs, trees, and networks",
+                "Perceptual foundations: pre-attentive features",
+                "Interaction techniques for exploring data",
+                "Evaluation of visualization effectiveness",
+            ],
+            outcomes: &[
+                ("Describe the basic algorithms behind scalar and vector visualization", Familiarity),
+                ("Construct a node-link visualization of a tree or network dataset", Usage),
+                ("Critique a visualization with respect to perceptual principles", Assessment),
+            ],
+        },
+        Ku {
+            code: "GM",
+            label: "Geometric Modeling",
+            tier: Elective,
+            topics: &[
+                "Polygonal representation of 3D objects",
+                "Parametric curves and surfaces",
+                "Implicit surfaces and constructive solid geometry",
+                "Mesh simplification and level of detail",
+            ],
+            outcomes: &[
+                ("Represent curves and surfaces using both implicit and parametric forms", Usage),
+                ("Create simple polyhedral models by surface tessellation", Usage),
+                ("Describe the tradeoffs among geometric representations", Familiarity),
+            ],
+        },
+    ],
+};

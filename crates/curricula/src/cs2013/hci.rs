@@ -1,0 +1,65 @@
+//! CS2013 Knowledge Area: Human-Computer Interaction (HCI).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "HCI",
+    label: "Human-Computer Interaction",
+    units: &[
+        Ku {
+            code: "F",
+            label: "Foundations",
+            tier: Core1,
+            topics: &[
+                "Contexts for HCI: desktops, mobile, web, games",
+                "Processes for user-centered development",
+                "Usability heuristics and the principles supporting them",
+                "Physical capabilities informing interaction design: color perception, ergonomics",
+                "Cognitive models informing design: attention, memory, perception",
+                "Accessibility and designing for diverse populations",
+            ],
+            outcomes: &[
+                ("Discuss why human-centered software development is important", Familiarity),
+                ("Summarize the basic precepts of psychological and social interaction", Familiarity),
+                ("Create and conduct a simple usability test for an existing software application", Usage),
+                ("Identify accessibility barriers in an existing interface", Usage),
+            ],
+        },
+        Ku {
+            code: "DI",
+            label: "Designing Interaction",
+            tier: Core2,
+            topics: &[
+                "Principles of graphical user interface design",
+                "Elements of visual design: layout, color, fonts",
+                "Handling human failure and error messages",
+                "Interaction styles: command, menu, direct manipulation",
+                "Low-fidelity prototyping and paper prototypes",
+            ],
+            outcomes: &[
+                ("For an identified user group, undertake and document an analysis of their needs", Usage),
+                ("Create a low-fidelity prototype for an identified user group", Usage),
+                ("Describe the constraints and benefits of different interactive environments", Familiarity),
+            ],
+        },
+        Ku {
+            code: "PIS",
+            label: "Programming Interactive Systems",
+            tier: Elective,
+            topics: &[
+                "Software architecture patterns for interactive systems such as model-view-controller",
+                "Event-driven GUI programming and widget toolkits",
+                "Callbacks, listeners, and handler registration",
+                "Layout management in GUI frameworks",
+                "Handling touch and gesture input",
+            ],
+            outcomes: &[
+                ("Explain the advantages of the model-view-controller decomposition", Familiarity),
+                ("Implement a simple GUI application with event handlers", Usage),
+                ("Identify pitfalls of long-running work on the UI thread and how to avoid them", Familiarity),
+            ],
+        },
+    ],
+};

@@ -1,0 +1,101 @@
+//! CS2013 Knowledge Area: Information Assurance and Security (IAS).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "IAS",
+    label: "Information Assurance and Security",
+    units: &[
+        Ku {
+            code: "FC",
+            label: "Foundational Concepts in Security",
+            tier: Core1,
+            topics: &[
+                "CIA: confidentiality, integrity, availability",
+                "Concepts of risk, threats, vulnerabilities, and attack vectors",
+                "Authentication and authorization; access control",
+                "The concept of trust and trustworthiness",
+                "Ethics in security research and practice",
+            ],
+            outcomes: &[
+                ("Analyze the tradeoffs of balancing key security properties (confidentiality, integrity, availability)", Usage),
+                ("Describe the concepts of risk, threats, vulnerabilities and attack vectors", Familiarity),
+                ("Explain the concepts of authentication, authorization, and access control", Familiarity),
+                ("Explain the concept of trust and trustworthiness", Familiarity),
+            ],
+        },
+        Ku {
+            code: "DP",
+            label: "Defensive Programming",
+            tier: Core1,
+            topics: &[
+                "Input validation and data sanitization",
+                "Choice of programming language and type-safe languages",
+                "Examples of input validation and data sanitization errors: buffer overflows, integer errors, SQL injection",
+                "Race conditions as a security concern",
+                "Correct handling of exceptions and unexpected behaviors",
+                "Correct usage of third-party components",
+                "Security updates and patching",
+            ],
+            outcomes: &[
+                ("Explain why input validation and data sanitization are necessary in the face of adversarial control of the input channel", Familiarity),
+                ("Write a program that performs input validation correctly", Usage),
+                ("Demonstrate using a high-level programming language how to prevent a race condition from occurring", Usage),
+                ("Explain the risks of relying on third-party code and mitigation strategies", Familiarity),
+                ("Rewrite a simple program to remove common vulnerabilities such as buffer overflows and integer overflows", Usage),
+            ],
+        },
+        Ku {
+            code: "TA",
+            label: "Threats and Attacks",
+            tier: Core2,
+            topics: &[
+                "Attacker goals, capabilities, and motivations",
+                "Malware taxonomy: viruses, worms, trojans, ransomware",
+                "Denial of service and distributed denial of service",
+                "Social engineering and phishing",
+            ],
+            outcomes: &[
+                ("Describe likely attacker types against a particular system", Familiarity),
+                ("Discuss the limitations of malware countermeasures", Familiarity),
+                ("Describe the different categories of network threats and attacks", Familiarity),
+            ],
+        },
+        Ku {
+            code: "CRY",
+            label: "Cryptography",
+            tier: Core2,
+            topics: &[
+                "Basic terminology: plaintext, ciphertext, keys",
+                "Symmetric ciphers and block cipher modes",
+                "Public-key cryptography and key exchange",
+                "Cryptographic hash functions and integrity",
+                "Digital signatures and certificates",
+            ],
+            outcomes: &[
+                ("Describe the purpose of cryptography and list ways it is used in data communications", Familiarity),
+                ("Explain how public key infrastructure supports digital signing and encryption", Familiarity),
+                ("Use cryptographic primitives (hashing, symmetric and asymmetric encryption) in a small program", Usage),
+            ],
+        },
+        Ku {
+            code: "NS",
+            label: "Network Security",
+            tier: Core2,
+            topics: &[
+                "Network-specific threats and attack types: denial of service, spoofing, sniffing",
+                "Use of cryptography for data and network security",
+                "Firewalls and virtual private networks",
+                "Architectures for secure networks: TLS and secure channels",
+                "Intrusion detection basics",
+            ],
+            outcomes: &[
+                ("Describe the different categories of network threats and attacks", Familiarity),
+                ("Describe the architecture for public and private key cryptography and how public key infrastructure supports network security", Familiarity),
+                ("Identify the appropriate defense mechanism and its limitations given a network threat", Usage),
+            ],
+        },
+    ],
+};

@@ -1,0 +1,99 @@
+//! CS2013 Knowledge Area: Information Management (IM).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "IM",
+    label: "Information Management",
+    units: &[
+        Ku {
+            code: "IMC",
+            label: "Information Management Concepts",
+            tier: Core1,
+            topics: &[
+                "Information systems as socio-technical systems",
+                "Basic information storage and retrieval concepts",
+                "Information capture, representation, and organization",
+                "Quality issues: reliability, scalability, efficiency, and effectiveness of information access",
+                "Datasets: acquisition, formats, and cleaning",
+            ],
+            outcomes: &[
+                ("Describe how humans gain access to information and data to support their needs", Familiarity),
+                ("Compare and contrast information with data and knowledge", Assessment),
+                ("Demonstrate uses of explicitly stored metadata/schema associated with data", Usage),
+                ("Read a structured dataset from a file and compute summary information from it", Usage),
+            ],
+        },
+        Ku {
+            code: "DBS",
+            label: "Database Systems",
+            tier: Core2,
+            topics: &[
+                "Approaches to and evolution of database systems",
+                "Components of database systems",
+                "Design of core DBMS functions: query mechanisms, transaction management, buffer management, access methods",
+                "Database architecture and data independence",
+                "Use of a declarative query language",
+            ],
+            outcomes: &[
+                ("Explain the characteristics that distinguish the database approach from the approach of programming with data files", Familiarity),
+                ("Cite the basic goals, functions, and models of database systems", Familiarity),
+                ("Describe the components of a database system and give examples of their use", Familiarity),
+                ("Write a simple declarative query and explain its evaluation", Usage),
+            ],
+        },
+        Ku {
+            code: "DM",
+            label: "Data Modeling",
+            tier: Core2,
+            topics: &[
+                "Data modeling concepts and conceptual models",
+                "Relational data model: relations, keys, and constraints",
+                "Entity-relationship modeling",
+                "Normalization and functional dependencies",
+                "Semi-structured data models such as trees of tagged elements",
+            ],
+            outcomes: &[
+                ("Compare and contrast appropriate data models, including internal structures, for different types of data", Assessment),
+                ("Produce a relational schema from a conceptual ER design", Usage),
+                ("Explain the purpose of normalization and apply it to a small schema", Usage),
+            ],
+        },
+        Ku {
+            code: "IDX",
+            label: "Indexing and Retrieval",
+            tier: Elective,
+            topics: &[
+                "The impact of indices on query performance",
+                "The basic structure of an index: B-trees and hash indexes",
+                "Keeping a buffer of data in memory",
+                "Introduction to information retrieval and ranking",
+                "Inverted indexes for text search",
+            ],
+            outcomes: &[
+                ("Generate an index file for a collection of resources", Usage),
+                ("Explain the role of an inverted index in locating a document in a collection", Familiarity),
+                ("Describe the tradeoff between maintaining indices and update cost", Familiarity),
+            ],
+        },
+        Ku {
+            code: "QL",
+            label: "Query Languages",
+            tier: Elective,
+            topics: &[
+                "Overview of database query languages",
+                "SQL: data definition, query formulation, update sublanguage",
+                "Selections, projections, and joins",
+                "Aggregation and grouping",
+                "Stored procedures and query optimization basics",
+            ],
+            outcomes: &[
+                ("Create a relational database schema in SQL that incorporates key constraints", Usage),
+                ("Compose SQL queries that use selection, projection, join, and aggregation", Usage),
+                ("Explain at a high level how a declarative query is evaluated", Familiarity),
+            ],
+        },
+    ],
+};

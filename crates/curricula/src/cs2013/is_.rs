@@ -1,0 +1,81 @@
+//! CS2013 Knowledge Area: Intelligent Systems (IS).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "IS",
+    label: "Intelligent Systems",
+    units: &[
+        Ku {
+            code: "FI",
+            label: "Fundamental Issues",
+            tier: Core2,
+            topics: &[
+                "Overview of AI problems and recent successes",
+                "What is intelligent behavior: the Turing test",
+                "Problem characteristics: observability, determinism",
+                "The role of heuristics and tradeoffs among completeness, optimality, and time",
+            ],
+            outcomes: &[
+                ("Describe Turing test and the Chinese Room thought experiment", Familiarity),
+                ("Determine the characteristics of a given problem that an intelligent system must solve", Assessment),
+            ],
+        },
+        Ku {
+            code: "BSS",
+            label: "Basic Search Strategies",
+            tier: Core2,
+            topics: &[
+                "Problem spaces: states, goals, operators",
+                "Uninformed search: breadth-first, depth-first, depth-first with iterative deepening",
+                "Heuristic search: hill climbing, best-first, A*",
+                "Admissibility of heuristics",
+                "Two-player games and minimax search",
+                "Constraint satisfaction and backtracking",
+            ],
+            outcomes: &[
+                ("Formulate an efficient problem space for a problem expressed in natural language in terms of initial and goal states, and operators", Usage),
+                ("Select and implement an appropriate uninformed search algorithm for a problem and characterize its time and space complexities", Usage),
+                ("Select and implement an appropriate informed search algorithm for a problem by designing the necessary heuristic evaluation function", Usage),
+                ("Implement minimax search with alpha-beta pruning for a two-player game", Usage),
+            ],
+        },
+        Ku {
+            code: "BML",
+            label: "Basic Machine Learning",
+            tier: Core2,
+            topics: &[
+                "Definition and examples of the broad variety of machine learning tasks",
+                "Supervised learning: classification and regression",
+                "Simple statistical learning such as naive Bayes and nearest neighbor",
+                "Unsupervised learning: clustering and dimensionality reduction",
+                "Matrix factorization as a learning technique",
+                "Measuring model quality: training error versus generalization; overfitting",
+            ],
+            outcomes: &[
+                ("List the differences among the three main styles of learning: supervised, reinforcement, and unsupervised", Familiarity),
+                ("Implement a simple statistical learning algorithm such as nearest neighbor classification", Usage),
+                ("Explain the problem of overfitting and techniques for detecting it", Familiarity),
+                ("Apply an unsupervised technique such as clustering or matrix factorization to a dataset and interpret the result", Usage),
+            ],
+        },
+        Ku {
+            code: "AS",
+            label: "Advanced Search",
+            tier: Elective,
+            topics: &[
+                "Stochastic local search: simulated annealing, genetic algorithms",
+                "Constructing admissible heuristics from relaxed problems",
+                "Beam search and bounded-memory variants",
+                "Monte-Carlo tree search for games",
+            ],
+            outcomes: &[
+                ("Design and implement a genetic algorithm solution to a problem", Usage),
+                ("Compare and contrast genetic algorithms with classic search techniques", Assessment),
+                ("Apply simulated annealing and describe the role of the cooling schedule", Usage),
+            ],
+        },
+    ],
+};

@@ -1,0 +1,148 @@
+//! The ACM/IEEE Computer Science Curricula 2013 guideline.
+//!
+//! A faithful, hand-encoded subset of the published CS2013 body of
+//! knowledge: all 18 Knowledge Areas with the knowledge units, topics, and
+//! learning outcomes most relevant to early CS courses (the paper's CS1,
+//! CS2, Data Structures, Algorithms, Software Engineering, and PDC course
+//! families). See DESIGN.md §2 for the substitution rationale.
+
+mod al;
+mod ar;
+mod cn;
+mod ds;
+mod gv;
+mod hci;
+mod ias;
+mod im;
+mod is_;
+mod nc;
+mod os;
+mod pbd;
+mod pd;
+mod pl;
+mod sdf;
+mod se;
+mod sf;
+mod sp;
+
+use crate::ontology::Ontology;
+use crate::spec::{build_cs_ontology, Ka};
+
+/// The 18 knowledge areas, in the order the guideline lists them.
+pub(crate) const AREAS: [&Ka; 18] = [
+    &al::KA,
+    &ar::KA,
+    &cn::KA,
+    &ds::KA,
+    &gv::KA,
+    &hci::KA,
+    &ias::KA,
+    &im::KA,
+    &is_::KA,
+    &nc::KA,
+    &os::KA,
+    &pbd::KA,
+    &pd::KA,
+    &pl::KA,
+    &sdf::KA,
+    &se::KA,
+    &sf::KA,
+    &sp::KA,
+];
+
+/// Build a fresh CS2013 ontology. Prefer [`crate::cs2013()`] which caches.
+pub fn build() -> Ontology {
+    build_cs_ontology("ACM/IEEE CS2013", &AREAS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::{Level, Tier};
+
+    #[test]
+    fn has_all_18_knowledge_areas() {
+        let o = build();
+        let kas: Vec<&str> = o
+            .at_level(Level::KnowledgeArea)
+            .map(|id| o.node(id).code.as_str())
+            .collect();
+        assert_eq!(kas.len(), 18);
+        for code in [
+            "AL", "AR", "CN", "DS", "GV", "HCI", "IAS", "IM", "IS", "NC", "OS", "PBD", "PD",
+            "PL", "SDF", "SE", "SF", "SP",
+        ] {
+            assert!(kas.contains(&code), "missing KA {code}");
+        }
+    }
+
+    #[test]
+    fn paper_critical_units_exist() {
+        let o = build();
+        // Units named in the paper's analysis.
+        for ku in [
+            "SDF.FPC", // Fundamental Programming Concepts (Figure 4)
+            "SDF.AD",
+            "SDF.FDS",
+            "AL.BA",   // Big-Oh (Figures 5–8)
+            "AL.FDSA", // data structures and algorithms
+            "DS.GT",   // graphs and trees
+            "PL.OOP",  // OOP flavor of CS1 (type 3)
+            "AR.MLRD", // in-memory representation (CS1 type 2)
+            "PD.PF",   // parallelism fundamentals
+            "PD.PAAP", // work/span, task graphs
+        ] {
+            assert!(o.by_code(ku).is_some(), "missing KU {ku}");
+        }
+    }
+
+    #[test]
+    fn is_a_reasonably_sized_ontology() {
+        let o = build();
+        let leaves = o.leaf_items().len();
+        assert!(
+            leaves > 600,
+            "CS2013 subset should carry substantial content, got {leaves} items"
+        );
+        o.validate().expect("valid");
+    }
+
+    #[test]
+    fn reference_level_is_the_leaf_level() {
+        // The radial layout picks the widest level; for CS2013 that must be
+        // the topic/outcome level (depth 3).
+        let o = build();
+        let widths = o.level_widths();
+        let reflevel = widths
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &w)| w)
+            .map(|(d, _)| d)
+            .unwrap();
+        assert_eq!(reflevel, 3);
+    }
+
+    #[test]
+    fn fpc_is_core1_with_many_items() {
+        let o = build();
+        let fpc = o.by_code("SDF.FPC").unwrap();
+        assert_eq!(o.node(fpc).tier, Tier::Core1);
+        assert!(o.leaves_under(fpc).len() >= 13, "FPC must hold at least the 13 agreed items of Figure 4");
+    }
+
+    #[test]
+    fn every_outcome_has_mastery_and_every_ka_has_units() {
+        let o = build();
+        for n in o.nodes() {
+            match n.level {
+                Level::LearningOutcome => {
+                    assert!(n.mastery.is_some(), "outcome {} lacks mastery", n.code)
+                }
+                Level::KnowledgeArea => {
+                    assert!(!n.children.is_empty(), "KA {} is empty", n.code)
+                }
+                _ => {}
+            }
+        }
+    }
+}

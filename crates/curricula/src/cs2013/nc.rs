@@ -1,0 +1,111 @@
+//! CS2013 Knowledge Area: Networking and Communication (NC).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "NC",
+    label: "Networking and Communication",
+    units: &[
+        Ku {
+            code: "INT",
+            label: "Introduction to Networking",
+            tier: Core1,
+            topics: &[
+                "Organization of the Internet: ISPs, content providers, end systems",
+                "Switching techniques: circuits and packets",
+                "Layers and their roles: physical through application",
+                "Layering as a design principle; encapsulation",
+                "Roles of protocols and standards",
+            ],
+            outcomes: &[
+                ("Articulate the organization of the Internet", Familiarity),
+                ("List and define the appropriate network terminology", Familiarity),
+                ("Describe the layered structure of a typical networked architecture", Familiarity),
+                ("Identify the different types of complexity in a network (edges, core, etc.)", Familiarity),
+            ],
+        },
+        Ku {
+            code: "NA",
+            label: "Networked Applications",
+            tier: Core1,
+            topics: &[
+                "Naming and address schemes: DNS, IP addresses, URIs",
+                "Distributed application paradigms: client/server, peer-to-peer",
+                "HTTP as an application-layer protocol",
+                "Multiplexing with TCP and UDP; sockets",
+                "Socket APIs and simple networked programs",
+            ],
+            outcomes: &[
+                ("List the differences and the relations between names and addresses in a network", Familiarity),
+                ("Define the principles behind naming schemes and resource location", Familiarity),
+                ("Implement a simple client-server socket-based application", Usage),
+            ],
+        },
+        Ku {
+            code: "RDD",
+            label: "Reliable Data Delivery",
+            tier: Core2,
+            topics: &[
+                "Error control: retransmission, error correction",
+                "Flow control and sliding windows",
+                "Congestion control principles",
+                "TCP as an example of reliable transport",
+            ],
+            outcomes: &[
+                ("Describe the operation of reliable delivery protocols", Familiarity),
+                ("List the factors that affect the performance of reliable delivery protocols", Familiarity),
+                ("Design and implement a simple reliable protocol over an unreliable channel", Usage),
+            ],
+        },
+        Ku {
+            code: "RF",
+            label: "Routing and Forwarding",
+            tier: Core2,
+            topics: &[
+                "Routing versus forwarding",
+                "Shortest-path routing and distance vector protocols",
+                "Hierarchical addressing and scalability of routing",
+                "IP as the network-layer protocol",
+            ],
+            outcomes: &[
+                ("Describe the organization of the network layer", Familiarity),
+                ("Describe how packets are forwarded in an IP network", Familiarity),
+                ("Compute a shortest-path routing table from a topology with link weights", Usage),
+            ],
+        },
+        Ku {
+            code: "LAN",
+            label: "Local Area Networks",
+            tier: Core2,
+            topics: &[
+                "Multiple access problem and approaches: random access, scheduled access",
+                "Ethernet frames and switching",
+                "Local area network topologies",
+                "Wireless LANs and the hidden-terminal problem",
+            ],
+            outcomes: &[
+                ("Describe how frames are forwarded in an Ethernet network", Familiarity),
+                ("Identify the differences between IP and Ethernet addressing", Familiarity),
+                ("Describe the steps used in one common approach to the multiple access problem", Familiarity),
+            ],
+        },
+        Ku {
+            code: "MOB",
+            label: "Mobility",
+            tier: Elective,
+            topics: &[
+                "Principles of cellular networks",
+                "Wireless access protocols such as 802.11",
+                "Device-to-device handoff and roaming",
+                "Challenges of mobility for transport protocols",
+            ],
+            outcomes: &[
+                ("Describe the organization of a wireless network", Familiarity),
+                ("Describe how wireless networks support mobile users", Familiarity),
+                ("Explain the impact of mobility on congestion control", Familiarity),
+            ],
+        },
+    ],
+};

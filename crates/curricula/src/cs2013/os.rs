@@ -1,0 +1,157 @@
+//! CS2013 Knowledge Area: Operating Systems (OS).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "OS",
+    label: "Operating Systems",
+    units: &[
+        Ku {
+            code: "OV",
+            label: "Overview of Operating Systems",
+            tier: Core1,
+            topics: &[
+                "Role and purpose of the operating system",
+                "Functionality of a typical operating system",
+                "Mechanisms to support client-server models and hand-held devices",
+                "Design issues: efficiency, robustness, portability, security",
+            ],
+            outcomes: &[
+                ("Explain the objectives and functions of modern operating systems", Familiarity),
+                ("Analyze the tradeoffs inherent in operating system design", Usage),
+                ("Describe how operating systems have evolved over time", Familiarity),
+            ],
+        },
+        Ku {
+            code: "OSP",
+            label: "Operating System Principles",
+            tier: Core1,
+            topics: &[
+                "Structuring methods: monolithic, layered, modular, micro-kernel",
+                "Abstractions, processes, and resources",
+                "Application program interfaces (system call interfaces)",
+                "The user/system state split and protection",
+                "Interrupts and the kernel as event handler",
+            ],
+            outcomes: &[
+                ("Explain the concept of a logical layer", Familiarity),
+                ("Describe how computing resources are used by application software and managed by system software", Familiarity),
+                ("Explain the distinction between processes and resources", Familiarity),
+                ("Describe the purpose of system calls and the transition between user and kernel mode", Familiarity),
+            ],
+        },
+        Ku {
+            code: "CON",
+            label: "Concurrency",
+            tier: Core2,
+            topics: &[
+                "States and state diagrams of processes and threads",
+                "Dispatching and context switching",
+                "The role of interrupts in concurrency",
+                "Managing atomic access to OS objects",
+                "Implementing synchronization primitives: semaphores, monitors, locks",
+                "Multiprocessor issues: spin-locks and reentrancy",
+                "Producer-consumer problems and bounded buffers",
+                "Deadlock detection, avoidance, and recovery",
+            ],
+            outcomes: &[
+                ("Describe the need for concurrency within the framework of an operating system", Familiarity),
+                ("Demonstrate the potential run-time problems arising from the concurrent operation of many separate tasks", Usage),
+                ("Summarize the range of mechanisms that can be employed at the operating system level to realize concurrent systems", Familiarity),
+                ("Describe the producer-consumer problem and explain how it is solved with semaphores or monitors", Usage),
+                ("Write a program that implements synchronization between two or more concurrent activities", Usage),
+                ("Explain the four necessary conditions for deadlock and strategies for handling it", Familiarity),
+            ],
+        },
+        Ku {
+            code: "SCH",
+            label: "Scheduling and Dispatch",
+            tier: Core2,
+            topics: &[
+                "Preemptive and non-preemptive scheduling",
+                "Schedulers and policies: FCFS, SJF, priority, round-robin",
+                "Processes and threads as units of scheduling",
+                "Real-time scheduling concerns",
+                "Fairness, starvation, and aging",
+            ],
+            outcomes: &[
+                ("Compare and contrast the common algorithms used for both preemptive and non-preemptive scheduling of tasks", Usage),
+                ("Given a scheduling policy and a workload, compute waiting and turnaround times", Usage),
+                ("Describe the difference between processes and threads as units of scheduling", Familiarity),
+                ("Discuss the need for preemption and deadline scheduling", Familiarity),
+            ],
+        },
+        Ku {
+            code: "MM",
+            label: "Memory Management",
+            tier: Core2,
+            topics: &[
+                "Review of physical memory and memory management hardware",
+                "Working sets and thrashing",
+                "Caching as a general OS technique",
+                "Paging and segmentation",
+                "Page placement and replacement policies",
+                "Allocation strategies and fragmentation",
+            ],
+            outcomes: &[
+                ("Explain memory hierarchy and cost-performance trade-offs", Familiarity),
+                ("Summarize the principles of virtual memory as applied to caching and paging", Familiarity),
+                ("Evaluate the trade-offs in terms of memory size (main memory, cache memory, auxiliary memory) and processor speed", Assessment),
+                ("Describe the reason for and use of cache memory", Familiarity),
+                ("Compute the performance of a page-replacement policy on a reference string", Usage),
+            ],
+        },
+        Ku {
+            code: "FS",
+            label: "File Systems",
+            tier: Elective,
+            topics: &[
+                "Files: data, metadata, operations, organization",
+                "Directories: contents and structure",
+                "File system implementation: allocation and free-space management",
+                "Naming, searching, and access",
+                "Journaling and log-structured file systems",
+            ],
+            outcomes: &[
+                ("Describe the choices to be made in designing file systems", Familiarity),
+                ("Compare and contrast different approaches to file organization, recognizing the strengths and weaknesses of each", Usage),
+                ("Summarize how hardware developments have led to changes in our priorities for the design and the management of file systems", Familiarity),
+            ],
+        },
+        Ku {
+            code: "VM",
+            label: "Virtual Machines",
+            tier: Elective,
+            topics: &[
+                "Types of virtualization: hardware, OS, server, network",
+                "Hypervisors and paravirtualization",
+                "Cost of virtualization",
+                "Containers versus virtual machines",
+            ],
+            outcomes: &[
+                ("Explain the concept of virtual memory and how it is realized in hardware and software", Familiarity),
+                ("Differentiate emulation and isolation", Familiarity),
+                ("Compare and contrast containers with full virtual machines", Usage),
+            ],
+        },
+        Ku {
+            code: "SEC",
+            label: "Security and Protection",
+            tier: Core2,
+            topics: &[
+                "Overview of operating system security mechanisms",
+                "Policy/mechanism separation",
+                "Security methods and devices: rings of protection, access control lists",
+                "Protection, access control, and authentication at the OS level",
+                "Memory protection and the role of virtual memory in isolation",
+            ],
+            outcomes: &[
+                ("Articulate the need for protection and security in an OS", Assessment),
+                ("Summarize the features and limitations of an operating system used to provide protection and security", Familiarity),
+                ("Explain how hardware memory protection supports process isolation", Familiarity),
+            ],
+        },
+    ],
+};

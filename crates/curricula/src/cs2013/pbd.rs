@@ -1,0 +1,76 @@
+//! CS2013 Knowledge Area: Platform-Based Development (PBD).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "PBD",
+    label: "Platform-Based Development",
+    units: &[
+        Ku {
+            code: "INT",
+            label: "Introduction to Platforms",
+            tier: Elective,
+            topics: &[
+                "Platforms as an abstraction: web, mobile, game, industrial",
+                "Programming via platform-specific APIs",
+                "Constraints imposed by platforms on development",
+                "Comparing platform languages with general-purpose languages",
+            ],
+            outcomes: &[
+                ("Describe how platform-based development differs from general purpose programming", Familiarity),
+                ("List characteristics of platform languages", Familiarity),
+                ("Write and execute a simple platform-based program", Usage),
+            ],
+        },
+        Ku {
+            code: "WEB",
+            label: "Web Platforms",
+            tier: Elective,
+            topics: &[
+                "Web programming languages and markup",
+                "Web platform constraints: statelessness and sessions",
+                "Client-side versus server-side computation",
+                "Software as a service delivered through the web",
+            ],
+            outcomes: &[
+                ("Design and implement a simple web application", Usage),
+                ("Describe the constraints that the web puts on developers", Familiarity),
+                ("Review an existing web application against a current web standard", Assessment),
+            ],
+        },
+        Ku {
+            code: "MOB",
+            label: "Mobile Platforms",
+            tier: Elective,
+            topics: &[
+                "Mobile programming languages and development frameworks",
+                "Challenges with mobility and wireless communication",
+                "Power and resource constraints of mobile devices",
+                "Location-aware applications and sensors",
+            ],
+            outcomes: &[
+                ("Design and implement a simple mobile application for a given platform", Usage),
+                ("Discuss the constraints that mobile platforms put on developers", Familiarity),
+                ("Discuss the performance versus power tradeoff in mobile applications", Familiarity),
+            ],
+        },
+        Ku {
+            code: "GAME",
+            label: "Game Platforms",
+            tier: Elective,
+            topics: &[
+                "Game platform ecosystems and their constraints",
+                "Real-time loops: update, render, input",
+                "Game engines as platform abstractions",
+                "Resource budgets: frame time, memory, asset streaming",
+            ],
+            outcomes: &[
+                ("Design and implement a simple interactive game", Usage),
+                ("Describe the constraints that real-time interaction places on a game architecture", Familiarity),
+                ("Measure and stay within a frame-time budget in a small game loop", Usage),
+            ],
+        },
+    ],
+};

@@ -1,0 +1,125 @@
+//! CS2013 Knowledge Area: Software Development Fundamentals (SDF).
+//!
+//! The area the paper's Figure 4 shows as the only locus of 4-course
+//! agreement among CS1 offerings, with 12 of 13 agreed items inside the
+//! Fundamental Programming Concepts knowledge unit.
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "SDF",
+    label: "Software Development Fundamentals",
+    units: &[
+        Ku {
+            code: "AD",
+            label: "Algorithms and Design",
+            tier: Core1,
+            topics: &[
+                "The concept and properties of algorithms",
+                "The role of algorithms in the problem-solving process",
+                "Problem-solving strategies: iteration, brute force, divide and conquer",
+                "Abstraction and decomposition of problems",
+                "Separation of behavior and implementation",
+                "Implementation of algorithms in a programming language",
+                "Tracing the execution of an algorithm by hand",
+                "Pseudocode as a design notation",
+            ],
+            outcomes: &[
+                ("Discuss the importance of algorithms in the problem-solving process", Familiarity),
+                ("Discuss how a problem may be solved by multiple algorithms each with different properties", Familiarity),
+                ("Create algorithms for solving simple problems", Usage),
+                ("Use a programming language to implement, test, and debug algorithms for solving simple problems", Usage),
+                ("Implement, test, and debug simple recursive functions and procedures", Usage),
+                ("Determine whether a recursive or iterative solution is most appropriate for a problem", Assessment),
+                ("Implement a divide-and-conquer algorithm for a problem", Usage),
+                ("Apply the techniques of decomposition to break a program into smaller pieces", Usage),
+                ("Identify the data components and behaviors of multiple abstract data types", Usage),
+            ],
+        },
+        Ku {
+            code: "FPC",
+            label: "Fundamental Programming Concepts",
+            tier: Core1,
+            topics: &[
+                "Basic syntax and semantics of a higher-level language",
+                "Variables and primitive data types",
+                "Expressions and assignments",
+                "Simple I/O including file I/O",
+                "Conditional control structures",
+                "Iterative control structures (loops)",
+                "Functions and parameter passing",
+                "The concept of recursion",
+                "Scope and lifetime of variables",
+                "Operator precedence and evaluation order",
+                "String processing",
+            ],
+            outcomes: &[
+                ("Analyze and explain the behavior of simple programs involving the fundamental programming constructs", Assessment),
+                ("Identify and describe uses of primitive data types", Familiarity),
+                ("Write programs that use primitive data types", Usage),
+                ("Modify and expand short programs that use standard conditional and iterative control structures and functions", Usage),
+                ("Design, implement, test, and debug a program that uses fundamental programming constructs including basic computation, simple I/O, standard conditional and iterative structures, function definition, and recursion", Usage),
+                ("Choose appropriate conditional and iteration constructs for a given programming task", Assessment),
+                ("Describe the concept of parameter passing and its mechanisms", Familiarity),
+                ("Write a program that processes text files", Usage),
+            ],
+        },
+        Ku {
+            code: "FDS",
+            label: "Fundamental Data Structures",
+            tier: Core1,
+            topics: &[
+                "Arrays and their representation",
+                "Records, structs, and heterogeneous aggregates",
+                "Strings and string processing",
+                "Stacks and their applications",
+                "Queues and their applications",
+                "Linked lists: singly and doubly linked",
+                "Sets as an abstract data type",
+                "Maps and associative containers",
+                "References and aliasing",
+                "Choosing an appropriate data structure for a problem",
+            ],
+            outcomes: &[
+                ("Discuss the appropriate use of built-in data structures", Familiarity),
+                ("Describe common applications for each of the following data structures: stack, queue, priority queue, set, and map", Familiarity),
+                ("Write programs that use each of the following data structures: arrays, records, strings, linked lists, stacks, queues, sets, and maps", Usage),
+                ("Compare alternative implementations of data structures with respect to performance", Assessment),
+                ("Choose the appropriate data structure for modeling a given problem", Assessment),
+                ("Describe how references allow multiple names for the same object", Familiarity),
+            ],
+        },
+        Ku {
+            code: "DM",
+            label: "Development Methods",
+            tier: Core1,
+            topics: &[
+                "Program comprehension and code reading",
+                "Program correctness: the concept of a specification",
+                "Defensive programming and input validation",
+                "Assertions, preconditions, and postconditions",
+                "Testing fundamentals: test-case design",
+                "Unit testing and test automation",
+                "Debugging strategies and tools",
+                "Documentation and program style",
+                "Code reviews and pair programming",
+                "Modern programming environments and IDEs",
+                "Refactoring as behavior-preserving change",
+            ],
+            outcomes: &[
+                ("Trace the execution of a variety of code segments and write summaries of their computations", Assessment),
+                ("Explain why the creation of correct program components is important in the production of high-quality software", Familiarity),
+                ("Identify common coding errors that lead to insecure programs and apply strategies for avoiding them", Usage),
+                ("Conduct a personal code review focused on common coding errors", Usage),
+                ("Contribute to a small-team code review focused on component correctness", Usage),
+                ("Describe how a contract can be used to specify the behavior of a program component", Familiarity),
+                ("Create a unit test plan for a medium-size code segment", Usage),
+                ("Apply a variety of strategies to the testing and debugging of simple programs", Usage),
+                ("Construct and debug programs using the standard libraries available with a chosen programming language", Usage),
+                ("Apply consistent documentation and program style standards that contribute to the readability and maintainability of software", Usage),
+            ],
+        },
+    ],
+};

@@ -1,0 +1,178 @@
+//! CS2013 Knowledge Area: Software Engineering (SE).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "SE",
+    label: "Software Engineering",
+    units: &[
+        Ku {
+            code: "SP",
+            label: "Software Processes",
+            tier: Core1,
+            topics: &[
+                "Systems-level considerations: interaction of software with its intended environment",
+                "Software process models such as waterfall, incremental, and agile",
+                "Programming in the large versus individual programming",
+                "Phases of software life-cycles",
+                "Process tailoring and quality assurance",
+            ],
+            outcomes: &[
+                ("Describe how software can interact with and participate in various systems", Familiarity),
+                ("Describe the relative advantages and disadvantages among several major process models", Familiarity),
+                ("Differentiate among the phases of software development", Familiarity),
+                ("Explain the concept of a software life cycle and provide an example illustrating its phases", Familiarity),
+            ],
+        },
+        Ku {
+            code: "SPM",
+            label: "Software Project Management",
+            tier: Core2,
+            topics: &[
+                "Team participation: roles, processes, and conflict resolution",
+                "Effort estimation at the personal level",
+                "Risk identification and management",
+                "Project scheduling and tracking",
+                "Version control and configuration management in team settings",
+            ],
+            outcomes: &[
+                ("Discuss common behaviors that contribute to the effective functioning of a team", Familiarity),
+                ("Create and follow an agenda for a team meeting", Usage),
+                ("Identify and justify necessary roles in a software development team", Usage),
+                ("Use a version-control system as part of a team workflow", Usage),
+            ],
+        },
+        Ku {
+            code: "TE",
+            label: "Tools and Environments",
+            tier: Core2,
+            topics: &[
+                "Software configuration management and version control",
+                "Release management",
+                "Requirements tracing and bug tracking",
+                "Build systems and continuous integration",
+                "Testing tools and coverage measurement",
+                "Programming environments that automate parts of software construction",
+            ],
+            outcomes: &[
+                ("Describe the difference between centralized and distributed software configuration management", Familiarity),
+                ("Describe how version control can be used to help manage software release management", Familiarity),
+                ("Demonstrate the capability to use software tools in support of the development of a software product of medium size", Usage),
+            ],
+        },
+        Ku {
+            code: "RE",
+            label: "Requirements Engineering",
+            tier: Core2,
+            topics: &[
+                "Describing functional requirements using use cases and user stories",
+                "Non-functional requirements and quality attributes",
+                "Requirements elicitation from stakeholders",
+                "Evaluation and negotiation of requirements",
+                "Prototyping as a requirements validation technique",
+            ],
+            outcomes: &[
+                ("List the key components of a use case or similar description of some behavior that is required for a system", Familiarity),
+                ("Describe how the requirements engineering process supports the elicitation and validation of behavioral requirements", Familiarity),
+                ("Interpret a given requirements model for a simple software system", Familiarity),
+                ("Conduct a review of a set of software requirements to determine the quality of the requirements", Usage),
+            ],
+        },
+        Ku {
+            code: "SD",
+            label: "Software Design",
+            tier: Core1,
+            topics: &[
+                "System design principles: levels of abstraction, separation of concerns, information hiding",
+                "Coupling and cohesion",
+                "Design patterns and their applicability",
+                "Structural and behavioral models of software designs",
+                "Programming interfaces (APIs) as contracts",
+                "Refactoring designs and architectural smells",
+                "Software architecture styles such as layered and pipe-and-filter",
+            ],
+            outcomes: &[
+                ("Articulate design principles including separation of concerns, information hiding, coupling and cohesion, and encapsulation", Familiarity),
+                ("Use a design paradigm to design a simple software system, and explain how system design principles have been applied in this design", Usage),
+                ("Construct models of the design of a simple software system that are appropriate for the paradigm used to design it", Usage),
+                ("For the design of a simple software system within the context of a single design paradigm, describe the software architecture of that system", Familiarity),
+                ("Apply simple examples of patterns in a software design", Usage),
+            ],
+        },
+        Ku {
+            code: "SC",
+            label: "Software Construction",
+            tier: Core2,
+            topics: &[
+                "Coding practices: techniques, idioms/patterns, mechanisms for building quality programs",
+                "Defensive coding practices and secure coding",
+                "Coding standards",
+                "Potential security problems in programs: buffer overflows, input validation",
+                "Documentation of code and APIs",
+            ],
+            outcomes: &[
+                ("Describe techniques, coding idioms and mechanisms for implementing designs to achieve desired properties such as reliability, efficiency, and robustness", Familiarity),
+                ("Write robust code using exception-handling mechanisms", Usage),
+                ("Describe secure coding and defensive coding practices", Familiarity),
+                ("Select and use a defined coding standard in a small software project", Usage),
+            ],
+        },
+        Ku {
+            code: "SVV",
+            label: "Software Verification and Validation",
+            tier: Core2,
+            topics: &[
+                "Verification and validation terminology",
+                "Testing objectives and levels: unit, integration, system, acceptance",
+                "Test-case generation from specifications",
+                "Black-box and white-box testing techniques",
+                "Regression testing and test suites",
+                "Defect tracking and triage",
+                "Inspections, reviews, and audits",
+            ],
+            outcomes: &[
+                ("Distinguish between program validation and verification", Familiarity),
+                ("Describe the role that tools can play in the validation of software", Familiarity),
+                ("Undertake, as part of a team activity, an inspection of a medium-size code segment", Usage),
+                ("Describe and distinguish among the different types and levels of testing", Familiarity),
+                ("Create and execute a test plan for a medium-size code segment", Usage),
+                ("Use a defect-tracking tool to manage software defects in a small software project", Usage),
+            ],
+        },
+        Ku {
+            code: "SEV",
+            label: "Software Evolution",
+            tier: Core2,
+            topics: &[
+                "Software development in the context of large, pre-existing code bases",
+                "Software evolution and legacy systems",
+                "Refactoring of existing code",
+                "Backward compatibility and deprecation",
+            ],
+            outcomes: &[
+                ("Identify the principal issues associated with software evolution and explain their impact on the software life cycle", Familiarity),
+                ("Discuss the challenges of evolving systems in a changing environment", Familiarity),
+                ("Identify weaknesses in a given simple design, and remove them through refactoring", Usage),
+            ],
+        },
+        Ku {
+            code: "FM",
+            label: "Formal Methods",
+            tier: Elective,
+            topics: &[
+                "Role of formal specification and analysis techniques in software development",
+                "Pre and post assertions and Hoare-style reasoning",
+                "Formal specification languages and their tool support",
+                "Model checking and state-space exploration",
+                "Program derivation and correctness-by-construction",
+            ],
+            outcomes: &[
+                ("Describe the role that formal verification techniques can play in the software development process", Familiarity),
+                ("Apply formal specification and analysis techniques to software designs and programs with low complexity", Usage),
+                ("Explain the potential benefits and drawbacks of using formal specification languages", Familiarity),
+            ],
+        },
+    ],
+};

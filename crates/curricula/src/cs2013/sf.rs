@@ -1,0 +1,166 @@
+//! CS2013 Knowledge Area: Systems Fundamentals (SF).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "SF",
+    label: "Systems Fundamentals",
+    units: &[
+        Ku {
+            code: "CPD",
+            label: "Computational Paradigms",
+            tier: Core1,
+            topics: &[
+                "Basic building blocks and components of a computer",
+                "Hardware as a computational paradigm: fundamental logic building blocks",
+                "Application-level sequential processing: a single thread",
+                "Simple application-level parallel processing: request-level, task-level, pipelining",
+                "Basic concept of pipelining and overlapped processing",
+                "Multicore architectures and simultaneous multithreading",
+            ],
+            outcomes: &[
+                ("List commonly encountered patterns of how computations are organized", Familiarity),
+                ("Describe the basic building blocks of computers and their role in the historical development of computer architecture", Familiarity),
+                ("Articulate the differences between single-thread versus multiple-thread, single-server versus multiple-server models, motivated by real-world examples", Familiarity),
+                ("Write a simple sequential problem and a simple parallel version of the same program", Usage),
+                ("Evaluate the performance of simple sequential and parallel versions of a program with different problem sizes", Assessment),
+            ],
+        },
+        Ku {
+            code: "SSM",
+            label: "State and State Machines",
+            tier: Core1,
+            topics: &[
+                "Digital versus analog/discrete versus continuous systems",
+                "Simple logic gates, logical expressions, Boolean logic simplification",
+                "Clocks, state, sequencing",
+                "Combinational logic, sequential logic, registers, memories",
+                "Computers and network protocols as examples of state machines",
+            ],
+            outcomes: &[
+                ("Describe computations as a system characterized by a known set of configurations with transitions from one unique configuration (state) to another (state)", Familiarity),
+                ("Describe the distinction between systems whose output is only a function of their input (combinational) and those with memory/history (sequential)", Familiarity),
+                ("Develop a state machine descriptions for problem statement in natural language", Usage),
+            ],
+        },
+        Ku {
+            code: "PAR",
+            label: "Parallelism (systems view)",
+            tier: Core1,
+            topics: &[
+                "Sequential versus parallel processing",
+                "Parallel programming versus concurrent programming",
+                "Request parallelism versus task parallelism",
+                "Client-server and interaction models",
+                "Synchronization as a system primitive",
+                "Performance limits of parallelism: dependencies and critical paths",
+            ],
+            outcomes: &[
+                ("Distinguish parallelism from concurrency", Familiarity),
+                ("Identify the (task, data, request) parallelism available in a given application", Usage),
+                ("Write more than one parallel version of a simple program with different decompositions", Usage),
+                ("Explain why a computation's critical path limits its parallel speedup", Familiarity),
+            ],
+        },
+        Ku {
+            code: "EVAL",
+            label: "Evaluation",
+            tier: Core1,
+            topics: &[
+                "Performance figures of merit: latency and throughput",
+                "Workloads and representative benchmarks",
+                "CPI and benchmarking as evaluation approaches",
+                "Amdahl's law: the part of the computation that cannot be sped up limits the whole",
+                "Speedup, efficiency, and scalability curves",
+            ],
+            outcomes: &[
+                ("Explain how the components of system architecture contribute to improving its performance", Familiarity),
+                ("Describe Amdahl's law and discuss its limitations", Familiarity),
+                ("Design and conduct a performance-oriented experiment on a simple system", Usage),
+                ("Use software tools to profile and measure program performance", Assessment),
+            ],
+        },
+        Ku {
+            code: "RAS",
+            label: "Resource Allocation and Scheduling",
+            tier: Core2,
+            topics: &[
+                "Kinds of resources: processor share, memory, disk, net bandwidth",
+                "Kinds of scheduling: first-come-first-serve, priority-based",
+                "Advantages of fairness and of priority allocation",
+                "Throughput-latency tradeoffs in scheduling",
+            ],
+            outcomes: &[
+                ("Define how finite computer resources are managed and shared", Familiarity),
+                ("Discuss the benefits and limitations of several scheduling disciplines", Familiarity),
+                ("Implement a simple scheduler and measure the latency and throughput it achieves", Usage),
+            ],
+        },
+        Ku {
+            code: "PRF",
+            label: "Performance and Proximity",
+            tier: Core2,
+            topics: &[
+                "The memory hierarchy and the reasons it works: locality",
+                "Caching at many system levels",
+                "Latency hiding: overlap of computation and communication",
+                "Introduction into the effect of data locality on performance",
+            ],
+            outcomes: &[
+                ("Explain the importance of locality in determining system performance", Familiarity),
+                ("Calculate average memory access time given a cache configuration", Usage),
+                ("Restructure a small computation to improve its locality and measure the effect", Usage),
+            ],
+        },
+        Ku {
+            code: "RR",
+            label: "Reliability through Redundancy",
+            tier: Core2,
+            topics: &[
+                "Distinction between bugs and faults",
+                "Redundancy as the key to fault tolerance",
+                "How errors increase the longer the distance between the communicating entities; the end-to-end principle",
+                "Availability metrics: MTBF and MTTR",
+            ],
+            outcomes: &[
+                ("Explain the distinction between program errors, system errors, and hardware faults and the context in which each may occur", Familiarity),
+                ("Articulate the distinction between detecting, handling, and recovering from faults", Familiarity),
+                ("Compute the availability of a system with redundant components", Usage),
+            ],
+        },
+        Ku {
+            code: "VI",
+            label: "Virtualization and Isolation",
+            tier: Elective,
+            topics: &[
+                "Rationale for protection and predictable performance",
+                "Levels of indirection, illustrated by virtual memory",
+                "Methods for implementing virtual machines and containers",
+                "Isolation as a cross-cutting systems principle",
+            ],
+            outcomes: &[
+                ("Explain why it is important to isolate and protect the execution of individual programs", Familiarity),
+                ("Describe how the concept of indirection can create the illusion of a dedicated machine", Familiarity),
+                ("Measure the overhead of a virtualization layer on a simple workload", Usage),
+            ],
+        },
+        Ku {
+            code: "CLC",
+            label: "Cross-Layer Communications",
+            tier: Core2,
+            topics: &[
+                "Programming abstractions and interfaces between layers",
+                "Streams, datagrams, and events as communication styles",
+                "Reliability guarantees offered by each layer",
+                "Headers, encapsulation, and layering overhead",
+            ],
+            outcomes: &[
+                ("Describe how computing systems are constructed of layers upon layers, based on separation of concerns", Familiarity),
+                ("Recognize that hardware, VM, OS, and application layers offer interfaces through which clients make use of them", Familiarity),
+                ("Trace a message through the layers of a simple protocol stack", Usage),
+            ],
+        },
+    ],
+};

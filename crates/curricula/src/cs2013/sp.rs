@@ -1,0 +1,125 @@
+//! CS2013 Knowledge Area: Social Issues and Professional Practice (SP).
+
+use crate::ontology::Mastery::*;
+use crate::ontology::Tier::*;
+use crate::spec::{Ka, Ku};
+
+pub(super) const KA: Ka = Ka {
+    code: "SP",
+    label: "Social Issues and Professional Practice",
+    units: &[
+        Ku {
+            code: "SC",
+            label: "Social Context",
+            tier: Core1,
+            topics: &[
+                "Social implications of computing in a networked world",
+                "Impact of social media and computing on individualism and collectivism",
+                "Growth and control of the Internet",
+                "Accessibility issues and the digital divide",
+            ],
+            outcomes: &[
+                ("Describe positive and negative ways in which computer technology alters modes of social interaction at the personal level", Familiarity),
+                ("Identify developers' assumptions and values embedded in hardware and software design", Usage),
+                ("Discuss how Internet access serves as a liberating force for people living under oppressive forms of government", Familiarity),
+            ],
+        },
+        Ku {
+            code: "PE",
+            label: "Professional Ethics",
+            tier: Core1,
+            topics: &[
+                "Community values and the laws by which we live",
+                "The nature of professionalism including care, attention and discipline",
+                "Codes of ethics such as the ACM Code of Ethics",
+                "Accountability, responsibility, and liability",
+                "Dealing with harassment and discrimination",
+            ],
+            outcomes: &[
+                ("Identify ethical issues that arise in software development and determine how to address them technically and ethically", Usage),
+                ("Explain the ethical responsibility of ensuring software correctness, reliability and safety", Familiarity),
+                ("Describe the mechanisms that typically exist for a professional to keep up-to-date", Familiarity),
+            ],
+        },
+        Ku {
+            code: "IP",
+            label: "Intellectual Property",
+            tier: Core1,
+            topics: &[
+                "Philosophical foundations of intellectual property",
+                "Copyrights, patents, trademarks, and trade secrets",
+                "Software licensing including open-source models",
+                "Plagiarism and academic integrity",
+            ],
+            outcomes: &[
+                ("Discuss the philosophical bases of intellectual property", Familiarity),
+                ("Distinguish among copyright, patent, and trademark protections", Familiarity),
+                ("Contrast several open-source license models and their obligations", Usage),
+            ],
+        },
+        Ku {
+            code: "PC",
+            label: "Professional Communication",
+            tier: Core1,
+            topics: &[
+                "Reading, understanding, and summarizing technical material",
+                "Writing effective technical documentation",
+                "Dynamics of oral, written, and electronic team communication",
+                "Communicating professionally with stakeholders",
+            ],
+            outcomes: &[
+                ("Write clear, concise, and accurate technical documents following well-defined standards", Usage),
+                ("Evaluate written technical documentation to detect problems of various kinds", Assessment),
+                ("Develop and deliver a good quality formal presentation", Usage),
+            ],
+        },
+        Ku {
+            code: "PRIV",
+            label: "Privacy and Civil Liberties",
+            tier: Core1,
+            topics: &[
+                "Philosophical and legal conceptions of privacy",
+                "Privacy implications of large-scale data collection",
+                "Technology-based solutions for privacy protection",
+                "Freedom of expression and its limitations online",
+            ],
+            outcomes: &[
+                ("Discuss the philosophical basis for the legal protection of personal privacy", Familiarity),
+                ("Evaluate solutions to privacy threats in transactional databases and data warehouses", Assessment),
+                ("Describe the role of data anonymization and its limits", Familiarity),
+            ],
+        },
+        Ku {
+            code: "SUST",
+            label: "Sustainability",
+            tier: Core2,
+            topics: &[
+                "Environmental impacts of computing: manufacturing, energy, e-waste",
+                "Sustainability as a software quality attribute",
+                "Power consumption of data centers and end devices",
+                "Computing for sustainability: monitoring and modeling",
+            ],
+            outcomes: &[
+                ("Identify ways to be a sustainable practitioner of computing", Usage),
+                ("Illustrate global social and environmental impacts of computer use and disposal", Familiarity),
+                ("Describe the tradeoff between performance and energy consumption in a computing system", Familiarity),
+            ],
+        },
+        Ku {
+            code: "HIST",
+            label: "History of Computing",
+            tier: Elective,
+            topics: &[
+                "Prehistory: computing before electronic computers",
+                "Pioneers of computing and their contributions",
+                "Generations of hardware: tubes, transistors, integrated circuits",
+                "The personal computer, the Internet, and mobile revolutions",
+            ],
+            outcomes: &[
+                ("Identify significant trends in the history of the computing field", Familiarity),
+                ("Identify the contributions of several pioneers in the computing field", Familiarity),
+                ("Discuss the historical context for important moments in the history of computing", Familiarity),
+            ],
+        },
+    ],
+};

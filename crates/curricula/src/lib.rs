@@ -1,0 +1,62 @@
+//! # anchors-curricula
+//!
+//! Curriculum-guideline ontologies for the `pdc-anchors` reproduction of
+//! *Data-Driven Discovery of Anchor Points for PDC Content* (SC-W 2023).
+//!
+//! Two guidelines are encoded as static data and lowered into tree
+//! ontologies:
+//!
+//! * [`cs2013()`] — the ACM/IEEE Computer Science Curricula 2013 body of
+//!   knowledge (all 18 knowledge areas; knowledge units → topics and
+//!   learning outcomes with core-1/core-2/elective tiers and mastery
+//!   levels). Course classifications in the paper reference these items.
+//! * [`pdc12()`] — the NSF/IEEE-TCPP 2012 Parallel and Distributed
+//!   Computing curriculum (four areas; topics with Bloom levels and a
+//!   core/elective split). The recommender maps its topics onto CS2013
+//!   anchor points.
+//!
+//! Both builders are deterministic; [`cs2013()`]/[`pdc12()`] memoize the
+//! built tree for the lifetime of the process.
+
+pub mod cs2013;
+pub mod crosswalk;
+pub mod ontology;
+pub mod pdc12;
+pub mod spec;
+
+pub use crosswalk::{cs_anchors_of_pdc_topic, crosswalk, pdc_units_anchorable_at};
+pub use ontology::{Bloom, Level, Mastery, Node, NodeId, Ontology, OntologyBuilder, Tier};
+
+use std::sync::OnceLock;
+
+static CS2013: OnceLock<Ontology> = OnceLock::new();
+static PDC12: OnceLock<Ontology> = OnceLock::new();
+
+/// The process-wide CS2013 ontology.
+pub fn cs2013() -> &'static Ontology {
+    CS2013.get_or_init(cs2013::build)
+}
+
+/// The process-wide PDC12 ontology.
+pub fn pdc12() -> &'static Ontology {
+    PDC12.get_or_init(pdc12::build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_instances_are_stable() {
+        let a = cs2013() as *const Ontology;
+        let b = cs2013() as *const Ontology;
+        assert_eq!(a, b);
+        assert_eq!(pdc12() as *const Ontology, pdc12() as *const Ontology);
+    }
+
+    #[test]
+    fn guidelines_do_not_collide() {
+        assert_ne!(cs2013().name, pdc12().name);
+        assert!(cs2013().len() > pdc12().len());
+    }
+}

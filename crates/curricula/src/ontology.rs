@@ -1,0 +1,611 @@
+//! Curriculum-guideline ontology: a tree arena of knowledge areas, knowledge
+//! units, topics, and learning outcomes.
+//!
+//! The ACM/IEEE CS2013 guideline and the NSF/IEEE-TCPP PDC12 guideline are
+//! both organized as shallow trees; the paper's visualizations (radial
+//! hit-trees) and agreement analysis operate directly on this structure.
+//! Nodes are stored in a flat arena indexed by [`NodeId`]; every node carries
+//! a stable, human-readable dotted code (e.g. `SDF.FPC.t3`) which is the
+//! identity that course classifications reference.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node in an [`Ontology`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Arena index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Structural level of a node in the guideline tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Level {
+    /// Synthetic root of the guideline.
+    Root,
+    /// Knowledge Area (e.g. *Software Development Fundamentals*).
+    KnowledgeArea,
+    /// Knowledge Unit (e.g. *Fundamental Programming Concepts*).
+    KnowledgeUnit,
+    /// A topic inside a knowledge unit.
+    Topic,
+    /// A learning outcome inside a knowledge unit.
+    LearningOutcome,
+}
+
+impl Level {
+    /// Depth of this level in the tree (root = 0).
+    pub fn depth(self) -> usize {
+        match self {
+            Level::Root => 0,
+            Level::KnowledgeArea => 1,
+            Level::KnowledgeUnit => 2,
+            Level::Topic | Level::LearningOutcome => 3,
+        }
+    }
+}
+
+/// CS2013 coverage tier of a knowledge unit or topic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Core Tier-1: every curriculum must cover 100%.
+    Core1,
+    /// Core Tier-2: curricula should cover at least 80%.
+    Core2,
+    /// Elective material.
+    Elective,
+}
+
+/// Expected mastery of a CS2013 learning outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mastery {
+    /// Familiarity: "what do you know about this?"
+    Familiarity,
+    /// Usage: apply the concept concretely.
+    Usage,
+    /// Assessment: select and evaluate among alternatives.
+    Assessment,
+}
+
+/// Bloom-style level used by the PDC12 guideline (K/C/A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bloom {
+    /// Know the term.
+    Know,
+    /// Comprehend: paraphrase or illustrate.
+    Comprehend,
+    /// Apply it in some way.
+    Apply,
+}
+
+/// One node of a guideline ontology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Arena id of this node.
+    pub id: NodeId,
+    /// Parent node (`None` only for the root).
+    pub parent: Option<NodeId>,
+    /// Children in insertion order.
+    pub children: Vec<NodeId>,
+    /// Structural level.
+    pub level: Level,
+    /// Stable dotted code, unique within the ontology (e.g. `SDF.FPC.t2`).
+    pub code: String,
+    /// Human-readable name.
+    pub label: String,
+    /// Coverage tier (meaningful for KUs/topics of CS2013; PDC12 maps
+    /// core→`Core1`, elective→`Elective`).
+    pub tier: Tier,
+    /// Mastery level for CS2013 learning outcomes.
+    pub mastery: Option<Mastery>,
+    /// Bloom level for PDC12 topics.
+    pub bloom: Option<Bloom>,
+}
+
+/// A guideline ontology: an arena tree with code-based lookup.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ontology {
+    /// Guideline name (e.g. `"ACM/IEEE CS2013"`).
+    pub name: String,
+    nodes: Vec<Node>,
+    #[serde(skip)]
+    by_code: HashMap<String, NodeId>,
+}
+
+impl Ontology {
+    /// Root node id (always the first inserted node).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Borrow a node.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes in arena order (root first).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ontology is empty (never true after building).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Look up a node by its dotted code.
+    pub fn by_code(&self, code: &str) -> Option<NodeId> {
+        self.by_code.get(code).copied()
+    }
+
+    /// Rebuild the code index (needed after deserialization).
+    pub fn reindex(&mut self) {
+        self.by_code = self
+            .nodes
+            .iter()
+            .map(|n| (n.code.clone(), n.id))
+            .collect();
+    }
+
+    /// Iterate ids of all nodes at a given level.
+    pub fn at_level(&self, level: Level) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes
+            .iter()
+            .filter(move |n| n.level == level)
+            .map(|n| n.id)
+    }
+
+    /// Ids of all *leaf classification items* — topics and learning
+    /// outcomes. These are the columns of the paper's course matrix.
+    pub fn leaf_items(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.level, Level::Topic | Level::LearningOutcome))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Walk up to the enclosing knowledge area of any node.
+    pub fn knowledge_area_of(&self, id: NodeId) -> Option<NodeId> {
+        let mut cur = id;
+        loop {
+            let n = self.node(cur);
+            match n.level {
+                Level::KnowledgeArea => return Some(cur),
+                Level::Root => return None,
+                _ => cur = n.parent?,
+            }
+        }
+    }
+
+    /// Walk up to the enclosing knowledge unit of a topic/outcome.
+    pub fn knowledge_unit_of(&self, id: NodeId) -> Option<NodeId> {
+        let mut cur = id;
+        loop {
+            let n = self.node(cur);
+            match n.level {
+                Level::KnowledgeUnit => return Some(cur),
+                Level::Root => return None,
+                _ => cur = n.parent?,
+            }
+        }
+    }
+
+    /// Path of ids from the root to `id`, inclusive.
+    pub fn path(&self, id: NodeId) -> Vec<NodeId> {
+        let mut p = vec![id];
+        let mut cur = id;
+        while let Some(parent) = self.node(cur).parent {
+            p.push(parent);
+            cur = parent;
+        }
+        p.reverse();
+        p
+    }
+
+    /// Whether `ancestor` lies on the root path of `id` (a node is its own
+    /// ancestor).
+    pub fn is_ancestor(&self, ancestor: NodeId, id: NodeId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.node(c).parent;
+        }
+        false
+    }
+
+    /// Depth-first preorder traversal starting at `start`.
+    pub fn preorder(&self, start: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![start];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            // Push children reversed so traversal visits them in order.
+            for &c in self.node(id).children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// All leaf items underneath `start` (topics + outcomes).
+    pub fn leaves_under(&self, start: NodeId) -> Vec<NodeId> {
+        self.preorder(start)
+            .into_iter()
+            .filter(|&id| {
+                matches!(
+                    self.node(id).level,
+                    Level::Topic | Level::LearningOutcome
+                )
+            })
+            .collect()
+    }
+
+    /// Number of nodes per depth (`result[d]` = count at depth `d`).
+    /// The *reference level* of the radial layout is the argmax.
+    pub fn level_widths(&self) -> Vec<usize> {
+        let mut widths = Vec::new();
+        for n in &self.nodes {
+            let d = self.path(n.id).len() - 1;
+            if widths.len() <= d {
+                widths.resize(d + 1, 0);
+            }
+            widths[d] += 1;
+        }
+        widths
+    }
+
+    /// Structural integrity check used by tests and after deserialization:
+    /// parent/child links agree, codes are unique, levels are consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty ontology".into());
+        }
+        if self.nodes[0].level != Level::Root || self.nodes[0].parent.is_some() {
+            return Err("node 0 must be the parentless root".into());
+        }
+        let mut seen = HashMap::new();
+        for n in &self.nodes {
+            if n.id.index() >= self.nodes.len() {
+                return Err(format!("node id {} out of range", n.id.0));
+            }
+            if let Some(prev) = seen.insert(n.code.clone(), n.id) {
+                return Err(format!("duplicate code {:?} ({:?}, {:?})", n.code, prev, n.id));
+            }
+            if let Some(p) = n.parent {
+                let parent = &self.nodes[p.index()];
+                if !parent.children.contains(&n.id) {
+                    return Err(format!("{} not registered in parent {}", n.code, parent.code));
+                }
+                let ok = matches!(
+                    (parent.level, n.level),
+                    (Level::Root, Level::KnowledgeArea)
+                        | (Level::KnowledgeArea, Level::KnowledgeUnit)
+                        | (Level::KnowledgeUnit, Level::Topic)
+                        | (Level::KnowledgeUnit, Level::LearningOutcome)
+                );
+                if !ok {
+                    return Err(format!(
+                        "level violation: {:?} under {:?} at {}",
+                        n.level, parent.level, n.code
+                    ));
+                }
+            } else if n.level != Level::Root {
+                return Err(format!("non-root node {} has no parent", n.code));
+            }
+            for &c in &n.children {
+                if c.index() >= self.nodes.len() {
+                    return Err(format!("dangling child {} under {}", c.0, n.code));
+                }
+                if self.nodes[c.index()].parent != Some(n.id) {
+                    return Err(format!("child {} does not point back to {}", c.0, n.code));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Ontology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} nodes)", self.name, self.nodes.len())?;
+        for &ka in self.node(self.root()).children.iter() {
+            let n = self.node(ka);
+            writeln!(
+                f,
+                "  {} {} ({} KUs, {} items)",
+                n.code,
+                n.label,
+                n.children.len(),
+                self.leaves_under(ka).len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Ontology`].
+pub struct OntologyBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    by_code: HashMap<String, NodeId>,
+}
+
+impl OntologyBuilder {
+    /// Start a new guideline with a synthetic root.
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let root = Node {
+            id: NodeId(0),
+            parent: None,
+            children: Vec::new(),
+            level: Level::Root,
+            code: "ROOT".to_string(),
+            label: name.clone(),
+            tier: Tier::Core1,
+            mastery: None,
+            bloom: None,
+        };
+        let mut by_code = HashMap::new();
+        by_code.insert("ROOT".to_string(), NodeId(0));
+        OntologyBuilder {
+            name,
+            nodes: vec![root],
+            by_code,
+        }
+    }
+
+    fn push(&mut self, mut node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        node.id = id;
+        assert!(
+            self.by_code.insert(node.code.clone(), id).is_none(),
+            "duplicate ontology code {:?}",
+            node.code
+        );
+        if let Some(p) = node.parent {
+            self.nodes[p.index()].children.push(id);
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    /// Add a knowledge area under the root.
+    pub fn knowledge_area(&mut self, code: &str, label: &str) -> NodeId {
+        self.push(Node {
+            id: NodeId(0),
+            parent: Some(NodeId(0)),
+            children: Vec::new(),
+            level: Level::KnowledgeArea,
+            code: code.to_string(),
+            label: label.to_string(),
+            tier: Tier::Core1,
+            mastery: None,
+            bloom: None,
+        })
+    }
+
+    /// Add a knowledge unit under a knowledge area.
+    pub fn knowledge_unit(&mut self, ka: NodeId, code: &str, label: &str, tier: Tier) -> NodeId {
+        assert_eq!(self.nodes[ka.index()].level, Level::KnowledgeArea);
+        let full = format!("{}.{}", self.nodes[ka.index()].code, code);
+        self.push(Node {
+            id: NodeId(0),
+            parent: Some(ka),
+            children: Vec::new(),
+            level: Level::KnowledgeUnit,
+            code: full,
+            label: label.to_string(),
+            tier,
+            mastery: None,
+            bloom: None,
+        })
+    }
+
+    /// Add a topic under a knowledge unit; codes are auto-numbered `t1…`.
+    pub fn topic(&mut self, ku: NodeId, label: &str) -> NodeId {
+        self.topic_tier(ku, label, self.nodes[ku.index()].tier)
+    }
+
+    /// Add a topic with an explicit tier.
+    pub fn topic_tier(&mut self, ku: NodeId, label: &str, tier: Tier) -> NodeId {
+        assert_eq!(self.nodes[ku.index()].level, Level::KnowledgeUnit);
+        let n = self.nodes[ku.index()]
+            .children
+            .iter()
+            .filter(|&&c| self.nodes[c.index()].level == Level::Topic)
+            .count();
+        let full = format!("{}.t{}", self.nodes[ku.index()].code, n + 1);
+        self.push(Node {
+            id: NodeId(0),
+            parent: Some(ku),
+            children: Vec::new(),
+            level: Level::Topic,
+            code: full,
+            label: label.to_string(),
+            tier,
+            mastery: None,
+            bloom: None,
+        })
+    }
+
+    /// Add a learning outcome under a knowledge unit (auto-numbered `o1…`).
+    pub fn outcome(&mut self, ku: NodeId, label: &str, mastery: Mastery) -> NodeId {
+        assert_eq!(self.nodes[ku.index()].level, Level::KnowledgeUnit);
+        let n = self.nodes[ku.index()]
+            .children
+            .iter()
+            .filter(|&&c| self.nodes[c.index()].level == Level::LearningOutcome)
+            .count();
+        let full = format!("{}.o{}", self.nodes[ku.index()].code, n + 1);
+        self.push(Node {
+            id: NodeId(0),
+            parent: Some(ku),
+            children: Vec::new(),
+            level: Level::LearningOutcome,
+            code: full,
+            label: label.to_string(),
+            tier: self.nodes[ku.index()].tier,
+            mastery: Some(mastery),
+            bloom: None,
+        })
+    }
+
+    /// Add a PDC12-style topic with a Bloom level under a knowledge unit.
+    pub fn bloom_topic(&mut self, ku: NodeId, label: &str, bloom: Bloom, tier: Tier) -> NodeId {
+        let id = self.topic_tier(ku, label, tier);
+        self.nodes[id.index()].bloom = Some(bloom);
+        id
+    }
+
+    /// Finish building; panics if the result fails validation (programmer
+    /// error in the data modules).
+    pub fn build(self) -> Ontology {
+        let o = Ontology {
+            name: self.name,
+            nodes: self.nodes,
+            by_code: self.by_code,
+        };
+        if let Err(e) = o.validate() {
+            panic!("invalid ontology: {e}");
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Ontology {
+        let mut b = OntologyBuilder::new("toy");
+        let ka = b.knowledge_area("KA", "Area");
+        let ku = b.knowledge_unit(ka, "KU", "Unit", Tier::Core1);
+        b.topic(ku, "topic one");
+        b.topic(ku, "topic two");
+        b.outcome(ku, "do the thing", Mastery::Usage);
+        let ka2 = b.knowledge_area("KB", "Area B");
+        let ku2 = b.knowledge_unit(ka2, "KU", "Unit B", Tier::Elective);
+        b.topic(ku2, "elective topic");
+        b.build()
+    }
+
+    #[test]
+    fn builds_and_validates() {
+        let o = toy();
+        assert_eq!(o.len(), 9);
+        o.validate().expect("valid");
+    }
+
+    #[test]
+    fn codes_are_hierarchical_and_unique() {
+        let o = toy();
+        assert!(o.by_code("KA.KU.t1").is_some());
+        assert!(o.by_code("KA.KU.t2").is_some());
+        assert!(o.by_code("KA.KU.o1").is_some());
+        assert!(o.by_code("KB.KU.t1").is_some());
+        assert!(o.by_code("KA.KU.t9").is_none());
+    }
+
+    #[test]
+    fn ancestors_and_paths() {
+        let o = toy();
+        let t = o.by_code("KA.KU.t1").unwrap();
+        let ka = o.by_code("KA").unwrap();
+        let ku = o.by_code("KA.KU").unwrap();
+        assert_eq!(o.knowledge_area_of(t), Some(ka));
+        assert_eq!(o.knowledge_unit_of(t), Some(ku));
+        assert_eq!(o.path(t), vec![o.root(), ka, ku, t]);
+        assert!(o.is_ancestor(ka, t));
+        assert!(o.is_ancestor(t, t));
+        assert!(!o.is_ancestor(t, ka));
+        let kb = o.by_code("KB").unwrap();
+        assert!(!o.is_ancestor(kb, t));
+    }
+
+    #[test]
+    fn leaf_items_are_topics_and_outcomes() {
+        let o = toy();
+        let leaves = o.leaf_items();
+        assert_eq!(leaves.len(), 4);
+        for id in leaves {
+            assert!(matches!(
+                o.node(id).level,
+                Level::Topic | Level::LearningOutcome
+            ));
+        }
+    }
+
+    #[test]
+    fn preorder_visits_in_order() {
+        let o = toy();
+        let order = o.preorder(o.root());
+        assert_eq!(order.len(), o.len());
+        assert_eq!(order[0], o.root());
+        // Parent precedes child.
+        for (pos, &id) in order.iter().enumerate() {
+            if let Some(p) = o.node(id).parent {
+                let ppos = order.iter().position(|&x| x == p).unwrap();
+                assert!(ppos < pos);
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_under_subtree() {
+        let o = toy();
+        let ka = o.by_code("KA").unwrap();
+        assert_eq!(o.leaves_under(ka).len(), 3);
+        let kb = o.by_code("KB").unwrap();
+        assert_eq!(o.leaves_under(kb).len(), 1);
+    }
+
+    #[test]
+    fn level_widths_counts_depths() {
+        let o = toy();
+        assert_eq!(o.level_widths(), vec![1, 2, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ontology code")]
+    fn duplicate_code_panics() {
+        let mut b = OntologyBuilder::new("dup");
+        b.knowledge_area("KA", "a");
+        b.knowledge_area("KA", "b");
+    }
+
+    #[test]
+    fn serde_roundtrip_with_reindex() {
+        let o = toy();
+        let json = serde_json::to_string(&o).unwrap();
+        let mut back: Ontology = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        back.validate().expect("valid after roundtrip");
+        assert_eq!(back.by_code("KA.KU.t1"), o.by_code("KA.KU.t1"));
+        assert_eq!(back.len(), o.len());
+    }
+
+    #[test]
+    fn bloom_topic_sets_bloom() {
+        let mut b = OntologyBuilder::new("pdc");
+        let ka = b.knowledge_area("ALG", "Algorithms");
+        let ku = b.knowledge_unit(ka, "PA", "Parallelism basics", Tier::Core1);
+        let t = b.bloom_topic(ku, "work and span", Bloom::Comprehend, Tier::Core1);
+        let o = b.build();
+        assert_eq!(o.node(t).bloom, Some(Bloom::Comprehend));
+    }
+}

@@ -1,0 +1,303 @@
+//! The NSF/IEEE-TCPP 2012 curriculum for Parallel and Distributed Computing
+//! (PDC12).
+//!
+//! Encoded per the published structure: four areas (Architecture,
+//! Programming, Algorithms, Cross-Cutting and Advanced Topics); topics carry
+//! Bloom levels (Know / Comprehend / Apply) and a core/elective tier.
+//! Contrary to CS2013, PDC12 presents learning outcomes as topic
+//! descriptions rather than separate items, so this ontology has topics
+//! only.
+
+use crate::ontology::Bloom::*;
+use crate::ontology::Ontology;
+use crate::ontology::Tier::{Core1, Elective};
+use crate::spec::{build_pdc_ontology, PdcArea, PdcTopic, PdcUnit};
+
+const fn t(label: &'static str, bloom: crate::ontology::Bloom, tier: crate::ontology::Tier) -> PdcTopic {
+    PdcTopic { label, bloom, tier }
+}
+
+static ARCHITECTURE: PdcArea = PdcArea {
+    code: "ARCH",
+    label: "Architecture",
+    units: &[
+        PdcUnit {
+            code: "CLS",
+            label: "Classes of Architecture",
+            topics: &[
+                t("Taxonomy: Flynn's classification (SISD, SIMD, MIMD)", Know, Core1),
+                t("Superscalar (ILP) execution", Know, Core1),
+                t("SIMD and vector units: the idea of a single instruction on multiple data", Know, Core1),
+                t("Pipelines as overlapped execution (instruction pipelining)", Comprehend, Core1),
+                t("Streams and GPU architectures", Know, Core1),
+                t("MIMD: multicore and clusters as the dominant classes", Know, Core1),
+                t("Simultaneous multithreading", Know, Elective),
+                t("Highly multithreaded architectures", Know, Elective),
+                t("Heterogeneous architectures combining CPUs and accelerators", Know, Elective),
+            ],
+        },
+        PdcUnit {
+            code: "MEM",
+            label: "Memory Hierarchy and Communication",
+            topics: &[
+                t("Cyber-physical view of memory: latency grows with distance", Know, Core1),
+                t("Cache organization in multicore processors", Comprehend, Core1),
+                t("Atomicity of memory operations and its hardware support", Know, Core1),
+                t("Consistency and coherence in shared-memory multiprocessors", Know, Core1),
+                t("Sequential consistency as the intuitive model", Know, Core1),
+                t("False sharing and its performance impact", Know, Elective),
+                t("Interconnects: buses, crossbars, and network topologies", Know, Elective),
+                t("Latency and bandwidth as the two axes of communication cost", Comprehend, Core1),
+            ],
+        },
+        PdcUnit {
+            code: "PERF",
+            label: "Performance Metrics (architecture)",
+            topics: &[
+                t("Peak versus sustained performance", Know, Core1),
+                t("MIPS/FLOPS as measures of machine rate", Know, Core1),
+                t("Benchmarks such as LINPACK and their role", Know, Elective),
+                t("Effects of non-uniform memory access on performance", Know, Elective),
+            ],
+        },
+    ],
+};
+
+static PROGRAMMING: PdcArea = PdcArea {
+    code: "PROG",
+    label: "Programming",
+    units: &[
+        PdcUnit {
+            code: "PAR",
+            label: "Parallel Programming Paradigms and Notations",
+            topics: &[
+                t("Programming by task decomposition versus data decomposition", Comprehend, Core1),
+                t("Shared-memory programming with threads", Apply, Core1),
+                t("Language extensions and compiler directives (OpenMP-style parallel-for)", Apply, Core1),
+                t("Libraries for threading and tasking", Apply, Core1),
+                t("Message-passing programming (MPI-style SPMD)", Apply, Core1),
+                t("Client-server and distributed-object paradigms (CORBA/RPC style)", Know, Elective),
+                t("Task/thread spawning and fork-join (cilk-style) parallelism", Apply, Core1),
+                t("Data-parallel constructs: parallel loops over independent iterations", Apply, Core1),
+                t("Futures and promises as asynchronous result handles", Know, Elective),
+                t("Hybrid programming models", Know, Elective),
+                t("GPU/accelerator kernels as a programming model", Know, Elective),
+            ],
+        },
+        PdcUnit {
+            code: "SEM",
+            label: "Semantics and Correctness Issues",
+            topics: &[
+                t("Tasks and threads: the unit of asynchronous execution", Apply, Core1),
+                t("Synchronization: critical sections, producer-consumer, barriers", Apply, Core1),
+                t("Concurrency defects: data races, deadlock, livelock", Comprehend, Core1),
+                t("Memory models: why data races void intuitive semantics", Know, Core1),
+                t("Mutual exclusion primitives: locks, semaphores, monitors", Apply, Core1),
+                t("Thread safety of library types and containers", Comprehend, Core1),
+                t("Nondeterminism in parallel execution and reproducibility", Comprehend, Core1),
+                t("Floating-point reduction order: why parallel sums can differ run to run", Comprehend, Core1),
+                t("Tools that detect concurrency defects", Know, Elective),
+            ],
+        },
+        PdcUnit {
+            code: "PPP",
+            label: "Performance Issues (programming)",
+            topics: &[
+                t("Computation decomposition strategies and granularity", Comprehend, Core1),
+                t("Load balancing: static versus dynamic assignment", Comprehend, Core1),
+                t("Scheduling and mapping of tasks to execution resources", Comprehend, Core1),
+                t("Data distribution and its effect on communication", Know, Core1),
+                t("Data locality and memory-hierarchy-aware programming", Know, Core1),
+                t("Performance monitoring and profiling tools", Know, Elective),
+                t("Speedup measurement methodology", Apply, Core1),
+            ],
+        },
+    ],
+};
+
+static ALGORITHMS: PdcArea = PdcArea {
+    code: "ALG",
+    label: "Algorithms",
+    units: &[
+        PdcUnit {
+            code: "MOD",
+            label: "Parallel and Distributed Models and Complexity",
+            topics: &[
+                t("Costs of computation: time, space, power", Comprehend, Core1),
+                t("Cost reduction via parallelism: latency hiding and throughput", Know, Core1),
+                t("Asymptotic analysis (Big-Oh) extended to parallel costs", Apply, Core1),
+                t("Work and span; the work-time framework", Comprehend, Core1),
+                t("Directed acyclic graphs as a model of parallel computation", Comprehend, Core1),
+                t("Critical path length as the limit of parallel speedup", Comprehend, Core1),
+                t("Speedup, efficiency, and Amdahl's law", Comprehend, Core1),
+                t("Scalability: strong versus weak scaling", Know, Core1),
+                t("PRAM as an idealized shared-memory model", Know, Elective),
+                t("BSP and communication-cost models", Know, Elective),
+                t("Notions of dependency and data flow between tasks", Comprehend, Core1),
+            ],
+        },
+        PdcUnit {
+            code: "AP",
+            label: "Algorithmic Paradigms",
+            topics: &[
+                t("Divide and conquer as a source of task parallelism", Apply, Core1),
+                t("Recursion and recursive task spawning", Apply, Core1),
+                t("Reduction (map-reduce style aggregation)", Apply, Core1),
+                t("Scan (parallel prefix) and its applications", Comprehend, Core1),
+                t("Embarrassingly parallel (independent task) computations", Apply, Core1),
+                t("Master-worker and work queues", Comprehend, Core1),
+                t("Pipelines and streaming computations", Know, Core1),
+                t("Dynamic programming: bottom-up wavefront parallelism versus top-down memoization", Comprehend, Elective),
+                t("Brute-force and exhaustive search as parallel workloads", Apply, Core1),
+                t("Blocking and tiling for locality", Know, Elective),
+            ],
+        },
+        PdcUnit {
+            code: "APROB",
+            label: "Algorithmic Problems",
+            topics: &[
+                t("Parallel communication operations: broadcast, scatter, gather", Comprehend, Core1),
+                t("Asynchrony and synchronization in algorithm design", Know, Core1),
+                t("Parallel sorting algorithms such as parallel merge sort", Comprehend, Core1),
+                t("Parallel search over structured and unstructured spaces", Know, Core1),
+                t("Parallel matrix computations (matrix-vector, matrix-matrix)", Comprehend, Elective),
+                t("Parallel graph algorithms: traversal and connectivity", Know, Elective),
+                t("Topological sort and scheduling of task graphs", Comprehend, Elective),
+                t("List scheduling and critical-path scheduling heuristics", Know, Elective),
+                t("Termination detection of distributed computations", Know, Elective),
+                t("Leader election and symmetry breaking", Know, Elective),
+            ],
+        },
+    ],
+};
+
+static CROSSCUT: PdcArea = PdcArea {
+    code: "XCUT",
+    label: "Cross-Cutting and Advanced Topics",
+    units: &[
+        PdcUnit {
+            code: "HLT",
+            label: "High-Level Themes",
+            topics: &[
+                t("Why and what is parallel/distributed computing", Know, Core1),
+                t("The power wall and the inevitability of parallel hardware", Know, Core1),
+                t("Concurrency as a pervasive system phenomenon", Know, Core1),
+                t("Locality as a cross-cutting performance principle", Know, Core1),
+            ],
+        },
+        PdcUnit {
+            code: "XTOP",
+            label: "Cross-Cutting Topics",
+            topics: &[
+                t("Nondeterminism as a cross-cutting concern", Know, Core1),
+                t("Power consumption as a design constraint", Know, Core1),
+                t("Fault tolerance in large-scale systems", Know, Elective),
+                t("Distributed resource management and scheduling", Know, Elective),
+                t("Security in distributed systems", Know, Elective),
+                t("Performance modeling across the stack", Know, Elective),
+            ],
+        },
+        PdcUnit {
+            code: "ADV",
+            label: "Advanced Topics",
+            topics: &[
+                t("Cluster and data-center computing", Know, Elective),
+                t("Cloud computing and elasticity", Know, Elective),
+                t("Consistency in distributed transactions", Know, Elective),
+                t("Web search as a massively parallel workload", Know, Elective),
+                t("Social networking analysis at scale", Know, Elective),
+                t("Collaborative and peer-to-peer systems", Know, Elective),
+            ],
+        },
+    ],
+};
+
+/// Build a fresh PDC12 ontology. Prefer [`crate::pdc12()`] which caches.
+pub fn build() -> Ontology {
+    build_pdc_ontology(
+        "NSF/IEEE-TCPP PDC 2012",
+        &[&ARCHITECTURE, &PROGRAMMING, &ALGORITHMS, &CROSSCUT],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ontology::{Bloom, Level, Tier};
+
+    #[test]
+    fn has_four_areas() {
+        let o = build();
+        let areas: Vec<&str> = o
+            .at_level(Level::KnowledgeArea)
+            .map(|id| o.node(id).code.as_str())
+            .collect();
+        assert_eq!(areas, vec!["ARCH", "PROG", "ALG", "XCUT"]);
+    }
+
+    #[test]
+    fn every_topic_has_bloom() {
+        let o = build();
+        for id in o.at_level(Level::Topic) {
+            assert!(o.node(id).bloom.is_some(), "{} lacks Bloom", o.node(id).code);
+        }
+    }
+
+    #[test]
+    fn two_tier_structure_core_and_elective_only() {
+        let o = build();
+        for id in o.at_level(Level::Topic) {
+            let t = o.node(id).tier;
+            assert!(
+                t == Tier::Core1 || t == Tier::Elective,
+                "PDC12 exposes only core and elective, found {t:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn anchors_named_in_section_5_2_are_present() {
+        let o = build();
+        let labels: Vec<String> = o
+            .nodes()
+            .iter()
+            .map(|n| n.label.to_lowercase())
+            .collect();
+        for needle in [
+            "floating-point reduction order",
+            "parallel loops",
+            "futures and promises",
+            "thread safety of library types",
+            "directed acyclic graphs",
+            "critical path",
+            "list scheduling",
+            "topological sort",
+            "dynamic programming",
+            "brute-force",
+        ] {
+            assert!(
+                labels.iter().any(|l| l.contains(needle)),
+                "PDC12 must contain an anchorable topic for {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn core_topics_have_sensible_blooms() {
+        let o = build();
+        let mut apply = 0;
+        for id in o.at_level(Level::Topic) {
+            if o.node(id).bloom == Some(Bloom::Apply) {
+                apply += 1;
+            }
+        }
+        assert!(apply >= 10, "expected a rich set of Apply-level topics, got {apply}");
+    }
+
+    #[test]
+    fn validates_and_has_size() {
+        let o = build();
+        o.validate().expect("valid");
+        assert!(o.leaf_items().len() >= 80, "PDC12 should have 80+ topics");
+    }
+}

@@ -1,0 +1,97 @@
+//! Compact static-data format for declaring guideline content.
+//!
+//! The CS2013 and PDC12 data modules declare their knowledge areas as
+//! `const` tables of [`Ka`]/[`Ku`] and the loader lowers them into an
+//! [`Ontology`](crate::ontology::Ontology). Keeping the guideline text as
+//! plain static data makes the (large) data modules cheap to audit against
+//! the published guidelines.
+
+use crate::ontology::{Bloom, Mastery, Ontology, OntologyBuilder, Tier};
+
+/// Static description of a knowledge unit.
+pub struct Ku {
+    /// Short code unique within the knowledge area (e.g. `"FPC"`).
+    pub code: &'static str,
+    /// Published name of the unit.
+    pub label: &'static str,
+    /// Coverage tier of the unit.
+    pub tier: Tier,
+    /// Topic strings, in guideline order.
+    pub topics: &'static [&'static str],
+    /// Learning outcomes with mastery levels.
+    pub outcomes: &'static [(&'static str, Mastery)],
+}
+
+/// Static description of a knowledge area.
+pub struct Ka {
+    /// Short code (e.g. `"SDF"`).
+    pub code: &'static str,
+    /// Published name of the area.
+    pub label: &'static str,
+    /// Knowledge units in guideline order.
+    pub units: &'static [Ku],
+}
+
+/// Static description of a PDC12 topic (Bloom level + tier).
+pub struct PdcTopic {
+    /// Topic string.
+    pub label: &'static str,
+    /// Expected Bloom level.
+    pub bloom: Bloom,
+    /// Core or elective.
+    pub tier: Tier,
+}
+
+/// Static description of a PDC12 sub-area.
+pub struct PdcUnit {
+    /// Short code unique within the area.
+    pub code: &'static str,
+    /// Published name.
+    pub label: &'static str,
+    /// Topics with Bloom levels.
+    pub topics: &'static [PdcTopic],
+}
+
+/// Static description of a PDC12 area (Algorithms / Architecture /
+/// Programming / Cross-Cutting).
+pub struct PdcArea {
+    /// Short code (e.g. `"ALG"`).
+    pub code: &'static str,
+    /// Published name.
+    pub label: &'static str,
+    /// Sub-areas.
+    pub units: &'static [PdcUnit],
+}
+
+/// Lower a list of knowledge areas into an ontology.
+pub fn build_cs_ontology(name: &str, areas: &[&Ka]) -> Ontology {
+    let mut b = OntologyBuilder::new(name);
+    for ka in areas {
+        let ka_id = b.knowledge_area(ka.code, ka.label);
+        for ku in ka.units {
+            let ku_id = b.knowledge_unit(ka_id, ku.code, ku.label, ku.tier);
+            for t in ku.topics {
+                b.topic(ku_id, t);
+            }
+            for (o, m) in ku.outcomes {
+                b.outcome(ku_id, o, *m);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Lower a list of PDC areas into an ontology.
+pub fn build_pdc_ontology(name: &str, areas: &[&PdcArea]) -> Ontology {
+    let mut b = OntologyBuilder::new(name);
+    for area in areas {
+        let ka_id = b.knowledge_area(area.code, area.label);
+        for unit in area.units {
+            let ku_id = b.knowledge_unit(ka_id, unit.code, unit.label, Tier::Core1);
+            for t in unit.topics {
+                b.bloom_topic(ku_id, t.label, t.bloom, t.tier);
+            }
+        }
+    }
+    b.build()
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the ontology tree laws over the real CS2013 and
+//! PDC12 data.
+
+use anchors_curricula::{cs2013, pdc12, Level, NodeId, Ontology};
+use proptest::prelude::*;
+
+fn guideline() -> impl Strategy<Value = &'static Ontology> {
+    prop_oneof![Just(cs2013()), Just(pdc12())]
+}
+
+proptest! {
+    #[test]
+    fn path_starts_at_root_ends_at_node(g in guideline(), idx in 0usize..600) {
+        let id = NodeId((idx % g.len()) as u32);
+        let path = g.path(id);
+        prop_assert_eq!(path[0], g.root());
+        prop_assert_eq!(*path.last().unwrap(), id);
+        // Consecutive path entries are parent/child.
+        for w in path.windows(2) {
+            prop_assert_eq!(g.node(w[1]).parent, Some(w[0]));
+        }
+    }
+
+    #[test]
+    fn ancestorhood_is_reflexive_and_antisymmetric(g in guideline(), i in 0usize..600, j in 0usize..600) {
+        let a = NodeId((i % g.len()) as u32);
+        let b = NodeId((j % g.len()) as u32);
+        prop_assert!(g.is_ancestor(a, a));
+        if a != b && g.is_ancestor(a, b) {
+            prop_assert!(!g.is_ancestor(b, a), "two distinct nodes cannot be mutual ancestors");
+        }
+    }
+
+    #[test]
+    fn knowledge_area_is_on_path(g in guideline(), idx in 0usize..600) {
+        let id = NodeId((idx % g.len()) as u32);
+        if let Some(ka) = g.knowledge_area_of(id) {
+            prop_assert!(g.is_ancestor(ka, id));
+            prop_assert_eq!(g.node(ka).level, Level::KnowledgeArea);
+        } else {
+            prop_assert_eq!(id, g.root());
+        }
+    }
+
+    #[test]
+    fn leaves_under_are_descendants(g in guideline(), idx in 0usize..600) {
+        let id = NodeId((idx % g.len()) as u32);
+        for leaf in g.leaves_under(id) {
+            prop_assert!(g.is_ancestor(id, leaf));
+            prop_assert!(matches!(
+                g.node(leaf).level,
+                Level::Topic | Level::LearningOutcome
+            ));
+        }
+    }
+
+    #[test]
+    fn preorder_of_subtree_contains_exactly_descendants(g in guideline(), idx in 0usize..600) {
+        let id = NodeId((idx % g.len()) as u32);
+        let sub = g.preorder(id);
+        for &n in &sub {
+            prop_assert!(g.is_ancestor(id, n));
+        }
+        // Size sanity: leaves_under is a subset of the preorder.
+        prop_assert!(g.leaves_under(id).len() < sub.len() || sub.len() == 1);
+    }
+
+    #[test]
+    fn codes_roundtrip(g in guideline(), idx in 0usize..600) {
+        let id = NodeId((idx % g.len()) as u32);
+        let code = &g.node(id).code;
+        prop_assert_eq!(g.by_code(code), Some(id));
+    }
+}
+
+#[test]
+fn ontologies_validate() {
+    cs2013().validate().expect("CS2013 valid");
+    pdc12().validate().expect("PDC12 valid");
+}
+
+#[test]
+fn serde_roundtrip_full_guidelines() {
+    for g in [cs2013(), pdc12()] {
+        let json = serde_json::to_string(g).expect("serialize");
+        let mut back: Ontology = serde_json::from_str(&json).expect("deserialize");
+        back.reindex();
+        back.validate().expect("valid after roundtrip");
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.leaf_items().len(), g.leaf_items().len());
+    }
+}

@@ -1,0 +1,420 @@
+//! Clustering substrates: k-means (used by spectral co-clustering and
+//! consensus analysis) and agglomerative hierarchical clustering with
+//! cophenetic correlation (a standard NNMF rank-stability diagnostic).
+
+use anchors_linalg::stats::pearson;
+use anchors_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Cluster index per row of the input.
+    pub labels: Vec<usize>,
+    /// Centroids (`k × features`).
+    pub centroids: Matrix,
+    /// Final within-cluster sum of squares.
+    pub inertia: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Lloyd's k-means with k-means++ seeding. Deterministic for a fixed seed.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > rows`.
+#[allow(clippy::needless_range_loop)] // index form mirrors the math
+pub fn kmeans(data: &Matrix, k: usize, max_iter: usize, seed: u64) -> KMeans {
+    let (n, p) = data.shape();
+    assert!(k > 0 && k <= n, "k = {k} out of range for {n} points");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids = Matrix::zeros(k, p);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+    let mut d2 = vec![f64::INFINITY; n];
+    for c in 1..k {
+        for i in 0..n {
+            let dist = sq_dist(data.row(i), centroids.row(c - 1));
+            if dist < d2[i] {
+                d2[i] = dist;
+            }
+        }
+        let total: f64 = d2.iter().sum();
+        let pick = if total > 0.0 {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        } else {
+            rng.gen_range(0..n)
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(pick));
+    }
+
+    let mut labels = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        // Assign.
+        let mut changed = false;
+        for i in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let d = sq_dist(data.row(i), centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut counts = vec![0usize; k];
+        let mut sums = Matrix::zeros(k, p);
+        for i in 0..n {
+            counts[labels[i]] += 1;
+            let row = data.row(i);
+            for (s, &v) in sums.row_mut(labels[i]).iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f64;
+                for (cv, &sv) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                    *cv = sv * inv;
+                }
+            } else {
+                // Empty cluster: reseed on the farthest point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        sq_dist(data.row(a), centroids.row(labels[a]))
+                            .partial_cmp(&sq_dist(data.row(b), centroids.row(labels[b])))
+                            .expect("finite distances")
+                    })
+                    .unwrap_or(0);
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+    let inertia = (0..n)
+        .map(|i| sq_dist(data.row(i), centroids.row(labels[i])))
+        .sum();
+    KMeans {
+        labels,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Linkage criterion for hierarchical clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance between clusters.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Mean pairwise distance (UPGMA).
+    Average,
+}
+
+/// One merge step of a dendrogram: clusters `a` and `b` (indices into the
+/// sequence `0..n` of leaves followed by earlier merges `n..n+step`) joined
+/// at `height`.
+#[derive(Debug, Clone)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Merge height (linkage distance).
+    pub height: f64,
+    /// Size of the merged cluster.
+    pub size: usize,
+}
+
+/// A dendrogram over `n` leaves (`n − 1` merges).
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    /// Number of leaves.
+    pub n: usize,
+    /// Merge steps in order of increasing height.
+    pub merges: Vec<Merge>,
+}
+
+/// Agglomerative clustering of a distance matrix (Lance–Williams updates).
+///
+/// # Panics
+/// Panics if `d` is not square.
+#[allow(clippy::needless_range_loop)] // slot indices address several arrays
+pub fn hierarchical(d: &Matrix, linkage: Linkage) -> Dendrogram {
+    let n = d.rows();
+    assert_eq!(n, d.cols(), "hierarchical clustering needs a square matrix");
+    if n == 0 {
+        return Dendrogram { n, merges: vec![] };
+    }
+    // Active cluster list; distances kept in a mutable working copy indexed
+    // by cluster slot.
+    let mut dist = d.clone();
+    let mut active: Vec<usize> = (0..n).collect(); // cluster ids
+    let mut sizes = vec![1usize; n];
+    let mut slot_of: Vec<usize> = (0..n).collect(); // cluster id → slot
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+
+    // Work over slots; a merge frees one slot.
+    let mut alive: Vec<bool> = vec![true; n];
+    for _step in 0..n.saturating_sub(1) {
+        // Find closest pair of alive slots.
+        let (mut bi, mut bj, mut bd) = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !alive[j] {
+                    continue;
+                }
+                let v = dist.get(i, j);
+                if v < bd {
+                    bd = v;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let (si, sj) = (sizes[bi], sizes[bj]);
+        // Update distances of the merged cluster (kept in slot bi).
+        for t in 0..n {
+            if !alive[t] || t == bi || t == bj {
+                continue;
+            }
+            let dti = dist.get(t, bi);
+            let dtj = dist.get(t, bj);
+            let nd = match linkage {
+                Linkage::Single => dti.min(dtj),
+                Linkage::Complete => dti.max(dtj),
+                Linkage::Average => {
+                    (si as f64 * dti + sj as f64 * dtj) / (si + sj) as f64
+                }
+            };
+            dist.set(t, bi, nd);
+            dist.set(bi, t, nd);
+        }
+        merges.push(Merge {
+            a: active[bi],
+            b: active[bj],
+            height: bd,
+            size: si + sj,
+        });
+        sizes[bi] = si + sj;
+        active[bi] = next_id;
+        slot_of.push(bi);
+        alive[bj] = false;
+        next_id += 1;
+    }
+    Dendrogram { n, merges }
+}
+
+impl Dendrogram {
+    /// Cut the dendrogram into `k` clusters; returns a label per leaf.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `k > n`.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k > 0 && k <= self.n.max(1), "cut k out of range");
+        // Union-find over leaves applying merges until k clusters remain.
+        let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut r = x;
+            while parent[r] != r {
+                parent[r] = parent[parent[r]];
+                r = parent[r];
+            }
+            r
+        }
+        let to_apply = self.n.saturating_sub(k);
+        for (step, m) in self.merges.iter().take(to_apply).enumerate() {
+            let id = self.n + step;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = id;
+            parent[rb] = id;
+        }
+        // Relabel roots densely.
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n);
+        for leaf in 0..self.n {
+            let r = find(&mut parent, leaf);
+            let next = label_of_root.len();
+            let l = *label_of_root.entry(r).or_insert(next);
+            labels.push(l);
+        }
+        labels
+    }
+
+    /// Cophenetic distance matrix: entry `(i, j)` is the height at which
+    /// leaves `i` and `j` first share a cluster.
+    pub fn cophenetic_matrix(&self) -> Matrix {
+        let total = self.n + self.merges.len();
+        let mut members: Vec<Vec<usize>> = (0..self.n).map(|i| vec![i]).collect();
+        members.resize(total, vec![]);
+        let mut coph = Matrix::zeros(self.n, self.n);
+        for (step, m) in self.merges.iter().enumerate() {
+            let id = self.n + step;
+            let (la, lb) = (members[m.a].clone(), members[m.b].clone());
+            for &x in &la {
+                for &y in &lb {
+                    coph.set(x, y, m.height);
+                    coph.set(y, x, m.height);
+                }
+            }
+            let mut merged = la;
+            merged.extend(lb);
+            members[id] = merged;
+        }
+        coph
+    }
+
+    /// Cophenetic correlation coefficient against the original distances:
+    /// Pearson correlation of the upper triangles. Close to 1 means the
+    /// dendrogram faithfully preserves the distances — used as the NNMF
+    /// rank-stability score.
+    pub fn cophenetic_correlation(&self, d: &Matrix) -> f64 {
+        let coph = self.cophenetic_matrix();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                xs.push(d.get(i, j));
+                ys.push(coph.get(i, j));
+            }
+        }
+        pearson(&xs, &ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_linalg::{pairwise_distances, Metric};
+
+    fn two_blobs() -> Matrix {
+        Matrix::from_fn(10, 2, |i, j| {
+            let base = if i < 5 { 0.0 } else { 10.0 };
+            base + ((i * 7 + j * 3) % 5) as f64 * 0.1
+        })
+    }
+
+    #[test]
+    fn kmeans_separates_blobs() {
+        let data = two_blobs();
+        let km = kmeans(&data, 2, 100, 1);
+        let first = km.labels[0];
+        assert!(km.labels[..5].iter().all(|&l| l == first));
+        assert!(km.labels[5..].iter().all(|&l| l != first));
+        assert!(km.inertia < 5.0);
+    }
+
+    #[test]
+    fn kmeans_deterministic_and_k_equals_n() {
+        let data = two_blobs();
+        let a = kmeans(&data, 2, 50, 9);
+        let b = kmeans(&data, 2, 50, 9);
+        assert_eq!(a.labels, b.labels);
+        let full = kmeans(&data, 10, 10, 1);
+        assert!(full.inertia < 1e-12, "k = n puts every point on a centroid");
+    }
+
+    #[test]
+    fn hierarchical_merges_blobs_last() {
+        let data = two_blobs();
+        let d = pairwise_distances(&data, Metric::Euclidean);
+        for link in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dend = hierarchical(&d, link);
+            assert_eq!(dend.merges.len(), 9);
+            // The final merge joins the two blobs: its height is large.
+            let last = dend.merges.last().unwrap();
+            assert!(last.height > 5.0, "{link:?}: {}", last.height);
+            assert_eq!(last.size, 10);
+            // Heights non-decreasing for single/average/complete on metric data.
+            let labels = dend.cut(2);
+            let first = labels[0];
+            assert!(labels[..5].iter().all(|&l| l == first));
+            assert!(labels[5..].iter().all(|&l| l != first));
+        }
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let data = two_blobs();
+        let d = pairwise_distances(&data, Metric::Euclidean);
+        let dend = hierarchical(&d, Linkage::Average);
+        let all = dend.cut(1);
+        assert!(all.iter().all(|&l| l == 0));
+        let each = dend.cut(10);
+        let mut sorted = each.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "k = n gives singleton clusters");
+    }
+
+    #[test]
+    fn cophenetic_correlation_high_on_clean_blobs() {
+        let data = two_blobs();
+        let d = pairwise_distances(&data, Metric::Euclidean);
+        let dend = hierarchical(&d, Linkage::Average);
+        let c = dend.cophenetic_correlation(&d);
+        assert!(c > 0.9, "clean blob structure should have high CCC, got {c}");
+    }
+
+    #[test]
+    fn cophenetic_matrix_properties() {
+        let data = two_blobs();
+        let d = pairwise_distances(&data, Metric::Euclidean);
+        let dend = hierarchical(&d, Linkage::Single);
+        let coph = dend.cophenetic_matrix();
+        // Symmetric, zero diagonal, and single-linkage cophenetic ≤ original.
+        for i in 0..10 {
+            assert_eq!(coph.get(i, i), 0.0);
+            for j in 0..10 {
+                assert_eq!(coph.get(i, j), coph.get(j, i));
+                if i != j {
+                    assert!(coph.get(i, j) <= d.get(i, j) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let dend = hierarchical(&Matrix::zeros(0, 0), Linkage::Average);
+        assert!(dend.merges.is_empty());
+        let one = hierarchical(&Matrix::zeros(1, 1), Linkage::Average);
+        assert!(one.merges.is_empty());
+        assert_eq!(one.cut(1), vec![0]);
+    }
+}

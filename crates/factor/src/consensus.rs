@@ -1,0 +1,210 @@
+//! Consensus clustering across NNMF restarts (Brunet et al. 2004) — the
+//! quantitative rank-stability diagnostic complementing the paper's manual
+//! §4.4 inspection.
+//!
+//! For a candidate rank `k`, NNMF is run from many random restarts; each
+//! run clusters rows by dominant type. The *consensus matrix* records how
+//! often two rows co-cluster. If `k` matches real structure, co-clustering
+//! is all-or-nothing (entries near 0/1); an unstable `k` yields diffuse
+//! values. Stability is summarized by the dispersion coefficient and the
+//! cophenetic correlation of the consensus matrix.
+
+use crate::cluster::{hierarchical, Linkage};
+use crate::nnmf::{nnmf, NnmfConfig};
+use anchors_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Consensus statistics for one candidate rank.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsensusStats {
+    /// The rank evaluated.
+    pub k: usize,
+    /// Number of restarts aggregated.
+    pub runs: usize,
+    /// Dispersion `ρ = (1/n²) Σ 4(c_ij − ½)²` (1 = perfectly stable).
+    pub dispersion: f64,
+    /// Cophenetic correlation of the consensus matrix (1 = perfectly
+    /// hierarchical co-clustering structure).
+    pub cophenetic: f64,
+}
+
+/// The consensus matrix plus its stability statistics.
+#[derive(Debug, Clone)]
+pub struct Consensus {
+    /// Symmetric `n × n` co-clustering frequency matrix (diagonal = 1).
+    pub matrix: Matrix,
+    /// Summary statistics.
+    pub stats: ConsensusStats,
+}
+
+/// Compute the consensus over `runs` single-restart NNMF fits at rank `k`.
+///
+/// Each run uses seed `base.seed + run` with `restarts = 1`, so the
+/// consensus reflects genuine restart-to-restart variability.
+///
+/// # Panics
+/// Panics under the same conditions as [`nnmf`].
+pub fn consensus(a: &Matrix, k: usize, runs: usize, base: &NnmfConfig) -> Consensus {
+    let n = a.rows();
+    let runs = runs.max(1);
+    let mut counts = Matrix::zeros(n, n);
+    for r in 0..runs {
+        let cfg = NnmfConfig {
+            k,
+            restarts: 1,
+            seed: base.seed.wrapping_add(r as u64),
+            ..base.clone()
+        };
+        let model = nnmf(a, &cfg);
+        let labels = model.dominant_types();
+        for i in 0..n {
+            for j in 0..n {
+                if labels[i] == labels[j] {
+                    let v = counts.get(i, j);
+                    counts.set(i, j, v + 1.0);
+                }
+            }
+        }
+    }
+    let c = counts.map(|v| v / runs as f64);
+
+    // Dispersion: 1 when all entries are 0 or 1.
+    let dispersion = if n == 0 {
+        1.0
+    } else {
+        c.as_slice()
+            .iter()
+            .map(|&v| 4.0 * (v - 0.5) * (v - 0.5))
+            .sum::<f64>()
+            / (n * n) as f64
+    };
+
+    // Cophenetic correlation: cluster the consensus *distance* (1 − c).
+    let cophenetic = if n < 3 {
+        1.0
+    } else {
+        let d = c.map(|v| 1.0 - v);
+        let dend = hierarchical(&d, Linkage::Average);
+        dend.cophenetic_correlation(&d)
+    };
+
+    Consensus {
+        matrix: c,
+        stats: ConsensusStats {
+            k,
+            runs,
+            dispersion,
+            cophenetic,
+        },
+    }
+}
+
+/// Scan ranks and return the stats per `k` (used by the rank-ablation
+/// bench and the model-selection example).
+pub fn consensus_scan(
+    a: &Matrix,
+    k_range: std::ops::RangeInclusive<usize>,
+    runs: usize,
+    base: &NnmfConfig,
+) -> Vec<ConsensusStats> {
+    k_range.map(|k| consensus(a, k, runs, base).stats).collect()
+}
+
+/// Pick the rank with the highest dispersion (ties → smaller k, favoring
+/// parsimony).
+pub fn select_rank_by_consensus(scan: &[ConsensusStats]) -> usize {
+    scan.iter()
+        .max_by(|a, b| {
+            a.dispersion
+                .partial_cmp(&b.dispersion)
+                .expect("finite dispersion")
+                .then(b.k.cmp(&a.k))
+        })
+        .map(|s| s.k)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Clean three-block matrix: rank 3 should be maximally stable.
+    fn blocks() -> Matrix {
+        Matrix::from_fn(12, 15, |i, j| {
+            if i / 4 == j / 5 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn base() -> NnmfConfig {
+        NnmfConfig {
+            max_iter: 100,
+            ..NnmfConfig::paper_default(3)
+        }
+    }
+
+    #[test]
+    fn consensus_matrix_properties() {
+        let a = blocks();
+        let c = consensus(&a, 3, 8, &base());
+        let n = a.rows();
+        assert_eq!(c.matrix.shape(), (n, n));
+        for i in 0..n {
+            assert_eq!(c.matrix.get(i, i), 1.0, "diagonal is always co-clustered");
+            for j in 0..n {
+                let v = c.matrix.get(i, j);
+                assert!((0.0..=1.0).contains(&v));
+                assert_eq!(v, c.matrix.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn true_rank_is_perfectly_stable() {
+        let a = blocks();
+        let c = consensus(&a, 3, 10, &base());
+        assert!(
+            c.stats.dispersion > 0.95,
+            "k = true rank must co-cluster identically across restarts, ρ = {}",
+            c.stats.dispersion
+        );
+        assert!(c.stats.cophenetic > 0.9);
+    }
+
+    #[test]
+    fn overfit_rank_is_less_stable() {
+        let a = blocks();
+        let c3 = consensus(&a, 3, 10, &base());
+        let c5 = consensus(&a, 5, 10, &base());
+        assert!(
+            c5.stats.dispersion <= c3.stats.dispersion + 1e-9,
+            "k beyond the true rank cannot be more stable ({} vs {})",
+            c5.stats.dispersion,
+            c3.stats.dispersion
+        );
+    }
+
+    #[test]
+    fn scan_and_selection() {
+        let a = blocks();
+        let scan = consensus_scan(&a, 2..=5, 8, &base());
+        assert_eq!(scan.len(), 4);
+        let k = select_rank_by_consensus(&scan);
+        assert!(
+            k == 3 || k == 2,
+            "selection favors a stable parsimonious rank, got {k}"
+        );
+    }
+
+    #[test]
+    fn single_run_is_degenerate_but_valid() {
+        let a = blocks();
+        let c = consensus(&a, 3, 1, &base());
+        // With one run every co-cluster entry is 0 or 1 ⇒ dispersion 1.
+        assert_eq!(c.stats.dispersion, 1.0);
+        assert_eq!(c.stats.runs, 1);
+    }
+}

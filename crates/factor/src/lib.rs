@@ -1,0 +1,38 @@
+//! # anchors-factor
+//!
+//! Unsupervised-learning layer of the `pdc-anchors` reproduction:
+//!
+//! * [`nnmf`] — non-negative matrix factorization (the paper's §4.1
+//!   method): Lee–Seung multiplicative updates and HALS coordinate descent,
+//!   random/NNDSVD initialization, multi-restart;
+//! * [`rank`] — rank-selection diagnostics mechanizing the paper's §4.4
+//!   manual inspection (duplicate-dimension overfit signal, separation);
+//! * [`pca`], [`mds`] — the dimension-reduction baselines named in the
+//!   threats-to-validity section (classical MDS + SMACOF);
+//! * [`bicluster`] — spectral co-clustering behind the CS Materials matrix
+//!   view (§3.1.1);
+//! * [`cluster`] — k-means and agglomerative hierarchical clustering with
+//!   cophenetic correlation.
+
+pub mod bicluster;
+pub mod cluster;
+pub mod consensus;
+pub mod init;
+pub mod mds;
+pub mod nnmf;
+pub mod pca;
+pub mod rank;
+pub mod sparse_nnmf;
+
+pub use bicluster::{block_purity, spectral_cocluster, Bicluster};
+pub use cluster::{hierarchical, kmeans, Dendrogram, KMeans, Linkage, Merge};
+pub use consensus::{consensus, consensus_scan, select_rank_by_consensus, Consensus, ConsensusStats};
+pub use init::Init;
+pub use mds::{classical_mds, smacof, stress_of, MdsEmbedding};
+pub use nnmf::{loss, nnmf, NnmfConfig, NnmfModel, Solver};
+pub use pca::{pca, Pca};
+pub use sparse_nnmf::{nnmf_sparse, sparse_loss};
+pub use rank::{
+    duplicate_dimension_score, rank_scan, select_rank, separation_score, RankDiagnostics,
+    DUPLICATE_THRESHOLD,
+};

@@ -1,0 +1,248 @@
+//! Multidimensional scaling.
+//!
+//! The paper uses MDS twice: to lay out search results in 2D ("the
+//! similarities are then passed to a Multidimensional Scaling algorithm to
+//! map the materials to a 2D location") and names it as an alternative
+//! dimension-reduction baseline. Two algorithms:
+//!
+//! * [`classical_mds`] — Torgerson: double-center the squared distances and
+//!   take the top eigenpairs. Exact for Euclidean distance matrices.
+//! * [`smacof`] — iterative stress majorization; handles non-Euclidean
+//!   dissimilarities (e.g. Jaccard distances of tag sets) better.
+
+use anchors_linalg::distance::validate_distance_matrix;
+use anchors_linalg::{matmul, pairwise_distances, sym_eigen, Matrix, Metric};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Result of an MDS embedding.
+#[derive(Debug, Clone)]
+pub struct MdsEmbedding {
+    /// Point coordinates (`n × dims`).
+    pub points: Matrix,
+    /// Final stress (`0` for classical MDS on perfectly Euclidean input).
+    pub stress: f64,
+    /// Iterations used (0 for classical).
+    pub iterations: usize,
+}
+
+/// Classical (Torgerson) MDS of a distance matrix into `dims` dimensions.
+///
+/// # Panics
+/// Panics if `d` is not a valid distance matrix.
+pub fn classical_mds(d: &Matrix, dims: usize) -> MdsEmbedding {
+    validate_distance_matrix(d).expect("classical_mds requires a valid distance matrix");
+    let n = d.rows();
+    if n == 0 || dims == 0 {
+        return MdsEmbedding {
+            points: Matrix::zeros(n, dims),
+            stress: 0.0,
+            iterations: 0,
+        };
+    }
+    // B = -1/2 J D² J with J = I - (1/n) 11ᵀ.
+    let d2 = d.map(|v| v * v);
+    let row_means = {
+        let mut m = d2.row_sums();
+        for v in &mut m {
+            *v /= n as f64;
+        }
+        m
+    };
+    let grand = d2.sum() / (n * n) as f64;
+    let b = Matrix::from_fn(n, n, |i, j| {
+        -0.5 * (d2.get(i, j) - row_means[i] - row_means[j] + grand)
+    });
+    let eig = sym_eigen(&b);
+    let mut points = Matrix::zeros(n, dims);
+    for t in 0..dims.min(n) {
+        let lam = eig.values[t];
+        if lam <= 0.0 {
+            break; // remaining dimensions carry no positive variance
+        }
+        let scale = lam.sqrt();
+        for i in 0..n {
+            points.set(i, t, eig.vectors.get(i, t) * scale);
+        }
+    }
+    let stress = stress_of(&points, d);
+    MdsEmbedding {
+        points,
+        stress,
+        iterations: 0,
+    }
+}
+
+/// Raw stress `Σ_{i<j} (d_ij − δ_ij)²` normalized by `Σ δ_ij²`, where `δ`
+/// are the target dissimilarities and `d` the embedded distances.
+pub fn stress_of(points: &Matrix, target: &Matrix) -> f64 {
+    let n = target.rows();
+    let emb = pairwise_distances(points, Metric::Euclidean);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let delta = target.get(i, j);
+            let dij = emb.get(i, j);
+            num += (dij - delta) * (dij - delta);
+            den += delta * delta;
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// SMACOF stress majorization.
+///
+/// Starts from the classical solution (or random if degenerate) and applies
+/// Guttman transforms until the stress improvement drops below `tol`.
+///
+/// # Panics
+/// Panics if `d` is not a valid distance matrix.
+pub fn smacof(d: &Matrix, dims: usize, max_iter: usize, tol: f64, seed: u64) -> MdsEmbedding {
+    validate_distance_matrix(d).expect("smacof requires a valid distance matrix");
+    let n = d.rows();
+    if n == 0 || dims == 0 {
+        return MdsEmbedding {
+            points: Matrix::zeros(n, dims),
+            stress: 0.0,
+            iterations: 0,
+        };
+    }
+    let mut x = classical_mds(d, dims).points;
+    // Degenerate start (all zero) → random jitter.
+    if anchors_linalg::frobenius(&x) < 1e-12 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        x = Matrix::from_fn(n, dims, |_, _| rng.gen::<f64>() - 0.5);
+    }
+    let mut stress = stress_of(&x, d);
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        // Guttman transform: X' = (1/n) B(X) X with
+        // B(X)_ij = -δ_ij / d_ij (i≠j), B_ii = -Σ_j B_ij.
+        let emb = pairwise_distances(&x, Metric::Euclidean);
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            let mut diag = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dij = emb.get(i, j);
+                let v = if dij > 1e-12 { -d.get(i, j) / dij } else { 0.0 };
+                b.set(i, j, v);
+                diag -= v;
+            }
+            b.set(i, i, diag);
+        }
+        let xn = anchors_linalg::ops::scale(&matmul(&b, &x), 1.0 / n as f64);
+        let new_stress = stress_of(&xn, d);
+        iterations = it + 1;
+        let improved = stress - new_stress;
+        x = xn;
+        stress = new_stress;
+        if improved.abs() < tol {
+            break;
+        }
+    }
+    MdsEmbedding {
+        points: x,
+        stress,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Distances of points at known planar positions.
+    fn planar_distances() -> (Matrix, Matrix) {
+        let pts = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+        ]);
+        let d = pairwise_distances(&pts, Metric::Euclidean);
+        (pts, d)
+    }
+
+    #[test]
+    fn classical_recovers_planar_distances() {
+        let (_, d) = planar_distances();
+        let emb = classical_mds(&d, 2);
+        assert!(
+            emb.stress < 1e-10,
+            "Euclidean input should embed exactly, stress {}",
+            emb.stress
+        );
+        let emb_d = pairwise_distances(&emb.points, Metric::Euclidean);
+        assert!(emb_d.approx_eq(&d, 1e-8));
+    }
+
+    #[test]
+    fn one_dimensional_line() {
+        // Colinear points: distances along a line embed exactly in 1D.
+        let pts = Matrix::from_rows(&[vec![0.0], vec![2.0], vec![5.0]]);
+        let d = pairwise_distances(&pts, Metric::Euclidean);
+        let emb = classical_mds(&d, 1);
+        assert!(emb.stress < 1e-10);
+    }
+
+    #[test]
+    fn smacof_improves_or_matches_classical_on_non_euclidean() {
+        // Jaccard-like distances: not exactly Euclidean.
+        let mut d = Matrix::zeros(4, 4);
+        let vals = [(0, 1, 0.9), (0, 2, 0.5), (0, 3, 1.0), (1, 2, 0.4), (1, 3, 0.7), (2, 3, 0.6)];
+        for &(i, j, v) in &vals {
+            d.set(i, j, v);
+            d.set(j, i, v);
+        }
+        let c = classical_mds(&d, 2);
+        let s = smacof(&d, 2, 300, 1e-10, 11);
+        assert!(
+            s.stress <= c.stress + 1e-9,
+            "SMACOF ({}) must not be worse than its classical start ({})",
+            s.stress,
+            c.stress
+        );
+    }
+
+    #[test]
+    fn smacof_monotone_stress_overall() {
+        let (_, d) = planar_distances();
+        // Perturb to make it non-trivially non-Euclidean.
+        let mut dd = d.clone();
+        dd.set(0, 1, 1.4);
+        dd.set(1, 0, 1.4);
+        let s1 = smacof(&dd, 2, 5, 0.0, 3);
+        let s2 = smacof(&dd, 2, 200, 0.0, 3);
+        assert!(s2.stress <= s1.stress + 1e-12, "more iterations can't hurt");
+    }
+
+    #[test]
+    fn embedding_shape_and_determinism() {
+        let (_, d) = planar_distances();
+        let e1 = smacof(&d, 2, 50, 1e-9, 42);
+        let e2 = smacof(&d, 2, 50, 1e-9, 42);
+        assert_eq!(e1.points, e2.points);
+        assert_eq!(e1.points.shape(), (5, 2));
+    }
+
+    #[test]
+    fn empty_and_zero_dim() {
+        let d = Matrix::zeros(0, 0);
+        let e = classical_mds(&d, 2);
+        assert_eq!(e.points.shape(), (0, 2));
+        let d1 = Matrix::zeros(3, 3);
+        let e1 = classical_mds(&d1, 2);
+        // All-zero distances: every point at the origin, zero stress.
+        assert!(e1.stress.abs() < 1e-12);
+    }
+}

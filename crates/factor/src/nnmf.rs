@@ -1,0 +1,545 @@
+//! Non-negative matrix factorization (Section 4.1 of the paper).
+//!
+//! Factors a nonnegative `A` (courses × curriculum tags) into `W × H` with
+//! `W ≥ 0` (courses × k: course → type intensities) and `H ≥ 0`
+//! (k × tags: type → curriculum profile), minimizing the Frobenius loss
+//! `½‖A − WH‖_F²`.
+//!
+//! Two solvers are provided:
+//!
+//! * [`Solver::MultiplicativeUpdate`] — Lee & Seung (2000). Monotone in the
+//!   Frobenius objective; simple and robust.
+//! * [`Solver::Hals`] — hierarchical alternating least squares (the
+//!   coordinate-descent family scikit-learn defaults to). Typically
+//!   converges in far fewer iterations.
+//!
+//! The paper computes its NNMF "using scikit learn v1.3.0 with default
+//! parameters and random initialization"; [`NnmfConfig::paper_default`]
+//! mirrors that setup (HALS/CD solver, random init) with multi-restart,
+//! keeping the best of several seeded runs since random-init NNMF is only
+//! locally optimal.
+
+use crate::init::{init_factors, Init};
+use anchors_linalg::ops::{matmul, matmul_a_bt, matmul_at_b};
+use anchors_linalg::{frobenius_sq, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Epsilon guarding divisions in the multiplicative updates.
+const EPS: f64 = 1e-12;
+
+/// NNMF solver family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Solver {
+    /// Lee–Seung multiplicative updates (Frobenius objective).
+    MultiplicativeUpdate,
+    /// Hierarchical alternating least squares (coordinate descent).
+    Hals,
+    /// Alternating non-negative least squares: each block subproblem is
+    /// solved exactly with Lawson–Hanson NNLS. Few sweeps, expensive
+    /// sweeps — the quality reference for the other solvers.
+    Anls,
+}
+
+/// Configuration of one NNMF computation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NnmfConfig {
+    /// Number of latent types `k`.
+    pub k: usize,
+    /// Solver family.
+    pub solver: Solver,
+    /// Initialization scheme.
+    pub init: Init,
+    /// Maximum iterations per restart.
+    pub max_iter: usize,
+    /// Relative-improvement convergence tolerance on the loss.
+    pub tol: f64,
+    /// Number of random restarts (best loss wins). Ignored for
+    /// deterministic inits (NNDSVD), which run once.
+    pub restarts: usize,
+    /// RNG seed for the first restart; restart `r` uses `seed + r`.
+    pub seed: u64,
+}
+
+impl NnmfConfig {
+    /// Mirror of the paper's setup: scikit-learn defaults (CD solver, `tol
+    /// = 1e-4`, `max_iter = 200`) with random initialization, plus 8
+    /// restarts for stability.
+    pub fn paper_default(k: usize) -> Self {
+        NnmfConfig {
+            k,
+            solver: Solver::Hals,
+            init: Init::Random,
+            max_iter: 200,
+            tol: 1e-4,
+            restarts: 8,
+            seed: 0x5C_2023,
+        }
+    }
+
+    /// Multiplicative-update variant of the same configuration (ablation
+    /// baseline; MU needs more iterations to reach the same loss).
+    pub fn multiplicative(k: usize) -> Self {
+        NnmfConfig {
+            solver: Solver::MultiplicativeUpdate,
+            max_iter: 500,
+            ..Self::paper_default(k)
+        }
+    }
+
+    /// ANLS variant (exact block subproblems, few sweeps).
+    pub fn anls(k: usize) -> Self {
+        NnmfConfig {
+            solver: Solver::Anls,
+            max_iter: 30,
+            restarts: 2,
+            ..Self::paper_default(k)
+        }
+    }
+}
+
+/// A fitted factorization.
+#[derive(Debug, Clone)]
+pub struct NnmfModel {
+    /// Courses × k loadings.
+    pub w: Matrix,
+    /// k × tags type profiles.
+    pub h: Matrix,
+    /// Final loss `½‖A − WH‖_F²`.
+    pub loss: f64,
+    /// Iterations used by the winning restart.
+    pub iterations: usize,
+    /// Whether the winning restart met `tol` before `max_iter`.
+    pub converged: bool,
+    /// Seed of the winning restart.
+    pub winning_seed: u64,
+}
+
+impl NnmfModel {
+    /// Reconstruction `W × H`.
+    pub fn reconstruct(&self) -> Matrix {
+        matmul(&self.w, &self.h)
+    }
+
+    /// Relative reconstruction error `‖A − WH‖_F / ‖A‖_F`.
+    pub fn relative_error(&self, a: &Matrix) -> f64 {
+        anchors_linalg::relative_error(a, &self.reconstruct())
+    }
+
+    /// Rank (number of types).
+    pub fn k(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Index of the dominant type of each row of `W` (course → type).
+    pub fn dominant_types(&self) -> Vec<usize> {
+        (0..self.w.rows())
+            .map(|i| {
+                let row = self.w.row(i);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite W"))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Normalize so each row of `H` has unit norm, rescaling `W` columns to
+    /// keep `W × H` unchanged. Makes `W` intensities comparable across
+    /// types (used before rendering the Figure 2/5/7 heat maps).
+    pub fn normalize(&mut self) {
+        for t in 0..self.h.rows() {
+            let n = anchors_linalg::norms::norm2(self.h.row(t));
+            if n > 0.0 {
+                for v in self.h.row_mut(t) {
+                    *v /= n;
+                }
+                for i in 0..self.w.rows() {
+                    let v = self.w.get(i, t);
+                    self.w.set(i, t, v * n);
+                }
+            }
+        }
+    }
+
+    /// Top-`n` column indices of type `t`'s profile in `H`, by weight —
+    /// the curriculum tags that define the type.
+    pub fn top_tags_of_type(&self, t: usize, n: usize) -> Vec<(usize, f64)> {
+        let row = self.h.row(t);
+        let mut idx: Vec<(usize, f64)> = row.iter().copied().enumerate().collect();
+        idx.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite H"));
+        idx.truncate(n);
+        idx
+    }
+}
+
+/// Loss `½‖A − WH‖_F²`.
+pub fn loss(a: &Matrix, w: &Matrix, h: &Matrix) -> f64 {
+    0.5 * frobenius_sq(&anchors_linalg::ops::sub(a, &matmul(w, h)))
+}
+
+/// Fit an NNMF model.
+///
+/// # Panics
+/// Panics if `a` has negative entries, or `k == 0`, or `k` exceeds
+/// `min(rows, cols)` of a nonempty matrix.
+pub fn nnmf(a: &Matrix, config: &NnmfConfig) -> NnmfModel {
+    assert!(a.is_nonnegative(), "NNMF requires a nonnegative matrix");
+    assert!(config.k > 0, "k must be positive");
+    assert!(
+        config.k <= a.rows().min(a.cols()).max(1),
+        "k = {} exceeds min dimension of {:?}",
+        config.k,
+        a.shape()
+    );
+    let deterministic_init = matches!(config.init, Init::Nndsvd | Init::NndsvdA);
+    let restarts = if deterministic_init { 1 } else { config.restarts.max(1) };
+
+    let mut best: Option<NnmfModel> = None;
+    for r in 0..restarts {
+        let seed = config.seed.wrapping_add(r as u64);
+        let (w0, h0) = init_factors(a, config.k, config.init, seed);
+        let model = fit_single(a, w0, h0, config, seed);
+        let better = best
+            .as_ref()
+            .map(|b| model.loss < b.loss)
+            .unwrap_or(true);
+        if better {
+            best = Some(model);
+        }
+    }
+    best.expect("at least one restart ran")
+}
+
+fn fit_single(a: &Matrix, mut w: Matrix, mut h: Matrix, config: &NnmfConfig, seed: u64) -> NnmfModel {
+    let mut prev_loss = loss(a, &w, &h);
+    let init_loss = prev_loss.max(EPS);
+    let mut iterations = 0;
+    let mut converged = false;
+    for it in 0..config.max_iter {
+        match config.solver {
+            Solver::MultiplicativeUpdate => mu_step(a, &mut w, &mut h),
+            Solver::Hals => hals_step(a, &mut w, &mut h),
+            Solver::Anls => anls_step(a, &mut w, &mut h),
+        }
+        iterations = it + 1;
+        // Convergence is checked every 10 iterations like scikit-learn to
+        // amortize the loss evaluation.
+        if iterations % 10 == 0 || iterations == config.max_iter {
+            let cur = loss(a, &w, &h);
+            if (prev_loss - cur).abs() / init_loss < config.tol {
+                converged = true;
+                break;
+            }
+            prev_loss = cur;
+        }
+    }
+    let final_loss = loss(a, &w, &h);
+    NnmfModel {
+        w,
+        h,
+        loss: final_loss,
+        iterations,
+        converged,
+        winning_seed: seed,
+    }
+}
+
+/// One Lee–Seung multiplicative sweep (H then W).
+fn mu_step(a: &Matrix, w: &mut Matrix, h: &mut Matrix) {
+    // H ← H ⊙ (WᵀA) / (WᵀW H)
+    let wta = matmul_at_b(w, a);
+    let wtw = matmul_at_b(w, w);
+    let wtwh = matmul(&wtw, h);
+    for (hv, (nv, dv)) in h
+        .as_mut_slice()
+        .iter_mut()
+        .zip(wta.as_slice().iter().zip(wtwh.as_slice()))
+    {
+        *hv *= nv / (dv + EPS);
+    }
+    // W ← W ⊙ (AHᵀ) / (W H Hᵀ)
+    let aht = matmul_a_bt(a, h);
+    let hht = matmul_a_bt(h, h);
+    let whht = matmul(w, &hht);
+    for (wv, (nv, dv)) in w
+        .as_mut_slice()
+        .iter_mut()
+        .zip(aht.as_slice().iter().zip(whht.as_slice()))
+    {
+        *wv *= nv / (dv + EPS);
+    }
+}
+
+/// One HALS sweep: update each column of `W` and each row of `H` in closed
+/// form holding the rest fixed.
+#[allow(clippy::needless_range_loop)] // Gram indices follow the update rule
+fn hals_step(a: &Matrix, w: &mut Matrix, h: &mut Matrix) {
+    let k = w.cols();
+    // --- Update H rows: H[t,:] ← max(0, H[t,:] + (WᵀA − WᵀW H)[t,:] / (WᵀW)[t,t])
+    let wta = matmul_at_b(w, a);
+    let wtw = matmul_at_b(w, w);
+    for t in 0..k {
+        let gtt = wtw.get(t, t);
+        if gtt <= EPS {
+            continue;
+        }
+        // delta = (WᵀA)[t,:] − Σ_s (WᵀW)[t,s] H[s,:]
+        let mut delta: Vec<f64> = wta.row(t).to_vec();
+        for s in 0..k {
+            let g = wtw.get(t, s);
+            if g == 0.0 {
+                continue;
+            }
+            let hrow = h.row(s);
+            for (d, &hv) in delta.iter_mut().zip(hrow) {
+                *d -= g * hv;
+            }
+        }
+        let hrow = h.row_mut(t);
+        for (hv, d) in hrow.iter_mut().zip(&delta) {
+            *hv = (*hv + d / gtt).max(0.0);
+        }
+    }
+    // --- Update W columns symmetrically with the fresh H.
+    let aht = matmul_a_bt(a, h);
+    let hht = matmul_a_bt(h, h);
+    for t in 0..k {
+        let gtt = hht.get(t, t);
+        if gtt <= EPS {
+            continue;
+        }
+        for i in 0..w.rows() {
+            let mut d = aht.get(i, t);
+            let wrow = w.row(i);
+            for s in 0..k {
+                d -= hht.get(t, s) * wrow[s];
+            }
+            let nv = (w.get(i, t) + d / gtt).max(0.0);
+            w.set(i, t, nv);
+        }
+    }
+}
+
+/// One ANLS sweep: solve `min ‖A − WH‖` exactly for `H` (columnwise NNLS
+/// against `W`), then for `W` (rowwise NNLS against `Hᵀ`).
+fn anls_step(a: &Matrix, w: &mut Matrix, h: &mut Matrix) {
+    use anchors_linalg::solve::nnls;
+    let tol = 1e-12;
+    // H columns: min ‖W h_j − a_j‖, h_j ≥ 0.
+    for j in 0..a.cols() {
+        let b = a.col(j);
+        let hj = nnls(w, &b, tol);
+        for (t, &v) in hj.iter().enumerate() {
+            h.set(t, j, v);
+        }
+    }
+    // W rows: min ‖Hᵀ w_iᵀ − a_iᵀ‖, w_i ≥ 0.
+    let ht = h.transpose();
+    for i in 0..a.rows() {
+        let b = a.row(i).to_vec();
+        let wi = nnls(&ht, &b, tol);
+        w.row_mut(i).copy_from_slice(&wi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_linalg::Matrix;
+
+    /// A synthetic nonnegative matrix with clear rank-2 block structure.
+    fn block_matrix() -> Matrix {
+        // Rows 0..4 use columns 0..5; rows 4..8 use columns 5..10.
+        Matrix::from_fn(8, 10, |i, j| {
+            let block = (i < 4) == (j < 5);
+            if block {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn factors_are_nonnegative() {
+        let a = block_matrix();
+        for solver in [Solver::MultiplicativeUpdate, Solver::Hals] {
+            let cfg = NnmfConfig {
+                solver,
+                ..NnmfConfig::paper_default(2)
+            };
+            let m = nnmf(&a, &cfg);
+            assert!(m.w.is_nonnegative(), "{solver:?}: W must be ≥ 0");
+            assert!(m.h.is_nonnegative(), "{solver:?}: H must be ≥ 0");
+        }
+    }
+
+    #[test]
+    fn recovers_block_structure() {
+        let a = block_matrix();
+        let m = nnmf(&a, &NnmfConfig::paper_default(2));
+        assert!(
+            m.relative_error(&a) < 0.05,
+            "rank-2 block matrix should factor nearly exactly, err {}",
+            m.relative_error(&a)
+        );
+        // The two row groups must land on different dominant types.
+        let types = m.dominant_types();
+        assert_eq!(types[0], types[3]);
+        assert_eq!(types[4], types[7]);
+        assert_ne!(types[0], types[4]);
+    }
+
+    #[test]
+    fn mu_loss_is_monotone() {
+        let a = block_matrix();
+        let (mut w, mut h) = crate::init::init_factors(&a, 3, Init::Random, 7);
+        let mut prev = loss(&a, &w, &h);
+        for _ in 0..50 {
+            mu_step(&a, &mut w, &mut h);
+            let cur = loss(&a, &w, &h);
+            assert!(
+                cur <= prev + 1e-9,
+                "multiplicative updates must not increase the loss ({prev} → {cur})"
+            );
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn hals_converges_faster_than_mu() {
+        let a = block_matrix();
+        let (w0, h0) = crate::init::init_factors(&a, 2, Init::Random, 3);
+        let cfg_h = NnmfConfig {
+            solver: Solver::Hals,
+            restarts: 1,
+            ..NnmfConfig::paper_default(2)
+        };
+        let cfg_m = NnmfConfig {
+            solver: Solver::MultiplicativeUpdate,
+            restarts: 1,
+            max_iter: 30,
+            ..NnmfConfig::paper_default(2)
+        };
+        let mh = fit_single(&a, w0.clone(), h0.clone(), &cfg_h, 0);
+        let mm = fit_single(&a, w0, h0, &cfg_m, 0);
+        assert!(
+            mh.loss <= mm.loss + 1e-9,
+            "HALS {} should beat/match MU {} at equal budget",
+            mh.loss,
+            mm.loss
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = block_matrix();
+        let cfg = NnmfConfig::paper_default(2);
+        let m1 = nnmf(&a, &cfg);
+        let m2 = nnmf(&a, &cfg);
+        assert_eq!(m1.w, m2.w);
+        assert_eq!(m1.h, m2.h);
+        assert_eq!(m1.winning_seed, m2.winning_seed);
+    }
+
+    #[test]
+    fn restarts_never_hurt() {
+        let a = block_matrix();
+        let one = NnmfConfig {
+            restarts: 1,
+            ..NnmfConfig::paper_default(3)
+        };
+        let many = NnmfConfig {
+            restarts: 6,
+            ..NnmfConfig::paper_default(3)
+        };
+        let m1 = nnmf(&a, &one);
+        let m6 = nnmf(&a, &many);
+        assert!(m6.loss <= m1.loss + 1e-12);
+    }
+
+    #[test]
+    fn normalize_preserves_product() {
+        let a = block_matrix();
+        let mut m = nnmf(&a, &NnmfConfig::paper_default(2));
+        let before = m.reconstruct();
+        m.normalize();
+        let after = m.reconstruct();
+        assert!(before.approx_eq(&after, 1e-8));
+        for t in 0..m.h.rows() {
+            let n = anchors_linalg::norms::norm2(m.h.row(t));
+            assert!(n.abs() < 1e-9 || (n - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_tags_sorted_descending() {
+        let a = block_matrix();
+        let m = nnmf(&a, &NnmfConfig::paper_default(2));
+        let top = m.top_tags_of_type(0, 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn nndsvd_init_runs_single_restart() {
+        let a = block_matrix();
+        let cfg = NnmfConfig {
+            init: Init::Nndsvd,
+            ..NnmfConfig::paper_default(2)
+        };
+        let m = nnmf(&a, &cfg);
+        assert!(m.relative_error(&a) < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_input_panics() {
+        let a = Matrix::from_rows(&[vec![1.0, -1.0]]);
+        let _ = nnmf(&a, &NnmfConfig::paper_default(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds min dimension")]
+    fn oversized_k_panics() {
+        let a = Matrix::full(2, 3, 1.0);
+        let _ = nnmf(&a, &NnmfConfig::paper_default(3));
+    }
+
+    #[test]
+    fn anls_reaches_reference_quality() {
+        let a = block_matrix();
+        let anls = nnmf(&a, &NnmfConfig::anls(2));
+        assert!(anls.w.is_nonnegative() && anls.h.is_nonnegative());
+        let hals = nnmf(&a, &NnmfConfig::paper_default(2));
+        assert!(
+            anls.loss <= hals.loss * 1.05 + 1e-9,
+            "exact block solves must match HALS quality: {} vs {}",
+            anls.loss,
+            hals.loss
+        );
+    }
+
+    #[test]
+    fn anls_monotone_loss() {
+        let a = block_matrix();
+        let (mut w, mut h) = crate::init::init_factors(&a, 2, Init::Random, 11);
+        let mut prev = loss(&a, &w, &h);
+        for _ in 0..5 {
+            anls_step(&a, &mut w, &mut h);
+            let cur = loss(&a, &w, &h);
+            assert!(cur <= prev + 1e-9, "ANLS decreases the loss ({prev} → {cur})");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn zero_matrix_yields_zero_loss_model() {
+        let a = Matrix::zeros(4, 6);
+        let m = nnmf(&a, &NnmfConfig::paper_default(2));
+        assert!(m.loss < 1e-9);
+    }
+}

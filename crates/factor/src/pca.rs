@@ -1,0 +1,168 @@
+//! Principal component analysis — the baseline the paper's threats-to-
+//! validity section names as an alternative to NNMF ("there are other
+//! dimension reduction techniques, such as PCA, MDS that could be
+//! considered").
+
+use anchors_linalg::stats::center_cols;
+use anchors_linalg::{matmul, sym_eigen, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pca {
+    /// Column means of the training data (for centering new data).
+    pub means: Vec<f64>,
+    /// Principal axes as columns (`features × k`), orthonormal.
+    pub components: Matrix,
+    /// Variance explained by each component, descending.
+    pub explained_variance: Vec<f64>,
+    /// Fraction of total variance captured by each component.
+    pub explained_ratio: Vec<f64>,
+}
+
+/// Fit a `k`-component PCA on `data` (rows = observations, cols = features).
+///
+/// Uses the covariance route (feature count in this project is at most a few
+/// hundred tags, so the Jacobi eigensolver is adequate).
+///
+/// # Panics
+/// Panics if `k` is 0 or exceeds the feature count.
+pub fn pca(data: &Matrix, k: usize) -> Pca {
+    let (n, p) = data.shape();
+    assert!(k > 0 && k <= p, "k = {k} out of range for {p} features");
+    let mut centered = data.clone();
+    let means = center_cols(&mut centered);
+    let cov = if n < 2 {
+        Matrix::zeros(p, p)
+    } else {
+        anchors_linalg::ops::scale(&anchors_linalg::gram(&centered), 1.0 / (n as f64 - 1.0))
+    };
+    let eig = sym_eigen(&cov);
+    let total: f64 = eig.values.iter().map(|&l| l.max(0.0)).sum();
+    let idx: Vec<usize> = (0..k).collect();
+    let components = eig.vectors.select_cols(&idx);
+    let explained_variance: Vec<f64> = eig.values[..k].iter().map(|&l| l.max(0.0)).collect();
+    let explained_ratio = explained_variance
+        .iter()
+        .map(|&v| if total > 0.0 { v / total } else { 0.0 })
+        .collect();
+    Pca {
+        means,
+        components,
+        explained_variance,
+        explained_ratio,
+    }
+}
+
+impl Pca {
+    /// Project data (rows = observations) onto the principal axes.
+    ///
+    /// # Panics
+    /// Panics if the feature count differs from the training data.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.means.len(), "feature count mismatch");
+        let mut centered = data.clone();
+        for i in 0..centered.rows() {
+            for (j, v) in centered.row_mut(i).iter_mut().enumerate() {
+                *v -= self.means[j];
+            }
+        }
+        matmul(&centered, &self.components)
+    }
+
+    /// Map scores back to the original feature space (adds the means back).
+    pub fn inverse_transform(&self, scores: &Matrix) -> Matrix {
+        let mut x = matmul(scores, &self.components.transpose());
+        for i in 0..x.rows() {
+            for (j, v) in x.row_mut(i).iter_mut().enumerate() {
+                *v += self.means[j];
+            }
+        }
+        x
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.components.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points along the direction (1, 1) with small orthogonal noise.
+    fn line_data() -> Matrix {
+        Matrix::from_fn(20, 2, |i, j| {
+            let t = i as f64 - 10.0;
+            let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+            if j == 0 {
+                t + noise
+            } else {
+                t - noise
+            }
+        })
+    }
+
+    #[test]
+    fn first_component_captures_line() {
+        let d = line_data();
+        let p = pca(&d, 2);
+        assert!(
+            p.explained_ratio[0] > 0.99,
+            "first PC should dominate, got {:?}",
+            p.explained_ratio
+        );
+        // Direction ≈ (1,1)/√2 up to sign.
+        let c0 = p.components.col(0);
+        assert!((c0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
+        assert!((c0[0] - c0[1]).abs() < 0.02 || (c0[0] + c0[1]).abs() < 0.02);
+    }
+
+    #[test]
+    fn transform_centers_scores() {
+        let d = line_data();
+        let p = pca(&d, 2);
+        let scores = p.transform(&d);
+        for j in 0..2 {
+            let mean: f64 = scores.col(j).iter().sum::<f64>() / scores.rows() as f64;
+            assert!(mean.abs() < 1e-9, "scores must be centered");
+        }
+    }
+
+    #[test]
+    fn inverse_transform_roundtrip_full_rank() {
+        let d = line_data();
+        let p = pca(&d, 2);
+        let rec = p.inverse_transform(&p.transform(&d));
+        assert!(rec.approx_eq(&d, 1e-8));
+    }
+
+    #[test]
+    fn truncated_reconstruction_close_on_near_rank1() {
+        let d = line_data();
+        let p = pca(&d, 1);
+        let rec = p.inverse_transform(&p.transform(&d));
+        let err = anchors_linalg::relative_error(&d, &rec);
+        assert!(err < 0.02, "1-PC reconstruction error {err}");
+    }
+
+    #[test]
+    fn explained_variance_descending_nonnegative() {
+        let d = Matrix::from_fn(15, 4, |i, j| ((i * (j + 1)) % 7) as f64);
+        let p = pca(&d, 4);
+        for w in p.explained_variance.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        assert!(p.explained_variance.iter().all(|&v| v >= 0.0));
+        let ratio_sum: f64 = p.explained_ratio.iter().sum();
+        assert!(ratio_sum <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn single_observation_yields_zero_variance() {
+        let d = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let p = pca(&d, 2);
+        assert!(p.explained_variance.iter().all(|&v| v == 0.0));
+    }
+}

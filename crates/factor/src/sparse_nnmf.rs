@@ -1,0 +1,260 @@
+//! NNMF over CSR sparse inputs.
+//!
+//! The course×tag matrices are 0-1 with ~10% density; at corpus scale the
+//! dense solver is fine, but the scaling benchmarks factor synthetic
+//! corpora with thousands of courses where the data-side products dominate.
+//! This solver runs HALS with the two data products computed sparsely
+//! (`A Hᵀ` and `Aᵀ W`), so each sweep costs `O(nnz · k + (m + n) · k²)`.
+//!
+//! The iteration is *identical in exact arithmetic* to the dense
+//! [`crate::nnmf`] HALS path given the same initialization, which the tests
+//! verify.
+
+use crate::init::{init_factors, Init};
+use crate::nnmf::{NnmfConfig, NnmfModel, Solver};
+use anchors_linalg::ops::{matmul_a_bt, matmul_at_b};
+use anchors_linalg::sparse::CsrMatrix;
+use anchors_linalg::Matrix;
+
+const EPS: f64 = 1e-12;
+
+/// Frobenius loss `½‖A − WH‖²` computed without materializing `WH`:
+/// `½(‖A‖² − 2·tr(Hᵀ(WᵀA)) + tr((WᵀW)(HHᵀ)))`.
+pub fn sparse_loss(a: &CsrMatrix, w: &Matrix, h: &Matrix) -> f64 {
+    let wta = a.matmul_at_dense(w); // n × k  (= (WᵀA)ᵀ)
+    let cross: f64 = (0..h.rows())
+        .map(|t| {
+            let hrow = h.row(t);
+            (0..h.cols()).map(|j| wta.get(j, t) * hrow[j]).sum::<f64>()
+        })
+        .sum();
+    let wtw = matmul_at_b(w, w);
+    let hht = matmul_a_bt(h, h);
+    let quad: f64 = wtw
+        .as_slice()
+        .iter()
+        .zip(hht.as_slice())
+        .map(|(x, y)| x * y)
+        .sum();
+    0.5 * (a.frobenius_sq() - 2.0 * cross + quad)
+}
+
+/// Fit NNMF on a sparse matrix with HALS.
+///
+/// # Panics
+/// Panics if the matrix has negative stored values, `k == 0`, or the
+/// configured solver is not [`Solver::Hals`] (the multiplicative-update
+/// path exists only for dense inputs).
+pub fn nnmf_sparse(a: &CsrMatrix, config: &NnmfConfig) -> NnmfModel {
+    assert!(
+        config.solver == Solver::Hals,
+        "sparse NNMF implements the HALS solver only"
+    );
+    assert!(config.k > 0, "k must be positive");
+    let (m, n) = a.shape();
+    assert!(
+        config.k <= m.min(n).max(1),
+        "k = {} exceeds min dimension of {:?}",
+        config.k,
+        a.shape()
+    );
+    let dense_seed_view = || a.to_dense();
+    let deterministic_init = matches!(config.init, Init::Nndsvd | Init::NndsvdA);
+    let restarts = if deterministic_init { 1 } else { config.restarts.max(1) };
+
+    let mut best: Option<NnmfModel> = None;
+    for r in 0..restarts {
+        let seed = config.seed.wrapping_add(r as u64);
+        // Initialization mirrors the dense path exactly (NNDSVD needs the
+        // dense view; random init only needs shape + mean).
+        let (w0, h0) = match config.init {
+            Init::Random => {
+                // Mean of A from the sparse sum, replicating the dense
+                // scaling formula.
+                init_random_like(a, config.k, seed)
+            }
+            _ => init_factors(&dense_seed_view(), config.k, config.init, seed),
+        };
+        let model = fit_sparse(a, w0, h0, config, seed);
+        if best.as_ref().map(|b| model.loss < b.loss).unwrap_or(true) {
+            best = Some(model);
+        }
+    }
+    best.expect("at least one restart")
+}
+
+/// Random initialization identical to the dense crate's for the same shape,
+/// mean, and seed.
+fn init_random_like(a: &CsrMatrix, k: usize, seed: u64) -> (Matrix, Matrix) {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+    let (m, n) = a.shape();
+    let mean = if m == 0 || n == 0 {
+        0.0
+    } else {
+        a.sum() / (m * n) as f64
+    };
+    let scale = (mean / k as f64).sqrt().max(1e-6);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = Matrix::from_fn(m, k, |_, _| rng.gen_range(f64::EPSILON..=1.0) * scale);
+    let h = Matrix::from_fn(k, n, |_, _| rng.gen_range(f64::EPSILON..=1.0) * scale);
+    (w, h)
+}
+
+fn fit_sparse(
+    a: &CsrMatrix,
+    mut w: Matrix,
+    mut h: Matrix,
+    config: &NnmfConfig,
+    seed: u64,
+) -> NnmfModel {
+    let mut prev_loss = sparse_loss(a, &w, &h);
+    let init_loss = prev_loss.max(EPS);
+    let mut iterations = 0;
+    let mut converged = false;
+    for it in 0..config.max_iter {
+        sparse_hals_step(a, &mut w, &mut h);
+        iterations = it + 1;
+        if iterations % 10 == 0 || iterations == config.max_iter {
+            let cur = sparse_loss(a, &w, &h);
+            if (prev_loss - cur).abs() / init_loss < config.tol {
+                converged = true;
+                break;
+            }
+            prev_loss = cur;
+        }
+    }
+    let loss = sparse_loss(a, &w, &h);
+    NnmfModel {
+        w,
+        h,
+        loss,
+        iterations,
+        converged,
+        winning_seed: seed,
+    }
+}
+
+/// One HALS sweep with sparse data products; algebraically identical to the
+/// dense `hals_step`.
+#[allow(clippy::needless_range_loop)] // Gram indices follow the update rule
+fn sparse_hals_step(a: &CsrMatrix, w: &mut Matrix, h: &mut Matrix) {
+    let k = w.cols();
+    // --- H update: needs WᵀA (k × n) and WᵀW (k × k).
+    let atw = a.matmul_at_dense(w); // n × k
+    let wtw = matmul_at_b(w, w);
+    for t in 0..k {
+        let gtt = wtw.get(t, t);
+        if gtt <= EPS {
+            continue;
+        }
+        let mut delta: Vec<f64> = (0..h.cols()).map(|j| atw.get(j, t)).collect();
+        for s in 0..k {
+            let g = wtw.get(t, s);
+            if g == 0.0 {
+                continue;
+            }
+            let hrow = h.row(s);
+            for (d, &hv) in delta.iter_mut().zip(hrow) {
+                *d -= g * hv;
+            }
+        }
+        let hrow = h.row_mut(t);
+        for (hv, d) in hrow.iter_mut().zip(&delta) {
+            *hv = (*hv + d / gtt).max(0.0);
+        }
+    }
+    // --- W update: needs A Hᵀ (m × k) and H Hᵀ (k × k).
+    let aht = a.matmul_dense_bt(h); // m × k
+    let hht = matmul_a_bt(h, h);
+    for t in 0..k {
+        let gtt = hht.get(t, t);
+        if gtt <= EPS {
+            continue;
+        }
+        for i in 0..w.rows() {
+            let mut d = aht.get(i, t);
+            let wrow = w.row(i);
+            for s in 0..k {
+                d -= hht.get(t, s) * wrow[s];
+            }
+            let nv = (w.get(i, t) + d / gtt).max(0.0);
+            w.set(i, t, nv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nnmf::nnmf;
+
+    fn block_dense() -> Matrix {
+        Matrix::from_fn(10, 14, |i, j| {
+            if (i < 5) == (j < 7) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn sparse_matches_dense_hals_exactly() {
+        let dense = block_dense();
+        let sparse = CsrMatrix::from_dense(&dense);
+        let cfg = NnmfConfig {
+            restarts: 2,
+            ..NnmfConfig::paper_default(2)
+        };
+        let dm = nnmf(&dense, &cfg);
+        let sm = nnmf_sparse(&sparse, &cfg);
+        assert_eq!(dm.winning_seed, sm.winning_seed);
+        assert!(
+            dm.w.approx_eq(&sm.w, 1e-9),
+            "sparse and dense HALS must iterate identically"
+        );
+        assert!(dm.h.approx_eq(&sm.h, 1e-9));
+        assert!((dm.loss - sm.loss).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_loss_matches_dense_loss() {
+        let dense = block_dense();
+        let sparse = CsrMatrix::from_dense(&dense);
+        let (w, h) = init_factors(&dense, 3, Init::Random, 5);
+        let dl = crate::nnmf::loss(&dense, &w, &h);
+        let sl = sparse_loss(&sparse, &w, &h);
+        assert!((dl - sl).abs() < 1e-9, "{dl} vs {sl}");
+    }
+
+    #[test]
+    fn factors_nonnegative_and_reconstruct() {
+        let dense = block_dense();
+        let sparse = CsrMatrix::from_dense(&dense);
+        let m = nnmf_sparse(&sparse, &NnmfConfig::paper_default(2));
+        assert!(m.w.is_nonnegative());
+        assert!(m.h.is_nonnegative());
+        assert!(m.relative_error(&dense) < 0.05);
+    }
+
+    #[test]
+    fn nndsvd_init_works_sparse() {
+        let dense = block_dense();
+        let sparse = CsrMatrix::from_dense(&dense);
+        let cfg = NnmfConfig {
+            init: Init::Nndsvd,
+            ..NnmfConfig::paper_default(2)
+        };
+        let m = nnmf_sparse(&sparse, &cfg);
+        assert!(m.relative_error(&dense) < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "HALS solver only")]
+    fn mu_solver_rejected() {
+        let sparse = CsrMatrix::from_dense(&block_dense());
+        let _ = nnmf_sparse(&sparse, &NnmfConfig::multiplicative(2));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the factorization layer.
+
+use anchors_factor::*;
+use anchors_linalg::{pairwise_distances, CsrMatrix, Matrix, Metric};
+use proptest::prelude::*;
+
+/// Strategy: a nonnegative matrix with at least one positive entry.
+fn nonneg_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..10, 2usize..12).prop_flat_map(|(r, c)| {
+        prop::collection::vec(0.0f64..3.0, r * c)
+            .prop_filter("need a nonzero", |v| v.iter().any(|&x| x > 0.1))
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn small_k(m: &Matrix) -> usize {
+    2.min(m.rows()).min(m.cols()).max(1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn nnmf_factors_nonnegative_and_loss_bounded(a in nonneg_matrix()) {
+        let k = small_k(&a);
+        let cfg = NnmfConfig { restarts: 2, max_iter: 60, ..NnmfConfig::paper_default(k) };
+        let m = nnmf(&a, &cfg);
+        prop_assert!(m.w.is_nonnegative());
+        prop_assert!(m.h.is_nonnegative());
+        // Loss can never exceed the all-zero factorization's loss.
+        let zero_loss = 0.5 * anchors_linalg::frobenius_sq(&a);
+        prop_assert!(m.loss <= zero_loss + 1e-9);
+    }
+
+    #[test]
+    fn sparse_dense_nnmf_agree(a in nonneg_matrix()) {
+        let k = small_k(&a);
+        let cfg = NnmfConfig { restarts: 1, max_iter: 40, ..NnmfConfig::paper_default(k) };
+        let dm = nnmf(&a, &cfg);
+        let sm = nnmf_sparse(&CsrMatrix::from_dense(&a), &cfg);
+        prop_assert!((dm.loss - sm.loss).abs() <= 1e-6 * (1.0 + dm.loss));
+        prop_assert!(dm.w.approx_eq(&sm.w, 1e-6));
+    }
+
+    #[test]
+    fn rank1_matrix_factors_exactly(
+        u in prop::collection::vec(0.1f64..2.0, 2..8),
+        v in prop::collection::vec(0.1f64..2.0, 2..8),
+    ) {
+        let a = Matrix::from_fn(u.len(), v.len(), |i, j| u[i] * v[j]);
+        let m = nnmf(&a, &NnmfConfig { max_iter: 300, ..NnmfConfig::paper_default(1) });
+        prop_assert!(m.relative_error(&a) < 1e-3, "err {}", m.relative_error(&a));
+    }
+
+    #[test]
+    fn pca_scores_have_zero_mean_and_bounded_variance(a in nonneg_matrix()) {
+        let k = small_k(&a);
+        let p = pca(&a, k);
+        let scores = p.transform(&a);
+        for j in 0..k {
+            let col = scores.col(j);
+            let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+            prop_assert!(mean.abs() < 1e-8);
+        }
+        let ratio_sum: f64 = p.explained_ratio.iter().sum();
+        prop_assert!(ratio_sum <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn classical_mds_recovers_planar_configurations(
+        pts in prop::collection::vec((-5.0f64..5.0, -5.0f64..5.0), 3..10),
+    ) {
+        let m = Matrix::from_rows(
+            &pts.iter().map(|&(x, y)| vec![x, y]).collect::<Vec<_>>(),
+        );
+        let d = pairwise_distances(&m, Metric::Euclidean);
+        let emb = classical_mds(&d, 2);
+        prop_assert!(emb.stress < 1e-6, "planar distances embed exactly, stress {}", emb.stress);
+    }
+
+    #[test]
+    fn kmeans_labels_in_range_and_inertia_nonneg(a in nonneg_matrix(), seed in 0u64..100) {
+        let k = small_k(&a);
+        let km = kmeans(&a, k, 50, seed);
+        prop_assert_eq!(km.labels.len(), a.rows());
+        prop_assert!(km.labels.iter().all(|&l| l < k));
+        prop_assert!(km.inertia >= 0.0);
+    }
+
+    #[test]
+    fn hierarchical_cut_produces_k_clusters(a in nonneg_matrix(), link_idx in 0usize..3) {
+        let link = [Linkage::Single, Linkage::Complete, Linkage::Average][link_idx];
+        let d = pairwise_distances(&a, Metric::Euclidean);
+        let dend = hierarchical(&d, link);
+        for k in 1..=a.rows() {
+            let labels = dend.cut(k);
+            let mut distinct = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert!(distinct.len() <= k);
+            prop_assert_eq!(labels.len(), a.rows());
+        }
+    }
+
+    #[test]
+    fn duplicate_score_detects_self_duplication(a in nonneg_matrix()) {
+        // H stacked with itself always has duplicate score 1.
+        let h = a.vstack(&a);
+        prop_assert!((duplicate_dimension_score(&h) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cocluster_labels_cover_rows_and_cols(a in nonneg_matrix(), seed in 0u64..50) {
+        let k = 2.min(a.rows() + a.cols());
+        let bc = spectral_cocluster(&a, k, seed);
+        prop_assert_eq!(bc.row_labels.len(), a.rows());
+        prop_assert_eq!(bc.col_labels.len(), a.cols());
+        let mut ro = bc.row_order.clone();
+        ro.sort_unstable();
+        prop_assert_eq!(ro, (0..a.rows()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,225 @@
+//! Pairwise distance and similarity kernels.
+//!
+//! The paper's search/recommendation layer embeds materials by pairwise
+//! similarity (then MDS); these kernels compute full symmetric distance
+//! matrices, in parallel over rows for larger inputs.
+
+use crate::matrix::Matrix;
+use crate::ops::dot;
+use rayon::prelude::*;
+
+/// Which metric a pairwise computation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Euclidean distance.
+    Euclidean,
+    /// Squared Euclidean distance.
+    SquaredEuclidean,
+    /// Manhattan / city-block distance.
+    Manhattan,
+    /// Cosine distance `1 - cos(x, y)` (zero vectors are at distance 1 from
+    /// everything except other zero vectors).
+    Cosine,
+    /// Jaccard distance on binarized vectors (`> 0.5` counts as set
+    /// membership) — natural for 0-1 course-tag rows.
+    Jaccard,
+}
+
+/// Distance between two equal-length slices under `metric`.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn distance(x: &[f64], y: &[f64], metric: Metric) -> f64 {
+    assert_eq!(x.len(), y.len(), "distance length mismatch");
+    match metric {
+        Metric::Euclidean => sq_euclidean(x, y).sqrt(),
+        Metric::SquaredEuclidean => sq_euclidean(x, y),
+        Metric::Manhattan => x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum(),
+        Metric::Cosine => {
+            let nx = crate::norms::norm2(x);
+            let ny = crate::norms::norm2(y);
+            if nx == 0.0 && ny == 0.0 {
+                0.0
+            } else if nx == 0.0 || ny == 0.0 {
+                1.0
+            } else {
+                (1.0 - dot(x, y) / (nx * ny)).clamp(0.0, 2.0)
+            }
+        }
+        Metric::Jaccard => {
+            let mut inter = 0usize;
+            let mut union = 0usize;
+            for (a, b) in x.iter().zip(y) {
+                let sa = *a > 0.5;
+                let sb = *b > 0.5;
+                if sa && sb {
+                    inter += 1;
+                }
+                if sa || sb {
+                    union += 1;
+                }
+            }
+            if union == 0 {
+                0.0
+            } else {
+                1.0 - inter as f64 / union as f64
+            }
+        }
+    }
+}
+
+#[inline]
+fn sq_euclidean(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+/// Full symmetric pairwise-distance matrix between the rows of `m`.
+/// Parallel over rows; deterministic (each entry computed independently).
+pub fn pairwise_distances(m: &Matrix, metric: Metric) -> Matrix {
+    let n = m.rows();
+    let cols = m.cols();
+    let mut d = Matrix::zeros(n, n);
+    if n == 0 {
+        return d;
+    }
+    let _ = cols;
+    d.as_mut_slice()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, row)| {
+            let ri = m.row(i);
+            for (j, out) in row.iter_mut().enumerate() {
+                if i == j {
+                    *out = 0.0;
+                } else {
+                    *out = distance(ri, m.row(j), metric);
+                }
+            }
+        });
+    d
+}
+
+/// Pairwise cosine-similarity matrix between the rows of `m` (diagonal = 1
+/// for nonzero rows, 0 for zero rows).
+pub fn pairwise_cosine_similarity(m: &Matrix) -> Matrix {
+    let n = m.rows();
+    let mut s = Matrix::zeros(n, n);
+    if n == 0 {
+        return s;
+    }
+    let norms: Vec<f64> = (0..n).map(|i| crate::norms::norm2(m.row(i))).collect();
+    s.as_mut_slice()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, row)| {
+            let ri = m.row(i);
+            for (j, out) in row.iter_mut().enumerate() {
+                if norms[i] == 0.0 || norms[j] == 0.0 {
+                    *out = 0.0;
+                } else {
+                    *out = dot(ri, m.row(j)) / (norms[i] * norms[j]);
+                }
+            }
+        });
+    s
+}
+
+/// Validate that `d` is a proper distance matrix: square, symmetric,
+/// nonnegative, zero diagonal. Returns a description of the first violation.
+pub fn validate_distance_matrix(d: &Matrix) -> Result<(), String> {
+    let (r, c) = d.shape();
+    if r != c {
+        return Err(format!("not square: {r}x{c}"));
+    }
+    for i in 0..r {
+        if d.get(i, i).abs() > 1e-9 {
+            return Err(format!("nonzero diagonal at {i}: {}", d.get(i, i)));
+        }
+        for j in 0..c {
+            let v = d.get(i, j);
+            if !v.is_finite() || v < -1e-12 {
+                return Err(format!("invalid entry at ({i},{j}): {v}"));
+            }
+            if (v - d.get(j, i)).abs() > 1e-9 {
+                return Err(format!("asymmetry at ({i},{j})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_and_manhattan() {
+        assert_eq!(distance(&[0., 0.], &[3., 4.], Metric::Euclidean), 5.0);
+        assert_eq!(distance(&[0., 0.], &[3., 4.], Metric::SquaredEuclidean), 25.0);
+        assert_eq!(distance(&[0., 0.], &[3., 4.], Metric::Manhattan), 7.0);
+    }
+
+    #[test]
+    fn cosine_distance_cases() {
+        assert!((distance(&[1., 0.], &[0., 1.], Metric::Cosine) - 1.0).abs() < 1e-12);
+        assert!(distance(&[1., 1.], &[2., 2.], Metric::Cosine).abs() < 1e-12);
+        assert_eq!(distance(&[0., 0.], &[1., 1.], Metric::Cosine), 1.0);
+        assert_eq!(distance(&[0., 0.], &[0., 0.], Metric::Cosine), 0.0);
+    }
+
+    #[test]
+    fn jaccard_on_binary_tags() {
+        let a = [1., 1., 0., 0.];
+        let b = [1., 0., 1., 0.];
+        // intersection 1, union 3.
+        assert!((distance(&a, &b, Metric::Jaccard) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(distance(&[0., 0.], &[0., 0.], Metric::Jaccard), 0.0);
+        assert_eq!(distance(&a, &a, Metric::Jaccard), 0.0);
+    }
+
+    #[test]
+    fn pairwise_matrix_properties() {
+        let m = Matrix::from_rows(&[vec![0., 0.], vec![3., 4.], vec![6., 8.]]);
+        let d = pairwise_distances(&m, Metric::Euclidean);
+        validate_distance_matrix(&d).expect("valid distance matrix");
+        assert_eq!(d.get(0, 1), 5.0);
+        assert_eq!(d.get(1, 2), 5.0);
+        assert_eq!(d.get(0, 2), 10.0);
+    }
+
+    #[test]
+    fn cosine_similarity_matrix() {
+        let m = Matrix::from_rows(&[vec![1., 0.], vec![0., 2.], vec![1., 1.], vec![0., 0.]]);
+        let s = pairwise_cosine_similarity(&m);
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!(s.get(0, 1).abs() < 1e-12);
+        assert!((s.get(0, 2) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+        assert_eq!(s.get(3, 3), 0.0);
+        assert_eq!(s.get(3, 0), 0.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_matrices() {
+        assert!(validate_distance_matrix(&Matrix::zeros(2, 3)).is_err());
+        let mut d = Matrix::zeros(2, 2);
+        d.set(0, 1, 1.0);
+        assert!(validate_distance_matrix(&d).is_err(), "asymmetric");
+        d.set(1, 0, 1.0);
+        assert!(validate_distance_matrix(&d).is_ok());
+        d.set(0, 0, 0.5);
+        assert!(validate_distance_matrix(&d).is_err(), "nonzero diagonal");
+    }
+
+    #[test]
+    fn triangle_inequality_euclidean_spot_check() {
+        let m = Matrix::from_fn(6, 4, |i, j| ((i * 3 + j * 5) % 7) as f64);
+        let d = pairwise_distances(&m, Metric::Euclidean);
+        for i in 0..6 {
+            for j in 0..6 {
+                for k in 0..6 {
+                    assert!(d.get(i, j) <= d.get(i, k) + d.get(k, j) + 1e-9);
+                }
+            }
+        }
+    }
+}

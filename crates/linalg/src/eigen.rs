@@ -1,0 +1,235 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The matrices we decompose are small and dense (covariance matrices of a
+//! few hundred tags, double-centered Gram matrices of tens of courses), for
+//! which Jacobi is simple, robust, and accurate to machine precision.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `A = V diag(λ) Vᵀ`.
+///
+/// Eigenvalues are sorted in **descending** order; `vectors` stores the
+/// corresponding eigenvectors as columns.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+/// Compute all eigenvalues/eigenvectors of a symmetric matrix with the
+/// cyclic Jacobi method.
+///
+/// `a` must be square and (numerically) symmetric; the routine symmetrizes
+/// its working copy to guard against tiny asymmetries from upstream floating
+/// point. Convergence: off-diagonal Frobenius norm below `1e-12 * ‖A‖_F`,
+/// max 100 sweeps.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn sym_eigen(a: &Matrix) -> SymEigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "sym_eigen requires a square matrix");
+    // Symmetrized working copy.
+    let mut s = Matrix::from_fn(n, n, |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
+    let mut v = Matrix::identity(n);
+    if n <= 1 {
+        return SymEigen {
+            values: (0..n).map(|i| s.get(i, i)).collect(),
+            vectors: v,
+        };
+    }
+
+    let norm = crate::norms::frobenius(&s).max(f64::MIN_POSITIVE);
+    let tol = 1e-12 * norm;
+
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += s.get(i, j) * s.get(i, j);
+            }
+        }
+        if (2.0 * off).sqrt() <= tol {
+            break;
+        }
+        for p in 0..n - 1 {
+            for q in (p + 1)..n {
+                let apq = s.get(p, q);
+                if apq.abs() <= tol / (n * n) as f64 {
+                    continue;
+                }
+                let app = s.get(p, p);
+                let aqq = s.get(q, q);
+                // Classic Jacobi rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let sgn = t * c;
+                // Update S = Jᵀ S J over rows/cols p and q.
+                for k in 0..n {
+                    let skp = s.get(k, p);
+                    let skq = s.get(k, q);
+                    s.set(k, p, c * skp - sgn * skq);
+                    s.set(k, q, sgn * skp + c * skq);
+                }
+                for k in 0..n {
+                    let spk = s.get(p, k);
+                    let sqk = s.get(q, k);
+                    s.set(p, k, c * spk - sgn * sqk);
+                    s.set(q, k, sgn * spk + c * sqk);
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - sgn * vkq);
+                    v.set(k, q, sgn * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| s.get(i, i)).collect();
+    order.sort_by(|&x, &y| diag[y].partial_cmp(&diag[x]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = v.permute_cols(&order);
+    SymEigen { values, vectors }
+}
+
+/// Top eigenpair of a symmetric positive semi-definite matrix via power
+/// iteration. Cheaper than a full Jacobi pass when only the dominant
+/// direction is needed (e.g. spectral ordering in biclustering).
+///
+/// Returns `(eigenvalue, eigenvector)`. `seed_dir` provides a deterministic
+/// start direction; it is projected and normalized internally.
+///
+/// # Panics
+/// Panics if `a` is not square or `seed_dir.len() != n`.
+pub fn power_iteration(a: &Matrix, seed_dir: &[f64], max_iter: usize, tol: f64) -> (f64, Vec<f64>) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "power_iteration requires a square matrix");
+    assert_eq!(seed_dir.len(), n, "seed length mismatch");
+    let mut x: Vec<f64> = seed_dir.to_vec();
+    let nx = crate::norms::norm2(&x);
+    if nx == 0.0 {
+        x = vec![1.0 / (n as f64).sqrt(); n];
+    } else {
+        for v in &mut x {
+            *v /= nx;
+        }
+    }
+    let mut lambda = 0.0;
+    for _ in 0..max_iter {
+        let y = crate::ops::matvec(a, &x);
+        let ny = crate::norms::norm2(&y);
+        if ny == 0.0 {
+            return (0.0, x);
+        }
+        let next: Vec<f64> = y.iter().map(|v| v / ny).collect();
+        let new_lambda = crate::ops::dot(&next, &crate::ops::matvec(a, &next));
+        let delta = (new_lambda - lambda).abs();
+        x = next;
+        lambda = new_lambda;
+        if delta <= tol * lambda.abs().max(1.0) {
+            break;
+        }
+    }
+    (lambda, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul, matmul_at_b};
+
+    fn reconstruct(e: &SymEigen) -> Matrix {
+        let d = Matrix::diag(&e.values);
+        matmul(&matmul(&e.vectors, &d), &e.vectors.transpose())
+    }
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let a = Matrix::diag(&[3.0, 1.0, 2.0]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_2x2_known() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2., 1.], vec![1., 2.]]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8 || (v0[0] + v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_matches() {
+        let base = Matrix::from_fn(5, 5, |i, j| ((i * 3 + j * 7) % 11) as f64);
+        let a = crate::ops::add(&base, &base.transpose());
+        let e = sym_eigen(&a);
+        assert!(reconstruct(&e).approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let base = Matrix::from_fn(6, 6, |i, j| ((i + 2 * j) % 7) as f64 - 3.0);
+        let a = crate::ops::add(&base, &base.transpose());
+        let e = sym_eigen(&a);
+        let vtv = matmul_at_b(&e.vectors, &e.vectors);
+        assert!(vtv.approx_eq(&Matrix::identity(6), 1e-8));
+    }
+
+    #[test]
+    fn psd_gram_has_nonnegative_eigenvalues() {
+        let a = Matrix::from_fn(8, 4, |i, j| ((i * j + i) % 5) as f64);
+        let g = crate::ops::gram(&a);
+        let e = sym_eigen(&g);
+        for &l in &e.values {
+            assert!(l > -1e-9, "PSD eigenvalue went negative: {l}");
+        }
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let base = Matrix::from_fn(7, 7, |i, j| ((5 * i + j * j) % 9) as f64);
+        let a = crate::ops::add(&base, &base.transpose());
+        let e = sym_eigen(&a);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_iteration_matches_jacobi() {
+        let base = Matrix::from_fn(5, 5, |i, j| ((i * 2 + j) % 6) as f64);
+        let g = crate::ops::gram(&base); // PSD
+        let e = sym_eigen(&g);
+        let (l, v) = power_iteration(&g, &[1.0, 0.5, 0.25, 0.1, 0.9], 500, 1e-14);
+        assert!((l - e.values[0]).abs() < 1e-6 * e.values[0].max(1.0));
+        // Direction agreement up to sign.
+        let c = crate::ops::dot(&v, &e.vectors.col(0)).abs();
+        assert!(c > 1.0 - 1e-5, "cosine {c}");
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let e = sym_eigen(&Matrix::zeros(0, 0));
+        assert!(e.values.is_empty());
+        let e1 = sym_eigen(&Matrix::from_rows(&[vec![4.0]]));
+        assert_eq!(e1.values, vec![4.0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # anchors-linalg
+//!
+//! Dense linear-algebra substrate for the `pdc-anchors` reproduction of
+//! *Data-Driven Discovery of Anchor Points for PDC Content* (SC-W 2023).
+//!
+//! The paper's analysis is built on matrix computations over a
+//! courses × curriculum-tags incidence matrix: non-negative matrix
+//! factorization, PCA and MDS baselines, biclustering of the materials
+//! matrix view, and similarity graphs for search. This crate provides the
+//! kernels those algorithms are built from:
+//!
+//! * [`matrix::Matrix`] — dense row-major `f64` storage;
+//! * [`ops`] — sequential and rayon-parallel multiply kernels (bitwise
+//!   deterministic: the parallel kernels preserve the sequential per-entry
+//!   reduction order);
+//! * [`eigen`] — cyclic-Jacobi symmetric eigendecomposition and power
+//!   iteration;
+//! * [`svd`] — exact thin SVD (Gram route) and randomized top-k SVD;
+//! * [`norms`], [`stats`], [`distance`] — norms, descriptive statistics,
+//!   and pairwise distance/similarity kernels.
+//!
+//! All stochastic routines take explicit seeds; there is no ambient RNG.
+
+pub mod distance;
+pub mod eigen;
+pub mod matrix;
+pub mod norms;
+pub mod ops;
+pub mod solve;
+pub mod sparse;
+pub mod stats;
+pub mod svd;
+
+pub use distance::{pairwise_cosine_similarity, pairwise_distances, Metric};
+pub use eigen::{power_iteration, sym_eigen, SymEigen};
+pub use matrix::Matrix;
+pub use norms::{frobenius, frobenius_diff, frobenius_sq, relative_error};
+pub use ops::{gram, matmul, matmul_a_bt, matmul_at_b, matmul_seq};
+pub use solve::{cholesky, lstsq, nnls, solve_spd};
+pub use sparse::CsrMatrix;
+pub use svd::{randomized_svd, thin_svd, Svd};

@@ -1,0 +1,575 @@
+//! Dense row-major `f64` matrix.
+//!
+//! The matrix type used throughout `pdc-anchors`. The corpora analyzed by the
+//! paper are small (tens of courses × hundreds of curriculum tags), but the
+//! factorization kernels are written to scale to much larger instances, so the
+//! storage is a single contiguous buffer and the hot loops in [`crate::ops`]
+//! operate on row slices without bounds checks in the inner dimension.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major matrix of `f64` values.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix filled with zeros.
+    ///
+    /// # Panics
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Create a matrix filled with a constant value.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        m.data.fill(value);
+        m
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build a matrix from nested row slices.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "row {i} has length {} != {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Build a matrix by evaluating `f(i, j)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * cols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Build a square diagonal matrix from a slice.
+    pub fn diag(values: &[f64]) -> Self {
+        let n = values.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &v) in values.iter().enumerate() {
+            m.data[i * n + i] = v;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning its row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        let c = self.cols;
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        let c = self.cols;
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Copy column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+    }
+
+    /// Overwrite column `j` from a slice.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != rows`.
+    pub fn set_col(&mut self, j: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.rows);
+        for (i, &v) in values.iter().enumerate() {
+            self.data[i * self.cols + j] = v;
+        }
+    }
+
+    /// Iterate over rows as slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Apply `f` to every entry, producing a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Apply `f` to every entry in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Extract a rectangular submatrix (half-open ranges).
+    ///
+    /// # Panics
+    /// Panics if the ranges exceed the matrix bounds.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "row range out of bounds");
+        assert!(c0 <= c1 && c1 <= self.cols, "col range out of bounds");
+        let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+        for i in r0..r1 {
+            let src = &self.row(i)[c0..c1];
+            out.row_mut(i - r0).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Select a subset of rows (in the given order) into a new matrix.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Select a subset of columns (in the given order) into a new matrix.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for i in 0..self.rows {
+            let src = self.row(i);
+            let dst = out.row_mut(i);
+            for (k, &j) in indices.iter().enumerate() {
+                assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+                dst[k] = src[j];
+            }
+        }
+        out
+    }
+
+    /// Stack two matrices vertically.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack requires equal column counts");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Stack two matrices horizontally.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack requires equal row counts");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        out
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum entry (`NEG_INFINITY` for an empty matrix).
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum entry (`INFINITY` for an empty matrix).
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Per-row sums.
+    pub fn row_sums(&self) -> Vec<f64> {
+        self.row_iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Per-column sums.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for r in self.row_iter() {
+            for (s, &v) in sums.iter_mut().zip(r) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// True iff every entry is finite and `>= 0`.
+    pub fn is_nonnegative(&self) -> bool {
+        self.data.iter().all(|&v| v.is_finite() && v >= 0.0)
+    }
+
+    /// True iff all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Entrywise approximate equality within `tol` (absolute).
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Swap two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        assert!(a < self.rows && b < self.rows);
+        let c = self.cols;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * c);
+        head[lo * c..lo * c + c].swap_with_slice(&mut tail[..c]);
+    }
+
+    /// Reorder rows by a permutation: output row `k` is input row `perm[k]`.
+    pub fn permute_rows(&self, perm: &[usize]) -> Matrix {
+        assert_eq!(perm.len(), self.rows, "permutation length mismatch");
+        self.select_rows(perm)
+    }
+
+    /// Reorder columns by a permutation: output col `k` is input col `perm[k]`.
+    pub fn permute_cols(&self, perm: &[usize]) -> Matrix {
+        assert_eq!(perm.len(), self.cols, "permutation length mismatch");
+        self.select_cols(perm)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 12;
+        for (i, r) in self.row_iter().enumerate().take(max_rows) {
+            write!(f, "  [")?;
+            for (j, v) in r.iter().enumerate().take(12) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.4}")?;
+            }
+            if self.cols > 12 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]{}", if i + 1 < self.rows { "," } else { "" })?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.clone().into_vec(), vec![1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_bad_len_panics() {
+        let _ = Matrix::from_vec(2, 3, vec![1.0; 5]);
+    }
+
+    #[test]
+    fn from_rows_ragged_panics() {
+        let r = std::panic::catch_unwind(|| {
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t.get(4, 2), m.get(2, 4));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = Matrix::from_rows(&[vec![1., 2.], vec![3., 4.], vec![5., 6.]]);
+        assert_eq!(m.row(1), &[3., 4.]);
+        assert_eq!(m.col(1), vec![2., 4., 6.]);
+    }
+
+    #[test]
+    fn set_col_overwrites() {
+        let mut m = Matrix::zeros(3, 2);
+        m.set_col(1, &[7., 8., 9.]);
+        assert_eq!(m.col(1), vec![7., 8., 9.]);
+        assert_eq!(m.col(0), vec![0., 0., 0.]);
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.submatrix(1, 3, 2, 4);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.get(0, 0), 6.0);
+        assert_eq!(s.get(1, 1), 11.0);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let m = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let r = m.select_rows(&[2, 0]);
+        assert_eq!(r.row(0), &[6., 7., 8.]);
+        assert_eq!(r.row(1), &[0., 1., 2.]);
+        let c = m.select_cols(&[1]);
+        assert_eq!(c.col(0), vec![1., 4., 7.]);
+    }
+
+    #[test]
+    fn stack_shapes() {
+        let a = Matrix::full(2, 3, 1.0);
+        let b = Matrix::full(1, 3, 2.0);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v.row(2), &[2., 2., 2.]);
+        let c = Matrix::full(2, 1, 3.0);
+        let h = a.hstack(&c);
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h.get(0, 3), 3.0);
+    }
+
+    #[test]
+    fn sums_and_extrema() {
+        let m = Matrix::from_rows(&[vec![1., -2.], vec![3., 4.]]);
+        assert_eq!(m.sum(), 6.0);
+        assert_eq!(m.max(), 4.0);
+        assert_eq!(m.min(), -2.0);
+        assert_eq!(m.row_sums(), vec![-1.0, 7.0]);
+        assert_eq!(m.col_sums(), vec![4.0, 2.0]);
+    }
+
+    #[test]
+    fn nonnegativity_check() {
+        assert!(Matrix::full(2, 2, 0.5).is_nonnegative());
+        assert!(!Matrix::from_rows(&[vec![1., -0.1]]).is_nonnegative());
+        assert!(!Matrix::from_rows(&[vec![f64::NAN]]).is_nonnegative());
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = Matrix::from_rows(&[vec![1., 2.], vec![3., 4.], vec![5., 6.]]);
+        m.swap_rows(0, 2);
+        assert_eq!(m.row(0), &[5., 6.]);
+        assert_eq!(m.row(2), &[1., 2.]);
+        m.swap_rows(1, 1);
+        assert_eq!(m.row(1), &[3., 4.]);
+    }
+
+    #[test]
+    fn permute_rows_and_cols() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 2 + j) as f64);
+        let p = m.permute_rows(&[1, 0]);
+        assert_eq!(p.row(0), &[2., 3.]);
+        let q = m.permute_cols(&[1, 0]);
+        assert_eq!(q.col(0), vec![1., 3.]);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let m = Matrix::from_rows(&[vec![1., 2.], vec![3., 4.]]);
+        let d = m.map(|v| v * 2.0);
+        assert_eq!(d.get(1, 1), 8.0);
+        let mut m2 = m.clone();
+        m2.map_inplace(|v| v - 1.0);
+        assert_eq!(m2.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Matrix::full(2, 2, 1.0);
+        let mut b = a.clone();
+        b.set(0, 0, 1.0 + 1e-12);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&b, 1e-15));
+        assert!(!a.approx_eq(&Matrix::zeros(2, 3), 1.0));
+    }
+
+    #[test]
+    fn diag_constructor() {
+        let d = Matrix::diag(&[1., 2., 3.]);
+        assert_eq!(d.get(1, 1), 2.0);
+        assert_eq!(d.get(0, 1), 0.0);
+        assert_eq!(d.shape(), (3, 3));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Matrix::zeros(0, 0);
+        assert!(m.is_empty());
+        assert_eq!(m.sum(), 0.0);
+        assert_eq!(m.max(), f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,169 @@
+//! Norms and normalization helpers.
+
+use crate::matrix::Matrix;
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// 1-norm of a slice.
+#[inline]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Infinity norm of a slice.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Frobenius norm of a matrix.
+pub fn frobenius(a: &Matrix) -> f64 {
+    norm2(a.as_slice())
+}
+
+/// Squared Frobenius norm of a matrix.
+pub fn frobenius_sq(a: &Matrix) -> f64 {
+    a.as_slice().iter().map(|v| v * v).sum()
+}
+
+/// Frobenius norm of `A - B`.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn frobenius_diff(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "frobenius_diff shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Relative reconstruction error `‖A - B‖_F / ‖A‖_F` (0 if `A` is all-zero
+/// and `B == A`).
+pub fn relative_error(a: &Matrix, b: &Matrix) -> f64 {
+    let denom = frobenius(a);
+    let num = frobenius_diff(a, b);
+    if denom == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / denom
+    }
+}
+
+/// Normalize each row of `m` to unit Euclidean norm (zero rows untouched).
+pub fn normalize_rows(m: &mut Matrix) {
+    for i in 0..m.rows() {
+        let r = m.row_mut(i);
+        let n = norm2(r);
+        if n > 0.0 {
+            for v in r {
+                *v /= n;
+            }
+        }
+    }
+}
+
+/// Normalize each column of `m` to unit Euclidean norm (zero cols untouched).
+/// Returns the original column norms (useful to rescale a paired factor).
+pub fn normalize_cols(m: &mut Matrix) -> Vec<f64> {
+    let (rows, cols) = m.shape();
+    let mut norms = vec![0.0; cols];
+    for i in 0..rows {
+        for (j, &v) in m.row(i).iter().enumerate() {
+            norms[j] += v * v;
+        }
+    }
+    for n in &mut norms {
+        *n = n.sqrt();
+    }
+    for i in 0..rows {
+        let r = m.row_mut(i);
+        for (j, v) in r.iter_mut().enumerate() {
+            if norms[j] > 0.0 {
+                *v /= norms[j];
+            }
+        }
+    }
+    norms
+}
+
+/// Scale rows so each sums to one (zero rows untouched). Common for turning
+/// NNMF `W` rows into a mixture profile over types.
+pub fn rows_to_stochastic(m: &mut Matrix) {
+    for i in 0..m.rows() {
+        let r = m.row_mut(i);
+        let s: f64 = r.iter().sum();
+        if s > 0.0 {
+            for v in r {
+                *v /= s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_norms() {
+        assert_eq!(norm2(&[3., 4.]), 5.0);
+        assert_eq!(norm1(&[3., -4.]), 7.0);
+        assert_eq!(norm_inf(&[3., -4.]), 4.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn frobenius_values() {
+        let m = Matrix::from_rows(&[vec![3., 0.], vec![0., 4.]]);
+        assert_eq!(frobenius(&m), 5.0);
+        assert_eq!(frobenius_sq(&m), 25.0);
+    }
+
+    #[test]
+    fn diff_and_relative_error() {
+        let a = Matrix::full(2, 2, 2.0);
+        let b = Matrix::full(2, 2, 1.0);
+        assert_eq!(frobenius_diff(&a, &b), 2.0);
+        assert!((relative_error(&a, &b) - 0.5).abs() < 1e-12);
+        let z = Matrix::zeros(2, 2);
+        assert_eq!(relative_error(&z, &z), 0.0);
+        assert_eq!(relative_error(&z, &b), f64::INFINITY);
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let mut m = Matrix::from_rows(&[vec![3., 4.], vec![0., 0.], vec![1., 0.]]);
+        normalize_rows(&mut m);
+        assert!((norm2(m.row(0)) - 1.0).abs() < 1e-12);
+        assert_eq!(m.row(1), &[0., 0.]);
+        assert_eq!(m.row(2), &[1., 0.]);
+    }
+
+    #[test]
+    fn normalize_cols_returns_norms() {
+        let mut m = Matrix::from_rows(&[vec![3., 0.], vec![4., 0.]]);
+        let norms = normalize_cols(&mut m);
+        assert!((norms[0] - 5.0).abs() < 1e-12);
+        assert_eq!(norms[1], 0.0);
+        assert!((m.get(0, 0) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stochastic_rows_sum_to_one() {
+        let mut m = Matrix::from_rows(&[vec![1., 3.], vec![0., 0.]]);
+        rows_to_stochastic(&mut m);
+        assert!((m.row(0).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(m.row(1), &[0., 0.]);
+    }
+}

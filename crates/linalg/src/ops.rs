@@ -1,0 +1,353 @@
+//! Matrix arithmetic kernels.
+//!
+//! The multiply kernels come in sequential and rayon-parallel versions. The
+//! parallel versions split over output rows with `par_chunks_mut`, which
+//! keeps each output row owned by exactly one worker (data-race freedom by
+//! construction) and preserves bitwise determinism: the per-entry reduction
+//! order is identical to the sequential kernel.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Rows-per-task threshold below which the parallel kernels fall back to the
+/// sequential implementation (avoids rayon overhead on tiny matrices).
+const PAR_MIN_WORK: usize = 64 * 64;
+
+/// `C = A * B` (sequential ikj kernel, cache-friendly on row-major data).
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_seq(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul dimension mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A * B`, parallel over output rows. Falls back to [`matmul_seq`] for
+/// small problems. Results are bitwise identical to the sequential kernel.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul dimension mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m * k + k * n < PAR_MIN_WORK || m < 2 {
+        return matmul_seq(a, b);
+    }
+    let mut c = Matrix::zeros(m, n);
+    c.as_mut_slice()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, crow)| {
+            let arow = a.row(i);
+            for (p, &av) in arow.iter().enumerate().take(k) {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = b.row(p);
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        });
+    c
+}
+
+/// `C = Aᵀ * B` without materializing the transpose.
+///
+/// # Panics
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "AᵀB dimension mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, ka, kb) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(ka, kb);
+    // Accumulate outer products of paired rows; each row of A scatters into
+    // all of C, so this kernel stays sequential (C is small in our use:
+    // k×k Gram matrices inside NNMF).
+    for i in 0..m {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(p);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A * Bᵀ`, parallel over output rows.
+///
+/// # Panics
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "ABᵀ dimension mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, n) = (a.rows(), b.rows());
+    let k = a.cols();
+    let mut c = Matrix::zeros(m, n);
+    let body = |i: usize, crow: &mut [f64]| {
+        let arow = a.row(i);
+        for (j, cv) in crow.iter_mut().enumerate() {
+            *cv = dot(arow, b.row(j));
+        }
+    };
+    if m * k + n * k < PAR_MIN_WORK || m < 2 {
+        for i in 0..m {
+            body(i, c.row_mut(i));
+        }
+    } else {
+        c.as_mut_slice()
+            .par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(i, crow)| body(i, crow));
+    }
+    c
+}
+
+/// Gram matrix `G = Aᵀ A` (symmetric; computed once per NNMF sweep).
+pub fn gram(a: &Matrix) -> Matrix {
+    matmul_at_b(a, a)
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics (debug) if the lengths differ; in release the shorter length wins,
+/// so callers must uphold the contract.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x` over slices.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Scale a slice in place.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Entrywise sum `A + B`.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    zip_with(a, b, |x, y| x + y)
+}
+
+/// Entrywise difference `A - B`.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    zip_with(a, b, |x, y| x - y)
+}
+
+/// Entrywise (Hadamard) product `A ⊙ B`.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    zip_with(a, b, |x, y| x * y)
+}
+
+/// Entrywise combination of two same-shape matrices.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn zip_with(a: &Matrix, b: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "entrywise shape mismatch");
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+/// `alpha * A`.
+pub fn scale(a: &Matrix, alpha: f64) -> Matrix {
+    a.map(|v| v * alpha)
+}
+
+/// Matrix–vector product `A x`.
+///
+/// # Panics
+/// Panics if `a.cols() != x.len()`.
+pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len(), "matvec dimension mismatch");
+    a.row_iter().map(|r| dot(r, x)).collect()
+}
+
+/// Vector–matrix product `xᵀ A` (returns a row vector of length `a.cols()`).
+///
+/// # Panics
+/// Panics if `a.rows() != x.len()`.
+pub fn vecmat(x: &[f64], a: &Matrix) -> Vec<f64> {
+    assert_eq!(a.rows(), x.len(), "vecmat dimension mismatch");
+    let mut out = vec![0.0; a.cols()];
+    for (i, &xv) in x.iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        axpy(xv, a.row(i), &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Matrix, Matrix) {
+        let a = Matrix::from_rows(&[vec![1., 2.], vec![3., 4.], vec![5., 6.]]);
+        let b = Matrix::from_rows(&[vec![7., 8., 9.], vec![10., 11., 12.]]);
+        (a, b)
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let (a, b) = small();
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (3, 3));
+        assert_eq!(c.row(0), &[27., 30., 33.]);
+        assert_eq!(c.row(2), &[95., 106., 117.]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let (a, _) = small();
+        let i2 = Matrix::identity(2);
+        assert!(matmul(&a, &i2).approx_eq(&a, 1e-12));
+        let i3 = Matrix::identity(3);
+        assert!(matmul(&i3, &a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Large enough to trip the parallel path.
+        let a = Matrix::from_fn(80, 70, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(70, 90, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let s = matmul_seq(&a, &b);
+        let p = matmul(&a, &b);
+        assert_eq!(s, p, "parallel kernel must be bitwise deterministic");
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let (a, _) = small();
+        let b = Matrix::from_rows(&[vec![1., 0.], vec![0., 1.], vec![1., 1.]]);
+        let direct = matmul_at_b(&a, &b);
+        let explicit = matmul(&a.transpose(), &b);
+        assert!(direct.approx_eq(&explicit, 1e-12));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(5, 3, |i, j| (i * j) as f64 + 1.0);
+        let direct = matmul_a_bt(&a, &b);
+        let explicit = matmul(&a, &b.transpose());
+        assert!(direct.approx_eq(&explicit, 1e-12));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i * j) % 5) as f64 - 1.0);
+        let g = gram(&a);
+        assert_eq!(g.shape(), (4, 4));
+        for i in 0..4 {
+            assert!(g.get(i, i) >= 0.0, "Gram diagonal must be nonnegative");
+            for j in 0..4 {
+                assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_axpy_scal() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+        let mut y = vec![1., 1.];
+        axpy(2.0, &[3., 4.], &mut y);
+        assert_eq!(y, vec![7., 9.]);
+        scal(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn entrywise_ops() {
+        let a = Matrix::from_rows(&[vec![1., 2.], vec![3., 4.]]);
+        let b = Matrix::from_rows(&[vec![5., 6.], vec![7., 8.]]);
+        assert_eq!(add(&a, &b).row(0), &[6., 8.]);
+        assert_eq!(sub(&b, &a).row(1), &[4., 4.]);
+        assert_eq!(hadamard(&a, &b).row(1), &[21., 32.]);
+        assert_eq!(scale(&a, 3.0).get(0, 1), 6.0);
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let (a, _) = small();
+        assert_eq!(matvec(&a, &[1., 1.]), vec![3., 7., 11.]);
+        assert_eq!(vecmat(&[1., 1., 1.], &a), vec![9., 12.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn zero_sized_edge_cases() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (0, 4));
+        let g = gram(&Matrix::zeros(0, 2));
+        assert_eq!(g.shape(), (2, 2));
+        assert_eq!(g.sum(), 0.0);
+    }
+}

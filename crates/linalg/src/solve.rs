@@ -1,0 +1,288 @@
+//! Direct solvers: Cholesky factorization and least squares, plus the
+//! Lawson–Hanson non-negative least squares (NNLS) routine used by the
+//! ANLS NNMF solver.
+
+use crate::matrix::Matrix;
+use crate::ops::{dot, matmul_at_b, matvec};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix. Returns `None` if the matrix is not (numerically) SPD.
+pub fn cholesky(a: &Matrix) -> Option<Matrix> {
+    let n = a.rows();
+    if n != a.cols() {
+        return None;
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L y = b` (lower triangular, forward substitution).
+///
+/// # Panics
+/// Panics on dimension mismatch or zero diagonal.
+#[allow(clippy::needless_range_loop)] // triangular solves read like the math
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(n, l.cols());
+    assert_eq!(n, b.len());
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * y[k];
+        }
+        let d = l.get(i, i);
+        assert!(d != 0.0, "singular triangular system");
+        y[i] = sum / d;
+    }
+    y
+}
+
+/// Solve `Lᵀ x = y` (backward substitution with the lower factor).
+///
+/// # Panics
+/// Panics on dimension mismatch or zero diagonal.
+#[allow(clippy::needless_range_loop)] // triangular solves read like the math
+pub fn solve_lower_transpose(l: &Matrix, y: &[f64]) -> Vec<f64> {
+    let n = l.rows();
+    assert_eq!(n, l.cols());
+    assert_eq!(n, y.len());
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l.get(k, i) * x[k];
+        }
+        let d = l.get(i, i);
+        assert!(d != 0.0, "singular triangular system");
+        x[i] = sum / d;
+    }
+    x
+}
+
+/// Solve the SPD system `A x = b` via Cholesky. Returns `None` if `A` is
+/// not SPD.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let l = cholesky(a)?;
+    let y = solve_lower(&l, b);
+    Some(solve_lower_transpose(&l, &y))
+}
+
+/// Unconstrained linear least squares `min ‖A x − b‖₂` via the normal
+/// equations (adequate for the small, well-conditioned systems in this
+/// project). Returns `None` when `AᵀA` is singular.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), b.len(), "lstsq dimension mismatch");
+    let ata = matmul_at_b(a, a);
+    // Regularize the diagonal a hair for numerical safety.
+    let atb: Vec<f64> = (0..a.cols())
+        .map(|j| (0..a.rows()).map(|i| a.get(i, j) * b[i]).sum())
+        .collect();
+    solve_spd(&ata, &atb)
+}
+
+/// Lawson–Hanson non-negative least squares: `min ‖A x − b‖₂ s.t. x ≥ 0`.
+///
+/// Classic active-set method; terminates in finitely many iterations for
+/// the modest column counts used here (NNMF rank k ≤ ~20).
+///
+/// # Panics
+/// Panics if `a.rows() != b.len()`.
+pub fn nnls(a: &Matrix, b: &[f64], tol: f64) -> Vec<f64> {
+    let (m, n) = a.shape();
+    assert_eq!(m, b.len(), "nnls dimension mismatch");
+    let mut x = vec![0.0; n];
+    let mut passive = vec![false; n];
+    // w = Aᵀ(b − Ax), the negative gradient.
+    let mut resid: Vec<f64> = b.to_vec();
+    let max_outer = 3 * n.max(1);
+    for _ in 0..max_outer {
+        // Gradient over active (zero) set.
+        let w: Vec<f64> = (0..n)
+            .map(|j| (0..m).map(|i| a.get(i, j) * resid[i]).sum())
+            .collect();
+        // Pick the most promising active variable.
+        let candidate = (0..n)
+            .filter(|&j| !passive[j])
+            .max_by(|&p, &q| w[p].partial_cmp(&w[q]).expect("finite gradient"));
+        match candidate {
+            Some(j) if w[j] > tol => passive[j] = true,
+            _ => break, // KKT satisfied
+        }
+        // Inner loop: solve the passive-set LS, trimming negatives.
+        loop {
+            let pass_idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            if pass_idx.is_empty() {
+                break;
+            }
+            let ap = a.select_cols(&pass_idx);
+            let z = match lstsq(&ap, b) {
+                Some(z) => z,
+                None => {
+                    // Degenerate subproblem: drop the most recent variable.
+                    if let Some(&last) = pass_idx.last() {
+                        passive[last] = false;
+                    }
+                    break;
+                }
+            };
+            if z.iter().all(|&v| v > tol) {
+                for (k, &j) in pass_idx.iter().enumerate() {
+                    x[j] = z[k];
+                }
+                break;
+            }
+            // Step toward z until the first variable hits zero.
+            let mut alpha = f64::INFINITY;
+            for (k, &j) in pass_idx.iter().enumerate() {
+                if z[k] <= tol {
+                    let denom = x[j] - z[k];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (k, &j) in pass_idx.iter().enumerate() {
+                x[j] += alpha * (z[k] - x[j]);
+                if x[j] <= tol {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+        }
+        // Refresh the residual.
+        let ax = matvec(a, &x);
+        for i in 0..m {
+            resid[i] = b[i] - ax[i];
+        }
+    }
+    x
+}
+
+/// Residual norm of an NNLS/LS solution (test helper; exact definition
+/// `‖A x − b‖₂`).
+pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = matvec(a, x);
+    let diff: Vec<f64> = ax.iter().zip(b).map(|(p, q)| p - q).collect();
+    dot(&diff, &diff).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Matrix {
+        // A = Mᵀ M + I is SPD.
+        let m = Matrix::from_fn(4, 4, |i, j| ((i * 3 + j) % 5) as f64);
+        let mut a = crate::ops::gram(&m);
+        for i in 0..4 {
+            a.set(i, i, a.get(i, i) + 1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd();
+        let l = cholesky(&a).expect("SPD");
+        let rec = crate::ops::matmul_a_bt(&l, &l);
+        assert!(rec.approx_eq(&a, 1e-9));
+        // Lower triangular.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // indefinite
+        assert!(cholesky(&a).is_none());
+        assert!(cholesky(&Matrix::zeros(2, 3)).is_none(), "non-square");
+    }
+
+    #[test]
+    fn spd_solve_roundtrip() {
+        let a = spd();
+        let x_true = [1.0, -2.0, 3.0, 0.5];
+        let b = matvec(&a, &x_true);
+        let x = solve_spd(&a, &b).expect("solvable");
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_solution() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i + 1) * (j + 1)) as f64 + ((i * j) % 3) as f64);
+        let x_true = [2.0, -1.0, 0.5];
+        let b = matvec(&a, &x_true);
+        let x = lstsq(&a, &b).expect("full rank");
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn nnls_matches_ls_when_solution_positive() {
+        let a = Matrix::from_fn(5, 2, |i, j| (i + j + 1) as f64);
+        let x_true = [1.5, 2.0];
+        let b = matvec(&a, &x_true);
+        let x = nnls(&a, &b, 1e-12);
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-6, "{x:?}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn nnls_clamps_negative_components() {
+        // LS solution of this system has a negative component; NNLS must
+        // return x ≥ 0 with no worse residual than the zero vector.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.2], vec![1.0, 0.8]]);
+        let b = [1.0, 0.0, 2.0];
+        let x = nnls(&a, &b, 1e-12);
+        assert!(x.iter().all(|&v| v >= 0.0), "{x:?}");
+        let r = residual_norm(&a, &x, &b);
+        let r0 = residual_norm(&a, &[0.0, 0.0], &b);
+        assert!(r <= r0 + 1e-9);
+        // KKT: gradient over zero coordinates must be ≤ 0.
+        let ax = matvec(&a, &x);
+        let resid: Vec<f64> = b.iter().zip(&ax).map(|(p, q)| p - q).collect();
+        for j in 0..2 {
+            let g: f64 = (0..3).map(|i| a.get(i, j) * resid[i]).sum();
+            if x[j] == 0.0 {
+                assert!(g <= 1e-6, "KKT violated at {j}: {g}");
+            } else {
+                assert!(g.abs() <= 1e-6, "stationarity violated at {j}: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn nnls_zero_rhs_gives_zero() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 + 1.0);
+        let x = nnls(&a, &[0.0; 4], 1e-12);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+}

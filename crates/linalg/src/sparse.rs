@@ -1,0 +1,374 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The course×tag matrices of this project are 0-1 with ~10% density, and
+//! the synthetic-corpus scaling benchmarks factor much larger instances.
+//! CSR storage makes the NNMF data-side products (`AHᵀ`, `WᵀA`) scale with
+//! the number of nonzeros instead of the full dense size.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A CSR sparse matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array, length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, length `nnz`, sorted within each row.
+    indices: Vec<usize>,
+    /// Values, aligned with `indices`.
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from a dense matrix, dropping exact zeros.
+    pub fn from_dense(a: &Matrix) -> Self {
+        let (rows, cols) = a.shape();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for i in 0..rows {
+            for (j, &v) in a.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Build from explicit triplets `(row, col, value)`. Duplicates are
+    /// summed; zeros after summation are kept (harmless).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for &(i, j, v) in triplets {
+            assert!(i < rows && j < cols, "triplet ({i},{j}) out of bounds");
+            per_row[i].push((j, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_by_key(|&(j, _)| j);
+            let mut last: Option<usize> = None;
+            for &(j, v) in row.iter() {
+                if last == Some(j) {
+                    *values.last_mut().expect("dup follows a value") += v;
+                } else {
+                    indices.push(j);
+                    values.push(v);
+                    last = Some(j);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Stored density (`nnz / (rows·cols)`, 0 for empty shapes).
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// Column indices and values of row `i`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Materialize as dense.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (idx, vals) = self.row(i);
+            let r = m.row_mut(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                r[j] += v;
+            }
+        }
+        m
+    }
+
+    /// Sum of all stored values.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// `y = A x` (sparse matrix–vector product).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "spmv dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let (idx, vals) = self.row(i);
+                idx.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum()
+            })
+            .collect()
+    }
+
+    /// `C = A · Bᵀ` where `A` is sparse (`m×n`) and `B` dense (`p×n`):
+    /// the NNMF data product `A Hᵀ` with `B = H`. Parallel over rows of the
+    /// output; bitwise deterministic.
+    ///
+    /// # Panics
+    /// Panics if `b.cols() != self.cols()`.
+    pub fn matmul_dense_bt(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            b.cols(),
+            self.cols,
+            "A·Bᵀ dimension mismatch: {:?} vs {:?}",
+            self.shape(),
+            b.shape()
+        );
+        let p = b.rows();
+        let mut c = Matrix::zeros(self.rows, p);
+        c.as_mut_slice()
+            .par_chunks_mut(p.max(1))
+            .enumerate()
+            .for_each(|(i, out)| {
+                let (idx, vals) = self.row(i);
+                for (t, o) in out.iter_mut().enumerate() {
+                    let brow = b.row(t);
+                    *o = idx.iter().zip(vals).map(|(&j, &v)| v * brow[j]).sum();
+                }
+            });
+        c
+    }
+
+    /// `C = Aᵀ · B` where `A` is sparse (`m×n`) and `B` dense (`m×p`):
+    /// the NNMF data product `Aᵀ W` (transposed form of `Wᵀ A`).
+    ///
+    /// # Panics
+    /// Panics if `b.rows() != self.rows()`.
+    pub fn matmul_at_dense(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            b.rows(),
+            self.rows,
+            "Aᵀ·B dimension mismatch: {:?} vs {:?}",
+            self.shape(),
+            b.shape()
+        );
+        let p = b.cols();
+        // Scatter kernel: sequential over rows (each sparse row scatters
+        // into multiple output rows), deterministic.
+        let mut c = Matrix::zeros(self.cols, p);
+        for i in 0..self.rows {
+            let (idx, vals) = self.row(i);
+            let brow = b.row(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                let crow = c.row_mut(j);
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += v * bv;
+                }
+            }
+        }
+        c
+    }
+
+    /// Squared Frobenius norm of the stored entries.
+    pub fn frobenius_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Transpose (CSR → CSR of the transpose).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols];
+        for &j in &self.indices {
+            counts[j] += 1;
+        }
+        let mut indptr = vec![0usize; self.cols + 1];
+        for j in 0..self.cols {
+            indptr[j + 1] = indptr[j] + counts[j];
+        }
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = indptr.clone();
+        for i in 0..self.rows {
+            let (idx, vals) = self.row(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                let pos = next[j];
+                indices[pos] = i;
+                values[pos] = v;
+                next[j] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Validate structural invariants (sorted unique column indices per
+    /// row, consistent pointers).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.indptr.len() != self.rows + 1 {
+            return Err("indptr length mismatch".into());
+        }
+        if self.indptr[0] != 0 || *self.indptr.last().unwrap() != self.nnz() {
+            return Err("indptr endpoints invalid".into());
+        }
+        for i in 0..self.rows {
+            if self.indptr[i] > self.indptr[i + 1] {
+                return Err(format!("indptr not monotone at row {i}"));
+            }
+            let (idx, _) = self.row(i);
+            for w in idx.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {i} indices not strictly increasing"));
+                }
+            }
+            if idx.iter().any(|&j| j >= self.cols) {
+                return Err(format!("row {i} has out-of-range column"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul_a_bt, matmul_at_b};
+
+    fn sample_dense() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 0.0, 2.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0, 4.0],
+        ])
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        s.validate().expect("valid CSR");
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.to_dense(), d);
+        assert!((s.density() - 4.0 / 12.0).abs() < 1e-12);
+        assert_eq!(s.sum(), 10.0);
+    }
+
+    #[test]
+    fn triplets_with_duplicates() {
+        let s = CsrMatrix::from_triplets(2, 3, &[(0, 1, 1.0), (0, 1, 2.0), (1, 0, 5.0)]);
+        s.validate().expect("valid");
+        assert_eq!(s.nnz(), 2);
+        let d = s.to_dense();
+        assert_eq!(d.get(0, 1), 3.0);
+        assert_eq!(d.get(1, 0), 5.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(s.matvec(&x), crate::ops::matvec(&d, &x));
+    }
+
+    #[test]
+    fn a_bt_matches_dense_kernel() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let b = Matrix::from_fn(5, 4, |i, j| (i * 4 + j) as f64 * 0.5);
+        let sparse = s.matmul_dense_bt(&b);
+        let dense = matmul_a_bt(&d, &b);
+        assert!(sparse.approx_eq(&dense, 1e-12));
+    }
+
+    #[test]
+    fn at_b_matches_dense_kernel() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let b = Matrix::from_fn(3, 6, |i, j| ((i + j) % 5) as f64 - 1.0);
+        let sparse = s.matmul_at_dense(&b);
+        let dense = matmul_at_b(&d, &b);
+        assert!(sparse.approx_eq(&dense, 1e-12));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let t = s.transpose();
+        t.validate().expect("valid transpose");
+        assert_eq!(t.shape(), (4, 3));
+        assert_eq!(t.to_dense(), d.transpose());
+        assert_eq!(t.transpose().to_dense(), d);
+    }
+
+    #[test]
+    fn frobenius_matches() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        assert!((s.frobenius_sq() - crate::norms::frobenius_sq(&d)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_all_zero() {
+        let z = CsrMatrix::from_dense(&Matrix::zeros(3, 4));
+        assert_eq!(z.nnz(), 0);
+        z.validate().expect("valid");
+        assert_eq!(z.to_dense(), Matrix::zeros(3, 4));
+        let e = CsrMatrix::from_dense(&Matrix::zeros(0, 0));
+        assert_eq!(e.density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_bounds_checked() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

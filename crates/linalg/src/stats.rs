@@ -1,0 +1,208 @@
+//! Descriptive statistics, centering, covariance, and correlation.
+
+use crate::matrix::Matrix;
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Population variance (0 for slices shorter than 2).
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(x: &[f64]) -> f64 {
+    variance(x).sqrt()
+}
+
+/// Median (interpolated for even lengths; 0 for empty input).
+pub fn median(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut s = x.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = s.len();
+    if n % 2 == 1 {
+        s[n / 2]
+    } else {
+        0.5 * (s[n / 2 - 1] + s[n / 2])
+    }
+}
+
+/// Pearson correlation of two equal-length slices (0 if either side is
+/// constant).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson length mismatch");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(x), mean(y));
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        sxy / (sxx.sqrt() * syy.sqrt())
+    }
+}
+
+/// Cosine similarity of two equal-length slices (0 if either is zero).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn cosine(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "cosine length mismatch");
+    let nx = crate::norms::norm2(x);
+    let ny = crate::norms::norm2(y);
+    if nx == 0.0 || ny == 0.0 {
+        0.0
+    } else {
+        crate::ops::dot(x, y) / (nx * ny)
+    }
+}
+
+/// Center each column of `m` to zero mean, returning the column means.
+pub fn center_cols(m: &mut Matrix) -> Vec<f64> {
+    let (rows, cols) = m.shape();
+    if rows == 0 {
+        return vec![0.0; cols];
+    }
+    let mut means = m.col_sums();
+    for v in &mut means {
+        *v /= rows as f64;
+    }
+    for i in 0..rows {
+        for (j, v) in m.row_mut(i).iter_mut().enumerate() {
+            *v -= means[j];
+        }
+    }
+    means
+}
+
+/// Sample covariance matrix of the columns of `m` (rows are observations).
+/// Uses the `n - 1` denominator; returns a zero matrix when `rows < 2`.
+pub fn covariance(m: &Matrix) -> Matrix {
+    let (rows, cols) = m.shape();
+    if rows < 2 {
+        return Matrix::zeros(cols, cols);
+    }
+    let mut centered = m.clone();
+    center_cols(&mut centered);
+    let g = crate::ops::gram(&centered);
+    crate::ops::scale(&g, 1.0 / (rows as f64 - 1.0))
+}
+
+/// Histogram of integer-valued observations: `counts[v]` = number of inputs
+/// equal to `v`, for `v` in `0..=max`.
+pub fn int_histogram(values: &[usize]) -> Vec<usize> {
+    let max = values.iter().copied().max().unwrap_or(0);
+    let mut counts = vec![0usize; max + 1];
+    for &v in values {
+        counts[v] += 1;
+    }
+    counts
+}
+
+/// Survival counts: `out[t]` = number of observations `>= t`, for
+/// `t in 0..=max+1`. This is the form of the paper's Figure 3 statements
+/// ("~50 tags appear in 2 or more courses").
+pub fn survival_counts(values: &[usize]) -> Vec<usize> {
+    let hist = int_histogram(values);
+    let mut out = vec![0usize; hist.len() + 1];
+    let mut acc = 0usize;
+    for t in (0..hist.len()).rev() {
+        acc += hist[t];
+        out[t] = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_var() {
+        assert_eq!(mean(&[1., 2., 3., 4.]), 2.5);
+        assert_eq!(median(&[1., 3., 2.]), 2.0);
+        assert_eq!(median(&[1., 2., 3., 4.]), 2.5);
+        assert!((variance(&[2., 4., 4., 4., 5., 5., 7., 9.]) - 4.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_constant() {
+        let x = [1., 2., 3., 4.];
+        let y = [2., 4., 6., 8.];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let yn: Vec<f64> = y.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &yn) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5., 5., 5., 5.]), 0.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1., 0.], &[0., 1.])).abs() < 1e-12);
+        assert!((cosine(&[1., 1.], &[2., 2.]) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine(&[0., 0.], &[1., 2.]), 0.0);
+    }
+
+    #[test]
+    fn center_cols_zeroes_means() {
+        let mut m = Matrix::from_rows(&[vec![1., 10.], vec![3., 20.], vec![5., 30.]]);
+        let means = center_cols(&mut m);
+        assert_eq!(means, vec![3.0, 20.0]);
+        for s in m.col_sums() {
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn covariance_known() {
+        // cols: x = [1,2,3], y = [2,4,6] → var(x)=1, var(y)=4, cov=2.
+        let m = Matrix::from_rows(&[vec![1., 2.], vec![2., 4.], vec![3., 6.]]);
+        let c = covariance(&m);
+        assert!((c.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((c.get(1, 1) - 4.0).abs() < 1e-12);
+        assert!((c.get(0, 1) - 2.0).abs() < 1e-12);
+        assert!((c.get(1, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_and_survival() {
+        let v = [1usize, 1, 2, 4];
+        assert_eq!(int_histogram(&v), vec![0, 2, 1, 0, 1]);
+        let s = survival_counts(&v);
+        // >=0: 4, >=1: 4, >=2: 2, >=3: 1, >=4: 1, >=5: 0
+        assert_eq!(s, vec![4, 4, 2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn survival_empty() {
+        assert_eq!(survival_counts(&[]), vec![0, 0]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Thin singular value decomposition.
+//!
+//! Two routes are provided:
+//!
+//! * [`thin_svd`] — exact (to machine precision) thin SVD via a Jacobi
+//!   eigendecomposition of the smaller Gram matrix. Suited to the corpus
+//!   matrices in this project (one side is tens of rows).
+//! * [`randomized_svd`] — Halko-style randomized subspace iteration for the
+//!   top-`k` factors of larger matrices; used by the NNDSVD initializer and
+//!   spectral co-clustering on bigger synthetic corpora.
+
+use crate::eigen::sym_eigen;
+use crate::matrix::Matrix;
+use crate::norms::norm2;
+use crate::ops::{matmul, matmul_at_b, matmul_a_bt};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Thin SVD `A = U diag(s) Vᵀ`, singular values descending.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors as columns (`m × r`).
+    pub u: Matrix,
+    /// Singular values, descending (`r`).
+    pub s: Vec<f64>,
+    /// Right singular vectors as columns (`n × r`).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstruct `U diag(s) Vᵀ`.
+    pub fn reconstruct(&self) -> Matrix {
+        let us = scale_cols(&self.u, &self.s);
+        matmul_a_bt(&us, &self.v)
+    }
+
+    /// Truncate to the top `k` factors.
+    pub fn truncate(&self, k: usize) -> Svd {
+        let k = k.min(self.s.len());
+        let idx: Vec<usize> = (0..k).collect();
+        Svd {
+            u: self.u.select_cols(&idx),
+            s: self.s[..k].to_vec(),
+            v: self.v.select_cols(&idx),
+        }
+    }
+}
+
+fn scale_cols(m: &Matrix, scales: &[f64]) -> Matrix {
+    assert_eq!(m.cols(), scales.len());
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+            *v *= scales[j];
+        }
+    }
+    out
+}
+
+/// Exact thin SVD via the Gram route.
+///
+/// Decomposes whichever Gram matrix (`AᵀA` or `AAᵀ`) is smaller, then
+/// recovers the other factor by projection. Singular values below
+/// `1e-10 * s_max` are dropped (rank truncation), so the returned rank `r`
+/// is the numerical rank of `A`.
+pub fn thin_svd(a: &Matrix) -> Svd {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Svd {
+            u: Matrix::zeros(m, 0),
+            s: vec![],
+            v: Matrix::zeros(n, 0),
+        };
+    }
+    if n <= m {
+        // Eigen of AᵀA gives V; U = A V / s.
+        let g = matmul_at_b(a, a);
+        let e = sym_eigen(&g);
+        let smax = e.values.first().copied().unwrap_or(0.0).max(0.0).sqrt();
+        let keep: Vec<usize> = e
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l.max(0.0).sqrt() > 1e-7 * smax.max(f64::MIN_POSITIVE))
+            .map(|(i, _)| i)
+            .collect();
+        let v = e.vectors.select_cols(&keep);
+        let s: Vec<f64> = keep.iter().map(|&i| e.values[i].max(0.0).sqrt()).collect();
+        let av = matmul(a, &v);
+        let inv: Vec<f64> = s.iter().map(|&x| 1.0 / x).collect();
+        let u = scale_cols(&av, &inv);
+        Svd { u, s, v }
+    } else {
+        // Eigen of AAᵀ gives U; V = Aᵀ U / s.
+        let g = matmul_a_bt(a, a);
+        let e = sym_eigen(&g);
+        let smax = e.values.first().copied().unwrap_or(0.0).max(0.0).sqrt();
+        let keep: Vec<usize> = e
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l.max(0.0).sqrt() > 1e-7 * smax.max(f64::MIN_POSITIVE))
+            .map(|(i, _)| i)
+            .collect();
+        let u = e.vectors.select_cols(&keep);
+        let s: Vec<f64> = keep.iter().map(|&i| e.values[i].max(0.0).sqrt()).collect();
+        let atu = matmul_at_b(a, &u);
+        let inv: Vec<f64> = s.iter().map(|&x| 1.0 / x).collect();
+        let v = scale_cols(&atu, &inv);
+        Svd { u, s, v }
+    }
+}
+
+/// Randomized top-`k` SVD (Halko, Martinsson, Tropp 2011) with `n_oversample`
+/// extra probe directions and `n_power` power iterations. Deterministic for a
+/// fixed `seed`.
+pub fn randomized_svd(a: &Matrix, k: usize, n_power: usize, seed: u64) -> Svd {
+    let (m, n) = a.shape();
+    let k = k.min(m.min(n));
+    if k == 0 {
+        return Svd {
+            u: Matrix::zeros(m, 0),
+            s: vec![],
+            v: Matrix::zeros(n, 0),
+        };
+    }
+    let oversample = (k + 8).min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let omega = Matrix::from_fn(n, oversample, |_, _| rng.gen::<f64>() * 2.0 - 1.0);
+    // Range finder with power iterations: Y = (A Aᵀ)^q A Ω.
+    let mut y = matmul(a, &omega);
+    orthonormalize_cols(&mut y);
+    for _ in 0..n_power {
+        let z = matmul_at_b(a, &y);
+        let mut z = z;
+        orthonormalize_cols(&mut z);
+        y = matmul(a, &z);
+        orthonormalize_cols(&mut y);
+    }
+    // Project: B = Qᵀ A  (oversample × n), exact SVD of the small B.
+    let b = matmul_at_b(&y, a);
+    let svd_b = thin_svd(&b);
+    let u = matmul(&y, &svd_b.u);
+    Svd {
+        u,
+        s: svd_b.s,
+        v: svd_b.v,
+    }
+    .truncate(k)
+}
+
+/// Modified Gram–Schmidt orthonormalization of the columns of `m`, in place.
+/// Columns that become (numerically) zero are left as zeros.
+pub fn orthonormalize_cols(m: &mut Matrix) {
+    let (rows, cols) = m.shape();
+    for j in 0..cols {
+        let mut col = m.col(j);
+        for p in 0..j {
+            let prev = m.col(p);
+            let proj = crate::ops::dot(&col, &prev);
+            for (cv, pv) in col.iter_mut().zip(&prev) {
+                *cv -= proj * pv;
+            }
+        }
+        let n = norm2(&col);
+        if n > 1e-12 {
+            for v in &mut col {
+                *v /= n;
+            }
+        } else {
+            col = vec![0.0; rows];
+        }
+        m.set_col(j, &col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svd_of_diagonal() {
+        let a = Matrix::diag(&[3.0, 2.0, 1.0]);
+        let svd = thin_svd(&a);
+        assert_eq!(svd.s.len(), 3);
+        assert!((svd.s[0] - 3.0).abs() < 1e-9);
+        assert!((svd.s[2] - 1.0).abs() < 1e-9);
+        assert!(svd.reconstruct().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn svd_reconstructs_rectangular_both_orientations() {
+        let tall = Matrix::from_fn(9, 4, |i, j| ((i * 5 + j * 3) % 7) as f64 - 2.0);
+        let svd = thin_svd(&tall);
+        assert!(svd.reconstruct().approx_eq(&tall, 1e-7));
+        let wide = tall.transpose();
+        let svd_w = thin_svd(&wide);
+        assert!(svd_w.reconstruct().approx_eq(&wide, 1e-7));
+    }
+
+    #[test]
+    fn singular_values_match_transpose() {
+        let a = Matrix::from_fn(6, 3, |i, j| (i + j * j) as f64);
+        let s1 = thin_svd(&a).s;
+        let s2 = thin_svd(&a.transpose()).s;
+        assert_eq!(s1.len(), s2.len());
+        for (x, y) in s1.iter().zip(&s2) {
+            assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_is_truncated() {
+        // Rank-1 matrix: outer product.
+        let a = Matrix::from_fn(5, 4, |i, j| ((i + 1) * (j + 1)) as f64);
+        let svd = thin_svd(&a);
+        assert_eq!(svd.s.len(), 1, "numerical rank should be 1, got {:?}", svd.s);
+        assert!(svd.reconstruct().approx_eq(&a, 1e-7));
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = Matrix::from_fn(7, 5, |i, j| ((3 * i + 2 * j) % 8) as f64 - 3.0);
+        let svd = thin_svd(&a);
+        let utu = matmul_at_b(&svd.u, &svd.u);
+        let vtv = matmul_at_b(&svd.v, &svd.v);
+        let r = svd.s.len();
+        assert!(utu.approx_eq(&Matrix::identity(r), 1e-7));
+        assert!(vtv.approx_eq(&Matrix::identity(r), 1e-7));
+    }
+
+    #[test]
+    fn randomized_matches_exact_on_low_rank() {
+        // Rank-3 matrix.
+        let b = Matrix::from_fn(30, 3, |i, j| ((i * (j + 1)) % 11) as f64);
+        let c = Matrix::from_fn(3, 25, |i, j| ((i + j) % 5) as f64 + 0.5);
+        let a = matmul(&b, &c);
+        let exact = thin_svd(&a);
+        let rand_svd = randomized_svd(&a, 3, 2, 42);
+        for i in 0..3 {
+            assert!(
+                (exact.s[i] - rand_svd.s[i]).abs() < 1e-6 * exact.s[0],
+                "σ{i}: {} vs {}",
+                exact.s[i],
+                rand_svd.s[i]
+            );
+        }
+        assert!(rand_svd.reconstruct().approx_eq(&a, 1e-5 * exact.s[0]));
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_seed() {
+        let a = Matrix::from_fn(20, 15, |i, j| ((i * 7 + j) % 9) as f64);
+        let s1 = randomized_svd(&a, 4, 1, 7);
+        let s2 = randomized_svd(&a, 4, 1, 7);
+        assert_eq!(s1.s, s2.s);
+        assert_eq!(s1.u, s2.u);
+    }
+
+    #[test]
+    fn truncate_keeps_top_factors() {
+        let a = Matrix::from_fn(6, 6, |i, j| ((i * j) % 7) as f64 + 1.0);
+        let svd = thin_svd(&a);
+        let t = svd.truncate(2);
+        assert_eq!(t.s.len(), 2);
+        assert_eq!(t.u.cols(), 2);
+        assert_eq!(t.v.cols(), 2);
+        assert_eq!(t.s[0], svd.s[0]);
+    }
+
+    #[test]
+    fn orthonormalize_cols_yields_identity_gram() {
+        let mut m = Matrix::from_fn(8, 3, |i, j| ((i + j * 2) % 5) as f64 + 1.0);
+        orthonormalize_cols(&mut m);
+        let g = matmul_at_b(&m, &m);
+        assert!(g.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn empty_svd() {
+        let svd = thin_svd(&Matrix::zeros(0, 4));
+        assert!(svd.s.is_empty());
+        assert_eq!(svd.v.shape(), (4, 0));
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use anchors_linalg::matrix::Matrix;
+use anchors_linalg::*;
+use proptest::prelude::*;
+
+/// Strategy: a matrix with dims in [1, max_dim] and entries in [-10, 10].
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: two multiply-compatible matrices.
+fn compatible_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-5.0f64..5.0, m * k),
+            prop::collection::vec(-5.0f64..5.0, k * n),
+        )
+            .prop_map(move |(a, b)| (Matrix::from_vec(m, k, a), Matrix::from_vec(k, n, b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in matrix_strategy(12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn parallel_matmul_equals_sequential((a, b) in compatible_pair(20)) {
+        let p = matmul(&a, &b);
+        let s = matmul_seq(&a, &b);
+        prop_assert_eq!(p, s);
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in compatible_pair(10)) {
+        // (A B)ᵀ == Bᵀ Aᵀ
+        let lhs = matmul(&a, &b).transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn at_b_consistent_with_explicit((a, b) in (1usize..8, 1usize..8, 1usize..8)
+        .prop_flat_map(|(m, p, q)| (
+            prop::collection::vec(-5.0f64..5.0, m * p),
+            prop::collection::vec(-5.0f64..5.0, m * q),
+        ).prop_map(move |(x, y)| (Matrix::from_vec(m, p, x), Matrix::from_vec(m, q, y))))) {
+        let direct = matmul_at_b(&a, &b);
+        let explicit = matmul(&a.transpose(), &b);
+        prop_assert!(direct.approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral(m in matrix_strategy(10)) {
+        let left = matmul(&Matrix::identity(m.rows()), &m);
+        let right = matmul(&m, &Matrix::identity(m.cols()));
+        prop_assert!(left.approx_eq(&m, 1e-12));
+        prop_assert!(right.approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_trace(m in matrix_strategy(10)) {
+        let g = gram(&m);
+        // Symmetric.
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                prop_assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-9);
+            }
+        }
+        // Trace equals ‖A‖_F².
+        let trace: f64 = (0..g.rows()).map(|i| g.get(i, i)).sum();
+        prop_assert!((trace - frobenius_sq(&m)).abs() < 1e-6 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric(m in matrix_strategy(8)) {
+        // Build a symmetric matrix from m.
+        let s = if m.rows() == m.cols() {
+            ops::add(&m, &m.transpose())
+        } else {
+            gram(&m)
+        };
+        let e = sym_eigen(&s);
+        let d = Matrix::diag(&e.values);
+        let rec = matmul(&matmul(&e.vectors, &d), &e.vectors.transpose());
+        let scale = frobenius(&s).max(1.0);
+        prop_assert!(frobenius_diff(&rec, &s) < 1e-7 * scale);
+    }
+
+    #[test]
+    fn svd_reconstructs(m in matrix_strategy(9)) {
+        let svd = thin_svd(&m);
+        let rec = svd.reconstruct();
+        let scale = frobenius(&m).max(1.0);
+        prop_assert!(frobenius_diff(&rec, &m) < 1e-6 * scale);
+        // Singular values are nonnegative and sorted descending.
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        for &s in &svd.s {
+            prop_assert!(s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn frobenius_triangle_inequality(m in matrix_strategy(8), t in -3.0f64..3.0) {
+        let b = m.map(|v| v * t + 1.0);
+        let lhs = frobenius(&ops::add(&m, &b));
+        prop_assert!(lhs <= frobenius(&m) + frobenius(&b) + 1e-9);
+    }
+
+    #[test]
+    fn cosine_distance_bounds(
+        x in prop::collection::vec(-10.0f64..10.0, 1..20),
+    ) {
+        let y: Vec<f64> = x.iter().map(|v| v * -0.5 + 1.0).collect();
+        let d = distance::distance(&x, &y, Metric::Cosine);
+        prop_assert!((0.0..=2.0).contains(&d));
+        let self_d = distance::distance(&x, &x, Metric::Cosine);
+        prop_assert!(self_d.abs() < 1e-9);
+    }
+
+    #[test]
+    fn jaccard_is_metric_like(
+        bits_a in prop::collection::vec(0u8..2, 1..30),
+    ) {
+        let a: Vec<f64> = bits_a.iter().map(|&b| b as f64).collect();
+        let flipped: Vec<f64> = bits_a.iter().map(|&b| (1 - b) as f64).collect();
+        let d_self = distance::distance(&a, &a, Metric::Jaccard);
+        prop_assert_eq!(d_self, 0.0);
+        let d = distance::distance(&a, &flipped, Metric::Jaccard);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn pairwise_distances_symmetric_zero_diag(m in matrix_strategy(8)) {
+        let d = pairwise_distances(&m, Metric::Euclidean);
+        prop_assert!(distance::validate_distance_matrix(&d).is_ok());
+    }
+
+    #[test]
+    fn survival_counts_monotone(values in prop::collection::vec(0usize..10, 0..50)) {
+        let s = stats::survival_counts(&values);
+        for w in s.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert_eq!(s[0], values.len());
+        prop_assert_eq!(*s.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn normalize_rows_yields_unit_or_zero(m in matrix_strategy(10)) {
+        let mut n = m.clone();
+        norms::normalize_rows(&mut n);
+        for i in 0..n.rows() {
+            let r = norms::norm2(n.row(i));
+            prop_assert!(r.abs() < 1e-9 || (r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn permutation_roundtrip(m in matrix_strategy(10)) {
+        let n = m.rows();
+        // Reverse permutation applied twice is identity.
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let p = m.permute_rows(&perm).permute_rows(&perm);
+        prop_assert_eq!(p, m);
+    }
+}

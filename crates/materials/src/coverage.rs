@@ -1,0 +1,222 @@
+//! Curriculum-coverage audit.
+//!
+//! The CS Materials system is built "for Design, Alignment, Audit, and
+//! Search" (Goncharow et al., SIGCSE'21). This module is the audit: how
+//! much of the guideline's core does a course (or program = set of courses)
+//! actually cover? CS2013 requires 100% of core tier-1 and ≥80% of core
+//! tier-2 across a whole curriculum, which is exactly the check
+//! [`CoverageReport::meets_cs2013_core_requirements`] implements.
+
+use crate::model::CourseId;
+use crate::store::MaterialStore;
+use anchors_curricula::{Level, NodeId, Ontology, Tier};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Coverage of one knowledge unit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KuCoverage {
+    /// The knowledge unit.
+    pub ku: NodeId,
+    /// Unit tier.
+    pub tier: Tier,
+    /// Leaf items under the unit.
+    pub total: usize,
+    /// Leaf items covered by the audited tag set.
+    pub covered: usize,
+}
+
+impl KuCoverage {
+    /// Covered fraction (1 for empty units).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.total as f64
+        }
+    }
+}
+
+/// A full audit of a tag set against a guideline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Per-unit coverage, in guideline order.
+    pub units: Vec<KuCoverage>,
+}
+
+/// Tier-aggregated coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierCoverage {
+    /// Total leaf items in the tier.
+    pub total: usize,
+    /// Covered leaf items.
+    pub covered: usize,
+}
+
+impl TierCoverage {
+    /// Covered fraction (1 for an empty tier).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.covered as f64 / self.total as f64
+        }
+    }
+}
+
+impl CoverageReport {
+    /// Audit an arbitrary tag set.
+    pub fn audit(ontology: &Ontology, tags: &[NodeId]) -> Self {
+        let tag_set: BTreeSet<NodeId> = tags.iter().copied().collect();
+        let mut units = Vec::new();
+        for ku in ontology.at_level(Level::KnowledgeUnit) {
+            let leaves = ontology.leaves_under(ku);
+            let covered = leaves.iter().filter(|l| tag_set.contains(l)).count();
+            units.push(KuCoverage {
+                ku,
+                tier: ontology.node(ku).tier,
+                total: leaves.len(),
+                covered,
+            });
+        }
+        CoverageReport { units }
+    }
+
+    /// Audit one course.
+    pub fn audit_course(store: &MaterialStore, ontology: &Ontology, course: CourseId) -> Self {
+        Self::audit(ontology, &store.course_tags(course))
+    }
+
+    /// Audit a set of courses jointly (a program audit): union of tags.
+    pub fn audit_program(
+        store: &MaterialStore,
+        ontology: &Ontology,
+        courses: &[CourseId],
+    ) -> Self {
+        let mut tags = BTreeSet::new();
+        for &c in courses {
+            tags.extend(store.course_tags(c));
+        }
+        let tags: Vec<NodeId> = tags.into_iter().collect();
+        Self::audit(ontology, &tags)
+    }
+
+    /// Aggregate coverage of one tier.
+    pub fn tier(&self, tier: Tier) -> TierCoverage {
+        let mut total = 0;
+        let mut covered = 0;
+        for u in self.units.iter().filter(|u| u.tier == tier) {
+            total += u.total;
+            covered += u.covered;
+        }
+        TierCoverage { total, covered }
+    }
+
+    /// The CS2013 curriculum-level requirement: all of core tier-1 and at
+    /// least 80% of core tier-2.
+    pub fn meets_cs2013_core_requirements(&self) -> bool {
+        self.tier(Tier::Core1).fraction() >= 1.0 - 1e-12
+            && self.tier(Tier::Core2).fraction() >= 0.80
+    }
+
+    /// Units with no coverage at all in a tier (audit gaps).
+    pub fn uncovered_units(&self, tier: Tier) -> Vec<NodeId> {
+        self.units
+            .iter()
+            .filter(|u| u.tier == tier && u.covered == 0 && u.total > 0)
+            .map(|u| u.ku)
+            .collect()
+    }
+
+    /// Units with any coverage, sorted by descending fraction then id.
+    pub fn strongest_units(&self, n: usize) -> Vec<&KuCoverage> {
+        let mut covered: Vec<&KuCoverage> =
+            self.units.iter().filter(|u| u.covered > 0).collect();
+        covered.sort_by(|a, b| {
+            b.fraction()
+                .partial_cmp(&a.fraction())
+                .expect("finite fractions")
+                .then(a.ku.cmp(&b.ku))
+        });
+        covered.truncate(n);
+        covered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CourseLabel, MaterialKind};
+    use anchors_curricula::cs2013;
+
+    #[test]
+    fn audit_counts_covered_items() {
+        let g = cs2013();
+        let fpc = g.by_code("SDF.FPC").unwrap();
+        let leaves = g.leaves_under(fpc);
+        let half: Vec<NodeId> = leaves.iter().copied().take(leaves.len() / 2).collect();
+        let report = CoverageReport::audit(g, &half);
+        let u = report
+            .units
+            .iter()
+            .find(|u| u.ku == fpc)
+            .expect("FPC audited");
+        assert_eq!(u.covered, half.len());
+        assert_eq!(u.total, leaves.len());
+        assert!((u.fraction() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_tag_set_covers_nothing() {
+        let g = cs2013();
+        let report = CoverageReport::audit(g, &[]);
+        assert_eq!(report.tier(Tier::Core1).covered, 0);
+        assert!(!report.meets_cs2013_core_requirements());
+        assert!(!report.uncovered_units(Tier::Core1).is_empty());
+    }
+
+    #[test]
+    fn full_guideline_meets_requirements() {
+        let g = cs2013();
+        let all = g.leaf_items();
+        let report = CoverageReport::audit(g, &all);
+        assert!(report.meets_cs2013_core_requirements());
+        assert_eq!(report.tier(Tier::Core1).fraction(), 1.0);
+        assert_eq!(report.tier(Tier::Core2).fraction(), 1.0);
+        assert!(report.uncovered_units(Tier::Core1).is_empty());
+    }
+
+    #[test]
+    fn course_and_program_audits() {
+        let g = cs2013();
+        let mut s = MaterialStore::new();
+        let c1 = s.add_course("A", "U", "I", vec![CourseLabel::Cs1], None);
+        let c2 = s.add_course("B", "U", "I", vec![CourseLabel::Cs2], None);
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("AL.BA.t1").unwrap();
+        s.add_material(c1, "m1", MaterialKind::Lecture, "I", None, vec![], vec![t1]);
+        s.add_material(c2, "m2", MaterialKind::Lecture, "I", None, vec![], vec![t2]);
+        let r1 = CoverageReport::audit_course(&s, g, c1);
+        let rp = CoverageReport::audit_program(&s, g, &[c1, c2]);
+        let covered = |r: &CoverageReport| -> usize {
+            r.units.iter().map(|u| u.covered).sum()
+        };
+        assert_eq!(covered(&r1), 1);
+        assert_eq!(covered(&rp), 2, "program audit unions course tags");
+    }
+
+    #[test]
+    fn strongest_units_sorted() {
+        let g = cs2013();
+        let fpc = g.by_code("SDF.FPC").unwrap();
+        let ba = g.by_code("AL.BA").unwrap();
+        let mut tags = g.leaves_under(fpc); // full FPC
+        tags.push(g.leaves_under(ba)[0]); // one BA item
+        let report = CoverageReport::audit(g, &tags);
+        let top = report.strongest_units(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].ku, fpc);
+        assert!((top[0].fraction() - 1.0).abs() < 1e-12);
+        assert!(top[1].fraction() < 1.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Hit-trees: the paper's radial tree model.
+//!
+//! A *hit-tree* overlays counts on the guideline ontology: each leaf item
+//! counts how many materials (or courses) are classified against it, and
+//! counts aggregate up the tree. The paper uses hit-trees for
+//!
+//! * coverage views of one course,
+//! * **agreement trees** (Figures 4, 6, 8): the subtree of items that appear
+//!   in ≥ *m* courses of a group, and
+//! * **alignment views**: a divergent score comparing two material sets
+//!   (node color ranges between the two sets; mid-scale = fully aligned).
+
+use anchors_curricula::{NodeId, Ontology};
+use serde::{Deserialize, Serialize};
+
+/// Per-node hit counts over an ontology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HitTree {
+    /// `counts[node.index()]` = hits at or below that node.
+    counts: Vec<usize>,
+}
+
+impl HitTree {
+    /// Build from leaf hit counts: `leaf_hits` maps leaf items to counts;
+    /// internal nodes receive the sum of their subtree.
+    pub fn from_leaf_hits(ontology: &Ontology, leaf_hits: &[(NodeId, usize)]) -> Self {
+        let mut counts = vec![0usize; ontology.len()];
+        for &(id, c) in leaf_hits {
+            counts[id.index()] += c;
+        }
+        // Children precede parents nowhere in general; aggregate by walking
+        // nodes in reverse arena order only works if parents come first.
+        // The builder always pushes parents before children, so a reverse
+        // sweep accumulates child counts into parents correctly.
+        for idx in (1..ontology.len()).rev() {
+            let node = &ontology.nodes()[idx];
+            if let Some(p) = node.parent {
+                counts[p.index()] += counts[idx];
+            }
+        }
+        HitTree { counts }
+    }
+
+    /// Build from a set of tagged leaf items, each hit once.
+    pub fn from_tags(ontology: &Ontology, tags: &[NodeId]) -> Self {
+        let hits: Vec<(NodeId, usize)> = tags.iter().map(|&t| (t, 1)).collect();
+        Self::from_leaf_hits(ontology, &hits)
+    }
+
+    /// Hits at or below `id`.
+    pub fn count(&self, id: NodeId) -> usize {
+        self.counts[id.index()]
+    }
+
+    /// Total hits (root count).
+    pub fn total(&self) -> usize {
+        self.counts.first().copied().unwrap_or(0)
+    }
+
+    /// Nodes with nonzero count, in arena order.
+    pub fn hit_nodes(&self) -> Vec<NodeId> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+/// The agreement subtree of a course group at threshold `m`: leaf items that
+/// appear in at least `m` of the courses, plus all their ancestors (so the
+/// result renders as a tree rooted at the guideline root).
+#[derive(Debug, Clone)]
+pub struct AgreementTree {
+    /// The threshold used.
+    pub threshold: usize,
+    /// Leaf items meeting the threshold, with the number of courses they
+    /// appear in.
+    pub agreed_leaves: Vec<(NodeId, usize)>,
+    /// All nodes of the induced subtree (leaves + ancestors), sorted.
+    pub nodes: Vec<NodeId>,
+}
+
+impl AgreementTree {
+    /// Build from per-tag course counts (as produced by
+    /// `CourseMatrix::tags_with_agreement(1)`).
+    pub fn build(
+        ontology: &Ontology,
+        tag_course_counts: &[(NodeId, usize)],
+        threshold: usize,
+    ) -> Self {
+        let agreed_leaves: Vec<(NodeId, usize)> = tag_course_counts
+            .iter()
+            .filter(|&&(_, c)| c >= threshold)
+            .copied()
+            .collect();
+        let mut set = std::collections::BTreeSet::new();
+        for &(leaf, _) in &agreed_leaves {
+            for id in ontology.path(leaf) {
+                set.insert(id);
+            }
+        }
+        AgreementTree {
+            threshold,
+            agreed_leaves,
+            nodes: set.into_iter().collect(),
+        }
+    }
+
+    /// Knowledge areas spanned by the agreed items.
+    pub fn knowledge_areas(&self, ontology: &Ontology) -> Vec<NodeId> {
+        let mut kas = std::collections::BTreeSet::new();
+        for &(leaf, _) in &self.agreed_leaves {
+            if let Some(ka) = ontology.knowledge_area_of(leaf) {
+                kas.insert(ka);
+            }
+        }
+        kas.into_iter().collect()
+    }
+
+    /// Knowledge units spanned, with how many agreed leaves each holds.
+    pub fn knowledge_units(&self, ontology: &Ontology) -> Vec<(NodeId, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for &(leaf, _) in &self.agreed_leaves {
+            if let Some(ku) = ontology.knowledge_unit_of(leaf) {
+                *map.entry(ku).or_insert(0) += 1;
+            }
+        }
+        map.into_iter().collect()
+    }
+
+    /// Number of agreed leaf items.
+    pub fn len(&self) -> usize {
+        self.agreed_leaves.len()
+    }
+
+    /// Whether no item meets the threshold.
+    pub fn is_empty(&self) -> bool {
+        self.agreed_leaves.is_empty()
+    }
+}
+
+/// Divergent alignment score between two tag multisets over the ontology.
+///
+/// For each node, the score is in `[-1, +1]`: −1 = only the first set hits
+/// the subtree, +1 = only the second, 0 = perfectly balanced (the paper's
+/// "mid-range of the scale represents the materials are fully aligned").
+#[derive(Debug, Clone)]
+pub struct AlignmentView {
+    /// Hit tree of the first set.
+    pub left: HitTree,
+    /// Hit tree of the second set.
+    pub right: HitTree,
+}
+
+impl AlignmentView {
+    /// Build from two tag sets.
+    pub fn build(ontology: &Ontology, left: &[NodeId], right: &[NodeId]) -> Self {
+        AlignmentView {
+            left: HitTree::from_tags(ontology, left),
+            right: HitTree::from_tags(ontology, right),
+        }
+    }
+
+    /// Divergent score at a node: `(r - l) / (r + l)`, or `None` if neither
+    /// side hits the subtree.
+    pub fn score(&self, id: NodeId) -> Option<f64> {
+        let l = self.left.count(id) as f64;
+        let r = self.right.count(id) as f64;
+        if l + r == 0.0 {
+            None
+        } else {
+            Some((r - l) / (r + l))
+        }
+    }
+
+    /// Combined size at a node (total hits from both sides) — the radial
+    /// view maps this to node radius.
+    pub fn size(&self, id: NodeId) -> usize {
+        self.left.count(id) + self.right.count(id)
+    }
+
+    /// Mean absolute divergence over nodes hit by either side: 0 = perfectly
+    /// aligned course, 1 = disjoint.
+    pub fn misalignment(&self, ontology: &Ontology) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for node in ontology.nodes() {
+            if let Some(s) = self.score(node.id) {
+                total += s.abs();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+
+    #[test]
+    fn hit_counts_aggregate_up() {
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("SDF.FPC.t2").unwrap();
+        let t3 = g.by_code("AL.BA.t1").unwrap();
+        let h = HitTree::from_tags(g, &[t1, t2, t3]);
+        assert_eq!(h.count(t1), 1);
+        let fpc = g.by_code("SDF.FPC").unwrap();
+        assert_eq!(h.count(fpc), 2);
+        let sdf = g.by_code("SDF").unwrap();
+        assert_eq!(h.count(sdf), 2);
+        let al = g.by_code("AL").unwrap();
+        assert_eq!(h.count(al), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn multi_hits_accumulate() {
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let h = HitTree::from_leaf_hits(g, &[(t1, 5)]);
+        assert_eq!(h.count(t1), 5);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn agreement_tree_thresholds() {
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("SDF.FPC.t2").unwrap();
+        let t3 = g.by_code("AL.BA.t1").unwrap();
+        let counts = vec![(t1, 4), (t2, 2), (t3, 1)];
+        let at2 = AgreementTree::build(g, &counts, 2);
+        assert_eq!(at2.len(), 2);
+        let at4 = AgreementTree::build(g, &counts, 4);
+        assert_eq!(at4.len(), 1);
+        assert_eq!(at4.agreed_leaves[0].0, t1);
+        // Induced tree contains ancestors.
+        assert!(at4.nodes.contains(&g.root()));
+        assert!(at4.nodes.contains(&g.by_code("SDF").unwrap()));
+        let at5 = AgreementTree::build(g, &counts, 5);
+        assert!(at5.is_empty());
+    }
+
+    #[test]
+    fn agreement_tree_spans() {
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t3 = g.by_code("AL.BA.t1").unwrap();
+        let at = AgreementTree::build(g, &[(t1, 2), (t3, 2)], 2);
+        let kas = at.knowledge_areas(g);
+        assert_eq!(kas.len(), 2);
+        let kus = at.knowledge_units(g);
+        assert_eq!(kus.len(), 2);
+        assert!(kus.iter().all(|&(_, n)| n == 1));
+    }
+
+    #[test]
+    fn alignment_scores() {
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("SDF.FPC.t2").unwrap();
+        let v = AlignmentView::build(g, &[t1], &[t2]);
+        assert_eq!(v.score(t1), Some(-1.0));
+        assert_eq!(v.score(t2), Some(1.0));
+        let fpc = g.by_code("SDF.FPC").unwrap();
+        assert_eq!(v.score(fpc), Some(0.0), "balanced at the KU");
+        assert_eq!(v.size(fpc), 2);
+        let unrelated = g.by_code("NC").unwrap();
+        assert_eq!(v.score(unrelated), None);
+    }
+
+    #[test]
+    fn perfectly_aligned_has_zero_misalignment() {
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("AL.BA.t2").unwrap();
+        let v = AlignmentView::build(g, &[t1, t2], &[t1, t2]);
+        assert_eq!(v.misalignment(g), 0.0);
+        let w = AlignmentView::build(g, &[t1], &[t2]);
+        assert!(w.misalignment(g) > 0.5);
+    }
+}

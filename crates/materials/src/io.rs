@@ -1,0 +1,271 @@
+//! Portable import/export of a material store.
+//!
+//! The in-memory store references guideline items by arena [`NodeId`],
+//! which is not stable across guideline revisions. The exchange format
+//! references items by their dotted *code* (`"SDF.FPC.t2"`), so exported
+//! corpora survive ontology edits that preserve codes, and imports from
+//! other tools can be validated precisely.
+
+use crate::model::{CourseLabel, MaterialKind};
+use crate::store::MaterialStore;
+use anchors_curricula::Ontology;
+use serde::{Deserialize, Serialize};
+
+/// Portable form of one material.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortableMaterial {
+    /// Display name.
+    pub name: String,
+    /// Pedagogical kind.
+    pub kind: MaterialKind,
+    /// Author.
+    pub author: String,
+    /// Programming language, if any.
+    pub language: Option<String>,
+    /// Datasets used.
+    pub datasets: Vec<String>,
+    /// Guideline item codes.
+    pub tags: Vec<String>,
+}
+
+/// Portable form of one course.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortableCourse {
+    /// Display name.
+    pub name: String,
+    /// Institution.
+    pub institution: String,
+    /// Instructor.
+    pub instructor: String,
+    /// Family labels.
+    pub labels: Vec<CourseLabel>,
+    /// Course language.
+    pub language: Option<String>,
+    /// Materials.
+    pub materials: Vec<PortableMaterial>,
+}
+
+/// Portable form of a whole store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortableStore {
+    /// Name of the guideline the tags reference.
+    pub guideline: String,
+    /// Courses with nested materials.
+    pub courses: Vec<PortableCourse>,
+}
+
+/// Errors an import can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The JSON was malformed.
+    Parse(String),
+    /// The file references a different guideline.
+    GuidelineMismatch {
+        /// Guideline named in the file.
+        found: String,
+        /// Guideline supplied to the importer.
+        expected: String,
+    },
+    /// A tag code does not resolve to a leaf item.
+    UnknownTag {
+        /// Offending course name.
+        course: String,
+        /// Offending code.
+        code: String,
+    },
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Parse(e) => write!(f, "parse error: {e}"),
+            ImportError::GuidelineMismatch { found, expected } => {
+                write!(f, "guideline mismatch: file references {found:?}, expected {expected:?}")
+            }
+            ImportError::UnknownTag { course, code } => {
+                write!(f, "course {course:?} references unknown tag {code:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// Export a store to the portable structure.
+pub fn export(store: &MaterialStore, ontology: &Ontology) -> PortableStore {
+    PortableStore {
+        guideline: ontology.name.clone(),
+        courses: store
+            .courses()
+            .iter()
+            .map(|c| PortableCourse {
+                name: c.name.clone(),
+                institution: c.institution.clone(),
+                instructor: c.instructor.clone(),
+                labels: c.labels.clone(),
+                language: c.language.clone(),
+                materials: c
+                    .materials
+                    .iter()
+                    .map(|&mid| {
+                        let m = store.material(mid);
+                        PortableMaterial {
+                            name: m.name.clone(),
+                            kind: m.kind,
+                            author: m.author.clone(),
+                            language: m.language.clone(),
+                            datasets: m.datasets.clone(),
+                            tags: m
+                                .tags
+                                .iter()
+                                .map(|&t| ontology.node(t).code.clone())
+                                .collect(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Export a store to a JSON string.
+pub fn export_json(store: &MaterialStore, ontology: &Ontology) -> String {
+    serde_json::to_string_pretty(&export(store, ontology)).expect("portable store serializes")
+}
+
+/// Import a portable structure into a fresh store, resolving tag codes
+/// against `ontology`.
+pub fn import(portable: &PortableStore, ontology: &Ontology) -> Result<MaterialStore, ImportError> {
+    if portable.guideline != ontology.name {
+        return Err(ImportError::GuidelineMismatch {
+            found: portable.guideline.clone(),
+            expected: ontology.name.clone(),
+        });
+    }
+    let mut store = MaterialStore::new();
+    for c in &portable.courses {
+        let cid = store.add_course(
+            c.name.clone(),
+            c.institution.clone(),
+            c.instructor.clone(),
+            c.labels.clone(),
+            c.language.clone(),
+        );
+        for m in &c.materials {
+            let tags = m
+                .tags
+                .iter()
+                .map(|code| {
+                    ontology.by_code(code).ok_or_else(|| ImportError::UnknownTag {
+                        course: c.name.clone(),
+                        code: code.clone(),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            store.add_material(
+                cid,
+                m.name.clone(),
+                m.kind,
+                m.author.clone(),
+                m.language.clone(),
+                m.datasets.clone(),
+                tags,
+            );
+        }
+    }
+    Ok(store)
+}
+
+/// Import from a JSON string.
+pub fn import_json(json: &str, ontology: &Ontology) -> Result<MaterialStore, ImportError> {
+    let portable: PortableStore =
+        serde_json::from_str(json).map_err(|e| ImportError::Parse(e.to_string()))?;
+    import(&portable, ontology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+
+    fn sample_store() -> MaterialStore {
+        let g = cs2013();
+        let mut s = MaterialStore::new();
+        let c = s.add_course(
+            "Test",
+            "U",
+            "I",
+            vec![CourseLabel::Cs1],
+            Some("C".into()),
+        );
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("AL.BA.o1").unwrap();
+        s.add_material(
+            c,
+            "L1",
+            MaterialKind::Lecture,
+            "I",
+            Some("C".into()),
+            vec!["quakes".into()],
+            vec![t1, t2],
+        );
+        s
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = cs2013();
+        let s = sample_store();
+        let json = export_json(&s, g);
+        let back = import_json(&json, g).expect("roundtrip");
+        assert_eq!(back.course_count(), s.course_count());
+        assert_eq!(back.material_count(), s.material_count());
+        assert_eq!(
+            back.course_tags(back.courses()[0].id),
+            s.course_tags(s.courses()[0].id)
+        );
+        let m = back.material(back.courses()[0].materials[0]);
+        assert_eq!(m.datasets, vec!["quakes".to_string()]);
+        back.validate(g).expect("valid after import");
+    }
+
+    #[test]
+    fn guideline_mismatch_detected() {
+        let g = cs2013();
+        let s = sample_store();
+        let mut portable = export(&s, g);
+        portable.guideline = "some other guideline".into();
+        let err = import(&portable, g).unwrap_err();
+        assert!(matches!(err, ImportError::GuidelineMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_tag_detected() {
+        let g = cs2013();
+        let s = sample_store();
+        let mut portable = export(&s, g);
+        portable.courses[0].materials[0].tags.push("NOT.A.CODE".into());
+        let err = import(&portable, g).unwrap_err();
+        match err {
+            ImportError::UnknownTag { code, .. } => assert_eq!(code, "NOT.A.CODE"),
+            other => panic!("expected UnknownTag, got {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let g = cs2013();
+        let err = import_json("{not json", g).unwrap_err();
+        assert!(matches!(err, ImportError::Parse(_)));
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn export_uses_codes_not_ids() {
+        let g = cs2013();
+        let s = sample_store();
+        let json = export_json(&s, g);
+        assert!(json.contains("SDF.FPC.t1"));
+        assert!(json.contains("AL.BA.o1"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # anchors-materials
+//!
+//! The *CS Materials* substrate (Goncharow et al. 2021) that the paper's
+//! data collection is built on: courses, learning materials, and their
+//! classifications against curriculum guidelines, plus the system's three
+//! analysis services:
+//!
+//! * [`matrix`] — the course × curriculum-tag 0-1 matrix of §4.1 and the
+//!   materials × tags "matrix view";
+//! * [`hittree`] — coverage/agreement/alignment hit-trees behind the radial
+//!   visualizations (Figures 4, 6, 8);
+//! * [`search`] + [`similarity`] — tag/facet search with weighted-overlap
+//!   scoring, and the similarity graph handed to MDS for 2D layout.
+
+pub mod coverage;
+pub mod hittree;
+pub mod io;
+pub mod matrix;
+pub mod model;
+pub mod search;
+pub mod similarity;
+pub mod store;
+
+pub use coverage::{CoverageReport, KuCoverage, TierCoverage};
+pub use hittree::{AgreementTree, AlignmentView, HitTree};
+pub use io::{export, export_json, import, import_json, ImportError, PortableStore};
+pub use matrix::{CourseMatrix, MaterialMatrix, TagSpace, Weighting};
+pub use model::{
+    AlignmentGroup, Course, CourseId, CourseLabel, Material, MaterialId, MaterialKind,
+};
+pub use search::{search, Query, SearchHit};
+pub use similarity::{jaccard, SimilarityGraph, Vertex};
+pub use store::MaterialStore;

@@ -1,0 +1,364 @@
+//! Construction of the paper's course × curriculum-tag matrix.
+//!
+//! Section 4.1: *"we represent the courses as `A`, a 0-1 matrix where each
+//! row represents a course in our analysis, and each column represents an
+//! entry in the curriculum guideline."*
+//!
+//! The column space can either span the full guideline or be restricted to
+//! the tags actually used by the selected courses (scikit-learn's NMF is
+//! indifferent to all-zero columns, but restricting keeps the matrices small
+//! and the `H` heat maps legible, matching the paper's figures).
+
+use crate::model::CourseId;
+use crate::store::MaterialStore;
+use anchors_curricula::NodeId;
+use anchors_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Column space of a course matrix: which curriculum tag each column means.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TagSpace {
+    tags: Vec<NodeId>,
+}
+
+impl TagSpace {
+    /// Build a tag space from an explicit tag list (deduplicated, sorted).
+    pub fn from_tags(tags: impl IntoIterator<Item = NodeId>) -> Self {
+        let set: BTreeSet<NodeId> = tags.into_iter().collect();
+        TagSpace {
+            tags: set.into_iter().collect(),
+        }
+    }
+
+    /// The tag space spanned by the union of tags of `courses`.
+    pub fn spanned_by(store: &MaterialStore, courses: &[CourseId]) -> Self {
+        Self::from_tags(
+            courses
+                .iter()
+                .flat_map(|&c| store.course_tags(c)),
+        )
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Tag of column `j`.
+    pub fn tag(&self, j: usize) -> NodeId {
+        self.tags[j]
+    }
+
+    /// All tags in column order.
+    pub fn tags(&self) -> &[NodeId] {
+        &self.tags
+    }
+
+    /// Column of a tag, if present (binary search — tags are sorted).
+    pub fn column_of(&self, tag: NodeId) -> Option<usize> {
+        self.tags.binary_search(&tag).ok()
+    }
+}
+
+/// How matrix entries encode a course's relation to a tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Weighting {
+    /// 0-1 incidence (the paper's §4.1 matrix).
+    Binary,
+    /// Number of materials of the course covering the tag — a proxy for
+    /// the coverage *depth* the paper's threats-to-validity section notes
+    /// is ignored by the binary encoding.
+    MaterialCount,
+    /// `ln(1 + material count)`: depth-aware but compressed.
+    LogCount,
+}
+
+/// A course matrix: rows = courses (in `courses` order), columns = tags of
+/// the [`TagSpace`], entries ∈ {0, 1}.
+#[derive(Debug, Clone)]
+pub struct CourseMatrix {
+    /// Row order.
+    pub courses: Vec<CourseId>,
+    /// Column space.
+    pub tag_space: TagSpace,
+    /// The 0-1 matrix `A` (courses × tags).
+    pub a: Matrix,
+}
+
+impl CourseMatrix {
+    /// Build the binary matrix for `courses` over the tags they span.
+    pub fn build(store: &MaterialStore, courses: &[CourseId]) -> Self {
+        let tag_space = TagSpace::spanned_by(store, courses);
+        Self::build_with_space(store, courses, tag_space)
+    }
+
+    /// Build the binary matrix for `courses` over an explicit tag space.
+    /// Tags a course has outside the space are ignored.
+    pub fn build_with_space(
+        store: &MaterialStore,
+        courses: &[CourseId],
+        tag_space: TagSpace,
+    ) -> Self {
+        Self::build_weighted_with_space(store, courses, tag_space, Weighting::Binary)
+    }
+
+    /// Build with an explicit [`Weighting`] over the spanned tags.
+    pub fn build_weighted(
+        store: &MaterialStore,
+        courses: &[CourseId],
+        weighting: Weighting,
+    ) -> Self {
+        let tag_space = TagSpace::spanned_by(store, courses);
+        Self::build_weighted_with_space(store, courses, tag_space, weighting)
+    }
+
+    /// Build with an explicit weighting and tag space.
+    pub fn build_weighted_with_space(
+        store: &MaterialStore,
+        courses: &[CourseId],
+        tag_space: TagSpace,
+        weighting: Weighting,
+    ) -> Self {
+        let mut a = Matrix::zeros(courses.len(), tag_space.len());
+        for (i, &c) in courses.iter().enumerate() {
+            match weighting {
+                Weighting::Binary => {
+                    for tag in store.course_tags(c) {
+                        if let Some(j) = tag_space.column_of(tag) {
+                            a.set(i, j, 1.0);
+                        }
+                    }
+                }
+                Weighting::MaterialCount | Weighting::LogCount => {
+                    for &mid in &store.course(c).materials {
+                        for &tag in &store.material(mid).tags {
+                            if let Some(j) = tag_space.column_of(tag) {
+                                a.set(i, j, a.get(i, j) + 1.0);
+                            }
+                        }
+                    }
+                    if weighting == Weighting::LogCount {
+                        for v in a.row_mut(i) {
+                            *v = (1.0 + *v).ln();
+                        }
+                    }
+                }
+            }
+        }
+        CourseMatrix {
+            courses: courses.to_vec(),
+            tag_space,
+            a,
+        }
+    }
+
+    /// Number of courses (rows).
+    pub fn n_courses(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of tags (columns).
+    pub fn n_tags(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// How many of the selected courses carry each tag (counting any
+    /// positive entry once, so the statistic is weighting-independent).
+    /// This is the statistic behind the paper's Figure 3.
+    pub fn tag_course_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.a.cols()];
+        for i in 0..self.a.rows() {
+            for (j, &v) in self.a.row(i).iter().enumerate() {
+                if v > 0.0 {
+                    counts[j] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Tags that appear in at least `threshold` courses, with their counts.
+    pub fn tags_with_agreement(&self, threshold: usize) -> Vec<(NodeId, usize)> {
+        self.tag_course_counts()
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c >= threshold)
+            .map(|(j, c)| (self.tag_space.tag(j), c))
+            .collect()
+    }
+
+    /// Density of the 0-1 matrix (fraction of ones).
+    pub fn density(&self) -> f64 {
+        if self.a.is_empty() {
+            0.0
+        } else {
+            self.a.sum() / self.a.len() as f64
+        }
+    }
+}
+
+/// A materials × tags 0-1 matrix (the CS Materials "matrix view", where
+/// materials are columns and tags are rows).
+#[derive(Debug, Clone)]
+pub struct MaterialMatrix {
+    /// Column order: material ids.
+    pub materials: Vec<crate::model::MaterialId>,
+    /// Row space: tags.
+    pub tag_space: TagSpace,
+    /// tags × materials matrix (note the orientation: the paper's matrix
+    /// view displays materials as columns).
+    pub m: Matrix,
+}
+
+impl MaterialMatrix {
+    /// Build the matrix view for all materials of the given courses.
+    pub fn build(store: &MaterialStore, courses: &[CourseId]) -> Self {
+        let materials: Vec<crate::model::MaterialId> = courses
+            .iter()
+            .flat_map(|&c| store.course(c).materials.iter().copied())
+            .collect();
+        let tag_space = TagSpace::from_tags(
+            materials
+                .iter()
+                .flat_map(|&m| store.material(m).tags.iter().copied()),
+        );
+        let mut m = Matrix::zeros(tag_space.len(), materials.len());
+        for (j, &mid) in materials.iter().enumerate() {
+            for &tag in &store.material(mid).tags {
+                if let Some(i) = tag_space.column_of(tag) {
+                    m.set(i, j, 1.0);
+                }
+            }
+        }
+        MaterialMatrix {
+            materials,
+            tag_space,
+            m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CourseLabel, MaterialKind};
+    use anchors_curricula::cs2013;
+
+    fn two_course_store() -> (MaterialStore, Vec<CourseId>) {
+        let g = cs2013();
+        let mut s = MaterialStore::new();
+        let c1 = s.add_course("A", "U", "I1", vec![CourseLabel::Cs1], None);
+        let c2 = s.add_course("B", "U", "I2", vec![CourseLabel::Cs1], None);
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("SDF.FPC.t2").unwrap();
+        let t3 = g.by_code("SDF.AD.t1").unwrap();
+        s.add_material(c1, "L", MaterialKind::Lecture, "I1", None, vec![], vec![t1, t2]);
+        s.add_material(c2, "L", MaterialKind::Lecture, "I2", None, vec![], vec![t2, t3]);
+        (s, vec![c1, c2])
+    }
+
+    #[test]
+    fn builds_binary_matrix() {
+        let (s, cs) = two_course_store();
+        let cm = CourseMatrix::build(&s, &cs);
+        assert_eq!(cm.a.shape(), (2, 3));
+        // Every entry is 0 or 1.
+        for &v in cm.a.as_slice() {
+            assert!(v == 0.0 || v == 1.0);
+        }
+        // Shared tag column sums to 2.
+        let counts = cm.tag_course_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 4);
+        assert!(counts.contains(&2));
+    }
+
+    #[test]
+    fn agreement_threshold_filters() {
+        let (s, cs) = two_course_store();
+        let cm = CourseMatrix::build(&s, &cs);
+        assert_eq!(cm.tags_with_agreement(1).len(), 3);
+        assert_eq!(cm.tags_with_agreement(2).len(), 1);
+        assert_eq!(cm.tags_with_agreement(3).len(), 0);
+    }
+
+    #[test]
+    fn explicit_space_ignores_outside_tags() {
+        let (s, cs) = two_course_store();
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let space = TagSpace::from_tags([t1]);
+        let cm = CourseMatrix::build_with_space(&s, &cs, space);
+        assert_eq!(cm.a.shape(), (2, 1));
+        assert_eq!(cm.a.get(0, 0), 1.0);
+        assert_eq!(cm.a.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn density_in_unit_interval() {
+        let (s, cs) = two_course_store();
+        let cm = CourseMatrix::build(&s, &cs);
+        let d = cm.density();
+        assert!(d > 0.0 && d <= 1.0);
+        assert!((d - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn material_matrix_orientation() {
+        let (s, cs) = two_course_store();
+        let mm = MaterialMatrix::build(&s, &cs);
+        // tags × materials.
+        assert_eq!(mm.m.shape(), (3, 2));
+        assert_eq!(mm.m.col_sums().iter().sum::<f64>(), 4.0);
+    }
+
+    #[test]
+    fn weighted_variants() {
+        let (s, cs) = two_course_store();
+        let counts = CourseMatrix::build_weighted(&s, &cs, Weighting::MaterialCount);
+        // Single material per course here, so counts equal the binary matrix.
+        let binary = CourseMatrix::build(&s, &cs);
+        assert_eq!(counts.a, binary.a);
+        let log = CourseMatrix::build_weighted(&s, &cs, Weighting::LogCount);
+        for (&lv, &bv) in log.a.as_slice().iter().zip(binary.a.as_slice()) {
+            if bv > 0.0 {
+                assert!((lv - 2.0f64.ln()).abs() < 1e-12);
+            } else {
+                assert_eq!(lv, 0.0);
+            }
+        }
+        // Agreement statistics are weighting-independent.
+        assert_eq!(binary.tag_course_counts(), log.tag_course_counts());
+    }
+
+    #[test]
+    fn weighted_counts_accumulate_over_materials() {
+        let g = cs2013();
+        let mut s = MaterialStore::new();
+        let c = s.add_course("A", "U", "I", vec![CourseLabel::Cs1], None);
+        let t = g.by_code("SDF.FPC.t1").unwrap();
+        s.add_material(c, "m1", MaterialKind::Lecture, "I", None, vec![], vec![t]);
+        s.add_material(c, "m2", MaterialKind::Assessment, "I", None, vec![], vec![t]);
+        s.add_material(c, "m3", MaterialKind::Lab, "I", None, vec![], vec![t]);
+        let cm = CourseMatrix::build_weighted(&s, &[c], Weighting::MaterialCount);
+        assert_eq!(cm.a.get(0, 0), 3.0, "three materials cover the tag");
+        let b = CourseMatrix::build(&s, &[c]);
+        assert_eq!(b.a.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn tag_space_sorted_and_searchable() {
+        let (s, cs) = two_course_store();
+        let cm = CourseMatrix::build(&s, &cs);
+        let tags = cm.tag_space.tags();
+        assert!(tags.windows(2).all(|w| w[0] < w[1]));
+        for (j, &t) in tags.iter().enumerate() {
+            assert_eq!(cm.tag_space.column_of(t), Some(j));
+        }
+    }
+}

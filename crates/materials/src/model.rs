@@ -1,0 +1,208 @@
+//! Core entities of the CS Materials substrate: materials, courses, and
+//! their classifications against a curriculum guideline.
+
+use anchors_curricula::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a material within a [`crate::store::MaterialStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MaterialId(pub u32);
+
+/// Identifier of a course within a [`crate::store::MaterialStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CourseId(pub u32);
+
+/// The pedagogical role of a material. The paper's workshops teach
+/// instructors to study the *alignment* between content delivery (lectures),
+/// activities (labs/assignments), and assessment (exams/quizzes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MaterialKind {
+    /// Lecture slides or notes (content delivery).
+    Lecture,
+    /// Programming or written assignment (activity).
+    Assignment,
+    /// Supervised lab activity.
+    Lab,
+    /// Quiz or exam (assessment).
+    Assessment,
+    /// External reading or reference.
+    Reading,
+}
+
+impl MaterialKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [MaterialKind; 5] = [
+        MaterialKind::Lecture,
+        MaterialKind::Assignment,
+        MaterialKind::Lab,
+        MaterialKind::Assessment,
+        MaterialKind::Reading,
+    ];
+
+    /// Coarse alignment group used in alignment studies.
+    pub fn alignment_group(self) -> AlignmentGroup {
+        match self {
+            MaterialKind::Lecture | MaterialKind::Reading => AlignmentGroup::ContentDelivery,
+            MaterialKind::Assignment | MaterialKind::Lab => AlignmentGroup::Activity,
+            MaterialKind::Assessment => AlignmentGroup::Assessment,
+        }
+    }
+}
+
+/// The three material groups whose mutual alignment the workshops study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlignmentGroup {
+    /// Lectures and readings.
+    ContentDelivery,
+    /// Assignments and labs.
+    Activity,
+    /// Quizzes and exams.
+    Assessment,
+}
+
+/// Rough course family, assigned from the course name as in Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CourseLabel {
+    /// CS1 / introduction to programming.
+    Cs1,
+    /// CS2.
+    Cs2,
+    /// Object-oriented programming.
+    Oop,
+    /// Data structures.
+    DataStructures,
+    /// Algorithms / algorithm analysis.
+    Algorithms,
+    /// Software engineering.
+    SoftEng,
+    /// Parallel and distributed computing.
+    Pdc,
+    /// Computer networking.
+    Network,
+}
+
+impl CourseLabel {
+    /// Short display string matching the Figure 1 column heads.
+    pub fn short(&self) -> &'static str {
+        match self {
+            CourseLabel::Cs1 => "CS1",
+            CourseLabel::Cs2 => "CS2",
+            CourseLabel::Oop => "OOP",
+            CourseLabel::DataStructures => "DS",
+            CourseLabel::Algorithms => "Algo",
+            CourseLabel::SoftEng => "SoftEng",
+            CourseLabel::Pdc => "PDC",
+            CourseLabel::Network => "Net",
+        }
+    }
+}
+
+/// A single learning material and its curriculum classification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Material {
+    /// Store-assigned id.
+    pub id: MaterialId,
+    /// Display name, e.g. `"Week 3: linked lists"`.
+    pub name: String,
+    /// Pedagogical kind.
+    pub kind: MaterialKind,
+    /// Author (usually the instructor).
+    pub author: String,
+    /// Programming language the material uses, if any.
+    pub language: Option<String>,
+    /// Names of datasets the material uses, if any (CS Materials records
+    /// these for its search facets).
+    pub datasets: Vec<String>,
+    /// Curriculum items (topics/outcomes of the guideline ontology) this
+    /// material is classified against.
+    pub tags: Vec<NodeId>,
+}
+
+impl Material {
+    /// Whether the material is tagged with `tag`.
+    pub fn has_tag(&self, tag: NodeId) -> bool {
+        self.tags.contains(&tag)
+    }
+}
+
+/// A course: a named collection of materials.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Course {
+    /// Store-assigned id.
+    pub id: CourseId,
+    /// Full display name as in Figure 1, e.g.
+    /// `"UNCC ITCS 2214 KRS Data Structures and Algorithms"`.
+    pub name: String,
+    /// Institution short name.
+    pub institution: String,
+    /// Instructor surname.
+    pub instructor: String,
+    /// Course families the name maps to (a course can carry several, e.g.
+    /// UCF COP3502 is labeled both CS1 and DS in Figure 1).
+    pub labels: Vec<CourseLabel>,
+    /// Primary implementation language of the course, if known.
+    pub language: Option<String>,
+    /// Materials belonging to this course.
+    pub materials: Vec<MaterialId>,
+}
+
+impl Course {
+    /// Whether the course carries the given label.
+    pub fn has_label(&self, label: CourseLabel) -> bool {
+        self.labels.contains(&label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_groups() {
+        assert_eq!(
+            MaterialKind::Lecture.alignment_group(),
+            AlignmentGroup::ContentDelivery
+        );
+        assert_eq!(
+            MaterialKind::Lab.alignment_group(),
+            AlignmentGroup::Activity
+        );
+        assert_eq!(
+            MaterialKind::Assessment.alignment_group(),
+            AlignmentGroup::Assessment
+        );
+    }
+
+    #[test]
+    fn label_short_strings_unique() {
+        let labels = [
+            CourseLabel::Cs1,
+            CourseLabel::Cs2,
+            CourseLabel::Oop,
+            CourseLabel::DataStructures,
+            CourseLabel::Algorithms,
+            CourseLabel::SoftEng,
+            CourseLabel::Pdc,
+            CourseLabel::Network,
+        ];
+        let mut shorts: Vec<&str> = labels.iter().map(|l| l.short()).collect();
+        shorts.sort_unstable();
+        shorts.dedup();
+        assert_eq!(shorts.len(), labels.len());
+    }
+
+    #[test]
+    fn material_has_tag() {
+        let m = Material {
+            id: MaterialId(0),
+            name: "x".into(),
+            kind: MaterialKind::Lecture,
+            author: "a".into(),
+            language: None,
+            datasets: vec![],
+            tags: vec![NodeId(3), NodeId(7)],
+        };
+        assert!(m.has_tag(NodeId(3)));
+        assert!(!m.has_tag(NodeId(4)));
+    }
+}

@@ -1,0 +1,276 @@
+//! Material search (Section 3.1.2 of the paper).
+//!
+//! CS Materials lets instructors search for materials "related to certain
+//! topics, learning objectives, and outcomes", filtered "by course level,
+//! author, programming language and datasets used". Queries here combine a
+//! curriculum-tag part (scored by weighted overlap, with partial credit for
+//! hits in the same knowledge unit) with exact-match facets.
+
+use crate::model::{Material, MaterialId, MaterialKind};
+use crate::store::MaterialStore;
+use anchors_curricula::{NodeId, Ontology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A search query against a [`MaterialStore`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Query {
+    /// Curriculum items the ideal material covers.
+    pub tags: Vec<NodeId>,
+    /// Restrict to materials by this author.
+    pub author: Option<String>,
+    /// Restrict to materials in this programming language.
+    pub language: Option<String>,
+    /// Restrict to materials using this dataset.
+    pub dataset: Option<String>,
+    /// Restrict to a material kind.
+    pub kind: Option<MaterialKind>,
+    /// Keep only the `top_k` best results (0 = unlimited).
+    pub top_k: usize,
+}
+
+impl Query {
+    /// A pure tag query.
+    pub fn tags(tags: impl IntoIterator<Item = NodeId>) -> Self {
+        Query {
+            tags: tags.into_iter().collect(),
+            ..Query::default()
+        }
+    }
+
+    /// Builder-style author facet.
+    pub fn by_author(mut self, author: impl Into<String>) -> Self {
+        self.author = Some(author.into());
+        self
+    }
+
+    /// Builder-style language facet.
+    pub fn in_language(mut self, language: impl Into<String>) -> Self {
+        self.language = Some(language.into());
+        self
+    }
+
+    /// Builder-style dataset facet.
+    pub fn with_dataset(mut self, dataset: impl Into<String>) -> Self {
+        self.dataset = Some(dataset.into());
+        self
+    }
+
+    /// Builder-style kind facet.
+    pub fn of_kind(mut self, kind: MaterialKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Builder-style result limit.
+    pub fn limit(mut self, k: usize) -> Self {
+        self.top_k = k;
+        self
+    }
+}
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// The material found.
+    pub material: MaterialId,
+    /// Relevance score (higher is better; exact tag matches dominate).
+    pub score: f64,
+    /// Number of query tags the material matches exactly.
+    pub exact_matches: usize,
+}
+
+/// Weight of an exact tag match.
+const W_EXACT: f64 = 1.0;
+/// Weight of a same-knowledge-unit near match.
+const W_SAME_KU: f64 = 0.25;
+/// Weight of a same-knowledge-area far match.
+const W_SAME_KA: f64 = 0.05;
+
+fn facet_ok(m: &Material, q: &Query) -> bool {
+    if let Some(a) = &q.author {
+        if !m.author.eq_ignore_ascii_case(a) {
+            return false;
+        }
+    }
+    if let Some(l) = &q.language {
+        match &m.language {
+            Some(ml) if ml.eq_ignore_ascii_case(l) => {}
+            _ => return false,
+        }
+    }
+    if let Some(d) = &q.dataset {
+        if !m.datasets.iter().any(|x| x.eq_ignore_ascii_case(d)) {
+            return false;
+        }
+    }
+    if let Some(k) = q.kind {
+        if m.kind != k {
+            return false;
+        }
+    }
+    true
+}
+
+/// Score one material against a tag query.
+fn score_material(ontology: &Ontology, m: &Material, qtags: &[NodeId]) -> (f64, usize) {
+    if qtags.is_empty() {
+        return (0.0, 0);
+    }
+    let mtags: BTreeSet<NodeId> = m.tags.iter().copied().collect();
+    let mkus: BTreeSet<NodeId> = m
+        .tags
+        .iter()
+        .filter_map(|&t| ontology.knowledge_unit_of(t))
+        .collect();
+    let mkas: BTreeSet<NodeId> = m
+        .tags
+        .iter()
+        .filter_map(|&t| ontology.knowledge_area_of(t))
+        .collect();
+    let mut score = 0.0;
+    let mut exact = 0usize;
+    for &q in qtags {
+        if mtags.contains(&q) {
+            score += W_EXACT;
+            exact += 1;
+        } else if ontology
+            .knowledge_unit_of(q)
+            .is_some_and(|ku| mkus.contains(&ku))
+        {
+            score += W_SAME_KU;
+        } else if ontology
+            .knowledge_area_of(q)
+            .is_some_and(|ka| mkas.contains(&ka))
+        {
+            score += W_SAME_KA;
+        }
+    }
+    // Normalize by query size so scores are comparable across queries.
+    (score / qtags.len() as f64, exact)
+}
+
+/// Run a query against the store. Results are sorted by descending score
+/// (ties broken by material id for determinism); zero-score results are
+/// dropped unless the query has no tags (pure facet search).
+pub fn search(store: &MaterialStore, ontology: &Ontology, query: &Query) -> Vec<SearchHit> {
+    let mut hits: Vec<SearchHit> = store
+        .materials()
+        .iter()
+        .filter(|m| facet_ok(m, query))
+        .filter_map(|m| {
+            let (score, exact) = score_material(ontology, m, &query.tags);
+            if query.tags.is_empty() {
+                Some(SearchHit {
+                    material: m.id,
+                    score: 0.0,
+                    exact_matches: 0,
+                })
+            } else if score > 0.0 {
+                Some(SearchHit {
+                    material: m.id,
+                    score,
+                    exact_matches: exact,
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then(a.material.cmp(&b.material))
+    });
+    if query.top_k > 0 {
+        hits.truncate(query.top_k);
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CourseLabel;
+    use anchors_curricula::cs2013;
+
+    fn fixture() -> (MaterialStore, Vec<MaterialId>) {
+        let g = cs2013();
+        let mut s = MaterialStore::new();
+        let c = s.add_course("C", "U", "I", vec![CourseLabel::Cs1], None);
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("SDF.FPC.t2").unwrap();
+        let t3 = g.by_code("AL.BA.t1").unwrap();
+        let nearby = g.by_code("SDF.FPC.t5").unwrap();
+        let m1 = s.add_material(c, "exact", MaterialKind::Lecture, "alice", Some("C".into()), vec![], vec![t1, t2]);
+        let m2 = s.add_material(c, "near", MaterialKind::Lecture, "bob", Some("Java".into()), vec![], vec![nearby]);
+        let m3 = s.add_material(c, "far", MaterialKind::Assignment, "alice", Some("C".into()), vec!["earthquakes".into()], vec![t3]);
+        (s, vec![m1, m2, m3])
+    }
+
+    #[test]
+    fn exact_match_ranks_first() {
+        let (s, ms) = fixture();
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let hits = search(&s, g, &Query::tags([t1]));
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].material, ms[0]);
+        assert_eq!(hits[0].exact_matches, 1);
+        assert!(hits[0].score > hits.last().unwrap().score || hits.len() == 1);
+    }
+
+    #[test]
+    fn same_ku_gets_partial_credit() {
+        let (s, ms) = fixture();
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let hits = search(&s, g, &Query::tags([t1]));
+        let near = hits.iter().find(|h| h.material == ms[1]).expect("near hit");
+        assert_eq!(near.exact_matches, 0);
+        assert!((near.score - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn facets_restrict() {
+        let (s, ms) = fixture();
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let hits = search(&s, g, &Query::tags([t1]).by_author("alice"));
+        assert!(hits.iter().all(|h| h.material != ms[1]));
+        let hits = search(&s, g, &Query::tags([t1]).in_language("Java"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].material, ms[1]);
+    }
+
+    #[test]
+    fn dataset_and_kind_facets() {
+        let (s, ms) = fixture();
+        let g = cs2013();
+        let hits = search(&s, g, &Query::default().with_dataset("Earthquakes"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].material, ms[2]);
+        let hits = search(&s, g, &Query::default().of_kind(MaterialKind::Lecture));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn top_k_truncates_deterministically() {
+        let (s, _) = fixture();
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let all = search(&s, g, &Query::tags([t1]));
+        let one = search(&s, g, &Query::tags([t1]).limit(1));
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0], all[0]);
+    }
+
+    #[test]
+    fn empty_tag_query_with_no_facets_returns_everything() {
+        let (s, _) = fixture();
+        let g = cs2013();
+        let hits = search(&s, g, &Query::default());
+        assert_eq!(hits.len(), 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Material similarity graphs (Section 3.1.2).
+//!
+//! To show "how good the result of a search is", the paper builds "a graph
+//! where materials (including query and results) are vertices and the edges
+//! between them are weighted by the similarity they share", then feeds the
+//! similarities to MDS for a 2D layout. This module builds the graph; the
+//! MDS embedding itself lives in `anchors-factor`.
+
+use crate::model::MaterialId;
+use crate::store::MaterialStore;
+use anchors_curricula::NodeId;
+use anchors_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A weighted undirected similarity graph over a set of vertices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimilarityGraph {
+    /// What each vertex is.
+    pub vertices: Vec<Vertex>,
+    /// Dense symmetric similarity matrix in `[0, 1]` (diagonal = 1).
+    pub weights: Vec<Vec<f64>>,
+}
+
+/// A vertex of the similarity graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Vertex {
+    /// The query itself (tag set supplied by the user).
+    Query,
+    /// A material from the store.
+    Material(MaterialId),
+}
+
+/// Jaccard similarity of two tag sets.
+pub fn jaccard(a: &BTreeSet<NodeId>, b: &BTreeSet<NodeId>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    inter / union
+}
+
+impl SimilarityGraph {
+    /// Build the graph over a query tag set and a list of result materials.
+    pub fn build(store: &MaterialStore, query_tags: &[NodeId], results: &[MaterialId]) -> Self {
+        let mut vertices = vec![Vertex::Query];
+        vertices.extend(results.iter().map(|&m| Vertex::Material(m)));
+        let sets: Vec<BTreeSet<NodeId>> = std::iter::once(query_tags.iter().copied().collect())
+            .chain(
+                results
+                    .iter()
+                    .map(|&m| store.material(m).tags.iter().copied().collect()),
+            )
+            .collect();
+        let n = sets.len();
+        let mut weights = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            weights[i][i] = 1.0;
+            for j in (i + 1)..n {
+                let w = jaccard(&sets[i], &sets[j]);
+                weights[i][j] = w;
+                weights[j][i] = w;
+            }
+        }
+        SimilarityGraph { vertices, weights }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Edges above a similarity threshold, as `(i, j, w)` with `i < j`.
+    pub fn edges(&self, min_weight: f64) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            for j in (i + 1)..self.len() {
+                let w = self.weights[i][j];
+                if w >= min_weight {
+                    out.push((i, j, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Convert similarities to a distance matrix (`d = 1 - s`) suitable for
+    /// MDS embedding.
+    pub fn distance_matrix(&self) -> Matrix {
+        let n = self.len();
+        let mut d = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    d.set(i, j, (1.0 - self.weights[i][j]).max(0.0));
+                }
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CourseLabel, MaterialKind};
+    use anchors_curricula::cs2013;
+
+    fn fixture() -> (MaterialStore, Vec<MaterialId>, Vec<NodeId>) {
+        let g = cs2013();
+        let mut s = MaterialStore::new();
+        let c = s.add_course("C", "U", "I", vec![CourseLabel::Cs1], None);
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("SDF.FPC.t2").unwrap();
+        let t3 = g.by_code("AL.BA.t1").unwrap();
+        let m1 = s.add_material(c, "m1", MaterialKind::Lecture, "a", None, vec![], vec![t1, t2]);
+        let m2 = s.add_material(c, "m2", MaterialKind::Lecture, "a", None, vec![], vec![t1]);
+        let m3 = s.add_material(c, "m3", MaterialKind::Lecture, "a", None, vec![], vec![t3]);
+        (s, vec![m1, m2, m3], vec![t1, t2])
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        let a: BTreeSet<NodeId> = [NodeId(1), NodeId(2)].into_iter().collect();
+        let b: BTreeSet<NodeId> = [NodeId(2), NodeId(3)].into_iter().collect();
+        assert!((jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        let e = BTreeSet::new();
+        assert_eq!(jaccard(&e, &e), 1.0);
+        assert_eq!(jaccard(&a, &e), 0.0);
+    }
+
+    #[test]
+    fn graph_symmetric_unit_diagonal() {
+        let (s, ms, qt) = fixture();
+        let g = SimilarityGraph::build(&s, &qt, &ms);
+        assert_eq!(g.len(), 4);
+        for i in 0..4 {
+            assert_eq!(g.weights[i][i], 1.0);
+            for j in 0..4 {
+                assert_eq!(g.weights[i][j], g.weights[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn query_most_similar_to_identical_material() {
+        let (s, ms, qt) = fixture();
+        let g = SimilarityGraph::build(&s, &qt, &ms);
+        // m1 has exactly the query tags → similarity 1; m3 disjoint → 0.
+        assert_eq!(g.weights[0][1], 1.0);
+        assert_eq!(g.weights[0][3], 0.0);
+        assert!(g.weights[0][2] > 0.0 && g.weights[0][2] < 1.0);
+    }
+
+    #[test]
+    fn edge_threshold_filters() {
+        let (s, ms, qt) = fixture();
+        let g = SimilarityGraph::build(&s, &qt, &ms);
+        let all = g.edges(0.0);
+        assert_eq!(all.len(), 6);
+        let strong = g.edges(0.9);
+        assert!(strong.iter().all(|&(_, _, w)| w >= 0.9));
+        assert!(strong.len() < all.len());
+    }
+
+    #[test]
+    fn distance_matrix_is_valid() {
+        let (s, ms, qt) = fixture();
+        let g = SimilarityGraph::build(&s, &qt, &ms);
+        let d = g.distance_matrix();
+        anchors_linalg::distance::validate_distance_matrix(&d).expect("valid");
+        assert_eq!(d.get(0, 1), 0.0, "identical tag sets at distance 0");
+        assert_eq!(d.get(0, 3), 1.0, "disjoint tag sets at distance 1");
+    }
+}

@@ -1,0 +1,299 @@
+//! The material store: the registry at the heart of the CS Materials
+//! substrate.
+//!
+//! A store owns a set of courses and their materials, all classified against
+//! one guideline ontology (held by reference — the ontologies themselves are
+//! process-wide, see `anchors-curricula`).
+
+use crate::model::{Course, CourseId, CourseLabel, Material, MaterialId, MaterialKind};
+use anchors_curricula::{NodeId, Ontology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A collection of classified courses and materials.
+///
+/// Invariants (checked by [`MaterialStore::validate`]):
+/// * every material belongs to exactly one course;
+/// * every tag on every material is a leaf item (topic/outcome) of the
+///   guideline;
+/// * ids are dense indices into the internal vectors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MaterialStore {
+    courses: Vec<Course>,
+    materials: Vec<Material>,
+}
+
+impl MaterialStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of courses.
+    pub fn course_count(&self) -> usize {
+        self.courses.len()
+    }
+
+    /// Number of materials across all courses.
+    pub fn material_count(&self) -> usize {
+        self.materials.len()
+    }
+
+    /// Add a course shell (no materials yet).
+    pub fn add_course(
+        &mut self,
+        name: impl Into<String>,
+        institution: impl Into<String>,
+        instructor: impl Into<String>,
+        labels: Vec<CourseLabel>,
+        language: Option<String>,
+    ) -> CourseId {
+        let id = CourseId(self.courses.len() as u32);
+        self.courses.push(Course {
+            id,
+            name: name.into(),
+            institution: institution.into(),
+            instructor: instructor.into(),
+            labels,
+            language,
+            materials: Vec::new(),
+        });
+        id
+    }
+
+    /// Add a material to a course.
+    ///
+    /// # Panics
+    /// Panics if `course` does not exist.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_material(
+        &mut self,
+        course: CourseId,
+        name: impl Into<String>,
+        kind: MaterialKind,
+        author: impl Into<String>,
+        language: Option<String>,
+        datasets: Vec<String>,
+        tags: Vec<NodeId>,
+    ) -> MaterialId {
+        let id = MaterialId(self.materials.len() as u32);
+        self.materials.push(Material {
+            id,
+            name: name.into(),
+            kind,
+            author: author.into(),
+            language,
+            datasets,
+            tags,
+        });
+        self.courses[course.0 as usize].materials.push(id);
+        id
+    }
+
+    /// Borrow a course.
+    pub fn course(&self, id: CourseId) -> &Course {
+        &self.courses[id.0 as usize]
+    }
+
+    /// Borrow a material.
+    pub fn material(&self, id: MaterialId) -> &Material {
+        &self.materials[id.0 as usize]
+    }
+
+    /// All courses.
+    pub fn courses(&self) -> &[Course] {
+        &self.courses
+    }
+
+    /// All materials.
+    pub fn materials(&self) -> &[Material] {
+        &self.materials
+    }
+
+    /// Ids of courses carrying a label.
+    pub fn courses_with_label(&self, label: CourseLabel) -> Vec<CourseId> {
+        self.courses
+            .iter()
+            .filter(|c| c.has_label(label))
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// The deduplicated tag set of a whole course (union over materials),
+    /// sorted by node id. This is the row the paper's course matrix uses.
+    pub fn course_tags(&self, id: CourseId) -> Vec<NodeId> {
+        let mut set = BTreeSet::new();
+        for &m in &self.course(id).materials {
+            set.extend(self.material(m).tags.iter().copied());
+        }
+        set.into_iter().collect()
+    }
+
+    /// Tags of a course restricted to one material kind (used in alignment
+    /// studies: lecture tags vs assessment tags).
+    pub fn course_tags_of_kind(&self, id: CourseId, kind: MaterialKind) -> Vec<NodeId> {
+        let mut set = BTreeSet::new();
+        for &m in &self.course(id).materials {
+            let mat = self.material(m);
+            if mat.kind == kind {
+                set.extend(mat.tags.iter().copied());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Add a tag to a material (interactive matrix-view edit operation).
+    /// Returns false if the tag was already present.
+    pub fn tag_material(&mut self, id: MaterialId, tag: NodeId) -> bool {
+        let m = &mut self.materials[id.0 as usize];
+        if m.tags.contains(&tag) {
+            false
+        } else {
+            m.tags.push(tag);
+            true
+        }
+    }
+
+    /// Remove a tag from a material. Returns false if absent.
+    pub fn untag_material(&mut self, id: MaterialId, tag: NodeId) -> bool {
+        let m = &mut self.materials[id.0 as usize];
+        match m.tags.iter().position(|&t| t == tag) {
+            Some(p) => {
+                m.tags.remove(p);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Check the store against a guideline ontology.
+    pub fn validate(&self, guideline: &Ontology) -> Result<(), String> {
+        let leaves: BTreeSet<NodeId> = guideline.leaf_items().into_iter().collect();
+        let mut seen = vec![false; self.materials.len()];
+        for c in &self.courses {
+            for &m in &c.materials {
+                let idx = m.0 as usize;
+                if idx >= self.materials.len() {
+                    return Err(format!("course {} references unknown material {}", c.name, m.0));
+                }
+                if seen[idx] {
+                    return Err(format!("material {} owned by two courses", m.0));
+                }
+                seen[idx] = true;
+            }
+        }
+        if let Some(orphan) = seen.iter().position(|&s| !s) {
+            return Err(format!("material {orphan} belongs to no course"));
+        }
+        for m in &self.materials {
+            for &t in &m.tags {
+                if !leaves.contains(&t) {
+                    return Err(format!(
+                        "material {:?} tagged with non-leaf/unknown node {}",
+                        m.name, t.0
+                    ));
+                }
+            }
+            let unique: BTreeSet<NodeId> = m.tags.iter().copied().collect();
+            if unique.len() != m.tags.len() {
+                return Err(format!("material {:?} has duplicate tags", m.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+
+    fn store_with_one_course() -> (MaterialStore, CourseId) {
+        let mut s = MaterialStore::new();
+        let c = s.add_course(
+            "Test CS1",
+            "TU",
+            "Tester",
+            vec![CourseLabel::Cs1],
+            Some("C".into()),
+        );
+        (s, c)
+    }
+
+    #[test]
+    fn add_and_fetch() {
+        let (mut s, c) = store_with_one_course();
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("SDF.FPC.t2").unwrap();
+        let m = s.add_material(c, "Week 1", MaterialKind::Lecture, "Tester", None, vec![], vec![t1, t2]);
+        assert_eq!(s.material_count(), 1);
+        assert_eq!(s.material(m).tags.len(), 2);
+        assert_eq!(s.course(c).materials, vec![m]);
+        s.validate(g).expect("valid");
+    }
+
+    #[test]
+    fn course_tags_dedupe_union() {
+        let (mut s, c) = store_with_one_course();
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("SDF.FPC.t2").unwrap();
+        let t3 = g.by_code("SDF.AD.t1").unwrap();
+        s.add_material(c, "L1", MaterialKind::Lecture, "T", None, vec![], vec![t1, t2]);
+        s.add_material(c, "A1", MaterialKind::Assignment, "T", None, vec![], vec![t2, t3]);
+        let tags = s.course_tags(c);
+        assert_eq!(tags.len(), 3);
+        assert!(tags.windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    #[test]
+    fn tags_by_kind() {
+        let (mut s, c) = store_with_one_course();
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let t2 = g.by_code("SDF.FPC.t2").unwrap();
+        s.add_material(c, "L1", MaterialKind::Lecture, "T", None, vec![], vec![t1]);
+        s.add_material(c, "E1", MaterialKind::Assessment, "T", None, vec![], vec![t2]);
+        assert_eq!(s.course_tags_of_kind(c, MaterialKind::Lecture), vec![t1]);
+        assert_eq!(s.course_tags_of_kind(c, MaterialKind::Assessment), vec![t2]);
+        assert!(s.course_tags_of_kind(c, MaterialKind::Lab).is_empty());
+    }
+
+    #[test]
+    fn interactive_tag_edits() {
+        let (mut s, c) = store_with_one_course();
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let m = s.add_material(c, "L1", MaterialKind::Lecture, "T", None, vec![], vec![]);
+        assert!(s.tag_material(m, t1));
+        assert!(!s.tag_material(m, t1), "double tag rejected");
+        assert!(s.untag_material(m, t1));
+        assert!(!s.untag_material(m, t1), "double untag rejected");
+    }
+
+    #[test]
+    fn validation_rejects_non_leaf_tags() {
+        let (mut s, c) = store_with_one_course();
+        let g = cs2013();
+        let ka = g.by_code("SDF").unwrap();
+        s.add_material(c, "L1", MaterialKind::Lecture, "T", None, vec![], vec![ka]);
+        assert!(s.validate(g).is_err());
+    }
+
+    #[test]
+    fn labels_filter() {
+        let (mut s, _) = store_with_one_course();
+        s.add_course("DS", "TU", "X", vec![CourseLabel::DataStructures], None);
+        s.add_course(
+            "Mixed",
+            "TU",
+            "Y",
+            vec![CourseLabel::Cs1, CourseLabel::DataStructures],
+            None,
+        );
+        assert_eq!(s.courses_with_label(CourseLabel::Cs1).len(), 2);
+        assert_eq!(s.courses_with_label(CourseLabel::DataStructures).len(), 2);
+        assert_eq!(s.courses_with_label(CourseLabel::Pdc).len(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the CS Materials substrate over randomized
+//! classifications of real guideline tags.
+
+use anchors_curricula::{cs2013, NodeId};
+use anchors_materials::*;
+use proptest::prelude::*;
+
+/// Strategy: a random subset of real CS2013 leaf items.
+fn tag_subset() -> impl Strategy<Value = Vec<NodeId>> {
+    let n_leaves = cs2013().leaf_items().len();
+    prop::collection::btree_set(0usize..n_leaves, 0..60).prop_map(|idx| {
+        let leaves = cs2013().leaf_items();
+        idx.into_iter().map(|i| leaves[i]).collect()
+    })
+}
+
+/// Strategy: a store with 2–5 courses carrying random tag sets.
+fn random_store() -> impl Strategy<Value = (MaterialStore, Vec<CourseId>)> {
+    prop::collection::vec(tag_subset(), 2..6).prop_map(|course_tags| {
+        let mut store = MaterialStore::new();
+        let mut ids = Vec::new();
+        for (i, tags) in course_tags.into_iter().enumerate() {
+            let c = store.add_course(
+                format!("course {i}"),
+                "U",
+                format!("I{i}"),
+                vec![CourseLabel::Cs1],
+                None,
+            );
+            // Split tags across two materials.
+            let half = tags.len() / 2;
+            store.add_material(
+                c,
+                "m1",
+                MaterialKind::Lecture,
+                format!("I{i}"),
+                None,
+                vec![],
+                tags[..half].to_vec(),
+            );
+            store.add_material(
+                c,
+                "m2",
+                MaterialKind::Assignment,
+                format!("I{i}"),
+                None,
+                vec![],
+                tags[half..].to_vec(),
+            );
+            ids.push(c);
+        }
+        (store, ids)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stores_validate((store, _) in random_store()) {
+        prop_assert!(store.validate(cs2013()).is_ok());
+    }
+
+    #[test]
+    fn course_matrix_is_binary_with_correct_row_sums((store, ids) in random_store()) {
+        let cm = CourseMatrix::build(&store, &ids);
+        for &v in cm.a.as_slice() {
+            prop_assert!(v == 0.0 || v == 1.0);
+        }
+        for (i, &c) in ids.iter().enumerate() {
+            let row_sum: f64 = cm.a.row(i).iter().sum();
+            prop_assert_eq!(row_sum as usize, store.course_tags(c).len());
+        }
+    }
+
+    #[test]
+    fn agreement_counts_monotone_in_threshold((store, ids) in random_store()) {
+        let cm = CourseMatrix::build(&store, &ids);
+        let mut prev = usize::MAX;
+        for m in 1..=ids.len() + 1 {
+            let n = cm.tags_with_agreement(m).len();
+            prop_assert!(n <= prev);
+            prev = n;
+        }
+        prop_assert_eq!(cm.tags_with_agreement(ids.len() + 1).len(), 0);
+    }
+
+    #[test]
+    fn agreement_tree_is_ancestor_closed((store, ids) in random_store()) {
+        let g = cs2013();
+        let cm = CourseMatrix::build(&store, &ids);
+        let counts = cm.tags_with_agreement(1);
+        for m in 1..=3 {
+            let tree = AgreementTree::build(g, &counts, m);
+            for &n in &tree.nodes {
+                if let Some(p) = g.node(n).parent {
+                    prop_assert!(tree.nodes.contains(&p), "missing ancestor of {}", g.node(n).code);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hit_tree_root_counts_all_tags(tags in tag_subset()) {
+        let g = cs2013();
+        let h = HitTree::from_tags(g, &tags);
+        prop_assert_eq!(h.total(), tags.len());
+        // Each KA count equals its share of tags.
+        let per_ka: usize = g
+            .node(g.root())
+            .children
+            .iter()
+            .map(|&ka| h.count(ka))
+            .sum();
+        prop_assert_eq!(per_ka, tags.len());
+    }
+
+    #[test]
+    fn coverage_audit_is_consistent(tags in tag_subset()) {
+        let g = cs2013();
+        let report = CoverageReport::audit(g, &tags);
+        let covered: usize = report.units.iter().map(|u| u.covered).sum();
+        prop_assert_eq!(covered, tags.len(), "every tag lands in exactly one KU");
+        for u in &report.units {
+            prop_assert!(u.covered <= u.total);
+        }
+    }
+
+    #[test]
+    fn search_returns_subset_sorted((store, _) in random_store(), tags in tag_subset()) {
+        let g = cs2013();
+        let hits = search(&store, g, &Query::tags(tags.iter().copied()));
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for h in &hits {
+            // Pure facet searches (no tags) legitimately return score 0.
+            if !tags.is_empty() {
+                prop_assert!(h.score > 0.0);
+            }
+            prop_assert!(h.exact_matches <= tags.len());
+        }
+    }
+
+    #[test]
+    fn similarity_graph_weights_are_proper((store, _) in random_store(), tags in tag_subset()) {
+        let ids: Vec<MaterialId> = store.materials().iter().map(|m| m.id).take(8).collect();
+        let graph = SimilarityGraph::build(&store, &tags, &ids);
+        let n = graph.len();
+        for i in 0..n {
+            prop_assert_eq!(graph.weights[i][i], 1.0);
+            for j in 0..n {
+                prop_assert!((0.0..=1.0).contains(&graph.weights[i][j]));
+                prop_assert_eq!(graph.weights[i][j], graph.weights[j][i]);
+            }
+        }
+        let d = graph.distance_matrix();
+        prop_assert!(anchors_linalg::distance::validate_distance_matrix(&d).is_ok());
+    }
+
+    #[test]
+    fn alignment_misalignment_bounded(tags_a in tag_subset(), tags_b in tag_subset()) {
+        let g = cs2013();
+        let v = AlignmentView::build(g, &tags_a, &tags_b);
+        let m = v.misalignment(g);
+        prop_assert!((0.0..=1.0).contains(&m));
+        // Self-alignment is perfect.
+        let vv = AlignmentView::build(g, &tags_a, &tags_a);
+        prop_assert_eq!(vv.misalignment(g), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Random task-graph generators for the scheduling simulator and benches.
+
+use crate::graph::{TaskGraph, TaskId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::ops::RangeInclusive;
+
+/// Random layered DAG: `layers` layers of `width` tasks; each task depends
+/// on each task of the previous layer with probability `p` (at least one
+/// dependency is forced so layers are real).
+pub fn layered_dag(
+    layers: usize,
+    width: usize,
+    p: f64,
+    durations: RangeInclusive<f64>,
+    seed: u64,
+) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::new();
+    let mut prev: Vec<TaskId> = Vec::new();
+    for l in 0..layers {
+        let mut cur = Vec::with_capacity(width);
+        for w in 0..width {
+            let d = rng.gen_range(durations.clone());
+            let t = g.add_task(format!("L{l}T{w}"), d);
+            if !prev.is_empty() {
+                let mut any = false;
+                for &p_task in &prev {
+                    if rng.gen::<f64>() < p {
+                        g.add_dep(p_task, t);
+                        any = true;
+                    }
+                }
+                if !any {
+                    let pick = prev[rng.gen_range(0..prev.len())];
+                    g.add_dep(pick, t);
+                }
+            }
+            cur.push(t);
+        }
+        prev = cur;
+    }
+    g
+}
+
+/// Random DAG on `n` tasks: edge `i → j` (for `i < j`) with probability `p`.
+pub fn random_dag(n: usize, p: f64, durations: RangeInclusive<f64>, seed: u64) -> TaskGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::new();
+    let ids: Vec<TaskId> = (0..n)
+        .map(|i| g.add_task(format!("t{i}"), rng.gen_range(durations.clone())))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < p {
+                g.add_dep(ids[i], ids[j]);
+            }
+        }
+    }
+    g
+}
+
+/// Fork-join: a fork task, `width` independent unit tasks of duration
+/// `body`, and a join task. Fork and join have duration `overhead`.
+pub fn fork_join(width: usize, body: f64, overhead: f64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let fork = g.add_task("fork", overhead);
+    let join = g.add_task("join", overhead);
+    for i in 0..width {
+        let t = g.add_task(format!("body{i}"), body);
+        g.add_dep(fork, t);
+        g.add_dep(t, join);
+    }
+    g
+}
+
+/// Wavefront DAG of an `n × n` bottom-up dynamic program: cell `(i, j)`
+/// depends on `(i−1, j)` and `(i, j−1)` — the §5.2 "bottom-up parallelism"
+/// example for DS type-3 courses.
+pub fn dp_wavefront(n: usize, cell_cost: f64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let mut ids = vec![vec![]; n];
+    for (i, row) in ids.iter_mut().enumerate() {
+        for j in 0..n {
+            row.push(g.add_task(format!("c{i}_{j}"), cell_cost));
+        }
+        let _ = i;
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i > 0 {
+                g.add_dep(ids[i - 1][j], ids[i][j]);
+            }
+            if j > 0 {
+                g.add_dep(ids[i][j - 1], ids[i][j]);
+            }
+        }
+    }
+    g
+}
+
+/// Divide-and-conquer binary task tree of the given depth: a recursive
+/// "spawn" tree followed by a mirrored "merge" tree (cilk-style brute force,
+/// the §5.2 recommendation for DS type-3 courses).
+pub fn divide_and_conquer(depth: usize, leaf_cost: f64, node_cost: f64) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    // Recursive helper building split/merge pairs; returns (entry, exit).
+    fn build(
+        g: &mut TaskGraph,
+        depth: usize,
+        leaf_cost: f64,
+        node_cost: f64,
+        label: String,
+    ) -> (TaskId, TaskId) {
+        if depth == 0 {
+            let t = g.add_task(format!("leaf{label}"), leaf_cost);
+            return (t, t);
+        }
+        let split = g.add_task(format!("split{label}"), node_cost);
+        let merge = g.add_task(format!("merge{label}"), node_cost);
+        for side in 0..2 {
+            let (entry, exit) = build(
+                g,
+                depth - 1,
+                leaf_cost,
+                node_cost,
+                format!("{label}.{side}"),
+            );
+            g.add_dep(split, entry);
+            g.add_dep(exit, merge);
+        }
+        (split, merge)
+    }
+    build(&mut g, depth, leaf_cost, node_cost, String::new());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layered_is_dag_with_expected_size() {
+        let g = layered_dag(4, 5, 0.3, 1.0..=2.0, 0);
+        assert_eq!(g.len(), 20);
+        assert!(g.is_dag());
+        // Every layer-l task (l>0) has at least one dependency.
+        let profile = g.level_profile().unwrap();
+        assert_eq!(profile.iter().sum::<usize>(), 20);
+        assert_eq!(profile.len(), 4, "forced deps keep layers distinct");
+    }
+
+    #[test]
+    fn random_dag_is_acyclic() {
+        for seed in 0..5 {
+            let g = random_dag(30, 0.2, 1.0..=3.0, seed);
+            assert!(g.is_dag(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(5, 2.0, 1.0);
+        assert_eq!(g.len(), 7);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.span(), Some(1.0 + 2.0 + 1.0));
+        assert_eq!(g.level_profile().unwrap(), vec![1, 5, 1]);
+    }
+
+    #[test]
+    fn wavefront_span_is_antidiagonal() {
+        let g = dp_wavefront(4, 1.0);
+        assert_eq!(g.len(), 16);
+        // Longest path walks 2n−1 cells.
+        assert_eq!(g.span(), Some(7.0));
+        // Peak parallelism is the main antidiagonal.
+        let profile = g.level_profile().unwrap();
+        assert_eq!(profile.iter().copied().max(), Some(4));
+        assert_eq!(profile.len(), 7);
+    }
+
+    #[test]
+    fn dnc_tree_sizes() {
+        let g = divide_and_conquer(3, 4.0, 1.0);
+        // 2^3 leaves + 2·(2^3 − 1) split/merge nodes = 8 + 14 = 22.
+        assert_eq!(g.len(), 22);
+        assert!(g.is_dag());
+        // Span = 3 splits + leaf + 3 merges = 3 + 4 + 3 = 10.
+        assert_eq!(g.span(), Some(10.0));
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let a = layered_dag(3, 4, 0.5, 1.0..=2.0, 7);
+        let b = layered_dag(3, 4, 0.5, 1.0..=2.0, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.work(), b.work());
+    }
+}

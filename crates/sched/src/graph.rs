@@ -1,0 +1,391 @@
+//! Directed acyclic task graphs.
+//!
+//! Section 5.2 of the paper recommends that Data Structures courses
+//! "consider the Parallel Task Graph model of parallel codes and as
+//! assignments implement topological sorts to derive a feasible order of
+//! tasks and compute metrics like critical path to get a sense how parallel
+//! the graph is". This module is that model: weighted DAGs with topological
+//! sorting, work/span/critical-path analytics, and parallelism profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task in a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Index into the graph's task vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A weighted directed acyclic task graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaskGraph {
+    durations: Vec<f64>,
+    names: Vec<String>,
+    /// Forward edges: `succs[t]` = tasks depending on `t`.
+    succs: Vec<Vec<TaskId>>,
+    /// Backward edges: `preds[t]` = dependencies of `t`.
+    preds: Vec<Vec<TaskId>>,
+}
+
+impl TaskGraph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task with a duration (weight). Returns its id.
+    ///
+    /// # Panics
+    /// Panics if `duration` is negative or non-finite.
+    pub fn add_task(&mut self, name: impl Into<String>, duration: f64) -> TaskId {
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "invalid duration {duration}"
+        );
+        let id = TaskId(self.durations.len() as u32);
+        self.durations.push(duration);
+        self.names.push(name.into());
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Add a dependency edge `from → to` (`to` cannot start before `from`
+    /// completes). Duplicate edges are ignored.
+    ///
+    /// # Panics
+    /// Panics on self-loops or unknown ids.
+    pub fn add_dep(&mut self, from: TaskId, to: TaskId) {
+        assert_ne!(from, to, "self-dependency on task {}", from.0);
+        assert!(from.index() < self.len() && to.index() < self.len());
+        if !self.succs[from.index()].contains(&to) {
+            self.succs[from.index()].push(to);
+            self.preds[to.index()].push(from);
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.durations.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(|s| s.len()).sum()
+    }
+
+    /// Duration of a task.
+    pub fn duration(&self, t: TaskId) -> f64 {
+        self.durations[t.index()]
+    }
+
+    /// Name of a task.
+    pub fn name(&self, t: TaskId) -> &str {
+        &self.names[t.index()]
+    }
+
+    /// Successors of a task.
+    pub fn successors(&self, t: TaskId) -> &[TaskId] {
+        &self.succs[t.index()]
+    }
+
+    /// Predecessors (dependencies) of a task.
+    pub fn predecessors(&self, t: TaskId) -> &[TaskId] {
+        &self.preds[t.index()]
+    }
+
+    /// All task ids.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.len() as u32).map(TaskId)
+    }
+
+    /// Total work: sum of all durations.
+    pub fn work(&self) -> f64 {
+        self.durations.iter().sum()
+    }
+
+    /// Kahn topological sort. Returns `None` if the graph has a cycle.
+    /// Ties are broken by task id, so the order is deterministic.
+    pub fn topological_sort(&self) -> Option<Vec<TaskId>> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        // BinaryHeap is a max-heap; use Reverse for id order.
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = indeg
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| std::cmp::Reverse(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(i)) = ready.pop() {
+            let t = TaskId(i);
+            order.push(t);
+            for &s in &self.succs[t.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    ready.push(std::cmp::Reverse(s.0));
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None // cycle
+        }
+    }
+
+    /// Whether the graph is acyclic.
+    pub fn is_dag(&self) -> bool {
+        self.topological_sort().is_some()
+    }
+
+    /// Verify that `order` is a valid topological order of the graph.
+    pub fn is_topological_order(&self, order: &[TaskId]) -> bool {
+        if order.len() != self.len() {
+            return false;
+        }
+        let mut pos = vec![usize::MAX; self.len()];
+        for (i, &t) in order.iter().enumerate() {
+            if t.index() >= self.len() || pos[t.index()] != usize::MAX {
+                return false;
+            }
+            pos[t.index()] = i;
+        }
+        self.tasks().all(|t| {
+            self.succs[t.index()]
+                .iter()
+                .all(|&s| pos[t.index()] < pos[s.index()])
+        })
+    }
+
+    /// Bottom levels: `b[t]` = length of the longest duration-weighted path
+    /// starting at `t` (inclusive). The critical-path priority of list
+    /// scheduling. Returns `None` on a cycle.
+    pub fn bottom_levels(&self) -> Option<Vec<f64>> {
+        let order = self.topological_sort()?;
+        let mut b = vec![0.0; self.len()];
+        for &t in order.iter().rev() {
+            let succ_max = self.succs[t.index()]
+                .iter()
+                .map(|&s| b[s.index()])
+                .fold(0.0, f64::max);
+            b[t.index()] = self.durations[t.index()] + succ_max;
+        }
+        Some(b)
+    }
+
+    /// Span (critical path length): the longest duration-weighted path.
+    /// Returns `None` on a cycle.
+    pub fn span(&self) -> Option<f64> {
+        let b = self.bottom_levels()?;
+        Some(b.into_iter().fold(0.0, f64::max))
+    }
+
+    /// Extract one critical path (task ids from a source to a sink).
+    /// Returns `None` on a cycle or empty graph.
+    pub fn critical_path(&self) -> Option<Vec<TaskId>> {
+        if self.is_empty() {
+            return None;
+        }
+        let b = self.bottom_levels()?;
+        let mut cur = self
+            .tasks()
+            .max_by(|&x, &y| b[x.index()].partial_cmp(&b[y.index()]).expect("finite"))?;
+        let mut path = vec![cur];
+        loop {
+            let next = self.succs[cur.index()]
+                .iter()
+                .copied()
+                .max_by(|&x, &y| b[x.index()].partial_cmp(&b[y.index()]).expect("finite"));
+            match next {
+                Some(n) if !self.succs[cur.index()].is_empty() => {
+                    path.push(n);
+                    cur = n;
+                }
+                _ => break,
+            }
+        }
+        Some(path)
+    }
+
+    /// Average parallelism: `work / span` (∞ convention avoided: returns
+    /// `None` for cycles, 0 for empty graphs).
+    pub fn average_parallelism(&self) -> Option<f64> {
+        if self.is_empty() {
+            return Some(0.0);
+        }
+        let span = self.span()?;
+        if span == 0.0 {
+            Some(self.len() as f64)
+        } else {
+            Some(self.work() / span)
+        }
+    }
+
+    /// Parallelism profile: for each dependency depth level, the number of
+    /// tasks at that level (how wide the DAG is, level by level).
+    pub fn level_profile(&self) -> Option<Vec<usize>> {
+        let order = self.topological_sort()?;
+        let mut level = vec![0usize; self.len()];
+        for &t in &order {
+            let l = self.preds[t.index()]
+                .iter()
+                .map(|&p| level[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[t.index()] = l;
+        }
+        let max_level = level.iter().copied().max().unwrap_or(0);
+        let mut profile = vec![0usize; max_level + 1];
+        for &l in &level {
+            profile[l] += 1;
+        }
+        Some(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: a → {b, c} → d.
+    fn diamond() -> (TaskGraph, [TaskId; 4]) {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 2.0);
+        let c = g.add_task("c", 3.0);
+        let d = g.add_task("d", 1.0);
+        g.add_dep(a, b);
+        g.add_dep(a, c);
+        g.add_dep(b, d);
+        g.add_dep(c, d);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn topological_sort_of_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        let order = g.topological_sort().expect("DAG");
+        assert!(g.is_topological_order(&order));
+        assert_eq!(order[0], a);
+        assert_eq!(order[3], d);
+        let _ = (b, c);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_dep(a, b);
+        g.add_dep(b, a);
+        assert!(g.topological_sort().is_none());
+        assert!(!g.is_dag());
+        assert!(g.span().is_none());
+    }
+
+    #[test]
+    fn work_and_span() {
+        let (g, _) = diamond();
+        assert_eq!(g.work(), 7.0);
+        // Critical path a → c → d = 1 + 3 + 1 = 5.
+        assert_eq!(g.span(), Some(5.0));
+        assert!((g.average_parallelism().unwrap() - 7.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_is_the_heavy_route() {
+        let (g, [a, _, c, d]) = diamond();
+        let path = g.critical_path().expect("path");
+        assert_eq!(path, vec![a, c, d]);
+        let len: f64 = path.iter().map(|&t| g.duration(t)).sum();
+        assert_eq!(len, g.span().unwrap());
+    }
+
+    #[test]
+    fn bottom_levels_values() {
+        let (g, [a, b, c, d]) = diamond();
+        let bl = g.bottom_levels().unwrap();
+        assert_eq!(bl[d.index()], 1.0);
+        assert_eq!(bl[b.index()], 3.0);
+        assert_eq!(bl[c.index()], 4.0);
+        assert_eq!(bl[a.index()], 5.0);
+    }
+
+    #[test]
+    fn level_profile_diamond() {
+        let (g, _) = diamond();
+        assert_eq!(g.level_profile().unwrap(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        let b = g.add_task("b", 1.0);
+        g.add_dep(a, b);
+        g.add_dep(a, b);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-dependency")]
+    fn self_loop_panics() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 1.0);
+        g.add_dep(a, a);
+    }
+
+    #[test]
+    fn independent_tasks_have_full_parallelism() {
+        let mut g = TaskGraph::new();
+        for i in 0..8 {
+            g.add_task(format!("t{i}"), 2.0);
+        }
+        assert_eq!(g.span(), Some(2.0));
+        assert_eq!(g.average_parallelism(), Some(8.0));
+        assert_eq!(g.level_profile().unwrap(), vec![8]);
+    }
+
+    #[test]
+    fn chain_has_no_parallelism() {
+        let mut g = TaskGraph::new();
+        let ids: Vec<TaskId> = (0..5).map(|i| g.add_task(format!("t{i}"), 1.0)).collect();
+        for w in ids.windows(2) {
+            g.add_dep(w[0], w[1]);
+        }
+        assert_eq!(g.span(), Some(5.0));
+        assert_eq!(g.average_parallelism(), Some(1.0));
+        assert_eq!(g.critical_path().unwrap(), ids);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.work(), 0.0);
+        assert_eq!(g.span(), Some(0.0));
+        assert!(g.critical_path().is_none());
+        assert_eq!(g.average_parallelism(), Some(0.0));
+    }
+
+    #[test]
+    fn zero_duration_tasks() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task("a", 0.0);
+        let b = g.add_task("b", 0.0);
+        g.add_dep(a, b);
+        assert_eq!(g.span(), Some(0.0));
+        assert_eq!(g.average_parallelism(), Some(2.0));
+    }
+}

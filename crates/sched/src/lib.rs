@@ -1,0 +1,17 @@
+//! # anchors-sched
+//!
+//! The task-graph substrate recommended in §5.2 of the paper as PDC content
+//! for Data Structures courses: directed acyclic task graphs with
+//! topological sorting and critical-path analytics ([`graph`]), a
+//! priority-queue-driven list-scheduling simulator ([`listsched`]), and
+//! generators for classic parallel workload shapes ([`generate`]) —
+//! fork-join, divide-and-conquer trees, and bottom-up dynamic-programming
+//! wavefronts.
+
+pub mod generate;
+pub mod graph;
+pub mod listsched;
+
+pub use generate::{divide_and_conquer, dp_wavefront, fork_join, layered_dag, random_dag};
+pub use graph::{TaskGraph, TaskId};
+pub use listsched::{graham_bounds, list_schedule, Placement, Priority, Schedule};

@@ -1,0 +1,104 @@
+//! Property-based tests of the task-graph substrate: every random DAG must
+//! sort, analyze, and schedule correctly, and every schedule must respect
+//! the classical bounds.
+
+use anchors_sched::{graham_bounds, layered_dag, list_schedule, random_dag, Priority, TaskGraph};
+use proptest::prelude::*;
+
+fn dag_strategy() -> impl Strategy<Value = TaskGraph> {
+    (2usize..40, 0.0f64..0.4, 0u64..1000)
+        .prop_map(|(n, p, seed)| random_dag(n, p, 0.5..=6.0, seed))
+}
+
+fn layered_strategy() -> impl Strategy<Value = TaskGraph> {
+    (2usize..6, 2usize..8, 0.1f64..0.6, 0u64..500)
+        .prop_map(|(l, w, p, seed)| layered_dag(l, w, p, 1.0..=5.0, seed))
+}
+
+proptest! {
+    #[test]
+    fn random_dags_are_acyclic_and_sortable(g in dag_strategy()) {
+        let order = g.topological_sort().expect("generator builds DAGs");
+        prop_assert!(g.is_topological_order(&order));
+        prop_assert_eq!(order.len(), g.len());
+    }
+
+    #[test]
+    fn critical_path_length_equals_span(g in dag_strategy()) {
+        let span = g.span().unwrap();
+        let path = g.critical_path().unwrap();
+        let len: f64 = path.iter().map(|&t| g.duration(t)).sum();
+        prop_assert!((len - span).abs() < 1e-9);
+        // Path edges actually exist.
+        for w in path.windows(2) {
+            prop_assert!(g.successors(w[0]).contains(&w[1]));
+        }
+    }
+
+    #[test]
+    fn work_bounds_span(g in dag_strategy()) {
+        let span = g.span().unwrap();
+        prop_assert!(span <= g.work() + 1e-9);
+        let par = g.average_parallelism().unwrap();
+        prop_assert!(par >= 1.0 - 1e-9 || g.is_empty());
+        prop_assert!(par <= g.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn schedules_valid_and_within_graham_bounds(
+        g in dag_strategy(),
+        m in 1usize..9,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            Priority::CriticalPath,
+            Priority::Fifo,
+            Priority::LongestFirst,
+            Priority::ShortestFirst,
+        ][policy_idx];
+        let s = list_schedule(&g, m, policy);
+        prop_assert!(s.validate(&g).is_ok(), "{:?}", s.validate(&g));
+        let (lo, hi) = graham_bounds(&g, m);
+        prop_assert!(s.makespan >= lo - 1e-9, "{} < {lo}", s.makespan);
+        prop_assert!(s.makespan <= hi + 1e-9, "{} > {hi}", s.makespan);
+        // Utilization is a fraction.
+        let u = s.utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+    }
+
+    #[test]
+    fn single_processor_makespan_is_work(g in dag_strategy()) {
+        let s = list_schedule(&g, 1, Priority::CriticalPath);
+        prop_assert!((s.makespan - g.work()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_processors_reach_span_on_layered(g in layered_strategy()) {
+        // With as many processors as tasks, list scheduling achieves the
+        // critical path exactly (greedy never idles a ready task).
+        let s = list_schedule(&g, g.len(), Priority::CriticalPath);
+        let span = g.span().unwrap();
+        prop_assert!((s.makespan - span).abs() < 1e-9, "{} vs {span}", s.makespan);
+    }
+
+    #[test]
+    fn level_profile_sums_to_task_count(g in dag_strategy()) {
+        let profile = g.level_profile().unwrap();
+        prop_assert_eq!(profile.iter().sum::<usize>(), g.len());
+        prop_assert!(!profile.is_empty());
+        prop_assert!(profile[0] >= 1, "at least one source task");
+    }
+
+    #[test]
+    fn bottom_levels_decrease_along_edges(g in dag_strategy()) {
+        let b = g.bottom_levels().unwrap();
+        for t in g.tasks() {
+            for &s in g.successors(t) {
+                prop_assert!(
+                    b[t.index()] >= b[s.index()] + g.duration(t) - 1e-9,
+                    "bottom level must include own duration plus best successor"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Color scales for heat maps and divergent alignment views.
+
+/// Clamp to `[0, 1]`.
+fn unit(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else {
+        v.clamp(0.0, 1.0)
+    }
+}
+
+fn hex(r: f64, g: f64, b: f64) -> String {
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        (unit(r) * 255.0).round() as u8,
+        (unit(g) * 255.0).round() as u8,
+        (unit(b) * 255.0).round() as u8
+    )
+}
+
+/// Sequential white → dark blue scale (heat-map intensity), input `[0, 1]`.
+pub fn sequential(v: f64) -> String {
+    let v = unit(v);
+    // Interpolate white (1,1,1) → dark blue (0.03, 0.19, 0.42).
+    hex(
+        1.0 - v * (1.0 - 0.03),
+        1.0 - v * (1.0 - 0.19),
+        1.0 - v * (1.0 - 0.42),
+    )
+}
+
+/// Divergent blue ← white → red scale, input `[-1, +1]` (the paper's
+/// alignment views use a divergent scale where mid-range means aligned).
+pub fn divergent(v: f64) -> String {
+    let v = if v.is_nan() { 0.0 } else { v.clamp(-1.0, 1.0) };
+    if v < 0.0 {
+        // toward blue
+        let t = -v;
+        hex(1.0 - t * (1.0 - 0.13), 1.0 - t * (1.0 - 0.40), 1.0)
+    } else {
+        // toward red
+        let t = v;
+        hex(1.0, 1.0 - t * (1.0 - 0.25), 1.0 - t * (1.0 - 0.18))
+    }
+}
+
+/// Categorical palette (10 colors, colorblind-leaning).
+pub fn categorical(i: usize) -> &'static str {
+    const PALETTE: [&str; 10] = [
+        "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+        "#9c755f", "#bab0ac",
+    ];
+    PALETTE[i % PALETTE.len()]
+}
+
+/// Unicode shade character for a `[0, 1]` intensity (text heat maps).
+pub fn shade_char(v: f64) -> char {
+    const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+    let v = unit(v);
+    let idx = (v * (SHADES.len() - 1) as f64).round() as usize;
+    SHADES[idx.min(SHADES.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_endpoints() {
+        assert_eq!(sequential(0.0), "#ffffff");
+        assert_eq!(sequential(1.0), "#08306b");
+        assert_eq!(sequential(-5.0), "#ffffff");
+        assert_eq!(sequential(7.0), "#08306b");
+    }
+
+    #[test]
+    fn divergent_center_is_white() {
+        assert_eq!(divergent(0.0), "#ffffff");
+        let lo = divergent(-1.0);
+        let hi = divergent(1.0);
+        assert_ne!(lo, hi);
+        assert!(lo.ends_with("ff"), "negative pole is blue: {lo}");
+        assert!(hi.starts_with("#ff"), "positive pole is red: {hi}");
+    }
+
+    #[test]
+    fn nan_maps_to_neutral() {
+        assert_eq!(sequential(f64::NAN), "#ffffff");
+        assert_eq!(divergent(f64::NAN), "#ffffff");
+    }
+
+    #[test]
+    fn shades_monotone() {
+        assert_eq!(shade_char(0.0), ' ');
+        assert_eq!(shade_char(1.0), '█');
+        assert_eq!(shade_char(0.5), '▒');
+    }
+
+    #[test]
+    fn categorical_cycles() {
+        assert_eq!(categorical(0), categorical(10));
+        assert_ne!(categorical(0), categorical(1));
+    }
+}

@@ -1,0 +1,120 @@
+//! Gantt charts for schedules (the §5.2 list-scheduling assignment's
+//! natural visualization).
+
+use crate::color::categorical;
+use crate::svg::SvgDoc;
+
+/// One bar of a Gantt chart.
+#[derive(Debug, Clone)]
+pub struct GanttBar {
+    /// Label drawn inside/beside the bar (truncated).
+    pub label: String,
+    /// Lane (e.g. processor index).
+    pub lane: usize,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Color group (e.g. task family).
+    pub group: usize,
+}
+
+/// Render a Gantt chart to SVG. Lanes are stacked top to bottom; the time
+/// axis is scaled to the data.
+pub fn svg_gantt(bars: &[GanttBar], title: &str) -> String {
+    let lanes = bars.iter().map(|b| b.lane).max().map(|m| m + 1).unwrap_or(1);
+    let t_end = bars.iter().map(|b| b.end).fold(0.0f64, f64::max).max(1e-9);
+    let lane_h = 26.0;
+    let left = 70.0;
+    let top = 40.0;
+    let width = 760.0;
+    let height = top + lanes as f64 * lane_h + 40.0;
+    let scale = (width - left - 20.0) / t_end;
+
+    let mut doc = SvgDoc::new(width, height);
+    doc.text(12.0, 22.0, title, 14.0, "start");
+    // Lane guides + labels.
+    for lane in 0..lanes {
+        let y = top + lane as f64 * lane_h;
+        doc.line(left, y + lane_h, width - 10.0, y + lane_h, "#dddddd", 0.5);
+        doc.text(left - 8.0, y + lane_h * 0.65, &format!("P{lane}"), 10.0, "end");
+    }
+    // Time axis ticks (5 ticks).
+    for k in 0..=5 {
+        let t = t_end * k as f64 / 5.0;
+        let x = left + t * scale;
+        doc.line(x, top, x, top + lanes as f64 * lane_h, "#eeeeee", 0.5);
+        doc.text(
+            x,
+            top + lanes as f64 * lane_h + 14.0,
+            &format!("{t:.1}"),
+            9.0,
+            "middle",
+        );
+    }
+    // Bars.
+    for b in bars {
+        let x = left + b.start * scale;
+        let w = ((b.end - b.start) * scale).max(0.5);
+        let y = top + b.lane as f64 * lane_h + 3.0;
+        doc.rect(x, y, w, lane_h - 6.0, categorical(b.group), Some("#333333"));
+        if w > 28.0 {
+            let short: String = b.label.chars().take((w / 6.0) as usize).collect();
+            doc.text(x + 3.0, y + lane_h * 0.55, &short, 8.0, "start");
+        }
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bars() -> Vec<GanttBar> {
+        vec![
+            GanttBar {
+                label: "a".into(),
+                lane: 0,
+                start: 0.0,
+                end: 2.0,
+                group: 0,
+            },
+            GanttBar {
+                label: "b".into(),
+                lane: 1,
+                start: 0.0,
+                end: 3.0,
+                group: 1,
+            },
+            GanttBar {
+                label: "c".into(),
+                lane: 0,
+                start: 2.0,
+                end: 5.0,
+                group: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_all_bars() {
+        let svg = svg_gantt(&bars(), "schedule");
+        // Background + 3 bars.
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(svg.contains("schedule"));
+        assert!(svg.contains("P0"));
+        assert!(svg.contains("P1"));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let svg = svg_gantt(&[], "empty");
+        assert!(svg.contains("empty"));
+        assert_eq!(svg.matches("<rect").count(), 1, "background only");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(svg_gantt(&bars(), "t"), svg_gantt(&bars(), "t"));
+    }
+}

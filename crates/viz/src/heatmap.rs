@@ -1,0 +1,202 @@
+//! Heat-map renderers for the `W` and `H` matrices of Figures 2, 5, and 7.
+
+use crate::color::{sequential, shade_char};
+use crate::svg::SvgDoc;
+use anchors_linalg::Matrix;
+
+/// Options for heat-map rendering.
+#[derive(Debug, Clone)]
+pub struct HeatmapOptions {
+    /// Row labels (left side); empty for none.
+    pub row_labels: Vec<String>,
+    /// Column labels (top); empty for none.
+    pub col_labels: Vec<String>,
+    /// Pixel size of one cell in SVG output.
+    pub cell: f64,
+    /// Normalize per column instead of globally (useful for `W`, where
+    /// types have different scales).
+    pub normalize_columns: bool,
+    /// Title rendered above the map.
+    pub title: String,
+}
+
+impl Default for HeatmapOptions {
+    fn default() -> Self {
+        HeatmapOptions {
+            row_labels: vec![],
+            col_labels: vec![],
+            cell: 18.0,
+            normalize_columns: false,
+            title: String::new(),
+        }
+    }
+}
+
+fn normalized(m: &Matrix, per_column: bool) -> Matrix {
+    if per_column {
+        let mut out = m.clone();
+        for j in 0..m.cols() {
+            let col_max = (0..m.rows()).map(|i| m.get(i, j)).fold(0.0f64, f64::max);
+            if col_max > 0.0 {
+                for i in 0..m.rows() {
+                    out.set(i, j, m.get(i, j) / col_max);
+                }
+            }
+        }
+        out
+    } else {
+        let max = m.max().max(0.0);
+        if max > 0.0 {
+            m.map(|v| v / max)
+        } else {
+            m.clone()
+        }
+    }
+}
+
+/// Render a matrix as a text heat map using unicode shade blocks. Rows are
+/// labeled if labels are provided; intensities are normalized to the matrix
+/// maximum (or per column).
+pub fn text_heatmap(m: &Matrix, opts: &HeatmapOptions) -> String {
+    let norm = normalized(m, opts.normalize_columns);
+    let label_w = opts
+        .row_labels
+        .iter()
+        .map(|l| l.chars().count())
+        .max()
+        .unwrap_or(0)
+        .min(48);
+    let mut out = String::new();
+    if !opts.title.is_empty() {
+        out.push_str(&opts.title);
+        out.push('\n');
+    }
+    if !opts.col_labels.is_empty() {
+        out.push_str(&" ".repeat(label_w + 1));
+        for l in &opts.col_labels {
+            let c = l.chars().next().unwrap_or(' ');
+            out.push(c);
+        }
+        out.push('\n');
+    }
+    for i in 0..m.rows() {
+        let label: String = opts
+            .row_labels
+            .get(i)
+            .map(|l| l.chars().take(48).collect())
+            .unwrap_or_default();
+        out.push_str(&format!("{label:>label_w$} "));
+        for j in 0..m.cols() {
+            out.push(shade_char(norm.get(i, j)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a matrix as an SVG heat map with labels and a sequential scale.
+pub fn svg_heatmap(m: &Matrix, opts: &HeatmapOptions) -> String {
+    let norm = normalized(m, opts.normalize_columns);
+    let cell = opts.cell;
+    let label_w = if opts.row_labels.is_empty() { 8.0 } else { 260.0 };
+    let top = if opts.title.is_empty() { 8.0 } else { 28.0 }
+        + if opts.col_labels.is_empty() { 0.0 } else { 70.0 };
+    let width = label_w + m.cols() as f64 * cell + 16.0;
+    let height = top + m.rows() as f64 * cell + 16.0;
+    let mut doc = SvgDoc::new(width, height);
+    if !opts.title.is_empty() {
+        doc.text(8.0, 18.0, &opts.title, 14.0, "start");
+    }
+    for (j, l) in opts.col_labels.iter().enumerate() {
+        // Column labels drawn horizontally, truncated.
+        let x = label_w + j as f64 * cell + cell / 2.0;
+        let short: String = l.chars().take(9).collect();
+        doc.text(x, top - 6.0, &short, 9.0, "middle");
+    }
+    for i in 0..m.rows() {
+        if let Some(l) = opts.row_labels.get(i) {
+            let short: String = l.chars().take(40).collect();
+            doc.text(
+                label_w - 6.0,
+                top + i as f64 * cell + cell * 0.7,
+                &short,
+                10.0,
+                "end",
+            );
+        }
+        for j in 0..m.cols() {
+            doc.rect(
+                label_w + j as f64 * cell,
+                top + i as f64 * cell,
+                cell,
+                cell,
+                &sequential(norm.get(i, j)),
+                Some("#cccccc"),
+            );
+        }
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![0.0, 0.5], vec![1.0, 0.25]])
+    }
+
+    #[test]
+    fn text_heatmap_shape() {
+        let opts = HeatmapOptions {
+            row_labels: vec!["alpha".into(), "beta".into()],
+            title: "T".into(),
+            ..Default::default()
+        };
+        let s = text_heatmap(&sample(), &opts);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3, "title + 2 rows");
+        assert!(lines[1].contains("alpha"));
+        assert!(lines[2].contains('█'), "max cell is full shade");
+        assert!(lines[1].starts_with(" alpha") || lines[1].contains("alpha "));
+    }
+
+    #[test]
+    fn column_normalization_differs() {
+        let m = Matrix::from_rows(&[vec![10.0, 1.0], vec![5.0, 0.5]]);
+        let global = text_heatmap(&m, &HeatmapOptions::default());
+        let percol = text_heatmap(
+            &m,
+            &HeatmapOptions {
+                normalize_columns: true,
+                ..Default::default()
+            },
+        );
+        assert_ne!(global, percol);
+        // Per-column: both columns have a full-shade max.
+        let first_line = percol.lines().next().unwrap();
+        assert_eq!(first_line.matches('█').count(), 2);
+    }
+
+    #[test]
+    fn svg_heatmap_has_cells() {
+        let opts = HeatmapOptions {
+            row_labels: vec!["r1".into(), "r2".into()],
+            col_labels: vec!["c1".into(), "c2".into()],
+            title: "demo".into(),
+            ..Default::default()
+        };
+        let svg = svg_heatmap(&sample(), &opts);
+        // 4 data cells + background.
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains("demo"));
+        assert!(svg.contains("#ffffff"), "zero cell is white");
+    }
+
+    #[test]
+    fn zero_matrix_renders_blank() {
+        let m = Matrix::zeros(2, 3);
+        let s = text_heatmap(&m, &HeatmapOptions::default());
+        assert!(s.lines().all(|l| l.trim_end().chars().all(|c| c == ' ')));
+    }
+}

@@ -1,0 +1,27 @@
+//! # anchors-viz
+//!
+//! Text and SVG renderers for the paper's visualizations:
+//!
+//! * [`heatmap`] — the `W`/`H` matrix heat maps of Figures 2, 5, 7;
+//! * [`radial`] — radial hit-tree layout and rendering (Figures 4, 6, 8),
+//!   implementing the reference-level layout of §3.1.1;
+//! * [`plot`] — the tag-agreement distributions of Figure 3 and scatter
+//!   plots for MDS embeddings;
+//! * [`svg`], [`color`] — a minimal deterministic SVG builder and the
+//!   sequential/divergent color scales.
+
+pub mod color;
+pub mod gantt;
+pub mod heatmap;
+pub mod plot;
+pub mod radial;
+pub mod svg;
+pub mod tree;
+
+pub use color::{categorical, divergent, sequential, shade_char};
+pub use gantt::{svg_gantt, GanttBar};
+pub use heatmap::{svg_heatmap, text_heatmap, HeatmapOptions};
+pub use plot::{svg_agreement_plot, svg_scatter, text_agreement_plot, ScatterPoint};
+pub use radial::{radial_layout, render_radial, NodeStyle, PolarPos, RadialLayout};
+pub use svg::{escape, SvgDoc};
+pub use tree::text_tree;

@@ -1,0 +1,176 @@
+//! Simple plots: the tag-agreement distributions of Figure 3 and scatter
+//! plots for MDS embeddings.
+
+use crate::color::categorical;
+use crate::svg::SvgDoc;
+
+/// Render Figure 3's scatter-style distribution as text: x = tag index
+/// (sorted by count, descending), y = number of courses the tag appears in.
+pub fn text_agreement_plot(counts: &[usize], title: &str) -> String {
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let ymax = sorted.first().copied().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for y in (1..=ymax).rev() {
+        let mut line = format!("{y:>3} |");
+        // Bucket tags into 60 columns.
+        let buckets = 60usize;
+        for b in 0..buckets {
+            let lo = b * sorted.len() / buckets;
+            let hi = ((b + 1) * sorted.len() / buckets).max(lo + 1).min(sorted.len());
+            let any = sorted.get(lo..hi).is_some_and(|s| s.iter().any(|&v| v >= y));
+            line.push(if any { '*' } else { ' ' });
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&format!("    +{}\n", "-".repeat(60)));
+    out.push_str(&format!(
+        "     tags (n={}), sorted by how many courses each appears in\n",
+        sorted.len()
+    ));
+    out
+}
+
+/// Render Figure 3 as an SVG scatter: x = tag index, y = course count.
+pub fn svg_agreement_plot(counts: &[usize], title: &str) -> String {
+    let w = 560.0;
+    let h = 360.0;
+    let margin = 50.0;
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let ymax = sorted.first().copied().unwrap_or(1).max(1) as f64;
+    let n = sorted.len().max(1) as f64;
+    let mut doc = SvgDoc::new(w, h);
+    doc.text(margin, 22.0, title, 14.0, "start");
+    // Axes.
+    doc.line(margin, h - margin, w - 10.0, h - margin, "#000000", 1.0);
+    doc.line(margin, h - margin, margin, 30.0, "#000000", 1.0);
+    doc.text(w / 2.0, h - 12.0, "Tags", 11.0, "middle");
+    doc.text(14.0, h / 2.0, "courses", 11.0, "middle");
+    for y in 0..=(ymax as usize) {
+        let py = h - margin - (y as f64 / ymax) * (h - margin - 40.0);
+        doc.text(margin - 8.0, py + 3.0, &y.to_string(), 9.0, "end");
+        doc.line(margin - 3.0, py, margin, py, "#000000", 1.0);
+    }
+    for (i, &c) in sorted.iter().enumerate() {
+        let px = margin + (i as f64 / n) * (w - margin - 20.0);
+        let py = h - margin - (c as f64 / ymax) * (h - margin - 40.0);
+        doc.circle(px, py, 2.0, categorical(0), None);
+    }
+    doc.finish()
+}
+
+/// A labeled 2-D point for scatter plots.
+#[derive(Debug, Clone)]
+pub struct ScatterPoint {
+    /// X coordinate (data space).
+    pub x: f64,
+    /// Y coordinate (data space).
+    pub y: f64,
+    /// Label drawn next to the marker.
+    pub label: String,
+    /// Color group index.
+    pub group: usize,
+}
+
+/// Render a labeled scatter plot (used for MDS embeddings of search
+/// results and courses).
+pub fn svg_scatter(points: &[ScatterPoint], title: &str) -> String {
+    let w = 640.0;
+    let h = 480.0;
+    let margin = 40.0;
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        xmin = xmin.min(p.x);
+        xmax = xmax.max(p.x);
+        ymin = ymin.min(p.y);
+        ymax = ymax.max(p.y);
+    }
+    if points.is_empty() || !xmin.is_finite() {
+        xmin = 0.0;
+        xmax = 1.0;
+        ymin = 0.0;
+        ymax = 1.0;
+    }
+    let xr = (xmax - xmin).max(1e-9);
+    let yr = (ymax - ymin).max(1e-9);
+    let mut doc = SvgDoc::new(w, h);
+    doc.text(margin, 22.0, title, 14.0, "start");
+    for p in points {
+        let px = margin + (p.x - xmin) / xr * (w - 2.0 * margin);
+        let py = h - margin - (p.y - ymin) / yr * (h - 2.0 * margin - 20.0);
+        doc.circle(px, py, 5.0, categorical(p.group), Some("#333333"));
+        let short: String = p.label.chars().take(28).collect();
+        doc.text(px + 7.0, py + 3.0, &short, 9.0, "start");
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_plot_has_ymax_rows() {
+        let counts = vec![1, 1, 2, 5, 3];
+        let s = text_agreement_plot(&counts, "demo");
+        let lines: Vec<&str> = s.lines().collect();
+        // title + 5 y-rows + axis + caption
+        assert_eq!(lines.len(), 1 + 5 + 2);
+        assert!(lines[1].starts_with("  5 |"));
+        assert!(s.contains("n=5"));
+    }
+
+    #[test]
+    fn text_plot_empty() {
+        let s = text_agreement_plot(&[], "empty");
+        assert!(s.contains("n=0"));
+    }
+
+    #[test]
+    fn svg_plot_point_count() {
+        let counts = vec![3, 1, 2];
+        let svg = svg_agreement_plot(&counts, "fig");
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("fig"));
+        assert!(svg.contains("Tags"));
+    }
+
+    #[test]
+    fn scatter_renders_labels_and_groups() {
+        let pts = vec![
+            ScatterPoint {
+                x: 0.0,
+                y: 0.0,
+                label: "query".into(),
+                group: 0,
+            },
+            ScatterPoint {
+                x: 1.0,
+                y: 2.0,
+                label: "material".into(),
+                group: 1,
+            },
+        ];
+        let svg = svg_scatter(&pts, "mds");
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(svg.contains("query"));
+        assert!(svg.contains("material"));
+    }
+
+    #[test]
+    fn scatter_handles_degenerate_input() {
+        let svg = svg_scatter(&[], "none");
+        assert!(svg.contains("none"));
+        let one = vec![ScatterPoint {
+            x: 5.0,
+            y: 5.0,
+            label: "p".into(),
+            group: 0,
+        }];
+        let svg = svg_scatter(&one, "one");
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! Radial tree layout and rendering (the hit-tree views of Figures 4, 6, 8).
+//!
+//! Section 3.1.1: "The tree is arranged radially by identifying the level
+//! with the most nodes, known as the reference level, and uniformly spacing
+//! all nodes at that level." Nodes above the reference level sit at the
+//! angular centroid of their children; nodes below inherit their parent's
+//! angle. Node size encodes hit count; node color is free (plain coverage
+//! or a divergent alignment scale).
+
+use crate::svg::SvgDoc;
+use anchors_curricula::{NodeId, Ontology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Computed polar position of one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolarPos {
+    /// Angle in radians.
+    pub angle: f64,
+    /// Depth in the displayed subtree (root = 0).
+    pub depth: usize,
+}
+
+/// A radial layout over a subset of an ontology.
+#[derive(Debug, Clone)]
+pub struct RadialLayout {
+    /// Positions keyed by node.
+    pub positions: BTreeMap<NodeId, PolarPos>,
+    /// The reference depth (widest level).
+    pub reference_level: usize,
+    /// Maximum depth present.
+    pub max_depth: usize,
+}
+
+/// Compute the radial layout of the subtree induced by `nodes` (which must
+/// be closed under ancestors — as produced by
+/// `anchors_materials::AgreementTree`). The ontology root anchors the
+/// layout even if absent from `nodes`.
+#[allow(clippy::needless_range_loop)] // depth sweep over by_depth levels
+pub fn radial_layout(ontology: &Ontology, nodes: &[NodeId]) -> RadialLayout {
+    let set: BTreeSet<NodeId> = nodes.iter().copied().collect();
+    let mut depth_of: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut max_depth = 0;
+    for &n in &set {
+        let d = ontology.path(n).len() - 1;
+        depth_of.insert(n, d);
+        max_depth = max_depth.max(d);
+    }
+    // Reference level: the depth with the most nodes.
+    let mut widths: Vec<usize> = vec![0; max_depth + 1];
+    for &d in depth_of.values() {
+        widths[d] += 1;
+    }
+    let reference_level = widths
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, w)| *w)
+        .map(|(d, _)| d)
+        .unwrap_or(0);
+
+    // Order reference-level nodes by preorder so siblings stay adjacent.
+    let order = ontology.preorder(ontology.root());
+    let ref_nodes: Vec<NodeId> = order
+        .iter()
+        .copied()
+        .filter(|n| set.contains(n) && depth_of[n] == reference_level)
+        .collect();
+    let mut positions: BTreeMap<NodeId, PolarPos> = BTreeMap::new();
+    let n_ref = ref_nodes.len().max(1);
+    for (i, &n) in ref_nodes.iter().enumerate() {
+        let angle = std::f64::consts::TAU * i as f64 / n_ref as f64;
+        positions.insert(
+            n,
+            PolarPos {
+                angle,
+                depth: reference_level,
+            },
+        );
+    }
+
+    // Above the reference level (shallower): centroid of children, computed
+    // bottom-up (children first = deeper first).
+    let mut by_depth: Vec<Vec<NodeId>> = vec![Vec::new(); max_depth + 1];
+    for (&n, &d) in &depth_of {
+        by_depth[d].push(n);
+    }
+    for d in (0..reference_level).rev() {
+        for &n in &by_depth[d] {
+            if positions.contains_key(&n) {
+                continue;
+            }
+            let child_angles: Vec<f64> = ontology
+                .node(n)
+                .children
+                .iter()
+                .filter_map(|c| positions.get(c))
+                .map(|p| p.angle)
+                .collect();
+            let angle = if child_angles.is_empty() {
+                0.0
+            } else {
+                // Circular mean to handle the wrap-around.
+                let (s, c) = child_angles
+                    .iter()
+                    .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
+                s.atan2(c).rem_euclid(std::f64::consts::TAU)
+            };
+            positions.insert(n, PolarPos { angle, depth: d });
+        }
+    }
+    // Below the reference level: inherit the parent's angle, with a small
+    // deterministic spread among siblings.
+    for d in (reference_level + 1)..=max_depth {
+        for &n in &by_depth[d] {
+            if positions.contains_key(&n) {
+                continue;
+            }
+            let parent = ontology.node(n).parent;
+            let base = parent
+                .and_then(|p| positions.get(&p))
+                .map(|p| p.angle)
+                .unwrap_or(0.0);
+            // Spread siblings ±0.03 rad around the parent angle.
+            let siblings: Vec<NodeId> = parent
+                .map(|p| {
+                    ontology
+                        .node(p)
+                        .children
+                        .iter()
+                        .copied()
+                        .filter(|c| set.contains(c))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let idx = siblings.iter().position(|&s| s == n).unwrap_or(0);
+            let k = siblings.len().max(1);
+            let offset = if k == 1 {
+                0.0
+            } else {
+                (idx as f64 / (k - 1) as f64 - 0.5) * 0.06 * k as f64
+            };
+            positions.insert(
+                n,
+                PolarPos {
+                    angle: (base + offset).rem_euclid(std::f64::consts::TAU),
+                    depth: d,
+                },
+            );
+        }
+    }
+
+    RadialLayout {
+        positions,
+        reference_level,
+        max_depth,
+    }
+}
+
+/// Visual attributes of a node in a radial rendering.
+#[derive(Debug, Clone)]
+pub struct NodeStyle {
+    /// Circle radius in px.
+    pub radius: f64,
+    /// Fill color.
+    pub fill: String,
+    /// Optional label.
+    pub label: Option<String>,
+}
+
+/// Render a radial layout to SVG. `style` is consulted per node; edges are
+/// drawn from each node to its parent (when the parent is in the layout).
+pub fn render_radial(
+    ontology: &Ontology,
+    layout: &RadialLayout,
+    style: impl Fn(NodeId) -> NodeStyle,
+    title: &str,
+) -> String {
+    let size = 640.0;
+    let center = size / 2.0;
+    let ring = (size / 2.0 - 60.0) / layout.max_depth.max(1) as f64;
+    let pos_xy = |p: &PolarPos| {
+        let r = ring * p.depth as f64;
+        (center + r * p.angle.cos(), center + r * p.angle.sin())
+    };
+    let mut doc = SvgDoc::new(size, size + 30.0);
+    if !title.is_empty() {
+        doc.text(12.0, 20.0, title, 14.0, "start");
+    }
+    // Edges first.
+    for (&n, p) in &layout.positions {
+        if let Some(parent) = ontology.node(n).parent {
+            if let Some(pp) = layout.positions.get(&parent) {
+                let (x1, y1) = pos_xy(p);
+                let (x2, y2) = pos_xy(pp);
+                doc.line(x1, y1 + 30.0, x2, y2 + 30.0, "#999999", 0.8);
+            }
+        }
+    }
+    // Nodes on top.
+    for (&n, p) in &layout.positions {
+        let s = style(n);
+        let (x, y) = pos_xy(p);
+        doc.circle(x, y + 30.0, s.radius, &s.fill, Some("#555555"));
+        if let Some(label) = s.label {
+            doc.text(x, y + 30.0 - s.radius - 3.0, &label, 9.0, "middle");
+        }
+    }
+    doc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+
+    fn induced(tags: &[&str]) -> (Vec<NodeId>, Vec<NodeId>) {
+        let g = cs2013();
+        let leaves: Vec<NodeId> = tags.iter().map(|c| g.by_code(c).unwrap()).collect();
+        let mut set = BTreeSet::new();
+        for &l in &leaves {
+            set.extend(g.path(l));
+        }
+        (leaves, set.into_iter().collect())
+    }
+
+    #[test]
+    fn layout_covers_all_nodes() {
+        let g = cs2013();
+        let (_, nodes) = induced(&["SDF.FPC.t1", "SDF.FPC.t2", "AL.BA.t1"]);
+        let layout = radial_layout(g, &nodes);
+        assert_eq!(layout.positions.len(), nodes.len());
+        for p in layout.positions.values() {
+            assert!((0.0..std::f64::consts::TAU + 1e-9).contains(&p.angle));
+        }
+    }
+
+    #[test]
+    fn reference_level_is_widest() {
+        let g = cs2013();
+        // Three leaves, two KUs, two KAs + root: widest level is leaves (3).
+        let (_, nodes) = induced(&["SDF.FPC.t1", "SDF.FPC.t2", "AL.BA.t1"]);
+        let layout = radial_layout(g, &nodes);
+        assert_eq!(layout.reference_level, 3);
+        assert_eq!(layout.max_depth, 3);
+    }
+
+    #[test]
+    fn reference_nodes_uniformly_spaced() {
+        let g = cs2013();
+        let (leaves, nodes) = induced(&["SDF.FPC.t1", "SDF.FPC.t2", "AL.BA.t1", "DS.GT.t1"]);
+        let layout = radial_layout(g, &nodes);
+        let mut angles: Vec<f64> = leaves
+            .iter()
+            .map(|l| layout.positions[l].angle)
+            .collect();
+        angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let gaps: Vec<f64> = angles
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect();
+        for g in &gaps {
+            assert!(
+                (g - std::f64::consts::TAU / 4.0).abs() < 1e-9,
+                "uniform spacing, got gap {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn parent_sits_at_child_centroid() {
+        let g = cs2013();
+        let (leaves, nodes) = induced(&["SDF.FPC.t1", "SDF.FPC.t2"]);
+        let layout = radial_layout(g, &nodes);
+        let ku = g.knowledge_unit_of(leaves[0]).unwrap();
+        let a0 = layout.positions[&leaves[0]].angle;
+        let a1 = layout.positions[&leaves[1]].angle;
+        let pk = layout.positions[&ku].angle;
+        // Circular mean of two angles.
+        let expect = ((a0.sin() + a1.sin()) / 2.0)
+            .atan2((a0.cos() + a1.cos()) / 2.0)
+            .rem_euclid(std::f64::consts::TAU);
+        assert!((pk - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renders_svg_with_nodes_and_edges() {
+        let g = cs2013();
+        let (_, nodes) = induced(&["SDF.FPC.t1", "AL.BA.t1"]);
+        let layout = radial_layout(g, &nodes);
+        let svg = render_radial(
+            g,
+            &layout,
+            |n| NodeStyle {
+                radius: 4.0,
+                fill: if g.node(n).level == anchors_curricula::Level::Root {
+                    "red".into()
+                } else {
+                    "#4e79a7".into()
+                },
+                label: None,
+            },
+            "test",
+        );
+        assert_eq!(svg.matches("<circle").count(), nodes.len());
+        // Every non-root node has an edge to its parent.
+        assert_eq!(svg.matches("<line").count(), nodes.len() - 1);
+        assert!(svg.contains("red"), "root drawn in red per the paper");
+    }
+}

@@ -1,0 +1,182 @@
+//! Minimal SVG document builder.
+//!
+//! The figure binaries write self-contained `.svg` files; this builder
+//! covers the handful of primitives the renderers need, with correct XML
+//! escaping and fixed-precision coordinates (so outputs are byte-stable
+//! across runs).
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escape a string for XML text/attribute context.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_coord(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+impl SvgDoc {
+    /// Start a document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Add a filled rectangle (optionally stroked).
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = stroke
+            .map(|s| format!(r#" stroke="{}" stroke-width="0.5""#, escape(s)))
+            .unwrap_or_default();
+        let _ = write!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}"{}/>"#,
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(w),
+            fmt_coord(h),
+            escape(fill),
+            stroke_attr
+        );
+        self.body.push('\n');
+    }
+
+    /// Add a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str, stroke: Option<&str>) {
+        let stroke_attr = stroke
+            .map(|s| format!(r#" stroke="{}" stroke-width="0.75""#, escape(s)))
+            .unwrap_or_default();
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="{}"{}/>"#,
+            fmt_coord(cx),
+            fmt_coord(cy),
+            fmt_coord(r),
+            escape(fill),
+            stroke_attr
+        );
+        self.body.push('\n');
+    }
+
+    /// Add a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = write!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_coord(x1),
+            fmt_coord(y1),
+            fmt_coord(x2),
+            fmt_coord(y2),
+            escape(stroke),
+            fmt_coord(width)
+        );
+        self.body.push('\n');
+    }
+
+    /// Add a text label. `anchor` is one of `start`, `middle`, `end`.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: &str) {
+        let _ = write!(
+            self.body,
+            r#"<text x="{}" y="{}" font-size="{}" font-family="sans-serif" text-anchor="{}">{}</text>"#,
+            fmt_coord(x),
+            fmt_coord(y),
+            fmt_coord(size),
+            escape(anchor),
+            escape(content)
+        );
+        self.body.push('\n');
+    }
+
+    /// Add a polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|&(x, y)| format!("{},{}", fmt_coord(x), fmt_coord(y)))
+            .collect();
+        let _ = write!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{}"/>"#,
+            pts.join(" "),
+            escape(stroke),
+            fmt_coord(width)
+        );
+        self.body.push('\n');
+    }
+
+    /// Finish the document.
+    pub fn finish(self) -> String {
+        format!(
+            concat!(
+                r#"<?xml version="1.0" encoding="UTF-8"?>"#,
+                "\n",
+                r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#,
+                "\n",
+                r#"<rect x="0" y="0" width="{w}" height="{h}" fill="white"/>"#,
+                "\n{body}</svg>\n"
+            ),
+            w = fmt_coord(self.width),
+            h = fmt_coord(self.height),
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut d = SvgDoc::new(100.0, 50.0);
+        d.rect(0.0, 0.0, 10.0, 10.0, "#ff0000", None);
+        d.circle(5.0, 5.0, 2.0, "blue", Some("black"));
+        d.line(0.0, 0.0, 100.0, 50.0, "#000", 1.0);
+        d.text(10.0, 10.0, "hello <world>", 12.0, "middle");
+        d.polyline(&[(0.0, 0.0), (1.0, 2.0)], "green", 0.5);
+        let svg = d.finish();
+        assert!(svg.starts_with("<?xml"));
+        assert!(svg.contains("<svg xmlns"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("hello &lt;world&gt;"));
+        assert!(svg.contains(r#"width="100.00""#));
+        assert_eq!(svg.matches("<rect").count(), 2, "background + one rect");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let build = || {
+            let mut d = SvgDoc::new(10.0, 10.0);
+            d.circle(1.0 / 3.0, 2.0 / 3.0, 0.1234567, "red", None);
+            d.finish()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,91 @@
+//! Indented text rendering of ontology subtrees (console-friendly
+//! companion to the radial SVG views).
+
+use anchors_curricula::{NodeId, Ontology};
+use std::collections::BTreeSet;
+
+/// Render the subtree induced by `nodes` (ancestor-closed, as produced by
+//  an agreement tree) as an indented text tree. `annotate` may add a
+/// per-node suffix such as a hit count.
+pub fn text_tree(
+    ontology: &Ontology,
+    nodes: &[NodeId],
+    annotate: impl Fn(NodeId) -> Option<String>,
+) -> String {
+    let set: BTreeSet<NodeId> = nodes.iter().copied().collect();
+    let mut out = String::new();
+    if set.is_empty() {
+        return out;
+    }
+    // Depth-first from the root, only descending into included nodes.
+    let mut stack: Vec<(NodeId, usize)> = vec![(ontology.root(), 0)];
+    while let Some((id, depth)) = stack.pop() {
+        if !set.contains(&id) {
+            continue;
+        }
+        let node = ontology.node(id);
+        let label: String = node.label.chars().take(64).collect();
+        let suffix = annotate(id).map(|s| format!("  [{s}]")).unwrap_or_default();
+        out.push_str(&"  ".repeat(depth));
+        if depth == 0 {
+            out.push_str(&format!("{label}{suffix}\n"));
+        } else {
+            out.push_str(&format!("{} {label}{suffix}\n", node.code));
+        }
+        for &c in node.children.iter().rev() {
+            if set.contains(&c) {
+                stack.push((c, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+
+    fn induced(codes: &[&str]) -> Vec<NodeId> {
+        let g = cs2013();
+        let mut set = BTreeSet::new();
+        for c in codes {
+            let id = g.by_code(c).unwrap();
+            set.extend(g.path(id));
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn renders_nested_structure() {
+        let g = cs2013();
+        let nodes = induced(&["SDF.FPC.t1", "SDF.FPC.t2", "AL.BA.t1"]);
+        let txt = text_tree(g, &nodes, |_| None);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert_eq!(lines.len(), nodes.len());
+        // Root first, then areas alphabetical by arena order (AL before SDF).
+        assert!(lines[0].contains("ACM/IEEE CS2013"));
+        let al_pos = lines.iter().position(|l| l.contains("AL ")).unwrap();
+        let sdf_pos = lines.iter().position(|l| l.contains("SDF ")).unwrap();
+        assert!(al_pos < sdf_pos);
+        // Indentation grows with depth.
+        assert!(lines[1].starts_with("  "));
+        let leaf_line = lines.iter().find(|l| l.contains("SDF.FPC.t1")).unwrap();
+        assert!(leaf_line.starts_with("      "), "{leaf_line:?}");
+    }
+
+    #[test]
+    fn annotations_appear() {
+        let g = cs2013();
+        let fpc_t1 = g.by_code("SDF.FPC.t1").unwrap();
+        let nodes = induced(&["SDF.FPC.t1"]);
+        let txt = text_tree(g, &nodes, |n| (n == fpc_t1).then(|| "4 courses".to_string()));
+        assert!(txt.contains("[4 courses]"));
+    }
+
+    #[test]
+    fn empty_input_renders_empty() {
+        let g = cs2013();
+        assert_eq!(text_tree(g, &[], |_| None), "");
+    }
+}

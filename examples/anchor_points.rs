@@ -1,0 +1,50 @@
+//! The paper's actionable output: where can PDC content anchor in *your*
+//! course? (§5.2)
+//!
+//! Classifies each CS1/DS course of the corpus into flavors and prints the
+//! PDC-12 topics that fit, with the CS2013 knowledge units they anchor at.
+//!
+//! ```sh
+//! cargo run --example anchor_points
+//! ```
+
+use anchors_core::{classify_course, recommend_for_course};
+use anchors_corpus::default_corpus;
+use anchors_curricula::{cs2013, pdc12};
+use anchors_materials::CourseLabel;
+
+fn main() {
+    let corpus = default_corpus();
+    let cs = cs2013();
+    let pdc = pdc12();
+
+    for &cid in corpus.all() {
+        let course = corpus.store.course(cid);
+        if !(course.has_label(CourseLabel::Cs1)
+            || course.has_label(CourseLabel::DataStructures)
+            || course.has_label(CourseLabel::Algorithms))
+        {
+            continue;
+        }
+        let flavors = classify_course(&corpus.store, cs, cid);
+        println!("\n{}", course.name);
+        println!("  detected flavors: {flavors:?}");
+        for rec in recommend_for_course(&corpus.store, cs, pdc, cid) {
+            println!("  ► {}", rec.title);
+            println!("    why   : {}", rec.rationale);
+            println!("    do    : {}", rec.activity);
+            for topic in &rec.pdc_topics {
+                let node = pdc.node(pdc.by_code(topic).expect("resolved topic"));
+                let bloom = node
+                    .bloom
+                    .map(|b| format!("{b:?}"))
+                    .unwrap_or_default();
+                println!("    PDC12 : {topic} [{bloom}] {}", node.label);
+            }
+            for anchor in &rec.anchors {
+                let node = cs.node(cs.by_code(anchor).expect("resolved anchor"));
+                println!("    anchor: {anchor} ({})", node.label);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Discovering the flavors of CS1 (§4.3–4.4 of the paper).
+//!
+//! Builds the course×tag matrix for the six CS1 courses, measures
+//! agreement, scans k ∈ {2,3,4} with the overfit diagnostic, and interprets
+//! the chosen decomposition.
+//!
+//! ```sh
+//! cargo run --example cs1_flavors
+//! ```
+
+use anchors_core::{discover_flavors_auto, AgreementAnalysis};
+use anchors_corpus::default_corpus;
+use anchors_curricula::cs2013;
+
+fn main() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let cs1 = corpus.cs1_group();
+
+    // --- Agreement (Figure 3a / 4).
+    let agreement = AgreementAnalysis::run(&corpus.store, g, "CS1", &cs1);
+    println!("{}", agreement.summary());
+    println!(
+        "agreement@2 spans knowledge areas: {}",
+        agreement.spanned_kas(g, 2).join(", ")
+    );
+    println!(
+        "agreement@4 collapses to: {}",
+        agreement.spanned_kas(g, 4).join(", ")
+    );
+    for (ku, n) in agreement.tree(4).knowledge_units(g) {
+        println!("  {:<10} {:<44} {n} agreed items", g.node(ku).code, g.node(ku).label);
+    }
+
+    // --- Flavor discovery with automatic k selection (§4.4).
+    let (fm, diags) = discover_flavors_auto(&corpus.store, g, &cs1, 2..=4);
+    println!("\nk-scan:");
+    for d in &diags {
+        println!(
+            "  k={}  loss={:<8.2} duplicate-dim={:.3} separation={:.3}",
+            d.k, d.loss, d.duplicate_score, d.separation
+        );
+    }
+    println!("selected k = {}", fm.k());
+
+    println!("\ncourse -> type mixture:");
+    for (i, &cid) in fm.matrix.courses.iter().enumerate() {
+        let mix: Vec<String> = fm.mixture_of(i).iter().map(|v| format!("{v:.2}")).collect();
+        println!(
+            "  {:<68} [{}]",
+            corpus.store.course(cid).name,
+            mix.join(", ")
+        );
+    }
+    println!("\ntype profiles (top knowledge units):");
+    for t in &fm.types {
+        println!("  type {}: {}", t.index + 1, t.top_kus(4).join(", "));
+    }
+}

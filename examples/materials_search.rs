@@ -1,0 +1,68 @@
+//! The CS Materials search workflow (§3.1.2): query materials by topic and
+//! facets, build the similarity graph over the results, and lay it out in
+//! 2D with MDS — "more similar materials are naturally clustered together".
+//!
+//! ```sh
+//! cargo run --example materials_search
+//! ```
+
+use anchors_corpus::default_corpus;
+use anchors_curricula::cs2013;
+use anchors_factor::smacof;
+use anchors_materials::{search, Query, SimilarityGraph};
+use anchors_viz::{svg_scatter, ScatterPoint};
+
+fn main() {
+    let corpus = default_corpus();
+    let g = cs2013();
+
+    // An instructor looks for assignments about graph traversal, in Java.
+    let gt = g.by_code("DS.GT").expect("graphs & trees KU");
+    let tags: Vec<_> = g.leaves_under(gt).into_iter().take(6).collect();
+    let query = Query::tags(tags.iter().copied())
+        .in_language("Java")
+        .limit(10);
+    let hits = search(&corpus.store, g, &query);
+
+    println!("query: graph/tree topics, language=Java → {} hits", hits.len());
+    for h in &hits {
+        let m = corpus.store.material(h.material);
+        println!(
+            "  {:<36} score {:.2} exact {}  [{}]",
+            m.name, h.score, h.exact_matches, m.author
+        );
+    }
+
+    // Similarity graph over query + results, then 2D MDS layout.
+    let result_ids: Vec<_> = hits.iter().map(|h| h.material).collect();
+    let graph = SimilarityGraph::build(&corpus.store, &tags, &result_ids);
+    let strong = graph.edges(0.4);
+    println!(
+        "\nsimilarity graph: {} vertices, {} edges with similarity >= 0.4",
+        graph.len(),
+        strong.len()
+    );
+
+    let emb = smacof(&graph.distance_matrix(), 2, 300, 1e-9, 7);
+    println!("MDS stress: {:.4} ({} iterations)", emb.stress, emb.iterations);
+    let points: Vec<ScatterPoint> = graph
+        .vertices
+        .iter()
+        .enumerate()
+        .map(|(i, v)| ScatterPoint {
+            x: emb.points.get(i, 0),
+            y: emb.points.get(i, 1),
+            label: match v {
+                anchors_materials::Vertex::Query => "QUERY".to_string(),
+                anchors_materials::Vertex::Material(m) => {
+                    corpus.store.material(*m).name.clone()
+                }
+            },
+            group: usize::from(!matches!(v, anchors_materials::Vertex::Query)),
+        })
+        .collect();
+    let svg = svg_scatter(&points, "Search results embedded by tag similarity (MDS)");
+    let path = std::env::temp_dir().join("materials_search_mds.svg");
+    std::fs::write(&path, svg).expect("write svg");
+    println!("layout written to {}", path.display());
+}

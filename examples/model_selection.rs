@@ -1,0 +1,48 @@
+//! Choosing the number of course types `k` (§4.4 of the paper, with both
+//! the paper's duplicate-dimension heuristic and consensus clustering).
+//!
+//! ```sh
+//! cargo run --release --example model_selection
+//! ```
+
+use anchors_corpus::default_corpus;
+use anchors_factor::{
+    consensus_scan, rank_scan, select_rank, select_rank_by_consensus, NnmfConfig,
+    DUPLICATE_THRESHOLD,
+};
+use anchors_materials::CourseMatrix;
+
+fn main() {
+    let corpus = default_corpus();
+    let groups = [
+        ("CS1", corpus.cs1_group()),
+        ("DS+Algo", corpus.ds_and_algo_group()),
+        ("all courses", corpus.all().to_vec()),
+    ];
+    for (name, courses) in groups {
+        let a = CourseMatrix::build(&corpus.store, &courses).a;
+        println!("\n=== {name} ({} courses x {} tags) ===", a.rows(), a.cols());
+
+        // The paper's §4.4 inspection: loss curve + duplicate dimensions.
+        let base = NnmfConfig::paper_default(2);
+        let scan = rank_scan(&a, 2..=5.min(a.rows()), &base);
+        println!("k   loss      rel.err  dup-score  separation");
+        for (d, _) in &scan {
+            println!(
+                "{}   {:<9.2} {:<8.3} {:<10.3} {:.3}",
+                d.k, d.loss, d.relative_error, d.duplicate_score, d.separation
+            );
+        }
+        let k_dup = select_rank(&scan, DUPLICATE_THRESHOLD);
+
+        // Consensus clustering (Brunet-style stability).
+        let cons = consensus_scan(&a, 2..=5.min(a.rows()), 12, &base);
+        println!("k   dispersion  cophenetic");
+        for s in &cons {
+            println!("{}   {:<11.3} {:.3}", s.k, s.dispersion, s.cophenetic);
+        }
+        let k_cons = select_rank_by_consensus(&cons);
+
+        println!("selected k: duplicate-heuristic = {k_dup}, consensus = {k_cons}");
+    }
+}

@@ -1,0 +1,76 @@
+//! The §5.2 recommendation for CS1 type 2, executed for real: the order of
+//! operations in a reduction matters for floating point but not for
+//! integers.
+//!
+//! Sums the same data sequentially and with a rayon parallel reduction and
+//! compares the results — the classroom activity the recommender proposes,
+//! as actual runnable PDC content.
+//!
+//! ```sh
+//! cargo run --release --example parallel_reduction
+//! ```
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+fn main() {
+    let n = 10_000_000;
+    let mut rng = StdRng::seed_from_u64(42);
+    // Mix tiny and large magnitudes so floating-point absorption is visible.
+    let floats: Vec<f32> = (0..n)
+        .map(|i| {
+            if i % 1000 == 0 {
+                rng.gen_range(1.0e6..2.0e6)
+            } else {
+                rng.gen_range(0.0..1.0)
+            }
+        })
+        .collect();
+    let ints: Vec<i64> = floats.iter().map(|&f| f as i64).collect();
+
+    // Sequential left-to-right sum.
+    let seq_f: f32 = floats.iter().sum();
+    // Parallel tree-shaped reduction (rayon): different association order.
+    let par_f: f32 = floats.par_iter().copied().reduce(|| 0.0, |a, b| a + b);
+    // Chunked "4 threads" reduction: yet another order.
+    let chunk_f: f32 = floats
+        .chunks(n / 4)
+        .map(|c| c.iter().sum::<f32>())
+        .sum();
+    // Kahan-compensated sum as the accurate reference.
+    let kahan = {
+        let (mut s, mut c) = (0.0f64, 0.0f64);
+        for &x in &floats {
+            let y = x as f64 - c;
+            let t = s + y;
+            c = (t - s) - y;
+            s = t;
+        }
+        s
+    };
+
+    println!("f32 sums of the same {n} values:");
+    println!("  sequential left-to-right : {seq_f:.1}");
+    println!("  rayon tree reduction     : {par_f:.1}");
+    println!("  4-chunk reduction        : {chunk_f:.1}");
+    println!("  f64 Kahan reference      : {kahan:.1}");
+    println!(
+        "  seq vs parallel drift    : {} ulps-level difference -> {}",
+        (seq_f - par_f).abs(),
+        if seq_f == par_f {
+            "identical (lucky)"
+        } else {
+            "DIFFERENT: order of operations matters for floats"
+        }
+    );
+
+    let seq_i: i64 = ints.iter().sum();
+    let par_i: i64 = ints.par_iter().copied().reduce(|| 0, |a, b| a + b);
+    println!("\ni64 sums of the same values:");
+    println!("  sequential               : {seq_i}");
+    println!("  rayon tree reduction     : {par_i}");
+    assert_eq!(seq_i, par_i, "integer addition is associative");
+    println!("  identical: integer reduction order never matters");
+}

@@ -1,0 +1,50 @@
+//! The paper's future work, working: recommend concrete PDC materials
+//! (Peachy-Parallel / PDC-Unplugged / Nifty style) for each course, scored
+//! by how well each material's anchors are already covered.
+//!
+//! ```sh
+//! cargo run --example pdc_materials
+//! ```
+
+use anchors_core::shortlist_materials;
+use anchors_corpus::default_corpus;
+use anchors_curricula::{cs2013, pdc12};
+use anchors_materials::CourseLabel;
+
+fn main() {
+    let corpus = default_corpus();
+    let cs = cs2013();
+    let pdc = pdc12();
+
+    for &cid in corpus.all() {
+        let course = corpus.store.course(cid);
+        if !(course.has_label(CourseLabel::Cs1)
+            || course.has_label(CourseLabel::DataStructures)
+            || course.has_label(CourseLabel::Algorithms))
+        {
+            continue;
+        }
+        println!(
+            "\n{} [{}]",
+            course.name,
+            course.language.as_deref().unwrap_or("-")
+        );
+        for m in shortlist_materials(&corpus.store, cs, pdc, cid, 4) {
+            let mat = m.material();
+            println!(
+                "  {:.2} {} ({:?}, {:?}{})",
+                m.score,
+                mat.name,
+                mat.source,
+                mat.kind,
+                if m.language_fit { "" } else { ", language mismatch" }
+            );
+            let anchors: Vec<String> = mat
+                .anchors
+                .iter()
+                .map(|&ku| cs.node(ku).code.clone())
+                .collect();
+            println!("        anchors: {}", anchors.join(", "));
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run the paper's whole analysis in a few lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use anchors_core::run_full_analysis;
+use anchors_corpus::DEFAULT_SEED;
+
+fn main() {
+    // One call computes everything §4–§5 of the paper describes: the
+    // 20-course corpus, the k=4 all-courses NNMF, CS1/DS agreement and
+    // flavors, PDC agreement, and the per-course recommendations.
+    let report = run_full_analysis(DEFAULT_SEED);
+
+    println!("{}", report.cs1_agreement.summary());
+    println!("{}", report.ds_agreement.summary());
+    println!("{}", report.pdc_agreement.summary());
+
+    println!("\nCS1 flavors (k = 3):");
+    for t in &report.cs1_flavors.types {
+        println!(
+            "  type {}: dominated by {}",
+            t.index + 1,
+            t.top_kus(3).join(", ")
+        );
+    }
+
+    println!("\nCourse types discovered over the whole corpus (k = 4):");
+    for (i, &cid) in report.all_courses_model.matrix.courses.iter().enumerate() {
+        println!(
+            "  dim {} <- {}",
+            report.all_courses_model.assignments[i] + 1,
+            report.corpus.store.course(cid).name
+        );
+    }
+
+    let total_recs: usize = report.recommendations.iter().map(|(_, r)| r.len()).sum();
+    println!("\n{total_recs} PDC anchor-point recommendations produced.");
+    if let Some((cid, recs)) = report
+        .recommendations
+        .iter()
+        .find(|(_, recs)| !recs.is_empty())
+    {
+        let c = report.corpus.store.course(*cid);
+        println!("e.g. for {}:", c.name);
+        for r in recs {
+            println!("  - {} (anchored at {})", r.title, r.anchors.join(", "));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! `anchors` — command-line interface to the pdc-anchors analysis system.
+//!
+//! ```text
+//! anchors courses                      list the corpus roster
+//! anchors summary                      agreement summaries per course group
+//! anchors report                       print the full markdown report
+//! anchors audit <course-substring>     coverage audit of one course
+//! anchors recommend <course-substring> PDC anchor recommendations
+//! anchors materials <course-substring> PDC material shortlist
+//! anchors search <code> [code...]      search materials by curriculum codes
+//! ```
+//!
+//! The corpus seed can be overridden with `ANCHORS_SEED`.
+
+use anchors_core::{
+    recommend_for_course, run_full_analysis, shortlist_materials, to_markdown,
+};
+use anchors_corpus::{default_corpus, generate, GeneratedCorpus};
+use anchors_curricula::{cs2013, pdc12};
+use anchors_curricula::Tier;
+use anchors_materials::{search, CourseId, CoverageReport, Query};
+
+fn seed() -> u64 {
+    std::env::var("ANCHORS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(anchors_corpus::DEFAULT_SEED)
+}
+
+fn find_course(corpus: &GeneratedCorpus, needle: &str) -> Option<CourseId> {
+    let lower = needle.to_lowercase();
+    corpus
+        .all()
+        .iter()
+        .copied()
+        .find(|&c| corpus.store.course(c).name.to_lowercase().contains(&lower))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: anchors <courses|summary|report|audit|recommend|materials|search> [args]\n\
+         see `cargo doc` or the README for details"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "courses" => {
+            let corpus = default_corpus();
+            for &cid in corpus.all() {
+                let c = corpus.store.course(cid);
+                println!(
+                    "{:<72} [{}] {} tags",
+                    c.name,
+                    c.labels
+                        .iter()
+                        .map(|l| l.short())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    corpus.store.course_tags(cid).len()
+                );
+            }
+        }
+        "summary" => {
+            let r = run_full_analysis(seed());
+            println!("{}", r.cs1_agreement.summary());
+            println!("{}", r.ds_agreement.summary());
+            println!("{}", r.pdc_agreement.summary());
+        }
+        "report" => {
+            let r = run_full_analysis(seed());
+            print!("{}", to_markdown(&r));
+        }
+        "audit" => {
+            let needle = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let corpus = generate(seed());
+            let Some(cid) = find_course(&corpus, needle) else {
+                eprintln!("no course matches {needle:?}");
+                std::process::exit(1);
+            };
+            let g = cs2013();
+            println!("{}", corpus.store.course(cid).name);
+            let report = CoverageReport::audit_course(&corpus.store, g, cid);
+            for tier in [Tier::Core1, Tier::Core2, Tier::Elective] {
+                let t = report.tier(tier);
+                println!(
+                    "  {:?}: {}/{} items ({:.0}%)",
+                    tier,
+                    t.covered,
+                    t.total,
+                    t.fraction() * 100.0
+                );
+            }
+            println!("  strongest units:");
+            for u in report.strongest_units(8) {
+                println!(
+                    "    {:<12} {:>3}/{:<3} {}",
+                    g.node(u.ku).code,
+                    u.covered,
+                    u.total,
+                    g.node(u.ku).label
+                );
+            }
+        }
+        "recommend" => {
+            let needle = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let corpus = generate(seed());
+            let Some(cid) = find_course(&corpus, needle) else {
+                eprintln!("no course matches {needle:?}");
+                std::process::exit(1);
+            };
+            println!("{}", corpus.store.course(cid).name);
+            for r in recommend_for_course(&corpus.store, cs2013(), pdc12(), cid) {
+                println!("\n[{:?}] {}", r.flavor, r.title);
+                println!("  why : {}", r.rationale);
+                println!("  do  : {}", r.activity);
+                println!("  PDC : {}", r.pdc_topics.join(", "));
+                println!("  at  : {}", r.anchors.join(", "));
+            }
+        }
+        "materials" => {
+            let needle = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
+            let corpus = generate(seed());
+            let Some(cid) = find_course(&corpus, needle) else {
+                eprintln!("no course matches {needle:?}");
+                std::process::exit(1);
+            };
+            println!("{}", corpus.store.course(cid).name);
+            for m in shortlist_materials(&corpus.store, cs2013(), pdc12(), cid, 6) {
+                let mat = m.material();
+                println!(
+                    "  {:.2} {} ({:?}{})",
+                    m.score,
+                    mat.name,
+                    mat.source,
+                    if m.language_fit { "" } else { ", language mismatch" }
+                );
+            }
+        }
+        "search" => {
+            if args.len() < 2 {
+                usage();
+            }
+            let g = cs2013();
+            let corpus = generate(seed());
+            let tags: Vec<_> = args[1..]
+                .iter()
+                .map(|code| {
+                    g.by_code(code).unwrap_or_else(|| {
+                        eprintln!("unknown curriculum code {code:?}");
+                        std::process::exit(1);
+                    })
+                })
+                .collect();
+            let hits = search(&corpus.store, g, &Query::tags(tags).limit(15));
+            for h in hits {
+                let m = corpus.store.material(h.material);
+                println!(
+                    "  {:.2} {:<40} {:?} by {}",
+                    h.score, m.name, m.kind, m.author
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,1 @@
+pub use anchors_core as core_api;

@@ -1,0 +1,161 @@
+//! The threats-to-validity baselines: PCA and MDS as alternative
+//! dimension-reduction techniques on the same course matrix, compared
+//! against NNMF — plus solver/init ablations.
+
+use anchors_corpus::default_corpus;
+use anchors_factor::{
+    classical_mds, nnmf, pca, Init, NnmfConfig, Solver,
+};
+use anchors_linalg::{pairwise_distances, Metric};
+use anchors_materials::CourseMatrix;
+
+fn course_matrix() -> (CourseMatrix, Vec<String>) {
+    let corpus = default_corpus();
+    let cm = CourseMatrix::build(&corpus.store, corpus.all());
+    let names = cm
+        .courses
+        .iter()
+        .map(|&c| corpus.store.course(c).name.clone())
+        .collect();
+    (cm, names)
+}
+
+#[test]
+fn pca_separates_pdc_from_cs1_too() {
+    // PCA is signed and centered but should still separate the strongest
+    // family contrast (PDC vs everything else) along its top components.
+    let (cm, names) = course_matrix();
+    let model = pca(&cm.a, 4);
+    let scores = model.transform(&cm.a);
+    // For each pair of PDC courses, their distance in PC space must be
+    // smaller than their mean distance to CS1 courses.
+    let is_pdc: Vec<bool> = names.iter().map(|n| n.contains("Parallel")).collect();
+    let is_cs1: Vec<bool> = names
+        .iter()
+        .map(|n| n.contains("CS1") || n.contains("Computer Science 1"))
+        .collect();
+    let d = pairwise_distances(&scores, Metric::Euclidean);
+    let mut intra = vec![];
+    let mut inter = vec![];
+    for i in 0..names.len() {
+        for j in (i + 1)..names.len() {
+            if is_pdc[i] && is_pdc[j] {
+                intra.push(d.get(i, j));
+            } else if (is_pdc[i] && is_cs1[j]) || (is_cs1[i] && is_pdc[j]) {
+                inter.push(d.get(i, j));
+            }
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&intra) < mean(&inter),
+        "PDC courses cluster in PCA space: intra {} vs inter {}",
+        mean(&intra),
+        mean(&inter)
+    );
+}
+
+#[test]
+fn pca_explained_variance_concentrates() {
+    let (cm, _) = course_matrix();
+    let model = pca(&cm.a, 10);
+    let top4: f64 = model.explained_ratio.iter().take(4).sum();
+    let total: f64 = model.explained_ratio.iter().sum();
+    assert!(
+        top4 / total > 0.4,
+        "course variation concentrates in few components ({top4:.2}/{total:.2})"
+    );
+}
+
+#[test]
+fn mds_of_courses_reflects_family_structure() {
+    let (cm, names) = course_matrix();
+    let d = pairwise_distances(&cm.a, Metric::Jaccard);
+    let emb = classical_mds(&d, 2);
+    assert!(emb.points.is_finite());
+    // The two 2214 sections embed closer than 2214 vs the networking course.
+    let pos = |needle: &str| names.iter().position(|n| n.contains(needle)).unwrap();
+    let dist = |a: usize, b: usize| {
+        let dx = emb.points.get(a, 0) - emb.points.get(b, 0);
+        let dy = emb.points.get(a, 1) - emb.points.get(b, 1);
+        (dx * dx + dy * dy).sqrt()
+    };
+    let (k1, k2, net) = (pos("2214 KRS"), pos("2214 Saule"), pos("Bopana"));
+    assert!(dist(k1, k2) < dist(k1, net));
+}
+
+#[test]
+fn nnmf_solvers_reach_comparable_loss() {
+    let (cm, _) = course_matrix();
+    let hals = nnmf(&cm.a, &NnmfConfig::paper_default(4));
+    let mu = nnmf(&cm.a, &NnmfConfig::multiplicative(4));
+    // Both solve the same objective; neither should be wildly worse.
+    let worst = hals.loss.max(mu.loss);
+    let best = hals.loss.min(mu.loss);
+    assert!(
+        worst <= best * 1.25,
+        "solver gap too large: HALS {} vs MU {}",
+        hals.loss,
+        mu.loss
+    );
+}
+
+#[test]
+fn nndsvd_init_competitive_with_multi_restart_random() {
+    let (cm, _) = course_matrix();
+    let random = nnmf(&cm.a, &NnmfConfig::paper_default(4));
+    let nndsvd = nnmf(
+        &cm.a,
+        &NnmfConfig {
+            init: Init::NndsvdA,
+            ..NnmfConfig::paper_default(4)
+        },
+    );
+    assert!(
+        nndsvd.loss <= random.loss * 1.2,
+        "NNDSVD {} should be competitive with random multi-restart {}",
+        nndsvd.loss,
+        random.loss
+    );
+}
+
+#[test]
+fn nnmf_buys_interpretability_over_pca_nonnegativity() {
+    // The property the paper relies on: NNMF parts are nonnegative, PCA
+    // components are signed (so cannot be read as topic profiles).
+    let (cm, _) = course_matrix();
+    let model = nnmf(&cm.a, &NnmfConfig::paper_default(4));
+    assert!(model.w.is_nonnegative());
+    assert!(model.h.is_nonnegative());
+    let p = pca(&cm.a, 4);
+    let has_negative = p.components.as_slice().iter().any(|&v| v < -1e-9);
+    assert!(has_negative, "PCA components are signed");
+}
+
+#[test]
+fn hals_iterations_far_fewer_than_mu() {
+    let (cm, _) = course_matrix();
+    let hals = nnmf(
+        &cm.a,
+        &NnmfConfig {
+            solver: Solver::Hals,
+            restarts: 1,
+            ..NnmfConfig::paper_default(4)
+        },
+    );
+    let mu = nnmf(
+        &cm.a,
+        &NnmfConfig {
+            solver: Solver::MultiplicativeUpdate,
+            restarts: 1,
+            max_iter: 500,
+            ..NnmfConfig::paper_default(4)
+        },
+    );
+    assert!(
+        hals.iterations <= mu.iterations,
+        "HALS ({}) should converge in no more sweeps than MU ({})",
+        hals.iterations,
+        mu.iterations
+    );
+}

@@ -1,0 +1,55 @@
+//! Integration: export the generated corpus to the portable JSON format,
+//! re-import it, and verify the whole analysis is identical — the pipeline
+//! is a pure function of the classification data.
+
+use anchors_core::AgreementAnalysis;
+use anchors_corpus::default_corpus;
+use anchors_curricula::cs2013;
+use anchors_materials::{export_json, import_json, CourseMatrix};
+
+#[test]
+fn corpus_roundtrips_through_portable_json() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let json = export_json(&corpus.store, g);
+    assert!(json.contains("ACM/IEEE CS2013"));
+    assert!(json.contains("SDF.FPC"), "codes, not ids");
+
+    let store2 = import_json(&json, g).expect("import");
+    assert_eq!(store2.course_count(), corpus.store.course_count());
+    assert_eq!(store2.material_count(), corpus.store.material_count());
+    store2.validate(g).expect("valid");
+
+    // The analysis over the re-imported store is identical.
+    let ids1: Vec<_> = corpus.store.courses().iter().map(|c| c.id).collect();
+    let ids2: Vec<_> = store2.courses().iter().map(|c| c.id).collect();
+    let m1 = CourseMatrix::build(&corpus.store, &ids1);
+    let m2 = CourseMatrix::build(&store2, &ids2);
+    assert_eq!(m1.a, m2.a, "identical course matrices");
+
+    let a1 = AgreementAnalysis::run(&corpus.store, g, "all", &ids1);
+    let a2 = AgreementAnalysis::run(&store2, g, "all", &ids2);
+    assert_eq!(a1.tag_counts, a2.tag_counts);
+    assert_eq!(a1.survival, a2.survival);
+}
+
+#[test]
+fn export_is_deterministic() {
+    let g = cs2013();
+    let a = export_json(&default_corpus().store, g);
+    let b = export_json(&default_corpus().store, g);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn import_rejects_corrupted_payloads() {
+    let g = cs2013();
+    let corpus = default_corpus();
+    let json = export_json(&corpus.store, g);
+    // Tamper: swap a valid code for garbage.
+    let bad = json.replacen("SDF.FPC.t1", "XX.YY.zz", 1);
+    if bad != json {
+        assert!(import_json(&bad, g).is_err());
+    }
+    assert!(import_json("[1, 2, 3]", g).is_err());
+}

@@ -1,0 +1,205 @@
+//! Cross-crate integration: the full paper pipeline, checked against the
+//! qualitative acceptance criteria of DESIGN.md §6.
+
+use anchors_core::{run_full_analysis, AnalysisReport, FlavorKind};
+use anchors_corpus::DEFAULT_SEED;
+use anchors_curricula::cs2013;
+use anchors_materials::CourseLabel;
+use std::sync::OnceLock;
+
+/// The default-seed report is immutable; compute it once for all tests.
+fn report() -> &'static AnalysisReport {
+    static REPORT: OnceLock<AnalysisReport> = OnceLock::new();
+    REPORT.get_or_init(|| run_full_analysis(DEFAULT_SEED))
+}
+
+#[test]
+fn criterion_1_all_courses_nnmf_separates_families() {
+    let r = report();
+    let fm = &r.all_courses_model;
+    let idx_of = |cid| r.corpus.all().iter().position(|&x| x == cid).unwrap();
+    let dominant = |label: CourseLabel| -> usize {
+        let ids = r.corpus.with_label(label);
+        let mut counts = vec![0usize; fm.k()];
+        for id in ids {
+            counts[fm.assignments[idx_of(id)]] += 1;
+        }
+        (0..fm.k()).max_by_key(|&t| counts[t]).unwrap()
+    };
+    let dims = [
+        dominant(CourseLabel::DataStructures),
+        dominant(CourseLabel::SoftEng),
+        dominant(CourseLabel::Pdc),
+        dominant(CourseLabel::Cs1),
+    ];
+    let mut unique = dims.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), 4, "four families → four distinct dimensions, got {dims:?}");
+}
+
+#[test]
+fn criterion_2_cs1_agreement_weak_ds_agreement_strong() {
+    let r = report();
+    let g = cs2013();
+    // CS1 agreement@4 confined to SDF, predominantly FPC.
+    let kas = r.cs1_agreement.spanned_kas(g, 4);
+    assert_eq!(kas, vec!["SDF".to_string()]);
+    let fpc = g.by_code("SDF.FPC").unwrap();
+    let tree = r.cs1_agreement.tree(4);
+    let in_fpc = tree
+        .agreed_leaves
+        .iter()
+        .filter(|&&(t, _)| g.is_ancestor(fpc, t))
+        .count();
+    assert!(in_fpc * 10 >= tree.len() * 7, "{in_fpc}/{} in FPC", tree.len());
+    // DS agreement markedly stronger.
+    assert!(
+        r.ds_agreement.agreement_fraction(2) > r.cs1_agreement.agreement_fraction(2) * 1.25
+    );
+}
+
+#[test]
+fn criterion_3_cs1_three_flavors_with_paper_assignments() {
+    let r = report();
+    let fm = &r.cs1_flavors;
+    let idx = |needle: &str| {
+        fm.matrix
+            .courses
+            .iter()
+            .position(|&id| r.corpus.store.course(id).name.contains(needle))
+            .unwrap()
+    };
+    let (s, k, a) = (
+        fm.assignments[idx("Singh")],
+        fm.assignments[idx("Kerney")],
+        fm.assignments[idx("Ahmed")],
+    );
+    assert!(s != k && s != a && k != a, "three distinct flavors");
+    // Type semantics (Figure 5's reading).
+    assert!(fm.types[s].ku_weight("PL.OOP") > fm.types[k].ku_weight("PL.OOP"));
+    assert!(fm.types[a].ku_weight("AL.FDSA") > fm.types[s].ku_weight("AL.FDSA"));
+    assert!(fm.types[k].ku_weight("AR.MLRD") > fm.types[s].ku_weight("AR.MLRD"));
+}
+
+#[test]
+fn criterion_4_ds_three_flavors() {
+    let r = report();
+    let fm = &r.ds_flavors;
+    let idx = |needle: &str| {
+        fm.matrix
+            .courses
+            .iter()
+            .position(|&id| r.corpus.store.course(id).name.contains(needle))
+            .unwrap()
+    };
+    // Applied (2214), OOP (VCU), combinatorial (2215/Wahl/BSC).
+    assert_eq!(fm.assignments[idx("2214 KRS")], fm.assignments[idx("2214 Saule")]);
+    assert_eq!(fm.assignments[idx("Wahl")], fm.assignments[idx("2215")]);
+    assert_eq!(fm.assignments[idx("BSC")], fm.assignments[idx("2215")]);
+    assert_ne!(fm.assignments[idx("VCU")], fm.assignments[idx("2215")]);
+    assert_ne!(fm.assignments[idx("2214 KRS")], fm.assignments[idx("2215")]);
+    // UCF spreads over more than one type.
+    let ucf_mix = fm.mixture_of(idx("UCF"));
+    let nontrivial = ucf_mix.iter().filter(|&&v| v > 0.1).count();
+    assert!(nontrivial >= 2, "UCF touches several types: {ucf_mix:?}");
+}
+
+#[test]
+fn criterion_5_pdc_agreement_outside_pd_is_core_concepts() {
+    let r = report();
+    let g = cs2013();
+    let outside = r.pdc_agreement.agreed_outside(g, 2, "PD");
+    assert!(!outside.is_empty());
+    // Digraphs/recursion/Big-Oh concepts must be among them.
+    let labels: Vec<String> = outside
+        .iter()
+        .map(|&t| {
+            let ku = g.knowledge_unit_of(t).unwrap();
+            g.node(ku).code.clone()
+        })
+        .collect();
+    assert!(
+        labels.iter().any(|l| l == "DS.GT") || labels.iter().any(|l| l == "AL.BA"),
+        "graphs or Big-Oh agreement expected, got {labels:?}"
+    );
+}
+
+#[test]
+fn criterion_6_recommender_covers_section_5_2() {
+    let r = report();
+    let mut seen = std::collections::BTreeSet::new();
+    for (_, recs) in &r.recommendations {
+        for rec in recs {
+            seen.insert(format!("{:?}", rec.flavor));
+        }
+    }
+    for expected in [
+        "Cs1Imperative",
+        "Cs1Algorithmic",
+        "Cs1Oop",
+        "DsCore",
+        "DsOop",
+        "DsCombinatorial",
+        "DsApplied",
+        "GraphsCovered",
+    ] {
+        assert!(
+            seen.contains(expected),
+            "no course triggered the {expected} rule; triggered: {seen:?}"
+        );
+    }
+}
+
+#[test]
+fn report_is_reproducible_across_processes_within_run() {
+    let a = run_full_analysis(12345);
+    let b = run_full_analysis(12345);
+    assert_eq!(a.cs1_agreement.tag_counts, b.cs1_agreement.tag_counts);
+    assert_eq!(a.ds_flavors.assignments, b.ds_flavors.assignments);
+    assert_eq!(
+        a.recommendations.iter().map(|(_, r)| r.len()).sum::<usize>(),
+        b.recommendations.iter().map(|(_, r)| r.len()).sum::<usize>()
+    );
+}
+
+#[test]
+fn alternative_seeds_preserve_the_shape() {
+    // The qualitative structure must not depend on the lucky seed: check the
+    // headline comparisons across three alternative corpora.
+    for seed in [1u64, 2, 3] {
+        let r = run_full_analysis(seed);
+        assert!(
+            r.ds_agreement.agreement_fraction(2) > r.cs1_agreement.agreement_fraction(2),
+            "seed {seed}: DS must agree more than CS1"
+        );
+        let g = cs2013();
+        let kas = r.cs1_agreement.spanned_kas(g, 4);
+        assert!(
+            kas.contains(&"SDF".to_string()),
+            "seed {seed}: CS1 agreement@4 must include SDF, got {kas:?}"
+        );
+        assert!(
+            !r.pdc_agreement.agreed_outside(g, 2, "PD").is_empty(),
+            "seed {seed}: PDC courses share some non-PDC concepts"
+        );
+    }
+}
+
+#[test]
+fn recommendations_reference_only_resolvable_codes() {
+    let r = report();
+    let cs = cs2013();
+    let pdc = anchors_curricula::pdc12();
+    for (_, recs) in &r.recommendations {
+        for rec in recs {
+            for c in &rec.pdc_topics {
+                assert!(pdc.by_code(c).is_some(), "dangling PDC code {c}");
+            }
+            for c in &rec.anchors {
+                assert!(cs.by_code(c).is_some(), "dangling CS2013 code {c}");
+            }
+            let _ = FlavorKind::Cs1Core; // exercise re-export
+        }
+    }
+}

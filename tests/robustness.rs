@@ -1,0 +1,174 @@
+//! Failure injection and degenerate-input robustness across the stack:
+//! empty groups, single courses, all-zero columns, tampered stores.
+
+use anchors_core::{discover_flavors, AgreementAnalysis};
+use anchors_corpus::{default_corpus, generate_subset};
+use anchors_curricula::cs2013;
+use anchors_factor::{classical_mds, nnmf, NnmfConfig};
+use anchors_linalg::{CsrMatrix, Matrix};
+use anchors_materials::{
+    search, AgreementTree, CourseLabel, CourseMatrix, MaterialKind, MaterialStore, Query,
+    SimilarityGraph, TagSpace,
+};
+
+#[test]
+fn single_course_group_analyzes() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let one = vec![corpus.all()[0]];
+    let a = AgreementAnalysis::run(&corpus.store, g, "solo", &one);
+    assert_eq!(a.matrix.n_courses(), 1);
+    // Every tag appears in exactly one course.
+    assert_eq!(a.tags_at(1), a.total_tags());
+    assert_eq!(a.tags_at(2), 0);
+    assert!(a.tree(2).is_empty());
+}
+
+#[test]
+fn empty_course_group_yields_empty_analysis() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let a = AgreementAnalysis::run(&corpus.store, g, "nobody", &[]);
+    assert_eq!(a.total_tags(), 0);
+    assert_eq!(a.survival, vec![0, 0]);
+    assert!(a.tree(3).is_empty());
+}
+
+#[test]
+fn course_with_no_materials_is_all_zero_row() {
+    let g = cs2013();
+    let mut store = MaterialStore::new();
+    let empty = store.add_course("Empty", "U", "I", vec![CourseLabel::Cs1], None);
+    let full = store.add_course("Full", "U", "I", vec![CourseLabel::Cs1], None);
+    let t = g.by_code("SDF.FPC.t1").unwrap();
+    store.add_material(full, "m", MaterialKind::Lecture, "I", None, vec![], vec![t]);
+    let cm = CourseMatrix::build(&store, &[empty, full]);
+    assert_eq!(cm.a.row(0).iter().sum::<f64>(), 0.0);
+    assert_eq!(cm.a.row(1).iter().sum::<f64>(), 1.0);
+    // NNMF still runs (k must respect dims).
+    let model = nnmf(&cm.a, &NnmfConfig::paper_default(1));
+    assert!(model.w.is_nonnegative());
+}
+
+#[test]
+fn nnmf_handles_duplicate_and_zero_columns() {
+    // Two identical columns plus an all-zero column.
+    let a = Matrix::from_rows(&[
+        vec![1.0, 1.0, 0.0, 2.0],
+        vec![0.0, 0.0, 0.0, 1.0],
+        vec![1.0, 1.0, 0.0, 0.0],
+    ]);
+    let m = nnmf(&a, &NnmfConfig::paper_default(2));
+    assert!(m.w.is_finite() && m.h.is_finite());
+    // Zero column reconstructs to (near) zero.
+    let rec = m.reconstruct();
+    for i in 0..3 {
+        assert!(rec.get(i, 2).abs() < 0.2, "zero column stays ~zero");
+    }
+    // Sparse path agrees on degenerate input.
+    let sm = anchors_factor::nnmf_sparse(&CsrMatrix::from_dense(&a), &NnmfConfig::paper_default(2));
+    assert!((sm.loss - m.loss).abs() < 1e-6);
+}
+
+#[test]
+fn flavor_discovery_with_k_equal_courses() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let pdc = corpus.pdc_group();
+    // k = number of courses: each course can get its own type.
+    let fm = discover_flavors(&corpus.store, g, &pdc, 3);
+    assert_eq!(fm.k(), 3);
+    assert_eq!(fm.assignments.len(), 3);
+}
+
+#[test]
+fn subset_generation_of_one_course() {
+    let corpus = generate_subset(1, &anchors_corpus::ROSTER[..1]);
+    assert_eq!(corpus.courses.len(), 1);
+    corpus.store.validate(cs2013()).expect("valid");
+    assert!(corpus.store.material_count() > 0);
+}
+
+#[test]
+fn search_with_unknown_style_queries() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    // Facet that matches nothing.
+    let hits = search(
+        &corpus.store,
+        g,
+        &Query::default().in_language("COBOL"),
+    );
+    assert!(hits.is_empty());
+    // Author facet with wrong case still matches (case-insensitive).
+    let hits = search(&corpus.store, g, &Query::default().by_author("saule"));
+    assert!(!hits.is_empty());
+}
+
+#[test]
+fn similarity_graph_with_empty_query() {
+    let corpus = default_corpus();
+    let ids: Vec<_> = corpus
+        .store
+        .materials()
+        .iter()
+        .map(|m| m.id)
+        .take(4)
+        .collect();
+    let graph = SimilarityGraph::build(&corpus.store, &[], &ids);
+    assert_eq!(graph.len(), 5);
+    // Empty query has Jaccard 0 with any nonempty material.
+    for j in 1..graph.len() {
+        assert_eq!(graph.weights[0][j], 0.0);
+    }
+    // And the distance matrix still embeds.
+    let emb = classical_mds(&graph.distance_matrix(), 2);
+    assert!(emb.points.is_finite());
+}
+
+#[test]
+fn agreement_tree_with_threshold_beyond_group() {
+    let g = cs2013();
+    let t1 = g.by_code("SDF.FPC.t1").unwrap();
+    let tree = AgreementTree::build(g, &[(t1, 2)], 10);
+    assert!(tree.is_empty());
+    assert!(tree.nodes.is_empty());
+    assert!(tree.knowledge_areas(g).is_empty());
+}
+
+#[test]
+fn tag_space_with_foreign_tags_ignored() {
+    let g = cs2013();
+    let mut store = MaterialStore::new();
+    let c = store.add_course("C", "U", "I", vec![CourseLabel::Cs1], None);
+    let t1 = g.by_code("SDF.FPC.t1").unwrap();
+    let t2 = g.by_code("AL.BA.t1").unwrap();
+    store.add_material(c, "m", MaterialKind::Lecture, "I", None, vec![], vec![t1, t2]);
+    // Restrict the space to only one of the tags.
+    let space = TagSpace::from_tags([t1]);
+    let cm = CourseMatrix::build_with_space(&store, &[c], space);
+    assert_eq!(cm.n_tags(), 1);
+    assert_eq!(cm.a.sum(), 1.0);
+}
+
+#[test]
+fn store_validation_catches_tampering() {
+    let g = cs2013();
+    let corpus = default_corpus();
+    // A foreign node id (the root is not a leaf) must be rejected.
+    let mut store = corpus.store.clone();
+    let first_material = store.materials()[0].id;
+    store.tag_material(first_material, g.root());
+    assert!(store.validate(g).is_err());
+}
+
+#[test]
+fn mds_of_identical_points_is_stable() {
+    // All-zero distance matrix: everything at one point.
+    let d = Matrix::zeros(5, 5);
+    let emb = classical_mds(&d, 2);
+    assert!(emb.points.is_finite());
+    assert!(emb.stress.abs() < 1e-12);
+    let s = anchors_factor::smacof(&d, 2, 50, 1e-9, 1);
+    assert!(s.points.is_finite());
+}

@@ -1,0 +1,87 @@
+//! Integration of the recommender with the task-graph substrate: the §5.2
+//! "list-scheduling simulator" recommendation is not just prose — this test
+//! executes the recommended assignment end to end for the courses that
+//! receive it.
+
+use anchors_core::{recommend_for_course, FlavorKind};
+use anchors_corpus::default_corpus;
+use anchors_curricula::{cs2013, pdc12};
+use anchors_sched::{dp_wavefront, fork_join, graham_bounds, list_schedule, random_dag, Priority};
+
+#[test]
+fn recommended_task_graph_assignment_is_executable() {
+    let corpus = default_corpus();
+    let cs = cs2013();
+    let pdc = pdc12();
+
+    let mut exercised = 0;
+    for &cid in corpus.all() {
+        let recs = recommend_for_course(&corpus.store, cs, pdc, cid);
+        let Some(rec) = recs.iter().find(|r| r.flavor == FlavorKind::GraphsCovered) else {
+            continue;
+        };
+        exercised += 1;
+        // The recommendation says: build a DAG, topologically sort it,
+        // compute the critical path, then run a list scheduler. Do it.
+        let g = random_dag(60, 0.08, 1.0..=6.0, cid.0 as u64);
+        let order = g.topological_sort().expect("feasible order of tasks");
+        assert!(g.is_topological_order(&order));
+        let span = g.span().unwrap();
+        let parallelism = g.average_parallelism().unwrap();
+        assert!(parallelism >= 1.0, "critical path bounds parallelism");
+        for m in [2usize, 4, 8] {
+            let s = list_schedule(&g, m, Priority::CriticalPath);
+            s.validate(&g).expect("valid schedule");
+            let (lo, hi) = graham_bounds(&g, m);
+            assert!(s.makespan >= lo - 1e-9 && s.makespan <= hi + 1e-9);
+            assert!(s.makespan >= span - 1e-9, "span is a lower bound");
+        }
+        // The anchors the rule claims must exist in the guideline.
+        assert!(rec.anchors.iter().any(|a| a == "DS.GT"));
+    }
+    assert!(exercised >= 4, "most DS courses trigger the task-graph rule");
+}
+
+#[test]
+fn dp_wavefront_recommendation_shows_bottom_up_parallelism() {
+    // The DsCombinatorial rule claims bottom-up DP parallelizes with
+    // wavefronts: verify the wavefront DAG actually exhibits that shape.
+    let n = 32;
+    let g = dp_wavefront(n, 1.0);
+    let profile = g.level_profile().unwrap();
+    // Parallelism ramps up to n and back down: 2n-1 levels, peak n.
+    assert_eq!(profile.len(), 2 * n - 1);
+    assert_eq!(profile.iter().copied().max(), Some(n));
+    // Scheduling on n processors approaches the span.
+    let s = list_schedule(&g, n, Priority::CriticalPath);
+    let span = g.span().unwrap();
+    assert!(
+        s.makespan <= span * 1.2,
+        "wavefront scheduling should almost reach the critical path ({} vs {span})",
+        s.makespan
+    );
+    // While a single processor pays the full work.
+    let s1 = list_schedule(&g, 1, Priority::CriticalPath);
+    assert_eq!(s1.makespan, g.work());
+}
+
+#[test]
+fn fork_join_speedup_curve_shape() {
+    // The CS1-algorithmic rule promises observable speedup from
+    // parallel-for; the fork-join model predicts the curve.
+    let g = fork_join(64, 1.0, 0.0);
+    let t1 = list_schedule(&g, 1, Priority::CriticalPath).makespan;
+    let mut prev_speedup = 0.0;
+    for m in [1usize, 2, 4, 8, 16, 32, 64] {
+        let tm = list_schedule(&g, m, Priority::CriticalPath).makespan;
+        let speedup = t1 / tm;
+        assert!(
+            speedup >= prev_speedup - 1e-9,
+            "speedup is monotone for independent tasks"
+        );
+        assert!(speedup <= m as f64 + 1e-9, "no superlinear speedup");
+        prev_speedup = speedup;
+    }
+    // Near-linear at 64 procs on 64 independent unit tasks.
+    assert!(prev_speedup > 32.0);
+}

@@ -1,0 +1,193 @@
+//! Cross-crate integration: the CS Materials services — search, similarity
+//! graph + MDS layout, bicluster matrix view, alignment views — over the
+//! generated corpus.
+
+use anchors_corpus::default_corpus;
+use anchors_curricula::cs2013;
+use anchors_factor::{block_purity, classical_mds, smacof, spectral_cocluster};
+use anchors_linalg::Metric;
+use anchors_materials::{
+    search, AlignmentView, MaterialKind, MaterialMatrix, Query, SimilarityGraph,
+};
+
+#[test]
+fn search_finds_graph_material_in_every_ds_course() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let gt = g.by_code("DS.GT").unwrap();
+    let tags = g.leaves_under(gt);
+    let hits = search(&corpus.store, g, &Query::tags(tags.iter().copied()));
+    assert!(!hits.is_empty());
+    // Results sorted by score descending.
+    for w in hits.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+    // At least one material of every DS course matches graphs.
+    for cid in corpus.ds_group() {
+        let any = corpus.store.course(cid).materials.iter().any(|m| {
+            hits.iter().any(|h| h.material == *m)
+        });
+        assert!(any, "{} has no graph-related material", corpus.store.course(cid).name);
+    }
+}
+
+#[test]
+fn search_facets_compose() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let fpc = g.by_code("SDF.FPC").unwrap();
+    let tags = g.leaves_under(fpc);
+    let unfiltered = search(&corpus.store, g, &Query::tags(tags.iter().copied()));
+    let filtered = search(
+        &corpus.store,
+        g,
+        &Query::tags(tags.iter().copied())
+            .in_language("C")
+            .of_kind(MaterialKind::Assignment),
+    );
+    assert!(filtered.len() < unfiltered.len());
+    for h in &filtered {
+        let m = corpus.store.material(h.material);
+        assert_eq!(m.kind, MaterialKind::Assignment);
+        assert_eq!(m.language.as_deref(), Some("C"));
+    }
+}
+
+#[test]
+fn similarity_graph_mds_roundtrip_places_similar_materials_close() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let gt = g.by_code("AL.FDSA").unwrap();
+    let tags: Vec<_> = g.leaves_under(gt).into_iter().take(8).collect();
+    let hits = search(&corpus.store, g, &Query::tags(tags.iter().copied()).limit(12));
+    let ids: Vec<_> = hits.iter().map(|h| h.material).collect();
+    let graph = SimilarityGraph::build(&corpus.store, &tags, &ids);
+    let d = graph.distance_matrix();
+    anchors_linalg::distance::validate_distance_matrix(&d).unwrap();
+
+    let emb = smacof(&d, 2, 300, 1e-10, 3);
+    assert!(emb.stress.is_finite());
+    // The most similar pair must land closer in the embedding than the
+    // most dissimilar pair.
+    let n = graph.len();
+    let mut best = (0, 1, f64::INFINITY);
+    let mut worst = (0, 1, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = d.get(i, j);
+            if v < best.2 {
+                best = (i, j, v);
+            }
+            if v > worst.2 {
+                worst = (i, j, v);
+            }
+        }
+    }
+    let dist = |i: usize, j: usize| {
+        let dx = emb.points.get(i, 0) - emb.points.get(j, 0);
+        let dy = emb.points.get(i, 1) - emb.points.get(j, 1);
+        (dx * dx + dy * dy).sqrt()
+    };
+    assert!(
+        dist(best.0, best.1) <= dist(worst.0, worst.1) + 1e-9,
+        "similar pair should embed no farther than dissimilar pair"
+    );
+}
+
+#[test]
+fn classical_and_smacof_agree_on_embeddability() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let tags = g.leaves_under(g.by_code("SDF.FPC").unwrap());
+    let hits = search(&corpus.store, g, &Query::tags(tags.iter().copied()).limit(10));
+    let ids: Vec<_> = hits.iter().map(|h| h.material).collect();
+    let graph = SimilarityGraph::build(&corpus.store, &tags, &ids);
+    let d = graph.distance_matrix();
+    let c = classical_mds(&d, 2);
+    let s = smacof(&d, 2, 200, 1e-10, 1);
+    assert!(s.stress <= c.stress + 1e-9, "SMACOF refines the classical start");
+}
+
+#[test]
+fn matrix_view_biclusters_have_structure() {
+    let corpus = default_corpus();
+    // Matrix view over one OOP course + one algorithms course: tags should
+    // co-cluster with their course's materials.
+    let courses: Vec<_> = corpus
+        .all()
+        .iter()
+        .copied()
+        .filter(|&c| {
+            let n = &corpus.store.course(c).name;
+            n.contains("3112") || n.contains("2215")
+        })
+        .collect();
+    assert_eq!(courses.len(), 2);
+    let mm = MaterialMatrix::build(&corpus.store, &courses);
+    let bc = spectral_cocluster(&mm.m, 2, 42);
+    let purity = block_purity(&mm.m, &bc);
+    assert!(
+        purity > 0.65,
+        "two disjoint courses should bicluster cleanly, purity {purity}"
+    );
+}
+
+#[test]
+fn alignment_view_detects_assessment_drift() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    // Compare lecture tags against assessment tags for every course: the
+    // generator samples assessments from the same pool, so misalignment is
+    // moderate, never total.
+    for &cid in corpus.all() {
+        let lectures = corpus.store.course_tags_of_kind(cid, MaterialKind::Lecture);
+        let exams = corpus.store.course_tags_of_kind(cid, MaterialKind::Assessment);
+        if lectures.is_empty() || exams.is_empty() {
+            continue;
+        }
+        let view = AlignmentView::build(g, &lectures, &exams);
+        let mis = view.misalignment(g);
+        assert!(
+            (0.0..1.0).contains(&mis),
+            "{}: misalignment {mis}",
+            corpus.store.course(cid).name
+        );
+        // The root always sees both sides.
+        assert!(view.score(g.root()).is_some());
+    }
+}
+
+#[test]
+fn pairwise_metrics_consistent_on_course_matrix() {
+    let corpus = default_corpus();
+    let cm = anchors_materials::CourseMatrix::build(&corpus.store, corpus.all());
+    let dj = anchors_linalg::pairwise_distances(&cm.a, Metric::Jaccard);
+    let dc = anchors_linalg::pairwise_distances(&cm.a, Metric::Cosine);
+    anchors_linalg::distance::validate_distance_matrix(&dj).unwrap();
+    anchors_linalg::distance::validate_distance_matrix(&dc).unwrap();
+    // The two 2214 sections must be among the closest course pairs under
+    // both metrics (same latent profile).
+    let i1 = corpus
+        .all()
+        .iter()
+        .position(|&c| corpus.store.course(c).name.contains("2214 KRS"))
+        .unwrap();
+    let i2 = corpus
+        .all()
+        .iter()
+        .position(|&c| corpus.store.course(c).name.contains("2214 Saule"))
+        .unwrap();
+    let n = cm.a.rows();
+    let mut all_j: Vec<f64> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .map(|(i, j)| dj.get(i, j))
+        .collect();
+    all_j.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let sibling = dj.get(i1, i2);
+    let rank = all_j.iter().filter(|&&v| v < sibling).count();
+    assert!(
+        rank <= all_j.len() / 4,
+        "2214 sections should be in the closest quartile (rank {rank}/{})",
+        all_j.len()
+    );
+}
