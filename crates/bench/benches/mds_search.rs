@@ -22,7 +22,9 @@ fn bench_search(c: &mut Criterion) {
             search(
                 &corpus.store,
                 g,
-                &Query::tags(tags.iter().copied()).in_language("Java").limit(10),
+                &Query::tags(tags.iter().copied())
+                    .in_language("Java")
+                    .limit(10),
             )
         })
     });
@@ -33,7 +35,11 @@ fn bench_mds(c: &mut Criterion) {
     let corpus = default_corpus();
     let g = cs2013();
     let tags = g.leaves_under(g.by_code("AL.FDSA").unwrap());
-    let hits = search(&corpus.store, g, &Query::tags(tags.iter().copied()).limit(25));
+    let hits = search(
+        &corpus.store,
+        g,
+        &Query::tags(tags.iter().copied()).limit(25),
+    );
     let ids: Vec<_> = hits.iter().map(|h| h.material).collect();
     let graph = SimilarityGraph::build(&corpus.store, &tags, &ids);
     let d = graph.distance_matrix();

@@ -18,7 +18,9 @@ fn main() {
     let mut scores: Vec<(String, f64, anchors_materials::CourseId)> = Vec::new();
     for &cid in corpus.all() {
         let lectures = corpus.store.course_tags_of_kind(cid, MaterialKind::Lecture);
-        let exams = corpus.store.course_tags_of_kind(cid, MaterialKind::Assessment);
+        let exams = corpus
+            .store
+            .course_tags_of_kind(cid, MaterialKind::Assessment);
         if lectures.is_empty() || exams.is_empty() {
             continue;
         }
@@ -37,9 +39,15 @@ fn main() {
 
     // Radial divergent view of the most misaligned course.
     let (name, _, cid) = &scores[0];
-    header(&format!("Divergent view of the least aligned course: {name}"));
-    let lectures = corpus.store.course_tags_of_kind(*cid, MaterialKind::Lecture);
-    let exams = corpus.store.course_tags_of_kind(*cid, MaterialKind::Assessment);
+    header(&format!(
+        "Divergent view of the least aligned course: {name}"
+    ));
+    let lectures = corpus
+        .store
+        .course_tags_of_kind(*cid, MaterialKind::Lecture);
+    let exams = corpus
+        .store
+        .course_tags_of_kind(*cid, MaterialKind::Assessment);
     let view = AlignmentView::build(g, &lectures, &exams);
     // Induced subtree: every node hit by either side, plus ancestors.
     let mut nodes = std::collections::BTreeSet::new();
@@ -74,7 +82,5 @@ fn main() {
         &format!("Lectures (blue) vs assessments (red): {name}"),
     );
     write_artifact("alignment_worst_course.svg", &svg);
-    println!(
-        "blue = covered only in lectures, red = assessed but not taught, white = aligned"
-    );
+    println!("blue = covered only in lectures, red = assessed but not taught, white = aligned");
 }

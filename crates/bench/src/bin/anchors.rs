@@ -41,10 +41,7 @@ fn main() {
                 "    anchors  : {}\n",
                 r.anchors
                     .iter()
-                    .map(|c| format!(
-                        "{c} ({})",
-                        cs.node(cs.by_code(c).unwrap()).label
-                    ))
+                    .map(|c| format!("{c} ({})", cs.node(cs.by_code(c).unwrap()).label))
                     .collect::<Vec<_>>()
                     .join("; ")
             ));

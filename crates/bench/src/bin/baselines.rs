@@ -71,7 +71,10 @@ fn main() {
     );
     write_artifact(
         "baseline_mds_scatter.svg",
-        &svg_scatter(&mk_points(&emb.points), "Courses in MDS space (color = family)"),
+        &svg_scatter(
+            &mk_points(&emb.points),
+            "Courses in MDS space (color = family)",
+        ),
     );
 
     // --- Quantitative comparison: do the baselines separate the families

@@ -31,10 +31,7 @@ fn main() {
         let c = corpus.store.course(cid);
         let mut row = format!("{:<72}", c.name);
         for l in LABELS {
-            row.push_str(&format!(
-                " {:>4}",
-                if c.has_label(l) { "X" } else { "" }
-            ));
+            row.push_str(&format!(" {:>4}", if c.has_label(l) { "X" } else { "" }));
             if l == CourseLabel::SoftEng {
                 row.push_str("   ");
             }

@@ -59,10 +59,7 @@ fn main() {
         "yes",
         fm.assignments[idx("2214 KRS")] == fm.assignments[idx("2214 Saule")],
     );
-    let ucf_max = fm
-        .mixture_of(idx("UCF"))
-        .into_iter()
-        .fold(0.0f64, f64::max);
+    let ucf_max = fm.mixture_of(idx("UCF")).into_iter().fold(0.0f64, f64::max);
     compare(
         "UCF hits all three types evenly (max mixture share)",
         "low",

@@ -7,10 +7,6 @@ fn main() {
     header("Full analysis report");
     let report = run_full_analysis(seed());
     let md = to_markdown(&report);
-    println!(
-        "{} sections, {} bytes",
-        md.matches("## ").count(),
-        md.len()
-    );
+    println!("{} sections, {} bytes", md.matches("## ").count(), md.len());
     write_artifact("analysis_report.md", &md);
 }

@@ -10,7 +10,10 @@ use anchors_curricula::cs2013;
 use anchors_factor::{nnmf, NnmfConfig};
 use anchors_materials::{CourseMatrix, Weighting};
 
-fn assignments(corpus: &anchors_corpus::GeneratedCorpus, weighting: Weighting) -> (Vec<String>, Vec<usize>) {
+fn assignments(
+    corpus: &anchors_corpus::GeneratedCorpus,
+    weighting: Weighting,
+) -> (Vec<String>, Vec<usize>) {
     let group = corpus.ds_and_algo_group();
     let cm = CourseMatrix::build_weighted(&corpus.store, &group, weighting);
     let model = nnmf(&cm.a, &NnmfConfig::paper_default(3));

@@ -57,8 +57,7 @@ pub fn agreement_tree_figure(
     use anchors_curricula::Level;
     let tree = analysis.tree(threshold);
     let layout = anchors_viz::radial_layout(ontology, &tree.nodes);
-    let agreed: std::collections::BTreeMap<_, _> =
-        tree.agreed_leaves.iter().copied().collect();
+    let agreed: std::collections::BTreeMap<_, _> = tree.agreed_leaves.iter().copied().collect();
     let svg = anchors_viz::render_radial(
         ontology,
         &layout,
@@ -124,7 +123,10 @@ pub fn render_model(
     let text = anchors_viz::text_heatmap(&fm.model.w, &w_opts);
     print!("{text}");
     write_artifact(&format!("{stem}_w.txt"), &text);
-    write_artifact(&format!("{stem}_w.svg"), &anchors_viz::svg_heatmap(&fm.model.w, &w_opts));
+    write_artifact(
+        &format!("{stem}_w.svg"),
+        &anchors_viz::svg_heatmap(&fm.model.w, &w_opts),
+    );
 
     // H aggregated per knowledge area (the paper's H heat maps group the
     // tag axis by KA labels).
@@ -155,7 +157,10 @@ pub fn render_model(
     let text = anchors_viz::text_heatmap(&h_ka, &h_opts);
     print!("{text}");
     write_artifact(&format!("{stem}_h_by_ka.txt"), &text);
-    write_artifact(&format!("{stem}_h_by_ka.svg"), &anchors_viz::svg_heatmap(&h_ka, &h_opts));
+    write_artifact(
+        &format!("{stem}_h_by_ka.svg"),
+        &anchors_viz::svg_heatmap(&h_ka, &h_opts),
+    );
 
     let _ = g;
 }
@@ -179,4 +184,3 @@ mod tests {
         }
     }
 }
-

@@ -138,7 +138,10 @@ mod tests {
         let a = cs1_analysis();
         let kas = a.spanned_kas(cs2013(), 4);
         assert!(kas.contains(&"SDF".to_string()));
-        assert!(kas.len() <= 2, "agreement@4 nearly collapses to SDF: {kas:?}");
+        assert!(
+            kas.len() <= 2,
+            "agreement@4 nearly collapses to SDF: {kas:?}"
+        );
     }
 
     #[test]

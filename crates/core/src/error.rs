@@ -1,0 +1,109 @@
+//! Top-level error taxonomy for the analysis pipeline.
+//!
+//! [`AnchorsError`] unifies the per-crate typed errors so serving-path
+//! callers ([`crate::pipeline::run_full_analysis_resilient`],
+//! [`crate::flavors::try_discover_flavors`]) can report one error type and
+//! degrade per stage instead of crashing the whole analysis.
+
+use anchors_factor::NnmfError;
+use anchors_linalg::LinalgError;
+use anchors_materials::ImportError;
+use std::fmt;
+
+/// Any failure the analysis pipeline can surface.
+#[derive(Debug, Clone)]
+pub enum AnchorsError {
+    /// NNMF rejected its input or diverged beyond recovery.
+    Nnmf(NnmfError),
+    /// A checked linear-algebra kernel failed.
+    Linalg(LinalgError),
+    /// Portable-store import failed.
+    Import(ImportError),
+    /// A stage was asked to analyze an empty course group.
+    EmptyGroup {
+        /// Stage name (e.g. `"pdc_agreement"`).
+        stage: &'static str,
+    },
+    /// A stage's course matrix carries no signal (e.g. every material of
+    /// the group lost its tags).
+    DegenerateMatrix {
+        /// Stage name.
+        stage: &'static str,
+        /// Human-readable description of the degeneracy.
+        detail: String,
+    },
+    /// A stage panicked and the panic was contained at the stage boundary.
+    Panic {
+        /// Stage name.
+        stage: &'static str,
+        /// Panic payload rendered as text (best effort).
+        message: String,
+    },
+}
+
+impl fmt::Display for AnchorsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnchorsError::Nnmf(e) => write!(f, "factorization failed: {e}"),
+            AnchorsError::Linalg(e) => write!(f, "linear algebra failed: {e}"),
+            AnchorsError::Import(e) => write!(f, "import failed: {e}"),
+            AnchorsError::EmptyGroup { stage } => {
+                write!(f, "{stage}: course group is empty")
+            }
+            AnchorsError::DegenerateMatrix { stage, detail } => {
+                write!(f, "{stage}: degenerate course matrix ({detail})")
+            }
+            AnchorsError::Panic { stage, message } => {
+                write!(f, "{stage}: panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnchorsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnchorsError::Nnmf(e) => Some(e),
+            AnchorsError::Linalg(e) => Some(e),
+            AnchorsError::Import(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnmfError> for AnchorsError {
+    fn from(e: NnmfError) -> Self {
+        AnchorsError::Nnmf(e)
+    }
+}
+
+impl From<LinalgError> for AnchorsError {
+    fn from(e: LinalgError) -> Self {
+        AnchorsError::Linalg(e)
+    }
+}
+
+impl From<ImportError> for AnchorsError {
+    fn from(e: ImportError) -> Self {
+        AnchorsError::Import(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays_crate_errors() {
+        let e: AnchorsError = NnmfError::ZeroRank.into();
+        assert!(e.to_string().contains("factorization failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: AnchorsError = LinalgError::Singular { op: "lstsq" }.into();
+        assert!(e.to_string().contains("linear algebra failed"));
+        let e = AnchorsError::EmptyGroup {
+            stage: "cs1_agreement",
+        };
+        assert!(e.to_string().contains("cs1_agreement"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

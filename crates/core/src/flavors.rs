@@ -1,8 +1,11 @@
 //! Flavor discovery: NNMF over a course group plus interpretation of the
 //! resulting types (§4.2, §4.4, §4.6; Figures 2, 5, 7).
 
+use crate::error::AnchorsError;
 use anchors_curricula::{NodeId, Ontology};
-use anchors_factor::{nnmf, rank_scan, select_rank, NnmfConfig, NnmfModel, DUPLICATE_THRESHOLD};
+use anchors_factor::{
+    rank_scan, select_rank, try_nnmf, NnmfConfig, NnmfModel, DUPLICATE_THRESHOLD,
+};
 use anchors_materials::{CourseId, CourseMatrix, MaterialStore};
 use std::collections::BTreeMap;
 
@@ -27,7 +30,11 @@ impl TypeSummary {
 
     /// Top `n` knowledge-unit codes.
     pub fn top_kus(&self, n: usize) -> Vec<&str> {
-        self.ku_weights.iter().take(n).map(|(k, _)| k.as_str()).collect()
+        self.ku_weights
+            .iter()
+            .take(n)
+            .map(|(k, _)| k.as_str())
+            .collect()
     }
 
     /// Weight a knowledge unit contributes to this type (0 if absent).
@@ -38,6 +45,20 @@ impl TypeSummary {
             .map(|(_, w)| *w)
             .unwrap_or(0.0)
     }
+}
+
+/// How the requested factorization was adjusted to fit the data.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlavorDiagnostics {
+    /// The `k` the caller asked for.
+    pub requested_k: usize,
+    /// The `k` actually factorized (≤ requested; clamped to the matrix's
+    /// minimum dimension).
+    pub effective_k: usize,
+    /// Whether `requested_k` had to be clamped.
+    pub clamped: bool,
+    /// Free-form notes (clamp reasons, NNMF recovery actions).
+    pub notes: Vec<String>,
 }
 
 /// A fitted flavor model of a course group.
@@ -51,27 +72,97 @@ pub struct FlavorModel {
     pub types: Vec<TypeSummary>,
     /// Dominant type per course (aligned with `matrix.courses`).
     pub assignments: Vec<usize>,
+    /// What was adjusted to produce the fit (k clamps, recovery actions).
+    pub diagnostics: FlavorDiagnostics,
 }
 
 /// Discover flavors with a fixed `k` (the paper's settings: `k = 4` for the
 /// all-courses model of Figure 2; `k = 3` for Figures 5 and 7).
+///
+/// # Panics
+/// Panics on the conditions [`try_discover_flavors`] reports as errors
+/// (empty course group, degenerate matrix, unrecoverable NNMF divergence).
 pub fn discover_flavors(
     store: &MaterialStore,
     ontology: &Ontology,
     courses: &[CourseId],
     k: usize,
 ) -> FlavorModel {
+    match try_discover_flavors(store, ontology, courses, k) {
+        Ok(fm) => fm,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible flavor discovery with a fixed requested `k`.
+///
+/// A `k` larger than the group supports is clamped to
+/// `min(n_courses, n_tags)` (and recorded in the returned model's
+/// [`FlavorDiagnostics`]) instead of panicking, mirroring how an analyst
+/// would shrink the rank for a small group.
+pub fn try_discover_flavors(
+    store: &MaterialStore,
+    ontology: &Ontology,
+    courses: &[CourseId],
+    k: usize,
+) -> Result<FlavorModel, AnchorsError> {
+    try_discover_flavors_with(store, ontology, courses, &NnmfConfig::paper_default(k))
+}
+
+/// [`try_discover_flavors`] with an explicit NNMF configuration (the
+/// resilient pipeline reseeds retries through this entry point).
+/// `config.k` is the requested rank and is clamped the same way.
+pub fn try_discover_flavors_with(
+    store: &MaterialStore,
+    ontology: &Ontology,
+    courses: &[CourseId],
+    config: &NnmfConfig,
+) -> Result<FlavorModel, AnchorsError> {
+    if courses.is_empty() {
+        return Err(AnchorsError::EmptyGroup { stage: "flavors" });
+    }
     let matrix = CourseMatrix::build(store, courses);
-    let mut model = nnmf(&matrix.a, &NnmfConfig::paper_default(k));
+    if matrix.n_tags() == 0 {
+        return Err(AnchorsError::DegenerateMatrix {
+            stage: "flavors",
+            detail: format!("{} courses span no curriculum tags", courses.len()),
+        });
+    }
+    let requested_k = config.k;
+    let max_k = matrix.a.rows().min(matrix.a.cols()).max(1);
+    let effective_k = requested_k.min(max_k).max(1);
+    let mut diagnostics = FlavorDiagnostics {
+        requested_k,
+        effective_k,
+        clamped: effective_k != requested_k,
+        notes: Vec::new(),
+    };
+    if diagnostics.clamped {
+        diagnostics.notes.push(format!(
+            "k clamped from {requested_k} to {effective_k} (matrix is {:?})",
+            matrix.a.shape()
+        ));
+    }
+    let cfg = NnmfConfig {
+        k: effective_k,
+        ..config.clone()
+    };
+    let mut model = try_nnmf(&matrix.a, &cfg)?;
+    if !model.recovery.is_clean() {
+        diagnostics
+            .notes
+            .push(format!("NNMF recovery engaged: {:?}", model.recovery));
+    }
     model.normalize();
     let types = summarize_types(&model, &matrix, ontology);
     let assignments = model.dominant_types();
-    FlavorModel {
+    Ok(FlavorModel {
         matrix,
         model,
         types,
         assignments,
-    }
+        diagnostics,
+    })
 }
 
 /// Mechanized version of the paper's §4.4 k-selection: scan `k_range`, pick
@@ -86,8 +177,7 @@ pub fn discover_flavors_auto(
     let matrix = CourseMatrix::build(store, courses);
     let scan = rank_scan(&matrix.a, k_range, &NnmfConfig::paper_default(2));
     let k = select_rank(&scan, DUPLICATE_THRESHOLD);
-    let diags: Vec<anchors_factor::RankDiagnostics> =
-        scan.iter().map(|(d, _)| d.clone()).collect();
+    let diags: Vec<anchors_factor::RankDiagnostics> = scan.iter().map(|(d, _)| d.clone()).collect();
     let mut model = scan
         .into_iter()
         .find(|(d, _)| d.k == k)
@@ -96,19 +186,30 @@ pub fn discover_flavors_auto(
     model.normalize();
     let types = summarize_types(&model, &matrix, ontology);
     let assignments = model.dominant_types();
+    let diagnostics = FlavorDiagnostics {
+        requested_k: k,
+        effective_k: k,
+        clamped: false,
+        notes: Vec::new(),
+    };
     (
         FlavorModel {
             matrix,
             model,
             types,
             assignments,
+            diagnostics,
         },
         diags,
     )
 }
 
 /// Aggregate each type's `H` row over knowledge areas and units.
-fn summarize_types(model: &NnmfModel, matrix: &CourseMatrix, ontology: &Ontology) -> Vec<TypeSummary> {
+fn summarize_types(
+    model: &NnmfModel,
+    matrix: &CourseMatrix,
+    ontology: &Ontology,
+) -> Vec<TypeSummary> {
     let mut out = Vec::with_capacity(model.k());
     for t in 0..model.k() {
         let row = model.h.row(t);
@@ -334,6 +435,39 @@ mod tests {
             let s: f64 = m.iter().sum();
             assert!((s - 1.0).abs() < 1e-9 || s == 0.0);
         }
+    }
+
+    #[test]
+    fn oversized_k_is_clamped_with_diagnostics() {
+        // The PDC group has 3 courses; k = 10 used to panic inside nnmf.
+        let c = default_corpus();
+        let g = cs2013();
+        let pdc = c.pdc_group();
+        let fm = try_discover_flavors(&c.store, g, &pdc, 10).expect("clamp, not panic");
+        assert_eq!(fm.k(), 3, "k clamps to the group size");
+        assert!(fm.diagnostics.clamped);
+        assert_eq!(fm.diagnostics.requested_k, 10);
+        assert_eq!(fm.diagnostics.effective_k, 3);
+        assert!(
+            fm.diagnostics.notes.iter().any(|n| n.contains("clamped")),
+            "{:?}",
+            fm.diagnostics.notes
+        );
+        // A fit within bounds stays clean.
+        let fm = try_discover_flavors(&c.store, g, &pdc, 3).unwrap();
+        assert!(!fm.diagnostics.clamped);
+        assert!(fm.diagnostics.notes.is_empty());
+    }
+
+    #[test]
+    fn empty_group_is_a_typed_error() {
+        let c = default_corpus();
+        let g = cs2013();
+        let err = try_discover_flavors(&c.store, g, &[], 3).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::AnchorsError::EmptyGroup { stage: "flavors" }
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! ```
 
 pub mod agreement;
+pub mod error;
 pub mod flavors;
 pub mod material_match;
 pub mod matrixview;
@@ -28,11 +29,18 @@ pub mod recommend;
 pub mod report;
 
 pub use agreement::AgreementAnalysis;
-pub use flavors::{discover_flavors, discover_flavors_auto, FlavorModel, TypeSummary};
+pub use error::AnchorsError;
+pub use flavors::{
+    discover_flavors, discover_flavors_auto, try_discover_flavors, try_discover_flavors_with,
+    FlavorDiagnostics, FlavorModel, TypeSummary,
+};
 pub use material_match::{match_materials, shortlist_materials, MaterialMatch};
 pub use matrixview::{matrix_view, MatrixView};
-pub use pipeline::{run_full_analysis, AnalysisReport};
-pub use report::to_markdown;
+pub use pipeline::{
+    run_full_analysis, run_full_analysis_resilient, run_resilient_on, AnalysisReport,
+    PartialReport, RetryPolicy, StageOutcome, StageStatus,
+};
 pub use recommend::{
     anchor_sites, classify_course, recommend_for_course, rules_for, FlavorKind, Recommendation,
 };
+pub use report::to_markdown;

@@ -10,8 +10,8 @@
 
 use crate::recommend::{classify_course, FlavorKind};
 use anchors_corpus::pdc_library::{pdc_library, PdcMaterial};
-use anchors_materials::{CourseId, MaterialStore};
 use anchors_curricula::{NodeId, Ontology};
+use anchors_materials::{CourseId, MaterialStore};
 use std::collections::BTreeSet;
 
 /// A scored library match.
@@ -117,9 +117,13 @@ pub fn shortlist_materials(
                 .collect::<Vec<_>>()
         })
         .collect();
-    let (mut preferred, rest): (Vec<MaterialMatch>, Vec<MaterialMatch>) = matches
-        .into_iter()
-        .partition(|m| m.material().pdc_topics.iter().any(|t| rule_topics.contains(t)));
+    let (mut preferred, rest): (Vec<MaterialMatch>, Vec<MaterialMatch>) =
+        matches.into_iter().partition(|m| {
+            m.material()
+                .pdc_topics
+                .iter()
+                .any(|t| rule_topics.contains(t))
+        });
     preferred.extend(rest);
     preferred.truncate(k);
     preferred
@@ -204,7 +208,11 @@ mod tests {
             .iter()
             .find(|m| m.material().name.contains("wavefront"))
             .expect("wavefront matched");
-        assert!(wavefront.anchor_score > 0.5, "score {}", wavefront.anchor_score);
+        assert!(
+            wavefront.anchor_score > 0.5,
+            "score {}",
+            wavefront.anchor_score
+        );
     }
 
     #[test]

@@ -1,12 +1,17 @@
 //! End-to-end pipeline: everything the paper's analysis section computes,
-//! in one deterministic call.
+//! in one deterministic call — plus a staged, fault-tolerant variant
+//! ([`run_full_analysis_resilient`]) that degrades per stage instead of
+//! crashing the whole analysis when one course group is damaged.
 
 use crate::agreement::AgreementAnalysis;
-use crate::flavors::{discover_flavors, FlavorModel};
+use crate::error::AnchorsError;
+use crate::flavors::{discover_flavors, try_discover_flavors_with, FlavorModel};
 use crate::recommend::{recommend_for_course, Recommendation};
 use anchors_corpus::{generate, GeneratedCorpus};
 use anchors_curricula::{cs2013, pdc12, Ontology};
-use anchors_materials::CourseId;
+use anchors_factor::{NnmfConfig, NnmfError};
+use anchors_materials::{CourseId, CourseMatrix};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The complete analysis of the corpus, mirroring §4 and §5 of the paper.
 pub struct AnalysisReport {
@@ -76,6 +81,380 @@ pub fn run_full_analysis(seed: u64) -> AnalysisReport {
     }
 }
 
+/// Outcome of one pipeline stage in the resilient runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageStatus {
+    /// Produced its result on the first attempt with no adjustments.
+    Ok,
+    /// Produced a result, but only after retries, clamping, or NNMF
+    /// recovery — read the stage diagnostics.
+    Degraded,
+    /// Produced no result; the corresponding report field is `None`.
+    Failed,
+}
+
+/// Per-stage record in a [`PartialReport`].
+#[derive(Debug, Clone)]
+pub struct StageOutcome {
+    /// Stage name (e.g. `"pdc_agreement"`).
+    pub name: &'static str,
+    /// How the stage ended.
+    pub status: StageStatus,
+    /// Attempts made (1 for a clean first-try success).
+    pub attempts: usize,
+    /// Errors, panic messages, and recovery notes accumulated on the way.
+    pub diagnostics: Vec<String>,
+}
+
+/// Retry policy of the resilient runner.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum attempts per stage (≥ 1). Only stochastic failures
+    /// (NNMF divergence, contained panics) are retried; deterministic
+    /// input defects fail fast.
+    pub max_attempts: usize,
+    /// Salt mixed into the NNMF seed on retry `n` (`seed ^ salt·n`), so
+    /// retries explore different initializations.
+    pub reseed_salt: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            reseed_salt: 0xA5A5_5A5A_C0FF_EE00,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// NNMF seed for a given attempt (attempt 0 keeps the base seed).
+    pub fn seed_for(&self, base: u64, attempt: usize) -> u64 {
+        if attempt == 0 {
+            base
+        } else {
+            base ^ self.reseed_salt.wrapping_mul(attempt as u64)
+        }
+    }
+}
+
+/// Result of the resilient pipeline: every stage's output is optional, and
+/// [`stages`](PartialReport::stages) records what happened to each. A
+/// damaged PDC group still yields the CS1/DS results.
+#[derive(Debug)]
+pub struct PartialReport {
+    /// The corpus the analysis ran on.
+    pub corpus: GeneratedCorpus,
+    /// Figure 2 model, if its stage succeeded.
+    pub all_courses_model: Option<FlavorModel>,
+    /// CS1 agreement, if its stage succeeded.
+    pub cs1_agreement: Option<AgreementAnalysis>,
+    /// CS1 flavors, if its stage succeeded.
+    pub cs1_flavors: Option<FlavorModel>,
+    /// DS agreement, if its stage succeeded.
+    pub ds_agreement: Option<AgreementAnalysis>,
+    /// DS + Algorithms flavors, if its stage succeeded.
+    pub ds_flavors: Option<FlavorModel>,
+    /// PDC agreement, if its stage succeeded.
+    pub pdc_agreement: Option<AgreementAnalysis>,
+    /// Per-course recommendations, if that stage succeeded.
+    pub recommendations: Option<Vec<(CourseId, Vec<Recommendation>)>>,
+    /// One record per stage, in execution order.
+    pub stages: Vec<StageOutcome>,
+}
+
+impl PartialReport {
+    /// The stage record with the given name.
+    pub fn stage(&self, name: &str) -> Option<&StageOutcome> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Status of the named stage ([`StageStatus::Failed`] if unknown).
+    pub fn status_of(&self, name: &str) -> StageStatus {
+        self.stage(name)
+            .map(|s| s.status)
+            .unwrap_or(StageStatus::Failed)
+    }
+
+    /// Number of stages with the given status.
+    pub fn count(&self, status: StageStatus) -> usize {
+        self.stages.iter().filter(|s| s.status == status).count()
+    }
+
+    /// True iff every stage finished [`StageStatus::Ok`].
+    pub fn is_complete(&self) -> bool {
+        self.count(StageStatus::Ok) == self.stages.len()
+    }
+
+    /// One line per stage, for logs and operator triage.
+    pub fn summary(&self) -> String {
+        self.stages
+            .iter()
+            .map(|s| {
+                let note = s.diagnostics.last().map(String::as_str).unwrap_or("");
+                format!(
+                    "{:<22} {:?} (attempts: {}) {}",
+                    s.name, s.status, s.attempts, note
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Render a panic payload as text (best effort).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Whether a failure can plausibly change on retry. Deterministic input
+/// defects (empty groups, degenerate matrices, malformed values) cannot.
+fn is_retryable(e: &AnchorsError) -> bool {
+    matches!(
+        e,
+        AnchorsError::Nnmf(NnmfError::Diverged { .. }) | AnchorsError::Panic { .. }
+    )
+}
+
+/// Run one stage under the retry policy with a panic backstop. Pushes the
+/// stage record onto `stages` and returns the value on success.
+fn run_stage<T>(
+    name: &'static str,
+    policy: &RetryPolicy,
+    stages: &mut Vec<StageOutcome>,
+    mut attempt_fn: impl FnMut(usize) -> Result<T, AnchorsError>,
+) -> Option<T> {
+    let max = policy.max_attempts.max(1);
+    let mut diagnostics = Vec::new();
+    for attempt in 0..max {
+        match catch_unwind(AssertUnwindSafe(|| attempt_fn(attempt))) {
+            Ok(Ok(value)) => {
+                let status = if attempt == 0 && diagnostics.is_empty() {
+                    StageStatus::Ok
+                } else {
+                    StageStatus::Degraded
+                };
+                stages.push(StageOutcome {
+                    name,
+                    status,
+                    attempts: attempt + 1,
+                    diagnostics,
+                });
+                return Some(value);
+            }
+            Ok(Err(e)) => {
+                let retryable = is_retryable(&e);
+                diagnostics.push(format!("attempt {}: {e}", attempt + 1));
+                if !retryable {
+                    stages.push(StageOutcome {
+                        name,
+                        status: StageStatus::Failed,
+                        attempts: attempt + 1,
+                        diagnostics,
+                    });
+                    return None;
+                }
+            }
+            Err(payload) => {
+                diagnostics.push(format!(
+                    "attempt {}: panicked: {}",
+                    attempt + 1,
+                    panic_message(payload.as_ref())
+                ));
+            }
+        }
+    }
+    stages.push(StageOutcome {
+        name,
+        status: StageStatus::Failed,
+        attempts: max,
+        diagnostics,
+    });
+    None
+}
+
+/// Downgrade the most recent record for `name` to `Degraded`, appending
+/// `notes` — used when a stage succeeded but its artifact carries recovery
+/// diagnostics (clamped k, NNMF recovery).
+fn degrade_stage(stages: &mut [StageOutcome], name: &str, notes: &[String]) {
+    if let Some(s) = stages.iter_mut().rev().find(|s| s.name == name) {
+        if s.status == StageStatus::Ok {
+            s.status = StageStatus::Degraded;
+        }
+        s.diagnostics.extend(notes.iter().cloned());
+    }
+}
+
+/// A flavors stage: fallible discovery with reseeded retries; the stage is
+/// degraded (not failed) when the artifact needed clamping or recovery.
+fn flavors_stage(
+    name: &'static str,
+    corpus: &GeneratedCorpus,
+    ontology: &'static Ontology,
+    courses: &[CourseId],
+    k: usize,
+    policy: &RetryPolicy,
+    stages: &mut Vec<StageOutcome>,
+) -> Option<FlavorModel> {
+    let base = NnmfConfig::paper_default(k);
+    let result = run_stage(name, policy, stages, |attempt| {
+        let cfg = NnmfConfig {
+            seed: policy.seed_for(base.seed, attempt),
+            ..base.clone()
+        };
+        try_discover_flavors_with(&corpus.store, ontology, courses, &cfg)
+    });
+    if let Some(fm) = &result {
+        if fm.diagnostics.clamped || !fm.diagnostics.notes.is_empty() {
+            degrade_stage(stages, name, &fm.diagnostics.notes);
+        }
+    }
+    result
+}
+
+/// An agreement stage: deterministic, so a single validated attempt.
+fn agreement_stage(
+    name: &'static str,
+    display: &str,
+    corpus: &GeneratedCorpus,
+    ontology: &'static Ontology,
+    courses: &[CourseId],
+    policy: &RetryPolicy,
+    stages: &mut Vec<StageOutcome>,
+) -> Option<AgreementAnalysis> {
+    run_stage(name, policy, stages, |_| {
+        if courses.is_empty() {
+            return Err(AnchorsError::EmptyGroup { stage: name });
+        }
+        let matrix = CourseMatrix::build(&corpus.store, courses);
+        if matrix.n_tags() == 0 {
+            return Err(AnchorsError::DegenerateMatrix {
+                stage: name,
+                detail: format!("{} courses carry no curriculum tags", courses.len()),
+            });
+        }
+        Ok(AgreementAnalysis::run(
+            &corpus.store,
+            ontology,
+            display,
+            courses,
+        ))
+    })
+}
+
+/// Run the full analysis with per-stage fault isolation on an existing
+/// corpus (possibly damaged — e.g. by the `anchors-corpus` fault
+/// injectors). Never panics; every stage that can complete does.
+pub fn run_resilient_on(corpus: GeneratedCorpus, policy: &RetryPolicy) -> PartialReport {
+    let cs = cs2013();
+    let pdc = pdc12();
+    let mut stages = Vec::new();
+
+    let all: Vec<CourseId> = corpus.all().to_vec();
+    let cs1 = corpus.cs1_group();
+    let ds = corpus.ds_group();
+    let ds_algo = corpus.ds_and_algo_group();
+    let pdc_group = corpus.pdc_group();
+
+    let all_courses_model = flavors_stage(
+        "all_courses_flavors",
+        &corpus,
+        cs,
+        &all,
+        4,
+        policy,
+        &mut stages,
+    );
+    let cs1_agreement = agreement_stage(
+        "cs1_agreement",
+        "CS1",
+        &corpus,
+        cs,
+        &cs1,
+        policy,
+        &mut stages,
+    );
+    let cs1_flavors = flavors_stage("cs1_flavors", &corpus, cs, &cs1, 3, policy, &mut stages);
+    let ds_agreement = agreement_stage(
+        "ds_agreement",
+        "Data Structures",
+        &corpus,
+        cs,
+        &ds,
+        policy,
+        &mut stages,
+    );
+    let ds_flavors = flavors_stage("ds_flavors", &corpus, cs, &ds_algo, 3, policy, &mut stages);
+    let pdc_agreement = agreement_stage(
+        "pdc_agreement",
+        "PDC",
+        &corpus,
+        cs,
+        &pdc_group,
+        policy,
+        &mut stages,
+    );
+
+    // Recommendations: isolate per course so one bad course degrades (not
+    // fails) the stage.
+    let mut recs: Vec<(CourseId, Vec<Recommendation>)> = Vec::new();
+    let mut rec_notes = Vec::new();
+    for &c in &all {
+        match catch_unwind(AssertUnwindSafe(|| {
+            recommend_for_course(&corpus.store, cs, pdc, c)
+        })) {
+            Ok(r) => recs.push((c, r)),
+            Err(payload) => rec_notes.push(format!(
+                "course {c:?}: panicked: {}",
+                panic_message(payload.as_ref())
+            )),
+        }
+    }
+    let rec_status = if rec_notes.is_empty() {
+        StageStatus::Ok
+    } else if recs.is_empty() {
+        StageStatus::Failed
+    } else {
+        StageStatus::Degraded
+    };
+    stages.push(StageOutcome {
+        name: "recommendations",
+        status: rec_status,
+        attempts: 1,
+        diagnostics: rec_notes,
+    });
+    let recommendations = if rec_status == StageStatus::Failed {
+        None
+    } else {
+        Some(recs)
+    };
+
+    PartialReport {
+        corpus,
+        all_courses_model,
+        cs1_agreement,
+        cs1_flavors,
+        ds_agreement,
+        ds_flavors,
+        pdc_agreement,
+        recommendations,
+        stages,
+    }
+}
+
+/// Resilient variant of [`run_full_analysis`]: generate the corpus with
+/// `seed` and run every stage with fault isolation and the default
+/// [`RetryPolicy`].
+pub fn run_full_analysis_resilient(seed: u64) -> PartialReport {
+    run_resilient_on(generate(seed), &RetryPolicy::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,10 +483,50 @@ mod tests {
     }
 
     #[test]
+    fn resilient_pipeline_is_all_ok_on_clean_corpus() {
+        let r = run_full_analysis_resilient(DEFAULT_SEED);
+        assert!(
+            r.is_complete(),
+            "clean corpus must be all-Ok:\n{}",
+            r.summary()
+        );
+        assert_eq!(r.stages.len(), 7);
+        assert!(r.all_courses_model.is_some());
+        assert!(r.cs1_agreement.is_some());
+        assert!(r.cs1_flavors.is_some());
+        assert!(r.ds_agreement.is_some());
+        assert!(r.ds_flavors.is_some());
+        assert!(r.pdc_agreement.is_some());
+        assert_eq!(r.recommendations.as_ref().unwrap().len(), 20);
+        // And it matches the panicking pipeline's results.
+        let full = run_full_analysis(DEFAULT_SEED);
+        assert_eq!(
+            r.cs1_flavors.unwrap().assignments,
+            full.cs1_flavors.assignments
+        );
+        assert_eq!(
+            r.pdc_agreement.unwrap().tags_at(2),
+            full.pdc_agreement.tags_at(2)
+        );
+    }
+
+    #[test]
+    fn retry_policy_reseeds_deterministically() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.seed_for(42, 0), 42);
+        assert_ne!(p.seed_for(42, 1), 42);
+        assert_eq!(p.seed_for(42, 1), p.seed_for(42, 1));
+        assert_ne!(p.seed_for(42, 1), p.seed_for(42, 2));
+    }
+
+    #[test]
     fn pipeline_deterministic() {
         let a = run_full_analysis(99);
         let b = run_full_analysis(99);
         assert_eq!(a.cs1_flavors.assignments, b.cs1_flavors.assignments);
-        assert_eq!(a.all_courses_model.model.loss, b.all_courses_model.model.loss);
+        assert_eq!(
+            a.all_courses_model.model.loss,
+            b.all_courses_model.model.loss
+        );
     }
 }

@@ -97,7 +97,11 @@ const RULES: &[RuleSpec] = &[
                     directly on existing loop-based assignments.",
         activity: "Take an existing O(n^2) assignment (e.g. nearest pairs) and convert its outer \
                    loop to a parallel-for; measure and plot the speedup.",
-        pdc_labels: &["data-parallel constructs", "speedup measurement", "embarrassingly parallel"],
+        pdc_labels: &[
+            "data-parallel constructs",
+            "speedup measurement",
+            "embarrassingly parallel",
+        ],
         anchor_kus: &["SDF.AD", "AL.BA"],
     },
     RuleSpec {
@@ -109,7 +113,10 @@ const RULES: &[RuleSpec] = &[
                     or CORBA-style distributed objects.",
         activity: "Refactor a two-object interaction (e.g. bank accounts) so each method returns \
                    a future; discuss when results must be awaited for correctness.",
-        pdc_labels: &["futures and promises", "client-server and distributed-object"],
+        pdc_labels: &[
+            "futures and promises",
+            "client-server and distributed-object",
+        ],
         anchor_kus: &["PL.OOP", "PL.EDRP"],
     },
     RuleSpec {
@@ -131,7 +138,10 @@ const RULES: &[RuleSpec] = &[
                     between Java's ArrayList and Vector.",
         activity: "Benchmark ArrayList vs Vector under single- and multi-threaded use; explain \
                    the synchronized methods in the Vector source.",
-        pdc_labels: &["thread safety of library types", "mutual exclusion primitives"],
+        pdc_labels: &[
+            "thread safety of library types",
+            "mutual exclusion primitives",
+        ],
         anchor_kus: &["PL.OOP", "SDF.FDS"],
     },
     RuleSpec {
@@ -179,7 +189,11 @@ const RULES: &[RuleSpec] = &[
                     dataset-driven assignment.",
         activity: "Parallelize the course's dataset-aggregation assignment with a map-reduce \
                    split; chart runtime vs thread count on the real data.",
-        pdc_labels: &["reduction (map-reduce", "speedup, efficiency", "load balancing"],
+        pdc_labels: &[
+            "reduction (map-reduce",
+            "speedup, efficiency",
+            "load balancing",
+        ],
         anchor_kus: &["CN.DIK", "IM.IMC"],
     },
 ];
@@ -219,7 +233,11 @@ pub fn rules_for(flavor: FlavorKind, cs: &Ontology, pdc: &Ontology) -> Vec<Recom
                 r.title
             );
             for ku in r.anchor_kus {
-                assert!(cs.by_code(ku).is_some(), "rule {:?}: unknown KU {ku}", r.title);
+                assert!(
+                    cs.by_code(ku).is_some(),
+                    "rule {:?}: unknown KU {ku}",
+                    r.title
+                );
             }
             Recommendation {
                 flavor,
@@ -256,8 +274,9 @@ pub fn classify_course(
     let is_ds = c.has_label(CourseLabel::DataStructures) || c.has_label(CourseLabel::Algorithms);
     let mut flavors = Vec::new();
 
-    let algo_signal =
-        ku_hits(ontology, &tags, "AL.BA") + ku_hits(ontology, &tags, "AL.FDSA") + ku_hits(ontology, &tags, "SDF.FDS");
+    let algo_signal = ku_hits(ontology, &tags, "AL.BA")
+        + ku_hits(ontology, &tags, "AL.FDSA")
+        + ku_hits(ontology, &tags, "SDF.FDS");
     let oop_signal = ku_hits(ontology, &tags, "PL.OOP");
     let repr_signal = ku_hits(ontology, &tags, "AR.MLRD");
     let comb_signal = ku_hits(ontology, &tags, "AL.AS") + ku_hits(ontology, &tags, "DS.BC");

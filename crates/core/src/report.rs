@@ -11,7 +11,10 @@ use std::fmt::Write as _;
 pub fn to_markdown(r: &AnalysisReport) -> String {
     let g = r.guideline();
     let mut out = String::new();
-    let _ = writeln!(out, "# Data-driven discovery of anchor points — analysis report\n");
+    let _ = writeln!(
+        out,
+        "# Data-driven discovery of anchor points — analysis report\n"
+    );
     let _ = writeln!(
         out,
         "Corpus: {} courses, {} materials, generated deterministically.\n",
@@ -87,11 +90,7 @@ fn flavor_section(out: &mut String, r: &AnalysisReport, fm: &crate::flavors::Fla
     let _ = writeln!(out, "| course | type | mixture |");
     let _ = writeln!(out, "|---|---|---|");
     for (i, &cid) in fm.matrix.courses.iter().enumerate() {
-        let mix: Vec<String> = fm
-            .mixture_of(i)
-            .iter()
-            .map(|v| format!("{v:.2}"))
-            .collect();
+        let mix: Vec<String> = fm.mixture_of(i).iter().map(|v| format!("{v:.2}")).collect();
         let _ = writeln!(
             out,
             "| {} | {} | {} |",

@@ -1,0 +1,321 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! Each injector takes a clean [`GeneratedCorpus`] (or matrix / JSON
+//! document) and returns a damaged copy, seeded so every run of the test
+//! suite exercises exactly the same damage. The injectors model the
+//! failure modes a real CS-Materials deployment sees:
+//!
+//! * instructors deleting materials mid-semester ([`drop_materials`]),
+//! * classification sessions abandoned half-way ([`strip_tags`]),
+//! * a whole course group missing its materials ([`drop_group_materials`]),
+//! * degenerate course matrices ([`zero_columns`], [`duplicate_columns`]),
+//! * corrupted portable-store files ([`corrupt_json`]).
+//!
+//! `MaterialStore` has no removal API (ids are append-only), so the store
+//! injectors rebuild the corpus course-by-course in the original order;
+//! because [`crate::generate`] assigns `CourseId`s sequentially, ids in the
+//! damaged corpus align with the clean one.
+
+use crate::generate::GeneratedCorpus;
+use anchors_linalg::Matrix;
+use anchors_materials::{Course, CourseLabel, Material, MaterialStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rebuild a corpus, letting `transform` decide per material whether it
+/// survives (`Some(tags)`, possibly with a reduced tag set) or is dropped
+/// (`None`). Courses are always kept, so group structure survives.
+fn rebuild(
+    corpus: &GeneratedCorpus,
+    mut transform: impl FnMut(&Course, &Material) -> Option<Vec<anchors_curricula::NodeId>>,
+) -> GeneratedCorpus {
+    let mut store = MaterialStore::new();
+    let mut courses = Vec::with_capacity(corpus.courses.len());
+    for &old_cid in &corpus.courses {
+        let c = corpus.store.course(old_cid);
+        let new_cid = store.add_course(
+            c.name.clone(),
+            c.institution.clone(),
+            c.instructor.clone(),
+            c.labels.clone(),
+            c.language.clone(),
+        );
+        for &mid in &c.materials {
+            let m = corpus.store.material(mid);
+            if let Some(tags) = transform(c, m) {
+                store.add_material(
+                    new_cid,
+                    m.name.clone(),
+                    m.kind,
+                    m.author.clone(),
+                    m.language.clone(),
+                    m.datasets.clone(),
+                    tags,
+                );
+            }
+        }
+        courses.push(new_cid);
+    }
+    GeneratedCorpus { store, courses }
+}
+
+/// Drop each material independently with probability `fraction`.
+pub fn drop_materials(corpus: &GeneratedCorpus, fraction: f64, seed: u64) -> GeneratedCorpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rebuild(corpus, |_, m| {
+        if rng.gen::<f64>() < fraction {
+            None
+        } else {
+            Some(m.tags.clone())
+        }
+    })
+}
+
+/// Remove each tag of each material independently with probability
+/// `fraction`. Materials survive — possibly with no tags at all, which is
+/// what an abandoned classification session leaves behind.
+pub fn strip_tags(corpus: &GeneratedCorpus, fraction: f64, seed: u64) -> GeneratedCorpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rebuild(corpus, |_, m| {
+        Some(
+            m.tags
+                .iter()
+                .copied()
+                .filter(|_| rng.gen::<f64>() >= fraction)
+                .collect(),
+        )
+    })
+}
+
+/// Remove every material from every course carrying `label`, leaving the
+/// courses themselves (and all other groups) intact. This is the worst
+/// case for one analysis group: its course matrix spans zero tags.
+pub fn drop_group_materials(corpus: &GeneratedCorpus, label: CourseLabel) -> GeneratedCorpus {
+    rebuild(corpus, |c, m| {
+        if c.labels.contains(&label) {
+            None
+        } else {
+            Some(m.tags.clone())
+        }
+    })
+}
+
+/// Zero out `n` distinct columns of `a`, chosen by seed.
+pub fn zero_columns(a: &Matrix, n: usize, seed: u64) -> Matrix {
+    let mut out = a.clone();
+    for j in pick_columns(a.cols(), n, seed) {
+        out.set_col(j, &vec![0.0; a.rows()]);
+    }
+    out
+}
+
+/// Overwrite `n` distinct columns of `a` with copies of the column to
+/// their left (cyclically), producing exact duplicates.
+pub fn duplicate_columns(a: &Matrix, n: usize, seed: u64) -> Matrix {
+    let mut out = a.clone();
+    for j in pick_columns(a.cols(), n, seed) {
+        let src = if j == 0 { a.cols() - 1 } else { j - 1 };
+        let col = a.col(src);
+        out.set_col(j, &col);
+    }
+    out
+}
+
+/// Choose `n` distinct column indices via a seeded partial Fisher-Yates.
+fn pick_columns(cols: usize, n: usize, seed: u64) -> Vec<usize> {
+    let n = n.min(cols);
+    let mut idx: Vec<usize> = (0..cols).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..n {
+        let j = rng.gen_range(i..cols);
+        idx.swap(i, j);
+    }
+    idx.truncate(n);
+    idx
+}
+
+/// Ways to damage a portable-store JSON document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonFault {
+    /// Cut the document off mid-stream (interrupted download / full disk).
+    Truncate,
+    /// Splice raw control bytes into the document (bit rot, bad encoding).
+    GarbageBytes,
+    /// Rewrite one tag code into a code no guideline defines. The document
+    /// stays well-formed JSON; the damage only surfaces at import time.
+    MangleTag,
+}
+
+/// Marker spliced over a tag code by [`JsonFault::MangleTag`].
+pub const MANGLED_CODE: &str = "ZZZ.NOT.A.CODE";
+
+/// Apply one [`JsonFault`] to a JSON document. Deterministic in `seed`
+/// (which picks the damage site for the byte-level faults).
+pub fn corrupt_json(json: &str, fault: JsonFault, seed: u64) -> String {
+    match fault {
+        JsonFault::Truncate => {
+            if json.len() < 2 {
+                return String::new();
+            }
+            // Cut somewhere in the middle third so both the opening brace
+            // and real content survive, but the document cannot close.
+            let span = (json.len() / 3).max(1);
+            let cut = floor_char_boundary(json, json.len() / 3 + (seed as usize) % span);
+            json[..cut].to_string()
+        }
+        JsonFault::GarbageBytes => {
+            if json.is_empty() {
+                return "\u{0}\u{1}\u{2}".to_string();
+            }
+            // Raw control characters are illegal in JSON both inside and
+            // outside string literals, so the splice point cannot matter.
+            let at = floor_char_boundary(json, (seed as usize) % json.len());
+            format!("{}\u{0}\u{1}\u{2}{}", &json[..at], &json[at..])
+        }
+        JsonFault::MangleTag => match find_tag_code(json) {
+            Some((start, end)) => {
+                format!("{}{}{}", &json[..start], MANGLED_CODE, &json[end..])
+            }
+            None => json.to_string(),
+        },
+    }
+}
+
+/// Largest char boundary `<= at` (stable-toolchain stand-in for
+/// `str::floor_char_boundary`).
+fn floor_char_boundary(s: &str, at: usize) -> usize {
+    let mut at = at.min(s.len());
+    while at > 0 && !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+/// Byte range of the first quoted string that looks like a guideline code
+/// (`"SDF.FPC.t1"`): at least two dots, no spaces. Range excludes quotes.
+fn find_tag_code(json: &str) -> Option<(usize, usize)> {
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if j >= bytes.len() {
+                return None;
+            }
+            let content = &json[start..j];
+            if content.bytes().filter(|&b| b == b'.').count() >= 2 && !content.contains(' ') {
+                return Some((start, j));
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_subset;
+    use crate::roster::ROSTER;
+    use anchors_materials::CourseMatrix;
+
+    fn small_corpus() -> GeneratedCorpus {
+        generate_subset(7, &ROSTER[..6])
+    }
+
+    #[test]
+    fn drop_materials_is_deterministic_and_lossy() {
+        let c = small_corpus();
+        let a = drop_materials(&c, 0.5, 11);
+        let b = drop_materials(&c, 0.5, 11);
+        assert_eq!(a.store.material_count(), b.store.material_count());
+        assert!(a.store.material_count() < c.store.material_count());
+        assert_eq!(a.courses.len(), c.courses.len(), "courses survive");
+        a.store
+            .validate(anchors_curricula::cs2013())
+            .expect("damaged store is still internally consistent");
+    }
+
+    #[test]
+    fn strip_tags_keeps_materials_but_loses_tags() {
+        let c = small_corpus();
+        let d = strip_tags(&c, 0.7, 3);
+        assert_eq!(d.store.material_count(), c.store.material_count());
+        let tags_before: usize = c.store.materials().iter().map(|m| m.tags.len()).sum();
+        let tags_after: usize = d.store.materials().iter().map(|m| m.tags.len()).sum();
+        assert!(tags_after < tags_before);
+    }
+
+    #[test]
+    fn drop_group_materials_empties_exactly_that_group() {
+        let c = small_corpus();
+        let d = drop_group_materials(&c, CourseLabel::Cs1);
+        for (old, &new) in c.courses.iter().zip(&d.courses) {
+            let oc = c.store.course(*old);
+            let nc = d.store.course(new);
+            if oc.labels.contains(&CourseLabel::Cs1) {
+                assert!(nc.materials.is_empty(), "{} keeps materials", nc.name);
+            } else {
+                assert_eq!(nc.materials.len(), oc.materials.len());
+            }
+        }
+        let cm = CourseMatrix::build(&d.store, &d.with_label(CourseLabel::Cs1));
+        assert_eq!(cm.n_tags(), 0, "the damaged group spans no tags");
+    }
+
+    #[test]
+    fn column_injectors_preserve_shape_and_damage_columns() {
+        let a = Matrix::from_fn(4, 6, |i, j| (i * 6 + j) as f64 + 1.0);
+        let z = zero_columns(&a, 2, 5);
+        assert_eq!(z.shape(), a.shape());
+        let zeroed = (0..6)
+            .filter(|&j| z.col(j).iter().all(|&v| v == 0.0))
+            .count();
+        assert_eq!(zeroed, 2);
+
+        let d = duplicate_columns(&a, 2, 5);
+        assert_eq!(d.shape(), a.shape());
+        let dupes = (0..6)
+            .filter(|&j| (0..6).any(|k| k != j && d.col(j) == d.col(k)))
+            .count();
+        assert!(dupes >= 2, "expected duplicated columns, got {dupes}");
+    }
+
+    #[test]
+    fn corrupt_json_variants_damage_the_document() {
+        let doc = r#"{"guideline":"g","courses":[{"name":"c","tags":["SDF.FPC.t1"]}]}"#;
+        let t = corrupt_json(doc, JsonFault::Truncate, 9);
+        assert!(t.len() < doc.len());
+        assert!(!t.is_empty());
+
+        let g = corrupt_json(doc, JsonFault::GarbageBytes, 9);
+        assert!(g.contains('\u{0}'));
+        assert_eq!(g.len(), doc.len() + 3);
+
+        let m = corrupt_json(doc, JsonFault::MangleTag, 9);
+        assert!(m.contains(MANGLED_CODE));
+        assert!(!m.contains("SDF.FPC.t1"));
+        // MangleTag keeps the document structurally intact.
+        assert_eq!(m.len(), doc.len() - "SDF.FPC.t1".len() + MANGLED_CODE.len());
+    }
+
+    #[test]
+    fn pick_columns_is_distinct_and_in_range() {
+        let picked = pick_columns(10, 4, 123);
+        assert_eq!(picked.len(), 4);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "indices must be distinct");
+        assert!(picked.iter().all(|&j| j < 10));
+    }
+}

@@ -103,7 +103,8 @@ pub fn generate_subset(seed: u64, specs: &[CourseSpec]) -> GeneratedCorpus {
             Some(spec.language.to_string()),
         );
         // Independent, stable RNG stream per course.
-        let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ci as u64 + 1)));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ci as u64 + 1)));
         let tags = sample_course_tags(guideline, spec, &mut rng);
         distribute_materials(&mut store, guideline, cid, spec, &tags, &mut rng);
         courses.push(cid);
@@ -235,11 +236,7 @@ fn distribute_materials(
         let mut pick: Vec<NodeId> = shuffled.choose_multiple(rng, k).copied().collect();
         pick.sort_unstable();
         pick.dedup();
-        let datasets = if spec
-            .mixture
-            .iter()
-            .any(|(p, _)| p.name == "ds-applied")
-        {
+        let datasets = if spec.mixture.iter().any(|(p, _)| p.name == "ds-applied") {
             vec![ASSIGNMENT_DATASETS[a % ASSIGNMENT_DATASETS.len()].to_string()]
         } else {
             vec![]
@@ -261,7 +258,9 @@ fn distribute_materials(
 
     // Assessments: midterm + final, each re-sampling a broad slice.
     for (name, frac) in [("Midterm", 0.35), ("Final exam", 0.55)] {
-        let k = ((tags.len() as f64 * frac) as usize).max(1).min(tags.len().max(1));
+        let k = ((tags.len() as f64 * frac) as usize)
+            .max(1)
+            .min(tags.len().max(1));
         let mut pick: Vec<NodeId> = shuffled.choose_multiple(rng, k).copied().collect();
         pick.sort_unstable();
         pick.dedup();
@@ -463,7 +462,10 @@ mod tests {
         let agreed = cm.tags_with_agreement(2);
         assert!(!agreed.is_empty());
         let pd = g.by_code("PD").unwrap();
-        let inside = agreed.iter().filter(|&&(t, _)| g.is_ancestor(pd, t)).count();
+        let inside = agreed
+            .iter()
+            .filter(|&&(t, _)| g.is_ancestor(pd, t))
+            .count();
         assert!(
             inside * 2 > agreed.len(),
             "most PDC agreement is in the PD knowledge area: {inside}/{}",
@@ -539,9 +541,8 @@ pub fn generate_scaled(n: usize, seed: u64) -> GeneratedCorpus {
             spec.labels.to_vec(),
             Some(spec.language.to_string()),
         );
-        let mut rng = StdRng::seed_from_u64(
-            seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ci as u64 + 1)),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(ci as u64 + 1)));
         let tags = sample_course_tags(guideline, spec, &mut rng);
         distribute_materials(&mut store, guideline, cid, spec, &tags, &mut rng);
         courses.push(cid);

@@ -12,12 +12,19 @@
 //! paper reports (Figure 3's agreement curves, Figure 4/6/8's agreement
 //! spans, the §4.5 CS1-vs-DS comparison).
 
+pub mod faults;
 pub mod generate;
 pub mod pdc_library;
 pub mod profiles;
 pub mod roster;
 
-pub use generate::{default_corpus, generate, generate_scaled, generate_subset, GeneratedCorpus, DEFAULT_SEED};
+pub use faults::{
+    corrupt_json, drop_group_materials, drop_materials, duplicate_columns, strip_tags,
+    zero_columns, JsonFault, MANGLED_CODE,
+};
+pub use generate::{
+    default_corpus, generate, generate_scaled, generate_subset, GeneratedCorpus, DEFAULT_SEED,
+};
 pub use pdc_library::{pdc_library, PdcMaterial, Source};
 pub use profiles::{KuCoverage, TypeProfile};
 pub use roster::{CourseSpec, ROSTER};

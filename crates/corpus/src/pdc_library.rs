@@ -109,7 +109,10 @@ const ENTRIES: &[Entry] = &[
         kind: MaterialKind::Assignment,
         source: Source::PeachyParallel,
         languages: &["Java"],
-        pdc: &["client-server and distributed-object", "message-passing programming"],
+        pdc: &[
+            "client-server and distributed-object",
+            "message-passing programming",
+        ],
         kus: &["PL.OOP", "NC.NA"],
     },
     Entry {
@@ -117,7 +120,10 @@ const ENTRIES: &[Entry] = &[
         kind: MaterialKind::Lab,
         source: Source::PeachyParallel,
         languages: &["Java"],
-        pdc: &["thread safety of library types", "synchronization: critical sections"],
+        pdc: &[
+            "thread safety of library types",
+            "synchronization: critical sections",
+        ],
         kus: &["PL.OOP", "SDF.FDS"],
     },
     Entry {
@@ -149,7 +155,10 @@ const ENTRIES: &[Entry] = &[
         kind: MaterialKind::Assignment,
         source: Source::PeachyParallel,
         languages: &["C", "Python"],
-        pdc: &["dynamic programming: bottom-up wavefront", "notions of dependency"],
+        pdc: &[
+            "dynamic programming: bottom-up wavefront",
+            "notions of dependency",
+        ],
         kus: &["AL.AS", "AL.BA"],
     },
     Entry {
@@ -157,7 +166,11 @@ const ENTRIES: &[Entry] = &[
         kind: MaterialKind::Assignment,
         source: Source::PeachyParallel,
         languages: &["Java", "C++", "Python"],
-        pdc: &["list scheduling", "topological sort and scheduling", "critical path length"],
+        pdc: &[
+            "list scheduling",
+            "topological sort and scheduling",
+            "critical path length",
+        ],
         kus: &["DS.GT", "AL.FDSA", "SDF.FDS"],
     },
     Entry {
@@ -181,7 +194,11 @@ const ENTRIES: &[Entry] = &[
         kind: MaterialKind::Assignment,
         source: Source::PeachyParallel,
         languages: &["Java"],
-        pdc: &["embarrassingly parallel", "speedup measurement", "load balancing"],
+        pdc: &[
+            "embarrassingly parallel",
+            "speedup measurement",
+            "load balancing",
+        ],
         kus: &["CN.DIK", "IM.IMC"],
     },
     Entry {
@@ -189,7 +206,10 @@ const ENTRIES: &[Entry] = &[
         kind: MaterialKind::Lecture,
         source: Source::PdcUnplugged,
         languages: &[],
-        pdc: &["speedup, efficiency, and amdahl", "scalability: strong versus weak"],
+        pdc: &[
+            "speedup, efficiency, and amdahl",
+            "scalability: strong versus weak",
+        ],
         kus: &["AL.BA", "SF.EVAL"],
     },
     Entry {
@@ -197,7 +217,10 @@ const ENTRIES: &[Entry] = &[
         kind: MaterialKind::Assignment,
         source: Source::PeachyParallel,
         languages: &["C++", "Java"],
-        pdc: &["parallel graph algorithms", "parallel search over structured"],
+        pdc: &[
+            "parallel graph algorithms",
+            "parallel search over structured",
+        ],
         kus: &["DS.GT", "AL.FDSA"],
     },
     Entry {
@@ -205,7 +228,10 @@ const ENTRIES: &[Entry] = &[
         kind: MaterialKind::Lab,
         source: Source::PdcUnplugged,
         languages: &[],
-        pdc: &["message-passing programming", "parallel communication operations"],
+        pdc: &[
+            "message-passing programming",
+            "parallel communication operations",
+        ],
         kus: &["NC.INT", "SF.SSM"],
     },
     Entry {

@@ -94,7 +94,10 @@ pub static ROSTER: &[CourseSpec] = &[
         instructor: "Wahl",
         labels: &[Algorithms],
         language: "Python",
-        mixture: &[(&profiles::DS_CORE, 0.7), (&profiles::DS_COMBINATORIAL, 1.0)],
+        mixture: &[
+            (&profiles::DS_CORE, 0.7),
+            (&profiles::DS_COMBINATORIAL, 1.0),
+        ],
         idiosyncrasy: 10.0,
     },
     CourseSpec {
@@ -121,7 +124,10 @@ pub static ROSTER: &[CourseSpec] = &[
         instructor: "Wagner",
         labels: &[DataStructures],
         language: "Java",
-        mixture: &[(&profiles::DS_CORE, 0.95), (&profiles::DS_COMBINATORIAL, 0.8)],
+        mixture: &[
+            (&profiles::DS_CORE, 0.95),
+            (&profiles::DS_COMBINATORIAL, 0.8),
+        ],
         idiosyncrasy: 10.0,
     },
     CourseSpec {
@@ -130,7 +136,10 @@ pub static ROSTER: &[CourseSpec] = &[
         instructor: "KRS",
         labels: &[Algorithms],
         language: "C++",
-        mixture: &[(&profiles::DS_CORE, 0.75), (&profiles::DS_COMBINATORIAL, 1.0)],
+        mixture: &[
+            (&profiles::DS_CORE, 0.75),
+            (&profiles::DS_COMBINATORIAL, 1.0),
+        ],
         idiosyncrasy: 10.0,
     },
     CourseSpec {
@@ -204,7 +213,10 @@ pub static ROSTER: &[CourseSpec] = &[
         instructor: "Bourke",
         labels: &[Cs1],
         language: "C",
-        mixture: &[(&profiles::CS1_IMPERATIVE, 0.95), (&profiles::CS1_SYSTEMS, 0.65)],
+        mixture: &[
+            (&profiles::CS1_IMPERATIVE, 0.95),
+            (&profiles::CS1_SYSTEMS, 0.65),
+        ],
         idiosyncrasy: 9.0,
     },
     CourseSpec {

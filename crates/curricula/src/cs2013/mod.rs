@@ -69,8 +69,8 @@ mod tests {
             .collect();
         assert_eq!(kas.len(), 18);
         for code in [
-            "AL", "AR", "CN", "DS", "GV", "HCI", "IAS", "IM", "IS", "NC", "OS", "PBD", "PD",
-            "PL", "SDF", "SE", "SF", "SP",
+            "AL", "AR", "CN", "DS", "GV", "HCI", "IAS", "IM", "IS", "NC", "OS", "PBD", "PD", "PL",
+            "SDF", "SE", "SF", "SP",
         ] {
             assert!(kas.contains(&code), "missing KA {code}");
         }
@@ -82,9 +82,7 @@ mod tests {
         // Units named in the paper's analysis.
         for ku in [
             "SDF.FPC", // Fundamental Programming Concepts (Figure 4)
-            "SDF.AD",
-            "SDF.FDS",
-            "AL.BA",   // Big-Oh (Figures 5–8)
+            "SDF.AD", "SDF.FDS", "AL.BA",   // Big-Oh (Figures 5–8)
             "AL.FDSA", // data structures and algorithms
             "DS.GT",   // graphs and trees
             "PL.OOP",  // OOP flavor of CS1 (type 3)
@@ -127,7 +125,10 @@ mod tests {
         let o = build();
         let fpc = o.by_code("SDF.FPC").unwrap();
         assert_eq!(o.node(fpc).tier, Tier::Core1);
-        assert!(o.leaves_under(fpc).len() >= 13, "FPC must hold at least the 13 agreed items of Figure 4");
+        assert!(
+            o.leaves_under(fpc).len() >= 13,
+            "FPC must hold at least the 13 agreed items of Figure 4"
+        );
     }
 
     #[test]

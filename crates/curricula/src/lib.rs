@@ -18,13 +18,13 @@
 //! Both builders are deterministic; [`cs2013()`]/[`pdc12()`] memoize the
 //! built tree for the lifetime of the process.
 
-pub mod cs2013;
 pub mod crosswalk;
+pub mod cs2013;
 pub mod ontology;
 pub mod pdc12;
 pub mod spec;
 
-pub use crosswalk::{cs_anchors_of_pdc_topic, crosswalk, pdc_units_anchorable_at};
+pub use crosswalk::{crosswalk, cs_anchors_of_pdc_topic, pdc_units_anchorable_at};
 pub use ontology::{Bloom, Level, Mastery, Node, NodeId, Ontology, OntologyBuilder, Tier};
 
 use std::sync::OnceLock;

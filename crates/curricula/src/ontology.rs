@@ -152,11 +152,7 @@ impl Ontology {
 
     /// Rebuild the code index (needed after deserialization).
     pub fn reindex(&mut self) {
-        self.by_code = self
-            .nodes
-            .iter()
-            .map(|n| (n.code.clone(), n.id))
-            .collect();
+        self.by_code = self.nodes.iter().map(|n| (n.code.clone(), n.id)).collect();
     }
 
     /// Iterate ids of all nodes at a given level.
@@ -246,12 +242,7 @@ impl Ontology {
     pub fn leaves_under(&self, start: NodeId) -> Vec<NodeId> {
         self.preorder(start)
             .into_iter()
-            .filter(|&id| {
-                matches!(
-                    self.node(id).level,
-                    Level::Topic | Level::LearningOutcome
-                )
-            })
+            .filter(|&id| matches!(self.node(id).level, Level::Topic | Level::LearningOutcome))
             .collect()
     }
 
@@ -284,12 +275,18 @@ impl Ontology {
                 return Err(format!("node id {} out of range", n.id.0));
             }
             if let Some(prev) = seen.insert(n.code.clone(), n.id) {
-                return Err(format!("duplicate code {:?} ({:?}, {:?})", n.code, prev, n.id));
+                return Err(format!(
+                    "duplicate code {:?} ({:?}, {:?})",
+                    n.code, prev, n.id
+                ));
             }
             if let Some(p) = n.parent {
                 let parent = &self.nodes[p.index()];
                 if !parent.children.contains(&n.id) {
-                    return Err(format!("{} not registered in parent {}", n.code, parent.code));
+                    return Err(format!(
+                        "{} not registered in parent {}",
+                        n.code, parent.code
+                    ));
                 }
                 let ok = matches!(
                     (parent.level, n.level),

@@ -13,7 +13,11 @@ use crate::ontology::Ontology;
 use crate::ontology::Tier::{Core1, Elective};
 use crate::spec::{build_pdc_ontology, PdcArea, PdcTopic, PdcUnit};
 
-const fn t(label: &'static str, bloom: crate::ontology::Bloom, tier: crate::ontology::Tier) -> PdcTopic {
+const fn t(
+    label: &'static str,
+    bloom: crate::ontology::Bloom,
+    tier: crate::ontology::Tier,
+) -> PdcTopic {
     PdcTopic { label, bloom, tier }
 }
 
@@ -25,29 +29,73 @@ static ARCHITECTURE: PdcArea = PdcArea {
             code: "CLS",
             label: "Classes of Architecture",
             topics: &[
-                t("Taxonomy: Flynn's classification (SISD, SIMD, MIMD)", Know, Core1),
+                t(
+                    "Taxonomy: Flynn's classification (SISD, SIMD, MIMD)",
+                    Know,
+                    Core1,
+                ),
                 t("Superscalar (ILP) execution", Know, Core1),
-                t("SIMD and vector units: the idea of a single instruction on multiple data", Know, Core1),
-                t("Pipelines as overlapped execution (instruction pipelining)", Comprehend, Core1),
+                t(
+                    "SIMD and vector units: the idea of a single instruction on multiple data",
+                    Know,
+                    Core1,
+                ),
+                t(
+                    "Pipelines as overlapped execution (instruction pipelining)",
+                    Comprehend,
+                    Core1,
+                ),
                 t("Streams and GPU architectures", Know, Core1),
-                t("MIMD: multicore and clusters as the dominant classes", Know, Core1),
+                t(
+                    "MIMD: multicore and clusters as the dominant classes",
+                    Know,
+                    Core1,
+                ),
                 t("Simultaneous multithreading", Know, Elective),
                 t("Highly multithreaded architectures", Know, Elective),
-                t("Heterogeneous architectures combining CPUs and accelerators", Know, Elective),
+                t(
+                    "Heterogeneous architectures combining CPUs and accelerators",
+                    Know,
+                    Elective,
+                ),
             ],
         },
         PdcUnit {
             code: "MEM",
             label: "Memory Hierarchy and Communication",
             topics: &[
-                t("Cyber-physical view of memory: latency grows with distance", Know, Core1),
-                t("Cache organization in multicore processors", Comprehend, Core1),
-                t("Atomicity of memory operations and its hardware support", Know, Core1),
-                t("Consistency and coherence in shared-memory multiprocessors", Know, Core1),
+                t(
+                    "Cyber-physical view of memory: latency grows with distance",
+                    Know,
+                    Core1,
+                ),
+                t(
+                    "Cache organization in multicore processors",
+                    Comprehend,
+                    Core1,
+                ),
+                t(
+                    "Atomicity of memory operations and its hardware support",
+                    Know,
+                    Core1,
+                ),
+                t(
+                    "Consistency and coherence in shared-memory multiprocessors",
+                    Know,
+                    Core1,
+                ),
                 t("Sequential consistency as the intuitive model", Know, Core1),
                 t("False sharing and its performance impact", Know, Elective),
-                t("Interconnects: buses, crossbars, and network topologies", Know, Elective),
-                t("Latency and bandwidth as the two axes of communication cost", Comprehend, Core1),
+                t(
+                    "Interconnects: buses, crossbars, and network topologies",
+                    Know,
+                    Elective,
+                ),
+                t(
+                    "Latency and bandwidth as the two axes of communication cost",
+                    Comprehend,
+                    Core1,
+                ),
             ],
         },
         PdcUnit {
@@ -57,7 +105,11 @@ static ARCHITECTURE: PdcArea = PdcArea {
                 t("Peak versus sustained performance", Know, Core1),
                 t("MIPS/FLOPS as measures of machine rate", Know, Core1),
                 t("Benchmarks such as LINPACK and their role", Know, Elective),
-                t("Effects of non-uniform memory access on performance", Know, Elective),
+                t(
+                    "Effects of non-uniform memory access on performance",
+                    Know,
+                    Elective,
+                ),
             ],
         },
     ],
@@ -71,31 +123,91 @@ static PROGRAMMING: PdcArea = PdcArea {
             code: "PAR",
             label: "Parallel Programming Paradigms and Notations",
             topics: &[
-                t("Programming by task decomposition versus data decomposition", Comprehend, Core1),
+                t(
+                    "Programming by task decomposition versus data decomposition",
+                    Comprehend,
+                    Core1,
+                ),
                 t("Shared-memory programming with threads", Apply, Core1),
-                t("Language extensions and compiler directives (OpenMP-style parallel-for)", Apply, Core1),
+                t(
+                    "Language extensions and compiler directives (OpenMP-style parallel-for)",
+                    Apply,
+                    Core1,
+                ),
                 t("Libraries for threading and tasking", Apply, Core1),
                 t("Message-passing programming (MPI-style SPMD)", Apply, Core1),
-                t("Client-server and distributed-object paradigms (CORBA/RPC style)", Know, Elective),
-                t("Task/thread spawning and fork-join (cilk-style) parallelism", Apply, Core1),
-                t("Data-parallel constructs: parallel loops over independent iterations", Apply, Core1),
-                t("Futures and promises as asynchronous result handles", Know, Elective),
+                t(
+                    "Client-server and distributed-object paradigms (CORBA/RPC style)",
+                    Know,
+                    Elective,
+                ),
+                t(
+                    "Task/thread spawning and fork-join (cilk-style) parallelism",
+                    Apply,
+                    Core1,
+                ),
+                t(
+                    "Data-parallel constructs: parallel loops over independent iterations",
+                    Apply,
+                    Core1,
+                ),
+                t(
+                    "Futures and promises as asynchronous result handles",
+                    Know,
+                    Elective,
+                ),
                 t("Hybrid programming models", Know, Elective),
-                t("GPU/accelerator kernels as a programming model", Know, Elective),
+                t(
+                    "GPU/accelerator kernels as a programming model",
+                    Know,
+                    Elective,
+                ),
             ],
         },
         PdcUnit {
             code: "SEM",
             label: "Semantics and Correctness Issues",
             topics: &[
-                t("Tasks and threads: the unit of asynchronous execution", Apply, Core1),
-                t("Synchronization: critical sections, producer-consumer, barriers", Apply, Core1),
-                t("Concurrency defects: data races, deadlock, livelock", Comprehend, Core1),
-                t("Memory models: why data races void intuitive semantics", Know, Core1),
-                t("Mutual exclusion primitives: locks, semaphores, monitors", Apply, Core1),
-                t("Thread safety of library types and containers", Comprehend, Core1),
-                t("Nondeterminism in parallel execution and reproducibility", Comprehend, Core1),
-                t("Floating-point reduction order: why parallel sums can differ run to run", Comprehend, Core1),
+                t(
+                    "Tasks and threads: the unit of asynchronous execution",
+                    Apply,
+                    Core1,
+                ),
+                t(
+                    "Synchronization: critical sections, producer-consumer, barriers",
+                    Apply,
+                    Core1,
+                ),
+                t(
+                    "Concurrency defects: data races, deadlock, livelock",
+                    Comprehend,
+                    Core1,
+                ),
+                t(
+                    "Memory models: why data races void intuitive semantics",
+                    Know,
+                    Core1,
+                ),
+                t(
+                    "Mutual exclusion primitives: locks, semaphores, monitors",
+                    Apply,
+                    Core1,
+                ),
+                t(
+                    "Thread safety of library types and containers",
+                    Comprehend,
+                    Core1,
+                ),
+                t(
+                    "Nondeterminism in parallel execution and reproducibility",
+                    Comprehend,
+                    Core1,
+                ),
+                t(
+                    "Floating-point reduction order: why parallel sums can differ run to run",
+                    Comprehend,
+                    Core1,
+                ),
                 t("Tools that detect concurrency defects", Know, Elective),
             ],
         },
@@ -103,11 +215,31 @@ static PROGRAMMING: PdcArea = PdcArea {
             code: "PPP",
             label: "Performance Issues (programming)",
             topics: &[
-                t("Computation decomposition strategies and granularity", Comprehend, Core1),
-                t("Load balancing: static versus dynamic assignment", Comprehend, Core1),
-                t("Scheduling and mapping of tasks to execution resources", Comprehend, Core1),
-                t("Data distribution and its effect on communication", Know, Core1),
-                t("Data locality and memory-hierarchy-aware programming", Know, Core1),
+                t(
+                    "Computation decomposition strategies and granularity",
+                    Comprehend,
+                    Core1,
+                ),
+                t(
+                    "Load balancing: static versus dynamic assignment",
+                    Comprehend,
+                    Core1,
+                ),
+                t(
+                    "Scheduling and mapping of tasks to execution resources",
+                    Comprehend,
+                    Core1,
+                ),
+                t(
+                    "Data distribution and its effect on communication",
+                    Know,
+                    Core1,
+                ),
+                t(
+                    "Data locality and memory-hierarchy-aware programming",
+                    Know,
+                    Core1,
+                ),
                 t("Performance monitoring and profiling tools", Know, Elective),
                 t("Speedup measurement methodology", Apply, Core1),
             ],
@@ -179,10 +311,22 @@ static CROSSCUT: PdcArea = PdcArea {
             code: "HLT",
             label: "High-Level Themes",
             topics: &[
-                t("Why and what is parallel/distributed computing", Know, Core1),
-                t("The power wall and the inevitability of parallel hardware", Know, Core1),
+                t(
+                    "Why and what is parallel/distributed computing",
+                    Know,
+                    Core1,
+                ),
+                t(
+                    "The power wall and the inevitability of parallel hardware",
+                    Know,
+                    Core1,
+                ),
                 t("Concurrency as a pervasive system phenomenon", Know, Core1),
-                t("Locality as a cross-cutting performance principle", Know, Core1),
+                t(
+                    "Locality as a cross-cutting performance principle",
+                    Know,
+                    Core1,
+                ),
             ],
         },
         PdcUnit {
@@ -192,7 +336,11 @@ static CROSSCUT: PdcArea = PdcArea {
                 t("Nondeterminism as a cross-cutting concern", Know, Core1),
                 t("Power consumption as a design constraint", Know, Core1),
                 t("Fault tolerance in large-scale systems", Know, Elective),
-                t("Distributed resource management and scheduling", Know, Elective),
+                t(
+                    "Distributed resource management and scheduling",
+                    Know,
+                    Elective,
+                ),
                 t("Security in distributed systems", Know, Elective),
                 t("Performance modeling across the stack", Know, Elective),
             ],
@@ -204,7 +352,11 @@ static CROSSCUT: PdcArea = PdcArea {
                 t("Cluster and data-center computing", Know, Elective),
                 t("Cloud computing and elasticity", Know, Elective),
                 t("Consistency in distributed transactions", Know, Elective),
-                t("Web search as a massively parallel workload", Know, Elective),
+                t(
+                    "Web search as a massively parallel workload",
+                    Know,
+                    Elective,
+                ),
                 t("Social networking analysis at scale", Know, Elective),
                 t("Collaborative and peer-to-peer systems", Know, Elective),
             ],
@@ -239,7 +391,11 @@ mod tests {
     fn every_topic_has_bloom() {
         let o = build();
         for id in o.at_level(Level::Topic) {
-            assert!(o.node(id).bloom.is_some(), "{} lacks Bloom", o.node(id).code);
+            assert!(
+                o.node(id).bloom.is_some(),
+                "{} lacks Bloom",
+                o.node(id).code
+            );
         }
     }
 
@@ -258,11 +414,7 @@ mod tests {
     #[test]
     fn anchors_named_in_section_5_2_are_present() {
         let o = build();
-        let labels: Vec<String> = o
-            .nodes()
-            .iter()
-            .map(|n| n.label.to_lowercase())
-            .collect();
+        let labels: Vec<String> = o.nodes().iter().map(|n| n.label.to_lowercase()).collect();
         for needle in [
             "floating-point reduction order",
             "parallel loops",
@@ -291,7 +443,10 @@ mod tests {
                 apply += 1;
             }
         }
-        assert!(apply >= 10, "expected a rich set of Apply-level topics, got {apply}");
+        assert!(
+            apply >= 10,
+            "expected a rich set of Apply-level topics, got {apply}"
+        );
     }
 
     #[test]

@@ -32,9 +32,15 @@ pub struct Bicluster {
 /// # Panics
 /// Panics if `a` has negative entries or `k` is 0 or exceeds both dims.
 pub fn spectral_cocluster(a: &Matrix, k: usize, seed: u64) -> Bicluster {
-    assert!(a.is_nonnegative(), "co-clustering requires nonnegative input");
+    assert!(
+        a.is_nonnegative(),
+        "co-clustering requires nonnegative input"
+    );
     let (m, n) = a.shape();
-    assert!(k > 0 && (k <= m || k <= n), "k = {k} out of range for {m}x{n}");
+    assert!(
+        k > 0 && (k <= m || k <= n),
+        "k = {k} out of range for {m}x{n}"
+    );
     if m == 0 || n == 0 {
         return Bicluster {
             row_labels: vec![],
@@ -129,13 +135,7 @@ mod tests {
 
     /// Block-diagonal 0-1 matrix with two blocks.
     fn two_block() -> Matrix {
-        Matrix::from_fn(8, 10, |i, j| {
-            if (i < 4) == (j < 5) {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        Matrix::from_fn(8, 10, |i, j| if (i < 4) == (j < 5) { 1.0 } else { 0.0 })
     }
 
     #[test]

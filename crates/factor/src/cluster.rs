@@ -217,9 +217,7 @@ pub fn hierarchical(d: &Matrix, linkage: Linkage) -> Dendrogram {
             let nd = match linkage {
                 Linkage::Single => dti.min(dtj),
                 Linkage::Complete => dti.max(dtj),
-                Linkage::Average => {
-                    (si as f64 * dti + sj as f64 * dtj) / (si + sj) as f64
-                }
+                Linkage::Average => (si as f64 * dti + sj as f64 * dtj) / (si + sj) as f64,
             };
             dist.set(t, bi, nd);
             dist.set(bi, t, nd);
@@ -388,7 +386,10 @@ mod tests {
         let d = pairwise_distances(&data, Metric::Euclidean);
         let dend = hierarchical(&d, Linkage::Average);
         let c = dend.cophenetic_correlation(&d);
-        assert!(c > 0.9, "clean blob structure should have high CCC, got {c}");
+        assert!(
+            c > 0.9,
+            "clean blob structure should have high CCC, got {c}"
+        );
     }
 
     #[test]

@@ -130,13 +130,7 @@ mod tests {
 
     /// Clean three-block matrix: rank 3 should be maximally stable.
     fn blocks() -> Matrix {
-        Matrix::from_fn(12, 15, |i, j| {
-            if i / 4 == j / 5 {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        Matrix::from_fn(12, 15, |i, j| if i / 4 == j / 5 { 1.0 } else { 0.0 })
     }
 
     fn base() -> NnmfConfig {

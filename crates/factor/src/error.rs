@@ -1,0 +1,126 @@
+//! Typed errors for the factorization layer.
+//!
+//! [`try_nnmf`](crate::nnmf::try_nnmf) surfaces these instead of panicking;
+//! the legacy [`nnmf`](crate::nnmf::nnmf) entry point formats them into its
+//! panic message, preserving the historical wording that downstream
+//! `#[should_panic(expected = ...)]` tests match on.
+
+use anchors_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced by checked NNMF entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnmfError {
+    /// The input matrix contains a NaN or infinite entry.
+    NonFinite {
+        /// Row of the first offending entry.
+        row: usize,
+        /// Column of the first offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The input matrix contains a negative entry.
+    NegativeEntry {
+        /// Row of the first offending entry.
+        row: usize,
+        /// Column of the first offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested rank is zero.
+    ZeroRank,
+    /// The requested rank exceeds `min(rows, cols)` of a nonempty matrix.
+    RankTooLarge {
+        /// Requested rank.
+        k: usize,
+        /// Input shape.
+        shape: (usize, usize),
+    },
+    /// Every restart — including reseeded retries and the NNDSVD fallback —
+    /// produced a non-finite or runaway loss.
+    Diverged {
+        /// Total fit attempts made across the recovery ladder.
+        attempts: usize,
+        /// Seed of the last attempt.
+        last_seed: u64,
+    },
+    /// A checked linear-algebra kernel failed underneath the solver.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for NnmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // The "nonnegative" substring below is load-bearing: the
+            // panicking wrapper's message must keep matching
+            // `#[should_panic(expected = "nonnegative")]` tests.
+            NnmfError::NonFinite { row, col, value } => write!(
+                f,
+                "NNMF requires a nonnegative matrix: non-finite entry {value} at ({row}, {col})"
+            ),
+            NnmfError::NegativeEntry { row, col, value } => write!(
+                f,
+                "NNMF requires a nonnegative matrix: negative entry {value} at ({row}, {col})"
+            ),
+            NnmfError::ZeroRank => write!(f, "k must be positive"),
+            NnmfError::RankTooLarge { k, shape } => {
+                write!(f, "k = {k} exceeds min dimension of {shape:?}")
+            }
+            NnmfError::Diverged {
+                attempts,
+                last_seed,
+            } => write!(
+                f,
+                "NNMF diverged: non-finite loss persisted through {attempts} attempts \
+                 (reseeded restarts and NNDSVD fallback; last seed {last_seed})"
+            ),
+            NnmfError::Linalg(e) => write!(f, "linear algebra failure in NNMF: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnmfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnmfError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for NnmfError {
+    fn from(e: LinalgError) -> Self {
+        NnmfError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_panic_compatible_wording() {
+        let e = NnmfError::NegativeEntry {
+            row: 0,
+            col: 1,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("nonnegative"));
+        let e = NnmfError::NonFinite {
+            row: 0,
+            col: 0,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("nonnegative"));
+        let e = NnmfError::RankTooLarge {
+            k: 3,
+            shape: (2, 3),
+        };
+        assert!(e.to_string().contains("exceeds min dimension"));
+        assert!(NnmfError::ZeroRank
+            .to_string()
+            .contains("k must be positive"));
+    }
+}

@@ -46,10 +46,36 @@ fn random_init(a: &Matrix, k: usize, seed: u64) -> (Matrix, Matrix) {
     (w, h)
 }
 
+/// Entry magnitude above which NNDSVD pre-scales the input: the Gram-route
+/// SVD squares entries, so anything near `sqrt(f64::MAX) ≈ 1e154` overflows
+/// `AᵀA`. Scaling is gated on extremeness to keep the factorization
+/// bitwise identical for ordinary inputs.
+const PRESCALE_THRESHOLD: f64 = 1e100;
+
 /// NNDSVD: split each singular triplet into its positive and negative parts
 /// and keep the dominant side.
-#[allow(clippy::needless_range_loop)] // column scatter follows the derivation
+///
+/// For matrices with extreme entries the computation runs on `A / c`
+/// (`c = max |a_ij|`) and the factors are rescaled by `sqrt(c)`, which is
+/// exact: `A = c·A' = (W'·√c)(H'·√c)`.
 fn nndsvd(a: &Matrix, k: usize, fill_mean: bool) -> (Matrix, Matrix) {
+    let maxabs = a
+        .as_slice()
+        .iter()
+        .fold(0.0_f64, |acc, &v| acc.max(v.abs()));
+    if maxabs > PRESCALE_THRESHOLD && maxabs.is_finite() {
+        let scaled = a.map(|v| v / maxabs);
+        let (mut w, mut h) = nndsvd_unscaled(&scaled, k, fill_mean);
+        let s = maxabs.sqrt();
+        w.map_inplace(|v| v * s);
+        h.map_inplace(|v| v * s);
+        return (w, h);
+    }
+    nndsvd_unscaled(a, k, fill_mean)
+}
+
+#[allow(clippy::needless_range_loop)] // column scatter follows the derivation
+fn nndsvd_unscaled(a: &Matrix, k: usize, fill_mean: bool) -> (Matrix, Matrix) {
     let (m, n) = a.shape();
     let mut w = Matrix::zeros(m, k);
     let mut h = Matrix::zeros(k, n);
@@ -57,8 +83,15 @@ fn nndsvd(a: &Matrix, k: usize, fill_mean: bool) -> (Matrix, Matrix) {
     let r = svd.s.len();
     if r == 0 {
         if fill_mean {
-            let mean = if a.is_empty() { 0.0 } else { a.sum() / a.len() as f64 };
-            return (Matrix::full(m, k, mean.max(1e-6)), Matrix::full(k, n, mean.max(1e-6)));
+            let mean = if a.is_empty() {
+                0.0
+            } else {
+                a.sum() / a.len() as f64
+            };
+            return (
+                Matrix::full(m, k, mean.max(1e-6)),
+                Matrix::full(k, n, mean.max(1e-6)),
+            );
         }
         return (w, h);
     }
@@ -104,7 +137,11 @@ fn nndsvd(a: &Matrix, k: usize, fill_mean: bool) -> (Matrix, Matrix) {
     }
 
     if fill_mean {
-        let mean = if a.is_empty() { 0.0 } else { (a.sum() / a.len() as f64).max(1e-6) };
+        let mean = if a.is_empty() {
+            0.0
+        } else {
+            (a.sum() / a.len() as f64).max(1e-6)
+        };
         w.map_inplace(|x| if x <= 0.0 { mean } else { x });
         h.map_inplace(|x| if x <= 0.0 { mean } else { x });
     }

@@ -17,6 +17,7 @@
 pub mod bicluster;
 pub mod cluster;
 pub mod consensus;
+pub mod error;
 pub mod init;
 pub mod mds;
 pub mod nnmf;
@@ -26,13 +27,16 @@ pub mod sparse_nnmf;
 
 pub use bicluster::{block_purity, spectral_cocluster, Bicluster};
 pub use cluster::{hierarchical, kmeans, Dendrogram, KMeans, Linkage, Merge};
-pub use consensus::{consensus, consensus_scan, select_rank_by_consensus, Consensus, ConsensusStats};
+pub use consensus::{
+    consensus, consensus_scan, select_rank_by_consensus, Consensus, ConsensusStats,
+};
+pub use error::NnmfError;
 pub use init::Init;
 pub use mds::{classical_mds, smacof, stress_of, MdsEmbedding};
-pub use nnmf::{loss, nnmf, NnmfConfig, NnmfModel, Solver};
+pub use nnmf::{loss, nnmf, try_nnmf, NnmfConfig, NnmfModel, NnmfRecovery, Solver};
 pub use pca::{pca, Pca};
-pub use sparse_nnmf::{nnmf_sparse, sparse_loss};
 pub use rank::{
     duplicate_dimension_score, rank_scan, select_rank, separation_score, RankDiagnostics,
     DUPLICATE_THRESHOLD,
 };
+pub use sparse_nnmf::{nnmf_sparse, sparse_loss};

@@ -199,7 +199,14 @@ mod tests {
     fn smacof_improves_or_matches_classical_on_non_euclidean() {
         // Jaccard-like distances: not exactly Euclidean.
         let mut d = Matrix::zeros(4, 4);
-        let vals = [(0, 1, 0.9), (0, 2, 0.5), (0, 3, 1.0), (1, 2, 0.4), (1, 3, 0.7), (2, 3, 0.6)];
+        let vals = [
+            (0, 1, 0.9),
+            (0, 2, 0.5),
+            (0, 3, 1.0),
+            (1, 2, 0.4),
+            (1, 3, 0.7),
+            (2, 3, 0.6),
+        ];
         for &(i, j, v) in &vals {
             d.set(i, j, v);
             d.set(j, i, v);

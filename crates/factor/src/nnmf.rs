@@ -19,13 +19,24 @@
 //! keeping the best of several seeded runs since random-init NNMF is only
 //! locally optimal.
 
+use crate::error::NnmfError;
 use crate::init::{init_factors, Init};
 use anchors_linalg::ops::{matmul, matmul_a_bt, matmul_at_b};
 use anchors_linalg::{frobenius_sq, Matrix};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Epsilon guarding divisions in the multiplicative updates.
 const EPS: f64 = 1e-12;
+
+/// Loss blow-up factor (relative to the initial loss) beyond which a
+/// restart is declared divergent. The monotone solvers only reach this
+/// under numerical breakdown (overflow, NaN poisoning).
+const DIVERGENCE_FACTOR: f64 = 1e6;
+
+/// Salt mixed into the seed for the reseeded recovery round, so retries
+/// explore a disjoint set of initializations.
+const RESEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// NNMF solver family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,6 +69,13 @@ pub struct NnmfConfig {
     pub restarts: usize,
     /// RNG seed for the first restart; restart `r` uses `seed + r`.
     pub seed: u64,
+    /// Optional wall-clock budget per restart, in milliseconds. When a
+    /// restart exceeds it the current iterate is returned as-is (marked
+    /// unconverged) rather than running out the iteration budget. `None`
+    /// (the default, and the value deserialized from configs predating the
+    /// field) disables the check.
+    #[serde(default)]
+    pub max_wall_ms: Option<u64>,
 }
 
 impl NnmfConfig {
@@ -73,6 +91,7 @@ impl NnmfConfig {
             tol: 1e-4,
             restarts: 8,
             seed: 0x5C_2023,
+            max_wall_ms: None,
         }
     }
 
@@ -97,6 +116,28 @@ impl NnmfConfig {
     }
 }
 
+/// What the recovery ladder had to do to produce a model. All-default
+/// means the fit succeeded on the configured restarts with no failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NnmfRecovery {
+    /// Restarts that diverged (non-finite or runaway loss) and were
+    /// discarded, across all rounds.
+    pub failed_restarts: usize,
+    /// Whether a reseeded round of restarts was needed.
+    pub reseeded: bool,
+    /// Whether the deterministic NNDSVD fallback produced the model.
+    pub nndsvd_fallback: bool,
+    /// Restarts cut short by the per-restart wall-clock budget.
+    pub budget_exceeded: usize,
+}
+
+impl NnmfRecovery {
+    /// True iff the fit needed no recovery at all.
+    pub fn is_clean(&self) -> bool {
+        *self == NnmfRecovery::default()
+    }
+}
+
 /// A fitted factorization.
 #[derive(Debug, Clone)]
 pub struct NnmfModel {
@@ -112,6 +153,8 @@ pub struct NnmfModel {
     pub converged: bool,
     /// Seed of the winning restart.
     pub winning_seed: u64,
+    /// Recovery actions taken to obtain this model.
+    pub recovery: NnmfRecovery,
 }
 
 impl NnmfModel {
@@ -178,44 +221,177 @@ pub fn loss(a: &Matrix, w: &Matrix, h: &Matrix) -> f64 {
     0.5 * frobenius_sq(&anchors_linalg::ops::sub(a, &matmul(w, h)))
 }
 
+/// Validate NNMF inputs, mapping each contract violation to its typed error.
+fn validate(a: &Matrix, config: &NnmfConfig) -> Result<(), NnmfError> {
+    if let Some((row, col, value)) = a.find_non_finite() {
+        return Err(NnmfError::NonFinite { row, col, value });
+    }
+    if let Some((row, col, value)) = a.find_negative() {
+        return Err(NnmfError::NegativeEntry { row, col, value });
+    }
+    if config.k == 0 {
+        return Err(NnmfError::ZeroRank);
+    }
+    if config.k > a.rows().min(a.cols()).max(1) {
+        return Err(NnmfError::RankTooLarge {
+            k: config.k,
+            shape: a.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Fit an NNMF model, returning a typed error instead of panicking on
+/// malformed input, and recovering from numerically divergent restarts.
+///
+/// Recovery ladder, applied when every configured restart diverges
+/// (non-finite or runaway loss):
+///
+/// 1. one extra round of restarts with salted seeds (disjoint inits);
+/// 2. deterministic NNDSVD initialization (then NNDSVDa);
+/// 3. give up with [`NnmfError::Diverged`].
+///
+/// The actions taken are recorded in [`NnmfModel::recovery`].
+pub fn try_nnmf(a: &Matrix, config: &NnmfConfig) -> Result<NnmfModel, NnmfError> {
+    validate(a, config)?;
+    let deterministic_init = matches!(config.init, Init::Nndsvd | Init::NndsvdA);
+    let restarts = if deterministic_init {
+        1
+    } else {
+        config.restarts.max(1)
+    };
+
+    let mut recovery = NnmfRecovery::default();
+    let mut attempts = 0;
+    let mut last_seed = config.seed;
+    let mut best: Option<NnmfModel> = None;
+
+    let run_round = |init: Init,
+                     base_seed: u64,
+                     rounds: usize,
+                     best: &mut Option<NnmfModel>,
+                     recovery: &mut NnmfRecovery,
+                     attempts: &mut usize,
+                     last_seed: &mut u64| {
+        for r in 0..rounds {
+            let seed = base_seed.wrapping_add(r as u64);
+            *attempts += 1;
+            *last_seed = seed;
+            let (w0, h0) = init_factors(a, config.k, init, seed);
+            match fit_guarded(a, w0, h0, config, seed) {
+                Ok(model) => {
+                    if model.recovery.budget_exceeded > 0 {
+                        recovery.budget_exceeded += 1;
+                    }
+                    let better = best.as_ref().map(|b| model.loss < b.loss).unwrap_or(true);
+                    if better {
+                        *best = Some(model);
+                    }
+                }
+                Err(FitDiverged) => recovery.failed_restarts += 1,
+            }
+        }
+    };
+
+    run_round(
+        config.init,
+        config.seed,
+        restarts,
+        &mut best,
+        &mut recovery,
+        &mut attempts,
+        &mut last_seed,
+    );
+    if best.is_none() && !deterministic_init {
+        // Round 2: disjoint seeds. Only meaningful for random init — a
+        // deterministic init would reproduce the identical failure.
+        recovery.reseeded = true;
+        run_round(
+            config.init,
+            config.seed ^ RESEED_SALT,
+            restarts,
+            &mut best,
+            &mut recovery,
+            &mut attempts,
+            &mut last_seed,
+        );
+    }
+    if best.is_none() {
+        // Round 3: deterministic SVD-based inits, which pre-scale extreme
+        // inputs and tend to start close enough to avoid overflow.
+        for init in [Init::Nndsvd, Init::NndsvdA] {
+            if init == config.init {
+                continue;
+            }
+            recovery.nndsvd_fallback = true;
+            run_round(
+                init,
+                config.seed,
+                1,
+                &mut best,
+                &mut recovery,
+                &mut attempts,
+                &mut last_seed,
+            );
+            if best.is_some() {
+                break;
+            }
+        }
+    }
+
+    match best {
+        Some(mut model) => {
+            let budget = model.recovery.budget_exceeded;
+            model.recovery = recovery;
+            // Keep the winning restart's own budget flag if the round
+            // counter missed it (it can't, but stay conservative).
+            model.recovery.budget_exceeded = model.recovery.budget_exceeded.max(budget);
+            Ok(model)
+        }
+        None => Err(NnmfError::Diverged {
+            attempts,
+            last_seed,
+        }),
+    }
+}
+
 /// Fit an NNMF model.
 ///
 /// # Panics
-/// Panics if `a` has negative entries, or `k == 0`, or `k` exceeds
-/// `min(rows, cols)` of a nonempty matrix.
+/// Panics if `a` has negative or non-finite entries, or `k == 0`, or `k`
+/// exceeds `min(rows, cols)` of a nonempty matrix, or every restart (and
+/// the recovery ladder) diverges. Use [`try_nnmf`] to handle these as
+/// typed [`NnmfError`]s instead.
 pub fn nnmf(a: &Matrix, config: &NnmfConfig) -> NnmfModel {
-    assert!(a.is_nonnegative(), "NNMF requires a nonnegative matrix");
-    assert!(config.k > 0, "k must be positive");
-    assert!(
-        config.k <= a.rows().min(a.cols()).max(1),
-        "k = {} exceeds min dimension of {:?}",
-        config.k,
-        a.shape()
-    );
-    let deterministic_init = matches!(config.init, Init::Nndsvd | Init::NndsvdA);
-    let restarts = if deterministic_init { 1 } else { config.restarts.max(1) };
-
-    let mut best: Option<NnmfModel> = None;
-    for r in 0..restarts {
-        let seed = config.seed.wrapping_add(r as u64);
-        let (w0, h0) = init_factors(a, config.k, config.init, seed);
-        let model = fit_single(a, w0, h0, config, seed);
-        let better = best
-            .as_ref()
-            .map(|b| model.loss < b.loss)
-            .unwrap_or(true);
-        if better {
-            best = Some(model);
-        }
+    match try_nnmf(a, config) {
+        Ok(model) => model,
+        Err(e) => panic!("{e}"),
     }
-    best.expect("at least one restart ran")
 }
 
-fn fit_single(a: &Matrix, mut w: Matrix, mut h: Matrix, config: &NnmfConfig, seed: u64) -> NnmfModel {
+/// Marker for a restart whose loss went non-finite or blew past the
+/// divergence threshold.
+struct FitDiverged;
+
+/// One guarded restart: the historical `fit_single` loop plus divergence
+/// detection at every amortized loss check and an optional per-restart
+/// wall-clock budget.
+fn fit_guarded(
+    a: &Matrix,
+    mut w: Matrix,
+    mut h: Matrix,
+    config: &NnmfConfig,
+    seed: u64,
+) -> Result<NnmfModel, FitDiverged> {
+    let started = Instant::now();
     let mut prev_loss = loss(a, &w, &h);
+    if !prev_loss.is_finite() {
+        return Err(FitDiverged);
+    }
     let init_loss = prev_loss.max(EPS);
     let mut iterations = 0;
     let mut converged = false;
+    let mut budget_hit = false;
     for it in 0..config.max_iter {
         match config.solver {
             Solver::MultiplicativeUpdate => mu_step(a, &mut w, &mut h),
@@ -224,24 +400,53 @@ fn fit_single(a: &Matrix, mut w: Matrix, mut h: Matrix, config: &NnmfConfig, see
         }
         iterations = it + 1;
         // Convergence is checked every 10 iterations like scikit-learn to
-        // amortize the loss evaluation.
+        // amortize the loss evaluation; divergence piggybacks on the same
+        // checkpoints so the happy path stays cost-identical.
         if iterations % 10 == 0 || iterations == config.max_iter {
             let cur = loss(a, &w, &h);
+            if !cur.is_finite() || cur > init_loss * DIVERGENCE_FACTOR {
+                return Err(FitDiverged);
+            }
             if (prev_loss - cur).abs() / init_loss < config.tol {
                 converged = true;
                 break;
             }
             prev_loss = cur;
         }
+        if let Some(ms) = config.max_wall_ms {
+            if started.elapsed().as_millis() as u64 >= ms {
+                budget_hit = true;
+                break;
+            }
+        }
     }
     let final_loss = loss(a, &w, &h);
-    NnmfModel {
+    if !final_loss.is_finite() {
+        return Err(FitDiverged);
+    }
+    Ok(NnmfModel {
         w,
         h,
         loss: final_loss,
         iterations,
         converged,
         winning_seed: seed,
+        recovery: NnmfRecovery {
+            budget_exceeded: usize::from(budget_hit),
+            ..NnmfRecovery::default()
+        },
+    })
+}
+
+/// Single restart with caller-provided initialization, kept for the
+/// solver-comparison tests.
+#[cfg(test)]
+fn fit_single(a: &Matrix, w: Matrix, h: Matrix, config: &NnmfConfig, seed: u64) -> NnmfModel {
+    match fit_guarded(a, w, h, config, seed) {
+        Ok(model) => model,
+        Err(FitDiverged) => {
+            panic!("NNMF restart diverged (seed {seed}); use try_nnmf for typed recovery")
+        }
     }
 }
 
@@ -531,7 +736,10 @@ mod tests {
         for _ in 0..5 {
             anls_step(&a, &mut w, &mut h);
             let cur = loss(&a, &w, &h);
-            assert!(cur <= prev + 1e-9, "ANLS decreases the loss ({prev} → {cur})");
+            assert!(
+                cur <= prev + 1e-9,
+                "ANLS decreases the loss ({prev} → {cur})"
+            );
             prev = cur;
         }
     }
@@ -541,5 +749,91 @@ mod tests {
         let a = Matrix::zeros(4, 6);
         let m = nnmf(&a, &NnmfConfig::paper_default(2));
         assert!(m.loss < 1e-9);
+        assert!(m.recovery.is_clean());
+    }
+
+    #[test]
+    fn try_nnmf_reports_typed_input_errors() {
+        use crate::error::NnmfError;
+        let nan = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![0.5, 2.0]]);
+        assert!(matches!(
+            try_nnmf(&nan, &NnmfConfig::paper_default(1)),
+            Err(NnmfError::NonFinite { row: 0, col: 1, .. })
+        ));
+        let neg = Matrix::from_rows(&[vec![1.0, 2.0], vec![-0.5, 2.0]]);
+        assert!(matches!(
+            try_nnmf(&neg, &NnmfConfig::paper_default(1)),
+            Err(NnmfError::NegativeEntry { row: 1, col: 0, .. })
+        ));
+        let ok = Matrix::full(2, 2, 1.0);
+        assert!(matches!(
+            try_nnmf(&ok, &NnmfConfig::paper_default(0)),
+            Err(NnmfError::ZeroRank)
+        ));
+        assert!(matches!(
+            try_nnmf(&ok, &NnmfConfig::paper_default(3)),
+            Err(NnmfError::RankTooLarge {
+                k: 3,
+                shape: (2, 2)
+            })
+        ));
+    }
+
+    #[test]
+    fn divergence_guard_recovers_via_nndsvd_fallback() {
+        // Entries near sqrt(f64::MAX): any random-init restart's initial
+        // loss ½‖A − WH‖² overflows to Inf (the residual is ~6e153 per
+        // entry, squared and summed over 80 entries), so every seeded
+        // restart diverges regardless of RNG stream. The rank-1 structure
+        // is exactly recoverable by the pre-scaled NNDSVD fallback.
+        let a = Matrix::full(8, 10, 6e153);
+        let cfg = NnmfConfig {
+            restarts: 3,
+            ..NnmfConfig::paper_default(2)
+        };
+        let m = try_nnmf(&a, &cfg).expect("recovery ladder must rescue the fit");
+        assert!(m.loss.is_finite());
+        assert!(m.w.is_finite() && m.h.is_finite());
+        assert!(
+            m.recovery.nndsvd_fallback,
+            "NNDSVD fallback should have fired"
+        );
+        assert!(m.recovery.reseeded, "reseed round precedes the fallback");
+        assert!(
+            m.recovery.failed_restarts >= 6,
+            "both random rounds must be recorded as failures: {:?}",
+            m.recovery
+        );
+        // Reconstruction is tight in relative terms.
+        let rec = m.reconstruct();
+        let rel = (0..a.rows())
+            .flat_map(|i| (0..a.cols()).map(move |j| (i, j)))
+            .map(|(i, j)| ((a.get(i, j) - rec.get(i, j)) / a.get(i, j)).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(rel < 1e-6, "relative reconstruction error too large: {rel}");
+    }
+
+    #[test]
+    fn wall_clock_budget_truncates_restart() {
+        let a = block_matrix();
+        let cfg = NnmfConfig {
+            max_wall_ms: Some(0),
+            restarts: 1,
+            ..NnmfConfig::paper_default(2)
+        };
+        let m = try_nnmf(&a, &cfg).expect("budget exhaustion is not an error");
+        assert!(m.loss.is_finite());
+        assert!(
+            m.recovery.budget_exceeded >= 1,
+            "zero budget must trip the wall-clock guard"
+        );
+        assert!(m.iterations < cfg.max_iter);
+    }
+
+    #[test]
+    fn clean_fit_reports_clean_recovery() {
+        let a = block_matrix();
+        let m = try_nnmf(&a, &NnmfConfig::paper_default(2)).unwrap();
+        assert!(m.recovery.is_clean(), "{:?}", m.recovery);
     }
 }

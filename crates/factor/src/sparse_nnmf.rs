@@ -60,7 +60,11 @@ pub fn nnmf_sparse(a: &CsrMatrix, config: &NnmfConfig) -> NnmfModel {
     );
     let dense_seed_view = || a.to_dense();
     let deterministic_init = matches!(config.init, Init::Nndsvd | Init::NndsvdA);
-    let restarts = if deterministic_init { 1 } else { config.restarts.max(1) };
+    let restarts = if deterministic_init {
+        1
+    } else {
+        config.restarts.max(1)
+    };
 
     let mut best: Option<NnmfModel> = None;
     for r in 0..restarts {
@@ -133,6 +137,7 @@ fn fit_sparse(
         iterations,
         converged,
         winning_seed: seed,
+        recovery: crate::nnmf::NnmfRecovery::default(),
     }
 }
 
@@ -191,13 +196,7 @@ mod tests {
     use crate::nnmf::nnmf;
 
     fn block_dense() -> Matrix {
-        Matrix::from_fn(10, 14, |i, j| {
-            if (i < 5) == (j < 7) {
-                1.0
-            } else {
-                0.0
-            }
-        })
+        Matrix::from_fn(10, 14, |i, j| if (i < 5) == (j < 7) { 1.0 } else { 0.0 })
     }
 
     #[test]

@@ -155,7 +155,10 @@ mod tests {
     #[test]
     fn euclidean_and_manhattan() {
         assert_eq!(distance(&[0., 0.], &[3., 4.], Metric::Euclidean), 5.0);
-        assert_eq!(distance(&[0., 0.], &[3., 4.], Metric::SquaredEuclidean), 25.0);
+        assert_eq!(
+            distance(&[0., 0.], &[3., 4.], Metric::SquaredEuclidean),
+            25.0
+        );
         assert_eq!(distance(&[0., 0.], &[3., 4.], Metric::Manhattan), 7.0);
     }
 

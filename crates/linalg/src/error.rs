@@ -1,0 +1,102 @@
+//! Typed errors for the linear-algebra substrate.
+//!
+//! The panicking kernels in [`crate::ops`] and [`crate::solve`] stay as the
+//! ergonomic default for internal callers that uphold the shape contracts;
+//! the `try_*` variants introduced alongside them return [`LinalgError`] so
+//! serving-path code can degrade instead of crashing on malformed input.
+
+use std::fmt;
+
+/// Errors produced by checked linear-algebra operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the operation.
+    ShapeMismatch {
+        /// Operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand (vectors are `(len, 1)`).
+        right: (usize, usize),
+    },
+    /// An operand contains a NaN or infinite entry.
+    NotFinite {
+        /// Operation name.
+        op: &'static str,
+        /// Row of the first offending entry.
+        row: usize,
+        /// Column of the first offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A square matrix was required.
+    NotSquare {
+        /// Operation name.
+        op: &'static str,
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// The matrix is not (numerically) symmetric positive-definite.
+    NotSpd {
+        /// Operation name.
+        op: &'static str,
+    },
+    /// The system is singular (or numerically rank-deficient).
+    Singular {
+        /// Operation name.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => {
+                write!(f, "{op} dimension mismatch: {left:?} x {right:?}")
+            }
+            LinalgError::NotFinite {
+                op,
+                row,
+                col,
+                value,
+            } => {
+                write!(f, "{op}: non-finite entry {value} at ({row}, {col})")
+            }
+            LinalgError::NotSquare { op, shape } => {
+                write!(f, "{op}: matrix must be square, got {shape:?}")
+            }
+            LinalgError::NotSpd { op } => {
+                write!(f, "{op}: matrix is not symmetric positive-definite")
+            }
+            LinalgError::Singular { op } => write!(f, "{op}: singular system"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_keeps_panic_compatible_wording() {
+        // The panicking wrappers format these errors into their panic
+        // messages; downstream `#[should_panic(expected = ...)]` tests rely
+        // on the historical substrings.
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (2, 3),
+        };
+        assert!(e.to_string().contains("dimension mismatch"));
+        let e = LinalgError::NotFinite {
+            op: "nnmf",
+            row: 1,
+            col: 2,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("non-finite"));
+    }
+}

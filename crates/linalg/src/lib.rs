@@ -23,6 +23,7 @@
 
 pub mod distance;
 pub mod eigen;
+pub mod error;
 pub mod matrix;
 pub mod norms;
 pub mod ops;
@@ -33,9 +34,15 @@ pub mod svd;
 
 pub use distance::{pairwise_cosine_similarity, pairwise_distances, Metric};
 pub use eigen::{power_iteration, sym_eigen, SymEigen};
+pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use norms::{frobenius, frobenius_diff, frobenius_sq, relative_error};
-pub use ops::{gram, matmul, matmul_a_bt, matmul_at_b, matmul_seq};
-pub use solve::{cholesky, lstsq, nnls, solve_spd};
+pub use ops::{
+    gram, matmul, matmul_a_bt, matmul_at_b, matmul_seq, try_matmul, try_matmul_a_bt,
+    try_matmul_at_b, try_matvec,
+};
+pub use solve::{
+    cholesky, lstsq, nnls, solve_spd, try_cholesky, try_lstsq, try_nnls, try_solve_spd,
+};
 pub use sparse::CsrMatrix;
 pub use svd::{randomized_svd, thin_svd, Svd};

@@ -185,7 +185,9 @@ impl Matrix {
     /// Copy column `j` into a new vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Overwrite column `j` from a slice.
@@ -340,6 +342,34 @@ impl Matrix {
     /// True iff all entries are finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// First NaN/infinite entry as `(row, col, value)`, or `None` if the
+    /// matrix is entirely finite. Used by checked ops to produce actionable
+    /// diagnostics instead of a bare boolean.
+    pub fn find_non_finite(&self) -> Option<(usize, usize, f64)> {
+        self.data.iter().position(|v| !v.is_finite()).map(|idx| {
+            (
+                idx / self.cols.max(1),
+                idx % self.cols.max(1),
+                self.data[idx],
+            )
+        })
+    }
+
+    /// First negative (or non-finite) entry as `(row, col, value)`, or
+    /// `None` if every entry is finite and `>= 0`.
+    pub fn find_negative(&self) -> Option<(usize, usize, f64)> {
+        self.data
+            .iter()
+            .position(|v| !(v.is_finite() && *v >= 0.0))
+            .map(|idx| {
+                (
+                    idx / self.cols.max(1),
+                    idx % self.cols.max(1),
+                    self.data[idx],
+                )
+            })
     }
 
     /// Entrywise approximate equality within `tol` (absolute).

@@ -6,6 +6,7 @@
 //! construction) and preserves bitwise determinism: the per-entry reduction
 //! order is identical to the sequential kernel.
 
+use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use rayon::prelude::*;
 
@@ -211,6 +212,57 @@ pub fn scale(a: &Matrix, alpha: f64) -> Matrix {
     a.map(|v| v * alpha)
 }
 
+/// Checked `C = A * B`: validates shapes before delegating to [`matmul`].
+pub fn try_matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    Ok(matmul(a, b))
+}
+
+/// Checked `C = Aᵀ * B`: validates shapes before delegating to
+/// [`matmul_at_b`].
+pub fn try_matmul_at_b(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "AᵀB",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    Ok(matmul_at_b(a, b))
+}
+
+/// Checked `C = A * Bᵀ`: validates shapes before delegating to
+/// [`matmul_a_bt`].
+pub fn try_matmul_a_bt(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "ABᵀ",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    Ok(matmul_a_bt(a, b))
+}
+
+/// Checked matrix–vector product: validates shapes before delegating to
+/// [`matvec`].
+pub fn try_matvec(a: &Matrix, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if a.cols() != x.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matvec",
+            left: a.shape(),
+            right: (x.len(), 1),
+        });
+    }
+    Ok(matvec(a, x))
+}
+
 /// Matrix–vector product `A x`.
 ///
 /// # Panics
@@ -338,6 +390,33 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn try_variants_report_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        match try_matmul(&a, &b) {
+            Err(LinalgError::ShapeMismatch { op, left, right }) => {
+                assert_eq!(op, "matmul");
+                assert_eq!(left, (2, 3));
+                assert_eq!(right, (2, 3));
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        assert!(try_matmul_at_b(&Matrix::zeros(2, 3), &Matrix::zeros(4, 3)).is_err());
+        assert!(try_matmul_a_bt(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2)).is_err());
+        assert!(try_matvec(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn try_variants_match_panicking_kernels() {
+        let (a, b) = small();
+        assert_eq!(try_matmul(&a, &b).unwrap(), matmul(&a, &b));
+        assert_eq!(
+            try_matvec(&a, &[1.0, 1.0]).unwrap(),
+            matvec(&a, &[1.0, 1.0])
+        );
     }
 
     #[test]

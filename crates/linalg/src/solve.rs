@@ -2,6 +2,7 @@
 //! Lawson–Hanson non-negative least squares (NNLS) routine used by the
 //! ANLS NNMF solver.
 
+use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::ops::{dot, matmul_at_b, matvec};
 
@@ -178,6 +179,97 @@ pub fn nnls(a: &Matrix, b: &[f64], tol: f64) -> Vec<f64> {
     x
 }
 
+/// Checked Cholesky: distinguishes the shape, finiteness, and SPD failure
+/// modes that [`cholesky`]'s `Option` return collapses into `None`.
+pub fn try_cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare {
+            op: "cholesky",
+            shape: a.shape(),
+        });
+    }
+    if let Some((row, col, value)) = a.find_non_finite() {
+        return Err(LinalgError::NotFinite {
+            op: "cholesky",
+            row,
+            col,
+            value,
+        });
+    }
+    cholesky(a).ok_or(LinalgError::NotSpd { op: "cholesky" })
+}
+
+/// Checked SPD solve with typed diagnostics; see [`solve_spd`].
+pub fn try_solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_spd",
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let l = try_cholesky(a)?;
+    let y = solve_lower(&l, b);
+    Ok(solve_lower_transpose(&l, &y))
+}
+
+/// Checked least squares with typed diagnostics; see [`lstsq`].
+pub fn try_lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "lstsq",
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    if let Some((row, col, value)) = a.find_non_finite() {
+        return Err(LinalgError::NotFinite {
+            op: "lstsq",
+            row,
+            col,
+            value,
+        });
+    }
+    if let Some(idx) = b.iter().position(|v| !v.is_finite()) {
+        return Err(LinalgError::NotFinite {
+            op: "lstsq",
+            row: idx,
+            col: 0,
+            value: b[idx],
+        });
+    }
+    lstsq(a, b).ok_or(LinalgError::Singular { op: "lstsq" })
+}
+
+/// Checked NNLS: validates shapes and finiteness before delegating to the
+/// panicking [`nnls`] routine.
+pub fn try_nnls(a: &Matrix, b: &[f64], tol: f64) -> Result<Vec<f64>, LinalgError> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "nnls",
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    if let Some((row, col, value)) = a.find_non_finite() {
+        return Err(LinalgError::NotFinite {
+            op: "nnls",
+            row,
+            col,
+            value,
+        });
+    }
+    if let Some(idx) = b.iter().position(|v| !v.is_finite()) {
+        return Err(LinalgError::NotFinite {
+            op: "nnls",
+            row: idx,
+            col: 0,
+            value: b[idx],
+        });
+    }
+    Ok(nnls(a, b, tol))
+}
+
 /// Residual norm of an NNLS/LS solution (test helper; exact definition
 /// `‖A x − b‖₂`).
 pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
@@ -234,7 +326,9 @@ mod tests {
 
     #[test]
     fn lstsq_recovers_exact_solution() {
-        let a = Matrix::from_fn(6, 3, |i, j| ((i + 1) * (j + 1)) as f64 + ((i * j) % 3) as f64);
+        let a = Matrix::from_fn(6, 3, |i, j| {
+            ((i + 1) * (j + 1)) as f64 + ((i * j) % 3) as f64
+        });
         let x_true = [2.0, -1.0, 0.5];
         let b = matvec(&a, &x_true);
         let x = lstsq(&a, &b).expect("full rank");
@@ -277,6 +371,55 @@ mod tests {
                 assert!(g.abs() <= 1e-6, "stationarity violated at {j}: {g}");
             }
         }
+    }
+
+    #[test]
+    fn try_solvers_classify_failures() {
+        use crate::error::LinalgError;
+        // Non-square → NotSquare, not a generic None.
+        assert!(matches!(
+            try_cholesky(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { op: "cholesky", .. })
+        ));
+        // Indefinite → NotSpd.
+        let indef = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(matches!(
+            try_cholesky(&indef),
+            Err(LinalgError::NotSpd { op: "cholesky" })
+        ));
+        // NaN entry → NotFinite with its coordinates.
+        let mut nan = spd();
+        nan.set(1, 2, f64::NAN);
+        match try_cholesky(&nan) {
+            Err(LinalgError::NotFinite { row, col, .. }) => {
+                assert_eq!((row, col), (1, 2));
+            }
+            other => panic!("expected NotFinite, got {other:?}"),
+        }
+        // Mismatched rhs → ShapeMismatch.
+        assert!(matches!(
+            try_solve_spd(&spd(), &[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch {
+                op: "solve_spd",
+                ..
+            })
+        ));
+        assert!(matches!(
+            try_nnls(&Matrix::zeros(3, 2), &[1.0], 1e-12),
+            Err(LinalgError::ShapeMismatch { op: "nnls", .. })
+        ));
+        // NaN rhs → NotFinite.
+        assert!(matches!(
+            try_lstsq(
+                &Matrix::from_fn(3, 2, |i, j| (i + j + 1) as f64),
+                &[1.0, f64::NAN, 0.0]
+            ),
+            Err(LinalgError::NotFinite { op: "lstsq", .. })
+        ));
+        // Happy paths agree with the Option-returning routines.
+        let a = spd();
+        let b = matvec(&a, &[1.0, -2.0, 3.0, 0.5]);
+        assert_eq!(try_solve_spd(&a, &b).unwrap(), solve_spd(&a, &b).unwrap());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use crate::eigen::sym_eigen;
 use crate::matrix::Matrix;
 use crate::norms::norm2;
-use crate::ops::{matmul, matmul_at_b, matmul_a_bt};
+use crate::ops::{matmul, matmul_a_bt, matmul_at_b};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -215,7 +215,12 @@ mod tests {
         // Rank-1 matrix: outer product.
         let a = Matrix::from_fn(5, 4, |i, j| ((i + 1) * (j + 1)) as f64);
         let svd = thin_svd(&a);
-        assert_eq!(svd.s.len(), 1, "numerical rank should be 1, got {:?}", svd.s);
+        assert_eq!(
+            svd.s.len(),
+            1,
+            "numerical rank should be 1, got {:?}",
+            svd.s
+        );
         assert!(svd.reconstruct().approx_eq(&a, 1e-7));
     }
 

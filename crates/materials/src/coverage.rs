@@ -88,11 +88,7 @@ impl CoverageReport {
     }
 
     /// Audit a set of courses jointly (a program audit): union of tags.
-    pub fn audit_program(
-        store: &MaterialStore,
-        ontology: &Ontology,
-        courses: &[CourseId],
-    ) -> Self {
+    pub fn audit_program(store: &MaterialStore, ontology: &Ontology, courses: &[CourseId]) -> Self {
         let mut tags = BTreeSet::new();
         for &c in courses {
             tags.extend(store.course_tags(c));
@@ -130,8 +126,7 @@ impl CoverageReport {
 
     /// Units with any coverage, sorted by descending fraction then id.
     pub fn strongest_units(&self, n: usize) -> Vec<&KuCoverage> {
-        let mut covered: Vec<&KuCoverage> =
-            self.units.iter().filter(|u| u.covered > 0).collect();
+        let mut covered: Vec<&KuCoverage> = self.units.iter().filter(|u| u.covered > 0).collect();
         covered.sort_by(|a, b| {
             b.fraction()
                 .partial_cmp(&a.fraction())
@@ -198,9 +193,7 @@ mod tests {
         s.add_material(c2, "m2", MaterialKind::Lecture, "I", None, vec![], vec![t2]);
         let r1 = CoverageReport::audit_course(&s, g, c1);
         let rp = CoverageReport::audit_program(&s, g, &[c1, c2]);
-        let covered = |r: &CoverageReport| -> usize {
-            r.units.iter().map(|u| u.covered).sum()
-        };
+        let covered = |r: &CoverageReport| -> usize { r.units.iter().map(|u| u.covered).sum() };
         assert_eq!(covered(&r1), 1);
         assert_eq!(covered(&rp), 2, "program audit unions course tags");
     }

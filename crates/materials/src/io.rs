@@ -73,6 +73,21 @@ pub enum ImportError {
         /// Offending code.
         code: String,
     },
+    /// Two courses share the same display name (the analysis keys figures
+    /// and recommendations by name, so duplicates would silently alias).
+    DuplicateCourse {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A course lists two materials with the same name.
+    DuplicateMaterial {
+        /// Offending course name.
+        course: String,
+        /// The duplicated material name.
+        name: String,
+    },
+    /// The file contains no courses at all.
+    Empty,
 }
 
 impl std::fmt::Display for ImportError {
@@ -80,11 +95,21 @@ impl std::fmt::Display for ImportError {
         match self {
             ImportError::Parse(e) => write!(f, "parse error: {e}"),
             ImportError::GuidelineMismatch { found, expected } => {
-                write!(f, "guideline mismatch: file references {found:?}, expected {expected:?}")
+                write!(
+                    f,
+                    "guideline mismatch: file references {found:?}, expected {expected:?}"
+                )
             }
             ImportError::UnknownTag { course, code } => {
                 write!(f, "course {course:?} references unknown tag {code:?}")
             }
+            ImportError::DuplicateCourse { name } => {
+                write!(f, "duplicate course {name:?}")
+            }
+            ImportError::DuplicateMaterial { course, name } => {
+                write!(f, "course {course:?} lists material {name:?} twice")
+            }
+            ImportError::Empty => write!(f, "store contains no courses"),
         }
     }
 }
@@ -142,8 +167,18 @@ pub fn import(portable: &PortableStore, ontology: &Ontology) -> Result<MaterialS
             expected: ontology.name.clone(),
         });
     }
+    if portable.courses.is_empty() {
+        return Err(ImportError::Empty);
+    }
+    let mut seen_courses = std::collections::HashSet::new();
     let mut store = MaterialStore::new();
     for c in &portable.courses {
+        if !seen_courses.insert(c.name.as_str()) {
+            return Err(ImportError::DuplicateCourse {
+                name: c.name.clone(),
+            });
+        }
+        let mut seen_materials = std::collections::HashSet::new();
         let cid = store.add_course(
             c.name.clone(),
             c.institution.clone(),
@@ -152,14 +187,22 @@ pub fn import(portable: &PortableStore, ontology: &Ontology) -> Result<MaterialS
             c.language.clone(),
         );
         for m in &c.materials {
+            if !seen_materials.insert(m.name.as_str()) {
+                return Err(ImportError::DuplicateMaterial {
+                    course: c.name.clone(),
+                    name: m.name.clone(),
+                });
+            }
             let tags = m
                 .tags
                 .iter()
                 .map(|code| {
-                    ontology.by_code(code).ok_or_else(|| ImportError::UnknownTag {
-                        course: c.name.clone(),
-                        code: code.clone(),
-                    })
+                    ontology
+                        .by_code(code)
+                        .ok_or_else(|| ImportError::UnknownTag {
+                            course: c.name.clone(),
+                            code: code.clone(),
+                        })
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             store.add_material(
@@ -191,13 +234,7 @@ mod tests {
     fn sample_store() -> MaterialStore {
         let g = cs2013();
         let mut s = MaterialStore::new();
-        let c = s.add_course(
-            "Test",
-            "U",
-            "I",
-            vec![CourseLabel::Cs1],
-            Some("C".into()),
-        );
+        let c = s.add_course("Test", "U", "I", vec![CourseLabel::Cs1], Some("C".into()));
         let t1 = g.by_code("SDF.FPC.t1").unwrap();
         let t2 = g.by_code("AL.BA.o1").unwrap();
         s.add_material(
@@ -244,7 +281,9 @@ mod tests {
         let g = cs2013();
         let s = sample_store();
         let mut portable = export(&s, g);
-        portable.courses[0].materials[0].tags.push("NOT.A.CODE".into());
+        portable.courses[0].materials[0]
+            .tags
+            .push("NOT.A.CODE".into());
         let err = import(&portable, g).unwrap_err();
         match err {
             ImportError::UnknownTag { code, .. } => assert_eq!(code, "NOT.A.CODE"),
@@ -258,6 +297,60 @@ mod tests {
         let err = import_json("{not json", g).unwrap_err();
         assert!(matches!(err, ImportError::Parse(_)));
         assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn truncated_json_is_a_parse_error() {
+        let g = cs2013();
+        let s = sample_store();
+        let json = export_json(&s, g);
+        // Cut the document mid-stream: every prefix must fail cleanly.
+        let cut = json.len() / 2;
+        let err = import_json(&json[..cut], g).unwrap_err();
+        assert!(matches!(err, ImportError::Parse(_)));
+    }
+
+    #[test]
+    fn duplicate_course_detected() {
+        let g = cs2013();
+        let s = sample_store();
+        let mut portable = export(&s, g);
+        let copy = portable.courses[0].clone();
+        portable.courses.push(copy);
+        let err = import(&portable, g).unwrap_err();
+        match err {
+            ImportError::DuplicateCourse { name } => assert_eq!(name, "Test"),
+            other => panic!("expected DuplicateCourse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_material_detected() {
+        let g = cs2013();
+        let s = sample_store();
+        let mut portable = export(&s, g);
+        let copy = portable.courses[0].materials[0].clone();
+        portable.courses[0].materials.push(copy);
+        let err = import(&portable, g).unwrap_err();
+        match err {
+            ImportError::DuplicateMaterial { course, name } => {
+                assert_eq!(course, "Test");
+                assert_eq!(name, "L1");
+            }
+            other => panic!("expected DuplicateMaterial, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_store_detected() {
+        let g = cs2013();
+        let portable = PortableStore {
+            guideline: g.name.clone(),
+            courses: vec![],
+        };
+        let err = import(&portable, g).unwrap_err();
+        assert_eq!(err, ImportError::Empty);
+        assert!(err.to_string().contains("no courses"));
     }
 
     #[test]

@@ -33,11 +33,7 @@ impl TagSpace {
 
     /// The tag space spanned by the union of tags of `courses`.
     pub fn spanned_by(store: &MaterialStore, courses: &[CourseId]) -> Self {
-        Self::from_tags(
-            courses
-                .iter()
-                .flat_map(|&c| store.course_tags(c)),
-        )
+        Self::from_tags(courses.iter().flat_map(|&c| store.course_tags(c)))
     }
 
     /// Number of columns.
@@ -258,8 +254,24 @@ mod tests {
         let t1 = g.by_code("SDF.FPC.t1").unwrap();
         let t2 = g.by_code("SDF.FPC.t2").unwrap();
         let t3 = g.by_code("SDF.AD.t1").unwrap();
-        s.add_material(c1, "L", MaterialKind::Lecture, "I1", None, vec![], vec![t1, t2]);
-        s.add_material(c2, "L", MaterialKind::Lecture, "I2", None, vec![], vec![t2, t3]);
+        s.add_material(
+            c1,
+            "L",
+            MaterialKind::Lecture,
+            "I1",
+            None,
+            vec![],
+            vec![t1, t2],
+        );
+        s.add_material(
+            c2,
+            "L",
+            MaterialKind::Lecture,
+            "I2",
+            None,
+            vec![],
+            vec![t2, t3],
+        );
         (s, vec![c1, c2])
     }
 
@@ -343,7 +355,15 @@ mod tests {
         let c = s.add_course("A", "U", "I", vec![CourseLabel::Cs1], None);
         let t = g.by_code("SDF.FPC.t1").unwrap();
         s.add_material(c, "m1", MaterialKind::Lecture, "I", None, vec![], vec![t]);
-        s.add_material(c, "m2", MaterialKind::Assessment, "I", None, vec![], vec![t]);
+        s.add_material(
+            c,
+            "m2",
+            MaterialKind::Assessment,
+            "I",
+            None,
+            vec![],
+            vec![t],
+        );
         s.add_material(c, "m3", MaterialKind::Lab, "I", None, vec![], vec![t]);
         let cm = CourseMatrix::build_weighted(&s, &[c], Weighting::MaterialCount);
         assert_eq!(cm.a.get(0, 0), 3.0, "three materials cover the tag");

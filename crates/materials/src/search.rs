@@ -203,9 +203,33 @@ mod tests {
         let t2 = g.by_code("SDF.FPC.t2").unwrap();
         let t3 = g.by_code("AL.BA.t1").unwrap();
         let nearby = g.by_code("SDF.FPC.t5").unwrap();
-        let m1 = s.add_material(c, "exact", MaterialKind::Lecture, "alice", Some("C".into()), vec![], vec![t1, t2]);
-        let m2 = s.add_material(c, "near", MaterialKind::Lecture, "bob", Some("Java".into()), vec![], vec![nearby]);
-        let m3 = s.add_material(c, "far", MaterialKind::Assignment, "alice", Some("C".into()), vec!["earthquakes".into()], vec![t3]);
+        let m1 = s.add_material(
+            c,
+            "exact",
+            MaterialKind::Lecture,
+            "alice",
+            Some("C".into()),
+            vec![],
+            vec![t1, t2],
+        );
+        let m2 = s.add_material(
+            c,
+            "near",
+            MaterialKind::Lecture,
+            "bob",
+            Some("Java".into()),
+            vec![],
+            vec![nearby],
+        );
+        let m3 = s.add_material(
+            c,
+            "far",
+            MaterialKind::Assignment,
+            "alice",
+            Some("C".into()),
+            vec!["earthquakes".into()],
+            vec![t3],
+        );
         (s, vec![m1, m2, m3])
     }
 

@@ -119,7 +119,15 @@ mod tests {
         let t1 = g.by_code("SDF.FPC.t1").unwrap();
         let t2 = g.by_code("SDF.FPC.t2").unwrap();
         let t3 = g.by_code("AL.BA.t1").unwrap();
-        let m1 = s.add_material(c, "m1", MaterialKind::Lecture, "a", None, vec![], vec![t1, t2]);
+        let m1 = s.add_material(
+            c,
+            "m1",
+            MaterialKind::Lecture,
+            "a",
+            None,
+            vec![],
+            vec![t1, t2],
+        );
         let m2 = s.add_material(c, "m2", MaterialKind::Lecture, "a", None, vec![], vec![t1]);
         let m3 = s.add_material(c, "m3", MaterialKind::Lecture, "a", None, vec![], vec![t3]);
         (s, vec![m1, m2, m3], vec![t1, t2])

@@ -174,7 +174,10 @@ impl MaterialStore {
             for &m in &c.materials {
                 let idx = m.0 as usize;
                 if idx >= self.materials.len() {
-                    return Err(format!("course {} references unknown material {}", c.name, m.0));
+                    return Err(format!(
+                        "course {} references unknown material {}",
+                        c.name, m.0
+                    ));
                 }
                 if seen[idx] {
                     return Err(format!("material {} owned by two courses", m.0));
@@ -226,7 +229,15 @@ mod tests {
         let g = cs2013();
         let t1 = g.by_code("SDF.FPC.t1").unwrap();
         let t2 = g.by_code("SDF.FPC.t2").unwrap();
-        let m = s.add_material(c, "Week 1", MaterialKind::Lecture, "Tester", None, vec![], vec![t1, t2]);
+        let m = s.add_material(
+            c,
+            "Week 1",
+            MaterialKind::Lecture,
+            "Tester",
+            None,
+            vec![],
+            vec![t1, t2],
+        );
         assert_eq!(s.material_count(), 1);
         assert_eq!(s.material(m).tags.len(), 2);
         assert_eq!(s.course(c).materials, vec![m]);
@@ -240,8 +251,24 @@ mod tests {
         let t1 = g.by_code("SDF.FPC.t1").unwrap();
         let t2 = g.by_code("SDF.FPC.t2").unwrap();
         let t3 = g.by_code("SDF.AD.t1").unwrap();
-        s.add_material(c, "L1", MaterialKind::Lecture, "T", None, vec![], vec![t1, t2]);
-        s.add_material(c, "A1", MaterialKind::Assignment, "T", None, vec![], vec![t2, t3]);
+        s.add_material(
+            c,
+            "L1",
+            MaterialKind::Lecture,
+            "T",
+            None,
+            vec![],
+            vec![t1, t2],
+        );
+        s.add_material(
+            c,
+            "A1",
+            MaterialKind::Assignment,
+            "T",
+            None,
+            vec![],
+            vec![t2, t3],
+        );
         let tags = s.course_tags(c);
         assert_eq!(tags.len(), 3);
         assert!(tags.windows(2).all(|w| w[0] < w[1]), "sorted");
@@ -254,7 +281,15 @@ mod tests {
         let t1 = g.by_code("SDF.FPC.t1").unwrap();
         let t2 = g.by_code("SDF.FPC.t2").unwrap();
         s.add_material(c, "L1", MaterialKind::Lecture, "T", None, vec![], vec![t1]);
-        s.add_material(c, "E1", MaterialKind::Assessment, "T", None, vec![], vec![t2]);
+        s.add_material(
+            c,
+            "E1",
+            MaterialKind::Assessment,
+            "T",
+            None,
+            vec![],
+            vec![t2],
+        );
         assert_eq!(s.course_tags_of_kind(c, MaterialKind::Lecture), vec![t1]);
         assert_eq!(s.course_tags_of_kind(c, MaterialKind::Assessment), vec![t2]);
         assert!(s.course_tags_of_kind(c, MaterialKind::Lab).is_empty());

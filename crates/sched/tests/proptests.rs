@@ -6,8 +6,7 @@ use anchors_sched::{graham_bounds, layered_dag, list_schedule, random_dag, Prior
 use proptest::prelude::*;
 
 fn dag_strategy() -> impl Strategy<Value = TaskGraph> {
-    (2usize..40, 0.0f64..0.4, 0u64..1000)
-        .prop_map(|(n, p, seed)| random_dag(n, p, 0.5..=6.0, seed))
+    (2usize..40, 0.0f64..0.4, 0u64..1000).prop_map(|(n, p, seed)| random_dag(n, p, 0.5..=6.0, seed))
 }
 
 fn layered_strategy() -> impl Strategy<Value = TaskGraph> {

@@ -22,7 +22,12 @@ pub struct GanttBar {
 /// Render a Gantt chart to SVG. Lanes are stacked top to bottom; the time
 /// axis is scaled to the data.
 pub fn svg_gantt(bars: &[GanttBar], title: &str) -> String {
-    let lanes = bars.iter().map(|b| b.lane).max().map(|m| m + 1).unwrap_or(1);
+    let lanes = bars
+        .iter()
+        .map(|b| b.lane)
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(1);
     let t_end = bars.iter().map(|b| b.end).fold(0.0f64, f64::max).max(1e-9);
     let lane_h = 26.0;
     let left = 70.0;
@@ -37,7 +42,13 @@ pub fn svg_gantt(bars: &[GanttBar], title: &str) -> String {
     for lane in 0..lanes {
         let y = top + lane as f64 * lane_h;
         doc.line(left, y + lane_h, width - 10.0, y + lane_h, "#dddddd", 0.5);
-        doc.text(left - 8.0, y + lane_h * 0.65, &format!("P{lane}"), 10.0, "end");
+        doc.text(
+            left - 8.0,
+            y + lane_h * 0.65,
+            &format!("P{lane}"),
+            10.0,
+            "end",
+        );
     }
     // Time axis ticks (5 ticks).
     for k in 0..=5 {

@@ -98,9 +98,17 @@ pub fn text_heatmap(m: &Matrix, opts: &HeatmapOptions) -> String {
 pub fn svg_heatmap(m: &Matrix, opts: &HeatmapOptions) -> String {
     let norm = normalized(m, opts.normalize_columns);
     let cell = opts.cell;
-    let label_w = if opts.row_labels.is_empty() { 8.0 } else { 260.0 };
+    let label_w = if opts.row_labels.is_empty() {
+        8.0
+    } else {
+        260.0
+    };
     let top = if opts.title.is_empty() { 8.0 } else { 28.0 }
-        + if opts.col_labels.is_empty() { 0.0 } else { 70.0 };
+        + if opts.col_labels.is_empty() {
+            0.0
+        } else {
+            70.0
+        };
     let width = label_w + m.cols() as f64 * cell + 16.0;
     let height = top + m.rows() as f64 * cell + 16.0;
     let mut doc = SvgDoc::new(width, height);

@@ -17,8 +17,12 @@ pub fn text_agreement_plot(counts: &[usize], title: &str) -> String {
         let buckets = 60usize;
         for b in 0..buckets {
             let lo = b * sorted.len() / buckets;
-            let hi = ((b + 1) * sorted.len() / buckets).max(lo + 1).min(sorted.len());
-            let any = sorted.get(lo..hi).is_some_and(|s| s.iter().any(|&v| v >= y));
+            let hi = ((b + 1) * sorted.len() / buckets)
+                .max(lo + 1)
+                .min(sorted.len());
+            let any = sorted
+                .get(lo..hi)
+                .is_some_and(|s| s.iter().any(|&v| v >= y));
             line.push(if any { '*' } else { ' ' });
         }
         out.push_str(line.trim_end());

@@ -248,15 +248,9 @@ mod tests {
         let g = cs2013();
         let (leaves, nodes) = induced(&["SDF.FPC.t1", "SDF.FPC.t2", "AL.BA.t1", "DS.GT.t1"]);
         let layout = radial_layout(g, &nodes);
-        let mut angles: Vec<f64> = leaves
-            .iter()
-            .map(|l| layout.positions[l].angle)
-            .collect();
+        let mut angles: Vec<f64> = leaves.iter().map(|l| layout.positions[l].angle).collect();
         angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let gaps: Vec<f64> = angles
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect();
+        let gaps: Vec<f64> = angles.windows(2).map(|w| w[1] - w[0]).collect();
         for g in &gaps {
             assert!(
                 (g - std::f64::consts::TAU / 4.0).abs() < 1e-9,

@@ -79,7 +79,9 @@ mod tests {
         let g = cs2013();
         let fpc_t1 = g.by_code("SDF.FPC.t1").unwrap();
         let nodes = induced(&["SDF.FPC.t1"]);
-        let txt = text_tree(g, &nodes, |n| (n == fpc_t1).then(|| "4 courses".to_string()));
+        let txt = text_tree(g, &nodes, |n| {
+            (n == fpc_t1).then(|| "4 courses".to_string())
+        });
         assert!(txt.contains("[4 courses]"));
     }
 

@@ -35,10 +35,7 @@ fn main() {
             println!("    do    : {}", rec.activity);
             for topic in &rec.pdc_topics {
                 let node = pdc.node(pdc.by_code(topic).expect("resolved topic"));
-                let bloom = node
-                    .bloom
-                    .map(|b| format!("{b:?}"))
-                    .unwrap_or_default();
+                let bloom = node.bloom.map(|b| format!("{b:?}")).unwrap_or_default();
                 println!("    PDC12 : {topic} [{bloom}] {}", node.label);
             }
             for anchor in &rec.anchors {

@@ -29,7 +29,11 @@ fn main() {
         agreement.spanned_kas(g, 4).join(", ")
     );
     for (ku, n) in agreement.tree(4).knowledge_units(g) {
-        println!("  {:<10} {:<44} {n} agreed items", g.node(ku).code, g.node(ku).label);
+        println!(
+            "  {:<10} {:<44} {n} agreed items",
+            g.node(ku).code,
+            g.node(ku).label
+        );
     }
 
     // --- Flavor discovery with automatic k selection (§4.4).

@@ -24,7 +24,10 @@ fn main() {
         .limit(10);
     let hits = search(&corpus.store, g, &query);
 
-    println!("query: graph/tree topics, language=Java → {} hits", hits.len());
+    println!(
+        "query: graph/tree topics, language=Java → {} hits",
+        hits.len()
+    );
     for h in &hits {
         let m = corpus.store.material(h.material);
         println!(
@@ -44,7 +47,10 @@ fn main() {
     );
 
     let emb = smacof(&graph.distance_matrix(), 2, 300, 1e-9, 7);
-    println!("MDS stress: {:.4} ({} iterations)", emb.stress, emb.iterations);
+    println!(
+        "MDS stress: {:.4} ({} iterations)",
+        emb.stress, emb.iterations
+    );
     let points: Vec<ScatterPoint> = graph
         .vertices
         .iter()
@@ -54,9 +60,7 @@ fn main() {
             y: emb.points.get(i, 1),
             label: match v {
                 anchors_materials::Vertex::Query => "QUERY".to_string(),
-                anchors_materials::Vertex::Material(m) => {
-                    corpus.store.material(*m).name.clone()
-                }
+                anchors_materials::Vertex::Material(m) => corpus.store.material(*m).name.clone(),
             },
             group: usize::from(!matches!(v, anchors_materials::Vertex::Query)),
         })

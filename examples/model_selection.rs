@@ -21,7 +21,11 @@ fn main() {
     ];
     for (name, courses) in groups {
         let a = CourseMatrix::build(&corpus.store, &courses).a;
-        println!("\n=== {name} ({} courses x {} tags) ===", a.rows(), a.cols());
+        println!(
+            "\n=== {name} ({} courses x {} tags) ===",
+            a.rows(),
+            a.cols()
+        );
 
         // The paper's §4.4 inspection: loss curve + duplicate dimensions.
         let base = NnmfConfig::paper_default(2);

@@ -35,10 +35,7 @@ fn main() {
     // Parallel tree-shaped reduction (rayon): different association order.
     let par_f: f32 = floats.par_iter().copied().reduce(|| 0.0, |a, b| a + b);
     // Chunked "4 threads" reduction: yet another order.
-    let chunk_f: f32 = floats
-        .chunks(n / 4)
-        .map(|c| c.iter().sum::<f32>())
-        .sum();
+    let chunk_f: f32 = floats.chunks(n / 4).map(|c| c.iter().sum::<f32>()).sum();
     // Kahan-compensated sum as the accurate reference.
     let kahan = {
         let (mut s, mut c) = (0.0f64, 0.0f64);

@@ -37,7 +37,11 @@ fn main() {
                 mat.name,
                 mat.source,
                 mat.kind,
-                if m.language_fit { "" } else { ", language mismatch" }
+                if m.language_fit {
+                    ""
+                } else {
+                    ", language mismatch"
+                }
             );
             let anchors: Vec<String> = mat
                 .anchors

@@ -1,0 +1,68 @@
+//! Graceful degradation on damaged data: inject faults into the corpus
+//! with `anchors_corpus::faults`, run the resilient pipeline, and read the
+//! per-stage outcomes instead of crashing.
+//!
+//! ```sh
+//! cargo run --example resilience
+//! ```
+
+use anchors_core::{run_resilient_on, try_discover_flavors, RetryPolicy, StageStatus};
+use anchors_corpus::default_corpus;
+use anchors_corpus::faults::{corrupt_json, drop_group_materials, strip_tags, JsonFault};
+use anchors_curricula::cs2013;
+use anchors_factor::{try_nnmf, NnmfConfig};
+use anchors_linalg::Matrix;
+use anchors_materials::{export_json, import_json, CourseLabel};
+
+fn main() {
+    let g = cs2013();
+
+    // 1. A corpus whose PDC courses lost every material: the PDC stages
+    //    fail with a diagnosis, everything else still completes.
+    let damaged = drop_group_materials(&default_corpus(), CourseLabel::Pdc);
+    let report = run_resilient_on(damaged, &RetryPolicy::default());
+    println!("=== PDC group emptied ===");
+    println!("{}\n", report.summary());
+    assert!(report.pdc_agreement.is_none());
+    assert!(report.cs1_flavors.is_some());
+
+    // 2. Heavy tag loss degrades but does not kill the analysis.
+    let noisy = strip_tags(&default_corpus(), 0.5, 7);
+    let report = run_resilient_on(noisy, &RetryPolicy::default());
+    println!("=== 50% of tags stripped ===");
+    println!("{}\n", report.summary());
+    assert_eq!(report.count(StageStatus::Failed), 0);
+
+    // 3. Typed errors instead of panics on malformed input.
+    let corpus = default_corpus();
+    println!("=== Typed errors ===");
+    let err = try_discover_flavors(&corpus.store, g, &[], 3).unwrap_err();
+    println!("empty group      -> {err}");
+    let mut bad = Matrix::zeros(4, 4);
+    bad.set(1, 2, f64::NAN);
+    let err = try_nnmf(&bad, &NnmfConfig::paper_default(2)).unwrap_err();
+    println!("NaN in matrix    -> {err}");
+
+    // 4. The NNMF divergence guard: random restarts overflow on this
+    //    matrix, and the solver recovers via deterministic NNDSVD.
+    let extreme = Matrix::full(8, 10, 6e153);
+    let model = try_nnmf(&extreme, &NnmfConfig::paper_default(1)).expect("recovered");
+    println!(
+        "extreme input    -> loss {:.3e}, recovery {:?}",
+        model.loss, model.recovery
+    );
+
+    // 5. Corrupted portable stores import as errors, never panics.
+    println!("=== Corrupted JSON ===");
+    let json = export_json(&corpus.store, g);
+    for fault in [
+        JsonFault::Truncate,
+        JsonFault::GarbageBytes,
+        JsonFault::MangleTag,
+    ] {
+        match import_json(&corrupt_json(&json, fault, 3), g) {
+            Ok(_) => println!("{fault:?} -> imported (unexpected)"),
+            Err(e) => println!("{fault:?} -> {e}"),
+        }
+    }
+}

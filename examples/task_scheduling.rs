@@ -17,7 +17,10 @@ fn main() {
         ("fork-join (32 x 1.0)", fork_join(32, 1.0, 0.2)),
         ("divide & conquer depth 6", divide_and_conquer(6, 2.0, 0.5)),
         ("DP wavefront 24x24", dp_wavefront(24, 1.0)),
-        ("random layered 8x12", layered_dag(8, 12, 0.3, 0.5..=4.0, 11)),
+        (
+            "random layered 8x12",
+            layered_dag(8, 12, 0.3, 0.5..=4.0, 11),
+        ),
     ];
 
     for (name, g) in &workloads {
@@ -70,9 +73,15 @@ fn main() {
             group: p.task.index() % 8,
         })
         .collect();
-    let svg = svg_gantt(&bars, "List schedule (critical-path priority, 4 processors)");
+    let svg = svg_gantt(
+        &bars,
+        "List schedule (critical-path priority, 4 processors)",
+    );
     let path = std::env::temp_dir().join("task_schedule_gantt.svg");
     std::fs::write(&path, svg).expect("write gantt");
-    println!("
-Gantt chart written to {}", path.display());
+    println!(
+        "
+Gantt chart written to {}",
+        path.display()
+    );
 }

@@ -12,12 +12,10 @@
 //!
 //! The corpus seed can be overridden with `ANCHORS_SEED`.
 
-use anchors_core::{
-    recommend_for_course, run_full_analysis, shortlist_materials, to_markdown,
-};
+use anchors_core::{recommend_for_course, run_full_analysis, shortlist_materials, to_markdown};
 use anchors_corpus::{default_corpus, generate, GeneratedCorpus};
-use anchors_curricula::{cs2013, pdc12};
 use anchors_curricula::Tier;
+use anchors_curricula::{cs2013, pdc12};
 use anchors_materials::{search, CourseId, CoverageReport, Query};
 
 fn seed() -> u64 {
@@ -136,7 +134,11 @@ fn main() {
                     m.score,
                     mat.name,
                     mat.source,
-                    if m.language_fit { "" } else { ", language mismatch" }
+                    if m.language_fit {
+                        ""
+                    } else {
+                        ", language mismatch"
+                    }
                 );
             }
         }

@@ -3,9 +3,7 @@
 //! against NNMF — plus solver/init ablations.
 
 use anchors_corpus::default_corpus;
-use anchors_factor::{
-    classical_mds, nnmf, pca, Init, NnmfConfig, Solver,
-};
+use anchors_factor::{classical_mds, nnmf, pca, Init, NnmfConfig, Solver};
 use anchors_linalg::{pairwise_distances, Metric};
 use anchors_materials::CourseMatrix;
 

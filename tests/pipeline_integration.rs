@@ -35,7 +35,11 @@ fn criterion_1_all_courses_nnmf_separates_families() {
     let mut unique = dims.to_vec();
     unique.sort_unstable();
     unique.dedup();
-    assert_eq!(unique.len(), 4, "four families → four distinct dimensions, got {dims:?}");
+    assert_eq!(
+        unique.len(),
+        4,
+        "four families → four distinct dimensions, got {dims:?}"
+    );
 }
 
 #[test]
@@ -52,11 +56,13 @@ fn criterion_2_cs1_agreement_weak_ds_agreement_strong() {
         .iter()
         .filter(|&&(t, _)| g.is_ancestor(fpc, t))
         .count();
-    assert!(in_fpc * 10 >= tree.len() * 7, "{in_fpc}/{} in FPC", tree.len());
-    // DS agreement markedly stronger.
     assert!(
-        r.ds_agreement.agreement_fraction(2) > r.cs1_agreement.agreement_fraction(2) * 1.25
+        in_fpc * 10 >= tree.len() * 7,
+        "{in_fpc}/{} in FPC",
+        tree.len()
     );
+    // DS agreement markedly stronger.
+    assert!(r.ds_agreement.agreement_fraction(2) > r.cs1_agreement.agreement_fraction(2) * 1.25);
 }
 
 #[test]
@@ -94,7 +100,10 @@ fn criterion_4_ds_three_flavors() {
             .unwrap()
     };
     // Applied (2214), OOP (VCU), combinatorial (2215/Wahl/BSC).
-    assert_eq!(fm.assignments[idx("2214 KRS")], fm.assignments[idx("2214 Saule")]);
+    assert_eq!(
+        fm.assignments[idx("2214 KRS")],
+        fm.assignments[idx("2214 Saule")]
+    );
     assert_eq!(fm.assignments[idx("Wahl")], fm.assignments[idx("2215")]);
     assert_eq!(fm.assignments[idx("BSC")], fm.assignments[idx("2215")]);
     assert_ne!(fm.assignments[idx("VCU")], fm.assignments[idx("2215")]);
@@ -158,8 +167,14 @@ fn report_is_reproducible_across_processes_within_run() {
     assert_eq!(a.cs1_agreement.tag_counts, b.cs1_agreement.tag_counts);
     assert_eq!(a.ds_flavors.assignments, b.ds_flavors.assignments);
     assert_eq!(
-        a.recommendations.iter().map(|(_, r)| r.len()).sum::<usize>(),
-        b.recommendations.iter().map(|(_, r)| r.len()).sum::<usize>()
+        a.recommendations
+            .iter()
+            .map(|(_, r)| r.len())
+            .sum::<usize>(),
+        b.recommendations
+            .iter()
+            .map(|(_, r)| r.len())
+            .sum::<usize>()
     );
 }
 

@@ -94,11 +94,7 @@ fn search_with_unknown_style_queries() {
     let corpus = default_corpus();
     let g = cs2013();
     // Facet that matches nothing.
-    let hits = search(
-        &corpus.store,
-        g,
-        &Query::default().in_language("COBOL"),
-    );
+    let hits = search(&corpus.store, g, &Query::default().in_language("COBOL"));
     assert!(hits.is_empty());
     // Author facet with wrong case still matches (case-insensitive).
     let hits = search(&corpus.store, g, &Query::default().by_author("saule"));
@@ -143,7 +139,15 @@ fn tag_space_with_foreign_tags_ignored() {
     let c = store.add_course("C", "U", "I", vec![CourseLabel::Cs1], None);
     let t1 = g.by_code("SDF.FPC.t1").unwrap();
     let t2 = g.by_code("AL.BA.t1").unwrap();
-    store.add_material(c, "m", MaterialKind::Lecture, "I", None, vec![], vec![t1, t2]);
+    store.add_material(
+        c,
+        "m",
+        MaterialKind::Lecture,
+        "I",
+        None,
+        vec![],
+        vec![t1, t2],
+    );
     // Restrict the space to only one of the tags.
     let space = TagSpace::from_tags([t1]);
     let cm = CourseMatrix::build_with_space(&store, &[c], space);
@@ -160,6 +164,110 @@ fn store_validation_catches_tampering() {
     let first_material = store.materials()[0].id;
     store.tag_material(first_material, g.root());
     assert!(store.validate(g).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection round-trips: damage the corpus with the seeded injectors
+// from `anchors_corpus::faults`, run the resilient pipeline, and check that
+// it degrades per stage instead of panicking.
+// ---------------------------------------------------------------------------
+
+use anchors_core::{run_resilient_on, RetryPolicy, StageStatus};
+use anchors_corpus::faults::{
+    corrupt_json, drop_group_materials, drop_materials, duplicate_columns, strip_tags,
+    zero_columns, JsonFault,
+};
+use anchors_factor::try_nnmf;
+use anchors_materials::{export_json, import_json};
+
+#[test]
+fn resilient_pipeline_survives_emptied_pdc_group() {
+    let damaged = drop_group_materials(&default_corpus(), CourseLabel::Pdc);
+    let r = run_resilient_on(damaged, &RetryPolicy::default());
+    // The damaged group fails with an accurate diagnosis...
+    assert_eq!(r.status_of("pdc_agreement"), StageStatus::Failed);
+    assert!(r.pdc_agreement.is_none());
+    let diag = r.stage("pdc_agreement").unwrap().diagnostics.join("\n");
+    assert!(diag.contains("no curriculum tags"), "got: {diag}");
+    // ...while every untouched group still completes cleanly.
+    assert_eq!(r.status_of("cs1_agreement"), StageStatus::Ok);
+    assert_eq!(r.status_of("cs1_flavors"), StageStatus::Ok);
+    assert_eq!(r.status_of("ds_agreement"), StageStatus::Ok);
+    assert_eq!(r.status_of("ds_flavors"), StageStatus::Ok);
+    assert!(r.cs1_agreement.is_some() && r.ds_flavors.is_some());
+    assert!(r.count(StageStatus::Ok) >= 4, "summary:\n{}", r.summary());
+}
+
+#[test]
+fn resilient_pipeline_survives_emptied_cs1_group() {
+    let damaged = drop_group_materials(&default_corpus(), CourseLabel::Cs1);
+    let r = run_resilient_on(damaged, &RetryPolicy::default());
+    assert_eq!(r.status_of("cs1_agreement"), StageStatus::Failed);
+    assert_eq!(r.status_of("cs1_flavors"), StageStatus::Failed);
+    assert!(r.cs1_flavors.is_none());
+    // DS and PDC analyses are unaffected.
+    assert_eq!(r.status_of("ds_agreement"), StageStatus::Ok);
+    assert_eq!(r.status_of("pdc_agreement"), StageStatus::Ok);
+    assert!(r.ds_agreement.is_some() && r.pdc_agreement.is_some());
+}
+
+#[test]
+fn resilient_pipeline_survives_random_material_loss() {
+    let damaged = drop_materials(&default_corpus(), 0.25, 17);
+    let r = run_resilient_on(damaged, &RetryPolicy::default());
+    assert_eq!(r.stages.len(), 7, "every stage must report an outcome");
+    assert_eq!(
+        r.count(StageStatus::Failed),
+        0,
+        "25% material loss must not kill any stage:\n{}",
+        r.summary()
+    );
+    assert_eq!(r.cs1_agreement.as_ref().unwrap().matrix.n_courses(), 6);
+}
+
+#[test]
+fn resilient_pipeline_survives_stripped_tags() {
+    let damaged = strip_tags(&default_corpus(), 0.5, 23);
+    let r = run_resilient_on(damaged, &RetryPolicy::default());
+    assert_eq!(r.stages.len(), 7);
+    assert_eq!(
+        r.count(StageStatus::Failed),
+        0,
+        "half the tags still support every stage:\n{}",
+        r.summary()
+    );
+    assert!(r.count(StageStatus::Ok) >= 1);
+}
+
+#[test]
+fn try_nnmf_tolerates_injected_column_damage() {
+    let corpus = default_corpus();
+    let cm = CourseMatrix::build(&corpus.store, &corpus.cs1_group());
+    for damaged in [zero_columns(&cm.a, 5, 31), duplicate_columns(&cm.a, 5, 31)] {
+        let m = try_nnmf(&damaged, &NnmfConfig::paper_default(3)).expect("valid input");
+        assert!(m.w.is_finite() && m.h.is_finite());
+        assert!(m.loss.is_finite());
+    }
+    // Whereas actually-malformed input is a typed error, not a panic.
+    let mut bad = cm.a.clone();
+    bad.set(0, 0, f64::NAN);
+    assert!(try_nnmf(&bad, &NnmfConfig::paper_default(3)).is_err());
+}
+
+#[test]
+fn corrupted_portable_stores_import_as_errors() {
+    let corpus = default_corpus();
+    let g = cs2013();
+    let json = export_json(&corpus.store, g);
+    for fault in [
+        JsonFault::Truncate,
+        JsonFault::GarbageBytes,
+        JsonFault::MangleTag,
+    ] {
+        let damaged = corrupt_json(&json, fault, 41);
+        let res = import_json(&damaged, g);
+        assert!(res.is_err(), "{fault:?} must surface as an ImportError");
+    }
 }
 
 #[test]

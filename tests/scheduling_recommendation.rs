@@ -39,7 +39,10 @@ fn recommended_task_graph_assignment_is_executable() {
         // The anchors the rule claims must exist in the guideline.
         assert!(rec.anchors.iter().any(|a| a == "DS.GT"));
     }
-    assert!(exercised >= 4, "most DS courses trigger the task-graph rule");
+    assert!(
+        exercised >= 4,
+        "most DS courses trigger the task-graph rule"
+    );
 }
 
 #[test]

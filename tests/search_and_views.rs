@@ -24,10 +24,17 @@ fn search_finds_graph_material_in_every_ds_course() {
     }
     // At least one material of every DS course matches graphs.
     for cid in corpus.ds_group() {
-        let any = corpus.store.course(cid).materials.iter().any(|m| {
-            hits.iter().any(|h| h.material == *m)
-        });
-        assert!(any, "{} has no graph-related material", corpus.store.course(cid).name);
+        let any = corpus
+            .store
+            .course(cid)
+            .materials
+            .iter()
+            .any(|m| hits.iter().any(|h| h.material == *m));
+        assert!(
+            any,
+            "{} has no graph-related material",
+            corpus.store.course(cid).name
+        );
     }
 }
 
@@ -59,7 +66,11 @@ fn similarity_graph_mds_roundtrip_places_similar_materials_close() {
     let g = cs2013();
     let gt = g.by_code("AL.FDSA").unwrap();
     let tags: Vec<_> = g.leaves_under(gt).into_iter().take(8).collect();
-    let hits = search(&corpus.store, g, &Query::tags(tags.iter().copied()).limit(12));
+    let hits = search(
+        &corpus.store,
+        g,
+        &Query::tags(tags.iter().copied()).limit(12),
+    );
     let ids: Vec<_> = hits.iter().map(|h| h.material).collect();
     let graph = SimilarityGraph::build(&corpus.store, &tags, &ids);
     let d = graph.distance_matrix();
@@ -99,13 +110,20 @@ fn classical_and_smacof_agree_on_embeddability() {
     let corpus = default_corpus();
     let g = cs2013();
     let tags = g.leaves_under(g.by_code("SDF.FPC").unwrap());
-    let hits = search(&corpus.store, g, &Query::tags(tags.iter().copied()).limit(10));
+    let hits = search(
+        &corpus.store,
+        g,
+        &Query::tags(tags.iter().copied()).limit(10),
+    );
     let ids: Vec<_> = hits.iter().map(|h| h.material).collect();
     let graph = SimilarityGraph::build(&corpus.store, &tags, &ids);
     let d = graph.distance_matrix();
     let c = classical_mds(&d, 2);
     let s = smacof(&d, 2, 200, 1e-10, 1);
-    assert!(s.stress <= c.stress + 1e-9, "SMACOF refines the classical start");
+    assert!(
+        s.stress <= c.stress + 1e-9,
+        "SMACOF refines the classical start"
+    );
 }
 
 #[test]
@@ -141,7 +159,9 @@ fn alignment_view_detects_assessment_drift() {
     // moderate, never total.
     for &cid in corpus.all() {
         let lectures = corpus.store.course_tags_of_kind(cid, MaterialKind::Lecture);
-        let exams = corpus.store.course_tags_of_kind(cid, MaterialKind::Assessment);
+        let exams = corpus
+            .store
+            .course_tags_of_kind(cid, MaterialKind::Assessment);
         if lectures.is_empty() || exams.is_empty() {
             continue;
         }
