@@ -1,0 +1,2 @@
+//! Offline verification stub for `criterion` (empty — bench targets are
+//! skipped under the offline check harness).

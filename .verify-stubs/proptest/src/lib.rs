@@ -1,0 +1,2 @@
+//! Offline verification stub for `proptest` (empty — property-test targets
+//! are skipped under the offline check harness).

@@ -1,0 +1,101 @@
+//! Offline verification stub for `rayon`: "parallel" iterators run
+//! sequentially. Only the combinators this workspace uses are provided.
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+/// Sequential stand-in for rayon's parallel iterator chains.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+}
+
+impl<'a, T: Copy + 'a, I: Iterator<Item = &'a T>> Par<I> {
+    pub fn copied(self) -> Par<std::iter::Copied<I>> {
+        Par(self.0.copied())
+    }
+}
+
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size.max(1)))
+    }
+}
+
+pub trait IntoParallelRefIterator<'data> {
+    type Item: 'data;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Par<Self::Iter>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Par<Self::Iter> {
+        Par(self.iter())
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Par<Self::Iter> {
+        Par(self.as_slice().iter())
+    }
+}
+
+pub struct ThreadPoolBuilder {
+    _threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        ThreadPoolBuilder { _threads: 0 }
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, std::io::Error> {
+        Ok(ThreadPool)
+    }
+}
+
+pub struct ThreadPool;
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}

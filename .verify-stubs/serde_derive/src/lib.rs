@@ -1,0 +1,16 @@
+//! Empty derive macros for the offline `serde` stub: the traits are blanket
+//! implemented in the stub `serde` crate, so the derives emit nothing. The
+//! `serde` helper attribute is declared so `#[serde(...)]` field/variant
+//! attributes parse.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
