@@ -7,7 +7,7 @@
 //! * corpus generation throughput.
 
 use anchors_corpus::generate_scaled;
-use anchors_factor::{nnmf, nnmf_sparse, NnmfConfig};
+use anchors_factor::{nnmf, NnmfConfig};
 use anchors_linalg::{CsrMatrix, Matrix};
 use anchors_materials::CourseMatrix;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -36,7 +36,7 @@ fn bench_dense_vs_sparse_nnmf(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("sparse", format!("{n}c_{}t_d{:.2}", a.cols(), s.density())),
             &n,
-            |b, _| b.iter(|| nnmf_sparse(&s, &cfg)),
+            |b, _| b.iter(|| nnmf(&s, &cfg)),
         );
     }
     group.finish();

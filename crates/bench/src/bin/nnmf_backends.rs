@@ -1,0 +1,111 @@
+//! Dense vs CSR backend smoke benchmark for the storage-generic NNMF.
+//!
+//! Fits the same synthetic sparse matrix (2000 × 1024, ~5% density, k = 8)
+//! through both storage backends of the one generic solver and reports the
+//! wall-clock ratio. Because the kernels are bitwise-paired, both fits
+//! produce identical factors — the only difference is time. Emits
+//! `BENCH_nnmf.json` at the workspace root (and a copy under
+//! `target/figures/`) for CI to archive.
+//!
+//! Knobs: `ANCHORS_BENCH_ROWS`, `ANCHORS_BENCH_COLS`, `ANCHORS_BENCH_K`
+//! env vars override the problem size for quicker local smoke runs.
+
+use anchors_bench::{figures_dir, header};
+use anchors_factor::{nnmf, NnmfConfig, Solver};
+use anchors_linalg::{CsrMatrix, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Seeded synthetic matrix: each entry is nonzero with probability
+/// `density`, magnitudes uniform in (0.1, 1.0].
+fn synthetic(rows: usize, cols: usize, density: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen::<f64>() < density {
+            rng.gen_range(0.1..=1.0)
+        } else {
+            0.0
+        }
+    })
+}
+
+fn main() {
+    let rows = env_usize("ANCHORS_BENCH_ROWS", 2000);
+    let cols = env_usize("ANCHORS_BENCH_COLS", 1024);
+    let k = env_usize("ANCHORS_BENCH_K", 8);
+    let target_density = 0.05;
+
+    header("NNMF backend comparison (storage-generic solver)");
+    let a = synthetic(rows, cols, target_density, 0xBEEF);
+    let s = CsrMatrix::from_dense(&a);
+    let density = s.density();
+    println!("  matrix: {rows} x {cols}, density {density:.4}, k = {k}");
+
+    let cfg = NnmfConfig {
+        k,
+        solver: Solver::Hals,
+        restarts: 1,
+        max_iter: 30,
+        tol: 0.0, // run the full iteration budget on both backends
+        ..NnmfConfig::paper_default(k)
+    };
+
+    let t0 = Instant::now();
+    let dm = nnmf(&a, &cfg);
+    let dense_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let sm = nnmf(&s, &cfg);
+    let sparse_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(dm.w, sm.w, "backends must produce identical factors");
+    assert_eq!(dm.h, sm.h, "backends must produce identical factors");
+
+    let speedup = dense_ms / sparse_ms.max(1e-9);
+    println!("  dense fit:  {dense_ms:>10.1} ms (loss {:.4})", dm.loss);
+    println!("  sparse fit: {sparse_ms:>10.1} ms (loss {:.4})", sm.loss);
+    println!("  speedup:    {speedup:>10.2}x (CSR over dense)");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"nnmf_dense_vs_sparse\",\n",
+            "  \"rows\": {},\n",
+            "  \"cols\": {},\n",
+            "  \"density\": {:.6},\n",
+            "  \"k\": {},\n",
+            "  \"solver\": \"hals\",\n",
+            "  \"max_iter\": {},\n",
+            "  \"dense_ms\": {:.3},\n",
+            "  \"sparse_ms\": {:.3},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"factors_identical\": true\n",
+            "}}\n"
+        ),
+        rows, cols, density, k, cfg.max_iter, dense_ms, sparse_ms, speedup
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let root_path = root.join("BENCH_nnmf.json");
+    std::fs::write(&root_path, &json).expect("write BENCH_nnmf.json");
+    println!("  wrote {}", root_path.display());
+    std::fs::write(figures_dir().join("BENCH_nnmf.json"), &json).expect("write figures copy");
+
+    if speedup < 3.0 && rows >= 2000 {
+        eprintln!("WARNING: CSR speedup {speedup:.2}x below the 3x target at full size");
+        std::process::exit(1);
+    }
+}

@@ -6,8 +6,27 @@ use anchors_curricula::{NodeId, Ontology};
 use anchors_factor::{
     rank_scan, select_rank, try_nnmf, NnmfConfig, NnmfModel, DUPLICATE_THRESHOLD,
 };
-use anchors_materials::{CourseId, CourseMatrix, MaterialStore};
+use anchors_linalg::Backend;
+use anchors_materials::{CourseId, CourseMatrix, MaterialStore, SparseCourseMatrix};
 use std::collections::BTreeMap;
+
+/// Below this matrix density the NNMF runs on CSR storage; at or above it,
+/// dense. Course × tag incidence matrices get sparser as corpora grow
+/// (each course touches a bounded set of tags while the guideline union
+/// keeps widening), and at ~25% stored entries the CSR kernels' per-entry
+/// overhead breaks even with dense traversal. Factors are bitwise
+/// identical either way, so the threshold is purely a performance choice.
+pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.25;
+
+/// Pick the NNMF storage backend for a matrix of the given density
+/// (fraction of nonzero entries).
+pub fn select_backend(density: f64) -> Backend {
+    if density < SPARSE_DENSITY_THRESHOLD {
+        Backend::Sparse
+    } else {
+        Backend::Dense
+    }
+}
 
 /// Aggregated weight of a type over knowledge areas / units.
 #[derive(Debug, Clone)]
@@ -48,7 +67,7 @@ impl TypeSummary {
 }
 
 /// How the requested factorization was adjusted to fit the data.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlavorDiagnostics {
     /// The `k` the caller asked for.
     pub requested_k: usize,
@@ -57,8 +76,16 @@ pub struct FlavorDiagnostics {
     pub effective_k: usize,
     /// Whether `requested_k` had to be clamped.
     pub clamped: bool,
-    /// Free-form notes (clamp reasons, NNMF recovery actions).
+    /// Free-form notes (clamp reasons, NNMF recovery actions). Non-empty
+    /// notes mark the fit as degraded in the resilient pipeline.
     pub notes: Vec<String>,
+    /// Storage backend the NNMF ran on, selected by matrix density.
+    pub backend: Backend,
+    /// Fraction of nonzero entries in the course matrix.
+    pub density: f64,
+    /// Informational annotations (backend choice, density) that do *not*
+    /// degrade the stage — unlike `notes`, these describe a healthy fit.
+    pub info: Vec<String>,
 }
 
 /// A fitted flavor model of a course group.
@@ -121,33 +148,51 @@ pub fn try_discover_flavors_with(
     if courses.is_empty() {
         return Err(AnchorsError::EmptyGroup { stage: "flavors" });
     }
-    let matrix = CourseMatrix::build(store, courses);
-    if matrix.n_tags() == 0 {
+    // Build directly into CSR (never materializing a dense intermediate),
+    // then decide the solver backend from the observed density. The dense
+    // view is materialized only when needed: for the dense solve, and for
+    // the interpretation layer of the returned model.
+    let sparse = SparseCourseMatrix::build(store, courses);
+    if sparse.n_tags() == 0 {
         return Err(AnchorsError::DegenerateMatrix {
             stage: "flavors",
             detail: format!("{} courses span no curriculum tags", courses.len()),
         });
     }
+    let density = sparse.density();
+    let backend = select_backend(density);
     let requested_k = config.k;
-    let max_k = matrix.a.rows().min(matrix.a.cols()).max(1);
+    let max_k = sparse.n_courses().min(sparse.n_tags()).max(1);
     let effective_k = requested_k.min(max_k).max(1);
     let mut diagnostics = FlavorDiagnostics {
         requested_k,
         effective_k,
         clamped: effective_k != requested_k,
         notes: Vec::new(),
+        backend,
+        density,
+        info: vec![format!("nnmf backend: {backend} (density {density:.3})")],
     };
     if diagnostics.clamped {
         diagnostics.notes.push(format!(
             "k clamped from {requested_k} to {effective_k} (matrix is {:?})",
-            matrix.a.shape()
+            (sparse.n_courses(), sparse.n_tags())
         ));
     }
     let cfg = NnmfConfig {
         k: effective_k,
         ..config.clone()
     };
-    let mut model = try_nnmf(&matrix.a, &cfg)?;
+    let dense_a = sparse.a.to_dense();
+    let mut model = match backend {
+        Backend::Sparse => try_nnmf(&sparse.a, &cfg)?,
+        Backend::Dense => try_nnmf(&dense_a, &cfg)?,
+    };
+    let matrix = CourseMatrix {
+        courses: sparse.courses,
+        tag_space: sparse.tag_space,
+        a: dense_a,
+    };
     if !model.recovery.is_clean() {
         diagnostics
             .notes
@@ -174,8 +219,19 @@ pub fn discover_flavors_auto(
     courses: &[CourseId],
     k_range: std::ops::RangeInclusive<usize>,
 ) -> (FlavorModel, Vec<anchors_factor::RankDiagnostics>) {
-    let matrix = CourseMatrix::build(store, courses);
-    let scan = rank_scan(&matrix.a, k_range, &NnmfConfig::paper_default(2));
+    let sparse = SparseCourseMatrix::build(store, courses);
+    let density = sparse.density();
+    let backend = select_backend(density);
+    let base = NnmfConfig::paper_default(2);
+    let scan = match backend {
+        Backend::Sparse => rank_scan(&sparse.a, k_range, &base),
+        Backend::Dense => rank_scan(&sparse.a.to_dense(), k_range, &base),
+    };
+    let matrix = CourseMatrix {
+        courses: sparse.courses,
+        tag_space: sparse.tag_space,
+        a: sparse.a.to_dense(),
+    };
     let k = select_rank(&scan, DUPLICATE_THRESHOLD);
     let diags: Vec<anchors_factor::RankDiagnostics> = scan.iter().map(|(d, _)| d.clone()).collect();
     let mut model = scan
@@ -191,6 +247,9 @@ pub fn discover_flavors_auto(
         effective_k: k,
         clamped: false,
         notes: Vec::new(),
+        backend,
+        density,
+        info: vec![format!("nnmf backend: {backend} (density {density:.3})")],
     };
     (
         FlavorModel {
@@ -457,6 +516,34 @@ mod tests {
         let fm = try_discover_flavors(&c.store, g, &pdc, 3).unwrap();
         assert!(!fm.diagnostics.clamped);
         assert!(fm.diagnostics.notes.is_empty());
+    }
+
+    #[test]
+    fn backend_selection_recorded_in_diagnostics() {
+        let c = default_corpus();
+        let g = cs2013();
+        let fm = discover_flavors(&c.store, g, c.all(), 4);
+        let d = &fm.diagnostics;
+        assert!((0.0..=1.0).contains(&d.density));
+        assert_eq!(d.backend, select_backend(d.density));
+        assert!(
+            d.info.iter().any(|n| n.contains("nnmf backend")),
+            "backend choice must be annotated: {:?}",
+            d.info
+        );
+        // Backend selection is informational, never degrading.
+        assert!(d.notes.is_empty());
+    }
+
+    #[test]
+    fn backend_threshold_boundaries() {
+        assert_eq!(select_backend(0.0), Backend::Sparse);
+        assert_eq!(
+            select_backend(SPARSE_DENSITY_THRESHOLD - 1e-9),
+            Backend::Sparse
+        );
+        assert_eq!(select_backend(SPARSE_DENSITY_THRESHOLD), Backend::Dense);
+        assert_eq!(select_backend(1.0), Backend::Dense);
     }
 
     #[test]

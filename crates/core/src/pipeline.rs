@@ -291,6 +291,15 @@ fn degrade_stage(stages: &mut [StageOutcome], name: &str, notes: &[String]) {
     }
 }
 
+/// Append informational notes (backend choice, density) to the most recent
+/// record for `name` without changing its status — a healthy fit on either
+/// backend stays `Ok`.
+fn annotate_stage(stages: &mut [StageOutcome], name: &str, info: &[String]) {
+    if let Some(s) = stages.iter_mut().rev().find(|s| s.name == name) {
+        s.diagnostics.extend(info.iter().cloned());
+    }
+}
+
 /// A flavors stage: fallible discovery with reseeded retries; the stage is
 /// degraded (not failed) when the artifact needed clamping or recovery.
 fn flavors_stage(
@@ -311,6 +320,7 @@ fn flavors_stage(
         try_discover_flavors_with(&corpus.store, ontology, courses, &cfg)
     });
     if let Some(fm) = &result {
+        annotate_stage(stages, name, &fm.diagnostics.info);
         if fm.diagnostics.clamped || !fm.diagnostics.notes.is_empty() {
             degrade_stage(stages, name, &fm.diagnostics.notes);
         }

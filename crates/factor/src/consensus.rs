@@ -10,7 +10,7 @@
 //! cophenetic correlation of the consensus matrix.
 
 use crate::cluster::{hierarchical, Linkage};
-use crate::nnmf::{nnmf, NnmfConfig};
+use crate::nnmf::{try_nnmf_with, NnmfConfig, NnmfWorkspace};
 use anchors_linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -43,11 +43,12 @@ pub struct Consensus {
 /// consensus reflects genuine restart-to-restart variability.
 ///
 /// # Panics
-/// Panics under the same conditions as [`nnmf`].
+/// Panics under the same conditions as [`crate::nnmf::nnmf`].
 pub fn consensus(a: &Matrix, k: usize, runs: usize, base: &NnmfConfig) -> Consensus {
     let n = a.rows();
     let runs = runs.max(1);
     let mut counts = Matrix::zeros(n, n);
+    let mut ws = NnmfWorkspace::new();
     for r in 0..runs {
         let cfg = NnmfConfig {
             k,
@@ -55,7 +56,10 @@ pub fn consensus(a: &Matrix, k: usize, runs: usize, base: &NnmfConfig) -> Consen
             seed: base.seed.wrapping_add(r as u64),
             ..base.clone()
         };
-        let model = nnmf(a, &cfg);
+        let model = match try_nnmf_with(a, &cfg, &mut ws) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
+        };
         let labels = model.dominant_types();
         for i in 0..n {
             for j in 0..n {

@@ -39,6 +39,13 @@ fn random_init(a: &Matrix, k: usize, seed: u64) -> (Matrix, Matrix) {
     } else {
         a.sum() / a.len() as f64
     };
+    random_from_stats(m, n, k, mean, seed)
+}
+
+/// Random initialization from shape and mean alone — the storage-generic
+/// entry used by the solver so sparse inputs never need a dense view.
+/// Identical RNG stream and scaling to the dense [`Init::Random`] path.
+pub fn random_from_stats(m: usize, n: usize, k: usize, mean: f64, seed: u64) -> (Matrix, Matrix) {
     let scale = (mean / k as f64).sqrt().max(1e-6);
     let mut rng = StdRng::seed_from_u64(seed);
     let w = Matrix::from_fn(m, k, |_, _| rng.gen_range(f64::EPSILON..=1.0) * scale);

@@ -4,7 +4,10 @@
 //!
 //! * [`nnmf`] — non-negative matrix factorization (the paper's §4.1
 //!   method): Lee–Seung multiplicative updates and HALS coordinate descent,
-//!   random/NNDSVD initialization, multi-restart;
+//!   random/NNDSVD initialization, multi-restart. The solver is generic
+//!   over `anchors_linalg::MatKernels`, so dense and CSR inputs share one
+//!   code path (and produce bitwise-identical factors), and iterations run
+//!   allocation-free through a reusable [`nnmf::NnmfWorkspace`];
 //! * [`rank`] — rank-selection diagnostics mechanizing the paper's §4.4
 //!   manual inspection (duplicate-dimension overfit signal, separation);
 //! * [`pca`], [`mds`] — the dimension-reduction baselines named in the
@@ -23,7 +26,6 @@ pub mod mds;
 pub mod nnmf;
 pub mod pca;
 pub mod rank;
-pub mod sparse_nnmf;
 
 pub use bicluster::{block_purity, spectral_cocluster, Bicluster};
 pub use cluster::{hierarchical, kmeans, Dendrogram, KMeans, Linkage, Merge};
@@ -33,10 +35,58 @@ pub use consensus::{
 pub use error::NnmfError;
 pub use init::Init;
 pub use mds::{classical_mds, smacof, stress_of, MdsEmbedding};
-pub use nnmf::{loss, nnmf, try_nnmf, NnmfConfig, NnmfModel, NnmfRecovery, Solver};
+pub use nnmf::{
+    loss, nnmf, try_nnmf, try_nnmf_with, NnmfConfig, NnmfModel, NnmfRecovery, NnmfWorkspace, Solver,
+};
+#[allow(deprecated)]
+pub use nnmf::{nnmf_sparse, sparse_loss};
 pub use pca::{pca, Pca};
 pub use rank::{
     duplicate_dimension_score, rank_scan, select_rank, separation_score, RankDiagnostics,
     DUPLICATE_THRESHOLD,
 };
-pub use sparse_nnmf::{nnmf_sparse, sparse_loss};
+
+/// Thread-local heap-allocation counter backing the zero-allocation tests.
+/// Compiled only for this crate's own test binary; release builds use the
+/// system allocator untouched.
+#[cfg(test)]
+mod alloc_probe {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Number of heap allocations performed by the current thread since it
+    /// started.
+    pub fn allocations_on_this_thread() -> u64 {
+        ALLOCATIONS.with(|c| c.get())
+    }
+
+    struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: CountingAllocator = CountingAllocator;
+}

@@ -5,7 +5,7 @@
 //! (k × tags: type → curriculum profile), minimizing the Frobenius loss
 //! `½‖A − WH‖_F²`.
 //!
-//! Two solvers are provided:
+//! Two iterative solvers are provided:
 //!
 //! * [`Solver::MultiplicativeUpdate`] — Lee & Seung (2000). Monotone in the
 //!   Frobenius objective; simple and robust.
@@ -18,11 +18,29 @@
 //! mirrors that setup (HALS/CD solver, random init) with multi-restart,
 //! keeping the best of several seeded runs since random-init NNMF is only
 //! locally optimal.
+//!
+//! ## Storage-generic solving
+//!
+//! [`try_nnmf`] is generic over [`MatKernels`], so the same code path —
+//! including restarts, divergence guards, wall-clock budgets, and the
+//! recovery ladder — serves dense [`Matrix`] and [`CsrMatrix`] inputs. The
+//! kernels are bitwise-paired across backends (see
+//! `anchors_linalg::kernels`), so for a CSR matrix obtained by exact-zero
+//! sparsification the factors, winning seed, and [`NnmfRecovery`] flags are
+//! identical to the dense fit.
+//!
+//! ## Allocation-free iteration
+//!
+//! All per-iteration products live in a reusable [`NnmfWorkspace`]
+//! (`AᵀW`, `WᵀW`, `AHᵀ`, `HHᵀ`, the MU denominators, and update scratch).
+//! After the workspace is warm, HALS and MU sweeps and the amortized loss
+//! checks perform zero heap allocations; [`try_nnmf_with`] lets
+//! rank-selection and consensus loops share one workspace across fits.
 
 use crate::error::NnmfError;
-use crate::init::{init_factors, Init};
-use anchors_linalg::ops::{matmul, matmul_a_bt, matmul_at_b};
-use anchors_linalg::{frobenius_sq, Matrix};
+use crate::init::{init_factors, random_from_stats, Init};
+use anchors_linalg::ops::{dot, matmul, matmul_a_bt_into, matmul_at_b_into, matmul_into};
+use anchors_linalg::{CsrMatrix, MatKernels, Matrix};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -168,6 +186,22 @@ impl NnmfModel {
         anchors_linalg::relative_error(a, &self.reconstruct())
     }
 
+    /// Relative reconstruction error against either storage backend,
+    /// computed without materializing `W × H` (`√(2·loss / ‖A‖²)` with the
+    /// residual evaluated rowwise).
+    pub fn relative_error_on<A: MatKernels>(&self, a: &A) -> f64 {
+        let fro2 = a.frobenius_sq();
+        let mut scratch = vec![0.0; a.cols()];
+        let l = a.residual_loss(&self.w, &self.h, &mut scratch).max(0.0);
+        if fro2 > 0.0 {
+            (2.0 * l / fro2).sqrt()
+        } else if l > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
     /// Rank (number of types).
     pub fn k(&self) -> usize {
         self.w.cols()
@@ -216,13 +250,112 @@ impl NnmfModel {
     }
 }
 
-/// Loss `½‖A − WH‖_F²`.
-pub fn loss(a: &Matrix, w: &Matrix, h: &Matrix) -> f64 {
-    0.5 * frobenius_sq(&anchors_linalg::ops::sub(a, &matmul(w, h)))
+/// Loss `½‖A − WH‖_F²` on either storage backend, evaluated rowwise
+/// without materializing `W × H`.
+pub fn loss<A: MatKernels>(a: &A, w: &Matrix, h: &Matrix) -> f64 {
+    let mut scratch = vec![0.0; a.cols()];
+    a.residual_loss(w, h, &mut scratch)
+}
+
+/// Reusable buffers for the fit loop, sized once per `(shape, k, solver)`
+/// and reused across iterations, restarts, and — via [`try_nnmf_with`] —
+/// across entire fits. A warm workspace makes HALS/MU iterations and the
+/// amortized loss checks allocation-free.
+#[derive(Debug, Clone)]
+pub struct NnmfWorkspace {
+    shape: (usize, usize, usize),
+    mu_bufs: bool,
+    /// `Aᵀ W`, `n × k` (transposed form of `Wᵀ A`).
+    atw: Matrix,
+    /// `Wᵀ W`, `k × k`.
+    wtw: Matrix,
+    /// `A Hᵀ`, `m × k`.
+    aht: Matrix,
+    /// `H Hᵀ`, `k × k`.
+    hht: Matrix,
+    /// `WᵀW H`, `k × n` (multiplicative updates only).
+    wtwh: Matrix,
+    /// `W HHᵀ`, `m × k` (multiplicative updates only).
+    whht: Matrix,
+    /// HALS row-update scratch, length `n`.
+    delta: Vec<f64>,
+    /// Residual-loss reconstruction scratch, length `n`.
+    row_scratch: Vec<f64>,
+    /// `‖A‖_F²` of the matrix currently being fitted. Non-finite values
+    /// switch the loss to the direct residual evaluation.
+    a_frob_sq: f64,
+    /// Dense view of the input, materialized lazily for the SVD-based
+    /// initializers and the ANLS solver; cached across restarts of one fit.
+    dense_view: Option<Matrix>,
+}
+
+impl NnmfWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        NnmfWorkspace {
+            shape: (0, 0, 0),
+            mu_bufs: false,
+            atw: Matrix::zeros(0, 0),
+            wtw: Matrix::zeros(0, 0),
+            aht: Matrix::zeros(0, 0),
+            hht: Matrix::zeros(0, 0),
+            wtwh: Matrix::zeros(0, 0),
+            whht: Matrix::zeros(0, 0),
+            delta: Vec::new(),
+            row_scratch: Vec::new(),
+            a_frob_sq: 0.0,
+            dense_view: None,
+        }
+    }
+
+    /// Size buffers for an `m × n` input at rank `k`; a no-op when the
+    /// workspace is already warm for those dimensions.
+    fn ensure(&mut self, m: usize, n: usize, k: usize, solver: Solver) {
+        if self.shape != (m, n, k) {
+            self.shape = (m, n, k);
+            self.atw = Matrix::zeros(n, k);
+            self.wtw = Matrix::zeros(k, k);
+            self.aht = Matrix::zeros(m, k);
+            self.hht = Matrix::zeros(k, k);
+            self.wtwh = Matrix::zeros(0, 0);
+            self.whht = Matrix::zeros(0, 0);
+            self.mu_bufs = false;
+            self.delta = vec![0.0; n];
+            self.row_scratch = vec![0.0; n];
+        }
+        if matches!(solver, Solver::MultiplicativeUpdate) && !self.mu_bufs {
+            self.wtwh = Matrix::zeros(k, n);
+            self.whht = Matrix::zeros(m, k);
+            self.mu_bufs = true;
+        }
+    }
+
+    /// Bind the workspace to a new input matrix: drop the previous dense
+    /// view, cache `‖A‖²`, and size the buffers.
+    fn bind<A: MatKernels>(&mut self, a: &A, config: &NnmfConfig) {
+        self.dense_view = None;
+        self.a_frob_sq = a.frobenius_sq();
+        let (m, n) = a.shape();
+        self.ensure(m, n, config.k, config.solver);
+    }
+
+    /// The dense view of `a`, materialized on first request.
+    fn dense_view<A: MatKernels>(&mut self, a: &A) -> &Matrix {
+        if self.dense_view.is_none() {
+            self.dense_view = Some(a.to_dense());
+        }
+        self.dense_view.as_ref().expect("just materialized")
+    }
+}
+
+impl Default for NnmfWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Validate NNMF inputs, mapping each contract violation to its typed error.
-fn validate(a: &Matrix, config: &NnmfConfig) -> Result<(), NnmfError> {
+fn validate<A: MatKernels>(a: &A, config: &NnmfConfig) -> Result<(), NnmfError> {
     if let Some((row, col, value)) = a.find_non_finite() {
         return Err(NnmfError::NonFinite { row, col, value });
     }
@@ -241,6 +374,29 @@ fn validate(a: &Matrix, config: &NnmfConfig) -> Result<(), NnmfError> {
     Ok(())
 }
 
+/// Initial factors on either backend. Random init needs only shape and
+/// mean (no dense view); the SVD-based inits run on the cached dense view.
+fn initial_factors<A: MatKernels>(
+    a: &A,
+    k: usize,
+    init: Init,
+    seed: u64,
+    ws: &mut NnmfWorkspace,
+) -> (Matrix, Matrix) {
+    match init {
+        Init::Random => {
+            let (m, n) = a.shape();
+            let mean = if m == 0 || n == 0 {
+                0.0
+            } else {
+                a.sum() / (m * n) as f64
+            };
+            random_from_stats(m, n, k, mean, seed)
+        }
+        _ => init_factors(ws.dense_view(a), k, init, seed),
+    }
+}
+
 /// Fit an NNMF model, returning a typed error instead of panicking on
 /// malformed input, and recovering from numerically divergent restarts.
 ///
@@ -251,9 +407,21 @@ fn validate(a: &Matrix, config: &NnmfConfig) -> Result<(), NnmfError> {
 /// 2. deterministic NNDSVD initialization (then NNDSVDa);
 /// 3. give up with [`NnmfError::Diverged`].
 ///
-/// The actions taken are recorded in [`NnmfModel::recovery`].
-pub fn try_nnmf(a: &Matrix, config: &NnmfConfig) -> Result<NnmfModel, NnmfError> {
+/// The actions taken are recorded in [`NnmfModel::recovery`]. Works
+/// identically on dense and CSR storage.
+pub fn try_nnmf<A: MatKernels>(a: &A, config: &NnmfConfig) -> Result<NnmfModel, NnmfError> {
+    try_nnmf_with(a, config, &mut NnmfWorkspace::new())
+}
+
+/// [`try_nnmf`] with a caller-provided workspace, so loops over many fits
+/// (rank scans, consensus restarts) reuse one set of buffers.
+pub fn try_nnmf_with<A: MatKernels>(
+    a: &A,
+    config: &NnmfConfig,
+    ws: &mut NnmfWorkspace,
+) -> Result<NnmfModel, NnmfError> {
     validate(a, config)?;
+    ws.bind(a, config);
     let deterministic_init = matches!(config.init, Init::Nndsvd | Init::NndsvdA);
     let restarts = if deterministic_init {
         1
@@ -272,13 +440,14 @@ pub fn try_nnmf(a: &Matrix, config: &NnmfConfig) -> Result<NnmfModel, NnmfError>
                      best: &mut Option<NnmfModel>,
                      recovery: &mut NnmfRecovery,
                      attempts: &mut usize,
-                     last_seed: &mut u64| {
+                     last_seed: &mut u64,
+                     ws: &mut NnmfWorkspace| {
         for r in 0..rounds {
             let seed = base_seed.wrapping_add(r as u64);
             *attempts += 1;
             *last_seed = seed;
-            let (w0, h0) = init_factors(a, config.k, init, seed);
-            match fit_guarded(a, w0, h0, config, seed) {
+            let (w0, h0) = initial_factors(a, config.k, init, seed, ws);
+            match fit_guarded(a, w0, h0, config, seed, ws) {
                 Ok(model) => {
                     if model.recovery.budget_exceeded > 0 {
                         recovery.budget_exceeded += 1;
@@ -301,6 +470,7 @@ pub fn try_nnmf(a: &Matrix, config: &NnmfConfig) -> Result<NnmfModel, NnmfError>
         &mut recovery,
         &mut attempts,
         &mut last_seed,
+        ws,
     );
     if best.is_none() && !deterministic_init {
         // Round 2: disjoint seeds. Only meaningful for random init — a
@@ -314,6 +484,7 @@ pub fn try_nnmf(a: &Matrix, config: &NnmfConfig) -> Result<NnmfModel, NnmfError>
             &mut recovery,
             &mut attempts,
             &mut last_seed,
+            ws,
         );
     }
     if best.is_none() {
@@ -332,6 +503,7 @@ pub fn try_nnmf(a: &Matrix, config: &NnmfConfig) -> Result<NnmfModel, NnmfError>
                 &mut recovery,
                 &mut attempts,
                 &mut last_seed,
+                ws,
             );
             if best.is_some() {
                 break;
@@ -355,36 +527,70 @@ pub fn try_nnmf(a: &Matrix, config: &NnmfConfig) -> Result<NnmfModel, NnmfError>
     }
 }
 
-/// Fit an NNMF model.
+/// Fit an NNMF model on either storage backend.
 ///
 /// # Panics
 /// Panics if `a` has negative or non-finite entries, or `k == 0`, or `k`
 /// exceeds `min(rows, cols)` of a nonempty matrix, or every restart (and
 /// the recovery ladder) diverges. Use [`try_nnmf`] to handle these as
 /// typed [`NnmfError`]s instead.
-pub fn nnmf(a: &Matrix, config: &NnmfConfig) -> NnmfModel {
+pub fn nnmf<A: MatKernels>(a: &A, config: &NnmfConfig) -> NnmfModel {
     match try_nnmf(a, config) {
         Ok(model) => model,
         Err(e) => panic!("{e}"),
     }
 }
 
+/// Deprecated alias for the storage-generic solver on CSR inputs. The
+/// dedicated sparse fork is gone; [`nnmf`] accepts `&CsrMatrix` directly
+/// and additionally provides multiplicative updates, restarts recovery,
+/// and wall-clock budgets on sparse storage.
+#[deprecated(
+    note = "use the storage-generic `nnmf`/`try_nnmf`, which accept `&CsrMatrix` directly"
+)]
+pub fn nnmf_sparse(a: &CsrMatrix, config: &NnmfConfig) -> NnmfModel {
+    nnmf(a, config)
+}
+
+/// Deprecated alias for the storage-generic [`loss`].
+#[deprecated(note = "use the storage-generic `loss`, which accepts `&CsrMatrix` directly")]
+pub fn sparse_loss(a: &CsrMatrix, w: &Matrix, h: &Matrix) -> f64 {
+    loss(a, w, h)
+}
+
 /// Marker for a restart whose loss went non-finite or blew past the
 /// divergence threshold.
 struct FitDiverged;
 
+/// Loss `½‖A − WH‖²` through the workspace, allocation-free. Uses the Gram
+/// identity `½(‖A‖² − 2·tr(Wᵀ(AHᵀ)) + Σ(WᵀW)⊙(HHᵀ))`; when `‖A‖²` itself
+/// overflows, falls back to the direct rowwise residual, which stays
+/// finite whenever the reconstruction is relatively accurate.
+fn loss_ws<A: MatKernels>(a: &A, w: &Matrix, h: &Matrix, ws: &mut NnmfWorkspace) -> f64 {
+    if !ws.a_frob_sq.is_finite() {
+        return a.residual_loss(w, h, &mut ws.row_scratch);
+    }
+    a.a_bt_into(h, &mut ws.aht);
+    matmul_at_b_into(w, w, &mut ws.wtw);
+    matmul_a_bt_into(h, h, &mut ws.hht);
+    let cross = dot(w.as_slice(), ws.aht.as_slice());
+    let quad = dot(ws.wtw.as_slice(), ws.hht.as_slice());
+    0.5 * (ws.a_frob_sq - 2.0 * cross + quad)
+}
+
 /// One guarded restart: the historical `fit_single` loop plus divergence
 /// detection at every amortized loss check and an optional per-restart
 /// wall-clock budget.
-fn fit_guarded(
-    a: &Matrix,
+fn fit_guarded<A: MatKernels>(
+    a: &A,
     mut w: Matrix,
     mut h: Matrix,
     config: &NnmfConfig,
     seed: u64,
+    ws: &mut NnmfWorkspace,
 ) -> Result<NnmfModel, FitDiverged> {
     let started = Instant::now();
-    let mut prev_loss = loss(a, &w, &h);
+    let mut prev_loss = loss_ws(a, &w, &h, ws);
     if !prev_loss.is_finite() {
         return Err(FitDiverged);
     }
@@ -394,16 +600,16 @@ fn fit_guarded(
     let mut budget_hit = false;
     for it in 0..config.max_iter {
         match config.solver {
-            Solver::MultiplicativeUpdate => mu_step(a, &mut w, &mut h),
-            Solver::Hals => hals_step(a, &mut w, &mut h),
-            Solver::Anls => anls_step(a, &mut w, &mut h),
+            Solver::MultiplicativeUpdate => mu_step_ws(a, &mut w, &mut h, ws),
+            Solver::Hals => hals_step_ws(a, &mut w, &mut h, ws),
+            Solver::Anls => anls_step_ws(a, &mut w, &mut h, ws),
         }
         iterations = it + 1;
         // Convergence is checked every 10 iterations like scikit-learn to
         // amortize the loss evaluation; divergence piggybacks on the same
         // checkpoints so the happy path stays cost-identical.
         if iterations % 10 == 0 || iterations == config.max_iter {
-            let cur = loss(a, &w, &h);
+            let cur = loss_ws(a, &w, &h, ws);
             if !cur.is_finite() || cur > init_loss * DIVERGENCE_FACTOR {
                 return Err(FitDiverged);
             }
@@ -420,7 +626,7 @@ fn fit_guarded(
             }
         }
     }
-    let final_loss = loss(a, &w, &h);
+    let final_loss = loss_ws(a, &w, &h, ws);
     if !final_loss.is_finite() {
         return Err(FitDiverged);
     }
@@ -441,8 +647,16 @@ fn fit_guarded(
 /// Single restart with caller-provided initialization, kept for the
 /// solver-comparison tests.
 #[cfg(test)]
-fn fit_single(a: &Matrix, w: Matrix, h: Matrix, config: &NnmfConfig, seed: u64) -> NnmfModel {
-    match fit_guarded(a, w, h, config, seed) {
+fn fit_single<A: MatKernels>(
+    a: &A,
+    w: Matrix,
+    h: Matrix,
+    config: &NnmfConfig,
+    seed: u64,
+) -> NnmfModel {
+    let mut ws = NnmfWorkspace::new();
+    ws.bind(a, config);
+    match fit_guarded(a, w, h, config, seed, &mut ws) {
         Ok(model) => model,
         Err(FitDiverged) => {
             panic!("NNMF restart diverged (seed {seed}); use try_nnmf for typed recovery")
@@ -450,80 +664,91 @@ fn fit_single(a: &Matrix, w: Matrix, h: Matrix, config: &NnmfConfig, seed: u64) 
     }
 }
 
-/// One Lee–Seung multiplicative sweep (H then W).
-fn mu_step(a: &Matrix, w: &mut Matrix, h: &mut Matrix) {
-    // H ← H ⊙ (WᵀA) / (WᵀW H)
-    let wta = matmul_at_b(w, a);
-    let wtw = matmul_at_b(w, w);
-    let wtwh = matmul(&wtw, h);
-    for (hv, (nv, dv)) in h
-        .as_mut_slice()
-        .iter_mut()
-        .zip(wta.as_slice().iter().zip(wtwh.as_slice()))
-    {
-        *hv *= nv / (dv + EPS);
+/// One Lee–Seung multiplicative sweep (H then W), allocation-free through
+/// the workspace.
+fn mu_step_ws<A: MatKernels>(a: &A, w: &mut Matrix, h: &mut Matrix, ws: &mut NnmfWorkspace) {
+    // H ← H ⊙ (WᵀA) / (WᵀW H); the numerator is read from AᵀW transposed.
+    a.at_b_into(w, &mut ws.atw);
+    matmul_at_b_into(w, w, &mut ws.wtw);
+    matmul_into(&ws.wtw, h, &mut ws.wtwh);
+    let k = h.rows();
+    for t in 0..k {
+        let denom = ws.wtwh.row(t);
+        let hrow = h.row_mut(t);
+        for (j, (hv, dv)) in hrow.iter_mut().zip(denom).enumerate() {
+            *hv *= ws.atw.get(j, t) / (dv + EPS);
+        }
     }
     // W ← W ⊙ (AHᵀ) / (W H Hᵀ)
-    let aht = matmul_a_bt(a, h);
-    let hht = matmul_a_bt(h, h);
-    let whht = matmul(w, &hht);
+    a.a_bt_into(h, &mut ws.aht);
+    matmul_a_bt_into(h, h, &mut ws.hht);
+    matmul_into(w, &ws.hht, &mut ws.whht);
     for (wv, (nv, dv)) in w
         .as_mut_slice()
         .iter_mut()
-        .zip(aht.as_slice().iter().zip(whht.as_slice()))
+        .zip(ws.aht.as_slice().iter().zip(ws.whht.as_slice()))
     {
         *wv *= nv / (dv + EPS);
     }
 }
 
 /// One HALS sweep: update each column of `W` and each row of `H` in closed
-/// form holding the rest fixed.
+/// form holding the rest fixed. Allocation-free through the workspace.
 #[allow(clippy::needless_range_loop)] // Gram indices follow the update rule
-fn hals_step(a: &Matrix, w: &mut Matrix, h: &mut Matrix) {
+fn hals_step_ws<A: MatKernels>(a: &A, w: &mut Matrix, h: &mut Matrix, ws: &mut NnmfWorkspace) {
     let k = w.cols();
     // --- Update H rows: H[t,:] ← max(0, H[t,:] + (WᵀA − WᵀW H)[t,:] / (WᵀW)[t,t])
-    let wta = matmul_at_b(w, a);
-    let wtw = matmul_at_b(w, w);
+    a.at_b_into(w, &mut ws.atw);
+    matmul_at_b_into(w, w, &mut ws.wtw);
     for t in 0..k {
-        let gtt = wtw.get(t, t);
+        let gtt = ws.wtw.get(t, t);
         if gtt <= EPS {
             continue;
         }
-        // delta = (WᵀA)[t,:] − Σ_s (WᵀW)[t,s] H[s,:]
-        let mut delta: Vec<f64> = wta.row(t).to_vec();
+        // delta = (WᵀA)[t,:] − Σ_s (WᵀW)[t,s] H[s,:], with (WᵀA)[t,:] read
+        // as the t-th column of AᵀW.
+        for (j, d) in ws.delta.iter_mut().enumerate() {
+            *d = ws.atw.get(j, t);
+        }
         for s in 0..k {
-            let g = wtw.get(t, s);
+            let g = ws.wtw.get(t, s);
             if g == 0.0 {
                 continue;
             }
             let hrow = h.row(s);
-            for (d, &hv) in delta.iter_mut().zip(hrow) {
+            for (d, &hv) in ws.delta.iter_mut().zip(hrow) {
                 *d -= g * hv;
             }
         }
         let hrow = h.row_mut(t);
-        for (hv, d) in hrow.iter_mut().zip(&delta) {
+        for (hv, d) in hrow.iter_mut().zip(&ws.delta) {
             *hv = (*hv + d / gtt).max(0.0);
         }
     }
     // --- Update W columns symmetrically with the fresh H.
-    let aht = matmul_a_bt(a, h);
-    let hht = matmul_a_bt(h, h);
+    a.a_bt_into(h, &mut ws.aht);
+    matmul_a_bt_into(h, h, &mut ws.hht);
     for t in 0..k {
-        let gtt = hht.get(t, t);
+        let gtt = ws.hht.get(t, t);
         if gtt <= EPS {
             continue;
         }
         for i in 0..w.rows() {
-            let mut d = aht.get(i, t);
+            let mut d = ws.aht.get(i, t);
             let wrow = w.row(i);
             for s in 0..k {
-                d -= hht.get(t, s) * wrow[s];
+                d -= ws.hht.get(t, s) * wrow[s];
             }
             let nv = (w.get(i, t) + d / gtt).max(0.0);
             w.set(i, t, nv);
         }
     }
+}
+
+/// One ANLS sweep through the cached dense view (NNLS needs dense column
+/// access; this is the expensive reference solver, not the scaling path).
+fn anls_step_ws<A: MatKernels>(a: &A, w: &mut Matrix, h: &mut Matrix, ws: &mut NnmfWorkspace) {
+    anls_step(ws.dense_view(a), w, h);
 }
 
 /// One ANLS sweep: solve `min ‖A − WH‖` exactly for `H` (columnwise NNLS
@@ -566,6 +791,13 @@ mod tests {
         })
     }
 
+    /// Workspace pre-bound to `a` for driving solver steps directly.
+    fn bound_ws(a: &Matrix, cfg: &NnmfConfig) -> NnmfWorkspace {
+        let mut ws = NnmfWorkspace::new();
+        ws.bind(a, cfg);
+        ws
+    }
+
     #[test]
     fn factors_are_nonnegative() {
         let a = block_matrix();
@@ -599,10 +831,12 @@ mod tests {
     #[test]
     fn mu_loss_is_monotone() {
         let a = block_matrix();
+        let cfg = NnmfConfig::multiplicative(3);
+        let mut ws = bound_ws(&a, &cfg);
         let (mut w, mut h) = crate::init::init_factors(&a, 3, Init::Random, 7);
         let mut prev = loss(&a, &w, &h);
         for _ in 0..50 {
-            mu_step(&a, &mut w, &mut h);
+            mu_step_ws(&a, &mut w, &mut h, &mut ws);
             let cur = loss(&a, &w, &h);
             assert!(
                 cur <= prev + 1e-9,
@@ -731,10 +965,12 @@ mod tests {
     #[test]
     fn anls_monotone_loss() {
         let a = block_matrix();
+        let cfg = NnmfConfig::anls(2);
+        let mut ws = bound_ws(&a, &cfg);
         let (mut w, mut h) = crate::init::init_factors(&a, 2, Init::Random, 11);
         let mut prev = loss(&a, &w, &h);
         for _ in 0..5 {
-            anls_step(&a, &mut w, &mut h);
+            anls_step_ws(&a, &mut w, &mut h, &mut ws);
             let cur = loss(&a, &w, &h);
             assert!(
                 cur <= prev + 1e-9,
@@ -780,6 +1016,21 @@ mod tests {
     }
 
     #[test]
+    fn typed_input_errors_identical_on_csr() {
+        use crate::error::NnmfError;
+        let nan = Matrix::from_rows(&[vec![1.0, f64::NAN], vec![0.5, 2.0]]);
+        assert!(matches!(
+            try_nnmf(&CsrMatrix::from_dense(&nan), &NnmfConfig::paper_default(1)),
+            Err(NnmfError::NonFinite { row: 0, col: 1, .. })
+        ));
+        let neg = Matrix::from_rows(&[vec![1.0, 2.0], vec![-0.5, 2.0]]);
+        assert!(matches!(
+            try_nnmf(&CsrMatrix::from_dense(&neg), &NnmfConfig::paper_default(1)),
+            Err(NnmfError::NegativeEntry { row: 1, col: 0, .. })
+        ));
+    }
+
+    #[test]
     fn divergence_guard_recovers_via_nndsvd_fallback() {
         // Entries near sqrt(f64::MAX): any random-init restart's initial
         // loss ½‖A − WH‖² overflows to Inf (the residual is ~6e153 per
@@ -814,6 +1065,28 @@ mod tests {
     }
 
     #[test]
+    fn recovery_ladder_bitwise_identical_on_csr() {
+        // The same overflow-prone input through both storage backends must
+        // walk the identical recovery ladder and produce identical factors
+        // — byte-for-byte availability of restart/recovery behavior on CSR.
+        let dense = Matrix::full(8, 10, 6e153);
+        let sparse = CsrMatrix::from_dense(&dense);
+        let cfg = NnmfConfig {
+            restarts: 3,
+            ..NnmfConfig::paper_default(2)
+        };
+        let dm = try_nnmf(&dense, &cfg).expect("dense recovery");
+        let sm = try_nnmf(&sparse, &cfg).expect("sparse recovery");
+        assert_eq!(dm.recovery, sm.recovery);
+        assert_eq!(dm.winning_seed, sm.winning_seed);
+        assert_eq!(dm.iterations, sm.iterations);
+        assert_eq!(dm.converged, sm.converged);
+        assert_eq!(dm.w, sm.w, "factors must be bitwise identical");
+        assert_eq!(dm.h, sm.h);
+        assert!((dm.loss - sm.loss).abs() == 0.0 || (dm.loss - sm.loss).abs() < f64::EPSILON);
+    }
+
+    #[test]
     fn wall_clock_budget_truncates_restart() {
         let a = block_matrix();
         let cfg = NnmfConfig {
@@ -831,9 +1104,143 @@ mod tests {
     }
 
     #[test]
+    fn wall_clock_budget_works_on_csr() {
+        let a = CsrMatrix::from_dense(&block_matrix());
+        let cfg = NnmfConfig {
+            max_wall_ms: Some(0),
+            restarts: 1,
+            ..NnmfConfig::paper_default(2)
+        };
+        let m = try_nnmf(&a, &cfg).expect("budget exhaustion is not an error");
+        assert!(m.recovery.budget_exceeded >= 1);
+        assert!(m.iterations < cfg.max_iter);
+    }
+
+    #[test]
     fn clean_fit_reports_clean_recovery() {
         let a = block_matrix();
         let m = try_nnmf(&a, &NnmfConfig::paper_default(2)).unwrap();
         assert!(m.recovery.is_clean(), "{:?}", m.recovery);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_fits() {
+        let a = block_matrix();
+        let b = Matrix::from_fn(6, 9, |i, j| ((i * 2 + j) % 3) as f64);
+        let mut ws = NnmfWorkspace::new();
+        // Interleave shapes, ranks, and solvers through one workspace.
+        for cfg in [
+            NnmfConfig::paper_default(2),
+            NnmfConfig::multiplicative(3),
+            NnmfConfig::paper_default(4),
+        ] {
+            let shared_a = try_nnmf_with(&a, &cfg, &mut ws).unwrap();
+            let fresh_a = try_nnmf(&a, &cfg).unwrap();
+            assert_eq!(
+                shared_a.w, fresh_a.w,
+                "workspace reuse must not change results"
+            );
+            assert_eq!(shared_a.h, fresh_a.h);
+            let shared_b = try_nnmf_with(&b, &cfg, &mut ws).unwrap();
+            let fresh_b = try_nnmf(&b, &cfg).unwrap();
+            assert_eq!(shared_b.w, fresh_b.w);
+            assert_eq!(shared_b.h, fresh_b.h);
+        }
+    }
+
+    #[test]
+    fn dense_and_csr_fits_bitwise_identical() {
+        let a = block_matrix();
+        let s = CsrMatrix::from_dense(&a);
+        for cfg in [
+            NnmfConfig {
+                restarts: 2,
+                ..NnmfConfig::paper_default(2)
+            },
+            NnmfConfig {
+                restarts: 2,
+                max_iter: 60,
+                ..NnmfConfig::multiplicative(2)
+            },
+        ] {
+            let dm = nnmf(&a, &cfg);
+            let sm = nnmf(&s, &cfg);
+            assert_eq!(dm.winning_seed, sm.winning_seed, "{:?}", cfg.solver);
+            assert_eq!(dm.iterations, sm.iterations);
+            assert_eq!(dm.w, sm.w, "{:?}: W must be bitwise identical", cfg.solver);
+            assert_eq!(dm.h, sm.h, "{:?}: H must be bitwise identical", cfg.solver);
+            assert_eq!(dm.loss, sm.loss);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_generic_solver() {
+        let dense = block_matrix();
+        let sparse = CsrMatrix::from_dense(&dense);
+        let cfg = NnmfConfig {
+            restarts: 2,
+            ..NnmfConfig::paper_default(2)
+        };
+        let wrapped = nnmf_sparse(&sparse, &cfg);
+        let generic = nnmf(&sparse, &cfg);
+        assert_eq!(wrapped.w, generic.w);
+        assert_eq!(wrapped.h, generic.h);
+        let (w, h) = crate::init::init_factors(&dense, 2, Init::Random, 5);
+        assert_eq!(sparse_loss(&sparse, &w, &h), loss(&sparse, &w, &h));
+        assert!((sparse_loss(&sparse, &w, &h) - loss(&dense, &w, &h)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_iterations_allocate_nothing_after_warmup() {
+        // Everything here is far below the parallel work threshold, so all
+        // arithmetic stays on this thread and the thread-local allocation
+        // counter in `crate::alloc_probe` sees every heap allocation a
+        // sweep would make. ANLS is exempt (NNLS allocates by design).
+        let dense = block_matrix();
+        let sparse = CsrMatrix::from_dense(&dense);
+        let cfg = NnmfConfig::multiplicative(2); // sizes HALS + MU buffers
+        let mut ws_d = bound_ws(&dense, &cfg);
+        let mut ws_s = NnmfWorkspace::new();
+        ws_s.bind(&sparse, &cfg);
+        let (mut w_d, mut h_d) = crate::init::init_factors(&dense, 2, Init::Random, 9);
+        let (mut w_s, mut h_s) = (w_d.clone(), h_d.clone());
+        // Warm up every code path once (buffers sized, loss paths taken).
+        hals_step_ws(&dense, &mut w_d, &mut h_d, &mut ws_d);
+        mu_step_ws(&dense, &mut w_d, &mut h_d, &mut ws_d);
+        let _ = loss_ws(&dense, &w_d, &h_d, &mut ws_d);
+        hals_step_ws(&sparse, &mut w_s, &mut h_s, &mut ws_s);
+        mu_step_ws(&sparse, &mut w_s, &mut h_s, &mut ws_s);
+        let _ = loss_ws(&sparse, &w_s, &h_s, &mut ws_s);
+
+        let before = crate::alloc_probe::allocations_on_this_thread();
+        for _ in 0..10 {
+            hals_step_ws(&dense, &mut w_d, &mut h_d, &mut ws_d);
+            mu_step_ws(&dense, &mut w_d, &mut h_d, &mut ws_d);
+            let _ = loss_ws(&dense, &w_d, &h_d, &mut ws_d);
+            hals_step_ws(&sparse, &mut w_s, &mut h_s, &mut ws_s);
+            mu_step_ws(&sparse, &mut w_s, &mut h_s, &mut ws_s);
+            let _ = loss_ws(&sparse, &w_s, &h_s, &mut ws_s);
+        }
+        let after = crate::alloc_probe::allocations_on_this_thread();
+        assert_eq!(
+            after - before,
+            0,
+            "fit iterations must not allocate once the workspace is warm"
+        );
+    }
+
+    #[test]
+    fn gram_loss_matches_direct_residual() {
+        let a = block_matrix();
+        let cfg = NnmfConfig::paper_default(3);
+        let mut ws = bound_ws(&a, &cfg);
+        let (w, h) = crate::init::init_factors(&a, 3, Init::Random, 5);
+        let gram = loss_ws(&a, &w, &h, &mut ws);
+        let direct = loss(&a, &w, &h);
+        assert!(
+            (gram - direct).abs() < 1e-9,
+            "Gram-identity loss must agree with the residual: {gram} vs {direct}"
+        );
     }
 }

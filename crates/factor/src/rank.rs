@@ -14,9 +14,9 @@
 //! * [`select_rank`] — the smallest `k` in the range whose factorization
 //!   separates courses without duplicated dimensions.
 
-use crate::nnmf::{nnmf, NnmfConfig, NnmfModel};
+use crate::nnmf::{try_nnmf_with, NnmfConfig, NnmfModel, NnmfWorkspace};
 use anchors_linalg::stats::cosine;
-use anchors_linalg::Matrix;
+use anchors_linalg::{MatKernels, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Diagnostics for a single `k`.
@@ -77,20 +77,25 @@ pub fn separation_score(w: &Matrix) -> f64 {
     }
 }
 
-/// Fit every `k` in `k_range` and collect diagnostics.
-pub fn rank_scan(
-    a: &Matrix,
+/// Fit every `k` in `k_range` and collect diagnostics. Generic over the
+/// storage backend; all fits in the scan share one solver workspace.
+pub fn rank_scan<A: MatKernels>(
+    a: &A,
     k_range: std::ops::RangeInclusive<usize>,
     base: &NnmfConfig,
 ) -> Vec<(RankDiagnostics, NnmfModel)> {
     let mut out = Vec::new();
+    let mut ws = NnmfWorkspace::new();
     for k in k_range {
         let cfg = NnmfConfig { k, ..base.clone() };
-        let model = nnmf(a, &cfg);
+        let model = match try_nnmf_with(a, &cfg, &mut ws) {
+            Ok(model) => model,
+            Err(e) => panic!("{e}"),
+        };
         let diag = RankDiagnostics {
             k,
             loss: model.loss,
-            relative_error: model.relative_error(a),
+            relative_error: model.relative_error_on(a),
             duplicate_score: duplicate_dimension_score(&model.h),
             separation: separation_score(&model.w),
         };
@@ -197,6 +202,20 @@ mod tests {
         // And never picks a k whose H rows are duplicated.
         let picked = scan.iter().find(|(d, _)| d.k == k).unwrap();
         assert!(picked.0.duplicate_score < DUPLICATE_THRESHOLD);
+    }
+
+    #[test]
+    fn rank_scan_identical_on_csr() {
+        let a = three_block_matrix();
+        let s = anchors_linalg::CsrMatrix::from_dense(&a);
+        let ds = rank_scan(&a, 2..=4, &base_cfg());
+        let ss = rank_scan(&s, 2..=4, &base_cfg());
+        for ((dd, dm), (sd, sm)) in ds.iter().zip(&ss) {
+            assert_eq!(dd.k, sd.k);
+            assert_eq!(dm.w, sm.w, "k={}: scans must agree across backends", dd.k);
+            assert_eq!(dm.h, sm.h);
+            assert!((dd.relative_error - sd.relative_error).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -33,13 +33,51 @@ proptest! {
     }
 
     #[test]
-    fn sparse_dense_nnmf_agree(a in nonneg_matrix()) {
+    fn sparse_dense_nnmf_agree(
+        a in nonneg_matrix(),
+        solver_idx in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        // The storage-generic solver must produce factor pairs identical to
+        // ≤1e-9 (in practice bitwise) across backends, for HALS and MU
+        // alike, with restarts in play. Values here are arbitrary positive
+        // reals, covering the weighted (MaterialCount/LogCount) course
+        // matrices as well as the binary §4.1 encoding.
         let k = small_k(&a);
-        let cfg = NnmfConfig { restarts: 1, max_iter: 40, ..NnmfConfig::paper_default(k) };
+        let solver = [Solver::Hals, Solver::MultiplicativeUpdate][solver_idx];
+        let cfg = NnmfConfig {
+            restarts: 2, max_iter: 40, solver, seed,
+            ..NnmfConfig::paper_default(k)
+        };
         let dm = nnmf(&a, &cfg);
-        let sm = nnmf_sparse(&CsrMatrix::from_dense(&a), &cfg);
-        prop_assert!((dm.loss - sm.loss).abs() <= 1e-6 * (1.0 + dm.loss));
-        prop_assert!(dm.w.approx_eq(&sm.w, 1e-6));
+        let sm = nnmf(&CsrMatrix::from_dense(&a), &cfg);
+        prop_assert_eq!(dm.winning_seed, sm.winning_seed);
+        prop_assert_eq!(dm.iterations, sm.iterations);
+        prop_assert_eq!(dm.recovery, sm.recovery);
+        prop_assert!((dm.loss - sm.loss).abs() <= 1e-9 * (1.0 + dm.loss));
+        for (dv, sv) in dm.w.as_slice().iter().zip(sm.w.as_slice()) {
+            prop_assert!((dv - sv).abs() <= 1e-9, "W entries differ: {dv} vs {sv}");
+        }
+        for (dv, sv) in dm.h.as_slice().iter().zip(sm.h.as_slice()) {
+            prop_assert!((dv - sv).abs() <= 1e-9, "H entries differ: {dv} vs {sv}");
+        }
+    }
+
+    #[test]
+    fn sparse_dense_recovery_parity(scale_exp in 150u32..154, seed in 0u64..100) {
+        // Magnitudes straddling the ‖A‖² overflow point: the small end fits
+        // cleanly, the large end makes every random restart diverge so the
+        // fit only succeeds through the recovery ladder (reseed + NNDSVD
+        // fallback). Both backends must walk whichever path identically.
+        let v = 6.0 * 10f64.powi(scale_exp as i32);
+        let a = Matrix::full(6, 8, v);
+        let cfg = NnmfConfig { restarts: 2, seed, ..NnmfConfig::paper_default(2) };
+        let dm = try_nnmf(&a, &cfg).expect("dense recovery");
+        let sm = try_nnmf(&CsrMatrix::from_dense(&a), &cfg).expect("sparse recovery");
+        prop_assert_eq!(dm.recovery, sm.recovery);
+        prop_assert_eq!(dm.winning_seed, sm.winning_seed);
+        prop_assert_eq!(dm.w, sm.w);
+        prop_assert_eq!(dm.h, sm.h);
     }
 
     #[test]

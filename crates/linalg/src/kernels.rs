@@ -1,0 +1,453 @@
+//! Storage-generic kernel layer.
+//!
+//! The NNMF solvers (and the pipeline stages built on them) need a small
+//! set of operations from the data matrix `A`: shape and density queries,
+//! input validation scans, the two data-side products `A·Bᵀ` and `Aᵀ·B`,
+//! the Frobenius norm, and a direct residual loss for overflow-prone
+//! inputs. [`MatKernels`] abstracts exactly that set, implemented for both
+//! dense [`Matrix`] and [`CsrMatrix`] storage, so a single generic solver
+//! serves both backends.
+//!
+//! ## Bitwise parity
+//!
+//! For a CSR matrix produced by [`CsrMatrix::from_dense`] (exact-zero
+//! sparsification), every kernel here returns *bitwise identical* results
+//! on the two storages:
+//!
+//! * both `a_bt_into` implementations accumulate products in ascending
+//!   column order, and the dense path's extra `0.0·x` terms leave a
+//!   nonnegative `f64` accumulator unchanged;
+//! * both `at_b_into` implementations scatter row `i` contributions in row
+//!   order and skip exactly the entries `a_ij == 0.0`;
+//! * `frobenius_sq`, `sum`, and `residual_loss` differ only by `+0.0`
+//!   terms for the structurally absent entries.
+//!
+//! This is what lets the generic solver in `anchors-factor` guarantee the
+//! same factors, recovery flags, and restart winners on either backend.
+
+use crate::matrix::Matrix;
+use crate::ops;
+use crate::sparse::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Which storage backend a computation ran on. Recorded in pipeline
+/// diagnostics when the density threshold selects the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Backend {
+    /// Row-major dense storage.
+    #[default]
+    Dense,
+    /// Compressed sparse row storage.
+    Sparse,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Dense => write!(f, "dense"),
+            Backend::Sparse => write!(f, "sparse"),
+        }
+    }
+}
+
+/// The matrix operations the factorization solvers are generic over.
+///
+/// All `_into` products write into caller-provided buffers so a fit
+/// iteration allocates nothing once its workspace is warm.
+pub trait MatKernels {
+    /// `(rows, cols)`.
+    fn shape(&self) -> (usize, usize);
+
+    /// Number of rows.
+    fn rows(&self) -> usize {
+        self.shape().0
+    }
+
+    /// Number of columns.
+    fn cols(&self) -> usize {
+        self.shape().1
+    }
+
+    /// Fraction of nonzero entries (`0` for empty shapes).
+    fn density(&self) -> f64;
+
+    /// Sum of all entries.
+    fn sum(&self) -> f64;
+
+    /// Squared Frobenius norm `Σ a_ij²`.
+    fn frobenius_sq(&self) -> f64;
+
+    /// First non-finite entry as `(row, col, value)`, scanning row-major.
+    fn find_non_finite(&self) -> Option<(usize, usize, f64)>;
+
+    /// First negative (or non-finite) entry as `(row, col, value)`.
+    fn find_negative(&self) -> Option<(usize, usize, f64)>;
+
+    /// `out = A · Bᵀ` (the NNMF data product `A Hᵀ` with `B = H`).
+    ///
+    /// # Panics
+    /// Panics if `b.cols() != self.cols()` or `out` is not
+    /// `self.rows() × b.rows()`.
+    fn a_bt_into(&self, b: &Matrix, out: &mut Matrix);
+
+    /// `out = Aᵀ · B` (the NNMF data product `Aᵀ W` with `B = W`).
+    ///
+    /// # Panics
+    /// Panics if `b.rows() != self.rows()` or `out` is not
+    /// `self.cols() × b.cols()`.
+    fn at_b_into(&self, b: &Matrix, out: &mut Matrix);
+
+    /// Direct residual loss `½‖A − WH‖_F²`, evaluated one reconstruction
+    /// row at a time through `row_scratch` (length `cols`). Used when the
+    /// Gram-identity loss overflows (`‖A‖²` non-finite); never allocates.
+    ///
+    /// # Panics
+    /// Panics if the factor shapes or `row_scratch.len()` do not match.
+    fn residual_loss(&self, w: &Matrix, h: &Matrix, row_scratch: &mut [f64]) -> f64;
+
+    /// Materialize dense storage (a clone for dense inputs). Needed by the
+    /// SVD-based initializers and the ANLS reference solver.
+    fn to_dense(&self) -> Matrix;
+
+    /// Which backend this storage is.
+    fn backend(&self) -> Backend;
+}
+
+/// Shared residual-loss accumulation over one reconstruction row:
+/// `row_scratch = Σ_t w_it · H[t,:]` accumulated in `t` order, skipping
+/// exact-zero loadings just like the dense multiply kernel.
+#[inline]
+fn reconstruct_row_into(wrow: &[f64], h: &Matrix, row_scratch: &mut [f64]) {
+    row_scratch.fill(0.0);
+    for (t, &wv) in wrow.iter().enumerate() {
+        if wv == 0.0 {
+            continue;
+        }
+        ops::axpy(wv, h.row(t), row_scratch);
+    }
+}
+
+#[inline]
+fn check_residual_shapes(shape: (usize, usize), w: &Matrix, h: &Matrix, scratch: &[f64]) {
+    let (m, n) = shape;
+    let k = w.cols();
+    assert_eq!(w.rows(), m, "W row count must match A");
+    assert_eq!(h.shape(), (k, n), "H shape must match (k, cols)");
+    assert_eq!(scratch.len(), n, "row scratch must have length cols");
+}
+
+impl MatKernels for Matrix {
+    fn shape(&self) -> (usize, usize) {
+        Matrix::shape(self)
+    }
+
+    fn density(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.as_slice().iter().filter(|&&v| v != 0.0).count() as f64 / self.len() as f64
+        }
+    }
+
+    fn sum(&self) -> f64 {
+        Matrix::sum(self)
+    }
+
+    fn frobenius_sq(&self) -> f64 {
+        crate::norms::frobenius_sq(self)
+    }
+
+    fn find_non_finite(&self) -> Option<(usize, usize, f64)> {
+        Matrix::find_non_finite(self)
+    }
+
+    fn find_negative(&self) -> Option<(usize, usize, f64)> {
+        Matrix::find_negative(self)
+    }
+
+    fn a_bt_into(&self, b: &Matrix, out: &mut Matrix) {
+        ops::matmul_a_bt_into(self, b, out);
+    }
+
+    fn at_b_into(&self, b: &Matrix, out: &mut Matrix) {
+        ops::matmul_at_b_into(self, b, out);
+    }
+
+    fn residual_loss(&self, w: &Matrix, h: &Matrix, row_scratch: &mut [f64]) -> f64 {
+        check_residual_shapes(MatKernels::shape(self), w, h, row_scratch);
+        let mut acc = 0.0;
+        for i in 0..self.rows() {
+            reconstruct_row_into(w.row(i), h, row_scratch);
+            for (&av, &sv) in self.row(i).iter().zip(row_scratch.iter()) {
+                let d = av - sv;
+                acc += d * d;
+            }
+        }
+        0.5 * acc
+    }
+
+    fn to_dense(&self) -> Matrix {
+        self.clone()
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Dense
+    }
+}
+
+impl MatKernels for CsrMatrix {
+    fn shape(&self) -> (usize, usize) {
+        CsrMatrix::shape(self)
+    }
+
+    fn density(&self) -> f64 {
+        CsrMatrix::density(self)
+    }
+
+    fn sum(&self) -> f64 {
+        CsrMatrix::sum(self)
+    }
+
+    fn frobenius_sq(&self) -> f64 {
+        CsrMatrix::frobenius_sq(self)
+    }
+
+    fn find_non_finite(&self) -> Option<(usize, usize, f64)> {
+        for i in 0..self.rows() {
+            let (idx, vals) = self.row(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                if !v.is_finite() {
+                    return Some((i, j, v));
+                }
+            }
+        }
+        None
+    }
+
+    fn find_negative(&self) -> Option<(usize, usize, f64)> {
+        // Structural zeros are nonnegative, so the first offending stored
+        // entry (row-major) is the first offending entry overall — same
+        // coordinates a dense scan would report.
+        for i in 0..self.rows() {
+            let (idx, vals) = self.row(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Some((i, j, v));
+                }
+            }
+        }
+        None
+    }
+
+    fn a_bt_into(&self, b: &Matrix, out: &mut Matrix) {
+        self.matmul_dense_bt_into(b, out);
+    }
+
+    fn at_b_into(&self, b: &Matrix, out: &mut Matrix) {
+        self.matmul_at_dense_into(b, out);
+    }
+
+    fn residual_loss(&self, w: &Matrix, h: &Matrix, row_scratch: &mut [f64]) -> f64 {
+        check_residual_shapes(MatKernels::shape(self), w, h, row_scratch);
+        let n = self.cols();
+        let mut acc = 0.0;
+        for i in 0..self.rows() {
+            reconstruct_row_into(w.row(i), h, row_scratch);
+            let (idx, vals) = self.row(i);
+            let mut p = 0;
+            for (j, &sv) in row_scratch.iter().enumerate().take(n) {
+                let av = if p < idx.len() && idx[p] == j {
+                    let v = vals[p];
+                    p += 1;
+                    v
+                } else {
+                    0.0
+                };
+                let d = av - sv;
+                acc += d * d;
+            }
+        }
+        0.5 * acc
+    }
+
+    fn to_dense(&self) -> Matrix {
+        CsrMatrix::to_dense(self)
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Sparse
+    }
+}
+
+/// Either storage behind one concrete type, for call sites that choose the
+/// backend at runtime (the density-threshold pipeline path) but want a
+/// single non-generic value to hold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataMatrix {
+    /// Dense storage.
+    Dense(Matrix),
+    /// CSR storage.
+    Sparse(CsrMatrix),
+}
+
+impl From<Matrix> for DataMatrix {
+    fn from(m: Matrix) -> Self {
+        DataMatrix::Dense(m)
+    }
+}
+
+impl From<CsrMatrix> for DataMatrix {
+    fn from(m: CsrMatrix) -> Self {
+        DataMatrix::Sparse(m)
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $m:ident => $e:expr) => {
+        match $self {
+            DataMatrix::Dense($m) => $e,
+            DataMatrix::Sparse($m) => $e,
+        }
+    };
+}
+
+impl MatKernels for DataMatrix {
+    fn shape(&self) -> (usize, usize) {
+        delegate!(self, m => MatKernels::shape(m))
+    }
+
+    fn density(&self) -> f64 {
+        delegate!(self, m => MatKernels::density(m))
+    }
+
+    fn sum(&self) -> f64 {
+        delegate!(self, m => MatKernels::sum(m))
+    }
+
+    fn frobenius_sq(&self) -> f64 {
+        delegate!(self, m => MatKernels::frobenius_sq(m))
+    }
+
+    fn find_non_finite(&self) -> Option<(usize, usize, f64)> {
+        delegate!(self, m => MatKernels::find_non_finite(m))
+    }
+
+    fn find_negative(&self) -> Option<(usize, usize, f64)> {
+        delegate!(self, m => MatKernels::find_negative(m))
+    }
+
+    fn a_bt_into(&self, b: &Matrix, out: &mut Matrix) {
+        delegate!(self, m => m.a_bt_into(b, out))
+    }
+
+    fn at_b_into(&self, b: &Matrix, out: &mut Matrix) {
+        delegate!(self, m => m.at_b_into(b, out))
+    }
+
+    fn residual_loss(&self, w: &Matrix, h: &Matrix, row_scratch: &mut [f64]) -> f64 {
+        delegate!(self, m => m.residual_loss(w, h, row_scratch))
+    }
+
+    fn to_dense(&self) -> Matrix {
+        delegate!(self, m => MatKernels::to_dense(m))
+    }
+
+    fn backend(&self) -> Backend {
+        delegate!(self, m => MatKernels::backend(m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_fn(5, 7, |i, j| {
+            if (i + 2 * j) % 3 == 0 {
+                (i * 7 + j) as f64 * 0.25
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn products_bitwise_identical_across_backends() {
+        let d = sample();
+        let s = CsrMatrix::from_dense(&d);
+        let b = Matrix::from_fn(3, 7, |i, j| ((i * 7 + j) % 5) as f64 * 0.3 + 0.1);
+        let mut dense_out = Matrix::zeros(5, 3);
+        let mut sparse_out = Matrix::zeros(5, 3);
+        MatKernels::a_bt_into(&d, &b, &mut dense_out);
+        MatKernels::a_bt_into(&s, &b, &mut sparse_out);
+        assert_eq!(dense_out, sparse_out, "A·Bᵀ must be bitwise identical");
+
+        let w = Matrix::from_fn(5, 3, |i, j| ((i + j) % 4) as f64 * 0.5);
+        let mut dense_atw = Matrix::zeros(7, 3);
+        let mut sparse_atw = Matrix::zeros(7, 3);
+        MatKernels::at_b_into(&d, &w, &mut dense_atw);
+        MatKernels::at_b_into(&s, &w, &mut sparse_atw);
+        assert_eq!(dense_atw, sparse_atw, "Aᵀ·B must be bitwise identical");
+    }
+
+    #[test]
+    fn scalar_reductions_bitwise_identical() {
+        let d = sample();
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(MatKernels::sum(&d), MatKernels::sum(&s));
+        assert_eq!(MatKernels::frobenius_sq(&d), MatKernels::frobenius_sq(&s));
+        assert_eq!(MatKernels::density(&d), MatKernels::density(&s));
+    }
+
+    #[test]
+    fn residual_loss_matches_across_backends() {
+        let d = sample();
+        let s = CsrMatrix::from_dense(&d);
+        let w = Matrix::from_fn(5, 2, |i, j| (i + j) as f64 * 0.2);
+        let h = Matrix::from_fn(2, 7, |i, j| ((i * 7 + j) % 3) as f64 * 0.4);
+        let mut scratch = vec![0.0; 7];
+        let dl = d.residual_loss(&w, &h, &mut scratch);
+        let sl = s.residual_loss(&w, &h, &mut scratch);
+        assert_eq!(dl, sl, "residual loss must be bitwise identical");
+        // And both equal the definition ½‖A − WH‖².
+        let rec = crate::ops::matmul(&w, &h);
+        let direct = 0.5 * crate::norms::frobenius_sq(&crate::ops::sub(&d, &rec));
+        assert!((dl - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_scans_agree() {
+        let mut d = sample();
+        d.set(2, 3, -4.0);
+        d.set(4, 6, f64::NAN);
+        let s = CsrMatrix::from_dense(&d);
+        assert_eq!(
+            MatKernels::find_negative(&d).map(|(i, j, _)| (i, j)),
+            MatKernels::find_negative(&s).map(|(i, j, _)| (i, j))
+        );
+        assert_eq!(
+            MatKernels::find_non_finite(&d).map(|(i, j, _)| (i, j)),
+            MatKernels::find_non_finite(&s).map(|(i, j, _)| (i, j))
+        );
+        let clean = sample();
+        assert!(MatKernels::find_negative(&clean).is_none());
+        assert!(MatKernels::find_non_finite(&CsrMatrix::from_dense(&clean)).is_none());
+    }
+
+    #[test]
+    fn data_matrix_delegates() {
+        let d = sample();
+        let s = CsrMatrix::from_dense(&d);
+        let dd: DataMatrix = d.clone().into();
+        let ds: DataMatrix = s.into();
+        assert_eq!(dd.backend(), Backend::Dense);
+        assert_eq!(ds.backend(), Backend::Sparse);
+        assert_eq!(MatKernels::shape(&dd), MatKernels::shape(&ds));
+        assert_eq!(MatKernels::frobenius_sq(&dd), MatKernels::frobenius_sq(&ds));
+        assert_eq!(MatKernels::to_dense(&ds), d);
+        assert_eq!(
+            format!("{}/{}", Backend::Dense, Backend::Sparse),
+            "dense/sparse"
+        );
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`ops`] — sequential and rayon-parallel multiply kernels (bitwise
 //!   deterministic: the parallel kernels preserve the sequential per-entry
 //!   reduction order);
+//! * [`sparse::CsrMatrix`] — compressed sparse row storage with the same
+//!   multiply kernels;
+//! * [`kernels::MatKernels`] — the storage-generic kernel trait the NNMF
+//!   solvers are written against (dense and CSR, bitwise-paired);
 //! * [`eigen`] — cyclic-Jacobi symmetric eigendecomposition and power
 //!   iteration;
 //! * [`svd`] — exact thin SVD (Gram route) and randomized top-k SVD;
@@ -24,6 +28,7 @@
 pub mod distance;
 pub mod eigen;
 pub mod error;
+pub mod kernels;
 pub mod matrix;
 pub mod norms;
 pub mod ops;
@@ -35,11 +40,12 @@ pub mod svd;
 pub use distance::{pairwise_cosine_similarity, pairwise_distances, Metric};
 pub use eigen::{power_iteration, sym_eigen, SymEigen};
 pub use error::LinalgError;
+pub use kernels::{Backend, DataMatrix, MatKernels};
 pub use matrix::Matrix;
 pub use norms::{frobenius, frobenius_diff, frobenius_sq, relative_error};
 pub use ops::{
-    gram, matmul, matmul_a_bt, matmul_at_b, matmul_seq, try_matmul, try_matmul_a_bt,
-    try_matmul_at_b, try_matvec,
+    gram, matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into,
+    matmul_seq, par_threshold, try_matmul, try_matmul_a_bt, try_matmul_at_b, try_matvec,
 };
 pub use solve::{
     cholesky, lstsq, nnls, solve_spd, try_cholesky, try_lstsq, try_nnls, try_solve_spd,

@@ -9,12 +9,40 @@
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use rayon::prelude::*;
+use std::sync::OnceLock;
 
-/// Rows-per-task threshold below which the parallel kernels fall back to the
-/// sequential implementation (avoids rayon overhead on tiny matrices).
-const PAR_MIN_WORK: usize = 64 * 64;
+/// Default work threshold below which the parallel kernels run sequentially
+/// (avoids rayon overhead on tiny matrices).
+const PAR_MIN_WORK_DEFAULT: usize = 64 * 64;
+
+static PAR_THRESHOLD: OnceLock<usize> = OnceLock::new();
+
+/// Parse an `ANCHORS_PAR_THRESHOLD`-style override. `Some("0")` forces every
+/// kernel parallel; unparsable values fall back to the default.
+fn threshold_from_env(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse().ok())
+        .unwrap_or(PAR_MIN_WORK_DEFAULT)
+}
+
+/// The work threshold (in fused multiply-add units) above which multiply
+/// kernels split across rayon workers. One heuristic governs every kernel —
+/// dense and CSR alike — and can be overridden through the
+/// `ANCHORS_PAR_THRESHOLD` environment variable (read once per process).
+pub fn par_threshold() -> usize {
+    *PAR_THRESHOLD
+        .get_or_init(|| threshold_from_env(std::env::var("ANCHORS_PAR_THRESHOLD").ok().as_deref()))
+}
+
+/// Shared split decision: parallelize row-partitioned work of `work` total
+/// units across `rows` rows. Both branches of every kernel preserve the
+/// per-entry reduction order, so the decision never changes results.
+#[inline]
+pub(crate) fn split_rows(work: usize, rows: usize) -> bool {
+    rows >= 2 && work >= par_threshold()
+}
 
 /// `C = A * B` (sequential ikj kernel, cache-friendly on row-major data).
+/// Kept as the test oracle for the production kernels below.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
@@ -44,9 +72,12 @@ pub fn matmul_seq(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
-/// `C = A * B`, parallel over output rows. Falls back to [`matmul_seq`] for
-/// small problems. Results are bitwise identical to the sequential kernel.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+/// `C = A * B` written into `out` (no allocation). Parallel over output rows
+/// when the [`par_threshold`] heuristic fires; bitwise identical either way.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()` or `out` is not `a.rows() × b.cols()`.
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -55,33 +86,46 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         b.shape()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    if m * k + k * n < PAR_MIN_WORK || m < 2 {
-        return matmul_seq(a, b);
-    }
-    let mut c = Matrix::zeros(m, n);
-    c.as_mut_slice()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, crow)| {
-            let arow = a.row(i);
-            for (p, &av) in arow.iter().enumerate().take(k) {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = b.row(p);
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
+    assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
+    out.as_mut_slice().fill(0.0);
+    let body = |i: usize, crow: &mut [f64]| {
+        let arow = a.row(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
             }
-        });
+            let brow = b.row(p);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    };
+    if split_rows(m * k + k * n, m) {
+        out.as_mut_slice()
+            .par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(i, crow)| body(i, crow));
+    } else {
+        for i in 0..m {
+            body(i, out.row_mut(i));
+        }
+    }
+}
+
+/// `C = A * B`, parallel over output rows above the shared work threshold.
+/// Results are bitwise identical to [`matmul_seq`].
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut c);
     c
 }
 
-/// `C = Aᵀ * B` without materializing the transpose.
+/// `C = Aᵀ * B` written into `out` (no allocation, no materialized
+/// transpose).
 ///
 /// # Panics
-/// Panics if `a.rows() != b.rows()`.
-pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+/// Panics if `a.rows() != b.rows()` or `out` is not `a.cols() × b.cols()`.
+pub fn matmul_at_b_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -90,7 +134,8 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
         b.shape()
     );
     let (m, ka, kb) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(ka, kb);
+    assert_eq!(out.shape(), (ka, kb), "AᵀB output shape mismatch");
+    out.as_mut_slice().fill(0.0);
     // Accumulate outer products of paired rows; each row of A scatters into
     // all of C, so this kernel stays sequential (C is small in our use:
     // k×k Gram matrices inside NNMF).
@@ -101,20 +146,30 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
             if av == 0.0 {
                 continue;
             }
-            let crow = c.row_mut(p);
+            let crow = out.row_mut(p);
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += av * bv;
             }
         }
     }
+}
+
+/// `C = Aᵀ * B` without materializing the transpose.
+///
+/// # Panics
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    matmul_at_b_into(a, b, &mut c);
     c
 }
 
-/// `C = A * Bᵀ`, parallel over output rows.
+/// `C = A * Bᵀ` written into `out` (no allocation). Parallel over output
+/// rows above the shared work threshold.
 ///
 /// # Panics
-/// Panics if `a.cols() != b.cols()`.
-pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+/// Panics if `a.cols() != b.cols()` or `out` is not `a.rows() × b.rows()`.
+pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -124,23 +179,32 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, n) = (a.rows(), b.rows());
     let k = a.cols();
-    let mut c = Matrix::zeros(m, n);
+    assert_eq!(out.shape(), (m, n), "ABᵀ output shape mismatch");
     let body = |i: usize, crow: &mut [f64]| {
         let arow = a.row(i);
         for (j, cv) in crow.iter_mut().enumerate() {
             *cv = dot(arow, b.row(j));
         }
     };
-    if m * k + n * k < PAR_MIN_WORK || m < 2 {
-        for i in 0..m {
-            body(i, c.row_mut(i));
-        }
-    } else {
-        c.as_mut_slice()
+    if split_rows(m * k + n * k, m) {
+        out.as_mut_slice()
             .par_chunks_mut(n.max(1))
             .enumerate()
             .for_each(|(i, crow)| body(i, crow));
+    } else {
+        for i in 0..m {
+            body(i, out.row_mut(i));
+        }
     }
+}
+
+/// `C = A * Bᵀ`, parallel over output rows.
+///
+/// # Panics
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    matmul_a_bt_into(a, b, &mut c);
     c
 }
 
@@ -296,6 +360,35 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1., 2.], vec![3., 4.], vec![5., 6.]]);
         let b = Matrix::from_rows(&[vec![7., 8., 9.], vec![10., 11., 12.]]);
         (a, b)
+    }
+
+    #[test]
+    fn threshold_parsing() {
+        assert_eq!(threshold_from_env(None), PAR_MIN_WORK_DEFAULT);
+        assert_eq!(threshold_from_env(Some("1024")), 1024);
+        assert_eq!(threshold_from_env(Some(" 8 ")), 8);
+        assert_eq!(threshold_from_env(Some("0")), 0, "0 forces parallel");
+        assert_eq!(threshold_from_env(Some("nonsense")), PAR_MIN_WORK_DEFAULT);
+        assert_eq!(threshold_from_env(Some("-3")), PAR_MIN_WORK_DEFAULT);
+    }
+
+    #[test]
+    fn into_kernels_overwrite_stale_output() {
+        let (a, b) = small();
+        let mut out = Matrix::zeros(3, 3);
+        out.as_mut_slice().fill(99.0);
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out, matmul_seq(&a, &b));
+
+        let mut atb = Matrix::zeros(2, 2);
+        atb.as_mut_slice().fill(-5.0);
+        matmul_at_b_into(&a, &a, &mut atb);
+        assert_eq!(atb, matmul_at_b(&a, &a));
+
+        let mut abt = Matrix::zeros(3, 3);
+        abt.as_mut_slice().fill(42.0);
+        matmul_a_bt_into(&a, &a, &mut abt);
+        assert_eq!(abt, matmul_a_bt(&a, &a));
     }
 
     #[test]

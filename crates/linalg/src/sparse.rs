@@ -25,6 +25,16 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Build from a dense matrix, dropping exact zeros.
     pub fn from_dense(a: &Matrix) -> Self {
+        Self::from_dense_with_tol(a, 0.0)
+    }
+
+    /// Build from a dense matrix, dropping entries with `|v| <= tol`.
+    /// `tol = 0.0` keeps every nonzero (the [`from_dense`] default).
+    ///
+    /// # Panics
+    /// Panics if `tol` is negative or NaN.
+    pub fn from_dense_with_tol(a: &Matrix, tol: f64) -> Self {
+        assert!(tol >= 0.0, "tolerance must be a nonnegative number");
         let (rows, cols) = a.shape();
         let mut indptr = Vec::with_capacity(rows + 1);
         let mut indices = Vec::new();
@@ -32,7 +42,7 @@ impl CsrMatrix {
         indptr.push(0);
         for i in 0..rows {
             for (j, &v) in a.row(i).iter().enumerate() {
-                if v != 0.0 {
+                if v.abs() > tol || v.is_nan() {
                     indices.push(j);
                     values.push(v);
                 }
@@ -46,6 +56,33 @@ impl CsrMatrix {
             indices,
             values,
         }
+    }
+
+    /// Assemble from raw CSR arrays. Intended for builders that construct
+    /// the arrays directly (e.g. direct-to-CSR course-matrix assembly)
+    /// without going through a dense intermediate. Invariants (sorted,
+    /// strictly increasing, in-bounds column indices; consistent pointers)
+    /// are checked with a `debug_assert`, so malformed input is caught in
+    /// debug/test builds without taxing release hot paths.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        let m = CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        };
+        #[cfg(debug_assertions)]
+        if let Err(e) = m.validate() {
+            panic!("invalid CSR parts: {e}");
+        }
+        m
     }
 
     /// Build from explicit triplets `(row, col, value)`. Duplicates are
@@ -161,6 +198,19 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if `b.cols() != self.cols()`.
     pub fn matmul_dense_bt(&self, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(self.rows, b.rows());
+        self.matmul_dense_bt_into(b, &mut c);
+        c
+    }
+
+    /// `C = A · Bᵀ` written into `out` (no allocation). Splits across rayon
+    /// workers by the shared [`crate::ops::par_threshold`] heuristic; both
+    /// branches are bitwise identical.
+    ///
+    /// # Panics
+    /// Panics if `b.cols() != self.cols()` or `out` is not
+    /// `self.rows() × b.rows()`.
+    pub fn matmul_dense_bt_into(&self, b: &Matrix, out: &mut Matrix) {
         assert_eq!(
             b.cols(),
             self.cols,
@@ -169,18 +219,24 @@ impl CsrMatrix {
             b.shape()
         );
         let p = b.rows();
-        let mut c = Matrix::zeros(self.rows, p);
-        c.as_mut_slice()
-            .par_chunks_mut(p.max(1))
-            .enumerate()
-            .for_each(|(i, out)| {
-                let (idx, vals) = self.row(i);
-                for (t, o) in out.iter_mut().enumerate() {
-                    let brow = b.row(t);
-                    *o = idx.iter().zip(vals).map(|(&j, &v)| v * brow[j]).sum();
-                }
-            });
-        c
+        assert_eq!(out.shape(), (self.rows, p), "A·Bᵀ output shape mismatch");
+        let body = |i: usize, orow: &mut [f64]| {
+            let (idx, vals) = self.row(i);
+            for (t, o) in orow.iter_mut().enumerate() {
+                let brow = b.row(t);
+                *o = idx.iter().zip(vals).map(|(&j, &v)| v * brow[j]).sum();
+            }
+        };
+        if crate::ops::split_rows(self.nnz() * p.max(1), self.rows) {
+            out.as_mut_slice()
+                .par_chunks_mut(p.max(1))
+                .enumerate()
+                .for_each(|(i, orow)| body(i, orow));
+        } else {
+            for i in 0..self.rows {
+                body(i, out.row_mut(i));
+            }
+        }
     }
 
     /// `C = Aᵀ · B` where `A` is sparse (`m×n`) and `B` dense (`m×p`):
@@ -189,6 +245,19 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if `b.rows() != self.rows()`.
     pub fn matmul_at_dense(&self, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(self.cols, b.cols());
+        self.matmul_at_dense_into(b, &mut c);
+        c
+    }
+
+    /// `C = Aᵀ · B` written into `out` (no allocation). Scatter kernel:
+    /// sequential over rows (each sparse row scatters into multiple output
+    /// rows), deterministic.
+    ///
+    /// # Panics
+    /// Panics if `b.rows() != self.rows()` or `out` is not
+    /// `self.cols() × b.cols()`.
+    pub fn matmul_at_dense_into(&self, b: &Matrix, out: &mut Matrix) {
         assert_eq!(
             b.rows(),
             self.rows,
@@ -197,20 +266,18 @@ impl CsrMatrix {
             b.shape()
         );
         let p = b.cols();
-        // Scatter kernel: sequential over rows (each sparse row scatters
-        // into multiple output rows), deterministic.
-        let mut c = Matrix::zeros(self.cols, p);
+        assert_eq!(out.shape(), (self.cols, p), "Aᵀ·B output shape mismatch");
+        out.as_mut_slice().fill(0.0);
         for i in 0..self.rows {
             let (idx, vals) = self.row(i);
             let brow = b.row(i);
             for (&j, &v) in idx.iter().zip(vals) {
-                let crow = c.row_mut(j);
+                let crow = out.row_mut(j);
                 for (cv, &bv) in crow.iter_mut().zip(brow) {
                     *cv += v * bv;
                 }
             }
         }
-        c
     }
 
     /// Squared Frobenius norm of the stored entries.
@@ -254,6 +321,9 @@ impl CsrMatrix {
     pub fn validate(&self) -> Result<(), String> {
         if self.indptr.len() != self.rows + 1 {
             return Err("indptr length mismatch".into());
+        }
+        if self.indices.len() != self.values.len() {
+            return Err("indices/values length mismatch".into());
         }
         if self.indptr[0] != 0 || *self.indptr.last().unwrap() != self.nnz() {
             return Err("indptr endpoints invalid".into());
@@ -370,5 +440,73 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn triplet_bounds_checked() {
         let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn from_dense_with_tol_drops_small_entries() {
+        let d = Matrix::from_rows(&[vec![1e-9, 0.5, -1e-12], vec![0.0, -2.0, 1e-6]]);
+        let exact = CsrMatrix::from_dense_with_tol(&d, 0.0);
+        assert_eq!(exact.nnz(), 5, "tol=0 keeps every nonzero");
+        let trimmed = CsrMatrix::from_dense_with_tol(&d, 1e-8);
+        trimmed.validate().expect("valid");
+        assert_eq!(trimmed.nnz(), 3);
+        let back = trimmed.to_dense();
+        assert_eq!(back.get(0, 0), 0.0);
+        assert_eq!(back.get(0, 1), 0.5);
+        assert_eq!(back.get(1, 2), 1e-6);
+    }
+
+    #[test]
+    fn from_dense_with_tol_keeps_nan_for_validation() {
+        // NaN entries must survive sparsification so the solver's input
+        // validation can still reject them.
+        let mut d = sample_dense();
+        d.set(1, 1, f64::NAN);
+        let s = CsrMatrix::from_dense_with_tol(&d, 0.5);
+        assert!(s.to_dense().get(1, 1).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn from_dense_with_tol_rejects_negative_tol() {
+        let _ = CsrMatrix::from_dense_with_tol(&sample_dense(), -1.0);
+    }
+
+    #[test]
+    fn from_parts_roundtrip() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let rebuilt = CsrMatrix::from_parts(
+            s.rows(),
+            s.cols(),
+            s.indptr.clone(),
+            s.indices.clone(),
+            s.values.clone(),
+        );
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid CSR parts")]
+    fn from_parts_validates_in_debug() {
+        // Unsorted column indices within a row.
+        let _ = CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn into_kernels_match_allocating() {
+        let d = sample_dense();
+        let s = CsrMatrix::from_dense(&d);
+        let b = Matrix::from_fn(5, 4, |i, j| (i * 4 + j) as f64 * 0.5);
+        let mut out = Matrix::zeros(3, 5);
+        out.as_mut_slice().fill(7.0); // stale contents must be overwritten
+        s.matmul_dense_bt_into(&b, &mut out);
+        assert_eq!(out, s.matmul_dense_bt(&b));
+        let b2 = Matrix::from_fn(3, 6, |i, j| ((i + j) % 5) as f64 - 1.0);
+        let mut out2 = Matrix::zeros(4, 6);
+        out2.as_mut_slice().fill(-3.0);
+        s.matmul_at_dense_into(&b2, &mut out2);
+        assert_eq!(out2, s.matmul_at_dense(&b2));
     }
 }

@@ -24,7 +24,9 @@ pub mod store;
 pub use coverage::{CoverageReport, KuCoverage, TierCoverage};
 pub use hittree::{AgreementTree, AlignmentView, HitTree};
 pub use io::{export, export_json, import, import_json, ImportError, PortableStore};
-pub use matrix::{CourseMatrix, MaterialMatrix, TagSpace, Weighting};
+pub use matrix::{
+    CourseMatrix, MaterialMatrix, SparseCourseMatrix, SparseMaterialMatrix, TagSpace, Weighting,
+};
 pub use model::{
     AlignmentGroup, Course, CourseId, CourseLabel, Material, MaterialId, MaterialKind,
 };

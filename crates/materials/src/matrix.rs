@@ -12,9 +12,9 @@
 use crate::model::CourseId;
 use crate::store::MaterialStore;
 use anchors_curricula::NodeId;
-use anchors_linalg::Matrix;
+use anchors_linalg::{CsrMatrix, Matrix};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Column space of a course matrix: which curriculum tag each column means.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -199,6 +199,115 @@ impl CourseMatrix {
     }
 }
 
+/// A course matrix held in CSR storage, built directly from the store
+/// without ever materializing the dense `A`. Row/column semantics match
+/// [`CourseMatrix`] exactly: `to_dense()` of the CSR matrix equals the
+/// dense builder's output entry for entry.
+#[derive(Debug, Clone)]
+pub struct SparseCourseMatrix {
+    /// Row order.
+    pub courses: Vec<CourseId>,
+    /// Column space.
+    pub tag_space: TagSpace,
+    /// The matrix `A` (courses × tags) in CSR form.
+    pub a: CsrMatrix,
+}
+
+impl SparseCourseMatrix {
+    /// Build the binary CSR matrix for `courses` over the tags they span.
+    pub fn build(store: &MaterialStore, courses: &[CourseId]) -> Self {
+        let tag_space = TagSpace::spanned_by(store, courses);
+        Self::build_weighted_with_space(store, courses, tag_space, Weighting::Binary)
+    }
+
+    /// Build with an explicit [`Weighting`] over the spanned tags.
+    pub fn build_weighted(
+        store: &MaterialStore,
+        courses: &[CourseId],
+        weighting: Weighting,
+    ) -> Self {
+        let tag_space = TagSpace::spanned_by(store, courses);
+        Self::build_weighted_with_space(store, courses, tag_space, weighting)
+    }
+
+    /// Build with an explicit weighting and tag space, assembling the CSR
+    /// arrays row by row. Stored entries and values are bitwise identical
+    /// to `CsrMatrix::from_dense` of the dense builder's output: counts
+    /// accumulate by the same repeated `+1.0` per material–tag incidence,
+    /// and zero entries are simply never stored.
+    pub fn build_weighted_with_space(
+        store: &MaterialStore,
+        courses: &[CourseId],
+        tag_space: TagSpace,
+        weighting: Weighting,
+    ) -> Self {
+        let mut indptr = Vec::with_capacity(courses.len() + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        // BTreeMap keeps each row's columns sorted, as CSR requires.
+        let mut row: BTreeMap<usize, f64> = BTreeMap::new();
+        for &c in courses {
+            row.clear();
+            match weighting {
+                Weighting::Binary => {
+                    for tag in store.course_tags(c) {
+                        if let Some(j) = tag_space.column_of(tag) {
+                            row.insert(j, 1.0);
+                        }
+                    }
+                }
+                Weighting::MaterialCount | Weighting::LogCount => {
+                    for &mid in &store.course(c).materials {
+                        for &tag in &store.material(mid).tags {
+                            if let Some(j) = tag_space.column_of(tag) {
+                                *row.entry(j).or_insert(0.0) += 1.0;
+                            }
+                        }
+                    }
+                    if weighting == Weighting::LogCount {
+                        for v in row.values_mut() {
+                            *v = (1.0 + *v).ln();
+                        }
+                    }
+                }
+            }
+            for (&j, &v) in &row {
+                indices.push(j);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        let a = CsrMatrix::from_parts(courses.len(), tag_space.len(), indptr, indices, values);
+        SparseCourseMatrix {
+            courses: courses.to_vec(),
+            tag_space,
+            a,
+        }
+    }
+
+    /// Number of courses (rows).
+    pub fn n_courses(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of tags (columns).
+    pub fn n_tags(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Density as the same statistic the dense [`CourseMatrix::density`]
+    /// reports (mean entry value; fraction of ones for binary weighting).
+    pub fn density(&self) -> f64 {
+        let (r, c) = (self.a.rows(), self.a.cols());
+        if r == 0 || c == 0 {
+            0.0
+        } else {
+            self.a.sum() / (r * c) as f64
+        }
+    }
+}
+
 /// A materials × tags 0-1 matrix (the CS Materials "matrix view", where
 /// materials are columns and tags are rows).
 #[derive(Debug, Clone)]
@@ -238,6 +347,58 @@ impl MaterialMatrix {
             m,
         }
     }
+
+    /// Build the matrix view directly in CSR storage (tags × materials),
+    /// without materializing the dense matrix. Stored entries match
+    /// `CsrMatrix::from_dense(&MaterialMatrix::build(..).m)` exactly.
+    pub fn build_sparse(store: &MaterialStore, courses: &[CourseId]) -> SparseMaterialMatrix {
+        let materials: Vec<crate::model::MaterialId> = courses
+            .iter()
+            .flat_map(|&c| store.course(c).materials.iter().copied())
+            .collect();
+        let tag_space = TagSpace::from_tags(
+            materials
+                .iter()
+                .flat_map(|&m| store.material(m).tags.iter().copied()),
+        );
+        // Rows are tags, so gather (tag row, material column) incidences
+        // and bucket them per row; BTreeSet sorts columns and dedups
+        // repeated tags within one material.
+        let mut rows: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); tag_space.len()];
+        for (j, &mid) in materials.iter().enumerate() {
+            for &tag in &store.material(mid).tags {
+                if let Some(i) = tag_space.column_of(tag) {
+                    rows[i].insert(j);
+                }
+            }
+        }
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::new();
+        for row in &rows {
+            indices.extend(row.iter().copied());
+            indptr.push(indices.len());
+        }
+        let values = vec![1.0; indices.len()];
+        let m = CsrMatrix::from_parts(tag_space.len(), materials.len(), indptr, indices, values);
+        SparseMaterialMatrix {
+            materials,
+            tag_space,
+            m,
+        }
+    }
+}
+
+/// The materials × tags matrix view in CSR storage; see
+/// [`MaterialMatrix::build_sparse`].
+#[derive(Debug, Clone)]
+pub struct SparseMaterialMatrix {
+    /// Column order: material ids.
+    pub materials: Vec<crate::model::MaterialId>,
+    /// Row space: tags.
+    pub tag_space: TagSpace,
+    /// tags × materials matrix in CSR form.
+    pub m: CsrMatrix,
 }
 
 #[cfg(test)]
@@ -369,6 +530,55 @@ mod tests {
         assert_eq!(cm.a.get(0, 0), 3.0, "three materials cover the tag");
         let b = CourseMatrix::build(&s, &[c]);
         assert_eq!(b.a.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn sparse_builder_matches_dense_for_all_weightings() {
+        let (s, cs) = two_course_store();
+        for weighting in [
+            Weighting::Binary,
+            Weighting::MaterialCount,
+            Weighting::LogCount,
+        ] {
+            let dense = CourseMatrix::build_weighted(&s, &cs, weighting);
+            let sparse = SparseCourseMatrix::build_weighted(&s, &cs, weighting);
+            assert_eq!(sparse.courses, dense.courses);
+            assert_eq!(sparse.tag_space.tags(), dense.tag_space.tags());
+            assert_eq!(
+                sparse.a.to_dense(),
+                dense.a,
+                "{weighting:?}: sparse build must reproduce the dense matrix"
+            );
+            // Stored-entry structure matches exact-zero sparsification too.
+            assert_eq!(sparse.a, CsrMatrix::from_dense(&dense.a));
+            assert!((sparse.density() - dense.density()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sparse_builder_accumulates_material_counts() {
+        let g = cs2013();
+        let mut s = MaterialStore::new();
+        let c = s.add_course("A", "U", "I", vec![CourseLabel::Cs1], None);
+        let t = g.by_code("SDF.FPC.t1").unwrap();
+        for name in ["m1", "m2", "m3"] {
+            s.add_material(c, name, MaterialKind::Lecture, "I", None, vec![], vec![t]);
+        }
+        let cm = SparseCourseMatrix::build_weighted(&s, &[c], Weighting::MaterialCount);
+        assert_eq!(cm.a.to_dense().get(0, 0), 3.0);
+        assert_eq!(cm.n_courses(), 1);
+        assert_eq!(cm.n_tags(), 1);
+    }
+
+    #[test]
+    fn sparse_material_matrix_matches_dense() {
+        let (s, cs) = two_course_store();
+        let dense = MaterialMatrix::build(&s, &cs);
+        let sparse = MaterialMatrix::build_sparse(&s, &cs);
+        assert_eq!(sparse.materials, dense.materials);
+        assert_eq!(sparse.tag_space.tags(), dense.tag_space.tags());
+        assert_eq!(sparse.m.to_dense(), dense.m);
+        assert_eq!(sparse.m, CsrMatrix::from_dense(&dense.m));
     }
 
     #[test]

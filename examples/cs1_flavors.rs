@@ -36,8 +36,17 @@ fn main() {
         );
     }
 
-    // --- Flavor discovery with automatic k selection (§4.4).
+    // --- Flavor discovery with automatic k selection (§4.4). The entry
+    // point picks the NNMF storage backend from the matrix density (sparse
+    // course matrices are fitted in CSR with identical results) and records
+    // the choice in the diagnostics.
     let (fm, diags) = discover_flavors_auto(&corpus.store, g, &cs1, 2..=4);
+    println!(
+        "\nbackend: {} (density {:.3}, threshold {})",
+        fm.diagnostics.backend,
+        fm.diagnostics.density,
+        anchors_core::SPARSE_DENSITY_THRESHOLD
+    );
     println!("\nk-scan:");
     for d in &diags {
         println!(

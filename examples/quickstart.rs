@@ -10,8 +10,16 @@ use anchors_corpus::DEFAULT_SEED;
 fn main() {
     // One call computes everything §4–§5 of the paper describes: the
     // 20-course corpus, the k=4 all-courses NNMF, CS1/DS agreement and
-    // flavors, PDC agreement, and the per-course recommendations.
+    // flavors, PDC agreement, and the per-course recommendations. Each
+    // NNMF picks its storage backend (dense or CSR) from matrix density;
+    // the choice is recorded in the flavor diagnostics.
     let report = run_full_analysis(DEFAULT_SEED);
+
+    let d = &report.all_courses_model.diagnostics;
+    println!(
+        "all-courses NNMF backend: {} (matrix density {:.3})",
+        d.backend, d.density
+    );
 
     println!("{}", report.cs1_agreement.summary());
     println!("{}", report.ds_agreement.summary());

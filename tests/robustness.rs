@@ -65,9 +65,11 @@ fn nnmf_handles_duplicate_and_zero_columns() {
     for i in 0..3 {
         assert!(rec.get(i, 2).abs() < 0.2, "zero column stays ~zero");
     }
-    // Sparse path agrees on degenerate input.
-    let sm = anchors_factor::nnmf_sparse(&CsrMatrix::from_dense(&a), &NnmfConfig::paper_default(2));
-    assert!((sm.loss - m.loss).abs() < 1e-6);
+    // The storage-generic solver agrees bitwise on CSR for the same input.
+    let sm = nnmf(&CsrMatrix::from_dense(&a), &NnmfConfig::paper_default(2));
+    assert_eq!(sm.w, m.w);
+    assert_eq!(sm.h, m.h);
+    assert_eq!(sm.loss, m.loss);
 }
 
 #[test]
