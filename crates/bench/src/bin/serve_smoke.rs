@@ -1,0 +1,138 @@
+//! Serving-layer smoke benchmark: batched vs one-at-a-time fold-in.
+//!
+//! Fits one model (synthetic sparse course matrix over a real CS2013 tag
+//! space), freezes it in a `QueryEngine`, then answers the same 512
+//! unseen-course queries two ways: 512 independent single-row NNLS solves
+//! versus one matrix-level `fold_in_batch` (Gram matrix and all
+//! cross-products formed once). Both paths produce bitwise-identical
+//! loadings — the only difference is time. A CSR batch of the same
+//! queries is timed as well, since real query vectors are a handful of
+//! tags wide. Emits `BENCH_serve.json` at the workspace root (and a copy
+//! under `target/figures/`) for CI to archive.
+//!
+//! Knobs: `ANCHORS_BENCH_QUERIES`, `ANCHORS_BENCH_TAGS`,
+//! `ANCHORS_BENCH_K` env vars override the problem size for quicker
+//! local smoke runs.
+
+use anchors_bench::{figures_dir, header};
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{nnmf, NnmfConfig, Solver};
+use anchors_linalg::{Backend, CsrMatrix, Matrix};
+use anchors_materials::TagSpace;
+use anchors_serve::{FittedModel, QueryEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n_queries = env_usize("ANCHORS_BENCH_QUERIES", 512);
+    let n_tags = env_usize("ANCHORS_BENCH_TAGS", 512);
+    let k = env_usize("ANCHORS_BENCH_K", 8);
+
+    header("Serving fold-in: batched vs one-at-a-time");
+
+    // Train on a synthetic corpus over a real CS2013 tag-space prefix so
+    // the artifact round-trips real dotted codes.
+    let cs = cs2013();
+    let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(n_tags));
+    let mut rng = StdRng::seed_from_u64(0xA11C);
+    let train = Matrix::from_fn(256, n_tags, |_, _| {
+        if rng.gen::<f64>() < 0.05 {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let cfg = NnmfConfig {
+        solver: Solver::Hals,
+        restarts: 1,
+        max_iter: 20,
+        ..NnmfConfig::paper_default(k)
+    };
+    let model = nnmf(&train, &cfg);
+    let artifact =
+        FittedModel::new("serve-smoke", cs, &space, &model, Backend::Dense).expect("artifact");
+    let engine = QueryEngine::new(artifact, cs, pdc12()).expect("engine");
+    println!("  model: k = {k}, {n_tags} tags; {n_queries} unseen queries");
+
+    // Unseen queries: sparse binary tag rows, ~8 tags each.
+    let batch = Matrix::from_fn(n_queries, n_tags, |_, _| {
+        if rng.gen::<f64>() < 8.0 / n_tags as f64 {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let csr_batch = CsrMatrix::from_dense(&batch);
+
+    let t0 = Instant::now();
+    let mut single = Matrix::zeros(n_queries, k);
+    for i in 0..n_queries {
+        let w = engine.fold_in_row(batch.row(i)).expect("single fold-in");
+        single.row_mut(i).copy_from_slice(&w);
+    }
+    let single_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let batched = engine.fold_in_batch(&batch).expect("batched fold-in");
+    let batched_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let t2 = Instant::now();
+    let csr = engine.fold_in_batch(&csr_batch).expect("CSR fold-in");
+    let csr_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(batched, csr, "dense and CSR batches must agree bitwise");
+    for i in 0..n_queries {
+        assert_eq!(
+            single.row(i),
+            batched.row(i),
+            "batched fold-in must reproduce the one-at-a-time answer"
+        );
+    }
+
+    let speedup = single_ms / batched_ms.max(1e-9);
+    println!("  one-at-a-time: {single_ms:>10.1} ms");
+    println!("  batched:       {batched_ms:>10.1} ms");
+    println!("  batched (CSR): {csr_ms:>10.1} ms");
+    println!("  speedup:       {speedup:>10.2}x (batched over one-at-a-time)");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"serve_fold_in_batched_vs_single\",\n",
+            "  \"queries\": {},\n",
+            "  \"tags\": {},\n",
+            "  \"k\": {},\n",
+            "  \"single_ms\": {:.3},\n",
+            "  \"batched_ms\": {:.3},\n",
+            "  \"batched_csr_ms\": {:.3},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"loadings_identical\": true\n",
+            "}}\n"
+        ),
+        n_queries, n_tags, k, single_ms, batched_ms, csr_ms, speedup
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let root_path = root.join("BENCH_serve.json");
+    std::fs::write(&root_path, &json).expect("write BENCH_serve.json");
+    println!("  wrote {}", root_path.display());
+    std::fs::write(figures_dir().join("BENCH_serve.json"), &json).expect("write figures copy");
+
+    if speedup < 1.0 && n_queries >= 512 {
+        eprintln!("WARNING: batched fold-in ({batched_ms:.1} ms) did not beat one-at-a-time ({single_ms:.1} ms)");
+        std::process::exit(1);
+    }
+}

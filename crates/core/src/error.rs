@@ -7,7 +7,7 @@
 
 use anchors_factor::NnmfError;
 use anchors_linalg::LinalgError;
-use anchors_materials::ImportError;
+use anchors_materials::{ImportError, StoreError};
 use std::fmt;
 
 /// Any failure the analysis pipeline can surface.
@@ -19,6 +19,8 @@ pub enum AnchorsError {
     Linalg(LinalgError),
     /// Portable-store import failed.
     Import(ImportError),
+    /// The material store violates its invariants.
+    Store(StoreError),
     /// A stage was asked to analyze an empty course group.
     EmptyGroup {
         /// Stage name (e.g. `"pdc_agreement"`).
@@ -47,6 +49,7 @@ impl fmt::Display for AnchorsError {
             AnchorsError::Nnmf(e) => write!(f, "factorization failed: {e}"),
             AnchorsError::Linalg(e) => write!(f, "linear algebra failed: {e}"),
             AnchorsError::Import(e) => write!(f, "import failed: {e}"),
+            AnchorsError::Store(e) => write!(f, "invalid material store: {e}"),
             AnchorsError::EmptyGroup { stage } => {
                 write!(f, "{stage}: course group is empty")
             }
@@ -66,6 +69,7 @@ impl std::error::Error for AnchorsError {
             AnchorsError::Nnmf(e) => Some(e),
             AnchorsError::Linalg(e) => Some(e),
             AnchorsError::Import(e) => Some(e),
+            AnchorsError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -89,6 +93,12 @@ impl From<ImportError> for AnchorsError {
     }
 }
 
+impl From<StoreError> for AnchorsError {
+    fn from(e: StoreError) -> Self {
+        AnchorsError::Store(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +110,9 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: AnchorsError = LinalgError::Singular { op: "lstsq" }.into();
         assert!(e.to_string().contains("linear algebra failed"));
+        let e: AnchorsError = StoreError::OrphanMaterial { material: 7 }.into();
+        assert!(e.to_string().contains("invalid material store"));
+        assert!(std::error::Error::source(&e).is_some());
         let e = AnchorsError::EmptyGroup {
             stage: "cs1_agreement",
         };

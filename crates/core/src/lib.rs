@@ -42,6 +42,7 @@ pub use pipeline::{
     PartialReport, RetryPolicy, StageOutcome, StageStatus,
 };
 pub use recommend::{
-    anchor_sites, classify_course, recommend_for_course, rules_for, FlavorKind, Recommendation,
+    anchor_sites, classify_course, classify_tags, recommend_for_course, recommend_for_tags,
+    rules_for, FlavorKind, Recommendation,
 };
 pub use report::to_markdown;

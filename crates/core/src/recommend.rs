@@ -269,9 +269,21 @@ pub fn classify_course(
     course: CourseId,
 ) -> Vec<FlavorKind> {
     let tags = store.course_tags(course);
-    let c = store.course(course);
-    let is_cs1 = c.has_label(CourseLabel::Cs1);
-    let is_ds = c.has_label(CourseLabel::DataStructures) || c.has_label(CourseLabel::Algorithms);
+    classify_tags(ontology, &store.course(course).labels, &tags)
+}
+
+/// Detect flavors directly from a label set and a tag set, without the
+/// course having to live in a [`MaterialStore`]. This is the serving-path
+/// entry point: a folded-in query course exists only as its tag vector, so
+/// the store-keyed [`classify_course`] delegates here.
+pub fn classify_tags(
+    ontology: &Ontology,
+    labels: &[CourseLabel],
+    tags: &[NodeId],
+) -> Vec<FlavorKind> {
+    let is_cs1 = labels.contains(&CourseLabel::Cs1);
+    let is_ds =
+        labels.contains(&CourseLabel::DataStructures) || labels.contains(&CourseLabel::Algorithms);
     let mut flavors = Vec::new();
 
     let algo_signal = ku_hits(ontology, &tags, "AL.BA")
@@ -367,6 +379,20 @@ pub fn recommend_for_course(
     course: CourseId,
 ) -> Vec<Recommendation> {
     classify_course(store, cs, course)
+        .into_iter()
+        .flat_map(|f| rules_for(f, cs, pdc))
+        .collect()
+}
+
+/// Full recommendation set for a course known only by labels and tags (the
+/// serving path for folded-in queries; see [`classify_tags`]).
+pub fn recommend_for_tags(
+    cs: &Ontology,
+    pdc: &Ontology,
+    labels: &[CourseLabel],
+    tags: &[NodeId],
+) -> Vec<Recommendation> {
+    classify_tags(cs, labels, tags)
         .into_iter()
         .flat_map(|f| rules_for(f, cs, pdc))
         .collect()
@@ -496,6 +522,27 @@ mod tests {
             task_graph_hits >= 4,
             "§5.2: all three DS types cover graphs; got {task_graph_hits}/5"
         );
+    }
+
+    #[test]
+    fn classify_tags_agrees_with_store_keyed_classification() {
+        let c = default_corpus();
+        let cs = cs2013();
+        let pdc = pdc12();
+        for &id in c.all().iter() {
+            let tags = c.store.course_tags(id);
+            let labels = &c.store.course(id).labels;
+            assert_eq!(
+                classify_course(&c.store, cs, id),
+                classify_tags(cs, labels, &tags),
+                "{}",
+                c.store.course(id).name
+            );
+            assert_eq!(
+                recommend_for_course(&c.store, cs, pdc, id).len(),
+                recommend_for_tags(cs, pdc, labels, &tags).len()
+            );
+        }
     }
 
     #[test]

@@ -242,7 +242,7 @@ mod tests {
         assert_eq!(a.courses.len(), c.courses.len(), "courses survive");
         a.store
             .validate(anchors_curricula::cs2013())
-            .expect("damaged store is still internally consistent");
+            .unwrap_or_else(|e| panic!("damaged store is still internally consistent: {e}"));
     }
 
     #[test]

@@ -109,7 +109,10 @@ pub fn generate_subset(seed: u64, specs: &[CourseSpec]) -> GeneratedCorpus {
         distribute_materials(&mut store, guideline, cid, spec, &tags, &mut rng);
         courses.push(cid);
     }
-    debug_assert!(store.validate(guideline).is_ok());
+    #[cfg(debug_assertions)]
+    if let Err(e) = store.validate(guideline) {
+        panic!("generated corpus violates store invariants: {e}");
+    }
     GeneratedCorpus { store, courses }
 }
 

@@ -260,6 +260,41 @@ impl Ontology {
         widths
     }
 
+    /// Deterministic structural fingerprint of the guideline: FNV-1a over
+    /// the name, node count, and every node's code, label, and level, in
+    /// arena order. Stable across processes and serde round-trips (unlike
+    /// `std::hash`, which is seeded per-process), so fitted-model artifacts
+    /// can record it and reject loads against a revised ontology.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            // Field separator so concatenations can't collide trivially.
+            h ^= 0xff;
+            h = h.wrapping_mul(PRIME);
+        };
+        eat(self.name.as_bytes());
+        eat(&(self.nodes.len() as u64).to_le_bytes());
+        for n in &self.nodes {
+            eat(n.code.as_bytes());
+            eat(n.label.as_bytes());
+            eat(&[n.level.depth() as u8]);
+            eat(&[match n.level {
+                Level::Root => 0,
+                Level::KnowledgeArea => 1,
+                Level::KnowledgeUnit => 2,
+                Level::Topic => 3,
+                Level::LearningOutcome => 4,
+            }]);
+        }
+        h
+    }
+
     /// Structural integrity check used by tests and after deserialization:
     /// parent/child links agree, codes are unique, levels are consistent.
     pub fn validate(&self) -> Result<(), String> {
@@ -594,6 +629,26 @@ mod tests {
         back.validate().expect("valid after roundtrip");
         assert_eq!(back.by_code("KA.KU.t1"), o.by_code("KA.KU.t1"));
         assert_eq!(back.len(), o.len());
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_structure_sensitive() {
+        let o = toy();
+        assert_eq!(o.fingerprint(), toy().fingerprint(), "deterministic");
+        // A clone is identical; a structural edit changes the hash.
+        let mut renamed = o.clone();
+        renamed.name.push('!');
+        assert_ne!(o.fingerprint(), renamed.fingerprint());
+        let mut grown = OntologyBuilder::new("toy");
+        let ka = grown.knowledge_area("KA", "Area");
+        let ku = grown.knowledge_unit(ka, "KU", "Unit", Tier::Core1);
+        grown.topic(ku, "topic one");
+        assert_ne!(o.fingerprint(), grown.build().fingerprint());
+        // Real guidelines get distinct fingerprints.
+        assert_ne!(
+            crate::cs2013().fingerprint(),
+            crate::pdc12().fingerprint()
+        );
     }
 
     #[test]

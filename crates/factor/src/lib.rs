@@ -38,8 +38,6 @@ pub use mds::{classical_mds, smacof, stress_of, MdsEmbedding};
 pub use nnmf::{
     loss, nnmf, try_nnmf, try_nnmf_with, NnmfConfig, NnmfModel, NnmfRecovery, NnmfWorkspace, Solver,
 };
-#[allow(deprecated)]
-pub use nnmf::{nnmf_sparse, sparse_loss};
 pub use pca::{pca, Pca};
 pub use rank::{
     duplicate_dimension_score, rank_scan, select_rank, separation_score, RankDiagnostics,

@@ -23,7 +23,7 @@
 //!
 //! [`try_nnmf`] is generic over [`MatKernels`], so the same code path —
 //! including restarts, divergence guards, wall-clock budgets, and the
-//! recovery ladder — serves dense [`Matrix`] and [`CsrMatrix`] inputs. The
+//! recovery ladder — serves dense [`Matrix`] and [`anchors_linalg::CsrMatrix`] inputs. The
 //! kernels are bitwise-paired across backends (see
 //! `anchors_linalg::kernels`), so for a CSR matrix obtained by exact-zero
 //! sparsification the factors, winning seed, and [`NnmfRecovery`] flags are
@@ -40,7 +40,9 @@
 use crate::error::NnmfError;
 use crate::init::{init_factors, random_from_stats, Init};
 use anchors_linalg::ops::{dot, matmul, matmul_a_bt_into, matmul_at_b_into, matmul_into};
-use anchors_linalg::{CsrMatrix, MatKernels, Matrix};
+use anchors_linalg::{MatKernels, Matrix};
+#[cfg(test)]
+use anchors_linalg::CsrMatrix;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -136,7 +138,7 @@ impl NnmfConfig {
 
 /// What the recovery ladder had to do to produce a model. All-default
 /// means the fit succeeded on the configured restarts with no failures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct NnmfRecovery {
     /// Restarts that diverged (non-finite or runaway loss) and were
     /// discarded, across all rounds.
@@ -157,7 +159,7 @@ impl NnmfRecovery {
 }
 
 /// A fitted factorization.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NnmfModel {
     /// Courses × k loadings.
     pub w: Matrix,
@@ -539,23 +541,6 @@ pub fn nnmf<A: MatKernels>(a: &A, config: &NnmfConfig) -> NnmfModel {
         Ok(model) => model,
         Err(e) => panic!("{e}"),
     }
-}
-
-/// Deprecated alias for the storage-generic solver on CSR inputs. The
-/// dedicated sparse fork is gone; [`nnmf`] accepts `&CsrMatrix` directly
-/// and additionally provides multiplicative updates, restarts recovery,
-/// and wall-clock budgets on sparse storage.
-#[deprecated(
-    note = "use the storage-generic `nnmf`/`try_nnmf`, which accept `&CsrMatrix` directly"
-)]
-pub fn nnmf_sparse(a: &CsrMatrix, config: &NnmfConfig) -> NnmfModel {
-    nnmf(a, config)
-}
-
-/// Deprecated alias for the storage-generic [`loss`].
-#[deprecated(note = "use the storage-generic `loss`, which accepts `&CsrMatrix` directly")]
-pub fn sparse_loss(a: &CsrMatrix, w: &Matrix, h: &Matrix) -> f64 {
-    loss(a, w, h)
 }
 
 /// Marker for a restart whose loss went non-finite or blew past the
@@ -1171,24 +1156,6 @@ mod tests {
             assert_eq!(dm.h, sm.h, "{:?}: H must be bitwise identical", cfg.solver);
             assert_eq!(dm.loss, sm.loss);
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_generic_solver() {
-        let dense = block_matrix();
-        let sparse = CsrMatrix::from_dense(&dense);
-        let cfg = NnmfConfig {
-            restarts: 2,
-            ..NnmfConfig::paper_default(2)
-        };
-        let wrapped = nnmf_sparse(&sparse, &cfg);
-        let generic = nnmf(&sparse, &cfg);
-        assert_eq!(wrapped.w, generic.w);
-        assert_eq!(wrapped.h, generic.h);
-        let (w, h) = crate::init::init_factors(&dense, 2, Init::Random, 5);
-        assert_eq!(sparse_loss(&sparse, &w, &h), loss(&sparse, &w, &h));
-        assert!((sparse_loss(&sparse, &w, &h) - loss(&dense, &w, &h)).abs() < 1e-9);
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub use ops::{
     matmul_seq, par_threshold, try_matmul, try_matmul_a_bt, try_matmul_at_b, try_matvec,
 };
 pub use solve::{
-    cholesky, lstsq, nnls, solve_spd, try_cholesky, try_lstsq, try_nnls, try_solve_spd,
+    cholesky, lstsq, nnls, solve_spd, try_cholesky, try_lstsq, try_nnls, try_nnls_multi,
+    try_solve_spd,
 };
 pub use sparse::CsrMatrix;
 pub use svd::{randomized_svd, thin_svd, Svd};

@@ -270,6 +270,145 @@ pub fn try_nnls(a: &Matrix, b: &[f64], tol: f64) -> Result<Vec<f64>, LinalgError
     Ok(nnls(a, b, tol))
 }
 
+/// Batched non-negative least squares over a matrix of right-hand sides.
+///
+/// Solves, for every row `bᵢ` of `b`, the problem
+/// `min ‖A xᵢ − bᵢ‖₂  s.t.  xᵢ ≥ 0`, and returns the solutions stacked as
+/// the rows of a `b.rows() × a.cols()` matrix. This is the fold-in
+/// projection used by `anchors-serve`: with `A = Hᵀ` each row of `b` is an
+/// unseen course's tag vector and each row of the result is its loading
+/// onto the frozen factor basis.
+///
+/// The batch is generic over [`MatKernels`], so dense and CSR query
+/// batches take the same path: the Gram matrix `G = AᵀA` is formed once,
+/// the cross-products `C = B·A` for the whole batch come from one
+/// matrix-level `a_bt_into` product, and the per-row active-set iteration
+/// is driven entirely by `G` and the row of `C`. Because `G`'s passive
+/// submatrices and `C`'s rows are bitwise identical to the normal
+/// equations [`nnls`] forms internally, the per-row subproblem solves are
+/// bitwise identical to the single-vector routine; only the gradient
+/// bookkeeping differs (Gram identity vs. explicit residual), which
+/// agrees to roundoff.
+pub fn try_nnls_multi<B: crate::kernels::MatKernels>(
+    a: &Matrix,
+    b: &B,
+    tol: f64,
+) -> Result<Matrix, LinalgError> {
+    let (m, n) = a.shape();
+    let (q, bm) = b.shape();
+    if bm != m {
+        return Err(LinalgError::ShapeMismatch {
+            op: "nnls_multi",
+            left: (m, n),
+            right: (q, bm),
+        });
+    }
+    if let Some((row, col, value)) = a.find_non_finite() {
+        return Err(LinalgError::NotFinite {
+            op: "nnls_multi",
+            row,
+            col,
+            value,
+        });
+    }
+    if let Some((row, col, value)) = b.find_non_finite() {
+        return Err(LinalgError::NotFinite {
+            op: "nnls_multi",
+            row,
+            col,
+            value,
+        });
+    }
+    let mut x = Matrix::zeros(q, n);
+    if q == 0 || n == 0 {
+        return Ok(x);
+    }
+    // One Gram matrix and one matrix-level cross-product for the whole
+    // batch; the storage-generic kernel keeps dense and CSR batches on the
+    // same code path (and bitwise identical for exact-zero sparsification).
+    let gram = matmul_at_b(a, a);
+    let at = a.transpose();
+    let mut cross = Matrix::zeros(q, n);
+    b.a_bt_into(&at, &mut cross);
+    let mut passive = vec![false; n];
+    for i in 0..q {
+        nnls_gram(&gram, cross.row(i), tol, x.row_mut(i), &mut passive);
+    }
+    Ok(x)
+}
+
+/// Single-row active-set NNLS driven by the Gram matrix `G = AᵀA` and the
+/// cross-product `c = Aᵀb` (Bro–de Jong formulation of Lawson–Hanson).
+/// Writes the solution into `x`; `passive` is caller-provided scratch.
+fn nnls_gram(g: &Matrix, c: &[f64], tol: f64, x: &mut [f64], passive: &mut [bool]) {
+    let n = g.rows();
+    x.fill(0.0);
+    passive.fill(false);
+    let max_outer = 3 * n.max(1);
+    for _ in 0..max_outer {
+        // Negative gradient via the Gram identity: w = c − G x.
+        let w: Vec<f64> = (0..n)
+            .map(|j| c[j] - (0..n).map(|t| g.get(j, t) * x[t]).sum::<f64>())
+            .collect();
+        let candidate = (0..n)
+            .filter(|&j| !passive[j])
+            .max_by(|&p, &q| w[p].partial_cmp(&w[q]).expect("finite gradient"));
+        match candidate {
+            Some(j) if w[j] > tol => passive[j] = true,
+            _ => break, // KKT satisfied
+        }
+        // Inner loop: solve the passive-set normal equations, trimming
+        // negatives — the subproblems are the same `G_PP z = c_P` systems
+        // the single-vector routine forms through `lstsq`.
+        loop {
+            let pass_idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            if pass_idx.is_empty() {
+                break;
+            }
+            let gpp = Matrix::from_fn(pass_idx.len(), pass_idx.len(), |r, s| {
+                g.get(pass_idx[r], pass_idx[s])
+            });
+            let cp: Vec<f64> = pass_idx.iter().map(|&j| c[j]).collect();
+            let z = match solve_spd(&gpp, &cp) {
+                Some(z) => z,
+                None => {
+                    // Degenerate subproblem: drop the most recent variable.
+                    if let Some(&last) = pass_idx.last() {
+                        passive[last] = false;
+                    }
+                    break;
+                }
+            };
+            if z.iter().all(|&v| v > tol) {
+                for (k, &j) in pass_idx.iter().enumerate() {
+                    x[j] = z[k];
+                }
+                break;
+            }
+            // Step toward z until the first variable hits zero.
+            let mut alpha = f64::INFINITY;
+            for (k, &j) in pass_idx.iter().enumerate() {
+                if z[k] <= tol {
+                    let denom = x[j] - z[k];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (k, &j) in pass_idx.iter().enumerate() {
+                x[j] += alpha * (z[k] - x[j]);
+                if x[j] <= tol {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+        }
+    }
+}
+
 /// Residual norm of an NNLS/LS solution (test helper; exact definition
 /// `‖A x − b‖₂`).
 pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
@@ -420,6 +559,66 @@ mod tests {
         let a = spd();
         let b = matvec(&a, &[1.0, -2.0, 3.0, 0.5]);
         assert_eq!(try_solve_spd(&a, &b).unwrap(), solve_spd(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn nnls_multi_matches_per_vector_nnls() {
+        // Well-conditioned random-ish problem: batched rows must agree
+        // with the single-vector routine to roundoff.
+        let a = Matrix::from_fn(8, 4, |i, j| (((i * 5 + j * 3) % 7) as f64) * 0.3 + 0.1);
+        let b = Matrix::from_fn(6, 8, |i, j| (((i * 7 + j * 2) % 9) as f64) * 0.4);
+        let x = try_nnls_multi(&a, &b, 1e-12).expect("valid problem");
+        assert_eq!(x.shape(), (6, 4));
+        for i in 0..6 {
+            let xi = nnls(&a, b.row(i), 1e-12);
+            for (batched, single) in x.row(i).iter().zip(&xi) {
+                assert!((batched - single).abs() < 1e-9, "row {i}: {batched} vs {single}");
+            }
+            assert!(x.row(i).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn nnls_multi_dense_and_csr_batches_bitwise_identical() {
+        let a = Matrix::from_fn(8, 3, |i, j| (((i + 2 * j) % 5) as f64) * 0.5 + 0.2);
+        // Sparse-ish batch so CSR actually skips entries.
+        let dense = Matrix::from_fn(5, 8, |i, j| {
+            if (i + j) % 3 == 0 {
+                ((i * 8 + j) % 6) as f64 * 0.7
+            } else {
+                0.0
+            }
+        });
+        let csr = crate::sparse::CsrMatrix::from_dense(&dense);
+        let xd = try_nnls_multi(&a, &dense, 1e-12).expect("dense batch");
+        let xs = try_nnls_multi(&a, &csr, 1e-12).expect("csr batch");
+        assert_eq!(xd, xs, "dense and CSR query batches must match bitwise");
+    }
+
+    #[test]
+    fn nnls_multi_classifies_failures() {
+        use crate::error::LinalgError;
+        let a = Matrix::from_fn(4, 2, |i, j| (i + j + 1) as f64);
+        let bad_shape = Matrix::zeros(3, 5);
+        assert!(matches!(
+            try_nnls_multi(&a, &bad_shape, 1e-12),
+            Err(LinalgError::ShapeMismatch {
+                op: "nnls_multi",
+                ..
+            })
+        ));
+        let mut nan_b = Matrix::zeros(2, 4);
+        nan_b.set(1, 2, f64::NAN);
+        match try_nnls_multi(&a, &nan_b, 1e-12) {
+            Err(LinalgError::NotFinite { row, col, .. }) => assert_eq!((row, col), (1, 2)),
+            other => panic!("expected NotFinite, got {other:?}"),
+        }
+        // Empty batch / rank-0 basis degrade to empty results, not errors.
+        let empty = Matrix::zeros(0, 4);
+        assert_eq!(
+            try_nnls_multi(&a, &empty, 1e-12).unwrap().shape(),
+            (0, 2)
+        );
     }
 
     #[test]

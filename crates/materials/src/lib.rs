@@ -32,4 +32,4 @@ pub use model::{
 };
 pub use search::{search, Query, SearchHit};
 pub use similarity::{jaccard, SimilarityGraph, Vertex};
-pub use store::MaterialStore;
+pub use store::{MaterialStore, StoreError};

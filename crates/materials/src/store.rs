@@ -167,44 +167,111 @@ impl MaterialStore {
     }
 
     /// Check the store against a guideline ontology.
-    pub fn validate(&self, guideline: &Ontology) -> Result<(), String> {
+    pub fn validate(&self, guideline: &Ontology) -> Result<(), StoreError> {
         let leaves: BTreeSet<NodeId> = guideline.leaf_items().into_iter().collect();
         let mut seen = vec![false; self.materials.len()];
         for c in &self.courses {
             for &m in &c.materials {
                 let idx = m.0 as usize;
                 if idx >= self.materials.len() {
-                    return Err(format!(
-                        "course {} references unknown material {}",
-                        c.name, m.0
-                    ));
+                    return Err(StoreError::UnknownMaterial {
+                        course: c.name.clone(),
+                        material: m.0,
+                    });
                 }
                 if seen[idx] {
-                    return Err(format!("material {} owned by two courses", m.0));
+                    return Err(StoreError::SharedMaterial { material: m.0 });
                 }
                 seen[idx] = true;
             }
         }
         if let Some(orphan) = seen.iter().position(|&s| !s) {
-            return Err(format!("material {orphan} belongs to no course"));
+            return Err(StoreError::OrphanMaterial {
+                material: orphan as u32,
+            });
         }
         for m in &self.materials {
             for &t in &m.tags {
                 if !leaves.contains(&t) {
-                    return Err(format!(
-                        "material {:?} tagged with non-leaf/unknown node {}",
-                        m.name, t.0
-                    ));
+                    return Err(StoreError::InvalidTag {
+                        material: m.name.clone(),
+                        node: t.0,
+                    });
                 }
             }
             let unique: BTreeSet<NodeId> = m.tags.iter().copied().collect();
             if unique.len() != m.tags.len() {
-                return Err(format!("material {:?} has duplicate tags", m.name));
+                return Err(StoreError::DuplicateTags {
+                    material: m.name.clone(),
+                });
             }
         }
         Ok(())
     }
 }
+
+/// Store-invariant violations reported by [`MaterialStore::validate`],
+/// typed in the same style as [`crate::io::ImportError`] so callers can
+/// match on the failure mode instead of parsing a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A course references a material id outside the store.
+    UnknownMaterial {
+        /// Course naming the missing material.
+        course: String,
+        /// The dangling material id.
+        material: u32,
+    },
+    /// Two courses claim the same material.
+    SharedMaterial {
+        /// The doubly-owned material id.
+        material: u32,
+    },
+    /// A material belongs to no course.
+    OrphanMaterial {
+        /// The orphaned material id.
+        material: u32,
+    },
+    /// A material tag is not a leaf item of the guideline.
+    InvalidTag {
+        /// Offending material name.
+        material: String,
+        /// The non-leaf/unknown node id.
+        node: u32,
+    },
+    /// A material lists the same tag twice.
+    DuplicateTags {
+        /// Offending material name.
+        material: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownMaterial { course, material } => {
+                write!(f, "course {course:?} references unknown material {material}")
+            }
+            StoreError::SharedMaterial { material } => {
+                write!(f, "material {material} owned by two courses")
+            }
+            StoreError::OrphanMaterial { material } => {
+                write!(f, "material {material} belongs to no course")
+            }
+            StoreError::InvalidTag { material, node } => {
+                write!(
+                    f,
+                    "material {material:?} tagged with non-leaf/unknown node {node}"
+                )
+            }
+            StoreError::DuplicateTags { material } => {
+                write!(f, "material {material:?} has duplicate tags")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 #[cfg(test)]
 mod tests {
@@ -313,7 +380,37 @@ mod tests {
         let g = cs2013();
         let ka = g.by_code("SDF").unwrap();
         s.add_material(c, "L1", MaterialKind::Lecture, "T", None, vec![], vec![ka]);
-        assert!(s.validate(g).is_err());
+        match s.validate(g) {
+            Err(StoreError::InvalidTag { material, node }) => {
+                assert_eq!(material, "L1");
+                assert_eq!(node, ka.0);
+            }
+            other => panic!("expected InvalidTag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_classifies_failure_modes() {
+        let g = cs2013();
+        let t1 = g.by_code("SDF.FPC.t1").unwrap();
+        // Duplicate tag on one material.
+        let (mut s, c) = store_with_one_course();
+        s.add_material(
+            c,
+            "Dup",
+            MaterialKind::Lecture,
+            "T",
+            None,
+            vec![],
+            vec![t1, t1],
+        );
+        assert!(matches!(
+            s.validate(g),
+            Err(StoreError::DuplicateTags { .. })
+        ));
+        // Errors render a human-readable message.
+        let msg = s.validate(g).unwrap_err().to_string();
+        assert!(msg.contains("Dup"), "{msg}");
     }
 
     #[test]

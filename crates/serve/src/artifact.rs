@@ -1,0 +1,491 @@
+//! The serializable model artifact.
+//!
+//! A [`FittedModel`] bundles everything a serving process needs to answer
+//! queries without refitting: the `W`/`H` factors, the tag codes giving
+//! `H`'s columns meaning, fit/rank/consensus diagnostics, the storage
+//! backend the fit ran on, and an ontology fingerprint so artifacts fitted
+//! against a revised guideline are rejected at load instead of silently
+//! misclassifying.
+//!
+//! Tag columns are recorded as dotted *codes* (`"SDF.FPC.t2"`), not arena
+//! `NodeId`s, for the same reason the portable store exchange format does:
+//! codes are stable across ontology revisions that preserve them, ids are
+//! not. The JSON codec is the crate-local [`crate::json`] module, whose
+//! `f64` round-trip is bitwise-exact.
+
+use crate::error::ServeError;
+use crate::json::{self, Json};
+use anchors_curricula::Ontology;
+use anchors_factor::{ConsensusStats, NnmfModel, NnmfRecovery, RankDiagnostics};
+use anchors_linalg::{Backend, Matrix};
+use anchors_materials::TagSpace;
+use serde::{Deserialize, Serialize};
+
+/// Artifact schema revision this build writes and reads.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// A fitted, serializable NNMF model ready to serve queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FittedModel {
+    /// Human-readable model name (e.g. `"cs1-flavors"`).
+    pub name: String,
+    /// Name of the guideline the tag codes reference.
+    pub guideline: String,
+    /// [`Ontology::fingerprint`] of that guideline at fit time.
+    pub fingerprint: u64,
+    /// Storage backend the fit ran on.
+    pub backend: Backend,
+    /// Dotted codes of the tag space, one per `H` column.
+    pub tag_codes: Vec<String>,
+    /// Courses × k loadings of the training corpus.
+    pub w: Matrix,
+    /// k × tags type profiles (the frozen basis queries fold onto).
+    pub h: Matrix,
+    /// Final training loss `½‖A − WH‖_F²`.
+    pub loss: f64,
+    /// Iterations used by the winning restart.
+    pub iterations: usize,
+    /// Whether the winning restart converged.
+    pub converged: bool,
+    /// Seed of the winning restart.
+    pub winning_seed: u64,
+    /// Recovery actions the fit needed.
+    pub recovery: NnmfRecovery,
+    /// Rank-selection diagnostics at the chosen k, if scanned.
+    pub rank: Option<RankDiagnostics>,
+    /// Consensus stability at the chosen k, if computed.
+    pub consensus: Option<ConsensusStats>,
+}
+
+impl FittedModel {
+    /// Bundle a fitted factorization with its tag space and ontology
+    /// provenance. The backend is taken from the data matrix the model was
+    /// fitted on.
+    pub fn new(
+        name: impl Into<String>,
+        ontology: &Ontology,
+        tag_space: &TagSpace,
+        model: &NnmfModel,
+        backend: Backend,
+    ) -> Result<Self, ServeError> {
+        let tag_codes: Vec<String> = tag_space
+            .tags()
+            .iter()
+            .map(|&id| ontology.node(id).code.clone())
+            .collect();
+        let artifact = FittedModel {
+            name: name.into(),
+            guideline: ontology.name.clone(),
+            fingerprint: ontology.fingerprint(),
+            backend,
+            tag_codes,
+            w: model.w.clone(),
+            h: model.h.clone(),
+            loss: model.loss,
+            iterations: model.iterations,
+            converged: model.converged,
+            winning_seed: model.winning_seed,
+            recovery: model.recovery,
+            rank: None,
+            consensus: None,
+        };
+        artifact.check_shapes("<memory>")?;
+        Ok(artifact)
+    }
+
+    /// Attach rank-selection diagnostics.
+    pub fn with_rank(mut self, rank: RankDiagnostics) -> Self {
+        self.rank = Some(rank);
+        self
+    }
+
+    /// Attach consensus stability diagnostics.
+    pub fn with_consensus(mut self, consensus: ConsensusStats) -> Self {
+        self.consensus = Some(consensus);
+        self
+    }
+
+    /// Factorization rank.
+    pub fn k(&self) -> usize {
+        self.h.rows()
+    }
+
+    /// Number of tag columns.
+    pub fn n_tags(&self) -> usize {
+        self.h.cols()
+    }
+
+    /// Reject serving against an ontology the model was not fitted for.
+    pub fn check_ontology(&self, ontology: &Ontology) -> Result<(), ServeError> {
+        let found = ontology.fingerprint();
+        if self.guideline != ontology.name || self.fingerprint != found {
+            return Err(ServeError::FingerprintMismatch {
+                guideline: self.guideline.clone(),
+                expected: self.fingerprint,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_shapes(&self, source: &str) -> Result<(), ServeError> {
+        let corrupt = |detail: String| ServeError::Corrupt {
+            source: source.to_string(),
+            detail,
+        };
+        if self.h.cols() != self.tag_codes.len() {
+            return Err(corrupt(format!(
+                "H has {} columns but {} tag codes",
+                self.h.cols(),
+                self.tag_codes.len()
+            )));
+        }
+        if self.w.cols() != self.h.rows() {
+            return Err(corrupt(format!(
+                "W is {:?} but H is {:?}",
+                self.w.shape(),
+                self.h.shape()
+            )));
+        }
+        if let Some((i, j, v)) = self
+            .w
+            .find_non_finite()
+            .or_else(|| self.h.find_non_finite())
+        {
+            return Err(corrupt(format!("non-finite factor entry {v} at ({i},{j})")));
+        }
+        Ok(())
+    }
+
+    /// Serialize to the artifact JSON document.
+    pub fn to_json(&self) -> String {
+        let matrix = |m: &Matrix| {
+            Json::Obj(vec![
+                ("rows".into(), Json::Num(m.rows() as f64)),
+                ("cols".into(), Json::Num(m.cols() as f64)),
+                (
+                    "data".into(),
+                    Json::Arr(m.as_slice().iter().map(|&v| Json::Num(v)).collect()),
+                ),
+            ])
+        };
+        let mut members = vec![
+            (
+                "schema_version".into(),
+                Json::Num(f64::from(SCHEMA_VERSION)),
+            ),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("guideline".into(), Json::Str(self.guideline.clone())),
+            ("fingerprint".into(), Json::Str(self.fingerprint.to_string())),
+            ("backend".into(), Json::Str(self.backend.to_string())),
+            (
+                "tag_codes".into(),
+                Json::Arr(
+                    self.tag_codes
+                        .iter()
+                        .map(|c| Json::Str(c.clone()))
+                        .collect(),
+                ),
+            ),
+            ("w".into(), matrix(&self.w)),
+            ("h".into(), matrix(&self.h)),
+            ("loss".into(), Json::Num(self.loss)),
+            ("iterations".into(), Json::Num(self.iterations as f64)),
+            ("converged".into(), Json::Bool(self.converged)),
+            (
+                "winning_seed".into(),
+                Json::Str(self.winning_seed.to_string()),
+            ),
+            (
+                "recovery".into(),
+                Json::Obj(vec![
+                    (
+                        "failed_restarts".into(),
+                        Json::Num(self.recovery.failed_restarts as f64),
+                    ),
+                    ("reseeded".into(), Json::Bool(self.recovery.reseeded)),
+                    (
+                        "nndsvd_fallback".into(),
+                        Json::Bool(self.recovery.nndsvd_fallback),
+                    ),
+                    (
+                        "budget_exceeded".into(),
+                        Json::Num(self.recovery.budget_exceeded as f64),
+                    ),
+                ]),
+            ),
+        ];
+        if let Some(r) = &self.rank {
+            members.push((
+                "rank".into(),
+                Json::Obj(vec![
+                    ("k".into(), Json::Num(r.k as f64)),
+                    ("loss".into(), Json::Num(r.loss)),
+                    ("relative_error".into(), Json::Num(r.relative_error)),
+                    ("duplicate_score".into(), Json::Num(r.duplicate_score)),
+                    ("separation".into(), Json::Num(r.separation)),
+                ]),
+            ));
+        }
+        if let Some(c) = &self.consensus {
+            members.push((
+                "consensus".into(),
+                Json::Obj(vec![
+                    ("k".into(), Json::Num(c.k as f64)),
+                    ("runs".into(), Json::Num(c.runs as f64)),
+                    ("dispersion".into(), Json::Num(c.dispersion)),
+                    ("cophenetic".into(), Json::Num(c.cophenetic)),
+                ]),
+            ));
+        }
+        Json::Obj(members).write()
+    }
+
+    /// Parse an artifact document. `source` labels errors (file path or
+    /// `"<memory>"`).
+    pub fn from_json(text: &str, source: &str) -> Result<Self, ServeError> {
+        let corrupt = |detail: String| ServeError::Corrupt {
+            source: source.to_string(),
+            detail,
+        };
+        let doc = json::parse(text).map_err(|e| corrupt(e.to_string()))?;
+        let field = |key: &str| doc.get(key).ok_or_else(|| corrupt(format!("missing {key:?}")));
+        let schema = field("schema_version")?
+            .as_usize()
+            .ok_or_else(|| corrupt("schema_version must be an integer".into()))?
+            as u32;
+        if schema != SCHEMA_VERSION {
+            return Err(ServeError::SchemaVersion {
+                found: schema,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        let string = |key: &str| -> Result<String, ServeError> {
+            Ok(field(key)?
+                .as_str()
+                .ok_or_else(|| corrupt(format!("{key:?} must be a string")))?
+                .to_string())
+        };
+        let num = |key: &str| -> Result<f64, ServeError> {
+            field(key)?
+                .as_f64()
+                .ok_or_else(|| corrupt(format!("{key:?} must be a number")))
+        };
+        let boolean = |key: &str| -> Result<bool, ServeError> {
+            field(key)?
+                .as_bool()
+                .ok_or_else(|| corrupt(format!("{key:?} must be a bool")))
+        };
+        let u64_field = |key: &str| -> Result<u64, ServeError> {
+            field(key)?
+                .as_u64_str()
+                .ok_or_else(|| corrupt(format!("{key:?} must be a u64 string")))
+        };
+        let matrix = |key: &str| -> Result<Matrix, ServeError> {
+            let m = field(key)?;
+            let rows = m
+                .get("rows")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| corrupt(format!("{key:?} missing rows")))?;
+            let cols = m
+                .get("cols")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| corrupt(format!("{key:?} missing cols")))?;
+            let data = m
+                .get("data")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| corrupt(format!("{key:?} missing data")))?;
+            if data.len() != rows * cols {
+                return Err(corrupt(format!(
+                    "{key:?} has {} entries for a {rows}×{cols} matrix",
+                    data.len()
+                )));
+            }
+            let values = data
+                .iter()
+                .map(|v| v.as_f64())
+                .collect::<Option<Vec<f64>>>()
+                .ok_or_else(|| corrupt(format!("{key:?} has a non-numeric entry")))?;
+            Ok(Matrix::from_vec(rows, cols, values))
+        };
+        let backend = match string("backend")?.as_str() {
+            "dense" => Backend::Dense,
+            "sparse" => Backend::Sparse,
+            other => return Err(corrupt(format!("unknown backend {other:?}"))),
+        };
+        let tag_codes = field("tag_codes")?
+            .as_arr()
+            .ok_or_else(|| corrupt("tag_codes must be an array".into()))?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect::<Option<Vec<String>>>()
+            .ok_or_else(|| corrupt("tag_codes must be strings".into()))?;
+        let rec = field("recovery")?;
+        let rec_usize = |key: &str| -> Result<usize, ServeError> {
+            rec.get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| corrupt(format!("recovery missing {key:?}")))
+        };
+        let rec_bool = |key: &str| -> Result<bool, ServeError> {
+            rec.get(key)
+                .and_then(Json::as_bool)
+                .ok_or_else(|| corrupt(format!("recovery missing {key:?}")))
+        };
+        let recovery = NnmfRecovery {
+            failed_restarts: rec_usize("failed_restarts")?,
+            reseeded: rec_bool("reseeded")?,
+            nndsvd_fallback: rec_bool("nndsvd_fallback")?,
+            budget_exceeded: rec_usize("budget_exceeded")?,
+        };
+        let rank = match doc.get("rank") {
+            None => None,
+            Some(r) => {
+                let sub = |key: &str| {
+                    r.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| corrupt(format!("rank missing {key:?}")))
+                };
+                Some(RankDiagnostics {
+                    k: r.get("k")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("rank missing \"k\"".into()))?,
+                    loss: sub("loss")?,
+                    relative_error: sub("relative_error")?,
+                    duplicate_score: sub("duplicate_score")?,
+                    separation: sub("separation")?,
+                })
+            }
+        };
+        let consensus = match doc.get("consensus") {
+            None => None,
+            Some(c) => {
+                let sub = |key: &str| {
+                    c.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| corrupt(format!("consensus missing {key:?}")))
+                };
+                Some(ConsensusStats {
+                    k: c.get("k")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("consensus missing \"k\"".into()))?,
+                    runs: c
+                        .get("runs")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| corrupt("consensus missing \"runs\"".into()))?,
+                    dispersion: sub("dispersion")?,
+                    cophenetic: sub("cophenetic")?,
+                })
+            }
+        };
+        let artifact = FittedModel {
+            name: string("name")?,
+            guideline: string("guideline")?,
+            fingerprint: u64_field("fingerprint")?,
+            backend,
+            tag_codes,
+            w: matrix("w")?,
+            h: matrix("h")?,
+            loss: num("loss")?,
+            iterations: field("iterations")?
+                .as_usize()
+                .ok_or_else(|| corrupt("\"iterations\" must be an integer".into()))?,
+            converged: boolean("converged")?,
+            winning_seed: u64_field("winning_seed")?,
+            recovery,
+            rank,
+            consensus,
+        };
+        artifact.check_shapes(source)?;
+        Ok(artifact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+    use anchors_materials::TagSpace;
+
+    fn toy_artifact() -> FittedModel {
+        let cs = cs2013();
+        let leaves = cs.leaf_items();
+        let space = TagSpace::from_tags(leaves.iter().copied().take(6));
+        let model = NnmfModel {
+            w: Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64 * 0.25 + 0.125),
+            h: Matrix::from_fn(2, 6, |i, j| 1.0 / ((i + 1) * (j + 3)) as f64),
+            loss: 0.125,
+            iterations: 17,
+            converged: true,
+            winning_seed: 0xDEAD_BEEF_1234_5678,
+            recovery: NnmfRecovery {
+                failed_restarts: 1,
+                ..NnmfRecovery::default()
+            },
+        };
+        FittedModel::new("toy", cs, &space, &model, Backend::Dense)
+            .expect("valid artifact")
+            .with_rank(RankDiagnostics {
+                k: 2,
+                loss: 0.125,
+                relative_error: 0.01,
+                duplicate_score: 0.2,
+                separation: 0.7,
+            })
+            .with_consensus(ConsensusStats {
+                k: 2,
+                runs: 20,
+                dispersion: 0.95,
+                cophenetic: 0.99,
+            })
+    }
+
+    #[test]
+    fn json_roundtrip_is_bitwise() {
+        let a = toy_artifact();
+        let text = a.to_json();
+        let b = FittedModel::from_json(&text, "<memory>").expect("parses");
+        assert_eq!(a.w, b.w, "W bitwise identical");
+        assert_eq!(a.h, b.h, "H bitwise identical");
+        assert_eq!(a.tag_codes, b.tag_codes);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.winning_seed, b.winning_seed);
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(b.to_json(), text, "save→load→save is byte-identical");
+    }
+
+    #[test]
+    fn truncated_and_tampered_artifacts_are_rejected() {
+        let text = toy_artifact().to_json();
+        for cut in [1, text.len() / 2, text.len() - 1] {
+            assert!(matches!(
+                FittedModel::from_json(&text[..cut], "t.json"),
+                Err(ServeError::Corrupt { .. })
+            ));
+        }
+        // Wrong entry count for the declared shape.
+        let tampered = text.replace("\"rows\":4", "\"rows\":5");
+        assert!(matches!(
+            FittedModel::from_json(&tampered, "t.json"),
+            Err(ServeError::Corrupt { .. })
+        ));
+        // Future schema revision.
+        let future = text.replace("\"schema_version\":1", "\"schema_version\":99");
+        assert!(matches!(
+            FittedModel::from_json(&future, "t.json"),
+            Err(ServeError::SchemaVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_gate_rejects_revised_ontology() {
+        let a = toy_artifact();
+        a.check_ontology(cs2013()).expect("same ontology accepted");
+        let err = a.check_ontology(anchors_curricula::pdc12()).unwrap_err();
+        assert!(matches!(err, ServeError::FingerprintMismatch { .. }));
+        // A stale fingerprint against the *same-named* guideline also
+        // fails closed.
+        let mut stale = a.clone();
+        stale.fingerprint ^= 1;
+        assert!(stale.check_ontology(cs2013()).is_err());
+    }
+}

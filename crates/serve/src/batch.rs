@@ -1,0 +1,129 @@
+//! Request batching: N pending single-course queries → one matrix solve.
+//!
+//! A [`BatchQueue`] accumulates [`CourseQuery`]s as they arrive and, on
+//! [`flush`](BatchQueue::flush), answers all of them with a single
+//! matrix-level fold-in (`try_nnls_multi` forms the Gram matrix and every
+//! cross-product once) instead of one NNLS solve per request. Responses
+//! come back in arrival order and are bitwise identical to what the
+//! per-query path would have produced.
+
+use crate::engine::{CourseQuery, QueryEngine, QueryResponse};
+use crate::error::ServeError;
+
+/// An accumulator of pending queries awaiting one batched solve.
+#[derive(Debug, Default)]
+pub struct BatchQueue {
+    pending: Vec<CourseQuery>,
+}
+
+impl BatchQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        BatchQueue::default()
+    }
+
+    /// Enqueue a query; returns its index in the next flush's responses.
+    pub fn push(&mut self, query: CourseQuery) -> usize {
+        self.pending.push(query);
+        self.pending.len() - 1
+    }
+
+    /// Number of pending queries.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Answer every pending query with one matrix-level solve, in arrival
+    /// order, draining the queue. An error (e.g. an unknown tag code in
+    /// any query) leaves the queue drained — the batch is rejected as a
+    /// unit, mirroring how a half-solved batch cannot be served.
+    pub fn flush(&mut self, engine: &QueryEngine) -> Result<Vec<QueryResponse>, ServeError> {
+        let queries = std::mem::take(&mut self.pending);
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        engine.query_batch(&queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::FittedModel;
+    use anchors_curricula::{cs2013, pdc12};
+    use anchors_factor::{NnmfModel, NnmfRecovery};
+    use anchors_linalg::{Backend, Matrix};
+    use anchors_materials::{CourseLabel, TagSpace};
+
+    fn toy_engine() -> QueryEngine {
+        let cs = cs2013();
+        let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(8));
+        let model = NnmfModel {
+            w: Matrix::from_fn(5, 2, |i, j| ((i + j) % 3) as f64 * 0.5),
+            h: Matrix::from_fn(2, 8, |i, j| ((i * 8 + j) % 4) as f64 * 0.25 + 0.05),
+            loss: 0.3,
+            iterations: 5,
+            converged: true,
+            winning_seed: 1,
+            recovery: NnmfRecovery::default(),
+        };
+        let artifact =
+            FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
+        QueryEngine::new(artifact, cs, pdc12()).expect("engine")
+    }
+
+    #[test]
+    fn flush_matches_per_query_answers_and_drains() {
+        let engine = toy_engine();
+        let codes = &engine.model().tag_codes;
+        let mut queue = BatchQueue::new();
+        assert!(queue.is_empty());
+        assert_eq!(queue.flush(&engine).unwrap().len(), 0);
+
+        let queries: Vec<CourseQuery> = (0..3)
+            .map(|i| {
+                CourseQuery::new(
+                    format!("q{i}"),
+                    vec![CourseLabel::Cs1],
+                    codes.iter().skip(i).cloned().collect(),
+                )
+            })
+            .collect();
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(queue.push(q.clone()), i);
+        }
+        assert_eq!(queue.len(), 3);
+
+        let batched = queue.flush(&engine).unwrap();
+        assert!(queue.is_empty());
+        assert_eq!(batched.len(), 3);
+        for (q, b) in queries.iter().zip(&batched) {
+            let single = engine.query(q).unwrap();
+            assert_eq!(b.name, q.name);
+            assert_eq!(single.loadings, b.loadings);
+            assert_eq!(single.mixture, b.mixture);
+        }
+    }
+
+    #[test]
+    fn bad_query_rejects_the_whole_batch() {
+        let engine = toy_engine();
+        let mut queue = BatchQueue::new();
+        queue.push(CourseQuery::new(
+            "good",
+            vec![],
+            vec![engine.model().tag_codes[0].clone()],
+        ));
+        queue.push(CourseQuery::new("bad", vec![], vec!["NO.SUCH.t9".into()]));
+        assert!(matches!(
+            queue.flush(&engine),
+            Err(ServeError::UnknownTag { .. })
+        ));
+        assert!(queue.is_empty());
+    }
+}

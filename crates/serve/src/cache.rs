@@ -1,0 +1,118 @@
+//! Read-mostly snapshot cache for the active model version.
+//!
+//! Serving threads call [`SnapshotCache::snapshot`], which takes a read
+//! lock just long enough to clone an `Arc` — queries then run entirely on
+//! the clone, so a registry reload never blocks an in-flight query and a
+//! query never observes a half-swapped model. Reloads build the new
+//! engine *outside* any lock and swap the `Arc` under a brief write lock.
+
+use crate::engine::QueryEngine;
+use crate::error::ServeError;
+use crate::registry::Registry;
+use anchors_curricula::Ontology;
+use std::sync::{Arc, RwLock};
+
+/// One immutable serving snapshot: a model version and its frozen engine.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Registry version this engine serves.
+    pub version: u64,
+    /// The frozen query engine.
+    pub engine: QueryEngine,
+}
+
+/// Arc-swap of the active snapshot.
+#[derive(Debug)]
+pub struct SnapshotCache {
+    active: RwLock<Arc<Snapshot>>,
+}
+
+impl SnapshotCache {
+    /// Start serving a snapshot.
+    pub fn new(version: u64, engine: QueryEngine) -> Self {
+        SnapshotCache {
+            active: RwLock::new(Arc::new(Snapshot { version, engine })),
+        }
+    }
+
+    /// Build a cache from the newest registry version.
+    pub fn from_registry(
+        registry: &Registry,
+        cs: &'static Ontology,
+        pdc: &'static Ontology,
+    ) -> Result<Self, ServeError> {
+        let (version, model) = registry.load_latest()?;
+        Ok(Self::new(version, QueryEngine::new(model, cs, pdc)?))
+    }
+
+    /// The current snapshot. Cheap: clones an `Arc` under a read lock.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.active.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Version currently being served.
+    pub fn version(&self) -> u64 {
+        self.snapshot().version
+    }
+
+    /// Swap in a new snapshot directly.
+    pub fn install(&self, version: u64, engine: QueryEngine) {
+        let snap = Arc::new(Snapshot { version, engine });
+        *self.active.write().expect("snapshot lock poisoned") = snap;
+    }
+
+    /// Reload the newest registry version. All loading, parsing, and
+    /// engine construction happens before the write lock is taken, so
+    /// concurrent `snapshot()` readers are never blocked on I/O. Returns
+    /// the version now being served.
+    pub fn reload(
+        &self,
+        registry: &Registry,
+        cs: &'static Ontology,
+        pdc: &'static Ontology,
+    ) -> Result<u64, ServeError> {
+        let (version, model) = registry.load_latest()?;
+        let engine = QueryEngine::new(model, cs, pdc)?;
+        self.install(version, engine);
+        Ok(version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::FittedModel;
+    use anchors_curricula::{cs2013, pdc12};
+    use anchors_factor::{NnmfModel, NnmfRecovery};
+    use anchors_linalg::{Backend, Matrix};
+    use anchors_materials::TagSpace;
+
+    fn toy_engine(seed: u64) -> QueryEngine {
+        let cs = cs2013();
+        let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(6));
+        let model = NnmfModel {
+            w: Matrix::from_fn(4, 2, |i, j| (i + j) as f64),
+            h: Matrix::from_fn(2, 6, |i, j| ((i * 6 + j) % 3) as f64 * 0.5 + 0.1),
+            loss: 0.1,
+            iterations: 3,
+            converged: true,
+            winning_seed: seed,
+            recovery: NnmfRecovery::default(),
+        };
+        let artifact =
+            FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
+        QueryEngine::new(artifact, cs, pdc12()).expect("engine")
+    }
+
+    #[test]
+    fn install_swaps_atomically_for_readers() {
+        let cache = SnapshotCache::new(1, toy_engine(1));
+        let before = cache.snapshot();
+        cache.install(2, toy_engine(2));
+        // The old snapshot stays fully usable; the cache serves the new.
+        assert_eq!(before.version, 1);
+        assert_eq!(before.engine.model().winning_seed, 1);
+        assert_eq!(cache.version(), 2);
+        assert_eq!(cache.snapshot().engine.model().winning_seed, 2);
+    }
+}

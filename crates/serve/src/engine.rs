@@ -1,0 +1,350 @@
+//! The fold-in query engine.
+//!
+//! A [`QueryEngine`] freezes one [`FittedModel`] and answers queries about
+//! courses that were never in the training corpus. An unseen course is a
+//! tag vector `a` over the model's tag space; *folding it in* means
+//! solving
+//!
+//! ```text
+//! min ‖a − w·H‖₂   s.t.  w ≥ 0
+//! ```
+//!
+//! for its loading row `w` on the frozen basis `H` — exactly the
+//! non-negative least-squares subproblem the ANLS trainer solves for
+//! training rows, so a training course folded back in recovers its own
+//! `W` row. Batches go through `anchors_linalg::try_nnls_multi`, which
+//! forms the `k×k` Gram matrix once and computes all cross-products in a
+//! single storage-generic matrix product, so dense and CSR query batches
+//! take the same path (and one batched solve replaces N per-course
+//! solves).
+//!
+//! Beyond the loadings, a query is routed through the paper's §5.2
+//! recommender (`classify_tags`/`recommend_for_tags`) and, when the
+//! engine carries a material store, through `anchors-materials` search
+//! for the nearest classified materials.
+
+use crate::artifact::FittedModel;
+use crate::error::ServeError;
+use anchors_core::{classify_tags, recommend_for_tags, FlavorKind, Recommendation};
+use anchors_curricula::{NodeId, Ontology};
+use anchors_linalg::{try_nnls_multi, MatKernels, Matrix};
+use anchors_materials::{search, CourseLabel, MaterialStore, Query, SearchHit};
+use std::collections::HashMap;
+
+/// NNLS tolerance of the fold-in solve — the same value the ANLS trainer
+/// uses for its W rows, so fold-in reproduces training loadings.
+pub const FOLD_IN_TOL: f64 = 1e-12;
+
+/// How many nearest materials a query returns when a store is attached.
+const NEAREST_LIMIT: usize = 5;
+
+/// An unseen course to classify: labels plus guideline tag codes.
+#[derive(Debug, Clone, Default)]
+pub struct CourseQuery {
+    /// Display name (echoed in the response).
+    pub name: String,
+    /// Family labels (CS1, DataStructures, …) steering the rule set.
+    pub labels: Vec<CourseLabel>,
+    /// Dotted guideline codes of the course's classification.
+    pub tag_codes: Vec<String>,
+}
+
+impl CourseQuery {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        labels: Vec<CourseLabel>,
+        tag_codes: Vec<String>,
+    ) -> Self {
+        CourseQuery {
+            name: name.into(),
+            labels,
+            tag_codes,
+        }
+    }
+}
+
+/// Everything the serving layer says about one queried course.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Echo of the query name.
+    pub name: String,
+    /// Raw NNLS loadings onto the k frozen types.
+    pub loadings: Vec<f64>,
+    /// Loadings normalized to sum 1 (all-zero if the course loads on
+    /// nothing) — the course's flavor mixture.
+    pub mixture: Vec<f64>,
+    /// Signal-based flavors detected from the tag set.
+    pub flavors: Vec<FlavorKind>,
+    /// §5.2 anchor-point recommendations for those flavors.
+    pub recommendations: Vec<Recommendation>,
+    /// Nearest classified materials (empty when the engine has no store).
+    pub nearest: Vec<SearchHit>,
+}
+
+/// A frozen model plus the precomputed state to answer queries fast.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    model: FittedModel,
+    /// `Hᵀ` (tags × k), the NNLS basis of the fold-in solve.
+    ht: Matrix,
+    /// Resolved tag columns, parallel to `model.tag_codes`.
+    tags: Vec<NodeId>,
+    /// Code → column lookup for query vectorization.
+    columns: HashMap<String, usize>,
+    cs: &'static Ontology,
+    pdc: &'static Ontology,
+    store: Option<MaterialStore>,
+}
+
+impl QueryEngine {
+    /// Freeze a model for serving. Fails closed if the model was fitted
+    /// against a different revision of `cs` (fingerprint gate) or names a
+    /// tag code `cs` does not know.
+    pub fn new(
+        model: FittedModel,
+        cs: &'static Ontology,
+        pdc: &'static Ontology,
+    ) -> Result<Self, ServeError> {
+        model.check_ontology(cs)?;
+        let tags = model
+            .tag_codes
+            .iter()
+            .map(|code| {
+                cs.by_code(code).ok_or_else(|| ServeError::UnknownTag {
+                    code: code.clone(),
+                })
+            })
+            .collect::<Result<Vec<NodeId>, ServeError>>()?;
+        let columns = model
+            .tag_codes
+            .iter()
+            .enumerate()
+            .map(|(j, code)| (code.clone(), j))
+            .collect();
+        let ht = model.h.transpose();
+        Ok(QueryEngine {
+            model,
+            ht,
+            tags,
+            columns,
+            cs,
+            pdc,
+            store: None,
+        })
+    }
+
+    /// Attach a material store so queries also return nearest materials.
+    pub fn with_store(mut self, store: MaterialStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The frozen model.
+    pub fn model(&self) -> &FittedModel {
+        &self.model
+    }
+
+    /// Factorization rank.
+    pub fn k(&self) -> usize {
+        self.model.k()
+    }
+
+    /// Width of the model's tag space.
+    pub fn n_tags(&self) -> usize {
+        self.model.n_tags()
+    }
+
+    /// Turn a query's tag codes into a row over the model's tag space.
+    /// Codes outside the tag space contribute nothing to the fold-in (the
+    /// model has no basis direction for them) but still participate in
+    /// rule classification; codes unknown to the ontology are an error.
+    pub fn vectorize(&self, query: &CourseQuery) -> Result<Vec<f64>, ServeError> {
+        let mut row = vec![0.0; self.n_tags()];
+        for code in &query.tag_codes {
+            if let Some(&j) = self.columns.get(code) {
+                row[j] = 1.0;
+            } else if self.cs.by_code(code).is_none() {
+                return Err(ServeError::UnknownTag { code: code.clone() });
+            }
+        }
+        Ok(row)
+    }
+
+    /// NNLS-project a batch of tag rows (one course per row) onto the
+    /// frozen `H`. Returns the `batch.rows() × k` loading matrix. The
+    /// batch may be dense or CSR; both take the same solver path.
+    pub fn fold_in_batch<B: MatKernels>(&self, batch: &B) -> Result<Matrix, ServeError> {
+        let (_, cols) = batch.shape();
+        if cols != self.n_tags() {
+            return Err(ServeError::QueryShape {
+                expected: self.n_tags(),
+                found: cols,
+            });
+        }
+        Ok(try_nnls_multi(&self.ht, batch, FOLD_IN_TOL)?)
+    }
+
+    /// Fold in a single tag row.
+    pub fn fold_in_row(&self, row: &[f64]) -> Result<Vec<f64>, ServeError> {
+        let batch = Matrix::from_vec(1, row.len(), row.to_vec());
+        let w = self.fold_in_batch(&batch)?;
+        Ok(w.row(0).to_vec())
+    }
+
+    /// Answer one query: fold in, classify, recommend, and (with a store)
+    /// find the nearest classified materials.
+    pub fn query(&self, query: &CourseQuery) -> Result<QueryResponse, ServeError> {
+        let row = self.vectorize(query)?;
+        let loadings = self.fold_in_row(&row)?;
+        Ok(self.respond(query, loadings))
+    }
+
+    /// Answer N queries with one matrix-level fold-in solve instead of N
+    /// single-row solves.
+    pub fn query_batch(&self, queries: &[CourseQuery]) -> Result<Vec<QueryResponse>, ServeError> {
+        let mut batch = Matrix::zeros(queries.len(), self.n_tags());
+        for (i, q) in queries.iter().enumerate() {
+            let row = self.vectorize(q)?;
+            batch.row_mut(i).copy_from_slice(&row);
+        }
+        let w = self.fold_in_batch(&batch)?;
+        Ok(queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| self.respond(q, w.row(i).to_vec()))
+            .collect())
+    }
+
+    /// Assemble the response for a query whose loadings are solved.
+    fn respond(&self, query: &CourseQuery, loadings: Vec<f64>) -> QueryResponse {
+        let total: f64 = loadings.iter().sum();
+        let mixture = if total > 0.0 {
+            loadings.iter().map(|&v| v / total).collect()
+        } else {
+            vec![0.0; loadings.len()]
+        };
+        // Classification runs on the resolvable tag ids (sorted, deduped,
+        // like `MaterialStore::course_tags` rows).
+        let mut tag_ids: Vec<NodeId> = query
+            .tag_codes
+            .iter()
+            .filter_map(|code| self.cs.by_code(code))
+            .collect();
+        tag_ids.sort_unstable();
+        tag_ids.dedup();
+        let flavors = classify_tags(self.cs, &query.labels, &tag_ids);
+        let recommendations = recommend_for_tags(self.cs, self.pdc, &query.labels, &tag_ids);
+        let nearest = match &self.store {
+            Some(store) => search(
+                store,
+                self.cs,
+                &Query::tags(tag_ids.iter().copied()).limit(NEAREST_LIMIT),
+            ),
+            None => Vec::new(),
+        };
+        QueryResponse {
+            name: query.name.clone(),
+            loadings,
+            mixture,
+            flavors,
+            recommendations,
+            nearest,
+        }
+    }
+
+    /// The resolved tag ids of the model's columns (test/diagnostic hook).
+    pub fn tag_ids(&self) -> &[NodeId] {
+        &self.tags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::{cs2013, pdc12};
+    use anchors_factor::{NnmfModel, NnmfRecovery};
+    use anchors_linalg::Backend;
+    use anchors_materials::TagSpace;
+
+    fn toy_engine() -> QueryEngine {
+        let cs = cs2013();
+        let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(8));
+        let model = NnmfModel {
+            w: Matrix::from_fn(5, 2, |i, j| ((i + j) % 3) as f64 * 0.5),
+            h: Matrix::from_fn(2, 8, |i, j| ((i * 8 + j) % 4) as f64 * 0.25 + 0.05),
+            loss: 0.3,
+            iterations: 5,
+            converged: true,
+            winning_seed: 1,
+            recovery: NnmfRecovery::default(),
+        };
+        let artifact =
+            FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
+        QueryEngine::new(artifact, cs, pdc12()).expect("engine")
+    }
+
+    #[test]
+    fn vectorize_maps_codes_to_columns() {
+        let engine = toy_engine();
+        let code = engine.model().tag_codes[3].clone();
+        let q = CourseQuery::new("q", vec![CourseLabel::Cs1], vec![code]);
+        let row = engine.vectorize(&q).unwrap();
+        assert_eq!(row[3], 1.0);
+        assert_eq!(row.iter().sum::<f64>(), 1.0);
+        // A real CS2013 code outside the 8-tag space folds to nothing but
+        // is not an error.
+        let outside = CourseQuery::new(
+            "q2",
+            vec![],
+            vec![cs2013().node(cs2013().leaf_items()[20]).code.clone()],
+        );
+        assert_eq!(engine.vectorize(&outside).unwrap().iter().sum::<f64>(), 0.0);
+        // A code unknown to the ontology is an error.
+        let bad = CourseQuery::new("q3", vec![], vec!["NO.SUCH.t1".into()]);
+        assert!(matches!(
+            engine.vectorize(&bad),
+            Err(ServeError::UnknownTag { .. })
+        ));
+    }
+
+    #[test]
+    fn fold_in_checks_query_shape() {
+        let engine = toy_engine();
+        let wrong = Matrix::zeros(2, 3);
+        assert!(matches!(
+            engine.fold_in_batch(&wrong),
+            Err(ServeError::QueryShape {
+                expected: 8,
+                found: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn batch_and_single_queries_agree() {
+        let engine = toy_engine();
+        let codes = &engine.model().tag_codes;
+        let queries: Vec<CourseQuery> = (0..4)
+            .map(|i| {
+                CourseQuery::new(
+                    format!("q{i}"),
+                    vec![CourseLabel::Cs1],
+                    codes.iter().skip(i).step_by(2).cloned().collect(),
+                )
+            })
+            .collect();
+        let batched = engine.query_batch(&queries).unwrap();
+        for (q, b) in queries.iter().zip(&batched) {
+            let single = engine.query(q).unwrap();
+            assert_eq!(single.loadings, b.loadings, "{}", q.name);
+            assert_eq!(single.mixture, b.mixture);
+            assert_eq!(single.flavors, b.flavors);
+        }
+        // Mixtures are normalized.
+        for r in &batched {
+            let s: f64 = r.mixture.iter().sum();
+            assert!(s == 0.0 || (s - 1.0).abs() < 1e-12);
+        }
+    }
+}

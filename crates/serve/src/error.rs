@@ -1,0 +1,145 @@
+//! Typed errors of the serving layer, in the same taxonomy style as
+//! `anchors_materials::ImportError` and `anchors_core::AnchorsError`:
+//! every failure mode is a matchable variant, not a string.
+
+use anchors_linalg::LinalgError;
+use std::fmt;
+
+/// Any failure the serving layer can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// An artifact failed to parse (malformed, truncated, or
+    /// shape-inconsistent JSON).
+    Corrupt {
+        /// Where the artifact came from (file path or `"<memory>"`).
+        source: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The artifact was written by an incompatible schema revision.
+    SchemaVersion {
+        /// Version recorded in the artifact.
+        found: u32,
+        /// Version this build reads.
+        supported: u32,
+    },
+    /// The artifact was fitted against a different ontology revision than
+    /// the one it is being served with.
+    FingerprintMismatch {
+        /// Guideline name recorded in the artifact.
+        guideline: String,
+        /// Fingerprint recorded in the artifact.
+        expected: u64,
+        /// Fingerprint of the live ontology.
+        found: u64,
+    },
+    /// A tag code in the artifact does not resolve against the ontology.
+    UnknownTag {
+        /// The unresolvable dotted code.
+        code: String,
+    },
+    /// The requested model version does not exist in the registry.
+    VersionNotFound {
+        /// The missing version.
+        version: u64,
+    },
+    /// The registry holds no models at all.
+    EmptyRegistry,
+    /// Filesystem I/O failed.
+    Io {
+        /// Offending path.
+        path: String,
+        /// OS error rendered as text.
+        detail: String,
+    },
+    /// A query vector/batch has the wrong number of tag columns.
+    QueryShape {
+        /// Columns the model's tag space has.
+        expected: usize,
+        /// Columns the query supplied.
+        found: usize,
+    },
+    /// The fold-in solve failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Corrupt { source, detail } => {
+                write!(f, "corrupt model artifact at {source}: {detail}")
+            }
+            ServeError::SchemaVersion { found, supported } => {
+                write!(
+                    f,
+                    "artifact schema version {found} is not readable (supported: {supported})"
+                )
+            }
+            ServeError::FingerprintMismatch {
+                guideline,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "artifact was fitted against {guideline:?} revision {expected:#018x}, \
+                     live ontology is {found:#018x}"
+                )
+            }
+            ServeError::UnknownTag { code } => {
+                write!(f, "artifact tag code {code:?} does not resolve to a leaf item")
+            }
+            ServeError::VersionNotFound { version } => {
+                write!(f, "model version {version} not found in registry")
+            }
+            ServeError::EmptyRegistry => write!(f, "registry holds no model versions"),
+            ServeError::Io { path, detail } => write!(f, "I/O error at {path}: {detail}"),
+            ServeError::QueryShape { expected, found } => {
+                write!(
+                    f,
+                    "query has {found} tag columns, model's tag space has {expected}"
+                )
+            }
+            ServeError::Linalg(e) => write!(f, "fold-in solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ServeError {
+    fn from(e: LinalgError) -> Self {
+        ServeError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        let e = ServeError::Corrupt {
+            source: "model-v3.json".into(),
+            detail: "unexpected end of input".into(),
+        };
+        assert!(e.to_string().contains("model-v3.json"));
+        let e = ServeError::FingerprintMismatch {
+            guideline: "ACM/IEEE CS2013".into(),
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("CS2013"));
+        let e: ServeError = LinalgError::Singular { op: "nnls_multi" }.into();
+        assert!(e.to_string().contains("fold-in"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServeError::EmptyRegistry).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! # anchors-serve — serving layer for fitted anchor-point models
+//!
+//! Everything upstream of this crate is about *fitting*: building course
+//! matrices, factorizing them, selecting ranks. This crate is about what
+//! happens after a fit succeeds — packaging the result so a different
+//! process, later, can answer questions with it:
+//!
+//! * [`FittedModel`] — a self-describing, portable artifact holding the
+//!   frozen `W`/`H` factors, the tag space as dotted guideline codes, the
+//!   backend choice, fit diagnostics, and a fingerprint of the ontology
+//!   revision the model was trained against. Serialization is a
+//!   hand-rolled JSON codec ([`json`]) whose `f64` round-trips are
+//!   bitwise, so a saved model answers queries *identically* after reload.
+//! * [`Registry`] — a directory of `model-v<N>.json` artifacts with
+//!   monotonically increasing versions, atomic writes, and typed
+//!   corruption errors ([`ServeError::Corrupt`]) so a truncated artifact
+//!   can never silently serve.
+//! * [`QueryEngine`] — fold-in inference: an unseen course's tag vector is
+//!   NNLS-projected onto the frozen `H` (the exact subproblem the ANLS
+//!   trainer solved, so training courses recover their own `W` rows),
+//!   then routed through the paper's §5.2 recommender and, optionally,
+//!   nearest-material search.
+//! * [`SnapshotCache`] — read-mostly Arc-swap of the active model version;
+//!   concurrent queries never block on a registry reload.
+//! * [`BatchQueue`] — turns N pending single-course queries into one
+//!   matrix-level solve via `try_nnls_multi`.
+
+pub mod artifact;
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod error;
+pub mod json;
+pub mod registry;
+
+pub use artifact::{FittedModel, SCHEMA_VERSION};
+pub use batch::BatchQueue;
+pub use cache::{Snapshot, SnapshotCache};
+pub use engine::{CourseQuery, QueryEngine, QueryResponse, FOLD_IN_TOL};
+pub use error::ServeError;
+pub use registry::Registry;

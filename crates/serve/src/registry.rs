@@ -1,0 +1,180 @@
+//! Versioned on-disk model registry.
+//!
+//! A registry is a directory of `model-v<N>.json` artifacts. Versions are
+//! monotonically increasing: `save` assigns `max(existing) + 1`, so a
+//! version number, once taken, always refers to the same artifact.
+//! Corrupt artifacts surface as typed [`ServeError::Corrupt`] values with
+//! the offending path — a half-written file can never be mistaken for a
+//! model.
+
+use crate::artifact::FittedModel;
+use crate::error::ServeError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Filename prefix/suffix of artifact files.
+const PREFIX: &str = "model-v";
+const SUFFIX: &str = ".json";
+
+/// A directory of versioned model artifacts.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    dir: PathBuf,
+}
+
+impl Registry {
+    /// Open (creating if needed) a registry directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        Ok(Registry { dir })
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, version: u64) -> PathBuf {
+        self.dir.join(format!("{PREFIX}{version}{SUFFIX}"))
+    }
+
+    /// All versions present, ascending. Files that do not match the
+    /// artifact naming scheme are ignored (the registry may share a
+    /// directory with sidecar files).
+    pub fn list(&self) -> Result<Vec<u64>, ServeError> {
+        let mut versions = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.dir, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(v) = name
+                .strip_prefix(PREFIX)
+                .and_then(|rest| rest.strip_suffix(SUFFIX))
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                versions.push(v);
+            }
+        }
+        versions.sort_unstable();
+        Ok(versions)
+    }
+
+    /// Persist a model under the next version number; returns it.
+    ///
+    /// The artifact is written to a temporary file first and renamed into
+    /// place, so a crash mid-write leaves no `model-v*.json` that could
+    /// parse as truncated garbage.
+    pub fn save(&self, model: &FittedModel) -> Result<u64, ServeError> {
+        let version = self.list()?.last().copied().unwrap_or(0) + 1;
+        let path = self.path_of(version);
+        let tmp = self.dir.join(format!(".{PREFIX}{version}{SUFFIX}.tmp"));
+        fs::write(&tmp, model.to_json()).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        Ok(version)
+    }
+
+    /// Load one version.
+    pub fn load(&self, version: u64) -> Result<FittedModel, ServeError> {
+        let path = self.path_of(version);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(ServeError::VersionNotFound { version })
+            }
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        FittedModel::from_json(&text, &path.display().to_string())
+    }
+
+    /// Load the newest version, returning `(version, model)`.
+    pub fn load_latest(&self) -> Result<(u64, FittedModel), ServeError> {
+        let version = *self.list()?.last().ok_or(ServeError::EmptyRegistry)?;
+        Ok((version, self.load(version)?))
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> ServeError {
+    ServeError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+    use anchors_factor::{NnmfModel, NnmfRecovery};
+    use anchors_linalg::{Backend, Matrix};
+    use anchors_materials::TagSpace;
+
+    fn toy_model(loss: f64) -> FittedModel {
+        let cs = cs2013();
+        let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(5));
+        let model = NnmfModel {
+            w: Matrix::from_fn(3, 2, |i, j| (i + j) as f64 * 0.5),
+            h: Matrix::from_fn(2, 5, |i, j| (i * 5 + j) as f64 * 0.1),
+            loss,
+            iterations: 9,
+            converged: true,
+            winning_seed: 42,
+            recovery: NnmfRecovery::default(),
+        };
+        FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid")
+    }
+
+    fn tmp_registry(tag: &str) -> Registry {
+        let dir = std::env::temp_dir().join(format!(
+            "anchors-serve-registry-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Registry::open(dir).expect("open")
+    }
+
+    #[test]
+    fn versions_are_monotonic_and_listable() {
+        let reg = tmp_registry("mono");
+        assert_eq!(reg.list().unwrap(), Vec::<u64>::new());
+        assert!(matches!(
+            reg.load_latest(),
+            Err(ServeError::EmptyRegistry)
+        ));
+        let v1 = reg.save(&toy_model(0.5)).unwrap();
+        let v2 = reg.save(&toy_model(0.25)).unwrap();
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(reg.list().unwrap(), vec![1, 2]);
+        let (latest, model) = reg.load_latest().unwrap();
+        assert_eq!(latest, 2);
+        assert_eq!(model.loss, 0.25);
+        assert_eq!(reg.load(1).unwrap().loss, 0.5);
+        assert!(matches!(
+            reg.load(7),
+            Err(ServeError::VersionNotFound { version: 7 })
+        ));
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_detected_not_served() {
+        let reg = tmp_registry("corrupt");
+        let v = reg.save(&toy_model(0.5)).unwrap();
+        // Truncate the artifact on disk.
+        let path = reg.path_of(v);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        match reg.load(v) {
+            Err(ServeError::Corrupt { source, .. }) => {
+                assert!(source.contains("model-v1.json"), "{source}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The next save still picks a fresh version above the corrupt one.
+        let v2 = reg.save(&toy_model(0.1)).unwrap();
+        assert_eq!(v2, 2);
+        assert_eq!(reg.load(v2).unwrap().loss, 0.1);
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the serving layer: artifact persistence is
+//! bitwise, and malformed or mismatched artifacts are always refused.
+
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{NnmfModel, NnmfRecovery};
+use anchors_linalg::{Backend, Matrix};
+use anchors_materials::TagSpace;
+use anchors_serve::{CourseQuery, FittedModel, QueryEngine, ServeError};
+use proptest::prelude::*;
+
+/// Strategy: a serveable model over a prefix of the CS2013 leaf tag space,
+/// with arbitrary (finite, nonnegative) factor entries — including
+/// awkward magnitudes whose decimal round-trips must still be bitwise.
+fn serveable_model() -> impl Strategy<Value = FittedModel> {
+    (2usize..4, 4usize..12, 2usize..8).prop_flat_map(|(k, n, rows)| {
+        let entry = prop_oneof![
+            4 => 0.0f64..3.0,
+            1 => prop_oneof![
+                Just(0.0),
+                Just(1e-300),
+                Just(2.2250738585072014e-308),
+                Just(0.1),
+                Just(1e15),
+            ],
+        ];
+        (
+            prop::collection::vec(entry.clone(), rows * k),
+            prop::collection::vec(entry, k * n),
+            any::<u64>(),
+            0.0f64..1e6,
+        )
+            .prop_map(move |(wdata, hdata, seed, loss)| {
+                let cs = cs2013();
+                let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(n));
+                let model = NnmfModel {
+                    w: Matrix::from_vec(rows, k, wdata),
+                    h: Matrix::from_vec(k, n, hdata),
+                    loss,
+                    iterations: 7,
+                    converged: true,
+                    winning_seed: seed,
+                    recovery: NnmfRecovery::default(),
+                };
+                FittedModel::new("prop", cs, &space, &model, Backend::Dense)
+                    .expect("finite nonneg factors are serveable")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn save_load_query_is_bitwise_identical(artifact in serveable_model()) {
+        let text = artifact.to_json();
+        let reloaded = FittedModel::from_json(&text, "<prop>").expect("roundtrip");
+        prop_assert_eq!(&reloaded.w, &artifact.w);
+        prop_assert_eq!(&reloaded.h, &artifact.h);
+        prop_assert_eq!(reloaded.fingerprint, artifact.fingerprint);
+        prop_assert_eq!(reloaded.winning_seed, artifact.winning_seed);
+        prop_assert_eq!(&reloaded.tag_codes, &artifact.tag_codes);
+        // Re-serialization is byte-stable: save → load → save is identity.
+        prop_assert_eq!(reloaded.to_json(), text);
+
+        // And a query answered before saving is answered identically by
+        // the reloaded model — loadings bitwise equal.
+        let query = CourseQuery::new(
+            "q",
+            vec![],
+            artifact.tag_codes.iter().step_by(2).cloned().collect(),
+        );
+        let before = QueryEngine::new(artifact, cs2013(), pdc12())
+            .expect("engine")
+            .query(&query)
+            .expect("query")
+            .loadings;
+        let after = QueryEngine::new(reloaded, cs2013(), pdc12())
+            .expect("engine")
+            .query(&query)
+            .expect("query")
+            .loadings;
+        prop_assert_eq!(after, before);
+    }
+
+    #[test]
+    fn truncated_artifacts_are_rejected(artifact in serveable_model(), frac in 0.0f64..1.0) {
+        // Any strict prefix of a valid artifact must fail closed as
+        // Corrupt — never parse as a smaller-but-plausible model.
+        let text = artifact.to_json();
+        let cut = ((text.len() as f64) * frac) as usize;
+        let cut = cut.min(text.len() - 1);
+        let truncated = &text[..cut];
+        match FittedModel::from_json(truncated, "<trunc>") {
+            Err(ServeError::Corrupt { .. }) => {}
+            Ok(_) => prop_assert!(false, "truncation at {cut} parsed as a model"),
+            Err(other) => prop_assert!(false, "wrong error class: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_artifacts_are_rejected(
+        artifact in serveable_model(),
+        pos in any::<prop::sample::Index>(),
+        garbage in "[{}\\[\\]\"x]",
+    ) {
+        // Splice a structural character into the body. Either the result
+        // no longer parses (Corrupt) or — rarely — it still parses AND
+        // still describes the very same model (e.g. the splice landed in
+        // the free-text name). What can never happen is serving different
+        // factors than were saved.
+        let text = artifact.to_json();
+        let at = pos.index(text.len() - 1).max(1);
+        let mut spliced = String::with_capacity(text.len() + 1);
+        spliced.push_str(&text[..at]);
+        spliced.push_str(&garbage);
+        spliced.push_str(&text[at..]);
+        match FittedModel::from_json(&spliced, "<splice>") {
+            Err(_) => {}
+            Ok(parsed) => {
+                prop_assert_eq!(parsed.w, artifact.w);
+                prop_assert_eq!(parsed.h, artifact.h);
+                prop_assert_eq!(parsed.fingerprint, artifact.fingerprint);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused(artifact in serveable_model(), flip in 1u64..) {
+        // Any altered fingerprint — i.e. any ontology revision other than
+        // the one the model was fitted against — is refused at serve time.
+        let mut stale = artifact;
+        stale.fingerprint ^= flip;
+        match QueryEngine::new(stale, cs2013(), pdc12()) {
+            Err(ServeError::FingerprintMismatch { expected, found, .. }) => {
+                prop_assert_ne!(expected, found);
+            }
+            other => prop_assert!(false, "expected refusal, got {:?}", other.map(|_| ())),
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! End-to-end serving tests: fold-in fidelity against the trainer,
+//! save→load→query bitwise identity through a real registry, and the
+//! snapshot cache under concurrent reload.
+
+use anchors_corpus::default_corpus;
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{try_nnmf, NnmfConfig};
+use anchors_linalg::Backend;
+use anchors_materials::{CourseLabel, CourseMatrix, SparseCourseMatrix};
+use anchors_serve::{
+    CourseQuery, FittedModel, QueryEngine, Registry, ServeError, SnapshotCache,
+};
+use std::fs;
+use std::path::PathBuf;
+
+const K: usize = 3;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "anchors-serve-it-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Fit the paper corpus with ANLS and package the result. ANLS is the
+/// right trainer for fold-in fidelity tests: its final sweep ends by
+/// solving each W row as an exact NNLS problem against the final H, which
+/// is the very problem the engine's fold-in solves.
+fn fitted_corpus() -> (anchors_corpus::GeneratedCorpus, CourseMatrix, FittedModel) {
+    let corpus = default_corpus();
+    let cm = CourseMatrix::build(&corpus.store, &corpus.courses);
+    let model = try_nnmf(&cm.a, &NnmfConfig::anls(K)).expect("anls fit");
+    let artifact = FittedModel::new("corpus-anls", cs2013(), &cm.tag_space, &model, Backend::Dense)
+        .expect("artifact");
+    (corpus, cm, artifact)
+}
+
+#[test]
+fn fold_in_recovers_training_rows_dense_and_csr() {
+    let (corpus, cm, artifact) = fitted_corpus();
+    let w_train = artifact.w.clone();
+    let engine = QueryEngine::new(artifact, cs2013(), pdc12()).expect("engine");
+
+    // Dense batch: fold every training course back in.
+    let dense = engine.fold_in_batch(&cm.a).expect("dense fold-in");
+    assert_eq!(dense.rows(), cm.a.rows());
+    assert_eq!(dense.cols(), K);
+    for i in 0..dense.rows() {
+        for t in 0..K {
+            let got = dense.get(i, t);
+            let want = w_train.get(i, t);
+            assert!(
+                (got - want).abs() < 1e-6,
+                "course {i} loading {t}: fold-in {got} vs training {want}"
+            );
+        }
+    }
+
+    // CSR batch: same courses through the sparse storage path must land
+    // on the identical code path and produce bitwise-identical loadings.
+    let scm = SparseCourseMatrix::build(&corpus.store, &corpus.courses);
+    assert_eq!(scm.tag_space.tags(), cm.tag_space.tags());
+    let sparse = engine.fold_in_batch(&scm.a).expect("csr fold-in");
+    for i in 0..dense.rows() {
+        assert_eq!(dense.row(i), sparse.row(i), "row {i} dense vs CSR");
+        for t in 0..K {
+            assert!(
+                (sparse.get(i, t) - w_train.get(i, t)).abs() < 1e-6,
+                "CSR course {i} loading {t}"
+            );
+        }
+    }
+}
+
+#[test]
+fn save_load_query_is_bitwise_identical() {
+    let (corpus, cm, artifact) = fitted_corpus();
+    let cs = cs2013();
+
+    // Queries drawn from real courses plus an unseen mix of codes.
+    let mut queries: Vec<CourseQuery> = corpus
+        .courses
+        .iter()
+        .take(6)
+        .map(|&c| {
+            let course = corpus.store.course(c);
+            let codes = corpus
+                .store
+                .course_tags(c)
+                .into_iter()
+                .map(|id| cs.node(id).code.clone())
+                .collect();
+            CourseQuery::new(course.name.clone(), course.labels.clone(), codes)
+        })
+        .collect();
+    queries.push(CourseQuery::new(
+        "unseen-mix",
+        vec![CourseLabel::Cs1],
+        cm.tag_space
+            .tags()
+            .iter()
+            .step_by(3)
+            .map(|&id| cs.node(id).code.clone())
+            .collect(),
+    ));
+
+    let before_engine = QueryEngine::new(artifact.clone(), cs, pdc12()).expect("engine");
+    let before: Vec<Vec<f64>> = queries
+        .iter()
+        .map(|q| before_engine.query(q).expect("query").loadings)
+        .collect();
+
+    // Save, then load in a "fresh process": a brand-new Registry handle
+    // over the same directory, as a restarted server would open.
+    let dir = tmp_dir("bitwise");
+    let version = Registry::open(&dir).expect("open").save(&artifact).expect("save");
+    let reloaded = Registry::open(&dir).expect("reopen").load(version).expect("load");
+    assert_eq!(reloaded.w, artifact.w);
+    assert_eq!(reloaded.h, artifact.h);
+    assert_eq!(reloaded.fingerprint, artifact.fingerprint);
+
+    let after_engine = QueryEngine::new(reloaded, cs, pdc12()).expect("engine");
+    for (q, want) in queries.iter().zip(&before) {
+        let got = after_engine.query(q).expect("query").loadings;
+        assert_eq!(&got, want, "loadings drifted across save/load for {}", q.name);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_cache_serves_while_registry_reloads() {
+    let (_corpus, cm, artifact) = fitted_corpus();
+    let cs = cs2013();
+    let dir = tmp_dir("cache");
+    let registry = Registry::open(&dir).expect("open");
+    registry.save(&artifact).expect("save v1");
+    let cache = SnapshotCache::from_registry(&registry, cs, pdc12()).expect("cache");
+    assert_eq!(cache.version(), 1);
+
+    let query = CourseQuery::new(
+        "probe",
+        vec![CourseLabel::Cs1],
+        cm.tag_space
+            .tags()
+            .iter()
+            .take(4)
+            .map(|&id| cs.node(id).code.clone())
+            .collect(),
+    );
+
+    std::thread::scope(|scope| {
+        // Readers hammer the cache while the writer publishes new
+        // versions and reloads. Every read must see a complete, working
+        // engine — never a half-swapped or mid-reload state.
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let cache = &cache;
+            let query = &query;
+            readers.push(scope.spawn(move || {
+                let mut seen_versions = Vec::new();
+                for _ in 0..200 {
+                    let snap = cache.snapshot();
+                    let resp = snap.engine.query(query).expect("query during reload");
+                    assert_eq!(resp.loadings.len(), K);
+                    assert!(resp.loadings.iter().all(|v| v.is_finite() && *v >= 0.0));
+                    seen_versions.push(snap.version);
+                }
+                seen_versions
+            }));
+        }
+
+        for _ in 0..5 {
+            registry.save(&artifact).expect("save next version");
+            cache.reload(&registry, cs, pdc12()).expect("reload");
+        }
+
+        for reader in readers {
+            let versions = reader.join().expect("reader thread");
+            // Versions are observed monotonically: a reader never goes
+            // back in time after the cache swaps forward.
+            assert!(versions.windows(2).all(|w| w[0] <= w[1]));
+            assert!(versions.iter().all(|&v| (1..=6).contains(&v)));
+        }
+    });
+
+    assert_eq!(cache.version(), 6);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn engine_with_store_returns_nearest_materials_and_recommendations() {
+    let (corpus, _cm, artifact) = fitted_corpus();
+    let cs = cs2013();
+    let engine = QueryEngine::new(artifact, cs, pdc12())
+        .expect("engine")
+        .with_store(corpus.store.clone());
+
+    // A PDC-flavored course: reuse the tag set of a real course that
+    // carries labels, so the rule set and the search both fire.
+    let source = corpus
+        .courses
+        .iter()
+        .find(|&&c| !corpus.store.course(c).labels.is_empty())
+        .copied()
+        .expect("labeled course");
+    let course = corpus.store.course(source);
+    let codes: Vec<String> = corpus
+        .store
+        .course_tags(source)
+        .into_iter()
+        .map(|id| cs.node(id).code.clone())
+        .collect();
+    let resp = engine
+        .query(&CourseQuery::new(
+            course.name.clone(),
+            course.labels.clone(),
+            codes,
+        ))
+        .expect("query");
+
+    assert!(!resp.nearest.is_empty(), "store-backed query finds materials");
+    assert!(resp.nearest.len() <= 5);
+    let s: f64 = resp.mixture.iter().sum();
+    assert!(s == 0.0 || (s - 1.0).abs() < 1e-12);
+    // The flavor rules and §5.2 recommender ran over the same tag set.
+    if !resp.flavors.is_empty() {
+        assert!(!resp.recommendations.is_empty());
+    }
+}
+
+#[test]
+fn stale_ontology_artifact_is_refused_at_serve_time() {
+    let (_corpus, _cm, mut artifact) = fitted_corpus();
+    artifact.fingerprint ^= 0xdead_beef;
+    match QueryEngine::new(artifact, cs2013(), pdc12()) {
+        Err(ServeError::FingerprintMismatch { guideline, .. }) => {
+            assert_eq!(guideline, cs2013().name);
+        }
+        other => panic!("expected fingerprint refusal, got {other:?}"),
+    }
+}

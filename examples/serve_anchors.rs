@@ -1,0 +1,108 @@
+//! Serve a fitted model: fit once, persist it to a versioned registry,
+//! load it back as a fresh process would, and answer queries about a
+//! course the model never saw — flavor mixture, anchor-point
+//! recommendations, and the nearest classified materials.
+//!
+//! ```sh
+//! cargo run --example serve_anchors
+//! ```
+
+use anchors_corpus::default_corpus;
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{try_nnmf, NnmfConfig};
+use anchors_linalg::Backend;
+use anchors_materials::{CourseLabel, CourseMatrix};
+use anchors_serve::{CourseQuery, FittedModel, QueryEngine, Registry};
+
+fn main() {
+    let cs = cs2013();
+    let pdc = pdc12();
+
+    // ── Fit: the offline training job ────────────────────────────────
+    let corpus = default_corpus();
+    let cm = CourseMatrix::build(&corpus.store, &corpus.courses);
+    let model = try_nnmf(&cm.a, &NnmfConfig::anls(3)).expect("fit");
+    println!("=== Fit ===");
+    println!(
+        "k = 3 over {} courses x {} tags, loss {:.4}, {} iterations",
+        cm.a.rows(),
+        cm.a.cols(),
+        model.loss,
+        model.iterations
+    );
+
+    // ── Save: package and version the artifact ───────────────────────
+    let artifact = FittedModel::new("corpus-anls-k3", cs, &cm.tag_space, &model, Backend::Dense)
+        .expect("artifact");
+    let dir = std::env::temp_dir().join(format!("anchors-serve-example-{}", std::process::id()));
+    let registry = Registry::open(&dir).expect("open registry");
+    let version = registry.save(&artifact).expect("save");
+    println!("\n=== Save ===");
+    println!("model-v{version}.json written to {}", registry.dir().display());
+
+    // ── Load: what a freshly started server does ─────────────────────
+    // A new Registry handle over the same directory, as if in another
+    // process. The artifact carries a fingerprint of the ontology it was
+    // trained against, so a stale model fails closed instead of serving
+    // against renumbered tags.
+    let (loaded_version, loaded) = Registry::open(&dir)
+        .expect("reopen registry")
+        .load_latest()
+        .expect("load latest");
+    assert_eq!(loaded.w, artifact.w, "persistence is bitwise");
+    let engine = QueryEngine::new(loaded, cs, pdc)
+        .expect("fingerprint and tag codes check out")
+        .with_store(corpus.store.clone());
+    println!("\n=== Load ===");
+    println!("serving model-v{loaded_version} ({} tags, k = {})", engine.n_tags(), engine.k());
+
+    // ── Query: classify an unseen course ─────────────────────────────
+    // A data-structures course with a parallel slant, described only by
+    // guideline tag codes — it was never in the training corpus.
+    let mut codes: Vec<String> = Vec::new();
+    for t in 1..=6 {
+        codes.push(format!("AL.BA.t{t}"));
+        codes.push(format!("AL.FDSA.t{t}"));
+    }
+    for t in 1..=5 {
+        codes.push(format!("SDF.FDS.t{t}"));
+    }
+    codes.extend(["PD.PF.t1".to_string(), "PD.CC.t1".to_string()]);
+    let query = CourseQuery::new(
+        "CS 201: Data Structures with Parallelism",
+        vec![CourseLabel::DataStructures],
+        codes,
+    );
+    let resp = engine.query(&query).expect("query");
+
+    println!("\n=== Query: {} ===", resp.name);
+    print!("flavor mixture: [");
+    for (t, share) in resp.mixture.iter().enumerate() {
+        if t > 0 {
+            print!(", ");
+        }
+        print!("type {t}: {:.0}%", share * 100.0);
+    }
+    println!("]");
+    println!("detected flavors: {:?}", resp.flavors);
+    println!("anchor-point recommendations:");
+    for rec in &resp.recommendations {
+        println!(
+            "  - [{:?}] {} (anchors at {})",
+            rec.flavor,
+            rec.title,
+            rec.anchors.join(", ")
+        );
+    }
+    println!("nearest classified materials:");
+    for hit in &resp.nearest {
+        println!(
+            "  - {} (score {:.2}, {} exact tag matches)",
+            corpus.store.material(hit.material).name,
+            hit.score,
+            hit.exact_matches
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
