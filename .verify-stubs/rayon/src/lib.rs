@@ -2,7 +2,7 @@
 //! sequentially. Only the combinators this workspace uses are provided.
 
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParallelSliceMut};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
 }
 
 /// Sequential stand-in for rayon's parallel iterator chains.
@@ -32,6 +32,36 @@ impl<I: Iterator> Par<I> {
     pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
         self.0.sum()
     }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self)
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+pub fn current_num_threads() -> usize {
+    1
 }
 
 impl<'a, T: Copy + 'a, I: Iterator<Item = &'a T>> Par<I> {

@@ -3,7 +3,7 @@
 //! the §4.4 rank scan.
 
 use anchors_corpus::default_corpus;
-use anchors_factor::{nnmf, rank_scan, Init, NnmfConfig, Solver};
+use anchors_factor::{nnmf, try_rank_scan, Init, NnmfConfig, Solver};
 use anchors_materials::CourseMatrix;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -72,7 +72,9 @@ fn bench_rank_scan(c: &mut Criterion) {
         ..NnmfConfig::paper_default(2)
     };
     let mut group = c.benchmark_group("nnmf_rank");
-    group.bench_function("scan_k2_to_k4", |b| b.iter(|| rank_scan(&a, 2..=4, &base)));
+    group.bench_function("scan_k2_to_k4", |b| {
+        b.iter(|| try_rank_scan(&a, 2..=4, &base).unwrap())
+    });
     for k in [2usize, 4, 6] {
         let cfg = NnmfConfig {
             k,

@@ -6,7 +6,7 @@ use anchors_bench::{compare, header, render_model, seed};
 use anchors_core::discover_flavors;
 use anchors_corpus::generate;
 use anchors_curricula::cs2013;
-use anchors_factor::{rank_scan, NnmfConfig};
+use anchors_factor::{try_rank_scan, NnmfConfig};
 
 fn main() {
     let corpus = generate(seed());
@@ -45,7 +45,7 @@ fn main() {
 
     header("k-selection diagnostics (§4.4)");
     let matrix = fm.matrix.a.clone();
-    let scan = rank_scan(&matrix, 2..=4, &NnmfConfig::paper_default(2));
+    let scan = try_rank_scan(&matrix, 2..=4, &NnmfConfig::paper_default(2)).expect("rank scan");
     for (d, _) in &scan {
         println!(
             "  k = {}: loss {:.3}, rel. err {:.3}, duplicate-dimension score {:.3}, separation {:.3}",

@@ -1,0 +1,191 @@
+//! Outer-loop parallelism smoke benchmark: serial vs fanned-out rank scan
+//! and consensus, with the determinism contract asserted along the way.
+//!
+//! Builds one noisy block matrix (2000 × 1024 by default), runs the same
+//! rank scan (`k ∈ {2..4}`, 2 restarts each) plus consensus (`k = 3`,
+//! 8 runs) four times — `ANCHORS_PAR_MODE=serial`, then outer fan-out at
+//! 1, 2, and all hardware threads — and asserts every run produces
+//! bitwise-identical factors, diagnostics, and consensus matrices. Emits
+//! `BENCH_parallel.json` at the workspace root (and a copy under
+//! `target/figures/`) for CI to archive; exits nonzero when the fan-out
+//! fails to beat one thread at full problem size.
+//!
+//! Knobs: `ANCHORS_BENCH_ROWS`, `ANCHORS_BENCH_COLS`,
+//! `ANCHORS_BENCH_RESTARTS`, `ANCHORS_BENCH_RUNS` env vars shrink the
+//! problem for quicker local smoke runs.
+
+use anchors_bench::{figures_dir, header};
+use anchors_factor::{
+    try_consensus, try_rank_scan, Consensus, NnmfConfig, NnmfModel, RankDiagnostics, Solver,
+};
+use anchors_linalg::parallel::{max_threads, set_num_threads, set_par_mode, ParMode};
+use anchors_linalg::Matrix;
+use std::path::Path;
+use std::time::Instant;
+
+const K_MIN: usize = 2;
+const K_MAX: usize = 4;
+const CONSENSUS_K: usize = 3;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Noisy rank-3 block matrix: deterministic, no RNG dependency.
+fn block_matrix(rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |i, j| {
+        let block = if (i * 3) / rows == (j * 3) / cols {
+            1.0
+        } else {
+            0.0
+        };
+        block + ((i * 31 + j * 17) % 13) as f64 / 64.0
+    })
+}
+
+/// One full workload: the rank scan plus the consensus run.
+fn workload(
+    a: &Matrix,
+    restarts: usize,
+    runs: usize,
+) -> (Vec<(RankDiagnostics, NnmfModel)>, Consensus) {
+    let base = NnmfConfig {
+        restarts,
+        max_iter: 30,
+        solver: Solver::Hals,
+        ..NnmfConfig::paper_default(K_MIN)
+    };
+    let scan = try_rank_scan(a, K_MIN..=K_MAX, &base).expect("rank scan");
+    let cons = try_consensus(a, CONSENSUS_K, runs, &base).expect("consensus");
+    (scan, cons)
+}
+
+fn assert_identical(
+    label: &str,
+    (scan_a, cons_a): &(Vec<(RankDiagnostics, NnmfModel)>, Consensus),
+    (scan_b, cons_b): &(Vec<(RankDiagnostics, NnmfModel)>, Consensus),
+) {
+    assert_eq!(scan_a.len(), scan_b.len(), "{label}: scan length");
+    for ((da, ma), (db, mb)) in scan_a.iter().zip(scan_b) {
+        assert_eq!(da.k, db.k, "{label}");
+        assert_eq!(ma.w, mb.w, "{label}: W differs at k={}", da.k);
+        assert_eq!(ma.h, mb.h, "{label}: H differs at k={}", da.k);
+        assert_eq!(
+            da.loss.to_bits(),
+            db.loss.to_bits(),
+            "{label}: loss differs at k={}",
+            da.k
+        );
+        assert_eq!(ma.winning_seed, mb.winning_seed, "{label}");
+        assert_eq!(ma.recovery, mb.recovery, "{label}");
+    }
+    assert_eq!(
+        cons_a.matrix, cons_b.matrix,
+        "{label}: consensus matrix differs"
+    );
+    assert_eq!(
+        cons_a.stats.dispersion.to_bits(),
+        cons_b.stats.dispersion.to_bits(),
+        "{label}: dispersion differs"
+    );
+}
+
+fn main() {
+    let rows = env_usize("ANCHORS_BENCH_ROWS", 2000);
+    let cols = env_usize("ANCHORS_BENCH_COLS", 1024);
+    let restarts = env_usize("ANCHORS_BENCH_RESTARTS", 2);
+    let runs = env_usize("ANCHORS_BENCH_RUNS", 8);
+    let hw = max_threads();
+
+    header("Outer-loop parallelism: rank scan + consensus");
+    println!(
+        "  {rows} x {cols} matrix; scan k {K_MIN}..={K_MAX} ({restarts} restarts), \
+         consensus k={CONSENSUS_K} ({runs} runs); {hw} hardware threads"
+    );
+
+    let a = block_matrix(rows, cols);
+
+    set_par_mode(Some(ParMode::Serial));
+    let t = Instant::now();
+    let serial = workload(&a, restarts, runs);
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("  serial mode:        {serial_ms:>10.1} ms");
+
+    set_par_mode(Some(ParMode::Outer));
+    let mut outer_ms = Vec::new();
+    for threads in [1, 2, hw] {
+        set_num_threads(Some(threads));
+        let t = Instant::now();
+        let par = workload(&a, restarts, runs);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_identical(&format!("outer@{threads}"), &serial, &par);
+        println!("  outer, {threads:>2} thread(s): {ms:>10.1} ms");
+        outer_ms.push(ms);
+    }
+    set_par_mode(None);
+    set_num_threads(None);
+
+    let speedup = outer_ms[0] / outer_ms[2].max(1e-9);
+    println!("  speedup:       {speedup:>10.2}x (max threads over 1 thread)");
+    println!("  factors bitwise identical across all modes and thread counts");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"parallel_rank_scan_consensus\",\n",
+            "  \"rows\": {},\n",
+            "  \"cols\": {},\n",
+            "  \"k_min\": {},\n",
+            "  \"k_max\": {},\n",
+            "  \"restarts\": {},\n",
+            "  \"consensus_runs\": {},\n",
+            "  \"max_threads\": {},\n",
+            "  \"serial_ms\": {:.3},\n",
+            "  \"outer_1_ms\": {:.3},\n",
+            "  \"outer_2_ms\": {:.3},\n",
+            "  \"outer_max_ms\": {:.3},\n",
+            "  \"speedup_max_vs_1\": {:.3},\n",
+            "  \"factors_identical\": true\n",
+            "}}\n"
+        ),
+        rows,
+        cols,
+        K_MIN,
+        K_MAX,
+        restarts,
+        runs,
+        hw,
+        serial_ms,
+        outer_ms[0],
+        outer_ms[1],
+        outer_ms[2],
+        speedup
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let root_path = root.join("BENCH_parallel.json");
+    std::fs::write(&root_path, &json).expect("write BENCH_parallel.json");
+    println!("  wrote {}", root_path.display());
+    std::fs::write(figures_dir().join("BENCH_parallel.json"), &json).expect("write figures copy");
+
+    let full_size = rows >= 2000 && cols >= 1024;
+    if full_size && hw >= 2 {
+        if speedup < 1.0 {
+            eprintln!(
+                "WARNING: outer fan-out at {hw} threads ({:.1} ms) did not beat 1 thread ({:.1} ms)",
+                outer_ms[2], outer_ms[0]
+            );
+            std::process::exit(1);
+        }
+        if speedup < 2.0 {
+            eprintln!("WARNING: speedup {speedup:.2}x is below the 2x target");
+        }
+    }
+}

@@ -4,7 +4,7 @@
 use crate::error::AnchorsError;
 use anchors_curricula::{NodeId, Ontology};
 use anchors_factor::{
-    rank_scan, select_rank, try_nnmf, NnmfConfig, NnmfModel, DUPLICATE_THRESHOLD,
+    select_rank, try_nnmf, try_rank_scan, NnmfConfig, NnmfModel, DUPLICATE_THRESHOLD,
 };
 use anchors_linalg::Backend;
 use anchors_materials::{CourseId, CourseMatrix, MaterialStore, SparseCourseMatrix};
@@ -213,19 +213,49 @@ pub fn try_discover_flavors_with(
 /// Mechanized version of the paper's §4.4 k-selection: scan `k_range`, pick
 /// the largest k without duplicated dimensions, and return the chosen model
 /// together with the scan diagnostics.
+///
+/// # Panics
+/// Panics on the conditions [`try_discover_flavors_auto`] reports as
+/// errors (empty course group, degenerate matrix, unrecoverable NNMF
+/// divergence at some scanned `k`).
 pub fn discover_flavors_auto(
     store: &MaterialStore,
     ontology: &Ontology,
     courses: &[CourseId],
     k_range: std::ops::RangeInclusive<usize>,
 ) -> (FlavorModel, Vec<anchors_factor::RankDiagnostics>) {
+    match try_discover_flavors_auto(store, ontology, courses, k_range) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible automatic k-selection. The per-`k` fits inside the scan fan
+/// out across threads (deterministically — see `anchors_linalg::parallel`);
+/// a fit failure at any scanned `k` surfaces as a typed error instead of
+/// panicking, so the resilient pipeline can degrade the stage.
+pub fn try_discover_flavors_auto(
+    store: &MaterialStore,
+    ontology: &Ontology,
+    courses: &[CourseId],
+    k_range: std::ops::RangeInclusive<usize>,
+) -> Result<(FlavorModel, Vec<anchors_factor::RankDiagnostics>), AnchorsError> {
+    if courses.is_empty() {
+        return Err(AnchorsError::EmptyGroup { stage: "flavors" });
+    }
     let sparse = SparseCourseMatrix::build(store, courses);
+    if sparse.n_tags() == 0 {
+        return Err(AnchorsError::DegenerateMatrix {
+            stage: "flavors",
+            detail: format!("{} courses span no curriculum tags", courses.len()),
+        });
+    }
     let density = sparse.density();
     let backend = select_backend(density);
     let base = NnmfConfig::paper_default(2);
     let scan = match backend {
-        Backend::Sparse => rank_scan(&sparse.a, k_range, &base),
-        Backend::Dense => rank_scan(&sparse.a.to_dense(), k_range, &base),
+        Backend::Sparse => try_rank_scan(&sparse.a, k_range, &base)?,
+        Backend::Dense => try_rank_scan(&sparse.a.to_dense(), k_range, &base)?,
     };
     let matrix = CourseMatrix {
         courses: sparse.courses,
@@ -251,7 +281,7 @@ pub fn discover_flavors_auto(
         density,
         info: vec![format!("nnmf backend: {backend} (density {density:.3})")],
     };
-    (
+    Ok((
         FlavorModel {
             matrix,
             model,
@@ -260,7 +290,7 @@ pub fn discover_flavors_auto(
             diagnostics,
         },
         diags,
-    )
+    ))
 }
 
 /// Aggregate each type's `H` row over knowledge areas and units.

@@ -10,6 +10,7 @@ use crate::recommend::{recommend_for_course, Recommendation};
 use anchors_corpus::{generate, GeneratedCorpus};
 use anchors_curricula::{cs2013, pdc12, Ontology};
 use anchors_factor::{NnmfConfig, NnmfError};
+use anchors_linalg::parallel;
 use anchors_materials::{CourseId, CourseMatrix};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -63,11 +64,13 @@ pub fn run_full_analysis(seed: u64) -> AnalysisReport {
     let ds_flavors = discover_flavors(&corpus.store, cs, &ds_algo, 3);
     let pdc_agreement = AgreementAnalysis::run(&corpus.store, cs, "PDC", &pdc_group);
 
-    let recommendations = corpus
-        .all()
-        .iter()
-        .map(|&c| (c, recommend_for_course(&corpus.store, cs, pdc, c)))
-        .collect();
+    // Per-course recommendations are independent; fan them out across the
+    // outer pool (results come back in course order regardless of mode).
+    let all: Vec<CourseId> = corpus.all().to_vec();
+    let recommendations = parallel::outer_map(all.len(), |i| {
+        let c = all[i];
+        (c, recommend_for_course(&corpus.store, cs, pdc, c))
+    });
 
     AnalysisReport {
         corpus,
@@ -412,13 +415,19 @@ pub fn run_resilient_on(corpus: GeneratedCorpus, policy: &RetryPolicy) -> Partia
     );
 
     // Recommendations: isolate per course so one bad course degrades (not
-    // fails) the stage.
+    // fails) the stage. Courses fan out across the outer pool with the
+    // panic backstop inside each worker; outcomes are folded back in
+    // course order, so diagnostics and results match the serial run.
+    let outcomes = parallel::outer_map(all.len(), |i| {
+        let c = all[i];
+        catch_unwind(AssertUnwindSafe(|| {
+            recommend_for_course(&corpus.store, cs, pdc, c)
+        }))
+    });
     let mut recs: Vec<(CourseId, Vec<Recommendation>)> = Vec::new();
     let mut rec_notes = Vec::new();
-    for &c in &all {
-        match catch_unwind(AssertUnwindSafe(|| {
-            recommend_for_course(&corpus.store, cs, pdc, c)
-        })) {
+    for (&c, outcome) in all.iter().zip(outcomes) {
+        match outcome {
             Ok(r) => recs.push((c, r)),
             Err(payload) => rec_notes.push(format!(
                 "course {c:?}: panicked: {}",

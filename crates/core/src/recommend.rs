@@ -286,20 +286,20 @@ pub fn classify_tags(
         labels.contains(&CourseLabel::DataStructures) || labels.contains(&CourseLabel::Algorithms);
     let mut flavors = Vec::new();
 
-    let algo_signal = ku_hits(ontology, &tags, "AL.BA")
-        + ku_hits(ontology, &tags, "AL.FDSA")
-        + ku_hits(ontology, &tags, "SDF.FDS");
-    let oop_signal = ku_hits(ontology, &tags, "PL.OOP");
-    let repr_signal = ku_hits(ontology, &tags, "AR.MLRD");
-    let comb_signal = ku_hits(ontology, &tags, "AL.AS") + ku_hits(ontology, &tags, "DS.BC");
-    let applied_signal = ku_hits(ontology, &tags, "CN.DIK")
-        + ku_hits(ontology, &tags, "CN.IV")
-        + ku_hits(ontology, &tags, "IM.IMC");
-    let graph_signal = ku_hits(ontology, &tags, "DS.GT");
+    let algo_signal = ku_hits(ontology, tags, "AL.BA")
+        + ku_hits(ontology, tags, "AL.FDSA")
+        + ku_hits(ontology, tags, "SDF.FDS");
+    let oop_signal = ku_hits(ontology, tags, "PL.OOP");
+    let repr_signal = ku_hits(ontology, tags, "AR.MLRD");
+    let comb_signal = ku_hits(ontology, tags, "AL.AS") + ku_hits(ontology, tags, "DS.BC");
+    let applied_signal = ku_hits(ontology, tags, "CN.DIK")
+        + ku_hits(ontology, tags, "CN.IV")
+        + ku_hits(ontology, tags, "IM.IMC");
+    let graph_signal = ku_hits(ontology, tags, "DS.GT");
     let ds_core_signal = algo_signal;
 
     if is_cs1 {
-        if ku_hits(ontology, &tags, "SDF.FPC") >= 8 {
+        if ku_hits(ontology, tags, "SDF.FPC") >= 8 {
             flavors.push(FlavorKind::Cs1Core);
         }
         if repr_signal >= 3 {

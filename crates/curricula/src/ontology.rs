@@ -645,10 +645,7 @@ mod tests {
         grown.topic(ku, "topic one");
         assert_ne!(o.fingerprint(), grown.build().fingerprint());
         // Real guidelines get distinct fingerprints.
-        assert_ne!(
-            crate::cs2013().fingerprint(),
-            crate::pdc12().fingerprint()
-        );
+        assert_ne!(crate::cs2013().fingerprint(), crate::pdc12().fingerprint());
     }
 
     #[test]

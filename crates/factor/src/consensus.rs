@@ -10,8 +10,10 @@
 //! cophenetic correlation of the consensus matrix.
 
 use crate::cluster::{hierarchical, Linkage};
-use crate::nnmf::{try_nnmf_with, NnmfConfig, NnmfWorkspace};
-use anchors_linalg::Matrix;
+use crate::error::NnmfError;
+use crate::nnmf::{fan_out_pooled, try_nnmf_with, NnmfConfig, WorkspacePool};
+use anchors_linalg::{parallel, Matrix};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Consensus statistics for one candidate rank.
@@ -37,39 +39,72 @@ pub struct Consensus {
     pub stats: ConsensusStats,
 }
 
+/// Accumulate pairwise co-clustering counts from per-run label vectors.
+///
+/// Each count entry is a sum of exact small-integer `f64` additions, so
+/// any loop order produces bitwise-identical results; the parallel path
+/// hands each thread a disjoint set of rows and is therefore safe to use
+/// even under the bitwise-determinism contract.
+fn accumulate_cocluster(run_labels: &[Vec<usize>], counts: &mut Matrix) {
+    let n = counts.rows();
+    let row_body = |i: usize, row: &mut [f64]| {
+        for labels in run_labels {
+            let li = labels[i];
+            for (c, &lj) in row.iter_mut().zip(labels.iter()) {
+                if lj == li {
+                    *c += 1.0;
+                }
+            }
+        }
+    };
+    if n >= 2 && parallel::outer_enabled() {
+        parallel::install(|| {
+            counts
+                .as_mut_slice()
+                .par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, row)| {
+                    let _scope = parallel::enter_outer_scope();
+                    row_body(i, row);
+                });
+        });
+    } else {
+        for (i, row) in counts.as_mut_slice().chunks_mut(n).enumerate() {
+            row_body(i, row);
+        }
+    }
+}
+
 /// Compute the consensus over `runs` single-restart NNMF fits at rank `k`.
 ///
 /// Each run uses seed `base.seed + run` with `restarts = 1`, so the
-/// consensus reflects genuine restart-to-restart variability.
-///
-/// # Panics
-/// Panics under the same conditions as [`crate::nnmf::nnmf`].
-pub fn consensus(a: &Matrix, k: usize, runs: usize, base: &NnmfConfig) -> Consensus {
+/// consensus reflects genuine restart-to-restart variability. Runs fan
+/// out across threads on pooled workspaces; labels are reduced in run
+/// order, so the result is bitwise identical at any thread count. A fit
+/// error surfaces as the error of the earliest failing run.
+pub fn try_consensus(
+    a: &Matrix,
+    k: usize,
+    runs: usize,
+    base: &NnmfConfig,
+) -> Result<Consensus, NnmfError> {
     let n = a.rows();
     let runs = runs.max(1);
-    let mut counts = Matrix::zeros(n, n);
-    let mut ws = NnmfWorkspace::new();
-    for r in 0..runs {
+    let pool = WorkspacePool::new();
+    let run_labels: Vec<Vec<usize>> = fan_out_pooled(runs, &pool, |r, ws| {
         let cfg = NnmfConfig {
             k,
             restarts: 1,
             seed: base.seed.wrapping_add(r as u64),
             ..base.clone()
         };
-        let model = match try_nnmf_with(a, &cfg, &mut ws) {
-            Ok(model) => model,
-            Err(e) => panic!("{e}"),
-        };
-        let labels = model.dominant_types();
-        for i in 0..n {
-            for j in 0..n {
-                if labels[i] == labels[j] {
-                    let v = counts.get(i, j);
-                    counts.set(i, j, v + 1.0);
-                }
-            }
-        }
-    }
+        try_nnmf_with(a, &cfg, ws).map(|model| model.dominant_types())
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+
+    let mut counts = Matrix::zeros(n, n);
+    accumulate_cocluster(&run_labels, &mut counts);
     let c = counts.map(|v| v / runs as f64);
 
     // Dispersion: 1 when all entries are 0 or 1.
@@ -92,7 +127,7 @@ pub fn consensus(a: &Matrix, k: usize, runs: usize, base: &NnmfConfig) -> Consen
         dend.cophenetic_correlation(&d)
     };
 
-    Consensus {
+    Ok(Consensus {
         matrix: c,
         stats: ConsensusStats {
             k,
@@ -100,7 +135,32 @@ pub fn consensus(a: &Matrix, k: usize, runs: usize, base: &NnmfConfig) -> Consen
             dispersion,
             cophenetic,
         },
+    })
+}
+
+/// Panicking wrapper over [`try_consensus`], kept for callers predating
+/// the fallible API.
+///
+/// # Panics
+/// Panics under the same conditions as [`crate::nnmf::nnmf`].
+pub fn consensus(a: &Matrix, k: usize, runs: usize, base: &NnmfConfig) -> Consensus {
+    match try_consensus(a, k, runs, base) {
+        Ok(c) => c,
+        Err(e) => panic!("{e}"),
     }
+}
+
+/// Scan ranks and return the stats per `k`, surfacing the first fit
+/// error (in ascending-`k` order) instead of panicking.
+pub fn try_consensus_scan(
+    a: &Matrix,
+    k_range: std::ops::RangeInclusive<usize>,
+    runs: usize,
+    base: &NnmfConfig,
+) -> Result<Vec<ConsensusStats>, NnmfError> {
+    k_range
+        .map(|k| try_consensus(a, k, runs, base).map(|c| c.stats))
+        .collect()
 }
 
 /// Scan ranks and return the stats per `k` (used by the rank-ablation
@@ -111,7 +171,10 @@ pub fn consensus_scan(
     runs: usize,
     base: &NnmfConfig,
 ) -> Vec<ConsensusStats> {
-    k_range.map(|k| consensus(a, k, runs, base).stats).collect()
+    match try_consensus_scan(a, k_range, runs, base) {
+        Ok(scan) => scan,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Pick the rank with the highest dispersion (ties → smaller k, favoring
@@ -195,6 +258,40 @@ mod tests {
             k == 3 || k == 2,
             "selection favors a stable parsimonious rank, got {k}"
         );
+    }
+
+    #[test]
+    fn consensus_bitwise_matches_serial() {
+        use anchors_linalg::parallel::{set_num_threads, set_par_mode, ParMode};
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                set_par_mode(None);
+                set_num_threads(None);
+            }
+        }
+        let _reset = Reset;
+        let a = blocks();
+
+        set_par_mode(Some(ParMode::Serial));
+        let serial = try_consensus(&a, 3, 8, &base()).unwrap();
+        set_par_mode(Some(ParMode::Outer));
+        for threads in [1usize, 2, 4] {
+            set_num_threads(Some(threads));
+            let par = try_consensus(&a, 3, 8, &base()).unwrap();
+            assert_eq!(
+                serial.matrix, par.matrix,
+                "consensus matrix must be bitwise stable at {threads} threads"
+            );
+            assert_eq!(
+                serial.stats.dispersion.to_bits(),
+                par.stats.dispersion.to_bits()
+            );
+            assert_eq!(
+                serial.stats.cophenetic.to_bits(),
+                par.stats.cophenetic.to_bits()
+            );
+        }
     }
 
     #[test]

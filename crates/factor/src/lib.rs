@@ -7,7 +7,10 @@
 //!   random/NNDSVD initialization, multi-restart. The solver is generic
 //!   over `anchors_linalg::MatKernels`, so dense and CSR inputs share one
 //!   code path (and produce bitwise-identical factors), and iterations run
-//!   allocation-free through a reusable [`nnmf::NnmfWorkspace`];
+//!   allocation-free through a reusable [`nnmf::NnmfWorkspace`]. Restarts
+//!   fan out across threads on a [`nnmf::WorkspacePool`] with a
+//!   deterministic reduction, so parallel and serial runs are bitwise
+//!   identical;
 //! * [`rank`] — rank-selection diagnostics mechanizing the paper's §4.4
 //!   manual inspection (duplicate-dimension overfit signal, separation);
 //! * [`pca`], [`mds`] — the dimension-reduction baselines named in the
@@ -30,17 +33,21 @@ pub mod rank;
 pub use bicluster::{block_purity, spectral_cocluster, Bicluster};
 pub use cluster::{hierarchical, kmeans, Dendrogram, KMeans, Linkage, Merge};
 pub use consensus::{
-    consensus, consensus_scan, select_rank_by_consensus, Consensus, ConsensusStats,
+    consensus, consensus_scan, select_rank_by_consensus, try_consensus, try_consensus_scan,
+    Consensus, ConsensusStats,
 };
 pub use error::NnmfError;
 pub use init::Init;
 pub use mds::{classical_mds, smacof, stress_of, MdsEmbedding};
 pub use nnmf::{
-    loss, nnmf, try_nnmf, try_nnmf_with, NnmfConfig, NnmfModel, NnmfRecovery, NnmfWorkspace, Solver,
+    loss, nnmf, try_nnmf, try_nnmf_with, NnmfConfig, NnmfModel, NnmfRecovery, NnmfWorkspace,
+    Solver, WorkspacePool,
 };
 pub use pca::{pca, Pca};
+#[allow(deprecated)]
+pub use rank::rank_scan;
 pub use rank::{
-    duplicate_dimension_score, rank_scan, select_rank, separation_score, RankDiagnostics,
+    duplicate_dimension_score, select_rank, separation_score, try_rank_scan, RankDiagnostics,
     DUPLICATE_THRESHOLD,
 };
 

@@ -36,14 +36,25 @@
 //! After the workspace is warm, HALS and MU sweeps and the amortized loss
 //! checks perform zero heap allocations; [`try_nnmf_with`] lets
 //! rank-selection and consensus loops share one workspace across fits.
+//!
+//! ## Deterministic restart fan-out
+//!
+//! The restart loop fans out across threads via
+//! [`anchors_linalg::parallel`] (a [`WorkspacePool`] hands each worker its
+//! own reusable buffers), then reduces the collected outcomes serially in
+//! restart order — first strictly-better loss wins, exactly the serial
+//! rule. The winning model, `winning_seed`, and all [`NnmfRecovery`]
+//! accounting (including `failed_restarts` from divergent fits) are
+//! bitwise identical at any thread count, including fully serial runs.
 
 use crate::error::NnmfError;
 use crate::init::{init_factors, random_from_stats, Init};
 use anchors_linalg::ops::{dot, matmul, matmul_a_bt_into, matmul_at_b_into, matmul_into};
-use anchors_linalg::{MatKernels, Matrix};
 #[cfg(test)]
 use anchors_linalg::CsrMatrix;
+use anchors_linalg::{parallel, MatKernels, Matrix};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Epsilon guarding divisions in the multiplicative updates.
@@ -356,6 +367,61 @@ impl Default for NnmfWorkspace {
     }
 }
 
+/// A pool of [`NnmfWorkspace`]s backing the outer-parallel fit loops
+/// (restart fan-out, rank scans, consensus runs).
+///
+/// Each concurrent fit borrows a workspace for the duration of one fit and
+/// returns it afterwards, so a fan-out of `R` fits across `T` threads warms
+/// at most `T` workspaces and then reuses them — the allocation-free
+/// iteration property survives parallelism. Under a serial run the pool
+/// holds a single workspace that every fit reuses, exactly like the old
+/// threaded-through `&mut NnmfWorkspace`.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: Mutex<Vec<NnmfWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool; workspaces are created (then recycled) on demand.
+    pub fn new() -> Self {
+        WorkspacePool::default()
+    }
+
+    /// Take a free workspace, or a cold one if none is available.
+    pub fn acquire(&self) -> NnmfWorkspace {
+        self.free
+            .lock()
+            .expect("workspace pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Return a workspace for reuse by later fits.
+    pub fn release(&self, ws: NnmfWorkspace) {
+        self.free.lock().expect("workspace pool poisoned").push(ws);
+    }
+
+    /// Run `f` with a pooled workspace, recycling it afterwards.
+    pub fn with<R>(&self, f: impl FnOnce(&mut NnmfWorkspace) -> R) -> R {
+        let mut ws = self.acquire();
+        let out = f(&mut ws);
+        self.release(ws);
+        out
+    }
+}
+
+/// Fan `f` out over `0..n`, each call running on a pooled workspace.
+/// Delegates the parallel/serial decision (and the nested-fan-out and
+/// inner-kernel gating) to [`parallel::outer_map`]; results come back in
+/// index order either way.
+pub(crate) fn fan_out_pooled<T: Send>(
+    n: usize,
+    pool: &WorkspacePool,
+    f: impl Fn(usize, &mut NnmfWorkspace) -> T + Sync + Send,
+) -> Vec<T> {
+    parallel::outer_map(n, |i| pool.with(|ws| f(i, ws)))
+}
+
 /// Validate NNMF inputs, mapping each contract violation to its typed error.
 fn validate<A: MatKernels>(a: &A, config: &NnmfConfig) -> Result<(), NnmfError> {
     if let Some((row, col, value)) = a.find_non_finite() {
@@ -423,7 +489,6 @@ pub fn try_nnmf_with<A: MatKernels>(
     ws: &mut NnmfWorkspace,
 ) -> Result<NnmfModel, NnmfError> {
     validate(a, config)?;
-    ws.bind(a, config);
     let deterministic_init = matches!(config.init, Init::Nndsvd | Init::NndsvdA);
     let restarts = if deterministic_init {
         1
@@ -431,25 +496,40 @@ pub fn try_nnmf_with<A: MatKernels>(
         config.restarts.max(1)
     };
 
+    // Seed a per-call pool with the caller's (possibly warm) workspace so
+    // a serial run reuses exactly the buffers the threaded-through `ws`
+    // used to; under fan-out the pool grows to one workspace per worker.
+    let pool = WorkspacePool::new();
+    pool.release(std::mem::take(ws));
+
     let mut recovery = NnmfRecovery::default();
     let mut attempts = 0;
     let mut last_seed = config.seed;
     let mut best: Option<NnmfModel> = None;
 
+    // One round of seeded restarts: fan the fits out, then reduce the
+    // collected outcomes sequentially in restart order. The reduction
+    // keeps the serial rule — first strictly-better loss wins, ties keep
+    // the earliest restart — a total order on (loss, restart index), so
+    // the winning model, `attempts`/`last_seed`, and every recovery
+    // counter are bitwise identical to a serial run at any thread count.
     let run_round = |init: Init,
                      base_seed: u64,
                      rounds: usize,
                      best: &mut Option<NnmfModel>,
                      recovery: &mut NnmfRecovery,
                      attempts: &mut usize,
-                     last_seed: &mut u64,
-                     ws: &mut NnmfWorkspace| {
-        for r in 0..rounds {
+                     last_seed: &mut u64| {
+        let outcomes = fan_out_pooled(rounds, &pool, |r, ws| {
             let seed = base_seed.wrapping_add(r as u64);
-            *attempts += 1;
-            *last_seed = seed;
+            ws.bind(a, config);
             let (w0, h0) = initial_factors(a, config.k, init, seed, ws);
-            match fit_guarded(a, w0, h0, config, seed, ws) {
+            fit_guarded(a, w0, h0, config, seed, ws)
+        });
+        for (r, outcome) in outcomes.into_iter().enumerate() {
+            *attempts += 1;
+            *last_seed = base_seed.wrapping_add(r as u64);
+            match outcome {
                 Ok(model) => {
                     if model.recovery.budget_exceeded > 0 {
                         recovery.budget_exceeded += 1;
@@ -472,7 +552,6 @@ pub fn try_nnmf_with<A: MatKernels>(
         &mut recovery,
         &mut attempts,
         &mut last_seed,
-        ws,
     );
     if best.is_none() && !deterministic_init {
         // Round 2: disjoint seeds. Only meaningful for random init — a
@@ -486,7 +565,6 @@ pub fn try_nnmf_with<A: MatKernels>(
             &mut recovery,
             &mut attempts,
             &mut last_seed,
-            ws,
         );
     }
     if best.is_none() {
@@ -505,13 +583,15 @@ pub fn try_nnmf_with<A: MatKernels>(
                 &mut recovery,
                 &mut attempts,
                 &mut last_seed,
-                ws,
             );
             if best.is_some() {
                 break;
             }
         }
     }
+
+    // Hand a (warm) workspace back to the caller for its next fit.
+    *ws = pool.acquire();
 
     match best {
         Some(mut model) => {
@@ -1069,6 +1149,64 @@ mod tests {
         assert_eq!(dm.w, sm.w, "factors must be bitwise identical");
         assert_eq!(dm.h, sm.h);
         assert!((dm.loss - sm.loss).abs() == 0.0 || (dm.loss - sm.loss).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn fan_out_bitwise_matches_serial() {
+        use anchors_linalg::parallel::{self, ParMode};
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                parallel::set_par_mode(None);
+                parallel::set_num_threads(None);
+            }
+        }
+        let _reset = Reset;
+        // Results are mode-independent by contract, so racing other tests
+        // that flip the global policy cannot change any assertion here.
+        let clean = block_matrix();
+        let extreme = Matrix::full(8, 10, 6e153); // every random restart diverges
+        for a in [clean, extreme] {
+            let cfg = NnmfConfig {
+                restarts: 4,
+                ..NnmfConfig::paper_default(2)
+            };
+            parallel::set_par_mode(Some(ParMode::Serial));
+            let serial = try_nnmf(&a, &cfg).expect("fit");
+            for threads in [1usize, 2, 4] {
+                parallel::set_par_mode(Some(ParMode::Outer));
+                parallel::set_num_threads(Some(threads));
+                let par = try_nnmf(&a, &cfg).expect("fit");
+                assert_eq!(serial.w, par.w, "{threads} threads: W must match");
+                assert_eq!(serial.h, par.h, "{threads} threads: H must match");
+                assert_eq!(serial.loss, par.loss);
+                assert_eq!(serial.winning_seed, par.winning_seed);
+                assert_eq!(serial.iterations, par.iterations);
+                assert_eq!(serial.converged, par.converged);
+                assert_eq!(
+                    serial.recovery, par.recovery,
+                    "{threads} threads: failed_restarts accounting must match"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_pool_recycles_buffers() {
+        let pool = WorkspacePool::new();
+        let a = block_matrix();
+        let cfg = NnmfConfig::paper_default(2);
+        let first = pool.with(|ws| {
+            ws.bind(&a, &cfg);
+            ws.atw.as_slice().as_ptr() as usize
+        });
+        // A sequential reuse must hand back the same (still warm) buffers.
+        let second = pool.with(|ws| ws.atw.as_slice().as_ptr() as usize);
+        assert_eq!(first, second, "pool must recycle the released workspace");
+        let m1 = pool.with(|ws| try_nnmf_with(&a, &cfg, ws).unwrap());
+        let m2 = try_nnmf(&a, &cfg).unwrap();
+        assert_eq!(m1.w, m2.w, "pooled workspaces must not change results");
+        assert_eq!(m1.h, m2.h);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! an overfit", while `k = 2` "seemed to not separate the courses as well as
 //! `k = 3`". This module mechanizes that manual inspection:
 //!
-//! * [`rank_scan`] — fit every `k` in a range and report the loss curve and
-//!   the duplicate-dimension (overfit) signal;
+//! * [`try_rank_scan`] — fit every `k` in a range (fanned out across
+//!   threads, deterministically) and report the loss curve and the
+//!   duplicate-dimension (overfit) signal;
 //! * [`duplicate_dimension_score`] — maximum cosine similarity between two
 //!   distinct rows of `H` (≈1 ⇒ two types are the same ⇒ `k` too large);
 //! * [`separation_score`] — how decisively courses commit to one type
@@ -14,7 +15,8 @@
 //! * [`select_rank`] — the smallest `k` in the range whose factorization
 //!   separates courses without duplicated dimensions.
 
-use crate::nnmf::{try_nnmf_with, NnmfConfig, NnmfModel, NnmfWorkspace};
+use crate::error::NnmfError;
+use crate::nnmf::{fan_out_pooled, try_nnmf_with, NnmfConfig, NnmfModel, WorkspacePool};
 use anchors_linalg::stats::cosine;
 use anchors_linalg::{MatKernels, Matrix};
 use serde::{Deserialize, Serialize};
@@ -78,20 +80,21 @@ pub fn separation_score(w: &Matrix) -> f64 {
 }
 
 /// Fit every `k` in `k_range` and collect diagnostics. Generic over the
-/// storage backend; all fits in the scan share one solver workspace.
-pub fn rank_scan<A: MatKernels>(
+/// storage backend. The per-`k` fits fan out across threads (each on a
+/// pooled solver workspace) and come back in ascending-`k` order; a fit
+/// error surfaces as the error of the smallest failing `k`, and results
+/// are bitwise identical to a serial scan at any thread count.
+pub fn try_rank_scan<A: MatKernels>(
     a: &A,
     k_range: std::ops::RangeInclusive<usize>,
     base: &NnmfConfig,
-) -> Vec<(RankDiagnostics, NnmfModel)> {
-    let mut out = Vec::new();
-    let mut ws = NnmfWorkspace::new();
-    for k in k_range {
+) -> Result<Vec<(RankDiagnostics, NnmfModel)>, NnmfError> {
+    let ks: Vec<usize> = k_range.collect();
+    let pool = WorkspacePool::new();
+    fan_out_pooled(ks.len(), &pool, |i, ws| {
+        let k = ks[i];
         let cfg = NnmfConfig { k, ..base.clone() };
-        let model = match try_nnmf_with(a, &cfg, &mut ws) {
-            Ok(model) => model,
-            Err(e) => panic!("{e}"),
-        };
+        let model = try_nnmf_with(a, &cfg, ws)?;
         let diag = RankDiagnostics {
             k,
             loss: model.loss,
@@ -99,9 +102,24 @@ pub fn rank_scan<A: MatKernels>(
             duplicate_score: duplicate_dimension_score(&model.h),
             separation: separation_score(&model.w),
         };
-        out.push((diag, model));
+        Ok((diag, model))
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Panicking wrapper over [`try_rank_scan`], kept for callers predating
+/// the fallible API.
+#[deprecated(note = "use try_rank_scan, which reports fit errors instead of panicking")]
+pub fn rank_scan<A: MatKernels>(
+    a: &A,
+    k_range: std::ops::RangeInclusive<usize>,
+    base: &NnmfConfig,
+) -> Vec<(RankDiagnostics, NnmfModel)> {
+    match try_rank_scan(a, k_range, base) {
+        Ok(scan) => scan,
+        Err(e) => panic!("{e}"),
     }
-    out
 }
 
 /// Default duplicate threshold mirroring "almost identical" in §4.4.
@@ -164,7 +182,7 @@ mod tests {
     #[test]
     fn loss_decreases_with_k() {
         let a = three_block_matrix();
-        let scan = rank_scan(&a, 1..=4, &base_cfg());
+        let scan = try_rank_scan(&a, 1..=4, &base_cfg()).unwrap();
         for w in scan.windows(2) {
             assert!(
                 w[1].0.loss <= w[0].0.loss + 1e-6,
@@ -178,7 +196,7 @@ mod tests {
     #[test]
     fn overfit_k_shows_duplicates_on_block_data() {
         let a = three_block_matrix();
-        let scan = rank_scan(&a, 2..=5, &base_cfg());
+        let scan = try_rank_scan(&a, 2..=5, &base_cfg()).unwrap();
         let k3 = scan.iter().find(|(d, _)| d.k == 3).unwrap();
         assert!(
             k3.0.duplicate_score < 0.5,
@@ -193,7 +211,7 @@ mod tests {
     #[test]
     fn select_rank_picks_three_blocks() {
         let a = three_block_matrix();
-        let scan = rank_scan(&a, 2..=4, &base_cfg());
+        let scan = try_rank_scan(&a, 2..=4, &base_cfg()).unwrap();
         let k = select_rank(&scan, DUPLICATE_THRESHOLD);
         assert!(
             k == 3 || k == 4,
@@ -208,8 +226,8 @@ mod tests {
     fn rank_scan_identical_on_csr() {
         let a = three_block_matrix();
         let s = anchors_linalg::CsrMatrix::from_dense(&a);
-        let ds = rank_scan(&a, 2..=4, &base_cfg());
-        let ss = rank_scan(&s, 2..=4, &base_cfg());
+        let ds = try_rank_scan(&a, 2..=4, &base_cfg()).unwrap();
+        let ss = try_rank_scan(&s, 2..=4, &base_cfg()).unwrap();
         for ((dd, dm), (sd, sm)) in ds.iter().zip(&ss) {
             assert_eq!(dd.k, sd.k);
             assert_eq!(dm.w, sm.w, "k={}: scans must agree across backends", dd.k);
@@ -219,10 +237,43 @@ mod tests {
     }
 
     #[test]
+    fn rank_scan_bitwise_matches_serial() {
+        use anchors_linalg::parallel::{set_num_threads, set_par_mode, ParMode};
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                set_par_mode(None);
+                set_num_threads(None);
+            }
+        }
+        let _reset = Reset;
+        let a = three_block_matrix();
+
+        set_par_mode(Some(ParMode::Serial));
+        let serial = try_rank_scan(&a, 2..=5, &base_cfg()).unwrap();
+        set_par_mode(Some(ParMode::Outer));
+        for threads in [1usize, 2, 4] {
+            set_num_threads(Some(threads));
+            let par = try_rank_scan(&a, 2..=5, &base_cfg()).unwrap();
+            assert_eq!(serial.len(), par.len());
+            for ((sd, sm), (pd, pm)) in serial.iter().zip(&par) {
+                assert_eq!(sd.k, pd.k, "threads={threads}");
+                assert_eq!(sm.w, pm.w, "threads={threads} k={}", sd.k);
+                assert_eq!(sm.h, pm.h, "threads={threads} k={}", sd.k);
+                assert_eq!(sd.loss.to_bits(), pd.loss.to_bits());
+                assert_eq!(sd.duplicate_score.to_bits(), pd.duplicate_score.to_bits());
+                assert_eq!(sd.separation.to_bits(), pd.separation.to_bits());
+                assert_eq!(sm.winning_seed, pm.winning_seed);
+                assert_eq!(sm.recovery, pm.recovery);
+            }
+        }
+    }
+
+    #[test]
     fn select_rank_falls_back_to_smallest() {
         // Fabricated scan where every k is degenerate.
         let a = three_block_matrix();
-        let scan = rank_scan(&a, 2..=3, &base_cfg());
+        let scan = try_rank_scan(&a, 2..=3, &base_cfg()).unwrap();
         let k = select_rank(&scan, 0.0); // impossible threshold
         assert_eq!(k, 2);
     }

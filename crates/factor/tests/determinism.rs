@@ -1,0 +1,180 @@
+//! Property-based determinism suite for the outer-loop parallelism.
+//!
+//! The contract under test: `try_nnmf`, `try_rank_scan`, and
+//! `try_consensus` produce bitwise-identical results — factors,
+//! diagnostics, and recovery accounting, or the same error — whether run
+//! serially or fanned out over any number of threads. Inputs include
+//! fault-injected matrices (zeroed and duplicated columns via
+//! `anchors-corpus::faults`) and near-overflow scalings that drive
+//! restarts into divergence, so the failed-restart bookkeeping is
+//! exercised, not just the happy path.
+
+use anchors_corpus::faults::{duplicate_columns, zero_columns};
+use anchors_factor::{try_consensus, try_nnmf, try_rank_scan, Init, NnmfConfig, NnmfModel, Solver};
+use anchors_linalg::parallel::{set_num_threads, set_par_mode, ParMode};
+use anchors_linalg::Matrix;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Tests in this file mutate the process-global parallelism config, so
+/// they serialize on one lock (poison-tolerant: an assertion failure in
+/// one case must not abort the rest of the suite).
+static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores the ambient (env-driven) parallelism config on drop, even
+/// when an assertion fails mid-test.
+struct ModeGuard;
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        set_par_mode(None);
+        set_num_threads(None);
+    }
+}
+
+/// Strategy: a noisy block matrix with optional fault injection.
+fn fault_matrix() -> impl Strategy<Value = Matrix> {
+    (
+        2usize..5,       // row-group count
+        2usize..6,       // rows per group
+        3usize..8,       // cols per group
+        0usize..4,       // columns to zero
+        0usize..4,       // columns to duplicate
+        any::<u64>(),    // fault seed
+        prop::bool::ANY, // near-overflow scaling
+    )
+        .prop_map(|(groups, per, width, zeros, dups, seed, huge)| {
+            let rows = groups * per;
+            let cols = groups * width;
+            let scale = if huge { 6e153 } else { 1.0 };
+            let base = Matrix::from_fn(rows, cols, |i, j| {
+                if i / per == j / width {
+                    scale * (1.0 + ((i * 31 + j * 17) % 7) as f64 / 10.0)
+                } else {
+                    0.0
+                }
+            });
+            let faulted = zero_columns(&base, zeros.min(cols - 1), seed);
+            duplicate_columns(&faulted, dups.min(cols - 1), seed ^ 0x9e37)
+        })
+}
+
+fn cfg(k: usize, seed: u64, solver: Solver) -> NnmfConfig {
+    NnmfConfig {
+        restarts: 3,
+        max_iter: 40,
+        solver,
+        init: Init::Random,
+        seed,
+        ..NnmfConfig::paper_default(k)
+    }
+}
+
+/// Outcome of a fallible fit, flattened to something comparable across
+/// parallelism modes: full factor bits on success, the rendered error
+/// otherwise (`NnmfError` carries attempt accounting in its message).
+fn fingerprint(r: Result<NnmfModel, anchors_factor::NnmfError>) -> Result<FitBits, String> {
+    r.map(|m| FitBits {
+        w: m.w.as_slice().iter().map(|v| v.to_bits()).collect(),
+        h: m.h.as_slice().iter().map(|v| v.to_bits()).collect(),
+        loss: m.loss.to_bits(),
+        winning_seed: m.winning_seed,
+        iterations: m.iterations,
+        converged: m.converged,
+        failed_restarts: m.recovery.failed_restarts,
+        budget_exceeded: m.recovery.budget_exceeded,
+    })
+    .map_err(|e| e.to_string())
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct FitBits {
+    w: Vec<u64>,
+    h: Vec<u64>,
+    loss: u64,
+    winning_seed: u64,
+    iterations: usize,
+    converged: bool,
+    failed_restarts: usize,
+    budget_exceeded: usize,
+}
+
+fn thread_counts() -> Vec<usize> {
+    vec![1, 2, anchors_linalg::parallel::max_threads().max(3)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn nnmf_parallel_matches_serial(a in fault_matrix(), seed in any::<u64>(), hals in prop::bool::ANY) {
+        let _lock = CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = ModeGuard;
+        let solver = if hals { Solver::Hals } else { Solver::Mu };
+        let config = cfg(2, seed, solver);
+
+        set_par_mode(Some(ParMode::Serial));
+        let serial = fingerprint(try_nnmf(&a, &config));
+
+        set_par_mode(Some(ParMode::Outer));
+        for threads in thread_counts() {
+            set_num_threads(Some(threads));
+            let par = fingerprint(try_nnmf(&a, &config));
+            prop_assert_eq!(&serial, &par, "try_nnmf diverged from serial at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn rank_scan_parallel_matches_serial(a in fault_matrix(), seed in any::<u64>()) {
+        let _lock = CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = ModeGuard;
+        let config = cfg(2, seed, Solver::Hals);
+
+        set_par_mode(Some(ParMode::Serial));
+        let serial = try_rank_scan(&a, 1..=3, &config)
+            .map(|scan| scan.into_iter().map(|(d, m)| (d.k, fingerprint(Ok(m)))).collect::<Vec<_>>())
+            .map_err(|e| e.to_string());
+
+        set_par_mode(Some(ParMode::Outer));
+        for threads in thread_counts() {
+            set_num_threads(Some(threads));
+            let par = try_rank_scan(&a, 1..=3, &config)
+                .map(|scan| scan.into_iter().map(|(d, m)| (d.k, fingerprint(Ok(m)))).collect::<Vec<_>>())
+                .map_err(|e| e.to_string());
+            prop_assert_eq!(&serial, &par, "try_rank_scan diverged from serial at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn consensus_parallel_matches_serial(a in fault_matrix(), seed in any::<u64>(), runs in 1usize..7) {
+        let _lock = CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = ModeGuard;
+        let config = cfg(2, seed, Solver::Hals);
+
+        set_par_mode(Some(ParMode::Serial));
+        let serial = try_consensus(&a, 2, runs, &config)
+            .map(|c| {
+                (
+                    c.matrix.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    c.stats.dispersion.to_bits(),
+                    c.stats.cophenetic.to_bits(),
+                )
+            })
+            .map_err(|e| e.to_string());
+
+        set_par_mode(Some(ParMode::Outer));
+        for threads in thread_counts() {
+            set_num_threads(Some(threads));
+            let par = try_consensus(&a, 2, runs, &config)
+                .map(|c| {
+                    (
+                        c.matrix.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        c.stats.dispersion.to_bits(),
+                        c.stats.cophenetic.to_bits(),
+                    )
+                })
+                .map_err(|e| e.to_string());
+            prop_assert_eq!(&serial, &par, "try_consensus diverged from serial at {} threads", threads);
+        }
+    }
+}

@@ -54,7 +54,11 @@ impl std::fmt::Display for Backend {
 ///
 /// All `_into` products write into caller-provided buffers so a fit
 /// iteration allocates nothing once its workspace is warm.
-pub trait MatKernels {
+///
+/// `Sync` is a supertrait so solvers can share one borrowed input across
+/// the outer-parallel fan-out (restarts, rank scans, consensus runs);
+/// both storage backends are plain owned data and satisfy it trivially.
+pub trait MatKernels: Sync {
     /// `(rows, cols)`.
     fn shape(&self) -> (usize, usize);
 

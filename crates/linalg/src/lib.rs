@@ -13,6 +13,10 @@
 //! * [`ops`] — sequential and rayon-parallel multiply kernels (bitwise
 //!   deterministic: the parallel kernels preserve the sequential per-entry
 //!   reduction order);
+//! * [`parallel`] — the execution policy arbitrating the inner kernel
+//!   row-splits against outer fan-out over whole fits (restarts, rank
+//!   scans, consensus runs), with `ANCHORS_PAR_MODE` /
+//!   `ANCHORS_NUM_THREADS` knobs and injectable overrides;
 //! * [`sparse::CsrMatrix`] — compressed sparse row storage with the same
 //!   multiply kernels;
 //! * [`kernels::MatKernels`] — the storage-generic kernel trait the NNMF
@@ -32,6 +36,7 @@ pub mod kernels;
 pub mod matrix;
 pub mod norms;
 pub mod ops;
+pub mod parallel;
 pub mod solve;
 pub mod sparse;
 pub mod stats;
@@ -45,8 +50,10 @@ pub use matrix::Matrix;
 pub use norms::{frobenius, frobenius_diff, frobenius_sq, relative_error};
 pub use ops::{
     gram, matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into,
-    matmul_seq, par_threshold, try_matmul, try_matmul_a_bt, try_matmul_at_b, try_matvec,
+    matmul_seq, par_threshold, set_par_threshold, try_matmul, try_matmul_a_bt, try_matmul_at_b,
+    try_matvec,
 };
+pub use parallel::{ParMode, Parallelism};
 pub use solve::{
     cholesky, lstsq, nnls, solve_spd, try_cholesky, try_lstsq, try_nnls, try_nnls_multi,
     try_solve_spd,

@@ -9,13 +9,16 @@
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use rayon::prelude::*;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default work threshold below which the parallel kernels run sequentially
 /// (avoids rayon overhead on tiny matrices).
 const PAR_MIN_WORK_DEFAULT: usize = 64 * 64;
 
-static PAR_THRESHOLD: OnceLock<usize> = OnceLock::new();
+/// Sentinel meaning "no cached value: consult the environment".
+const THRESHOLD_UNSET: usize = usize::MAX;
+
+static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(THRESHOLD_UNSET);
 
 /// Parse an `ANCHORS_PAR_THRESHOLD`-style override. `Some("0")` forces every
 /// kernel parallel; unparsable values fall back to the default.
@@ -26,19 +29,38 @@ fn threshold_from_env(raw: Option<&str>) -> usize {
 
 /// The work threshold (in fused multiply-add units) above which multiply
 /// kernels split across rayon workers. One heuristic governs every kernel —
-/// dense and CSR alike — and can be overridden through the
-/// `ANCHORS_PAR_THRESHOLD` environment variable (read once per process).
+/// dense and CSR alike. The value comes from [`set_par_threshold`] if an
+/// override is injected, else from the `ANCHORS_PAR_THRESHOLD` environment
+/// variable (cached after the first read).
 pub fn par_threshold() -> usize {
-    *PAR_THRESHOLD
-        .get_or_init(|| threshold_from_env(std::env::var("ANCHORS_PAR_THRESHOLD").ok().as_deref()))
+    match PAR_THRESHOLD.load(Ordering::Relaxed) {
+        THRESHOLD_UNSET => {
+            let t = threshold_from_env(std::env::var("ANCHORS_PAR_THRESHOLD").ok().as_deref());
+            PAR_THRESHOLD.store(t, Ordering::Relaxed);
+            t
+        }
+        t => t,
+    }
+}
+
+/// Inject a work threshold, overriding the environment — the test/bench
+/// hook that `ANCHORS_PAR_THRESHOLD`'s old read-once `OnceLock` could not
+/// offer. `None` clears the override (and the cache), so the next read
+/// consults the environment again. Changing the threshold never changes
+/// results: both kernel branches are bitwise identical.
+pub fn set_par_threshold(threshold: Option<usize>) {
+    PAR_THRESHOLD.store(threshold.unwrap_or(THRESHOLD_UNSET), Ordering::Relaxed);
 }
 
 /// Shared split decision: parallelize row-partitioned work of `work` total
-/// units across `rows` rows. Both branches of every kernel preserve the
-/// per-entry reduction order, so the decision never changes results.
+/// units across `rows` rows — unless the parallelism policy forbids inner
+/// splits here (serial mode, or this thread is working for an outer
+/// fan-out; see [`crate::parallel`]). Both branches of every kernel
+/// preserve the per-entry reduction order, so the decision never changes
+/// results.
 #[inline]
 pub(crate) fn split_rows(work: usize, rows: usize) -> bool {
-    rows >= 2 && work >= par_threshold()
+    rows >= 2 && work >= par_threshold() && crate::parallel::inner_enabled()
 }
 
 /// `C = A * B` (sequential ikj kernel, cache-friendly on row-major data).
@@ -370,6 +392,47 @@ mod tests {
         assert_eq!(threshold_from_env(Some("0")), 0, "0 forces parallel");
         assert_eq!(threshold_from_env(Some("nonsense")), PAR_MIN_WORK_DEFAULT);
         assert_eq!(threshold_from_env(Some("-3")), PAR_MIN_WORK_DEFAULT);
+    }
+
+    #[test]
+    fn threshold_override_is_injectable() {
+        // Changing the threshold flips only the split decision, never any
+        // result, so racing the other tests in this binary is harmless.
+        set_par_threshold(Some(0));
+        assert_eq!(par_threshold(), 0, "override wins over the environment");
+        set_par_threshold(Some(1_000_000));
+        assert_eq!(par_threshold(), 1_000_000);
+        assert!(!split_rows(999_999, 4), "work below threshold stays serial");
+        set_par_threshold(None);
+        // With the override cleared, the next read lands back on whatever
+        // the environment dictates (the default when the var is unset) —
+        // CI runs this binary both ways.
+        let env_value = threshold_from_env(std::env::var("ANCHORS_PAR_THRESHOLD").ok().as_deref());
+        assert_eq!(par_threshold(), env_value);
+    }
+
+    #[test]
+    fn split_rows_respects_parallelism_policy() {
+        use crate::parallel;
+        let _lock = parallel::TEST_CONFIG_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        parallel::set_par_mode(Some(parallel::ParMode::Outer));
+        // Within an outer scope the kernels must not split, whatever the
+        // threshold says; outside one, the work heuristic decides.
+        let decisions = parallel::outer_map(2, |_| split_rows(usize::MAX / 2, 64));
+        assert_eq!(
+            decisions,
+            vec![false, false],
+            "inner splits are off inside outer fan-out"
+        );
+        assert!(!split_rows(0, 1), "a single row never splits");
+        parallel::set_par_mode(Some(parallel::ParMode::Serial));
+        assert!(
+            !split_rows(usize::MAX / 2, 64),
+            "serial mode turns kernel splits off"
+        );
+        parallel::set_par_mode(None);
     }
 
     #[test]

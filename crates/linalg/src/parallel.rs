@@ -1,0 +1,397 @@
+//! Parallel execution policy: who gets the threads, the outer loops or the
+//! inner kernels.
+//!
+//! The workspace has two natural parallel axes:
+//!
+//! * **inner** — the multiply kernels in [`crate::ops`] and
+//!   [`crate::sparse`] split output rows across rayon workers above the
+//!   [`crate::ops::par_threshold`] work threshold;
+//! * **outer** — embarrassingly parallel loops *around* whole fits
+//!   (NNMF restarts, rank scans, consensus runs, per-course pipeline
+//!   tails) fan out via [`outer_map`].
+//!
+//! Running both at once oversubscribes the machine: every outer worker
+//! would spawn its own inner row-splits onto the same pool. This module
+//! arbitrates. While a thread executes inside an [`outer_map`] closure it
+//! is marked as being in an *outer scope* (a thread-local flag), and
+//! [`inner_enabled`] — consulted by the kernels' split decision — turns
+//! the inner splits off there. Nested [`outer_map`] calls (a rank scan
+//! fanning per-`k` while each fit wants to fan its restarts) likewise
+//! degrade to sequential loops instead of nesting rayon.
+//!
+//! The policy is configurable through two environment variables, each with
+//! an injectable override for tests and benchmarks:
+//!
+//! * `ANCHORS_PAR_MODE` — `serial` (no parallelism anywhere), `inner`
+//!   (kernel row-splits only), or `outer` (the default: outer fan-out,
+//!   inner splits only outside outer scopes);
+//! * `ANCHORS_NUM_THREADS` — worker count for outer fan-out; `0` or unset
+//!   uses rayon's ambient global pool.
+//!
+//! Determinism contract: none of these knobs may change any result.
+//! [`outer_map`] preserves index order, and every caller reduces its
+//! collected results sequentially, so serial and parallel runs are
+//! bitwise identical at any thread count.
+
+use rayon::prelude::*;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which layer of the stack is allowed to parallelize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParMode {
+    /// No rayon anywhere: outer loops and kernels both run sequentially.
+    Serial,
+    /// Only the inner multiply kernels split (the pre-fan-out behavior).
+    Inner,
+    /// Outer loops fan out; inner kernels split only outside outer scopes.
+    #[default]
+    Outer,
+}
+
+/// The resolved parallel execution policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Active mode (override, else `ANCHORS_PAR_MODE`, else `Outer`).
+    pub mode: ParMode,
+    /// Outer-pool worker count (override, else `ANCHORS_NUM_THREADS`);
+    /// `0` means rayon's ambient global pool.
+    pub threads: usize,
+}
+
+impl Parallelism {
+    /// The policy currently in effect.
+    pub fn current() -> Self {
+        Parallelism {
+            mode: par_mode(),
+            threads: num_threads(),
+        }
+    }
+}
+
+/// Serializes the tests (anywhere in this crate) that mutate the
+/// process-global policy knobs, so they cannot observe each other's modes.
+#[cfg(test)]
+pub(crate) static TEST_CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+/// Sentinel meaning "no cached value: consult the environment".
+const UNSET: usize = usize::MAX;
+
+/// Cached mode as `ParMode as usize` (or [`UNSET`]).
+static PAR_MODE: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// Cached thread count (or [`UNSET`]).
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// Parse an `ANCHORS_PAR_MODE`-style value. Unknown or missing values fall
+/// back to the default ([`ParMode::Outer`]).
+fn mode_from_env(raw: Option<&str>) -> ParMode {
+    match raw.map(|s| s.trim().to_ascii_lowercase()).as_deref() {
+        Some("serial") => ParMode::Serial,
+        Some("inner") => ParMode::Inner,
+        Some("outer") => ParMode::Outer,
+        _ => ParMode::default(),
+    }
+}
+
+/// Parse an `ANCHORS_NUM_THREADS`-style value. `0` selects the ambient
+/// pool; unparsable or missing values fall back to `0`.
+fn threads_from_env(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse().ok()).unwrap_or(0)
+}
+
+fn mode_to_usize(mode: ParMode) -> usize {
+    match mode {
+        ParMode::Serial => 0,
+        ParMode::Inner => 1,
+        ParMode::Outer => 2,
+    }
+}
+
+/// The active [`ParMode`]: the injected override if one is set, else
+/// `ANCHORS_PAR_MODE` (cached after the first read).
+pub fn par_mode() -> ParMode {
+    match PAR_MODE.load(Ordering::Relaxed) {
+        0 => ParMode::Serial,
+        1 => ParMode::Inner,
+        2 => ParMode::Outer,
+        _ => {
+            let mode = mode_from_env(std::env::var("ANCHORS_PAR_MODE").ok().as_deref());
+            PAR_MODE.store(mode_to_usize(mode), Ordering::Relaxed);
+            mode
+        }
+    }
+}
+
+/// Inject a mode, overriding the environment. `None` clears the override
+/// (and the cache), so the next read consults `ANCHORS_PAR_MODE` again.
+pub fn set_par_mode(mode: Option<ParMode>) {
+    PAR_MODE.store(mode.map(mode_to_usize).unwrap_or(UNSET), Ordering::Relaxed);
+}
+
+/// The outer-pool worker count: the injected override if one is set, else
+/// `ANCHORS_NUM_THREADS` (cached after the first read). `0` means "use
+/// rayon's ambient global pool".
+pub fn num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::Relaxed) {
+        UNSET => {
+            let n = threads_from_env(std::env::var("ANCHORS_NUM_THREADS").ok().as_deref());
+            NUM_THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Inject a worker count, overriding the environment. `None` clears the
+/// override so the next read consults `ANCHORS_NUM_THREADS` again.
+pub fn set_num_threads(threads: Option<usize>) {
+    NUM_THREADS.store(threads.unwrap_or(UNSET), Ordering::Relaxed);
+}
+
+/// Hardware thread count of this machine (≥ 1).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+thread_local! {
+    /// Whether the current thread is executing inside an [`outer_map`]
+    /// closure. Set on the rayon *worker* threads (not the caller), so the
+    /// kernels' split decision sees it wherever the work actually runs.
+    static IN_OUTER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII marker for "this thread is inside an outer parallel scope".
+/// Restores the previous state on drop, so nested scopes compose.
+pub struct OuterScope {
+    prev: bool,
+}
+
+/// Mark the current thread as inside an outer parallel scope until the
+/// returned guard drops. [`outer_map`] does this automatically; callers
+/// driving rayon directly (custom `par_chunks_mut` loops) must set it in
+/// each worker closure so inner kernel splits stay suppressed.
+pub fn enter_outer_scope() -> OuterScope {
+    let prev = IN_OUTER.with(|c| c.replace(true));
+    OuterScope { prev }
+}
+
+impl Drop for OuterScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_OUTER.with(|c| c.set(prev));
+    }
+}
+
+/// Whether the current thread is inside an [`outer_map`] closure.
+pub fn in_outer_scope() -> bool {
+    IN_OUTER.with(|c| c.get())
+}
+
+/// Whether the inner multiply kernels may split rows here: some parallel
+/// mode is on, and this thread is not already working for an outer
+/// fan-out (which owns the cores).
+pub fn inner_enabled() -> bool {
+    par_mode() != ParMode::Serial && !in_outer_scope()
+}
+
+/// Whether an outer fan-out may go parallel here: mode is
+/// [`ParMode::Outer`] and we are not already inside another outer scope
+/// (nested fan-outs run sequentially instead of nesting rayon).
+pub fn outer_enabled() -> bool {
+    par_mode() == ParMode::Outer && !in_outer_scope()
+}
+
+/// Cache of dedicated pools by size, so repeated fan-outs at the same
+/// thread count (every pipeline run, every bench iteration) reuse one
+/// pool instead of spawning threads.
+type PoolCache = Mutex<Vec<(usize, Arc<rayon::ThreadPool>)>>;
+static POOLS: OnceLock<PoolCache> = OnceLock::new();
+
+fn pool_for(threads: usize) -> Option<Arc<rayon::ThreadPool>> {
+    let pools = POOLS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut cache = pools.lock().expect("thread-pool cache poisoned");
+    if let Some((_, pool)) = cache.iter().find(|(n, _)| *n == threads) {
+        return Some(Arc::clone(pool));
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .ok()?;
+    let pool = Arc::new(pool);
+    cache.push((threads, Arc::clone(&pool)));
+    Some(pool)
+}
+
+/// Run `f` on the configured outer pool: a cached dedicated pool of
+/// [`num_threads`] workers, or inline (ambient global pool) when the count
+/// is `0` or the pool cannot be built.
+pub fn install<R: Send>(f: impl FnOnce() -> R + Send) -> R {
+    match num_threads() {
+        0 => f(),
+        n => match pool_for(n) {
+            Some(pool) => pool.install(f),
+            None => f(),
+        },
+    }
+}
+
+/// Map `f` over `0..n`, fanning out across the outer pool when
+/// [`outer_enabled`] says so, sequentially otherwise. Results come back in
+/// index order either way, and each worker runs with the outer-scope flag
+/// set (suppressing inner kernel splits and nested fan-outs), so the two
+/// paths are bitwise interchangeable.
+pub fn outer_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    if n < 2 || !outer_enabled() {
+        return (0..n).map(f).collect();
+    }
+    install(|| {
+        (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let _scope = enter_outer_scope();
+                f(i)
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use super::TEST_CONFIG_LOCK as CONFIG_LOCK;
+
+    /// Restores both overrides (to "consult the environment") on drop, so
+    /// a failing assertion cannot leak policy into other tests.
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            set_par_mode(None);
+            set_num_threads(None);
+        }
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(mode_from_env(None), ParMode::Outer);
+        assert_eq!(mode_from_env(Some("serial")), ParMode::Serial);
+        assert_eq!(mode_from_env(Some(" Inner ")), ParMode::Inner);
+        assert_eq!(mode_from_env(Some("OUTER")), ParMode::Outer);
+        assert_eq!(mode_from_env(Some("nonsense")), ParMode::Outer);
+        assert_eq!(mode_from_env(Some("")), ParMode::Outer);
+    }
+
+    #[test]
+    fn thread_parsing() {
+        assert_eq!(threads_from_env(None), 0, "unset means ambient pool");
+        assert_eq!(threads_from_env(Some("0")), 0);
+        assert_eq!(threads_from_env(Some(" 4 ")), 4);
+        assert_eq!(threads_from_env(Some("garbage")), 0);
+        assert_eq!(threads_from_env(Some("-2")), 0);
+    }
+
+    #[test]
+    fn overrides_are_injectable() {
+        let _lock = CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _reset = Reset;
+        set_par_mode(Some(ParMode::Serial));
+        set_num_threads(Some(3));
+        assert_eq!(par_mode(), ParMode::Serial);
+        assert_eq!(num_threads(), 3);
+        assert_eq!(
+            Parallelism::current(),
+            Parallelism {
+                mode: ParMode::Serial,
+                threads: 3
+            }
+        );
+        assert!(!inner_enabled(), "serial mode disables kernel splits");
+        assert!(!outer_enabled(), "serial mode disables fan-out");
+        // Clearing the override falls back to whatever the environment
+        // dictates (CI runs this binary with ANCHORS_PAR_MODE=serial too).
+        set_par_mode(None);
+        set_num_threads(None);
+        assert_eq!(
+            par_mode(),
+            mode_from_env(std::env::var("ANCHORS_PAR_MODE").ok().as_deref())
+        );
+        assert_eq!(
+            num_threads(),
+            threads_from_env(std::env::var("ANCHORS_NUM_THREADS").ok().as_deref())
+        );
+    }
+
+    #[test]
+    fn outer_scope_gates_inner_and_nesting() {
+        let _lock = CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _reset = Reset;
+        set_par_mode(Some(ParMode::Outer));
+        assert!(inner_enabled());
+        {
+            let _scope = enter_outer_scope();
+            assert!(in_outer_scope());
+            assert!(!inner_enabled(), "kernels must not split inside fan-out");
+            assert!(!outer_enabled(), "fan-outs must not nest");
+            {
+                let _inner = enter_outer_scope();
+                assert!(in_outer_scope());
+            }
+            assert!(in_outer_scope(), "nested scope exit keeps the outer one");
+        }
+        assert!(!in_outer_scope());
+        assert!(inner_enabled());
+    }
+
+    #[test]
+    fn inner_mode_splits_without_fan_out() {
+        let _lock = CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _reset = Reset;
+        set_par_mode(Some(ParMode::Inner));
+        assert!(inner_enabled());
+        assert!(!outer_enabled());
+    }
+
+    #[test]
+    fn outer_map_preserves_index_order() {
+        let _lock = CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _reset = Reset;
+        for (mode, threads) in [
+            (ParMode::Serial, 1),
+            (ParMode::Outer, 1),
+            (ParMode::Outer, 2),
+            (ParMode::Outer, 0),
+        ] {
+            set_par_mode(Some(mode));
+            set_num_threads(Some(threads));
+            let out = outer_map(17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn outer_map_workers_run_in_outer_scope() {
+        let _lock = CONFIG_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _reset = Reset;
+        set_par_mode(Some(ParMode::Outer));
+        set_num_threads(Some(2));
+        let flags = outer_map(8, |_| (in_outer_scope(), inner_enabled()));
+        for (in_scope, inner) in flags {
+            assert!(in_scope, "every worker must be marked as outer");
+            assert!(!inner, "inner splits must be off inside the fan-out");
+        }
+        assert!(!in_outer_scope(), "flag must not leak past the fan-out");
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -572,7 +572,10 @@ mod tests {
         for i in 0..6 {
             let xi = nnls(&a, b.row(i), 1e-12);
             for (batched, single) in x.row(i).iter().zip(&xi) {
-                assert!((batched - single).abs() < 1e-9, "row {i}: {batched} vs {single}");
+                assert!(
+                    (batched - single).abs() < 1e-9,
+                    "row {i}: {batched} vs {single}"
+                );
             }
             assert!(x.row(i).iter().all(|&v| v >= 0.0));
         }
@@ -615,10 +618,7 @@ mod tests {
         }
         // Empty batch / rank-0 basis degrade to empty results, not errors.
         let empty = Matrix::zeros(0, 4);
-        assert_eq!(
-            try_nnls_multi(&a, &empty, 1e-12).unwrap().shape(),
-            (0, 2)
-        );
+        assert_eq!(try_nnls_multi(&a, &empty, 1e-12).unwrap().shape(), (0, 2));
     }
 
     #[test]

@@ -250,7 +250,10 @@ impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::UnknownMaterial { course, material } => {
-                write!(f, "course {course:?} references unknown material {material}")
+                write!(
+                    f,
+                    "course {course:?} references unknown material {material}"
+                )
             }
             StoreError::SharedMaterial { material } => {
                 write!(f, "material {material} owned by two courses")

@@ -176,7 +176,10 @@ impl FittedModel {
             ),
             ("name".into(), Json::Str(self.name.clone())),
             ("guideline".into(), Json::Str(self.guideline.clone())),
-            ("fingerprint".into(), Json::Str(self.fingerprint.to_string())),
+            (
+                "fingerprint".into(),
+                Json::Str(self.fingerprint.to_string()),
+            ),
             ("backend".into(), Json::Str(self.backend.to_string())),
             (
                 "tag_codes".into(),
@@ -249,7 +252,10 @@ impl FittedModel {
             detail,
         };
         let doc = json::parse(text).map_err(|e| corrupt(e.to_string()))?;
-        let field = |key: &str| doc.get(key).ok_or_else(|| corrupt(format!("missing {key:?}")));
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| corrupt(format!("missing {key:?}")))
+        };
         let schema = field("schema_version")?
             .as_usize()
             .ok_or_else(|| corrupt("schema_version must be an integer".into()))?

@@ -3,9 +3,11 @@
 //! A [`BatchQueue`] accumulates [`CourseQuery`]s as they arrive and, on
 //! [`flush`](BatchQueue::flush), answers all of them with a single
 //! matrix-level fold-in (`try_nnls_multi` forms the Gram matrix and every
-//! cross-product once) instead of one NNLS solve per request. Responses
-//! come back in arrival order and are bitwise identical to what the
-//! per-query path would have produced.
+//! cross-product once) instead of one NNLS solve per request. Batch
+//! assembly (per-query tag resolution and vectorization) fans out across
+//! the outer thread pool — see `anchors_linalg::parallel` — while the
+//! responses still come back in arrival order and are bitwise identical
+//! to what the per-query path would have produced at any thread count.
 
 use crate::engine::{CourseQuery, QueryEngine, QueryResponse};
 use crate::error::ServeError;
@@ -72,8 +74,7 @@ mod tests {
             winning_seed: 1,
             recovery: NnmfRecovery::default(),
         };
-        let artifact =
-            FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
+        let artifact = FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
         QueryEngine::new(artifact, cs, pdc12()).expect("engine")
     }
 

@@ -99,8 +99,7 @@ mod tests {
             winning_seed: seed,
             recovery: NnmfRecovery::default(),
         };
-        let artifact =
-            FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
+        let artifact = FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
         QueryEngine::new(artifact, cs, pdc12()).expect("engine")
     }
 

@@ -51,11 +51,7 @@ pub struct CourseQuery {
 
 impl CourseQuery {
     /// Convenience constructor.
-    pub fn new(
-        name: impl Into<String>,
-        labels: Vec<CourseLabel>,
-        tag_codes: Vec<String>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, labels: Vec<CourseLabel>, tag_codes: Vec<String>) -> Self {
         CourseQuery {
             name: name.into(),
             labels,
@@ -111,9 +107,8 @@ impl QueryEngine {
             .tag_codes
             .iter()
             .map(|code| {
-                cs.by_code(code).ok_or_else(|| ServeError::UnknownTag {
-                    code: code.clone(),
-                })
+                cs.by_code(code)
+                    .ok_or_else(|| ServeError::UnknownTag { code: code.clone() })
             })
             .collect::<Result<Vec<NodeId>, ServeError>>()?;
         let columns = model
@@ -201,12 +196,17 @@ impl QueryEngine {
     }
 
     /// Answer N queries with one matrix-level fold-in solve instead of N
-    /// single-row solves.
+    /// single-row solves. Vectorizing the queries (tag-code resolution and
+    /// row scatter) is independent per query, so batch assembly fans out
+    /// across the outer pool; rows land in arrival order and the first
+    /// erroring query (in arrival order) rejects the batch, exactly as the
+    /// serial loop did.
     pub fn query_batch(&self, queries: &[CourseQuery]) -> Result<Vec<QueryResponse>, ServeError> {
+        let rows =
+            anchors_linalg::parallel::outer_map(queries.len(), |i| self.vectorize(&queries[i]));
         let mut batch = Matrix::zeros(queries.len(), self.n_tags());
-        for (i, q) in queries.iter().enumerate() {
-            let row = self.vectorize(q)?;
-            batch.row_mut(i).copy_from_slice(&row);
+        for (i, row) in rows.into_iter().enumerate() {
+            batch.row_mut(i).copy_from_slice(&row?);
         }
         let w = self.fold_in_batch(&batch)?;
         Ok(queries
@@ -279,8 +279,7 @@ mod tests {
             winning_seed: 1,
             recovery: NnmfRecovery::default(),
         };
-        let artifact =
-            FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
+        let artifact = FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
         QueryEngine::new(artifact, cs, pdc12()).expect("engine")
     }
 

@@ -87,7 +87,10 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::UnknownTag { code } => {
-                write!(f, "artifact tag code {code:?} does not resolve to a leaf item")
+                write!(
+                    f,
+                    "artifact tag code {code:?} does not resolve to a leaf item"
+                )
             }
             ServeError::VersionNotFound { version } => {
                 write!(f, "model version {version} not found in registry")

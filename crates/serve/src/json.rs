@@ -444,10 +444,7 @@ mod tests {
 
     #[test]
     fn unicode_escapes_parse() {
-        assert_eq!(
-            parse(r#""café 😀""#).unwrap(),
-            Json::Str("café 😀".into())
-        );
+        assert_eq!(parse(r#""café 😀""#).unwrap(), Json::Str("café 😀".into()));
     }
 
     #[test]

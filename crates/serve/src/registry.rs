@@ -138,10 +138,7 @@ mod tests {
     fn versions_are_monotonic_and_listable() {
         let reg = tmp_registry("mono");
         assert_eq!(reg.list().unwrap(), Vec::<u64>::new());
-        assert!(matches!(
-            reg.load_latest(),
-            Err(ServeError::EmptyRegistry)
-        ));
+        assert!(matches!(reg.load_latest(), Err(ServeError::EmptyRegistry)));
         let v1 = reg.save(&toy_model(0.5)).unwrap();
         let v2 = reg.save(&toy_model(0.25)).unwrap();
         assert_eq!((v1, v2), (1, 2));

@@ -7,19 +7,14 @@ use anchors_curricula::{cs2013, pdc12};
 use anchors_factor::{try_nnmf, NnmfConfig};
 use anchors_linalg::Backend;
 use anchors_materials::{CourseLabel, CourseMatrix, SparseCourseMatrix};
-use anchors_serve::{
-    CourseQuery, FittedModel, QueryEngine, Registry, ServeError, SnapshotCache,
-};
+use anchors_serve::{CourseQuery, FittedModel, QueryEngine, Registry, ServeError, SnapshotCache};
 use std::fs;
 use std::path::PathBuf;
 
 const K: usize = 3;
 
 fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "anchors-serve-it-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("anchors-serve-it-{tag}-{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     dir
 }
@@ -32,8 +27,14 @@ fn fitted_corpus() -> (anchors_corpus::GeneratedCorpus, CourseMatrix, FittedMode
     let corpus = default_corpus();
     let cm = CourseMatrix::build(&corpus.store, &corpus.courses);
     let model = try_nnmf(&cm.a, &NnmfConfig::anls(K)).expect("anls fit");
-    let artifact = FittedModel::new("corpus-anls", cs2013(), &cm.tag_space, &model, Backend::Dense)
-        .expect("artifact");
+    let artifact = FittedModel::new(
+        "corpus-anls",
+        cs2013(),
+        &cm.tag_space,
+        &model,
+        Backend::Dense,
+    )
+    .expect("artifact");
     (corpus, cm, artifact)
 }
 
@@ -115,8 +116,14 @@ fn save_load_query_is_bitwise_identical() {
     // Save, then load in a "fresh process": a brand-new Registry handle
     // over the same directory, as a restarted server would open.
     let dir = tmp_dir("bitwise");
-    let version = Registry::open(&dir).expect("open").save(&artifact).expect("save");
-    let reloaded = Registry::open(&dir).expect("reopen").load(version).expect("load");
+    let version = Registry::open(&dir)
+        .expect("open")
+        .save(&artifact)
+        .expect("save");
+    let reloaded = Registry::open(&dir)
+        .expect("reopen")
+        .load(version)
+        .expect("load");
     assert_eq!(reloaded.w, artifact.w);
     assert_eq!(reloaded.h, artifact.h);
     assert_eq!(reloaded.fingerprint, artifact.fingerprint);
@@ -124,7 +131,11 @@ fn save_load_query_is_bitwise_identical() {
     let after_engine = QueryEngine::new(reloaded, cs, pdc12()).expect("engine");
     for (q, want) in queries.iter().zip(&before) {
         let got = after_engine.query(q).expect("query").loadings;
-        assert_eq!(&got, want, "loadings drifted across save/load for {}", q.name);
+        assert_eq!(
+            &got, want,
+            "loadings drifted across save/load for {}",
+            q.name
+        );
     }
     let _ = fs::remove_dir_all(&dir);
 }
@@ -220,7 +231,10 @@ fn engine_with_store_returns_nearest_materials_and_recommendations() {
         ))
         .expect("query");
 
-    assert!(!resp.nearest.is_empty(), "store-backed query finds materials");
+    assert!(
+        !resp.nearest.is_empty(),
+        "store-backed query finds materials"
+    );
     assert!(resp.nearest.len() <= 5);
     let s: f64 = resp.mixture.iter().sum();
     assert!(s == 0.0 || (s - 1.0).abs() < 1e-12);

@@ -7,7 +7,7 @@
 
 use anchors_corpus::default_corpus;
 use anchors_factor::{
-    consensus_scan, rank_scan, select_rank, select_rank_by_consensus, NnmfConfig,
+    consensus_scan, select_rank, select_rank_by_consensus, try_rank_scan, NnmfConfig,
     DUPLICATE_THRESHOLD,
 };
 use anchors_materials::CourseMatrix;
@@ -29,7 +29,7 @@ fn main() {
 
         // The paper's §4.4 inspection: loss curve + duplicate dimensions.
         let base = NnmfConfig::paper_default(2);
-        let scan = rank_scan(&a, 2..=5.min(a.rows()), &base);
+        let scan = try_rank_scan(&a, 2..=5.min(a.rows()), &base).expect("rank scan");
         println!("k   loss      rel.err  dup-score  separation");
         for (d, _) in &scan {
             println!(

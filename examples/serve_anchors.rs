@@ -38,7 +38,10 @@ fn main() {
     let registry = Registry::open(&dir).expect("open registry");
     let version = registry.save(&artifact).expect("save");
     println!("\n=== Save ===");
-    println!("model-v{version}.json written to {}", registry.dir().display());
+    println!(
+        "model-v{version}.json written to {}",
+        registry.dir().display()
+    );
 
     // ── Load: what a freshly started server does ─────────────────────
     // A new Registry handle over the same directory, as if in another
@@ -54,7 +57,11 @@ fn main() {
         .expect("fingerprint and tag codes check out")
         .with_store(corpus.store.clone());
     println!("\n=== Load ===");
-    println!("serving model-v{loaded_version} ({} tags, k = {})", engine.n_tags(), engine.k());
+    println!(
+        "serving model-v{loaded_version} ({} tags, k = {})",
+        engine.n_tags(),
+        engine.k()
+    );
 
     // ── Query: classify an unseen course ─────────────────────────────
     // A data-structures course with a parallel slant, described only by
