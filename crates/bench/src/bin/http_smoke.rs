@@ -1,0 +1,297 @@
+//! HTTP front-end smoke benchmark: serial vs pooled throughput, plus an
+//! overload phase that must shed cleanly.
+//!
+//! Fits one small model, serves it over loopback with `anchors-server`,
+//! and measures three phases:
+//!
+//! 1. **serial** — one worker, one closed-loop keep-alive client;
+//! 2. **pooled** — a worker pool with `2×workers` concurrent clients,
+//!    which must not be slower than serial (gate active when the
+//!    machine has ≥ 2 hardware threads);
+//! 3. **overload** — one deliberately slowed worker behind a depth-2
+//!    queue under an 8-client burst, which must shed ≥ 1 connection
+//!    with `503 Retry-After` while every accepted request still gets a
+//!    real response.
+//!
+//! Emits `BENCH_http.json` at the workspace root (and a copy under
+//! `target/figures/`) for CI to archive. Knobs: `ANCHORS_HTTP_REQUESTS`
+//! (per-client request count), `ANCHORS_BENCH_TAGS`, `ANCHORS_BENCH_K`.
+
+use anchors_bench::{figures_dir, header};
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{nnmf, NnmfConfig, Solver};
+use anchors_linalg::{Backend, Matrix};
+use anchors_materials::TagSpace;
+use anchors_serve::{FittedModel, Registry};
+use anchors_server::{AppState, Client, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Percentile (µs) of a sorted latency vector.
+fn percentile_us(sorted: &[u128], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx] as f64
+}
+
+/// Run `clients` closed-loop keep-alive clients, `requests` each.
+/// Returns (total wall seconds, sorted per-request latencies in µs).
+fn drive(
+    addr: SocketAddr,
+    clients: usize,
+    requests: usize,
+    body: &Arc<Vec<u8>>,
+) -> (f64, Vec<u128>) {
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for _ in 0..clients {
+        let body = Arc::clone(body);
+        threads.push(thread::spawn(move || {
+            let mut client =
+                Client::connect(addr, Duration::from_secs(10)).expect("bench client connect");
+            let mut lat = Vec::with_capacity(requests);
+            for _ in 0..requests {
+                let t = Instant::now();
+                let resp = client
+                    .request("POST", "/v1/recommend", &body)
+                    .expect("bench request");
+                assert_eq!(resp.status, 200, "{}", resp.text());
+                lat.push(t.elapsed().as_micros());
+            }
+            lat
+        }));
+    }
+    let mut all: Vec<u128> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("bench client"))
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    all.sort_unstable();
+    (wall, all)
+}
+
+fn main() {
+    let requests = env_usize("ANCHORS_HTTP_REQUESTS", 400);
+    let n_tags = env_usize("ANCHORS_BENCH_TAGS", 128);
+    let k = env_usize("ANCHORS_BENCH_K", 4);
+    let hw_threads = thread::available_parallelism().map_or(1, |n| n.get());
+
+    header("HTTP front end: serial vs pooled vs overload");
+
+    // One quick HALS fit over a real CS2013 tag-space prefix, published
+    // through a registry exactly as production serving would be.
+    let cs = cs2013();
+    let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(n_tags));
+    let mut rng = StdRng::seed_from_u64(0xA11C);
+    let train = Matrix::from_fn(
+        128,
+        n_tags,
+        |_, _| {
+            if rng.gen::<f64>() < 0.05 {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    );
+    let cfg = NnmfConfig {
+        solver: Solver::Hals,
+        restarts: 1,
+        max_iter: 20,
+        ..NnmfConfig::paper_default(k)
+    };
+    let model = nnmf(&train, &cfg);
+    let artifact =
+        FittedModel::new("http-smoke", cs, &space, &model, Backend::Dense).expect("artifact");
+    let dir = std::env::temp_dir().join(format!("anchors-http-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Registry::open(&dir).expect("registry");
+    registry.save(&artifact).expect("save model");
+
+    // A fixed ~8-tag query body drawn from the artifact's dotted codes.
+    let tags: Vec<String> = artifact
+        .tag_codes
+        .iter()
+        .step_by((n_tags / 8).max(1))
+        .map(|c| format!("\"{c}\""))
+        .collect();
+    let body = Arc::new(
+        format!(
+            r#"{{"name":"bench","labels":["DS"],"tags":[{}]}}"#,
+            tags.join(",")
+        )
+        .into_bytes(),
+    );
+    println!(
+        "  model: k = {k}, {n_tags} tags; {requests} requests/client; {hw_threads} hw threads"
+    );
+
+    // Phase 1: serial — one worker, one client.
+    let state = Arc::new(
+        AppState::from_registry(Registry::open(&dir).expect("registry"), cs, pdc12())
+            .expect("state"),
+    );
+    let handle = Server::start(
+        Arc::clone(&state),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serial server");
+    let (serial_wall, serial_lat) = drive(handle.addr(), 1, requests, &body);
+    handle.shutdown();
+    let serial_rps = requests as f64 / serial_wall.max(1e-9);
+    let serial_p50 = percentile_us(&serial_lat, 0.50);
+    let serial_p99 = percentile_us(&serial_lat, 0.99);
+    println!(
+        "  serial: {serial_rps:>9.0} req/s   p50 {serial_p50:>6.0} µs   p99 {serial_p99:>6.0} µs"
+    );
+
+    // Phase 2: pooled — worker pool, 2× concurrent clients.
+    let workers = hw_threads.max(2);
+    let pool_clients = workers * 2;
+    let state = Arc::new(
+        AppState::from_registry(Registry::open(&dir).expect("registry"), cs, pdc12())
+            .expect("state"),
+    );
+    let handle = Server::start(
+        Arc::clone(&state),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue_depth: pool_clients * 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("pooled server");
+    let per_client = (requests / pool_clients).max(1);
+    let (pooled_wall, pooled_lat) = drive(handle.addr(), pool_clients, per_client, &body);
+    handle.shutdown();
+    let pooled_total = pool_clients * per_client;
+    let pooled_rps = pooled_total as f64 / pooled_wall.max(1e-9);
+    let pooled_p50 = percentile_us(&pooled_lat, 0.50);
+    let pooled_p99 = percentile_us(&pooled_lat, 0.99);
+    let speedup = pooled_rps / serial_rps.max(1e-9);
+    println!("  pooled: {pooled_rps:>9.0} req/s   p50 {pooled_p50:>6.0} µs   p99 {pooled_p99:>6.0} µs   ({workers} workers, {pool_clients} clients, {speedup:.2}x)");
+
+    // Phase 3: overload — slow lone worker, tiny queue, 8-client burst.
+    let state = Arc::new(
+        AppState::from_registry(Registry::open(&dir).expect("registry"), cs, pdc12())
+            .expect("state"),
+    );
+    let handle = Server::start(
+        Arc::clone(&state),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 2,
+            handler_delay: Some(Duration::from_millis(5)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("overload server");
+    let addr = handle.addr();
+    const BURST: usize = 8;
+    let mut burst = Vec::new();
+    for _ in 0..BURST {
+        let body = Arc::clone(&body);
+        burst.push(thread::spawn(move || {
+            let mut client = Client::connect(addr, Duration::from_secs(10)).expect("burst connect");
+            client
+                .request("POST", "/v1/recommend", &body)
+                .expect("every accepted connection is answered")
+                .status
+        }));
+    }
+    let statuses: Vec<u16> = burst
+        .into_iter()
+        .map(|t| t.join().expect("burst client"))
+        .collect();
+    let served = statuses.iter().filter(|&&s| s == 200).count();
+    let shed = statuses.iter().filter(|&&s| s == 503).count();
+    let dropped = statuses.len() - served - shed;
+    handle.shutdown();
+    println!("  overload: {served} served, {shed} shed with 503, {dropped} dropped (of {BURST})");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"http_serial_vs_pooled\",\n",
+            "  \"requests\": {},\n",
+            "  \"tags\": {},\n",
+            "  \"k\": {},\n",
+            "  \"hw_threads\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"serial_rps\": {:.1},\n",
+            "  \"serial_p50_us\": {:.0},\n",
+            "  \"serial_p99_us\": {:.0},\n",
+            "  \"pooled_rps\": {:.1},\n",
+            "  \"pooled_p50_us\": {:.0},\n",
+            "  \"pooled_p99_us\": {:.0},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"overload_served\": {},\n",
+            "  \"overload_shed_503\": {},\n",
+            "  \"overload_dropped\": {}\n",
+            "}}\n"
+        ),
+        requests,
+        n_tags,
+        k,
+        hw_threads,
+        workers,
+        serial_rps,
+        serial_p50,
+        serial_p99,
+        pooled_rps,
+        pooled_p50,
+        pooled_p99,
+        speedup,
+        served,
+        shed,
+        dropped
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let root_path = root.join("BENCH_http.json");
+    std::fs::write(&root_path, &json).expect("write BENCH_http.json");
+    println!("  wrote {}", root_path.display());
+    std::fs::write(figures_dir().join("BENCH_http.json"), &json).expect("write figures copy");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut failed = false;
+    if hw_threads >= 2 && pooled_rps < serial_rps {
+        eprintln!("WARNING: pooled throughput ({pooled_rps:.0} req/s) fell below serial ({serial_rps:.0} req/s) on {hw_threads} hw threads");
+        failed = true;
+    }
+    if shed == 0 {
+        eprintln!("WARNING: overload phase shed nothing — backpressure did not engage");
+        failed = true;
+    }
+    if dropped > 0 {
+        eprintln!("WARNING: {dropped} request(s) got no HTTP response under overload");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

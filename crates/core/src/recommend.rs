@@ -35,6 +35,31 @@ pub enum FlavorKind {
     Cs1Core,
 }
 
+impl FlavorKind {
+    /// Stable wire name of the flavor, used by JSON-facing layers (the
+    /// HTTP server's response bodies). These are part of the public API:
+    /// renaming a variant must not change its wire name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FlavorKind::Cs1Imperative => "cs1-imperative",
+            FlavorKind::Cs1Algorithmic => "cs1-algorithmic",
+            FlavorKind::Cs1Oop => "cs1-oop",
+            FlavorKind::DsApplied => "ds-applied",
+            FlavorKind::DsOop => "ds-oop",
+            FlavorKind::DsCombinatorial => "ds-combinatorial",
+            FlavorKind::DsCore => "ds-core",
+            FlavorKind::GraphsCovered => "graphs-covered",
+            FlavorKind::Cs1Core => "cs1-core",
+        }
+    }
+}
+
+impl std::fmt::Display for FlavorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One actionable recommendation: PDC content plus the anchor points where
 /// it splices into the course.
 #[derive(Debug, Clone, Serialize, Deserialize)]

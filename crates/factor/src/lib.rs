@@ -44,8 +44,6 @@ pub use nnmf::{
     Solver, WorkspacePool,
 };
 pub use pca::{pca, Pca};
-#[allow(deprecated)]
-pub use rank::rank_scan;
 pub use rank::{
     duplicate_dimension_score, select_rank, separation_score, try_rank_scan, RankDiagnostics,
     DUPLICATE_THRESHOLD,

@@ -108,20 +108,6 @@ pub fn try_rank_scan<A: MatKernels>(
     .collect()
 }
 
-/// Panicking wrapper over [`try_rank_scan`], kept for callers predating
-/// the fallible API.
-#[deprecated(note = "use try_rank_scan, which reports fit errors instead of panicking")]
-pub fn rank_scan<A: MatKernels>(
-    a: &A,
-    k_range: std::ops::RangeInclusive<usize>,
-    base: &NnmfConfig,
-) -> Vec<(RankDiagnostics, NnmfModel)> {
-    match try_rank_scan(a, k_range, base) {
-        Ok(scan) => scan,
-        Err(e) => panic!("{e}"),
-    }
-}
-
 /// Default duplicate threshold mirroring "almost identical" in §4.4.
 pub const DUPLICATE_THRESHOLD: f64 = 0.95;
 

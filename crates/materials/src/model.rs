@@ -82,6 +82,28 @@ pub enum CourseLabel {
 }
 
 impl CourseLabel {
+    /// Every label, in Figure-1 column order.
+    pub const ALL: [CourseLabel; 8] = [
+        CourseLabel::Cs1,
+        CourseLabel::Cs2,
+        CourseLabel::Oop,
+        CourseLabel::DataStructures,
+        CourseLabel::Algorithms,
+        CourseLabel::SoftEng,
+        CourseLabel::Pdc,
+        CourseLabel::Network,
+    ];
+
+    /// Parse a label from its [`short`](CourseLabel::short) display
+    /// string (case-insensitive), as wire formats send it. Returns
+    /// `None` for anything else, so callers can reject unknown labels
+    /// with their own typed error.
+    pub fn parse(s: &str) -> Option<CourseLabel> {
+        CourseLabel::ALL
+            .into_iter()
+            .find(|label| label.short().eq_ignore_ascii_case(s))
+    }
+
     /// Short display string matching the Figure 1 column heads.
     pub fn short(&self) -> &'static str {
         match self {

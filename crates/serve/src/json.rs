@@ -86,24 +86,41 @@ impl Json {
         }
     }
 
+    /// Serialize to a compact JSON string, rejecting documents JSON
+    /// cannot represent: a NaN or ±Inf anywhere in the tree returns a
+    /// [`NonFiniteError`] locating the value instead of emitting text
+    /// (`NaN`, `inf`) that [`parse`] — or any JSON parser — would reject,
+    /// which would silently break the write→parse round-trip.
+    pub fn try_write(&self) -> Result<String, NonFiniteError> {
+        let mut out = String::new();
+        self.write_into(&mut out)?;
+        Ok(out)
+    }
+
     /// Serialize to a compact JSON string.
     ///
     /// # Panics
-    /// Panics on non-finite numbers — artifacts are validated finite
-    /// before writing, so a NaN here is a programmer error, and writing
-    /// `null` silently would corrupt the round-trip guarantee.
+    /// Panics on non-finite numbers — use [`Json::try_write`] when the
+    /// document is not already validated finite (artifacts are, via
+    /// `FittedModel::check_shapes`, so a NaN here is a programmer error).
     pub fn write(&self) -> String {
-        let mut out = String::new();
-        self.write_into(&mut out);
-        out
+        match self.try_write() {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    fn write_into(&self, out: &mut String) {
+    fn write_into(&self, out: &mut String) -> Result<(), NonFiniteError> {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(v) => {
-                assert!(v.is_finite(), "JSON cannot encode non-finite number {v}");
+                if !v.is_finite() {
+                    return Err(NonFiniteError {
+                        value: *v,
+                        path: String::new(),
+                    });
+                }
                 // Shortest round-trip form; integers print without ".0",
                 // which still parses back to the same f64.
                 let _ = write!(out, "{v}");
@@ -115,7 +132,8 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    item.write_into(out);
+                    item.write_into(out)
+                        .map_err(|e| e.under(&format!("[{i}]")))?;
                 }
                 out.push(']');
             }
@@ -127,13 +145,44 @@ impl Json {
                     }
                     write_escaped(k, out);
                     out.push(':');
-                    v.write_into(out);
+                    v.write_into(out).map_err(|e| e.under(&format!(".{k}")))?;
                 }
                 out.push('}');
             }
         }
+        Ok(())
     }
 }
+
+/// A document holds a number JSON cannot encode (NaN or ±Inf). Carries
+/// the path to the offending value, built as the error unwinds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonFiniteError {
+    /// The non-finite value.
+    pub value: f64,
+    /// Dotted/indexed path to it from the document root (e.g.
+    /// `".w.data[3]"`; empty when the root itself is the number).
+    pub path: String,
+}
+
+impl NonFiniteError {
+    fn under(mut self, segment: &str) -> Self {
+        self.path = format!("{segment}{}", self.path);
+        self
+    }
+}
+
+impl std::fmt::Display for NonFiniteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON cannot encode non-finite number {} at document root{}",
+            self.value, self.path
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteError {}
 
 fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
@@ -432,6 +481,29 @@ mod tests {
             let back = parse(&text).unwrap().as_f64().unwrap();
             assert_eq!(v.to_bits(), back.to_bits(), "{v} via {text}");
         }
+    }
+
+    #[test]
+    fn non_finite_numbers_are_typed_errors_not_invalid_json() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Json::Num(v).try_write().unwrap_err();
+            assert_eq!(err.path, "");
+            assert_eq!(v.to_bits(), err.value.to_bits());
+        }
+        // Nested: the error names the path to the bad entry.
+        let doc = Json::Obj(vec![(
+            "w".into(),
+            Json::Obj(vec![(
+                "data".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(f64::NAN)]),
+            )]),
+        )]);
+        let err = doc.try_write().unwrap_err();
+        assert_eq!(err.path, ".w.data[1]");
+        assert!(err.to_string().contains(".w.data[1]"), "{err}");
+        // Finite documents are unaffected and agree with `write`.
+        let fine = Json::Arr(vec![Json::Num(0.5), Json::Str("ok".into())]);
+        assert_eq!(fine.try_write().unwrap(), fine.write());
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Concurrency contract of [`BatchQueue`]: enqueuers racing a flusher
+//! must never drop or duplicate a query. The queue itself is a plain
+//! accumulator behind `&mut self`, so concurrent use goes through a
+//! mutex — exactly how the HTTP batch endpoint and any multi-producer
+//! caller drive it. The test races N producer threads against a flusher
+//! that drains whenever it observes pending work, then checks the union
+//! of all flushed responses against a serial per-query run: every query
+//! answered exactly once, with bitwise-identical loadings.
+
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{NnmfModel, NnmfRecovery};
+use anchors_linalg::{Backend, Matrix};
+use anchors_materials::{CourseLabel, TagSpace};
+use anchors_serve::{BatchQueue, CourseQuery, FittedModel, QueryEngine};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier, Mutex};
+use std::thread;
+
+const ENQUEUERS: usize = 4;
+const QUERIES_PER_THREAD: usize = 32;
+
+fn toy_engine() -> QueryEngine {
+    let cs = cs2013();
+    let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(12));
+    let model = NnmfModel {
+        w: Matrix::from_fn(6, 3, |i, j| ((i + 2 * j) % 4) as f64 * 0.5),
+        h: Matrix::from_fn(3, 12, |i, j| ((i * 12 + j) % 5) as f64 * 0.2 + 0.05),
+        loss: 0.2,
+        iterations: 7,
+        converged: true,
+        winning_seed: 3,
+        recovery: NnmfRecovery::default(),
+    };
+    let artifact = FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
+    QueryEngine::new(artifact, cs, pdc12()).expect("engine")
+}
+
+/// A deterministic per-thread query mix over the model's tag space.
+fn query_for(codes: &[String], thread: usize, i: usize) -> CourseQuery {
+    let tags: Vec<String> = codes
+        .iter()
+        .skip((thread + i) % 3)
+        .step_by(1 + (i % 4))
+        .cloned()
+        .collect();
+    CourseQuery::new(format!("t{thread}-q{i}"), vec![CourseLabel::Cs1], tags)
+}
+
+#[test]
+fn racing_enqueuers_and_flushes_drop_and_duplicate_nothing() {
+    let engine = Arc::new(toy_engine());
+    let codes: Vec<String> = engine.model().tag_codes.clone();
+    let queue = Arc::new(Mutex::new(BatchQueue::new()));
+    let start = Arc::new(Barrier::new(ENQUEUERS + 1));
+    let total = ENQUEUERS * QUERIES_PER_THREAD;
+
+    let mut producers = Vec::new();
+    for t in 0..ENQUEUERS {
+        let queue = Arc::clone(&queue);
+        let start = Arc::clone(&start);
+        let codes = codes.clone();
+        producers.push(thread::spawn(move || {
+            start.wait();
+            for i in 0..QUERIES_PER_THREAD {
+                queue
+                    .lock()
+                    .expect("queue lock")
+                    .push(query_for(&codes, t, i));
+                if i % 7 == 0 {
+                    thread::yield_now();
+                }
+            }
+        }));
+    }
+
+    // The flusher races the producers: it drains whatever it catches
+    // pending, in many small batches, until every query is answered.
+    let flusher = {
+        let queue = Arc::clone(&queue);
+        let engine = Arc::clone(&engine);
+        let start = Arc::clone(&start);
+        thread::spawn(move || {
+            start.wait();
+            let mut answered = Vec::new();
+            while answered.len() < total {
+                let batch = queue
+                    .lock()
+                    .expect("queue lock")
+                    .flush(&engine)
+                    .expect("flush");
+                if batch.is_empty() {
+                    thread::yield_now();
+                } else {
+                    answered.extend(batch);
+                }
+            }
+            answered
+        })
+    };
+
+    for p in producers {
+        p.join().expect("producer");
+    }
+    let answered = flusher.join().expect("flusher");
+    assert!(queue.lock().expect("queue lock").is_empty());
+
+    // Exactly one response per query — nothing dropped, nothing doubled.
+    assert_eq!(answered.len(), total);
+    let mut by_name: HashMap<String, Vec<f64>> = HashMap::new();
+    for resp in answered {
+        let prev = by_name.insert(resp.name.clone(), resp.loadings.clone());
+        assert!(prev.is_none(), "query {} answered twice", resp.name);
+    }
+
+    // And every response equals the serial, no-queue answer bitwise.
+    for t in 0..ENQUEUERS {
+        for i in 0..QUERIES_PER_THREAD {
+            let q = query_for(&codes, t, i);
+            let serial = engine.query(&q).expect("serial query");
+            let got = by_name
+                .get(&q.name)
+                .unwrap_or_else(|| panic!("query {} never answered", q.name));
+            assert_eq!(got, &serial.loadings, "{}", q.name);
+        }
+    }
+}

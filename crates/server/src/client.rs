@@ -1,0 +1,138 @@
+//! A minimal pure-std HTTP/1.1 client, just enough to drive the server
+//! from integration tests, the `http_smoke` bench, and the example.
+//!
+//! It speaks exactly the dialect the server emits: `Content-Length`
+//! framed responses with a `Connection` header. Not a general client —
+//! no chunked decoding, no redirects, no TLS.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// One connection, usable for many keep-alive requests.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect with a read/write deadline.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and read its response.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        let mut out = Vec::with_capacity(128 + body.len());
+        write!(out, "{method} {path} HTTP/1.1\r\nHost: anchors\r\n")?;
+        if !body.is_empty() {
+            write!(out, "Content-Type: application/json\r\n")?;
+        }
+        write!(out, "Content-Length: {}\r\n\r\n", body.len())?;
+        out.extend_from_slice(body);
+        self.stream.write_all(&out)?;
+        self.read_response()
+    }
+
+    /// Send raw bytes (for malformed-input tests) and read one response.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<ClientResponse> {
+        self.stream.write_all(bytes)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> io::Result<ClientResponse> {
+        let mut buf = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(at) = find_subslice(&buf, b"\r\n\r\n") {
+                break at;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "connection closed before response head",
+                    ))
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or("");
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    ErrorKind::InvalidData,
+                    format!("bad status line {status_line:?}"),
+                )
+            })?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|line| line.split_once(':'))
+            .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+        while body.len() < content_length {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "connection closed mid-body",
+                    ))
+                }
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        }
+        body.truncate(content_length);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}

@@ -1,0 +1,673 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! The parser is *incremental*: bytes arrive in arbitrary chunks from a
+//! socket ([`RequestParser::push_bytes`]) and [`RequestParser::poll`]
+//! produces a [`Request`] once one is fully buffered, leaving any
+//! pipelined surplus in place for the next poll. Splitting the input at
+//! any byte boundary — including mid-`\r\n` — never changes the result;
+//! the proptest suite pins that down.
+//!
+//! Every failure mode is a typed [`HttpError`] carrying the status code
+//! the connection should die with: malformed syntax is `400`, an
+//! oversized header block is `431`, an oversized body is `413`, an
+//! unsupported version `505`, chunked transfer `501`. Limits are
+//! enforced *while buffering*, so a hostile peer cannot balloon memory
+//! by never finishing its header block.
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// Default cap on the request head (request line + all headers).
+pub const DEFAULT_MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Default cap on one header line.
+pub const DEFAULT_MAX_HEADER_LINE: usize = 8 * 1024;
+/// Default cap on the number of headers.
+pub const DEFAULT_MAX_HEADERS: usize = 64;
+/// Default cap on the declared body size.
+pub const DEFAULT_MAX_BODY: usize = 1 << 20;
+
+/// Input-size limits the parser enforces while buffering.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Max bytes of the whole head block (431 beyond this).
+    pub max_head_bytes: usize,
+    /// Max bytes of a single header line (431 beyond this).
+    pub max_header_line: usize,
+    /// Max number of header lines (431 beyond this).
+    pub max_headers: usize,
+    /// Max declared `Content-Length` (413 beyond this).
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: DEFAULT_MAX_HEAD_BYTES,
+            max_header_line: DEFAULT_MAX_HEADER_LINE,
+            max_headers: DEFAULT_MAX_HEADERS,
+            max_body: DEFAULT_MAX_BODY,
+        }
+    }
+}
+
+/// HTTP protocol version of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// HTTP/1.0 — close by default.
+    Http10,
+    /// HTTP/1.1 — keep-alive by default.
+    Http11,
+}
+
+/// A typed protocol-level failure, each mapping to a response status.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HttpError {
+    /// Unparseable request syntax (`400`).
+    BadRequest {
+        /// What was malformed.
+        detail: String,
+    },
+    /// The head block or one of its lines exceeded a limit (`431`).
+    HeadersTooLarge {
+        /// The limit that was hit, in bytes or header count.
+        limit: usize,
+    },
+    /// The declared body exceeds the limit (`413`).
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A protocol version this server does not speak (`505`).
+    UnsupportedVersion {
+        /// The version token found.
+        found: String,
+    },
+    /// A feature this server deliberately omits, e.g. chunked
+    /// transfer-encoding (`501`).
+    NotImplemented {
+        /// The unsupported feature.
+        feature: &'static str,
+    },
+}
+
+impl HttpError {
+    /// The response status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest { .. } => 400,
+            HttpError::HeadersTooLarge { .. } => 431,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::UnsupportedVersion { .. } => 505,
+            HttpError::NotImplemented { .. } => 501,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest { detail } => write!(f, "malformed request: {detail}"),
+            HttpError::HeadersTooLarge { limit } => {
+                write!(f, "request header block exceeds limit {limit}")
+            }
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds limit {limit}")
+            }
+            HttpError::UnsupportedVersion { found } => {
+                write!(f, "unsupported protocol version {found:?}")
+            }
+            HttpError::NotImplemented { feature } => write!(f, "{feature} is not implemented"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One fully parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Request method, uppercased token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path plus any query string).
+    pub path: String,
+    /// Protocol version.
+    pub version: Version,
+    /// Headers in arrival order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == Version::Http11,
+        }
+    }
+}
+
+/// Parsed head awaiting its body.
+#[derive(Debug)]
+struct Head {
+    method: String,
+    path: String,
+    version: Version,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+}
+
+/// Incremental request parser over a byte stream.
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: Limits,
+    buf: Vec<u8>,
+    head: Option<Head>,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: Limits) -> Self {
+        RequestParser {
+            limits,
+            buf: Vec::new(),
+            head: None,
+        }
+    }
+
+    /// Append raw bytes from the socket. Cheap; parsing happens in
+    /// [`poll`](RequestParser::poll).
+    pub fn push_bytes(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet consumed by a completed request — used
+    /// to tell an idle keep-alive connection (0) from one that timed out
+    /// mid-request (&gt;0).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() + if self.head.is_some() { 1 } else { 0 }
+    }
+
+    /// Convenience: [`push_bytes`](RequestParser::push_bytes) then
+    /// [`poll`](RequestParser::poll).
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Option<Request>, HttpError> {
+        self.push_bytes(chunk);
+        self.poll()
+    }
+
+    /// Try to complete one request from the buffered bytes. `Ok(None)`
+    /// means more input is needed. After `Ok(Some(_))`, surplus bytes
+    /// (a pipelined next request) stay buffered; poll again before
+    /// reading from the socket.
+    pub fn poll(&mut self) -> Result<Option<Request>, HttpError> {
+        if self.head.is_none() {
+            match self.try_head()? {
+                Some(head) => self.head = Some(head),
+                None => return Ok(None),
+            }
+        }
+        let need = self.head.as_ref().expect("head just set").content_length;
+        if self.buf.len() < need {
+            return Ok(None);
+        }
+        let head = self.head.take().expect("head present");
+        let body: Vec<u8> = self.buf.drain(..need).collect();
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            version: head.version,
+            headers: head.headers,
+            body,
+        }))
+    }
+
+    /// Locate and parse the head block, consuming it from the buffer.
+    fn try_head(&mut self) -> Result<Option<Head>, HttpError> {
+        // Enforce line/total caps on the *unterminated* prefix too, so
+        // a peer that never sends the terminator still hits the limit.
+        let end = match find_subslice(&self.buf, b"\r\n\r\n") {
+            Some(at) => at,
+            None => {
+                if self.buf.len() > self.limits.max_head_bytes {
+                    return Err(HttpError::HeadersTooLarge {
+                        limit: self.limits.max_head_bytes,
+                    });
+                }
+                let tail_line = self
+                    .buf
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map_or(self.buf.len(), |at| self.buf.len() - at - 1);
+                if tail_line > self.limits.max_header_line {
+                    return Err(HttpError::HeadersTooLarge {
+                        limit: self.limits.max_header_line,
+                    });
+                }
+                // Lines already terminated inside the buffer are also
+                // subject to the per-line cap even before the block ends.
+                if self
+                    .lines_of(self.buf.len())
+                    .any(|l| l.len() > self.limits.max_header_line)
+                {
+                    return Err(HttpError::HeadersTooLarge {
+                        limit: self.limits.max_header_line,
+                    });
+                }
+                return Ok(None);
+            }
+        };
+        if end + 4 > self.limits.max_head_bytes {
+            return Err(HttpError::HeadersTooLarge {
+                limit: self.limits.max_head_bytes,
+            });
+        }
+        let head = self.parse_head(end)?;
+        self.buf.drain(..end + 4);
+        Ok(Some(head))
+    }
+
+    /// Iterate over the `\r\n`-terminated lines of `buf[..upto]`.
+    fn lines_of(&self, upto: usize) -> impl Iterator<Item = &[u8]> {
+        self.buf[..upto]
+            .split(|&b| b == b'\n')
+            .map(|line| line.strip_suffix(b"\r").unwrap_or(line))
+    }
+
+    fn parse_head(&self, end: usize) -> Result<Head, HttpError> {
+        let bad = |detail: String| HttpError::BadRequest { detail };
+        let mut lines = self.lines_of(end);
+        let request_line = lines.next().ok_or_else(|| bad("empty head".into()))?;
+        if request_line.len() > self.limits.max_header_line {
+            return Err(HttpError::HeadersTooLarge {
+                limit: self.limits.max_header_line,
+            });
+        }
+        let text = std::str::from_utf8(request_line)
+            .map_err(|_| bad("request line is not UTF-8".into()))?;
+        let mut parts = text.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+            _ => return Err(bad(format!("malformed request line {text:?}"))),
+        };
+        if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+            return Err(bad(format!("malformed method {method:?}")));
+        }
+        let version = match version {
+            "HTTP/1.1" => Version::Http11,
+            "HTTP/1.0" => Version::Http10,
+            other if other.starts_with("HTTP/") => {
+                return Err(HttpError::UnsupportedVersion {
+                    found: other.to_string(),
+                })
+            }
+            other => return Err(bad(format!("malformed version {other:?}"))),
+        };
+
+        let mut headers = Vec::new();
+        let mut content_length: Option<usize> = None;
+        for line in lines {
+            if line.len() > self.limits.max_header_line {
+                return Err(HttpError::HeadersTooLarge {
+                    limit: self.limits.max_header_line,
+                });
+            }
+            if headers.len() == self.limits.max_headers {
+                return Err(HttpError::HeadersTooLarge {
+                    limit: self.limits.max_headers,
+                });
+            }
+            let text =
+                std::str::from_utf8(line).map_err(|_| bad("header line is not UTF-8".into()))?;
+            let (name, value) = text
+                .split_once(':')
+                .ok_or_else(|| bad(format!("header line without ':': {text:?}")))?;
+            if name.is_empty() || name.contains(' ') || name.contains('\t') {
+                return Err(bad(format!("malformed header name {name:?}")));
+            }
+            let name = name.to_ascii_lowercase();
+            let value = value.trim_matches([' ', '\t']).to_string();
+            match name.as_str() {
+                "content-length" => {
+                    if content_length.is_some() {
+                        return Err(bad("duplicate Content-Length".into()));
+                    }
+                    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                        return Err(bad(format!("invalid Content-Length {value:?}")));
+                    }
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| bad(format!("invalid Content-Length {value:?}")))?;
+                    if n > self.limits.max_body {
+                        return Err(HttpError::BodyTooLarge {
+                            declared: n,
+                            limit: self.limits.max_body,
+                        });
+                    }
+                    content_length = Some(n);
+                }
+                "transfer-encoding" => {
+                    return Err(HttpError::NotImplemented {
+                        feature: "Transfer-Encoding",
+                    })
+                }
+                _ => {}
+            }
+            headers.push((name, value));
+        }
+        Ok(Head {
+            method: method.to_string(),
+            path: path.to_string(),
+            version,
+            headers,
+            content_length: content_length.unwrap_or(0),
+        })
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// A response ready to be written to the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length` and `Connection` are emitted by
+    /// the writer; do not add them here).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with this status.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(body.into_bytes())
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response::new(status)
+            .with_header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into_bytes())
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Set the body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// The canonical reason phrase for a status this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize status line, headers (including `Content-Length` and
+    /// `Connection`), and body in one buffered write.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            Response::reason(self.status)
+        )?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        write!(out, "Content-Length: {}\r\n", self.body.len())?;
+        write!(
+            out,
+            "Connection: {}\r\n\r\n",
+            if keep_alive { "keep-alive" } else { "close" }
+        )?;
+        out.extend_from_slice(&self.body);
+        w.write_all(&out)?;
+        w.flush()
+    }
+}
+
+/// The response a protocol error dies with.
+pub fn error_response(e: &HttpError) -> Response {
+    let body = crate::wire::error_body(&e.to_string());
+    Response::json(e.status(), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        RequestParser::new(Limits::default()).feed(bytes)
+    }
+
+    const POST: &[u8] = b"POST /v1/recommend HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody";
+
+    #[test]
+    fn parses_a_complete_request() {
+        let req = parse_one(POST).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/recommend");
+        assert_eq!(req.version, Version::Http11);
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"body");
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn any_split_point_parses_identically() {
+        let whole = parse_one(POST).unwrap().unwrap();
+        for cut in 0..POST.len() {
+            let mut p = RequestParser::new(Limits::default());
+            let first = p.feed(&POST[..cut]).unwrap();
+            let req = match first {
+                Some(r) => r,
+                None => p.feed(&POST[cut..]).unwrap().expect("complete"),
+            };
+            assert_eq!(req, whole, "split at {cut}");
+        }
+        // Byte-at-a-time.
+        let mut p = RequestParser::new(Limits::default());
+        let mut got = None;
+        for &b in POST {
+            if let Some(r) = p.feed(&[b]).unwrap() {
+                got = Some(r);
+            }
+        }
+        assert_eq!(got.unwrap(), whole);
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let mut both = POST.to_vec();
+        both.extend_from_slice(b"GET /v1/healthz HTTP/1.1\r\n\r\n");
+        let mut p = RequestParser::new(Limits::default());
+        let first = p.feed(&both).unwrap().unwrap();
+        assert_eq!(first.path, "/v1/recommend");
+        let second = p.poll().unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/v1/healthz");
+        assert!(second.body.is_empty());
+        assert_eq!(p.buffered(), 0);
+        assert!(p.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn get_without_content_length_has_empty_body() {
+        let req = parse_one(b"GET /v1/metrics HTTP/1.0\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.version, Version::Http10);
+        assert!(req.body.is_empty());
+        assert!(!req.wants_keep_alive(), "1.0 defaults to close");
+    }
+
+    #[test]
+    fn connection_header_overrides_version_default() {
+        let req = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.wants_keep_alive());
+        let req = parse_one(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn malformed_syntax_is_400() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"GET / HTTP/1.1 extra\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            b"GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+        ] {
+            let got = parse_one(bad);
+            assert!(
+                matches!(got, Err(HttpError::BadRequest { .. })),
+                "{:?} -> {got:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_features_are_distinct_errors() {
+        assert!(matches!(
+            parse_one(b"GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion { .. })
+        ));
+        assert!(matches!(
+            parse_one(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::NotImplemented { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_inputs_hit_their_limits() {
+        let limits = Limits {
+            max_head_bytes: 256,
+            max_header_line: 64,
+            max_headers: 4,
+            max_body: 128,
+        };
+        // One huge header line, never terminated: rejected while buffering.
+        let mut p = RequestParser::new(limits.clone());
+        let mut long = b"GET / HTTP/1.1\r\nX-A: ".to_vec();
+        long.extend(std::iter::repeat_n(b'a', 100));
+        let got = p.feed(&long);
+        assert!(matches!(got, Err(HttpError::HeadersTooLarge { limit: 64 })));
+        // Too many headers.
+        let mut req = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..6 {
+            req.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+        }
+        req.extend_from_slice(b"\r\n");
+        assert!(matches!(
+            RequestParser::new(limits.clone()).feed(&req),
+            Err(HttpError::HeadersTooLarge { limit: 4 })
+        ));
+        // Head block over the total cap (many short lines).
+        let mut req = b"GET / HTTP/1.1\r\n".to_vec();
+        for _ in 0..40 {
+            req.extend_from_slice(b"Y: zzzzzz\r\n");
+        }
+        let got = RequestParser::new(Limits {
+            max_headers: 1000,
+            ..limits.clone()
+        })
+        .feed(&req);
+        assert!(matches!(
+            got,
+            Err(HttpError::HeadersTooLarge { limit: 256 })
+        ));
+        // Declared body over the cap: rejected from the header alone.
+        assert!(matches!(
+            RequestParser::new(limits).feed(b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n"),
+            Err(HttpError::BodyTooLarge {
+                declared: 1000,
+                limit: 128
+            })
+        ));
+    }
+
+    #[test]
+    fn response_writer_emits_content_length_and_connection() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        Response::new(503)
+            .with_header("Retry-After", "1")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}

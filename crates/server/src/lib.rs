@@ -1,0 +1,43 @@
+//! `anchors-server` — a pure-`std` HTTP/1.1 front end for the serving
+//! subsystem.
+//!
+//! The whole network stack is built on [`std::net::TcpListener`]: a
+//! hand-rolled incremental parser with enforced input limits
+//! ([`http`]), a fixed worker pool fed by a bounded connection queue
+//! that sheds overload with `503 Retry-After` ([`queue`], [`server`]),
+//! a router over the model-serving endpoints ([`router`]), lock-free
+//! metrics with fixed-bucket latency histograms ([`metrics`]), and a
+//! graceful shutdown that drains every accepted connection. No
+//! external dependencies, no async runtime — concurrency is threads
+//! and a condvar, which is deterministic to reason about and plenty
+//! for the sub-millisecond fold-in solves it fronts.
+//!
+//! ```no_run
+//! use anchors_curricula::{cs2013, pdc12};
+//! use anchors_server::{AppState, Server, ServerConfig};
+//! use anchors_serve::Registry;
+//! use std::sync::Arc;
+//!
+//! let registry = Registry::open("models").unwrap();
+//! let state = Arc::new(AppState::from_registry(registry, cs2013(), pdc12()).unwrap());
+//! let handle = Server::start(state, "127.0.0.1:8080", ServerConfig::default()).unwrap();
+//! // ... serve until done ...
+//! handle.shutdown(); // drains in-flight requests, then exits
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod router;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientResponse};
+pub use http::{HttpError, Limits, Request, RequestParser, Response, Version};
+pub use metrics::{LatencyHistogram, Metrics, LATENCY_BOUNDS_US};
+pub use queue::{BoundedQueue, PushError};
+pub use server::{AppState, Server, ServerConfig, ServerHandle};
+pub use wire::WireError;

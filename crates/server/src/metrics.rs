@@ -1,0 +1,208 @@
+//! Lock-free serving observability.
+//!
+//! Every counter is a relaxed [`AtomicU64`] — the hot path (a worker
+//! finishing a request) does a handful of `fetch_add`s and never takes a
+//! lock. Latency lands in a fixed-bucket histogram (bounds in
+//! microseconds, chosen to straddle the sub-millisecond fold-in solve
+//! and multi-millisecond overload tails). `/v1/metrics` renders the
+//! whole thing in Prometheus text exposition format, so a scrape is one
+//! relaxed load per line.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Upper bounds (µs) of the latency histogram buckets; one overflow
+/// bucket (`+Inf`) follows the last bound.
+pub const LATENCY_BOUNDS_US: [u64; 12] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000,
+];
+
+/// A fixed-bucket latency histogram with relaxed atomic counters.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn observe(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum_us.fetch_add(us, Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all observations, µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Relaxed)
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` ∈ [0, 1];
+    /// `f64::INFINITY` when it lands in the overflow bucket, `0` when
+    /// nothing was observed.
+    pub fn quantile_upper_us(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Relaxed);
+            if seen >= target {
+                return LATENCY_BOUNDS_US
+                    .get(i)
+                    .map_or(f64::INFINITY, |&b| b as f64);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Render as cumulative Prometheus `_bucket`/`_sum`/`_count` lines.
+    fn render(&self, name: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Relaxed);
+            let le = LATENCY_BOUNDS_US
+                .get(i)
+                .map_or("+Inf".to_string(), |b| b.to_string());
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", self.sum_us());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+/// All counters the server maintains.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections accepted (including ones later shed).
+    pub connections: AtomicU64,
+    /// Requests fully parsed.
+    pub requests: AtomicU64,
+    /// Responses by class.
+    pub responses_2xx: AtomicU64,
+    /// 4xx responses (client errors, including parse failures).
+    pub responses_4xx: AtomicU64,
+    /// 5xx responses (handler failures; excludes shed 503s).
+    pub responses_5xx: AtomicU64,
+    /// Connections shed with `503 Retry-After` because the queue was full.
+    pub shed: AtomicU64,
+    /// Connections dropped by a protocol parse error.
+    pub parse_errors: AtomicU64,
+    /// Connections that hit the read deadline mid-request.
+    pub timeouts: AtomicU64,
+    /// Successful `/v1/reload` swaps.
+    pub reloads: AtomicU64,
+    /// Request latency, parse-complete → response written.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Record a finished response.
+    pub fn observe_response(&self, status: u16, latency: Duration) {
+        match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        }
+        .fetch_add(1, Relaxed);
+        self.latency.observe(latency);
+    }
+
+    /// Render every counter in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let counter = |out: &mut String, name: &str, v: &AtomicU64| {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", v.load(Relaxed));
+        };
+        counter(
+            &mut out,
+            "anchors_http_connections_total",
+            &self.connections,
+        );
+        counter(&mut out, "anchors_http_requests_total", &self.requests);
+        let _ = writeln!(out, "# TYPE anchors_http_responses_total counter");
+        for (class, v) in [
+            ("2xx", &self.responses_2xx),
+            ("4xx", &self.responses_4xx),
+            ("5xx", &self.responses_5xx),
+        ] {
+            let _ = writeln!(
+                out,
+                "anchors_http_responses_total{{class=\"{class}\"}} {}",
+                v.load(Relaxed)
+            );
+        }
+        counter(&mut out, "anchors_http_shed_total", &self.shed);
+        counter(
+            &mut out,
+            "anchors_http_parse_errors_total",
+            &self.parse_errors,
+        );
+        counter(&mut out, "anchors_http_timeouts_total", &self.timeouts);
+        counter(&mut out, "anchors_http_reloads_total", &self.reloads);
+        let _ = writeln!(out, "# TYPE anchors_http_request_duration_us histogram");
+        self.latency
+            .render("anchors_http_request_duration_us", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_us(0.5), 0.0, "empty histogram");
+        for us in [10u64, 60, 60, 300, 2_000, 600_000] {
+            h.observe(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum_us(), 602_430);
+        // 10 → ≤50; 60,60 → ≤100; 300 → ≤500; 2000 → ≤2500; 600k → +Inf.
+        assert_eq!(h.quantile_upper_us(0.0), 50.0);
+        assert_eq!(h.quantile_upper_us(0.5), 100.0);
+        assert_eq!(h.quantile_upper_us(0.99), f64::INFINITY);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_complete() {
+        let m = Metrics::new();
+        m.requests.fetch_add(3, Relaxed);
+        m.observe_response(200, Duration::from_micros(80));
+        m.observe_response(200, Duration::from_micros(80));
+        m.observe_response(404, Duration::from_micros(30));
+        m.shed.fetch_add(1, Relaxed);
+        let text = m.render_prometheus();
+        assert!(text.contains("anchors_http_requests_total 3"), "{text}");
+        assert!(text.contains("anchors_http_responses_total{class=\"2xx\"} 2"));
+        assert!(text.contains("anchors_http_responses_total{class=\"4xx\"} 1"));
+        assert!(text.contains("anchors_http_shed_total 1"));
+        assert!(text.contains("anchors_http_request_duration_us_bucket{le=\"50\"} 1"));
+        assert!(text.contains("anchors_http_request_duration_us_bucket{le=\"100\"} 3"));
+        assert!(text.contains("anchors_http_request_duration_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("anchors_http_request_duration_us_count 3"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Routing: one parsed [`Request`] in, one [`Response`] out.
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `POST /v1/recommend` | fold in one course, full §5.2 response |
+//! | `POST /v1/classify`  | fold in one course, flavor signal only |
+//! | `POST /v1/batch`     | N queries → one [`BatchQueue`] flush → one NNLS solve |
+//! | `GET  /v1/healthz`   | liveness + served model version |
+//! | `GET  /v1/metrics`   | Prometheus text exposition |
+//! | `POST /v1/reload`    | atomic snapshot swap to the newest registry version |
+//!
+//! Every handler runs against the engine `Arc` it snapshots at entry, so
+//! a concurrent reload never changes a response mid-request. Handler
+//! failures map onto statuses by error kind ([`serve_error_status`]):
+//! client mistakes (unknown tag, wrong shape) are 4xx, solver or
+//! registry trouble is 5xx, and a non-finite value in a response body is
+//! caught by `Json::try_write` and surfaces as a 500 — never as invalid
+//! JSON on the wire.
+
+use crate::http::{Request, Response};
+use crate::server::AppState;
+use crate::wire;
+use anchors_serve::json::Json;
+use anchors_serve::{BatchQueue, ServeError};
+use std::sync::atomic::Ordering::Relaxed;
+
+/// Dispatch one request.
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("POST", "/v1/recommend") => recommend(state, req, wire::response_json),
+        ("POST", "/v1/classify") => recommend(state, req, wire::classify_json),
+        ("POST", "/v1/batch") => batch(state, req),
+        ("GET", "/v1/healthz") => healthz(state),
+        ("GET", "/v1/metrics") => Response::text(200, state.metrics.render_prometheus()),
+        ("POST", "/v1/reload") => reload(state),
+        (_, "/v1/recommend" | "/v1/classify" | "/v1/batch" | "/v1/reload") => {
+            method_not_allowed("POST")
+        }
+        (_, "/v1/healthz" | "/v1/metrics") => method_not_allowed("GET"),
+        _ => Response::json(404, wire::error_body(&format!("no route for {path}"))),
+    }
+}
+
+fn method_not_allowed(allow: &str) -> Response {
+    Response::json(
+        405,
+        wire::error_body(&format!("method not allowed; use {allow}")),
+    )
+    .with_header("Allow", allow)
+}
+
+/// The status a serving-layer failure maps to: client-caused errors are
+/// 4xx, model/registry/solver trouble is 5xx.
+pub fn serve_error_status(e: &ServeError) -> u16 {
+    match e {
+        ServeError::UnknownTag { .. } | ServeError::QueryShape { .. } => 400,
+        ServeError::Corrupt { .. }
+        | ServeError::SchemaVersion { .. }
+        | ServeError::FingerprintMismatch { .. }
+        | ServeError::VersionNotFound { .. }
+        | ServeError::EmptyRegistry
+        | ServeError::Io { .. }
+        | ServeError::Linalg(_) => 500,
+    }
+}
+
+fn json_response(status: u16, doc: Json) -> Response {
+    match doc.try_write() {
+        Ok(body) => Response::json(status, body),
+        // A non-finite number slipped into a response: typed 500, not
+        // invalid JSON.
+        Err(e) => Response::json(500, wire::error_body(&e.to_string())),
+    }
+}
+
+fn serve_error(e: &ServeError) -> Response {
+    Response::json(serve_error_status(e), wire::error_body(&e.to_string()))
+}
+
+fn wire_error(e: &wire::WireError) -> Response {
+    Response::json(400, wire::error_body(&e.to_string()))
+}
+
+fn recommend(
+    state: &AppState,
+    req: &Request,
+    encode: fn(&anchors_serve::QueryResponse) -> Json,
+) -> Response {
+    let doc = match wire::parse_body(&req.body) {
+        Ok(doc) => doc,
+        Err(e) => return wire_error(&e),
+    };
+    let query = match wire::course_query(&doc) {
+        Ok(q) => q,
+        Err(e) => return wire_error(&e),
+    };
+    let snapshot = state.cache.snapshot();
+    match snapshot.engine.query(&query) {
+        Ok(resp) => json_response(200, encode(&resp)),
+        Err(e) => serve_error(&e),
+    }
+}
+
+fn batch(state: &AppState, req: &Request) -> Response {
+    let doc = match wire::parse_body(&req.body) {
+        Ok(doc) => doc,
+        Err(e) => return wire_error(&e),
+    };
+    let queries = match wire::course_queries(&doc) {
+        Ok(qs) => qs,
+        Err(e) => return wire_error(&e),
+    };
+    // N network queries become one matrix-level NNLS solve: the whole
+    // body drains through a BatchQueue flush against one snapshot.
+    let mut queue = BatchQueue::new();
+    for q in queries {
+        queue.push(q);
+    }
+    let snapshot = state.cache.snapshot();
+    match queue.flush(&snapshot.engine) {
+        Ok(responses) => json_response(
+            200,
+            Json::Obj(vec![(
+                "responses".into(),
+                Json::Arr(responses.iter().map(wire::response_json).collect()),
+            )]),
+        ),
+        Err(e) => serve_error(&e),
+    }
+}
+
+fn healthz(state: &AppState) -> Response {
+    let snapshot = state.cache.snapshot();
+    json_response(
+        200,
+        Json::Obj(vec![
+            ("status".into(), Json::Str("ok".into())),
+            ("version".into(), Json::Num(snapshot.version as f64)),
+            (
+                "model".into(),
+                Json::Str(snapshot.engine.model().name.clone()),
+            ),
+            ("k".into(), Json::Num(snapshot.engine.k() as f64)),
+            ("tags".into(), Json::Num(snapshot.engine.n_tags() as f64)),
+        ]),
+    )
+}
+
+fn reload(state: &AppState) -> Response {
+    match state.cache.reload(&state.registry, state.cs, state.pdc) {
+        Ok(version) => {
+            state.metrics.reloads.fetch_add(1, Relaxed);
+            json_response(
+                200,
+                Json::Obj(vec![
+                    ("reloaded".into(), Json::Bool(true)),
+                    ("version".into(), Json::Num(version as f64)),
+                ]),
+            )
+        }
+        Err(e) => serve_error(&e),
+    }
+}

@@ -1,0 +1,326 @@
+//! The server runtime: accept loop, worker pool, backpressure, and
+//! graceful drain.
+//!
+//! One acceptor thread owns the listener and does *no* request work — it
+//! accepts, stamps timeouts, and tries a non-blocking push onto a
+//! [`BoundedQueue`] of connections. A fixed pool of workers blocks on
+//! that queue and runs the whole connection lifecycle: incremental
+//! parse, [`router::handle`], response write, keep-alive loop. When the
+//! queue is full the acceptor itself writes `503 Retry-After` and closes
+//! — overload sheds load in constant time instead of queueing without
+//! bound.
+//!
+//! [`ServerHandle::shutdown`] closes the front door (no new accepts),
+//! then closes the queue, which lets the workers drain everything
+//! already accepted before they exit — in-flight requests are never
+//! dropped.
+
+use crate::http::{self, HttpError, Limits, RequestParser, Response};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::router;
+use anchors_curricula::Ontology;
+use anchors_serve::{Registry, ServeError, SnapshotCache};
+use std::io::{self, ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded connection-queue depth; beyond it, connections are shed.
+    pub queue_depth: usize,
+    /// Parser input limits.
+    pub limits: Limits,
+    /// Socket read deadline (per `read` call).
+    pub read_timeout: Duration,
+    /// Socket write deadline.
+    pub write_timeout: Duration,
+    /// `Retry-After` seconds advertised on shed connections.
+    pub retry_after_secs: u32,
+    /// Artificial per-request delay, for overload tests and benches
+    /// that need a deterministic service time. `None` in production.
+    pub handler_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retry_after_secs: 1,
+            handler_delay: None,
+        }
+    }
+}
+
+/// Everything a request handler can reach: the hot-swappable model
+/// snapshot, the on-disk registry it reloads from, and the metrics.
+pub struct AppState {
+    /// The served model, swapped atomically by `/v1/reload`.
+    pub cache: SnapshotCache,
+    /// Registry the cache reloads from.
+    pub registry: Registry,
+    /// CS tag ontology the engine validates against.
+    pub cs: &'static Ontology,
+    /// PDC topic ontology.
+    pub pdc: &'static Ontology,
+    /// Serving counters and latency histogram.
+    pub metrics: Metrics,
+}
+
+impl AppState {
+    /// State serving the newest model in `registry`.
+    pub fn from_registry(
+        registry: Registry,
+        cs: &'static Ontology,
+        pdc: &'static Ontology,
+    ) -> Result<Self, ServeError> {
+        let cache = SnapshotCache::from_registry(&registry, cs, pdc)?;
+        Ok(AppState {
+            cache,
+            registry,
+            cs,
+            pdc,
+            metrics: Metrics::new(),
+        })
+    }
+}
+
+/// A running HTTP server; dropped or [`shutdown`](ServerHandle::shutdown)
+/// handles stop it gracefully.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stopping: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+}
+
+impl ServerHandle {
+    /// The bound address (use port 0 in `start` to pick a free one).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state.
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// The server's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.state.metrics
+    }
+
+    /// Stop accepting, then drain: every connection already queued is
+    /// served to completion before the workers exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.stopping.swap(true, SeqCst) {
+            return;
+        }
+        // The acceptor blocks in accept(); a throwaway connection wakes
+        // it so it can observe the stop flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // No more pushes are possible; close the queue so workers drain
+        // what's left and then exit.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The HTTP front end.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` and start the acceptor and worker pool. Returns once
+    /// the listener is live; requests are served on background threads.
+    pub fn start(
+        state: Arc<AppState>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let queue = Arc::new(BoundedQueue::new(config.queue_depth));
+        let stopping = Arc::new(AtomicBool::new(false));
+        let config = Arc::new(config);
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let state = Arc::clone(&state);
+                let config = Arc::clone(&config);
+                let stopping = Arc::clone(&stopping);
+                thread::Builder::new()
+                    .name(format!("anchors-http-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            serve_connection(&state, &config, &stopping, stream);
+                        }
+                    })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let acceptor = {
+            let queue = Arc::clone(&queue);
+            let state = Arc::clone(&state);
+            let config = Arc::clone(&config);
+            let stopping = Arc::clone(&stopping);
+            thread::Builder::new()
+                .name("anchors-http-accept".into())
+                .spawn(move || {
+                    accept_loop(&listener, &queue, &state, &config, &stopping);
+                })?
+        };
+
+        Ok(ServerHandle {
+            addr: local,
+            state,
+            stopping,
+            acceptor: Some(acceptor),
+            workers,
+            queue,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &BoundedQueue<TcpStream>,
+    state: &AppState,
+    config: &ServerConfig,
+    stopping: &AtomicBool,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stopping.load(SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stopping.load(SeqCst) {
+            return;
+        }
+        state.metrics.connections.fetch_add(1, Relaxed);
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        match queue.try_push(stream) {
+            Ok(()) => {}
+            Err(PushError::Full(stream)) | Err(PushError::Closed(stream)) => {
+                shed(state, config, stream);
+            }
+        }
+    }
+}
+
+/// Refuse one connection with `503 Retry-After` — the constant-time
+/// overload path, run on the acceptor thread itself.
+fn shed(state: &AppState, config: &ServerConfig, mut stream: TcpStream) {
+    state.metrics.shed.fetch_add(1, Relaxed);
+    let resp = Response::json(
+        503,
+        crate::wire::error_body("server is at capacity; retry shortly"),
+    )
+    .with_header("Retry-After", &config.retry_after_secs.to_string());
+    let _ = resp.write_to(&mut stream, false);
+}
+
+/// Run one connection to completion: keep-alive loop of parse →
+/// route → respond, with typed-error responses and deadline handling.
+fn serve_connection(
+    state: &AppState,
+    config: &ServerConfig,
+    stopping: &AtomicBool,
+    mut stream: TcpStream,
+) {
+    let mut parser = RequestParser::new(config.limits.clone());
+    let mut chunk = [0u8; 8 * 1024];
+    loop {
+        // Drain buffered (pipelined) requests before touching the socket.
+        let request = loop {
+            match parser.poll() {
+                Ok(Some(req)) => break Some(req),
+                Ok(None) => {}
+                Err(e) => {
+                    protocol_error(state, &mut stream, &e);
+                    return;
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => break None,
+                Ok(n) => parser.push_bytes(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    // Deadline hit. Mid-request is a client fault worth a
+                    // 408; an idle keep-alive connection just closes.
+                    if parser.buffered() > 0 {
+                        state.metrics.timeouts.fetch_add(1, Relaxed);
+                        let resp =
+                            Response::json(408, crate::wire::error_body("timed out mid-request"));
+                        let _ = resp.write_to(&mut stream, false);
+                    }
+                    break None;
+                }
+                Err(_) => break None,
+            }
+        };
+        let Some(request) = request else { return };
+
+        state.metrics.requests.fetch_add(1, Relaxed);
+        if let Some(delay) = config.handler_delay {
+            thread::sleep(delay);
+        }
+        let started = Instant::now();
+        let response = router::handle(state, &request);
+        // A stopping server finishes the request it has but closes the
+        // connection, so the drain terminates.
+        let keep_alive = request.wants_keep_alive() && !stopping.load(SeqCst);
+        let wrote = response.write_to(&mut stream, keep_alive);
+        state
+            .metrics
+            .observe_response(response.status, started.elapsed());
+        if wrote.is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Answer a protocol-level parse failure with its typed status and close.
+fn protocol_error(state: &AppState, stream: &mut TcpStream, e: &HttpError) {
+    state.metrics.parse_errors.fetch_add(1, Relaxed);
+    let started = Instant::now();
+    let resp = http::error_response(e);
+    let _ = resp.write_to(stream, false);
+    state
+        .metrics
+        .observe_response(resp.status, started.elapsed());
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

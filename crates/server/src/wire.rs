@@ -1,0 +1,281 @@
+//! The HTTP wire format: JSON request bodies ↔ serving-layer types.
+//!
+//! Requests and responses reuse `anchors_serve::json` — the same codec
+//! that gives model artifacts their bitwise `f64` round-trip — so a
+//! client reading loadings off the wire sees exactly the numbers the
+//! solver produced. Serialization goes through [`Json::try_write`]:
+//! a non-finite number anywhere in a response is a typed error (and a
+//! 500), never invalid JSON on the wire.
+//!
+//! A recommend/classify body looks like
+//!
+//! ```json
+//! {"name": "CS 201", "labels": ["DS"], "tags": ["AL.BA.t1", "SDF.FDS.t2"]}
+//! ```
+//!
+//! and a batch body wraps N of those: `{"queries": [...]}`.
+
+use anchors_core::Recommendation;
+use anchors_materials::{CourseLabel, SearchHit};
+use anchors_serve::engine::{CourseQuery, QueryResponse};
+use anchors_serve::json::{self, Json};
+use std::fmt;
+
+/// A request body the wire layer cannot accept (always a 400).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The body is not a JSON document.
+    Malformed {
+        /// Parse failure detail.
+        detail: String,
+    },
+    /// The document is JSON but not the expected shape.
+    Shape {
+        /// What was expected where.
+        detail: String,
+    },
+    /// A course label string no [`CourseLabel`] matches.
+    UnknownLabel {
+        /// The offending label.
+        label: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Malformed { detail } => write!(f, "request body is not JSON: {detail}"),
+            WireError::Shape { detail } => write!(f, "unexpected request shape: {detail}"),
+            WireError::UnknownLabel { label } => {
+                write!(
+                    f,
+                    "unknown course label {label:?} (expected one of {})",
+                    CourseLabel::ALL.map(|l| l.short()).join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Parse a UTF-8 JSON body into a document.
+pub fn parse_body(body: &[u8]) -> Result<Json, WireError> {
+    let text = std::str::from_utf8(body).map_err(|_| WireError::Malformed {
+        detail: "body is not UTF-8".into(),
+    })?;
+    json::parse(text).map_err(|e| WireError::Malformed {
+        detail: e.to_string(),
+    })
+}
+
+/// Decode one course query object: `{"name", "labels", "tags"}`.
+/// `name` and `labels` are optional; `tags` is required.
+pub fn course_query(doc: &Json) -> Result<CourseQuery, WireError> {
+    let shape = |detail: &str| WireError::Shape {
+        detail: detail.into(),
+    };
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(shape("query must be an object"));
+    }
+    let name = match doc.get("name") {
+        None => String::new(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| shape("\"name\" must be a string"))?
+            .to_string(),
+    };
+    let labels = match doc.get("labels") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| shape("\"labels\" must be an array"))?
+            .iter()
+            .map(|l| {
+                let text = l.as_str().ok_or_else(|| shape("labels must be strings"))?;
+                CourseLabel::parse(text).ok_or_else(|| WireError::UnknownLabel {
+                    label: text.to_string(),
+                })
+            })
+            .collect::<Result<Vec<CourseLabel>, WireError>>()?,
+    };
+    let tags = doc
+        .get("tags")
+        .ok_or_else(|| shape("missing \"tags\""))?
+        .as_arr()
+        .ok_or_else(|| shape("\"tags\" must be an array"))?
+        .iter()
+        .map(|t| t.as_str().map(str::to_string))
+        .collect::<Option<Vec<String>>>()
+        .ok_or_else(|| shape("tags must be strings"))?;
+    Ok(CourseQuery::new(name, labels, tags))
+}
+
+/// Decode a batch body: `{"queries": [<query>, ...]}`.
+pub fn course_queries(doc: &Json) -> Result<Vec<CourseQuery>, WireError> {
+    doc.get("queries")
+        .ok_or_else(|| WireError::Shape {
+            detail: "missing \"queries\"".into(),
+        })?
+        .as_arr()
+        .ok_or_else(|| WireError::Shape {
+            detail: "\"queries\" must be an array".into(),
+        })?
+        .iter()
+        .map(course_query)
+        .collect()
+}
+
+fn num_arr(values: &[f64]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Num(v)).collect())
+}
+
+fn str_arr<S: AsRef<str>>(values: &[S]) -> Json {
+    Json::Arr(
+        values
+            .iter()
+            .map(|v| Json::Str(v.as_ref().to_string()))
+            .collect(),
+    )
+}
+
+fn recommendation_json(rec: &Recommendation) -> Json {
+    Json::Obj(vec![
+        ("flavor".into(), Json::Str(rec.flavor.as_str().into())),
+        ("title".into(), Json::Str(rec.title.clone())),
+        ("rationale".into(), Json::Str(rec.rationale.clone())),
+        ("activity".into(), Json::Str(rec.activity.clone())),
+        ("pdc_topics".into(), str_arr(&rec.pdc_topics)),
+        ("anchors".into(), str_arr(&rec.anchors)),
+    ])
+}
+
+fn hit_json(hit: &SearchHit) -> Json {
+    Json::Obj(vec![
+        ("material".into(), Json::Num(hit.material.0 as f64)),
+        ("score".into(), Json::Num(hit.score)),
+        ("exact_matches".into(), Json::Num(hit.exact_matches as f64)),
+    ])
+}
+
+/// Encode a full `/v1/recommend` response.
+pub fn response_json(resp: &QueryResponse) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(resp.name.clone())),
+        ("loadings".into(), num_arr(&resp.loadings)),
+        ("mixture".into(), num_arr(&resp.mixture)),
+        (
+            "flavors".into(),
+            Json::Arr(
+                resp.flavors
+                    .iter()
+                    .map(|f| Json::Str(f.as_str().into()))
+                    .collect(),
+            ),
+        ),
+        (
+            "recommendations".into(),
+            Json::Arr(
+                resp.recommendations
+                    .iter()
+                    .map(recommendation_json)
+                    .collect(),
+            ),
+        ),
+        (
+            "nearest".into(),
+            Json::Arr(resp.nearest.iter().map(hit_json).collect()),
+        ),
+    ])
+}
+
+/// Encode the lighter `/v1/classify` response: flavor signal only.
+pub fn classify_json(resp: &QueryResponse) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::Str(resp.name.clone())),
+        ("mixture".into(), num_arr(&resp.mixture)),
+        (
+            "flavors".into(),
+            Json::Arr(
+                resp.flavors
+                    .iter()
+                    .map(|f| Json::Str(f.as_str().into()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The uniform error body: `{"error": "<message>"}`.
+pub fn error_body(message: &str) -> String {
+    Json::Obj(vec![("error".into(), Json::Str(message.into()))])
+        .try_write()
+        .expect("error body is finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_a_full_query() {
+        let doc = json::parse(
+            r#"{"name":"CS 201","labels":["DS","cs1"],"tags":["AL.BA.t1","SDF.FDS.t2"]}"#,
+        )
+        .unwrap();
+        let q = course_query(&doc).unwrap();
+        assert_eq!(q.name, "CS 201");
+        assert_eq!(
+            q.labels,
+            vec![CourseLabel::DataStructures, CourseLabel::Cs1]
+        );
+        assert_eq!(q.tag_codes, vec!["AL.BA.t1", "SDF.FDS.t2"]);
+    }
+
+    #[test]
+    fn name_and_labels_are_optional() {
+        let doc = json::parse(r#"{"tags":[]}"#).unwrap();
+        let q = course_query(&doc).unwrap();
+        assert_eq!(q.name, "");
+        assert!(q.labels.is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_shapes_with_typed_errors() {
+        for (body, want) in [
+            (r#"[1,2]"#, "query must be an object"),
+            (r#"{"labels":[]}"#, "missing \"tags\""),
+            (r#"{"tags":"AL"}"#, "\"tags\" must be an array"),
+            (r#"{"tags":[1]}"#, "tags must be strings"),
+            (
+                r#"{"tags":[],"labels":"DS"}"#,
+                "\"labels\" must be an array",
+            ),
+        ] {
+            match course_query(&json::parse(body).unwrap()) {
+                Err(WireError::Shape { detail }) => assert_eq!(detail, want, "{body}"),
+                other => panic!("{body} -> {other:?}"),
+            }
+        }
+        match course_query(&json::parse(r#"{"tags":[],"labels":["Quantum"]}"#).unwrap()) {
+            Err(WireError::UnknownLabel { label }) => assert_eq!(label, "Quantum"),
+            other => panic!("expected UnknownLabel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_bodies_decode_every_query() {
+        let doc = json::parse(r#"{"queries":[{"tags":["AL.BA.t1"]},{"tags":[]}]}"#).unwrap();
+        let qs = course_queries(&doc).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_eq!(qs[0].tag_codes, vec!["AL.BA.t1"]);
+        assert!(course_queries(&json::parse(r#"{"queries":{}}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn error_bodies_are_json() {
+        let body = error_body("boom \"quoted\"");
+        let doc = json::parse(&body).unwrap();
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("boom \"quoted\""));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based suite for the HTTP request parser.
+//!
+//! The contracts under test, against adversarial inputs:
+//!
+//! 1. **Totality** — arbitrary bytes never panic the parser; every
+//!    outcome is `Ok(..)` or a typed [`HttpError`].
+//! 2. **Split-invariance** — feeding a request in chunks, cut at any
+//!    byte boundaries (including mid-`\r\n` and mid-body), yields
+//!    exactly the same parse (or the same error) as feeding it whole.
+//! 3. **Limits** — oversized header lines are rejected with
+//!    `HeadersTooLarge` *even when the attacker never terminates the
+//!    line*, and bad or oversized `Content-Length` values die with a
+//!    typed 4xx, never an allocation.
+
+use anchors_server::http::{HttpError, Limits, Request, RequestParser};
+use proptest::prelude::*;
+
+/// Exhaust the parser on `bytes`: collect every completed request until
+/// input runs dry, or stop at the first typed error.
+fn parse_all(bytes: &[u8], limits: &Limits) -> Result<Vec<Request>, HttpError> {
+    let mut parser = RequestParser::new(limits.clone());
+    parser.push_bytes(bytes);
+    let mut out = Vec::new();
+    while let Some(req) = parser.poll()? {
+        out.push(req);
+    }
+    Ok(out)
+}
+
+/// Same input, but delivered in chunks split at `cuts`.
+fn parse_chunked(bytes: &[u8], cuts: &[usize], limits: &Limits) -> Result<Vec<Request>, HttpError> {
+    let mut parser = RequestParser::new(limits.clone());
+    let mut out = Vec::new();
+    let mut at = 0;
+    let mut cuts: Vec<usize> = cuts.iter().map(|&c| c % (bytes.len() + 1)).collect();
+    cuts.sort_unstable();
+    for cut in cuts.into_iter().chain([bytes.len()]) {
+        if cut > at {
+            parser.push_bytes(&bytes[at..cut]);
+            at = cut;
+        }
+        while let Some(req) = parser.poll()? {
+            out.push(req);
+        }
+    }
+    Ok(out)
+}
+
+/// Strategy: a syntactically valid request with arbitrary token, path,
+/// header, and body content.
+fn valid_request() -> impl Strategy<Value = Vec<u8>> {
+    (
+        prop::sample::select(vec!["GET", "POST", "PUT", "DELETE"]),
+        "/[a-zA-Z0-9/_.-]{0,40}",
+        // Values are printable ASCII minus ':' (0x3A), spelled as two
+        // ranges so no character-class set operations are needed.
+        prop::collection::vec(("[A-Za-z][A-Za-z0-9-]{0,12}", "[ -9;-~]{0,24}"), 0..6),
+        prop::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(method, path, headers, body)| {
+            let mut req = format!("{method} {path} HTTP/1.1\r\n").into_bytes();
+            for (name, value) in &headers {
+                // Skip names the parser gives semantics to; they are
+                // exercised separately with well-formed values.
+                if name.eq_ignore_ascii_case("content-length")
+                    || name.eq_ignore_ascii_case("transfer-encoding")
+                {
+                    continue;
+                }
+                req.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+            }
+            req.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+            req.extend_from_slice(&body);
+            req
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary garbage: never a panic, and never an `Ok` hallucinated
+    /// out of bytes that don't start with a plausible request line.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_all(&bytes, &Limits::default());
+    }
+
+    /// Valid requests parse identically no matter how the byte stream is
+    /// chopped up.
+    #[test]
+    fn split_reads_parse_identically(
+        req in valid_request(),
+        cuts in prop::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let limits = Limits::default();
+        let whole = parse_all(&req, &limits);
+        let chunked = parse_chunked(&req, &cuts, &limits);
+        prop_assert_eq!(whole, chunked);
+    }
+
+    /// Two pipelined requests come out in order regardless of chunking.
+    #[test]
+    fn pipelined_pairs_survive_any_split(
+        first in valid_request(),
+        second in valid_request(),
+        cuts in prop::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let limits = Limits::default();
+        let mut stream = first;
+        stream.extend_from_slice(&second);
+        let whole = parse_all(&stream, &limits).expect("both valid");
+        prop_assert_eq!(whole.len(), 2);
+        let chunked = parse_chunked(&stream, &cuts, &limits).expect("both valid");
+        prop_assert_eq!(whole, chunked);
+    }
+
+    /// An unterminated header line larger than the cap is rejected while
+    /// buffering — the parser never waits for a terminator that may
+    /// never come.
+    #[test]
+    fn oversized_header_lines_hit_the_limit(extra in 1usize..2048, byte in 0x21u8..0x7f) {
+        let limits = Limits { max_header_line: 128, ..Limits::default() };
+        let mut req = b"GET / HTTP/1.1\r\nX-Flood: ".to_vec();
+        req.extend(std::iter::repeat_n(byte, limits.max_header_line + extra));
+        // No terminating CRLF on purpose.
+        let got = parse_all(&req, &limits);
+        prop_assert!(
+            matches!(got, Err(HttpError::HeadersTooLarge { .. })),
+            "unterminated {}-byte line -> {:?}", limits.max_header_line + extra, got
+        );
+    }
+
+    /// Bad Content-Length values are a 400 and oversized ones a 413,
+    /// decided from the header alone — no body is ever buffered.
+    #[test]
+    fn bad_content_lengths_are_typed_errors(value in "[ -~]{1,20}") {
+        let limits = Limits { max_body: 4096, ..Limits::default() };
+        let req = format!("POST / HTTP/1.1\r\nContent-Length: {value}\r\n\r\n");
+        // The parser trims surrounding spaces/tabs before validating.
+        let trimmed = value.trim_matches([' ', '\t']);
+        let digits = !trimmed.is_empty() && trimmed.bytes().all(|b| b.is_ascii_digit());
+        match trimmed.parse::<u128>() {
+            Ok(n) if digits && n <= limits.max_body as u128 => {
+                // Well-formed and within limits: not this test's concern.
+            }
+            Ok(n) if digits && n <= usize::MAX as u128 => {
+                let got = parse_all(req.as_bytes(), &limits);
+                prop_assert!(
+                    matches!(got, Err(HttpError::BodyTooLarge { .. })),
+                    "{value:?} -> {got:?}"
+                );
+            }
+            _ => {
+                let got = parse_all(req.as_bytes(), &limits);
+                prop_assert!(
+                    matches!(got, Err(HttpError::BadRequest { .. })),
+                    "{value:?} -> {got:?}"
+                );
+            }
+        }
+    }
+}

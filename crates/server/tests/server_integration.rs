@@ -1,0 +1,344 @@
+//! End-to-end tests over real sockets: keep-alive, typed protocol
+//! errors, backpressure shedding, hot reload under load, and graceful
+//! drain. Every test binds port 0 and runs a private registry, so the
+//! suite is parallel-safe.
+
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{NnmfModel, NnmfRecovery};
+use anchors_linalg::{Backend, Matrix};
+use anchors_materials::TagSpace;
+use anchors_serve::{FittedModel, Registry};
+use anchors_server::{AppState, Client, Server, ServerConfig, ServerHandle};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anchors-http-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn toy_model(name: &str, seed: u64) -> FittedModel {
+    let cs = cs2013();
+    let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(12));
+    let model = NnmfModel {
+        w: Matrix::from_fn(6, 3, |i, j| ((i + 2 * j + seed as usize) % 4) as f64 * 0.5),
+        h: Matrix::from_fn(3, 12, |i, j| ((i * 12 + j) % 5) as f64 * 0.2 + 0.05),
+        loss: 0.2,
+        iterations: 7,
+        converged: true,
+        winning_seed: seed,
+        recovery: NnmfRecovery::default(),
+    };
+    FittedModel::new(name, cs, &space, &model, Backend::Dense).expect("valid artifact")
+}
+
+/// A registry with one saved model, and a server over it.
+fn start_server(tag: &str, config: ServerConfig) -> (ServerHandle, Arc<AppState>) {
+    let registry = Registry::open(tmp_dir(tag)).expect("registry");
+    registry.save(&toy_model("toy-v1", 3)).expect("save v1");
+    let state = Arc::new(AppState::from_registry(registry, cs2013(), pdc12()).expect("state"));
+    let handle = Server::start(Arc::clone(&state), "127.0.0.1:0", config).expect("server start");
+    (handle, state)
+}
+
+fn recommend_body(state: &AppState) -> Vec<u8> {
+    let snapshot = state.cache.snapshot();
+    let codes = &snapshot.engine.model().tag_codes;
+    format!(
+        r#"{{"name":"CS 201","labels":["DS"],"tags":["{}","{}"]}}"#,
+        codes[0], codes[5]
+    )
+    .into_bytes()
+}
+
+#[test]
+fn keep_alive_connection_serves_every_endpoint() {
+    let (handle, state) = start_server("keepalive", ServerConfig::default());
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let body = recommend_body(&state);
+
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"version\":1"), "{}", health.text());
+    assert!(health.text().contains("toy-v1"));
+
+    let rec = client
+        .request("POST", "/v1/recommend", &body)
+        .expect("recommend");
+    assert_eq!(rec.status, 200, "{}", rec.text());
+    for field in [
+        "loadings",
+        "mixture",
+        "flavors",
+        "recommendations",
+        "nearest",
+    ] {
+        assert!(
+            rec.text().contains(field),
+            "missing {field}: {}",
+            rec.text()
+        );
+    }
+
+    let cls = client
+        .request("POST", "/v1/classify", &body)
+        .expect("classify");
+    assert_eq!(cls.status, 200);
+    assert!(cls.text().contains("mixture"));
+    assert!(
+        !cls.text().contains("recommendations"),
+        "classify is the light response"
+    );
+
+    let batch_body = format!(
+        r#"{{"queries":[{},{}]}}"#,
+        String::from_utf8_lossy(&body),
+        String::from_utf8_lossy(&body)
+    );
+    let batch = client
+        .request("POST", "/v1/batch", batch_body.as_bytes())
+        .expect("batch");
+    assert_eq!(batch.status, 200, "{}", batch.text());
+    assert_eq!(batch.text().matches("\"loadings\"").count(), 2);
+
+    // A batch answer equals the single-query answer for the same course.
+    let single_loadings = rec.text();
+    let single_loadings = single_loadings
+        .split("\"loadings\"")
+        .nth(1)
+        .and_then(|s| s.split(']').next())
+        .expect("loadings in single response")
+        .to_string();
+    assert!(
+        batch.text().contains(&single_loadings),
+        "batch loadings differ from single-query loadings"
+    );
+
+    let metrics = client.request("GET", "/v1/metrics", b"").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.text().contains("anchors_http_requests_total"));
+    assert!(metrics
+        .text()
+        .contains("anchors_http_request_duration_us_bucket"));
+
+    // Everything above rode one TCP connection.
+    assert_eq!(state.metrics.connections.load(Relaxed), 1);
+    assert!(state.metrics.requests.load(Relaxed) >= 5);
+    drop(client); // close the keep-alive connection so shutdown is instant
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_and_routing_errors_get_typed_statuses() {
+    let (handle, _state) = start_server("errors", ServerConfig::default());
+    let addr = handle.addr();
+    let fresh = || Client::connect(addr, TIMEOUT).expect("connect");
+
+    // Each malformed exchange burns its own connection: the server
+    // answers with the typed status and closes.
+    let garbage = fresh().send_raw(b"NONSENSE\r\n\r\n").expect("garbage");
+    assert_eq!(garbage.status, 400);
+    assert!(garbage.text().contains("error"));
+
+    let mut huge_header = b"GET /v1/healthz HTTP/1.1\r\nX-Flood: ".to_vec();
+    huge_header.extend(std::iter::repeat_n(b'a', 9000));
+    huge_header.extend_from_slice(b"\r\n\r\n");
+    assert_eq!(fresh().send_raw(&huge_header).expect("431").status, 431);
+
+    let huge_body = b"POST /v1/recommend HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n";
+    assert_eq!(fresh().send_raw(huge_body).expect("413").status, 413);
+
+    let chunked = b"POST /v1/recommend HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    assert_eq!(fresh().send_raw(chunked).expect("501").status, 501);
+
+    assert_eq!(
+        fresh()
+            .send_raw(b"GET / HTTP/2.0\r\n\r\n")
+            .expect("505")
+            .status,
+        505
+    );
+
+    // Routing-level failures keep the connection alive.
+    let mut client = fresh();
+    let missing = client.request("GET", "/v1/nope", b"").expect("404");
+    assert_eq!(missing.status, 404);
+    let wrong_method = client.request("GET", "/v1/recommend", b"").expect("405");
+    assert_eq!(wrong_method.status, 405);
+    assert_eq!(wrong_method.header("allow"), Some("POST"));
+    let bad_json = client
+        .request("POST", "/v1/recommend", b"{not json")
+        .expect("400");
+    assert_eq!(bad_json.status, 400);
+    let bad_tag = client
+        .request("POST", "/v1/recommend", br#"{"tags":["NOT.A.TAG"]}"#)
+        .expect("unknown tag");
+    assert_eq!(bad_tag.status, 400, "{}", bad_tag.text());
+
+    assert!(handle.metrics().parse_errors.load(Relaxed) >= 5);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn overload_sheds_503_but_drops_no_accepted_request() {
+    let (handle, state) = start_server(
+        "overload",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            handler_delay: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let body = Arc::new(recommend_body(&state));
+
+    const CLIENTS: usize = 8;
+    let mut threads = Vec::new();
+    for _ in 0..CLIENTS {
+        let body = Arc::clone(&body);
+        threads.push(thread::spawn(move || {
+            let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+            let resp = client
+                .request("POST", "/v1/recommend", &body)
+                .expect("every accepted connection gets a response");
+            (resp.status, resp.header("retry-after").map(str::to_string))
+        }));
+    }
+    let results: Vec<(u16, Option<String>)> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client"))
+        .collect();
+
+    // Nobody was dropped: all eight connections got a real HTTP answer,
+    // each either served or shed.
+    assert_eq!(results.len(), CLIENTS);
+    let ok = results.iter().filter(|(s, _)| *s == 200).count();
+    let shed = results.iter().filter(|(s, _)| *s == 503).count();
+    assert_eq!(ok + shed, CLIENTS, "unexpected statuses: {results:?}");
+    assert!(ok >= 1, "at least the first request is served: {results:?}");
+    assert!(
+        shed >= 1,
+        "one worker + depth-1 queue must shed under 8-way load: {results:?}"
+    );
+    for (status, retry_after) in &results {
+        if *status == 503 {
+            assert_eq!(
+                retry_after.as_deref(),
+                Some("1"),
+                "shed responses advertise Retry-After"
+            );
+        }
+    }
+    assert_eq!(state.metrics.shed.load(Relaxed), shed as u64);
+
+    // Once the burst passes, the server accepts work again.
+    let mut client = Client::connect(addr, TIMEOUT).expect("connect after burst");
+    assert_eq!(
+        client
+            .request("GET", "/v1/healthz", b"")
+            .expect("healthz")
+            .status,
+        200
+    );
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn reload_swaps_model_version_under_live_traffic() {
+    let (handle, state) = start_server("reload", ServerConfig::default());
+    let addr = handle.addr();
+    let body = Arc::new(recommend_body(&state));
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut hammers = Vec::new();
+    for _ in 0..3 {
+        let body = Arc::clone(&body);
+        let stop = Arc::clone(&stop);
+        hammers.push(thread::spawn(move || {
+            let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+            let mut served = 0usize;
+            while !stop.load(Relaxed) {
+                let resp = client
+                    .request("POST", "/v1/recommend", &body)
+                    .expect("request during reload");
+                assert_eq!(resp.status, 200, "no failures across the swap");
+                served += 1;
+            }
+            served
+        }));
+    }
+
+    // Publish v2 and swap to it while the hammers run.
+    state
+        .registry
+        .save(&toy_model("toy-v2", 9))
+        .expect("save v2");
+    let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+    let reload = client.request("POST", "/v1/reload", b"").expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.text());
+    assert!(reload.text().contains("\"version\":2"), "{}", reload.text());
+
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert!(health.text().contains("\"version\":2"));
+    assert!(health.text().contains("toy-v2"));
+
+    stop.store(true, Relaxed);
+    let served: usize = hammers.into_iter().map(|h| h.join().expect("hammer")).sum();
+    assert!(served > 0, "hammers actually exercised the swap");
+    assert_eq!(state.metrics.reloads.load(Relaxed), 1);
+    assert_eq!(state.cache.version(), 2);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_already_accepted_connections() {
+    let (handle, state) = start_server(
+        "drain",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            handler_delay: Some(Duration::from_millis(40)),
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let body = Arc::new(recommend_body(&state));
+
+    const CLIENTS: usize = 4;
+    let mut threads = Vec::new();
+    for _ in 0..CLIENTS {
+        let body = Arc::clone(&body);
+        threads.push(thread::spawn(move || {
+            let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+            client
+                .request("POST", "/v1/recommend", &body)
+                .expect("drained, not dropped")
+                .status
+        }));
+    }
+    // Wait until every connection is accepted (queued or in service),
+    // then shut down while most are still waiting for the lone worker.
+    let deadline = Instant::now() + TIMEOUT;
+    while state.metrics.connections.load(Relaxed) < CLIENTS as u64 {
+        assert!(Instant::now() < deadline, "connections never accepted");
+        thread::yield_now();
+    }
+    handle.shutdown();
+
+    for t in threads {
+        assert_eq!(t.join().expect("client"), 200, "drain answered everyone");
+    }
+    assert_eq!(state.metrics.responses_2xx.load(Relaxed), CLIENTS as u64);
+    assert_eq!(state.metrics.shed.load(Relaxed), 0);
+}

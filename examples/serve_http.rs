@@ -1,0 +1,117 @@
+//! Serve a fitted model over HTTP: fit once, publish to a registry,
+//! start the pure-std HTTP front end, and exercise every endpoint from
+//! a client — including a hot reload to a newer model version, with
+//! zero downtime.
+//!
+//! ```sh
+//! cargo run --example serve_http
+//! ```
+
+use anchors_corpus::default_corpus;
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{try_nnmf, NnmfConfig};
+use anchors_linalg::Backend;
+use anchors_materials::CourseMatrix;
+use anchors_serve::{FittedModel, Registry};
+use anchors_server::{AppState, Client, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let cs = cs2013();
+    let pdc = pdc12();
+
+    // ── Fit and publish v1 ───────────────────────────────────────────
+    let corpus = default_corpus();
+    let cm = CourseMatrix::build(&corpus.store, &corpus.courses);
+    let model = try_nnmf(&cm.a, &NnmfConfig::anls(3)).expect("fit");
+    let artifact = FittedModel::new("corpus-anls-k3", cs, &cm.tag_space, &model, Backend::Dense)
+        .expect("artifact");
+    let dir = std::env::temp_dir().join(format!("anchors-http-example-{}", std::process::id()));
+    let registry = Registry::open(&dir).expect("open registry");
+    registry.save(&artifact).expect("save v1");
+
+    // ── Start the server ─────────────────────────────────────────────
+    // Port 0 picks a free port; a deployment would pass ":8080". Four
+    // workers behind a bounded queue — overflow is shed with 503.
+    let state = Arc::new(AppState::from_registry(registry, cs, pdc).expect("state"));
+    let handle = Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default())
+        .expect("start server");
+    println!("=== Serving ===");
+    println!("listening on http://{}", handle.addr());
+
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(5)).expect("connect");
+
+    // ── Health and a recommendation ──────────────────────────────────
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    println!(
+        "\nGET /v1/healthz -> {}\n  {}",
+        health.status,
+        health.text()
+    );
+
+    let body = br#"{"name":"CS 201: Data Structures with Parallelism",
+                    "labels":["DS"],
+                    "tags":["AL.BA.t1","AL.BA.t2","AL.FDSA.t1","SDF.FDS.t1","PD.PF.t1","PD.CC.t1"]}"#;
+    let rec = client
+        .request("POST", "/v1/recommend", body)
+        .expect("recommend");
+    let text = rec.text();
+    println!("POST /v1/recommend -> {}", rec.status);
+    println!("  flavors: {}", slice_after(&text, "\"flavors\""));
+    println!("  mixture: {}", slice_after(&text, "\"mixture\""));
+
+    // ── A batch: many queries, one NNLS solve ────────────────────────
+    let batch = br#"{"queries":[
+        {"name":"a","tags":["AL.BA.t1","AL.BA.t2"]},
+        {"name":"b","tags":["SDF.FDS.t1","SDF.FDS.t2"]},
+        {"name":"c","tags":["PD.PF.t1"]}]}"#;
+    let resp = client.request("POST", "/v1/batch", batch).expect("batch");
+    println!(
+        "POST /v1/batch -> {} ({} answers in one solve)",
+        resp.status,
+        resp.text().matches("\"loadings\"").count()
+    );
+
+    // ── Hot reload: publish v2, swap atomically, keep serving ────────
+    state.registry.save(&artifact).expect("save v2");
+    let reload = client.request("POST", "/v1/reload", b"").expect("reload");
+    println!("POST /v1/reload -> {}\n  {}", reload.status, reload.text());
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    println!(
+        "GET /v1/healthz -> now {}",
+        slice_after(&health.text(), "\"version\"")
+    );
+
+    // ── Metrics ──────────────────────────────────────────────────────
+    let metrics = client.request("GET", "/v1/metrics", b"").expect("metrics");
+    println!("\nGET /v1/metrics ->");
+    for line in metrics
+        .text()
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .take(6)
+    {
+        println!("  {line}");
+    }
+
+    drop(client);
+    handle.shutdown(); // drains in-flight requests before returning
+    println!("\nserver drained and stopped");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The JSON value following `key`, up to the end of its array/number —
+/// just enough for example output, not a JSON parser.
+fn slice_after(text: &str, key: &str) -> String {
+    text.split(key)
+        .nth(1)
+        .map(|rest| {
+            let rest = rest.trim_start_matches(':');
+            match rest.as_bytes().first() {
+                Some(b'[') => format!("[{}", rest[1..].split(']').next().unwrap_or("")) + "]",
+                _ => rest.split([',', '}']).next().unwrap_or("").to_string(),
+            }
+        })
+        .unwrap_or_default()
+}
