@@ -46,8 +46,14 @@ impl SnapshotCache {
     }
 
     /// The current snapshot. Cheap: clones an `Arc` under a read lock.
+    ///
+    /// Poison-tolerant: the lock only ever guards an `Arc` swap, which
+    /// cannot be left half-done, so a reloader that panicked while
+    /// holding the lock leaves a perfectly valid last-good snapshot — we
+    /// recover it instead of cascading the panic into every serving
+    /// thread.
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.active.read().expect("snapshot lock poisoned"))
+        Arc::clone(&self.active.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// Version currently being served.
@@ -55,10 +61,12 @@ impl SnapshotCache {
         self.snapshot().version
     }
 
-    /// Swap in a new snapshot directly.
+    /// Swap in a new snapshot directly. Poison-tolerant for the same
+    /// reason as [`snapshot`](Self::snapshot): the swap is atomic, so a
+    /// dead writer cannot leave torn state behind.
     pub fn install(&self, version: u64, engine: QueryEngine) {
         let snap = Arc::new(Snapshot { version, engine });
-        *self.active.write().expect("snapshot lock poisoned") = snap;
+        *self.active.write().unwrap_or_else(|e| e.into_inner()) = snap;
     }
 
     /// Reload the newest registry version. All loading, parsing, and
@@ -101,6 +109,24 @@ mod tests {
         };
         let artifact = FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
         QueryEngine::new(artifact, cs, pdc12()).expect("engine")
+    }
+
+    #[test]
+    fn poisoned_lock_never_takes_down_serving() {
+        let cache = std::sync::Arc::new(SnapshotCache::new(1, toy_engine(1)));
+        let poisoner = std::sync::Arc::clone(&cache);
+        let died = std::thread::spawn(move || {
+            let _guard = poisoner.active.write().unwrap();
+            panic!("reloader dies while holding the snapshot lock");
+        })
+        .join();
+        assert!(died.is_err(), "the poisoner must actually panic");
+        // Readers recover the last-good snapshot instead of panicking...
+        assert_eq!(cache.snapshot().version, 1);
+        assert_eq!(cache.version(), 1);
+        // ...and writers can still swap in fresh models afterwards.
+        cache.install(2, toy_engine(2));
+        assert_eq!(cache.snapshot().engine.model().winning_seed, 2);
     }
 
     #[test]

@@ -45,12 +45,27 @@ pub enum ServeError {
     },
     /// The registry holds no models at all.
     EmptyRegistry,
+    /// An artifact's embedded content checksum does not match its bytes:
+    /// bit rot, a torn write that dodged the JSON parser, or a partial
+    /// read.
+    ChecksumMismatch {
+        /// Where the artifact came from.
+        source: String,
+        /// Checksum recorded in the trailer.
+        expected: u64,
+        /// Checksum of the payload actually read.
+        found: u64,
+    },
     /// Filesystem I/O failed.
     Io {
         /// Offending path.
         path: String,
         /// OS error rendered as text.
         detail: String,
+        /// Whether the failure is retryable (`Interrupted`, `WouldBlock`,
+        /// `TimedOut`) — the signal the serving layer's capped-backoff
+        /// retry keys on.
+        transient: bool,
     },
     /// A query vector/batch has the wrong number of tag columns.
     QueryShape {
@@ -61,6 +76,33 @@ pub enum ServeError {
     },
     /// The fold-in solve failed.
     Linalg(LinalgError),
+}
+
+impl ServeError {
+    /// Whether retrying the same operation can plausibly succeed: only
+    /// transient I/O qualifies. Corruption and schema trouble never heal
+    /// by retrying — those fall back or quarantine instead.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Io {
+                transient: true,
+                ..
+            }
+        )
+    }
+
+    /// Whether this is artifact-level damage (bad bytes on disk, not a
+    /// bad filesystem): the class `load_latest` skips over when falling
+    /// back and `recover` quarantines.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Corrupt { .. }
+                | ServeError::ChecksumMismatch { .. }
+                | ServeError::SchemaVersion { .. }
+        )
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -96,7 +138,29 @@ impl fmt::Display for ServeError {
                 write!(f, "model version {version} not found in registry")
             }
             ServeError::EmptyRegistry => write!(f, "registry holds no model versions"),
-            ServeError::Io { path, detail } => write!(f, "I/O error at {path}: {detail}"),
+            ServeError::ChecksumMismatch {
+                source,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch at {source}: trailer says {expected:#018x}, \
+                     content hashes to {found:#018x}"
+                )
+            }
+            ServeError::Io {
+                path,
+                detail,
+                transient,
+            } => {
+                let kind = if *transient {
+                    "transient I/O error"
+                } else {
+                    "I/O error"
+                };
+                write!(f, "{kind} at {path}: {detail}")
+            }
             ServeError::QueryShape { expected, found } => {
                 write!(
                     f,
@@ -144,5 +208,47 @@ mod tests {
         assert!(e.to_string().contains("fold-in"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&ServeError::EmptyRegistry).is_none());
+    }
+
+    #[test]
+    fn transient_and_corruption_classes_are_disjoint() {
+        let transient = ServeError::Io {
+            path: "models".into(),
+            detail: "interrupted".into(),
+            transient: true,
+        };
+        assert!(transient.is_transient());
+        assert!(!transient.is_corruption());
+        assert!(transient.to_string().contains("transient"));
+
+        let hard = ServeError::Io {
+            path: "models".into(),
+            detail: "permission denied".into(),
+            transient: false,
+        };
+        assert!(!hard.is_transient());
+        assert!(!hard.is_corruption());
+
+        let checksum = ServeError::ChecksumMismatch {
+            source: "model-v3.json".into(),
+            expected: 0xABCD,
+            found: 0x1234,
+        };
+        assert!(checksum.is_corruption());
+        assert!(!checksum.is_transient());
+        assert!(checksum.to_string().contains("model-v3.json"));
+        for e in [
+            ServeError::Corrupt {
+                source: "x".into(),
+                detail: "d".into(),
+            },
+            ServeError::SchemaVersion {
+                found: 9,
+                supported: 1,
+            },
+        ] {
+            assert!(e.is_corruption(), "{e}");
+            assert!(!e.is_transient(), "{e}");
+        }
     }
 }

@@ -1,0 +1,375 @@
+//! Seeded fault injection for the registry's filesystem seam.
+//!
+//! [`FaultyFs`] wraps [`RealFs`] and damages operations on a
+//! deterministic, seeded schedule described by a [`FaultPlan`] — the
+//! serving-layer mirror of `anchors_corpus::faults`, but at the I/O level
+//! instead of the corpus level. Four fault classes model what real disks
+//! and kernels do to a registry:
+//!
+//! * **torn writes** — a crash mid-`write`: only a prefix of the bytes
+//!   lands on disk and the operation errors ([`FaultPlan::torn_write`]),
+//! * **partial reads** — a read that silently returns truncated content
+//!   ([`FaultPlan::partial_read`]), which only the checksum trailer can
+//!   catch,
+//! * **transient errors** — `Interrupted`-style failures that succeed on
+//!   retry ([`FaultPlan::transient_error`]),
+//! * **slow I/O** — an injected delay before the operation
+//!   ([`FaultPlan::slow_io`]), for asserting that reloads off the hot
+//!   path never block serving threads.
+//!
+//! Every injection decision comes from one seeded xorshift stream, so a
+//! failing chaos test replays bit-for-bit from its seed. A
+//! [`FaultPlan::max_faults`] budget turns "always failing" plans into
+//! "fails N times then heals" plans, and [`FaultyFs::set_enabled`] lets a
+//! test stand up a clean fixture before switching the weather on.
+
+use crate::fsio::{FileOps, RealFs};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What to inject, how often, and under which seed.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed of the injection schedule.
+    pub seed: u64,
+    /// Probability a `write_durable` tears: a prefix lands, then an error.
+    pub torn_write: f64,
+    /// Probability a `read_to_string` returns truncated content.
+    pub partial_read: f64,
+    /// Probability an operation fails with a retryable `Interrupted`.
+    pub transient_error: f64,
+    /// Probability an operation is delayed by [`FaultPlan::slow_io_delay`].
+    pub slow_io: f64,
+    /// The injected delay for slow-I/O faults.
+    pub slow_io_delay: Duration,
+    /// Cap on total injected faults (all classes); `None` is unlimited.
+    /// Once spent, the filesystem behaves perfectly — "fails then heals".
+    pub max_faults: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all probabilities zero).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            torn_write: 0.0,
+            partial_read: 0.0,
+            transient_error: 0.0,
+            slow_io: 0.0,
+            slow_io_delay: Duration::from_millis(20),
+            max_faults: None,
+        }
+    }
+
+    /// Set the torn-write probability.
+    pub fn with_torn_write(mut self, p: f64) -> Self {
+        self.torn_write = p;
+        self
+    }
+
+    /// Set the partial-read probability.
+    pub fn with_partial_read(mut self, p: f64) -> Self {
+        self.partial_read = p;
+        self
+    }
+
+    /// Set the transient-error probability.
+    pub fn with_transient_error(mut self, p: f64) -> Self {
+        self.transient_error = p;
+        self
+    }
+
+    /// Set the slow-I/O probability and delay.
+    pub fn with_slow_io(mut self, p: f64, delay: Duration) -> Self {
+        self.slow_io = p;
+        self.slow_io_delay = delay;
+        self
+    }
+
+    /// Cap the total number of injected faults.
+    pub fn with_max_faults(mut self, budget: u64) -> Self {
+        self.max_faults = Some(budget);
+        self
+    }
+}
+
+/// How many faults of each class actually fired, for test assertions.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    /// Writes that tore.
+    pub torn_writes: AtomicU64,
+    /// Reads that returned truncated content.
+    pub partial_reads: AtomicU64,
+    /// Operations that failed with a retryable error.
+    pub transient_errors: AtomicU64,
+    /// Operations that were delayed.
+    pub slow_ios: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Total faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        self.torn_writes.load(Relaxed)
+            + self.partial_reads.load(Relaxed)
+            + self.transient_errors.load(Relaxed)
+            + self.slow_ios.load(Relaxed)
+    }
+}
+
+/// Seeded decision state behind one mutex: the xorshift stream and the
+/// spent-fault budget move together, so schedules replay exactly.
+#[derive(Debug)]
+struct PlanState {
+    plan: FaultPlan,
+    rng: u64,
+    spent: u64,
+}
+
+/// A [`FileOps`] that injects the faults a [`FaultPlan`] describes,
+/// delegating the real work to [`RealFs`].
+#[derive(Debug)]
+pub struct FaultyFs {
+    inner: RealFs,
+    state: Mutex<PlanState>,
+    enabled: AtomicBool,
+    counters: FaultCounters,
+}
+
+impl FaultyFs {
+    /// Wrap the real filesystem with an injection plan. Starts enabled;
+    /// use [`set_enabled`](Self::set_enabled)`(false)` to build clean
+    /// fixtures first.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = plan.seed ^ 0x9E37_79B9_7F4A_7C15;
+        FaultyFs {
+            inner: RealFs,
+            state: Mutex::new(PlanState {
+                plan,
+                rng: rng.max(1),
+                spent: 0,
+            }),
+            enabled: AtomicBool::new(true),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Turn injection on or off without touching the schedule.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Relaxed);
+    }
+
+    /// Replace the plan mid-test (e.g. switch fault classes). Resets the
+    /// spent-budget counter; the rng reseeds from the new plan.
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut state = lock(&self.state);
+        state.rng = (plan.seed ^ 0x9E37_79B9_7F4A_7C15).max(1);
+        state.spent = 0;
+        state.plan = plan;
+    }
+
+    /// Injection counts so far.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+
+    /// Draw one seeded decision for a fault of probability `p`, spending
+    /// budget when it fires.
+    fn roll(&self, p: f64) -> bool {
+        if p <= 0.0 || !self.enabled.load(Relaxed) {
+            return false;
+        }
+        let mut state = lock(&self.state);
+        if state.plan.max_faults.is_some_and(|cap| state.spent >= cap) {
+            return false;
+        }
+        // xorshift64: deterministic in the seed, no external RNG dep.
+        let mut x = state.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        state.rng = x;
+        let fired = ((x >> 11) as f64 / (1u64 << 53) as f64) < p;
+        if fired {
+            state.spent += 1;
+        }
+        fired
+    }
+
+    fn maybe_slow(&self) {
+        let (p, delay) = {
+            let state = lock(&self.state);
+            (state.plan.slow_io, state.plan.slow_io_delay)
+        };
+        if self.roll(p) {
+            self.counters.slow_ios.fetch_add(1, Relaxed);
+            std::thread::sleep(delay);
+        }
+    }
+
+    fn maybe_transient(&self, op: &str) -> io::Result<()> {
+        let p = lock(&self.state).plan.transient_error;
+        if self.roll(p) {
+            self.counters.transient_errors.fetch_add(1, Relaxed);
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("injected transient fault during {op}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Poison-tolerant lock: a panicking test thread must not wedge the
+/// injection schedule for every other thread.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FileOps for FaultyFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.maybe_slow();
+        self.maybe_transient("read_dir")?;
+        self.inner.read_dir_names(dir)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        self.maybe_slow();
+        self.maybe_transient("read")?;
+        let text = self.inner.read_to_string(path)?;
+        let p = lock(&self.state).plan.partial_read;
+        if self.roll(p) && !text.is_empty() {
+            self.counters.partial_reads.fetch_add(1, Relaxed);
+            // Cut at half, snapped to a char boundary: what a short read
+            // that went unnoticed would hand back.
+            let mut cut = text.len() / 2;
+            while cut > 0 && !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            return Ok(text[..cut].to_string());
+        }
+        Ok(text)
+    }
+
+    fn write_durable(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.maybe_slow();
+        self.maybe_transient("write")?;
+        let p = lock(&self.state).plan.torn_write;
+        if self.roll(p) {
+            self.counters.torn_writes.fetch_add(1, Relaxed);
+            // Model a crash mid-write: a prefix reaches the disk, the
+            // caller sees an error, and the torn file stays behind.
+            let torn = &data[..data.len() / 2];
+            let _ = self.inner.write_durable(path, torn);
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected torn write: crash mid-write",
+            ));
+        }
+        self.inner.write_durable(path, data)
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<()> {
+        self.maybe_transient("create_new")?;
+        self.inner.create_new(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.maybe_slow();
+        self.maybe_transient("rename")?;
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.maybe_transient("sync_dir")?;
+        self.inner.sync_dir(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("anchors-faults-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn schedules_replay_from_the_seed() {
+        let dir = tmp("replay");
+        let run = || {
+            let ffs = FaultyFs::new(FaultPlan::none(7).with_transient_error(0.5));
+            (0..32)
+                .map(|i| {
+                    // Injected faults are Interrupted; the real miss is
+                    // NotFound — the distinction exposes the schedule.
+                    ffs.read_to_string(&dir.join(format!("missing-{i}")))
+                        .unwrap_err()
+                        .kind()
+                        == io::ErrorKind::Interrupted
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run(), "same seed, same schedule");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix_and_errors() {
+        let dir = tmp("torn");
+        let ffs = FaultyFs::new(FaultPlan::none(3).with_torn_write(1.0));
+        let path = dir.join("t.txt");
+        let err = ffs.write_durable(&path, b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(fs::read_to_string(&path).unwrap(), "01234");
+        assert_eq!(ffs.counters().torn_writes.load(Relaxed), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_read_truncates_and_budget_heals() {
+        let dir = tmp("partial");
+        let path = dir.join("p.txt");
+        fs::write(&path, "abcdefgh").unwrap();
+        let ffs = FaultyFs::new(FaultPlan::none(5).with_partial_read(1.0).with_max_faults(1));
+        assert_eq!(ffs.read_to_string(&path).unwrap(), "abcd", "fault 1 fires");
+        assert_eq!(
+            ffs.read_to_string(&path).unwrap(),
+            "abcdefgh",
+            "budget spent, healed"
+        );
+        assert_eq!(ffs.counters().total(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_fs_is_transparent() {
+        let dir = tmp("disabled");
+        let ffs = FaultyFs::new(
+            FaultPlan::none(1)
+                .with_torn_write(1.0)
+                .with_transient_error(1.0),
+        );
+        ffs.set_enabled(false);
+        let path = dir.join("ok.txt");
+        ffs.write_durable(&path, b"fine").unwrap();
+        assert_eq!(ffs.read_to_string(&path).unwrap(), "fine");
+        assert_eq!(ffs.counters().total(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

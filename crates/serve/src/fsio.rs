@@ -1,0 +1,136 @@
+//! The filesystem seam the registry talks through.
+//!
+//! Every durable operation the [`crate::registry::Registry`] performs goes
+//! through the [`FileOps`] trait instead of calling `std::fs` directly.
+//! Production uses [`RealFs`], which adds the fsync discipline a
+//! crash-safe store needs (data file synced before the rename, directory
+//! synced after it). Tests swap in [`crate::faults::FaultyFs`], which
+//! wraps `RealFs` and injects torn writes, partial reads, transient
+//! errors, and slow I/O on a seeded schedule — the serving-layer analogue
+//! of `anchors_corpus::faults`.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Filesystem operations the registry needs, injectable for fault tests.
+///
+/// Implementations must be cheap to share behind an `Arc`: the registry is
+/// `Clone` and may be used from many serving threads at once.
+pub trait FileOps: fmt::Debug + Send + Sync {
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// File names (not paths) of the entries in `dir`. Entries whose
+    /// names are not valid UTF-8 are skipped.
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Read a whole file as UTF-8 text.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+
+    /// Create `path`, write all of `data`, and fsync the file before
+    /// returning — after `Ok`, the bytes are on stable storage (though
+    /// the *name* may not be until the directory is synced).
+    fn write_durable(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Create a new empty file, failing with `AlreadyExists` if `path`
+    /// is already present. This is the registry's version-claim
+    /// primitive: `create_new` is atomic at the filesystem level, so two
+    /// concurrent savers can never both claim the same version.
+    fn create_new(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Remove one file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// fsync the directory itself, making completed renames and creates
+    /// inside it durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production [`FileOps`]: `std::fs` plus fsync discipline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl FileOps for RealFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        Ok(names)
+    }
+
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        fs::read_to_string(path)
+    }
+
+    fn write_durable(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut file = fs::File::create(path)?;
+        file.write_all(data)?;
+        file.sync_all()
+    }
+
+    fn create_new(&self, path: &Path) -> io::Result<()> {
+        fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map(|_| ())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening a directory read-only and fsyncing it is how POSIX
+        // makes renames within it durable; on platforms where directories
+        // cannot be opened this degrades to a no-op error we swallow at
+        // the call site only if the platform says so.
+        fs::File::open(dir)?.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_fs_roundtrips_and_claims() {
+        let dir = std::env::temp_dir().join(format!("anchors-fsio-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let ops = RealFs;
+        ops.create_dir_all(&dir).unwrap();
+        let p = dir.join("a.txt");
+        ops.write_durable(&p, b"hello").unwrap();
+        assert_eq!(ops.read_to_string(&p).unwrap(), "hello");
+
+        let claim = dir.join("claim");
+        ops.create_new(&claim).unwrap();
+        let again = ops.create_new(&claim).unwrap_err();
+        assert_eq!(again.kind(), io::ErrorKind::AlreadyExists);
+
+        ops.rename(&p, &dir.join("b.txt")).unwrap();
+        ops.sync_dir(&dir).unwrap();
+        let mut names = ops.read_dir_names(&dir).unwrap();
+        names.sort();
+        assert_eq!(names, vec!["b.txt", "claim"]);
+        ops.remove_file(&claim).unwrap();
+        assert_eq!(ops.read_dir_names(&dir).unwrap(), vec!["b.txt"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -11,10 +11,14 @@
 //!   revision the model was trained against. Serialization is a
 //!   hand-rolled JSON codec ([`json`]) whose `f64` round-trips are
 //!   bitwise, so a saved model answers queries *identically* after reload.
-//! * [`Registry`] — a directory of `model-v<N>.json` artifacts with
-//!   monotonically increasing versions, atomic writes, and typed
-//!   corruption errors ([`ServeError::Corrupt`]) so a truncated artifact
-//!   can never silently serve.
+//! * [`Registry`] — a crash-safe directory of `model-v<N>.json` artifacts:
+//!   monotonically increasing versions claimed atomically, checksum-framed
+//!   fsynced writes, a [`Registry::recover`] startup scan that quarantines
+//!   corrupt artifacts, and a [`Registry::load_latest`] that falls back to
+//!   the newest *good* version so a torn write degrades instead of downing
+//!   the server. All I/O flows through the [`fsio::FileOps`] seam, which
+//!   [`faults::FaultyFs`] can replace to inject seeded torn writes,
+//!   partial reads, transient errors, and slow I/O.
 //! * [`QueryEngine`] — fold-in inference: an unseen course's tag vector is
 //!   NNLS-projected onto the frozen `H` (the exact subproblem the ANLS
 //!   trainer solved, so training courses recover their own `W` rows),
@@ -30,6 +34,8 @@ pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod faults;
+pub mod fsio;
 pub mod json;
 pub mod registry;
 
@@ -38,4 +44,6 @@ pub use batch::BatchQueue;
 pub use cache::{Snapshot, SnapshotCache};
 pub use engine::{CourseQuery, QueryEngine, QueryResponse, FOLD_IN_TOL};
 pub use error::ServeError;
-pub use registry::Registry;
+pub use faults::{FaultCounters, FaultPlan, FaultyFs};
+pub use fsio::{FileOps, RealFs};
+pub use registry::{RecoveryReport, Registry};

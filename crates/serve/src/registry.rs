@@ -1,33 +1,182 @@
-//! Versioned on-disk model registry.
+//! Crash-safe versioned on-disk model registry.
 //!
 //! A registry is a directory of `model-v<N>.json` artifacts. Versions are
-//! monotonically increasing: `save` assigns `max(existing) + 1`, so a
-//! version number, once taken, always refers to the same artifact.
-//! Corrupt artifacts surface as typed [`ServeError::Corrupt`] values with
-//! the offending path — a half-written file can never be mistaken for a
-//! model.
+//! monotonically increasing and claimed with `create_new`, so a version
+//! number, once taken, always refers to the same artifact — even under
+//! concurrent savers, and even across a quarantine (quarantined versions
+//! still count when picking the next number).
+//!
+//! Durability protocol, in write order:
+//!
+//! 1. **claim** — `create_new(model-v<N>.json)` atomically reserves the
+//!    version; collisions retry with the next number.
+//! 2. **write** — the framed artifact goes to a hidden
+//!    `.model-v<N>.json.tmp`, which is fsynced before step 3.
+//! 3. **rename** — the temp file atomically replaces the claim file, so
+//!    readers only ever see nothing, an (obviously invalid) empty claim,
+//!    or complete bytes.
+//! 4. **sync dir** — the directory itself is fsynced, making the rename
+//!    durable.
+//!
+//! Every artifact carries a trailer line `#fnv1a:<16-hex>` holding the
+//! FNV-1a-64 checksum of the JSON payload above it. [`Registry::load`]
+//! verifies the trailer before parsing, so damage the JSON parser would
+//! accept — a partial read that happens to end at a token boundary, bit
+//! rot inside a number — still surfaces as a typed
+//! [`ServeError::ChecksumMismatch`].
+//!
+//! A half-written file can therefore never be mistaken for a model, and
+//! [`Registry::load_latest`] *falls back*: corrupt versions are skipped
+//! (newest first) until a good one answers. [`Registry::recover`] is the
+//! startup sweep — it deletes stale temp files, classifies every version,
+//! and moves corrupt artifacts aside as `model-v<N>.json.quarantined`
+//! (never deleting bytes an operator might want to examine). An optional
+//! retention cap garbage-collects old *good* versions after each save;
+//! corrupt files are left for `recover` so evidence is never GC'd.
 
 use crate::artifact::FittedModel;
 use crate::error::ServeError;
-use std::fs;
+use crate::fsio::{FileOps, RealFs};
+use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Filename prefix/suffix of artifact files.
 const PREFIX: &str = "model-v";
 const SUFFIX: &str = ".json";
+/// Suffix of in-flight temp files (which also get a leading dot).
+const TMP_SUFFIX: &str = ".tmp";
+/// Suffix corrupt artifacts are renamed to by [`Registry::recover`].
+const QUARANTINE_SUFFIX: &str = ".quarantined";
+/// Prefix of the checksum trailer line appended to every artifact.
+const CHECKSUM_PREFIX: &str = "#fnv1a:";
+/// Bound on version-claim retries under pathological contention.
+const CLAIM_RETRIES: u64 = 4096;
+
+/// FNV-1a-64 over raw bytes — same constants as
+/// `Ontology::fingerprint`, kept dependency-free.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Wrap an artifact JSON payload with its checksum trailer.
+fn frame(payload: &str) -> String {
+    format!(
+        "{payload}\n{CHECKSUM_PREFIX}{:016x}\n",
+        fnv1a_64(payload.as_bytes())
+    )
+}
+
+/// Split framed text back into its payload, verifying the trailer.
+fn unframe<'a>(text: &'a str, source: &str) -> Result<&'a str, ServeError> {
+    let corrupt = |detail: &str| ServeError::Corrupt {
+        source: source.to_string(),
+        detail: detail.to_string(),
+    };
+    let body = text
+        .strip_suffix('\n')
+        .ok_or_else(|| corrupt("missing checksum trailer (no trailing newline)"))?;
+    let (payload, trailer) = body
+        .rsplit_once('\n')
+        .ok_or_else(|| corrupt("missing checksum trailer line"))?;
+    let hex = trailer
+        .strip_prefix(CHECKSUM_PREFIX)
+        .ok_or_else(|| corrupt("final line is not a checksum trailer"))?;
+    let expected = u64::from_str_radix(hex, 16)
+        .map_err(|_| corrupt("checksum trailer is not 16 hex digits"))?;
+    let found = fnv1a_64(payload.as_bytes());
+    if found != expected {
+        return Err(ServeError::ChecksumMismatch {
+            source: source.to_string(),
+            expected,
+            found,
+        });
+    }
+    Ok(payload)
+}
+
+/// What kind of registry entry a directory name is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryKind {
+    /// A (claimed or complete) `model-v<N>.json`.
+    Model,
+    /// A stale `.model-v<N>.json.tmp` from an interrupted save.
+    Tmp,
+    /// A `model-v<N>.json.quarantined` moved aside by `recover`.
+    Quarantined,
+}
+
+/// Parse one directory entry name into `(version, kind)`.
+fn parse_entry(name: &str) -> Option<(u64, EntryKind)> {
+    let (stem, kind) = if let Some(stem) = name.strip_prefix('.') {
+        (stem.strip_suffix(TMP_SUFFIX)?, EntryKind::Tmp)
+    } else if let Some(stem) = name.strip_suffix(QUARANTINE_SUFFIX) {
+        (stem, EntryKind::Quarantined)
+    } else {
+        (name, EntryKind::Model)
+    };
+    let version = stem
+        .strip_prefix(PREFIX)?
+        .strip_suffix(SUFFIX)?
+        .parse::<u64>()
+        .ok()?;
+    Some((version, kind))
+}
+
+/// What [`Registry::recover`] found and did.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Versions that verified clean, ascending.
+    pub good: Vec<u64>,
+    /// Versions moved to `*.quarantined`, with the defect that condemned
+    /// each.
+    pub quarantined: Vec<(u64, ServeError)>,
+    /// Stale temp files deleted.
+    pub swept_tmp: usize,
+}
 
 /// A directory of versioned model artifacts.
 #[derive(Debug, Clone)]
 pub struct Registry {
     dir: PathBuf,
+    ops: Arc<dyn FileOps>,
+    retention: Option<usize>,
 }
 
 impl Registry {
-    /// Open (creating if needed) a registry directory.
+    /// Open (creating if needed) a registry directory on the real
+    /// filesystem, sweeping any temp files a crashed save left behind.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        Self::open_with(dir, Arc::new(RealFs))
+    }
+
+    /// Open a registry over an injected [`FileOps`] — the seam the fault
+    /// suite uses to put weather between the registry and the disk.
+    pub fn open_with(dir: impl Into<PathBuf>, ops: Arc<dyn FileOps>) -> Result<Self, ServeError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
-        Ok(Registry { dir })
+        ops.create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        let registry = Registry {
+            dir,
+            ops,
+            retention: None,
+        };
+        registry.sweep_tmp()?;
+        Ok(registry)
+    }
+
+    /// Keep only the newest `keep` *good* versions after each save
+    /// (minimum 1). Corrupt files are never GC'd — they are
+    /// [`recover`](Self::recover)'s evidence.
+    pub fn with_retention(mut self, keep: usize) -> Self {
+        self.retention = Some(keep.max(1));
+        self
     }
 
     /// The registry directory.
@@ -39,59 +188,216 @@ impl Registry {
         self.dir.join(format!("{PREFIX}{version}{SUFFIX}"))
     }
 
+    fn tmp_path_of(&self, version: u64) -> PathBuf {
+        self.dir
+            .join(format!(".{PREFIX}{version}{SUFFIX}{TMP_SUFFIX}"))
+    }
+
+    fn quarantine_path_of(&self, version: u64) -> PathBuf {
+        self.dir
+            .join(format!("{PREFIX}{version}{SUFFIX}{QUARANTINE_SUFFIX}"))
+    }
+
+    /// All `(version, kind)` entries, unsorted.
+    fn scan(&self) -> Result<Vec<(u64, EntryKind)>, ServeError> {
+        let names = self
+            .ops
+            .read_dir_names(&self.dir)
+            .map_err(|e| io_err(&self.dir, e))?;
+        Ok(names.iter().filter_map(|n| parse_entry(n)).collect())
+    }
+
     /// All versions present, ascending. Files that do not match the
-    /// artifact naming scheme are ignored (the registry may share a
-    /// directory with sidecar files).
+    /// artifact naming scheme — including temp and quarantined files —
+    /// are ignored (the registry may share a directory with sidecars).
     pub fn list(&self) -> Result<Vec<u64>, ServeError> {
-        let mut versions = Vec::new();
-        let entries = fs::read_dir(&self.dir).map_err(|e| io_err(&self.dir, e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| io_err(&self.dir, e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(v) = name
-                .strip_prefix(PREFIX)
-                .and_then(|rest| rest.strip_suffix(SUFFIX))
-                .and_then(|v| v.parse::<u64>().ok())
-            {
-                versions.push(v);
-            }
-        }
+        let mut versions: Vec<u64> = self
+            .scan()?
+            .into_iter()
+            .filter(|&(_, kind)| kind == EntryKind::Model)
+            .map(|(v, _)| v)
+            .collect();
         versions.sort_unstable();
         Ok(versions)
     }
 
+    /// The next unclaimed version number: one past the newest version
+    /// ever taken, *including* quarantined ones — a version number is
+    /// never reused once any artifact has carried it.
+    fn next_version(&self) -> Result<u64, ServeError> {
+        Ok(self
+            .scan()?
+            .into_iter()
+            .filter(|&(_, kind)| kind != EntryKind::Tmp)
+            .map(|(v, _)| v)
+            .max()
+            .unwrap_or(0)
+            + 1)
+    }
+
+    /// Delete stale temp files; returns how many were swept.
+    fn sweep_tmp(&self) -> Result<usize, ServeError> {
+        let mut swept = 0;
+        for (version, kind) in self.scan()? {
+            if kind == EntryKind::Tmp {
+                let path = self.tmp_path_of(version);
+                match self.ops.remove_file(&path) {
+                    Ok(()) => swept += 1,
+                    // A concurrent save may have renamed it away already.
+                    Err(e) if e.kind() == ErrorKind::NotFound => {}
+                    Err(e) => return Err(io_err(&path, e)),
+                }
+            }
+        }
+        Ok(swept)
+    }
+
     /// Persist a model under the next version number; returns it.
     ///
-    /// The artifact is written to a temporary file first and renamed into
-    /// place, so a crash mid-write leaves no `model-v*.json` that could
-    /// parse as truncated garbage.
+    /// The version is claimed with an atomic `create_new` (retrying past
+    /// collisions), the artifact is written checksum-framed to a temp
+    /// file, fsynced, renamed over the claim, and the directory is
+    /// fsynced — the full crash-safe protocol from the module docs. On
+    /// failure the claim and temp file are withdrawn (best effort; a
+    /// crash instead leaves them for [`recover`](Self::recover)).
     pub fn save(&self, model: &FittedModel) -> Result<u64, ServeError> {
-        let version = self.list()?.last().copied().unwrap_or(0) + 1;
-        let path = self.path_of(version);
-        let tmp = self.dir.join(format!(".{PREFIX}{version}{SUFFIX}.tmp"));
-        fs::write(&tmp, model.to_json()).map_err(|e| io_err(&tmp, e))?;
-        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        let mut version = self.next_version()?;
+        let claim_cap = version + CLAIM_RETRIES;
+        let path = loop {
+            let path = self.path_of(version);
+            match self.ops.create_new(&path) {
+                Ok(()) => break path,
+                Err(e) if e.kind() == ErrorKind::AlreadyExists && version < claim_cap => {
+                    version += 1;
+                }
+                Err(e) => return Err(io_err(&path, e)),
+            }
+        };
+        let tmp = self.tmp_path_of(version);
+        let written = self
+            .ops
+            .write_durable(&tmp, frame(&model.to_json()).as_bytes())
+            .map_err(|e| io_err(&tmp, e))
+            .and_then(|()| self.ops.rename(&tmp, &path).map_err(|e| io_err(&path, e)))
+            .and_then(|()| {
+                self.ops
+                    .sync_dir(&self.dir)
+                    .map_err(|e| io_err(&self.dir, e))
+            });
+        if let Err(e) = written {
+            // Withdraw the claim and the torn temp so a retry can reuse
+            // the number; if *this* cleanup dies too, recover() sweeps.
+            let _ = self.ops.remove_file(&tmp);
+            let _ = self.ops.remove_file(&path);
+            return Err(e);
+        }
+        if let Some(keep) = self.retention {
+            self.gc(keep)?;
+        }
         Ok(version)
     }
 
-    /// Load one version.
+    /// Load one version, verifying its checksum trailer before parsing.
     pub fn load(&self, version: u64) -> Result<FittedModel, ServeError> {
         let path = self.path_of(version);
-        let text = match fs::read_to_string(&path) {
+        let text = match self.ops.read_to_string(&path) {
             Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Err(e) if e.kind() == ErrorKind::NotFound => {
                 return Err(ServeError::VersionNotFound { version })
             }
             Err(e) => return Err(io_err(&path, e)),
         };
-        FittedModel::from_json(&text, &path.display().to_string())
+        let source = path.display().to_string();
+        let payload = unframe(&text, &source)?;
+        FittedModel::from_json(payload, &source)
     }
 
-    /// Load the newest version, returning `(version, model)`.
+    /// Load the newest *good* version, returning `(version, model)`.
+    ///
+    /// Corrupt versions (bad checksum, unparsable, wrong schema) are
+    /// skipped, newest first, until one verifies — a torn newest artifact
+    /// degrades service to the previous model instead of taking it down.
+    /// Transient I/O errors propagate (typed retryable) rather than
+    /// masking a healthy newer version behind an older one. Errors only
+    /// if the registry is empty or *no* version is good; the error names
+    /// the newest version's defect.
     pub fn load_latest(&self) -> Result<(u64, FittedModel), ServeError> {
-        let version = *self.list()?.last().ok_or(ServeError::EmptyRegistry)?;
-        Ok((version, self.load(version)?))
+        let versions = self.list()?;
+        let mut newest_defect = None;
+        for &version in versions.iter().rev() {
+            match self.load(version) {
+                Ok(model) => return Ok((version, model)),
+                Err(e) if e.is_corruption() => {
+                    if newest_defect.is_none() {
+                        newest_defect = Some(e);
+                    }
+                }
+                // Raced a GC or a quarantine; the version is simply gone.
+                Err(ServeError::VersionNotFound { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Err(newest_defect.unwrap_or(ServeError::EmptyRegistry))
+    }
+
+    /// Startup recovery scan: sweep stale temp files, verify every
+    /// version, and move corrupt artifacts aside as
+    /// `model-v<N>.json.quarantined` — bytes are preserved for
+    /// post-mortems, never deleted. Returns what was found. Transient
+    /// I/O errors propagate; rerun `recover` to continue.
+    pub fn recover(&self) -> Result<RecoveryReport, ServeError> {
+        let mut report = RecoveryReport {
+            swept_tmp: self.sweep_tmp()?,
+            ..RecoveryReport::default()
+        };
+        for version in self.list()? {
+            match self.load(version) {
+                Ok(_) => report.good.push(version),
+                Err(defect) if defect.is_corruption() => {
+                    let from = self.path_of(version);
+                    let to = self.quarantine_path_of(version);
+                    self.ops.rename(&from, &to).map_err(|e| io_err(&from, e))?;
+                    // Make the quarantine itself durable, best effort.
+                    let _ = self.ops.sync_dir(&self.dir);
+                    report.quarantined.push((version, defect));
+                }
+                Err(ServeError::VersionNotFound { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Garbage-collect old **good** versions, keeping the newest `keep`
+    /// of them. Corrupt files are skipped (left for
+    /// [`recover`](Self::recover)); returns the versions deleted.
+    pub fn gc(&self, keep: usize) -> Result<Vec<u64>, ServeError> {
+        let keep = keep.max(1);
+        let mut good = Vec::new();
+        for version in self.list()? {
+            // Cheap verification: the checksum trailer, not a full parse.
+            let path = self.path_of(version);
+            match self.ops.read_to_string(&path) {
+                Ok(text) => {
+                    if unframe(&text, &path.display().to_string()).is_ok() {
+                        good.push(version);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(&path, e)),
+            }
+        }
+        let excess = good.len().saturating_sub(keep);
+        let mut pruned = Vec::with_capacity(excess);
+        for &version in &good[..excess] {
+            let path = self.path_of(version);
+            match self.ops.remove_file(&path) {
+                Ok(()) => pruned.push(version),
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(&path, e)),
+            }
+        }
+        Ok(pruned)
     }
 }
 
@@ -99,16 +405,22 @@ fn io_err(path: &Path, e: std::io::Error) -> ServeError {
     ServeError::Io {
         path: path.display().to_string(),
         detail: e.to_string(),
+        transient: matches!(
+            e.kind(),
+            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+        ),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultPlan, FaultyFs};
     use anchors_curricula::cs2013;
     use anchors_factor::{NnmfModel, NnmfRecovery};
     use anchors_linalg::{Backend, Matrix};
     use anchors_materials::TagSpace;
+    use std::fs;
 
     fn toy_model(loss: f64) -> FittedModel {
         let cs = cs2013();
@@ -125,13 +437,17 @@ mod tests {
         FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid")
     }
 
-    fn tmp_registry(tag: &str) -> Registry {
+    fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "anchors-serve-registry-{tag}-{}",
             std::process::id()
         ));
         let _ = fs::remove_dir_all(&dir);
-        Registry::open(dir).expect("open")
+        dir
+    }
+
+    fn tmp_registry(tag: &str) -> Registry {
+        Registry::open(tmp_dir(tag)).expect("open")
     }
 
     #[test]
@@ -173,5 +489,245 @@ mod tests {
         assert_eq!(v2, 2);
         assert_eq!(reg.load(v2).unwrap().loss, 0.1);
         let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn checksum_catches_damage_json_would_accept() {
+        let reg = tmp_registry("checksum");
+        let v = reg.save(&toy_model(0.5)).unwrap();
+        let path = reg.path_of(v);
+        // Flip one digit inside the JSON: still perfectly parsable, but
+        // not the bytes that were saved.
+        let text = fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("\"iterations\":9", "\"iterations\":8", 1);
+        assert_ne!(text, tampered, "tamper site must exist");
+        fs::write(&path, tampered).unwrap();
+        match reg.load(v) {
+            Err(ServeError::ChecksumMismatch {
+                source,
+                expected,
+                found,
+            }) => {
+                assert!(source.contains("model-v1.json"), "{source}");
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn load_latest_falls_back_past_corrupt_versions() {
+        let reg = tmp_registry("fallback");
+        reg.save(&toy_model(0.5)).unwrap();
+        reg.save(&toy_model(0.25)).unwrap();
+        let v3 = reg.save(&toy_model(0.125)).unwrap();
+        // Corrupt the newest two; the oldest must answer.
+        for v in [2, 3] {
+            let path = reg.path_of(v);
+            let text = fs::read_to_string(&path).unwrap();
+            fs::write(&path, &text[..text.len() / 3]).unwrap();
+        }
+        let (v, model) = reg.load_latest().unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(model.loss, 0.5);
+        // With every version damaged, the newest defect is reported.
+        let path = reg.path_of(1);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 3]).unwrap();
+        assert!(reg.load_latest().unwrap_err().is_corruption());
+        assert_eq!(v3, 3);
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn recover_quarantines_but_never_deletes() {
+        let reg = tmp_registry("recover");
+        reg.save(&toy_model(0.5)).unwrap();
+        reg.save(&toy_model(0.25)).unwrap();
+        reg.save(&toy_model(0.125)).unwrap();
+        // Damage v2 and leave a stale temp file behind.
+        let path = reg.path_of(2);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, text.replace("0.25", "9.99")).unwrap();
+        fs::write(reg.tmp_path_of(9), "torn").unwrap();
+
+        let report = reg.recover().unwrap();
+        assert_eq!(report.good, vec![1, 3]);
+        assert_eq!(report.swept_tmp, 1);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].0, 2);
+        assert!(report.quarantined[0].1.is_corruption());
+        // The bytes moved, they did not vanish.
+        assert!(reg.quarantine_path_of(2).exists());
+        assert!(!reg.path_of(2).exists());
+        assert_eq!(reg.list().unwrap(), vec![1, 3]);
+        // Quarantined versions still count: the number 2 is never reused.
+        assert_eq!(reg.next_version().unwrap(), 4);
+        // A clean registry recovers to a no-op.
+        let again = reg.recover().unwrap();
+        assert_eq!(again.good, vec![1, 3]);
+        assert!(again.quarantined.is_empty());
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn retention_gc_keeps_newest_good_versions() {
+        let reg = tmp_registry("gc").with_retention(2);
+        for loss in [0.5, 0.4, 0.3, 0.2] {
+            reg.save(&toy_model(loss)).unwrap();
+        }
+        assert_eq!(reg.list().unwrap(), vec![3, 4], "cap of 2 enforced");
+        // Corrupt the newest, then save: GC must not delete v3, the
+        // newest *good* version besides the fresh save.
+        let path = reg.path_of(4);
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let v5 = reg.save(&toy_model(0.1)).unwrap();
+        assert_eq!(v5, 5);
+        let listed = reg.list().unwrap();
+        assert!(listed.contains(&3), "good v3 survives: {listed:?}");
+        assert!(listed.contains(&4), "corrupt v4 is evidence, not garbage");
+        assert!(listed.contains(&5));
+        let (v, _) = reg.load_latest().unwrap();
+        assert_eq!(v, 5);
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn concurrent_savers_claim_distinct_versions() {
+        use std::sync::Arc as StdArc;
+        let reg = StdArc::new(tmp_registry("race"));
+        const THREADS: usize = 4;
+        const SAVES: usize = 5;
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let reg = StdArc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                (0..SAVES)
+                    .map(|s| reg.save(&toy_model((t * SAVES + s) as f64)).unwrap())
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        let mut versions: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("saver"))
+            .collect();
+        versions.sort_unstable();
+        let mut expected: Vec<u64> = (1..=(THREADS * SAVES) as u64).collect();
+        expected.sort_unstable();
+        assert_eq!(versions, expected, "every version written exactly once");
+        for v in versions {
+            reg.load(v)
+                .unwrap_or_else(|e| panic!("v{v} unreadable: {e}"));
+        }
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files() {
+        let dir = tmp_dir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(".model-v7.json.tmp"), "half a model").unwrap();
+        fs::write(dir.join("unrelated.txt"), "sidecar").unwrap();
+        let reg = Registry::open(&dir).unwrap();
+        assert!(!dir.join(".model-v7.json.tmp").exists(), "tmp swept");
+        assert!(dir.join("unrelated.txt").exists(), "sidecars untouched");
+        assert_eq!(reg.list().unwrap(), Vec::<u64>::new());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_fails_save_but_registry_stays_consistent() {
+        let fs_seam = Arc::new(FaultyFs::new(FaultPlan::none(11).with_torn_write(1.0)));
+        let dir = tmp_dir("torn-save");
+        fs_seam.set_enabled(false);
+        let reg = Registry::open_with(&dir, Arc::clone(&fs_seam) as Arc<dyn FileOps>).unwrap();
+        reg.save(&toy_model(0.5)).unwrap();
+        fs_seam.set_enabled(true);
+        let err = reg.save(&toy_model(0.25)).unwrap_err();
+        assert!(!err.is_transient(), "torn write is not retry-as-is: {err}");
+        // The failed save left nothing behind and the old model answers.
+        fs_seam.set_enabled(false);
+        assert_eq!(reg.list().unwrap(), vec![1]);
+        let (v, model) = reg.load_latest().unwrap();
+        assert_eq!((v, model.loss), (1, 0.5));
+        assert!(
+            fs_seam
+                .counters()
+                .torn_writes
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
+        // And the version number freed by the cleanup is reusable.
+        assert_eq!(reg.save(&toy_model(0.125)).unwrap(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_faults_surface_as_retryable_then_heal() {
+        let fs_seam = Arc::new(FaultyFs::new(
+            FaultPlan::none(13)
+                .with_transient_error(1.0)
+                .with_max_faults(2),
+        ));
+        let dir = tmp_dir("transient");
+        fs_seam.set_enabled(false);
+        let reg = Registry::open_with(&dir, Arc::clone(&fs_seam) as Arc<dyn FileOps>).unwrap();
+        reg.save(&toy_model(0.5)).unwrap();
+        fs_seam.set_enabled(true);
+        // Retry until the budget is spent: the typed transient flag is
+        // exactly what a retry loop keys on.
+        let mut attempts = 0;
+        let loaded = loop {
+            attempts += 1;
+            match reg.load_latest() {
+                Ok(got) => break got,
+                Err(e) => assert!(e.is_transient(), "only transient faults injected: {e}"),
+            }
+            assert!(attempts < 10, "budget of 2 must heal quickly");
+        };
+        assert_eq!(loaded.0, 1);
+        assert!(attempts > 1, "at least one injected failure observed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frame_unframe_roundtrip_and_trailer_damage() {
+        let payload = r#"{"k":1}"#;
+        let framed = frame(payload);
+        assert_eq!(unframe(&framed, "t").unwrap(), payload);
+        // Any single-character damage to the trailer is caught.
+        let no_newline = framed.trim_end().to_string();
+        assert!(matches!(
+            unframe(&no_newline, "t"),
+            Err(ServeError::Corrupt { .. })
+        ));
+        let bad_hex = framed.replace(CHECKSUM_PREFIX, "#fnv1a:zz");
+        assert!(unframe(&bad_hex, "t").is_err());
+        let payload_tampered = framed.replacen("\"k\":1", "\"k\":2", 1);
+        assert!(matches!(
+            unframe(&payload_tampered, "t"),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_names_parse_and_ignore_sidecars() {
+        assert_eq!(parse_entry("model-v12.json"), Some((12, EntryKind::Model)));
+        assert_eq!(parse_entry(".model-v3.json.tmp"), Some((3, EntryKind::Tmp)));
+        assert_eq!(
+            parse_entry("model-v8.json.quarantined"),
+            Some((8, EntryKind::Quarantined))
+        );
+        for bogus in [
+            "model-vX.json",
+            "model-v1.json.bak",
+            "notes.txt",
+            ".hidden",
+            "model-v1",
+        ] {
+            assert_eq!(parse_entry(bogus), None, "{bogus}");
+        }
     }
 }

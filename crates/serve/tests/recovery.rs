@@ -1,0 +1,106 @@
+//! Property test of crash recovery: damage **any one** artifact of a
+//! multi-version registry with **any** corpus-level JSON fault, and the
+//! registry still serves the newest uncorrupted model — before recovery
+//! (via `load_latest` fallback) and after (via `recover` quarantine).
+//! The quarantined version number is burned forever.
+
+use anchors_corpus::faults::{corrupt_json, JsonFault};
+use anchors_curricula::cs2013;
+use anchors_factor::{NnmfModel, NnmfRecovery};
+use anchors_linalg::{Backend, Matrix};
+use anchors_materials::TagSpace;
+use anchors_serve::{FittedModel, Registry};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+/// Distinct directory per proptest case (cases run — and shrink —
+/// against their own registries).
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir() -> PathBuf {
+    let case = CASE.fetch_add(1, Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "anchors-recovery-prop-{}-{case}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small, valid artifact whose `winning_seed` doubles as its identity,
+/// so a served model proves which version answered.
+fn toy_model(name: &str, seed: u64) -> FittedModel {
+    let cs = cs2013();
+    let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(5));
+    let model = NnmfModel {
+        w: Matrix::from_fn(3, 2, |i, j| (i + j + seed as usize % 3) as f64 * 0.5),
+        h: Matrix::from_fn(2, 5, |i, j| (i * 5 + j) as f64 * 0.1 + 0.05),
+        loss: 0.25,
+        iterations: 9,
+        converged: true,
+        winning_seed: seed,
+        recovery: NnmfRecovery::default(),
+    };
+    FittedModel::new(name, cs, &space, &model, Backend::Dense).expect("valid artifact")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_single_fault_still_serves_newest_good_model(
+        n_versions in 2u64..5,
+        victim_pick in 0u64..4,
+        fault in prop_oneof![
+            Just(JsonFault::Truncate),
+            Just(JsonFault::GarbageBytes),
+            Just(JsonFault::MangleTag),
+        ],
+        seed in any::<u64>(),
+    ) {
+        let victim = victim_pick % n_versions + 1;
+        let dir = fresh_dir();
+        let reg = Registry::open(&dir).expect("open");
+        for v in 1..=n_versions {
+            prop_assert_eq!(reg.save(&toy_model(&format!("m{v}"), v)).expect("save"), v);
+        }
+
+        // Damage exactly one artifact with one corpus-level fault.
+        let victim_path = dir.join(format!("model-v{victim}.json"));
+        let clean = fs::read_to_string(&victim_path).expect("read victim");
+        let damaged = corrupt_json(&clean, fault, seed);
+        prop_assert_ne!(&damaged, &clean, "fault {:?} must change the artifact", fault);
+        fs::write(&victim_path, &damaged).expect("write damage");
+
+        let expected_good: Vec<u64> = (1..=n_versions).filter(|&v| v != victim).collect();
+        let newest_good = *expected_good.last().expect("two versions leave a survivor");
+
+        // Before any recovery runs, load_latest already falls back past
+        // the damage: the newest good model answers, never the victim.
+        let (pre_version, pre_model) = reg.load_latest().expect("fallback");
+        prop_assert_eq!(pre_version, newest_good);
+        prop_assert_eq!(pre_model.winning_seed, newest_good);
+
+        // recover() quarantines exactly the victim, preserving its bytes.
+        let report = reg.recover().expect("recover");
+        prop_assert_eq!(report.quarantined.len(), 1, "report: {:?}", report);
+        prop_assert_eq!(report.quarantined[0].0, victim);
+        prop_assert!(report.quarantined[0].1.is_corruption());
+        prop_assert_eq!(&report.good, &expected_good);
+        prop_assert!(dir.join(format!("model-v{victim}.json.quarantined")).exists());
+        prop_assert!(!victim_path.exists());
+
+        // The registry still serves the same newest good model...
+        let (post_version, post_model) = reg.load_latest().expect("post-recovery");
+        prop_assert_eq!(post_version, newest_good);
+        prop_assert_eq!(post_model.winning_seed, newest_good);
+
+        // ...and the quarantined number is never reused: the next publish
+        // claims a strictly newer version.
+        let next = reg.save(&toy_model("fresh", 99)).expect("save after recovery");
+        prop_assert_eq!(next, n_versions + 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

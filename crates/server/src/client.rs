@@ -4,10 +4,16 @@
 //! It speaks exactly the dialect the server emits: `Content-Length`
 //! framed responses with a `Connection` header. Not a general client —
 //! no chunked decoding, no redirects, no TLS.
+//!
+//! For resilience tests and polite load sources there is also
+//! [`RetryingClient`]: per-request deadlines plus jittered exponential
+//! backoff that honors `Retry-After` on 503, driven through an
+//! injectable [`Clock`] so the whole schedule is unit-testable without
+//! sleeping or touching a socket.
 
 use std::io::{self, ErrorKind, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// A parsed response.
 #[derive(Debug, Clone)]
@@ -135,4 +141,361 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
     haystack
         .windows(needle.len())
         .position(|window| window == needle)
+}
+
+/// Time source for retry scheduling — injectable so backoff behavior is
+/// testable with a virtual clock instead of real sleeps.
+pub trait Clock {
+    /// Monotonic time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+    /// Block for `d` (or just advance virtual time).
+    fn sleep(&mut self, d: Duration);
+}
+
+/// The real wall clock: `Instant` plus `thread::sleep`.
+#[derive(Debug)]
+pub struct SystemClock(Instant);
+
+impl SystemClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        SystemClock(Instant::now())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    fn sleep(&mut self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// Deterministic virtual clock: `sleep` advances time instantly and
+/// records what was requested, so tests assert on the exact schedule.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    now: Duration,
+    /// Every sleep requested, in order.
+    pub sleeps: Vec<Duration>,
+}
+
+impl Clock for TestClock {
+    fn now(&self) -> Duration {
+        self.now
+    }
+
+    fn sleep(&mut self, d: Duration) {
+        self.sleeps.push(d);
+        self.now += d;
+    }
+}
+
+/// Retry schedule knobs for [`RetryingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Total attempts, first try included.
+    pub max_attempts: u32,
+    /// Nominal delay before the first retry; doubles per retry.
+    pub base_backoff: Duration,
+    /// Cap on the nominal (pre-jitter) delay.
+    pub max_backoff: Duration,
+    /// Overall per-request deadline: no retry is attempted if it cannot
+    /// start before this budget (measured from the first attempt) runs
+    /// out.
+    pub deadline: Duration,
+    /// Seed of the jitter stream — same seed, same schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(400),
+            deadline: Duration::from_secs(5),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// The jittered exponential schedule itself, split out so tests can walk
+/// it without any I/O.
+#[derive(Debug)]
+pub struct Backoff {
+    cfg: RetryConfig,
+    rng: u64,
+    retries: u32,
+}
+
+impl Backoff {
+    /// Start a schedule for one logical request.
+    pub fn new(cfg: &RetryConfig) -> Self {
+        Backoff {
+            cfg: cfg.clone(),
+            rng: (cfg.jitter_seed ^ 0x9E37_79B9_7F4A_7C15).max(1),
+            retries: 0,
+        }
+    }
+
+    /// The delay before the next retry, or `None` when attempts are
+    /// exhausted. Full jitter over the top half of the exponential step
+    /// (so delays stay ≥ half the nominal value), floored at the
+    /// server's `Retry-After` if it sent one — the server knows its own
+    /// overload better than our schedule does.
+    pub fn next_delay(&mut self, retry_after: Option<Duration>) -> Option<Duration> {
+        self.retries += 1;
+        if self.retries >= self.cfg.max_attempts {
+            return None;
+        }
+        let nominal = self
+            .cfg
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(self.retries - 1).unwrap_or(u32::MAX))
+            .min(self.cfg.max_backoff);
+        // xorshift64 jitter into [nominal/2, nominal].
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        let half = nominal.as_nanos() as u64 / 2;
+        let jittered = Duration::from_nanos(half + if half > 0 { x % (half + 1) } else { 0 });
+        Some(match retry_after {
+            Some(server_says) => jittered.max(server_says),
+            None => jittered,
+        })
+    }
+}
+
+/// Drive `attempt` under a retry schedule: I/O errors and 503 responses
+/// retry (the latter honoring `Retry-After`), anything else returns
+/// immediately. Gives up when attempts are exhausted or when the next
+/// retry could not start within the configured deadline, returning the
+/// last outcome either way.
+pub fn retry_with<C: Clock>(
+    cfg: &RetryConfig,
+    clock: &mut C,
+    mut attempt: impl FnMut() -> io::Result<ClientResponse>,
+) -> io::Result<ClientResponse> {
+    let started = clock.now();
+    let mut backoff = Backoff::new(cfg);
+    loop {
+        let result = attempt();
+        let retry_after = match &result {
+            Ok(resp) if resp.status == 503 => resp
+                .header("retry-after")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_secs),
+            Ok(_) => return result,
+            Err(_) => None,
+        };
+        let Some(delay) = backoff.next_delay(retry_after) else {
+            return result;
+        };
+        if clock.now().saturating_sub(started) + delay > cfg.deadline {
+            return result;
+        }
+        clock.sleep(delay);
+    }
+}
+
+/// A client that reconnects and retries through overload: each attempt
+/// is a fresh connection with the configured socket deadline, and 503 /
+/// connection failures back off with seeded jitter, honoring the
+/// server's `Retry-After`. Generic over [`Clock`] so resilience tests
+/// can pin the schedule.
+#[derive(Debug)]
+pub struct RetryingClient<C: Clock = SystemClock> {
+    addr: SocketAddr,
+    socket_timeout: Duration,
+    cfg: RetryConfig,
+    clock: C,
+}
+
+impl RetryingClient<SystemClock> {
+    /// A real-time retrying client for `addr`.
+    pub fn new(addr: SocketAddr, socket_timeout: Duration, cfg: RetryConfig) -> Self {
+        Self::with_clock(addr, socket_timeout, cfg, SystemClock::new())
+    }
+}
+
+impl<C: Clock> RetryingClient<C> {
+    /// A retrying client over an explicit clock.
+    pub fn with_clock(
+        addr: SocketAddr,
+        socket_timeout: Duration,
+        cfg: RetryConfig,
+        clock: C,
+    ) -> Self {
+        RetryingClient {
+            addr,
+            socket_timeout,
+            cfg,
+            clock,
+        }
+    }
+
+    /// Send one logical request, retrying per the schedule. Every
+    /// attempt dials a fresh connection (shed connections are closed by
+    /// the server) with `socket_timeout` as its per-attempt read/write
+    /// deadline.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        let (addr, timeout) = (self.addr, self.socket_timeout);
+        let cfg = self.cfg.clone();
+        retry_with(&cfg, &mut self.clock, move || {
+            Client::connect(addr, timeout)?.request(method, path, body)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(status: u16, retry_after: Option<&str>) -> ClientResponse {
+        ClientResponse {
+            status,
+            headers: retry_after
+                .map(|v| vec![("retry-after".to_string(), v.to_string())])
+                .unwrap_or_default(),
+            body: Vec::new(),
+        }
+    }
+
+    fn cfg() -> RetryConfig {
+        RetryConfig {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(400),
+            deadline: Duration::from_secs(60),
+            jitter_seed: 7,
+        }
+    }
+
+    #[test]
+    fn backoff_honors_retry_after_as_a_floor() {
+        let mut clock = TestClock::default();
+        let mut calls = 0u32;
+        let out = retry_with(&cfg(), &mut clock, || {
+            calls += 1;
+            Ok(if calls < 3 {
+                resp(503, Some("2"))
+            } else {
+                resp(200, None)
+            })
+        })
+        .unwrap();
+        assert_eq!(out.status, 200);
+        assert_eq!(calls, 3);
+        assert_eq!(clock.sleeps.len(), 2);
+        for sleep in &clock.sleeps {
+            assert!(
+                *sleep >= Duration::from_secs(2),
+                "Retry-After floors the jittered delay: {sleep:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn attempts_are_capped_and_the_last_outcome_returned() {
+        let mut clock = TestClock::default();
+        let mut calls = 0u32;
+        let out = retry_with(&cfg(), &mut clock, || {
+            calls += 1;
+            Ok(resp(503, None))
+        })
+        .unwrap();
+        assert_eq!(out.status, 503, "exhausted retries hand back the 503");
+        assert_eq!(calls, 4, "max_attempts counts the first try");
+        assert_eq!(clock.sleeps.len(), 3);
+        // Nominal doubling, capped: 100, 200, 400 (each jittered down to
+        // at least half).
+        for (i, nominal_ms) in [100u64, 200, 400].into_iter().enumerate() {
+            let nominal = Duration::from_millis(nominal_ms);
+            assert!(clock.sleeps[i] >= nominal / 2, "{:?}", clock.sleeps);
+            assert!(clock.sleeps[i] <= nominal, "{:?}", clock.sleeps);
+        }
+    }
+
+    #[test]
+    fn deadline_stops_retries_that_cannot_start_in_time() {
+        let tight = RetryConfig {
+            deadline: Duration::from_millis(50),
+            ..cfg()
+        };
+        let mut clock = TestClock::default();
+        let mut calls = 0u32;
+        let out = retry_with(&tight, &mut clock, || {
+            calls += 1;
+            Ok(resp(503, Some("60")))
+        })
+        .unwrap();
+        assert_eq!(out.status, 503);
+        assert_eq!(calls, 1, "a 60s Retry-After cannot fit a 50ms deadline");
+        assert!(
+            clock.sleeps.is_empty(),
+            "no pointless sleep before giving up"
+        );
+    }
+
+    #[test]
+    fn io_errors_retry_and_can_recover() {
+        let mut clock = TestClock::default();
+        let mut calls = 0u32;
+        let out = retry_with(&cfg(), &mut clock, || {
+            calls += 1;
+            if calls == 1 {
+                Err(io::Error::new(ErrorKind::ConnectionRefused, "booting"))
+            } else {
+                Ok(resp(200, None))
+            }
+        })
+        .unwrap();
+        assert_eq!(out.status, 200);
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn non_503_statuses_never_retry() {
+        let mut clock = TestClock::default();
+        let mut calls = 0u32;
+        let out = retry_with(&cfg(), &mut clock, || {
+            calls += 1;
+            Ok(resp(500, None))
+        })
+        .unwrap();
+        assert_eq!(out.status, 500, "hard 5xx is the caller's problem");
+        assert_eq!(calls, 1);
+        assert!(clock.sleeps.is_empty());
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let walk = |seed: u64| {
+            let mut b = Backoff::new(&RetryConfig {
+                jitter_seed: seed,
+                max_attempts: 8,
+                ..cfg()
+            });
+            std::iter::from_fn(move || b.next_delay(None)).collect::<Vec<Duration>>()
+        };
+        assert_eq!(walk(42), walk(42), "same seed, same schedule");
+        assert_ne!(walk(42), walk(43), "different seed, different jitter");
+        for (i, d) in walk(42).iter().enumerate() {
+            let nominal = Duration::from_millis(100)
+                .saturating_mul(1u32 << (i as u32).min(6))
+                .min(Duration::from_millis(400));
+            assert!(*d >= nominal / 2 && *d <= nominal, "delay {i}: {d:?}");
+        }
+    }
 }

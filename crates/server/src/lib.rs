@@ -35,9 +35,11 @@ pub mod router;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientResponse};
+pub use client::{
+    Backoff, Client, ClientResponse, Clock, RetryConfig, RetryingClient, SystemClock, TestClock,
+};
 pub use http::{HttpError, Limits, Request, RequestParser, Response, Version};
 pub use metrics::{LatencyHistogram, Metrics, LATENCY_BOUNDS_US};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{AppState, Server, ServerConfig, ServerHandle};
+pub use server::{AppState, Health, RetryPolicy, Server, ServerConfig, ServerHandle};
 pub use wire::WireError;

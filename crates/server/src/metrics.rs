@@ -106,6 +106,13 @@ pub struct Metrics {
     pub timeouts: AtomicU64,
     /// Successful `/v1/reload` swaps.
     pub reloads: AtomicU64,
+    /// `/v1/reload` attempts that failed even after transient-error
+    /// retries — each one flips the server into degraded mode.
+    pub reload_failures: AtomicU64,
+    /// Gauge: 1 while the server is serving in degraded mode (last
+    /// reload failed; still answering from the last-good snapshot), 0
+    /// when healthy.
+    pub serving_degraded: AtomicU64,
     /// Request latency, parse-complete → response written.
     pub latency: LatencyHistogram,
 }
@@ -161,6 +168,17 @@ impl Metrics {
         );
         counter(&mut out, "anchors_http_timeouts_total", &self.timeouts);
         counter(&mut out, "anchors_http_reloads_total", &self.reloads);
+        counter(
+            &mut out,
+            "anchors_http_reload_failures_total",
+            &self.reload_failures,
+        );
+        let _ = writeln!(out, "# TYPE anchors_http_serving_degraded gauge");
+        let _ = writeln!(
+            out,
+            "anchors_http_serving_degraded {}",
+            self.serving_degraded.load(Relaxed)
+        );
         let _ = writeln!(out, "# TYPE anchors_http_request_duration_us histogram");
         self.latency
             .render("anchors_http_request_duration_us", &mut out);
@@ -195,8 +213,13 @@ mod tests {
         m.observe_response(200, Duration::from_micros(80));
         m.observe_response(404, Duration::from_micros(30));
         m.shed.fetch_add(1, Relaxed);
+        m.reload_failures.fetch_add(2, Relaxed);
+        m.serving_degraded.store(1, Relaxed);
         let text = m.render_prometheus();
         assert!(text.contains("anchors_http_requests_total 3"), "{text}");
+        assert!(text.contains("anchors_http_reload_failures_total 2"));
+        assert!(text.contains("anchors_http_serving_degraded 1"));
+        assert!(text.contains("# TYPE anchors_http_serving_degraded gauge"));
         assert!(text.contains("anchors_http_responses_total{class=\"2xx\"} 2"));
         assert!(text.contains("anchors_http_responses_total{class=\"4xx\"} 1"));
         assert!(text.contains("anchors_http_shed_total 1"));

@@ -55,7 +55,12 @@ fn method_not_allowed(allow: &str) -> Response {
 pub fn serve_error_status(e: &ServeError) -> u16 {
     match e {
         ServeError::UnknownTag { .. } | ServeError::QueryShape { .. } => 400,
+        // Transient I/O is worth a retry from the client's side too.
+        ServeError::Io {
+            transient: true, ..
+        } => 503,
         ServeError::Corrupt { .. }
+        | ServeError::ChecksumMismatch { .. }
         | ServeError::SchemaVersion { .. }
         | ServeError::FingerprintMismatch { .. }
         | ServeError::VersionNotFound { .. }
@@ -130,35 +135,71 @@ fn batch(state: &AppState, req: &Request) -> Response {
     }
 }
 
+/// Liveness plus the health-state machine: 200 while healthy, 503 with
+/// the degradation detail while the last reload failure is unresolved.
+/// Either way the served snapshot is described — a degraded server is
+/// still answering queries from its last-good model.
 fn healthz(state: &AppState) -> Response {
     let snapshot = state.cache.snapshot();
-    json_response(
-        200,
-        Json::Obj(vec![
-            ("status".into(), Json::Str("ok".into())),
-            ("version".into(), Json::Num(snapshot.version as f64)),
-            (
-                "model".into(),
-                Json::Str(snapshot.engine.model().name.clone()),
-            ),
-            ("k".into(), Json::Num(snapshot.engine.k() as f64)),
-            ("tags".into(), Json::Num(snapshot.engine.n_tags() as f64)),
-        ]),
-    )
+    let degraded = state.health.detail();
+    let mut members = vec![
+        (
+            "status".into(),
+            Json::Str(if degraded.is_some() { "degraded" } else { "ok" }.into()),
+        ),
+        ("version".into(), Json::Num(snapshot.version as f64)),
+        (
+            "model".into(),
+            Json::Str(snapshot.engine.model().name.clone()),
+        ),
+        ("k".into(), Json::Num(snapshot.engine.k() as f64)),
+        ("tags".into(), Json::Num(snapshot.engine.n_tags() as f64)),
+    ];
+    match degraded {
+        Some(detail) => {
+            members.push(("detail".into(), Json::Str(detail)));
+            json_response(503, Json::Obj(members)).with_header("Retry-After", "1")
+        }
+        None => json_response(200, Json::Obj(members)),
+    }
 }
 
+/// Atomic snapshot swap with self-healing semantics: transient registry
+/// errors are retried with capped backoff (on this worker thread only —
+/// queries keep flowing elsewhere), a success clears any degraded state,
+/// and a final failure flips the server to degraded *without touching
+/// the snapshot* — the last-good model keeps answering.
 fn reload(state: &AppState) -> Response {
-    match state.cache.reload(&state.registry, state.cs, state.pdc) {
-        Ok(version) => {
-            state.metrics.reloads.fetch_add(1, Relaxed);
-            json_response(
-                200,
-                Json::Obj(vec![
-                    ("reloaded".into(), Json::Bool(true)),
-                    ("version".into(), Json::Num(version as f64)),
-                ]),
-            )
+    let policy = &state.reload_retry;
+    let mut retry = 0u32;
+    let failure = loop {
+        match state.cache.reload(&state.registry, state.cs, state.pdc) {
+            Ok(version) => {
+                state.metrics.reloads.fetch_add(1, Relaxed);
+                state.health.set_healthy();
+                state.metrics.serving_degraded.store(0, Relaxed);
+                return json_response(
+                    200,
+                    Json::Obj(vec![
+                        ("reloaded".into(), Json::Bool(true)),
+                        ("version".into(), Json::Num(version as f64)),
+                    ]),
+                );
+            }
+            Err(e) if e.is_transient() && retry + 1 < policy.attempts => {
+                std::thread::sleep(policy.backoff_for(retry));
+                retry += 1;
+            }
+            Err(e) => break e,
         }
-        Err(e) => serve_error(&e),
+    };
+    state.metrics.reload_failures.fetch_add(1, Relaxed);
+    state.metrics.serving_degraded.store(1, Relaxed);
+    state.health.set_degraded(failure.to_string());
+    let resp = serve_error(&failure);
+    if resp.status == 503 {
+        resp.with_header("Retry-After", "1")
+    } else {
+        resp
     }
 }

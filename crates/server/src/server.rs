@@ -25,7 +25,7 @@ use std::io::{self, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -63,8 +63,93 @@ impl Default for ServerConfig {
     }
 }
 
+/// The server's health state machine: `Healthy ⇄ Degraded`.
+///
+/// Degraded means the last `/v1/reload` failed even after retries — the
+/// server keeps answering queries from the last-good snapshot, but
+/// `/v1/healthz` reports 503 with the failure detail so orchestrators
+/// can see the registry trouble. A later successful reload flips the
+/// state back to healthy on its own: the server self-heals, it never
+/// needs a restart to clear the flag.
+#[derive(Debug, Default)]
+pub struct Health {
+    degraded: AtomicBool,
+    detail: Mutex<String>,
+}
+
+impl Health {
+    /// Whether the server is currently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Relaxed)
+    }
+
+    /// The failure detail while degraded, `None` when healthy.
+    pub fn detail(&self) -> Option<String> {
+        if !self.is_degraded() {
+            return None;
+        }
+        Some(
+            self.detail
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+        )
+    }
+
+    /// Enter degraded mode with a human-readable cause.
+    pub fn set_degraded(&self, detail: String) {
+        *self.detail.lock().unwrap_or_else(|e| e.into_inner()) = detail;
+        self.degraded.store(true, Relaxed);
+    }
+
+    /// Return to healthy (a reload succeeded).
+    pub fn set_healthy(&self) {
+        self.degraded.store(false, Relaxed);
+        self.detail
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+/// Capped exponential backoff for retrying *transient* registry errors
+/// during `/v1/reload`. The retry runs on the worker thread handling the
+/// reload request — off the hot path; queries on other workers keep
+/// flowing from the snapshot the whole time.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base_backoff: Duration,
+    /// Cap on any single delay.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `retry` (0-based), doubling from
+    /// `base_backoff` and capped at `max_backoff`.
+    pub fn backoff_for(&self, retry: u32) -> Duration {
+        let doubled = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX));
+        doubled.min(self.max_backoff)
+    }
+}
+
 /// Everything a request handler can reach: the hot-swappable model
-/// snapshot, the on-disk registry it reloads from, and the metrics.
+/// snapshot, the on-disk registry it reloads from, the health state, and
+/// the metrics.
 pub struct AppState {
     /// The served model, swapped atomically by `/v1/reload`.
     pub cache: SnapshotCache,
@@ -76,6 +161,10 @@ pub struct AppState {
     pub pdc: &'static Ontology,
     /// Serving counters and latency histogram.
     pub metrics: Metrics,
+    /// Healthy/Degraded state exposed via `/v1/healthz`.
+    pub health: Health,
+    /// Backoff schedule for transient registry errors during reload.
+    pub reload_retry: RetryPolicy,
 }
 
 impl AppState {
@@ -92,6 +181,8 @@ impl AppState {
             cs,
             pdc,
             metrics: Metrics::new(),
+            health: Health::default(),
+            reload_retry: RetryPolicy::default(),
         })
     }
 }

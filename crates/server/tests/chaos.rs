@@ -1,0 +1,394 @@
+//! Chaos suite: the server under injected filesystem faults.
+//!
+//! Every scenario drives a real server over real sockets while a seeded
+//! [`FaultyFs`] puts weather between the registry and the disk. The
+//! invariants under test, across all scenarios:
+//!
+//! * **zero panics** — no fault ever unwinds a serving thread,
+//! * **zero served-corrupt-model** — a damaged artifact is never the one
+//!   answering queries,
+//! * **last-good always answerable** — whatever the registry weather,
+//!   `/v1/recommend` keeps returning 200 from the last-good snapshot.
+
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{NnmfModel, NnmfRecovery};
+use anchors_linalg::{Backend, Matrix};
+use anchors_materials::TagSpace;
+use anchors_serve::{FaultPlan, FaultyFs, FileOps, FittedModel, Registry};
+use anchors_server::{
+    AppState, Client, RetryConfig, RetryingClient, Server, ServerConfig, ServerHandle,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anchors-chaos-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn toy_model(name: &str, seed: u64) -> FittedModel {
+    let cs = cs2013();
+    let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(12));
+    let model = NnmfModel {
+        w: Matrix::from_fn(6, 3, |i, j| ((i + 2 * j + seed as usize) % 4) as f64 * 0.5),
+        h: Matrix::from_fn(3, 12, |i, j| ((i * 12 + j) % 5) as f64 * 0.2 + 0.05),
+        loss: 0.2,
+        iterations: 7,
+        converged: true,
+        winning_seed: seed,
+        recovery: NnmfRecovery::default(),
+    };
+    FittedModel::new(name, cs, &space, &model, Backend::Dense).expect("valid artifact")
+}
+
+/// A server whose registry sits on a fault-injecting filesystem. The
+/// fixture (v1 save + startup load) happens with injection off; each
+/// scenario switches the weather on itself.
+fn start_faulty_server(tag: &str, plan: FaultPlan) -> (ServerHandle, Arc<AppState>, Arc<FaultyFs>) {
+    let ffs = Arc::new(FaultyFs::new(plan));
+    ffs.set_enabled(false);
+    let registry =
+        Registry::open_with(tmp_dir(tag), Arc::clone(&ffs) as Arc<dyn FileOps>).expect("registry");
+    registry.save(&toy_model("chaos-v1", 3)).expect("save v1");
+    let state = Arc::new(AppState::from_registry(registry, cs2013(), pdc12()).expect("state"));
+    let handle =
+        Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).expect("start");
+    (handle, state, ffs)
+}
+
+fn recommend_body(state: &AppState) -> Vec<u8> {
+    let snapshot = state.cache.snapshot();
+    let codes = &snapshot.engine.model().tag_codes;
+    format!(
+        r#"{{"name":"CS 201","labels":["DS"],"tags":["{}","{}"]}}"#,
+        codes[0], codes[5]
+    )
+    .into_bytes()
+}
+
+/// Scenario 1 — a torn write during publish. The save fails, the torn
+/// temp never becomes a version, queries never miss a beat, and once the
+/// weather clears the next publish + reload swaps cleanly.
+#[test]
+fn torn_publish_never_downs_serving() {
+    let (handle, state, ffs) =
+        start_faulty_server("torn", FaultPlan::none(21).with_torn_write(1.0));
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let body = recommend_body(&state);
+
+    ffs.set_enabled(true);
+    let err = state
+        .registry
+        .save(&toy_model("chaos-v2", 9))
+        .expect_err("torn write must fail the save");
+    assert!(
+        err.is_corruption() || !err.is_transient(),
+        "not retry-as-is: {err}"
+    );
+    assert!(ffs.counters().torn_writes.load(Relaxed) >= 1);
+
+    // Serving is untouched: still v1, still healthy, still answering.
+    let rec = client
+        .request("POST", "/v1/recommend", &body)
+        .expect("query");
+    assert_eq!(rec.status, 200, "{}", rec.text());
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("chaos-v1"), "{}", health.text());
+
+    // Weather clears: publish and swap work immediately.
+    ffs.set_enabled(false);
+    state
+        .registry
+        .save(&toy_model("chaos-v2", 9))
+        .expect("save v2");
+    let reload = client.request("POST", "/v1/reload", b"").expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.text());
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert!(health.text().contains("chaos-v2"), "{}", health.text());
+    assert_eq!(state.metrics.reload_failures.load(Relaxed), 0);
+    drop(client);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(state.registry.dir());
+}
+
+/// Scenario 2 — the newest artifact is corrupt at startup. The server
+/// boots on the newest *good* version, `recover()` quarantines the bad
+/// bytes without deleting them, the dead version number is never reused,
+/// and the corrupt model is never the one served.
+#[test]
+fn corrupt_latest_falls_back_and_recovery_quarantines() {
+    let dir = tmp_dir("corrupt-latest");
+    let registry = Registry::open(&dir).expect("registry");
+    registry.save(&toy_model("good-v1", 3)).expect("save v1");
+    let v2 = registry.save(&toy_model("bad-v2", 9)).expect("save v2");
+    let v2_path = dir.join(format!("model-v{v2}.json"));
+    let text = fs::read_to_string(&v2_path).expect("read v2");
+    fs::write(&v2_path, &text[..text.len() / 2]).expect("tear v2");
+
+    // Startup falls back: the corrupt v2 is skipped, good v1 serves.
+    let state = Arc::new(AppState::from_registry(registry, cs2013(), pdc12()).expect("state"));
+    assert_eq!(state.cache.version(), 1);
+    assert_eq!(state.cache.snapshot().engine.model().name, "good-v1");
+    let handle =
+        Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).expect("start");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let body = recommend_body(&state);
+    assert_eq!(
+        client
+            .request("POST", "/v1/recommend", &body)
+            .expect("query")
+            .status,
+        200
+    );
+
+    // The startup sweep: corrupt bytes are moved aside, not deleted.
+    let report = state.registry.recover().expect("recover");
+    assert_eq!(report.good, vec![1]);
+    assert_eq!(report.quarantined.len(), 1);
+    assert_eq!(report.quarantined[0].0, v2);
+    assert!(dir.join(format!("model-v{v2}.json.quarantined")).exists());
+    assert!(!v2_path.exists());
+
+    // The quarantined number is burned: the next publish is v3, and a
+    // reload serves it — the bad model never answered a single query.
+    let v3 = state
+        .registry
+        .save(&toy_model("good-v3", 11))
+        .expect("save v3");
+    assert_eq!(v3, 3, "quarantined v2 is never reused");
+    let reload = client.request("POST", "/v1/reload", b"").expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.text());
+    assert_eq!(state.cache.snapshot().engine.model().name, "good-v3");
+    drop(client);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Scenario 3 — persistent transient faults: reload fails even after its
+/// internal retries, the server flips to degraded (healthz 503 + detail +
+/// Retry-After) while queries keep flowing from the last-good snapshot,
+/// and a later successful reload self-heals without a restart.
+#[test]
+fn persistent_transient_faults_degrade_then_self_heal() {
+    let (handle, state, ffs) =
+        start_faulty_server("degrade", FaultPlan::none(31).with_transient_error(1.0));
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let body = recommend_body(&state);
+
+    ffs.set_enabled(true);
+    let reload = client.request("POST", "/v1/reload", b"").expect("reload");
+    assert_eq!(
+        reload.status,
+        503,
+        "transient registry trouble is retryable: {}",
+        reload.text()
+    );
+    assert_eq!(reload.header("retry-after"), Some("1"));
+    assert!(
+        ffs.counters().transient_errors.load(Relaxed) >= state.reload_retry.attempts as u64,
+        "every internal retry hit an injected fault"
+    );
+    assert_eq!(state.metrics.reload_failures.load(Relaxed), 1);
+    assert_eq!(state.metrics.serving_degraded.load(Relaxed), 1);
+
+    // Degraded is visible and explained...
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 503);
+    assert_eq!(health.header("retry-after"), Some("1"));
+    assert!(health.text().contains("degraded"), "{}", health.text());
+    assert!(health.text().contains("detail"), "{}", health.text());
+    // ...but the last-good snapshot keeps answering, fault-free: the
+    // query path never touches the registry.
+    for _ in 0..5 {
+        let rec = client
+            .request("POST", "/v1/recommend", &body)
+            .expect("query");
+        assert_eq!(rec.status, 200, "degraded still serves: {}", rec.text());
+    }
+    let metrics = client.request("GET", "/v1/metrics", b"").expect("metrics");
+    assert!(metrics.text().contains("anchors_http_serving_degraded 1"));
+
+    // Weather clears → the next reload heals the state machine.
+    ffs.set_enabled(false);
+    assert_eq!(
+        client
+            .request("POST", "/v1/reload", b"")
+            .expect("reload")
+            .status,
+        200
+    );
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200, "self-healed: {}", health.text());
+    assert_eq!(state.metrics.serving_degraded.load(Relaxed), 0);
+    assert!(!state.health.is_degraded());
+    drop(client);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(state.registry.dir());
+}
+
+/// Scenario 4 — a transient blip shorter than the retry budget: the
+/// reload handler rides it out internally and the client sees one clean
+/// 200, no degraded window at all.
+#[test]
+fn transient_blip_is_absorbed_by_reload_retries() {
+    let (handle, state, ffs) = start_faulty_server(
+        "blip",
+        FaultPlan::none(41)
+            .with_transient_error(1.0)
+            .with_max_faults(2),
+    );
+    state
+        .registry
+        .save(&toy_model("chaos-v2", 9))
+        .expect("save v2");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+
+    ffs.set_enabled(true);
+    let reload = client.request("POST", "/v1/reload", b"").expect("reload");
+    assert_eq!(reload.status, 200, "blip absorbed: {}", reload.text());
+    assert!(reload.text().contains("\"version\":2"), "{}", reload.text());
+    assert_eq!(
+        ffs.counters().transient_errors.load(Relaxed),
+        2,
+        "both budgeted faults fired"
+    );
+    assert_eq!(state.metrics.reload_failures.load(Relaxed), 0);
+    assert_eq!(state.metrics.serving_degraded.load(Relaxed), 0);
+    assert_eq!(
+        client
+            .request("GET", "/v1/healthz", b"")
+            .expect("healthz")
+            .status,
+        200
+    );
+    drop(client);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(state.registry.dir());
+}
+
+/// Scenario 5 — slow registry I/O: a reload crawling through injected
+/// delays never blocks the query path, because all loading happens
+/// outside the snapshot lock and on its own worker thread.
+#[test]
+fn slow_io_reload_does_not_block_queries() {
+    let (handle, state, ffs) = start_faulty_server(
+        "slow",
+        FaultPlan::none(51).with_slow_io(1.0, Duration::from_millis(40)),
+    );
+    state
+        .registry
+        .save(&toy_model("chaos-v2", 9))
+        .expect("save v2");
+    let addr = handle.addr();
+    let body = recommend_body(&state);
+
+    ffs.set_enabled(true);
+    let reloader = thread::spawn(move || {
+        let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+        let started = Instant::now();
+        let status = client
+            .request("POST", "/v1/reload", b"")
+            .expect("reload")
+            .status;
+        (status, started.elapsed())
+    });
+    // While the reload crawls, queries answer from the snapshot.
+    let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+    let query_burst_started = Instant::now();
+    for _ in 0..10 {
+        let rec = client
+            .request("POST", "/v1/recommend", &body)
+            .expect("query");
+        assert_eq!(rec.status, 200);
+    }
+    let burst = query_burst_started.elapsed();
+    let (reload_status, reload_took) = reloader.join().expect("reloader");
+    assert_eq!(reload_status, 200);
+    assert!(
+        ffs.counters().slow_ios.load(Relaxed) >= 1,
+        "delays actually injected"
+    );
+    assert!(
+        reload_took >= Duration::from_millis(40),
+        "the reload really was slow: {reload_took:?}"
+    );
+    assert!(
+        burst < reload_took,
+        "ten queries ({burst:?}) outran one slow reload ({reload_took:?})"
+    );
+    drop(client);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(state.registry.dir());
+}
+
+/// Scenario 6 — the retrying client rides out a degraded window: it
+/// honors the server's `Retry-After` on 503 and comes back to a healed
+/// server, turning an operator-visible outage into one slow request.
+#[test]
+fn retrying_client_rides_out_degraded_window() {
+    let (handle, state, ffs) =
+        start_faulty_server("ride-out", FaultPlan::none(61).with_transient_error(1.0));
+    let addr = handle.addr();
+
+    // Push the server into degraded mode.
+    ffs.set_enabled(true);
+    let mut plain = Client::connect(addr, TIMEOUT).expect("connect");
+    assert_eq!(
+        plain
+            .request("POST", "/v1/reload", b"")
+            .expect("reload")
+            .status,
+        503
+    );
+    assert_eq!(
+        plain
+            .request("GET", "/v1/healthz", b"")
+            .expect("healthz")
+            .status,
+        503
+    );
+    drop(plain);
+
+    // A healer clears the fault and reloads while the client backs off.
+    let healer_state = Arc::clone(&state);
+    let healer_ffs = Arc::clone(&ffs);
+    let healer = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(200));
+        healer_ffs.set_enabled(false);
+        let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+        assert_eq!(
+            client
+                .request("POST", "/v1/reload", b"")
+                .expect("heal")
+                .status,
+            200
+        );
+        assert!(!healer_state.health.is_degraded());
+    });
+
+    let mut retrying = RetryingClient::new(
+        addr,
+        TIMEOUT,
+        RetryConfig {
+            max_attempts: 5,
+            deadline: Duration::from_secs(20),
+            jitter_seed: 61,
+            ..RetryConfig::default()
+        },
+    );
+    let resp = retrying
+        .request("GET", "/v1/healthz", b"")
+        .expect("retrying client");
+    assert_eq!(resp.status, 200, "rode out the degraded window");
+    healer.join().expect("healer");
+    handle.shutdown();
+    let _ = fs::remove_dir_all(state.registry.dir());
+}
