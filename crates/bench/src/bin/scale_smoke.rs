@@ -1,0 +1,320 @@
+//! Scale smoke benchmark: exact vs sketched NNMF fit time and JSON vs
+//! binary artifact load time across corpus sizes far past the paper's.
+//!
+//! For each row count (default 2k / 20k / 100k) the bench plants a dense
+//! rank-8 block structure over a real CS2013 tag-space prefix — row `i`
+//! loads on type `i % 8`, types own disjoint tag blocks — and adds a
+//! uniform nonnegative noise floor so neither solver can reach zero loss
+//! and the quality ratio is meaningful. Dense is the regime where row
+//! compression pays: exact HALS sweeps cost `O(m·n·k)` and grow linearly
+//! in courses, while the sketched sweep is fixed at `O(s·n·k)`. (On a
+//! few-percent-dense CSR corpus the exact sweep is already `O(nnz·k)`
+//! and sketching buys little — the sketch of a sparse matrix is dense.)
+//!
+//! Per size the bench:
+//!
+//! 1. fits the exact HALS path (`try_nnmf`) and the sketched path
+//!    (`try_nnmf_sketched`, unsigned CountSketch with bucket occupancy
+//!    held at 6 by scaling `s = max(512, m/6)` with the row count — the
+//!    512 floor keeps the paper-scale 2k sweep near occupancy 4),
+//!    recording wall-clock and exact relative reconstruction error of
+//!    both — the sketched number includes the sketch, the inner fit,
+//!    and the exact NNLS lift;
+//! 2. freezes the exact model as a serving artifact and saves it through
+//!    two registries — one JSON, one binary — timing `Registry::load`
+//!    (checksum verification included) best-of-3 for each format.
+//!
+//! Emits `BENCH_scale.json` at the workspace root (and a copy under
+//! `target/figures/`). Gates, applied only when the relevant size is in
+//! the run list:
+//!
+//! * 2k rows — sketched relative error within 5% of exact (parity);
+//! * 20k rows — binary load ≥ 10× faster than JSON parse, sketched fit
+//!   ≥ 2× faster than exact at equal rank.
+//!
+//! Knobs: `ANCHORS_SCALE_ROWS` (comma-separated row counts, default
+//! `2000,20000,100000`) and `ANCHORS_SCALE_TAGS` (default 1024) shrink
+//! the sweep for CI.
+
+use anchors_bench::{figures_dir, header};
+use anchors_curricula::cs2013;
+use anchors_factor::{try_nnmf, try_nnmf_sketched, NnmfConfig, Solver};
+use anchors_linalg::{Backend, Matrix, SketchConfig};
+use anchors_materials::TagSpace;
+use anchors_serve::{ArtifactFormat, FittedModel, Registry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_sizes(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|p| p.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+/// Planted rank-`k` course matrix with a noise floor: `A = W₀·H₀ + E`
+/// where row `i` of `W₀` is 1-sparse on type `i % k` (with a per-row
+/// scale), `H₀` gives each type a disjoint tag block over a small
+/// cross-type floor, and `E` is uniform nonnegative noise. Generated
+/// entrywise — `W₀` rows are 1-sparse, so each entry is `O(1)`.
+fn planted_dense(m: usize, n: usize, k: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let block = n / k;
+    Matrix::from_fn(m, n, |i, j| {
+        let t = i % k;
+        let w = 1.0 + 0.1 * ((i / k) % 5) as f64;
+        let h = if j / block == t {
+            0.7 + 0.05 * ((j * 7 + 3 * t) % 8) as f64
+        } else {
+            0.02
+        };
+        w * h + 0.08 * rng.gen::<f64>()
+    })
+}
+
+struct SizeRow {
+    rows: usize,
+    sketch_rows: usize,
+    exact_fit_ms: f64,
+    sketched_fit_ms: f64,
+    fit_speedup: f64,
+    exact_iters: usize,
+    sketch_iters: usize,
+    exact_rel_err: f64,
+    sketched_rel_err: f64,
+    quality_ratio: f64,
+    json_save_ms: f64,
+    bin_save_ms: f64,
+    json_load_ms: f64,
+    bin_load_ms: f64,
+    load_speedup: f64,
+}
+
+fn best_of_3(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let sizes = env_sizes("ANCHORS_SCALE_ROWS", &[2000, 20_000, 100_000]);
+    let n_tags_req = env_usize("ANCHORS_SCALE_TAGS", 1024);
+    let k = 8;
+
+    header("Scale smoke: exact vs sketched fit, JSON vs binary load");
+
+    let cs = cs2013();
+    let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(n_tags_req));
+    let n_tags = space.len();
+    println!("  tag space: {n_tags} CS2013 leaves; k = {k}; sizes {sizes:?}");
+
+    let scratch = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("target")
+        .join("scale_smoke");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let cfg = NnmfConfig {
+        solver: Solver::Hals,
+        restarts: 1,
+        max_iter: 150,
+        tol: 1e-4,
+        ..NnmfConfig::paper_default(k)
+    };
+
+    let mut rows_out: Vec<SizeRow> = Vec::new();
+    for &m in &sizes {
+        let a = planted_dense(m, n_tags, k, 0x5CA1E ^ m as u64);
+        println!("  -- {m} courses x {n_tags} tags (dense)");
+
+        let t0 = Instant::now();
+        let exact = try_nnmf(&a, &cfg).expect("exact fit");
+        let exact_fit_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let exact_rel_err = exact.relative_error_on(&a);
+
+        // Bucket occupancy m/s holds at 6 as m grows (single digits, per
+        // the sketch module's identifiability guidance); the 512 floor
+        // keeps small sweeps from under-sketching the rank.
+        let s = (m / 6).max(512).min(m);
+        let sketch = SketchConfig::count_sketch(s, 0xC0DE);
+        let t1 = Instant::now();
+        let sketched = try_nnmf_sketched(&a, &cfg, &sketch).expect("sketched fit");
+        let sketched_fit_ms = t1.elapsed().as_secs_f64() * 1e3;
+        let sketched_rel_err = sketched.report.relative_error;
+
+        let fit_speedup = exact_fit_ms / sketched_fit_ms.max(1e-9);
+        let quality_ratio = sketched_rel_err / exact_rel_err.max(1e-12);
+        println!(
+            "     exact:    {exact_fit_ms:>10.1} ms  rel err {exact_rel_err:.4} ({} iters)",
+            exact.iterations
+        );
+        println!(
+            "     sketched: {sketched_fit_ms:>10.1} ms  rel err {sketched_rel_err:.4} (s = {s}, {fit_speedup:.2}x faster, quality ratio {quality_ratio:.4})"
+        );
+
+        // Serving artifact: save the exact model through both codecs and
+        // time the full Registry::load (read + checksum + decode + shape
+        // validation) for each.
+        let artifact = FittedModel::new(format!("scale-{m}"), cs, &space, &exact, Backend::Dense)
+            .expect("artifact");
+        let mut json_save_ms = 0.0;
+        let mut bin_save_ms = 0.0;
+        let mut json_load_ms = 0.0;
+        let mut bin_load_ms = 0.0;
+        for (format, save_ms, load_ms) in [
+            (ArtifactFormat::Json, &mut json_save_ms, &mut json_load_ms),
+            (ArtifactFormat::Bin, &mut bin_save_ms, &mut bin_load_ms),
+        ] {
+            let dir = scratch.join(format!("{m}-{}", format.extension()));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            let reg = Registry::open(&dir).expect("registry").with_format(format);
+            let t = Instant::now();
+            let v = reg.save(&artifact).expect("save");
+            *save_ms = t.elapsed().as_secs_f64() * 1e3;
+            *load_ms = best_of_3(|| {
+                let loaded = reg.load(v).expect("load");
+                assert_eq!(loaded.w.shape(), (m, k));
+            });
+        }
+        let load_speedup = json_load_ms / bin_load_ms.max(1e-9);
+        println!(
+            "     load:     json {json_load_ms:>8.1} ms | bin {bin_load_ms:>8.1} ms ({load_speedup:.1}x)"
+        );
+
+        rows_out.push(SizeRow {
+            rows: m,
+            sketch_rows: s,
+            exact_fit_ms,
+            sketched_fit_ms,
+            fit_speedup,
+            exact_iters: exact.iterations,
+            sketch_iters: sketched.report.sketch_iterations,
+            exact_rel_err,
+            sketched_rel_err,
+            quality_ratio,
+            json_save_ms,
+            bin_save_ms,
+            json_load_ms,
+            bin_load_ms,
+            load_speedup,
+        });
+    }
+
+    let body: Vec<String> = rows_out
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"rows\": {},\n",
+                    "      \"tags\": {},\n",
+                    "      \"k\": {},\n",
+                    "      \"sketch_rows\": {},\n",
+                    "      \"exact_fit_ms\": {:.3},\n",
+                    "      \"sketched_fit_ms\": {:.3},\n",
+                    "      \"fit_speedup\": {:.3},\n",
+                    "      \"exact_iters\": {},\n",
+                    "      \"sketch_iters\": {},\n",
+                    "      \"exact_rel_err\": {:.6},\n",
+                    "      \"sketched_rel_err\": {:.6},\n",
+                    "      \"quality_ratio\": {:.4},\n",
+                    "      \"json_save_ms\": {:.3},\n",
+                    "      \"bin_save_ms\": {:.3},\n",
+                    "      \"json_load_ms\": {:.3},\n",
+                    "      \"bin_load_ms\": {:.3},\n",
+                    "      \"load_speedup\": {:.3}\n",
+                    "    }}"
+                ),
+                r.rows,
+                n_tags,
+                k,
+                r.sketch_rows,
+                r.exact_fit_ms,
+                r.sketched_fit_ms,
+                r.fit_speedup,
+                r.exact_iters,
+                r.sketch_iters,
+                r.exact_rel_err,
+                r.sketched_rel_err,
+                r.quality_ratio,
+                r.json_save_ms,
+                r.bin_save_ms,
+                r.json_load_ms,
+                r.bin_load_ms,
+                r.load_speedup,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"scale_exact_vs_sketched_and_codec_load\",\n",
+            "  \"sketch\": \"countsketch, s = max(512, rows/6)\",\n",
+            "  \"sizes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        body.join(",\n")
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let root_path = root.join("BENCH_scale.json");
+    std::fs::write(&root_path, &json).expect("write BENCH_scale.json");
+    println!("  wrote {}", root_path.display());
+    std::fs::write(figures_dir().join("BENCH_scale.json"), &json).expect("write figures copy");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut failed = false;
+    if let Some(r) = rows_out.iter().find(|r| r.rows == 2000) {
+        if r.sketched_rel_err > r.exact_rel_err * 1.05 {
+            eprintln!(
+                "GATE FAILED (2k parity): sketched rel err {:.4} exceeds exact {:.4} by more than 5%",
+                r.sketched_rel_err, r.exact_rel_err
+            );
+            failed = true;
+        }
+    }
+    if let Some(r) = rows_out.iter().find(|r| r.rows == 20_000) {
+        if r.load_speedup < 10.0 {
+            eprintln!(
+                "GATE FAILED (20k load): binary load only {:.1}x faster than JSON (need 10x)",
+                r.load_speedup
+            );
+            failed = true;
+        }
+        if r.fit_speedup < 2.0 {
+            eprintln!(
+                "GATE FAILED (20k fit): sketched only {:.2}x faster than exact (need 2x)",
+                r.fit_speedup
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("  gates: OK");
+}

@@ -4,9 +4,10 @@
 use crate::error::AnchorsError;
 use anchors_curricula::{NodeId, Ontology};
 use anchors_factor::{
-    select_rank, try_nnmf, try_rank_scan, NnmfConfig, NnmfModel, DUPLICATE_THRESHOLD,
+    select_rank, try_nnmf, try_nnmf_sketched, try_rank_scan, NnmfConfig, NnmfModel, SketchReport,
+    DUPLICATE_THRESHOLD,
 };
-use anchors_linalg::Backend;
+use anchors_linalg::{Backend, SketchConfig};
 use anchors_materials::{CourseId, CourseMatrix, MaterialStore, SparseCourseMatrix};
 use std::collections::BTreeMap;
 
@@ -86,6 +87,10 @@ pub struct FlavorDiagnostics {
     /// Informational annotations (backend choice, density) that do *not*
     /// degrade the stage — unlike `notes`, these describe a healthy fit.
     pub info: Vec<String>,
+    /// Sketch parameters and quality when the fit went through the
+    /// sketched path ([`try_discover_flavors_sketched`]); `None` for
+    /// exact fits.
+    pub sketch: Option<SketchReport>,
 }
 
 /// A fitted flavor model of a course group.
@@ -172,6 +177,7 @@ pub fn try_discover_flavors_with(
         backend,
         density,
         info: vec![format!("nnmf backend: {backend} (density {density:.3})")],
+        sketch: None,
     };
     if diagnostics.clamped {
         diagnostics.notes.push(format!(
@@ -188,6 +194,100 @@ pub fn try_discover_flavors_with(
         Backend::Sparse => try_nnmf(&sparse.a, &cfg)?,
         Backend::Dense => try_nnmf(&dense_a, &cfg)?,
     };
+    let matrix = CourseMatrix {
+        courses: sparse.courses,
+        tag_space: sparse.tag_space,
+        a: dense_a,
+    };
+    if !model.recovery.is_clean() {
+        diagnostics
+            .notes
+            .push(format!("NNMF recovery engaged: {:?}", model.recovery));
+    }
+    model.normalize();
+    let types = summarize_types(&model, &matrix, ontology);
+    let assignments = model.dominant_types();
+    Ok(FlavorModel {
+        matrix,
+        model,
+        types,
+        assignments,
+        diagnostics,
+    })
+}
+
+/// [`try_discover_flavors_with`] through the sketched NNMF path: the
+/// factorization runs on an `s × tags` row sketch of the course matrix
+/// (`s = sketch.rows ≪ n_courses`) and `W` is lifted back with one exact
+/// batched-NNLS pass — see `anchors_factor::sketched` for the algorithm
+/// and its cone-preservation requirements. Intended for corpora far past
+/// the paper's scale, where the exact per-sweep cost grows linearly in
+/// courses.
+///
+/// The sketch parameters and measured quality (sketch-side loss, exact
+/// loss, exact relative error) land in the returned model's
+/// [`FlavorDiagnostics::sketch`], and an `info` line annotates the fit;
+/// recovery actions degrade the stage exactly as on the exact path.
+pub fn try_discover_flavors_sketched(
+    store: &MaterialStore,
+    ontology: &Ontology,
+    courses: &[CourseId],
+    config: &NnmfConfig,
+    sketch: &SketchConfig,
+) -> Result<FlavorModel, AnchorsError> {
+    if courses.is_empty() {
+        return Err(AnchorsError::EmptyGroup { stage: "flavors" });
+    }
+    let sparse = SparseCourseMatrix::build(store, courses);
+    if sparse.n_tags() == 0 {
+        return Err(AnchorsError::DegenerateMatrix {
+            stage: "flavors",
+            detail: format!("{} courses span no curriculum tags", courses.len()),
+        });
+    }
+    let density = sparse.density();
+    let backend = select_backend(density);
+    let requested_k = config.k;
+    // The rank must fit both the course matrix and the sketch.
+    let max_k = sparse
+        .n_courses()
+        .min(sparse.n_tags())
+        .min(sketch.rows)
+        .max(1);
+    let effective_k = requested_k.min(max_k).max(1);
+    let mut diagnostics = FlavorDiagnostics {
+        requested_k,
+        effective_k,
+        clamped: effective_k != requested_k,
+        notes: Vec::new(),
+        backend,
+        density,
+        info: vec![format!("nnmf backend: {backend} (density {density:.3})")],
+        sketch: None,
+    };
+    if diagnostics.clamped {
+        diagnostics.notes.push(format!(
+            "k clamped from {requested_k} to {effective_k} (matrix is {:?}, sketch rows {})",
+            (sparse.n_courses(), sparse.n_tags()),
+            sketch.rows
+        ));
+    }
+    let cfg = NnmfConfig {
+        k: effective_k,
+        ..config.clone()
+    };
+    let dense_a = sparse.a.to_dense();
+    let fitted = match backend {
+        Backend::Sparse => try_nnmf_sketched(&sparse.a, &cfg, sketch)?,
+        Backend::Dense => try_nnmf_sketched(&dense_a, &cfg, sketch)?,
+    };
+    let mut model = fitted.model;
+    let report = fitted.report;
+    diagnostics.info.push(format!(
+        "sketched nnmf: {} sketch, {} rows (seed {}), exact relative error {:.4}",
+        report.kind, report.sketch_rows, report.sketch_seed, report.relative_error
+    ));
+    diagnostics.sketch = Some(report);
     let matrix = CourseMatrix {
         courses: sparse.courses,
         tag_space: sparse.tag_space,
@@ -280,6 +380,7 @@ pub fn try_discover_flavors_auto(
         backend,
         density,
         info: vec![format!("nnmf backend: {backend} (density {density:.3})")],
+        sketch: None,
     };
     Ok((
         FlavorModel {
@@ -585,6 +686,66 @@ mod tests {
             err,
             crate::error::AnchorsError::EmptyGroup { stage: "flavors" }
         ));
+    }
+
+    #[test]
+    fn sketched_discovery_matches_the_exact_pipeline_shape() {
+        let c = default_corpus();
+        let g = cs2013();
+        let courses = c.all();
+        // Sketch down to half the corpus rows; on a corpus this small the
+        // point is the plumbing (diagnostics, feasibility), not speed.
+        let sketch = SketchConfig::count_sketch(courses.len() / 2, 42);
+        let fm = try_discover_flavors_sketched(
+            &c.store,
+            g,
+            courses,
+            &NnmfConfig::paper_default(4),
+            &sketch,
+        )
+        .expect("sketched discovery");
+        assert_eq!(fm.k(), 4);
+        assert_eq!(fm.assignments.len(), courses.len());
+        assert!(fm.model.w.is_nonnegative());
+        assert!(fm.model.h.is_nonnegative());
+        let report = fm.diagnostics.sketch.as_ref().expect("sketch report");
+        assert_eq!(report.kind, "countsketch");
+        assert_eq!(report.sketch_rows, courses.len() / 2);
+        assert!(report.relative_error.is_finite());
+        assert!(
+            fm.diagnostics.info.iter().any(|n| n.contains("sketched")),
+            "sketch use must be annotated: {:?}",
+            fm.diagnostics.info
+        );
+        // The exact path never records a sketch.
+        let exact = try_discover_flavors(&c.store, g, courses, 4).unwrap();
+        assert!(exact.diagnostics.sketch.is_none());
+    }
+
+    #[test]
+    fn sketched_discovery_clamps_k_to_the_sketch() {
+        let c = default_corpus();
+        let g = cs2013();
+        // A 3-row sketch cannot support k = 10: clamp, don't panic.
+        let sketch = SketchConfig::gaussian(3, 7);
+        let fm = try_discover_flavors_sketched(
+            &c.store,
+            g,
+            c.all(),
+            &NnmfConfig::paper_default(10),
+            &sketch,
+        )
+        .expect("clamp, not panic");
+        assert_eq!(fm.k(), 3);
+        assert!(fm.diagnostics.clamped);
+        assert!(
+            fm.diagnostics
+                .notes
+                .iter()
+                .any(|n| n.contains("sketch rows 3")),
+            "{:?}",
+            fm.diagnostics.notes
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod mds;
 pub mod nnmf;
 pub mod pca;
 pub mod rank;
+pub mod sketched;
 
 pub use bicluster::{block_purity, spectral_cocluster, Bicluster};
 pub use cluster::{hierarchical, kmeans, Dendrogram, KMeans, Linkage, Merge};
@@ -48,6 +49,7 @@ pub use rank::{
     duplicate_dimension_score, select_rank, separation_score, try_rank_scan, RankDiagnostics,
     DUPLICATE_THRESHOLD,
 };
+pub use sketched::{try_nnmf_sketched, SketchReport, SketchedModel};
 
 /// Thread-local heap-allocation counter backing the zero-allocation tests.
 /// Compiled only for this crate's own test binary; release builds use the

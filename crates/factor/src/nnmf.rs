@@ -422,8 +422,10 @@ pub(crate) fn fan_out_pooled<T: Send>(
     parallel::outer_map(n, |i| pool.with(|ws| f(i, ws)))
 }
 
-/// Validate NNMF inputs, mapping each contract violation to its typed error.
-fn validate<A: MatKernels>(a: &A, config: &NnmfConfig) -> Result<(), NnmfError> {
+/// Validate NNMF inputs, mapping each contract violation to its typed
+/// error. Shared with the sketched path, which adds its own sketch-shape
+/// checks on top.
+pub(crate) fn validate<A: MatKernels>(a: &A, config: &NnmfConfig) -> Result<(), NnmfError> {
     if let Some((row, col, value)) = a.find_non_finite() {
         return Err(NnmfError::NonFinite { row, col, value });
     }

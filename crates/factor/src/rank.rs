@@ -22,7 +22,7 @@ use anchors_linalg::{MatKernels, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Diagnostics for a single `k`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RankDiagnostics {
     /// The rank evaluated.
     pub k: usize,

@@ -1,0 +1,268 @@
+//! Sketched NNMF: factor through a row-space sketch instead of the full
+//! courses × tags matrix, for corpora far beyond the paper's ~2k courses.
+//!
+//! The full HALS fit touches every row of `A` (m × n) on every sweep —
+//! `O(m·n·k)` per iteration, which at 100k courses dominates wall-clock.
+//! The sketched path shrinks the iteration to `O(s·n·k)` with `s ≪ m`:
+//!
+//! 1. **Sketch** — `B = S·A` (`s × n`) via [`anchors_linalg::sketch`],
+//!    half-normal Gaussian or unsigned CountSketch, seeded and
+//!    storage-independent. The coefficients are **nonnegative**, so
+//!    `B = (S·W₀)·H₀ ≥ 0` for any exact factorization `A = W₀·H₀`: the
+//!    sketch is itself a valid NMF instance sharing the same `H₀`. (A
+//!    signed JL sketch would preserve the row space but destroy the
+//!    nonnegative cone — the `H` recovered by a semi-NMF on signed
+//!    sketch rows needs negative lift coefficients and reconstructs the
+//!    full data poorly.)
+//! 2. **NNMF on the sketch** — the ordinary [`crate::try_nnmf`] ladder
+//!    (restarts, divergence guards, recovery) runs on the small `B`;
+//!    only `H` — the type → tag profiles, which live in the row space
+//!    the sketch preserves — is kept.
+//! 3. **Lift** — one exact pass of batched NNLS recovers `W ≥ 0`
+//!    against the frozen `H`: row `i` of `W` solves
+//!    `min ‖Hᵀ wᵢ − aᵢ‖, wᵢ ≥ 0`. This is the only full-data step,
+//!    one Gram pass plus `m` tiny active-set solves, and it makes the
+//!    returned model feasible regardless of sketch quality.
+//!
+//! The returned [`SketchedModel`] carries the exact loss of the lifted
+//! factors — measured against the full `A`, not the sketch — plus a
+//! [`SketchReport`] recording the sketch parameters and quality, so
+//! callers (and the serving diagnostics) can gate on parity with the
+//! exact solver.
+
+use crate::error::NnmfError;
+use crate::nnmf::{loss, validate, NnmfConfig, NnmfModel};
+use anchors_linalg::sketch::{sketch_rows, SketchConfig};
+use anchors_linalg::solve::try_nnls_multi;
+use anchors_linalg::{LinalgError, MatKernels};
+use serde::{Deserialize, Serialize};
+
+/// How the sketch behaved, recorded alongside the lifted model so
+/// downstream diagnostics can audit the approximation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchReport {
+    /// Sketch family (`"gaussian"` or `"countsketch"`).
+    pub kind: String,
+    /// Sketch rows `s`.
+    pub sketch_rows: usize,
+    /// Seed of the sketch coefficients.
+    pub sketch_seed: u64,
+    /// Iterations used by the winning restart on the sketch.
+    pub sketch_iterations: usize,
+    /// Final loss `½‖B − WₛH‖²` of the sketch-side fit.
+    pub sketched_loss: f64,
+    /// Exact loss `½‖A − WH‖²` of the lifted factors on the full data.
+    pub exact_loss: f64,
+    /// Exact relative reconstruction error `‖A − WH‖_F / ‖A‖_F`.
+    pub relative_error: f64,
+}
+
+/// A lifted model plus the sketch audit trail.
+#[derive(Debug, Clone)]
+pub struct SketchedModel {
+    /// The factorization: `W ≥ 0` exact-lifted, `H ≥ 0` from the sketch
+    /// fit, `loss` measured on the full data.
+    pub model: NnmfModel,
+    /// Sketch parameters and quality.
+    pub report: SketchReport,
+}
+
+/// Fit NNMF through a row sketch: compress, factor the sketch with the
+/// full [`crate::try_nnmf`] ladder (every [`NnmfConfig`] knob — solver,
+/// restarts, budgets, recovery — applies to the sketch-side fit), then
+/// lift `W` back with one exact batched-NNLS pass. See the module docs
+/// for the algorithm.
+///
+/// Errors mirror [`crate::try_nnmf`]: malformed input surfaces as the
+/// same typed [`NnmfError`]s, a sketch too small for the rank as
+/// [`NnmfError::RankTooLarge`] against the sketch shape, and a
+/// divergent sketch fit as [`NnmfError::Diverged`].
+pub fn try_nnmf_sketched<A: MatKernels>(
+    a: &A,
+    config: &NnmfConfig,
+    sketch: &SketchConfig,
+) -> Result<SketchedModel, NnmfError> {
+    validate(a, config)?;
+    let (m, n) = a.shape();
+    if sketch.rows < config.k {
+        return Err(NnmfError::RankTooLarge {
+            k: config.k,
+            shape: (sketch.rows, n),
+        });
+    }
+    let b = sketch_rows(a, sketch).map_err(NnmfError::Linalg)?;
+
+    // The sketch of a validated (finite, nonnegative) matrix is again
+    // finite and nonnegative, so the inner fit sees a well-formed NMF
+    // instance and the full recovery ladder applies to it.
+    let inner = crate::try_nnmf(&b, config)?;
+
+    // Lift: one exact batched-NNLS pass over the full data recovers
+    // W ≥ 0 against the frozen H. `try_nnls_multi` wants the design
+    // matrix Hᵀ (n × k) and solves every row of A in one Gram pass.
+    let ht = inner.h.transpose();
+    let w = try_nnls_multi(&ht, a, 1e-12).map_err(NnmfError::Linalg)?;
+    debug_assert_eq!(w.shape(), (m, config.k));
+
+    let exact_loss = loss(a, &w, &inner.h);
+    if !exact_loss.is_finite() {
+        return Err(NnmfError::Linalg(LinalgError::NotFinite {
+            op: "nnmf_sketched",
+            row: 0,
+            col: 0,
+            value: exact_loss,
+        }));
+    }
+    let model = NnmfModel {
+        w,
+        h: inner.h,
+        loss: exact_loss,
+        iterations: inner.iterations,
+        converged: inner.converged,
+        winning_seed: inner.winning_seed,
+        recovery: inner.recovery,
+    };
+    // Same quantity `relative_error_on` computes, but reusing the loss
+    // pass already done above — one fewer full-data sweep.
+    let fro2 = a.frobenius_sq();
+    let relative_error = if fro2 > 0.0 {
+        (2.0 * exact_loss.max(0.0) / fro2).sqrt()
+    } else if exact_loss > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    Ok(SketchedModel {
+        report: SketchReport {
+            kind: sketch.kind.to_string(),
+            sketch_rows: sketch.rows,
+            sketch_seed: sketch.seed,
+            sketch_iterations: inner.iterations,
+            sketched_loss: inner.loss,
+            exact_loss,
+            relative_error,
+        },
+        model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_linalg::{CsrMatrix, Matrix, SketchKind};
+
+    /// Planted rank-3 nonnegative matrix: every row loads on one
+    /// dominant type, with a small cross-type floor in `H`.
+    fn planted(m: usize, n: usize) -> Matrix {
+        let k = 3;
+        let w0 = Matrix::from_fn(m, k, |i, t| {
+            if i % k == t {
+                1.0 + (i % 5) as f64 * 0.1
+            } else {
+                0.0
+            }
+        });
+        let h0 = Matrix::from_fn(k, n, |t, j| {
+            if j % k == t {
+                0.8 + (j % 7) as f64 * 0.05
+            } else {
+                0.02
+            }
+        });
+        anchors_linalg::matmul(&w0, &h0)
+    }
+
+    fn cfg(k: usize) -> NnmfConfig {
+        NnmfConfig {
+            max_iter: 200,
+            tol: 1e-6,
+            ..NnmfConfig::paper_default(k)
+        }
+    }
+
+    #[test]
+    fn sketched_fit_is_feasible_and_accurate_on_planted_data() {
+        let a = planted(60, 24);
+        for kind in [SketchKind::Gaussian, SketchKind::CountSketch] {
+            let sk = SketchConfig {
+                kind,
+                rows: 24,
+                seed: 11,
+            };
+            let fitted = try_nnmf_sketched(&a, &cfg(3), &sk).expect("sketched fit");
+            assert!(fitted.model.w.is_nonnegative(), "{kind}: W ≥ 0");
+            assert!(fitted.model.h.is_nonnegative(), "{kind}: H ≥ 0");
+            assert!(
+                fitted.report.relative_error < 0.05,
+                "{kind}: planted rank-3 should nearly factor, err {}",
+                fitted.report.relative_error
+            );
+            assert_eq!(fitted.report.kind, kind.to_string());
+            assert_eq!(fitted.report.sketch_rows, 24);
+            // The recorded exact loss is the model's loss.
+            assert_eq!(fitted.report.exact_loss, fitted.model.loss);
+        }
+    }
+
+    #[test]
+    fn sketched_fit_is_deterministic_and_storage_independent() {
+        let dense = planted(40, 16);
+        let csr = CsrMatrix::from_dense(&dense);
+        let sk = SketchConfig::gaussian(20, 5);
+        let m1 = try_nnmf_sketched(&dense, &cfg(3), &sk).expect("dense");
+        let m2 = try_nnmf_sketched(&dense, &cfg(3), &sk).expect("dense again");
+        let m3 = try_nnmf_sketched(&csr, &cfg(3), &sk).expect("csr");
+        assert_eq!(m1.model.w, m2.model.w);
+        assert_eq!(m1.model.h, m2.model.h);
+        assert_eq!(m1.model.w, m3.model.w, "dense/CSR bitwise-paired");
+        assert_eq!(m1.model.h, m3.model.h);
+        assert_eq!(m1.report, m3.report);
+    }
+
+    #[test]
+    fn sketched_parity_with_exact_on_planted_data() {
+        // On noiseless planted data the exact solver reaches ~1e-6, so a
+        // ratio gate is meaningless here — the 1.05× parity gate runs in
+        // the scale bench on noise-floored data. The unit property is
+        // absolute: the sketched fit reconstructs the planted structure
+        // to well under 1% even through a 30-row sketch.
+        let a = planted(80, 30);
+        let exact = crate::try_nnmf(&a, &cfg(3)).expect("exact");
+        let sk = try_nnmf_sketched(&a, &cfg(3), &SketchConfig::gaussian(30, 7)).expect("sketched");
+        let exact_err = exact.relative_error_on(&a);
+        assert!(exact_err < 1e-3, "exact baseline sane, err {exact_err}");
+        assert!(
+            sk.report.relative_error < 0.01,
+            "sketched err {} should be under 1% (exact {})",
+            sk.report.relative_error,
+            exact_err
+        );
+    }
+
+    #[test]
+    fn bad_inputs_surface_typed_errors() {
+        let a = planted(20, 10);
+        // Sketch smaller than the rank.
+        let err = try_nnmf_sketched(&a, &cfg(4), &SketchConfig::gaussian(2, 1)).unwrap_err();
+        assert!(matches!(
+            err,
+            NnmfError::RankTooLarge {
+                k: 4,
+                shape: (2, 10)
+            }
+        ));
+        // Malformed data takes the same validation path as the exact fit.
+        let mut bad = a.clone();
+        bad.set(1, 1, -1.0);
+        assert!(matches!(
+            try_nnmf_sketched(&bad, &cfg(3), &SketchConfig::gaussian(8, 1)),
+            Err(NnmfError::NegativeEntry { .. })
+        ));
+        let mut nan = a;
+        nan.set(0, 0, f64::NAN);
+        assert!(matches!(
+            try_nnmf_sketched(&nan, &cfg(3), &SketchConfig::gaussian(8, 1)),
+            Err(NnmfError::NonFinite { .. })
+        ));
+    }
+}

@@ -101,6 +101,18 @@ pub trait MatKernels: Sync {
     /// `self.cols() × b.cols()`.
     fn at_b_into(&self, b: &Matrix, out: &mut Matrix);
 
+    /// `out[j] += scale · a_ij` for every nonzero entry of row `i`, in
+    /// ascending column order. Dense storage skips exact zeros, so both
+    /// backends perform *identical* add sequences — row-accumulating
+    /// consumers (the sketch projections) stay bitwise-paired across
+    /// storages. Implementations are tight slice loops (no per-entry
+    /// indirection), so a full-matrix accumulation sweep runs at memory
+    /// speed.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows()` or `out.len() != cols()`.
+    fn accumulate_row_into(&self, i: usize, scale: f64, out: &mut [f64]);
+
     /// Direct residual loss `½‖A − WH‖_F²`, evaluated one reconstruction
     /// row at a time through `row_scratch` (length `cols`). Used when the
     /// Gram-identity loss overflows (`‖A‖²` non-finite); never allocates.
@@ -177,6 +189,16 @@ impl MatKernels for Matrix {
         ops::matmul_at_b_into(self, b, out);
     }
 
+    fn accumulate_row_into(&self, i: usize, scale: f64, out: &mut [f64]) {
+        let row = self.row(i);
+        assert_eq!(out.len(), row.len(), "accumulate_row_into length");
+        for (o, &v) in out.iter_mut().zip(row) {
+            if v != 0.0 {
+                *o += scale * v;
+            }
+        }
+    }
+
     fn residual_loss(&self, w: &Matrix, h: &Matrix, row_scratch: &mut [f64]) -> f64 {
         check_residual_shapes(MatKernels::shape(self), w, h, row_scratch);
         let mut acc = 0.0;
@@ -249,6 +271,14 @@ impl MatKernels for CsrMatrix {
 
     fn at_b_into(&self, b: &Matrix, out: &mut Matrix) {
         self.matmul_at_dense_into(b, out);
+    }
+
+    fn accumulate_row_into(&self, i: usize, scale: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.cols(), "accumulate_row_into length");
+        let (idx, vals) = self.row(i);
+        for (&j, &v) in idx.iter().zip(vals) {
+            out[j] += scale * v;
+        }
     }
 
     fn residual_loss(&self, w: &Matrix, h: &Matrix, row_scratch: &mut [f64]) -> f64 {
@@ -348,6 +378,10 @@ impl MatKernels for DataMatrix {
         delegate!(self, m => m.at_b_into(b, out))
     }
 
+    fn accumulate_row_into(&self, i: usize, scale: f64, out: &mut [f64]) {
+        delegate!(self, m => m.accumulate_row_into(i, scale, out))
+    }
+
     fn residual_loss(&self, w: &Matrix, h: &Matrix, row_scratch: &mut [f64]) -> f64 {
         delegate!(self, m => m.residual_loss(w, h, row_scratch))
     }
@@ -417,6 +451,24 @@ mod tests {
         let rec = crate::ops::matmul(&w, &h);
         let direct = 0.5 * crate::norms::frobenius_sq(&crate::ops::sub(&d, &rec));
         assert!((dl - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_accumulation_is_bitwise_identical_across_storages() {
+        let d = sample();
+        let s = CsrMatrix::from_dense(&d);
+        let n = d.cols();
+        for i in 0..d.rows() {
+            let mut from_dense = vec![0.25; n];
+            let mut from_sparse = vec![0.25; n];
+            MatKernels::accumulate_row_into(&d, i, 1.5, &mut from_dense);
+            MatKernels::accumulate_row_into(&s, i, 1.5, &mut from_sparse);
+            assert_eq!(from_dense, from_sparse, "row {i} accumulates identically");
+            for (j, (&acc, &v)) in from_dense.iter().zip(d.row(i)).enumerate() {
+                let expect = if v != 0.0 { 0.25 + 1.5 * v } else { 0.25 };
+                assert_eq!(acc, expect, "row {i} col {j}");
+            }
+        }
     }
 
     #[test]

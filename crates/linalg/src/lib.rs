@@ -37,6 +37,7 @@ pub mod matrix;
 pub mod norms;
 pub mod ops;
 pub mod parallel;
+pub mod sketch;
 pub mod solve;
 pub mod sparse;
 pub mod stats;
@@ -54,6 +55,7 @@ pub use ops::{
     try_matvec,
 };
 pub use parallel::{ParMode, Parallelism};
+pub use sketch::{sketch_rows, SketchConfig, SketchKind};
 pub use solve::{
     cholesky, lstsq, nnls, solve_spd, try_cholesky, try_lstsq, try_nnls, try_nnls_multi,
     try_solve_spd,

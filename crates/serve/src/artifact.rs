@@ -128,7 +128,7 @@ impl FittedModel {
         Ok(())
     }
 
-    fn check_shapes(&self, source: &str) -> Result<(), ServeError> {
+    pub(crate) fn check_shapes(&self, source: &str) -> Result<(), ServeError> {
         let corrupt = |detail: String| ServeError::Corrupt {
             source: source.to_string(),
             detail,

@@ -1,0 +1,674 @@
+//! Versioned little-endian binary artifact format (`model-v<N>.bin`).
+//!
+//! JSON artifacts pay a full decimal parse of every `W`/`H` entry on
+//! every reload — tens of seconds for a 100k-course model. The binary
+//! layout stores the factors as raw little-endian `f64` sections at
+//! 8-byte-aligned offsets, so loading is a bounds-checked header walk
+//! plus two straight memory copies, and (with the `mmap` feature on the
+//! real filesystem) the file's page-cache bytes are mapped rather than
+//! funnelled through a userspace read buffer.
+//!
+//! ## Byte layout (all integers and floats little-endian)
+//!
+//! | offset | size | field |
+//! |---|---|---|
+//! | 0   | 8  | magic `b"ANCHBIN1"` |
+//! | 8   | 4  | schema version (`u32`, same counter as JSON) |
+//! | 12  | 4  | flags (`u32`, bits listed below) |
+//! | 16  | 8  | ontology fingerprint (`u64`) |
+//! | 24  | 8  | winning seed (`u64`) |
+//! | 32  | 8  | loss (`f64`) |
+//! | 40  | 8  | iterations (`u64`) |
+//! | 48  | 8  | recovery: failed restarts (`u64`) |
+//! | 56  | 8  | recovery: budget exceeded (`u64`) |
+//! | 64  | 32 | `W` rows, `W` cols, `H` rows, `H` cols (`u64` each) |
+//! | 96  | 40 | rank slot: k (`u64`), loss, relative error, duplicate score, separation (`f64` each); zeroed when absent |
+//! | 136 | 32 | consensus slot: k, runs (`u64` each), dispersion, cophenetic (`f64` each); zeroed when absent |
+//! | 168 | 8  | string-table length in bytes (`u64`) |
+//! | 176 | …  | string table: name, guideline, tag-code count, tag codes (each string is `u64` length + UTF-8) |
+//! | —   | …  | zero padding to the next 8-byte boundary |
+//! | —   | …  | `W` section: rows·cols raw `f64` |
+//! | —   | …  | `H` section: rows·cols raw `f64` |
+//! | end−8 | 8 | word-chunked FNV-1a-64 of every preceding byte ([`fnv1a_64_words`]: 8-byte LE words, zero-padded tail, length mixed in last) |
+//!
+//! Flag bits: 0 converged, 1 reseeded, 2 NNDSVD fallback, 3 rank slot
+//! present, 4 consensus slot present, 5 sparse backend. Unknown bits
+//! reject as corruption.
+//!
+//! Decoding verifies the checksum trailer *first*, so truncation, torn
+//! writes, partial reads, and bit rot all surface as the same typed
+//! [`ServeError::ChecksumMismatch`] the JSON trailer produces — before
+//! any field is trusted. The header walk after it is still fully
+//! bounds-checked (never panics on arbitrary bytes).
+
+use crate::artifact::{FittedModel, SCHEMA_VERSION};
+use crate::codec::{fnv1a_64_words, ArtifactFormat, Codec};
+use crate::error::ServeError;
+use anchors_factor::{ConsensusStats, NnmfRecovery, RankDiagnostics};
+use anchors_linalg::{Backend, Matrix};
+
+/// File magic: "ANCHors BINary v1".
+pub const MAGIC: [u8; 8] = *b"ANCHBIN1";
+/// Fixed header size in bytes (string table starts here).
+pub const HEADER_LEN: usize = 176;
+/// Checksum trailer size in bytes.
+const TRAILER_LEN: usize = 8;
+
+const FLAG_CONVERGED: u32 = 1 << 0;
+const FLAG_RESEEDED: u32 = 1 << 1;
+const FLAG_NNDSVD: u32 = 1 << 2;
+const FLAG_HAS_RANK: u32 = 1 << 3;
+const FLAG_HAS_CONSENSUS: u32 = 1 << 4;
+const FLAG_SPARSE: u32 = 1 << 5;
+const FLAG_KNOWN: u32 =
+    FLAG_CONVERGED | FLAG_RESEEDED | FLAG_NNDSVD | FLAG_HAS_RANK | FLAG_HAS_CONSENSUS | FLAG_SPARSE;
+
+/// The binary artifact codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryCodec;
+
+impl Codec for BinaryCodec {
+    fn format(&self) -> ArtifactFormat {
+        ArtifactFormat::Bin
+    }
+
+    fn encode(&self, model: &FittedModel) -> Vec<u8> {
+        encode(model)
+    }
+
+    fn decode(&self, bytes: &[u8], source: &str) -> Result<FittedModel, ServeError> {
+        decode(bytes, source)
+    }
+
+    fn verify(&self, bytes: &[u8], source: &str) -> Result<(), ServeError> {
+        check_trailer(bytes, source).map(|_| ())
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    for &v in m.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn encode(model: &FittedModel) -> Vec<u8> {
+    let mut flags = 0u32;
+    if model.converged {
+        flags |= FLAG_CONVERGED;
+    }
+    if model.recovery.reseeded {
+        flags |= FLAG_RESEEDED;
+    }
+    if model.recovery.nndsvd_fallback {
+        flags |= FLAG_NNDSVD;
+    }
+    if model.rank.is_some() {
+        flags |= FLAG_HAS_RANK;
+    }
+    if model.consensus.is_some() {
+        flags |= FLAG_HAS_CONSENSUS;
+    }
+    if model.backend == Backend::Sparse {
+        flags |= FLAG_SPARSE;
+    }
+
+    let mut strings = Vec::new();
+    push_str(&mut strings, &model.name);
+    push_str(&mut strings, &model.guideline);
+    strings.extend_from_slice(&(model.tag_codes.len() as u64).to_le_bytes());
+    for code in &model.tag_codes {
+        push_str(&mut strings, code);
+    }
+
+    let w_len = model.w.rows() * model.w.cols() * 8;
+    let h_len = model.h.rows() * model.h.cols() * 8;
+    let unpadded = HEADER_LEN + strings.len();
+    let padding = (8 - unpadded % 8) % 8;
+    let mut out = Vec::with_capacity(unpadded + padding + w_len + h_len + TRAILER_LEN);
+
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&model.fingerprint.to_le_bytes());
+    out.extend_from_slice(&model.winning_seed.to_le_bytes());
+    out.extend_from_slice(&model.loss.to_le_bytes());
+    out.extend_from_slice(&(model.iterations as u64).to_le_bytes());
+    out.extend_from_slice(&(model.recovery.failed_restarts as u64).to_le_bytes());
+    out.extend_from_slice(&(model.recovery.budget_exceeded as u64).to_le_bytes());
+    for dim in [
+        model.w.rows(),
+        model.w.cols(),
+        model.h.rows(),
+        model.h.cols(),
+    ] {
+        out.extend_from_slice(&(dim as u64).to_le_bytes());
+    }
+    let rank = model.rank.as_ref();
+    out.extend_from_slice(&rank.map_or(0, |r| r.k as u64).to_le_bytes());
+    for v in [
+        rank.map_or(0.0, |r| r.loss),
+        rank.map_or(0.0, |r| r.relative_error),
+        rank.map_or(0.0, |r| r.duplicate_score),
+        rank.map_or(0.0, |r| r.separation),
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let cons = model.consensus.as_ref();
+    out.extend_from_slice(&cons.map_or(0, |c| c.k as u64).to_le_bytes());
+    out.extend_from_slice(&cons.map_or(0, |c| c.runs as u64).to_le_bytes());
+    for v in [
+        cons.map_or(0.0, |c| c.dispersion),
+        cons.map_or(0.0, |c| c.cophenetic),
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(strings.len() as u64).to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN, "fixed header layout drifted");
+
+    out.extend_from_slice(&strings);
+    out.resize(out.len() + padding, 0);
+    push_matrix(&mut out, &model.w);
+    push_matrix(&mut out, &model.h);
+
+    let checksum = fnv1a_64_words(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Verify the checksum trailer; returns the covered payload on success.
+fn check_trailer<'a>(bytes: &'a [u8], source: &str) -> Result<&'a [u8], ServeError> {
+    if bytes.len() < TRAILER_LEN {
+        return Err(ServeError::Corrupt {
+            source: source.to_string(),
+            detail: format!("{} bytes is too short for a checksum trailer", bytes.len()),
+        });
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - TRAILER_LEN);
+    let expected = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    let found = fnv1a_64_words(payload);
+    if found != expected {
+        return Err(ServeError::ChecksumMismatch {
+            source: source.to_string(),
+            expected,
+            found,
+        });
+    }
+    Ok(payload)
+}
+
+/// Bounds-checked little-endian reader over the checksum-verified
+/// payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    source: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    fn corrupt(&self, detail: String) -> ServeError {
+        ServeError::Corrupt {
+            source: self.source.to_string(),
+            detail,
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| self.corrupt(format!("truncated reading {what}")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
+        Ok(f64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize, ServeError> {
+        let v = self.u64(what)?;
+        usize::try_from(v).map_err(|_| self.corrupt(format!("{what} {v} overflows usize")))
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, ServeError> {
+        let len = self.usize(what)?;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| self.corrupt(format!("{what} is not valid UTF-8: {e}")))
+    }
+
+    fn matrix(&mut self, rows: usize, cols: usize, what: &str) -> Result<Matrix, ServeError> {
+        let n = rows
+            .checked_mul(cols)
+            .and_then(|n| n.checked_mul(8))
+            .ok_or_else(|| self.corrupt(format!("{what} dimensions overflow")))?;
+        let raw = self.take(n, what)?;
+        let values = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        Ok(Matrix::from_vec(rows, cols, values))
+    }
+}
+
+fn decode(bytes: &[u8], source: &str) -> Result<FittedModel, ServeError> {
+    let payload = check_trailer(bytes, source)?;
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+        source,
+    };
+    let magic = r.take(MAGIC.len(), "magic")?;
+    if magic != MAGIC {
+        return Err(r.corrupt(format!("bad magic {magic:02x?}")));
+    }
+    let schema = r.u32("schema version")?;
+    if schema != SCHEMA_VERSION {
+        return Err(ServeError::SchemaVersion {
+            found: schema,
+            supported: SCHEMA_VERSION,
+        });
+    }
+    let flags = r.u32("flags")?;
+    if flags & !FLAG_KNOWN != 0 {
+        return Err(r.corrupt(format!("unknown flag bits {:#x}", flags & !FLAG_KNOWN)));
+    }
+    let fingerprint = r.u64("fingerprint")?;
+    let winning_seed = r.u64("winning seed")?;
+    let loss = r.f64("loss")?;
+    let iterations = r.usize("iterations")?;
+    let failed_restarts = r.usize("failed restarts")?;
+    let budget_exceeded = r.usize("budget exceeded")?;
+    let w_rows = r.usize("W rows")?;
+    let w_cols = r.usize("W cols")?;
+    let h_rows = r.usize("H rows")?;
+    let h_cols = r.usize("H cols")?;
+    let rank_k = r.usize("rank k")?;
+    let rank_vals = [
+        r.f64("rank loss")?,
+        r.f64("rank relative error")?,
+        r.f64("rank duplicate score")?,
+        r.f64("rank separation")?,
+    ];
+    let cons_k = r.usize("consensus k")?;
+    let cons_runs = r.usize("consensus runs")?;
+    let cons_vals = [
+        r.f64("consensus dispersion")?,
+        r.f64("consensus cophenetic")?,
+    ];
+    let strings_len = r.usize("string-table length")?;
+    debug_assert_eq!(r.pos, HEADER_LEN, "fixed header layout drifted");
+
+    let strings_end = HEADER_LEN
+        .checked_add(strings_len)
+        .filter(|&end| end <= payload.len())
+        .ok_or_else(|| r.corrupt("string table extends past file end".into()))?;
+    let name = r.string("name")?;
+    let guideline = r.string("guideline")?;
+    let n_codes = r.usize("tag-code count")?;
+    if n_codes > strings_len {
+        return Err(r.corrupt(format!("tag-code count {n_codes} exceeds table size")));
+    }
+    let mut tag_codes = Vec::with_capacity(n_codes);
+    for i in 0..n_codes {
+        tag_codes.push(r.string(&format!("tag code {i}"))?);
+    }
+    if r.pos != strings_end {
+        return Err(r.corrupt(format!(
+            "string table declared {strings_len} bytes but used {}",
+            r.pos - HEADER_LEN
+        )));
+    }
+    let padding = (8 - strings_end % 8) % 8;
+    let pad = r.take(padding, "section padding")?;
+    if pad.iter().any(|&b| b != 0) {
+        return Err(r.corrupt("nonzero section padding".into()));
+    }
+    let w = r.matrix(w_rows, w_cols, "W section")?;
+    let h = r.matrix(h_rows, h_cols, "H section")?;
+    if r.pos != payload.len() {
+        return Err(r.corrupt(format!(
+            "{} trailing bytes after H section",
+            payload.len() - r.pos
+        )));
+    }
+
+    let model = FittedModel {
+        name,
+        guideline,
+        fingerprint,
+        backend: if flags & FLAG_SPARSE != 0 {
+            Backend::Sparse
+        } else {
+            Backend::Dense
+        },
+        tag_codes,
+        w,
+        h,
+        loss,
+        iterations,
+        converged: flags & FLAG_CONVERGED != 0,
+        winning_seed,
+        recovery: NnmfRecovery {
+            failed_restarts,
+            reseeded: flags & FLAG_RESEEDED != 0,
+            nndsvd_fallback: flags & FLAG_NNDSVD != 0,
+            budget_exceeded,
+        },
+        rank: (flags & FLAG_HAS_RANK != 0).then(|| RankDiagnostics {
+            k: rank_k,
+            loss: rank_vals[0],
+            relative_error: rank_vals[1],
+            duplicate_score: rank_vals[2],
+            separation: rank_vals[3],
+        }),
+        consensus: (flags & FLAG_HAS_CONSENSUS != 0).then(|| ConsensusStats {
+            k: cons_k,
+            runs: cons_runs,
+            dispersion: cons_vals[0],
+            cophenetic: cons_vals[1],
+        }),
+    };
+    model.check_shapes(source)?;
+    Ok(model)
+}
+
+/// Zero-copy load path: map the file's pages read-only instead of
+/// copying them through a userspace buffer. Gated on the `mmap` crate
+/// feature; only used when the active [`crate::fsio::FileOps`] says
+/// [`supports_mmap`](crate::fsio::FileOps::supports_mmap) — so fault
+/// injection (which reports `false`) keeps full coverage of the read
+/// path. Platforms without the raw-syscall implementation fall back to
+/// an ordinary buffered read behind the same API.
+#[cfg(feature = "mmap")]
+pub mod mmap {
+    use std::fs::File;
+    use std::io;
+    use std::path::Path;
+
+    /// A read-only view of a file's bytes — a true mapping on Linux
+    /// x86-64, a buffered read elsewhere.
+    pub enum Mapping {
+        /// Raw `mmap(2)` pages, unmapped on drop.
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        Mapped { ptr: *const u8, len: usize },
+        /// Fallback buffer for platforms without the syscall shim.
+        Buffered(Vec<u8>),
+    }
+
+    // The mapping is read-only and owned; sharing a `&Mapping` across
+    // threads is as safe as sharing `&[u8]`.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl std::ops::Deref for Mapping {
+        type Target = [u8];
+        fn deref(&self) -> &[u8] {
+            match self {
+                #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+                Mapping::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+                Mapping::Buffered(buf) => buf,
+            }
+        }
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            if let Mapping::Mapped { ptr, len } = *self {
+                const SYS_MUNMAP: usize = 11;
+                unsafe {
+                    syscall2(SYS_MUNMAP, ptr as usize, len);
+                }
+            }
+        }
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    unsafe fn syscall2(n: usize, a1: usize, a2: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+        ret
+    }
+
+    /// Map `path` read-only. Empty files and mapping failures fall back
+    /// to a buffered read so callers never need a second code path.
+    pub fn map_file(path: &Path) -> io::Result<Mapping> {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            const SYS_MMAP: usize = 9;
+            const PROT_READ: usize = 1;
+            const MAP_PRIVATE: usize = 2;
+            let file = File::open(path)?;
+            let len = file.metadata()?.len() as usize;
+            if len > 0 {
+                let ret = unsafe {
+                    syscall6(
+                        SYS_MMAP,
+                        0,
+                        len,
+                        PROT_READ,
+                        MAP_PRIVATE,
+                        file.as_raw_fd() as usize,
+                        0,
+                    )
+                };
+                // Kernel errors come back as -errno in (-4096, 0).
+                if !(-4096..=0).contains(&ret) {
+                    return Ok(Mapping::Mapped {
+                        ptr: ret as usize as *const u8,
+                        len,
+                    });
+                }
+            }
+        }
+        let _ = File::open(path)?; // surface NotFound identically on all paths
+        std::fs::read(path).map(Mapping::Buffered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+    use anchors_factor::NnmfModel;
+    use anchors_materials::TagSpace;
+
+    fn toy(with_diag: bool) -> FittedModel {
+        let cs = cs2013();
+        let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(6));
+        let model = NnmfModel {
+            w: Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64 * 0.25 + 0.125),
+            h: Matrix::from_fn(2, 6, |i, j| 1.0 / ((i + 1) * (j + 3)) as f64),
+            loss: 0.125,
+            iterations: 17,
+            converged: true,
+            winning_seed: 0xDEAD_BEEF_1234_5678,
+            recovery: NnmfRecovery {
+                failed_restarts: 1,
+                ..NnmfRecovery::default()
+            },
+        };
+        let artifact = FittedModel::new("toy", cs, &space, &model, Backend::Sparse).unwrap();
+        if with_diag {
+            artifact
+                .with_rank(RankDiagnostics {
+                    k: 2,
+                    loss: 0.125,
+                    relative_error: 0.01,
+                    duplicate_score: 0.2,
+                    separation: 0.7,
+                })
+                .with_consensus(ConsensusStats {
+                    k: 2,
+                    runs: 20,
+                    dispersion: 0.95,
+                    cophenetic: 0.99,
+                })
+        } else {
+            artifact
+        }
+    }
+
+    fn assert_equivalent(a: &FittedModel, b: &FittedModel) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.guideline, b.guideline);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.backend, b.backend);
+        assert_eq!(a.tag_codes, b.tag_codes);
+        assert_eq!(a.w, b.w, "W bitwise identical");
+        assert_eq!(a.h, b.h, "H bitwise identical");
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.converged, b.converged);
+        assert_eq!(a.winning_seed, b.winning_seed);
+        assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.rank, b.rank);
+        assert_eq!(a.consensus, b.consensus);
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bitwise() {
+        for with_diag in [false, true] {
+            let a = toy(with_diag);
+            let bytes = BinaryCodec.encode(&a);
+            assert_eq!(bytes.len() % 8, 0, "sections stay 8-byte aligned");
+            BinaryCodec.verify(&bytes, "t").unwrap();
+            let b = BinaryCodec.decode(&bytes, "t").unwrap();
+            assert_equivalent(&a, &b);
+            assert_eq!(
+                BinaryCodec.encode(&b),
+                bytes,
+                "save→load→save is byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn json_and_binary_decode_to_the_same_model() {
+        let a = toy(true);
+        let via_json = crate::codec::JsonCodec
+            .decode(&crate::codec::JsonCodec.encode(&a), "t")
+            .unwrap();
+        let via_bin = BinaryCodec.decode(&BinaryCodec.encode(&a), "t").unwrap();
+        assert_equivalent(&via_json, &via_bin);
+    }
+
+    #[test]
+    fn every_truncation_is_typed_never_a_panic() {
+        let bytes = BinaryCodec.encode(&toy(true));
+        for cut in 0..bytes.len() {
+            let err = BinaryCodec.decode(&bytes[..cut], "t").unwrap_err();
+            assert!(err.is_corruption(), "cut at {cut}: {err}");
+        }
+        // Any truncation long enough to carry a trailer is specifically a
+        // checksum mismatch — the typed error retry loops key on.
+        let half = BinaryCodec.decode(&bytes[..bytes.len() / 2], "t");
+        assert!(
+            matches!(half, Err(ServeError::ChecksumMismatch { .. })),
+            "{half:?}"
+        );
+    }
+
+    #[test]
+    fn single_byte_corruption_is_always_caught() {
+        let bytes = BinaryCodec.encode(&toy(false));
+        // Flip one bit in every 97th byte (covering header, strings,
+        // sections, and trailer) — the checksum must catch each.
+        for pos in (0..bytes.len()).step_by(97) {
+            let mut evil = bytes.clone();
+            evil[pos] ^= 0x10;
+            let err = BinaryCodec.decode(&evil, "t").unwrap_err();
+            assert!(err.is_corruption(), "byte {pos}: {err}");
+        }
+    }
+
+    #[test]
+    fn future_schema_is_rejected_after_checksum() {
+        let a = toy(false);
+        let mut bytes = BinaryCodec.encode(&a);
+        bytes[8] = 99; // schema_version LE low byte
+        let len = bytes.len();
+        let sum = fnv1a_64_words(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            BinaryCodec.decode(&bytes, "t"),
+            Err(ServeError::SchemaVersion { found: 99, .. })
+        ));
+    }
+
+    #[cfg(feature = "mmap")]
+    #[test]
+    fn mmap_load_matches_buffered_read() {
+        let dir = std::env::temp_dir().join(format!("anchors-mmap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.bin");
+        let bytes = BinaryCodec.encode(&toy(true));
+        std::fs::write(&path, &bytes).unwrap();
+        let mapping = mmap::map_file(&path).unwrap();
+        assert_eq!(&mapping[..], &bytes[..], "mapped bytes identical");
+        let model = BinaryCodec.decode(&mapping, "m.bin").unwrap();
+        assert_equivalent(&toy(true), &model);
+        assert!(mmap::map_file(&dir.join("missing.bin")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,292 @@
+//! The artifact codec seam.
+//!
+//! [`Registry`](crate::registry::Registry) persists [`FittedModel`]s but
+//! does not care how their bytes are laid out — that is a [`Codec`]'s
+//! job. Two codecs exist:
+//!
+//! * [`JsonCodec`] — the original human-inspectable format: the
+//!   [`FittedModel::to_json`] document framed with a `#fnv1a:<16-hex>`
+//!   checksum trailer line. Best for debugging and small models.
+//! * [`BinaryCodec`](crate::binary::BinaryCodec) — a versioned
+//!   little-endian layout with an aligned header and raw `f64` factor
+//!   sections, built for 100k-course artifacts where re-parsing a
+//!   hundred megabytes of decimal floats on every reload is the
+//!   bottleneck. See [`crate::binary`] for the byte layout.
+//!
+//! Both formats end in an FNV-1a-64 checksum over everything before it,
+//! so torn writes and partial reads surface as typed
+//! [`ServeError::ChecksumMismatch`] no matter which codec wrote the
+//! file. [`ArtifactFormat`] names the two formats, maps them to file
+//! extensions (`model-v<N>.json` / `model-v<N>.bin`), and picks the
+//! registry's default from the `ANCHORS_ARTIFACT_FORMAT` environment
+//! variable.
+
+use crate::artifact::FittedModel;
+use crate::binary::BinaryCodec;
+use crate::error::ServeError;
+use std::fmt;
+
+/// Prefix of the checksum trailer line appended to every JSON artifact.
+pub(crate) const CHECKSUM_PREFIX: &str = "#fnv1a:";
+
+/// Environment variable selecting the registry's save/load-preference
+/// format: `json` (default) or `bin`.
+pub const FORMAT_ENV: &str = "ANCHORS_ARTIFACT_FORMAT";
+
+/// FNV-1a-64 over raw bytes — same constants as
+/// `Ontology::fingerprint`, kept dependency-free.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a-64 folded over 8-byte little-endian words (zero-padded tail),
+/// with the byte length mixed in last so padding cannot alias a longer
+/// payload. One multiply per 8 bytes instead of per byte, so verifying a
+/// multi-megabyte factor section costs a fraction of a millisecond — the
+/// binary codec's trailer uses this variant; the JSON trailer keeps the
+/// byte-serial [`fnv1a_64`] for compatibility with existing artifacts.
+pub fn fnv1a_64_words(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for w in &mut chunks {
+        h ^= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(PRIME);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(PRIME);
+    }
+    h ^= bytes.len() as u64;
+    h.wrapping_mul(PRIME)
+}
+
+/// The on-disk formats an artifact file can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArtifactFormat {
+    /// Checksummed JSON (`.json`) — human-inspectable, bitwise `f64`
+    /// round-trip through the decimal codec.
+    #[default]
+    Json,
+    /// Versioned little-endian binary (`.bin`) — raw `f64` sections, no
+    /// parse step, mmap-able.
+    Bin,
+}
+
+impl ArtifactFormat {
+    /// Both formats, JSON first (the historical default).
+    pub const ALL: [ArtifactFormat; 2] = [ArtifactFormat::Json, ArtifactFormat::Bin];
+
+    /// The file extension this format uses (without the dot).
+    pub fn extension(self) -> &'static str {
+        match self {
+            ArtifactFormat::Json => "json",
+            ArtifactFormat::Bin => "bin",
+        }
+    }
+
+    /// The format a file extension (without the dot) denotes, if any.
+    pub fn from_extension(ext: &str) -> Option<Self> {
+        match ext {
+            "json" => Some(ArtifactFormat::Json),
+            "bin" => Some(ArtifactFormat::Bin),
+            _ => None,
+        }
+    }
+
+    /// Parse a format name as the `ANCHORS_ARTIFACT_FORMAT` variable
+    /// spells it.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::from_extension(name.trim())
+    }
+
+    /// The format `ANCHORS_ARTIFACT_FORMAT` selects, defaulting to JSON.
+    /// Unrecognized values fall back to the default rather than failing:
+    /// a typo in an env var must not take down a server that has a
+    /// perfectly good registry to serve from.
+    pub fn from_env() -> Self {
+        std::env::var(FORMAT_ENV)
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// The codec that reads and writes this format.
+    pub fn codec(self) -> &'static dyn Codec {
+        match self {
+            ArtifactFormat::Json => &JsonCodec,
+            ArtifactFormat::Bin => &BinaryCodec,
+        }
+    }
+
+    /// The other format — the fallback order `Registry::load` probes.
+    pub fn other(self) -> Self {
+        match self {
+            ArtifactFormat::Json => ArtifactFormat::Bin,
+            ArtifactFormat::Bin => ArtifactFormat::Json,
+        }
+    }
+}
+
+impl fmt::Display for ArtifactFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.extension())
+    }
+}
+
+/// One on-disk representation of a [`FittedModel`].
+///
+/// Implementations must be self-checking: `decode` and `verify` reject
+/// any bytes that are not exactly what `encode` produced (truncation,
+/// bit rot, tampering) with a typed corruption error — never a panic —
+/// because the registry feeds them whatever the disk hands back.
+pub trait Codec: fmt::Debug + Send + Sync {
+    /// The format this codec reads and writes.
+    fn format(&self) -> ArtifactFormat;
+
+    /// Serialize a model to its complete on-disk byte sequence
+    /// (checksum included).
+    fn encode(&self, model: &FittedModel) -> Vec<u8>;
+
+    /// Parse and fully validate on-disk bytes. `source` labels errors
+    /// (file path or `"<memory>"`).
+    fn decode(&self, bytes: &[u8], source: &str) -> Result<FittedModel, ServeError>;
+
+    /// Cheap integrity check — the checksum, not a full parse. Used by
+    /// retention GC to classify files as good without decoding factor
+    /// sections.
+    fn verify(&self, bytes: &[u8], source: &str) -> Result<(), ServeError>;
+}
+
+/// The checksummed-JSON codec: [`FittedModel::to_json`] plus a
+/// `#fnv1a:<16-hex>` trailer line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonCodec;
+
+/// Wrap an artifact JSON payload with its checksum trailer.
+pub(crate) fn frame(payload: &str) -> String {
+    format!(
+        "{payload}\n{CHECKSUM_PREFIX}{:016x}\n",
+        fnv1a_64(payload.as_bytes())
+    )
+}
+
+/// Split framed text back into its payload, verifying the trailer.
+pub(crate) fn unframe<'a>(text: &'a str, source: &str) -> Result<&'a str, ServeError> {
+    let corrupt = |detail: &str| ServeError::Corrupt {
+        source: source.to_string(),
+        detail: detail.to_string(),
+    };
+    let body = text
+        .strip_suffix('\n')
+        .ok_or_else(|| corrupt("missing checksum trailer (no trailing newline)"))?;
+    let (payload, trailer) = body
+        .rsplit_once('\n')
+        .ok_or_else(|| corrupt("missing checksum trailer line"))?;
+    let hex = trailer
+        .strip_prefix(CHECKSUM_PREFIX)
+        .ok_or_else(|| corrupt("final line is not a checksum trailer"))?;
+    let expected = u64::from_str_radix(hex, 16)
+        .map_err(|_| corrupt("checksum trailer is not 16 hex digits"))?;
+    let found = fnv1a_64(payload.as_bytes());
+    if found != expected {
+        return Err(ServeError::ChecksumMismatch {
+            source: source.to_string(),
+            expected,
+            found,
+        });
+    }
+    Ok(payload)
+}
+
+/// Decode the UTF-8 layer of a JSON artifact, typing invalid bytes as
+/// corruption (a partial read can end mid-codepoint).
+fn as_text<'a>(bytes: &'a [u8], source: &str) -> Result<&'a str, ServeError> {
+    std::str::from_utf8(bytes).map_err(|e| ServeError::Corrupt {
+        source: source.to_string(),
+        detail: format!("artifact is not valid UTF-8: {e}"),
+    })
+}
+
+impl Codec for JsonCodec {
+    fn format(&self) -> ArtifactFormat {
+        ArtifactFormat::Json
+    }
+
+    fn encode(&self, model: &FittedModel) -> Vec<u8> {
+        frame(&model.to_json()).into_bytes()
+    }
+
+    fn decode(&self, bytes: &[u8], source: &str) -> Result<FittedModel, ServeError> {
+        let payload = unframe(as_text(bytes, source)?, source)?;
+        FittedModel::from_json(payload, source)
+    }
+
+    fn verify(&self, bytes: &[u8], source: &str) -> Result<(), ServeError> {
+        unframe(as_text(bytes, source)?, source).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_unframe_roundtrip_and_trailer_damage() {
+        let payload = r#"{"k":1}"#;
+        let framed = frame(payload);
+        assert_eq!(unframe(&framed, "t").unwrap(), payload);
+        // Any single-character damage to the trailer is caught.
+        let no_newline = framed.trim_end().to_string();
+        assert!(matches!(
+            unframe(&no_newline, "t"),
+            Err(ServeError::Corrupt { .. })
+        ));
+        let bad_hex = framed.replace(CHECKSUM_PREFIX, "#fnv1a:zz");
+        assert!(unframe(&bad_hex, "t").is_err());
+        let payload_tampered = framed.replacen("\"k\":1", "\"k\":2", 1);
+        assert!(matches!(
+            unframe(&payload_tampered, "t"),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn format_names_extensions_and_env() {
+        assert_eq!(ArtifactFormat::Json.extension(), "json");
+        assert_eq!(ArtifactFormat::Bin.extension(), "bin");
+        assert_eq!(
+            ArtifactFormat::from_extension("json"),
+            Some(ArtifactFormat::Json)
+        );
+        assert_eq!(
+            ArtifactFormat::from_extension("bin"),
+            Some(ArtifactFormat::Bin)
+        );
+        assert_eq!(ArtifactFormat::from_extension("bak"), None);
+        assert_eq!(ArtifactFormat::parse(" bin "), Some(ArtifactFormat::Bin));
+        assert_eq!(ArtifactFormat::Json.other(), ArtifactFormat::Bin);
+        assert_eq!(ArtifactFormat::Bin.other(), ArtifactFormat::Json);
+        assert_eq!(format!("{}", ArtifactFormat::Bin), "bin");
+        assert_eq!(ArtifactFormat::Json.codec().format(), ArtifactFormat::Json);
+        assert_eq!(ArtifactFormat::Bin.codec().format(), ArtifactFormat::Bin);
+    }
+
+    #[test]
+    fn json_codec_rejects_invalid_utf8() {
+        let err = JsonCodec.decode(&[0xFF, 0xFE, 0x00], "t").unwrap_err();
+        assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+        assert!(JsonCodec.verify(&[0xFF], "t").is_err());
+    }
+}

@@ -257,6 +257,24 @@ impl FileOps for FaultyFs {
         Ok(text)
     }
 
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.maybe_slow();
+        self.maybe_transient("read")?;
+        let data = self.inner.read_bytes(path)?;
+        let p = lock(&self.state).plan.partial_read;
+        if self.roll(p) && !data.is_empty() {
+            self.counters.partial_reads.fetch_add(1, Relaxed);
+            // Binary reads truncate at the raw byte level — no char
+            // boundary to snap to, exactly like a short read(2).
+            return Ok(data[..data.len() / 2].to_vec());
+        }
+        Ok(data)
+    }
+
+    // `supports_mmap` stays `false` (the trait default): every read under
+    // fault weather must flow through this seam, so the zero-copy bypass
+    // is never taken during chaos tests.
+
     fn write_durable(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         self.maybe_slow();
         self.maybe_transient("write")?;
@@ -354,6 +372,18 @@ mod tests {
             "budget spent, healed"
         );
         assert_eq!(ffs.counters().total(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_byte_read_truncates_mid_byte() {
+        let dir = tmp("partial-bytes");
+        let path = dir.join("b.bin");
+        fs::write(&path, [0u8, 1, 2, 3, 4, 5, 6, 7]).unwrap();
+        let ffs = FaultyFs::new(FaultPlan::none(5).with_partial_read(1.0).with_max_faults(1));
+        assert_eq!(ffs.read_bytes(&path).unwrap(), vec![0u8, 1, 2, 3]);
+        assert_eq!(ffs.read_bytes(&path).unwrap().len(), 8, "budget healed");
+        assert!(!ffs.supports_mmap(), "chaos runs never bypass the seam");
         let _ = fs::remove_dir_all(&dir);
     }
 

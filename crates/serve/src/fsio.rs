@@ -29,6 +29,17 @@ pub trait FileOps: fmt::Debug + Send + Sync {
     /// Read a whole file as UTF-8 text.
     fn read_to_string(&self, path: &Path) -> io::Result<String>;
 
+    /// Read a whole file as raw bytes (the binary-artifact read path).
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Whether callers may bypass this seam and map files directly
+    /// (the zero-copy load path). `false` by default so any injected
+    /// implementation — fault weather included — keeps every read
+    /// flowing through the trait.
+    fn supports_mmap(&self) -> bool {
+        false
+    }
+
     /// Create `path`, write all of `data`, and fsync the file before
     /// returning — after `Ok`, the bytes are on stable storage (though
     /// the *name* may not be until the directory is synced).
@@ -72,6 +83,14 @@ impl FileOps for RealFs {
 
     fn read_to_string(&self, path: &Path) -> io::Result<String> {
         fs::read_to_string(path)
+    }
+
+    fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn supports_mmap(&self) -> bool {
+        true
     }
 
     fn write_durable(&self, path: &Path, data: &[u8]) -> io::Result<()> {
@@ -118,6 +137,8 @@ mod tests {
         let p = dir.join("a.txt");
         ops.write_durable(&p, b"hello").unwrap();
         assert_eq!(ops.read_to_string(&p).unwrap(), "hello");
+        assert_eq!(ops.read_bytes(&p).unwrap(), b"hello");
+        assert!(ops.supports_mmap(), "the real filesystem can map files");
 
         let claim = dir.join("claim");
         ops.create_new(&claim).unwrap();

@@ -11,10 +11,13 @@
 //!   revision the model was trained against. Serialization is a
 //!   hand-rolled JSON codec ([`json`]) whose `f64` round-trips are
 //!   bitwise, so a saved model answers queries *identically* after reload.
-//! * [`Registry`] — a crash-safe directory of `model-v<N>.json` artifacts:
-//!   monotonically increasing versions claimed atomically, checksum-framed
-//!   fsynced writes, a [`Registry::recover`] startup scan that quarantines
-//!   corrupt artifacts, and a [`Registry::load_latest`] that falls back to
+//! * [`Registry`] — a crash-safe directory of `model-v<N>.json` /
+//!   `model-v<N>.bin` artifacts: monotonically increasing versions
+//!   claimed atomically, checksummed fsynced writes through a pluggable
+//!   [`Codec`] seam (human-inspectable JSON or the raw-`f64` binary
+//!   layout in [`binary`], selected by `ANCHORS_ARTIFACT_FORMAT`), a
+//!   [`Registry::recover`] startup scan that quarantines corrupt
+//!   artifacts, and a [`Registry::load_latest`] that falls back to
 //!   the newest *good* version so a torn write degrades instead of downing
 //!   the server. All I/O flows through the [`fsio::FileOps`] seam, which
 //!   [`faults::FaultyFs`] can replace to inject seeded torn writes,
@@ -31,7 +34,9 @@
 
 pub mod artifact;
 pub mod batch;
+pub mod binary;
 pub mod cache;
+pub mod codec;
 pub mod engine;
 pub mod error;
 pub mod faults;
@@ -41,7 +46,9 @@ pub mod registry;
 
 pub use artifact::{FittedModel, SCHEMA_VERSION};
 pub use batch::BatchQueue;
+pub use binary::BinaryCodec;
 pub use cache::{Snapshot, SnapshotCache};
+pub use codec::{fnv1a_64, fnv1a_64_words, ArtifactFormat, Codec, JsonCodec, FORMAT_ENV};
 pub use engine::{CourseQuery, QueryEngine, QueryResponse, FOLD_IN_TOL};
 pub use error::ServeError;
 pub use faults::{FaultCounters, FaultPlan, FaultyFs};

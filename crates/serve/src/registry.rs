@@ -1,120 +1,80 @@
 //! Crash-safe versioned on-disk model registry.
 //!
-//! A registry is a directory of `model-v<N>.json` artifacts. Versions are
-//! monotonically increasing and claimed with `create_new`, so a version
-//! number, once taken, always refers to the same artifact — even under
-//! concurrent savers, and even across a quarantine (quarantined versions
-//! still count when picking the next number).
+//! A registry is a directory of `model-v<N>.json` / `model-v<N>.bin`
+//! artifacts — one logical *version* may exist in either (or, after a
+//! format migration, both) of the [`ArtifactFormat`]s, and every
+//! format-level concern is delegated to the [`Codec`](crate::codec::Codec)
+//! seam. Versions are monotonically increasing and claimed with
+//! `create_new`, so a version number, once taken, always refers to the
+//! same artifact — even under concurrent savers, and even across a
+//! quarantine (quarantined versions still count when picking the next
+//! number).
 //!
 //! Durability protocol, in write order:
 //!
-//! 1. **claim** — `create_new(model-v<N>.json)` atomically reserves the
+//! 1. **claim** — `create_new(model-v<N>.<ext>)` atomically reserves the
 //!    version; collisions retry with the next number.
-//! 2. **write** — the framed artifact goes to a hidden
-//!    `.model-v<N>.json.tmp`, which is fsynced before step 3.
+//! 2. **write** — the encoded artifact goes to a hidden
+//!    `.model-v<N>.<ext>.tmp`, which is fsynced before step 3.
 //! 3. **rename** — the temp file atomically replaces the claim file, so
 //!    readers only ever see nothing, an (obviously invalid) empty claim,
 //!    or complete bytes.
 //! 4. **sync dir** — the directory itself is fsynced, making the rename
 //!    durable.
 //!
-//! Every artifact carries a trailer line `#fnv1a:<16-hex>` holding the
-//! FNV-1a-64 checksum of the JSON payload above it. [`Registry::load`]
-//! verifies the trailer before parsing, so damage the JSON parser would
-//! accept — a partial read that happens to end at a token boundary, bit
-//! rot inside a number — still surfaces as a typed
+//! Every artifact ends in an FNV-1a-64 checksum (a `#fnv1a:<16-hex>`
+//! trailer line for JSON, a raw 8-byte trailer for binary) which
+//! [`Registry::load`] verifies before trusting any field, so damage a
+//! parser would accept — a partial read that happens to end at a token
+//! boundary, bit rot inside a number — still surfaces as a typed
 //! [`ServeError::ChecksumMismatch`].
 //!
 //! A half-written file can therefore never be mistaken for a model, and
 //! [`Registry::load_latest`] *falls back*: corrupt versions are skipped
 //! (newest first) until a good one answers. [`Registry::recover`] is the
 //! startup sweep — it deletes stale temp files, classifies every version,
-//! and moves corrupt artifacts aside as `model-v<N>.json.quarantined`
-//! (never deleting bytes an operator might want to examine). An optional
-//! retention cap garbage-collects old *good* versions after each save;
-//! corrupt files are left for `recover` so evidence is never GC'd.
+//! and moves corrupt versions aside as `*.quarantined` (never deleting
+//! bytes an operator might want to examine). An optional retention cap
+//! garbage-collects old *good* versions after each save; corrupt-only
+//! versions are left for `recover` so evidence is never GC'd.
+//!
+//! **A version is one unit.** When a version exists in both formats it is
+//! *good* if any of its files decodes, quarantined only when every file
+//! is corrupt (all of them move together), and GC'd only as a whole —
+//! recovery and retention never split a version's files apart.
 
 use crate::artifact::FittedModel;
+use crate::codec::ArtifactFormat;
 use crate::error::ServeError;
 use crate::fsio::{FileOps, RealFs};
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Filename prefix/suffix of artifact files.
+pub use crate::codec::fnv1a_64;
+
+/// Filename prefix of artifact files.
 const PREFIX: &str = "model-v";
-const SUFFIX: &str = ".json";
 /// Suffix of in-flight temp files (which also get a leading dot).
 const TMP_SUFFIX: &str = ".tmp";
 /// Suffix corrupt artifacts are renamed to by [`Registry::recover`].
 const QUARANTINE_SUFFIX: &str = ".quarantined";
-/// Prefix of the checksum trailer line appended to every artifact.
-const CHECKSUM_PREFIX: &str = "#fnv1a:";
 /// Bound on version-claim retries under pathological contention.
 const CLAIM_RETRIES: u64 = 4096;
-
-/// FNV-1a-64 over raw bytes — same constants as
-/// `Ontology::fingerprint`, kept dependency-free.
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
-
-/// Wrap an artifact JSON payload with its checksum trailer.
-fn frame(payload: &str) -> String {
-    format!(
-        "{payload}\n{CHECKSUM_PREFIX}{:016x}\n",
-        fnv1a_64(payload.as_bytes())
-    )
-}
-
-/// Split framed text back into its payload, verifying the trailer.
-fn unframe<'a>(text: &'a str, source: &str) -> Result<&'a str, ServeError> {
-    let corrupt = |detail: &str| ServeError::Corrupt {
-        source: source.to_string(),
-        detail: detail.to_string(),
-    };
-    let body = text
-        .strip_suffix('\n')
-        .ok_or_else(|| corrupt("missing checksum trailer (no trailing newline)"))?;
-    let (payload, trailer) = body
-        .rsplit_once('\n')
-        .ok_or_else(|| corrupt("missing checksum trailer line"))?;
-    let hex = trailer
-        .strip_prefix(CHECKSUM_PREFIX)
-        .ok_or_else(|| corrupt("final line is not a checksum trailer"))?;
-    let expected = u64::from_str_radix(hex, 16)
-        .map_err(|_| corrupt("checksum trailer is not 16 hex digits"))?;
-    let found = fnv1a_64(payload.as_bytes());
-    if found != expected {
-        return Err(ServeError::ChecksumMismatch {
-            source: source.to_string(),
-            expected,
-            found,
-        });
-    }
-    Ok(payload)
-}
 
 /// What kind of registry entry a directory name is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EntryKind {
-    /// A (claimed or complete) `model-v<N>.json`.
+    /// A (claimed or complete) `model-v<N>.<ext>`.
     Model,
-    /// A stale `.model-v<N>.json.tmp` from an interrupted save.
+    /// A stale `.model-v<N>.<ext>.tmp` from an interrupted save.
     Tmp,
-    /// A `model-v<N>.json.quarantined` moved aside by `recover`.
+    /// A `model-v<N>.<ext>.quarantined` moved aside by `recover`.
     Quarantined,
 }
 
-/// Parse one directory entry name into `(version, kind)`.
-fn parse_entry(name: &str) -> Option<(u64, EntryKind)> {
+/// Parse one directory entry name into `(version, format, kind)`.
+fn parse_entry(name: &str) -> Option<(u64, ArtifactFormat, EntryKind)> {
     let (stem, kind) = if let Some(stem) = name.strip_prefix('.') {
         (stem.strip_suffix(TMP_SUFFIX)?, EntryKind::Tmp)
     } else if let Some(stem) = name.strip_suffix(QUARANTINE_SUFFIX) {
@@ -122,12 +82,9 @@ fn parse_entry(name: &str) -> Option<(u64, EntryKind)> {
     } else {
         (name, EntryKind::Model)
     };
-    let version = stem
-        .strip_prefix(PREFIX)?
-        .strip_suffix(SUFFIX)?
-        .parse::<u64>()
-        .ok()?;
-    Some((version, kind))
+    let (version, ext) = stem.strip_prefix(PREFIX)?.split_once('.')?;
+    let format = ArtifactFormat::from_extension(ext)?;
+    Some((version.parse::<u64>().ok()?, format, kind))
 }
 
 /// What [`Registry::recover`] found and did.
@@ -135,8 +92,8 @@ fn parse_entry(name: &str) -> Option<(u64, EntryKind)> {
 pub struct RecoveryReport {
     /// Versions that verified clean, ascending.
     pub good: Vec<u64>,
-    /// Versions moved to `*.quarantined`, with the defect that condemned
-    /// each.
+    /// Versions moved to `*.quarantined` (every file of each), with the
+    /// defect that condemned each.
     pub quarantined: Vec<(u64, ServeError)>,
     /// Stale temp files deleted.
     pub swept_tmp: usize,
@@ -148,11 +105,14 @@ pub struct Registry {
     dir: PathBuf,
     ops: Arc<dyn FileOps>,
     retention: Option<usize>,
+    format: ArtifactFormat,
 }
 
 impl Registry {
     /// Open (creating if needed) a registry directory on the real
     /// filesystem, sweeping any temp files a crashed save left behind.
+    /// New saves use the format `ANCHORS_ARTIFACT_FORMAT` selects
+    /// (default JSON); loads fall back to the other format per version.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ServeError> {
         Self::open_with(dir, Arc::new(RealFs))
     }
@@ -166,17 +126,30 @@ impl Registry {
             dir,
             ops,
             retention: None,
+            format: ArtifactFormat::from_env(),
         };
         registry.sweep_tmp()?;
         Ok(registry)
     }
 
     /// Keep only the newest `keep` *good* versions after each save
-    /// (minimum 1). Corrupt files are never GC'd — they are
+    /// (minimum 1). Corrupt-only versions are never GC'd — they are
     /// [`recover`](Self::recover)'s evidence.
     pub fn with_retention(mut self, keep: usize) -> Self {
         self.retention = Some(keep.max(1));
         self
+    }
+
+    /// Override the save/load-preference format (bypassing the
+    /// environment selection).
+    pub fn with_format(mut self, format: ArtifactFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// The format new saves are written in.
+    pub fn format(&self) -> ArtifactFormat {
+        self.format
     }
 
     /// The registry directory.
@@ -184,22 +157,40 @@ impl Registry {
         &self.dir
     }
 
+    fn path_for(&self, version: u64, format: ArtifactFormat) -> PathBuf {
+        self.dir
+            .join(format!("{PREFIX}{version}.{}", format.extension()))
+    }
+
+    fn tmp_path_for(&self, version: u64, format: ArtifactFormat) -> PathBuf {
+        self.dir.join(format!(
+            ".{PREFIX}{version}.{}{TMP_SUFFIX}",
+            format.extension()
+        ))
+    }
+
+    fn quarantine_path_for(&self, version: u64, format: ArtifactFormat) -> PathBuf {
+        self.dir.join(format!(
+            "{PREFIX}{version}.{}{QUARANTINE_SUFFIX}",
+            format.extension()
+        ))
+    }
+
     fn path_of(&self, version: u64) -> PathBuf {
-        self.dir.join(format!("{PREFIX}{version}{SUFFIX}"))
+        self.path_for(version, self.format)
     }
 
     fn tmp_path_of(&self, version: u64) -> PathBuf {
-        self.dir
-            .join(format!(".{PREFIX}{version}{SUFFIX}{TMP_SUFFIX}"))
+        self.tmp_path_for(version, self.format)
     }
 
+    #[cfg(test)]
     fn quarantine_path_of(&self, version: u64) -> PathBuf {
-        self.dir
-            .join(format!("{PREFIX}{version}{SUFFIX}{QUARANTINE_SUFFIX}"))
+        self.quarantine_path_for(version, self.format)
     }
 
-    /// All `(version, kind)` entries, unsorted.
-    fn scan(&self) -> Result<Vec<(u64, EntryKind)>, ServeError> {
+    /// All `(version, format, kind)` entries, unsorted.
+    fn scan(&self) -> Result<Vec<(u64, ArtifactFormat, EntryKind)>, ServeError> {
         let names = self
             .ops
             .read_dir_names(&self.dir)
@@ -207,40 +198,58 @@ impl Registry {
         Ok(names.iter().filter_map(|n| parse_entry(n)).collect())
     }
 
-    /// All versions present, ascending. Files that do not match the
-    /// artifact naming scheme — including temp and quarantined files —
-    /// are ignored (the registry may share a directory with sidecars).
+    /// All versions present, ascending, each listed once no matter how
+    /// many formats carry it. Files that do not match the artifact naming
+    /// scheme — including temp and quarantined files — are ignored (the
+    /// registry may share a directory with sidecars).
     pub fn list(&self) -> Result<Vec<u64>, ServeError> {
         let mut versions: Vec<u64> = self
             .scan()?
             .into_iter()
-            .filter(|&(_, kind)| kind == EntryKind::Model)
-            .map(|(v, _)| v)
+            .filter(|&(_, _, kind)| kind == EntryKind::Model)
+            .map(|(v, _, _)| v)
             .collect();
         versions.sort_unstable();
+        versions.dedup();
         Ok(versions)
     }
 
+    /// The formats version `v` currently exists in (Model files only),
+    /// in [`ArtifactFormat::ALL`] order.
+    fn formats_of(&self, version: u64) -> Result<Vec<ArtifactFormat>, ServeError> {
+        let present: Vec<ArtifactFormat> = self
+            .scan()?
+            .into_iter()
+            .filter(|&(v, _, kind)| v == version && kind == EntryKind::Model)
+            .map(|(_, f, _)| f)
+            .collect();
+        Ok(ArtifactFormat::ALL
+            .into_iter()
+            .filter(|f| present.contains(f))
+            .collect())
+    }
+
     /// The next unclaimed version number: one past the newest version
-    /// ever taken, *including* quarantined ones — a version number is
-    /// never reused once any artifact has carried it.
+    /// ever taken, in *either* format and *including* quarantined ones —
+    /// a version number is never reused once any artifact has carried it.
     fn next_version(&self) -> Result<u64, ServeError> {
         Ok(self
             .scan()?
             .into_iter()
-            .filter(|&(_, kind)| kind != EntryKind::Tmp)
-            .map(|(v, _)| v)
+            .filter(|&(_, _, kind)| kind != EntryKind::Tmp)
+            .map(|(v, _, _)| v)
             .max()
             .unwrap_or(0)
             + 1)
     }
 
-    /// Delete stale temp files; returns how many were swept.
+    /// Delete stale temp files of both formats; returns how many were
+    /// swept.
     fn sweep_tmp(&self) -> Result<usize, ServeError> {
         let mut swept = 0;
-        for (version, kind) in self.scan()? {
+        for (version, format, kind) in self.scan()? {
             if kind == EntryKind::Tmp {
-                let path = self.tmp_path_of(version);
+                let path = self.tmp_path_for(version, format);
                 match self.ops.remove_file(&path) {
                     Ok(()) => swept += 1,
                     // A concurrent save may have renamed it away already.
@@ -255,11 +264,12 @@ impl Registry {
     /// Persist a model under the next version number; returns it.
     ///
     /// The version is claimed with an atomic `create_new` (retrying past
-    /// collisions), the artifact is written checksum-framed to a temp
-    /// file, fsynced, renamed over the claim, and the directory is
-    /// fsynced — the full crash-safe protocol from the module docs. On
-    /// failure the claim and temp file are withdrawn (best effort; a
-    /// crash instead leaves them for [`recover`](Self::recover)).
+    /// collisions), the artifact is encoded by the active format's codec
+    /// and written to a temp file, fsynced, renamed over the claim, and
+    /// the directory is fsynced — the full crash-safe protocol from the
+    /// module docs. On failure the claim and temp file are withdrawn
+    /// (best effort; a crash instead leaves them for
+    /// [`recover`](Self::recover)).
     pub fn save(&self, model: &FittedModel) -> Result<u64, ServeError> {
         let mut version = self.next_version()?;
         let claim_cap = version + CLAIM_RETRIES;
@@ -276,7 +286,7 @@ impl Registry {
         let tmp = self.tmp_path_of(version);
         let written = self
             .ops
-            .write_durable(&tmp, frame(&model.to_json()).as_bytes())
+            .write_durable(&tmp, &self.format.codec().encode(model))
             .map_err(|e| io_err(&tmp, e))
             .and_then(|()| self.ops.rename(&tmp, &path).map_err(|e| io_err(&path, e)))
             .and_then(|()| {
@@ -297,19 +307,64 @@ impl Registry {
         Ok(version)
     }
 
-    /// Load one version, verifying its checksum trailer before parsing.
-    pub fn load(&self, version: u64) -> Result<FittedModel, ServeError> {
-        let path = self.path_of(version);
-        let text = match self.ops.read_to_string(&path) {
-            Ok(text) => text,
+    /// Read one artifact file's raw bytes through the seam. JSON flows
+    /// through `read_to_string` (the historical fault-injection path);
+    /// binary through `read_bytes`.
+    fn read_raw(&self, path: &Path, format: ArtifactFormat) -> std::io::Result<Vec<u8>> {
+        match format {
+            ArtifactFormat::Json => self.ops.read_to_string(path).map(String::into_bytes),
+            ArtifactFormat::Bin => self.ops.read_bytes(path),
+        }
+    }
+
+    /// Load one version from one specific format.
+    fn load_as(&self, version: u64, format: ArtifactFormat) -> Result<FittedModel, ServeError> {
+        let path = self.path_for(version, format);
+        let source = path.display().to_string();
+        // Zero-copy read path: only when the seam itself says mapping is
+        // safe (FaultyFs says no, keeping chaos coverage intact).
+        #[cfg(feature = "mmap")]
+        if format == ArtifactFormat::Bin && self.ops.supports_mmap() {
+            return match crate::binary::mmap::map_file(&path) {
+                Ok(mapping) => format.codec().decode(&mapping, &source),
+                Err(e) if e.kind() == ErrorKind::NotFound => {
+                    Err(ServeError::VersionNotFound { version })
+                }
+                Err(e) => Err(io_err(&path, e)),
+            };
+        }
+        let bytes = match self.read_raw(&path, format) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == ErrorKind::NotFound => {
                 return Err(ServeError::VersionNotFound { version })
             }
             Err(e) => return Err(io_err(&path, e)),
         };
-        let source = path.display().to_string();
-        let payload = unframe(&text, &source)?;
-        FittedModel::from_json(payload, &source)
+        format.codec().decode(&bytes, &source)
+    }
+
+    /// Load one version, verifying its checksum before parsing.
+    ///
+    /// The registry's own format is probed first, then the other — so a
+    /// version saved as JSON still loads from a registry configured for
+    /// binary (and vice versa), and a corrupt file in one format falls
+    /// back to a good sibling in the other. Transient I/O propagates;
+    /// the version is corrupt only if every present file is.
+    pub fn load(&self, version: u64) -> Result<FittedModel, ServeError> {
+        let mut first_defect = None;
+        for format in [self.format, self.format.other()] {
+            match self.load_as(version, format) {
+                Ok(model) => return Ok(model),
+                Err(ServeError::VersionNotFound { .. }) => {}
+                Err(e) if e.is_corruption() => {
+                    if first_defect.is_none() {
+                        first_defect = Some(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(first_defect.unwrap_or(ServeError::VersionNotFound { version }))
     }
 
     /// Load the newest *good* version, returning `(version, model)`.
@@ -341,10 +396,14 @@ impl Registry {
     }
 
     /// Startup recovery scan: sweep stale temp files, verify every
-    /// version, and move corrupt artifacts aside as
-    /// `model-v<N>.json.quarantined` — bytes are preserved for
-    /// post-mortems, never deleted. Returns what was found. Transient
-    /// I/O errors propagate; rerun `recover` to continue.
+    /// version, and move all-corrupt versions aside as
+    /// `model-v<N>.<ext>.quarantined` — bytes are preserved for
+    /// post-mortems, never deleted. A version with *any* decodable file
+    /// is good and is left whole (a corrupt sibling stays beside it);
+    /// when every file of a version is corrupt, every file moves — the
+    /// version is quarantined as a unit, never split. Returns what was
+    /// found. Transient I/O errors propagate; rerun `recover` to
+    /// continue.
     pub fn recover(&self) -> Result<RecoveryReport, ServeError> {
         let mut report = RecoveryReport {
             swept_tmp: self.sweep_tmp()?,
@@ -354,9 +413,16 @@ impl Registry {
             match self.load(version) {
                 Ok(_) => report.good.push(version),
                 Err(defect) if defect.is_corruption() => {
-                    let from = self.path_of(version);
-                    let to = self.quarantine_path_of(version);
-                    self.ops.rename(&from, &to).map_err(|e| io_err(&from, e))?;
+                    for format in self.formats_of(version)? {
+                        let from = self.path_for(version, format);
+                        let to = self.quarantine_path_for(version, format);
+                        match self.ops.rename(&from, &to) {
+                            Ok(()) => {}
+                            // Raced another recover; the file already moved.
+                            Err(e) if e.kind() == ErrorKind::NotFound => {}
+                            Err(e) => return Err(io_err(&from, e)),
+                        }
+                    }
                     // Make the quarantine itself durable, best effort.
                     let _ = self.ops.sync_dir(&self.dir);
                     report.quarantined.push((version, defect));
@@ -369,33 +435,46 @@ impl Registry {
     }
 
     /// Garbage-collect old **good** versions, keeping the newest `keep`
-    /// of them. Corrupt files are skipped (left for
-    /// [`recover`](Self::recover)); returns the versions deleted.
+    /// of them. A pruned version loses *all* its files (both formats —
+    /// GC never splits a version); versions whose every file is corrupt
+    /// are skipped entirely (left for [`recover`](Self::recover)).
+    /// Returns the versions deleted.
     pub fn gc(&self, keep: usize) -> Result<Vec<u64>, ServeError> {
         let keep = keep.max(1);
         let mut good = Vec::new();
         for version in self.list()? {
-            // Cheap verification: the checksum trailer, not a full parse.
-            let path = self.path_of(version);
-            match self.ops.read_to_string(&path) {
-                Ok(text) => {
-                    if unframe(&text, &path.display().to_string()).is_ok() {
-                        good.push(version);
+            // Cheap verification: the checksum, not a full parse. Any
+            // verifying file makes the whole version good.
+            for format in self.formats_of(version)? {
+                let path = self.path_for(version, format);
+                match self.read_raw(&path, format) {
+                    Ok(bytes) => {
+                        if format
+                            .codec()
+                            .verify(&bytes, &path.display().to_string())
+                            .is_ok()
+                        {
+                            good.push(version);
+                            break;
+                        }
                     }
+                    Err(e) if e.kind() == ErrorKind::NotFound => {}
+                    Err(e) => return Err(io_err(&path, e)),
                 }
-                Err(e) if e.kind() == ErrorKind::NotFound => {}
-                Err(e) => return Err(io_err(&path, e)),
             }
         }
         let excess = good.len().saturating_sub(keep);
         let mut pruned = Vec::with_capacity(excess);
         for &version in &good[..excess] {
-            let path = self.path_of(version);
-            match self.ops.remove_file(&path) {
-                Ok(()) => pruned.push(version),
-                Err(e) if e.kind() == ErrorKind::NotFound => {}
-                Err(e) => return Err(io_err(&path, e)),
+            for format in self.formats_of(version)? {
+                let path = self.path_for(version, format);
+                match self.ops.remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == ErrorKind::NotFound => {}
+                    Err(e) => return Err(io_err(&path, e)),
+                }
             }
+            pruned.push(version);
         }
         Ok(pruned)
     }
@@ -450,6 +529,24 @@ mod tests {
         Registry::open(tmp_dir(tag)).expect("open")
     }
 
+    /// Byte-level damage that works for either format: truncate the file
+    /// to `num/den` of its length. The checksum catches it regardless of
+    /// what the bytes mean.
+    fn truncate_artifact(reg: &Registry, version: u64, num: usize, den: usize) {
+        let path = reg.path_of(version);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() * num / den]).unwrap();
+    }
+
+    /// Byte-level damage: flip one bit mid-file (payload, not trailer).
+    fn flip_artifact_byte(reg: &Registry, version: u64) {
+        let path = reg.path_of(version);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+    }
+
     #[test]
     fn versions_are_monotonic_and_listable() {
         let reg = tmp_registry("mono");
@@ -474,16 +571,9 @@ mod tests {
     fn corrupt_artifacts_are_detected_not_served() {
         let reg = tmp_registry("corrupt");
         let v = reg.save(&toy_model(0.5)).unwrap();
-        // Truncate the artifact on disk.
-        let path = reg.path_of(v);
-        let text = fs::read_to_string(&path).unwrap();
-        fs::write(&path, &text[..text.len() / 2]).unwrap();
-        match reg.load(v) {
-            Err(ServeError::Corrupt { source, .. }) => {
-                assert!(source.contains("model-v1.json"), "{source}");
-            }
-            other => panic!("expected Corrupt, got {other:?}"),
-        }
+        truncate_artifact(&reg, v, 1, 2);
+        let err = reg.load(v).unwrap_err();
+        assert!(err.is_corruption(), "truncation is typed corruption: {err}");
         // The next save still picks a fresh version above the corrupt one.
         let v2 = reg.save(&toy_model(0.1)).unwrap();
         assert_eq!(v2, 2);
@@ -493,7 +583,9 @@ mod tests {
 
     #[test]
     fn checksum_catches_damage_json_would_accept() {
-        let reg = tmp_registry("checksum");
+        // Intrinsically a JSON-text scenario: pin the format so the
+        // tamper site exists regardless of the ambient env selection.
+        let reg = tmp_registry("checksum").with_format(ArtifactFormat::Json);
         let v = reg.save(&toy_model(0.5)).unwrap();
         let path = reg.path_of(v);
         // Flip one digit inside the JSON: still perfectly parsable, but
@@ -524,17 +616,13 @@ mod tests {
         let v3 = reg.save(&toy_model(0.125)).unwrap();
         // Corrupt the newest two; the oldest must answer.
         for v in [2, 3] {
-            let path = reg.path_of(v);
-            let text = fs::read_to_string(&path).unwrap();
-            fs::write(&path, &text[..text.len() / 3]).unwrap();
+            truncate_artifact(&reg, v, 1, 3);
         }
         let (v, model) = reg.load_latest().unwrap();
         assert_eq!(v, 1);
         assert_eq!(model.loss, 0.5);
         // With every version damaged, the newest defect is reported.
-        let path = reg.path_of(1);
-        let text = fs::read_to_string(&path).unwrap();
-        fs::write(&path, &text[..text.len() / 3]).unwrap();
+        truncate_artifact(&reg, 1, 1, 3);
         assert!(reg.load_latest().unwrap_err().is_corruption());
         assert_eq!(v3, 3);
         let _ = fs::remove_dir_all(reg.dir());
@@ -547,9 +635,7 @@ mod tests {
         reg.save(&toy_model(0.25)).unwrap();
         reg.save(&toy_model(0.125)).unwrap();
         // Damage v2 and leave a stale temp file behind.
-        let path = reg.path_of(2);
-        let text = fs::read_to_string(&path).unwrap();
-        fs::write(&path, text.replace("0.25", "9.99")).unwrap();
+        flip_artifact_byte(&reg, 2);
         fs::write(reg.tmp_path_of(9), "torn").unwrap();
 
         let report = reg.recover().unwrap();
@@ -580,9 +666,7 @@ mod tests {
         assert_eq!(reg.list().unwrap(), vec![3, 4], "cap of 2 enforced");
         // Corrupt the newest, then save: GC must not delete v3, the
         // newest *good* version besides the fresh save.
-        let path = reg.path_of(4);
-        let text = fs::read_to_string(&path).unwrap();
-        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        truncate_artifact(&reg, 4, 1, 2);
         let v5 = reg.save(&toy_model(0.1)).unwrap();
         assert_eq!(v5, 5);
         let listed = reg.list().unwrap();
@@ -629,9 +713,11 @@ mod tests {
         let dir = tmp_dir("sweep");
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join(".model-v7.json.tmp"), "half a model").unwrap();
+        fs::write(dir.join(".model-v8.bin.tmp"), "half a model").unwrap();
         fs::write(dir.join("unrelated.txt"), "sidecar").unwrap();
         let reg = Registry::open(&dir).unwrap();
-        assert!(!dir.join(".model-v7.json.tmp").exists(), "tmp swept");
+        assert!(!dir.join(".model-v7.json.tmp").exists(), "json tmp swept");
+        assert!(!dir.join(".model-v8.bin.tmp").exists(), "bin tmp swept");
         assert!(dir.join("unrelated.txt").exists(), "sidecars untouched");
         assert_eq!(reg.list().unwrap(), Vec::<u64>::new());
         let _ = fs::remove_dir_all(&dir);
@@ -693,36 +779,152 @@ mod tests {
     }
 
     #[test]
-    fn frame_unframe_roundtrip_and_trailer_damage() {
-        let payload = r#"{"k":1}"#;
-        let framed = frame(payload);
-        assert_eq!(unframe(&framed, "t").unwrap(), payload);
-        // Any single-character damage to the trailer is caught.
-        let no_newline = framed.trim_end().to_string();
-        assert!(matches!(
-            unframe(&no_newline, "t"),
-            Err(ServeError::Corrupt { .. })
-        ));
-        let bad_hex = framed.replace(CHECKSUM_PREFIX, "#fnv1a:zz");
-        assert!(unframe(&bad_hex, "t").is_err());
-        let payload_tampered = framed.replacen("\"k\":1", "\"k\":2", 1);
-        assert!(matches!(
-            unframe(&payload_tampered, "t"),
-            Err(ServeError::ChecksumMismatch { .. })
-        ));
+    fn binary_registry_roundtrips_and_names_bin_files() {
+        let reg = tmp_registry("binfmt").with_format(ArtifactFormat::Bin);
+        let v = reg.save(&toy_model(0.5)).unwrap();
+        assert!(reg.dir().join(format!("model-v{v}.bin")).exists());
+        assert!(!reg.dir().join(format!("model-v{v}.json")).exists());
+        let (latest, model) = reg.load_latest().unwrap();
+        assert_eq!((latest, model.loss), (v, 0.5));
+        assert_eq!(model.w, toy_model(0.5).w, "W survives binary round-trip");
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn load_falls_back_to_the_other_format() {
+        let dir = tmp_dir("xfmt");
+        let json_reg = Registry::open(&dir)
+            .unwrap()
+            .with_format(ArtifactFormat::Json);
+        let bin_reg = Registry::open(&dir)
+            .unwrap()
+            .with_format(ArtifactFormat::Bin);
+        let v1 = json_reg.save(&toy_model(0.5)).unwrap();
+        let v2 = bin_reg.save(&toy_model(0.25)).unwrap();
+        assert_eq!((v1, v2), (1, 2), "one version sequence across formats");
+        // Each registry reads the other's artifacts transparently.
+        assert_eq!(bin_reg.load(v1).unwrap().loss, 0.5);
+        assert_eq!(json_reg.load(v2).unwrap().loss, 0.25);
+        assert_eq!(json_reg.list().unwrap(), vec![1, 2]);
+        // A corrupt own-format file falls back to a good sibling.
+        let sibling = bin_reg.path_for(v1, ArtifactFormat::Bin);
+        fs::write(
+            &sibling,
+            ArtifactFormat::Bin.codec().encode(&toy_model(0.5)),
+        )
+        .unwrap();
+        truncate_artifact(&json_reg, v1, 1, 2);
+        assert_eq!(bin_reg.load(v1).unwrap().loss, 0.5, "bin sibling answers");
+        assert_eq!(
+            json_reg.load(v1).unwrap().loss,
+            0.5,
+            "fallback crosses formats"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_treats_a_version_as_one_unit() {
+        let reg = tmp_registry("unit");
+        let v = reg.save(&toy_model(0.5)).unwrap();
+        // Give v1 a sibling in the other format, then corrupt only the
+        // primary: the version stays good and nothing is quarantined.
+        let other = reg.format().other();
+        fs::write(
+            reg.path_for(v, other),
+            other.codec().encode(&toy_model(0.5)),
+        )
+        .unwrap();
+        truncate_artifact(&reg, v, 1, 2);
+        let report = reg.recover().unwrap();
+        assert_eq!(report.good, vec![v], "any good file keeps the version");
+        assert!(report.quarantined.is_empty());
+        assert!(reg.path_of(v).exists(), "corrupt sibling left in place");
+        assert!(reg.path_for(v, other).exists());
+
+        // Now corrupt the sibling too: the version is quarantined whole.
+        let bytes = fs::read(reg.path_for(v, other)).unwrap();
+        fs::write(reg.path_for(v, other), &bytes[..bytes.len() / 2]).unwrap();
+        let report = reg.recover().unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].0, v);
+        assert!(
+            reg.quarantine_path_of(v).exists(),
+            "primary-format file quarantined"
+        );
+        assert!(
+            reg.quarantine_path_for(v, other).exists(),
+            "sibling quarantined with it — never split"
+        );
+        assert!(!reg.path_of(v).exists());
+        assert!(!reg.path_for(v, other).exists());
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn gc_prunes_a_version_as_one_unit() {
+        let reg = tmp_registry("gc-unit");
+        for loss in [0.5, 0.4, 0.3] {
+            reg.save(&toy_model(loss)).unwrap();
+        }
+        // v1 exists in both formats; pruning must take both files.
+        let other = reg.format().other();
+        fs::write(
+            reg.path_for(1, other),
+            other.codec().encode(&toy_model(0.5)),
+        )
+        .unwrap();
+        let pruned = reg.gc(2).unwrap();
+        assert_eq!(pruned, vec![1]);
+        assert!(!reg.path_of(1).exists(), "primary pruned");
+        assert!(!reg.path_for(1, other).exists(), "sibling pruned with it");
+        assert_eq!(reg.list().unwrap(), vec![2, 3]);
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn next_version_counts_both_formats() {
+        let reg = tmp_registry("nextv");
+        let other = reg.format().other();
+        fs::write(
+            reg.path_for(5, other),
+            other.codec().encode(&toy_model(0.5)),
+        )
+        .unwrap();
+        assert_eq!(reg.save(&toy_model(0.25)).unwrap(), 6);
+        let _ = fs::remove_dir_all(reg.dir());
     }
 
     #[test]
     fn entry_names_parse_and_ignore_sidecars() {
-        assert_eq!(parse_entry("model-v12.json"), Some((12, EntryKind::Model)));
-        assert_eq!(parse_entry(".model-v3.json.tmp"), Some((3, EntryKind::Tmp)));
+        assert_eq!(
+            parse_entry("model-v12.json"),
+            Some((12, ArtifactFormat::Json, EntryKind::Model))
+        );
+        assert_eq!(
+            parse_entry("model-v12.bin"),
+            Some((12, ArtifactFormat::Bin, EntryKind::Model))
+        );
+        assert_eq!(
+            parse_entry(".model-v3.json.tmp"),
+            Some((3, ArtifactFormat::Json, EntryKind::Tmp))
+        );
+        assert_eq!(
+            parse_entry(".model-v3.bin.tmp"),
+            Some((3, ArtifactFormat::Bin, EntryKind::Tmp))
+        );
         assert_eq!(
             parse_entry("model-v8.json.quarantined"),
-            Some((8, EntryKind::Quarantined))
+            Some((8, ArtifactFormat::Json, EntryKind::Quarantined))
+        );
+        assert_eq!(
+            parse_entry("model-v8.bin.quarantined"),
+            Some((8, ArtifactFormat::Bin, EntryKind::Quarantined))
         );
         for bogus in [
             "model-vX.json",
             "model-v1.json.bak",
+            "model-v1.binx",
             "notes.txt",
             ".hidden",
             "model-v1",

@@ -5,8 +5,25 @@ use anchors_curricula::{cs2013, pdc12};
 use anchors_factor::{NnmfModel, NnmfRecovery};
 use anchors_linalg::{Backend, Matrix};
 use anchors_materials::TagSpace;
-use anchors_serve::{CourseQuery, FittedModel, QueryEngine, ServeError};
+use anchors_serve::{
+    ArtifactFormat, BinaryCodec, Codec, CourseQuery, FaultPlan, FaultyFs, FileOps, FittedModel,
+    JsonCodec, QueryEngine, Registry, ServeError,
+};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Distinct directory per fault-injection case (cases run — and shrink —
+/// against their own registries).
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir() -> std::path::PathBuf {
+    let case = CASE.fetch_add(1, Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("anchors-serve-prop-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 /// Strategy: a serveable model over a prefix of the CS2013 leaf tag space,
 /// with arbitrary (finite, nonnegative) factor entries — including
@@ -122,6 +139,84 @@ proptest! {
                 prop_assert_eq!(parsed.fingerprint, artifact.fingerprint);
             }
         }
+    }
+
+    #[test]
+    fn json_and_binary_codecs_roundtrip_bitwise(artifact in serveable_model()) {
+        // The two codecs are interchangeable: both round-trip the same
+        // model, with W/H and the ontology fingerprint bitwise identical
+        // across formats, and the binary encoding is byte-stable.
+        let json_bytes = JsonCodec.encode(&artifact);
+        let bin_bytes = BinaryCodec.encode(&artifact);
+        let via_json = JsonCodec.decode(&json_bytes, "<json>").expect("json decodes");
+        let via_bin = BinaryCodec.decode(&bin_bytes, "<bin>").expect("binary decodes");
+        prop_assert_eq!(&via_json.w, &via_bin.w, "W bitwise across codecs");
+        prop_assert_eq!(&via_json.h, &via_bin.h, "H bitwise across codecs");
+        prop_assert_eq!(via_json.fingerprint, via_bin.fingerprint);
+        prop_assert_eq!(&via_json.tag_codes, &via_bin.tag_codes);
+        prop_assert_eq!(via_json.winning_seed, via_bin.winning_seed);
+        prop_assert_eq!(BinaryCodec.encode(&via_bin), bin_bytes, "binary save→load→save identity");
+    }
+
+    #[test]
+    fn binary_truncations_are_typed_never_a_panic(
+        artifact in serveable_model(),
+        frac in 0.0f64..1.0,
+    ) {
+        // Any strict prefix of a binary artifact fails closed with a
+        // typed corruption error — never a panic, never a parse.
+        let bytes = BinaryCodec.encode(&artifact);
+        let cut = (((bytes.len() as f64) * frac) as usize).min(bytes.len() - 1);
+        match BinaryCodec.decode(&bytes[..cut], "<trunc>") {
+            Err(e) => prop_assert!(e.is_corruption(), "cut {}: {:?}", cut, e),
+            Ok(_) => prop_assert!(false, "truncation at {} decoded as a model", cut),
+        }
+    }
+
+    #[test]
+    fn binary_fault_injection_surfaces_checksum_mismatch(
+        artifact in serveable_model(),
+        seed in any::<u64>(),
+    ) {
+        // Torn writes and partial reads on the binary registry path
+        // surface as typed ChecksumMismatch — the retry/fallback loops
+        // key on it — and the registry heals once the weather clears.
+        let dir = fresh_dir();
+        let ffs = Arc::new(FaultyFs::new(FaultPlan::none(seed).with_torn_write(1.0)));
+        ffs.set_enabled(false);
+        let reg = Registry::open_with(&dir, Arc::clone(&ffs) as Arc<dyn FileOps>)
+            .expect("open")
+            .with_format(ArtifactFormat::Bin);
+        let v = reg.save(&artifact).expect("clean save");
+        let path = dir.join(format!("model-v{v}.bin"));
+        let clean = BinaryCodec.encode(&artifact);
+
+        // A torn write over the artifact leaves a prefix on disk.
+        ffs.set_enabled(true);
+        prop_assert!(ffs.write_durable(&path, &clean).is_err(), "write must tear");
+        ffs.set_enabled(false);
+        match reg.load(v) {
+            Err(ServeError::ChecksumMismatch { .. }) => {}
+            other => prop_assert!(false, "torn write: expected ChecksumMismatch, got {:?}",
+                other.map(|m| m.name)),
+        }
+
+        // A partial read of healthy bytes is caught the same way...
+        std::fs::write(&path, &clean).expect("restore");
+        ffs.set_plan(FaultPlan::none(seed).with_partial_read(1.0).with_max_faults(1));
+        ffs.set_enabled(true);
+        match reg.load(v) {
+            Err(ServeError::ChecksumMismatch { .. }) => {}
+            other => prop_assert!(false, "partial read: expected ChecksumMismatch, got {:?}",
+                other.map(|m| m.name)),
+        }
+
+        // ...and once the fault budget is spent, the same registry serves
+        // the same bits.
+        let healed = reg.load(v).expect("budget spent, load heals");
+        prop_assert_eq!(&healed.w, &artifact.w);
+        prop_assert_eq!(&healed.h, &artifact.h);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use anchors_curricula::cs2013;
 use anchors_factor::{NnmfModel, NnmfRecovery};
 use anchors_linalg::{Backend, Matrix};
 use anchors_materials::TagSpace;
-use anchors_serve::{FittedModel, Registry};
+use anchors_serve::{ArtifactFormat, FittedModel, Registry};
 use proptest::prelude::*;
 use std::fs;
 use std::path::PathBuf;
@@ -62,7 +62,12 @@ proptest! {
     ) {
         let victim = victim_pick % n_versions + 1;
         let dir = fresh_dir();
-        let reg = Registry::open(&dir).expect("open");
+        // The faults below are corpus-level *JSON* faults, so the format
+        // is pinned; the binary path gets its own fault properties in
+        // `proptests.rs`.
+        let reg = Registry::open(&dir)
+            .expect("open")
+            .with_format(ArtifactFormat::Json);
         for v in 1..=n_versions {
             prop_assert_eq!(reg.save(&toy_model(&format!("m{v}"), v)).expect("save"), v);
         }

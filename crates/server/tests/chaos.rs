@@ -129,9 +129,10 @@ fn corrupt_latest_falls_back_and_recovery_quarantines() {
     let registry = Registry::open(&dir).expect("registry");
     registry.save(&toy_model("good-v1", 3)).expect("save v1");
     let v2 = registry.save(&toy_model("bad-v2", 9)).expect("save v2");
-    let v2_path = dir.join(format!("model-v{v2}.json"));
-    let text = fs::read_to_string(&v2_path).expect("read v2");
-    fs::write(&v2_path, &text[..text.len() / 2]).expect("tear v2");
+    let ext = registry.format().extension();
+    let v2_path = dir.join(format!("model-v{v2}.{ext}"));
+    let bytes = fs::read(&v2_path).expect("read v2");
+    fs::write(&v2_path, &bytes[..bytes.len() / 2]).expect("tear v2");
 
     // Startup falls back: the corrupt v2 is skipped, good v1 serves.
     let state = Arc::new(AppState::from_registry(registry, cs2013(), pdc12()).expect("state"));
@@ -154,7 +155,7 @@ fn corrupt_latest_falls_back_and_recovery_quarantines() {
     assert_eq!(report.good, vec![1]);
     assert_eq!(report.quarantined.len(), 1);
     assert_eq!(report.quarantined[0].0, v2);
-    assert!(dir.join(format!("model-v{v2}.json.quarantined")).exists());
+    assert!(dir.join(format!("model-v{v2}.{ext}.quarantined")).exists());
     assert!(!v2_path.exists());
 
     // The quarantined number is burned: the next publish is v3, and a
