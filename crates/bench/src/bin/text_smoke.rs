@@ -1,0 +1,236 @@
+//! Text front-door smoke benchmark: classification accuracy and latency.
+//!
+//! Trains the `anchors-text` classifier on the seeded synthetic corpus
+//! from `anchors-corpus`, then measures four things:
+//!
+//! 1. **training-corpus micro-F1** — the accuracy gate: must be ≥ 0.9
+//!    or the binary exits non-zero (CI fails);
+//! 2. **held-out micro-F1** — fresh document seeds the trainer never
+//!    saw, reported for the README table (gated at a lower floor);
+//! 3. **in-process classify latency** — `TextModel::classify` p50/p99
+//!    over the held-out documents;
+//! 4. **end-to-end HTTP latency** — `POST /v1/classify_text` p50/p99
+//!    against a loopback `anchors-server` with both a factor model and
+//!    the text model loaded, i.e. the full raw-text → tags → fold-in →
+//!    anchors pipeline per request.
+//!
+//! Emits `BENCH_text.json` at the workspace root (and a copy under
+//! `target/figures/`) for CI to archive. Knobs: `ANCHORS_TEXT_TAGS`
+//! (tag-space size), `ANCHORS_TEXT_DOCS` (docs per tag),
+//! `ANCHORS_TEXT_REQUESTS` (HTTP requests).
+
+use anchors_bench::{figures_dir, header};
+use anchors_corpus::text::{document_for_tags, generate_text_corpus, TextCorpusConfig};
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{nnmf, NnmfConfig, Solver};
+use anchors_linalg::{Backend, Matrix};
+use anchors_materials::TagSpace;
+use anchors_serve::{FittedModel, Registry};
+use anchors_server::{AppState, Client, Server, ServerConfig, TextDoor};
+use anchors_text::{micro_f1, train, TextExample, TextModel, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The accuracy gate: training-corpus micro-F1 below this fails CI.
+const TRAIN_F1_GATE: f64 = 0.9;
+/// Held-out floor — generalization, with margin for unlucky seeds.
+const HELD_OUT_F1_GATE: f64 = 0.6;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Percentile (µs) of a sorted latency vector.
+fn percentile_us(sorted: &[u128], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx] as f64
+}
+
+/// Fresh documents (seeds disjoint from the training corpus) carrying
+/// the same label distribution: one per (tag, repeat) pair.
+fn held_out(model: &TextModel, per_tag: usize) -> Vec<TextExample> {
+    let mut out = Vec::with_capacity(model.tag_codes.len() * per_tag);
+    for (t, code) in model.tag_codes.iter().enumerate() {
+        for d in 0..per_tag {
+            let seed =
+                0x7E1D_0u64 ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul((t * per_tag + d) as u64 + 1);
+            out.push(TextExample {
+                text: document_for_tags(std::slice::from_ref(code), 60, 0.35, seed),
+                tag_codes: vec![code.clone()],
+            });
+        }
+    }
+    out
+}
+
+fn main() {
+    let n_tags = env_usize("ANCHORS_TEXT_TAGS", 16);
+    let docs_per_tag = env_usize("ANCHORS_TEXT_DOCS", 12);
+    let requests = env_usize("ANCHORS_TEXT_REQUESTS", 200);
+
+    header("text front door: accuracy gate and classify latency");
+
+    // Train on the seeded synthetic corpus, exactly as the quickstart does.
+    let cs = cs2013();
+    let corpus = generate_text_corpus(&TextCorpusConfig {
+        tags: n_tags,
+        docs_per_tag,
+        ..TextCorpusConfig::default()
+    });
+    let t0 = Instant::now();
+    let model = train(
+        "text-smoke",
+        cs,
+        &corpus.tag_codes,
+        &corpus.examples,
+        &TrainConfig::default(),
+    )
+    .expect("training succeeds on the synthetic corpus");
+    let train_secs = t0.elapsed().as_secs_f64();
+    let train_f1 = model.train_f1;
+    println!(
+        "  trained: {n_tags} tags × {docs_per_tag} docs in {train_secs:.2} s   train F1 {train_f1:.3}"
+    );
+
+    // Held-out accuracy: fresh seeds, same generator.
+    let fresh = held_out(&model, 8);
+    let held_out_f1 = micro_f1(&model, &fresh).expect("held-out scoring");
+    println!(
+        "  held-out: {} docs   micro-F1 {held_out_f1:.3}",
+        fresh.len()
+    );
+
+    // In-process classify latency over the held-out set.
+    let mut lat: Vec<u128> = Vec::with_capacity(fresh.len());
+    for ex in &fresh {
+        let t = Instant::now();
+        let got = model.classify(&ex.text).expect("classifies");
+        lat.push(t.elapsed().as_micros());
+        assert!(!got.predicted.is_empty());
+    }
+    lat.sort_unstable();
+    let classify_p50 = percentile_us(&lat, 0.50);
+    let classify_p99 = percentile_us(&lat, 0.99);
+    println!("  classify: p50 {classify_p50:>5.0} µs   p99 {classify_p99:>5.0} µs   (in process)");
+
+    // End-to-end: a loopback server with a factor model over a superset
+    // of the text tag space, driven through POST /v1/classify_text.
+    let space_tags = (n_tags * 4).max(32);
+    let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(space_tags));
+    let mut rng = StdRng::seed_from_u64(0x7E47);
+    let training = Matrix::from_fn(96, space_tags, |_, _| {
+        if rng.gen::<f64>() < 0.05 {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let cfg = NnmfConfig {
+        solver: Solver::Hals,
+        restarts: 1,
+        max_iter: 20,
+        ..NnmfConfig::paper_default(4)
+    };
+    let factor = nnmf(&training, &cfg);
+    let artifact =
+        FittedModel::new("text-smoke", cs, &space, &factor, Backend::Dense).expect("artifact");
+    let dir = std::env::temp_dir().join(format!("anchors-text-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Registry::open(&dir).expect("registry");
+    registry.save(&artifact).expect("save factor model");
+    let text_registry: Registry<TextModel> = Registry::open(&dir).expect("text registry");
+    text_registry.save(&model).expect("save text model");
+
+    let door = TextDoor::open(Registry::open(&dir).expect("door registry"), cs);
+    assert!(!door.is_degraded(), "text door must come up ready");
+    let state = Arc::new(
+        AppState::from_registry(Registry::open(&dir).expect("registry"), cs, pdc12())
+            .expect("state")
+            .with_text(door),
+    );
+    let handle =
+        Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).expect("server");
+    let mut client = Client::connect(handle.addr(), Duration::from_secs(10)).expect("client");
+    let mut http_lat: Vec<u128> = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let ex = &fresh[i % fresh.len()];
+        let t = Instant::now();
+        let resp = client
+            .classify_text("bench", &[], &ex.text)
+            .expect("classify_text request");
+        http_lat.push(t.elapsed().as_micros());
+        assert_eq!(resp.status, 200, "{}", resp.text());
+    }
+    handle.shutdown();
+    http_lat.sort_unstable();
+    let http_p50 = percentile_us(&http_lat, 0.50);
+    let http_p99 = percentile_us(&http_lat, 0.99);
+    println!(
+        "  e2e http: p50 {http_p50:>5.0} µs   p99 {http_p99:>5.0} µs   ({requests} requests, text → tags → anchors)"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"text_front_door\",\n",
+            "  \"tags\": {},\n",
+            "  \"docs_per_tag\": {},\n",
+            "  \"train_secs\": {:.3},\n",
+            "  \"train_f1\": {:.4},\n",
+            "  \"train_f1_gate\": {},\n",
+            "  \"held_out_docs\": {},\n",
+            "  \"held_out_f1\": {:.4},\n",
+            "  \"classify_p50_us\": {:.0},\n",
+            "  \"classify_p99_us\": {:.0},\n",
+            "  \"http_requests\": {},\n",
+            "  \"http_p50_us\": {:.0},\n",
+            "  \"http_p99_us\": {:.0}\n",
+            "}}\n"
+        ),
+        n_tags,
+        docs_per_tag,
+        train_secs,
+        train_f1,
+        TRAIN_F1_GATE,
+        fresh.len(),
+        held_out_f1,
+        classify_p50,
+        classify_p99,
+        requests,
+        http_p50,
+        http_p99
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let root_path = root.join("BENCH_text.json");
+    std::fs::write(&root_path, &json).expect("write BENCH_text.json");
+    println!("  wrote {}", root_path.display());
+    std::fs::write(figures_dir().join("BENCH_text.json"), &json).expect("write figures copy");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut failed = false;
+    if train_f1 < TRAIN_F1_GATE {
+        eprintln!("WARNING: training-corpus micro-F1 {train_f1:.3} below the {TRAIN_F1_GATE} gate");
+        failed = true;
+    }
+    if held_out_f1 < HELD_OUT_F1_GATE {
+        eprintln!("WARNING: held-out micro-F1 {held_out_f1:.3} below the {HELD_OUT_F1_GATE} floor");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,7 @@
 use anchors_factor::NnmfError;
 use anchors_linalg::LinalgError;
 use anchors_materials::{ImportError, StoreError};
+use anchors_text::TextError;
 use std::fmt;
 
 /// Any failure the analysis pipeline can surface.
@@ -21,6 +22,8 @@ pub enum AnchorsError {
     Import(ImportError),
     /// The material store violates its invariants.
     Store(StoreError),
+    /// Text classification rejected its input or model.
+    Text(TextError),
     /// A stage was asked to analyze an empty course group.
     EmptyGroup {
         /// Stage name (e.g. `"pdc_agreement"`).
@@ -50,6 +53,7 @@ impl fmt::Display for AnchorsError {
             AnchorsError::Linalg(e) => write!(f, "linear algebra failed: {e}"),
             AnchorsError::Import(e) => write!(f, "import failed: {e}"),
             AnchorsError::Store(e) => write!(f, "invalid material store: {e}"),
+            AnchorsError::Text(e) => write!(f, "text classification failed: {e}"),
             AnchorsError::EmptyGroup { stage } => {
                 write!(f, "{stage}: course group is empty")
             }
@@ -70,6 +74,7 @@ impl std::error::Error for AnchorsError {
             AnchorsError::Linalg(e) => Some(e),
             AnchorsError::Import(e) => Some(e),
             AnchorsError::Store(e) => Some(e),
+            AnchorsError::Text(e) => Some(e),
             _ => None,
         }
     }
@@ -99,6 +104,12 @@ impl From<StoreError> for AnchorsError {
     }
 }
 
+impl From<TextError> for AnchorsError {
+    fn from(e: TextError) -> Self {
+        AnchorsError::Text(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +123,9 @@ mod tests {
         assert!(e.to_string().contains("linear algebra failed"));
         let e: AnchorsError = StoreError::OrphanMaterial { material: 7 }.into();
         assert!(e.to_string().contains("invalid material store"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: AnchorsError = TextError::EmptyText.into();
+        assert!(e.to_string().contains("text classification failed"));
         assert!(std::error::Error::source(&e).is_some());
         let e = AnchorsError::EmptyGroup {
             stage: "cs1_agreement",

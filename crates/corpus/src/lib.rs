@@ -17,6 +17,7 @@ pub mod generate;
 pub mod pdc_library;
 pub mod profiles;
 pub mod roster;
+pub mod text;
 
 pub use faults::{
     corrupt_json, drop_group_materials, drop_materials, duplicate_columns, strip_tags,
@@ -28,3 +29,7 @@ pub use generate::{
 pub use pdc_library::{pdc_library, PdcMaterial, Source};
 pub use profiles::{KuCoverage, TypeProfile};
 pub use roster::{CourseSpec, ROSTER};
+pub use text::{
+    document_for_tags, generate_text_corpus, tag_vocabulary, TextCorpus, TextCorpusConfig,
+    BACKGROUND_VOCAB, DEFAULT_TEXT_SEED,
+};

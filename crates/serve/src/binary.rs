@@ -85,12 +85,12 @@ impl Codec for BinaryCodec {
     }
 }
 
-fn push_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn push_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u64).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
-fn push_matrix(out: &mut Vec<u8>, m: &Matrix) {
+pub(crate) fn push_matrix(out: &mut Vec<u8>, m: &Matrix) {
     for &v in m.as_slice() {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -181,7 +181,7 @@ fn encode(model: &FittedModel) -> Vec<u8> {
 }
 
 /// Verify the checksum trailer; returns the covered payload on success.
-fn check_trailer<'a>(bytes: &'a [u8], source: &str) -> Result<&'a [u8], ServeError> {
+pub(crate) fn check_trailer<'a>(bytes: &'a [u8], source: &str) -> Result<&'a [u8], ServeError> {
     if bytes.len() < TRAILER_LEN {
         return Err(ServeError::Corrupt {
             source: source.to_string(),
@@ -202,22 +202,22 @@ fn check_trailer<'a>(bytes: &'a [u8], source: &str) -> Result<&'a [u8], ServeErr
 }
 
 /// Bounds-checked little-endian reader over the checksum-verified
-/// payload.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    source: &'a str,
+/// payload. Shared with the text-artifact binary codec.
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
+    pub(crate) source: &'a str,
 }
 
 impl<'a> Reader<'a> {
-    fn corrupt(&self, detail: String) -> ServeError {
+    pub(crate) fn corrupt(&self, detail: String) -> ServeError {
         ServeError::Corrupt {
             source: self.source.to_string(),
             detail,
         }
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
         let end = self
             .pos
             .checked_add(n)
@@ -228,37 +228,42 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
         Ok(u32::from_le_bytes(
             self.take(4, what)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64, ServeError> {
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, ServeError> {
         Ok(u64::from_le_bytes(
             self.take(8, what)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
         Ok(f64::from_le_bytes(
             self.take(8, what)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn usize(&mut self, what: &str) -> Result<usize, ServeError> {
+    pub(crate) fn usize(&mut self, what: &str) -> Result<usize, ServeError> {
         let v = self.u64(what)?;
         usize::try_from(v).map_err(|_| self.corrupt(format!("{what} {v} overflows usize")))
     }
 
-    fn string(&mut self, what: &str) -> Result<String, ServeError> {
+    pub(crate) fn string(&mut self, what: &str) -> Result<String, ServeError> {
         let len = self.usize(what)?;
         let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| self.corrupt(format!("{what} is not valid UTF-8: {e}")))
     }
 
-    fn matrix(&mut self, rows: usize, cols: usize, what: &str) -> Result<Matrix, ServeError> {
+    pub(crate) fn matrix(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        what: &str,
+    ) -> Result<Matrix, ServeError> {
         let n = rows
             .checked_mul(cols)
             .and_then(|n| n.checked_mul(8))

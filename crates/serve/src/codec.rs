@@ -169,6 +169,51 @@ pub trait Codec: fmt::Debug + Send + Sync {
     fn verify(&self, bytes: &[u8], source: &str) -> Result<(), ServeError>;
 }
 
+/// A model kind the [`Registry`](crate::registry::Registry) can
+/// version: anything that knows how to lay itself out (and check
+/// itself) in every [`ArtifactFormat`].
+///
+/// This is the seam that lets one registry implementation serve
+/// multiple artifact kinds — [`FittedModel`] (`model-v<N>.*`) and
+/// `TextModel` (`text-v<N>.*`) — with identical durability, checksum,
+/// quarantine, fallback, and GC semantics. [`Artifact::STEM`]
+/// namespaces the kinds inside a shared directory: two kinds never
+/// collide on filenames, and each kind's version counter is its own.
+///
+/// The same self-checking contract as [`Codec`] applies: `decode` and
+/// `verify` must reject any bytes `encode` did not produce with a typed
+/// corruption error, never a panic.
+pub trait Artifact: Sized + Send + Sync {
+    /// Filename stem: artifacts live at `<STEM>-v<N>.<ext>`.
+    const STEM: &'static str;
+
+    /// Serialize to the complete on-disk byte sequence for `format`
+    /// (checksum included).
+    fn encode_as(&self, format: ArtifactFormat) -> Vec<u8>;
+
+    /// Parse and fully validate on-disk bytes in `format`.
+    fn decode_as(format: ArtifactFormat, bytes: &[u8], source: &str) -> Result<Self, ServeError>;
+
+    /// Cheap integrity check — checksum only, no full parse.
+    fn verify_as(format: ArtifactFormat, bytes: &[u8], source: &str) -> Result<(), ServeError>;
+}
+
+impl Artifact for FittedModel {
+    const STEM: &'static str = "model";
+
+    fn encode_as(&self, format: ArtifactFormat) -> Vec<u8> {
+        format.codec().encode(self)
+    }
+
+    fn decode_as(format: ArtifactFormat, bytes: &[u8], source: &str) -> Result<Self, ServeError> {
+        format.codec().decode(bytes, source)
+    }
+
+    fn verify_as(format: ArtifactFormat, bytes: &[u8], source: &str) -> Result<(), ServeError> {
+        format.codec().verify(bytes, source)
+    }
+}
+
 /// The checksummed-JSON codec: [`FittedModel::to_json`] plus a
 /// `#fnv1a:<16-hex>` trailer line.
 #[derive(Debug, Clone, Copy, Default)]

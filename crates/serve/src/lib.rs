@@ -43,14 +43,18 @@ pub mod faults;
 pub mod fsio;
 pub mod json;
 pub mod registry;
+pub mod text_artifact;
 
 pub use artifact::{FittedModel, SCHEMA_VERSION};
 pub use batch::BatchQueue;
 pub use binary::BinaryCodec;
 pub use cache::{Snapshot, SnapshotCache};
-pub use codec::{fnv1a_64, fnv1a_64_words, ArtifactFormat, Codec, JsonCodec, FORMAT_ENV};
+pub use codec::{fnv1a_64, fnv1a_64_words, Artifact, ArtifactFormat, Codec, JsonCodec, FORMAT_ENV};
 pub use engine::{CourseQuery, QueryEngine, QueryResponse, FOLD_IN_TOL};
 pub use error::ServeError;
 pub use faults::{FaultCounters, FaultPlan, FaultyFs};
 pub use fsio::{FileOps, RealFs};
 pub use registry::{RecoveryReport, Registry};
+pub use text_artifact::{
+    text_from_binary, text_from_json, text_to_binary, text_to_json, TEXT_MAGIC, TEXT_SCHEMA_VERSION,
+};

@@ -1,10 +1,13 @@
-//! Crash-safe versioned on-disk model registry.
+//! Crash-safe versioned on-disk artifact registry.
 //!
-//! A registry is a directory of `model-v<N>.json` / `model-v<N>.bin`
-//! artifacts — one logical *version* may exist in either (or, after a
-//! format migration, both) of the [`ArtifactFormat`]s, and every
-//! format-level concern is delegated to the [`Codec`](crate::codec::Codec)
-//! seam. Versions are monotonically increasing and claimed with
+//! A registry is a directory of `<stem>-v<N>.json` / `<stem>-v<N>.bin`
+//! artifacts for one [`Artifact`] kind — `model-v*` for the default
+//! [`FittedModel`], `text-v*` for `Registry<TextModel>`; different
+//! kinds can share a directory because each registry scans only its own
+//! stem. One logical *version* may exist in either (or, after a format
+//! migration, both) of the [`ArtifactFormat`]s, and every format-level
+//! concern is delegated to the artifact's codecs through the
+//! [`Artifact`] seam. Versions are monotonically increasing and claimed with
 //! `create_new`, so a version number, once taken, always refers to the
 //! same artifact — even under concurrent savers, and even across a
 //! quarantine (quarantined versions still count when picking the next
@@ -44,17 +47,16 @@
 //! recovery and retention never split a version's files apart.
 
 use crate::artifact::FittedModel;
-use crate::codec::ArtifactFormat;
+use crate::codec::{Artifact, ArtifactFormat};
 use crate::error::ServeError;
 use crate::fsio::{FileOps, RealFs};
 use std::io::ErrorKind;
+use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 pub use crate::codec::fnv1a_64;
 
-/// Filename prefix of artifact files.
-const PREFIX: &str = "model-v";
 /// Suffix of in-flight temp files (which also get a leading dot).
 const TMP_SUFFIX: &str = ".tmp";
 /// Suffix corrupt artifacts are renamed to by [`Registry::recover`].
@@ -65,24 +67,28 @@ const CLAIM_RETRIES: u64 = 4096;
 /// What kind of registry entry a directory name is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EntryKind {
-    /// A (claimed or complete) `model-v<N>.<ext>`.
+    /// A (claimed or complete) `<stem>-v<N>.<ext>`.
     Model,
-    /// A stale `.model-v<N>.<ext>.tmp` from an interrupted save.
+    /// A stale `.<stem>-v<N>.<ext>.tmp` from an interrupted save.
     Tmp,
-    /// A `model-v<N>.<ext>.quarantined` moved aside by `recover`.
+    /// A `<stem>-v<N>.<ext>.quarantined` moved aside by `recover`.
     Quarantined,
 }
 
-/// Parse one directory entry name into `(version, format, kind)`.
-fn parse_entry(name: &str) -> Option<(u64, ArtifactFormat, EntryKind)> {
-    let (stem, kind) = if let Some(stem) = name.strip_prefix('.') {
-        (stem.strip_suffix(TMP_SUFFIX)?, EntryKind::Tmp)
-    } else if let Some(stem) = name.strip_suffix(QUARANTINE_SUFFIX) {
-        (stem, EntryKind::Quarantined)
+/// Parse one directory entry name (for the given artifact stem) into
+/// `(version, format, kind)`. Entries of *other* stems parse to `None`,
+/// which is what lets registries of different artifact kinds share one
+/// directory without seeing each other's files.
+fn parse_entry(stem: &str, name: &str) -> Option<(u64, ArtifactFormat, EntryKind)> {
+    let (base, kind) = if let Some(base) = name.strip_prefix('.') {
+        (base.strip_suffix(TMP_SUFFIX)?, EntryKind::Tmp)
+    } else if let Some(base) = name.strip_suffix(QUARANTINE_SUFFIX) {
+        (base, EntryKind::Quarantined)
     } else {
         (name, EntryKind::Model)
     };
-    let (version, ext) = stem.strip_prefix(PREFIX)?.split_once('.')?;
+    let rest = base.strip_prefix(stem)?.strip_prefix("-v")?;
+    let (version, ext) = rest.split_once('.')?;
     let format = ArtifactFormat::from_extension(ext)?;
     Some((version.parse::<u64>().ok()?, format, kind))
 }
@@ -99,16 +105,46 @@ pub struct RecoveryReport {
     pub swept_tmp: usize,
 }
 
-/// A directory of versioned model artifacts.
-#[derive(Debug, Clone)]
-pub struct Registry {
+/// A directory of versioned artifacts of one [`Artifact`] kind.
+///
+/// The kind defaults to [`FittedModel`] (the historical `model-v<N>.*`
+/// registry); `Registry<TextModel>` versions `text-v<N>.*` files with
+/// the same durability protocol. Two registries of different kinds can
+/// share a directory — each scans only its own stem.
+pub struct Registry<A: Artifact = FittedModel> {
     dir: PathBuf,
     ops: Arc<dyn FileOps>,
     retention: Option<usize>,
     format: ArtifactFormat,
+    _kind: PhantomData<fn() -> A>,
 }
 
-impl Registry {
+// Manual impls: deriving would wrongly require `A: Debug`/`A: Clone`,
+// but the registry never stores an `A`.
+impl<A: Artifact> std::fmt::Debug for Registry<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("stem", &A::STEM)
+            .field("dir", &self.dir)
+            .field("retention", &self.retention)
+            .field("format", &self.format)
+            .finish()
+    }
+}
+
+impl<A: Artifact> Clone for Registry<A> {
+    fn clone(&self) -> Self {
+        Registry {
+            dir: self.dir.clone(),
+            ops: Arc::clone(&self.ops),
+            retention: self.retention,
+            format: self.format,
+            _kind: PhantomData,
+        }
+    }
+}
+
+impl<A: Artifact> Registry<A> {
     /// Open (creating if needed) a registry directory on the real
     /// filesystem, sweeping any temp files a crashed save left behind.
     /// New saves use the format `ANCHORS_ARTIFACT_FORMAT` selects
@@ -127,6 +163,7 @@ impl Registry {
             ops,
             retention: None,
             format: ArtifactFormat::from_env(),
+            _kind: PhantomData,
         };
         registry.sweep_tmp()?;
         Ok(registry)
@@ -159,24 +196,30 @@ impl Registry {
 
     fn path_for(&self, version: u64, format: ArtifactFormat) -> PathBuf {
         self.dir
-            .join(format!("{PREFIX}{version}.{}", format.extension()))
+            .join(format!("{}-v{version}.{}", A::STEM, format.extension()))
     }
 
     fn tmp_path_for(&self, version: u64, format: ArtifactFormat) -> PathBuf {
         self.dir.join(format!(
-            ".{PREFIX}{version}.{}{TMP_SUFFIX}",
+            ".{}-v{version}.{}{TMP_SUFFIX}",
+            A::STEM,
             format.extension()
         ))
     }
 
     fn quarantine_path_for(&self, version: u64, format: ArtifactFormat) -> PathBuf {
         self.dir.join(format!(
-            "{PREFIX}{version}.{}{QUARANTINE_SUFFIX}",
+            "{}-v{version}.{}{QUARANTINE_SUFFIX}",
+            A::STEM,
             format.extension()
         ))
     }
 
-    fn path_of(&self, version: u64) -> PathBuf {
+    /// On-disk path of `version` in this registry's active format —
+    /// where a save lands and a load looks first. Exposed for tooling
+    /// and fault-injection tests; artifacts should be written through
+    /// [`Registry::save`], never directly.
+    pub fn path_of(&self, version: u64) -> PathBuf {
         self.path_for(version, self.format)
     }
 
@@ -195,7 +238,10 @@ impl Registry {
             .ops
             .read_dir_names(&self.dir)
             .map_err(|e| io_err(&self.dir, e))?;
-        Ok(names.iter().filter_map(|n| parse_entry(n)).collect())
+        Ok(names
+            .iter()
+            .filter_map(|n| parse_entry(A::STEM, n))
+            .collect())
     }
 
     /// All versions present, ascending, each listed once no matter how
@@ -270,7 +316,7 @@ impl Registry {
     /// module docs. On failure the claim and temp file are withdrawn
     /// (best effort; a crash instead leaves them for
     /// [`recover`](Self::recover)).
-    pub fn save(&self, model: &FittedModel) -> Result<u64, ServeError> {
+    pub fn save(&self, model: &A) -> Result<u64, ServeError> {
         let mut version = self.next_version()?;
         let claim_cap = version + CLAIM_RETRIES;
         let path = loop {
@@ -286,7 +332,7 @@ impl Registry {
         let tmp = self.tmp_path_of(version);
         let written = self
             .ops
-            .write_durable(&tmp, &self.format.codec().encode(model))
+            .write_durable(&tmp, &model.encode_as(self.format))
             .map_err(|e| io_err(&tmp, e))
             .and_then(|()| self.ops.rename(&tmp, &path).map_err(|e| io_err(&path, e)))
             .and_then(|()| {
@@ -318,7 +364,7 @@ impl Registry {
     }
 
     /// Load one version from one specific format.
-    fn load_as(&self, version: u64, format: ArtifactFormat) -> Result<FittedModel, ServeError> {
+    fn load_as(&self, version: u64, format: ArtifactFormat) -> Result<A, ServeError> {
         let path = self.path_for(version, format);
         let source = path.display().to_string();
         // Zero-copy read path: only when the seam itself says mapping is
@@ -326,7 +372,7 @@ impl Registry {
         #[cfg(feature = "mmap")]
         if format == ArtifactFormat::Bin && self.ops.supports_mmap() {
             return match crate::binary::mmap::map_file(&path) {
-                Ok(mapping) => format.codec().decode(&mapping, &source),
+                Ok(mapping) => A::decode_as(format, &mapping, &source),
                 Err(e) if e.kind() == ErrorKind::NotFound => {
                     Err(ServeError::VersionNotFound { version })
                 }
@@ -340,7 +386,7 @@ impl Registry {
             }
             Err(e) => return Err(io_err(&path, e)),
         };
-        format.codec().decode(&bytes, &source)
+        A::decode_as(format, &bytes, &source)
     }
 
     /// Load one version, verifying its checksum before parsing.
@@ -350,7 +396,7 @@ impl Registry {
     /// binary (and vice versa), and a corrupt file in one format falls
     /// back to a good sibling in the other. Transient I/O propagates;
     /// the version is corrupt only if every present file is.
-    pub fn load(&self, version: u64) -> Result<FittedModel, ServeError> {
+    pub fn load(&self, version: u64) -> Result<A, ServeError> {
         let mut first_defect = None;
         for format in [self.format, self.format.other()] {
             match self.load_as(version, format) {
@@ -376,7 +422,7 @@ impl Registry {
     /// masking a healthy newer version behind an older one. Errors only
     /// if the registry is empty or *no* version is good; the error names
     /// the newest version's defect.
-    pub fn load_latest(&self) -> Result<(u64, FittedModel), ServeError> {
+    pub fn load_latest(&self) -> Result<(u64, A), ServeError> {
         let versions = self.list()?;
         let mut newest_defect = None;
         for &version in versions.iter().rev() {
@@ -449,11 +495,7 @@ impl Registry {
                 let path = self.path_for(version, format);
                 match self.read_raw(&path, format) {
                     Ok(bytes) => {
-                        if format
-                            .codec()
-                            .verify(&bytes, &path.display().to_string())
-                            .is_ok()
-                        {
+                        if A::verify_as(format, &bytes, &path.display().to_string()).is_ok() {
                             good.push(version);
                             break;
                         }
@@ -715,7 +757,7 @@ mod tests {
         fs::write(dir.join(".model-v7.json.tmp"), "half a model").unwrap();
         fs::write(dir.join(".model-v8.bin.tmp"), "half a model").unwrap();
         fs::write(dir.join("unrelated.txt"), "sidecar").unwrap();
-        let reg = Registry::open(&dir).unwrap();
+        let reg: Registry = Registry::open(&dir).unwrap();
         assert!(!dir.join(".model-v7.json.tmp").exists(), "json tmp swept");
         assert!(!dir.join(".model-v8.bin.tmp").exists(), "bin tmp swept");
         assert!(dir.join("unrelated.txt").exists(), "sidecars untouched");
@@ -898,28 +940,32 @@ mod tests {
     #[test]
     fn entry_names_parse_and_ignore_sidecars() {
         assert_eq!(
-            parse_entry("model-v12.json"),
+            parse_entry("model", "model-v12.json"),
             Some((12, ArtifactFormat::Json, EntryKind::Model))
         );
         assert_eq!(
-            parse_entry("model-v12.bin"),
+            parse_entry("model", "model-v12.bin"),
             Some((12, ArtifactFormat::Bin, EntryKind::Model))
         );
         assert_eq!(
-            parse_entry(".model-v3.json.tmp"),
+            parse_entry("model", ".model-v3.json.tmp"),
             Some((3, ArtifactFormat::Json, EntryKind::Tmp))
         );
         assert_eq!(
-            parse_entry(".model-v3.bin.tmp"),
+            parse_entry("model", ".model-v3.bin.tmp"),
             Some((3, ArtifactFormat::Bin, EntryKind::Tmp))
         );
         assert_eq!(
-            parse_entry("model-v8.json.quarantined"),
+            parse_entry("model", "model-v8.json.quarantined"),
             Some((8, ArtifactFormat::Json, EntryKind::Quarantined))
         );
         assert_eq!(
-            parse_entry("model-v8.bin.quarantined"),
+            parse_entry("model", "model-v8.bin.quarantined"),
             Some((8, ArtifactFormat::Bin, EntryKind::Quarantined))
+        );
+        assert_eq!(
+            parse_entry("text", "text-v2.json"),
+            Some((2, ArtifactFormat::Json, EntryKind::Model))
         );
         for bogus in [
             "model-vX.json",
@@ -928,8 +974,76 @@ mod tests {
             "notes.txt",
             ".hidden",
             "model-v1",
+            "text-v2.json",
         ] {
-            assert_eq!(parse_entry(bogus), None, "{bogus}");
+            assert_eq!(parse_entry("model", bogus), None, "{bogus}");
         }
+        assert_eq!(
+            parse_entry("text", "model-v1.json"),
+            None,
+            "stems never cross"
+        );
+    }
+
+    fn toy_text_model() -> anchors_text::TextModel {
+        let cs = cs2013();
+        let codes: Vec<String> = cs
+            .leaf_items()
+            .into_iter()
+            .take(2)
+            .map(|id| cs.node(id).code.clone())
+            .collect();
+        let config = anchors_text::FeaturizerConfig {
+            n_buckets: 16,
+            ..anchors_text::FeaturizerConfig::default()
+        };
+        anchors_text::TextModel {
+            name: "toy-text".into(),
+            guideline: cs.name.clone(),
+            fingerprint: cs.fingerprint(),
+            tag_codes: codes,
+            config,
+            idf: vec![1.0; 16],
+            weights: Matrix::from_fn(2, 16, |i, j| (i + j) as f64 * 0.25),
+            bias: vec![0.0, 0.1],
+            thresholds: vec![0.5, 0.5],
+            train_docs: 4,
+            train_seed: 11,
+            train_f1: 1.0,
+        }
+    }
+
+    /// Two registries over the *same* directory, one per artifact kind:
+    /// stems keep their version sequences and recovery scans independent.
+    #[test]
+    fn text_and_model_registries_share_a_directory() {
+        let dir = tmp_dir("shared-stems");
+        let models: Registry = Registry::open(&dir).unwrap();
+        let texts: Registry<anchors_text::TextModel> = Registry::open(&dir).unwrap();
+
+        let mv = models.save(&toy_model(0.5)).unwrap();
+        let tv1 = texts.save(&toy_text_model()).unwrap();
+        let tv2 = texts.save(&toy_text_model()).unwrap();
+        assert_eq!((mv, tv1, tv2), (1, 1, 2), "independent version sequences");
+        assert_eq!(models.list().unwrap(), vec![1]);
+        assert_eq!(texts.list().unwrap(), vec![1, 2]);
+
+        // Corrupt the newest text artifact: its recovery quarantines it,
+        // the model registry's scan never touches it.
+        truncate_artifact_at(&texts.path_of(tv2));
+        let report = texts.recover().unwrap();
+        let quarantined: Vec<u64> = report.quarantined.iter().map(|(v, _)| *v).collect();
+        assert_eq!(quarantined, vec![tv2]);
+        assert!(models.recover().unwrap().quarantined.is_empty());
+        let (latest, reloaded) = texts.load_latest().unwrap();
+        assert_eq!(latest, tv1);
+        assert_eq!(reloaded, toy_text_model());
+        let (latest, _) = models.load_latest().unwrap();
+        assert_eq!(latest, mv, "model registry unaffected");
+    }
+
+    fn truncate_artifact_at(path: &std::path::Path) {
+        let bytes = fs::read(path).unwrap();
+        fs::write(path, &bytes[..bytes.len() / 2]).unwrap();
     }
 }

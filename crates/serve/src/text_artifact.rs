@@ -1,0 +1,518 @@
+//! Registry codecs for the text-classification artifact.
+//!
+//! [`TextModel`] lives in `anchors-text`, which knows nothing about
+//! serving. This module teaches the serving layer to persist it: a
+//! hand-rolled JSON document mirroring the [`crate::artifact`] idiom
+//! (u64s as decimal strings, matrices as `{rows, cols, data}`, bitwise
+//! `f64` round-trips) and a checksum-framed binary layout mirroring
+//! [`crate::binary`], both registered through the [`Artifact`] seam so a
+//! [`crate::Registry`]`<TextModel>` gets the same crash-safe write,
+//! quarantine, and fallback semantics as the factor-model registry —
+//! under the `text-v<N>` stem, so both artifact kinds can share a
+//! directory without colliding.
+//!
+//! ## Binary layout (`ANCHTXT1`)
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 8    | magic `ANCHTXT1` |
+//! | 8      | 4    | schema version (u32 LE) |
+//! | 12     | 4    | flags (u32 LE, must be 0) |
+//! | 16     | 8    | ontology fingerprint (u64 LE) |
+//! | 24     | 8    | featurizer seed (u64 LE) |
+//! | 32     | 8    | `n_buckets` (u64 LE) |
+//! | 40     | 8    | `char_ngram` (u64 LE) |
+//! | 48     | 8    | `n_tags` (u64 LE) |
+//! | 56     | 8    | `train_docs` (u64 LE) |
+//! | 64     | 8    | `train_seed` (u64 LE) |
+//! | 72     | 8    | `train_f1` (f64 LE bits) |
+//! | 80     | 8    | string-table byte length (u64 LE) |
+//! | 88     | var  | string table: name, guideline, tag codes |
+//! | —      | 0–7  | zero padding to 8-byte alignment |
+//! | —      | var  | `idf` (`n_buckets` f64), `weights` (`n_tags×n_buckets` f64), `bias`, `thresholds` (`n_tags` f64 each) |
+//! | end−8  | 8    | [`fnv1a_64_words`] checksum of everything before it |
+//!
+//! Decode verifies the trailing checksum *first*, then walks the layout
+//! with bounds-checked reads, then runs [`TextModel::check_shapes`] — a
+//! torn or tampered file becomes a typed [`ServeError::Corrupt`]/
+//! [`ServeError::ChecksumMismatch`], never a panic or a silently wrong
+//! classifier.
+
+use crate::binary::{check_trailer, push_str, Reader};
+use crate::codec::{fnv1a_64_words, Artifact, ArtifactFormat};
+use crate::error::ServeError;
+use crate::json::{self, Json};
+use anchors_linalg::Matrix;
+use anchors_text::{FeaturizerConfig, TextModel};
+
+/// Text-artifact schema revision this build writes and reads.
+pub const TEXT_SCHEMA_VERSION: u32 = 1;
+
+/// Magic prefix of the binary text-artifact layout.
+pub const TEXT_MAGIC: &[u8; 8] = b"ANCHTXT1";
+
+const HEADER_LEN: usize = 88;
+
+fn corrupt(source: &str, detail: String) -> ServeError {
+    ServeError::Corrupt {
+        source: source.to_string(),
+        detail,
+    }
+}
+
+/// Serialize a [`TextModel`] to the JSON artifact document.
+pub fn text_to_json(model: &TextModel) -> String {
+    let floats = |xs: &[f64]| Json::Arr(xs.iter().map(|&v| Json::Num(v)).collect());
+    let members = vec![
+        (
+            "schema_version".into(),
+            Json::Num(f64::from(TEXT_SCHEMA_VERSION)),
+        ),
+        ("kind".into(), Json::Str("text".into())),
+        ("name".into(), Json::Str(model.name.clone())),
+        ("guideline".into(), Json::Str(model.guideline.clone())),
+        (
+            "fingerprint".into(),
+            Json::Str(model.fingerprint.to_string()),
+        ),
+        (
+            "tag_codes".into(),
+            Json::Arr(
+                model
+                    .tag_codes
+                    .iter()
+                    .map(|c| Json::Str(c.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "featurizer".into(),
+            Json::Obj(vec![
+                ("n_buckets".into(), Json::Num(model.config.n_buckets as f64)),
+                (
+                    "char_ngram".into(),
+                    Json::Num(model.config.char_ngram as f64),
+                ),
+                ("seed".into(), Json::Str(model.config.seed.to_string())),
+            ]),
+        ),
+        ("idf".into(), floats(&model.idf)),
+        (
+            "weights".into(),
+            Json::Obj(vec![
+                ("rows".into(), Json::Num(model.weights.rows() as f64)),
+                ("cols".into(), Json::Num(model.weights.cols() as f64)),
+                ("data".into(), floats(model.weights.as_slice())),
+            ]),
+        ),
+        ("bias".into(), floats(&model.bias)),
+        ("thresholds".into(), floats(&model.thresholds)),
+        ("train_docs".into(), Json::Num(model.train_docs as f64)),
+        ("train_seed".into(), Json::Str(model.train_seed.to_string())),
+        ("train_f1".into(), Json::Num(model.train_f1)),
+    ];
+    Json::Obj(members).write()
+}
+
+/// Parse a text-artifact JSON document. `source` labels errors (file
+/// path or `"<memory>"`).
+pub fn text_from_json(text: &str, source: &str) -> Result<TextModel, ServeError> {
+    let corrupt = |detail: String| corrupt(source, detail);
+    let doc = json::parse(text).map_err(|e| corrupt(e.to_string()))?;
+    let field = |key: &str| {
+        doc.get(key)
+            .ok_or_else(|| corrupt(format!("missing {key:?}")))
+    };
+    let schema = field("schema_version")?
+        .as_usize()
+        .ok_or_else(|| corrupt("schema_version must be an integer".into()))?
+        as u32;
+    if schema != TEXT_SCHEMA_VERSION {
+        return Err(ServeError::SchemaVersion {
+            found: schema,
+            supported: TEXT_SCHEMA_VERSION,
+        });
+    }
+    match field("kind")?.as_str() {
+        Some("text") => {}
+        other => return Err(corrupt(format!("artifact kind {other:?} is not \"text\""))),
+    }
+    let string = |key: &str| -> Result<String, ServeError> {
+        Ok(field(key)?
+            .as_str()
+            .ok_or_else(|| corrupt(format!("{key:?} must be a string")))?
+            .to_string())
+    };
+    let num = |key: &str| -> Result<f64, ServeError> {
+        field(key)?
+            .as_f64()
+            .ok_or_else(|| corrupt(format!("{key:?} must be a number")))
+    };
+    let u64_field = |key: &str| -> Result<u64, ServeError> {
+        field(key)?
+            .as_u64_str()
+            .ok_or_else(|| corrupt(format!("{key:?} must be a u64 string")))
+    };
+    let floats = |key: &str| -> Result<Vec<f64>, ServeError> {
+        field(key)?
+            .as_arr()
+            .ok_or_else(|| corrupt(format!("{key:?} must be an array")))?
+            .iter()
+            .map(|v| v.as_f64())
+            .collect::<Option<Vec<f64>>>()
+            .ok_or_else(|| corrupt(format!("{key:?} has a non-numeric entry")))
+    };
+    let tag_codes = field("tag_codes")?
+        .as_arr()
+        .ok_or_else(|| corrupt("tag_codes must be an array".into()))?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Option<Vec<String>>>()
+        .ok_or_else(|| corrupt("tag_codes must be strings".into()))?;
+    let feat = field("featurizer")?;
+    let feat_usize = |key: &str| -> Result<usize, ServeError> {
+        feat.get(key)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| corrupt(format!("featurizer missing {key:?}")))
+    };
+    let config = FeaturizerConfig {
+        n_buckets: feat_usize("n_buckets")?,
+        char_ngram: feat_usize("char_ngram")?,
+        seed: feat
+            .get("seed")
+            .and_then(Json::as_u64_str)
+            .ok_or_else(|| corrupt("featurizer missing \"seed\"".into()))?,
+    };
+    let w = field("weights")?;
+    let rows = w
+        .get("rows")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| corrupt("weights missing rows".into()))?;
+    let cols = w
+        .get("cols")
+        .and_then(Json::as_usize)
+        .ok_or_else(|| corrupt("weights missing cols".into()))?;
+    let data = w
+        .get("data")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| corrupt("weights missing data".into()))?;
+    if data.len() != rows * cols {
+        return Err(corrupt(format!(
+            "weights have {} entries for a {rows}×{cols} matrix",
+            data.len()
+        )));
+    }
+    let values = data
+        .iter()
+        .map(|v| v.as_f64())
+        .collect::<Option<Vec<f64>>>()
+        .ok_or_else(|| corrupt("weights have a non-numeric entry".into()))?;
+    let model = TextModel {
+        name: string("name")?,
+        guideline: string("guideline")?,
+        fingerprint: u64_field("fingerprint")?,
+        tag_codes,
+        config,
+        idf: floats("idf")?,
+        weights: Matrix::from_vec(rows, cols, values),
+        bias: floats("bias")?,
+        thresholds: floats("thresholds")?,
+        train_docs: field("train_docs")?
+            .as_usize()
+            .ok_or_else(|| corrupt("\"train_docs\" must be an integer".into()))?,
+        train_seed: u64_field("train_seed")?,
+        train_f1: num("train_f1")?,
+    };
+    model.check_shapes().map_err(|e| corrupt(e.to_string()))?;
+    Ok(model)
+}
+
+fn push_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    for &v in xs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encode a [`TextModel`] to the checksum-framed binary layout.
+pub fn text_to_binary(model: &TextModel) -> Vec<u8> {
+    let mut strings = Vec::new();
+    push_str(&mut strings, &model.name);
+    push_str(&mut strings, &model.guideline);
+    strings.extend_from_slice(&(model.tag_codes.len() as u64).to_le_bytes());
+    for code in &model.tag_codes {
+        push_str(&mut strings, code);
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(TEXT_MAGIC);
+    out.extend_from_slice(&TEXT_SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // flags
+    out.extend_from_slice(&model.fingerprint.to_le_bytes());
+    out.extend_from_slice(&model.config.seed.to_le_bytes());
+    out.extend_from_slice(&(model.config.n_buckets as u64).to_le_bytes());
+    out.extend_from_slice(&(model.config.char_ngram as u64).to_le_bytes());
+    out.extend_from_slice(&(model.tag_codes.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(model.train_docs as u64).to_le_bytes());
+    out.extend_from_slice(&model.train_seed.to_le_bytes());
+    out.extend_from_slice(&model.train_f1.to_le_bytes());
+    out.extend_from_slice(&(strings.len() as u64).to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN);
+    out.extend_from_slice(&strings);
+    let pad = (8 - out.len() % 8) % 8;
+    out.extend(std::iter::repeat_n(0u8, pad));
+    push_f64s(&mut out, &model.idf);
+    push_f64s(&mut out, model.weights.as_slice());
+    push_f64s(&mut out, &model.bias);
+    push_f64s(&mut out, &model.thresholds);
+    let checksum = fnv1a_64_words(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decode the binary text-artifact layout. Checksum is verified before
+/// any field is trusted.
+pub fn text_from_binary(bytes: &[u8], source: &str) -> Result<TextModel, ServeError> {
+    let payload = check_trailer(bytes, source)?;
+    if payload.len() < HEADER_LEN {
+        return Err(corrupt(
+            source,
+            format!("{} bytes is too short for a text artifact", payload.len()),
+        ));
+    }
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+        source,
+    };
+    let magic = r.take(8, "magic")?;
+    if magic != TEXT_MAGIC {
+        return Err(corrupt(source, format!("bad magic {magic:02x?}")));
+    }
+    let schema = r.u32("schema version")?;
+    if schema != TEXT_SCHEMA_VERSION {
+        return Err(ServeError::SchemaVersion {
+            found: schema,
+            supported: TEXT_SCHEMA_VERSION,
+        });
+    }
+    let flags = r.u32("flags")?;
+    if flags != 0 {
+        return Err(corrupt(source, format!("unknown flags {flags:#x}")));
+    }
+    let fingerprint = r.u64("fingerprint")?;
+    let seed = r.u64("featurizer seed")?;
+    let n_buckets = r.usize("n_buckets")?;
+    let char_ngram = r.usize("char_ngram")?;
+    let n_tags = r.usize("n_tags")?;
+    let train_docs = r.usize("train_docs")?;
+    let train_seed = r.u64("train_seed")?;
+    let train_f1 = r.f64("train_f1")?;
+    let strings_len = r.usize("string-table length")?;
+    let strings_end = HEADER_LEN
+        .checked_add(strings_len)
+        .ok_or_else(|| corrupt(source, "string table overflows".into()))?;
+    let name = r.string("name")?;
+    let guideline = r.string("guideline")?;
+    let n_codes = r.usize("tag-code count")?;
+    if n_codes != n_tags {
+        return Err(corrupt(
+            source,
+            format!("string table holds {n_codes} codes but header says {n_tags}"),
+        ));
+    }
+    let mut tag_codes = Vec::with_capacity(n_tags);
+    for i in 0..n_tags {
+        tag_codes.push(r.string(&format!("tag code {i}"))?);
+    }
+    if r.pos != strings_end {
+        return Err(corrupt(
+            source,
+            format!(
+                "string table ends at {} but header declared {strings_end}",
+                r.pos
+            ),
+        ));
+    }
+    let pad = (8 - r.pos % 8) % 8;
+    let padding = r.take(pad, "padding")?;
+    if padding.iter().any(|&b| b != 0) {
+        return Err(corrupt(source, "non-zero padding".into()));
+    }
+    let idf = r.matrix(1, n_buckets, "idf")?.as_slice().to_vec();
+    let weights = r.matrix(n_tags, n_buckets, "weights")?;
+    let bias = r.matrix(1, n_tags, "bias")?.as_slice().to_vec();
+    let thresholds = r.matrix(1, n_tags, "thresholds")?.as_slice().to_vec();
+    if r.pos != payload.len() {
+        return Err(corrupt(
+            source,
+            format!("{} trailing bytes after thresholds", payload.len() - r.pos),
+        ));
+    }
+    let model = TextModel {
+        name,
+        guideline,
+        fingerprint,
+        tag_codes,
+        config: FeaturizerConfig {
+            n_buckets,
+            char_ngram,
+            seed,
+        },
+        idf,
+        weights,
+        bias,
+        thresholds,
+        train_docs,
+        train_seed,
+        train_f1,
+    };
+    model
+        .check_shapes()
+        .map_err(|e| corrupt(source, e.to_string()))?;
+    Ok(model)
+}
+
+impl Artifact for TextModel {
+    const STEM: &'static str = "text";
+
+    fn encode_as(&self, format: ArtifactFormat) -> Vec<u8> {
+        match format {
+            ArtifactFormat::Json => crate::codec::frame(&text_to_json(self)).into_bytes(),
+            ArtifactFormat::Bin => text_to_binary(self),
+        }
+    }
+
+    fn decode_as(format: ArtifactFormat, bytes: &[u8], source: &str) -> Result<Self, ServeError> {
+        match format {
+            ArtifactFormat::Json => {
+                let text = std::str::from_utf8(bytes)
+                    .map_err(|e| corrupt(source, format!("invalid UTF-8: {e}")))?;
+                let body = crate::codec::unframe(text, source)?;
+                text_from_json(body, source)
+            }
+            ArtifactFormat::Bin => text_from_binary(bytes, source),
+        }
+    }
+
+    fn verify_as(format: ArtifactFormat, bytes: &[u8], source: &str) -> Result<(), ServeError> {
+        Self::decode_as(format, bytes, source).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+
+    const TRAILER_LEN: usize = 8;
+
+    fn toy() -> TextModel {
+        let cs = cs2013();
+        let codes: Vec<String> = cs
+            .leaf_items()
+            .into_iter()
+            .take(3)
+            .map(|id| cs.node(id).code.clone())
+            .collect();
+        let config = FeaturizerConfig {
+            n_buckets: 32,
+            ..FeaturizerConfig::default()
+        };
+        TextModel {
+            name: "toy-text".into(),
+            guideline: cs.name.clone(),
+            fingerprint: cs.fingerprint(),
+            tag_codes: codes,
+            config,
+            idf: (0..32).map(|i| 1.0 + i as f64 * 0.03125).collect(),
+            weights: Matrix::from_fn(3, 32, |i, j| ((i * 31 + j * 7) % 13) as f64 * 0.125 - 0.75),
+            bias: vec![-0.25, 0.0, 0.5],
+            thresholds: vec![0.4, 0.5, 0.6],
+            train_docs: 96,
+            train_seed: 0xDEAD_BEEF_0123_4567,
+            train_f1: 0.9375,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_bitwise() {
+        let a = toy();
+        let text = text_to_json(&a);
+        let b = text_from_json(&text, "<memory>").expect("parses");
+        assert_eq!(a, b);
+        assert_eq!(text_to_json(&b), text, "save→load→save byte-identical");
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bitwise() {
+        let a = toy();
+        let bytes = text_to_binary(&a);
+        let b = text_from_binary(&bytes, "<memory>").expect("decodes");
+        assert_eq!(a, b);
+        assert_eq!(text_to_binary(&b), bytes, "re-encode byte-identical");
+    }
+
+    #[test]
+    fn both_formats_roundtrip_through_artifact_seam() {
+        let a = toy();
+        for format in [ArtifactFormat::Json, ArtifactFormat::Bin] {
+            let bytes = a.encode_as(format);
+            TextModel::verify_as(format, &bytes, "<memory>").expect("verifies");
+            let b = TextModel::decode_as(format, &bytes, "<memory>").expect("decodes");
+            assert_eq!(a, b, "{format:?} round-trip");
+        }
+    }
+
+    #[test]
+    fn truncation_and_tampering_yield_typed_errors() {
+        let bytes = toy().encode_as(ArtifactFormat::Bin);
+        for cut in [0, 7, HEADER_LEN - 1, bytes.len() / 2, bytes.len() - 1] {
+            let err = TextModel::decode_as(ArtifactFormat::Bin, &bytes[..cut], "t.bin")
+                .expect_err("truncated rejected");
+            assert!(
+                err.is_corruption(),
+                "cut at {cut} gave non-corruption error {err}"
+            );
+        }
+        // Flip a payload byte: the checksum catches it before any parse.
+        let mut flipped = bytes.clone();
+        flipped[HEADER_LEN + 3] ^= 0x40;
+        assert!(matches!(
+            TextModel::decode_as(ArtifactFormat::Bin, &flipped, "t.bin"),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+        // JSON side: truncation breaks the frame.
+        let json_bytes = toy().encode_as(ArtifactFormat::Json);
+        let err = TextModel::decode_as(
+            ArtifactFormat::Json,
+            &json_bytes[..json_bytes.len() / 2],
+            "t.json",
+        )
+        .expect_err("truncated rejected");
+        assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn header_payload_disagreement_is_rejected() {
+        let a = toy();
+        let mut bytes = text_to_binary(&a);
+        // Claim one more tag than the string table holds; re-frame so the
+        // checksum passes and the structural check must catch it.
+        let n_tags_off = 48;
+        bytes.truncate(bytes.len() - TRAILER_LEN);
+        bytes[n_tags_off..n_tags_off + 8].copy_from_slice(&4u64.to_le_bytes());
+        let checksum = fnv1a_64_words(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let err = text_from_binary(&bytes, "t.bin").expect_err("mismatch rejected");
+        assert!(err.is_corruption(), "got {err}");
+    }
+
+    #[test]
+    fn future_schema_is_a_schema_error_not_corruption() {
+        let text = text_to_json(&toy()).replace("\"schema_version\":1", "\"schema_version\":9");
+        assert!(matches!(
+            text_from_json(&text, "t.json"),
+            Err(ServeError::SchemaVersion { found: 9, .. })
+        ));
+    }
+}

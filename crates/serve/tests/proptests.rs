@@ -6,9 +6,10 @@ use anchors_factor::{NnmfModel, NnmfRecovery};
 use anchors_linalg::{Backend, Matrix};
 use anchors_materials::TagSpace;
 use anchors_serve::{
-    ArtifactFormat, BinaryCodec, Codec, CourseQuery, FaultPlan, FaultyFs, FileOps, FittedModel,
-    JsonCodec, QueryEngine, Registry, ServeError,
+    Artifact, ArtifactFormat, BinaryCodec, Codec, CourseQuery, FaultPlan, FaultyFs, FileOps,
+    FittedModel, JsonCodec, QueryEngine, Registry, ServeError,
 };
+use anchors_text::{FeaturizerConfig, TextModel};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::Arc;
@@ -230,6 +231,123 @@ proptest! {
                 prop_assert_ne!(expected, found);
             }
             other => prop_assert!(false, "expected refusal, got {:?}", other.map(|_| ())),
+        }
+    }
+}
+
+/// Strategy: a shape-valid text model over a prefix of the CS2013 leaf
+/// tag space, with arbitrary finite parameters — including awkward
+/// magnitudes whose decimal round-trips must still be bitwise.
+fn serveable_text_model() -> impl Strategy<Value = TextModel> {
+    (2usize..6, 16usize..48, 2usize..=8).prop_flat_map(|(n_tags, n_buckets, char_ngram)| {
+        let entry = prop_oneof![
+            4 => -3.0f64..3.0,
+            1 => prop_oneof![
+                Just(0.0),
+                Just(-0.0),
+                Just(1e-300),
+                Just(2.2250738585072014e-308),
+                Just(0.1),
+                Just(-1e15),
+            ],
+        ];
+        (
+            prop::collection::vec(entry.clone(), n_buckets),
+            prop::collection::vec(entry.clone(), n_tags * n_buckets),
+            prop::collection::vec(entry, n_tags),
+            prop::collection::vec(0.0f64..=1.0, n_tags),
+            any::<u64>(),
+            any::<u64>(),
+            0.0f64..=1.0,
+        )
+            .prop_map(
+                move |(idf, wdata, bias, thresholds, hash_seed, train_seed, train_f1)| {
+                    let cs = cs2013();
+                    let tag_codes: Vec<String> = cs
+                        .leaf_items()
+                        .into_iter()
+                        .take(n_tags)
+                        .map(|id| cs.node(id).code.clone())
+                        .collect();
+                    let model = TextModel {
+                        name: "prop-text".into(),
+                        guideline: cs.guideline.clone(),
+                        fingerprint: cs.fingerprint(),
+                        tag_codes,
+                        config: FeaturizerConfig {
+                            n_buckets,
+                            char_ngram,
+                            seed: hash_seed,
+                        },
+                        idf,
+                        weights: Matrix::from_vec(n_tags, n_buckets, wdata),
+                        bias,
+                        thresholds,
+                        train_docs: 11,
+                        train_seed,
+                        train_f1,
+                    };
+                    model.check_shapes().expect("strategy builds valid models");
+                    model
+                },
+            )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn text_artifacts_roundtrip_bitwise_in_both_formats(model in serveable_text_model()) {
+        // The text artifact rides the same codec seam as FittedModel:
+        // both formats reproduce the model field-for-field (f64s
+        // bitwise), and encode → decode → encode is byte identity.
+        for format in [ArtifactFormat::Json, ArtifactFormat::Bin] {
+            let bytes = model.encode_as(format);
+            let back = TextModel::decode_as(format, &bytes, "<prop>").expect("decodes");
+            prop_assert_eq!(&back, &model, "field-for-field via {:?}", format);
+            prop_assert_eq!(
+                back.encode_as(format),
+                bytes,
+                "save→load→save identity via {:?}",
+                format
+            );
+        }
+    }
+
+    #[test]
+    fn text_artifact_truncations_are_typed_never_a_panic(
+        model in serveable_text_model(),
+        frac in 0.0f64..1.0,
+    ) {
+        // Any strict prefix of either encoding fails closed with a typed
+        // corruption error — never a panic, never a partial parse.
+        for format in [ArtifactFormat::Json, ArtifactFormat::Bin] {
+            let bytes = model.encode_as(format);
+            let cut = (((bytes.len() as f64) * frac) as usize).min(bytes.len() - 1);
+            match TextModel::decode_as(format, &bytes[..cut], "<trunc>") {
+                Err(e) => prop_assert!(e.is_corruption(), "{:?} cut {}: {:?}", format, cut, e),
+                Ok(_) => prop_assert!(false, "{:?} truncation at {} decoded", format, cut),
+            }
+        }
+    }
+
+    #[test]
+    fn text_artifact_bitflips_never_parse_silently(
+        model in serveable_text_model(),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        // Flipping any single bit of the binary encoding is caught by
+        // the words checksum (or, for flips inside the trailer itself,
+        // by the trailer no longer matching the payload).
+        let bytes = model.encode_as(ArtifactFormat::Bin);
+        let mut torn = bytes.clone();
+        let at = pos.index(torn.len());
+        torn[at] ^= 1 << bit;
+        match TextModel::decode_as(ArtifactFormat::Bin, &torn, "<flip>") {
+            Err(e) => prop_assert!(e.is_corruption(), "byte {} bit {}: {:?}", at, bit, e),
+            Ok(_) => prop_assert!(false, "bit flip at byte {} bit {} parsed", at, bit),
         }
     }
 }

@@ -120,7 +120,7 @@ fn save_load_query_is_bitwise_identical() {
         .expect("open")
         .save(&artifact)
         .expect("save");
-    let reloaded = Registry::open(&dir)
+    let reloaded: FittedModel = Registry::open(&dir)
         .expect("reopen")
         .load(version)
         .expect("load");

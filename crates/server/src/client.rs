@@ -69,6 +69,20 @@ impl Client {
         self.read_response()
     }
 
+    /// POST `/v1/classify_text`: raw course text (plus optional name and
+    /// label strings) in, the composed tags-plus-recommendation response
+    /// out. The body is built with the same JSON writer the server
+    /// parses with, so escaping is never the caller's problem.
+    pub fn classify_text(
+        &mut self,
+        name: &str,
+        labels: &[&str],
+        text: &str,
+    ) -> io::Result<ClientResponse> {
+        let body = classify_text_body(name, labels, text);
+        self.request("POST", "/v1/classify_text", body.as_bytes())
+    }
+
     /// Send raw bytes (for malformed-input tests) and read one response.
     pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<ClientResponse> {
         self.stream.write_all(bytes)?;
@@ -135,6 +149,20 @@ impl Client {
             body,
         })
     }
+}
+
+/// The `/v1/classify_text` request body for `name`/`labels`/`text`.
+fn classify_text_body(name: &str, labels: &[&str], text: &str) -> String {
+    use anchors_serve::json::Json;
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.into())),
+        (
+            "labels".into(),
+            Json::Arr(labels.iter().map(|&l| Json::Str(l.into())).collect()),
+        ),
+        ("text".into(), Json::Str(text.into())),
+    ])
+    .write()
 }
 
 fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
@@ -355,6 +383,20 @@ impl<C: Clock> RetryingClient<C> {
         retry_with(&cfg, &mut self.clock, move || {
             Client::connect(addr, timeout)?.request(method, path, body)
         })
+    }
+
+    /// [`Client::classify_text`] under the retry schedule: 503s (a
+    /// degraded text door sends one, with `Retry-After`) and connection
+    /// failures back off and retry inside the same deadline budget as
+    /// every other endpoint.
+    pub fn classify_text(
+        &mut self,
+        name: &str,
+        labels: &[&str],
+        text: &str,
+    ) -> io::Result<ClientResponse> {
+        let body = classify_text_body(name, labels, text);
+        self.request("POST", "/v1/classify_text", body.as_bytes())
     }
 }
 

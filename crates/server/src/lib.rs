@@ -33,13 +33,15 @@ pub mod metrics;
 pub mod queue;
 pub mod router;
 pub mod server;
+pub mod textdoor;
 pub mod wire;
 
 pub use client::{
     Backoff, Client, ClientResponse, Clock, RetryConfig, RetryingClient, SystemClock, TestClock,
 };
 pub use http::{HttpError, Limits, Request, RequestParser, Response, Version};
-pub use metrics::{LatencyHistogram, Metrics, LATENCY_BOUNDS_US};
+pub use metrics::{LatencyHistogram, Metrics, Route, RouteMetrics, LATENCY_BOUNDS_US};
 pub use queue::{BoundedQueue, PushError};
 pub use server::{AppState, Health, RetryPolicy, Server, ServerConfig, ServerHandle};
+pub use textdoor::{TextDoor, TextSnapshot};
 pub use wire::WireError;

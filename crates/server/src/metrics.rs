@@ -70,19 +70,110 @@ impl LatencyHistogram {
     }
 
     /// Render as cumulative Prometheus `_bucket`/`_sum`/`_count` lines.
-    fn render(&self, name: &str, out: &mut String) {
+    /// `labels` is either empty or a rendered label pair such as
+    /// `route="classify_text"`, which lands before the `le` label.
+    fn render(&self, name: &str, labels: &str, out: &mut String) {
         use std::fmt::Write as _;
+        let sep = if labels.is_empty() { "" } else { "," };
         let mut cumulative = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
             cumulative += bucket.load(Relaxed);
             let le = LATENCY_BOUNDS_US
                 .get(i)
                 .map_or("+Inf".to_string(), |b| b.to_string());
-            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+            );
         }
-        let _ = writeln!(out, "{name}_sum {}", self.sum_us());
-        let _ = writeln!(out, "{name}_count {}", self.count());
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name}_sum {}", self.sum_us());
+            let _ = writeln!(out, "{name}_count {}", self.count());
+        } else {
+            let _ = writeln!(out, "{name}_sum{{{labels}}} {}", self.sum_us());
+            let _ = writeln!(out, "{name}_count{{{labels}}} {}", self.count());
+        }
     }
+}
+
+/// The route label a request resolves to for per-route metrics. One
+/// fixed variant per served endpoint plus [`Route::Other`], so the label
+/// set is bounded no matter what paths clients probe — cardinality never
+/// grows with traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /v1/recommend`
+    Recommend,
+    /// `POST /v1/classify`
+    Classify,
+    /// `POST /v1/classify_text`
+    ClassifyText,
+    /// `POST /v1/batch`
+    Batch,
+    /// `GET /v1/healthz`
+    Healthz,
+    /// `GET /v1/metrics`
+    MetricsRoute,
+    /// `POST /v1/reload`
+    Reload,
+    /// Anything else (404s, probes).
+    Other,
+}
+
+impl Route {
+    /// Every route, in rendering order.
+    pub const ALL: [Route; 8] = [
+        Route::Recommend,
+        Route::Classify,
+        Route::ClassifyText,
+        Route::Batch,
+        Route::Healthz,
+        Route::MetricsRoute,
+        Route::Reload,
+        Route::Other,
+    ];
+
+    /// Classify a request path (query string ignored).
+    pub fn of(path: &str) -> Route {
+        match path.split('?').next().unwrap_or("") {
+            "/v1/recommend" => Route::Recommend,
+            "/v1/classify" => Route::Classify,
+            "/v1/classify_text" => Route::ClassifyText,
+            "/v1/batch" => Route::Batch,
+            "/v1/healthz" => Route::Healthz,
+            "/v1/metrics" => Route::MetricsRoute,
+            "/v1/reload" => Route::Reload,
+            _ => Route::Other,
+        }
+    }
+
+    /// The Prometheus label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Route::Recommend => "recommend",
+            Route::Classify => "classify",
+            Route::ClassifyText => "classify_text",
+            Route::Batch => "batch",
+            Route::Healthz => "healthz",
+            Route::MetricsRoute => "metrics",
+            Route::Reload => "reload",
+            Route::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Route::ALL.iter().position(|&r| r == self).unwrap_or(7)
+    }
+}
+
+/// Per-route counters: requests finished and their latency, all relaxed
+/// atomics like the global set.
+#[derive(Debug, Default)]
+pub struct RouteMetrics {
+    /// Responses written on this route.
+    pub requests: AtomicU64,
+    /// Latency on this route, parse-complete → response written.
+    pub latency: LatencyHistogram,
 }
 
 /// All counters the server maintains.
@@ -115,6 +206,9 @@ pub struct Metrics {
     pub serving_degraded: AtomicU64,
     /// Request latency, parse-complete → response written.
     pub latency: LatencyHistogram,
+    /// Per-route request counters and latency, indexed by
+    /// [`Route::ALL`] order.
+    pub routes: [RouteMetrics; 8],
 }
 
 impl Metrics {
@@ -132,6 +226,18 @@ impl Metrics {
         }
         .fetch_add(1, Relaxed);
         self.latency.observe(latency);
+    }
+
+    /// Record a finished response against its route.
+    pub fn observe_route(&self, route: Route, latency: Duration) {
+        let slot = &self.routes[route.index()];
+        slot.requests.fetch_add(1, Relaxed);
+        slot.latency.observe(latency);
+    }
+
+    /// The per-route counters for `route`.
+    pub fn route(&self, route: Route) -> &RouteMetrics {
+        &self.routes[route.index()]
     }
 
     /// Render every counter in Prometheus text exposition format.
@@ -181,7 +287,24 @@ impl Metrics {
         );
         let _ = writeln!(out, "# TYPE anchors_http_request_duration_us histogram");
         self.latency
-            .render("anchors_http_request_duration_us", &mut out);
+            .render("anchors_http_request_duration_us", "", &mut out);
+        let _ = writeln!(out, "# TYPE anchors_http_route_requests_total counter");
+        for route in Route::ALL {
+            let _ = writeln!(
+                out,
+                "anchors_http_route_requests_total{{route=\"{}\"}} {}",
+                route.as_str(),
+                self.route(route).requests.load(Relaxed)
+            );
+        }
+        let _ = writeln!(out, "# TYPE anchors_http_route_duration_us histogram");
+        for route in Route::ALL {
+            self.route(route).latency.render(
+                "anchors_http_route_duration_us",
+                &format!("route=\"{}\"", route.as_str()),
+                &mut out,
+            );
+        }
         out
     }
 }
@@ -227,5 +350,42 @@ mod tests {
         assert!(text.contains("anchors_http_request_duration_us_bucket{le=\"100\"} 3"));
         assert!(text.contains("anchors_http_request_duration_us_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("anchors_http_request_duration_us_count 3"));
+    }
+
+    #[test]
+    fn route_classification_is_total_and_bounded() {
+        assert_eq!(Route::of("/v1/classify_text"), Route::ClassifyText);
+        assert_eq!(Route::of("/v1/classify_text?x=1"), Route::ClassifyText);
+        assert_eq!(Route::of("/v1/classify"), Route::Classify);
+        assert_eq!(Route::of("/v1/recommend"), Route::Recommend);
+        assert_eq!(Route::of("/nope"), Route::Other);
+        for route in Route::ALL {
+            assert_eq!(Route::ALL[route.index()], route);
+        }
+    }
+
+    #[test]
+    fn per_route_series_render_with_labels() {
+        let m = Metrics::new();
+        m.observe_route(Route::ClassifyText, Duration::from_micros(80));
+        m.observe_route(Route::ClassifyText, Duration::from_micros(700));
+        m.observe_route(Route::Healthz, Duration::from_micros(10));
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("anchors_http_route_requests_total{route=\"classify_text\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("anchors_http_route_requests_total{route=\"healthz\"} 1"));
+        assert!(text.contains("anchors_http_route_requests_total{route=\"batch\"} 0"));
+        assert!(text.contains(
+            "anchors_http_route_duration_us_bucket{route=\"classify_text\",le=\"100\"} 1"
+        ));
+        assert!(text.contains(
+            "anchors_http_route_duration_us_bucket{route=\"classify_text\",le=\"+Inf\"} 2"
+        ));
+        assert!(text.contains("anchors_http_route_duration_us_count{route=\"classify_text\"} 2"));
+        assert!(text.contains("anchors_http_route_duration_us_sum{route=\"classify_text\"}"));
+        // The unlabeled global histogram is untouched by route observes.
+        assert!(text.contains("anchors_http_request_duration_us_count 0"));
     }
 }

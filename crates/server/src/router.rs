@@ -4,10 +4,19 @@
 //! |---|---|
 //! | `POST /v1/recommend` | fold in one course, full §5.2 response |
 //! | `POST /v1/classify`  | fold in one course, flavor signal only |
+//! | `POST /v1/classify_text` | raw text → tags → fold-in → full response |
 //! | `POST /v1/batch`     | N queries → one [`BatchQueue`] flush → one NNLS solve |
 //! | `GET  /v1/healthz`   | liveness + served model version |
 //! | `GET  /v1/metrics`   | Prometheus text exposition |
 //! | `POST /v1/reload`    | atomic snapshot swap to the newest registry version |
+//!
+//! `/v1/classify_text` is the front door for deployments that attach a
+//! [`crate::textdoor::TextDoor`]: the body carries raw syllabus text,
+//! the text model reads tags out of it, and those tags run through the
+//! same fold-in the structured routes use — one request from prose to
+//! anchor recommendations. Without a door the route is 404; with a
+//! degraded door it is 503 + `Retry-After` while every other route
+//! keeps serving.
 //!
 //! Every handler runs against the engine `Arc` it snapshots at entry, so
 //! a concurrent reload never changes a response mid-request. Handler
@@ -30,13 +39,18 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
     match (req.method.as_str(), path) {
         ("POST", "/v1/recommend") => recommend(state, req, wire::response_json),
         ("POST", "/v1/classify") => recommend(state, req, wire::classify_json),
+        ("POST", "/v1/classify_text") => classify_text(state, req),
         ("POST", "/v1/batch") => batch(state, req),
         ("GET", "/v1/healthz") => healthz(state),
         ("GET", "/v1/metrics") => Response::text(200, state.metrics.render_prometheus()),
         ("POST", "/v1/reload") => reload(state),
-        (_, "/v1/recommend" | "/v1/classify" | "/v1/batch" | "/v1/reload") => {
-            method_not_allowed("POST")
+        (_, "/v1/classify_text") if state.text.is_none() => {
+            Response::json(404, wire::error_body("no route for /v1/classify_text"))
         }
+        (
+            _,
+            "/v1/recommend" | "/v1/classify" | "/v1/batch" | "/v1/reload" | "/v1/classify_text",
+        ) => method_not_allowed("POST"),
         (_, "/v1/healthz" | "/v1/metrics") => method_not_allowed("GET"),
         _ => Response::json(404, wire::error_body(&format!("no route for {path}"))),
     }
@@ -107,6 +121,57 @@ fn recommend(
     }
 }
 
+/// Raw text in, anchor recommendations out: classify the text into tag
+/// codes with the served [`anchors_text::TextModel`], then fold those
+/// predicted tags into the factor model exactly as `/v1/recommend`
+/// would. The two snapshots (text door, factor cache) are each taken
+/// once at entry, so concurrent reloads never change either mid-request.
+fn classify_text(state: &AppState, req: &Request) -> Response {
+    let Some(door) = &state.text else {
+        return Response::json(
+            404,
+            wire::error_body("this deployment serves no text model"),
+        );
+    };
+    let doc = match wire::parse_body(&req.body) {
+        Ok(doc) => doc,
+        Err(e) => return wire_error(&e),
+    };
+    let (name, labels, text) = match wire::text_query(&doc) {
+        Ok(parts) => parts,
+        Err(e) => return wire_error(&e),
+    };
+    let text_snapshot = match door.snapshot() {
+        Ok(snapshot) => snapshot,
+        Err(detail) => {
+            return Response::json(
+                503,
+                wire::error_body(&format!("text model unavailable: {detail}")),
+            )
+            .with_header("Retry-After", "1")
+        }
+    };
+    let classification = match text_snapshot.model.classify(&text) {
+        Ok(c) => c,
+        // An empty document is the client's mistake; anything else the
+        // classifier refuses is a served-model defect.
+        Err(e @ anchors_text::TextError::EmptyText) => {
+            return Response::json(400, wire::error_body(&e.to_string()))
+        }
+        Err(e) => return Response::json(500, wire::error_body(&e.to_string())),
+    };
+    let query =
+        anchors_serve::engine::CourseQuery::new(name, labels, classification.predicted.clone());
+    let snapshot = state.cache.snapshot();
+    match snapshot.engine.query(&query) {
+        Ok(resp) => json_response(
+            200,
+            wire::classify_text_json(&classification, text_snapshot.version, &resp),
+        ),
+        Err(e) => serve_error(&e),
+    }
+}
+
 fn batch(state: &AppState, req: &Request) -> Response {
     let doc = match wire::parse_body(&req.body) {
         Ok(doc) => doc,
@@ -155,6 +220,23 @@ fn healthz(state: &AppState) -> Response {
         ("k".into(), Json::Num(snapshot.engine.k() as f64)),
         ("tags".into(), Json::Num(snapshot.engine.n_tags() as f64)),
     ];
+    // The text door reports inside healthz but does not fail liveness:
+    // a text-only degradation 503s `/v1/classify_text` while the factor
+    // routes — and this endpoint — stay 200.
+    if let Some(door) = &state.text {
+        let text = match door.snapshot() {
+            Ok(snapshot) => Json::Obj(vec![
+                ("status".into(), Json::Str("ok".into())),
+                ("version".into(), Json::Num(snapshot.version as f64)),
+                ("model".into(), Json::Str(snapshot.model.name.clone())),
+            ]),
+            Err(detail) => Json::Obj(vec![
+                ("status".into(), Json::Str("degraded".into())),
+                ("detail".into(), Json::Str(detail)),
+            ]),
+        };
+        members.push(("text".into(), text));
+    }
     match degraded {
         Some(detail) => {
             members.push(("detail".into(), Json::Str(detail)));
@@ -178,13 +260,20 @@ fn reload(state: &AppState) -> Response {
                 state.metrics.reloads.fetch_add(1, Relaxed);
                 state.health.set_healthy();
                 state.metrics.serving_degraded.store(0, Relaxed);
-                return json_response(
-                    200,
-                    Json::Obj(vec![
-                        ("reloaded".into(), Json::Bool(true)),
-                        ("version".into(), Json::Num(version as f64)),
-                    ]),
-                );
+                let mut members = vec![
+                    ("reloaded".into(), Json::Bool(true)),
+                    ("version".into(), Json::Num(version as f64)),
+                ];
+                // The text door rides the same reload, non-fatally: its
+                // failure leaves `/v1/classify_text` degraded (or on its
+                // last-good snapshot) without failing the factor reload.
+                if let Some(door) = &state.text {
+                    members.push(match door.reload() {
+                        Ok(text_version) => ("text_version".into(), Json::Num(text_version as f64)),
+                        Err(e) => ("text_error".into(), Json::Str(e.to_string())),
+                    });
+                }
+                return json_response(200, Json::Obj(members));
             }
             Err(e) if e.is_transient() && retry + 1 < policy.attempts => {
                 std::thread::sleep(policy.backoff_for(retry));

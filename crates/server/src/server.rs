@@ -16,9 +16,10 @@
 //! dropped.
 
 use crate::http::{self, HttpError, Limits, RequestParser, Response};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Route};
 use crate::queue::{BoundedQueue, PushError};
 use crate::router;
+use crate::textdoor::TextDoor;
 use anchors_curricula::Ontology;
 use anchors_serve::{Registry, ServeError, SnapshotCache};
 use std::io::{self, ErrorKind, Read};
@@ -165,6 +166,9 @@ pub struct AppState {
     pub health: Health,
     /// Backoff schedule for transient registry errors during reload.
     pub reload_retry: RetryPolicy,
+    /// The text-classification door, when the deployment serves
+    /// `/v1/classify_text`. `None` routes that path to 404.
+    pub text: Option<TextDoor>,
 }
 
 impl AppState {
@@ -183,7 +187,14 @@ impl AppState {
             metrics: Metrics::new(),
             health: Health::default(),
             reload_retry: RetryPolicy::default(),
+            text: None,
         })
+    }
+
+    /// Attach a text-classification door, enabling `/v1/classify_text`.
+    pub fn with_text(mut self, door: TextDoor) -> Self {
+        self.text = Some(door);
+        self
     }
 }
 
@@ -390,14 +401,15 @@ fn serve_connection(
             thread::sleep(delay);
         }
         let started = Instant::now();
+        let route = Route::of(&request.path);
         let response = router::handle(state, &request);
         // A stopping server finishes the request it has but closes the
         // connection, so the drain terminates.
         let keep_alive = request.wants_keep_alive() && !stopping.load(SeqCst);
         let wrote = response.write_to(&mut stream, keep_alive);
-        state
-            .metrics
-            .observe_response(response.status, started.elapsed());
+        let elapsed = started.elapsed();
+        state.metrics.observe_response(response.status, elapsed);
+        state.metrics.observe_route(route, elapsed);
         if wrote.is_err() || !keep_alive {
             return;
         }

@@ -1,0 +1,250 @@
+//! The text-classification front door: loading, serving, and healing
+//! the [`TextModel`] artifact next to the factor model.
+//!
+//! `/v1/classify_text` needs a second artifact with the same lifecycle
+//! the factor model already has — versioned on disk, quarantined when
+//! corrupt, hot-reloaded, served from an `Arc` snapshot. [`TextDoor`]
+//! packages that: a [`Registry`]`<TextModel>` (same directory as the
+//! model registry is fine — the `text-v<N>` stem keeps them apart) plus
+//! a swap-on-reload snapshot.
+//!
+//! The door *degrades instead of failing*: if the registry holds no
+//! loadable text model at startup — empty, all corrupt, wrong ontology
+//! revision — the server still comes up and every other route serves.
+//! Only `/v1/classify_text` answers `503 Retry-After` with the
+//! degradation detail until a reload finds a good artifact, at which
+//! point the door heals itself. A *failed* reload of an open door keeps
+//! the last-good snapshot serving, mirroring the factor-model cache.
+
+use anchors_curricula::Ontology;
+use anchors_serve::{Registry, ServeError};
+use anchors_text::TextModel;
+use std::sync::{Arc, RwLock};
+
+/// An immutable, atomically swappable view of the served text model.
+#[derive(Debug)]
+pub struct TextSnapshot {
+    /// Registry version the model was loaded from.
+    pub version: u64,
+    /// The classifier itself.
+    pub model: TextModel,
+}
+
+#[derive(Debug)]
+enum DoorState {
+    /// A text model is loaded and serving.
+    Ready(Arc<TextSnapshot>),
+    /// No servable text model; the string is the human-readable cause.
+    Degraded(String),
+}
+
+/// The serving door for text classification. See the module docs.
+#[derive(Debug)]
+pub struct TextDoor {
+    registry: Registry<TextModel>,
+    cs: &'static Ontology,
+    state: RwLock<DoorState>,
+}
+
+impl TextDoor {
+    /// Open the door over `registry`: quarantine corrupt artifacts, load
+    /// the newest good version, and gate it against `cs`. Never fails —
+    /// trouble leaves the door degraded, not the server down.
+    pub fn open(registry: Registry<TextModel>, cs: &'static Ontology) -> TextDoor {
+        let state = RwLock::new(match Self::load(&registry, cs) {
+            Ok(snapshot) => DoorState::Ready(Arc::new(snapshot)),
+            Err(e) => DoorState::Degraded(e.to_string()),
+        });
+        TextDoor {
+            registry,
+            cs,
+            state,
+        }
+    }
+
+    fn load(
+        registry: &Registry<TextModel>,
+        cs: &'static Ontology,
+    ) -> Result<TextSnapshot, ServeError> {
+        registry.recover()?;
+        let (version, model) = registry.load_latest()?;
+        model.check_ontology(cs).map_err(|e| match e {
+            anchors_text::TextError::FingerprintMismatch {
+                guideline,
+                expected,
+                found,
+            } => ServeError::FingerprintMismatch {
+                guideline,
+                expected,
+                found,
+            },
+            other => ServeError::Corrupt {
+                source: format!("text-v{version}"),
+                detail: other.to_string(),
+            },
+        })?;
+        Ok(TextSnapshot { version, model })
+    }
+
+    /// The served snapshot, or the degradation detail.
+    pub fn snapshot(&self) -> Result<Arc<TextSnapshot>, String> {
+        match &*self.state.read().unwrap_or_else(|e| e.into_inner()) {
+            DoorState::Ready(snapshot) => Ok(Arc::clone(snapshot)),
+            DoorState::Degraded(detail) => Err(detail.clone()),
+        }
+    }
+
+    /// Whether the door is currently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.snapshot().is_err()
+    }
+
+    /// The version being served, if any.
+    pub fn version(&self) -> Option<u64> {
+        self.snapshot().ok().map(|s| s.version)
+    }
+
+    /// Re-scan the registry and swap to the newest good version.
+    ///
+    /// Self-healing rules: a success always swaps (and clears degraded
+    /// state); a failure of a *degraded* door keeps it degraded with the
+    /// fresh detail; a failure of a *ready* door keeps the last-good
+    /// snapshot serving — reload trouble never takes away a model that
+    /// is already answering.
+    pub fn reload(&self) -> Result<u64, ServeError> {
+        match Self::load(&self.registry, self.cs) {
+            Ok(snapshot) => {
+                let version = snapshot.version;
+                *self.state.write().unwrap_or_else(|e| e.into_inner()) =
+                    DoorState::Ready(Arc::new(snapshot));
+                Ok(version)
+            }
+            Err(e) => {
+                let mut state = self.state.write().unwrap_or_else(|e| e.into_inner());
+                if let DoorState::Degraded(detail) = &mut *state {
+                    *detail = e.to_string();
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+    use anchors_linalg::Matrix;
+    use anchors_text::FeaturizerConfig;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "anchors-server-textdoor-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn toy_text_model() -> TextModel {
+        let cs = cs2013();
+        let codes: Vec<String> = cs
+            .leaf_items()
+            .into_iter()
+            .take(2)
+            .map(|id| cs.node(id).code.clone())
+            .collect();
+        let config = FeaturizerConfig {
+            n_buckets: 16,
+            ..FeaturizerConfig::default()
+        };
+        TextModel {
+            name: "door-toy".into(),
+            guideline: cs.name.clone(),
+            fingerprint: cs.fingerprint(),
+            tag_codes: codes,
+            config,
+            idf: vec![1.0; 16],
+            weights: Matrix::from_fn(2, 16, |i, j| (i + j) as f64 * 0.125),
+            bias: vec![0.0, 0.0],
+            thresholds: vec![0.5, 0.5],
+            train_docs: 2,
+            train_seed: 3,
+            train_f1: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_registry_degrades_instead_of_failing() {
+        let dir = tmp_dir("empty");
+        let registry: Registry<TextModel> = Registry::open(&dir).unwrap();
+        let door = TextDoor::open(registry, cs2013());
+        assert!(door.is_degraded());
+        assert!(door.version().is_none());
+        let detail = door.snapshot().unwrap_err();
+        assert!(detail.contains("no model versions"), "detail: {detail}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifact_quarantines_and_reload_heals() {
+        let dir = tmp_dir("heal");
+        let registry: Registry<TextModel> = Registry::open(&dir).unwrap();
+        let v1 = registry.save(&toy_text_model()).unwrap();
+        // Corrupt the only version: the door opens degraded and the file
+        // is quarantined as evidence.
+        let path = registry.path_of(v1);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let door = TextDoor::open(Registry::open(&dir).unwrap(), cs2013());
+        assert!(door.is_degraded());
+        let quarantined: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".quarantined"))
+            .collect();
+        assert!(!quarantined.is_empty(), "corrupt artifact kept as evidence");
+        // Publish a good version; reload heals the door.
+        let v2 = registry.save(&toy_text_model()).unwrap();
+        assert_eq!(door.reload().unwrap(), v2);
+        assert!(!door.is_degraded());
+        assert_eq!(door.version(), Some(v2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_reload_keeps_last_good_snapshot() {
+        let dir = tmp_dir("lastgood");
+        let registry: Registry<TextModel> = Registry::open(&dir).unwrap();
+        let v1 = registry.save(&toy_text_model()).unwrap();
+        let door = TextDoor::open(Registry::open(&dir).unwrap(), cs2013());
+        assert_eq!(door.version(), Some(v1));
+        // Publish a corrupt v2: reload fails but v1 keeps serving.
+        let v2 = registry.save(&toy_text_model()).unwrap();
+        let path = registry.path_of(v2);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        // recover() quarantines v2, load_latest falls back to v1: the
+        // door actually *swaps* to the best good version.
+        assert_eq!(door.reload().unwrap(), v1);
+        assert_eq!(door.version(), Some(v1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_ontology_revision_degrades() {
+        let dir = tmp_dir("drift");
+        let registry: Registry<TextModel> = Registry::open(&dir).unwrap();
+        let mut model = toy_text_model();
+        model.fingerprint ^= 1;
+        registry.save(&model).unwrap();
+        let door = TextDoor::open(Registry::open(&dir).unwrap(), cs2013());
+        assert!(door.is_degraded());
+        let detail = door.snapshot().unwrap_err();
+        assert!(detail.contains("revision"), "detail: {detail}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -111,6 +111,45 @@ pub fn course_query(doc: &Json) -> Result<CourseQuery, WireError> {
     Ok(CourseQuery::new(name, labels, tags))
 }
 
+/// Decode a `/v1/classify_text` body: `{"name"?, "labels"?, "text"}`.
+/// Returns the course name, the parsed labels, and the raw text.
+pub fn text_query(doc: &Json) -> Result<(String, Vec<CourseLabel>, String), WireError> {
+    let shape = |detail: &str| WireError::Shape {
+        detail: detail.into(),
+    };
+    if !matches!(doc, Json::Obj(_)) {
+        return Err(shape("query must be an object"));
+    }
+    let name = match doc.get("name") {
+        None => String::new(),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| shape("\"name\" must be a string"))?
+            .to_string(),
+    };
+    let labels = match doc.get("labels") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| shape("\"labels\" must be an array"))?
+            .iter()
+            .map(|l| {
+                let text = l.as_str().ok_or_else(|| shape("labels must be strings"))?;
+                CourseLabel::parse(text).ok_or_else(|| WireError::UnknownLabel {
+                    label: text.to_string(),
+                })
+            })
+            .collect::<Result<Vec<CourseLabel>, WireError>>()?,
+    };
+    let text = doc
+        .get("text")
+        .ok_or_else(|| shape("missing \"text\""))?
+        .as_str()
+        .ok_or_else(|| shape("\"text\" must be a string"))?
+        .to_string();
+    Ok((name, labels, text))
+}
+
 /// Decode a batch body: `{"queries": [<query>, ...]}`.
 pub fn course_queries(doc: &Json) -> Result<Vec<CourseQuery>, WireError> {
     doc.get("queries")
@@ -187,6 +226,41 @@ pub fn response_json(resp: &QueryResponse) -> Json {
             Json::Arr(resp.nearest.iter().map(hit_json).collect()),
         ),
     ])
+}
+
+/// Encode the composed `/v1/classify_text` response: which tags the
+/// text model read out of the raw text (every tag's calibrated score,
+/// descending, with its predicted flag), the text-model version that
+/// said so, and the full downstream recommendation those predicted tags
+/// folded into.
+pub fn classify_text_json(
+    classification: &anchors_text::TextClassification,
+    text_model_version: u64,
+    resp: &QueryResponse,
+) -> Json {
+    let tags = classification
+        .scores
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("code".into(), Json::Str(s.code.clone())),
+                ("score".into(), Json::Num(s.score)),
+                ("predicted".into(), Json::Bool(s.predicted)),
+            ])
+        })
+        .collect();
+    let mut members = vec![
+        ("name".into(), Json::Str(resp.name.clone())),
+        (
+            "text_model_version".into(),
+            Json::Num(text_model_version as f64),
+        ),
+        ("tags".into(), Json::Arr(tags)),
+    ];
+    if let Json::Obj(rest) = response_json(resp) {
+        members.extend(rest.into_iter().filter(|(key, _)| key != "name"));
+    }
+    Json::Obj(members)
 }
 
 /// Encode the lighter `/v1/classify` response: flavor signal only.
@@ -270,6 +344,30 @@ mod tests {
         assert_eq!(qs.len(), 2);
         assert_eq!(qs[0].tag_codes, vec!["AL.BA.t1"]);
         assert!(course_queries(&json::parse(r#"{"queries":{}}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn text_query_decodes_and_rejects() {
+        let doc =
+            json::parse(r#"{"name":"CS 301","labels":["DS"],"text":"threads and locks"}"#).unwrap();
+        let (name, labels, text) = text_query(&doc).unwrap();
+        assert_eq!(name, "CS 301");
+        assert_eq!(labels, vec![CourseLabel::DataStructures]);
+        assert_eq!(text, "threads and locks");
+        // name/labels optional, text required.
+        let (name, labels, _) = text_query(&json::parse(r#"{"text":"x"}"#).unwrap()).unwrap();
+        assert_eq!(name, "");
+        assert!(labels.is_empty());
+        for (body, want) in [
+            (r#"{"name":"CS"}"#, "missing \"text\""),
+            (r#"{"text":7}"#, "\"text\" must be a string"),
+            (r#"[1]"#, "query must be an object"),
+        ] {
+            match text_query(&json::parse(body).unwrap()) {
+                Err(WireError::Shape { detail }) => assert_eq!(detail, want, "{body}"),
+                other => panic!("{body} -> {other:?}"),
+            }
+        }
     }
 
     #[test]

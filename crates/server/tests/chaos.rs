@@ -10,14 +10,16 @@
 //! * **last-good always answerable** — whatever the registry weather,
 //!   `/v1/recommend` keeps returning 200 from the last-good snapshot.
 
+use anchors_corpus::{generate_text_corpus, TextCorpusConfig};
 use anchors_curricula::{cs2013, pdc12};
 use anchors_factor::{NnmfModel, NnmfRecovery};
 use anchors_linalg::{Backend, Matrix};
 use anchors_materials::TagSpace;
 use anchors_serve::{FaultPlan, FaultyFs, FileOps, FittedModel, Registry};
 use anchors_server::{
-    AppState, Client, RetryConfig, RetryingClient, Server, ServerConfig, ServerHandle,
+    AppState, Client, RetryConfig, RetryingClient, Server, ServerConfig, ServerHandle, TextDoor,
 };
+use anchors_text::{train, TextModel, TrainConfig};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering::Relaxed;
@@ -328,6 +330,112 @@ fn slow_io_reload_does_not_block_queries() {
     drop(client);
     handle.shutdown();
     let _ = fs::remove_dir_all(state.registry.dir());
+}
+
+/// Scenario 7 — a corrupt *text* artifact: only `/v1/classify_text`
+/// degrades (typed 503 + `Retry-After`), the factor routes never miss a
+/// beat, the bad bytes are quarantined as evidence, and publishing a
+/// good text model + one reload heals the door without a restart.
+#[test]
+fn corrupt_text_model_degrades_only_its_route_and_heals() {
+    let dir = tmp_dir("text-chaos");
+    let registry = Registry::open(&dir).expect("model registry");
+    registry
+        .save(&toy_model("chaos-v1", 3))
+        .expect("save model");
+    let text_registry: Registry<TextModel> = Registry::open(&dir).expect("text registry");
+
+    let corpus = generate_text_corpus(&TextCorpusConfig {
+        tags: 8,
+        ..TextCorpusConfig::default()
+    });
+    let text_model = train(
+        "chaos-text",
+        cs2013(),
+        &corpus.tag_codes,
+        &corpus.examples,
+        &TrainConfig::default(),
+    )
+    .expect("trains");
+    let v1 = text_registry.save(&text_model).expect("save text v1");
+
+    // Tear the only text artifact, then boot: the door must open
+    // degraded (quarantining the evidence) while everything else works.
+    let text_path = text_registry.path_of(v1);
+    let bytes = fs::read(&text_path).expect("read text v1");
+    fs::write(&text_path, &bytes[..bytes.len() / 2]).expect("tear text v1");
+    let door = TextDoor::open(Registry::open(&dir).expect("reopen"), cs2013());
+    assert!(door.is_degraded(), "torn text artifact opens degraded");
+    let state = Arc::new(
+        AppState::from_registry(registry, cs2013(), pdc12())
+            .expect("state")
+            .with_text(door),
+    );
+    let handle =
+        Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).expect("start");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+
+    // The text route is a typed 503 with Retry-After...
+    let text_resp = client
+        .classify_text("CS 301", &[], &corpus.examples[0].text)
+        .expect("classify_text");
+    assert_eq!(text_resp.status, 503, "{}", text_resp.text());
+    assert_eq!(text_resp.header("retry-after"), Some("1"));
+    assert!(
+        text_resp.text().contains("text model unavailable"),
+        "{}",
+        text_resp.text()
+    );
+    // ...while the factor routes and liveness never notice.
+    let body = recommend_body(&state);
+    for _ in 0..3 {
+        assert_eq!(
+            client
+                .request("POST", "/v1/recommend", &body)
+                .expect("recommend")
+                .status,
+            200,
+            "factor serving unaffected by text trouble"
+        );
+    }
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200, "text-only degradation is not liveness");
+    assert!(health.text().contains("degraded"), "{}", health.text());
+
+    // The torn bytes were moved aside, not deleted, and never served.
+    let quarantined: Vec<String> = fs::read_dir(&dir)
+        .expect("dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("text-") && n.ends_with(".quarantined"))
+        .collect();
+    assert_eq!(quarantined.len(), 1, "text evidence kept: {quarantined:?}");
+    assert!(!text_path.exists());
+
+    // Publish good bytes; one reload heals the door and the route.
+    let v2 = text_registry.save(&text_model).expect("save text v2");
+    assert!(v2 > v1, "quarantined version number is burned");
+    let reload = client.request("POST", "/v1/reload", b"").expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.text());
+    assert!(
+        reload.text().contains(&format!("\"text_version\":{v2}")),
+        "{}",
+        reload.text()
+    );
+    let healed = client
+        .classify_text("CS 301", &[], &corpus.examples[0].text)
+        .expect("classify_text after heal");
+    assert_eq!(healed.status, 200, "{}", healed.text());
+    assert!(
+        healed
+            .text()
+            .contains(&format!("\"text_model_version\":{v2}")),
+        "{}",
+        healed.text()
+    );
+    drop(client);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
 }
 
 /// Scenario 6 — the retrying client rides out a degraded window: it

@@ -3,16 +3,20 @@
 //! drain. Every test binds port 0 and runs a private registry, so the
 //! suite is parallel-safe.
 
+use anchors_corpus::{generate_text_corpus, TextCorpusConfig};
 use anchors_curricula::{cs2013, pdc12};
 use anchors_factor::{NnmfModel, NnmfRecovery};
 use anchors_linalg::{Backend, Matrix};
 use anchors_materials::TagSpace;
 use anchors_serve::{FittedModel, Registry};
-use anchors_server::{AppState, Client, Server, ServerConfig, ServerHandle};
+use anchors_server::{
+    AppState, Client, RetryConfig, RetryingClient, Server, ServerConfig, ServerHandle, TextDoor,
+};
+use anchors_text::{train, TextModel, TrainConfig};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -56,6 +60,50 @@ fn recommend_body(state: &AppState) -> Vec<u8> {
         codes[0], codes[5]
     )
     .into_bytes()
+}
+
+/// Train the text classifier once for the whole suite: 8 tags (a
+/// subset of the factor model's 12, so predicted tags always fold in)
+/// over the seeded synthetic corpus.
+fn trained_text_model() -> TextModel {
+    static MODEL: OnceLock<TextModel> = OnceLock::new();
+    MODEL
+        .get_or_init(|| {
+            let corpus = generate_text_corpus(&TextCorpusConfig {
+                tags: 8,
+                ..TextCorpusConfig::default()
+            });
+            train(
+                "it-text",
+                cs2013(),
+                &corpus.tag_codes,
+                &corpus.examples,
+                &TrainConfig::default(),
+            )
+            .expect("training on the synthetic corpus succeeds")
+        })
+        .clone()
+}
+
+/// A server with both artifacts in one registry directory: the factor
+/// model under `model-v*`, the text model under `text-v*`.
+fn start_text_server(tag: &str, config: ServerConfig) -> (ServerHandle, Arc<AppState>) {
+    let dir = tmp_dir(tag);
+    let registry = Registry::open(&dir).expect("model registry");
+    registry.save(&toy_model("toy-v1", 3)).expect("save model");
+    let text_registry: Registry<TextModel> = Registry::open(&dir).expect("text registry");
+    text_registry
+        .save(&trained_text_model())
+        .expect("save text model");
+    let door = TextDoor::open(text_registry, cs2013());
+    assert!(!door.is_degraded(), "fixture door must open ready");
+    let state = Arc::new(
+        AppState::from_registry(registry, cs2013(), pdc12())
+            .expect("state")
+            .with_text(door),
+    );
+    let handle = Server::start(Arc::clone(&state), "127.0.0.1:0", config).expect("server start");
+    (handle, state)
 }
 
 #[test]
@@ -183,6 +231,111 @@ fn protocol_and_routing_errors_get_typed_statuses() {
     assert_eq!(bad_tag.status, 400, "{}", bad_tag.text());
 
     assert!(handle.metrics().parse_errors.load(Relaxed) >= 5);
+    drop(client);
+    handle.shutdown();
+}
+
+#[test]
+fn classify_text_serves_the_full_pipeline_in_one_request() {
+    let (handle, state) = start_text_server("text-e2e", ServerConfig::default());
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+
+    // A document straight from the training corpus: same generator,
+    // same seed, so its true tags are known.
+    let corpus = generate_text_corpus(&TextCorpusConfig {
+        tags: 8,
+        ..TextCorpusConfig::default()
+    });
+    let example = &corpus.examples[0];
+
+    let resp = client
+        .classify_text("Threads 101", &["DS"], &example.text)
+        .expect("classify_text");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let body = resp.text();
+    // One response carries the whole pipeline: the text model's verdict
+    // AND the downstream fold-in recommendation.
+    for field in [
+        "\"tags\"",
+        "\"text_model_version\":1",
+        "\"predicted\":true",
+        "\"loadings\"",
+        "\"mixture\"",
+        "\"flavors\"",
+        "\"recommendations\"",
+        "\"nearest\"",
+    ] {
+        assert!(body.contains(field), "missing {field}: {body}");
+    }
+    assert!(body.contains("Threads 101"), "{body}");
+
+    // Client mistakes are 400s, each with a JSON error body.
+    let empty = client
+        .classify_text("X", &[], "   ")
+        .expect("empty text request");
+    assert_eq!(empty.status, 400, "{}", empty.text());
+    assert!(
+        empty.text().contains("no usable tokens"),
+        "{}",
+        empty.text()
+    );
+    let missing = client
+        .request("POST", "/v1/classify_text", br#"{"name":"X"}"#)
+        .expect("missing text field");
+    assert_eq!(missing.status, 400);
+    assert!(missing.text().contains("text"), "{}", missing.text());
+    let bad_label = client
+        .classify_text("X", &["Quantum"], "threads")
+        .expect("bad label");
+    assert_eq!(bad_label.status, 400);
+
+    // healthz reports the text door next to the factor model.
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"text\""), "{}", health.text());
+    assert!(health.text().contains("it-text"), "{}", health.text());
+
+    // The per-route series saw every classify_text request above.
+    let metrics = client.request("GET", "/v1/metrics", b"").expect("metrics");
+    let line = metrics
+        .text()
+        .lines()
+        .find(|l| l.starts_with("anchors_http_route_requests_total{route=\"classify_text\"}"))
+        .map(str::to_string)
+        .expect("classify_text route series present");
+    let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(count >= 4, "route counter saw the requests: {line}");
+    assert!(metrics
+        .text()
+        .contains("anchors_http_route_duration_us_bucket{route=\"classify_text\",le=\"+Inf\"}"));
+
+    // The retrying client speaks the same endpoint, deadline and all.
+    drop(client);
+    let mut retrying = RetryingClient::new(handle.addr(), TIMEOUT, RetryConfig::default());
+    let resp = retrying
+        .classify_text("Retried", &[], &example.text)
+        .expect("retrying classify_text");
+    assert_eq!(resp.status, 200);
+    assert_eq!(state.metrics.responses_5xx.load(Relaxed), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn classify_text_without_a_door_is_404() {
+    let (handle, _state) = start_server("no-door", ServerConfig::default());
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let resp = client
+        .classify_text("X", &[], "threads and message passing")
+        .expect("classify_text");
+    assert_eq!(resp.status, 404, "{}", resp.text());
+    // Without a door even the method check is moot: the path is 404.
+    let get = client
+        .request("GET", "/v1/classify_text", b"")
+        .expect("GET classify_text");
+    assert_eq!(get.status, 404);
+    // And healthz carries no text member.
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert!(!health.text().contains("\"text\""), "{}", health.text());
     drop(client);
     handle.shutdown();
 }

@@ -1,0 +1,90 @@
+//! Typed failure taxonomy for text classification.
+
+use std::fmt;
+
+/// Everything that can go wrong between raw text and a tag prediction.
+///
+/// The variants split along the same retry-vs-reject line the serving
+/// stack uses everywhere: caller mistakes ([`TextError::EmptyText`],
+/// [`TextError::UnknownTag`]) map to 4xx at the HTTP edge, while model
+/// defects ([`TextError::Invalid`], [`TextError::FingerprintMismatch`])
+/// mean the artifact must not serve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextError {
+    /// The input text produced no usable tokens.
+    EmptyText,
+    /// A training corpus with no examples (or no usable examples).
+    EmptyCorpus,
+    /// A tag code that does not exist in the target ontology (or, at
+    /// training time, in the declared tag space).
+    UnknownTag {
+        /// The offending dotted code.
+        code: String,
+    },
+    /// The model was trained against a different ontology revision.
+    FingerprintMismatch {
+        /// Guideline name the model declares.
+        guideline: String,
+        /// Fingerprint baked into the model.
+        expected: u64,
+        /// Fingerprint of the ontology offered at load/classify time.
+        found: u64,
+    },
+    /// A nonsensical featurizer or trainer configuration.
+    Config {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A model whose internal geometry is inconsistent (wrong vector
+    /// lengths, non-finite weights) — a decode bug or corrupt artifact.
+    Invalid {
+        /// What failed validation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::EmptyText => write!(f, "input text contains no usable tokens"),
+            TextError::EmptyCorpus => write!(f, "training corpus is empty"),
+            TextError::UnknownTag { code } => write!(f, "unknown tag code {code:?}"),
+            TextError::FingerprintMismatch {
+                guideline,
+                expected,
+                found,
+            } => write!(
+                f,
+                "text model was trained against {guideline} revision {expected:016x}, \
+                 but the loaded ontology fingerprints as {found:016x}"
+            ),
+            TextError::Config { detail } => write!(f, "invalid text configuration: {detail}"),
+            TextError::Invalid { detail } => write!(f, "invalid text model: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TextError::UnknownTag {
+            code: "PDC.bogus".into(),
+        };
+        assert!(e.to_string().contains("PDC.bogus"));
+        let e = TextError::FingerprintMismatch {
+            guideline: "CS2013".into(),
+            expected: 1,
+            found: 2,
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("CS2013") && s.contains("0000000000000001"),
+            "{s}"
+        );
+    }
+}

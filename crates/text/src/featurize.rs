@@ -1,0 +1,292 @@
+//! Hashed TF-IDF featurizer: word tokens + character n-grams → a fixed
+//! bucket space.
+//!
+//! There is deliberately **no stored vocabulary**. Every token and every
+//! character n-gram is hashed — seeded FNV-1a mixed through a
+//! splitmix64 finalizer — into one of `n_buckets` buckets, with the
+//! hash's low bit choosing a sign (the classic signed feature-hashing
+//! trick, which makes collisions cancel in expectation instead of
+//! piling up). The `(seed, n_buckets, char_ngram)` triple therefore *is*
+//! the vocabulary: two processes with the same [`FeaturizerConfig`]
+//! produce bitwise-identical vectors for the same text, which is what
+//! lets the artifact layer round-trip a trained model without shipping
+//! a token table.
+//!
+//! The vector pipeline is the standard text-classification stack:
+//! sublinear TF (`sign · (1 + ln |count|)`), multiplied by a stored
+//! per-bucket IDF (`ln((1+N)/(1+df)) + 1`, fitted on the training
+//! corpus), then L2-normalized so document length cancels out.
+
+use crate::error::TextError;
+use std::collections::BTreeMap;
+
+/// Geometry and seeding of the hashed feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeaturizerConfig {
+    /// Number of hash buckets (feature dimensionality).
+    pub n_buckets: usize,
+    /// Character n-gram width (over `#`-padded tokens).
+    pub char_ngram: usize,
+    /// Hash seed — part of the model identity, not a tuning knob.
+    pub seed: u64,
+}
+
+impl Default for FeaturizerConfig {
+    fn default() -> Self {
+        FeaturizerConfig {
+            n_buckets: 4096,
+            char_ngram: 3,
+            seed: 0x7E47_5EED,
+        }
+    }
+}
+
+impl FeaturizerConfig {
+    /// Reject geometries that cannot produce a meaningful feature space.
+    pub fn validate(&self) -> Result<(), TextError> {
+        let fail = |detail: String| Err(TextError::Config { detail });
+        if self.n_buckets < 16 {
+            return fail(format!("n_buckets {} < 16", self.n_buckets));
+        }
+        if !(2..=8).contains(&self.char_ngram) {
+            return fail(format!("char_ngram {} outside 2..=8", self.char_ngram));
+        }
+        Ok(())
+    }
+
+    /// Hashed signed term counts for one document — the raw layer the
+    /// TF-IDF transform and the IDF fit both consume.
+    pub fn raw_counts(&self, text: &str) -> BTreeMap<usize, f64> {
+        let mut counts = BTreeMap::new();
+        for token in tokenize(text) {
+            self.bump(&mut counts, b'w', token.as_bytes());
+            let padded: Vec<char> = std::iter::once('#')
+                .chain(token.chars())
+                .chain(std::iter::once('#'))
+                .collect();
+            if padded.len() >= self.char_ngram {
+                let mut gram = String::new();
+                for window in padded.windows(self.char_ngram) {
+                    gram.clear();
+                    gram.extend(window.iter());
+                    self.bump(&mut counts, b'g', gram.as_bytes());
+                }
+            }
+        }
+        counts
+    }
+
+    fn bump(&self, counts: &mut BTreeMap<usize, f64>, kind: u8, bytes: &[u8]) {
+        let (bucket, sign) = self.bucket_of(kind, bytes);
+        *counts.entry(bucket).or_insert(0.0) += sign;
+    }
+
+    /// The bucket and sign a feature hashes to. `kind` namespaces word
+    /// features away from n-gram features so `"the"` the token and
+    /// `"the"` the trigram are independent coordinates.
+    fn bucket_of(&self, kind: u8, bytes: &[u8]) -> (usize, f64) {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET ^ (kind as u64);
+        h = h.wrapping_mul(PRIME);
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        let mixed = mix64(self.seed ^ h);
+        let bucket = ((mixed >> 1) % self.n_buckets as u64) as usize;
+        let sign = if mixed & 1 == 0 { 1.0 } else { -1.0 };
+        (bucket, sign)
+    }
+}
+
+/// splitmix64 finalizer — the avalanche step that decorrelates the FNV
+/// hash from the seed. Deterministic and dependency-free.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Lowercased alphanumeric tokens, length ≥ 2. Case, punctuation, and
+/// whitespace carry no signal for guideline classification, so they are
+/// normalized away before hashing.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            if current.chars().count() >= 2 {
+                tokens.push(std::mem::take(&mut current));
+            } else {
+                current.clear();
+            }
+        }
+    }
+    if current.chars().count() >= 2 {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Per-bucket document frequencies over a corpus of raw-count maps.
+/// A bucket is "present" in a document when its signed count is nonzero
+/// (equal-and-opposite collisions cancel to absent — deterministically).
+pub fn document_frequencies(n_buckets: usize, docs: &[BTreeMap<usize, f64>]) -> Vec<u64> {
+    let mut df = vec![0u64; n_buckets];
+    for counts in docs {
+        for (&bucket, &c) in counts {
+            if c != 0.0 {
+                df[bucket] += 1;
+            }
+        }
+    }
+    df
+}
+
+/// Smoothed IDF: `ln((1+N)/(1+df)) + 1` — never zero, so a bucket seen
+/// in every training document still contributes.
+pub fn idf_from_df(df: &[u64], n_docs: usize) -> Vec<f64> {
+    df.iter()
+        .map(|&d| ((1.0 + n_docs as f64) / (1.0 + d as f64)).ln() + 1.0)
+        .collect()
+}
+
+/// Sublinear-TF × IDF over raw counts, L2-normalized, as a sparse
+/// `(bucket, weight)` list in ascending bucket order.
+pub fn tf_idf_vector(
+    counts: &BTreeMap<usize, f64>,
+    idf: &[f64],
+) -> Result<Vec<(usize, f64)>, TextError> {
+    let mut vector: Vec<(usize, f64)> = counts
+        .iter()
+        .filter(|&(_, &c)| c != 0.0)
+        .map(|(&bucket, &c)| {
+            let tf = c.signum() * (1.0 + c.abs().ln());
+            (bucket, tf * idf[bucket])
+        })
+        .collect();
+    let norm = vector.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt();
+    if norm == 0.0 || !norm.is_finite() {
+        return Err(TextError::EmptyText);
+    }
+    for (_, v) in &mut vector {
+        *v /= norm;
+    }
+    Ok(vector)
+}
+
+/// The full featurization pipeline for one document: tokenize, hash,
+/// TF-IDF, normalize. `idf.len()` must equal `config.n_buckets`.
+pub fn featurize(
+    config: &FeaturizerConfig,
+    idf: &[f64],
+    text: &str,
+) -> Result<Vec<(usize, f64)>, TextError> {
+    debug_assert_eq!(idf.len(), config.n_buckets);
+    let counts = config.raw_counts(text);
+    if counts.is_empty() {
+        return Err(TextError::EmptyText);
+    }
+    tf_idf_vector(&counts, idf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_normalizes_case_and_punctuation() {
+        assert_eq!(
+            tokenize("MPI_Send, barriers & dead-locks!"),
+            vec!["mpi", "send", "barriers", "dead", "locks"]
+        );
+        assert_eq!(tokenize("a I . ;"), Vec::<String>::new());
+        assert_eq!(tokenize(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_seed_sensitive() {
+        let cfg = FeaturizerConfig::default();
+        assert_eq!(
+            cfg.raw_counts("openmp pragma"),
+            cfg.raw_counts("openmp pragma")
+        );
+        let other = FeaturizerConfig {
+            seed: cfg.seed ^ 1,
+            ..cfg
+        };
+        assert_ne!(
+            cfg.raw_counts("openmp pragma"),
+            other.raw_counts("openmp pragma"),
+            "a different seed is a different vocabulary"
+        );
+    }
+
+    #[test]
+    fn vectors_are_unit_norm_and_sparse_sorted() {
+        let cfg = FeaturizerConfig::default();
+        let idf = vec![1.0; cfg.n_buckets];
+        let v = featurize(&cfg, &idf, "deadlock occurs when threads wait forever").unwrap();
+        let norm: f64 = v.iter().map(|&(_, x)| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-12, "unit norm, got {norm}");
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0), "ascending buckets");
+        assert!(v.iter().all(|&(b, _)| b < cfg.n_buckets));
+    }
+
+    #[test]
+    fn empty_text_is_typed() {
+        let cfg = FeaturizerConfig::default();
+        let idf = vec![1.0; cfg.n_buckets];
+        assert_eq!(
+            featurize(&cfg, &idf, "  !! ").unwrap_err(),
+            TextError::EmptyText
+        );
+    }
+
+    #[test]
+    fn idf_downweights_ubiquitous_buckets() {
+        let cfg = FeaturizerConfig {
+            n_buckets: 64,
+            ..FeaturizerConfig::default()
+        };
+        let docs: Vec<_> = [
+            "course syllabus threads",
+            "course syllabus cache",
+            "course syllabus mpi",
+        ]
+        .iter()
+        .map(|t| cfg.raw_counts(t))
+        .collect();
+        let df = document_frequencies(cfg.n_buckets, &docs);
+        let idf = idf_from_df(&df, docs.len());
+        assert_eq!(idf.len(), cfg.n_buckets);
+        let (common, _) = cfg.bucket_of(b'w', b"course");
+        let (rare, _) = cfg.bucket_of(b'w', b"mpi");
+        assert!(
+            idf[rare] > idf[common],
+            "rare {} must out-weigh common {}",
+            idf[rare],
+            idf[common]
+        );
+        assert!(idf.iter().all(|&x| x >= 1.0), "smoothed IDF never hits 0");
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_geometry() {
+        let bad = FeaturizerConfig {
+            n_buckets: 2,
+            ..FeaturizerConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(TextError::Config { .. })));
+        let bad = FeaturizerConfig {
+            char_ngram: 1,
+            ..FeaturizerConfig::default()
+        };
+        assert!(matches!(bad.validate(), Err(TextError::Config { .. })));
+        assert!(FeaturizerConfig::default().validate().is_ok());
+    }
+}

@@ -1,0 +1,46 @@
+//! # anchors-text — raw text → ontology tags
+//!
+//! Everything downstream of the fold-in [`QueryEngine`] assumes a course
+//! already carries curated tag assignments. This crate learns that step:
+//! it maps raw course/material text (a syllabus, an assignment handout, a
+//! forum post) to guideline tag codes, so content nobody hand-labeled can
+//! enter the anchor-point pipeline.
+//!
+//! The design follows the classification-against-guidelines related work:
+//! a lightweight bag-of-words model is enough for this mapping, and it
+//! must be cheap enough to run per request on the serving hot path.
+//!
+//! * [`FeaturizerConfig`] / [`featurize`] — a **hashed** TF-IDF
+//!   featurizer: word tokens plus character n-grams, each hashed into a
+//!   fixed bucket space with a seeded signed hash (no vocabulary to
+//!   store or version — the seed *is* the vocabulary), sublinear TF
+//!   scaling, stored IDF weights, L2 normalization. Fully deterministic
+//!   for a given `(seed, n_buckets, char_ngram)` triple.
+//! * [`train`] — one-vs-rest logistic regression via averaged SGD with a
+//!   deterministic per-epoch shuffle, plus per-tag threshold calibration
+//!   (midpoint of the mean positive/negative training scores), so
+//!   `predicted` answers are comparable across tags with very different
+//!   base rates.
+//! * [`TextModel`] — the frozen artifact: featurizer config, IDF vector,
+//!   weight matrix, biases, calibrated thresholds, and the ontology
+//!   fingerprint it was trained against. [`TextModel::classify`] returns
+//!   calibrated per-tag scores and the thresholded tag set.
+//! * [`TextError`] — the typed failure taxonomy (empty input, unknown
+//!   tags, fingerprint drift, invalid geometry), folded into
+//!   `AnchorsError` by `anchors-core`.
+//!
+//! Serialization lives in `anchors-serve` (`text_artifact`), where the
+//! model rides the same checksum-framed JSON/binary codec and registry
+//! machinery as `FittedModel`.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod featurize;
+pub mod model;
+pub mod train;
+
+pub use error::TextError;
+pub use featurize::{featurize, mix64, tokenize, FeaturizerConfig};
+pub use model::{TagScore, TextClassification, TextModel};
+pub use train::{micro_f1, train, TextExample, TrainConfig};

@@ -1,0 +1,288 @@
+//! The frozen text-classification artifact and its inference path.
+
+use crate::error::TextError;
+use crate::featurize::{featurize, FeaturizerConfig};
+use anchors_curricula::Ontology;
+use anchors_linalg::Matrix;
+
+/// A trained one-vs-rest linear text classifier over a guideline tag
+/// space. Everything needed to reproduce a classification bitwise is in
+/// the struct — featurizer geometry and seed, IDF, weights, biases,
+/// calibrated thresholds — plus enough provenance (ontology fingerprint,
+/// training diagnostics) to refuse to serve against the wrong guideline
+/// revision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextModel {
+    /// Human-readable model name.
+    pub name: String,
+    /// Guideline the tag codes come from (e.g. `"ACM/IEEE CS2013"`).
+    pub guideline: String,
+    /// [`Ontology::fingerprint`] of the guideline revision trained
+    /// against.
+    pub fingerprint: u64,
+    /// Dotted tag codes, one per classifier row, in training order.
+    pub tag_codes: Vec<String>,
+    /// Hashed-featurizer geometry and seed.
+    pub config: FeaturizerConfig,
+    /// Per-bucket IDF weights fitted on the training corpus
+    /// (`n_buckets` long).
+    pub idf: Vec<f64>,
+    /// Classifier weights, `n_tags × n_buckets`.
+    pub weights: Matrix,
+    /// Per-tag intercepts (`n_tags` long).
+    pub bias: Vec<f64>,
+    /// Per-tag calibrated decision thresholds in probability space
+    /// (`n_tags` long).
+    pub thresholds: Vec<f64>,
+    /// Number of training documents.
+    pub train_docs: usize,
+    /// Trainer shuffle seed (provenance).
+    pub train_seed: u64,
+    /// Micro-averaged F1 on the training corpus after calibration.
+    pub train_f1: f64,
+}
+
+/// One tag's calibrated score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagScore {
+    /// Dotted guideline code.
+    pub code: String,
+    /// Calibrated probability-space score in `[0, 1]`.
+    pub score: f64,
+    /// Whether the score cleared this tag's calibrated threshold.
+    pub predicted: bool,
+}
+
+/// The result of classifying one document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextClassification {
+    /// Every tag's score, descending by score (ties broken by code), so
+    /// the head of the list is always the model's best guess.
+    pub scores: Vec<TagScore>,
+    /// The predicted tag codes in score order. Never empty: when no tag
+    /// clears its threshold, the single best-scoring tag is predicted
+    /// anyway — downstream fold-in needs at least one coordinate.
+    pub predicted: Vec<String>,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl TextModel {
+    /// Classify one document: featurize, score every tag, threshold.
+    pub fn classify(&self, text: &str) -> Result<TextClassification, TextError> {
+        let vector = featurize(&self.config, &self.idf, text)?;
+        let mut scores: Vec<TagScore> = self
+            .tag_codes
+            .iter()
+            .enumerate()
+            .map(|(tag, code)| {
+                let row = self.weights.row(tag);
+                let margin: f64 =
+                    self.bias[tag] + vector.iter().map(|&(b, v)| row[b] * v).sum::<f64>();
+                let score = sigmoid(margin);
+                TagScore {
+                    code: code.clone(),
+                    score,
+                    predicted: score >= self.thresholds[tag],
+                }
+            })
+            .collect();
+        scores.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.code.cmp(&b.code))
+        });
+        if !scores.iter().any(|s| s.predicted) {
+            if let Some(top) = scores.first_mut() {
+                top.predicted = true;
+            }
+        }
+        let predicted = scores
+            .iter()
+            .filter(|s| s.predicted)
+            .map(|s| s.code.clone())
+            .collect();
+        Ok(TextClassification { scores, predicted })
+    }
+
+    /// Number of tags this model scores.
+    pub fn n_tags(&self) -> usize {
+        self.tag_codes.len()
+    }
+
+    /// Refuse to serve against a different guideline revision than the
+    /// one trained against, and require every tag code to still resolve.
+    pub fn check_ontology(&self, ontology: &Ontology) -> Result<(), TextError> {
+        let found = ontology.fingerprint();
+        if found != self.fingerprint {
+            return Err(TextError::FingerprintMismatch {
+                guideline: self.guideline.clone(),
+                expected: self.fingerprint,
+                found,
+            });
+        }
+        for code in &self.tag_codes {
+            if ontology.by_code(code).is_none() {
+                return Err(TextError::UnknownTag { code: code.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate internal geometry — the decode-side defense that turns a
+    /// structurally plausible but inconsistent artifact into a typed
+    /// error instead of an out-of-bounds panic on the first query.
+    pub fn check_shapes(&self) -> Result<(), TextError> {
+        let fail = |detail: String| Err(TextError::Invalid { detail });
+        self.config.validate()?;
+        let (n_tags, n_buckets) = (self.tag_codes.len(), self.config.n_buckets);
+        if n_tags == 0 {
+            return fail("no tag codes".into());
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for code in &self.tag_codes {
+            if !seen.insert(code) {
+                return fail(format!("duplicate tag code {code:?}"));
+            }
+        }
+        if self.weights.shape() != (n_tags, n_buckets) {
+            return fail(format!(
+                "weights are {:?}, want ({n_tags}, {n_buckets})",
+                self.weights.shape()
+            ));
+        }
+        if self.idf.len() != n_buckets {
+            return fail(format!(
+                "idf has {} entries, want {n_buckets}",
+                self.idf.len()
+            ));
+        }
+        if self.bias.len() != n_tags {
+            return fail(format!(
+                "bias has {} entries, want {n_tags}",
+                self.bias.len()
+            ));
+        }
+        if self.thresholds.len() != n_tags {
+            return fail(format!(
+                "thresholds has {} entries, want {n_tags}",
+                self.thresholds.len()
+            ));
+        }
+        let finite = |xs: &[f64]| xs.iter().all(|x| x.is_finite());
+        if !finite(&self.idf) || !finite(&self.bias) || !finite(self.weights.as_slice()) {
+            return fail("non-finite model parameters".into());
+        }
+        if !finite(&self.thresholds) || self.thresholds.iter().any(|&t| !(0.0..=1.0).contains(&t)) {
+            return fail("thresholds outside [0, 1]".into());
+        }
+        if !self.train_f1.is_finite() {
+            return fail("non-finite training F1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+
+    /// A hand-built two-tag model whose weights make the word "threads"
+    /// (hashed under the default seed) vote for tag 0.
+    fn toy() -> TextModel {
+        let cs = cs2013();
+        let codes: Vec<String> = cs
+            .leaf_items()
+            .into_iter()
+            .take(2)
+            .map(|id| cs.node(id).code.clone())
+            .collect();
+        let config = FeaturizerConfig {
+            n_buckets: 64,
+            ..FeaturizerConfig::default()
+        };
+        let counts = config.raw_counts("threads");
+        let mut weights = Matrix::zeros(2, config.n_buckets);
+        for (&bucket, &sign) in &counts {
+            weights.row_mut(0)[bucket] = 8.0 * sign;
+        }
+        TextModel {
+            name: "toy".into(),
+            guideline: cs.name.clone(),
+            fingerprint: cs.fingerprint(),
+            tag_codes: codes,
+            config,
+            idf: vec![1.0; config.n_buckets],
+            weights,
+            bias: vec![0.0, 0.0],
+            thresholds: vec![0.6, 0.6],
+            train_docs: 0,
+            train_seed: 0,
+            train_f1: 1.0,
+        }
+    }
+
+    #[test]
+    fn classify_scores_thresholds_and_orders() {
+        let model = toy();
+        model.check_shapes().unwrap();
+        let got = model.classify("threads").unwrap();
+        assert_eq!(got.scores.len(), 2);
+        assert_eq!(got.scores[0].code, model.tag_codes[0]);
+        assert!(
+            got.scores[0].score > 0.9,
+            "strong vote: {}",
+            got.scores[0].score
+        );
+        assert_eq!(got.predicted, vec![model.tag_codes[0].clone()]);
+        // A document with no signal still predicts its best guess.
+        let neutral = model.classify("pumpkin carving for fun").unwrap();
+        assert_eq!(neutral.predicted.len(), 1);
+        assert!(neutral.scores[0].predicted);
+    }
+
+    #[test]
+    fn empty_text_refuses() {
+        assert_eq!(toy().classify("  ").unwrap_err(), TextError::EmptyText);
+    }
+
+    #[test]
+    fn ontology_gate_catches_drift_and_unknown_codes() {
+        let cs = cs2013();
+        let model = toy();
+        model.check_ontology(cs).unwrap();
+        let mut drifted = model.clone();
+        drifted.fingerprint ^= 1;
+        assert!(matches!(
+            drifted.check_ontology(cs),
+            Err(TextError::FingerprintMismatch { .. })
+        ));
+        let mut bad_code = model.clone();
+        bad_code.tag_codes[0] = "NOPE.xx".into();
+        assert!(matches!(
+            bad_code.check_ontology(cs),
+            Err(TextError::UnknownTag { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_gate_catches_geometry_defects() {
+        let good = toy();
+        let mut bad = good.clone();
+        bad.idf.pop();
+        assert!(matches!(bad.check_shapes(), Err(TextError::Invalid { .. })));
+        let mut bad = good.clone();
+        bad.bias[0] = f64::NAN;
+        assert!(matches!(bad.check_shapes(), Err(TextError::Invalid { .. })));
+        let mut bad = good.clone();
+        bad.thresholds[1] = 1.5;
+        assert!(matches!(bad.check_shapes(), Err(TextError::Invalid { .. })));
+        let mut bad = good;
+        bad.tag_codes[1] = bad.tag_codes[0].clone();
+        assert!(matches!(bad.check_shapes(), Err(TextError::Invalid { .. })));
+    }
+}

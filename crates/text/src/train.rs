@@ -1,0 +1,415 @@
+//! One-vs-rest averaged-SGD logistic regression with per-tag
+//! threshold calibration.
+//!
+//! The trainer is deliberately boring: `n_tags` independent binary
+//! logistic regressions over the shared hashed TF-IDF vectors, each run
+//! with plain SGD under a `1/(1 + t/n)` step decay and a deterministic
+//! Fisher–Yates shuffle per epoch (seeded per `(tag, epoch)`, so results
+//! are bitwise reproducible and tags are trainable in parallel). The
+//! weights served are the *tail average* over the final epoch's steps —
+//! cheap insurance against the last minibatch's noise.
+//!
+//! Per-tag base rates in a guideline corpus differ wildly (a popular
+//! topic appears in half the documents, a niche one in 2%), so a global
+//! 0.5 cutoff over-predicts common tags and never predicts rare ones.
+//! Calibration fixes the cutoff per tag: the threshold is the midpoint
+//! between the mean positive-example score and the mean
+//! negative-example score, clamped to `[0.05, 0.95]`.
+
+use crate::error::TextError;
+use crate::featurize::{document_frequencies, idf_from_df, mix64, tf_idf_vector, FeaturizerConfig};
+use crate::model::TextModel;
+use anchors_curricula::Ontology;
+use anchors_linalg::{parallel, Matrix};
+
+/// One training document: raw text plus its true tag codes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextExample {
+    /// Raw document text.
+    pub text: String,
+    /// True dotted tag codes (a subset of the declared tag space).
+    pub tag_codes: Vec<String>,
+}
+
+/// Trainer hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Base learning rate.
+    pub lr: f64,
+    /// L2 regularization strength (applied to touched coordinates).
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Feature-space geometry.
+    pub featurizer: FeaturizerConfig,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 8,
+            lr: 0.5,
+            l2: 1e-5,
+            seed: 7,
+            featurizer: FeaturizerConfig::default(),
+        }
+    }
+}
+
+impl TrainConfig {
+    fn validate(&self) -> Result<(), TextError> {
+        self.featurizer.validate()?;
+        let fail = |detail: String| Err(TextError::Config { detail });
+        if self.epochs == 0 {
+            return fail("epochs must be ≥ 1".into());
+        }
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return fail(format!("learning rate {} must be positive", self.lr));
+        }
+        if !(self.l2.is_finite() && self.l2 >= 0.0) {
+            return fail(format!("l2 {} must be non-negative", self.l2));
+        }
+        Ok(())
+    }
+}
+
+/// In-place Fisher–Yates driven by a splitmix64 counter stream.
+fn shuffle(order: &mut [usize], seed: u64) {
+    for i in (1..order.len()).rev() {
+        let j = (mix64(seed ^ (i as u64)) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+struct TagFit {
+    weights: Vec<f64>,
+    bias: f64,
+    threshold: f64,
+}
+
+/// Fit one binary classifier (tag `tag`) over the shared vectors.
+fn fit_tag(
+    tag: usize,
+    vectors: &[Vec<(usize, f64)>],
+    positive: &[bool],
+    cfg: &TrainConfig,
+) -> TagFit {
+    let n = vectors.len();
+    let n_buckets = cfg.featurizer.n_buckets;
+    let mut w = vec![0.0f64; n_buckets];
+    let mut b = 0.0f64;
+    let mut w_avg = vec![0.0f64; n_buckets];
+    let mut b_avg = 0.0f64;
+    let mut avg_steps = 0usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut t = 0usize;
+    for epoch in 0..cfg.epochs {
+        shuffle(
+            &mut order,
+            mix64(cfg.seed ^ (tag as u64).wrapping_mul(0x9E37_79B9) ^ (epoch as u64) << 32),
+        );
+        let last_epoch = epoch + 1 == cfg.epochs;
+        for &i in &order {
+            t += 1;
+            let lr_t = cfg.lr / (1.0 + t as f64 / n as f64);
+            let x = &vectors[i];
+            let margin: f64 = b + x.iter().map(|&(bk, v)| w[bk] * v).sum::<f64>();
+            let y = if positive[i] { 1.0 } else { 0.0 };
+            let g = sigmoid(margin) - y;
+            for &(bk, v) in x {
+                w[bk] -= lr_t * (g * v + cfg.l2 * w[bk]);
+            }
+            b -= lr_t * g;
+            if last_epoch {
+                for (acc, &wi) in w_avg.iter_mut().zip(&w) {
+                    *acc += wi;
+                }
+                b_avg += b;
+                avg_steps += 1;
+            }
+        }
+    }
+    let scale = 1.0 / avg_steps.max(1) as f64;
+    for acc in &mut w_avg {
+        *acc *= scale;
+    }
+    b_avg *= scale;
+
+    // Calibrate: midpoint between the mean positive and negative scores.
+    let (mut pos_sum, mut pos_n, mut neg_sum, mut neg_n) = (0.0, 0usize, 0.0, 0usize);
+    for (x, &is_pos) in vectors.iter().zip(positive) {
+        let margin: f64 = b_avg + x.iter().map(|&(bk, v)| w_avg[bk] * v).sum::<f64>();
+        let p = sigmoid(margin);
+        if is_pos {
+            pos_sum += p;
+            pos_n += 1;
+        } else {
+            neg_sum += p;
+            neg_n += 1;
+        }
+    }
+    let threshold = if pos_n == 0 || neg_n == 0 {
+        0.5
+    } else {
+        (0.5 * (pos_sum / pos_n as f64 + neg_sum / neg_n as f64)).clamp(0.05, 0.95)
+    };
+    TagFit {
+        weights: w_avg,
+        bias: b_avg,
+        threshold,
+    }
+}
+
+/// Train a [`TextModel`] over `tag_codes` from labeled examples.
+///
+/// `ontology` pins the guideline revision: every declared tag code must
+/// resolve in it, and its fingerprint is baked into the model so serving
+/// against a drifted revision is a typed refusal. Examples must label
+/// only declared codes; documents that tokenize to nothing are rejected
+/// up front (a silent skip would shift every index-based diagnostic).
+/// Training is deterministic for a fixed config and bitwise identical
+/// at any thread count (tags fan out through
+/// [`anchors_linalg::parallel::outer_map`]).
+pub fn train(
+    name: &str,
+    ontology: &Ontology,
+    tag_codes: &[String],
+    examples: &[TextExample],
+    cfg: &TrainConfig,
+) -> Result<TextModel, TextError> {
+    cfg.validate()?;
+    if examples.is_empty() {
+        return Err(TextError::EmptyCorpus);
+    }
+    if tag_codes.is_empty() {
+        return Err(TextError::Config {
+            detail: "empty tag space".into(),
+        });
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for code in tag_codes {
+        if ontology.by_code(code).is_none() {
+            return Err(TextError::UnknownTag { code: code.clone() });
+        }
+        if !seen.insert(code.as_str()) {
+            return Err(TextError::Config {
+                detail: format!("duplicate tag code {code:?}"),
+            });
+        }
+    }
+    let index_of: std::collections::BTreeMap<&str, usize> = tag_codes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.as_str(), i))
+        .collect();
+
+    // Featurize once; every tag shares the vectors.
+    let counts: Vec<_> = examples
+        .iter()
+        .map(|ex| cfg.featurizer.raw_counts(&ex.text))
+        .collect();
+    if counts.iter().any(|c| c.is_empty()) {
+        return Err(TextError::EmptyText);
+    }
+    let df = document_frequencies(cfg.featurizer.n_buckets, &counts);
+    let idf = idf_from_df(&df, counts.len());
+    let vectors = counts
+        .iter()
+        .map(|c| tf_idf_vector(c, &idf))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let n_tags = tag_codes.len();
+    let mut labels = vec![vec![false; examples.len()]; n_tags];
+    for (i, ex) in examples.iter().enumerate() {
+        for code in &ex.tag_codes {
+            let &tag = index_of
+                .get(code.as_str())
+                .ok_or_else(|| TextError::UnknownTag { code: code.clone() })?;
+            labels[tag][i] = true;
+        }
+    }
+
+    let fits = parallel::outer_map(n_tags, |tag| fit_tag(tag, &vectors, &labels[tag], cfg));
+
+    let mut weights = Vec::with_capacity(n_tags * cfg.featurizer.n_buckets);
+    let mut bias = Vec::with_capacity(n_tags);
+    let mut thresholds = Vec::with_capacity(n_tags);
+    for fit in &fits {
+        weights.extend_from_slice(&fit.weights);
+        bias.push(fit.bias);
+        thresholds.push(fit.threshold);
+    }
+    let mut model = TextModel {
+        name: name.to_string(),
+        guideline: ontology.name.clone(),
+        fingerprint: ontology.fingerprint(),
+        tag_codes: tag_codes.to_vec(),
+        config: cfg.featurizer,
+        idf,
+        weights: Matrix::from_vec(n_tags, cfg.featurizer.n_buckets, weights),
+        bias,
+        thresholds,
+        train_docs: examples.len(),
+        train_seed: cfg.seed,
+        train_f1: 0.0,
+    };
+    model.train_f1 = micro_f1(&model, examples)?;
+    model.check_shapes()?;
+    Ok(model)
+}
+
+/// Micro-averaged F1 of `model` over labeled examples — the quality
+/// number the bench gate and the training diagnostic both use.
+pub fn micro_f1(model: &TextModel, examples: &[TextExample]) -> Result<f64, TextError> {
+    if examples.is_empty() {
+        return Err(TextError::EmptyCorpus);
+    }
+    let (mut tp, mut fp, mut fne) = (0usize, 0usize, 0usize);
+    for ex in examples {
+        let got = model.classify(&ex.text)?;
+        let truth: std::collections::BTreeSet<&str> =
+            ex.tag_codes.iter().map(String::as_str).collect();
+        let predicted: std::collections::BTreeSet<&str> =
+            got.predicted.iter().map(String::as_str).collect();
+        tp += truth.intersection(&predicted).count();
+        fp += predicted.difference(&truth).count();
+        fne += truth.difference(&predicted).count();
+    }
+    let denom = 2 * tp + fp + fne;
+    Ok(if denom == 0 {
+        1.0
+    } else {
+        2.0 * tp as f64 / denom as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+
+    fn codes(n: usize) -> Vec<String> {
+        let cs = cs2013();
+        cs.leaf_items()
+            .into_iter()
+            .take(n)
+            .map(|id| cs.node(id).code.clone())
+            .collect()
+    }
+
+    /// A tiny hand-rolled corpus with one unmistakable word per tag.
+    fn corpus(codes: &[String], docs_per_tag: usize) -> Vec<TextExample> {
+        let mut out = Vec::new();
+        for (t, code) in codes.iter().enumerate() {
+            for d in 0..docs_per_tag {
+                out.push(TextExample {
+                    text: format!(
+                        "lecture {d} covers signalword{t} and signalword{t} again \
+                         plus general course admin"
+                    ),
+                    tag_codes: vec![code.clone()],
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn separable_corpus_trains_to_high_f1() {
+        let codes = codes(4);
+        let examples = corpus(&codes, 6);
+        let cfg = TrainConfig {
+            featurizer: FeaturizerConfig {
+                n_buckets: 512,
+                ..FeaturizerConfig::default()
+            },
+            ..TrainConfig::default()
+        };
+        let model = train("sep", cs2013(), &codes, &examples, &cfg).unwrap();
+        assert!(model.train_f1 > 0.95, "train F1 {}", model.train_f1);
+        let got = model.classify("today signalword2 appears").unwrap();
+        assert_eq!(got.predicted, vec![codes[2].clone()]);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let codes = codes(3);
+        let examples = corpus(&codes, 4);
+        let cfg = TrainConfig {
+            featurizer: FeaturizerConfig {
+                n_buckets: 256,
+                ..FeaturizerConfig::default()
+            },
+            ..TrainConfig::default()
+        };
+        let a = train("det", cs2013(), &codes, &examples, &cfg).unwrap();
+        let b = train("det", cs2013(), &codes, &examples, &cfg).unwrap();
+        assert_eq!(a, b, "same config, same corpus, same bits");
+        let other = train(
+            "det",
+            cs2013(),
+            &codes,
+            &examples,
+            &TrainConfig { seed: 99, ..cfg },
+        )
+        .unwrap();
+        assert_ne!(a.weights, other.weights, "seed changes the trajectory");
+    }
+
+    #[test]
+    fn bad_inputs_are_typed() {
+        let codes = codes(2);
+        let cfg = TrainConfig::default();
+        assert_eq!(
+            train("e", cs2013(), &codes, &[], &cfg).unwrap_err(),
+            TextError::EmptyCorpus
+        );
+        let bogus = vec!["NOPE.xx".to_string()];
+        assert!(matches!(
+            train("e", cs2013(), &bogus, &corpus(&codes, 1), &cfg).unwrap_err(),
+            TextError::UnknownTag { .. }
+        ));
+        let mut stray = corpus(&codes, 1);
+        stray[0].tag_codes = vec!["NOPE.yy".into()];
+        assert!(matches!(
+            train("e", cs2013(), &codes, &stray, &cfg).unwrap_err(),
+            TextError::UnknownTag { .. }
+        ));
+        let mut blank = corpus(&codes, 1);
+        blank[0].text = " … ".into();
+        assert_eq!(
+            train("e", cs2013(), &codes, &blank, &cfg).unwrap_err(),
+            TextError::EmptyText
+        );
+        assert!(matches!(
+            train(
+                "e",
+                cs2013(),
+                &codes,
+                &corpus(&codes, 1),
+                &TrainConfig {
+                    epochs: 0,
+                    ..TrainConfig::default()
+                }
+            )
+            .unwrap_err(),
+            TextError::Config { .. }
+        ));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut order: Vec<usize> = (0..50).collect();
+        shuffle(&mut order, 123);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(order, sorted, "50 elements almost surely move");
+    }
+}

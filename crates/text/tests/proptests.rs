@@ -1,0 +1,159 @@
+//! Property-based round-trip of the text front door: a seeded tag set
+//! becomes synthetic syllabus text (via `anchors-corpus`), the trained
+//! classifier reads the text back, and the original tags are recovered
+//! above a fixed quality floor. Also pins the structural invariants of
+//! classification output on arbitrary inputs.
+
+use anchors_corpus::text::{document_for_tags, generate_text_corpus, TextCorpusConfig};
+use anchors_curricula::cs2013;
+use anchors_text::{micro_f1, train, TextExample, TextModel, TrainConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Held-out documents per proptest case. Recovery is asserted over the
+/// batch, not per document — individual synthetic docs are allowed to be
+/// noisy, the classifier is not.
+const DOCS_PER_CASE: usize = 10;
+
+/// Micro-F1 floor on *held-out* batches (fresh document seeds the
+/// trainer never saw). Deliberately below the ≥0.9 training-corpus gate
+/// in `BENCH_text.json`: generalization to unseen seeds is the property,
+/// the margin absorbs unlucky batches.
+const HELD_OUT_F1_FLOOR: f64 = 0.55;
+
+/// One model for the whole suite: training is the expensive step and the
+/// properties quantify over *inputs*, not over retrainings (determinism
+/// of training itself is covered by unit tests in `anchors_text::train`).
+fn model() -> &'static TextModel {
+    static MODEL: OnceLock<TextModel> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let corpus = generate_text_corpus(&TextCorpusConfig {
+            tags: 12,
+            ..TextCorpusConfig::default()
+        });
+        train(
+            "prop-text",
+            cs2013(),
+            &corpus.tag_codes,
+            &corpus.examples,
+            &TrainConfig::default(),
+        )
+        .expect("training on the synthetic corpus succeeds")
+    })
+}
+
+/// A held-out batch: `DOCS_PER_CASE` fresh documents, all carrying the
+/// same tag set, generated from seeds the training corpus never used.
+fn held_out_batch(tag_codes: &[String], base_seed: u64) -> Vec<TextExample> {
+    (0..DOCS_PER_CASE)
+        .map(|i| {
+            let seed = base_seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1);
+            TextExample {
+                text: document_for_tags(tag_codes, 60, 0.35, seed),
+                tag_codes: tag_codes.to_vec(),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn seeded_single_tag_text_recovers_its_tag(
+        tag in 0usize..12,
+        base_seed in any::<u64>(),
+    ) {
+        // Round trip: tag → text → classify → tag. For single-tag
+        // documents the batch must clear the recovery floor, and the
+        // true tag must be the top-scoring prediction on most of the
+        // batch — the front door's "best guess" is what fold-in uses.
+        let model = model();
+        let code = model.tag_codes[tag].clone();
+        let batch = held_out_batch(std::slice::from_ref(&code), base_seed);
+        let f1 = micro_f1(model, &batch).expect("held-out batch scores");
+        prop_assert!(
+            f1 >= HELD_OUT_F1_FLOOR,
+            "tag {code}: held-out micro-F1 {f1:.3} below {HELD_OUT_F1_FLOOR}"
+        );
+        let top_hits = batch
+            .iter()
+            .filter(|ex| {
+                let got = model.classify(&ex.text).expect("classifies");
+                got.scores[0].code == code
+            })
+            .count();
+        prop_assert!(
+            top_hits * 2 > DOCS_PER_CASE,
+            "tag {code}: top-1 recovered on only {top_hits}/{DOCS_PER_CASE} docs"
+        );
+    }
+
+    #[test]
+    fn seeded_multi_tag_text_recovers_its_tags(
+        first in 0usize..12,
+        stride in 1usize..11,
+        extra in 0usize..2,
+        base_seed in any::<u64>(),
+    ) {
+        // Multi-label round trip: 2–3 distinct tags share one document;
+        // batch-level recovery must still clear the floor.
+        let model = model();
+        let mut codes: Vec<String> = (0..2 + extra)
+            .map(|i| model.tag_codes[(first + i * stride) % 12].clone())
+            .collect();
+        codes.dedup();
+        let batch = held_out_batch(&codes, base_seed);
+        let f1 = micro_f1(model, &batch).expect("held-out batch scores");
+        prop_assert!(
+            f1 >= HELD_OUT_F1_FLOOR,
+            "tags {codes:?}: held-out micro-F1 {f1:.3} below {HELD_OUT_F1_FLOOR}"
+        );
+    }
+
+    #[test]
+    fn classification_output_is_deterministic_and_well_formed(
+        tag in 0usize..12,
+        seed in any::<u64>(),
+        words in 5usize..80,
+    ) {
+        // Structural invariants on any classifiable input: scores cover
+        // every tag exactly once in descending order, probabilities stay
+        // in [0, 1], `predicted` is a non-empty score-ordered subset,
+        // and classifying twice is bitwise identical.
+        let model = model();
+        let text = document_for_tags(
+            std::slice::from_ref(&model.tag_codes[tag]),
+            words,
+            0.5,
+            seed,
+        );
+        let got = model.classify(&text).expect("classifies");
+        prop_assert_eq!(got.scores.len(), model.n_tags());
+        let mut seen: Vec<&str> = got.scores.iter().map(|s| s.code.as_str()).collect();
+        seen.sort_unstable();
+        let mut all: Vec<&str> = model.tag_codes.iter().map(|c| c.as_str()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(seen, all, "scores cover the tag space exactly once");
+        for pair in got.scores.windows(2) {
+            prop_assert!(pair[0].score >= pair[1].score, "scores sorted descending");
+        }
+        for s in &got.scores {
+            prop_assert!((0.0..=1.0).contains(&s.score), "{}: score {}", s.code, s.score);
+        }
+        prop_assert!(!got.predicted.is_empty(), "predicted never empty");
+        let predicted_by_scores: Vec<&String> = got
+            .scores
+            .iter()
+            .filter(|s| s.predicted)
+            .map(|s| &s.code)
+            .collect();
+        prop_assert_eq!(
+            got.predicted.iter().collect::<Vec<_>>(),
+            predicted_by_scores,
+            "predicted mirrors the thresholded scores in order"
+        );
+        let again = model.classify(&text).expect("classifies again");
+        prop_assert_eq!(again, got, "classification is deterministic");
+    }
+}

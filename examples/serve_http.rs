@@ -1,19 +1,26 @@
 //! Serve a fitted model over HTTP: fit once, publish to a registry,
 //! start the pure-std HTTP front end, and exercise every endpoint from
-//! a client — including a hot reload to a newer model version, with
-//! zero downtime.
+//! a client — including the raw-text front door (`/v1/classify_text`)
+//! and a hot reload to a newer model version, with zero downtime.
 //!
 //! ```sh
 //! cargo run --example serve_http
 //! ```
+//!
+//! Artifacts are written in JSON by default; set
+//! `ANCHORS_ARTIFACT_FORMAT=bin` to publish (and serve) the zero-copy
+//! binary layout instead — the factor model and the text model both
+//! honor it, and a registry reads back whichever formats it finds.
 
 use anchors_corpus::default_corpus;
+use anchors_corpus::text::document_for_tags;
 use anchors_curricula::{cs2013, pdc12};
 use anchors_factor::{try_nnmf, NnmfConfig};
 use anchors_linalg::Backend;
 use anchors_materials::CourseMatrix;
 use anchors_serve::{FittedModel, Registry};
-use anchors_server::{AppState, Client, Server, ServerConfig};
+use anchors_server::{AppState, Client, Server, ServerConfig, TextDoor};
+use anchors_text::{train, TextExample, TextModel, TrainConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,10 +38,57 @@ fn main() {
     let registry = Registry::open(&dir).expect("open registry");
     registry.save(&artifact).expect("save v1");
 
+    // ── Train and publish the text front door ────────────────────────
+    // A classifier over a slice of the factor model's own tag space
+    // (predicted tags must fold in), trained on synthetic per-tag
+    // documents. It shares the registry directory: filename stems keep
+    // the `text-v*` and `model-v*` sequences independent.
+    let text_tags: Vec<String> = artifact
+        .tag_codes
+        .iter()
+        .step_by(4)
+        .take(8)
+        .cloned()
+        .collect();
+    let mut docs = Vec::new();
+    for (t, code) in text_tags.iter().enumerate() {
+        for d in 0..12 {
+            docs.push(TextExample {
+                text: document_for_tags(
+                    std::slice::from_ref(code),
+                    60,
+                    0.35,
+                    0xD0C ^ (t * 12 + d) as u64,
+                ),
+                tag_codes: vec![code.clone()],
+            });
+        }
+    }
+    let text_model = train(
+        "syllabus-text",
+        cs,
+        &text_tags,
+        &docs,
+        &TrainConfig::default(),
+    )
+    .expect("train text model");
+    println!(
+        "trained text model: {} tags, micro-F1 {:.3}",
+        text_tags.len(),
+        text_model.train_f1
+    );
+    let text_registry: Registry<TextModel> = Registry::open(&dir).expect("open text registry");
+    text_registry.save(&text_model).expect("save text v1");
+
     // ── Start the server ─────────────────────────────────────────────
     // Port 0 picks a free port; a deployment would pass ":8080". Four
     // workers behind a bounded queue — overflow is shed with 503.
-    let state = Arc::new(AppState::from_registry(registry, cs, pdc).expect("state"));
+    let door = TextDoor::open(Registry::open(&dir).expect("door registry"), cs);
+    let state = Arc::new(
+        AppState::from_registry(registry, cs, pdc)
+            .expect("state")
+            .with_text(door),
+    );
     let handle = Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default())
         .expect("start server");
     println!("=== Serving ===");
@@ -59,6 +113,24 @@ fn main() {
     let text = rec.text();
     println!("POST /v1/recommend -> {}", rec.status);
     println!("  flavors: {}", slice_after(&text, "\"flavors\""));
+    println!("  mixture: {}", slice_after(&text, "\"mixture\""));
+
+    // ── Raw text in, anchors out ─────────────────────────────────────
+    // One request runs the whole front door: classify the text into
+    // guideline tags, fold the predicted tags into the factor space,
+    // and recommend anchors — no hand-curated tag list anywhere.
+    let syllabus = document_for_tags(&text_tags[..2], 60, 0.35, 42);
+    let resp = client
+        .classify_text("CS 350: Syllabus Drop-Box", &["DS"], &syllabus)
+        .expect("classify_text");
+    let text = resp.text();
+    println!("POST /v1/classify_text -> {}", resp.status);
+    println!(
+        "  tags predicted: {} of {} (top: {})",
+        text.matches("\"predicted\":true").count(),
+        text_tags.len(),
+        slice_after(&text, "\"code\"")
+    );
     println!("  mixture: {}", slice_after(&text, "\"mixture\""));
 
     // ── A batch: many queries, one NNLS solve ────────────────────────
