@@ -1,0 +1,103 @@
+//! Per-kernel probe: times each multiply kernel under scalar and blocked
+//! modes on the NNMF bench shapes, so a fit-level regression can be
+//! attributed to the specific kernel that caused it. Diagnostic only —
+//! prints a table, writes nothing, gates nothing.
+//!
+//! Knobs: `ANCHORS_BENCH_ROWS`, `ANCHORS_BENCH_COLS`, `ANCHORS_BENCH_K`,
+//! `ANCHORS_BENCH_DENSITY` (percent, default 5).
+
+use anchors_linalg::ops::{matmul_a_bt_into, matmul_at_b_into, matmul_into};
+use anchors_linalg::{set_kernel_mode, CsrMatrix, KernelMode, MatKernels, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn synthetic(rows: usize, cols: usize, density: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        if rng.gen::<f64>() < density {
+            rng.gen_range(0.1..=1.0)
+        } else {
+            0.0
+        }
+    })
+}
+
+fn time_modes(label: &str, reps: usize, mut f: impl FnMut()) {
+    let mut ms = [0.0f64; 2];
+    for (slot, mode) in [(0, KernelMode::Scalar), (1, KernelMode::Blocked)] {
+        set_kernel_mode(Some(mode));
+        f(); // warm up (arena growth, page faults)
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        ms[slot] = t.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    }
+    set_kernel_mode(None);
+    println!(
+        "  {label:<26} scalar {:>9.3} ms   blocked {:>9.3} ms   ratio {:>5.2}x",
+        ms[0],
+        ms[1],
+        ms[0] / ms[1].max(1e-9)
+    );
+}
+
+fn main() {
+    let m = env_usize("ANCHORS_BENCH_ROWS", 2000);
+    let n = env_usize("ANCHORS_BENCH_COLS", 1024);
+    let k = env_usize("ANCHORS_BENCH_K", 8);
+    let density = env_usize("ANCHORS_BENCH_DENSITY", 5) as f64 / 100.0;
+
+    let a = synthetic(m, n, density, 0xBEEF);
+    let csr = CsrMatrix::from_dense(&a);
+    let w = synthetic(m, k, 1.0, 1);
+    let h = synthetic(k, n, 1.0, 2);
+    let dense_full = synthetic(m, n, 1.0, 3);
+    println!(
+        "kernel probe: A {m}x{n} density {:.3}, W {m}x{k}, H {k}x{n}",
+        csr.density()
+    );
+
+    let mut aht = Matrix::zeros(m, k);
+    time_modes("A·Hᵀ (dense, sparse-ish)", 3, || {
+        a.a_bt_into(&h, &mut aht);
+    });
+    time_modes("A·Hᵀ (dense, full)", 3, || {
+        dense_full.a_bt_into(&h, &mut aht);
+    });
+    time_modes("A·Hᵀ (CSR)", 10, || {
+        csr.a_bt_into(&h, &mut aht);
+    });
+
+    let mut atw = Matrix::zeros(n, k);
+    time_modes("Aᵀ·W (dense, sparse-ish)", 3, || {
+        a.at_b_into(&w, &mut atw);
+    });
+    time_modes("Aᵀ·W (dense, full)", 3, || {
+        dense_full.at_b_into(&w, &mut atw);
+    });
+    time_modes("Aᵀ·W (CSR)", 10, || {
+        csr.at_b_into(&w, &mut atw);
+    });
+
+    let mut wtw = Matrix::zeros(k, k);
+    time_modes("Wᵀ·W", 10, || {
+        matmul_at_b_into(&w, &w, &mut wtw);
+    });
+    let mut hht = Matrix::zeros(k, k);
+    time_modes("H·Hᵀ", 10, || {
+        matmul_a_bt_into(&h, &h, &mut hht);
+    });
+    let mut wh = Matrix::zeros(m, n);
+    time_modes("W·H (reconstruct)", 3, || {
+        matmul_into(&w, &h, &mut wh);
+    });
+}

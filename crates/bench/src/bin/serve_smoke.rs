@@ -10,6 +10,13 @@
 //! tags wide. Emits `BENCH_serve.json` at the workspace root (and a copy
 //! under `target/figures/`) for CI to archive.
 //!
+//! The same artifact is also frozen at `Precision::F32` and the per-query
+//! fold-in latency is measured for both precisions (p50 over the query
+//! set), along with the worst per-row relative error of the `f32`
+//! loadings — asserted against the documented
+//! `F32_FOLD_IN_MAX_REL_ERR` bound, so a serving-layer precision
+//! regression fails the bench rather than shipping.
+//!
 //! Knobs: `ANCHORS_BENCH_QUERIES`, `ANCHORS_BENCH_TAGS`,
 //! `ANCHORS_BENCH_K` env vars override the problem size for quicker
 //! local smoke runs.
@@ -19,7 +26,10 @@ use anchors_curricula::{cs2013, pdc12};
 use anchors_factor::{nnmf, NnmfConfig, Solver};
 use anchors_linalg::{Backend, CsrMatrix, Matrix};
 use anchors_materials::TagSpace;
-use anchors_serve::{BatchQueue, CourseQuery, FittedModel, QueryEngine};
+use anchors_serve::{
+    fold_in_max_rel_err, BatchQueue, CourseQuery, FittedModel, Precision, QueryEngine,
+    F32_FOLD_IN_MAX_REL_ERR,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::Path;
@@ -64,7 +74,9 @@ fn main() {
     let model = nnmf(&train, &cfg);
     let artifact =
         FittedModel::new("serve-smoke", cs, &space, &model, Backend::Dense).expect("artifact");
-    let engine = QueryEngine::new(artifact, cs, pdc12()).expect("engine");
+    let engine = QueryEngine::new(artifact.clone(), cs, pdc12()).expect("engine");
+    let engine_f32 =
+        QueryEngine::with_precision(artifact, cs, pdc12(), Precision::F32).expect("f32 engine");
     println!("  model: k = {k}, {n_tags} tags; {n_queries} unseen queries");
 
     // Unseen queries: sparse binary tag rows, ~8 tags each.
@@ -139,12 +151,44 @@ fn main() {
         n => n,
     };
 
+    // Per-query latency pair: the same single-row fold-in timed at f64 and
+    // f32, reported as the p50 over the query set.
+    let p50_us = |engine: &QueryEngine| -> f64 {
+        let mut us: Vec<f64> = (0..n_queries)
+            .map(|i| {
+                let t = Instant::now();
+                let w = engine.fold_in_row(batch.row(i)).expect("fold-in row");
+                let dt = t.elapsed().as_secs_f64() * 1e6;
+                std::hint::black_box(w);
+                dt
+            })
+            .collect();
+        us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        us[us.len() / 2]
+    };
+    let query_f64_p50_us = p50_us(&engine);
+    let query_f32_p50_us = p50_us(&engine_f32);
+
+    // Accuracy of the narrowed path: worst per-row relative error of the
+    // f32 loadings against the f64 reference, gated on the documented
+    // serving-layer bound.
+    let batched_f32 = engine_f32.fold_in_batch(&batch).expect("f32 fold-in");
+    let f32_max_rel_err = fold_in_max_rel_err(&batched, &batched_f32);
+    assert!(
+        f32_max_rel_err <= F32_FOLD_IN_MAX_REL_ERR,
+        "f32 fold-in error {f32_max_rel_err:.3e} exceeds the documented bound {F32_FOLD_IN_MAX_REL_ERR:.0e}"
+    );
+
     let speedup = single_ms / batched_ms.max(1e-9);
     println!("  one-at-a-time: {single_ms:>10.1} ms");
     println!("  batched:       {batched_ms:>10.1} ms");
     println!("  batched (CSR): {csr_ms:>10.1} ms");
     println!("  queue drain:   {flush_ms:>10.1} ms ({flush_qps:.0} q/s on {threads} threads)");
     println!("  speedup:       {speedup:>10.2}x (batched over one-at-a-time)");
+    println!(
+        "  query p50:     {query_f64_p50_us:>10.1} us (f64)   {query_f32_p50_us:>8.1} us (f32)"
+    );
+    println!("  f32 max rel err: {f32_max_rel_err:.3e} (bound {F32_FOLD_IN_MAX_REL_ERR:.0e})");
 
     let json = format!(
         concat!(
@@ -160,10 +204,27 @@ fn main() {
             "  \"flush_qps\": {:.1},\n",
             "  \"threads\": {},\n",
             "  \"speedup\": {:.3},\n",
+            "  \"query_f64_p50_us\": {:.2},\n",
+            "  \"query_f32_p50_us\": {:.2},\n",
+            "  \"f32_max_rel_err\": {:.6e},\n",
+            "  \"f32_err_bound\": {:.0e},\n",
             "  \"loadings_identical\": true\n",
             "}}\n"
         ),
-        n_queries, n_tags, k, single_ms, batched_ms, csr_ms, flush_ms, flush_qps, threads, speedup
+        n_queries,
+        n_tags,
+        k,
+        single_ms,
+        batched_ms,
+        csr_ms,
+        flush_ms,
+        flush_qps,
+        threads,
+        speedup,
+        query_f64_p50_us,
+        query_f32_p50_us,
+        f32_max_rel_err,
+        F32_FOLD_IN_MAX_REL_ERR
     );
 
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -49,6 +49,7 @@
 
 use crate::error::NnmfError;
 use crate::init::{init_factors, random_from_stats, Init};
+use anchors_linalg::microkernel;
 use anchors_linalg::ops::{dot, matmul, matmul_a_bt_into, matmul_at_b_into, matmul_into};
 #[cfg(test)]
 use anchors_linalg::CsrMatrix;
@@ -292,6 +293,8 @@ pub struct NnmfWorkspace {
     whht: Matrix,
     /// HALS row-update scratch, length `n`.
     delta: Vec<f64>,
+    /// Negated Gram-row scratch for the HALS H-update, length `k`.
+    neg_coeffs: Vec<f64>,
     /// Residual-loss reconstruction scratch, length `n`.
     row_scratch: Vec<f64>,
     /// `‖A‖_F²` of the matrix currently being fitted. Non-finite values
@@ -315,6 +318,7 @@ impl NnmfWorkspace {
             wtwh: Matrix::zeros(0, 0),
             whht: Matrix::zeros(0, 0),
             delta: Vec::new(),
+            neg_coeffs: Vec::new(),
             row_scratch: Vec::new(),
             a_frob_sq: 0.0,
             dense_view: None,
@@ -334,6 +338,7 @@ impl NnmfWorkspace {
             self.whht = Matrix::zeros(0, 0);
             self.mu_bufs = false;
             self.delta = vec![0.0; n];
+            self.neg_coeffs = vec![0.0; k];
             self.row_scratch = vec![0.0; n];
         }
         if matches!(solver, Solver::MultiplicativeUpdate) && !self.mu_bufs {
@@ -777,39 +782,25 @@ fn hals_step_ws<A: MatKernels>(a: &A, w: &mut Matrix, h: &mut Matrix, ws: &mut N
         for (j, d) in ws.delta.iter_mut().enumerate() {
             *d = ws.atw.get(j, t);
         }
-        for s in 0..k {
-            let g = ws.wtw.get(t, s);
-            if g == 0.0 {
-                continue;
-            }
-            let hrow = h.row(s);
-            for (d, &hv) in ws.delta.iter_mut().zip(hrow) {
-                *d -= g * hv;
-            }
+        // `d -= g·hv` ≡ `d += (−g)·hv` bitwise (IEEE negation is exact), so
+        // the subtraction routes through the shape-dispatched axpy kernel
+        // with the Gram row negated; the kernel's `coeff == 0.0` skip is the
+        // historical `g == 0.0` skip (−0.0 == 0.0 compares equal).
+        for (s, nc) in ws.neg_coeffs.iter_mut().enumerate() {
+            *nc = -ws.wtw.get(t, s);
         }
+        microkernel::axpy_rows(&ws.neg_coeffs, h, &mut ws.delta);
         let hrow = h.row_mut(t);
         for (hv, d) in hrow.iter_mut().zip(&ws.delta) {
             *hv = (*hv + d / gtt).max(0.0);
         }
     }
-    // --- Update W columns symmetrically with the fresh H.
+    // --- Update W columns symmetrically with the fresh H. The Gauss-Seidel
+    // column sweep lives in the microkernel crate so large problems take the
+    // register-tiled row-panel path (bitwise identical to the scalar loop).
     a.a_bt_into(h, &mut ws.aht);
     matmul_a_bt_into(h, h, &mut ws.hht);
-    for t in 0..k {
-        let gtt = ws.hht.get(t, t);
-        if gtt <= EPS {
-            continue;
-        }
-        for i in 0..w.rows() {
-            let mut d = ws.aht.get(i, t);
-            let wrow = w.row(i);
-            for s in 0..k {
-                d -= ws.hht.get(t, s) * wrow[s];
-            }
-            let nv = (w.get(i, t) + d / gtt).max(0.0);
-            w.set(i, t, nv);
-        }
-    }
+    microkernel::hals_w_update(w, &ws.aht, &ws.hht, EPS);
 }
 
 /// One ANLS sweep through the cached dense view (NNLS needs dense column

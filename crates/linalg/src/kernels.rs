@@ -131,16 +131,15 @@ pub trait MatKernels: Sync {
 
 /// Shared residual-loss accumulation over one reconstruction row:
 /// `row_scratch = Σ_t w_it · H[t,:]` accumulated in `t` order, skipping
-/// exact-zero loadings just like the dense multiply kernel.
+/// exact-zero loadings just like the dense multiply kernel. Routed
+/// through the blocked row-combination microkernel
+/// ([`crate::microkernel::axpy_rows`]), which fuses `MR` loadings per
+/// sweep of the scratch row while preserving both the term order and
+/// the skip rule — bitwise identical to the sequential axpy loop.
 #[inline]
 fn reconstruct_row_into(wrow: &[f64], h: &Matrix, row_scratch: &mut [f64]) {
     row_scratch.fill(0.0);
-    for (t, &wv) in wrow.iter().enumerate() {
-        if wv == 0.0 {
-            continue;
-        }
-        ops::axpy(wv, h.row(t), row_scratch);
-    }
+    crate::microkernel::axpy_rows(wrow, h, row_scratch);
 }
 
 #[inline]

@@ -21,6 +21,9 @@
 //!   multiply kernels;
 //! * [`kernels::MatKernels`] — the storage-generic kernel trait the NNMF
 //!   solvers are written against (dense and CSR, bitwise-paired);
+//! * [`microkernel`] — cache-blocked register-tiled microkernels behind
+//!   the multiply kernels, shape-dispatched at runtime and overridable
+//!   via `ANCHORS_KERNEL=scalar|blocked` (bitwise identical either way);
 //! * [`eigen`] — cyclic-Jacobi symmetric eigendecomposition and power
 //!   iteration;
 //! * [`svd`] — exact thin SVD (Gram route) and randomized top-k SVD;
@@ -34,6 +37,7 @@ pub mod eigen;
 pub mod error;
 pub mod kernels;
 pub mod matrix;
+pub mod microkernel;
 pub mod norms;
 pub mod ops;
 pub mod parallel;
@@ -48,6 +52,7 @@ pub use eigen::{power_iteration, sym_eigen, SymEigen};
 pub use error::LinalgError;
 pub use kernels::{Backend, DataMatrix, MatKernels};
 pub use matrix::Matrix;
+pub use microkernel::{kernel_mode, set_kernel_mode, KernelMode};
 pub use norms::{frobenius, frobenius_diff, frobenius_sq, relative_error};
 pub use ops::{
     gram, matmul, matmul_a_bt, matmul_a_bt_into, matmul_at_b, matmul_at_b_into, matmul_into,
@@ -57,8 +62,8 @@ pub use ops::{
 pub use parallel::{ParMode, Parallelism};
 pub use sketch::{sketch_rows, SketchConfig, SketchKind};
 pub use solve::{
-    cholesky, lstsq, nnls, solve_spd, try_cholesky, try_lstsq, try_nnls, try_nnls_multi,
-    try_solve_spd,
+    cholesky, lstsq, nnls, nnls_gram_f32, solve_spd, try_cholesky, try_lstsq, try_nnls,
+    try_nnls_multi, try_solve_spd,
 };
 pub use sparse::CsrMatrix;
 pub use svd::{randomized_svd, thin_svd, Svd};

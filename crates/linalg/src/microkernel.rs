@@ -1,0 +1,814 @@
+//! Cache-blocked, autovectorizer-friendly microkernels.
+//!
+//! The scalar multiply kernels in [`crate::ops`] compute each output
+//! element as one long fused-multiply-add chain (`dot`) or as a
+//! scatter of rank-1 updates. Both shapes leave the CPU mostly idle:
+//! a serial f64 FMA chain retires one add per add-latency (3–5
+//! cycles), so a 1024-long dot product costs ~4k cycles regardless of
+//! SIMD width. The kernels here restructure the same arithmetic into
+//! register tiles of [`MR`]×[`NR`] independent accumulators over
+//! packed, zero-padded panels, which gives the autovectorizer
+//! `MR`×`NR/LANES` independent vector FMA chains — enough to hide the
+//! latency and run at FMA throughput instead.
+//!
+//! ## Bitwise parity with the scalar kernels
+//!
+//! Every kernel in this module performs, for each output element, the
+//! *same additions in the same order* as its scalar counterpart:
+//!
+//! * the reduction index (`p` for `A·B`/`A·Bᵀ`, the row index for
+//!   `Aᵀ·B`) always advances sequentially per element — tiles span
+//!   *independent* output elements, never the reduction;
+//! * panel padding appends `0.0 · 0.0 = +0.0` terms, and the scalar
+//!   kernels' `a == 0.0` skips remove `±0.0` terms; an IEEE-754
+//!   accumulator that starts at `+0.0` and only ever adds products is
+//!   changed by a zero term only if it is exactly `-0.0`, which the
+//!   add sequence here cannot produce (round-to-nearest sums are
+//!   `-0.0` only when both operands are);
+//! * edge rows/columns that do not fill a tile fall back to the exact
+//!   scalar loop.
+//!
+//! So `scalar` and `blocked` agree **bitwise** (the documented
+//! contract is ≤1 ulp; the implementation achieves 0), and the
+//! runtime dispatch below never changes results — only speed.
+//!
+//! ## Dispatch
+//!
+//! [`kernel_mode`] reads `ANCHORS_KERNEL` (`scalar` | `blocked`,
+//! cached after first read, injectable via [`set_kernel_mode`] like
+//! `ops::set_par_threshold`). Unset means `auto`: problems with at
+//! least [`BLOCKED_MIN_WORK`] multiply-adds take the blocked path,
+//! small problems keep the scalar loops — packing a panel for a 5×7
+//! matrix costs more than it saves, and the tiny-shape tests keep
+//! exercising the scalar oracle they were written against.
+//!
+//! Packing buffers live in a per-thread arena ([`with_arena`]), so a
+//! warm fit iteration allocates nothing — the allocation-probe tests
+//! in `anchors-factor` hold under `ANCHORS_KERNEL=blocked` too.
+
+use crate::matrix::Matrix;
+use crate::sparse::CsrMatrix;
+use rayon::prelude::*;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Register-tile rows: independent output rows per microkernel call.
+pub const MR: usize = 4;
+/// Register-tile columns: independent output columns per microkernel
+/// call (two 4-wide f64 vectors on AVX2, one on AVX-512).
+pub const NR: usize = 8;
+
+/// Multiply-add count below which `auto` dispatch keeps the scalar
+/// path. Chosen so the NNMF toy/test shapes (≤ a few thousand FMA)
+/// stay scalar while every bench-scale product (millions) blocks.
+pub const BLOCKED_MIN_WORK: usize = 16 * 1024;
+
+/// Kernel selection policy. See [`kernel_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Shape-based dispatch: blocked above [`BLOCKED_MIN_WORK`].
+    Auto,
+    /// Always the scalar loops (the historical kernels).
+    Scalar,
+    /// Always the blocked microkernels (parity testing / benches).
+    Blocked,
+}
+
+/// Sentinel meaning "no cached value: consult the environment".
+const MODE_UNSET: u8 = u8::MAX;
+
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+fn mode_to_u8(mode: KernelMode) -> u8 {
+    match mode {
+        KernelMode::Auto => 0,
+        KernelMode::Scalar => 1,
+        KernelMode::Blocked => 2,
+    }
+}
+
+fn mode_from_u8(v: u8) -> KernelMode {
+    match v {
+        1 => KernelMode::Scalar,
+        2 => KernelMode::Blocked,
+        _ => KernelMode::Auto,
+    }
+}
+
+/// Parse an `ANCHORS_KERNEL` override; unknown values mean `Auto`.
+fn mode_from_env(raw: Option<&str>) -> KernelMode {
+    match raw.map(str::trim) {
+        Some(s) if s.eq_ignore_ascii_case("scalar") => KernelMode::Scalar,
+        Some(s) if s.eq_ignore_ascii_case("blocked") => KernelMode::Blocked,
+        _ => KernelMode::Auto,
+    }
+}
+
+/// The kernel selection policy every multiply dispatch consults. Comes
+/// from [`set_kernel_mode`] if an override is injected, else from the
+/// `ANCHORS_KERNEL` environment variable (cached after the first
+/// read). Changing the mode never changes results: scalar and blocked
+/// kernels are bitwise identical (see module docs).
+pub fn kernel_mode() -> KernelMode {
+    match KERNEL_MODE.load(Ordering::Relaxed) {
+        MODE_UNSET => {
+            let m = mode_from_env(std::env::var("ANCHORS_KERNEL").ok().as_deref());
+            KERNEL_MODE.store(mode_to_u8(m), Ordering::Relaxed);
+            m
+        }
+        v => mode_from_u8(v),
+    }
+}
+
+/// Inject a kernel mode, overriding the environment (test/bench hook,
+/// mirroring `ops::set_par_threshold`). `None` clears the override and
+/// the cache, so the next read consults `ANCHORS_KERNEL` again.
+pub fn set_kernel_mode(mode: Option<KernelMode>) {
+    KERNEL_MODE.store(mode.map_or(MODE_UNSET, mode_to_u8), Ordering::Relaxed);
+}
+
+/// Should a product with `work` multiply-adds take the blocked path?
+#[inline]
+pub fn blocked_enabled(work: usize) -> bool {
+    match kernel_mode() {
+        KernelMode::Scalar => false,
+        KernelMode::Blocked => true,
+        KernelMode::Auto => work >= BLOCKED_MIN_WORK,
+    }
+}
+
+thread_local! {
+    /// Per-thread packing arena. Taken (not borrowed) for the duration
+    /// of a kernel so a rayon worker stealing another blocked kernel
+    /// mid-wait gets a fresh buffer instead of a RefCell panic.
+    static PACK_ARENA: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` over a zeroed-on-demand scratch slice of `len` f64s from
+/// the per-thread arena. Steady state (len ≤ high-water mark) performs
+/// no heap allocation.
+fn with_arena<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    let mut buf = PACK_ARENA.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    let out = f(&mut buf[..len]);
+    PACK_ARENA.with(|c| {
+        let mut slot = c.borrow_mut();
+        if slot.capacity() < buf.capacity() {
+            *slot = buf;
+        }
+    });
+    out
+}
+
+/// Number of `NR`-wide column tiles covering `n` columns.
+#[inline]
+fn tiles(n: usize) -> usize {
+    n.div_ceil(NR)
+}
+
+/// Rows per parallel chunk: a multiple of `MR` big enough to amortize
+/// rayon task overhead.
+const PAR_ROW_CHUNK: usize = 64;
+
+// ---------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------
+
+/// Pack `B` (`kc×n`, row-major) into `tiles(n)` panels of `kc×NR`,
+/// reduction-major within each panel, zero-padding the column tail:
+/// `panel[jt][p*NR + j] = B[p][jt*NR + j]` (or `0.0` past `n`).
+fn pack_nn(b: &Matrix, kc: usize, n: usize, buf: &mut [f64]) {
+    let nt = tiles(n);
+    for jt in 0..nt {
+        let jc = jt * NR;
+        let w = NR.min(n - jc);
+        let panel = &mut buf[jt * kc * NR..(jt + 1) * kc * NR];
+        for p in 0..kc {
+            let brow = &b.row(p)[jc..jc + w];
+            let slot = &mut panel[p * NR..p * NR + NR];
+            slot[..w].copy_from_slice(brow);
+            slot[w..].fill(0.0);
+        }
+    }
+}
+
+/// Pack `B` (`n×kc`, row-major — the transposed operand of `A·Bᵀ`)
+/// into the same reduction-major panel layout as [`pack_nn`]:
+/// `panel[jt][p*NR + j] = B[jt*NR + j][p]` (or `0.0` past `n` rows).
+fn pack_nt(b: &Matrix, kc: usize, n: usize, buf: &mut [f64]) {
+    let nt = tiles(n);
+    for jt in 0..nt {
+        let jc = jt * NR;
+        let w = NR.min(n - jc);
+        let panel = &mut buf[jt * kc * NR..(jt + 1) * kc * NR];
+        panel.fill(0.0);
+        for j in 0..w {
+            let brow = b.row(jc + j);
+            for p in 0..kc {
+                panel[p * NR + j] = brow[p];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dense microkernels
+// ---------------------------------------------------------------------
+
+/// The MR×NR register-tile core: `acc[r][c] = Σ_p arows[r][p] *
+/// panel[p*NR + c]`, reduction strictly in `p` order per element, then
+/// stored (overwriting) into the first `w` columns of each output row.
+#[inline]
+fn tile_mr(arows: [&[f64]; MR], kc: usize, panel: &[f64], orows: [&mut [f64]; MR], w: usize) {
+    let mut acc = [[0.0f64; NR]; MR];
+    let (a0, a1, a2, a3) = (
+        &arows[0][..kc],
+        &arows[1][..kc],
+        &arows[2][..kc],
+        &arows[3][..kc],
+    );
+    for (p, bv) in panel[..kc * NR].chunks_exact(NR).enumerate() {
+        let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+        for c in 0..NR {
+            acc[0][c] += v0 * bv[c];
+        }
+        for c in 0..NR {
+            acc[1][c] += v1 * bv[c];
+        }
+        for c in 0..NR {
+            acc[2][c] += v2 * bv[c];
+        }
+        for c in 0..NR {
+            acc[3][c] += v3 * bv[c];
+        }
+    }
+    for (r, orow) in orows.into_iter().enumerate() {
+        orow[..w].copy_from_slice(&acc[r][..w]);
+    }
+}
+
+/// One-row edge variant of [`tile_mr`].
+#[inline]
+fn tile_1(arow: &[f64], kc: usize, panel: &[f64], orow: &mut [f64], w: usize) {
+    let mut acc = [0.0f64; NR];
+    let a = &arow[..kc];
+    for (p, bv) in panel[..kc * NR].chunks_exact(NR).enumerate() {
+        let v = a[p];
+        for c in 0..NR {
+            acc[c] += v * bv[c];
+        }
+    }
+    orow[..w].copy_from_slice(&acc[..w]);
+}
+
+/// Compute rows `[i0, i0+rows)` of `out = A·panels` where `panels` is
+/// the packed reduction-major form of the right operand. `out_rows` is
+/// the raw slice of those output rows (`rows * n` long).
+fn gemm_rows(a: &Matrix, kc: usize, n: usize, panels: &[f64], i0: usize, out_rows: &mut [f64]) {
+    let rows = out_rows.len().checked_div(n).unwrap_or(0);
+    let nt = tiles(n);
+    let mut r = 0;
+    while r + MR <= rows {
+        let (c0, rest) = out_rows[r * n..].split_at_mut(n);
+        let (c1, rest) = rest.split_at_mut(n);
+        let (c2, rest) = rest.split_at_mut(n);
+        let (c3, _) = rest.split_at_mut(n);
+        let mut orows = [c0, c1, c2, c3];
+        let arows = [
+            a.row(i0 + r),
+            a.row(i0 + r + 1),
+            a.row(i0 + r + 2),
+            a.row(i0 + r + 3),
+        ];
+        for jt in 0..nt {
+            let jc = jt * NR;
+            let w = NR.min(n - jc);
+            let panel = &panels[jt * kc * NR..(jt + 1) * kc * NR];
+            let [o0, o1, o2, o3] = &mut orows;
+            tile_mr(
+                arows,
+                kc,
+                panel,
+                [&mut o0[jc..], &mut o1[jc..], &mut o2[jc..], &mut o3[jc..]],
+                w,
+            );
+        }
+        r += MR;
+    }
+    while r < rows {
+        let orow = &mut out_rows[r * n..(r + 1) * n];
+        let arow = a.row(i0 + r);
+        for jt in 0..nt {
+            let jc = jt * NR;
+            let w = NR.min(n - jc);
+            let panel = &panels[jt * kc * NR..(jt + 1) * kc * NR];
+            tile_1(arow, kc, panel, &mut orow[jc..], w);
+        }
+        r += 1;
+    }
+}
+
+/// Shared driver for `A·B` / `A·Bᵀ` once the right operand is packed.
+fn gemm_packed(a: &Matrix, kc: usize, n: usize, out: &mut Matrix, par: bool, panels: &[f64]) {
+    let m = a.rows();
+    if par && m >= 2 {
+        out.as_mut_slice()
+            .par_chunks_mut((PAR_ROW_CHUNK * n).max(1))
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                gemm_rows(a, kc, n, panels, ci * PAR_ROW_CHUNK, chunk);
+            });
+    } else {
+        gemm_rows(a, kc, n, panels, 0, out.as_mut_slice());
+    }
+}
+
+/// Blocked `out = A · B` (`m×kc` by `kc×n`). Overwrites `out`
+/// entirely; bitwise identical to the scalar ikj kernel.
+pub fn gemm_nn(a: &Matrix, b: &Matrix, out: &mut Matrix, par: bool) {
+    let (kc, n) = (a.cols(), b.cols());
+    if out.is_empty() {
+        return;
+    }
+    if kc == 0 || n == 0 {
+        out.as_mut_slice().fill(0.0);
+        return;
+    }
+    with_arena(tiles(n) * kc * NR, |buf| {
+        pack_nn(b, kc, n, buf);
+        gemm_packed(a, kc, n, out, par, buf);
+    });
+}
+
+/// Blocked `out = A · Bᵀ` (`m×kc` by `n×kc`). Overwrites `out`
+/// entirely; bitwise identical to the scalar rows-of-dots kernel.
+pub fn gemm_nt(a: &Matrix, b: &Matrix, out: &mut Matrix, par: bool) {
+    let (kc, n) = (a.cols(), b.rows());
+    if out.is_empty() {
+        return;
+    }
+    if kc == 0 || n == 0 {
+        out.as_mut_slice().fill(0.0);
+        return;
+    }
+    with_arena(tiles(n) * kc * NR, |buf| {
+        pack_nt(b, kc, n, buf);
+        gemm_packed(a, kc, n, out, par, buf);
+    });
+}
+
+/// Blocked `out = Aᵀ · B` (`a: m×n`, `b: m×p`, `out: n×p`): the scalar
+/// scatter restructured into `MR`-row reduction blocks. One pass streams
+/// `A` row-major; within a block each output row `out[j]` is loaded once
+/// and takes the block's `MR` contributions back to back (in ascending
+/// `i`, so the per-element reduction order — and the `a_ij == 0` skip —
+/// is exactly the scalar kernel's, hence bitwise identity; see module
+/// docs). Cuts the `out`-row read-modify-write traffic `MR`-fold on
+/// dense data while keeping the zero skip that makes the scatter cheap
+/// on sparse-ish data. Overwrites `out`; sequential, like its scalar
+/// counterpart.
+pub fn gemm_tn(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (m, n) = a.shape();
+    let p = b.cols();
+    if out.is_empty() {
+        return;
+    }
+    out.as_mut_slice().fill(0.0);
+    if m == 0 || p == 0 {
+        return;
+    }
+    let ob = out.as_mut_slice();
+    let mut i = 0;
+    while i + MR <= m {
+        let arows = [a.row(i), a.row(i + 1), a.row(i + 2), a.row(i + 3)];
+        let brows = [b.row(i), b.row(i + 1), b.row(i + 2), b.row(i + 3)];
+        for j in 0..n {
+            let av = [arows[0][j], arows[1][j], arows[2][j], arows[3][j]];
+            if av == [0.0; MR] {
+                continue;
+            }
+            let crow = &mut ob[j * p..j * p + p];
+            for (r, &v) in av.iter().enumerate() {
+                if v == 0.0 {
+                    continue;
+                }
+                for (c, &bv) in crow.iter_mut().zip(brows[r]) {
+                    *c += v * bv;
+                }
+            }
+        }
+        i += MR;
+    }
+    while i < m {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for (j, &v) in arow.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let crow = &mut ob[j * p..j * p + p];
+            for (c, &bv) in crow.iter_mut().zip(brow) {
+                *c += v * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSR row-panel kernel
+// ---------------------------------------------------------------------
+
+/// Blocked CSR `out = A · Bᵀ` (`a` sparse `m×n`, `b` dense `p×n`):
+/// `Bᵀ` is packed once into a row-major `n×p` panel so each stored
+/// entry `(j, v)` of a CSR row turns into one contiguous `p`-wide
+/// vector FMA `out[i][..] += v · Bᵀ[j][..]` — instead of the scalar
+/// kernel's `p` strided gather-dots per row. Per output element the
+/// stored-entry order is unchanged, so results are bitwise identical.
+pub fn csr_abt(a: &CsrMatrix, b: &Matrix, out: &mut Matrix, par: bool) {
+    let (m, n) = a.shape();
+    let p = b.rows();
+    if out.is_empty() {
+        return;
+    }
+    if p == 0 {
+        return;
+    }
+    with_arena(n * p, |bt| {
+        for (t, brow) in (0..p).map(|t| (t, b.row(t))) {
+            for (j, &v) in brow.iter().enumerate() {
+                bt[j * p + t] = v;
+            }
+        }
+        let body = |i: usize, orow: &mut [f64]| {
+            orow.fill(0.0);
+            let (idx, vals) = a.row(i);
+            for (&j, &v) in idx.iter().zip(vals) {
+                let brow = &bt[j * p..j * p + p];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        };
+        if par && m >= 2 {
+            out.as_mut_slice()
+                .par_chunks_mut(p)
+                .enumerate()
+                .for_each(|(i, orow)| body(i, orow));
+        } else {
+            for i in 0..m {
+                body(i, out.row_mut(i));
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Row-combination kernel (residual reconstruct, HALS H deltas)
+// ---------------------------------------------------------------------
+
+/// `acc[j] += Σ_t coeff(t) · rows[t][j]`, accumulated strictly in `t`
+/// order per element, skipping `coeff(t) == 0.0` terms — the "skip
+/// exact-zero loadings" parity rule of `kernels.rs`. The blocked path
+/// fuses [`MR`] rows per sweep of `acc` (¼ the memory passes); each
+/// element still receives one separately-rounded add per term, in
+/// term order, so both paths are bitwise identical to a sequence of
+/// `ops::axpy` calls.
+pub fn axpy_rows(coeffs: &[f64], rows: &Matrix, acc: &mut [f64]) {
+    debug_assert_eq!(coeffs.len(), rows.rows());
+    debug_assert_eq!(acc.len(), rows.cols());
+    let n = acc.len();
+    if !blocked_enabled(coeffs.len() * n) {
+        for (t, &cv) in coeffs.iter().enumerate() {
+            if cv == 0.0 {
+                continue;
+            }
+            crate::ops::axpy(cv, rows.row(t), acc);
+        }
+        return;
+    }
+    // Gather the surviving terms, then drain them MR at a time.
+    let mut pend: [(f64, usize); MR] = [(0.0, 0); MR];
+    let mut np = 0;
+    for (t, &cv) in coeffs.iter().enumerate() {
+        if cv == 0.0 {
+            continue;
+        }
+        pend[np] = (cv, t);
+        np += 1;
+        if np == MR {
+            let (r0, r1, r2, r3) = (
+                rows.row(pend[0].1),
+                rows.row(pend[1].1),
+                rows.row(pend[2].1),
+                rows.row(pend[3].1),
+            );
+            let (c0, c1, c2, c3) = (pend[0].0, pend[1].0, pend[2].0, pend[3].0);
+            for j in 0..n {
+                let mut v = acc[j];
+                v += c0 * r0[j];
+                v += c1 * r1[j];
+                v += c2 * r2[j];
+                v += c3 * r3[j];
+                acc[j] = v;
+            }
+            np = 0;
+        }
+    }
+    for &(cv, t) in &pend[..np] {
+        crate::ops::axpy(cv, rows.row(t), acc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// HALS W-column update
+// ---------------------------------------------------------------------
+
+/// The HALS W-sweep `W[:,t] ← max(0, W[:,t] + (AHᵀ − W·HHᵀ)[:,t] /
+/// (HHᵀ)[t,t])` for every column `t` with `(HHᵀ)[t,t] > eps`, Gauss–
+/// Seidel in `t` (each column update sees the columns already updated
+/// this sweep).
+///
+/// The scalar path is the historical `t`-outer/`i`-inner loop from
+/// `anchors-factor`. The blocked path walks `MR` rows at a time with
+/// `t` innermost — rows are independent and each `(i,t)` update reads
+/// and writes only row `i`, so the nest interchange performs the same
+/// arithmetic in the same per-element order (bitwise identical) while
+/// keeping each W row register-resident for the whole sweep and
+/// giving the autovectorizer `MR` independent reduction chains.
+pub fn hals_w_update(w: &mut Matrix, aht: &Matrix, hht: &Matrix, eps: f64) {
+    let (m, k) = w.shape();
+    debug_assert_eq!(aht.shape(), (m, k));
+    debug_assert_eq!(hht.shape(), (k, k));
+    if !blocked_enabled(m * k * k) {
+        for t in 0..k {
+            let gtt = hht.get(t, t);
+            if gtt <= eps {
+                continue;
+            }
+            for i in 0..m {
+                let mut d = aht.get(i, t);
+                for (s, &wv) in w.row(i).iter().enumerate() {
+                    d -= hht.get(t, s) * wv;
+                }
+                let nv = (w.get(i, t) + d / gtt).max(0.0);
+                w.set(i, t, nv);
+            }
+        }
+        return;
+    }
+    let update_row = |wrow: &mut [f64], arow: &[f64]| {
+        for t in 0..k {
+            let gtt = hht.get(t, t);
+            if gtt <= eps {
+                continue;
+            }
+            let grow = hht.row(t);
+            let mut d = arow[t];
+            for s in 0..k {
+                d -= grow[s] * wrow[s];
+            }
+            wrow[t] = (wrow[t] + d / gtt).max(0.0);
+        }
+    };
+    if k == 0 {
+        return;
+    }
+    let mut i = 0;
+    let wdata = w.as_mut_slice();
+    let mut rows = wdata.chunks_exact_mut(k);
+    while i + MR <= m {
+        let (w0, w1, w2, w3) = (
+            rows.next().unwrap(),
+            rows.next().unwrap(),
+            rows.next().unwrap(),
+            rows.next().unwrap(),
+        );
+        let (a0, a1, a2, a3) = (aht.row(i), aht.row(i + 1), aht.row(i + 2), aht.row(i + 3));
+        for t in 0..k {
+            let gtt = hht.get(t, t);
+            if gtt <= eps {
+                continue;
+            }
+            let grow = hht.row(t);
+            let (mut d0, mut d1, mut d2, mut d3) = (a0[t], a1[t], a2[t], a3[t]);
+            for (s, &g) in grow.iter().enumerate() {
+                d0 -= g * w0[s];
+                d1 -= g * w1[s];
+                d2 -= g * w2[s];
+                d3 -= g * w3[s];
+            }
+            w0[t] = (w0[t] + d0 / gtt).max(0.0);
+            w1[t] = (w1[t] + d1 / gtt).max(0.0);
+            w2[t] = (w2[t] + d2 / gtt).max(0.0);
+            w3[t] = (w3[t] + d3 / gtt).max(0.0);
+        }
+        i += MR;
+    }
+    for wrow in rows {
+        update_row(wrow, aht.row(i));
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill (keeps these tests independent
+    /// of the `rand` crate's stream, which differs under the offline
+    /// stubs).
+    fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            // ~20% exact zeros exercise the scalar kernels' skip rule.
+            if u < 0.2 {
+                0.0
+            } else {
+                u * 2.0 - 0.9
+            }
+        })
+    }
+
+    fn scalar_nn(a: &Matrix, b: &Matrix) -> Matrix {
+        crate::ops::matmul_seq(a, b)
+    }
+
+    fn scalar_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                out.set(i, j, crate::ops::dot(a.row(i), b.row(j)));
+            }
+        }
+        out
+    }
+
+    fn scalar_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        for i in 0..a.rows() {
+            let arow = a.row(i);
+            let brow = b.row(i);
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for (cv, &bv) in out.row_mut(p).iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Ragged and exact-tile shapes: (m, k, n).
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (4, 8, 8),
+        (5, 3, 7),
+        (8, 16, 8),
+        (13, 17, 11),
+        (16, 5, 9),
+        (33, 40, 23),
+    ];
+
+    #[test]
+    fn gemm_nn_bitwise_matches_scalar() {
+        for &(m, k, n) in SHAPES {
+            let a = lcg_matrix(m, k, 7 + m as u64);
+            let b = lcg_matrix(k, n, 99 + n as u64);
+            let mut out = Matrix::zeros(m, n);
+            out.as_mut_slice().fill(f64::NAN); // must be fully overwritten
+            gemm_nn(&a, &b, &mut out, false);
+            assert_eq!(out, scalar_nn(&a, &b), "shape ({m},{k},{n})");
+            let mut par_out = Matrix::zeros(m, n);
+            gemm_nn(&a, &b, &mut par_out, true);
+            assert_eq!(par_out, out, "par split must not change bits");
+        }
+    }
+
+    #[test]
+    fn gemm_nt_bitwise_matches_scalar() {
+        for &(m, k, n) in SHAPES {
+            let a = lcg_matrix(m, k, 3 + k as u64);
+            let b = lcg_matrix(n, k, 51 + m as u64);
+            let mut out = Matrix::zeros(m, n);
+            out.as_mut_slice().fill(f64::NAN);
+            gemm_nt(&a, &b, &mut out, false);
+            assert_eq!(out, scalar_nt(&a, &b), "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn gemm_tn_bitwise_matches_scalar() {
+        for &(m, n, p) in SHAPES {
+            let a = lcg_matrix(m, n, 23 + p as u64);
+            let b = lcg_matrix(m, p, 5 + n as u64);
+            let mut out = Matrix::zeros(n, p);
+            out.as_mut_slice().fill(f64::NAN);
+            gemm_tn(&a, &b, &mut out);
+            assert_eq!(out, scalar_tn(&a, &b), "shape ({m},{n},{p})");
+        }
+    }
+
+    #[test]
+    fn csr_abt_bitwise_matches_scalar_csr() {
+        for &(m, n, p) in SHAPES {
+            let d = lcg_matrix(m, n, 67 + m as u64);
+            let a = CsrMatrix::from_dense(&d);
+            let b = lcg_matrix(p, n, 13 + p as u64);
+            // Scalar CSR kernel: per-output gather-dot in stored order.
+            let mut expect = Matrix::zeros(m, p);
+            for i in 0..m {
+                let (idx, vals) = a.row(i);
+                for (t, o) in expect.row_mut(i).iter_mut().enumerate() {
+                    let brow = b.row(t);
+                    *o = idx.iter().zip(vals).map(|(&j, &v)| v * brow[j]).sum();
+                }
+            }
+            let mut out = Matrix::zeros(m, p);
+            out.as_mut_slice().fill(f64::NAN);
+            csr_abt(&a, &b, &mut out, false);
+            assert_eq!(out, expect, "shape ({m},{n},{p})");
+        }
+    }
+
+    #[test]
+    fn axpy_rows_matches_sequential_axpy_in_every_mode() {
+        for &(k, n) in &[(1usize, 5usize), (4, 8), (7, 33), (12, 257)] {
+            let h = lcg_matrix(k, n, 19);
+            let mut coeffs: Vec<f64> = (0..k).map(|t| (t as f64) * 0.3 - 0.8).collect();
+            coeffs[k / 2] = 0.0; // exercise the skip rule
+            let mut expect = vec![0.125; n];
+            for (t, &cv) in coeffs.iter().enumerate() {
+                if cv != 0.0 {
+                    crate::ops::axpy(cv, h.row(t), &mut expect);
+                }
+            }
+            for mode in [KernelMode::Scalar, KernelMode::Blocked] {
+                set_kernel_mode(Some(mode));
+                let mut acc = vec![0.125; n];
+                axpy_rows(&coeffs, &h, &mut acc);
+                assert_eq!(acc, expect, "k={k} n={n} mode={mode:?}");
+            }
+            set_kernel_mode(None);
+        }
+    }
+
+    #[test]
+    fn hals_w_update_modes_agree_bitwise() {
+        for &(m, k) in &[(3usize, 2usize), (9, 4), (18, 5), (35, 8)] {
+            let mut w_s = lcg_matrix(m, k, 31).map(|v| v.abs());
+            let mut w_b = w_s.clone();
+            let aht = lcg_matrix(m, k, 7);
+            let h = lcg_matrix(k, 2 * k + 3, 11).map(|v| v.abs());
+            let hht = crate::ops::matmul_a_bt(&h, &h);
+            set_kernel_mode(Some(KernelMode::Scalar));
+            hals_w_update(&mut w_s, &aht, &hht, 1e-12);
+            set_kernel_mode(Some(KernelMode::Blocked));
+            hals_w_update(&mut w_b, &aht, &hht, 1e-12);
+            set_kernel_mode(None);
+            assert_eq!(w_s, w_b, "m={m} k={k}");
+        }
+    }
+
+    #[test]
+    fn mode_parsing_and_override() {
+        assert_eq!(mode_from_env(None), KernelMode::Auto);
+        assert_eq!(mode_from_env(Some("scalar")), KernelMode::Scalar);
+        assert_eq!(mode_from_env(Some(" Blocked ")), KernelMode::Blocked);
+        assert_eq!(mode_from_env(Some("nonsense")), KernelMode::Auto);
+        set_kernel_mode(Some(KernelMode::Blocked));
+        assert!(blocked_enabled(1), "forced blocked ignores work size");
+        set_kernel_mode(Some(KernelMode::Scalar));
+        assert!(!blocked_enabled(usize::MAX), "forced scalar ignores work");
+        set_kernel_mode(None);
+        let env_mode = mode_from_env(std::env::var("ANCHORS_KERNEL").ok().as_deref());
+        assert_eq!(kernel_mode(), env_mode);
+        if env_mode == KernelMode::Auto {
+            assert!(!blocked_enabled(BLOCKED_MIN_WORK - 1));
+            assert!(blocked_enabled(BLOCKED_MIN_WORK));
+        }
+    }
+
+    #[test]
+    fn zero_dimension_edge_cases() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let mut out = Matrix::zeros(3, 4);
+        out.as_mut_slice().fill(9.0);
+        gemm_nn(&a, &b, &mut out, false);
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        let mut tn = Matrix::zeros(0, 4);
+        gemm_tn(&Matrix::zeros(2, 0), &Matrix::zeros(2, 4), &mut tn);
+        assert_eq!(tn.shape(), (0, 4));
+    }
+}

@@ -63,8 +63,40 @@ pub(crate) fn split_rows(work: usize, rows: usize) -> bool {
     rows >= 2 && work >= par_threshold() && crate::parallel::inner_enabled()
 }
 
-/// `C = A * B` (sequential ikj kernel, cache-friendly on row-major data).
-/// Kept as the test oracle for the production kernels below.
+/// The one scalar `C = A * B` body (ikj, cache-friendly on row-major
+/// data, skipping exact-zero `a` entries): `matmul_seq`, `matmul_into`,
+/// and the microkernel dispatch all route through here, so there is a
+/// single scalar reference kernel instead of copy-pasted triple loops.
+/// `out` must be pre-zeroed.
+fn matmul_scalar_body(a: &Matrix, b: &Matrix, out: &mut Matrix, par: bool) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let body = |i: usize, crow: &mut [f64]| {
+        let arow = a.row(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    };
+    if par {
+        out.as_mut_slice()
+            .par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(i, crow)| body(i, crow));
+    } else {
+        for i in 0..m {
+            body(i, out.row_mut(i));
+        }
+    }
+}
+
+/// `C = A * B`, forced scalar and sequential. Kept as the test oracle
+/// for the production kernels below (one shared body, no duplicate
+/// loop).
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
@@ -76,26 +108,15 @@ pub fn matmul_seq(a: &Matrix, b: &Matrix) -> Matrix {
         a.shape(),
         b.shape()
     );
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (p, &av) in arow.iter().enumerate().take(k) {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
-    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_scalar_body(a, b, &mut c, false);
     c
 }
 
-/// `C = A * B` written into `out` (no allocation). Parallel over output rows
-/// when the [`par_threshold`] heuristic fires; bitwise identical either way.
+/// `C = A * B` written into `out` (no allocation). Dispatches to the
+/// blocked microkernel by [`crate::microkernel::kernel_mode`] and
+/// shape, and parallelizes over output rows when the [`par_threshold`]
+/// heuristic fires; every combination is bitwise identical.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()` or `out` is not `a.rows() × b.cols()`.
@@ -109,28 +130,12 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
-    out.as_mut_slice().fill(0.0);
-    let body = |i: usize, crow: &mut [f64]| {
-        let arow = a.row(i);
-        for (p, &av) in arow.iter().enumerate().take(k) {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                *cv += av * bv;
-            }
-        }
-    };
-    if split_rows(m * k + k * n, m) {
-        out.as_mut_slice()
-            .par_chunks_mut(n.max(1))
-            .enumerate()
-            .for_each(|(i, crow)| body(i, crow));
+    let par = split_rows(m * k + k * n, m);
+    if crate::microkernel::blocked_enabled(m * k * n) {
+        crate::microkernel::gemm_nn(a, b, out, par);
     } else {
-        for i in 0..m {
-            body(i, out.row_mut(i));
-        }
+        out.as_mut_slice().fill(0.0);
+        matmul_scalar_body(a, b, out, par);
     }
 }
 
@@ -157,10 +162,15 @@ pub fn matmul_at_b_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     );
     let (m, ka, kb) = (a.rows(), a.cols(), b.cols());
     assert_eq!(out.shape(), (ka, kb), "AᵀB output shape mismatch");
+    // Both paths stay sequential (each row of A touches all of C; C is
+    // small in our use: k×k Gram matrices inside NNMF). The blocked
+    // kernel turns the scatter into MR×NR register tiles over
+    // contiguous row slices — bitwise identical (see microkernel docs).
+    if crate::microkernel::blocked_enabled(m * ka * kb) {
+        crate::microkernel::gemm_tn(a, b, out);
+        return;
+    }
     out.as_mut_slice().fill(0.0);
-    // Accumulate outer products of paired rows; each row of A scatters into
-    // all of C, so this kernel stays sequential (C is small in our use:
-    // k×k Gram matrices inside NNMF).
     for i in 0..m {
         let arow = a.row(i);
         let brow = b.row(i);
@@ -202,13 +212,18 @@ pub fn matmul_a_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let (m, n) = (a.rows(), b.rows());
     let k = a.cols();
     assert_eq!(out.shape(), (m, n), "ABᵀ output shape mismatch");
+    let par = split_rows(m * k + n * k, m);
+    if crate::microkernel::blocked_enabled(m * k * n) {
+        crate::microkernel::gemm_nt(a, b, out, par);
+        return;
+    }
     let body = |i: usize, crow: &mut [f64]| {
         let arow = a.row(i);
         for (j, cv) in crow.iter_mut().enumerate() {
             *cv = dot(arow, b.row(j));
         }
     };
-    if split_rows(m * k + n * k, m) {
+    if par {
         out.as_mut_slice()
             .par_chunks_mut(n.max(1))
             .enumerate()

@@ -409,6 +409,152 @@ fn nnls_gram(g: &Matrix, c: &[f64], tol: f64, x: &mut [f64], passive: &mut [bool
     }
 }
 
+/// Cholesky factorization of a row-major `n × n` SPD matrix in `f32`,
+/// returning the lower factor. `None` when not (numerically) SPD.
+///
+/// Part of the reduced-precision serving path: the serving Gram matrices
+/// are tiny (`k × k`, k ≤ ~20) and well-conditioned, so single precision
+/// keeps the active-set iteration stable while halving the working-set
+/// bandwidth of the fold-in hot loop.
+fn cholesky_f32(a: &[f32], n: usize) -> Option<Vec<f32>> {
+    debug_assert_eq!(a.len(), n * n);
+    let mut l = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve the `f32` SPD system `A x = b` via Cholesky plus forward/backward
+/// substitution. `None` when `A` is not SPD.
+#[allow(clippy::needless_range_loop)] // triangular solves read like the math
+fn solve_spd_f32(a: &[f32], n: usize, b: &[f32]) -> Option<Vec<f32>> {
+    let l = cholesky_f32(a, n)?;
+    let mut y = vec![0.0f32; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    let mut x = vec![0.0f32; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+/// Single-row active-set NNLS in `f32`, driven by the row-major Gram matrix
+/// `g` (`n × n`, `G = AᵀA`) and the cross-product `c = Aᵀb` — the
+/// single-precision mirror of the private `f64` Gram solver behind
+/// [`try_nnls_multi`], used by the opt-in reduced-precision fold-in path in
+/// `anchors-serve`. Writes the solution into `x`; `passive` is
+/// caller-provided scratch.
+///
+/// The algorithm is structurally identical to the `f64` routine; only the
+/// scalar type differs, so the solution error versus the `f64` path is
+/// governed by `κ(G) · ε_f32` (see DESIGN.md §15 for the bound the serving
+/// layer asserts).
+pub fn nnls_gram_f32(
+    g: &[f32],
+    n: usize,
+    c: &[f32],
+    tol: f32,
+    x: &mut [f32],
+    passive: &mut [bool],
+) {
+    debug_assert_eq!(g.len(), n * n);
+    debug_assert_eq!(c.len(), n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(passive.len(), n);
+    x.fill(0.0);
+    passive.fill(false);
+    let max_outer = 3 * n.max(1);
+    for _ in 0..max_outer {
+        // Negative gradient via the Gram identity: w = c − G x.
+        let w: Vec<f32> = (0..n)
+            .map(|j| c[j] - (0..n).map(|t| g[j * n + t] * x[t]).sum::<f32>())
+            .collect();
+        let candidate = (0..n)
+            .filter(|&j| !passive[j])
+            .max_by(|&p, &q| w[p].partial_cmp(&w[q]).expect("finite gradient"));
+        match candidate {
+            Some(j) if w[j] > tol => passive[j] = true,
+            _ => break, // KKT satisfied
+        }
+        // Inner loop: solve the passive-set normal equations, trimming
+        // negatives.
+        loop {
+            let pass_idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            if pass_idx.is_empty() {
+                break;
+            }
+            let p = pass_idx.len();
+            let mut gpp = vec![0.0f32; p * p];
+            for (r, &jr) in pass_idx.iter().enumerate() {
+                for (s, &js) in pass_idx.iter().enumerate() {
+                    gpp[r * p + s] = g[jr * n + js];
+                }
+            }
+            let cp: Vec<f32> = pass_idx.iter().map(|&j| c[j]).collect();
+            let z = match solve_spd_f32(&gpp, p, &cp) {
+                Some(z) => z,
+                None => {
+                    // Degenerate subproblem: drop the most recent variable.
+                    if let Some(&last) = pass_idx.last() {
+                        passive[last] = false;
+                    }
+                    break;
+                }
+            };
+            if z.iter().all(|&v| v > tol) {
+                for (k, &j) in pass_idx.iter().enumerate() {
+                    x[j] = z[k];
+                }
+                break;
+            }
+            // Step toward z until the first variable hits zero.
+            let mut alpha = f32::INFINITY;
+            for (k, &j) in pass_idx.iter().enumerate() {
+                if z[k] <= tol {
+                    let denom = x[j] - z[k];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                alpha = 0.0;
+            }
+            for (k, &j) in pass_idx.iter().enumerate() {
+                x[j] += alpha * (z[k] - x[j]);
+                if x[j] <= tol {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+        }
+    }
+}
+
 /// Residual norm of an NNLS/LS solution (test helper; exact definition
 /// `‖A x − b‖₂`).
 pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
@@ -619,6 +765,54 @@ mod tests {
         // Empty batch / rank-0 basis degrade to empty results, not errors.
         let empty = Matrix::zeros(0, 4);
         assert_eq!(try_nnls_multi(&a, &empty, 1e-12).unwrap().shape(), (0, 2));
+    }
+
+    #[test]
+    fn nnls_gram_f32_tracks_f64_solution() {
+        // Same well-conditioned batch as the multi test: the f32 Gram
+        // solver must agree with the f64 path to single-precision accuracy.
+        let a = Matrix::from_fn(8, 4, |i, j| (((i * 5 + j * 3) % 7) as f64) * 0.3 + 0.1);
+        let b = Matrix::from_fn(6, 8, |i, j| (((i * 7 + j * 2) % 9) as f64) * 0.4);
+        let n = a.cols();
+        let gram = matmul_at_b(&a, &a);
+        let g32: Vec<f32> = gram.as_slice().iter().map(|&v| v as f32).collect();
+        let mut x32 = vec![0.0f32; n];
+        let mut passive = vec![false; n];
+        for i in 0..b.rows() {
+            let c: Vec<f64> = (0..n).map(|j| dot(b.row(i), a.col(j).as_slice())).collect();
+            let c32: Vec<f32> = c.iter().map(|&v| v as f32).collect();
+            nnls_gram_f32(&g32, n, &c32, 1e-6, &mut x32, &mut passive);
+            let x64 = nnls(&a, b.row(i), 1e-12);
+            let scale = x64.iter().cloned().fold(1.0f64, f64::max);
+            for (xs, xd) in x32.iter().zip(&x64) {
+                assert!(
+                    ((*xs as f64) - xd).abs() / scale < 1e-3,
+                    "row {i}: f32 {xs} vs f64 {xd}"
+                );
+            }
+            assert!(x32.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn nnls_gram_f32_clamps_negative_components() {
+        // Mirror of `nnls_clamps_negative_components` through the f32 Gram
+        // formulation: the LS solution has a negative entry.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.2], vec![1.0, 0.8]]);
+        let b = [1.0, 0.0, 2.0];
+        let gram = matmul_at_b(&a, &a);
+        let g32: Vec<f32> = gram.as_slice().iter().map(|&v| v as f32).collect();
+        let c32: Vec<f32> = (0..2)
+            .map(|j| (0..3).map(|i| a.get(i, j) * b[i]).sum::<f64>() as f32)
+            .collect();
+        let mut x32 = vec![0.0f32; 2];
+        let mut passive = vec![false; 2];
+        nnls_gram_f32(&g32, 2, &c32, 1e-6, &mut x32, &mut passive);
+        assert!(x32.iter().all(|&v| v >= 0.0), "{x32:?}");
+        let x64 = nnls(&a, &b, 1e-12);
+        for (xs, xd) in x32.iter().zip(&x64) {
+            assert!(((*xs as f64) - xd).abs() < 1e-3, "f32 {xs} vs f64 {xd}");
+        }
     }
 
     #[test]

@@ -220,6 +220,17 @@ impl CsrMatrix {
         );
         let p = b.rows();
         assert_eq!(out.shape(), (self.rows, p), "A·Bᵀ output shape mismatch");
+        let par = crate::ops::split_rows(self.nnz() * p.max(1), self.rows);
+        // The row-panel microkernel packs `Bᵀ` once so every stored entry
+        // becomes one contiguous p-wide FMA; worth it when the multiply
+        // work dominates the n×p packing sweep. Bitwise identical.
+        if crate::microkernel::blocked_enabled(self.nnz() * p)
+            && (self.nnz() >= self.cols
+                || crate::microkernel::kernel_mode() == crate::microkernel::KernelMode::Blocked)
+        {
+            crate::microkernel::csr_abt(self, b, out, par);
+            return;
+        }
         let body = |i: usize, orow: &mut [f64]| {
             let (idx, vals) = self.row(i);
             for (t, o) in orow.iter_mut().enumerate() {
@@ -227,7 +238,7 @@ impl CsrMatrix {
                 *o = idx.iter().zip(vals).map(|(&j, &v)| v * brow[j]).sum();
             }
         };
-        if crate::ops::split_rows(self.nnz() * p.max(1), self.rows) {
+        if par {
             out.as_mut_slice()
                 .par_chunks_mut(p.max(1))
                 .enumerate()

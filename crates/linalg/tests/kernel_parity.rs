@@ -1,0 +1,135 @@
+//! Property-based parity suite for the cache-blocked microkernels: under
+//! `ANCHORS_KERNEL=scalar` and `ANCHORS_KERNEL=blocked` every multiply
+//! kernel must agree within 1 ulp — and in practice bitwise, since the
+//! blocked kernels preserve the scalar per-entry reduction order (see
+//! `microkernel` module docs) — across random shapes including ragged
+//! tails, for dense and CSR storage alike.
+//!
+//! The kernel-mode override is process-global, so every property that
+//! flips it runs under one mutex; the matrices themselves are per-case.
+
+use anchors_linalg::kernels::MatKernels;
+use anchors_linalg::ops::{gram, matmul, matmul_a_bt, matmul_at_b};
+use anchors_linalg::sparse::CsrMatrix;
+use anchors_linalg::{set_kernel_mode, KernelMode, Matrix};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` twice — once forced scalar, once forced blocked — and return
+/// both results. Serialized because the override is process-global.
+fn under_both_modes<R>(mut f: impl FnMut() -> R) -> (R, R) {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_kernel_mode(Some(KernelMode::Scalar));
+    let scalar = f();
+    set_kernel_mode(Some(KernelMode::Blocked));
+    let blocked = f();
+    set_kernel_mode(None);
+    (scalar, blocked)
+}
+
+/// Distance in units-in-the-last-place between two finite doubles.
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    // Map the sign-magnitude bit pattern onto a monotone integer line so
+    // adjacent floats (of either sign) differ by exactly 1.
+    fn ordered(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN.wrapping_sub(bits)
+        } else {
+            bits
+        }
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+fn assert_within_one_ulp(scalar: &Matrix, blocked: &Matrix) -> Result<(), TestCaseError> {
+    prop_assert_eq!(scalar.shape(), blocked.shape());
+    for (i, (s, b)) in scalar.as_slice().iter().zip(blocked.as_slice()).enumerate() {
+        prop_assert!(
+            ulp_distance(*s, *b) <= 1,
+            "entry {i}: scalar {s:e} vs blocked {b:e}"
+        );
+    }
+    Ok(())
+}
+
+/// Strategy: a dense matrix with the given shape, entries in [-5, 5] with
+/// ~25% exact zeros so the scalar skip rules are exercised.
+fn matrix_with(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(
+        prop_oneof![3 => -5.0f64..5.0, 1 => Just(0.0f64)],
+        rows * cols,
+    )
+    .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: multiply-compatible `(m×k, k×n)` pairs whose dims straddle
+/// the 4×8 register tile (ragged tails included) and whose work crosses
+/// the auto-dispatch threshold in both directions.
+fn compatible_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..40, 1usize..40, 1usize..40)
+        .prop_flat_map(|(m, k, n)| (matrix_with(m, k), matrix_with(k, n)))
+}
+
+/// Strategy: same-height pairs `(m×k, n×k)` for the `A·Bᵀ` kernel.
+fn abt_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..40, 1usize..40, 1usize..40)
+        .prop_flat_map(|(m, k, n)| (matrix_with(m, k), matrix_with(n, k)))
+}
+
+proptest! {
+    #[test]
+    fn matmul_scalar_blocked_parity((a, b) in compatible_pair()) {
+        let (s, p) = under_both_modes(|| matmul(&a, &b));
+        assert_within_one_ulp(&s, &p)?;
+    }
+
+    #[test]
+    fn matmul_at_b_scalar_blocked_parity((a, b) in (1usize..40, 1usize..24, 1usize..24)
+        .prop_flat_map(|(m, p, q)| (matrix_with(m, p), matrix_with(m, q)))) {
+        let (s, bl) = under_both_modes(|| matmul_at_b(&a, &b));
+        assert_within_one_ulp(&s, &bl)?;
+    }
+
+    #[test]
+    fn matmul_a_bt_scalar_blocked_parity((a, b) in abt_pair()) {
+        let (s, p) = under_both_modes(|| matmul_a_bt(&a, &b));
+        assert_within_one_ulp(&s, &p)?;
+    }
+
+    #[test]
+    fn gram_scalar_blocked_parity(a in (1usize..40, 1usize..24)
+        .prop_flat_map(|(m, n)| matrix_with(m, n))) {
+        let (s, p) = under_both_modes(|| gram(&a));
+        assert_within_one_ulp(&s, &p)?;
+    }
+
+    #[test]
+    fn csr_a_bt_scalar_blocked_parity((a, b) in abt_pair()) {
+        let csr = CsrMatrix::from_dense(&a);
+        let (s, p) = under_both_modes(|| {
+            let mut out = Matrix::zeros(a.rows(), b.rows());
+            csr.a_bt_into(&b, &mut out);
+            out
+        });
+        assert_within_one_ulp(&s, &p)?;
+        // And CSR stays bitwise-paired with the dense kernel in both modes.
+        let (ds, dp) = under_both_modes(|| matmul_a_bt(&a, &b));
+        assert_within_one_ulp(&ds, &s)?;
+        assert_within_one_ulp(&dp, &p)?;
+    }
+
+    #[test]
+    fn csr_at_b_scalar_blocked_parity((a, b) in (1usize..40, 1usize..24, 1usize..24)
+        .prop_flat_map(|(m, p, q)| (matrix_with(m, p), matrix_with(m, q)))) {
+        let csr = CsrMatrix::from_dense(&a);
+        let (s, p) = under_both_modes(|| {
+            let mut out = Matrix::zeros(a.cols(), b.cols());
+            csr.at_b_into(&b, &mut out);
+            out
+        });
+        assert_within_one_ulp(&s, &p)?;
+    }
+}

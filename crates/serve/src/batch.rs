@@ -112,6 +112,42 @@ mod tests {
     }
 
     #[test]
+    fn flush_through_f32_engine_matches_its_per_query_answers() {
+        // BatchQueue takes the engine at flush time, so an f32-precision
+        // engine flows through unchanged: the drained responses must match
+        // that engine's own single-query answers bitwise.
+        let engine = toy_engine();
+        let engine_f32 = QueryEngine::with_precision(
+            engine.model().clone(),
+            cs2013(),
+            pdc12(),
+            crate::Precision::F32,
+        )
+        .expect("f32 engine");
+        let codes = &engine_f32.model().tag_codes;
+        let queries: Vec<CourseQuery> = (0..3)
+            .map(|i| {
+                CourseQuery::new(
+                    format!("q{i}"),
+                    vec![],
+                    codes.iter().skip(i).take(4).cloned().collect(),
+                )
+            })
+            .collect();
+        let mut queue = BatchQueue::new();
+        for q in &queries {
+            queue.push(q.clone());
+        }
+        let drained = queue.flush(&engine_f32).unwrap();
+        assert_eq!(drained.len(), 3);
+        for (q, b) in queries.iter().zip(&drained) {
+            let single = engine_f32.query(q).unwrap();
+            assert_eq!(single.loadings, b.loadings);
+            assert_eq!(single.mixture, b.mixture);
+        }
+    }
+
+    #[test]
     fn bad_query_rejects_the_whole_batch() {
         let engine = toy_engine();
         let mut queue = BatchQueue::new();

@@ -6,7 +6,7 @@
 //! query never observes a half-swapped model. Reloads build the new
 //! engine *outside* any lock and swap the `Arc` under a brief write lock.
 
-use crate::engine::QueryEngine;
+use crate::engine::{Precision, QueryEngine};
 use crate::error::ServeError;
 use crate::registry::Registry;
 use anchors_curricula::Ontology;
@@ -25,24 +25,50 @@ pub struct Snapshot {
 #[derive(Debug)]
 pub struct SnapshotCache {
     active: RwLock<Arc<Snapshot>>,
+    /// Fold-in precision every engine built by this cache serves at; the
+    /// narrowed `f32` basis is converted inside `QueryEngine` construction,
+    /// i.e. at reload time, never per query.
+    precision: Precision,
 }
 
 impl SnapshotCache {
-    /// Start serving a snapshot.
+    /// Start serving a snapshot. Reloads through this cache rebuild at the
+    /// engine's own precision.
     pub fn new(version: u64, engine: QueryEngine) -> Self {
+        let precision = engine.precision();
         SnapshotCache {
             active: RwLock::new(Arc::new(Snapshot { version, engine })),
+            precision,
         }
     }
 
-    /// Build a cache from the newest registry version.
+    /// Build a cache from the newest registry version at `f64` precision.
     pub fn from_registry(
         registry: &Registry,
         cs: &'static Ontology,
         pdc: &'static Ontology,
     ) -> Result<Self, ServeError> {
+        Self::from_registry_with_precision(registry, cs, pdc, Precision::F64)
+    }
+
+    /// Build a cache from the newest registry version at an explicit
+    /// fold-in precision; subsequent [`reload`](Self::reload)s preserve it.
+    pub fn from_registry_with_precision(
+        registry: &Registry,
+        cs: &'static Ontology,
+        pdc: &'static Ontology,
+        precision: Precision,
+    ) -> Result<Self, ServeError> {
         let (version, model) = registry.load_latest()?;
-        Ok(Self::new(version, QueryEngine::new(model, cs, pdc)?))
+        Ok(Self::new(
+            version,
+            QueryEngine::with_precision(model, cs, pdc, precision)?,
+        ))
+    }
+
+    /// The fold-in precision this cache (re)builds engines at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The current snapshot. Cheap: clones an `Arc` under a read lock.
@@ -80,7 +106,7 @@ impl SnapshotCache {
         pdc: &'static Ontology,
     ) -> Result<u64, ServeError> {
         let (version, model) = registry.load_latest()?;
-        let engine = QueryEngine::new(model, cs, pdc)?;
+        let engine = QueryEngine::with_precision(model, cs, pdc, self.precision)?;
         self.install(version, engine);
         Ok(version)
     }
@@ -127,6 +153,29 @@ mod tests {
         // ...and writers can still swap in fresh models afterwards.
         cache.install(2, toy_engine(2));
         assert_eq!(cache.snapshot().engine.model().winning_seed, 2);
+    }
+
+    #[test]
+    fn cache_adopts_and_reports_engine_precision() {
+        let cache = SnapshotCache::new(1, toy_engine(1));
+        assert_eq!(cache.precision(), Precision::F64);
+        let cs = cs2013();
+        let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(6));
+        let model = NnmfModel {
+            w: Matrix::from_fn(4, 2, |i, j| (i + j) as f64),
+            h: Matrix::from_fn(2, 6, |i, j| ((i * 6 + j) % 3) as f64 * 0.5 + 0.1),
+            loss: 0.1,
+            iterations: 3,
+            converged: true,
+            winning_seed: 7,
+            recovery: NnmfRecovery::default(),
+        };
+        let artifact = FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
+        let engine =
+            QueryEngine::with_precision(artifact, cs, pdc12(), Precision::F32).expect("engine");
+        let cache32 = SnapshotCache::new(1, engine);
+        assert_eq!(cache32.precision(), Precision::F32);
+        assert_eq!(cache32.snapshot().engine.precision(), Precision::F32);
     }
 
     #[test]

@@ -27,13 +27,26 @@ use crate::artifact::FittedModel;
 use crate::error::ServeError;
 use anchors_core::{classify_tags, recommend_for_tags, FlavorKind, Recommendation};
 use anchors_curricula::{NodeId, Ontology};
-use anchors_linalg::{try_nnls_multi, MatKernels, Matrix};
+use anchors_linalg::{nnls_gram_f32, try_nnls_multi, LinalgError, MatKernels, Matrix};
 use anchors_materials::{search, CourseLabel, MaterialStore, Query, SearchHit};
 use std::collections::HashMap;
 
 /// NNLS tolerance of the fold-in solve — the same value the ANLS trainer
 /// uses for its W rows, so fold-in reproduces training loadings.
 pub const FOLD_IN_TOL: f64 = 1e-12;
+
+/// NNLS tolerance of the reduced-precision fold-in solve: the `f64` value
+/// is below `f32` resolution, so the `f32` path stops at single-precision
+/// stationarity instead (≈ `ε_f32 · ‖G‖`, with the serving Grams O(1)).
+pub const FOLD_IN_TOL_F32: f32 = 1e-6;
+
+/// Documented ceiling on the per-row relative error of `f32` fold-in
+/// loadings versus the `f64` path, asserted by the serve tests and the
+/// `serve_smoke` bench. Derivation (DESIGN.md §15): the active-set solve is
+/// backward-stable, so the loading error is `O(κ(G) · ε_f32)`; the serving
+/// Gram matrices stay below κ ≈ 10³ by construction (normalized tag
+/// columns), giving `10³ · 1.2e-7 ≈ 1.2e-4`, with an order of margin.
+pub const F32_FOLD_IN_MAX_REL_ERR: f64 = 1e-3;
 
 /// How many nearest materials a query returns when a store is attached.
 const NEAREST_LIMIT: usize = 5;
@@ -78,6 +91,56 @@ pub struct QueryResponse {
     pub nearest: Vec<SearchHit>,
 }
 
+/// Numeric precision of the fold-in solve.
+///
+/// `F64` is the default and matches the trainer bit for bit. `F32` is the
+/// opt-in reduced-precision serving mode: the basis and Gram matrix are
+/// narrowed once at engine construction, the per-query NNLS runs entirely
+/// in single precision, and the loadings are widened back — within
+/// [`F32_FOLD_IN_MAX_REL_ERR`] of the `f64` answer. Fitting is always
+/// `f64`; precision is a serving-time choice only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision fold-in (bitwise identical to the trainer's NNLS).
+    #[default]
+    F64,
+    /// Single-precision fold-in (narrowed basis, `f32` active-set solve).
+    F32,
+}
+
+impl Precision {
+    /// Parse a config/env value (`"f64"`, `"f32"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f64" | "double" => Some(Precision::F64),
+            "f32" | "single" => Some(Precision::F32),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name (`"f64"` / `"f32"`), as reported by
+    /// `/healthz`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+/// The narrowed fold-in state cached when an engine serves in `f32`:
+/// the frozen basis `H` and its Gram matrix `H Hᵀ`, both converted once at
+/// construction/reload time so the per-query hot loop never touches `f64`
+/// model state.
+#[derive(Debug, Clone)]
+struct F32Basis {
+    /// `H` (`k × n_tags`, row-major), narrowed from the model.
+    h: Vec<f32>,
+    /// `Hᵀ`-basis Gram matrix `G = H Hᵀ` (`k × k`, row-major), computed in
+    /// `f64` and narrowed — one rounding, not an `f32` accumulation.
+    gram: Vec<f32>,
+}
+
 /// A frozen model plus the precomputed state to answer queries fast.
 #[derive(Debug, Clone)]
 pub struct QueryEngine {
@@ -91,16 +154,30 @@ pub struct QueryEngine {
     cs: &'static Ontology,
     pdc: &'static Ontology,
     store: Option<MaterialStore>,
+    /// Fold-in precision; `f32` carries the narrowed basis.
+    precision: Precision,
+    f32_basis: Option<F32Basis>,
 }
 
 impl QueryEngine {
-    /// Freeze a model for serving. Fails closed if the model was fitted
-    /// against a different revision of `cs` (fingerprint gate) or names a
-    /// tag code `cs` does not know.
+    /// Freeze a model for serving at full (`f64`) fold-in precision. Fails
+    /// closed if the model was fitted against a different revision of `cs`
+    /// (fingerprint gate) or names a tag code `cs` does not know.
     pub fn new(
         model: FittedModel,
         cs: &'static Ontology,
         pdc: &'static Ontology,
+    ) -> Result<Self, ServeError> {
+        Self::with_precision(model, cs, pdc, Precision::F64)
+    }
+
+    /// Freeze a model for serving at an explicit fold-in precision; see
+    /// [`Precision`] for the trade-off.
+    pub fn with_precision(
+        model: FittedModel,
+        cs: &'static Ontology,
+        pdc: &'static Ontology,
+        precision: Precision,
     ) -> Result<Self, ServeError> {
         model.check_ontology(cs)?;
         let tags = model
@@ -118,6 +195,16 @@ impl QueryEngine {
             .map(|(j, code)| (code.clone(), j))
             .collect();
         let ht = model.h.transpose();
+        let f32_basis = match precision {
+            Precision::F64 => None,
+            Precision::F32 => {
+                let gram = anchors_linalg::matmul_at_b(&ht, &ht);
+                Some(F32Basis {
+                    h: model.h.as_slice().iter().map(|&v| v as f32).collect(),
+                    gram: gram.as_slice().iter().map(|&v| v as f32).collect(),
+                })
+            }
+        };
         Ok(QueryEngine {
             model,
             ht,
@@ -126,7 +213,14 @@ impl QueryEngine {
             cs,
             pdc,
             store: None,
+            precision,
+            f32_basis,
         })
+    }
+
+    /// The fold-in precision this engine serves at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Attach a material store so queries also return nearest materials.
@@ -168,7 +262,9 @@ impl QueryEngine {
 
     /// NNLS-project a batch of tag rows (one course per row) onto the
     /// frozen `H`. Returns the `batch.rows() × k` loading matrix. The
-    /// batch may be dense or CSR; both take the same solver path.
+    /// batch may be dense or CSR; both take the same solver path. Under
+    /// [`Precision::F32`] the solve runs on the narrowed basis and the
+    /// loadings are widened back.
     pub fn fold_in_batch<B: MatKernels>(&self, batch: &B) -> Result<Matrix, ServeError> {
         let (_, cols) = batch.shape();
         if cols != self.n_tags() {
@@ -177,7 +273,65 @@ impl QueryEngine {
                 found: cols,
             });
         }
-        Ok(try_nnls_multi(&self.ht, batch, FOLD_IN_TOL)?)
+        match &self.f32_basis {
+            Some(basis) => self.fold_in_batch_f32(batch, basis),
+            None => Ok(try_nnls_multi(&self.ht, batch, FOLD_IN_TOL)?),
+        }
+    }
+
+    /// The reduced-precision fold-in: each query row is narrowed once, the
+    /// cross-products and the active-set NNLS run entirely in `f32`
+    /// against the cached basis, and the loadings widen back to the `f64`
+    /// response type. Mirrors `try_nnls_multi`'s validation so both
+    /// precisions reject the same malformed batches.
+    fn fold_in_batch_f32<B: MatKernels>(
+        &self,
+        batch: &B,
+        basis: &F32Basis,
+    ) -> Result<Matrix, ServeError> {
+        let (q, n) = batch.shape();
+        let k = self.k();
+        if let Some((row, col, value)) = batch.find_non_finite() {
+            return Err(ServeError::from(LinalgError::NotFinite {
+                op: "nnls_multi",
+                row,
+                col,
+                value,
+            }));
+        }
+        let mut out = Matrix::zeros(q, k);
+        if q == 0 || k == 0 {
+            return Ok(out);
+        }
+        let mut row64 = vec![0.0f64; n];
+        let mut row32 = vec![0.0f32; n];
+        let mut cross = vec![0.0f32; k];
+        let mut x = vec![0.0f32; k];
+        let mut passive = vec![false; k];
+        for i in 0..q {
+            row64.fill(0.0);
+            batch.accumulate_row_into(i, 1.0, &mut row64);
+            for (dst, &src) in row32.iter_mut().zip(&row64) {
+                *dst = src as f32;
+            }
+            // c = H a (the `f32` mirror of the batched `B·Hᵀ` product).
+            for (t, c) in cross.iter_mut().enumerate() {
+                let hrow = &basis.h[t * n..(t + 1) * n];
+                *c = row32.iter().zip(hrow).map(|(&av, &hv)| av * hv).sum();
+            }
+            nnls_gram_f32(
+                &basis.gram,
+                k,
+                &cross,
+                FOLD_IN_TOL_F32,
+                &mut x,
+                &mut passive,
+            );
+            for (dst, &src) in out.row_mut(i).iter_mut().zip(&x) {
+                *dst = src as f64;
+            }
+        }
+        Ok(out)
     }
 
     /// Fold in a single tag row.
@@ -259,6 +413,28 @@ impl QueryEngine {
     }
 }
 
+/// Largest per-row relative error between two loading matrices: for each
+/// row, `‖ref − other‖_∞ / ‖ref‖_∞` (rows that are zero in the reference
+/// count their absolute error instead). This is the metric
+/// [`F32_FOLD_IN_MAX_REL_ERR`] bounds and the `serve_smoke` bench reports.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn fold_in_max_rel_err(reference: &Matrix, other: &Matrix) -> f64 {
+    assert_eq!(reference.shape(), other.shape(), "loading shape mismatch");
+    let mut worst = 0.0f64;
+    for i in 0..reference.rows() {
+        let scale = reference.row(i).iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let diff = reference
+            .row(i)
+            .iter()
+            .zip(other.row(i))
+            .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()));
+        worst = worst.max(if scale > 0.0 { diff / scale } else { diff });
+    }
+    worst
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +457,84 @@ mod tests {
         };
         let artifact = FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
         QueryEngine::new(artifact, cs, pdc12()).expect("engine")
+    }
+
+    fn toy_engine_f32() -> QueryEngine {
+        let cs = cs2013();
+        let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(8));
+        let model = NnmfModel {
+            w: Matrix::from_fn(5, 2, |i, j| ((i + j) % 3) as f64 * 0.5),
+            h: Matrix::from_fn(2, 8, |i, j| ((i * 8 + j) % 4) as f64 * 0.25 + 0.05),
+            loss: 0.3,
+            iterations: 5,
+            converged: true,
+            winning_seed: 1,
+            recovery: NnmfRecovery::default(),
+        };
+        let artifact = FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid");
+        QueryEngine::with_precision(artifact, cs, pdc12(), Precision::F32).expect("engine")
+    }
+
+    #[test]
+    fn precision_parses_and_defaults() {
+        assert_eq!(Precision::parse("f32"), Some(Precision::F32));
+        assert_eq!(Precision::parse(" F64 "), Some(Precision::F64));
+        assert_eq!(Precision::parse("single"), Some(Precision::F32));
+        assert_eq!(Precision::parse("half"), None);
+        assert_eq!(Precision::default(), Precision::F64);
+        assert_eq!(toy_engine().precision(), Precision::F64);
+        assert_eq!(toy_engine_f32().precision(), Precision::F32);
+        assert_eq!(Precision::F32.as_str(), "f32");
+    }
+
+    #[test]
+    fn f32_fold_in_tracks_f64_within_bound() {
+        let e64 = toy_engine();
+        let e32 = toy_engine_f32();
+        let codes = &e64.model().tag_codes;
+        let queries: Vec<CourseQuery> = (0..4)
+            .map(|i| {
+                CourseQuery::new(
+                    format!("q{i}"),
+                    vec![CourseLabel::Cs1],
+                    codes.iter().skip(i).step_by(2).cloned().collect(),
+                )
+            })
+            .collect();
+        let mut batch = Matrix::zeros(queries.len(), e64.n_tags());
+        for (i, q) in queries.iter().enumerate() {
+            batch.row_mut(i).copy_from_slice(&e64.vectorize(q).unwrap());
+        }
+        let w64 = e64.fold_in_batch(&batch).unwrap();
+        let w32 = e32.fold_in_batch(&batch).unwrap();
+        let err = fold_in_max_rel_err(&w64, &w32);
+        assert!(
+            err <= F32_FOLD_IN_MAX_REL_ERR,
+            "f32 fold-in error {err} exceeds bound {F32_FOLD_IN_MAX_REL_ERR}"
+        );
+        // CSR queries take the same narrowed path.
+        let csr = anchors_linalg::CsrMatrix::from_dense(&batch);
+        assert_eq!(
+            e32.fold_in_batch(&csr).unwrap(),
+            w32,
+            "dense and CSR f32 batches must match bitwise"
+        );
+    }
+
+    #[test]
+    fn f32_fold_in_rejects_what_f64_rejects() {
+        let e32 = toy_engine_f32();
+        let wrong = Matrix::zeros(2, 3);
+        assert!(matches!(
+            e32.fold_in_batch(&wrong),
+            Err(ServeError::QueryShape {
+                expected: 8,
+                found: 3
+            })
+        ));
+        let mut nan = Matrix::zeros(1, 8);
+        nan.set(0, 5, f64::NAN);
+        assert!(e32.fold_in_batch(&nan).is_err(), "NaN batch must fail");
     }
 
     #[test]

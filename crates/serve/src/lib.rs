@@ -50,7 +50,10 @@ pub use batch::BatchQueue;
 pub use binary::BinaryCodec;
 pub use cache::{Snapshot, SnapshotCache};
 pub use codec::{fnv1a_64, fnv1a_64_words, Artifact, ArtifactFormat, Codec, JsonCodec, FORMAT_ENV};
-pub use engine::{CourseQuery, QueryEngine, QueryResponse, FOLD_IN_TOL};
+pub use engine::{
+    fold_in_max_rel_err, CourseQuery, Precision, QueryEngine, QueryResponse,
+    F32_FOLD_IN_MAX_REL_ERR, FOLD_IN_TOL, FOLD_IN_TOL_F32,
+};
 pub use error::ServeError;
 pub use faults::{FaultCounters, FaultPlan, FaultyFs};
 pub use fsio::{FileOps, RealFs};

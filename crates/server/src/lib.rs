@@ -42,6 +42,11 @@ pub use client::{
 pub use http::{HttpError, Limits, Request, RequestParser, Response, Version};
 pub use metrics::{LatencyHistogram, Metrics, Route, RouteMetrics, LATENCY_BOUNDS_US};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{AppState, Health, RetryPolicy, Server, ServerConfig, ServerHandle};
+pub use server::{
+    precision_from_env, AppState, Health, RetryPolicy, Server, ServerConfig, ServerHandle,
+    PRECISION_ENV,
+};
 pub use textdoor::{TextDoor, TextSnapshot};
 pub use wire::WireError;
+
+pub use anchors_serve::Precision;

@@ -219,6 +219,10 @@ fn healthz(state: &AppState) -> Response {
         ),
         ("k".into(), Json::Num(snapshot.engine.k() as f64)),
         ("tags".into(), Json::Num(snapshot.engine.n_tags() as f64)),
+        (
+            "precision".into(),
+            Json::Str(snapshot.engine.precision().as_str().into()),
+        ),
     ];
     // The text door reports inside healthz but does not fail liveness:
     // a text-only degradation 503s `/v1/classify_text` while the factor

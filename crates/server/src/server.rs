@@ -21,7 +21,7 @@ use crate::queue::{BoundedQueue, PushError};
 use crate::router;
 use crate::textdoor::TextDoor;
 use anchors_curricula::Ontology;
-use anchors_serve::{Registry, ServeError, SnapshotCache};
+use anchors_serve::{Precision, Registry, ServeError, SnapshotCache};
 use std::io::{self, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering::Relaxed;
@@ -29,6 +29,23 @@ use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Environment variable selecting the fold-in precision a deployment
+/// serves at: `f32` (reduced-precision NNLS, see
+/// [`anchors_serve::F32_FOLD_IN_MAX_REL_ERR`] for the accuracy contract)
+/// or `f64` (the default).
+pub const PRECISION_ENV: &str = "ANCHORS_SERVE_PRECISION";
+
+/// The serving precision named by [`PRECISION_ENV`]. Unset or
+/// unrecognized values fall back to `f64` — a typo must never silently
+/// change numerics, so anything but an exact `f32`/`f64` spelling keeps
+/// full precision.
+pub fn precision_from_env() -> Precision {
+    std::env::var(PRECISION_ENV)
+        .ok()
+        .and_then(|v| Precision::parse(&v))
+        .unwrap_or_default()
+}
 
 /// Tuning knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -172,13 +189,28 @@ pub struct AppState {
 }
 
 impl AppState {
-    /// State serving the newest model in `registry`.
+    /// State serving the newest model in `registry` at `f64` fold-in
+    /// precision.
     pub fn from_registry(
         registry: Registry,
         cs: &'static Ontology,
         pdc: &'static Ontology,
     ) -> Result<Self, ServeError> {
-        let cache = SnapshotCache::from_registry(&registry, cs, pdc)?;
+        Self::from_registry_with_precision(registry, cs, pdc, Precision::F64)
+    }
+
+    /// State serving the newest model in `registry` at an explicit fold-in
+    /// precision. [`Precision::F32`] narrows the basis once per (re)load
+    /// and answers queries with the single-precision NNLS path; `/v1/reload`
+    /// preserves the choice. Deployments opt in via
+    /// `ANCHORS_SERVE_PRECISION=f32` on the binary.
+    pub fn from_registry_with_precision(
+        registry: Registry,
+        cs: &'static Ontology,
+        pdc: &'static Ontology,
+        precision: Precision,
+    ) -> Result<Self, ServeError> {
+        let cache = SnapshotCache::from_registry_with_precision(&registry, cs, pdc, precision)?;
         Ok(AppState {
             cache,
             registry,

@@ -10,7 +10,8 @@ use anchors_linalg::{Backend, Matrix};
 use anchors_materials::TagSpace;
 use anchors_serve::{FittedModel, Registry};
 use anchors_server::{
-    AppState, Client, RetryConfig, RetryingClient, Server, ServerConfig, ServerHandle, TextDoor,
+    AppState, Client, Precision, RetryConfig, RetryingClient, Server, ServerConfig, ServerHandle,
+    TextDoor,
 };
 use anchors_text::{train, TextModel, TrainConfig};
 use std::fs;
@@ -116,6 +117,11 @@ fn keep_alive_connection_serves_every_endpoint() {
     assert_eq!(health.status, 200);
     assert!(health.text().contains("\"version\":1"), "{}", health.text());
     assert!(health.text().contains("toy-v1"));
+    assert!(
+        health.text().contains("\"precision\":\"f64\""),
+        "default precision must be reported: {}",
+        health.text()
+    );
 
     let rec = client
         .request("POST", "/v1/recommend", &body)
@@ -180,6 +186,53 @@ fn keep_alive_connection_serves_every_endpoint() {
     assert_eq!(state.metrics.connections.load(Relaxed), 1);
     assert!(state.metrics.requests.load(Relaxed) >= 5);
     drop(client); // close the keep-alive connection so shutdown is instant
+    handle.shutdown();
+}
+
+#[test]
+fn f32_precision_serves_reports_and_survives_reload() {
+    let registry = Registry::open(tmp_dir("f32-precision")).expect("registry");
+    registry.save(&toy_model("toy-v1", 3)).expect("save v1");
+    let state = Arc::new(
+        AppState::from_registry_with_precision(registry, cs2013(), pdc12(), Precision::F32)
+            .expect("state"),
+    );
+    let handle =
+        Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).expect("start");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(
+        health.text().contains("\"precision\":\"f32\""),
+        "{}",
+        health.text()
+    );
+
+    // Queries answer through the narrowed path with the full response shape.
+    let body = recommend_body(&state);
+    let rec = client
+        .request("POST", "/v1/recommend", &body)
+        .expect("recommend");
+    assert_eq!(rec.status, 200, "{}", rec.text());
+    assert!(rec.text().contains("loadings"));
+
+    // A hot reload rebuilds the engine at the same precision.
+    state
+        .registry
+        .save(&toy_model("toy-v2", 9))
+        .expect("save v2");
+    let reload = client.request("POST", "/v1/reload", b"").expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.text());
+    assert_eq!(state.cache.snapshot().engine.precision(), Precision::F32);
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert!(
+        health.text().contains("\"precision\":\"f32\""),
+        "reload must preserve precision: {}",
+        health.text()
+    );
+
+    drop(client);
     handle.shutdown();
 }
 

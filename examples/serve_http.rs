@@ -84,8 +84,11 @@ fn main() {
     // Port 0 picks a free port; a deployment would pass ":8080". Four
     // workers behind a bounded queue — overflow is shed with 503.
     let door = TextDoor::open(Registry::open(&dir).expect("door registry"), cs);
+    // ANCHORS_SERVE_PRECISION=f32 opts into the reduced-precision fold-in
+    // path (reported by /v1/healthz and preserved across /v1/reload).
+    let precision = anchors_server::precision_from_env();
     let state = Arc::new(
-        AppState::from_registry(registry, cs, pdc)
+        AppState::from_registry_with_precision(registry, cs, pdc, precision)
             .expect("state")
             .with_text(door),
     );
