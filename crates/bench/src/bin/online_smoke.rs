@@ -1,0 +1,292 @@
+//! Online-learning smoke benchmark: warm-start refresh vs cold refit,
+//! and the refresh swap under live query load.
+//!
+//! Part one fits a base model on a synthetic sparse course matrix over a
+//! real CS2013 tag-space prefix, folds a batch of unseen courses in
+//! against the frozen basis, then absorbs them two ways: the online
+//! subsystem's warm-start `refresh_model` (previous `W`/`H` seed HALS)
+//! versus a cold NNDSVD fit of the very same augmented matrix. The gate:
+//! warm iterations ≤ 0.7× cold at equal loss (≤ 5% worse), or the bench
+//! exits nonzero.
+//!
+//! Part two stands up a real server over real sockets with a delta log
+//! attached, hammers `/v1/recommend` from keep-alive clients while
+//! fold-ins land and refresh ticks publish + atomically swap new models
+//! under them. The gate: zero dropped requests across the swaps.
+//!
+//! Emits `BENCH_online.json` at the workspace root (and a copy under
+//! `target/figures/`) for CI to archive. Knobs: `ANCHORS_BENCH_TAGS`,
+//! `ANCHORS_BENCH_K`, `ANCHORS_BENCH_FOLDINS`, `ANCHORS_BENCH_CLIENTS`
+//! env vars shrink the problem for quicker local smoke runs.
+
+use anchors_bench::{figures_dir, header};
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{try_nnmf, Init, NnmfConfig, Solver};
+use anchors_linalg::{matmul, Backend, Matrix};
+use anchors_materials::TagSpace;
+use anchors_online::{refresh_model, DeltaLog, FoldInDelta, RefreshOptions};
+use anchors_serve::{FittedModel, QueryEngine, Registry};
+use anchors_server::{run_refresh_tick, AppState, Client, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let n_tags = env_usize("ANCHORS_BENCH_TAGS", 256);
+    let k = env_usize("ANCHORS_BENCH_K", 8);
+    let n_foldins = env_usize("ANCHORS_BENCH_FOLDINS", 16);
+    let n_clients = env_usize("ANCHORS_BENCH_CLIENTS", 4);
+
+    header("Online learning: warm-start refresh vs cold refit");
+
+    // --- Part one: iterations-to-converge, warm vs cold -------------
+    let cs = cs2013();
+    let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(n_tags));
+    let mut rng = StdRng::seed_from_u64(0x0B11E);
+    let train = Matrix::from_fn(
+        256,
+        n_tags,
+        |_, _| {
+            if rng.gen::<f64>() < 0.05 {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    );
+    let cfg = NnmfConfig {
+        solver: Solver::Hals,
+        restarts: 2,
+        ..NnmfConfig::paper_default(k)
+    };
+    let mut base_fit = try_nnmf(&train, &cfg).expect("base fit");
+    base_fit.normalize();
+    let base =
+        FittedModel::new("online-smoke", cs, &space, &base_fit, Backend::Dense).expect("artifact");
+    let engine = QueryEngine::new(base.clone(), cs, pdc12()).expect("engine");
+    println!(
+        "  base model: k = {k}, {n_tags} tags, {} iterations",
+        base.iterations
+    );
+
+    // Unseen courses arrive and are folded in against the frozen basis.
+    let arrivals = Matrix::from_fn(n_foldins, n_tags, |_, _| {
+        if rng.gen::<f64>() < 8.0 / n_tags as f64 {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    let deltas: Vec<(u64, FoldInDelta)> = (0..n_foldins)
+        .map(|i| {
+            let loadings = engine.fold_in_row(arrivals.row(i)).expect("fold-in");
+            (
+                i as u64 + 1,
+                FoldInDelta {
+                    base_version: 1,
+                    name: format!("arrival-{i}"),
+                    guideline: base.guideline.clone(),
+                    fingerprint: base.fingerprint,
+                    tags: arrivals.row(i).to_vec(),
+                    loadings,
+                },
+            )
+        })
+        .collect();
+
+    let options = RefreshOptions::default();
+    let t0 = Instant::now();
+    let (refreshed, report) = refresh_model(&base, &deltas, &options).expect("warm refresh");
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.absorbed.len(), n_foldins, "every delta absorbed");
+    assert_eq!(refreshed.w.rows(), 256 + n_foldins);
+
+    // The cold comparator fits the *same* augmented matrix from scratch.
+    let recon = matmul(&base.w, &base.h);
+    let aug = Matrix::from_fn(256 + n_foldins, n_tags, |i, j| {
+        if i < 256 {
+            recon.get(i, j)
+        } else {
+            arrivals.get(i - 256, j)
+        }
+    });
+    let cold_cfg = NnmfConfig {
+        init: Init::Nndsvd,
+        restarts: 1,
+        max_iter: options.max_iter,
+        tol: options.tol,
+        ..NnmfConfig::paper_default(k)
+    };
+    let t1 = Instant::now();
+    let cold = try_nnmf(&aug, &cold_cfg).expect("cold refit");
+    let cold_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let warm_iters = report.warm.warm_iterations;
+    let cold_iters = cold.iterations;
+    let savings = 1.0 - warm_iters as f64 / cold_iters.max(1) as f64;
+    println!(
+        "  warm refresh:  {warm_iters:>6} iterations  {warm_ms:>8.1} ms  loss {:.6}",
+        report.warm.warm_loss
+    );
+    println!(
+        "  cold refit:    {cold_iters:>6} iterations  {cold_ms:>8.1} ms  loss {:.6}",
+        cold.loss
+    );
+    println!("  iteration savings: {:.0}%", savings * 100.0);
+    if report.warm.fell_back_cold {
+        println!("  note: warm seed diverged; the cold ladder rescued the fit");
+    }
+
+    // --- Part two: the refresh swap under live load ------------------
+    header("Online learning: refresh swap under load");
+    let dir = std::env::temp_dir().join(format!("anchors-online-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let log = Arc::new(DeltaLog::open(&dir).expect("delta log"));
+    let registry = Registry::open(&dir)
+        .expect("registry")
+        .with_pins(Arc::clone(&log) as Arc<_>);
+    registry.save(&base).expect("publish v1");
+    let state = Arc::new(
+        AppState::from_registry(registry, cs2013(), pdc12())
+            .expect("state")
+            .with_online(Arc::clone(&log)),
+    );
+    let handle =
+        Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).expect("start");
+    let addr = handle.addr();
+    let timeout = Duration::from_secs(10);
+
+    let codes = &base.tag_codes;
+    let recommend = format!(
+        r#"{{"name":"CS 201","labels":["DS"],"tags":["{}","{}","{}"]}}"#,
+        codes[1], codes[4], codes[9]
+    )
+    .into_bytes();
+    let per_client = 64usize;
+    let clients: Vec<_> = (0..n_clients)
+        .map(|_| {
+            let body = recommend.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr, timeout).expect("connect");
+                let mut dropped = 0u64;
+                for _ in 0..per_client {
+                    match client.request("POST", "/v1/recommend", &body) {
+                        Ok(resp) if resp.status == 200 => {}
+                        _ => dropped += 1,
+                    }
+                }
+                dropped
+            })
+        })
+        .collect();
+
+    let mut folder = Client::connect(addr, timeout).expect("connect");
+    let mut swaps = 0u64;
+    let swap_started = Instant::now();
+    for round in 0..3 {
+        let fold = format!(
+            r#"{{"name":"CS 49{round}","labels":["DS"],"tags":["{}","{}"]}}"#,
+            codes[2 + round],
+            codes[11 + round]
+        );
+        let resp = folder
+            .request("POST", "/v1/fold_in", fold.as_bytes())
+            .expect("fold_in");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        if run_refresh_tick(&state, &options).expect("tick").is_some() {
+            swaps += 1;
+        }
+    }
+    let swap_ms = swap_started.elapsed().as_secs_f64() * 1e3;
+    let dropped: u64 = clients.into_iter().map(|t| t.join().expect("client")).sum();
+    let total = (n_clients * per_client) as u64;
+    println!("  {total} requests across {swaps} publish+swap cycles ({swap_ms:.1} ms): {dropped} dropped");
+    drop(folder);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- Report + gates ----------------------------------------------
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"online_warm_refresh_and_swap\",\n",
+            "  \"tags\": {},\n",
+            "  \"k\": {},\n",
+            "  \"fold_ins\": {},\n",
+            "  \"warm_iterations\": {},\n",
+            "  \"cold_iterations\": {},\n",
+            "  \"iteration_savings\": {:.3},\n",
+            "  \"warm_loss\": {:.6},\n",
+            "  \"cold_loss\": {:.6},\n",
+            "  \"warm_ms\": {:.3},\n",
+            "  \"cold_ms\": {:.3},\n",
+            "  \"fell_back_cold\": {},\n",
+            "  \"load_requests\": {},\n",
+            "  \"load_clients\": {},\n",
+            "  \"swaps\": {},\n",
+            "  \"swap_window_ms\": {:.3},\n",
+            "  \"dropped_requests\": {}\n",
+            "}}\n"
+        ),
+        n_tags,
+        k,
+        n_foldins,
+        warm_iters,
+        cold_iters,
+        savings,
+        report.warm.warm_loss,
+        cold.loss,
+        warm_ms,
+        cold_ms,
+        report.warm.fell_back_cold,
+        total,
+        n_clients,
+        swaps,
+        swap_ms,
+        dropped
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let root_path = root.join("BENCH_online.json");
+    std::fs::write(&root_path, &json).expect("write BENCH_online.json");
+    println!("  wrote {}", root_path.display());
+    std::fs::write(figures_dir().join("BENCH_online.json"), &json).expect("write figures copy");
+
+    let mut failed = false;
+    if warm_iters as f64 > 0.7 * cold_iters as f64 {
+        eprintln!(
+            "GATE: warm refresh took {warm_iters} iterations, over 0.7x the cold refit's {cold_iters}"
+        );
+        failed = true;
+    }
+    if report.warm.warm_loss > cold.loss * 1.05 {
+        eprintln!(
+            "GATE: warm loss {:.6} is more than 5% worse than cold {:.6}",
+            report.warm.warm_loss, cold.loss
+        );
+        failed = true;
+    }
+    if dropped > 0 {
+        eprintln!("GATE: {dropped} of {total} requests dropped during refresh swaps");
+        failed = true;
+    }
+    if swaps != 3 {
+        eprintln!("GATE: expected 3 publish+swap cycles, saw {swaps}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

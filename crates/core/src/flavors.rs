@@ -4,10 +4,10 @@
 use crate::error::AnchorsError;
 use anchors_curricula::{NodeId, Ontology};
 use anchors_factor::{
-    select_rank, try_nnmf, try_nnmf_sketched, try_rank_scan, NnmfConfig, NnmfModel, SketchReport,
-    DUPLICATE_THRESHOLD,
+    select_rank, try_nnmf, try_nnmf_sketched, try_nnmf_warm, try_rank_scan, Init, NnmfConfig,
+    NnmfModel, SketchReport, WarmStart, DUPLICATE_THRESHOLD,
 };
-use anchors_linalg::{Backend, SketchConfig};
+use anchors_linalg::{Backend, Matrix, SketchConfig};
 use anchors_materials::{CourseId, CourseMatrix, MaterialStore, SparseCourseMatrix};
 use std::collections::BTreeMap;
 
@@ -91,6 +91,40 @@ pub struct FlavorDiagnostics {
     /// sketched path ([`try_discover_flavors_sketched`]); `None` for
     /// exact fits.
     pub sketch: Option<SketchReport>,
+    /// Measured warm-vs-cold comparison when the fit went through the
+    /// warm-start path ([`try_discover_flavors_warm`]); `None` for cold
+    /// fits.
+    pub warm: Option<WarmStartDiagnostics>,
+}
+
+/// The measured iterations-to-converge delta of a warm-started refit
+/// against a cold deterministic NNDSVD fit of the *same* matrix — the
+/// honest audit of whether the previous `H` actually bought anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStartDiagnostics {
+    /// Iterations the warm-started fit used.
+    pub warm_iterations: usize,
+    /// Iterations the cold NNDSVD reference fit used.
+    pub cold_iterations: usize,
+    /// Final loss of the warm fit (the returned model's loss).
+    pub warm_loss: f64,
+    /// Final loss of the cold reference fit.
+    pub cold_loss: f64,
+    /// Whether the warm start diverged and the cold ladder produced the
+    /// returned model instead.
+    pub fell_back_cold: bool,
+}
+
+impl WarmStartDiagnostics {
+    /// Fraction of cold iterations the warm start saved (0 when it saved
+    /// nothing or fell back; 0.7 means warm used 30% of cold's sweeps).
+    pub fn iteration_savings(&self) -> f64 {
+        if self.cold_iterations == 0 || self.warm_iterations >= self.cold_iterations {
+            0.0
+        } else {
+            1.0 - self.warm_iterations as f64 / self.cold_iterations as f64
+        }
+    }
 }
 
 /// A fitted flavor model of a course group.
@@ -178,6 +212,7 @@ pub fn try_discover_flavors_with(
         density,
         info: vec![format!("nnmf backend: {backend} (density {density:.3})")],
         sketch: None,
+        warm: None,
     };
     if diagnostics.clamped {
         diagnostics.notes.push(format!(
@@ -264,6 +299,7 @@ pub fn try_discover_flavors_sketched(
         density,
         info: vec![format!("nnmf backend: {backend} (density {density:.3})")],
         sketch: None,
+        warm: None,
     };
     if diagnostics.clamped {
         diagnostics.notes.push(format!(
@@ -288,6 +324,131 @@ pub fn try_discover_flavors_sketched(
         report.kind, report.sketch_rows, report.sketch_seed, report.relative_error
     ));
     diagnostics.sketch = Some(report);
+    let matrix = CourseMatrix {
+        courses: sparse.courses,
+        tag_space: sparse.tag_space,
+        a: dense_a,
+    };
+    if !model.recovery.is_clean() {
+        diagnostics
+            .notes
+            .push(format!("NNMF recovery engaged: {:?}", model.recovery));
+    }
+    model.normalize();
+    let types = summarize_types(&model, &matrix, ontology);
+    let assignments = model.dominant_types();
+    Ok(FlavorModel {
+        matrix,
+        model,
+        types,
+        assignments,
+        diagnostics,
+    })
+}
+
+/// [`try_discover_flavors_with`] through the warm-start path: HALS is
+/// seeded from `warm_h`, a `k × tags` mixing matrix from a *previous* fit
+/// of (an earlier revision of) the same course group, instead of a cold
+/// NNDSVD/random init — see `anchors_factor::warm` for the seeding math
+/// and the cases where a stale `H` cannot help.
+///
+/// To keep the speedup honest, the same matrix is also fitted cold from a
+/// deterministic NNDSVD init and the measured iterations-to-converge delta
+/// lands in the returned model's [`FlavorDiagnostics::warm`]. The *warm*
+/// model is the one returned (unless it diverged and fell back, which the
+/// diagnostics record).
+///
+/// `warm_h` must have exactly `k` rows and one column per tag of the
+/// rebuilt matrix; a shape drift (the tag union widened since the previous
+/// fit) surfaces as a typed error rather than a silent misalignment, and
+/// callers should fall back to a cold fit.
+pub fn try_discover_flavors_warm(
+    store: &MaterialStore,
+    ontology: &Ontology,
+    courses: &[CourseId],
+    config: &NnmfConfig,
+    warm_h: &Matrix,
+) -> Result<FlavorModel, AnchorsError> {
+    if courses.is_empty() {
+        return Err(AnchorsError::EmptyGroup { stage: "flavors" });
+    }
+    let sparse = SparseCourseMatrix::build(store, courses);
+    if sparse.n_tags() == 0 {
+        return Err(AnchorsError::DegenerateMatrix {
+            stage: "flavors",
+            detail: format!("{} courses span no curriculum tags", courses.len()),
+        });
+    }
+    let density = sparse.density();
+    let backend = select_backend(density);
+    let requested_k = config.k;
+    let max_k = sparse.n_courses().min(sparse.n_tags()).max(1);
+    let effective_k = requested_k.min(max_k).max(1);
+    let mut diagnostics = FlavorDiagnostics {
+        requested_k,
+        effective_k,
+        clamped: effective_k != requested_k,
+        notes: Vec::new(),
+        backend,
+        density,
+        info: vec![format!("nnmf backend: {backend} (density {density:.3})")],
+        sketch: None,
+        warm: None,
+    };
+    if diagnostics.clamped {
+        diagnostics.notes.push(format!(
+            "k clamped from {requested_k} to {effective_k} (matrix is {:?})",
+            (sparse.n_courses(), sparse.n_tags())
+        ));
+    }
+    let cfg = NnmfConfig {
+        k: effective_k,
+        ..config.clone()
+    };
+    let warm = WarmStart { h: warm_h, w: None };
+    let dense_a = sparse.a.to_dense();
+    let fitted = match backend {
+        Backend::Sparse => try_nnmf_warm(&sparse.a, &cfg, &warm)?,
+        Backend::Dense => try_nnmf_warm(&dense_a, &cfg, &warm)?,
+    };
+    let mut model = fitted.model;
+    let report = fitted.report;
+    // The honest reference: one deterministic cold fit of the same matrix.
+    // NNDSVD with a single restart so the comparison is not noise from a
+    // lucky random seed.
+    let cold_cfg = NnmfConfig {
+        init: Init::Nndsvd,
+        restarts: 1,
+        ..cfg.clone()
+    };
+    let cold = match backend {
+        Backend::Sparse => try_nnmf(&sparse.a, &cold_cfg)?,
+        Backend::Dense => try_nnmf(&dense_a, &cold_cfg)?,
+    };
+    let warm_diag = WarmStartDiagnostics {
+        warm_iterations: report.warm_iterations,
+        cold_iterations: cold.iterations,
+        warm_loss: report.warm_loss,
+        cold_loss: cold.loss,
+        fell_back_cold: report.fell_back_cold,
+    };
+    diagnostics.info.push(format!(
+        "warm nnmf: {} iterations vs {} cold ({:.0}% saved{})",
+        warm_diag.warm_iterations,
+        warm_diag.cold_iterations,
+        warm_diag.iteration_savings() * 100.0,
+        if warm_diag.fell_back_cold {
+            ", fell back cold"
+        } else {
+            ""
+        }
+    ));
+    if report.fell_back_cold {
+        diagnostics
+            .notes
+            .push("warm start diverged; cold restart ladder produced the model".to_string());
+    }
+    diagnostics.warm = Some(warm_diag);
     let matrix = CourseMatrix {
         courses: sparse.courses,
         tag_space: sparse.tag_space,
@@ -381,6 +542,7 @@ pub fn try_discover_flavors_auto(
         density,
         info: vec![format!("nnmf backend: {backend} (density {density:.3})")],
         sketch: None,
+        warm: None,
     };
     Ok((
         FlavorModel {
@@ -746,6 +908,55 @@ mod tests {
             "{:?}",
             fm.diagnostics.notes
         );
+    }
+
+    #[test]
+    fn warm_discovery_reuses_a_previous_h_and_audits_the_savings() {
+        let c = default_corpus();
+        let g = cs2013();
+        let courses = c.all();
+        let cfg = NnmfConfig::paper_default(4);
+        // A previous fit of the same group is the warm seed.
+        let prev = try_discover_flavors_with(&c.store, g, courses, &cfg).expect("cold fit");
+        let fm = try_discover_flavors_warm(&c.store, g, courses, &cfg, &prev.model.h)
+            .expect("warm discovery");
+        assert_eq!(fm.k(), 4);
+        assert_eq!(fm.assignments.len(), courses.len());
+        assert!(fm.model.w.is_nonnegative());
+        assert!(fm.model.h.is_nonnegative());
+        let warm = fm.diagnostics.warm.as_ref().expect("warm diagnostics");
+        assert!(warm.warm_loss.is_finite());
+        assert!(warm.cold_loss.is_finite());
+        assert!(warm.cold_iterations > 0);
+        assert!((0.0..=1.0).contains(&warm.iteration_savings()));
+        assert!(
+            fm.diagnostics.info.iter().any(|n| n.contains("warm nnmf")),
+            "warm use must be annotated: {:?}",
+            fm.diagnostics.info
+        );
+        // Refitting from an already-converged H of the *same* matrix must
+        // not need more sweeps than the cold reference.
+        assert!(
+            warm.warm_iterations <= warm.cold_iterations,
+            "warm {} vs cold {}",
+            warm.warm_iterations,
+            warm.cold_iterations
+        );
+        // The cold path never records warm diagnostics.
+        assert!(prev.diagnostics.warm.is_none());
+    }
+
+    #[test]
+    fn warm_discovery_rejects_a_misshaped_h() {
+        let c = default_corpus();
+        let g = cs2013();
+        let cfg = NnmfConfig::paper_default(4);
+        // An H whose tag axis no longer matches the rebuilt matrix (the
+        // guideline union widened) must surface a typed error.
+        let stale = Matrix::zeros(4, 3);
+        let err = try_discover_flavors_warm(&c.store, g, c.all(), &cfg, &stale)
+            .expect_err("shape drift must not be silent");
+        assert!(err.to_string().contains("nnmf_warm"), "{err}");
     }
 
     #[test]

@@ -32,8 +32,9 @@ pub use agreement::AgreementAnalysis;
 pub use error::AnchorsError;
 pub use flavors::{
     discover_flavors, discover_flavors_auto, select_backend, try_discover_flavors,
-    try_discover_flavors_auto, try_discover_flavors_sketched, try_discover_flavors_with,
-    FlavorDiagnostics, FlavorModel, TypeSummary, SPARSE_DENSITY_THRESHOLD,
+    try_discover_flavors_auto, try_discover_flavors_sketched, try_discover_flavors_warm,
+    try_discover_flavors_with, FlavorDiagnostics, FlavorModel, TypeSummary, WarmStartDiagnostics,
+    SPARSE_DENSITY_THRESHOLD,
 };
 pub use material_match::{match_materials, shortlist_materials, MaterialMatch};
 pub use matrixview::{matrix_view, MatrixView};

@@ -30,6 +30,7 @@ pub mod nnmf;
 pub mod pca;
 pub mod rank;
 pub mod sketched;
+pub mod warm;
 
 pub use bicluster::{block_purity, spectral_cocluster, Bicluster};
 pub use cluster::{hierarchical, kmeans, Dendrogram, KMeans, Linkage, Merge};
@@ -50,6 +51,10 @@ pub use rank::{
     DUPLICATE_THRESHOLD,
 };
 pub use sketched::{try_nnmf_sketched, SketchReport, SketchedModel};
+pub use warm::{
+    try_nnmf_sketched_warm, try_nnmf_warm, try_nnmf_warm_with, WarmModel, WarmReport,
+    WarmSketchedModel, WarmStart,
+};
 
 /// Thread-local heap-allocation counter backing the zero-allocation tests.
 /// Compiled only for this crate's own test binary; release builds use the

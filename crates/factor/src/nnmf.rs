@@ -350,7 +350,7 @@ impl NnmfWorkspace {
 
     /// Bind the workspace to a new input matrix: drop the previous dense
     /// view, cache `‖A‖²`, and size the buffers.
-    fn bind<A: MatKernels>(&mut self, a: &A, config: &NnmfConfig) {
+    pub(crate) fn bind<A: MatKernels>(&mut self, a: &A, config: &NnmfConfig) {
         self.dense_view = None;
         self.a_frob_sq = a.frobenius_sq();
         let (m, n) = a.shape();
@@ -632,7 +632,7 @@ pub fn nnmf<A: MatKernels>(a: &A, config: &NnmfConfig) -> NnmfModel {
 
 /// Marker for a restart whose loss went non-finite or blew past the
 /// divergence threshold.
-struct FitDiverged;
+pub(crate) struct FitDiverged;
 
 /// Loss `½‖A − WH‖²` through the workspace, allocation-free. Uses the Gram
 /// identity `½(‖A‖² − 2·tr(Wᵀ(AHᵀ)) + Σ(WᵀW)⊙(HHᵀ))`; when `‖A‖²` itself
@@ -653,20 +653,40 @@ fn loss_ws<A: MatKernels>(a: &A, w: &Matrix, h: &Matrix, ws: &mut NnmfWorkspace)
 /// One guarded restart: the historical `fit_single` loop plus divergence
 /// detection at every amortized loss check and an optional per-restart
 /// wall-clock budget.
-fn fit_guarded<A: MatKernels>(
+pub(crate) fn fit_guarded<A: MatKernels>(
+    a: &A,
+    w: Matrix,
+    h: Matrix,
+    config: &NnmfConfig,
+    seed: u64,
+    ws: &mut NnmfWorkspace,
+) -> Result<NnmfModel, FitDiverged> {
+    fit_guarded_scaled(a, w, h, config, seed, ws, None)
+}
+
+/// [`fit_guarded`] with an explicit convergence/divergence reference
+/// scale. The default (`None`) keeps the historical behavior — both the
+/// relative-improvement tolerance and the divergence threshold are
+/// measured against the *initial* loss, which for a cold init is
+/// O(½‖A‖²). A warm start that begins at an already-converged loss would
+/// make that reference pathologically small (grinding out improvements
+/// relative to a near-zero denominator), so the warm path passes
+/// `Some(½‖A‖²)` — the same magnitude a cold init would have had.
+pub(crate) fn fit_guarded_scaled<A: MatKernels>(
     a: &A,
     mut w: Matrix,
     mut h: Matrix,
     config: &NnmfConfig,
     seed: u64,
     ws: &mut NnmfWorkspace,
+    loss_scale: Option<f64>,
 ) -> Result<NnmfModel, FitDiverged> {
     let started = Instant::now();
     let mut prev_loss = loss_ws(a, &w, &h, ws);
     if !prev_loss.is_finite() {
         return Err(FitDiverged);
     }
-    let init_loss = prev_loss.max(EPS);
+    let init_loss = loss_scale.unwrap_or(prev_loss).max(EPS);
     let mut iterations = 0;
     let mut converged = false;
     let mut budget_hit = false;

@@ -1,0 +1,481 @@
+//! Warm-started NNMF: seed the solver from a previous model's factors.
+//!
+//! The online-serving regime refits the same corpus over and over, each
+//! time with a handful of freshly folded-in rows appended. A cold fit
+//! throws the previous solution away and pays the full restart ladder
+//! (random or NNDSVD inits, tens to hundreds of HALS sweeps); a warm fit
+//! starts *at* the previous solution:
+//!
+//! * **`H₀` = previous `H`** — the type → tag profiles. Appending rows
+//!   to `A` does not move the row space much, so the old `H` is already
+//!   near the new fixed point.
+//! * **`W₀`** — either the caller's stacked loadings (previous `W` rows
+//!   plus the fold-in solutions for the new rows, which solved exactly
+//!   this NNLS subproblem already), or, when no usable `W` is supplied,
+//!   one batched-NNLS lift of the data onto the frozen `H₀` — the same
+//!   exact projection the sketched path uses.
+//!
+//! From that start the ordinary guarded HALS/MU/ANLS loop runs with all
+//! of [`NnmfConfig`]'s divergence and budget guards; since the start is
+//! deterministic there is exactly one restart. When the warm start is
+//! *bad* — an adversarial or stale `H` whose guarded fit diverges — the
+//! fit falls back to the full cold ladder of [`crate::try_nnmf`], so a
+//! warm refit is never less robust than a cold one, only (usually)
+//! faster. The [`WarmReport`] records which path ran and how many
+//! iterations it took, which is what the serving diagnostics and the
+//! `online_smoke` bench gate on.
+//!
+//! **When warm starting can't help:** if the appended rows change the
+//! latent structure itself (a new dominant topic, a rank the old model
+//! never represented), `H₀` is a poor start and the warm fit converges
+//! to the old basin or takes as long as cold — the measured
+//! iterations-to-converge delta in [`WarmReport`] is the honest signal,
+//! not an assumption. Warm starts also cannot change `k`: the previous
+//! `H` pins the rank, so rank re-selection still requires a cold scan.
+
+use crate::error::NnmfError;
+use crate::nnmf::{
+    fit_guarded_scaled, loss, validate, FitDiverged, NnmfConfig, NnmfModel, NnmfWorkspace,
+};
+use crate::sketched::SketchReport;
+use anchors_linalg::sketch::{sketch_rows, SketchConfig};
+use anchors_linalg::solve::try_nnls_multi;
+use anchors_linalg::{LinalgError, MatKernels, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// NNLS tolerance of the warm `W₀` lift — same as the sketched lift.
+const WARM_LIFT_TOL: f64 = 1e-12;
+
+/// Factors from a previous fit to seed the next one with.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStart<'a> {
+    /// The previous `H` (`k × n`): required, pins the rank and the tag
+    /// space width.
+    pub h: &'a Matrix,
+    /// Optional previous `W` rows (`m × k`, matching the *new* data's
+    /// row count). When absent or mis-shaped, `W₀` is recovered by one
+    /// exact batched-NNLS lift against `h` instead.
+    pub w: Option<&'a Matrix>,
+}
+
+/// How a warm-started fit behaved — the audit trail the refresh loop
+/// and `FlavorDiagnostics` record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmReport {
+    /// Iterations the warm path used (of the fit that produced the
+    /// returned model — cold-ladder iterations if it fell back).
+    pub warm_iterations: usize,
+    /// Final loss of the returned model.
+    pub warm_loss: f64,
+    /// Whether the caller's `W` seeded the fit (vs. the NNLS lift).
+    pub seeded_w: bool,
+    /// Whether the warm start diverged and the cold ladder produced the
+    /// returned model instead.
+    pub fell_back_cold: bool,
+}
+
+/// A warm-started model plus its audit trail.
+#[derive(Debug, Clone)]
+pub struct WarmModel {
+    /// The fitted factors.
+    pub model: NnmfModel,
+    /// Which path ran and what it cost.
+    pub report: WarmReport,
+}
+
+/// A warm-started *sketched* model: sketch audit and warm audit side by
+/// side.
+#[derive(Debug, Clone)]
+pub struct WarmSketchedModel {
+    /// The lifted factors (exact loss on the full data).
+    pub model: NnmfModel,
+    /// Sketch parameters and quality.
+    pub sketch: SketchReport,
+    /// Warm-path audit of the sketch-side fit.
+    pub warm: WarmReport,
+}
+
+/// Shape/content checks on the warm factors. Coordinates in the value
+/// errors refer to the offending entry of the *warm `H`*, not the data.
+fn validate_warm<A: MatKernels>(
+    a: &A,
+    config: &NnmfConfig,
+    warm: &WarmStart,
+) -> Result<(), NnmfError> {
+    let (_, n) = a.shape();
+    if warm.h.shape() != (config.k, n) {
+        return Err(NnmfError::Linalg(LinalgError::ShapeMismatch {
+            op: "nnmf_warm",
+            left: (config.k, n),
+            right: warm.h.shape(),
+        }));
+    }
+    if let Some((row, col, value)) = warm.h.find_non_finite() {
+        return Err(NnmfError::NonFinite { row, col, value });
+    }
+    if let Some((row, col, value)) = warm.h.find_negative() {
+        return Err(NnmfError::NegativeEntry { row, col, value });
+    }
+    Ok(())
+}
+
+/// Fit NNMF warm-started from a previous model's factors. See the
+/// module docs for the algorithm and its limits.
+///
+/// Errors mirror [`crate::try_nnmf`] for malformed data and rank
+/// trouble; a mis-shaped warm `H` surfaces as a typed
+/// [`LinalgError::ShapeMismatch`]. A diverging warm start falls back to
+/// the cold ladder rather than erroring, so [`NnmfError::Diverged`]
+/// means even the cold ladder failed.
+pub fn try_nnmf_warm<A: MatKernels>(
+    a: &A,
+    config: &NnmfConfig,
+    warm: &WarmStart,
+) -> Result<WarmModel, NnmfError> {
+    try_nnmf_warm_with(a, config, warm, &mut NnmfWorkspace::new())
+}
+
+/// [`try_nnmf_warm`] with a caller-provided workspace, so a refresh loop
+/// reuses one set of buffers across periodic refits.
+pub fn try_nnmf_warm_with<A: MatKernels>(
+    a: &A,
+    config: &NnmfConfig,
+    warm: &WarmStart,
+    ws: &mut NnmfWorkspace,
+) -> Result<WarmModel, NnmfError> {
+    validate(a, config)?;
+    validate_warm(a, config, warm)?;
+    let (m, _) = a.shape();
+
+    ws.bind(a, config);
+    let seeded_w = matches!(
+        warm.w,
+        Some(w) if w.shape() == (m, config.k)
+            && w.find_non_finite().is_none()
+            && w.find_negative().is_none()
+    );
+    let w0 = if seeded_w {
+        warm.w.expect("seeded_w checked presence").clone()
+    } else {
+        try_nnls_multi(&warm.h.transpose(), a, WARM_LIFT_TOL).map_err(NnmfError::Linalg)?
+    };
+
+    // Convergence and divergence are referenced against ½‖A‖² — the
+    // magnitude a cold init's loss would have — not the warm start's
+    // (possibly already-converged, near-zero) loss, which would turn
+    // the relative tolerance into an absolute one near machine epsilon.
+    let scale = 0.5 * a.frobenius_sq();
+    match fit_guarded_scaled(a, w0, warm.h.clone(), config, config.seed, ws, Some(scale)) {
+        Ok(model) => Ok(WarmModel {
+            report: WarmReport {
+                warm_iterations: model.iterations,
+                warm_loss: model.loss,
+                seeded_w,
+                fell_back_cold: false,
+            },
+            model,
+        }),
+        Err(FitDiverged) => {
+            // A stale or adversarial H blew the divergence guard: pay
+            // the cold ladder instead of failing — warm is an
+            // optimization, never a robustness regression.
+            let model = crate::try_nnmf_with(a, config, ws)?;
+            Ok(WarmModel {
+                report: WarmReport {
+                    warm_iterations: model.iterations,
+                    warm_loss: model.loss,
+                    seeded_w,
+                    fell_back_cold: true,
+                },
+                model,
+            })
+        }
+    }
+}
+
+/// Warm-started sketched NNMF: sketch the data as
+/// [`crate::try_nnmf_sketched`] does, warm-start the sketch-side fit
+/// from the previous `H` (the sketch preserves the row space the `H`
+/// lives in, so the same seed applies), then lift `W` back with one
+/// exact batched-NNLS pass.
+pub fn try_nnmf_sketched_warm<A: MatKernels>(
+    a: &A,
+    config: &NnmfConfig,
+    sketch: &SketchConfig,
+    warm: &WarmStart,
+) -> Result<WarmSketchedModel, NnmfError> {
+    validate(a, config)?;
+    validate_warm(a, config, warm)?;
+    let (m, n) = a.shape();
+    if sketch.rows < config.k {
+        return Err(NnmfError::RankTooLarge {
+            k: config.k,
+            shape: (sketch.rows, n),
+        });
+    }
+    let b = sketch_rows(a, sketch).map_err(NnmfError::Linalg)?;
+
+    // Warm fit on the sketch. The caller's W rows are full-data loadings
+    // and do not apply to sketch rows, so the sketch-side W₀ always
+    // comes from the NNLS lift of B onto the frozen H.
+    let mut ws = NnmfWorkspace::new();
+    let inner = try_nnmf_warm_with(&b, config, &WarmStart { h: warm.h, w: None }, &mut ws)?;
+
+    let ht = inner.model.h.transpose();
+    let w = try_nnls_multi(&ht, a, WARM_LIFT_TOL).map_err(NnmfError::Linalg)?;
+    debug_assert_eq!(w.shape(), (m, config.k));
+    let exact_loss = loss(a, &w, &inner.model.h);
+    if !exact_loss.is_finite() {
+        return Err(NnmfError::Linalg(LinalgError::NotFinite {
+            op: "nnmf_sketched_warm",
+            row: 0,
+            col: 0,
+            value: exact_loss,
+        }));
+    }
+    let fro2 = a.frobenius_sq();
+    let relative_error = if fro2 > 0.0 {
+        (2.0 * exact_loss.max(0.0) / fro2).sqrt()
+    } else if exact_loss > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let sketch_report = SketchReport {
+        kind: sketch.kind.to_string(),
+        sketch_rows: sketch.rows,
+        sketch_seed: sketch.seed,
+        sketch_iterations: inner.model.iterations,
+        sketched_loss: inner.model.loss,
+        exact_loss,
+        relative_error,
+    };
+    let model = NnmfModel {
+        w,
+        h: inner.model.h,
+        loss: exact_loss,
+        iterations: inner.model.iterations,
+        converged: inner.model.converged,
+        winning_seed: inner.model.winning_seed,
+        recovery: inner.model.recovery,
+    };
+    Ok(WarmSketchedModel {
+        model,
+        sketch: sketch_report,
+        warm: inner.report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::try_nnmf;
+    use anchors_linalg::{CsrMatrix, SketchKind};
+
+    /// Planted rank-3 nonnegative matrix, same shape family as the
+    /// sketched tests.
+    fn planted(m: usize, n: usize) -> Matrix {
+        let k = 3;
+        let w0 = Matrix::from_fn(m, k, |i, t| {
+            if i % k == t {
+                1.0 + (i % 5) as f64 * 0.1
+            } else {
+                0.0
+            }
+        });
+        let h0 = Matrix::from_fn(k, n, |t, j| {
+            if j % k == t {
+                0.8 + (j % 7) as f64 * 0.05
+            } else {
+                0.02
+            }
+        });
+        anchors_linalg::matmul(&w0, &h0)
+    }
+
+    fn cfg(k: usize) -> NnmfConfig {
+        NnmfConfig {
+            max_iter: 400,
+            tol: 1e-6,
+            ..NnmfConfig::paper_default(k)
+        }
+    }
+
+    /// Append `extra` new rows (shifted copies of early rows) to `a`.
+    fn grown(a: &Matrix, extra: usize) -> Matrix {
+        let (m, n) = a.shape();
+        Matrix::from_fn(m + extra, n, |i, j| {
+            if i < m {
+                a.get(i, j)
+            } else {
+                a.get((i * 7 + 3) % m, j) * 1.1
+            }
+        })
+    }
+
+    #[test]
+    fn warm_refit_on_same_data_stays_at_the_fixed_point() {
+        // The parity property: warm-starting from a converged fit of the
+        // *same* data must converge immediately to (essentially) the
+        // same fixed point — loss within tolerance, and H pointwise
+        // close.
+        let a = planted(60, 24);
+        let cold = try_nnmf(&a, &cfg(3)).expect("cold fit");
+        let warm = try_nnmf_warm(
+            &a,
+            &cfg(3),
+            &WarmStart {
+                h: &cold.h,
+                w: Some(&cold.w),
+            },
+        )
+        .expect("warm fit");
+        assert!(!warm.report.fell_back_cold);
+        assert!(warm.report.seeded_w);
+        assert!(
+            warm.model.loss <= cold.loss * 1.001 + 1e-9,
+            "warm loss {} must not regress from cold {}",
+            warm.model.loss,
+            cold.loss
+        );
+        assert!(
+            warm.model.iterations <= cold.iterations,
+            "warm from the fixed point ({} iters) must not exceed cold ({})",
+            warm.model.iterations,
+            cold.iterations
+        );
+        let max_h_diff = (0..cold.h.rows())
+            .flat_map(|i| (0..cold.h.cols()).map(move |j| (i, j)))
+            .map(|(i, j)| (cold.h.get(i, j) - warm.model.h.get(i, j)).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_h_diff < 1e-2,
+            "warm H drifted {max_h_diff} from the cold fixed point"
+        );
+    }
+
+    #[test]
+    fn warm_refit_on_grown_data_converges_and_reports() {
+        let a = planted(60, 24);
+        let cold = try_nnmf(&a, &cfg(3)).expect("cold fit");
+        let big = grown(&a, 6);
+        // New rows exist, so the caller has no full W — the NNLS lift
+        // path builds W₀.
+        let warm = try_nnmf_warm(
+            &big,
+            &cfg(3),
+            &WarmStart {
+                h: &cold.h,
+                w: None,
+            },
+        )
+        .expect("warm fit on grown data");
+        assert!(!warm.report.seeded_w);
+        assert!(!warm.report.fell_back_cold);
+        assert!(warm.model.w.is_nonnegative());
+        assert!(warm.model.h.is_nonnegative());
+        assert_eq!(warm.model.w.shape(), (66, 3));
+        let rel = warm.model.relative_error_on(&big);
+        assert!(rel < 0.05, "grown-data warm refit err {rel}");
+        assert_eq!(warm.report.warm_iterations, warm.model.iterations);
+        assert_eq!(warm.report.warm_loss, warm.model.loss);
+    }
+
+    #[test]
+    fn warm_is_deterministic_and_storage_independent() {
+        let a = planted(40, 16);
+        let cold = try_nnmf(&a, &cfg(3)).expect("cold");
+        let csr = CsrMatrix::from_dense(&a);
+        let ws = WarmStart {
+            h: &cold.h,
+            w: None,
+        };
+        let m1 = try_nnmf_warm(&a, &cfg(3), &ws).expect("dense");
+        let m2 = try_nnmf_warm(&a, &cfg(3), &ws).expect("dense again");
+        let m3 = try_nnmf_warm(&csr, &cfg(3), &ws).expect("csr");
+        assert_eq!(m1.model.w, m2.model.w);
+        assert_eq!(m1.model.h, m2.model.h);
+        assert_eq!(m1.model.w, m3.model.w, "dense/CSR bitwise-paired");
+        assert_eq!(m1.model.h, m3.model.h);
+        assert_eq!(m1.report, m3.report);
+    }
+
+    #[test]
+    fn misshaped_or_malformed_warm_factors_surface_typed_errors() {
+        let a = planted(20, 10);
+        let wrong = Matrix::zeros(3, 7); // wrong column count
+        let err = try_nnmf_warm(&a, &cfg(3), &WarmStart { h: &wrong, w: None }).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NnmfError::Linalg(LinalgError::ShapeMismatch {
+                    op: "nnmf_warm",
+                    ..
+                })
+            ),
+            "{err:?}"
+        );
+        let mut neg = Matrix::zeros(3, 10);
+        neg.set(1, 2, -0.5);
+        assert!(matches!(
+            try_nnmf_warm(&a, &cfg(3), &WarmStart { h: &neg, w: None }),
+            Err(NnmfError::NegativeEntry { row: 1, col: 2, .. })
+        ));
+        let mut nan = Matrix::zeros(3, 10);
+        nan.set(0, 0, f64::NAN);
+        assert!(matches!(
+            try_nnmf_warm(&a, &cfg(3), &WarmStart { h: &nan, w: None }),
+            Err(NnmfError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn misshaped_w_falls_back_to_the_lift_not_an_error() {
+        let a = planted(30, 12);
+        let cold = try_nnmf(&a, &cfg(3)).expect("cold");
+        let wrong_rows = Matrix::zeros(7, 3);
+        let warm = try_nnmf_warm(
+            &a,
+            &cfg(3),
+            &WarmStart {
+                h: &cold.h,
+                w: Some(&wrong_rows),
+            },
+        )
+        .expect("lift path");
+        assert!(!warm.report.seeded_w, "unusable W is ignored, not fatal");
+    }
+
+    #[test]
+    fn sketched_warm_fit_is_feasible_and_accurate() {
+        let a = planted(60, 24);
+        let cold = try_nnmf(&a, &cfg(3)).expect("cold");
+        let big = grown(&a, 6);
+        for kind in [SketchKind::Gaussian, SketchKind::CountSketch] {
+            let sk = SketchConfig {
+                kind,
+                rows: 24,
+                seed: 11,
+            };
+            let fitted = try_nnmf_sketched_warm(
+                &big,
+                &cfg(3),
+                &sk,
+                &WarmStart {
+                    h: &cold.h,
+                    w: None,
+                },
+            )
+            .expect("sketched warm fit");
+            assert!(fitted.model.w.is_nonnegative(), "{kind}: W ≥ 0");
+            assert!(fitted.model.h.is_nonnegative(), "{kind}: H ≥ 0");
+            assert!(
+                fitted.sketch.relative_error < 0.05,
+                "{kind}: planted rank-3 should nearly factor, err {}",
+                fitted.sketch.relative_error
+            );
+            assert_eq!(fitted.sketch.exact_loss, fitted.model.loss);
+            assert!(!fitted.warm.fell_back_cold);
+        }
+    }
+}

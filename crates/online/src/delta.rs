@@ -1,0 +1,461 @@
+//! The durable fold-in delta artifact.
+//!
+//! A [`FoldInDelta`] is one course the serving layer learned *after* its
+//! model was trained: the query's tag row over the model's tag space and
+//! the `W` loadings the NNLS fold-in assigned it, stamped with the model
+//! version the projection ran against. Persisting the pair makes fold-in
+//! durable — after a restart the row can be replayed without re-solving,
+//! and the next full refit can absorb it into the training matrix.
+//!
+//! The artifact registers through `anchors_serve`'s [`Artifact`] seam
+//! under the `delta-v<N>` stem, so a `Registry<FoldInDelta>` gets the
+//! same crash-safe claim/write/rename, startup quarantine, fallback, and
+//! GC semantics as the factor- and text-model registries — and all three
+//! kinds can share one directory without colliding.
+//!
+//! ## Binary layout (`ANCHDLT1`)
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 8    | magic `ANCHDLT1` |
+//! | 8      | 4    | schema version (u32 LE) |
+//! | 12     | 4    | flags (u32 LE, must be 0) |
+//! | 16     | 8    | base model version (u64 LE) |
+//! | 24     | 8    | ontology fingerprint (u64 LE) |
+//! | 32     | 8    | `n_tags` (u64 LE) |
+//! | 40     | 8    | `k` (u64 LE) |
+//! | 48     | 8    | string-table byte length (u64 LE) |
+//! | 56     | var  | string table: name, guideline |
+//! | —      | 0–7  | zero padding to 8-byte alignment |
+//! | —      | var  | `tags` (`n_tags` f64), `loadings` (`k` f64) |
+//! | end−8  | 8    | `fnv1a_64_words` checksum of everything before it |
+//!
+//! Decode verifies the trailing checksum *first*, then walks the layout
+//! with bounds-checked reads, then checks shapes and finiteness — a torn
+//! or tampered file becomes a typed [`ServeError::Corrupt`]/
+//! [`ServeError::ChecksumMismatch`], never a panic or a silently wrong
+//! row.
+
+use anchors_serve::binary::{check_trailer, push_str, Reader};
+use anchors_serve::codec::{fnv1a_64_words, frame, unframe, Artifact, ArtifactFormat};
+use anchors_serve::json::{self, Json};
+use anchors_serve::{CourseQuery, QueryEngine, ServeError};
+
+/// Delta-artifact schema revision this build writes and reads.
+pub const DELTA_SCHEMA_VERSION: u32 = 1;
+
+/// Magic prefix of the binary delta layout.
+pub const DELTA_MAGIC: &[u8; 8] = b"ANCHDLT1";
+
+const HEADER_LEN: usize = 56;
+
+fn corrupt(source: &str, detail: String) -> ServeError {
+    ServeError::Corrupt {
+        source: source.to_string(),
+        detail,
+    }
+}
+
+/// One folded-in course, persisted: the tag row it presented and the
+/// loadings the frozen `H` of `base_version` assigned it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldInDelta {
+    /// The full model version whose `H` the fold-in solved against. The
+    /// delta is only meaningful relative to that basis: replay and
+    /// refresh must resolve this version (or fail with
+    /// [`ServeError::DeltaBaseMissing`]), and retention GC pins it.
+    pub base_version: u64,
+    /// The folded-in course's display name.
+    pub name: String,
+    /// Guideline the tag row is expressed in.
+    pub guideline: String,
+    /// Ontology fingerprint at fold-in time — a delta from a different
+    /// guideline revision is skipped at refresh, not silently mixed in.
+    pub fingerprint: u64,
+    /// The course's row over the base model's tag space (`n_tags` wide).
+    pub tags: Vec<f64>,
+    /// NNLS loadings onto the base `H` (`k` wide).
+    pub loadings: Vec<f64>,
+}
+
+impl FoldInDelta {
+    /// Build a delta by folding a query into an engine's frozen basis:
+    /// vectorize, NNLS-project, stamp with the snapshot's version and the
+    /// model's provenance.
+    pub fn from_query(
+        engine: &QueryEngine,
+        query: &CourseQuery,
+        base_version: u64,
+    ) -> Result<Self, ServeError> {
+        let tags = engine.vectorize(query)?;
+        let loadings = engine.fold_in_row(&tags)?;
+        let model = engine.model();
+        Ok(FoldInDelta {
+            base_version,
+            name: query.name.clone(),
+            guideline: model.guideline.clone(),
+            fingerprint: model.fingerprint,
+            tags,
+            loadings,
+        })
+    }
+
+    /// Width of the tag row.
+    pub fn n_tags(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Rank of the basis the loadings live in.
+    pub fn k(&self) -> usize {
+        self.loadings.len()
+    }
+
+    fn check_values(&self, source: &str) -> Result<(), ServeError> {
+        if self.tags.is_empty() || self.loadings.is_empty() {
+            return Err(corrupt(
+                source,
+                format!(
+                    "delta has {} tags and {} loadings; both must be non-empty",
+                    self.tags.len(),
+                    self.loadings.len()
+                ),
+            ));
+        }
+        for (label, xs) in [("tags", &self.tags), ("loadings", &self.loadings)] {
+            if let Some((i, v)) = xs.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+                return Err(corrupt(source, format!("non-finite {label}[{i}] = {v}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serialize a delta to the JSON artifact document.
+pub fn delta_to_json(delta: &FoldInDelta) -> String {
+    let floats = |xs: &[f64]| Json::Arr(xs.iter().map(|&v| Json::Num(v)).collect());
+    let members = vec![
+        (
+            "schema_version".into(),
+            Json::Num(f64::from(DELTA_SCHEMA_VERSION)),
+        ),
+        ("kind".into(), Json::Str("delta".into())),
+        (
+            "base_version".into(),
+            Json::Str(delta.base_version.to_string()),
+        ),
+        ("name".into(), Json::Str(delta.name.clone())),
+        ("guideline".into(), Json::Str(delta.guideline.clone())),
+        (
+            "fingerprint".into(),
+            Json::Str(delta.fingerprint.to_string()),
+        ),
+        ("tags".into(), floats(&delta.tags)),
+        ("loadings".into(), floats(&delta.loadings)),
+    ];
+    Json::Obj(members).write()
+}
+
+/// Parse a delta JSON document. `source` labels errors (file path or
+/// `"<memory>"`).
+pub fn delta_from_json(text: &str, source: &str) -> Result<FoldInDelta, ServeError> {
+    let corrupt = |detail: String| corrupt(source, detail);
+    let doc = json::parse(text).map_err(|e| corrupt(e.to_string()))?;
+    let field = |key: &str| {
+        doc.get(key)
+            .ok_or_else(|| corrupt(format!("missing {key:?}")))
+    };
+    let schema = field("schema_version")?
+        .as_usize()
+        .ok_or_else(|| corrupt("schema_version must be an integer".into()))?
+        as u32;
+    if schema != DELTA_SCHEMA_VERSION {
+        return Err(ServeError::SchemaVersion {
+            found: schema,
+            supported: DELTA_SCHEMA_VERSION,
+        });
+    }
+    match field("kind")?.as_str() {
+        Some("delta") => {}
+        other => return Err(corrupt(format!("artifact kind {other:?} is not \"delta\""))),
+    }
+    let string = |key: &str| -> Result<String, ServeError> {
+        Ok(field(key)?
+            .as_str()
+            .ok_or_else(|| corrupt(format!("{key:?} must be a string")))?
+            .to_string())
+    };
+    let u64_field = |key: &str| -> Result<u64, ServeError> {
+        field(key)?
+            .as_u64_str()
+            .ok_or_else(|| corrupt(format!("{key:?} must be a u64 string")))
+    };
+    let floats = |key: &str| -> Result<Vec<f64>, ServeError> {
+        field(key)?
+            .as_arr()
+            .ok_or_else(|| corrupt(format!("{key:?} must be an array")))?
+            .iter()
+            .map(|v| v.as_f64())
+            .collect::<Option<Vec<f64>>>()
+            .ok_or_else(|| corrupt(format!("{key:?} has a non-numeric entry")))
+    };
+    let delta = FoldInDelta {
+        base_version: u64_field("base_version")?,
+        name: string("name")?,
+        guideline: string("guideline")?,
+        fingerprint: u64_field("fingerprint")?,
+        tags: floats("tags")?,
+        loadings: floats("loadings")?,
+    };
+    delta.check_values(source)?;
+    Ok(delta)
+}
+
+fn push_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    for &v in xs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Encode a delta to the checksum-framed binary layout.
+pub fn delta_to_binary(delta: &FoldInDelta) -> Vec<u8> {
+    let mut strings = Vec::new();
+    push_str(&mut strings, &delta.name);
+    push_str(&mut strings, &delta.guideline);
+
+    let mut out = Vec::new();
+    out.extend_from_slice(DELTA_MAGIC);
+    out.extend_from_slice(&DELTA_SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // flags
+    out.extend_from_slice(&delta.base_version.to_le_bytes());
+    out.extend_from_slice(&delta.fingerprint.to_le_bytes());
+    out.extend_from_slice(&(delta.tags.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(delta.loadings.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(strings.len() as u64).to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN);
+    out.extend_from_slice(&strings);
+    let pad = (8 - out.len() % 8) % 8;
+    out.extend(std::iter::repeat_n(0u8, pad));
+    push_f64s(&mut out, &delta.tags);
+    push_f64s(&mut out, &delta.loadings);
+    let checksum = fnv1a_64_words(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decode the binary delta layout. Checksum is verified before any field
+/// is trusted.
+pub fn delta_from_binary(bytes: &[u8], source: &str) -> Result<FoldInDelta, ServeError> {
+    let payload = check_trailer(bytes, source)?;
+    if payload.len() < HEADER_LEN {
+        return Err(corrupt(
+            source,
+            format!("{} bytes is too short for a delta artifact", payload.len()),
+        ));
+    }
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+        source,
+    };
+    let magic = r.take(8, "magic")?;
+    if magic != DELTA_MAGIC {
+        return Err(corrupt(source, format!("bad magic {magic:02x?}")));
+    }
+    let schema = r.u32("schema version")?;
+    if schema != DELTA_SCHEMA_VERSION {
+        return Err(ServeError::SchemaVersion {
+            found: schema,
+            supported: DELTA_SCHEMA_VERSION,
+        });
+    }
+    let flags = r.u32("flags")?;
+    if flags != 0 {
+        return Err(corrupt(source, format!("unknown flags {flags:#x}")));
+    }
+    let base_version = r.u64("base version")?;
+    let fingerprint = r.u64("fingerprint")?;
+    let n_tags = r.usize("n_tags")?;
+    let k = r.usize("k")?;
+    let strings_len = r.usize("string-table length")?;
+    let strings_end = HEADER_LEN
+        .checked_add(strings_len)
+        .ok_or_else(|| corrupt(source, "string table overflows".into()))?;
+    let name = r.string("name")?;
+    let guideline = r.string("guideline")?;
+    if r.pos != strings_end {
+        return Err(corrupt(
+            source,
+            format!(
+                "string table ends at {} but header declared {strings_end}",
+                r.pos
+            ),
+        ));
+    }
+    let pad = (8 - r.pos % 8) % 8;
+    let padding = r.take(pad, "padding")?;
+    if padding.iter().any(|&b| b != 0) {
+        return Err(corrupt(source, "non-zero padding".into()));
+    }
+    let tags = r.matrix(1, n_tags, "tags")?.as_slice().to_vec();
+    let loadings = r.matrix(1, k, "loadings")?.as_slice().to_vec();
+    if r.pos != payload.len() {
+        return Err(corrupt(
+            source,
+            format!("{} trailing bytes after loadings", payload.len() - r.pos),
+        ));
+    }
+    let delta = FoldInDelta {
+        base_version,
+        name,
+        guideline,
+        fingerprint,
+        tags,
+        loadings,
+    };
+    delta.check_values(source)?;
+    Ok(delta)
+}
+
+impl Artifact for FoldInDelta {
+    const STEM: &'static str = "delta";
+
+    fn encode_as(&self, format: ArtifactFormat) -> Vec<u8> {
+        match format {
+            ArtifactFormat::Json => frame(&delta_to_json(self)).into_bytes(),
+            ArtifactFormat::Bin => delta_to_binary(self),
+        }
+    }
+
+    fn decode_as(format: ArtifactFormat, bytes: &[u8], source: &str) -> Result<Self, ServeError> {
+        match format {
+            ArtifactFormat::Json => {
+                let text = std::str::from_utf8(bytes)
+                    .map_err(|e| corrupt(source, format!("invalid UTF-8: {e}")))?;
+                let body = unframe(text, source)?;
+                delta_from_json(body, source)
+            }
+            ArtifactFormat::Bin => delta_from_binary(bytes, source),
+        }
+    }
+
+    fn verify_as(format: ArtifactFormat, bytes: &[u8], source: &str) -> Result<(), ServeError> {
+        Self::decode_as(format, bytes, source).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRAILER_LEN: usize = 8;
+
+    pub(crate) fn toy() -> FoldInDelta {
+        FoldInDelta {
+            base_version: 7,
+            name: "CSC-349 Parallel Systems".into(),
+            guideline: "CS2013".into(),
+            fingerprint: 0x0123_4567_89AB_CDEF,
+            tags: (0..12)
+                .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+                .collect(),
+            loadings: vec![0.5, 0.0, 1.25],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_bitwise() {
+        let a = toy();
+        let text = delta_to_json(&a);
+        let b = delta_from_json(&text, "<memory>").expect("parses");
+        assert_eq!(a, b);
+        assert_eq!(delta_to_json(&b), text, "save→load→save byte-identical");
+    }
+
+    #[test]
+    fn binary_roundtrip_is_bitwise() {
+        let a = toy();
+        let bytes = delta_to_binary(&a);
+        let b = delta_from_binary(&bytes, "<memory>").expect("decodes");
+        assert_eq!(a, b);
+        assert_eq!(delta_to_binary(&b), bytes, "re-encode byte-identical");
+    }
+
+    #[test]
+    fn both_formats_roundtrip_through_artifact_seam() {
+        let a = toy();
+        for format in [ArtifactFormat::Json, ArtifactFormat::Bin] {
+            let bytes = a.encode_as(format);
+            FoldInDelta::verify_as(format, &bytes, "<memory>").expect("verifies");
+            let b = FoldInDelta::decode_as(format, &bytes, "<memory>").expect("decodes");
+            assert_eq!(a, b, "{format:?} round-trip");
+        }
+    }
+
+    #[test]
+    fn truncation_and_tampering_yield_typed_errors() {
+        let bytes = toy().encode_as(ArtifactFormat::Bin);
+        for cut in [0, 7, HEADER_LEN - 1, bytes.len() / 2, bytes.len() - 1] {
+            let err = FoldInDelta::decode_as(ArtifactFormat::Bin, &bytes[..cut], "d.bin")
+                .expect_err("truncated rejected");
+            assert!(
+                err.is_corruption(),
+                "cut at {cut} gave non-corruption error {err}"
+            );
+        }
+        // Flip a payload byte: the checksum catches it before any parse.
+        let mut flipped = bytes.clone();
+        flipped[HEADER_LEN + 3] ^= 0x40;
+        assert!(matches!(
+            FoldInDelta::decode_as(ArtifactFormat::Bin, &flipped, "d.bin"),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+        // JSON side: truncation breaks the frame.
+        let json_bytes = toy().encode_as(ArtifactFormat::Json);
+        let err = FoldInDelta::decode_as(
+            ArtifactFormat::Json,
+            &json_bytes[..json_bytes.len() / 2],
+            "d.json",
+        )
+        .expect_err("truncated rejected");
+        assert!(err.is_corruption());
+    }
+
+    #[test]
+    fn header_payload_disagreement_is_rejected() {
+        let a = toy();
+        let mut bytes = delta_to_binary(&a);
+        // Claim one more tag than the payload holds; re-frame so the
+        // checksum passes and the structural check must catch it.
+        let n_tags_off = 32;
+        bytes.truncate(bytes.len() - TRAILER_LEN);
+        bytes[n_tags_off..n_tags_off + 8].copy_from_slice(&(a.tags.len() as u64 + 1).to_le_bytes());
+        let checksum = fnv1a_64_words(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let err = delta_from_binary(&bytes, "d.bin").expect_err("mismatch rejected");
+        assert!(err.is_corruption(), "got {err}");
+    }
+
+    #[test]
+    fn future_schema_is_a_schema_error_not_corruption() {
+        let text = delta_to_json(&toy()).replace("\"schema_version\":1", "\"schema_version\":9");
+        assert!(matches!(
+            delta_from_json(&text, "d.json"),
+            Err(ServeError::SchemaVersion { found: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rows_are_rejected_on_decode() {
+        // The encoder refuses to write NaN, so smuggle one in at the
+        // byte level and re-frame: the checksum passes, the value check
+        // must catch it.
+        let mut bytes = delta_to_binary(&toy());
+        bytes.truncate(bytes.len() - TRAILER_LEN);
+        let last_loading = bytes.len() - 8;
+        bytes[last_loading..].copy_from_slice(&f64::NAN.to_le_bytes());
+        let checksum = fnv1a_64_words(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+        let err = delta_from_binary(&bytes, "d.bin").expect_err("NaN rejected");
+        assert!(err.is_corruption(), "got {err}");
+    }
+}

@@ -1,0 +1,77 @@
+//! The one error type an online-learning driver (the server's refresh
+//! loop, a batch pipeline) has to handle.
+
+use anchors_factor::NnmfError;
+use anchors_serve::ServeError;
+use std::fmt;
+
+/// A failure anywhere in the fold-in → log → refresh chain.
+#[derive(Debug)]
+pub enum OnlineError {
+    /// The durability layer failed (registry I/O, corrupt delta, missing
+    /// base version).
+    Serve(ServeError),
+    /// The warm refit failed (malformed seed, divergence past the cold
+    /// fallback ladder).
+    Factor(NnmfError),
+}
+
+impl OnlineError {
+    /// Whether retrying later could plausibly succeed (maps transient
+    /// registry I/O; solver failures are deterministic and are not
+    /// transient).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            OnlineError::Serve(e) => e.is_transient(),
+            OnlineError::Factor(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::Serve(e) => write!(f, "online durability: {e}"),
+            OnlineError::Factor(e) => write!(f, "online refit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OnlineError::Serve(e) => Some(e),
+            OnlineError::Factor(e) => Some(e),
+        }
+    }
+}
+
+impl From<ServeError> for OnlineError {
+    fn from(e: ServeError) -> Self {
+        OnlineError::Serve(e)
+    }
+}
+
+impl From<NnmfError> for OnlineError {
+    fn from(e: NnmfError) -> Self {
+        OnlineError::Factor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_follows_the_serve_layer() {
+        let io = OnlineError::from(ServeError::Io {
+            path: "x".into(),
+            detail: "flaky".into(),
+            transient: true,
+        });
+        assert!(io.is_transient());
+        let solver = OnlineError::from(NnmfError::ZeroRank);
+        assert!(!solver.is_transient());
+        assert!(solver.to_string().contains("refit"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # anchors-online — the online-learning subsystem
+//!
+//! Upstream crates fit models; `anchors-serve` freezes and serves them.
+//! This crate is about what happens *between* fits: courses keep
+//! arriving while a model serves, and the system should learn from them
+//! without a human re-running the pipeline.
+//!
+//! Three layers, each usable alone:
+//!
+//! * [`delta`] — the [`FoldInDelta`] artifact: one folded-in course (tag
+//!   row + NNLS loadings + the model version it chains from), persisted
+//!   through the serve crate's codec seam as `delta-v<N>.json`/`.bin`
+//!   with the same checksum framing and crash-safety as model
+//!   artifacts.
+//! * [`log`] — the [`DeltaLog`]: an append-only registry of deltas with
+//!   startup recovery, base-version pinning (retention GC never frees a
+//!   full model that live deltas chain from), typed
+//!   referential-integrity checks, and compaction once a refresh has
+//!   absorbed the deltas.
+//! * [`refresh`] — [`refresh_model`]: rebuild the training matrix with
+//!   the folded-in rows included and warm-start refit from the previous
+//!   factors (`anchors_factor::warm`), so absorbing a few new courses
+//!   costs a few HALS sweeps, not a cold multi-restart fit.
+//!
+//! The HTTP server (`anchors-server`) composes all three into its
+//! `POST /v1/fold_in` route and background refresh loop; this crate
+//! stays transport-free so batch pipelines can drive the same machinery.
+
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod error;
+pub mod log;
+pub mod refresh;
+
+pub use delta::{
+    delta_from_binary, delta_from_json, delta_to_binary, delta_to_json, FoldInDelta, DELTA_MAGIC,
+    DELTA_SCHEMA_VERSION,
+};
+pub use error::OnlineError;
+pub use log::DeltaLog;
+pub use refresh::{refresh_model, RefreshOptions, RefreshReport};
+
+// The solver's own account of a warm refit, re-exported so drivers that
+// only depend on this crate can read the report.
+pub use anchors_factor::WarmReport;

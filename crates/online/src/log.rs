@@ -1,0 +1,326 @@
+//! The append-only delta log.
+//!
+//! [`DeltaLog`] is a thin discipline over a
+//! [`Registry`]`<`[`FoldInDelta`]`>`: every fold-in the server wants to
+//! survive a restart is appended as its own `delta-v<N>` artifact
+//! (crash-safe claim → durable tmp write → rename, exactly like a model
+//! publish), and the set of deltas currently on disk *is* the log — no
+//! separate index file to tear. [`DeltaLog::recover`] is the registry's
+//! startup sweep: torn appends are quarantined, the good suffix of the
+//! log survives.
+//!
+//! Two invariants connect the log to the model registry it lives beside:
+//!
+//! * **Pinning** — a delta is only replayable against the full model it
+//!   chains from, so [`DeltaLog`] implements [`VersionPins`]: the
+//!   distinct `base_version`s of live deltas. A model
+//!   `Registry::with_retention(n)` wired to the log via
+//!   `Registry::with_pins` will never GC a base that live deltas still
+//!   need, no matter how old it is.
+//! * **Referential integrity** — [`DeltaLog::verify_bases`] reports a
+//!   delta whose base is gone as the typed
+//!   [`ServeError::DeltaBaseMissing`], which is *neither* transient nor
+//!   corruption: the delta's bytes are fine, the world around it moved.
+//!   Callers decide whether to drop the orphan or restore the base;
+//!   nothing quarantines it behind their back.
+//!
+//! Compaction closes the loop: once a refresh publishes a full model
+//! that absorbed deltas `v₁..vₙ`, [`DeltaLog::compact`] deletes exactly
+//! those versions (each as one multi-format unit via
+//! `Registry::remove`), which also releases their pins.
+
+use crate::delta::FoldInDelta;
+use anchors_serve::{ArtifactFormat, FileOps, RecoveryReport, Registry, ServeError, VersionPins};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An append-only log of fold-in deltas over a shared artifact
+/// directory.
+#[derive(Debug, Clone)]
+pub struct DeltaLog {
+    registry: Registry<FoldInDelta>,
+}
+
+impl DeltaLog {
+    /// Open (creating if needed) the delta log in `dir`. The directory
+    /// can be shared with the model registry: stems keep the kinds
+    /// apart.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        Ok(DeltaLog {
+            registry: Registry::open(dir)?,
+        })
+    }
+
+    /// [`DeltaLog::open`] with explicit file operations (fault
+    /// injection).
+    pub fn open_with(dir: impl Into<PathBuf>, ops: Arc<dyn FileOps>) -> Result<Self, ServeError> {
+        Ok(DeltaLog {
+            registry: Registry::open_with(dir, ops)?,
+        })
+    }
+
+    /// Use an explicit artifact format instead of the
+    /// `ANCHORS_ARTIFACT_FORMAT` default.
+    pub fn with_format(mut self, format: ArtifactFormat) -> Self {
+        self.registry = self.registry.with_format(format);
+        self
+    }
+
+    /// The directory the log writes to.
+    pub fn dir(&self) -> &Path {
+        self.registry.dir()
+    }
+
+    /// The underlying registry (tests and diagnostics).
+    pub fn registry(&self) -> &Registry<FoldInDelta> {
+        &self.registry
+    }
+
+    /// Append one delta durably; returns its assigned version. Among
+    /// *live* deltas the ascending version order is the append order
+    /// (versions only move forward while any delta file exists; the
+    /// counter may rewind after a compaction empties the log entirely,
+    /// when nothing references the old numbers).
+    pub fn append(&self, delta: &FoldInDelta) -> Result<u64, ServeError> {
+        self.registry.save(delta)
+    }
+
+    /// All decodable deltas in append (ascending-version) order. A
+    /// version whose bytes are damaged is skipped — the log's contract is
+    /// "every *surviving* append replays", not "a torn tail poisons the
+    /// rest" — but transient I/O errors propagate so a flaky disk is not
+    /// silently read as an empty log.
+    pub fn live(&self) -> Result<Vec<(u64, FoldInDelta)>, ServeError> {
+        let mut out = Vec::new();
+        for version in self.registry.list()? {
+            match self.registry.load(version) {
+                Ok(delta) => out.push((version, delta)),
+                Err(e) if e.is_corruption() => continue,
+                Err(ServeError::VersionNotFound { .. }) => continue, // raced a compaction
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The live deltas chained to one base model version.
+    pub fn for_base(&self, base: u64) -> Result<Vec<(u64, FoldInDelta)>, ServeError> {
+        Ok(self
+            .live()?
+            .into_iter()
+            .filter(|(_, d)| d.base_version == base)
+            .collect())
+    }
+
+    /// Check every live delta's base against the given set of full-model
+    /// versions; the first orphan surfaces as
+    /// [`ServeError::DeltaBaseMissing`].
+    pub fn verify_bases(&self, model_versions: &[u64]) -> Result<(), ServeError> {
+        for (version, delta) in self.live()? {
+            if !model_versions.contains(&delta.base_version) {
+                return Err(ServeError::DeltaBaseMissing {
+                    delta: version,
+                    base: delta.base_version,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete the given delta versions (each as one multi-format unit) —
+    /// the step after a refresh absorbed them into a full model. Returns
+    /// how many versions actually existed. Missing versions are not an
+    /// error: compaction retried after a crash must be idempotent.
+    pub fn compact(&self, versions: &[u64]) -> Result<usize, ServeError> {
+        let mut removed = 0;
+        for &version in versions {
+            if self.registry.remove(version)? {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Startup sweep: clear torn appends, quarantine unreadable
+    /// versions. See `Registry::recover`.
+    pub fn recover(&self) -> Result<RecoveryReport, ServeError> {
+        self.registry.recover()
+    }
+}
+
+impl VersionPins for DeltaLog {
+    /// The distinct base versions live deltas still chain from. Best
+    /// effort by construction: GC must not fail because the log is
+    /// unreadable, and a missing pin at worst keeps retention from
+    /// freeing a base one cycle longer (the error will surface loudly on
+    /// the next `live()` call).
+    fn pinned_versions(&self) -> Vec<u64> {
+        let mut bases: Vec<u64> = self
+            .live()
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(_, d)| d.base_version)
+            .collect();
+        bases.sort_unstable();
+        bases.dedup();
+        bases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+    use anchors_factor::nnmf::{NnmfModel, NnmfRecovery};
+    use anchors_linalg::{Backend, Matrix};
+    use anchors_materials::TagSpace;
+    use anchors_serve::FittedModel;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("anchors-online-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn toy_model(loss: f64) -> FittedModel {
+        let cs = cs2013();
+        let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(5));
+        let model = NnmfModel {
+            w: Matrix::from_fn(3, 2, |i, j| (i + j) as f64 * 0.5),
+            h: Matrix::from_fn(2, 5, |i, j| (i * 5 + j) as f64 * 0.1),
+            loss,
+            iterations: 9,
+            converged: true,
+            winning_seed: 42,
+            recovery: NnmfRecovery::default(),
+        };
+        FittedModel::new("toy", cs, &space, &model, Backend::Dense).expect("valid")
+    }
+
+    fn toy_delta(base: u64, salt: u64) -> FoldInDelta {
+        FoldInDelta {
+            base_version: base,
+            name: format!("folded-{salt}"),
+            guideline: "CS2013".into(),
+            fingerprint: 0xFEED,
+            tags: (0..5).map(|i| ((i as u64 + salt) % 2) as f64).collect(),
+            loadings: vec![0.25 * salt as f64, 1.0],
+        }
+    }
+
+    #[test]
+    fn append_live_and_for_base_replay_in_order() {
+        let log = DeltaLog::open(tmp_dir("order")).expect("open");
+        let v1 = log.append(&toy_delta(1, 1)).expect("append");
+        let v2 = log.append(&toy_delta(2, 2)).expect("append");
+        let v3 = log.append(&toy_delta(1, 3)).expect("append");
+        assert!(v1 < v2 && v2 < v3, "versions are the append order");
+        let live = log.live().expect("live");
+        assert_eq!(
+            live.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![v1, v2, v3]
+        );
+        let base1 = log.for_base(1).expect("for_base");
+        assert_eq!(base1.len(), 2);
+        assert!(base1.iter().all(|(_, d)| d.base_version == 1));
+    }
+
+    #[test]
+    fn log_shares_a_directory_with_the_model_registry() {
+        let dir = tmp_dir("shared");
+        let models: Registry<FittedModel> = Registry::open(&dir).expect("models");
+        let log = DeltaLog::open(&dir).expect("log");
+        let base = models.save(&toy_model(1.0)).expect("publish");
+        let dv = log.append(&toy_delta(base, 1)).expect("append");
+        // Stems keep the version counters independent and the files
+        // apart.
+        assert_eq!(models.list().expect("models list"), vec![base]);
+        assert_eq!(
+            log.live().expect("live").len(),
+            1,
+            "model publish is invisible to the delta log"
+        );
+        let ext = log.registry().format().extension();
+        assert!(log.dir().join(format!("delta-v{dv}.{ext}")).exists());
+    }
+
+    #[test]
+    fn deltas_pin_their_base_against_retention_gc() {
+        let dir = tmp_dir("pins");
+        let log = Arc::new(DeltaLog::open(&dir).expect("log"));
+        let models: Registry<FittedModel> = Registry::open(&dir)
+            .expect("models")
+            .with_retention(1)
+            .with_pins(log.clone());
+        let v1 = models.save(&toy_model(1.0)).expect("v1");
+        log.append(&toy_delta(v1, 1)).expect("append");
+        // Two newer publishes: retention of 1 would normally leave only
+        // the newest, but v1 is pinned by its live delta.
+        let v2 = models.save(&toy_model(2.0)).expect("v2");
+        let v3 = models.save(&toy_model(3.0)).expect("v3");
+        let left = models.list().expect("list");
+        assert!(left.contains(&v1), "pinned base survived: {left:?}");
+        assert!(left.contains(&v3));
+        assert!(!left.contains(&v2), "unpinned middle version collected");
+        // Compacting the delta releases the pin; the next publish frees
+        // the old base.
+        let delta_versions: Vec<u64> = log.live().expect("live").iter().map(|(v, _)| *v).collect();
+        assert_eq!(log.compact(&delta_versions).expect("compact"), 1);
+        let v4 = models.save(&toy_model(4.0)).expect("v4");
+        let left = models.list().expect("list");
+        assert_eq!(left, vec![v4], "nothing pinned once the log is empty");
+    }
+
+    #[test]
+    fn verify_bases_types_the_orphan() {
+        let log = DeltaLog::open(tmp_dir("orphan")).expect("log");
+        let dv = log.append(&toy_delta(9, 1)).expect("append");
+        assert!(log.verify_bases(&[9]).is_ok());
+        let err = log.verify_bases(&[2, 3]).expect_err("orphan detected");
+        match err {
+            ServeError::DeltaBaseMissing { delta, base } => {
+                assert_eq!(delta, dv);
+                assert_eq!(base, 9);
+            }
+            other => panic!("expected DeltaBaseMissing, got {other}"),
+        }
+        assert!(
+            !err.is_corruption(),
+            "referential damage is not byte damage"
+        );
+        assert!(!err.is_transient(), "and not transient either");
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_partial() {
+        let log = DeltaLog::open(tmp_dir("compact")).expect("log");
+        let v1 = log.append(&toy_delta(1, 1)).expect("append");
+        let v2 = log.append(&toy_delta(1, 2)).expect("append");
+        assert_eq!(log.compact(&[v1]).expect("first"), 1);
+        assert_eq!(log.compact(&[v1, v2]).expect("retry"), 1, "v1 already gone");
+        assert!(log.live().expect("live").is_empty());
+        // The log keeps accepting appends after a full compaction.
+        log.append(&toy_delta(1, 3)).expect("append");
+        assert_eq!(log.live().expect("live").len(), 1);
+    }
+
+    #[test]
+    fn versions_stay_monotone_while_any_delta_is_live() {
+        let log = DeltaLog::open(tmp_dir("monotone")).expect("log");
+        let v1 = log.append(&toy_delta(1, 1)).expect("append");
+        let v2 = log.append(&toy_delta(1, 2)).expect("append");
+        // Compact only the older delta: the claim scan still sees v2, so
+        // the next append cannot reuse v1's number.
+        assert_eq!(log.compact(&[v1]).expect("compact"), 1);
+        let v3 = log.append(&toy_delta(1, 3)).expect("append");
+        assert!(
+            v3 > v2,
+            "v3={v3} must not reuse a number below live v2={v2}"
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Warm-start model refresh: absorb fold-in deltas into a full refit.
+//!
+//! The fold-in projection (NNLS onto a frozen `H`) is exact for the
+//! course it folds but leaves `H` untouched: the basis never learns from
+//! what arrived after training. [`refresh_model`] closes that gap off
+//! the hot path. It rebuilds a training matrix that *includes* the
+//! folded-in rows, then refits — but instead of a cold NNDSVD start it
+//! seeds HALS from the previous factors, which are already
+//! near-stationary for every row except the handful of new ones:
+//!
+//! * data: `A' = [W·H ; t₁ ; … ; t_d]` — the base model's reconstruction
+//!   for the original courses (their raw matrix is not persisted in the
+//!   artifact; the reconstruction is the part of them the model kept)
+//!   stacked over the deltas' raw tag rows;
+//! * seed: `H₀ = H` and `W₀ = [W ; w₁ ; … ; w_d]`, the stored base
+//!   factors plus each delta's fold-in loadings — exactly the
+//!   fixed-point structure, perturbed only where the new rows pull it.
+//!
+//! Deltas that cannot be absorbed safely — a different ontology
+//! fingerprint, a tag row or loading vector of the wrong width — are
+//! skipped and reported, never silently mixed in. The refit itself goes
+//! through `anchors_factor::warm`, so a pathological seed falls back to
+//! the cold restart ladder instead of erroring, and the report says so.
+
+use crate::delta::FoldInDelta;
+use anchors_factor::{try_nnmf_warm, NnmfConfig, NnmfError, WarmReport, WarmStart};
+use anchors_linalg::{matmul, Matrix};
+use anchors_serve::FittedModel;
+
+/// Solver budget for one background refresh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshOptions {
+    /// HALS sweep cap for the refit.
+    pub max_iter: usize,
+    /// Relative-loss convergence tolerance.
+    pub tol: f64,
+    /// Wall-clock budget, if any (refreshes run on a background thread,
+    /// but an unbounded solve would delay the next swap indefinitely).
+    pub max_wall_ms: Option<u64>,
+}
+
+impl Default for RefreshOptions {
+    fn default() -> Self {
+        let paper = NnmfConfig::paper_default(1);
+        RefreshOptions {
+            max_iter: paper.max_iter,
+            tol: paper.tol,
+            max_wall_ms: None,
+        }
+    }
+}
+
+/// What one refresh absorbed, skipped, and cost.
+#[derive(Debug, Clone)]
+pub struct RefreshReport {
+    /// Delta versions folded into the refit (compact exactly these).
+    pub absorbed: Vec<u64>,
+    /// Delta versions left in the log, with the reason each was skipped.
+    pub skipped: Vec<(u64, String)>,
+    /// Rows of the augmented training matrix (base courses + absorbed
+    /// deltas).
+    pub rows: usize,
+    /// The warm-start solver's own account (iterations, loss, whether it
+    /// fell back cold).
+    pub warm: WarmReport,
+}
+
+/// Refit `base` on a training matrix augmented with the given deltas'
+/// rows, seeding from the base factors. Returns the refreshed model —
+/// same name, guideline, fingerprint, tag space, and backend as `base`,
+/// with `W` gaining one row per absorbed delta — plus the report saying
+/// which deltas it absorbed.
+///
+/// Stale rank/consensus diagnostics are dropped rather than carried
+/// over: they described the original fit, not this one.
+pub fn refresh_model(
+    base: &FittedModel,
+    deltas: &[(u64, FoldInDelta)],
+    options: &RefreshOptions,
+) -> Result<(FittedModel, RefreshReport), NnmfError> {
+    let (m, k) = (base.w.rows(), base.k());
+    let n = base.n_tags();
+    let mut absorbed = Vec::new();
+    let mut skipped = Vec::new();
+    let mut usable: Vec<&FoldInDelta> = Vec::new();
+    for (version, delta) in deltas {
+        let reason = if delta.fingerprint != base.fingerprint {
+            Some(format!(
+                "fingerprint {:#x} does not match the base model's {:#x}",
+                delta.fingerprint, base.fingerprint
+            ))
+        } else if delta.n_tags() != n {
+            Some(format!(
+                "tag row is {} wide, model has {n} tags",
+                delta.n_tags()
+            ))
+        } else if delta.k() != k {
+            Some(format!(
+                "loadings are {} wide, model rank is {k}",
+                delta.k()
+            ))
+        } else {
+            None
+        };
+        match reason {
+            Some(why) => skipped.push((*version, why)),
+            None => {
+                absorbed.push(*version);
+                usable.push(delta);
+            }
+        }
+    }
+
+    // A' = [W·H ; delta tag rows].
+    let d = usable.len();
+    let recon = matmul(&base.w, &base.h);
+    let mut aug = Matrix::zeros(m + d, n);
+    for i in 0..m {
+        aug.row_mut(i).copy_from_slice(recon.row(i));
+    }
+    for (off, delta) in usable.iter().enumerate() {
+        aug.row_mut(m + off).copy_from_slice(&delta.tags);
+    }
+    // W₀ = [W ; delta loadings].
+    let mut w0 = Matrix::zeros(m + d, k);
+    for i in 0..m {
+        w0.row_mut(i).copy_from_slice(base.w.row(i));
+    }
+    for (off, delta) in usable.iter().enumerate() {
+        w0.row_mut(m + off).copy_from_slice(&delta.loadings);
+    }
+
+    let cfg = NnmfConfig {
+        max_iter: options.max_iter,
+        tol: options.tol,
+        max_wall_ms: options.max_wall_ms,
+        seed: base.winning_seed,
+        ..NnmfConfig::paper_default(k)
+    };
+    let warm = WarmStart {
+        h: &base.h,
+        w: Some(&w0),
+    };
+    let fitted = try_nnmf_warm(&aug, &cfg, &warm)?;
+    let mut model = fitted.model;
+    model.normalize();
+
+    let refreshed = FittedModel {
+        name: base.name.clone(),
+        guideline: base.guideline.clone(),
+        fingerprint: base.fingerprint,
+        backend: base.backend,
+        tag_codes: base.tag_codes.clone(),
+        w: model.w,
+        h: model.h,
+        loss: model.loss,
+        iterations: model.iterations,
+        converged: model.converged,
+        winning_seed: model.winning_seed,
+        recovery: model.recovery,
+        rank: None,
+        consensus: None,
+    };
+    let report = RefreshReport {
+        absorbed,
+        skipped,
+        rows: m + d,
+        warm: fitted.report,
+    };
+    Ok((refreshed, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anchors_curricula::cs2013;
+    use anchors_factor::try_nnmf;
+    use anchors_linalg::Backend;
+    use anchors_materials::TagSpace;
+
+    const N_TAGS: usize = 6;
+
+    /// A base model actually fitted (not hand-written), so the warm
+    /// refresh starts from a genuine fixed point.
+    fn fitted_base() -> FittedModel {
+        let cs = cs2013();
+        let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(N_TAGS));
+        let a = Matrix::from_fn(8, N_TAGS, |i, j| {
+            if (i + 2 * j) % 3 == 0 {
+                1.0
+            } else if (i * j) % 5 == 1 {
+                0.5
+            } else {
+                0.0
+            }
+        });
+        let cfg = NnmfConfig {
+            max_iter: 400,
+            tol: 1e-8,
+            ..NnmfConfig::paper_default(3)
+        };
+        let mut model = try_nnmf(&a, &cfg).expect("base fit");
+        model.normalize();
+        FittedModel::new("refresh-base", cs, &space, &model, Backend::Dense).expect("valid")
+    }
+
+    fn delta_for(
+        base: &FittedModel,
+        version: u64,
+        tags: Vec<f64>,
+        loadings: Vec<f64>,
+    ) -> (u64, FoldInDelta) {
+        (
+            version,
+            FoldInDelta {
+                base_version: 1,
+                name: format!("delta-{version}"),
+                guideline: base.guideline.clone(),
+                fingerprint: base.fingerprint,
+                tags,
+                loadings,
+            },
+        )
+    }
+
+    #[test]
+    fn refresh_absorbs_matching_deltas_and_grows_w() {
+        let base = fitted_base();
+        let m = base.w.rows();
+        // A new course that looks like course 0: its reconstruction row
+        // and loadings are an exact extension of the fixed point.
+        let recon = matmul(&base.w, &base.h);
+        let d1 = delta_for(&base, 11, recon.row(0).to_vec(), base.w.row(0).to_vec());
+        let d2 = delta_for(&base, 12, recon.row(3).to_vec(), base.w.row(3).to_vec());
+        let (refreshed, report) =
+            refresh_model(&base, &[d1, d2], &RefreshOptions::default()).expect("refresh");
+        assert_eq!(report.absorbed, vec![11, 12]);
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.rows, m + 2);
+        assert_eq!(refreshed.w.rows(), m + 2, "W gained the delta rows");
+        assert_eq!(refreshed.h.shape(), base.h.shape(), "basis shape kept");
+        assert_eq!(refreshed.name, base.name);
+        assert_eq!(refreshed.fingerprint, base.fingerprint);
+        assert_eq!(refreshed.tag_codes, base.tag_codes);
+        assert!(refreshed.loss.is_finite());
+        assert!(refreshed.rank.is_none() && refreshed.consensus.is_none());
+        // Extending a fixed point with its own rows is already converged:
+        // the warm solve must be far under a cold fit's budget.
+        assert!(
+            report.warm.warm_iterations <= base.iterations,
+            "warm {} vs base fit {}",
+            report.warm.warm_iterations,
+            base.iterations
+        );
+        assert!(report.warm.seeded_w, "stacked W₀ was usable as-is");
+    }
+
+    #[test]
+    fn mismatched_deltas_are_skipped_with_reasons() {
+        let base = fitted_base();
+        let recon = matmul(&base.w, &base.h);
+        let good = delta_for(&base, 21, recon.row(1).to_vec(), base.w.row(1).to_vec());
+        let mut foreign = delta_for(&base, 22, recon.row(2).to_vec(), base.w.row(2).to_vec());
+        foreign.1.fingerprint ^= 1;
+        let narrow = delta_for(&base, 23, vec![1.0; N_TAGS - 1], base.w.row(0).to_vec());
+        let short = delta_for(&base, 24, recon.row(0).to_vec(), vec![1.0; 2]);
+        let (refreshed, report) = refresh_model(
+            &base,
+            &[good, foreign, narrow, short],
+            &RefreshOptions::default(),
+        )
+        .expect("refresh");
+        assert_eq!(report.absorbed, vec![21]);
+        assert_eq!(refreshed.w.rows(), base.w.rows() + 1);
+        let skipped: Vec<u64> = report.skipped.iter().map(|(v, _)| *v).collect();
+        assert_eq!(skipped, vec![22, 23, 24]);
+        assert!(report.skipped[0].1.contains("fingerprint"));
+        assert!(report.skipped[1].1.contains("tag row"));
+        assert!(report.skipped[2].1.contains("loadings"));
+    }
+
+    #[test]
+    fn refresh_with_no_deltas_is_a_cheap_fixed_point_confirmation() {
+        let base = fitted_base();
+        let (refreshed, report) =
+            refresh_model(&base, &[], &RefreshOptions::default()).expect("refresh");
+        assert!(report.absorbed.is_empty());
+        assert_eq!(refreshed.w.rows(), base.w.rows());
+        assert!(!report.warm.fell_back_cold);
+    }
+}

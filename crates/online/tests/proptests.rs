@@ -1,0 +1,154 @@
+//! Property-based tests of the delta artifact: persistence is bitwise
+//! in both formats, and damaged bytes are always refused with a typed
+//! corruption error — never a panic, never a partial parse.
+
+use anchors_online::{
+    delta_from_binary, delta_from_json, delta_to_binary, delta_to_json, DeltaLog, FoldInDelta,
+};
+use anchors_serve::{Artifact, ArtifactFormat};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir() -> std::path::PathBuf {
+    let case = CASE.fetch_add(1, Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("anchors-online-prop-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Strategy: a structurally valid delta with arbitrary finite values —
+/// including awkward magnitudes (subnormals, huge exponents) whose
+/// decimal round-trips must still be bitwise — and arbitrary UTF-8
+/// names that must survive both string tables.
+fn arbitrary_delta() -> impl Strategy<Value = FoldInDelta> {
+    (1usize..12, 1usize..6).prop_flat_map(|(n_tags, k)| {
+        let entry = prop_oneof![
+            4 => 0.0f64..5.0,
+            1 => prop_oneof![
+                Just(0.0),
+                Just(-0.0),
+                Just(1e-300),
+                Just(2.2250738585072014e-308),
+                Just(0.1),
+                Just(1e15),
+            ],
+        ];
+        (
+            any::<u64>(),
+            "\\PC{0,24}",
+            "[A-Z]{2,8}[0-9]{0,4}",
+            any::<u64>(),
+            prop::collection::vec(entry.clone(), n_tags),
+            prop::collection::vec(entry, k),
+        )
+            .prop_map(
+                |(base_version, name, guideline, fingerprint, tags, loadings)| FoldInDelta {
+                    base_version,
+                    name,
+                    guideline,
+                    fingerprint,
+                    tags,
+                    loadings,
+                },
+            )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn json_and_binary_roundtrip_bitwise(delta in arbitrary_delta()) {
+        // The two codecs are interchangeable: both reproduce the delta
+        // field-for-field (f64s bitwise), and encode → decode → encode
+        // is byte identity in each format.
+        let text = delta_to_json(&delta);
+        let via_json = delta_from_json(&text, "<json>").expect("json decodes");
+        prop_assert_eq!(&via_json, &delta);
+        prop_assert_eq!(delta_to_json(&via_json), text, "json save→load→save identity");
+
+        let bytes = delta_to_binary(&delta);
+        let via_bin = delta_from_binary(&bytes, "<bin>").expect("binary decodes");
+        prop_assert_eq!(&via_bin, &delta);
+        prop_assert_eq!(delta_to_binary(&via_bin), bytes, "binary save→load→save identity");
+    }
+
+    #[test]
+    fn artifact_seam_matches_the_free_functions(delta in arbitrary_delta()) {
+        // The Artifact impl the registry drives is byte-identical to the
+        // raw codec functions — no second serialization path to drift.
+        prop_assert_eq!(
+            delta.encode_as(ArtifactFormat::Json),
+            delta_to_json(&delta).into_bytes()
+        );
+        prop_assert_eq!(delta.encode_as(ArtifactFormat::Bin), delta_to_binary(&delta));
+        for format in [ArtifactFormat::Json, ArtifactFormat::Bin] {
+            let bytes = delta.encode_as(format);
+            let back = FoldInDelta::decode_as(format, &bytes, "<seam>").expect("decodes");
+            prop_assert_eq!(&back, &delta, "field-for-field via {:?}", format);
+        }
+    }
+
+    #[test]
+    fn truncations_are_typed_never_a_panic(
+        delta in arbitrary_delta(),
+        frac in 0.0f64..1.0,
+    ) {
+        // Any strict prefix of either encoding fails closed as typed
+        // corruption — never a panic, never a smaller-but-plausible
+        // delta.
+        for format in [ArtifactFormat::Json, ArtifactFormat::Bin] {
+            let bytes = delta.encode_as(format);
+            let cut = (((bytes.len() as f64) * frac) as usize).min(bytes.len() - 1);
+            match FoldInDelta::decode_as(format, &bytes[..cut], "<trunc>") {
+                Err(e) => prop_assert!(e.is_corruption(), "{:?} cut {}: {:?}", format, cut, e),
+                Ok(_) => prop_assert!(false, "{:?} truncation at {} decoded", format, cut),
+            }
+        }
+    }
+
+    #[test]
+    fn bitflips_never_parse_silently(
+        delta in arbitrary_delta(),
+        pos in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        // Flipping any single bit of the binary encoding is caught by
+        // the words checksum (or, for flips inside the trailer itself,
+        // by the trailer no longer matching the payload).
+        let bytes = delta_to_binary(&delta);
+        let mut torn = bytes.clone();
+        let at = pos.index(torn.len());
+        torn[at] ^= 1 << bit;
+        match delta_from_binary(&torn, "<flip>") {
+            Err(e) => prop_assert!(e.is_corruption(), "byte {} bit {}: {:?}", at, bit, e),
+            Ok(_) => prop_assert!(false, "bit flip at byte {} bit {} parsed", at, bit),
+        }
+    }
+
+    #[test]
+    fn log_replays_every_append_in_both_formats(
+        deltas in prop::collection::vec(arbitrary_delta(), 1..6),
+        bin in prop::bool::ANY,
+    ) {
+        // Appends round-trip through the registry on disk and replay in
+        // order, bitwise, whichever format the log writes.
+        let dir = fresh_dir();
+        let format = if bin { ArtifactFormat::Bin } else { ArtifactFormat::Json };
+        let log = DeltaLog::open(&dir).expect("open").with_format(format);
+        let mut versions = Vec::new();
+        for delta in &deltas {
+            versions.push(log.append(delta).expect("append"));
+        }
+        let live = log.live().expect("live");
+        prop_assert_eq!(live.len(), deltas.len());
+        for (i, (version, replayed)) in live.iter().enumerate() {
+            prop_assert_eq!(*version, versions[i], "append order preserved");
+            prop_assert_eq!(replayed, &deltas[i], "bitwise replay via {:?}", format);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -85,12 +85,12 @@ impl Codec for BinaryCodec {
     }
 }
 
-pub(crate) fn push_str(out: &mut Vec<u8>, s: &str) {
+pub fn push_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u64).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
-pub(crate) fn push_matrix(out: &mut Vec<u8>, m: &Matrix) {
+pub fn push_matrix(out: &mut Vec<u8>, m: &Matrix) {
     for &v in m.as_slice() {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -181,7 +181,7 @@ fn encode(model: &FittedModel) -> Vec<u8> {
 }
 
 /// Verify the checksum trailer; returns the covered payload on success.
-pub(crate) fn check_trailer<'a>(bytes: &'a [u8], source: &str) -> Result<&'a [u8], ServeError> {
+pub fn check_trailer<'a>(bytes: &'a [u8], source: &str) -> Result<&'a [u8], ServeError> {
     if bytes.len() < TRAILER_LEN {
         return Err(ServeError::Corrupt {
             source: source.to_string(),
@@ -203,21 +203,21 @@ pub(crate) fn check_trailer<'a>(bytes: &'a [u8], source: &str) -> Result<&'a [u8
 
 /// Bounds-checked little-endian reader over the checksum-verified
 /// payload. Shared with the text-artifact binary codec.
-pub(crate) struct Reader<'a> {
-    pub(crate) bytes: &'a [u8],
-    pub(crate) pos: usize,
-    pub(crate) source: &'a str,
+pub struct Reader<'a> {
+    pub bytes: &'a [u8],
+    pub pos: usize,
+    pub source: &'a str,
 }
 
 impl<'a> Reader<'a> {
-    pub(crate) fn corrupt(&self, detail: String) -> ServeError {
+    pub fn corrupt(&self, detail: String) -> ServeError {
         ServeError::Corrupt {
             source: self.source.to_string(),
             detail,
         }
     }
 
-    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
         let end = self
             .pos
             .checked_add(n)
@@ -228,42 +228,37 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
+    pub fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
         Ok(u32::from_le_bytes(
             self.take(4, what)?.try_into().expect("4 bytes"),
         ))
     }
 
-    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, ServeError> {
+    pub fn u64(&mut self, what: &str) -> Result<u64, ServeError> {
         Ok(u64::from_le_bytes(
             self.take(8, what)?.try_into().expect("8 bytes"),
         ))
     }
 
-    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
+    pub fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
         Ok(f64::from_le_bytes(
             self.take(8, what)?.try_into().expect("8 bytes"),
         ))
     }
 
-    pub(crate) fn usize(&mut self, what: &str) -> Result<usize, ServeError> {
+    pub fn usize(&mut self, what: &str) -> Result<usize, ServeError> {
         let v = self.u64(what)?;
         usize::try_from(v).map_err(|_| self.corrupt(format!("{what} {v} overflows usize")))
     }
 
-    pub(crate) fn string(&mut self, what: &str) -> Result<String, ServeError> {
+    pub fn string(&mut self, what: &str) -> Result<String, ServeError> {
         let len = self.usize(what)?;
         let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| self.corrupt(format!("{what} is not valid UTF-8: {e}")))
     }
 
-    pub(crate) fn matrix(
-        &mut self,
-        rows: usize,
-        cols: usize,
-        what: &str,
-    ) -> Result<Matrix, ServeError> {
+    pub fn matrix(&mut self, rows: usize, cols: usize, what: &str) -> Result<Matrix, ServeError> {
         let n = rows
             .checked_mul(cols)
             .and_then(|n| n.checked_mul(8))

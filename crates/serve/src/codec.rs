@@ -219,8 +219,10 @@ impl Artifact for FittedModel {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JsonCodec;
 
-/// Wrap an artifact JSON payload with its checksum trailer.
-pub(crate) fn frame(payload: &str) -> String {
+/// Wrap an artifact JSON payload with its checksum trailer. Public so
+/// out-of-crate [`Artifact`] kinds (the text model, fold-in deltas) share
+/// the exact framing the registry's recovery machinery expects.
+pub fn frame(payload: &str) -> String {
     format!(
         "{payload}\n{CHECKSUM_PREFIX}{:016x}\n",
         fnv1a_64(payload.as_bytes())
@@ -228,7 +230,7 @@ pub(crate) fn frame(payload: &str) -> String {
 }
 
 /// Split framed text back into its payload, verifying the trailer.
-pub(crate) fn unframe<'a>(text: &'a str, source: &str) -> Result<&'a str, ServeError> {
+pub fn unframe<'a>(text: &'a str, source: &str) -> Result<&'a str, ServeError> {
     let corrupt = |detail: &str| ServeError::Corrupt {
         source: source.to_string(),
         detail: detail.to_string(),

@@ -67,6 +67,17 @@ pub enum ServeError {
         /// retry keys on.
         transient: bool,
     },
+    /// A fold-in delta chains from a full model version that no longer
+    /// exists in the registry — the base was GC'd or deleted out from
+    /// under the delta. Referential damage, not byte damage: the delta
+    /// file itself is intact, so this is neither transient nor
+    /// corruption, and recovery never quarantines over it.
+    DeltaBaseMissing {
+        /// Version of the delta artifact holding the dangling reference.
+        delta: u64,
+        /// The full-model version the delta chains from.
+        base: u64,
+    },
     /// A query vector/batch has the wrong number of tag columns.
     QueryShape {
         /// Columns the model's tag space has.
@@ -161,6 +172,13 @@ impl fmt::Display for ServeError {
                 };
                 write!(f, "{kind} at {path}: {detail}")
             }
+            ServeError::DeltaBaseMissing { delta, base } => {
+                write!(
+                    f,
+                    "delta version {delta} chains from model version {base}, \
+                     which is not in the registry"
+                )
+            }
             ServeError::QueryShape { expected, found } => {
                 write!(
                     f,
@@ -250,5 +268,15 @@ mod tests {
             assert!(e.is_corruption(), "{e}");
             assert!(!e.is_transient(), "{e}");
         }
+    }
+
+    #[test]
+    fn dangling_delta_is_neither_transient_nor_corruption() {
+        let e = ServeError::DeltaBaseMissing { delta: 4, base: 2 };
+        assert!(!e.is_transient());
+        assert!(!e.is_corruption(), "intact delta bytes must not quarantine");
+        let msg = e.to_string();
+        assert!(msg.contains("delta version 4"), "{msg}");
+        assert!(msg.contains("model version 2"), "{msg}");
     }
 }

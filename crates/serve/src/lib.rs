@@ -57,7 +57,7 @@ pub use engine::{
 pub use error::ServeError;
 pub use faults::{FaultCounters, FaultPlan, FaultyFs};
 pub use fsio::{FileOps, RealFs};
-pub use registry::{RecoveryReport, Registry};
+pub use registry::{RecoveryReport, Registry, VersionPins};
 pub use text_artifact::{
     text_from_binary, text_from_json, text_to_binary, text_to_json, TEXT_MAGIC, TEXT_SCHEMA_VERSION,
 };

@@ -93,6 +93,23 @@ fn parse_entry(stem: &str, name: &str) -> Option<(u64, ArtifactFormat, EntryKind
     Some((version.parse::<u64>().ok()?, format, kind))
 }
 
+/// Versions an external subsystem needs kept alive across retention GC.
+///
+/// The registry itself only knows its own stem, but artifact kinds can
+/// *reference* each other: a fold-in `delta-v<N>` chains from the full
+/// `model-v<M>` it was solved against, and GC'ing that base would leave
+/// the delta dangling ([`ServeError::DeltaBaseMissing`]). A pin source
+/// closes the loop without coupling the registry to any particular
+/// artifact kind: [`Registry::with_pins`] installs one, and
+/// [`Registry::gc`] consults it on every pass — pinned versions survive
+/// no matter how old they are, and are reconsidered the next pass (once
+/// the deltas are compacted away, the pin disappears and the base is
+/// collectable again).
+pub trait VersionPins: Send + Sync {
+    /// Versions that must not be GC'd right now. Evaluated per GC pass.
+    fn pinned_versions(&self) -> Vec<u64>;
+}
+
 /// What [`Registry::recover`] found and did.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct RecoveryReport {
@@ -116,6 +133,7 @@ pub struct Registry<A: Artifact = FittedModel> {
     ops: Arc<dyn FileOps>,
     retention: Option<usize>,
     format: ArtifactFormat,
+    pins: Option<Arc<dyn VersionPins>>,
     _kind: PhantomData<fn() -> A>,
 }
 
@@ -128,6 +146,7 @@ impl<A: Artifact> std::fmt::Debug for Registry<A> {
             .field("dir", &self.dir)
             .field("retention", &self.retention)
             .field("format", &self.format)
+            .field("pinned", &self.pins.is_some())
             .finish()
     }
 }
@@ -139,6 +158,7 @@ impl<A: Artifact> Clone for Registry<A> {
             ops: Arc::clone(&self.ops),
             retention: self.retention,
             format: self.format,
+            pins: self.pins.clone(),
             _kind: PhantomData,
         }
     }
@@ -163,6 +183,7 @@ impl<A: Artifact> Registry<A> {
             ops,
             retention: None,
             format: ArtifactFormat::from_env(),
+            pins: None,
             _kind: PhantomData,
         };
         registry.sweep_tmp()?;
@@ -174,6 +195,13 @@ impl<A: Artifact> Registry<A> {
     /// [`recover`](Self::recover)'s evidence.
     pub fn with_retention(mut self, keep: usize) -> Self {
         self.retention = Some(keep.max(1));
+        self
+    }
+
+    /// Install a pin source: versions it reports survive every retention
+    /// GC pass regardless of age. See [`VersionPins`].
+    pub fn with_pins(mut self, pins: Arc<dyn VersionPins>) -> Self {
+        self.pins = Some(pins);
         self
     }
 
@@ -483,8 +511,11 @@ impl<A: Artifact> Registry<A> {
     /// Garbage-collect old **good** versions, keeping the newest `keep`
     /// of them. A pruned version loses *all* its files (both formats —
     /// GC never splits a version); versions whose every file is corrupt
-    /// are skipped entirely (left for [`recover`](Self::recover)).
-    /// Returns the versions deleted.
+    /// are skipped entirely (left for [`recover`](Self::recover)), and
+    /// versions the installed [`VersionPins`] source reports — bases
+    /// that live fold-in deltas still chain from — are held back even
+    /// when older than the retention window. Returns the versions
+    /// deleted.
     pub fn gc(&self, keep: usize) -> Result<Vec<u64>, ServeError> {
         let keep = keep.max(1);
         let mut good = Vec::new();
@@ -505,9 +536,17 @@ impl<A: Artifact> Registry<A> {
                 }
             }
         }
+        let pinned: Vec<u64> = self
+            .pins
+            .as_ref()
+            .map(|p| p.pinned_versions())
+            .unwrap_or_default();
         let excess = good.len().saturating_sub(keep);
         let mut pruned = Vec::with_capacity(excess);
         for &version in &good[..excess] {
+            if pinned.contains(&version) {
+                continue;
+            }
             for format in self.formats_of(version)? {
                 let path = self.path_for(version, format);
                 match self.ops.remove_file(&path) {
@@ -519,6 +558,28 @@ impl<A: Artifact> Registry<A> {
             pruned.push(version);
         }
         Ok(pruned)
+    }
+
+    /// Delete one version outright — every file of it, both formats —
+    /// and make the deletion durable. This is the compaction hook: once
+    /// a refresh has folded a delta into a newly published full model,
+    /// the delta's registry entry is dead weight and is removed as a
+    /// whole unit. Returns whether any file existed. Quarantined files
+    /// of the version are left alone (they are `recover`'s evidence).
+    pub fn remove(&self, version: u64) -> Result<bool, ServeError> {
+        let mut removed = false;
+        for format in self.formats_of(version)? {
+            let path = self.path_for(version, format);
+            match self.ops.remove_file(&path) {
+                Ok(()) => removed = true,
+                Err(e) if e.kind() == ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err(&path, e)),
+            }
+        }
+        if removed {
+            let _ = self.ops.sync_dir(&self.dir);
+        }
+        Ok(removed)
     }
 }
 
@@ -717,6 +778,63 @@ mod tests {
         assert!(listed.contains(&5));
         let (v, _) = reg.load_latest().unwrap();
         assert_eq!(v, 5);
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn pinned_versions_survive_retention_gc() {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        struct Pins(Mutex<Vec<u64>>);
+        impl VersionPins for Pins {
+            fn pinned_versions(&self) -> Vec<u64> {
+                self.0.lock().unwrap().clone()
+            }
+        }
+        let pins = Arc::new(Pins::default());
+        let reg = tmp_registry("pins")
+            .with_retention(2)
+            .with_pins(pins.clone());
+        let v1 = reg.save(&toy_model(0.9)).unwrap();
+        *pins.0.lock().unwrap() = vec![v1];
+        for loss in [0.5, 0.4, 0.3] {
+            reg.save(&toy_model(loss)).unwrap();
+        }
+        let listed = reg.list().unwrap();
+        assert!(
+            listed.contains(&v1),
+            "pinned base survives three saves past the cap: {listed:?}"
+        );
+        assert_eq!(listed, vec![1, 3, 4], "unpinned old versions still GC");
+        // Dropping the pin makes the base collectable on the next pass.
+        pins.0.lock().unwrap().clear();
+        reg.save(&toy_model(0.2)).unwrap();
+        let listed = reg.list().unwrap();
+        assert!(
+            !listed.contains(&v1),
+            "unpinned base is collected: {listed:?}"
+        );
+        let _ = fs::remove_dir_all(reg.dir());
+    }
+
+    #[test]
+    fn remove_deletes_a_version_as_one_unit() {
+        let reg = tmp_registry("remove");
+        let v1 = reg.save(&toy_model(0.5)).unwrap();
+        let v2 = reg.save(&toy_model(0.4)).unwrap();
+        // Give v1 a sibling in the other format so removal must take both.
+        let other = reg.format().other();
+        let model = reg.load(v1).unwrap();
+        fs::write(reg.path_for(v1, other), model.encode_as(other)).unwrap();
+        assert!(reg.remove(v1).unwrap());
+        assert_eq!(reg.list().unwrap(), vec![v2]);
+        assert!(!reg.remove(v1).unwrap(), "second remove is a no-op");
+        assert!(
+            matches!(reg.load(v1), Err(ServeError::VersionNotFound { .. })),
+            "removed version is gone in every format"
+        );
+        // Version numbers are never reused even after removal.
+        assert_eq!(reg.save(&toy_model(0.3)).unwrap(), 3);
         let _ = fs::remove_dir_all(reg.dir());
     }
 

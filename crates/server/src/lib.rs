@@ -31,6 +31,7 @@ pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod refresh;
 pub mod router;
 pub mod server;
 pub mod textdoor;
@@ -42,6 +43,7 @@ pub use client::{
 pub use http::{HttpError, Limits, Request, RequestParser, Response, Version};
 pub use metrics::{LatencyHistogram, Metrics, Route, RouteMetrics, LATENCY_BOUNDS_US};
 pub use queue::{BoundedQueue, PushError};
+pub use refresh::{run_refresh_tick, RefreshConfig, RefreshHandle, RefreshLoop, RefreshOutcome};
 pub use server::{
     precision_from_env, AppState, Health, RetryPolicy, Server, ServerConfig, ServerHandle,
     PRECISION_ENV,

@@ -116,13 +116,15 @@ pub enum Route {
     MetricsRoute,
     /// `POST /v1/reload`
     Reload,
+    /// `POST /v1/fold_in`
+    FoldIn,
     /// Anything else (404s, probes).
     Other,
 }
 
 impl Route {
     /// Every route, in rendering order.
-    pub const ALL: [Route; 8] = [
+    pub const ALL: [Route; 9] = [
         Route::Recommend,
         Route::Classify,
         Route::ClassifyText,
@@ -130,6 +132,7 @@ impl Route {
         Route::Healthz,
         Route::MetricsRoute,
         Route::Reload,
+        Route::FoldIn,
         Route::Other,
     ];
 
@@ -143,6 +146,7 @@ impl Route {
             "/v1/healthz" => Route::Healthz,
             "/v1/metrics" => Route::MetricsRoute,
             "/v1/reload" => Route::Reload,
+            "/v1/fold_in" => Route::FoldIn,
             _ => Route::Other,
         }
     }
@@ -157,12 +161,13 @@ impl Route {
             Route::Healthz => "healthz",
             Route::MetricsRoute => "metrics",
             Route::Reload => "reload",
+            Route::FoldIn => "fold_in",
             Route::Other => "other",
         }
     }
 
     fn index(self) -> usize {
-        Route::ALL.iter().position(|&r| r == self).unwrap_or(7)
+        Route::ALL.iter().position(|&r| r == self).unwrap_or(8)
     }
 }
 
@@ -197,6 +202,13 @@ pub struct Metrics {
     pub timeouts: AtomicU64,
     /// Successful `/v1/reload` swaps.
     pub reloads: AtomicU64,
+    /// Deltas durably appended by `/v1/fold_in`.
+    pub fold_ins: AtomicU64,
+    /// Background refreshes that published and swapped a new model.
+    pub refreshes: AtomicU64,
+    /// Background refresh ticks that failed (the loop keeps running;
+    /// each failure also flips the server to degraded).
+    pub refresh_failures: AtomicU64,
     /// `/v1/reload` attempts that failed even after transient-error
     /// retries — each one flips the server into degraded mode.
     pub reload_failures: AtomicU64,
@@ -208,7 +220,7 @@ pub struct Metrics {
     pub latency: LatencyHistogram,
     /// Per-route request counters and latency, indexed by
     /// [`Route::ALL`] order.
-    pub routes: [RouteMetrics; 8],
+    pub routes: [RouteMetrics; 9],
 }
 
 impl Metrics {
@@ -278,6 +290,13 @@ impl Metrics {
             &mut out,
             "anchors_http_reload_failures_total",
             &self.reload_failures,
+        );
+        counter(&mut out, "anchors_http_fold_ins_total", &self.fold_ins);
+        counter(&mut out, "anchors_http_refreshes_total", &self.refreshes);
+        counter(
+            &mut out,
+            "anchors_http_refresh_failures_total",
+            &self.refresh_failures,
         );
         let _ = writeln!(out, "# TYPE anchors_http_serving_degraded gauge");
         let _ = writeln!(
@@ -353,8 +372,23 @@ mod tests {
     }
 
     #[test]
+    fn online_counters_render() {
+        let m = Metrics::new();
+        m.fold_ins.fetch_add(4, Relaxed);
+        m.refreshes.fetch_add(2, Relaxed);
+        m.refresh_failures.fetch_add(1, Relaxed);
+        m.observe_route(Route::FoldIn, Duration::from_micros(90));
+        let text = m.render_prometheus();
+        assert!(text.contains("anchors_http_fold_ins_total 4"), "{text}");
+        assert!(text.contains("anchors_http_refreshes_total 2"));
+        assert!(text.contains("anchors_http_refresh_failures_total 1"));
+        assert!(text.contains("anchors_http_route_requests_total{route=\"fold_in\"} 1"));
+    }
+
+    #[test]
     fn route_classification_is_total_and_bounded() {
         assert_eq!(Route::of("/v1/classify_text"), Route::ClassifyText);
+        assert_eq!(Route::of("/v1/fold_in"), Route::FoldIn);
         assert_eq!(Route::of("/v1/classify_text?x=1"), Route::ClassifyText);
         assert_eq!(Route::of("/v1/classify"), Route::Classify);
         assert_eq!(Route::of("/v1/recommend"), Route::Recommend);

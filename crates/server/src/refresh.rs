@@ -1,0 +1,196 @@
+//! The background refresh loop: absorb fold-in deltas off the hot path.
+//!
+//! `/v1/fold_in` appends deltas; this loop periodically turns them into
+//! a *new full model*. One tick is [`run_refresh_tick`]:
+//!
+//! 1. read the live deltas from the [`DeltaLog`] (nothing to do → done);
+//! 2. warm-start refit the served model on the delta-augmented matrix
+//!    (`anchors_online::refresh_model` — previous factors seed HALS, so
+//!    the refit costs a few sweeps, not a cold multi-restart fit);
+//! 3. publish the refreshed model through the [`Registry`] (crash-safe
+//!    claim/write/rename, retention GC honoring the log's pins);
+//! 4. atomically swap the serving snapshot — the exact machinery
+//!    `/v1/reload` uses, so concurrent queries never block and never see
+//!    a half-installed model; the text door rides the swap and picks up
+//!    any newly published text model the same way;
+//! 5. compact exactly the absorbed deltas out of the log.
+//!
+//! The loop shares the server's `Healthy ⇄ Degraded` contract: a failed
+//! tick bumps `refresh_failures`, flips the server degraded (still
+//! serving the last-good snapshot), and the next successful tick —
+//! or a successful `/v1/reload` — self-heals. [`RefreshHandle::shutdown`]
+//! is a graceful drain: an in-flight tick finishes (publish and swap are
+//! atomic; stopping mid-tick at worst leaves deltas uncompacted, which
+//! the *next* process's first tick absorbs again idempotently), then the
+//! thread exits.
+
+use crate::server::AppState;
+use anchors_online::{OnlineError, RefreshOptions};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning for the background refresh loop.
+#[derive(Debug, Clone)]
+pub struct RefreshConfig {
+    /// Delay between ticks.
+    pub interval: Duration,
+    /// Solver budget per tick.
+    pub options: RefreshOptions,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig {
+            interval: Duration::from_secs(60),
+            options: RefreshOptions::default(),
+        }
+    }
+}
+
+/// What one successful refresh tick did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefreshOutcome {
+    /// The version the refreshed model published as (and the snapshot
+    /// now serves).
+    pub version: u64,
+    /// Delta versions absorbed and compacted away.
+    pub absorbed: Vec<u64>,
+    /// HALS sweeps the warm refit needed.
+    pub warm_iterations: usize,
+    /// Whether the warm seed diverged and the cold ladder rescued the
+    /// fit.
+    pub fell_back_cold: bool,
+}
+
+/// Run one refresh tick synchronously. Returns `Ok(None)` when there was
+/// nothing to absorb (no delta log attached, the log is empty, or every
+/// delta was skipped as incompatible). Metrics and health are updated
+/// exactly as the background loop would.
+pub fn run_refresh_tick(
+    state: &AppState,
+    options: &RefreshOptions,
+) -> Result<Option<RefreshOutcome>, OnlineError> {
+    let Some(log) = &state.online else {
+        return Ok(None);
+    };
+    let result = (|| {
+        let deltas = log.live()?;
+        if deltas.is_empty() {
+            return Ok(None);
+        }
+        let snapshot = state.cache.snapshot();
+        let (refreshed, report) =
+            anchors_online::refresh_model(snapshot.engine.model(), &deltas, options)?;
+        if report.absorbed.is_empty() {
+            // Nothing compatible: leave the log alone (the skipped
+            // deltas stay visible for operators) and publish nothing.
+            return Ok(None);
+        }
+        state.registry.save(&refreshed)?;
+        // The same swap `/v1/reload` does: load-latest into a fresh
+        // engine, then one atomic pointer store. Queries in flight keep
+        // their snapshot; the next snapshot() sees the refreshed model.
+        let swapped = state.cache.reload(&state.registry, state.cs, state.pdc)?;
+        if let Some(door) = &state.text {
+            // Non-fatal, exactly as in /v1/reload: a text-side failure
+            // degrades /v1/classify_text, not the factor refresh.
+            let _ = door.reload();
+        }
+        log.compact(&report.absorbed)?;
+        Ok(Some(RefreshOutcome {
+            version: swapped,
+            absorbed: report.absorbed,
+            warm_iterations: report.warm.warm_iterations,
+            fell_back_cold: report.warm.fell_back_cold,
+        }))
+    })();
+    match &result {
+        Ok(Some(_)) => {
+            state.metrics.refreshes.fetch_add(1, Relaxed);
+            state.health.set_healthy();
+            state.metrics.serving_degraded.store(0, Relaxed);
+        }
+        Ok(None) => {}
+        Err(e) => {
+            state.metrics.refresh_failures.fetch_add(1, Relaxed);
+            state.metrics.serving_degraded.store(1, Relaxed);
+            state
+                .health
+                .set_degraded(format!("background refresh: {e}"));
+        }
+    }
+    result
+}
+
+#[derive(Default)]
+struct Stop {
+    flag: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// A running background refresh loop; [`shutdown`](RefreshHandle::shutdown)
+/// (or drop) stops it gracefully.
+pub struct RefreshLoop;
+
+/// Handle to a running refresh loop.
+pub struct RefreshHandle {
+    stop: Arc<Stop>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl RefreshLoop {
+    /// Start the loop. The first tick runs immediately — that is the
+    /// startup replay: deltas recovered from a previous process are
+    /// absorbed before the first interval elapses — then every
+    /// `config.interval` until shutdown.
+    pub fn start(state: Arc<AppState>, config: RefreshConfig) -> RefreshHandle {
+        let stop = Arc::new(Stop::default());
+        let thread = {
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("anchors-refresh".into())
+                .spawn(move || loop {
+                    // Failures are recorded on metrics/health by the tick
+                    // itself; the loop's only job is to keep ticking.
+                    let _ = run_refresh_tick(&state, &config.options);
+                    let stopped = stop.flag.lock().unwrap_or_else(|e| e.into_inner());
+                    let (stopped, _) = stop
+                        .wake
+                        .wait_timeout_while(stopped, config.interval, |stopped| !*stopped)
+                        .unwrap_or_else(|e| e.into_inner());
+                    if *stopped {
+                        return;
+                    }
+                })
+                .expect("spawn refresh thread")
+        };
+        RefreshHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl RefreshHandle {
+    /// Stop the loop: an in-flight tick finishes, the interval wait is
+    /// interrupted, the thread joins.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        *self.stop.flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.stop.wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for RefreshHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}

@@ -9,6 +9,7 @@
 //! | `GET  /v1/healthz`   | liveness + served model version |
 //! | `GET  /v1/metrics`   | Prometheus text exposition |
 //! | `POST /v1/reload`    | atomic snapshot swap to the newest registry version |
+//! | `POST /v1/fold_in`   | fold in one course AND persist it as a durable delta |
 //!
 //! `/v1/classify_text` is the front door for deployments that attach a
 //! [`crate::textdoor::TextDoor`]: the body carries raw syllabus text,
@@ -44,12 +45,17 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         ("GET", "/v1/healthz") => healthz(state),
         ("GET", "/v1/metrics") => Response::text(200, state.metrics.render_prometheus()),
         ("POST", "/v1/reload") => reload(state),
+        ("POST", "/v1/fold_in") => fold_in(state, req),
         (_, "/v1/classify_text") if state.text.is_none() => {
             Response::json(404, wire::error_body("no route for /v1/classify_text"))
         }
+        (_, "/v1/fold_in") if state.online.is_none() => {
+            Response::json(404, wire::error_body("no route for /v1/fold_in"))
+        }
         (
             _,
-            "/v1/recommend" | "/v1/classify" | "/v1/batch" | "/v1/reload" | "/v1/classify_text",
+            "/v1/recommend" | "/v1/classify" | "/v1/batch" | "/v1/reload" | "/v1/classify_text"
+            | "/v1/fold_in",
         ) => method_not_allowed("POST"),
         (_, "/v1/healthz" | "/v1/metrics") => method_not_allowed("GET"),
         _ => Response::json(404, wire::error_body(&format!("no route for {path}"))),
@@ -78,6 +84,7 @@ pub fn serve_error_status(e: &ServeError) -> u16 {
         | ServeError::SchemaVersion { .. }
         | ServeError::FingerprintMismatch { .. }
         | ServeError::VersionNotFound { .. }
+        | ServeError::DeltaBaseMissing { .. }
         | ServeError::EmptyRegistry
         | ServeError::Io { .. }
         | ServeError::Linalg(_) => 500,
@@ -168,6 +175,51 @@ fn classify_text(state: &AppState, req: &Request) -> Response {
             200,
             wire::classify_text_json(&classification, text_snapshot.version, &resp),
         ),
+        Err(e) => serve_error(&e),
+    }
+}
+
+/// Fold one course in *durably*: the same body as `/v1/recommend`, but
+/// besides solving the NNLS projection the handler persists the (tag
+/// row, loadings) pair as a `delta-v<N>` artifact chained to the served
+/// model version. The delta survives restarts (the log's startup
+/// recovery replays it) and the background refresh loop absorbs it into
+/// the next full model.
+fn fold_in(state: &AppState, req: &Request) -> Response {
+    let Some(log) = &state.online else {
+        return Response::json(404, wire::error_body("this deployment persists no deltas"));
+    };
+    let doc = match wire::parse_body(&req.body) {
+        Ok(doc) => doc,
+        Err(e) => return wire_error(&e),
+    };
+    let query = match wire::course_query(&doc) {
+        Ok(q) => q,
+        Err(e) => return wire_error(&e),
+    };
+    let snapshot = state.cache.snapshot();
+    let delta =
+        match anchors_online::FoldInDelta::from_query(&snapshot.engine, &query, snapshot.version) {
+            Ok(delta) => delta,
+            Err(e) => return serve_error(&e),
+        };
+    match log.append(&delta) {
+        Ok(delta_version) => {
+            state.metrics.fold_ins.fetch_add(1, Relaxed);
+            json_response(
+                200,
+                Json::Obj(vec![
+                    ("folded".into(), Json::Bool(true)),
+                    ("delta_version".into(), Json::Num(delta_version as f64)),
+                    ("base_version".into(), Json::Num(snapshot.version as f64)),
+                    ("name".into(), Json::Str(delta.name.clone())),
+                    (
+                        "loadings".into(),
+                        Json::Arr(delta.loadings.iter().map(|&v| Json::Num(v)).collect()),
+                    ),
+                ]),
+            )
+        }
         Err(e) => serve_error(&e),
     }
 }

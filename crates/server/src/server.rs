@@ -21,6 +21,7 @@ use crate::queue::{BoundedQueue, PushError};
 use crate::router;
 use crate::textdoor::TextDoor;
 use anchors_curricula::Ontology;
+use anchors_online::DeltaLog;
 use anchors_serve::{Precision, Registry, ServeError, SnapshotCache};
 use std::io::{self, ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -186,6 +187,11 @@ pub struct AppState {
     /// The text-classification door, when the deployment serves
     /// `/v1/classify_text`. `None` routes that path to 404.
     pub text: Option<TextDoor>,
+    /// The durable fold-in delta log, when the deployment serves
+    /// `POST /v1/fold_in` and runs the background refresh loop. `None`
+    /// routes that path to 404 (fold-in still works per-request through
+    /// the engine; it just is not persisted).
+    pub online: Option<Arc<DeltaLog>>,
 }
 
 impl AppState {
@@ -220,12 +226,22 @@ impl AppState {
             health: Health::default(),
             reload_retry: RetryPolicy::default(),
             text: None,
+            online: None,
         })
     }
 
     /// Attach a text-classification door, enabling `/v1/classify_text`.
     pub fn with_text(mut self, door: TextDoor) -> Self {
         self.text = Some(door);
+        self
+    }
+
+    /// Attach a delta log, enabling `POST /v1/fold_in` and the
+    /// background refresh loop. Wire the same log into the model
+    /// registry's retention via `Registry::with_pins` so GC never frees
+    /// a base version that live deltas chain from.
+    pub fn with_online(mut self, log: Arc<DeltaLog>) -> Self {
+        self.online = Some(log);
         self
     }
 }

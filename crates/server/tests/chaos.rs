@@ -15,9 +15,11 @@ use anchors_curricula::{cs2013, pdc12};
 use anchors_factor::{NnmfModel, NnmfRecovery};
 use anchors_linalg::{Backend, Matrix};
 use anchors_materials::TagSpace;
+use anchors_online::{DeltaLog, RefreshOptions};
 use anchors_serve::{FaultPlan, FaultyFs, FileOps, FittedModel, Registry};
 use anchors_server::{
-    AppState, Client, RetryConfig, RetryingClient, Server, ServerConfig, ServerHandle, TextDoor,
+    run_refresh_tick, AppState, Client, RetryConfig, RetryingClient, Server, ServerConfig,
+    ServerHandle, TextDoor,
 };
 use anchors_text::{train, TextModel, TrainConfig};
 use std::fs;
@@ -500,4 +502,98 @@ fn retrying_client_rides_out_degraded_window() {
     healer.join().expect("healer");
     handle.shutdown();
     let _ = fs::remove_dir_all(state.registry.dir());
+}
+
+/// Scenario 8 — a crash mid-delta-append. A torn write fails the
+/// `/v1/fold_in` durably-persist step: the client gets a typed error,
+/// nothing half-written ever replays, serving never misses a beat. The
+/// startup sweep clears the wreckage; once the weather clears, the next
+/// fold-in lands and a refresh tick absorbs it into a full model —
+/// the log healed itself without an operator.
+#[test]
+fn torn_delta_append_never_replays_and_heals() {
+    let dir = tmp_dir("torn-delta");
+    let ffs = Arc::new(FaultyFs::new(FaultPlan::none(71).with_torn_write(1.0)));
+    ffs.set_enabled(false);
+    let log = Arc::new(
+        DeltaLog::open_with(&dir, Arc::clone(&ffs) as Arc<dyn FileOps>).expect("delta log"),
+    );
+    let registry = Registry::open_with(&dir, Arc::clone(&ffs) as Arc<dyn FileOps>)
+        .expect("registry")
+        .with_pins(Arc::clone(&log) as Arc<_>);
+    registry.save(&toy_model("chaos-v1", 3)).expect("save v1");
+    let state = Arc::new(
+        AppState::from_registry(registry, cs2013(), pdc12())
+            .expect("state")
+            .with_online(Arc::clone(&log)),
+    );
+    let handle =
+        Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).expect("start");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let codes: Vec<String> = state.cache.snapshot().engine.model().tag_codes.clone();
+    let fold_body = format!(
+        r#"{{"name":"CS 480","labels":["DS"],"tags":["{}","{}"]}}"#,
+        codes[2], codes[7]
+    )
+    .into_bytes();
+
+    // The append tears mid-write: the route reports the failure...
+    ffs.set_enabled(true);
+    let torn = client
+        .request("POST", "/v1/fold_in", &fold_body)
+        .expect("fold_in");
+    assert_ne!(torn.status, 200, "a torn append must not report success");
+    assert!(ffs.counters().torn_writes.load(Relaxed) >= 1);
+    ffs.set_enabled(false);
+    // ...and the torn bytes never replay: the log reads back empty.
+    assert!(
+        log.live().expect("live").is_empty(),
+        "no half-written delta"
+    );
+    assert_eq!(state.metrics.fold_ins.load(Relaxed), 0);
+
+    // Serving never noticed: queries and liveness keep answering.
+    let body = recommend_body(&state);
+    assert_eq!(
+        client
+            .request("POST", "/v1/recommend", &body)
+            .expect("query")
+            .status,
+        200
+    );
+    assert_eq!(
+        client
+            .request("GET", "/v1/healthz", b"")
+            .expect("healthz")
+            .status,
+        200
+    );
+
+    // The startup sweep clears the wreckage (a stale temp at worst —
+    // the torn append never claimed a version)...
+    let report = log.recover().expect("recover");
+    assert!(
+        report.quarantined.is_empty(),
+        "nothing claimed, nothing condemned"
+    );
+    // ...and the next fold-in heals the log: it lands durably and the
+    // refresh absorbs it into a published full model.
+    let healed = client
+        .request("POST", "/v1/fold_in", &fold_body)
+        .expect("fold_in");
+    assert_eq!(healed.status, 200, "{}", healed.text());
+    assert_eq!(log.live().expect("live").len(), 1);
+    let outcome = run_refresh_tick(&state, &RefreshOptions::default())
+        .expect("tick")
+        .expect("absorbed the healed fold-in");
+    assert!(outcome.version > 1);
+    assert_eq!(state.cache.snapshot().engine.model().w.rows(), 7);
+    assert!(
+        log.live().expect("live").is_empty(),
+        "absorbed and compacted"
+    );
+    assert!(!state.health.is_degraded());
+    drop(client);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
 }

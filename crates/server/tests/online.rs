@@ -1,0 +1,298 @@
+//! End-to-end tests of the online-learning path: `POST /v1/fold_in`
+//! persisting durable deltas, the refresh tick absorbing them into a new
+//! full model, restart survival, and zero dropped requests while the
+//! refresh swaps the snapshot under live load.
+
+use anchors_curricula::{cs2013, pdc12};
+use anchors_factor::{NnmfModel, NnmfRecovery};
+use anchors_linalg::{Backend, Matrix};
+use anchors_materials::TagSpace;
+use anchors_online::{DeltaLog, RefreshOptions};
+use anchors_serve::{FittedModel, Registry};
+use anchors_server::{
+    run_refresh_tick, AppState, Client, RefreshConfig, RefreshLoop, Server, ServerConfig,
+    ServerHandle,
+};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anchors-online-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn toy_model(name: &str, seed: u64) -> FittedModel {
+    let cs = cs2013();
+    let space = TagSpace::from_tags(cs.leaf_items().into_iter().take(12));
+    let model = NnmfModel {
+        w: Matrix::from_fn(6, 3, |i, j| ((i + 2 * j + seed as usize) % 4) as f64 * 0.5),
+        h: Matrix::from_fn(3, 12, |i, j| ((i * 12 + j) % 5) as f64 * 0.2 + 0.05),
+        loss: 0.2,
+        iterations: 7,
+        converged: true,
+        winning_seed: seed,
+        recovery: NnmfRecovery::default(),
+    };
+    FittedModel::new(name, cs, &space, &model, Backend::Dense).expect("valid artifact")
+}
+
+/// An AppState over `dir` with the delta log attached — the same wiring
+/// a second server process would do at startup, so calling it twice
+/// against one directory *is* the restart scenario.
+fn online_state(dir: &Path) -> Arc<AppState> {
+    let log = Arc::new(DeltaLog::open(dir).expect("delta log"));
+    let registry = Registry::open(dir)
+        .expect("registry")
+        .with_pins(Arc::clone(&log) as Arc<_>);
+    Arc::new(
+        AppState::from_registry(registry, cs2013(), pdc12())
+            .expect("state")
+            .with_online(log),
+    )
+}
+
+fn start_online_server(tag: &str) -> (ServerHandle, Arc<AppState>, PathBuf) {
+    let dir = tmp_dir(tag);
+    Registry::open(&dir)
+        .expect("registry")
+        .save(&toy_model("online-v1", 3))
+        .expect("save v1");
+    let state = online_state(&dir);
+    let handle =
+        Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).expect("start");
+    (handle, state, dir)
+}
+
+fn fold_in_body(state: &AppState, name: &str) -> Vec<u8> {
+    let snapshot = state.cache.snapshot();
+    let codes = &snapshot.engine.model().tag_codes;
+    format!(
+        r#"{{"name":"{name}","labels":["DS"],"tags":["{}","{}","{}"]}}"#,
+        codes[1], codes[4], codes[9]
+    )
+    .into_bytes()
+}
+
+#[test]
+fn fold_in_persists_a_durable_delta_and_counts_it() {
+    let (handle, state, dir) = start_online_server("persist");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+
+    let resp = client
+        .request("POST", "/v1/fold_in", &fold_in_body(&state, "CS 450"))
+        .expect("fold_in");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(resp.text().contains("\"folded\":true"), "{}", resp.text());
+    assert!(
+        resp.text().contains("\"delta_version\":1"),
+        "{}",
+        resp.text()
+    );
+    assert!(
+        resp.text().contains("\"base_version\":1"),
+        "{}",
+        resp.text()
+    );
+
+    // The delta is on disk, chained to the serving version, replayable.
+    let log = state.online.as_ref().expect("log attached");
+    let live = log.live().expect("live");
+    assert_eq!(live.len(), 1);
+    assert_eq!(live[0].1.base_version, 1);
+    assert_eq!(live[0].1.name, "CS 450");
+    assert_eq!(live[0].1.tags.len(), 12);
+    assert_eq!(live[0].1.loadings.len(), 3);
+
+    // Counted on its own route and its own counter.
+    assert_eq!(state.metrics.fold_ins.load(Relaxed), 1);
+    let metrics = client.request("GET", "/v1/metrics", b"").expect("metrics");
+    assert!(
+        metrics.text().contains("anchors_http_fold_ins_total 1"),
+        "{}",
+        metrics.text()
+    );
+    assert!(
+        metrics
+            .text()
+            .contains(r#"anchors_http_route_requests_total{route="fold_in"} 1"#),
+        "{}",
+        metrics.text()
+    );
+    drop(client);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fold_in_is_404_when_no_delta_log_is_attached() {
+    let dir = tmp_dir("no-log");
+    let registry = Registry::open(&dir).expect("registry");
+    registry.save(&toy_model("plain-v1", 3)).expect("save v1");
+    let state = Arc::new(AppState::from_registry(registry, cs2013(), pdc12()).expect("state"));
+    let handle =
+        Server::start(Arc::clone(&state), "127.0.0.1:0", ServerConfig::default()).expect("start");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let resp = client
+        .request("POST", "/v1/fold_in", &fold_in_body(&state, "CS 450"))
+        .expect("fold_in");
+    assert_eq!(resp.status, 404, "{}", resp.text());
+    drop(client);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The ISSUE's acceptance scenario: a folded-in course survives a server
+/// restart (the delta is replayed from disk on startup) and is absorbed
+/// into the next background refresh's full model.
+#[test]
+fn folded_course_survives_restart_and_refresh_absorbs_it() {
+    let (handle, state, dir) = start_online_server("restart");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let resp = client
+        .request("POST", "/v1/fold_in", &fold_in_body(&state, "CS 451"))
+        .expect("fold_in");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    drop(client);
+    handle.shutdown();
+    drop(state);
+
+    // "Restart": a fresh process opens the same directory. The delta is
+    // still there, chained to the model that served it.
+    let state = online_state(&dir);
+    assert_eq!(state.cache.version(), 1, "boots on the full model");
+    let log = state.online.as_ref().expect("log attached");
+    let recovered = log.live().expect("live");
+    assert_eq!(recovered.len(), 1, "the fold-in survived the restart");
+    assert_eq!(recovered[0].1.name, "CS 451");
+    log.verify_bases(&state.registry.list().expect("list"))
+        .expect("the delta's base model is still on disk");
+
+    // One refresh tick absorbs it: a new full model publishes with the
+    // folded-in course as a real W row, the snapshot swaps, the log
+    // compacts to empty.
+    let outcome = run_refresh_tick(&state, &RefreshOptions::default())
+        .expect("tick")
+        .expect("absorbed something");
+    assert_eq!(outcome.absorbed, vec![1]);
+    assert_eq!(state.cache.version(), outcome.version);
+    assert!(outcome.version > 1, "a new full model was published");
+    let refreshed = state.cache.snapshot();
+    assert_eq!(
+        refreshed.engine.model().w.rows(),
+        7,
+        "6 fixture courses + 1 folded-in"
+    );
+    assert!(
+        log.live().expect("live").is_empty(),
+        "absorbed deltas compacted"
+    );
+    assert_eq!(state.metrics.refreshes.load(Relaxed), 1);
+
+    // A second tick is a no-op, not a second publish.
+    assert_eq!(
+        run_refresh_tick(&state, &RefreshOptions::default()).expect("tick"),
+        None
+    );
+    assert_eq!(state.cache.version(), outcome.version);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The refresh swap must drop zero requests: clients hammer
+/// `/v1/recommend` on keep-alive connections while fold-ins and refresh
+/// ticks publish and swap new models under them.
+#[test]
+fn refresh_swap_drops_zero_requests_under_load() {
+    let (handle, state, dir) = start_online_server("swap-load");
+    let addr = handle.addr();
+    let body = fold_in_body(&state, "CS 452");
+
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let body = body.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr, TIMEOUT).expect("connect");
+                let mut served = 0u64;
+                for _ in 0..50 {
+                    let resp = client
+                        .request("POST", "/v1/recommend", &body)
+                        .expect("recommend");
+                    assert_eq!(resp.status, 200, "dropped under refresh: {}", resp.text());
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Meanwhile: fold in courses and run refresh ticks — every tick
+    // publishes a new model and swaps the serving snapshot.
+    let mut folder = Client::connect(addr, TIMEOUT).expect("connect");
+    let mut swaps = 0;
+    for round in 0..3 {
+        let resp = folder
+            .request(
+                "POST",
+                "/v1/fold_in",
+                &fold_in_body(&state, &format!("CS 49{round}")),
+            )
+            .expect("fold_in");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        if run_refresh_tick(&state, &RefreshOptions::default())
+            .expect("tick")
+            .is_some()
+        {
+            swaps += 1;
+        }
+    }
+    assert_eq!(swaps, 3, "every tick had a delta to absorb");
+    let served: u64 = clients.into_iter().map(|t| t.join().expect("client")).sum();
+    assert_eq!(served, 200, "all requests answered across {swaps} swaps");
+    assert!(state.cache.version() > 3);
+    assert_eq!(state.metrics.refresh_failures.load(Relaxed), 0);
+    drop(folder);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The background loop end-to-end: its first tick runs immediately, so
+/// deltas appended before startup are absorbed without waiting an
+/// interval; shutdown joins the thread.
+#[test]
+fn refresh_loop_absorbs_startup_deltas_and_shuts_down() {
+    let (handle, state, dir) = start_online_server("loop");
+    let mut client = Client::connect(handle.addr(), TIMEOUT).expect("connect");
+    let resp = client
+        .request("POST", "/v1/fold_in", &fold_in_body(&state, "CS 453"))
+        .expect("fold_in");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    let refresher = RefreshLoop::start(
+        Arc::clone(&state),
+        RefreshConfig {
+            interval: Duration::from_secs(3600), // only the immediate first tick
+            ..RefreshConfig::default()
+        },
+    );
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    while state.cache.version() == 1 && std::time::Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert!(state.cache.version() > 1, "first tick swapped a new model");
+    assert_eq!(state.metrics.refreshes.load(Relaxed), 1);
+    refresher.shutdown(); // joins promptly despite the hour-long interval
+
+    // The swapped model serves over HTTP, folded-in row included.
+    let health = client.request("GET", "/v1/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200, "{}", health.text());
+    assert_eq!(state.cache.snapshot().engine.model().w.rows(), 7);
+    drop(client);
+    handle.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
